@@ -1,0 +1,47 @@
+//===----------------------------------------------------------------------===//
+// Regenerates Figure 1: Rust's release history — feature changes and KLOC
+// per release, 2012 through 2019. The figure's property (heavy churn until
+// 2016, stable after 1.6.0) is checked explicitly.
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "study/RustHistory.h"
+#include "support/Table.h"
+
+using namespace rs;
+using namespace rs::bench;
+using namespace rs::study;
+
+static void printExperiment() {
+  banner("Figure 1. Rust History",
+         "Feature changes (blue series) and KLOC (red series) per release. "
+         "Versions/dates follow the public timeline; magnitudes are "
+         "synthesized to the figure's shape (see DESIGN.md).");
+  Table T;
+  T.setHeader({"Release", "Date", "Feature changes", "KLOC"});
+  for (const RustRelease &R : rustReleaseHistory())
+    T.addRow({R.Version,
+              std::to_string(R.Year) + "/" + std::to_string(R.Month),
+              std::to_string(R.FeatureChanges), std::to_string(R.KLoc)});
+  std::printf("%s\n", T.render().c_str());
+
+  std::printf("  releases: %zu (0.1 Jan 2012 ... 1.39 Nov 2019)\n",
+              rustReleaseHistory().size());
+  std::printf("  churn before 2016: %u; since 2016: %u (paper: \"heavy "
+              "changes in the first four years ... stable since Jan 2016 "
+              "(v1.6.0)\")\n\n",
+              featureChangesBefore(2016), featureChangesSince(2016));
+}
+
+static void BM_BuildHistory(benchmark::State &State) {
+  for (auto _ : State) {
+    unsigned Sum = 0;
+    for (const RustRelease &R : rustReleaseHistory())
+      Sum += R.FeatureChanges;
+    benchmark::DoNotOptimize(Sum);
+  }
+}
+BENCHMARK(BM_BuildHistory);
+
+RUSTSIGHT_BENCH_MAIN(printExperiment)

@@ -1,0 +1,111 @@
+//===----------------------------------------------------------------------===//
+// Regenerates the Section 4 unsafe-usage study: the headline counts over
+// the applications (via the scanner running on a corpus generated at the
+// paper's scale), the 600-usage sample breakdowns, the unsafe-removal
+// statistics, and the interior-unsafe encapsulation study.
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "corpus/RustCorpus.h"
+#include "scanner/UnsafeScanner.h"
+#include "study/UnsafeStats.h"
+
+using namespace rs::bench;
+using namespace rs::corpus;
+using namespace rs::scanner;
+using namespace rs::study;
+
+namespace {
+
+RustCorpusConfig paperScaleConfig() {
+  RustCorpusConfig C;
+  C.Seed = 2020;
+  C.Files = 120;
+  C.UnsafeBlocks = 3665;
+  C.UnsafeFns = 1302;
+  C.UnsafeTraits = 23;
+  C.UnsafeImpls = 60;
+  C.InteriorUnsafeFns = 1800;
+  C.SafeFns = 6000;
+  return C;
+}
+
+} // namespace
+
+static void printExperiment() {
+  banner("Section 4. Unsafe Usages",
+         "Scanner pipeline on a corpus generated at the paper's scale, plus "
+         "the manually-inspected sample statistics.");
+
+  // End-to-end: generate a tree with the paper's construct counts and
+  // measure them back with the scanner.
+  ScanStats S;
+  for (const RustFile &F : RustCorpusGenerator(paperScaleConfig()).generate())
+    S.merge(UnsafeScanner().scanSource(F.Source));
+  std::printf("Scanner over the generated corpus:\n");
+  compare("unsafe code regions", 3665, S.UnsafeBlocks);
+  compare("unsafe functions", 1302, S.UnsafeFns);
+  compare("unsafe traits", 23, S.UnsafeTraits);
+  compare("total unsafe usages", 4990, S.totalUnsafeUsages());
+
+  std::printf("\n600-usage sample (Section 4.1):\n");
+  unsigned Mem = 0, Call = 0, Other = 0;
+  unsigned Reuse = 0, Perf = 0, Share = 0;
+  unsigned Removable = 0;
+  for (const UnsafeUsage &U : unsafeUsageSample()) {
+    Mem += U.Op == UnsafeOpType::MemoryOp;
+    Call += U.Op == UnsafeOpType::CallUnsafeFn;
+    Other += U.Op == UnsafeOpType::OtherOp;
+    Reuse += U.Purpose == UnsafePurpose::CodeReuse;
+    Perf += U.Purpose == UnsafePurpose::Performance;
+    Share += U.Purpose == UnsafePurpose::DataSharing;
+    Removable += U.Removable != RemovableReason::NotRemovable;
+  }
+  compare("memory operations (66%)", 396, Mem);
+  compare("unsafe-function calls (29%)", 174, Call);
+  compare("purpose: code reuse (42%)", 252, Reuse);
+  compare("purpose: performance (22%)", 132, Perf);
+  compare("purpose: thread sharing (14%)", 84, Share);
+  compare("removable without compile error", 32, Removable);
+
+  std::printf("\nUnsafe removals (Section 4.2):\n");
+  UnsafeRemovals R = unsafeRemovals();
+  compare("total removal cases", 130, R.Total);
+  compare("for memory safety (61%)", 79, R.ForMemorySafety);
+  compare("changed fully to safe code", 43, R.ToSafeCode);
+  compare("to std interior-unsafe", 48, R.ToStdInteriorUnsafe);
+
+  std::printf("\nInterior-unsafe encapsulation (Section 4.3):\n");
+  InteriorUnsafeStudy I = interiorUnsafeStudy();
+  compare("std functions sampled", 250, I.StdSampled);
+  compare("no explicit condition check (58%)", 145, I.NoExplicitCheck);
+  compare("improperly encapsulated (5 std + 14 apps)", 19,
+          I.improperTotal());
+  std::printf("\n");
+}
+
+static void BM_ScanPaperScaleCorpus(benchmark::State &State) {
+  auto Files = RustCorpusGenerator(paperScaleConfig()).generate();
+  size_t Bytes = 0;
+  for (const RustFile &F : Files)
+    Bytes += F.Source.size();
+  for (auto _ : State) {
+    ScanStats S;
+    for (const RustFile &F : Files)
+      S.merge(UnsafeScanner().scanSource(F.Source));
+    benchmark::DoNotOptimize(S.totalUnsafeUsages());
+  }
+  State.SetBytesProcessed(static_cast<int64_t>(Bytes) * State.iterations());
+}
+BENCHMARK(BM_ScanPaperScaleCorpus)->Unit(benchmark::kMillisecond);
+
+static void BM_GenerateCorpus(benchmark::State &State) {
+  for (auto _ : State) {
+    auto Files = RustCorpusGenerator(paperScaleConfig()).generate();
+    benchmark::DoNotOptimize(Files.size());
+  }
+}
+BENCHMARK(BM_GenerateCorpus)->Unit(benchmark::kMillisecond);
+
+RUSTSIGHT_BENCH_MAIN(printExperiment)

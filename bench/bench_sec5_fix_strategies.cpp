@@ -1,0 +1,47 @@
+//===----------------------------------------------------------------------===//
+// Regenerates the Section 5.2 statistics: how the 70 memory-safety bugs
+// were fixed.
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "study/Tables.h"
+
+using namespace rs::bench;
+using namespace rs::study;
+
+static void printExperiment() {
+  banner("Section 5.2. Memory-Bug Fixing Strategies",
+         "30 conditionally skip code / 22 adjust lifetime / 9 change unsafe "
+         "operands / 9 other.");
+  BugDatabase DB;
+  auto Counts = computeMemFixCounts(DB);
+  compare("conditionally skip code", 30, Counts[MemFix::ConditionallySkip]);
+  compare("adjust lifetime", 22, Counts[MemFix::AdjustLifetime]);
+  compare("change unsafe operands", 9, Counts[MemFix::ChangeOperands]);
+  compare("other strategies", 9, Counts[MemFix::Other]);
+
+  // The narrative cross-checks: lifetime fixes dominate the lifetime-
+  // violation categories (UAF / double free / invalid free).
+  unsigned LifetimeOnLifetimeBugs = 0;
+  for (const MemoryBug &B : DB.memoryBugs())
+    if (B.Fix == MemFix::AdjustLifetime &&
+        (B.Category == MemCategory::UseAfterFree ||
+         B.Category == MemCategory::DoubleFree ||
+         B.Category == MemCategory::InvalidFree))
+      ++LifetimeOnLifetimeBugs;
+  compare("lifetime fixes on lifetime-violation bugs", 22,
+          LifetimeOnLifetimeBugs);
+  std::printf("\n");
+}
+
+static void BM_FixCounts(benchmark::State &State) {
+  BugDatabase DB;
+  for (auto _ : State) {
+    auto Counts = computeMemFixCounts(DB);
+    benchmark::DoNotOptimize(Counts.size());
+  }
+}
+BENCHMARK(BM_FixCounts);
+
+RUSTSIGHT_BENCH_MAIN(printExperiment)

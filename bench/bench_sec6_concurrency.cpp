@@ -1,0 +1,66 @@
+//===----------------------------------------------------------------------===//
+// Regenerates the Section 6 statistics: blocking-bug causes and fixes, and
+// non-blocking-bug fixes.
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "study/Tables.h"
+
+using namespace rs::bench;
+using namespace rs::study;
+
+static void printExperiment() {
+  banner("Section 6. Thread-Safety Issues",
+         "Causes and fixes of the 59 blocking and 41 non-blocking bugs.");
+  BugDatabase DB;
+
+  std::printf("Blocking-bug causes (Section 6.1):\n");
+  auto Causes = computeBlockingCauseCounts(DB);
+  compare("double lock", 30, Causes[BlockingCause::DoubleLock]);
+  compare("locks in conflicting orders", 7,
+          Causes[BlockingCause::ConflictingOrder]);
+  compare("forgot to unlock", 1, Causes[BlockingCause::ForgotUnlock]);
+  compare("Condvar wait without notify", 8,
+          Causes[BlockingCause::WaitNoNotify]);
+  compare("circular notify wait", 2, Causes[BlockingCause::MissedNotify]);
+  compare("blocked channel receive", 5,
+          Causes[BlockingCause::ChannelRecvBlock]);
+  compare("blocked send to full channel", 1,
+          Causes[BlockingCause::ChannelSendFull]);
+  compare("recursive call_once", 1, Causes[BlockingCause::OnceRecursion]);
+
+  std::printf("\nBlocking-bug fixes (Section 6.1):\n");
+  auto BFixes = computeBlockingFixCounts(DB);
+  compare("adjusted synchronization (total)", 51,
+          BFixes[BlockingFix::AdjustSyncOps] +
+              BFixes[BlockingFix::AdjustGuardLifetime]);
+  compare("  of which guard-lifetime adjustments", 21,
+          BFixes[BlockingFix::AdjustGuardLifetime]);
+  compare("other fixes", 8, BFixes[BlockingFix::OtherFix]);
+
+  std::printf("\nNon-blocking-bug fixes (Section 6.2):\n");
+  auto NFixes = computeNonBlockingFixCounts(DB);
+  compare("enforce atomic accesses", 20,
+          NFixes[NonBlockingFix::EnforceAtomicity]);
+  compare("enforce access order", 10, NFixes[NonBlockingFix::EnforceOrder]);
+  compare("avoid shared memory accesses", 5,
+          NFixes[NonBlockingFix::AvoidSharing]);
+  compare("make a local copy", 1, NFixes[NonBlockingFix::MakeLocalCopy]);
+  compare("change application logic", 2,
+          NFixes[NonBlockingFix::ChangeLogic]);
+  std::printf("\n");
+}
+
+static void BM_AllSection6Stats(benchmark::State &State) {
+  BugDatabase DB;
+  for (auto _ : State) {
+    auto A = computeBlockingCauseCounts(DB);
+    auto B = computeBlockingFixCounts(DB);
+    auto C = computeNonBlockingFixCounts(DB);
+    benchmark::DoNotOptimize(A.size() + B.size() + C.size());
+  }
+}
+BENCHMARK(BM_AllSection6Stats);
+
+RUSTSIGHT_BENCH_MAIN(printExperiment)

@@ -1,0 +1,51 @@
+//===----------------------------------------------------------------------===//
+// Regenerates Table 1: the studied applications/libraries with their bug
+// counts, recomputed from the per-bug dataset.
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "study/Tables.h"
+
+using namespace rs::bench;
+using namespace rs::study;
+
+static void printExperiment() {
+  banner("Table 1. Studied Applications and Libraries",
+         "Start time, stars, commits, LOC, and per-project bug counts "
+         "(memory / blocking / non-blocking), recomputed from the dataset.");
+  BugDatabase DB;
+  std::printf("%s\n", renderTable1(DB).render().c_str());
+
+  auto Rows = computeTable1(DB);
+  const unsigned Paper[6][3] = {{14, 13, 18}, {5, 0, 2}, {2, 34, 4},
+                                {1, 4, 3},    {20, 2, 3}, {7, 6, 10}};
+  for (size_t I = 0; I != Rows.size(); ++I) {
+    compare(std::string(projectName(Rows[I].Info.Proj)) + " memory bugs",
+            Paper[I][0], Rows[I].MemBugs);
+    compare(std::string(projectName(Rows[I].Info.Proj)) + " blocking bugs",
+            Paper[I][1], Rows[I].BlockingBugs);
+    compare(std::string(projectName(Rows[I].Info.Proj)) + " non-blocking",
+            Paper[I][2], Rows[I].NonBlockingBugs);
+  }
+  std::printf("\n");
+}
+
+static void BM_BuildDatabase(benchmark::State &State) {
+  for (auto _ : State) {
+    BugDatabase DB;
+    benchmark::DoNotOptimize(DB.totalBugs());
+  }
+}
+BENCHMARK(BM_BuildDatabase);
+
+static void BM_ComputeTable1(benchmark::State &State) {
+  BugDatabase DB;
+  for (auto _ : State) {
+    auto Rows = computeTable1(DB);
+    benchmark::DoNotOptimize(Rows.data());
+  }
+}
+BENCHMARK(BM_ComputeTable1);
+
+RUSTSIGHT_BENCH_MAIN(printExperiment)

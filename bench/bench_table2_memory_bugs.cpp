@@ -1,0 +1,54 @@
+//===----------------------------------------------------------------------===//
+// Regenerates Table 2: memory-bug categories by error propagation
+// (safe/unsafe cause -> effect), with interior-unsafe effect counts.
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "study/Tables.h"
+
+using namespace rs::bench;
+using namespace rs::study;
+
+static void printExperiment() {
+  banner("Table 2. Memory Bugs Category",
+         "Propagation (rows) x effect category (columns); (n) marks effects "
+         "inside interior-unsafe functions.");
+  BugDatabase DB;
+  std::printf("%s\n", renderTable2(DB).render().c_str());
+
+  Table2Data D = computeTable2(DB);
+  compare("total memory bugs", 70, D.total());
+  compare("buffer overflows", 21, D.columnTotal(MemCategory::Buffer));
+  compare("null dereferences", 12, D.columnTotal(MemCategory::Null));
+  compare("uninitialized reads", 7,
+          D.columnTotal(MemCategory::Uninitialized));
+  compare("invalid frees", 10, D.columnTotal(MemCategory::InvalidFree));
+  compare("use-after-free", 14, D.columnTotal(MemCategory::UseAfterFree));
+  compare("double frees", 6, D.columnTotal(MemCategory::DoubleFree));
+  compare("row safe->safe", 1, D.rowTotal(Propagation::SafeToSafe));
+  compare("row unsafe->unsafe", 23, D.rowTotal(Propagation::UnsafeToUnsafe));
+  compare("row safe->unsafe", 31, D.rowTotal(Propagation::SafeToUnsafe));
+  compare("row unsafe->safe", 15, D.rowTotal(Propagation::UnsafeToSafe));
+  std::printf("\n");
+}
+
+static void BM_ComputeTable2(benchmark::State &State) {
+  BugDatabase DB;
+  for (auto _ : State) {
+    Table2Data D = computeTable2(DB);
+    benchmark::DoNotOptimize(D.total());
+  }
+}
+BENCHMARK(BM_ComputeTable2);
+
+static void BM_RenderTable2(benchmark::State &State) {
+  BugDatabase DB;
+  for (auto _ : State) {
+    std::string S = renderTable2(DB).render();
+    benchmark::DoNotOptimize(S.data());
+  }
+}
+BENCHMARK(BM_RenderTable2);
+
+RUSTSIGHT_BENCH_MAIN(printExperiment)

@@ -1,0 +1,54 @@
+//===----------------------------------------------------------------------===//
+// Regenerates Table 3: blocking bugs by synchronization primitive per
+// project, plus the Section 6.1 cause breakdown.
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "study/Tables.h"
+
+using namespace rs::bench;
+using namespace rs::study;
+
+static void printExperiment() {
+  banner("Table 3. Types of Synchronization in Blocking Bugs",
+         "59 blocking bugs by primitive and project; causes from Section "
+         "6.1.");
+  BugDatabase DB;
+  std::printf("%s\n", renderTable3(DB).render().c_str());
+
+  Table3Data D = computeTable3(DB);
+  compare("total blocking bugs", 59, D.total());
+  compare("Mutex&RwLock bugs", 38, D.columnTotal(BlockingPrimitive::Mutex));
+  compare("Condvar bugs", 10, D.columnTotal(BlockingPrimitive::Condvar));
+  compare("Channel bugs", 6, D.columnTotal(BlockingPrimitive::Channel));
+  compare("Once bugs", 1, D.columnTotal(BlockingPrimitive::Once));
+  compare("other blocking bugs", 4, D.columnTotal(BlockingPrimitive::Other));
+
+  auto Causes = computeBlockingCauseCounts(DB);
+  compare("double locks", 30, Causes[BlockingCause::DoubleLock]);
+  compare("conflicting lock orders", 7,
+          Causes[BlockingCause::ConflictingOrder]);
+  compare("wait without notify", 8, Causes[BlockingCause::WaitNoNotify]);
+  std::printf("\n");
+}
+
+static void BM_ComputeTable3(benchmark::State &State) {
+  BugDatabase DB;
+  for (auto _ : State) {
+    Table3Data D = computeTable3(DB);
+    benchmark::DoNotOptimize(D.total());
+  }
+}
+BENCHMARK(BM_ComputeTable3);
+
+static void BM_CauseCounts(benchmark::State &State) {
+  BugDatabase DB;
+  for (auto _ : State) {
+    auto C = computeBlockingCauseCounts(DB);
+    benchmark::DoNotOptimize(C.size());
+  }
+}
+BENCHMARK(BM_CauseCounts);
+
+RUSTSIGHT_BENCH_MAIN(printExperiment)

@@ -1,0 +1,59 @@
+//===----------------------------------------------------------------------===//
+// Regenerates Table 4: how the non-blocking bugs' threads communicate,
+// plus the Section 6.2 cross-cutting attributes.
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "study/Tables.h"
+
+using namespace rs::bench;
+using namespace rs::study;
+
+static void printExperiment() {
+  banner("Table 4. How Threads Communicate",
+         "41 non-blocking bugs by data-sharing mechanism (unsafe/interior-"
+         "unsafe vs safe vs message passing).");
+  BugDatabase DB;
+  std::printf("%s\n", renderTable4(DB).render().c_str());
+
+  Table4Data D = computeTable4(DB);
+  compare("total non-blocking bugs", 41, D.total());
+  compare("global static sharing", 3,
+          D.columnTotal(SharingMethod::GlobalStatic));
+  compare("pointer sharing", 12, D.columnTotal(SharingMethod::Pointer));
+  compare("Sync-trait sharing", 3, D.columnTotal(SharingMethod::SyncTrait));
+  compare("OS/hardware sharing", 5, D.columnTotal(SharingMethod::OsHardware));
+  compare("atomic sharing", 5, D.columnTotal(SharingMethod::Atomic));
+  compare("Mutex sharing", 10, D.columnTotal(SharingMethod::MutexShared));
+  compare("message passing", 3, D.columnTotal(SharingMethod::Message));
+
+  NonBlockingAttributes A = computeNonBlockingAttributes(DB);
+  compare("bugs sharing via unsafe code", 23, A.UnsafeSharing);
+  compare("bugs sharing via safe code", 15, A.SafeSharing);
+  compare("buggy code itself safe", 25, A.BuggyCodeSafe);
+  compare("no synchronization at all", 17, A.Unsynchronized);
+  compare("interior mutability involved", 13, A.InteriorMutability);
+  compare("Rust library misuse", 7, A.RustLibMisuse);
+  std::printf("\n");
+}
+
+static void BM_ComputeTable4(benchmark::State &State) {
+  BugDatabase DB;
+  for (auto _ : State) {
+    Table4Data D = computeTable4(DB);
+    benchmark::DoNotOptimize(D.total());
+  }
+}
+BENCHMARK(BM_ComputeTable4);
+
+static void BM_Attributes(benchmark::State &State) {
+  BugDatabase DB;
+  for (auto _ : State) {
+    NonBlockingAttributes A = computeNonBlockingAttributes(DB);
+    benchmark::DoNotOptimize(A.SharedMemory);
+  }
+}
+BENCHMARK(BM_Attributes);
+
+RUSTSIGHT_BENCH_MAIN(printExperiment)

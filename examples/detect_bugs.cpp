@@ -1,0 +1,217 @@
+//===----------------------------------------------------------------------===//
+//
+// detect_bugs: the RustSight analysis driver. Parses RustLite MIR files
+// (arguments) or a built-in demo module reproducing the paper's Figures
+// 5-9, runs every detector, and prints diagnostics as text or JSON.
+//
+// Usage:
+//   detect_bugs [--json] [file.mir ...]
+//
+//===----------------------------------------------------------------------===//
+
+#include "detectors/Detectors.h"
+#include "mir/Parser.h"
+#include "mir/Verifier.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+using namespace rs;
+using namespace rs::mir;
+
+namespace {
+
+/// The paper's five example bugs (Figures 5-9), as one RustLite module.
+const char *DemoSource = R"mir(
+// Figure 5 (Rust std): Queue::peek returns a reference to the head
+// element, Queue::pop drops it; peek-pop-use is a use-after-free through
+// safe-looking APIs.
+fn Queue_peek(_1: &Queue<i32>) -> *mut i32 {
+    bb0: {
+        _0 = copy (*_1).0;
+        return;
+    }
+}
+fn Queue_pop(_1: &Queue<i32>) {
+    let _2: *mut i32;
+    bb0: {
+        _2 = copy (*_1).0;
+        dealloc(copy _2) -> bb1;
+    }
+    bb1: {
+        return;
+    }
+}
+fn queue_client(_1: &Queue<i32>) -> i32 {
+    let _2: *mut i32;
+    let _3: ();
+    bb0: {
+        _2 = Queue_peek(copy _1) -> bb1;
+    }
+    bb1: {
+        _3 = Queue_pop(copy _1) -> bb2;
+    }
+    bb2: {
+        _0 = copy (*_2);
+        return;
+    }
+}
+
+// Figure 6 (Redox): *f = FILE{...} invalidly frees an uninitialized FILE.
+struct FILE { buf: Vec<u8> }
+fn _fdopen() {
+    let _1: *mut FILE;
+    let _2: Vec<u8>;
+    let _3: FILE;
+    bb0: {
+        _1 = alloc(const 16) -> bb1;
+    }
+    bb1: {
+        _2 = Vec::with_capacity(const 100) -> bb2;
+    }
+    bb2: {
+        _3 = FILE { 0: move _2 };
+        (*_1) = move _3;
+        return;
+    }
+}
+
+// Figure 7 (RustSec): pointer into a dropped temporary is dereferenced.
+fn sign() -> u8 {
+    let _1: Box<u8>;
+    let _2: *const u8;
+    bb0: {
+        _1 = BioSlice::new(const 1) -> bb1;
+    }
+    bb1: {
+        _2 = &raw const (*_1);
+        drop(_1) -> bb2;
+    }
+    bb2: {
+        _0 = copy (*_2);
+        return;
+    }
+}
+
+// Figure 8 (TiKV): the read guard lives to the end of the match; taking
+// the write lock inside the match deadlocks.
+fn do_request(_1: &RwLock<i32>) {
+    let _2: RwLockReadGuard<i32>;
+    let _3: i32;
+    let _4: bool;
+    let _5: RwLockWriteGuard<i32>;
+    bb0: {
+        StorageLive(_2);
+        _2 = RwLock::read(copy _1) -> bb1;
+    }
+    bb1: {
+        _3 = copy (*_2);
+        _4 = connect(copy _3) -> bb2;
+    }
+    bb2: {
+        switchInt(copy _4) -> [1: bb3, otherwise: bb5];
+    }
+    bb3: {
+        StorageLive(_5);
+        _5 = RwLock::write(copy _1) -> bb4;
+    }
+    bb4: {
+        StorageDead(_5);
+        goto -> bb5;
+    }
+    bb5: {
+        StorageDead(_2);
+        return;
+    }
+}
+
+// Figure 9 (Parity Ethereum): unsynchronized write through &self of a
+// Sync type.
+struct AuthorityRound { proposed: bool }
+unsafe impl Sync for AuthorityRound;
+fn generate_seal(_1: &AuthorityRound) -> i32 {
+    let _2: bool;
+    let _3: &bool;
+    let _4: *mut bool;
+    bb0: {
+        _2 = copy (*_1).0;
+        switchInt(copy _2) -> [1: bb1, otherwise: bb2];
+    }
+    bb1: {
+        _0 = const 0;
+        return;
+    }
+    bb2: {
+        _3 = &(*_1).0;
+        _4 = copy _3 as *const bool as *mut bool;
+        (*_4) = const true;
+        _0 = const 1;
+        return;
+    }
+}
+)mir";
+
+int analyze(const Module &M, bool Json) {
+  std::vector<std::string> Errors;
+  if (!verifyModule(M, Errors)) {
+    for (const std::string &E : Errors)
+      std::fprintf(stderr, "verifier: %s\n", E.c_str());
+    return 2;
+  }
+  detectors::DiagnosticEngine Diags;
+  detectors::runAllDetectors(M, Diags);
+  if (Json)
+    std::printf("%s\n", Diags.renderJson().c_str());
+  else if (Diags.count() == 0)
+    std::printf("no issues found\n");
+  else
+    std::printf("%s", Diags.renderText().c_str());
+  return Diags.count() == 0 ? 0 : 1;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  bool Json = false;
+  std::vector<std::string> Files;
+  for (int I = 1; I < argc; ++I) {
+    if (std::strcmp(argv[I], "--json") == 0)
+      Json = true;
+    else
+      Files.push_back(argv[I]);
+  }
+
+  if (Files.empty()) {
+    std::printf("(no input files; analyzing the built-in demo module "
+                "reproducing the paper's Figures 5-9)\n\n");
+    auto R = Parser::parse(DemoSource, "<demo>");
+    if (!R) {
+      std::fprintf(stderr, "parse error: %s\n", R.error().toString().c_str());
+      return 2;
+    }
+    return analyze(*R, Json);
+  }
+
+  int Status = 0;
+  for (const std::string &File : Files) {
+    std::ifstream In(File);
+    if (!In) {
+      std::fprintf(stderr, "error: cannot open '%s'\n", File.c_str());
+      return 2;
+    }
+    std::ostringstream Buf;
+    Buf << In.rdbuf();
+    std::string Source = Buf.str();
+    auto R = Parser::parse(Source, File);
+    if (!R) {
+      std::fprintf(stderr, "parse error: %s\n", R.error().toString().c_str());
+      return 2;
+    }
+    std::printf("== %s ==\n", File.c_str());
+    Status |= analyze(*R, Json);
+  }
+  return Status;
+}

@@ -1,0 +1,116 @@
+//===----------------------------------------------------------------------===//
+//
+// interpret: dynamic analysis of RustLite MIR — executes every function of
+// a module in the Miri-style interpreter with sanitizer checks and reports
+// the traps. Contrast with detect_bugs (static): run both on the same file
+// to see the coverage difference the paper's Section 7 design exploits.
+//
+// Usage: interpret [file.mir ...]   (no arguments: built-in demo where the
+//                                    dynamic run catches one bug and
+//                                    misses one behind a branch)
+//
+//===----------------------------------------------------------------------===//
+
+#include "interp/Interp.h"
+#include "mir/Parser.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+using namespace rs;
+using namespace rs::interp;
+using namespace rs::mir;
+
+namespace {
+
+const char *DemoSource = R"mir(
+// Executed use-after-free: the dynamic run traps here.
+fn executed_bug() -> u8 {
+    let _1: Box<u8>;
+    let _2: *const u8;
+    bb0: {
+        _1 = Box::new(const 7) -> bb1;
+    }
+    bb1: {
+        _2 = &raw const (*_1);
+        drop(_1) -> bb2;
+    }
+    bb2: {
+        _0 = copy (*_2);
+        return;
+    }
+}
+
+// The same bug behind a branch that default inputs never take: the
+// dynamic run completes cleanly (the static detectors flag it).
+fn guarded_bug(_1: bool) -> u8 {
+    let _2: Box<u8>;
+    let _3: *const u8;
+    bb0: {
+        _2 = Box::new(const 7) -> bb1;
+    }
+    bb1: {
+        _3 = &raw const (*_2);
+        switchInt(copy _1) -> [1: bb2, otherwise: bb3];
+    }
+    bb2: {
+        drop(_2) -> bb3;
+    }
+    bb3: {
+        _0 = copy (*_3);
+        return;
+    }
+}
+)mir";
+
+int interpretModule(const Module &M) {
+  Interpreter I(M);
+  unsigned Failures = 0;
+  for (const auto &F : M.functions()) {
+    ExecResult R = I.run(F->Name);
+    if (R.Ok) {
+      std::printf("  %-24s ok (%llu steps, returns %s)\n", F->Name.c_str(),
+                  static_cast<unsigned long long>(R.Steps),
+                  R.Return.toString().c_str());
+      continue;
+    }
+    ++Failures;
+    std::printf("  %-24s TRAP: %s\n", F->Name.c_str(),
+                R.Error->toString().c_str());
+  }
+  return Failures == 0 ? 0 : 1;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  if (argc <= 1) {
+    std::printf("(no input files; interpreting the built-in demo)\n\n");
+    auto R = Parser::parse(DemoSource, "<demo>");
+    if (!R) {
+      std::fprintf(stderr, "parse error: %s\n", R.error().toString().c_str());
+      return 2;
+    }
+    return interpretModule(*R);
+  }
+  int Status = 0;
+  for (int I = 1; I < argc; ++I) {
+    std::ifstream In(argv[I]);
+    if (!In) {
+      std::fprintf(stderr, "error: cannot open '%s'\n", argv[I]);
+      return 2;
+    }
+    std::ostringstream Buf;
+    Buf << In.rdbuf();
+    std::string Source = Buf.str();
+    auto R = Parser::parse(Source, argv[I]);
+    if (!R) {
+      std::fprintf(stderr, "parse error: %s\n", R.error().toString().c_str());
+      return 2;
+    }
+    std::printf("== %s ==\n", argv[I]);
+    Status |= interpretModule(*R);
+  }
+  return Status;
+}

@@ -1,0 +1,195 @@
+//===----------------------------------------------------------------------===//
+//
+// kvstore_audit: a domain-specific scenario modeled on the systems the
+// paper studies (TiKV, a transactional key-value store). The store is
+// built programmatically with the FunctionBuilder API:
+//
+//   - kv_get:     snapshot read under a shard's read lock
+//   - kv_put:     write under the shard's write lock
+//   - kv_resize:  the Figure 8 pitfall — the read guard from the capacity
+//                 check is still alive when the write lock is taken
+//   - compactor / flusher: background threads taking the two shard locks
+//                 in opposite orders (an ABBA deadlock)
+//
+// The audit then runs the full static battery, prints the lifetime /
+// critical-section report for the buggy function, and cross-checks with
+// the dynamic interpreter.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/LifetimeReport.h"
+#include "detectors/Detectors.h"
+#include "interp/Interp.h"
+#include "mir/Builder.h"
+
+#include <cstdio>
+
+using namespace rs;
+using namespace rs::mir;
+
+namespace {
+
+/// Shared shard types.
+struct StoreTypes {
+  const Type *ShardLock;     ///< &RwLock<i32>: one shard's table.
+  const Type *ReadGuard;
+  const Type *WriteGuard;
+  const Type *MutexRef;      ///< &Mutex<i32>: the write-ahead log.
+  const Type *MutexGuard;
+};
+
+StoreTypes makeTypes(Module &M) {
+  TypeContext &TC = M.types();
+  StoreTypes T;
+  T.ShardLock = TC.getRef(TC.getAdt("RwLock", {TC.getI32()}), false);
+  T.ReadGuard = TC.getAdt("RwLockReadGuard", {TC.getI32()});
+  T.WriteGuard = TC.getAdt("RwLockWriteGuard", {TC.getI32()});
+  T.MutexRef = TC.getRef(TC.getAdt("Mutex", {TC.getI32()}), false);
+  T.MutexGuard = TC.getAdt("MutexGuard", {TC.getI32()});
+  return T;
+}
+
+/// Snapshot read: lock, read, release. Clean.
+void buildGet(Module &M, const StoreTypes &T) {
+  FunctionBuilder FB(M, "kv_get", M.types().getI32());
+  LocalId Shard = FB.addArg(T.ShardLock);
+  LocalId G = FB.addLocal(T.ReadGuard, true, "snapshot");
+  FB.storageLive(G);
+  FB.call(Place(G), "RwLock::read", {Operand::copy(Place(Shard))});
+  FB.assign(Place(FB.returnLocal()),
+            Rvalue::use(Operand::copy(
+                Place(G).project(ProjectionElem::deref()))));
+  FB.storageDead(G);
+  FB.ret();
+  FB.finish();
+}
+
+/// Write path: exclusive lock, store, release. Clean.
+void buildPut(Module &M, const StoreTypes &T) {
+  FunctionBuilder FB(M, "kv_put");
+  LocalId Shard = FB.addArg(T.ShardLock);
+  LocalId V = FB.addArg(M.types().getI32());
+  LocalId G = FB.addLocal(T.WriteGuard, true, "entry");
+  FB.storageLive(G);
+  FB.call(Place(G), "RwLock::write", {Operand::copy(Place(Shard))});
+  FB.assign(Place(G).project(ProjectionElem::deref()),
+            Rvalue::use(Operand::copy(Place(V))));
+  FB.storageDead(G);
+  FB.ret();
+  FB.finish();
+}
+
+/// The Figure 8 bug in store clothing: the capacity check's read guard is
+/// still alive inside the resize arm that takes the write lock.
+void buildResize(Module &M, const StoreTypes &T) {
+  TypeContext &TC = M.types();
+  FunctionBuilder FB(M, "kv_resize");
+  LocalId Shard = FB.addArg(T.ShardLock);
+  LocalId G = FB.addLocal(T.ReadGuard, true, "capacity_check");
+  LocalId Size = FB.addLocal(TC.getI32(), true, "size");
+  LocalId Full = FB.addLocal(TC.getBool(), true, "needs_resize");
+  LocalId W = FB.addLocal(T.WriteGuard, true, "resizer");
+
+  FB.storageLive(G);
+  FB.call(Place(G), "RwLock::read", {Operand::copy(Place(Shard))});
+  FB.assign(Place(Size), Rvalue::use(Operand::copy(
+                             Place(G).project(ProjectionElem::deref()))));
+  FB.assign(Place(Full),
+            Rvalue::binary(BinOp::Gt, Operand::copy(Place(Size)),
+                           Operand::constant(ConstValue::makeInt(1024))));
+  BlockId Grow = FB.newBlock();
+  BlockId Done = FB.newBlock();
+  FB.switchInt(Operand::copy(Place(Full)), {{1, Grow}}, Done);
+  FB.setInsertPoint(Grow);
+  FB.storageLive(W);
+  FB.call(Place(W), "RwLock::write",
+          {Operand::copy(Place(Shard))}); // <- deadlock: read guard alive.
+  FB.storageDead(W);
+  FB.gotoBlock(Done);
+  FB.setInsertPoint(Done);
+  FB.storageDead(G); // The guard dies only at the end of the "match".
+  FB.ret();
+  FB.finish();
+}
+
+/// Background threads: the compactor takes shard-then-log, the flusher
+/// log-then-shard — a circular wait under contention.
+void buildBackgroundThreads(Module &M, const StoreTypes &T) {
+  auto BuildWorker = [&](const char *Name, bool ShardFirst) {
+    FunctionBuilder FB(M, Name);
+    LocalId Shard = FB.addArg(T.ShardLock);
+    LocalId Log = FB.addArg(T.MutexRef);
+    LocalId G1 = FB.addLocal(ShardFirst ? T.WriteGuard : T.MutexGuard);
+    LocalId G2 = FB.addLocal(ShardFirst ? T.MutexGuard : T.WriteGuard);
+    FB.storageLive(G1);
+    if (ShardFirst)
+      FB.call(Place(G1), "RwLock::write", {Operand::copy(Place(Shard))});
+    else
+      FB.call(Place(G1), "Mutex::lock", {Operand::copy(Place(Log))});
+    FB.storageLive(G2);
+    if (ShardFirst)
+      FB.call(Place(G2), "Mutex::lock", {Operand::copy(Place(Log))});
+    else
+      FB.call(Place(G2), "RwLock::write", {Operand::copy(Place(Shard))});
+    FB.storageDead(G2);
+    FB.storageDead(G1);
+    FB.ret();
+    FB.finish();
+  };
+  BuildWorker("compactor", /*ShardFirst=*/true);
+  BuildWorker("flusher", /*ShardFirst=*/false);
+
+  FunctionBuilder SB(M, "start_background");
+  LocalId U1 = SB.addLocal(M.types().getUnit());
+  LocalId U2 = SB.addLocal(M.types().getUnit());
+  SB.call(Place(U1), "thread::spawn",
+          {Operand::constant(ConstValue::makeStr("compactor"))});
+  SB.call(Place(U2), "thread::spawn",
+          {Operand::constant(ConstValue::makeStr("flusher"))});
+  SB.ret();
+  SB.finish();
+}
+
+} // namespace
+
+int main() {
+  Module M;
+  StoreTypes T = makeTypes(M);
+  buildGet(M, T);
+  buildPut(M, T);
+  buildResize(M, T);
+  buildBackgroundThreads(M, T);
+
+  std::printf("=== kv-store module (%zu functions) ===\n\n",
+              M.functions().size());
+
+  // 1. Static audit.
+  detectors::DiagnosticEngine Diags;
+  detectors::runAllDetectors(M, Diags);
+  std::printf("--- static audit: %zu finding(s) ---\n%s\n", Diags.count(),
+              Diags.renderText().c_str());
+
+  // 2. Why kv_resize deadlocks: the critical-section report.
+  analysis::LifetimeReport Report(*M.findFunction("kv_resize"), M);
+  std::printf("--- critical sections of kv_resize ---\n%s\n",
+              Report.render().c_str());
+
+  // 3. Dynamic cross-check: the resize path deadlocks when the shard is
+  //    over capacity; the clean paths execute.
+  interp::Interpreter I(M);
+  for (const char *Fn : {"kv_get", "kv_put", "kv_resize"}) {
+    interp::ExecResult R = I.run(Fn);
+    std::printf("interpret %-10s: %s\n", Fn,
+                R.Ok ? "ok" : R.Error->toString().c_str());
+  }
+  std::printf("(kv_resize executes cleanly on a small store: the deadlock "
+              "needs size > 1024,\n which is exactly why the paper builds "
+              "static detectors.)\n");
+
+  // Expected: double-lock in kv_resize + lock-order cycle between the
+  // background threads.
+  bool Ok =
+      Diags.countOfKind(detectors::BugKind::DoubleLock) == 1 &&
+      Diags.countOfKind(detectors::BugKind::ConflictingLockOrder) == 1;
+  return Ok ? 0 : 1;
+}

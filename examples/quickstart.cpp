@@ -1,0 +1,49 @@
+//===----------------------------------------------------------------------===//
+//
+// Quickstart: build a RustLite MIR function with the builder API, print it,
+// run the use-after-free detector, and show the diagnostics — the minimal
+// end-to-end tour of RustSight's public API.
+//
+//===----------------------------------------------------------------------===//
+
+#include "detectors/Detectors.h"
+#include "mir/Builder.h"
+
+#include <cstdio>
+
+using namespace rs;
+using namespace rs::mir;
+
+int main() {
+  // Build the Figure 7 bug shape: a raw pointer into a Box outlives the
+  // Box's drop and is dereferenced afterwards.
+  Module M;
+  TypeContext &TC = M.types();
+  const Type *BoxU8 = TC.getAdt("Box", {TC.getPrim(PrimKind::U8)});
+
+  FunctionBuilder FB(M, "sign", TC.getPrim(PrimKind::U8));
+  LocalId Bio = FB.addLocal(BoxU8, /*Mutable=*/true, "bio");
+  LocalId P = FB.addLocal(TC.getRawPtr(TC.getPrim(PrimKind::U8), false),
+                          /*Mutable=*/false, "p");
+  FB.storageLive(Bio);
+  FB.call(Place(Bio), "BioSlice::new",
+          {Operand::constant(ConstValue::makeInt(1))});
+  FB.assign(Place(P), Rvalue::addressOf(
+                          Place(Bio).project(ProjectionElem::deref()),
+                          /*Mut=*/false));
+  FB.drop(Place(Bio)); // The temporary dies at the end of its statement...
+  FB.storageDead(Bio);
+  FB.assign(Place(FB.returnLocal()),
+            Rvalue::use(Operand::copy(
+                Place(P).project(ProjectionElem::deref())))); // ...use-after-free.
+  FB.ret();
+  FB.finish();
+
+  std::printf("=== RustLite MIR ===\n%s\n", M.toString().c_str());
+
+  detectors::DiagnosticEngine Diags;
+  detectors::runAllDetectors(M, Diags);
+  std::printf("=== Diagnostics (%zu) ===\n%s", Diags.count(),
+              Diags.renderText().c_str());
+  return Diags.count() == 1 ? 0 : 1;
+}

@@ -1,0 +1,184 @@
+//===----------------------------------------------------------------------===//
+//
+// rustsight: the unified command-line driver over the whole library.
+//
+//   rustsight check  <file.mir ...>   static detectors (add --json)
+//   rustsight run    <file.mir ...>   dynamic interpretation with traps
+//   rustsight lifetimes <file.mir..>  annotated lifetime/lock report
+//   rustsight print  <file.mir ...>   parse and pretty-print (format check)
+//   rustsight scan   <path ...>       unsafe-usage statistics for Rust code
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/LifetimeReport.h"
+#include "detectors/Detectors.h"
+#include "interp/Interp.h"
+#include "mir/Parser.h"
+#include "mir/Verifier.h"
+#include "scanner/UnsafeScanner.h"
+#include "support/StringUtils.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <optional>
+#include <sstream>
+
+using namespace rs;
+using namespace rs::mir;
+
+namespace {
+
+std::optional<std::string> readFile(const std::string &Path) {
+  std::ifstream In(Path);
+  if (!In)
+    return std::nullopt;
+  std::ostringstream Buf;
+  Buf << In.rdbuf();
+  return Buf.str();
+}
+
+std::optional<Module> parseFile(const std::string &Path) {
+  auto Source = readFile(Path);
+  if (!Source) {
+    std::fprintf(stderr, "error: cannot open '%s'\n", Path.c_str());
+    return std::nullopt;
+  }
+  auto R = Parser::parse(*Source, Path);
+  if (!R) {
+    std::fprintf(stderr, "parse error: %s\n", R.error().toString().c_str());
+    return std::nullopt;
+  }
+  std::vector<std::string> Errors;
+  if (!verifyModule(*R, Errors)) {
+    for (const std::string &E : Errors)
+      std::fprintf(stderr, "verifier: %s\n", E.c_str());
+    return std::nullopt;
+  }
+  return R.take();
+}
+
+int cmdCheck(const std::vector<std::string> &Files, bool Json) {
+  int Status = 0;
+  for (const std::string &File : Files) {
+    auto M = parseFile(File);
+    if (!M)
+      return 2;
+    detectors::DiagnosticEngine Diags;
+    detectors::runAllDetectors(*M, Diags);
+    if (Json) {
+      std::printf("%s\n", Diags.renderJson().c_str());
+    } else {
+      std::printf("== %s: %zu issue(s) ==\n", File.c_str(), Diags.count());
+      std::printf("%s", Diags.renderText().c_str());
+    }
+    Status |= Diags.count() != 0;
+  }
+  return Status;
+}
+
+int cmdRun(const std::vector<std::string> &Files) {
+  int Status = 0;
+  for (const std::string &File : Files) {
+    auto M = parseFile(File);
+    if (!M)
+      return 2;
+    std::printf("== %s ==\n", File.c_str());
+    interp::Interpreter I(*M);
+    for (const auto &F : M->functions()) {
+      interp::ExecResult R = I.run(F->Name);
+      if (R.Ok)
+        std::printf("  %-24s ok (%llu steps)\n", F->Name.c_str(),
+                    static_cast<unsigned long long>(R.Steps));
+      else {
+        std::printf("  %-24s TRAP: %s\n", F->Name.c_str(),
+                    R.Error->toString().c_str());
+        Status = 1;
+      }
+    }
+  }
+  return Status;
+}
+
+int cmdLifetimes(const std::vector<std::string> &Files) {
+  for (const std::string &File : Files) {
+    auto M = parseFile(File);
+    if (!M)
+      return 2;
+    for (const auto &F : M->functions()) {
+      analysis::LifetimeReport Report(*F, *M);
+      std::printf("%s\n", Report.render().c_str());
+    }
+  }
+  return 0;
+}
+
+int cmdPrint(const std::vector<std::string> &Files) {
+  for (const std::string &File : Files) {
+    auto M = parseFile(File);
+    if (!M)
+      return 2;
+    std::printf("%s", M->toString().c_str());
+  }
+  return 0;
+}
+
+int cmdScan(const std::vector<std::string> &Paths) {
+  scanner::UnsafeScanner Scanner;
+  scanner::ScanStats Total;
+  for (const std::string &Path : Paths) {
+    scanner::ScanStats S = endsWith(Path, ".rs") ? Scanner.scanFile(Path)
+                                                 : Scanner.scanDirectory(Path);
+    Total.merge(S);
+  }
+  std::printf("files: %u  code lines: %u  unsafe lines: %u\n", Total.Files,
+              Total.CodeLines, Total.UnsafeLines);
+  std::printf("unsafe usages: %u (%u regions, %u fns, %u traits, %u "
+              "impls)\n",
+              Total.totalUnsafeUsages(), Total.UnsafeBlocks, Total.UnsafeFns,
+              Total.UnsafeTraits, Total.UnsafeImpls);
+  std::printf("interior-unsafe fns: %u of %u\n", Total.InteriorUnsafeFns,
+              Total.TotalFns);
+  return 0;
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: rustsight <command> [options] <inputs...>\n"
+               "  check [--json] <file.mir...>  run the static detectors\n"
+               "  run <file.mir...>             interpret dynamically\n"
+               "  lifetimes <file.mir...>       lifetime/lock report\n"
+               "  print <file.mir...>           parse and pretty-print\n"
+               "  scan <dir-or-.rs...>          unsafe-usage statistics\n");
+  return 2;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  if (argc < 3)
+    return usage();
+  std::string Cmd = argv[1];
+  bool Json = false;
+  std::vector<std::string> Inputs;
+  for (int I = 2; I < argc; ++I) {
+    if (std::strcmp(argv[I], "--json") == 0)
+      Json = true;
+    else
+      Inputs.emplace_back(argv[I]);
+  }
+  if (Inputs.empty())
+    return usage();
+
+  if (Cmd == "check")
+    return cmdCheck(Inputs, Json);
+  if (Cmd == "run")
+    return cmdRun(Inputs);
+  if (Cmd == "lifetimes")
+    return cmdLifetimes(Inputs);
+  if (Cmd == "print")
+    return cmdPrint(Inputs);
+  if (Cmd == "scan")
+    return cmdScan(Inputs);
+  return usage();
+}

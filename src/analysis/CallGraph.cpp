@@ -1,0 +1,59 @@
+#include "analysis/CallGraph.h"
+
+#include "mir/Intrinsics.h"
+
+#include <vector>
+
+using namespace rs::analysis;
+using namespace rs::mir;
+
+CallGraph::CallGraph(const Module &M) {
+  for (const auto &F : M.functions()) {
+    Callees[F->Name]; // Ensure every function has an entry.
+    for (const BasicBlock &BB : F->Blocks) {
+      const Terminator &T = BB.Term;
+      if (T.K != Terminator::Kind::Call)
+        continue;
+      // Thread entry points are named by string constant:
+      //   thread::spawn(const "worker");
+      if (classifyIntrinsic(T.Callee) == IntrinsicKind::ThreadSpawn) {
+        if (!T.Args.empty() && !T.Args[0].isPlace() &&
+            T.Args[0].C.K == ConstValue::Kind::Str) {
+          Spawned.insert(T.Args[0].C.Str);
+          SpawnsBy[F->Name].insert(T.Args[0].C.Str);
+        }
+        continue;
+      }
+      if (!M.findFunction(T.Callee))
+        continue;
+      Callees[F->Name].insert(T.Callee);
+      Callers[T.Callee].insert(F->Name);
+    }
+  }
+}
+
+const std::set<std::string> &
+CallGraph::callees(const std::string &Caller) const {
+  auto It = Callees.find(Caller);
+  return It == Callees.end() ? Empty : It->second;
+}
+
+const std::set<std::string> &
+CallGraph::callers(const std::string &Callee) const {
+  auto It = Callers.find(Callee);
+  return It == Callers.end() ? Empty : It->second;
+}
+
+std::set<std::string> CallGraph::reachableFrom(const std::string &Root) const {
+  std::set<std::string> Seen;
+  std::vector<std::string> Work{Root};
+  Seen.insert(Root);
+  while (!Work.empty()) {
+    std::string Cur = std::move(Work.back());
+    Work.pop_back();
+    for (const std::string &Next : callees(Cur))
+      if (Seen.insert(Next).second)
+        Work.push_back(Next);
+  }
+  return Seen;
+}

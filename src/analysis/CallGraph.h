@@ -1,0 +1,63 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of RustSight, a reproduction of "Understanding Memory and Thread
+// Safety Practices and Issues in Real-World Rust Programs" (PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A direct-call graph over a Module: callees per caller (module-defined
+/// only), callers per callee, and the set of intrinsic calls. Used by the
+/// lock-order detector to pair thread entry points with the locks they take.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RUSTSIGHT_ANALYSIS_CALLGRAPH_H
+#define RUSTSIGHT_ANALYSIS_CALLGRAPH_H
+
+#include "mir/Mir.h"
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace rs::analysis {
+
+/// Direct call relation of a Module.
+class CallGraph {
+public:
+  explicit CallGraph(const mir::Module &M);
+
+  /// Module-defined functions \p Caller calls directly (deduplicated).
+  const std::set<std::string> &callees(const std::string &Caller) const;
+
+  /// Module-defined functions that call \p Callee directly.
+  const std::set<std::string> &callers(const std::string &Callee) const;
+
+  /// Functions passed (by name constant) to thread::spawn, i.e. thread
+  /// entry points.
+  const std::set<std::string> &spawnedFunctions() const { return Spawned; }
+
+  /// Thread entry points grouped by the function that spawns them. Threads
+  /// spawned by the same parent receive the same locks positionally, so
+  /// lock-order comparison is meaningful within a group.
+  const std::map<std::string, std::set<std::string>> &spawnGroups() const {
+    return SpawnsBy;
+  }
+
+  /// All functions reachable from \p Root through direct calls, including
+  /// \p Root itself.
+  std::set<std::string> reachableFrom(const std::string &Root) const;
+
+private:
+  std::map<std::string, std::set<std::string>> Callees;
+  std::map<std::string, std::set<std::string>> Callers;
+  std::set<std::string> Spawned;
+  std::map<std::string, std::set<std::string>> SpawnsBy;
+  std::set<std::string> Empty;
+};
+
+} // namespace rs::analysis
+
+#endif // RUSTSIGHT_ANALYSIS_CALLGRAPH_H

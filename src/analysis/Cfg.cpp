@@ -1,0 +1,117 @@
+#include "analysis/Cfg.h"
+
+#include "analysis/ConstantBranches.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace rs::analysis;
+using namespace rs::mir;
+
+Cfg::Cfg(const Function &F, bool PruneConstantBranches) : Fn(F) {
+  unsigned N = F.numBlocks();
+  Succs.resize(N);
+  Preds.resize(N);
+  Reachable.assign(N, false);
+
+  std::unique_ptr<ConstantBranches> CB;
+  if (PruneConstantBranches)
+    CB = std::make_unique<ConstantBranches>(F);
+
+  for (BlockId B = 0; B != N; ++B) {
+    if (CB) {
+      if (std::optional<BlockId> Taken = CB->resolvedTarget(B)) {
+        Succs[B].push_back(*Taken);
+        continue;
+      }
+    }
+    F.Blocks[B].Term.successors(Succs[B]);
+    // Deduplicate parallel edges so dataflow meets see each pred once.
+    std::sort(Succs[B].begin(), Succs[B].end());
+    Succs[B].erase(std::unique(Succs[B].begin(), Succs[B].end()),
+                   Succs[B].end());
+  }
+  for (BlockId B = 0; B != N; ++B)
+    for (BlockId S : Succs[B])
+      Preds[S].push_back(B);
+
+  // Iterative DFS from the entry to compute post-order; reverse it.
+  std::vector<BlockId> PostOrder;
+  std::vector<std::pair<BlockId, size_t>> Stack;
+  if (N != 0) {
+    Reachable[0] = true;
+    Stack.emplace_back(0, 0);
+    while (!Stack.empty()) {
+      auto &[B, NextSucc] = Stack.back();
+      if (NextSucc < Succs[B].size()) {
+        BlockId S = Succs[B][NextSucc++];
+        if (!Reachable[S]) {
+          Reachable[S] = true;
+          Stack.emplace_back(S, 0);
+        }
+        continue;
+      }
+      PostOrder.push_back(B);
+      Stack.pop_back();
+    }
+  }
+  Rpo.assign(PostOrder.rbegin(), PostOrder.rend());
+}
+
+DominatorTree::DominatorTree(const Cfg &G) {
+  unsigned N = G.numBlocks();
+  Idom.assign(N, InvalidBlock);
+  RpoIndex.assign(N, ~0u);
+  const std::vector<BlockId> &Rpo = G.reversePostOrder();
+  for (unsigned I = 0; I != Rpo.size(); ++I)
+    RpoIndex[Rpo[I]] = I;
+  if (Rpo.empty())
+    return;
+
+  // Cooper-Harvey-Kennedy iterative algorithm.
+  auto Intersect = [this](BlockId A, BlockId B) {
+    while (A != B) {
+      while (RpoIndex[A] > RpoIndex[B])
+        A = Idom[A];
+      while (RpoIndex[B] > RpoIndex[A])
+        B = Idom[B];
+    }
+    return A;
+  };
+
+  BlockId Entry = Rpo[0];
+  Idom[Entry] = Entry;
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (size_t I = 1; I != Rpo.size(); ++I) {
+      BlockId B = Rpo[I];
+      BlockId NewIdom = InvalidBlock;
+      for (BlockId P : G.predecessors(B)) {
+        if (Idom[P] == InvalidBlock)
+          continue; // Not yet processed or unreachable.
+        NewIdom = NewIdom == InvalidBlock ? P : Intersect(P, NewIdom);
+      }
+      assert(NewIdom != InvalidBlock &&
+             "reachable block with no processed predecessor");
+      if (Idom[B] != NewIdom) {
+        Idom[B] = NewIdom;
+        Changed = true;
+      }
+    }
+  }
+}
+
+bool DominatorTree::dominates(BlockId A, BlockId B) const {
+  if (A >= Idom.size() || B >= Idom.size() || Idom[B] == InvalidBlock ||
+      Idom[A] == InvalidBlock)
+    return false;
+  while (true) {
+    if (A == B)
+      return true;
+    BlockId Up = Idom[B];
+    if (Up == B)
+      return false; // Reached the entry without meeting A.
+    B = Up;
+  }
+}

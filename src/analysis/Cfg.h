@@ -1,0 +1,80 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of RustSight, a reproduction of "Understanding Memory and Thread
+// Safety Practices and Issues in Real-World Rust Programs" (PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Control-flow-graph utilities over a RustLite MIR function: successor and
+/// predecessor lists, reverse post-order, reachability, and a dominator tree
+/// (Cooper-Harvey-Kennedy).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RUSTSIGHT_ANALYSIS_CFG_H
+#define RUSTSIGHT_ANALYSIS_CFG_H
+
+#include "mir/Mir.h"
+
+#include <memory>
+#include <vector>
+
+namespace rs::analysis {
+
+/// Precomputed CFG edge lists for one function. The function must outlive
+/// the Cfg and not be mutated while it is in use.
+///
+/// With \p PruneConstantBranches, switchInt terminators whose discriminant
+/// provably holds one constant contribute only the taken edge (see
+/// ConstantBranches.h); statically-impossible arms become unreachable,
+/// improving detector precision.
+class Cfg {
+public:
+  explicit Cfg(const mir::Function &F, bool PruneConstantBranches = false);
+
+  const mir::Function &function() const { return Fn; }
+  unsigned numBlocks() const { return Fn.numBlocks(); }
+
+  const std::vector<mir::BlockId> &successors(mir::BlockId B) const {
+    return Succs[B];
+  }
+  const std::vector<mir::BlockId> &predecessors(mir::BlockId B) const {
+    return Preds[B];
+  }
+
+  /// Blocks in reverse post-order from the entry (unreachable blocks are
+  /// excluded).
+  const std::vector<mir::BlockId> &reversePostOrder() const { return Rpo; }
+
+  bool isReachable(mir::BlockId B) const { return Reachable[B]; }
+
+private:
+  const mir::Function &Fn;
+  std::vector<std::vector<mir::BlockId>> Succs;
+  std::vector<std::vector<mir::BlockId>> Preds;
+  std::vector<mir::BlockId> Rpo;
+  std::vector<bool> Reachable;
+};
+
+/// Immediate-dominator tree over a Cfg.
+class DominatorTree {
+public:
+  explicit DominatorTree(const Cfg &G);
+
+  /// The immediate dominator of \p B; the entry block's idom is itself.
+  /// Unreachable blocks report InvalidBlock.
+  mir::BlockId idom(mir::BlockId B) const { return Idom[B]; }
+
+  /// True if \p A dominates \p B (reflexive). False if either block is
+  /// unreachable.
+  bool dominates(mir::BlockId A, mir::BlockId B) const;
+
+private:
+  std::vector<mir::BlockId> Idom;
+  std::vector<unsigned> RpoIndex;
+};
+
+} // namespace rs::analysis
+
+#endif // RUSTSIGHT_ANALYSIS_CFG_H

@@ -1,0 +1,149 @@
+#include "analysis/Dataflow.h"
+
+#include <cassert>
+
+using namespace rs;
+using namespace rs::analysis;
+using namespace rs::mir;
+
+//===----------------------------------------------------------------------===//
+// ForwardDataflow
+//===----------------------------------------------------------------------===//
+
+ForwardDataflow::ForwardDataflow(const Cfg &G, const ForwardTransfer &Transfer)
+    : G(G), Transfer(Transfer) {
+  unsigned N = G.numBlocks();
+  BitVec Initial = Transfer.initialState();
+  In.assign(N, BitVec(Initial.size()));
+  if (N == 0)
+    return;
+
+  std::vector<bool> Defined(N, false);
+  In[0] = Initial;
+  Defined[0] = true;
+
+  // Round-robin over RPO until fixpoint. Edge states are recomputed on the
+  // fly; functions are small enough that caching is unnecessary.
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (BlockId B : G.reversePostOrder()) {
+      if (B != 0) {
+        BitVec NewIn(Initial.size());
+        bool First = true;
+        for (BlockId P : G.predecessors(B)) {
+          if (!Defined[P])
+            continue;
+          BitVec EdgeState = stateOnEdge(P, B);
+          if (First) {
+            NewIn = std::move(EdgeState);
+            First = false;
+          } else if (Transfer.meetIsUnion()) {
+            NewIn.unionWith(EdgeState);
+          } else {
+            NewIn.intersectWith(EdgeState);
+          }
+        }
+        if (First)
+          continue; // No computed predecessor yet.
+        if (!Defined[B] || !(NewIn == In[B])) {
+          In[B] = std::move(NewIn);
+          Defined[B] = true;
+          Changed = true;
+        }
+      }
+    }
+  }
+}
+
+BitVec ForwardDataflow::stateBefore(BlockId B, size_t StmtIndex) const {
+  const BasicBlock &BB = G.function().Blocks[B];
+  assert(StmtIndex <= BB.Statements.size() && "statement index out of range");
+  BitVec State = In[B];
+  for (size_t I = 0; I != StmtIndex; ++I)
+    Transfer.transferStatement(BB.Statements[I], State);
+  return State;
+}
+
+BitVec ForwardDataflow::stateOnEdge(BlockId B, BlockId Succ) const {
+  const BasicBlock &BB = G.function().Blocks[B];
+  BitVec State = stateBefore(B, BB.Statements.size());
+  Transfer.transferEdge(BB.Term, Succ, State);
+  return State;
+}
+
+//===----------------------------------------------------------------------===//
+// BackwardDataflow
+//===----------------------------------------------------------------------===//
+
+BackwardDataflow::BackwardDataflow(const Cfg &G,
+                                   const BackwardTransfer &Transfer)
+    : G(G), Transfer(Transfer) {
+  unsigned N = G.numBlocks();
+  BitVec Exit = Transfer.exitState();
+  Out.assign(N, BitVec(Exit.size()));
+  if (N == 0)
+    return;
+
+  std::vector<bool> Defined(N, false);
+
+  // Computes the in-state of a block: meet over successors, then the whole
+  // block's transfer (terminator, then statements in reverse).
+  auto BlockInState = [&](BlockId B) {
+    const BasicBlock &BB = G.function().Blocks[B];
+    BitVec State = Out[B];
+    Transfer.transferTerminator(BB.Term, State);
+    for (size_t I = BB.Statements.size(); I != 0; --I)
+      Transfer.transferStatement(BB.Statements[I - 1], State);
+    return State;
+  };
+
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    // Post-order = reverse of RPO: good iteration order for backward flow.
+    const std::vector<BlockId> &Rpo = G.reversePostOrder();
+    for (size_t RI = Rpo.size(); RI != 0; --RI) {
+      BlockId B = Rpo[RI - 1];
+      const std::vector<BlockId> &Succs = G.successors(B);
+      BitVec NewOut(Exit.size());
+      if (Succs.empty()) {
+        NewOut = Exit;
+      } else {
+        bool First = true;
+        bool AnyDefined = false;
+        for (BlockId S : Succs) {
+          if (!Defined[S])
+            continue;
+          AnyDefined = true;
+          BitVec SuccIn = BlockInState(S);
+          if (First) {
+            NewOut = std::move(SuccIn);
+            First = false;
+          } else if (Transfer.meetIsUnion()) {
+            NewOut.unionWith(SuccIn);
+          } else {
+            NewOut.intersectWith(SuccIn);
+          }
+        }
+        if (!AnyDefined)
+          continue;
+      }
+      if (!Defined[B] || !(NewOut == Out[B])) {
+        Out[B] = std::move(NewOut);
+        Defined[B] = true;
+        Changed = true;
+      }
+    }
+  }
+}
+
+BitVec BackwardDataflow::stateBefore(BlockId B, size_t StmtIndex) const {
+  const BasicBlock &BB = G.function().Blocks[B];
+  assert(StmtIndex <= BB.Statements.size() && "statement index out of range");
+  BitVec State = Out[B];
+  Transfer.transferTerminator(BB.Term, State);
+  for (size_t I = BB.Statements.size(); I != StmtIndex; --I)
+    Transfer.transferStatement(BB.Statements[I - 1], State);
+  return State;
+}

@@ -1,0 +1,117 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of RustSight, a reproduction of "Understanding Memory and Thread
+// Safety Practices and Issues in Real-World Rust Programs" (PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small iterative dataflow framework over RustLite MIR CFGs. Lattice
+/// elements are BitVecs (sets of dense indices); analyses implement a
+/// transfer interface and choose union (may) or intersection (must) meets.
+///
+/// Terminator transfer is per-edge: a call assigns its destination only on
+/// the return edge, not on the unwind edge, which matters for initialization
+/// and liveness facts.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RUSTSIGHT_ANALYSIS_DATAFLOW_H
+#define RUSTSIGHT_ANALYSIS_DATAFLOW_H
+
+#include "analysis/Cfg.h"
+#include "support/BitVec.h"
+
+#include <vector>
+
+namespace rs::analysis {
+
+/// Transfer functions for a forward dataflow problem.
+class ForwardTransfer {
+public:
+  virtual ~ForwardTransfer() = default;
+
+  /// The state on entry to the function (start of the entry block).
+  virtual BitVec initialState() const = 0;
+
+  /// True for may-analyses (meet = union); false for must-analyses
+  /// (meet = intersection over *computed* predecessors).
+  virtual bool meetIsUnion() const { return true; }
+
+  /// Applies one statement's effect to \p State.
+  virtual void transferStatement(const mir::Statement &S,
+                                 BitVec &State) const = 0;
+
+  /// Applies the terminator's effect along the edge to \p Succ.
+  virtual void transferEdge(const mir::Terminator &T, mir::BlockId Succ,
+                            BitVec &State) const = 0;
+};
+
+/// Solves a forward dataflow problem to fixpoint and answers per-point
+/// queries by replaying transfers within a block.
+class ForwardDataflow {
+public:
+  ForwardDataflow(const Cfg &G, const ForwardTransfer &Transfer);
+
+  /// State at the start of block \p B. Unreachable blocks report an empty
+  /// state.
+  const BitVec &blockIn(mir::BlockId B) const { return In[B]; }
+
+  /// State immediately before statement \p StmtIndex of block \p B.
+  /// Passing StmtIndex == Statements.size() yields the state before the
+  /// terminator.
+  BitVec stateBefore(mir::BlockId B, size_t StmtIndex) const;
+
+  /// State on the edge from \p B to \p Succ (after the terminator's
+  /// edge-specific effect).
+  BitVec stateOnEdge(mir::BlockId B, mir::BlockId Succ) const;
+
+private:
+  const Cfg &G;
+  const ForwardTransfer &Transfer;
+  std::vector<BitVec> In;
+};
+
+/// Transfer functions for a backward dataflow problem (e.g. live variables).
+class BackwardTransfer {
+public:
+  virtual ~BackwardTransfer() = default;
+
+  /// The state at function exit points (after Return/Resume/Unreachable).
+  virtual BitVec exitState() const = 0;
+
+  virtual bool meetIsUnion() const { return true; }
+
+  /// Applies one statement's effect to \p State, flowing backwards.
+  virtual void transferStatement(const mir::Statement &S,
+                                 BitVec &State) const = 0;
+
+  /// Applies the terminator's own effect (uses of its operands), given the
+  /// meet over successor-in states already in \p State.
+  virtual void transferTerminator(const mir::Terminator &T,
+                                  BitVec &State) const = 0;
+};
+
+/// Solves a backward dataflow problem to fixpoint.
+class BackwardDataflow {
+public:
+  BackwardDataflow(const Cfg &G, const BackwardTransfer &Transfer);
+
+  /// State at the end of block \p B (before its terminator's effect was
+  /// applied it is stateAfter(B, Statements.size())).
+  const BitVec &blockOut(mir::BlockId B) const { return Out[B]; }
+
+  /// State immediately *before* statement \p StmtIndex executes, flowing
+  /// backwards from the block end. StmtIndex == Statements.size() yields
+  /// the state before the terminator.
+  BitVec stateBefore(mir::BlockId B, size_t StmtIndex) const;
+
+private:
+  const Cfg &G;
+  const BackwardTransfer &Transfer;
+  std::vector<BitVec> Out; ///< Meet over successors, before terminator effect.
+};
+
+} // namespace rs::analysis
+
+#endif // RUSTSIGHT_ANALYSIS_DATAFLOW_H

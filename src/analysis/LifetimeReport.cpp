@@ -1,0 +1,69 @@
+#include "analysis/LifetimeReport.h"
+
+using namespace rs;
+using namespace rs::analysis;
+using namespace rs::mir;
+
+LifetimeReport::LifetimeReport(const Function &F, const Module &M)
+    : F(F), G(F), MA(G, M), LV(G) {}
+
+void LifetimeReport::heldLocks(BlockId B, size_t StmtIndex,
+                               std::vector<ObjId> &Out) const {
+  BitVec State = MA.dataflow().stateBefore(B, StmtIndex);
+  for (ObjId O = 0; O != MA.objects().numObjects(); ++O)
+    if (MA.mayBeHeld(State, O, true) || MA.mayBeHeld(State, O, false))
+      Out.push_back(O);
+}
+
+std::string LifetimeReport::annotation(BlockId B, size_t StmtIndex) const {
+  std::string Live;
+  for (LocalId L = 0; L != F.numLocals(); ++L) {
+    if (LV.isLiveBefore(B, StmtIndex, L)) {
+      if (!Live.empty())
+        Live += " ";
+      Live += "_" + std::to_string(L);
+    }
+  }
+  std::vector<ObjId> Held;
+  heldLocks(B, StmtIndex, Held);
+  std::string Locks;
+  for (ObjId O : Held) {
+    if (!Locks.empty())
+      Locks += " ";
+    Locks += MA.objects().name(O);
+  }
+  std::string Out = "live: " + (Live.empty() ? "-" : Live);
+  if (!Locks.empty())
+    Out += " | held: " + Locks;
+  return Out;
+}
+
+std::string LifetimeReport::render() const {
+  std::string Out;
+  Out += "fn " + F.Name + " — lifetime and critical-section report\n";
+  for (BlockId B = 0; B != F.numBlocks(); ++B) {
+    if (!G.isReachable(B))
+      continue;
+    Out += "  bb" + std::to_string(B) + ":\n";
+    const BasicBlock &BB = F.Blocks[B];
+    for (size_t I = 0; I != BB.Statements.size(); ++I) {
+      const Statement &S = BB.Statements[I];
+      Out += "    " + S.toString();
+      // Mark the implicit unlock the paper's Suggestion 6 asks IDEs to
+      // highlight: a lock guard dying here releases its lock.
+      if ((S.K == Statement::Kind::StorageDead) &&
+          MA.isGuardLocal(S.Local)) {
+        Out += "   // <-- implicit unlock: guard _" +
+               std::to_string(S.Local) + " dies here";
+      }
+      Out += "\n        // " + annotation(B, I) + "\n";
+    }
+    Out += "    " + BB.Term.toString();
+    if (BB.Term.K == Terminator::Kind::Drop && BB.Term.DropPlace.isLocal() &&
+        MA.isGuardLocal(BB.Term.DropPlace.Base))
+      Out += "   // <-- implicit unlock: guard _" +
+             std::to_string(BB.Term.DropPlace.Base) + " dropped here";
+    Out += "\n        // " + annotation(B, BB.Statements.size()) + "\n";
+  }
+  return Out;
+}

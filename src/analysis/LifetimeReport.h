@@ -1,0 +1,65 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of RustSight, a reproduction of "Understanding Memory and Thread
+// Safety Practices and Issues in Real-World Rust Programs" (PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's IDE-tooling suggestions, implemented as a report generator
+/// (Section 7): "Being able to visualize objects' lifetime ... could
+/// largely help Rust programmers avoid memory bugs" and "an effective way
+/// to avoid these [blocking] bugs is to visualize critical sections ...
+/// [and] add plug-ins to highlight the location of Rust's implicit unlock".
+///
+/// LifetimeReport renders a function's MIR annotated, per statement, with
+/// the locals whose values are live and the locks currently held, and marks
+/// each implicit-unlock point (guard death).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RUSTSIGHT_ANALYSIS_LIFETIMEREPORT_H
+#define RUSTSIGHT_ANALYSIS_LIFETIMEREPORT_H
+
+#include "analysis/LiveVariables.h"
+#include "analysis/Memory.h"
+
+#include <string>
+
+namespace rs::analysis {
+
+/// Renders annotated listings for functions of a module.
+class LifetimeReport {
+public:
+  /// Prepares analyses for \p F within \p M.
+  LifetimeReport(const mir::Function &F, const mir::Module &M);
+
+  /// The annotated listing: each statement and terminator followed by
+  /// "live:" and "held:" annotations, with implicit-unlock markers.
+  std::string render() const;
+
+  /// True if local \p L's value is live immediately before statement
+  /// \p StmtIndex of block \p B.
+  bool isLive(mir::BlockId B, size_t StmtIndex, mir::LocalId L) const {
+    return LV.isLiveBefore(B, StmtIndex, L);
+  }
+
+  /// Appends the locks held immediately before the given point.
+  void heldLocks(mir::BlockId B, size_t StmtIndex,
+                 std::vector<ObjId> &Out) const;
+
+  const MemoryAnalysis &memory() const { return MA; }
+
+private:
+  /// One annotation line for the state before (B, StmtIndex).
+  std::string annotation(mir::BlockId B, size_t StmtIndex) const;
+
+  const mir::Function &F;
+  Cfg G;
+  MemoryAnalysis MA;
+  LiveVariables LV;
+};
+
+} // namespace rs::analysis
+
+#endif // RUSTSIGHT_ANALYSIS_LIFETIMEREPORT_H

@@ -1,0 +1,92 @@
+#include "analysis/LiveVariables.h"
+
+using namespace rs;
+using namespace rs::analysis;
+using namespace rs::mir;
+
+LiveVariables::LiveVariables(const Cfg &G)
+    : G(G), NumLocals(G.function().numLocals()) {
+  DF = std::make_unique<BackwardDataflow>(G, *this);
+}
+
+bool LiveVariables::isLiveBefore(BlockId B, size_t StmtIndex,
+                                 LocalId L) const {
+  return DF->stateBefore(B, StmtIndex).test(L);
+}
+
+BitVec LiveVariables::exitState() const { return BitVec(NumLocals); }
+
+void LiveVariables::usePlace(const Place &P, BitVec &State) const {
+  State.set(P.Base);
+  for (const ProjectionElem &E : P.Projs)
+    if (E.K == ProjectionElem::Kind::Index)
+      State.set(E.IndexLocal);
+}
+
+void LiveVariables::useOperand(const Operand &O, BitVec &State) const {
+  if (O.isPlace())
+    usePlace(O.P, State);
+}
+
+void LiveVariables::transferStatement(const Statement &S,
+                                      BitVec &State) const {
+  switch (S.K) {
+  case Statement::Kind::Assign: {
+    // Kill before gen: a full overwrite of a bare local ends its live range;
+    // partial writes (projections) both use and define the base.
+    if (S.Dest.isLocal())
+      State.reset(S.Dest.Base);
+    else
+      usePlace(S.Dest, State);
+    const Rvalue &RV = S.RV;
+    for (const Operand &O : RV.Ops)
+      useOperand(O, State);
+    switch (RV.K) {
+    case Rvalue::Kind::Ref:
+    case Rvalue::Kind::AddressOf:
+    case Rvalue::Kind::Discriminant:
+    case Rvalue::Kind::Len:
+      usePlace(RV.P, State);
+      break;
+    default:
+      break;
+    }
+    return;
+  }
+  case Statement::Kind::StorageDead:
+    // Storage ends: nothing below can use the local.
+    State.reset(S.Local);
+    return;
+  case Statement::Kind::StorageLive:
+  case Statement::Kind::Nop:
+    return;
+  }
+}
+
+void LiveVariables::transferTerminator(const Terminator &T,
+                                       BitVec &State) const {
+  switch (T.K) {
+  case Terminator::Kind::Goto:
+  case Terminator::Kind::Unreachable:
+  case Terminator::Kind::Resume:
+    return;
+  case Terminator::Kind::Return:
+    State.set(0); // Returning reads the return place.
+    return;
+  case Terminator::Kind::SwitchInt:
+  case Terminator::Kind::Assert:
+    useOperand(T.Discr, State);
+    return;
+  case Terminator::Kind::Drop:
+    usePlace(T.DropPlace, State);
+    return;
+  case Terminator::Kind::Call:
+    if (T.HasDest && T.Dest.isLocal())
+      State.reset(T.Dest.Base);
+    else if (T.HasDest)
+      usePlace(T.Dest, State);
+    for (const Operand &O : T.Args)
+      useOperand(O, State);
+    return;
+  }
+}

@@ -1,0 +1,56 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of RustSight, a reproduction of "Understanding Memory and Thread
+// Safety Practices and Issues in Real-World Rust Programs" (PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Classic backward use-based liveness over locals. The paper repeatedly
+/// observes that Rust programmers misjudge where a value's lifetime ends
+/// (Insights 6 and the IDE-tool suggestions in Section 7); this analysis is
+/// the machinery such a lifetime-visualization tool needs, and it doubles as
+/// the exerciser for the backward half of the dataflow framework.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RUSTSIGHT_ANALYSIS_LIVEVARIABLES_H
+#define RUSTSIGHT_ANALYSIS_LIVEVARIABLES_H
+
+#include "analysis/Dataflow.h"
+
+#include <memory>
+
+namespace rs::analysis {
+
+/// Backward may-liveness of locals: a local is live at a point if some path
+/// from the point reaches a use before any full redefinition.
+class LiveVariables : public BackwardTransfer {
+public:
+  explicit LiveVariables(const Cfg &G);
+
+  const BackwardDataflow &dataflow() const { return *DF; }
+
+  /// True if local \p L is live immediately before statement \p StmtIndex
+  /// of block \p B (Statements.size() addresses the terminator).
+  bool isLiveBefore(mir::BlockId B, size_t StmtIndex, mir::LocalId L) const;
+
+  // BackwardTransfer implementation.
+  BitVec exitState() const override;
+  void transferStatement(const mir::Statement &S,
+                         BitVec &State) const override;
+  void transferTerminator(const mir::Terminator &T,
+                          BitVec &State) const override;
+
+private:
+  void usePlace(const mir::Place &P, BitVec &State) const;
+  void useOperand(const mir::Operand &O, BitVec &State) const;
+
+  const Cfg &G;
+  unsigned NumLocals;
+  std::unique_ptr<BackwardDataflow> DF;
+};
+
+} // namespace rs::analysis
+
+#endif // RUSTSIGHT_ANALYSIS_LIVEVARIABLES_H

@@ -1,0 +1,176 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of RustSight, a reproduction of "Understanding Memory and Thread
+// Safety Practices and Issues in Real-World Rust Programs" (PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The combined flow-sensitive memory-state analysis all RustSight detectors
+/// are built on. Per program point it tracks, for every abstract object of
+/// the ObjectTable:
+///
+///   - points-to: which objects each local's value may point to,
+///   - storage-dead: StorageDead has executed for the object,
+///   - dropped: the object's value may have been destroyed/freed,
+///   - uninit: the object's contents may be uninitialized (fresh storage,
+///     moved-out, or raw alloc),
+///   - held-shared / held-exclusive: a lock rooted at the object may be held.
+///
+/// This mirrors the paper's Section 7 detector design: "maintains the state
+/// of each variable (alive or dead) by monitoring when MIR calls StorageLive
+/// or StorageDead ... for each pointer/reference, a points-to analysis
+/// maintains which variable it points to, including ownership moves."
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RUSTSIGHT_ANALYSIS_MEMORY_H
+#define RUSTSIGHT_ANALYSIS_MEMORY_H
+
+#include "analysis/Dataflow.h"
+#include "analysis/Objects.h"
+#include "analysis/Summaries.h"
+
+#include <map>
+#include <memory>
+#include <set>
+
+namespace rs::analysis {
+
+/// Flow-sensitive points-to + memory-state analysis for one function.
+class MemoryAnalysis : public ForwardTransfer {
+public:
+  /// Analyzes \p G's function. \p M supplies struct/Drop declarations;
+  /// \p Summaries (optional) enables interprocedural effects at calls to
+  /// module-defined functions.
+  MemoryAnalysis(const Cfg &G, const mir::Module &M,
+                 const SummaryMap *Summaries = nullptr);
+
+  const Cfg &cfg() const { return G; }
+  const mir::Module &module() const { return M; }
+  const ObjectTable &objects() const { return Objects; }
+  const ForwardDataflow &dataflow() const { return *DF; }
+
+  /// Locals that (transitively) hold lock guards returned by lock calls.
+  bool isGuardLocal(mir::LocalId L) const { return GuardLocals.count(L) != 0; }
+
+  // --- State queries (operate on a state BitVec from the dataflow) --------
+
+  bool pointsTo(const BitVec &State, mir::LocalId L, ObjId O) const {
+    return State.test(ptsBit(L, O));
+  }
+  /// Appends every object \p L may point to.
+  void pointees(const BitVec &State, mir::LocalId L,
+                std::vector<ObjId> &Out) const;
+  bool mayBeStorageDead(const BitVec &State, ObjId O) const {
+    return State.test(DeadBase + O);
+  }
+  bool mayBeDropped(const BitVec &State, ObjId O) const {
+    return State.test(DroppedBase + O);
+  }
+  bool mayBeUninit(const BitVec &State, ObjId O) const {
+    return State.test(UninitBase + O);
+  }
+  bool mayBeHeld(const BitVec &State, ObjId O, bool Exclusive) const {
+    return State.test((Exclusive ? HeldExBase : HeldShBase) + O);
+  }
+
+  /// The objects a lock-acquisition call on \p LockArg locks: the pointees
+  /// of the argument if it is a pointer, otherwise the argument's own
+  /// object (a Mutex/Arc<Mutex> held by value).
+  void lockRoots(const BitVec &State, const mir::Operand &LockArg,
+                 std::vector<ObjId> &Out) const;
+
+  /// The objects the value stored at \p P may point to (e.g. the operand
+  /// pointees of "copy P").
+  void placeValuePointees(const BitVec &State, const mir::Place &P,
+                          BitVec &Out) const;
+
+  /// The objects the memory designated by \p P belongs to: the base local's
+  /// object for direct places, the base pointer's pointees when the place
+  /// dereferences.
+  void placeTargetObjects(const BitVec &State, const mir::Place &P,
+                          BitVec &Out) const;
+
+  /// Steps through one block replaying transfers; detectors use this to
+  /// inspect the state immediately before each statement/terminator.
+  class Cursor {
+  public:
+    Cursor(const MemoryAnalysis &MA, mir::BlockId B)
+        : MA(MA), Block(B), State(MA.dataflow().blockIn(B)) {}
+
+    mir::BlockId block() const { return Block; }
+    size_t index() const { return Index; }
+    bool atTerminator() const {
+      return Index >= MA.cfg().function().Blocks[Block].Statements.size();
+    }
+    const mir::Statement &statement() const {
+      return MA.cfg().function().Blocks[Block].Statements[Index];
+    }
+    /// The state immediately before the current statement/terminator.
+    const BitVec &state() const { return State; }
+
+    /// Applies the current statement and moves to the next position.
+    void advance() {
+      MA.transferStatement(statement(), State);
+      ++Index;
+    }
+
+  private:
+    const MemoryAnalysis &MA;
+    mir::BlockId Block;
+    size_t Index = 0;
+    BitVec State;
+  };
+
+  Cursor cursorAt(mir::BlockId B) const { return Cursor(*this, B); }
+
+  // --- ForwardTransfer implementation -------------------------------------
+  BitVec initialState() const override;
+  void transferStatement(const mir::Statement &S, BitVec &State) const override;
+  void transferEdge(const mir::Terminator &T, mir::BlockId Succ,
+                    BitVec &State) const override;
+
+private:
+  size_t ptsBit(mir::LocalId L, ObjId O) const {
+    return static_cast<size_t>(L) * NumObjects + O;
+  }
+  size_t numBits() const {
+    return static_cast<size_t>(NumLocals) * NumObjects + 5 * NumObjects;
+  }
+
+  void clearPts(BitVec &State, mir::LocalId L) const;
+  void setPtsFromObjSet(BitVec &State, mir::LocalId L, const BitVec &Objs,
+                        bool Additive) const;
+  void operandPointees(const BitVec &State, const mir::Operand &O,
+                       BitVec &Out) const;
+  void rvaluePointees(const BitVec &State, const mir::Rvalue &RV,
+                      BitVec &Out) const;
+  /// True if dropping a value of type \p Ty destroys the objects it points
+  /// to (Box and structs declared ": Drop").
+  bool typeOwnsPointees(const mir::Type *Ty) const;
+  void markDropped(BitVec &State, ObjId O) const;
+  void applyMoveOperands(const std::vector<mir::Operand> &Ops,
+                         BitVec &State) const;
+  void dropPlace(const mir::Place &P, BitVec &State) const;
+  void computeGuardLocals();
+
+  /// The block owning terminator \p T (terminators are stored in-place, so
+  /// identity lookup is exact).
+  mir::BlockId blockOfTerminator(const mir::Terminator &T) const;
+
+  const Cfg &G;
+  const mir::Module &M;
+  ObjectTable Objects;
+  std::map<const mir::Terminator *, mir::BlockId> TermBlock;
+  const SummaryMap *Summaries;
+  unsigned NumLocals;
+  unsigned NumObjects;
+  size_t DeadBase, DroppedBase, UninitBase, HeldShBase, HeldExBase;
+  std::set<mir::LocalId> GuardLocals;
+  std::unique_ptr<ForwardDataflow> DF;
+};
+
+} // namespace rs::analysis
+
+#endif // RUSTSIGHT_ANALYSIS_MEMORY_H

@@ -1,0 +1,120 @@
+#include "analysis/Summaries.h"
+
+#include "analysis/Memory.h"
+#include "mir/Intrinsics.h"
+
+using namespace rs;
+using namespace rs::analysis;
+using namespace rs::mir;
+
+namespace {
+
+/// Computes one function's summary given the current (possibly incomplete)
+/// summaries of its callees.
+FunctionSummary summarizeFunction(const Function &F, const Module &M,
+                                  const SummaryMap &Current) {
+  Cfg G(F, /*PruneConstantBranches=*/true);
+  MemoryAnalysis MA(G, M, &Current);
+  const ObjectTable &Objects = MA.objects();
+  FunctionSummary S(F.NumArgs);
+
+  for (BlockId B = 0; B != F.numBlocks(); ++B) {
+    if (!G.isReachable(B))
+      continue;
+    const BasicBlock &BB = F.Blocks[B];
+    BitVec AtTerm =
+        MA.dataflow().stateBefore(B, BB.Statements.size());
+
+    // Effects visible at function exit.
+    if (BB.Term.K == Terminator::Kind::Return) {
+      for (LocalId P = 1; P <= F.NumArgs; ++P) {
+        ObjId Pointee = Objects.paramPointee(P);
+        if (Pointee == ~0u)
+          continue;
+        if (MA.mayBeDropped(AtTerm, Pointee))
+          S.DropsParamPointee[P] = true;
+        if (MA.pointsTo(AtTerm, F.returnLocal(), Pointee))
+          S.ReturnAliasesParamPointee[P] = true;
+      }
+      continue;
+    }
+
+    // Lock acquisitions rooted at parameters (direct or via callees).
+    if (BB.Term.K != Terminator::Kind::Call)
+      continue;
+    IntrinsicKind Kind = classifyIntrinsic(BB.Term.Callee);
+    if (isLockAcquire(Kind)) {
+      if (BB.Term.Args.empty())
+        continue;
+      std::vector<ObjId> Roots;
+      MA.lockRoots(AtTerm, BB.Term.Args[0], Roots);
+      uint8_t Mode = isExclusiveAcquire(Kind) ? LM_Exclusive : LM_Shared;
+      for (ObjId R : Roots)
+        if (LocalId P = paramRootOfObject(F, Objects, R))
+          S.AcquiresLockOnParam[P] |= Mode;
+      continue;
+    }
+    if (Kind != IntrinsicKind::None)
+      continue;
+    auto It = Current.find(BB.Term.Callee);
+    if (It == Current.end())
+      continue;
+    const FunctionSummary &Callee = It->second;
+    for (size_t I = 0; I != BB.Term.Args.size(); ++I) {
+      unsigned Param = static_cast<unsigned>(I) + 1;
+      if (Param >= Callee.AcquiresLockOnParam.size())
+        break;
+      uint8_t Mode = Callee.AcquiresLockOnParam[Param];
+      if (Mode == LM_None || !BB.Term.Args[I].isPlace())
+        continue;
+      std::vector<ObjId> Roots;
+      MA.lockRoots(AtTerm, BB.Term.Args[I], Roots);
+      for (ObjId R : Roots)
+        if (LocalId P = paramRootOfObject(F, Objects, R))
+          S.AcquiresLockOnParam[P] |= Mode;
+    }
+  }
+  return S;
+}
+
+/// Unions \p New into \p Acc; returns true if \p Acc grew.
+bool mergeSummary(FunctionSummary &Acc, const FunctionSummary &New) {
+  bool Changed = false;
+  for (size_t I = 0; I != Acc.DropsParamPointee.size(); ++I) {
+    if (New.DropsParamPointee[I] && !Acc.DropsParamPointee[I]) {
+      Acc.DropsParamPointee[I] = true;
+      Changed = true;
+    }
+    if (New.ReturnAliasesParamPointee[I] &&
+        !Acc.ReturnAliasesParamPointee[I]) {
+      Acc.ReturnAliasesParamPointee[I] = true;
+      Changed = true;
+    }
+    uint8_t Mode = Acc.AcquiresLockOnParam[I] | New.AcquiresLockOnParam[I];
+    if (Mode != Acc.AcquiresLockOnParam[I]) {
+      Acc.AcquiresLockOnParam[I] = Mode;
+      Changed = true;
+    }
+  }
+  return Changed;
+}
+
+} // namespace
+
+SummaryMap rs::analysis::computeSummaries(const Module &M,
+                                          unsigned MaxRounds) {
+  SummaryMap Map;
+  for (const auto &F : M.functions())
+    Map.emplace(F->Name, FunctionSummary(F->NumArgs));
+
+  for (unsigned Round = 0; Round != MaxRounds; ++Round) {
+    bool Changed = false;
+    for (const auto &F : M.functions()) {
+      FunctionSummary New = summarizeFunction(*F, M, Map);
+      Changed |= mergeSummary(Map[F->Name], New);
+    }
+    if (!Changed)
+      break;
+  }
+  return Map;
+}

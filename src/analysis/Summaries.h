@@ -1,0 +1,70 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of RustSight, a reproduction of "Understanding Memory and Thread
+// Safety Practices and Issues in Real-World Rust Programs" (PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Bottom-up function summaries for interprocedural detection, mirroring the
+/// paper's Section 7 detectors: which parameter pointees a callee may drop,
+/// whether the return value may alias a parameter pointee, and which
+/// parameter pointees a callee may lock.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RUSTSIGHT_ANALYSIS_SUMMARIES_H
+#define RUSTSIGHT_ANALYSIS_SUMMARIES_H
+
+#include "mir/Mir.h"
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace rs::analysis {
+
+/// Lock-acquisition mode bits used in summaries.
+enum LockMode : uint8_t {
+  LM_None = 0,
+  LM_Shared = 1,
+  LM_Exclusive = 2,
+};
+
+/// The effects of calling one function, abstracted over its parameters.
+/// All vectors are indexed by parameter local id (index 0 unused).
+struct FunctionSummary {
+  /// May the call drop/free the object a pointer parameter points to?
+  std::vector<bool> DropsParamPointee;
+
+  /// May the returned value point into a parameter's pointee?
+  std::vector<bool> ReturnAliasesParamPointee;
+
+  /// LockMode mask: may the call (transitively) acquire a lock rooted at a
+  /// parameter's pointee?
+  std::vector<uint8_t> AcquiresLockOnParam;
+
+  explicit FunctionSummary(unsigned NumArgs = 0)
+      : DropsParamPointee(NumArgs + 1, false),
+        ReturnAliasesParamPointee(NumArgs + 1, false),
+        AcquiresLockOnParam(NumArgs + 1, LM_None) {}
+
+  friend bool operator==(const FunctionSummary &A, const FunctionSummary &B) {
+    return A.DropsParamPointee == B.DropsParamPointee &&
+           A.ReturnAliasesParamPointee == B.ReturnAliasesParamPointee &&
+           A.AcquiresLockOnParam == B.AcquiresLockOnParam;
+  }
+};
+
+/// Summaries keyed by function name.
+using SummaryMap = std::map<std::string, FunctionSummary>;
+
+/// Computes summaries for every function in \p M, iterating to fixpoint so
+/// effects propagate through call chains (bounded at \p MaxRounds to stay
+/// total in the presence of recursion).
+SummaryMap computeSummaries(const mir::Module &M, unsigned MaxRounds = 8);
+
+} // namespace rs::analysis
+
+#endif // RUSTSIGHT_ANALYSIS_SUMMARIES_H

@@ -1,0 +1,556 @@
+#include "corpus/MirCorpus.h"
+
+#include "mir/Builder.h"
+#include "support/Rng.h"
+
+using namespace rs;
+using namespace rs::corpus;
+using namespace rs::mir;
+
+namespace {
+
+/// Emits pattern functions into a module with index-suffixed names.
+class Emitter {
+public:
+  Emitter(Module &M, Rng &R) : M(M), R(R), TC(M.types()) {}
+
+  void declareSharedTypes();
+
+  void benignFiller(unsigned Idx);
+  void useAfterFree(unsigned Idx, bool Buggy);
+  void useAfterFreeGuarded(unsigned Idx);
+  void doubleLock(unsigned Idx, bool Buggy, bool Interproc);
+  void lockOrderPair(unsigned Idx, bool Buggy);
+  void invalidFree(unsigned Idx, bool Buggy);
+  void doubleFree(unsigned Idx, bool Buggy);
+  void uninitRead(unsigned Idx, bool Buggy);
+  void interiorMutability(unsigned Idx, bool Buggy);
+  void condvarWait(unsigned Idx, bool Buggy);
+  void channelRecv(unsigned Idx, bool Buggy);
+  void refCellConflict(unsigned Idx, bool Buggy);
+
+private:
+  /// Appends a few arithmetic statements on fresh locals, so instances of
+  /// a pattern differ without changing their safety behaviour.
+  void filler(FunctionBuilder &FB, unsigned MaxStatements = 4);
+
+  std::string name(const char *Base, unsigned Idx) {
+    return std::string(Base) + "_" + std::to_string(Idx);
+  }
+
+  Module &M;
+  Rng &R;
+  TypeContext &TC;
+};
+
+void Emitter::declareSharedTypes() {
+  // The Figure 6 stand-in: a struct owning heap memory, so dropping a
+  // garbage value is an invalid free.
+  StructDecl Packet;
+  Packet.Name = "Packet";
+  Packet.Fields.emplace_back("buf",
+                             TC.getAdt("Vec", {TC.getPrim(PrimKind::U8)}));
+  M.addStruct(std::move(Packet));
+
+  // The Figure 9 stand-in: a Sync type with a plain mutable field.
+  StructDecl Shared;
+  Shared.Name = "SharedState";
+  Shared.Fields.emplace_back("flag", TC.getBool());
+  M.addStruct(std::move(Shared));
+  M.addSyncImpl("SharedState");
+}
+
+void Emitter::filler(FunctionBuilder &FB, unsigned MaxStatements) {
+  unsigned N = 1 + static_cast<unsigned>(R.below(MaxStatements));
+  for (unsigned I = 0; I != N; ++I) {
+    LocalId T = FB.addLocal(TC.getI32());
+    FB.storageLive(T);
+    FB.assign(Place(T),
+              Rvalue::binary(
+                  static_cast<BinOp>(R.below(5)), // Add..Rem
+                  Operand::constant(ConstValue::makeInt(
+                      static_cast<int64_t>(R.below(100)))),
+                  Operand::constant(ConstValue::makeInt(
+                      1 + static_cast<int64_t>(R.below(100))))));
+    FB.storageDead(T);
+  }
+}
+
+void Emitter::benignFiller(unsigned Idx) {
+  FunctionBuilder FB(M, name("compute", Idx), TC.getI32());
+  LocalId A = FB.addArg(TC.getI32());
+  LocalId Cond = FB.addLocal(TC.getBool());
+  filler(FB);
+  FB.assign(Place(Cond),
+            Rvalue::binary(BinOp::Lt, Operand::copy(Place(A)),
+                           Operand::constant(ConstValue::makeInt(50))));
+  BlockId Then = FB.newBlock();
+  BlockId Else = FB.newBlock();
+  BlockId Join = FB.newBlock();
+  FB.switchInt(Operand::copy(Place(Cond)), {{1, Then}}, Else);
+  FB.setInsertPoint(Then);
+  FB.assign(Place(FB.returnLocal()),
+            Rvalue::binary(BinOp::Add, Operand::copy(Place(A)),
+                           Operand::constant(ConstValue::makeInt(1))));
+  FB.gotoBlock(Join);
+  FB.setInsertPoint(Else);
+  FB.assign(Place(FB.returnLocal()),
+            Rvalue::binary(BinOp::Sub, Operand::copy(Place(A)),
+                           Operand::constant(ConstValue::makeInt(1))));
+  FB.gotoBlock(Join);
+  FB.setInsertPoint(Join);
+  filler(FB, 2);
+  FB.ret();
+  FB.finish();
+}
+
+void Emitter::useAfterFree(unsigned Idx, bool Buggy) {
+  // Figure 7 shape: pointer into a Box outlives (buggy) or not (benign)
+  // the Box's drop.
+  const Type *BoxU8 = TC.getAdt("Box", {TC.getPrim(PrimKind::U8)});
+  FunctionBuilder FB(M, name(Buggy ? "uaf_bug" : "uaf_ok", Idx),
+                     TC.getPrim(PrimKind::U8));
+  LocalId B = FB.addLocal(BoxU8);
+  LocalId P = FB.addLocal(TC.getRawPtr(TC.getPrim(PrimKind::U8), false));
+  filler(FB);
+  FB.storageLive(B);
+  FB.call(Place(B), "Box::new",
+          {Operand::constant(
+              ConstValue::makeInt(static_cast<int64_t>(R.below(256))))});
+  FB.assign(Place(P),
+            Rvalue::addressOf(Place(B).project(ProjectionElem::deref()),
+                              /*Mut=*/false));
+  if (Buggy) {
+    FB.drop(Place(B));
+    FB.assign(Place(FB.returnLocal()),
+              Rvalue::use(Operand::copy(
+                  Place(P).project(ProjectionElem::deref()))));
+  } else {
+    FB.assign(Place(FB.returnLocal()),
+              Rvalue::use(Operand::copy(
+                  Place(P).project(ProjectionElem::deref()))));
+    FB.drop(Place(B));
+  }
+  FB.storageDead(B);
+  FB.ret();
+  FB.finish();
+}
+
+void Emitter::useAfterFreeGuarded(unsigned Idx) {
+  // The drop runs only when the bool parameter is true; the dereference
+  // after the merge is a may-use-after-free (static) but executes cleanly
+  // on a default (false) input (dynamic miss).
+  const Type *BoxU8 = TC.getAdt("Box", {TC.getPrim(PrimKind::U8)});
+  FunctionBuilder FB(M, name("uaf_guarded_bug", Idx),
+                     TC.getPrim(PrimKind::U8));
+  LocalId Cond = FB.addArg(TC.getBool());
+  LocalId B = FB.addLocal(BoxU8);
+  LocalId P = FB.addLocal(TC.getRawPtr(TC.getPrim(PrimKind::U8), false));
+  filler(FB, 2);
+  FB.call(Place(B), "Box::new",
+          {Operand::constant(
+              ConstValue::makeInt(static_cast<int64_t>(R.below(256))))});
+  FB.assign(Place(P),
+            Rvalue::addressOf(Place(B).project(ProjectionElem::deref()),
+                              /*Mut=*/false));
+  BlockId DropBlock = FB.newBlock();
+  BlockId Merge = FB.newBlock();
+  FB.switchInt(Operand::copy(Place(Cond)), {{1, DropBlock}}, Merge);
+  FB.setInsertPoint(DropBlock);
+  FB.dropTo(Place(B), Merge);
+  FB.setInsertPoint(Merge);
+  FB.assign(Place(FB.returnLocal()),
+            Rvalue::use(Operand::copy(
+                Place(P).project(ProjectionElem::deref()))));
+  FB.ret();
+  FB.finish();
+}
+
+void Emitter::doubleLock(unsigned Idx, bool Buggy, bool Interproc) {
+  const Type *MutexI32 = TC.getAdt("Mutex", {TC.getI32()});
+  const Type *MutexRef = TC.getRef(MutexI32, false);
+  const Type *Guard = TC.getAdt("MutexGuard", {TC.getI32()});
+
+  std::string Helper;
+  if (Interproc) {
+    // A helper that locks its parameter, used by the buggy/benign caller.
+    Helper = name(Buggy ? "dl_bug_helper" : "dl_ok_helper", Idx);
+    FunctionBuilder HB(M, Helper, TC.getI32());
+    LocalId Arg = HB.addArg(MutexRef);
+    LocalId G = HB.addLocal(Guard);
+    HB.storageLive(G);
+    HB.call(Place(G), "Mutex::lock", {Operand::copy(Place(Arg))});
+    HB.assign(Place(HB.returnLocal()),
+              Rvalue::use(Operand::copy(
+                  Place(G).project(ProjectionElem::deref()))));
+    HB.storageDead(G);
+    HB.ret();
+    HB.finish();
+  }
+
+  FunctionBuilder FB(M, name(Buggy ? "dl_bug" : "dl_ok", Idx), TC.getI32());
+  LocalId Arg = FB.addArg(MutexRef);
+  LocalId G1 = FB.addLocal(Guard);
+  filler(FB);
+  FB.storageLive(G1);
+  FB.call(Place(G1), "Mutex::lock", {Operand::copy(Place(Arg))});
+  if (!Buggy)
+    FB.storageDead(G1); // The fix: the first critical section ends here.
+  if (Interproc) {
+    FB.call(Place(FB.returnLocal()), Helper, {Operand::copy(Place(Arg))});
+  } else {
+    LocalId G2 = FB.addLocal(Guard);
+    FB.storageLive(G2);
+    FB.call(Place(G2), "Mutex::lock", {Operand::copy(Place(Arg))});
+    FB.assign(Place(FB.returnLocal()),
+              Rvalue::use(Operand::copy(
+                  Place(G2).project(ProjectionElem::deref()))));
+    FB.storageDead(G2);
+  }
+  if (Buggy)
+    FB.storageDead(G1);
+  FB.ret();
+  FB.finish();
+}
+
+void Emitter::lockOrderPair(unsigned Idx, bool Buggy) {
+  const Type *MutexI32 = TC.getAdt("Mutex", {TC.getI32()});
+  const Type *MutexRef = TC.getRef(MutexI32, false);
+  const Type *Guard = TC.getAdt("MutexGuard", {TC.getI32()});
+
+  auto EmitThread = [&](const std::string &Name, bool Swap) {
+    FunctionBuilder FB(M, Name);
+    LocalId A = FB.addArg(MutexRef);
+    LocalId B = FB.addArg(MutexRef);
+    LocalId G1 = FB.addLocal(Guard);
+    LocalId G2 = FB.addLocal(Guard);
+    filler(FB, 3);
+    FB.storageLive(G1);
+    FB.call(Place(G1), "Mutex::lock", {Operand::copy(Place(Swap ? B : A))});
+    FB.storageLive(G2);
+    FB.call(Place(G2), "Mutex::lock", {Operand::copy(Place(Swap ? A : B))});
+    FB.storageDead(G2);
+    FB.storageDead(G1);
+    FB.ret();
+    FB.finish();
+  };
+
+  std::string T1 = name(Buggy ? "abba_bug_t1" : "order_ok_t1", Idx);
+  std::string T2 = name(Buggy ? "abba_bug_t2" : "order_ok_t2", Idx);
+  EmitThread(T1, /*Swap=*/false);
+  EmitThread(T2, /*Swap=*/Buggy); // Benign pairs use the same order.
+
+  // The spawner marks both functions as thread entry points.
+  FunctionBuilder SB(M, name(Buggy ? "abba_spawner" : "order_spawner", Idx));
+  LocalId U1 = SB.addLocal(TC.getUnit());
+  LocalId U2 = SB.addLocal(TC.getUnit());
+  SB.call(Place(U1), "thread::spawn",
+          {Operand::constant(ConstValue::makeStr(T1))});
+  SB.call(Place(U2), "thread::spawn",
+          {Operand::constant(ConstValue::makeStr(T2))});
+  SB.ret();
+  SB.finish();
+}
+
+void Emitter::invalidFree(unsigned Idx, bool Buggy) {
+  // Figure 6 shape: write a struct-with-Drop through a pointer to
+  // uninitialized memory. Benign twin uses ptr::write.
+  const Type *PacketTy = TC.getAdt("Packet");
+  const Type *PacketPtr = TC.getRawPtr(PacketTy, true);
+  const Type *VecU8 = TC.getAdt("Vec", {TC.getPrim(PrimKind::U8)});
+
+  FunctionBuilder FB(M, name(Buggy ? "invfree_bug" : "invfree_ok", Idx));
+  LocalId P = FB.addLocal(PacketPtr);
+  LocalId V = FB.addLocal(VecU8);
+  LocalId Tmp = FB.addLocal(PacketTy);
+  filler(FB);
+  FB.call(Place(P), "alloc",
+          {Operand::constant(
+              ConstValue::makeInt(16 + static_cast<int64_t>(R.below(64))))});
+  FB.call(Place(V), "Vec::with_capacity",
+          {Operand::constant(ConstValue::makeInt(100))});
+  FB.assign(Place(Tmp),
+            Rvalue::aggregate("Packet", {Operand::move(Place(V))}));
+  if (Buggy) {
+    FB.assign(Place(P).project(ProjectionElem::deref()),
+              Rvalue::use(Operand::move(Place(Tmp))));
+  } else {
+    LocalId U = FB.addLocal(TC.getUnit());
+    FB.call(Place(U), "ptr::write",
+            {Operand::copy(Place(P)), Operand::move(Place(Tmp))});
+  }
+  FB.ret();
+  FB.finish();
+}
+
+void Emitter::doubleFree(unsigned Idx, bool Buggy) {
+  // Section 5.1 shape: ptr::read duplicates ownership; the benign twin
+  // forgets the original owner.
+  const Type *BoxU8 = TC.getAdt("Box", {TC.getPrim(PrimKind::U8)});
+  FunctionBuilder FB(M, name(Buggy ? "dfree_bug" : "dfree_ok", Idx));
+  LocalId T1 = FB.addLocal(BoxU8);
+  LocalId Ref = FB.addLocal(TC.getRef(BoxU8, false));
+  LocalId T2 = FB.addLocal(BoxU8);
+  filler(FB);
+  FB.call(Place(T1), "Box::new",
+          {Operand::constant(ConstValue::makeInt(7))});
+  FB.assign(Place(Ref), Rvalue::ref(Place(T1), /*Mut=*/false));
+  FB.call(Place(T2), "ptr::read", {Operand::copy(Place(Ref))});
+  if (Buggy) {
+    FB.drop(Place(T2));
+    FB.drop(Place(T1));
+  } else {
+    LocalId U = FB.addLocal(TC.getUnit());
+    FB.call(Place(U), "mem::forget", {Operand::move(Place(T1))});
+    FB.drop(Place(T2));
+  }
+  FB.ret();
+  FB.finish();
+}
+
+void Emitter::uninitRead(unsigned Idx, bool Buggy) {
+  const Type *U8Ptr = TC.getRawPtr(TC.getPrim(PrimKind::U8), true);
+  FunctionBuilder FB(M, name(Buggy ? "uninit_bug" : "uninit_ok", Idx),
+                     TC.getPrim(PrimKind::U8));
+  LocalId P = FB.addLocal(U8Ptr);
+  filler(FB);
+  FB.call(Place(P), "alloc",
+          {Operand::constant(
+              ConstValue::makeInt(8 + static_cast<int64_t>(R.below(8))))});
+  if (!Buggy) {
+    FB.assign(Place(P).project(ProjectionElem::deref()),
+              Rvalue::use(Operand::constant(ConstValue::makeInt(0))));
+  }
+  FB.assign(Place(FB.returnLocal()),
+            Rvalue::use(Operand::copy(
+                Place(P).project(ProjectionElem::deref()))));
+  FB.ret();
+  FB.finish();
+}
+
+void Emitter::interiorMutability(unsigned Idx, bool Buggy) {
+  // Figure 9 shape: &self method of a Sync type mutating a field through a
+  // pointer cast. Benign twin uses an atomic compare-and-swap.
+  const Type *SelfRef = TC.getRef(TC.getAdt("SharedState"), false);
+  FunctionBuilder FB(M, name(Buggy ? "imut_bug" : "imut_ok", Idx),
+                     TC.getI32());
+  LocalId SelfArg = FB.addArg(SelfRef);
+  filler(FB, 2);
+  if (Buggy) {
+    LocalId FieldRef = FB.addLocal(TC.getRef(TC.getBool(), false));
+    LocalId Ptr = FB.addLocal(TC.getRawPtr(TC.getBool(), true));
+    FB.assign(Place(FieldRef),
+              Rvalue::ref(Place(SelfArg)
+                              .project(ProjectionElem::deref())
+                              .project(ProjectionElem::field(0)),
+                          /*Mut=*/false));
+    FB.assign(Place(Ptr), Rvalue::cast(Operand::copy(Place(FieldRef)),
+                                       TC.getRawPtr(TC.getBool(), true)));
+    FB.assign(Place(Ptr).project(ProjectionElem::deref()),
+              Rvalue::use(Operand::constant(ConstValue::makeBool(true))));
+  } else {
+    LocalId FieldRef = FB.addLocal(TC.getRef(TC.getAdt("AtomicBool"), false));
+    LocalId Old = FB.addLocal(TC.getBool());
+    FB.assign(Place(FieldRef),
+              Rvalue::ref(Place(SelfArg)
+                              .project(ProjectionElem::deref())
+                              .project(ProjectionElem::field(0)),
+                          /*Mut=*/false));
+    FB.call(Place(Old), "AtomicBool::compare_and_swap",
+            {Operand::copy(Place(FieldRef)),
+             Operand::constant(ConstValue::makeBool(false)),
+             Operand::constant(ConstValue::makeBool(true))});
+  }
+  FB.assign(Place(FB.returnLocal()),
+            Rvalue::use(Operand::constant(ConstValue::makeInt(0))));
+  FB.ret();
+  FB.finish();
+}
+
+void Emitter::condvarWait(unsigned Idx, bool Buggy) {
+  // A waiter thread blocks on a condvar; the benign twin spawns a
+  // notifier thread alongside it, the buggy one does not (8 of the
+  // paper's blocking bugs).
+  const Type *CvRef = TC.getRef(TC.getAdt("Condvar"), false);
+  const Type *MutexRef = TC.getRef(TC.getAdt("Mutex", {TC.getI32()}), false);
+  const Type *Guard = TC.getAdt("MutexGuard", {TC.getI32()});
+
+  std::string Waiter = name(Buggy ? "cv_bug_waiter" : "cv_ok_waiter", Idx);
+  {
+    FunctionBuilder FB(M, Waiter);
+    LocalId Cv = FB.addArg(CvRef);
+    LocalId Mx = FB.addArg(MutexRef);
+    LocalId G = FB.addLocal(Guard);
+    filler(FB, 2);
+    FB.storageLive(G);
+    FB.call(Place(G), "Mutex::lock", {Operand::copy(Place(Mx))});
+    FB.call(Place(G), "Condvar::wait",
+            {Operand::copy(Place(Cv)), Operand::move(Place(G))});
+    FB.storageDead(G);
+    FB.ret();
+    FB.finish();
+  }
+
+  std::string Notifier;
+  if (!Buggy) {
+    Notifier = name("cv_ok_notifier", Idx);
+    FunctionBuilder FB(M, Notifier);
+    LocalId Cv = FB.addArg(CvRef);
+    LocalId U = FB.addLocal(TC.getUnit());
+    FB.call(Place(U), "Condvar::notify_one", {Operand::copy(Place(Cv))});
+    FB.ret();
+    FB.finish();
+  }
+
+  FunctionBuilder SB(M, name(Buggy ? "cv_bug_spawner" : "cv_ok_spawner",
+                             Idx));
+  LocalId U1 = SB.addLocal(TC.getUnit());
+  SB.call(Place(U1), "thread::spawn",
+          {Operand::constant(ConstValue::makeStr(Waiter))});
+  if (!Buggy) {
+    LocalId U2 = SB.addLocal(TC.getUnit());
+    SB.call(Place(U2), "thread::spawn",
+            {Operand::constant(ConstValue::makeStr(Notifier))});
+  }
+  SB.ret();
+  SB.finish();
+}
+
+void Emitter::channelRecv(unsigned Idx, bool Buggy) {
+  // A receiver blocks pulling from a channel; the benign twin spawns a
+  // sender thread (5 of the paper's blocking bugs have none).
+  const Type *RecvRef =
+      TC.getRef(TC.getAdt("Receiver", {TC.getI32()}), false);
+  const Type *SendRef = TC.getRef(TC.getAdt("Sender", {TC.getI32()}), false);
+
+  std::string Receiver =
+      name(Buggy ? "ch_bug_receiver" : "ch_ok_receiver", Idx);
+  {
+    FunctionBuilder FB(M, Receiver, TC.getI32());
+    LocalId Rx = FB.addArg(RecvRef);
+    filler(FB, 2);
+    FB.call(Place(FB.returnLocal()), "Receiver::recv",
+            {Operand::copy(Place(Rx))});
+    FB.ret();
+    FB.finish();
+  }
+
+  std::string Sender;
+  if (!Buggy) {
+    Sender = name("ch_ok_sender", Idx);
+    FunctionBuilder FB(M, Sender);
+    LocalId Tx = FB.addArg(SendRef);
+    LocalId U = FB.addLocal(TC.getUnit());
+    FB.call(Place(U), "Sender::send",
+            {Operand::copy(Place(Tx)),
+             Operand::constant(ConstValue::makeInt(1))});
+    FB.ret();
+    FB.finish();
+  }
+
+  FunctionBuilder SB(M, name(Buggy ? "ch_bug_spawner" : "ch_ok_spawner",
+                             Idx));
+  LocalId U1 = SB.addLocal(TC.getUnit());
+  SB.call(Place(U1), "thread::spawn",
+          {Operand::constant(ConstValue::makeStr(Receiver))});
+  if (!Buggy) {
+    LocalId U2 = SB.addLocal(TC.getUnit());
+    SB.call(Place(U2), "thread::spawn",
+            {Operand::constant(ConstValue::makeStr(Sender))});
+  }
+  SB.ret();
+  SB.finish();
+}
+
+void Emitter::refCellConflict(unsigned Idx, bool Buggy) {
+  // Insight 9's RefCell misuse: a second borrow_mut while the first
+  // borrow's guard is alive panics at runtime; the benign twin ends the
+  // first borrow's scope before re-borrowing.
+  const Type *CellRef = TC.getRef(TC.getAdt("RefCell", {TC.getI32()}), false);
+  const Type *RefMut = TC.getAdt("RefMut", {TC.getI32()});
+  FunctionBuilder FB(M, name(Buggy ? "rc_bug" : "rc_ok", Idx), TC.getI32());
+  LocalId Arg = FB.addArg(CellRef);
+  LocalId G1 = FB.addLocal(RefMut);
+  LocalId G2 = FB.addLocal(RefMut);
+  filler(FB, 2);
+  FB.storageLive(G1);
+  FB.call(Place(G1), "RefCell::borrow_mut", {Operand::copy(Place(Arg))});
+  if (!Buggy)
+    FB.storageDead(G1);
+  FB.storageLive(G2);
+  FB.call(Place(G2), "RefCell::borrow_mut", {Operand::copy(Place(Arg))});
+  FB.assign(Place(FB.returnLocal()),
+            Rvalue::use(Operand::copy(
+                Place(G2).project(ProjectionElem::deref()))));
+  FB.storageDead(G2);
+  if (Buggy)
+    FB.storageDead(G1);
+  FB.ret();
+  FB.finish();
+}
+
+} // namespace
+
+Module MirCorpusGenerator::generate() {
+  Module M;
+  Rng R(Config.Seed);
+  Emitter E(M, R);
+  E.declareSharedTypes();
+
+  for (unsigned I = 0; I != Config.BenignFunctions; ++I)
+    E.benignFiller(I);
+  for (unsigned I = 0; I != Config.UseAfterFreeBugs; ++I)
+    E.useAfterFree(I, /*Buggy=*/true);
+  for (unsigned I = 0; I != Config.UseAfterFreeBenign; ++I)
+    E.useAfterFree(I, /*Buggy=*/false);
+  for (unsigned I = 0; I != Config.UseAfterFreeGuardedBugs; ++I)
+    E.useAfterFreeGuarded(I);
+
+  auto Interproc = [this](unsigned I) {
+    return Config.InterprocEvery != 0 && I % Config.InterprocEvery == 0;
+  };
+  for (unsigned I = 0; I != Config.DoubleLockBugs; ++I)
+    E.doubleLock(I, /*Buggy=*/true, Interproc(I));
+  for (unsigned I = 0; I != Config.DoubleLockBenign; ++I)
+    E.doubleLock(I, /*Buggy=*/false, Interproc(I));
+
+  for (unsigned I = 0; I != Config.LockOrderBugPairs; ++I)
+    E.lockOrderPair(I, /*Buggy=*/true);
+  for (unsigned I = 0; I != Config.LockOrderBenignPairs; ++I)
+    E.lockOrderPair(I, /*Buggy=*/false);
+
+  for (unsigned I = 0; I != Config.InvalidFreeBugs; ++I)
+    E.invalidFree(I, /*Buggy=*/true);
+  for (unsigned I = 0; I != Config.InvalidFreeBenign; ++I)
+    E.invalidFree(I, /*Buggy=*/false);
+
+  for (unsigned I = 0; I != Config.DoubleFreeBugs; ++I)
+    E.doubleFree(I, /*Buggy=*/true);
+  for (unsigned I = 0; I != Config.DoubleFreeBenign; ++I)
+    E.doubleFree(I, /*Buggy=*/false);
+
+  for (unsigned I = 0; I != Config.UninitReadBugs; ++I)
+    E.uninitRead(I, /*Buggy=*/true);
+  for (unsigned I = 0; I != Config.UninitReadBenign; ++I)
+    E.uninitRead(I, /*Buggy=*/false);
+
+  for (unsigned I = 0; I != Config.InteriorMutabilityBugs; ++I)
+    E.interiorMutability(I, /*Buggy=*/true);
+  for (unsigned I = 0; I != Config.InteriorMutabilityBenign; ++I)
+    E.interiorMutability(I, /*Buggy=*/false);
+
+  for (unsigned I = 0; I != Config.CondvarWaitBugs; ++I)
+    E.condvarWait(I, /*Buggy=*/true);
+  for (unsigned I = 0; I != Config.CondvarWaitBenign; ++I)
+    E.condvarWait(I, /*Buggy=*/false);
+  for (unsigned I = 0; I != Config.ChannelRecvBugs; ++I)
+    E.channelRecv(I, /*Buggy=*/true);
+  for (unsigned I = 0; I != Config.ChannelRecvBenign; ++I)
+    E.channelRecv(I, /*Buggy=*/false);
+  for (unsigned I = 0; I != Config.RefCellConflictBugs; ++I)
+    E.refCellConflict(I, /*Buggy=*/true);
+  for (unsigned I = 0; I != Config.RefCellConflictBenign; ++I)
+    E.refCellConflict(I, /*Buggy=*/false);
+
+  return M;
+}

@@ -1,0 +1,48 @@
+//===----------------------------------------------------------------------===//
+//
+// Dangling-return detection: at every return site, if the return value may
+// point at one of the function's own locals, the caller receives a pointer
+// into a dead frame (Section 4.3's lifetime-to-static casting pattern).
+//
+//===----------------------------------------------------------------------===//
+
+#include "detectors/Detectors.h"
+
+using namespace rs;
+using namespace rs::analysis;
+using namespace rs::detectors;
+using namespace rs::mir;
+
+void DanglingReturnDetector::run(AnalysisContext &Ctx,
+                                 DiagnosticEngine &Diags) {
+  for (const auto &F : Ctx.module().functions()) {
+    const Cfg &G = Ctx.cfg(*F);
+    const MemoryAnalysis &MA = Ctx.memory(*F);
+    const ObjectTable &Objects = MA.objects();
+
+    for (BlockId B = 0; B != F->numBlocks(); ++B) {
+      if (!G.isReachable(B) ||
+          F->Blocks[B].Term.K != Terminator::Kind::Return)
+        continue;
+      size_t AtTerm = F->Blocks[B].Statements.size();
+      BitVec State = MA.dataflow().stateBefore(B, AtTerm);
+      std::vector<ObjId> Pointees;
+      MA.pointees(State, F->returnLocal(), Pointees);
+      for (ObjId O : Pointees) {
+        LocalId L = 0;
+        if (!Objects.isLocalObject(O, L))
+          continue; // Heap and parameter pointees outlive the call.
+        Diagnostic D;
+        D.Kind = BugKind::DanglingReturn;
+        D.Function = F->Name;
+        D.Block = B;
+        D.StmtIndex = AtTerm;
+        D.Loc = F->Blocks[B].Term.Loc;
+        D.Message = "the returned value may point at local _" +
+                    std::to_string(L) +
+                    ", whose storage dies when this function returns";
+        Diags.report(std::move(D));
+      }
+    }
+  }
+}

@@ -1,0 +1,46 @@
+#include "detectors/Detector.h"
+
+#include "detectors/Detectors.h"
+
+using namespace rs::analysis;
+using namespace rs::detectors;
+using namespace rs::mir;
+
+AnalysisContext::AnalysisContext(const Module &M)
+    : M(M), Summaries(computeSummaries(M)), CG(M) {}
+
+AnalysisContext::PerFunction &AnalysisContext::entry(const Function &F) {
+  PerFunction &E = Cache[&F];
+  if (!E.G)
+    E.G = std::make_unique<Cfg>(F, /*PruneConstantBranches=*/true);
+  return E;
+}
+
+const Cfg &AnalysisContext::cfg(const Function &F) { return *entry(F).G; }
+
+const MemoryAnalysis &AnalysisContext::memory(const Function &F) {
+  PerFunction &E = entry(F);
+  if (!E.MA)
+    E.MA = std::make_unique<MemoryAnalysis>(*E.G, M, &Summaries);
+  return *E.MA;
+}
+
+std::vector<std::unique_ptr<Detector>> rs::detectors::makeAllDetectors() {
+  std::vector<std::unique_ptr<Detector>> Out;
+  Out.push_back(std::make_unique<UseAfterFreeDetector>());
+  Out.push_back(std::make_unique<DoubleLockDetector>());
+  Out.push_back(std::make_unique<LockOrderDetector>());
+  Out.push_back(std::make_unique<InvalidFreeDetector>());
+  Out.push_back(std::make_unique<DoubleFreeDetector>());
+  Out.push_back(std::make_unique<UninitReadDetector>());
+  Out.push_back(std::make_unique<InteriorMutabilityDetector>());
+  Out.push_back(std::make_unique<MissingWakeupDetector>());
+  Out.push_back(std::make_unique<DanglingReturnDetector>());
+  return Out;
+}
+
+void rs::detectors::runAllDetectors(const Module &M, DiagnosticEngine &Diags) {
+  AnalysisContext Ctx(M);
+  for (const auto &D : makeAllDetectors())
+    D->run(Ctx, Diags);
+}

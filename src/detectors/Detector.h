@@ -1,0 +1,80 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of RustSight, a reproduction of "Understanding Memory and Thread
+// Safety Practices and Issues in Real-World Rust Programs" (PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The detector framework: a shared AnalysisContext that caches per-function
+/// analyses, the Detector interface, and the registry that runs every
+/// built-in detector over a module.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RUSTSIGHT_DETECTORS_DETECTOR_H
+#define RUSTSIGHT_DETECTORS_DETECTOR_H
+
+#include "analysis/CallGraph.h"
+#include "analysis/Memory.h"
+#include "analysis/Summaries.h"
+#include "detectors/Diagnostics.h"
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace rs::detectors {
+
+/// Caches the module-level and per-function analyses detectors share, so a
+/// battery of detectors pays for each analysis once.
+class AnalysisContext {
+public:
+  explicit AnalysisContext(const mir::Module &M);
+
+  const mir::Module &module() const { return M; }
+  const analysis::SummaryMap &summaries() const { return Summaries; }
+  const analysis::CallGraph &callGraph() const { return CG; }
+
+  /// The (cached) CFG of \p F.
+  const analysis::Cfg &cfg(const mir::Function &F);
+
+  /// The (cached) memory analysis of \p F, computed with summaries.
+  const analysis::MemoryAnalysis &memory(const mir::Function &F);
+
+private:
+  struct PerFunction {
+    std::unique_ptr<analysis::Cfg> G;
+    std::unique_ptr<analysis::MemoryAnalysis> MA;
+  };
+
+  const mir::Module &M;
+  analysis::SummaryMap Summaries;
+  analysis::CallGraph CG;
+  std::map<const mir::Function *, PerFunction> Cache;
+
+  PerFunction &entry(const mir::Function &F);
+};
+
+/// A static bug detector.
+class Detector {
+public:
+  virtual ~Detector() = default;
+
+  /// Stable identifier, e.g. "use-after-free".
+  virtual const char *name() const = 0;
+
+  /// Scans the whole module, reporting findings into \p Diags.
+  virtual void run(AnalysisContext &Ctx, DiagnosticEngine &Diags) = 0;
+};
+
+/// Instantiates every built-in detector, in deterministic order.
+std::vector<std::unique_ptr<Detector>> makeAllDetectors();
+
+/// Convenience: runs every built-in detector over \p M.
+void runAllDetectors(const mir::Module &M, DiagnosticEngine &Diags);
+
+} // namespace rs::detectors
+
+#endif // RUSTSIGHT_DETECTORS_DETECTOR_H

@@ -1,0 +1,115 @@
+#include "detectors/Diagnostics.h"
+
+#include "support/Json.h"
+
+#include <algorithm>
+#include <tuple>
+
+using namespace rs;
+using namespace rs::detectors;
+
+const char *rs::detectors::bugKindName(BugKind K) {
+  switch (K) {
+  case BugKind::UseAfterFree:
+    return "use-after-free";
+  case BugKind::DoubleLock:
+    return "double-lock";
+  case BugKind::ConflictingLockOrder:
+    return "conflicting-lock-order";
+  case BugKind::InvalidFree:
+    return "invalid-free";
+  case BugKind::DoubleFree:
+    return "double-free";
+  case BugKind::UninitRead:
+    return "uninitialized-read";
+  case BugKind::InteriorMutability:
+    return "interior-mutability";
+  case BugKind::WaitNoNotify:
+    return "wait-no-notify";
+  case BugKind::RecvNoSender:
+    return "recv-no-sender";
+  case BugKind::BorrowConflict:
+    return "borrow-conflict";
+  case BugKind::DanglingReturn:
+    return "dangling-return";
+  }
+  return "?";
+}
+
+std::string Diagnostic::toString() const {
+  std::string Out = Function + ":bb" + std::to_string(Block) + "[" +
+                    std::to_string(StmtIndex) + "]: " + bugKindName(Kind) +
+                    ": " + Message;
+  if (Loc.isValid())
+    Out += " (" + Loc.toString() + ")";
+  return Out;
+}
+
+void DiagnosticEngine::report(Diagnostic D) {
+  Diags.push_back(std::move(D));
+  Sorted = false;
+}
+
+void DiagnosticEngine::sortDiags() {
+  if (Sorted)
+    return;
+  std::sort(Diags.begin(), Diags.end(),
+            [](const Diagnostic &A, const Diagnostic &B) {
+              return std::tie(A.Function, A.Block, A.StmtIndex, A.Kind,
+                              A.Message) < std::tie(B.Function, B.Block,
+                                                    B.StmtIndex, B.Kind,
+                                                    B.Message);
+            });
+  // Detectors may flag the same point twice through different paths.
+  Diags.erase(std::unique(Diags.begin(), Diags.end(),
+                          [](const Diagnostic &A, const Diagnostic &B) {
+                            return A.Function == B.Function &&
+                                   A.Block == B.Block &&
+                                   A.StmtIndex == B.StmtIndex &&
+                                   A.Kind == B.Kind && A.Message == B.Message;
+                          }),
+              Diags.end());
+  Sorted = true;
+}
+
+const std::vector<Diagnostic> &DiagnosticEngine::diagnostics() {
+  sortDiags();
+  return Diags;
+}
+
+size_t DiagnosticEngine::countOfKind(BugKind K) const {
+  size_t N = 0;
+  for (const Diagnostic &D : Diags)
+    if (D.Kind == K)
+      ++N;
+  return N;
+}
+
+std::string DiagnosticEngine::renderText() {
+  sortDiags();
+  std::string Out;
+  for (const Diagnostic &D : Diags) {
+    Out += D.toString();
+    Out += '\n';
+  }
+  return Out;
+}
+
+std::string DiagnosticEngine::renderJson() {
+  sortDiags();
+  JsonWriter W;
+  W.beginArray();
+  for (const Diagnostic &D : Diags) {
+    W.beginObject();
+    W.field("kind", bugKindName(D.Kind));
+    W.field("function", D.Function);
+    W.field("block", static_cast<int64_t>(D.Block));
+    W.field("statement", static_cast<int64_t>(D.StmtIndex));
+    W.field("message", D.Message);
+    if (D.Loc.isValid())
+      W.field("location", D.Loc.toString());
+    W.endObject();
+  }
+  W.endArray();
+  return W.str();
+}

@@ -1,0 +1,111 @@
+//===----------------------------------------------------------------------===//
+//
+// Missing-wakeup detection for the paper's Condvar and channel blocking
+// bugs (Section 6.1, Table 3): a Condvar::wait whose thread group contains
+// no notifier, or a Receiver::recv whose group contains no sender, blocks
+// forever ("one thread is blocked at wait() of a Condvar, while no other
+// threads invoke notify_one() or notify_all()").
+//
+// Scope: threads spawned by the same parent form a group (they are the
+// candidate notifiers for each other); functions not reachable from any
+// spawn are checked module-globally.
+//
+//===----------------------------------------------------------------------===//
+
+#include "detectors/Detectors.h"
+
+#include "mir/Intrinsics.h"
+
+#include <set>
+
+using namespace rs;
+using namespace rs::detectors;
+using namespace rs::mir;
+
+namespace {
+
+struct GroupFacts {
+  bool AnyNotify = false;
+  bool AnySend = false;
+  /// (function, block) of each blocking call.
+  std::vector<std::pair<const Function *, BlockId>> Waits;
+  std::vector<std::pair<const Function *, BlockId>> Recvs;
+};
+
+void scanFunction(const Function &F, GroupFacts &Facts) {
+  for (BlockId B = 0; B != F.numBlocks(); ++B) {
+    const Terminator &T = F.Blocks[B].Term;
+    if (T.K != Terminator::Kind::Call)
+      continue;
+    switch (classifyIntrinsic(T.Callee)) {
+    case IntrinsicKind::CondvarNotify:
+      Facts.AnyNotify = true;
+      break;
+    case IntrinsicKind::ChannelSend:
+      Facts.AnySend = true;
+      break;
+    case IntrinsicKind::CondvarWait:
+      Facts.Waits.emplace_back(&F, B);
+      break;
+    case IntrinsicKind::ChannelRecv:
+      Facts.Recvs.emplace_back(&F, B);
+      break;
+    default:
+      break;
+    }
+  }
+}
+
+void reportFacts(const GroupFacts &Facts, DiagnosticEngine &Diags) {
+  auto Report = [&Diags](const std::pair<const Function *, BlockId> &Site,
+                         BugKind Kind, const char *Message) {
+    Diagnostic D;
+    D.Kind = Kind;
+    D.Function = Site.first->Name;
+    D.Block = Site.second;
+    D.StmtIndex = Site.first->Blocks[Site.second].Statements.size();
+    D.Loc = Site.first->Blocks[Site.second].Term.Loc;
+    D.Message = Message;
+    Diags.report(std::move(D));
+  };
+  if (!Facts.AnyNotify)
+    for (const auto &Site : Facts.Waits)
+      Report(Site, BugKind::WaitNoNotify,
+             "Condvar::wait blocks, but no thread in this group ever calls "
+             "notify_one/notify_all");
+  if (!Facts.AnySend)
+    for (const auto &Site : Facts.Recvs)
+      Report(Site, BugKind::RecvNoSender,
+             "Receiver::recv blocks, but no thread in this group ever sends "
+             "to a channel");
+}
+
+} // namespace
+
+void MissingWakeupDetector::run(AnalysisContext &Ctx,
+                                DiagnosticEngine &Diags) {
+  const mir::Module &M = Ctx.module();
+  const analysis::CallGraph &CG = Ctx.callGraph();
+
+  // Partition functions into spawn groups plus a module-global remainder.
+  std::set<std::string> Grouped;
+  for (const auto &[Spawner, Threads] : CG.spawnGroups()) {
+    GroupFacts Facts;
+    std::set<std::string> Members = CG.reachableFrom(Spawner);
+    for (const std::string &T : Threads)
+      Members.merge(CG.reachableFrom(T));
+    for (const std::string &Name : Members) {
+      if (const Function *F = M.findFunction(Name)) {
+        scanFunction(*F, Facts);
+        Grouped.insert(Name);
+      }
+    }
+    reportFacts(Facts, Diags);
+  }
+
+  GroupFacts Rest;
+  for (const auto &F : M.functions())
+    if (!Grouped.count(F->Name))
+      scanFunction(*F, Rest);
+  reportFacts(Rest, Diags);
+}

@@ -1,0 +1,55 @@
+#include "detectors/UnsafeScope.h"
+
+#include "mir/Intrinsics.h"
+
+using namespace rs::detectors;
+using namespace rs::mir;
+
+static bool typeMentionsRawPtr(const Type *Ty, unsigned Depth = 0) {
+  if (!Ty || Depth > 8)
+    return false;
+  switch (Ty->kind()) {
+  case Type::Kind::RawPtr:
+    return true;
+  case Type::Kind::Ref:
+  case Type::Kind::Array:
+  case Type::Kind::Slice:
+    return typeMentionsRawPtr(Ty->pointee(), Depth + 1);
+  case Type::Kind::Tuple:
+  case Type::Kind::Adt:
+    for (const Type *Arg : Ty->args())
+      if (typeMentionsRawPtr(Arg, Depth + 1))
+        return true;
+    return false;
+  case Type::Kind::Prim:
+    return false;
+  }
+  return false;
+}
+
+bool rs::detectors::functionTouchesUnsafeMemory(const Function &F) {
+  if (F.IsUnsafe)
+    return true;
+  for (const LocalDecl &L : F.Locals)
+    if (typeMentionsRawPtr(L.Ty))
+      return true;
+  for (const BasicBlock &BB : F.Blocks) {
+    for (const Statement &S : BB.Statements)
+      if (S.K == Statement::Kind::Assign &&
+          S.RV.K == Rvalue::Kind::AddressOf)
+        return true;
+    if (BB.Term.K != Terminator::Kind::Call)
+      continue;
+    switch (classifyIntrinsic(BB.Term.Callee)) {
+    case IntrinsicKind::Alloc:
+    case IntrinsicKind::Dealloc:
+    case IntrinsicKind::PtrRead:
+    case IntrinsicKind::PtrWrite:
+    case IntrinsicKind::PtrCopy:
+      return true;
+    default:
+      break;
+    }
+  }
+  return false;
+}

@@ -1,0 +1,36 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of RustSight, a reproduction of "Understanding Memory and Thread
+// Safety Practices and Issues in Real-World Rust Programs" (PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's Suggestion 5, as an analysis-scoping predicate: "Future
+/// memory bug detectors can ignore safe code that is unrelated to unsafe
+/// code to reduce false positives and to improve execution efficiency"
+/// (grounded in Insight 4: all post-2016 memory bugs involve unsafe code).
+///
+/// A function "touches unsafe memory" when it is itself unsafe, handles
+/// raw pointers, or calls the raw-memory intrinsics. Detectors accept a
+/// focus flag that restricts scanning to such functions; the safe-only
+/// use-after-scope pattern (a &T outliving its referent with no raw
+/// pointer anywhere) is the documented blind spot of the focused mode,
+/// matching the paper's framing of the trade-off.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RUSTSIGHT_DETECTORS_UNSAFESCOPE_H
+#define RUSTSIGHT_DETECTORS_UNSAFESCOPE_H
+
+#include "mir/Mir.h"
+
+namespace rs::detectors {
+
+/// True if \p F is unsafe, mentions raw-pointer types, or calls raw-memory
+/// intrinsics (alloc/dealloc/ptr::read/ptr::write/ptr::copy).
+bool functionTouchesUnsafeMemory(const mir::Function &F);
+
+} // namespace rs::detectors
+
+#endif // RUSTSIGHT_DETECTORS_UNSAFESCOPE_H

@@ -1,0 +1,82 @@
+//===----------------------------------------------------------------------===//
+//
+// The paper's use-after-free detector (Section 7.1), reimplemented over
+// RustLite MIR. On the paper's studied applications this design found four
+// previously unknown bugs with three false positives.
+//
+//===----------------------------------------------------------------------===//
+
+#include "detectors/Detectors.h"
+#include "detectors/PlaceUses.h"
+#include "detectors/UnsafeScope.h"
+
+using namespace rs;
+using namespace rs::analysis;
+using namespace rs::detectors;
+using namespace rs::mir;
+
+namespace {
+
+/// Checks every dereferencing access in \p Uses against the memory state in
+/// \p State.
+void checkUses(const MemoryAnalysis &MA, const BitVec &State,
+               const std::vector<PlaceUse> &Uses, const Function &F,
+               BlockId B, size_t StmtIndex, SourceLocation Loc,
+               DiagnosticEngine &Diags) {
+  const ObjectTable &Objects = MA.objects();
+  for (const PlaceUse &U : Uses) {
+    if (!U.P->hasDeref())
+      continue;
+    std::vector<ObjId> Roots;
+    MA.pointees(State, U.P->Base, Roots);
+    for (ObjId O : Roots) {
+      if (O == Objects.unknown())
+        continue;
+      const char *Why = nullptr;
+      if (MA.mayBeDropped(State, O))
+        Why = "may already be dropped";
+      else if (MA.mayBeStorageDead(State, O))
+        Why = "is out of scope (storage dead)";
+      if (!Why)
+        continue;
+      Diagnostic D;
+      D.Kind = BugKind::UseAfterFree;
+      D.Function = F.Name;
+      D.Block = B;
+      D.StmtIndex = StmtIndex;
+      D.Loc = Loc;
+      D.Message = std::string(U.IsWrite ? "write through" : "read through") +
+                  " pointer " + U.P->toString() + ", but its target " +
+                  Objects.name(O) + " " + Why;
+      Diags.report(std::move(D));
+    }
+  }
+}
+
+} // namespace
+
+void UseAfterFreeDetector::run(AnalysisContext &Ctx, DiagnosticEngine &Diags) {
+  for (const auto &F : Ctx.module().functions()) {
+    if (FocusOnUnsafe && !functionTouchesUnsafeMemory(*F))
+      continue; // Suggestion 5: safe code unrelated to unsafe is skipped.
+    const Cfg &G = Ctx.cfg(*F);
+    const MemoryAnalysis &MA = Ctx.memory(*F);
+    for (BlockId B = 0; B != F->numBlocks(); ++B) {
+      if (!G.isReachable(B))
+        continue;
+      auto C = MA.cursorAt(B);
+      std::vector<PlaceUse> Uses;
+      while (!C.atTerminator()) {
+        Uses.clear();
+        collectUses(C.statement(), Uses);
+        checkUses(MA, C.state(), Uses, *F, B, C.index(), C.statement().Loc,
+                  Diags);
+        C.advance();
+      }
+      Uses.clear();
+      const Terminator &T = F->Blocks[B].Term;
+      collectUses(T, Uses);
+      checkUses(MA, C.state(), Uses, *F, B, C.index(), T.Loc, Diags);
+    }
+  }
+}

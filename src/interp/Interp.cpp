@@ -1,0 +1,1215 @@
+#include "interp/Interp.h"
+
+#include "analysis/Objects.h" // typeNeedsDrop
+#include "mir/Intrinsics.h"
+
+#include <cassert>
+#include <deque>
+
+using namespace rs;
+using namespace rs::interp;
+using namespace rs::mir;
+
+//===----------------------------------------------------------------------===//
+// Value
+//===----------------------------------------------------------------------===//
+
+std::string PointerTarget::toString() const {
+  std::string Out = K == Space::Stack
+                        ? "frame" + std::to_string(FrameId) + ":_" +
+                              std::to_string(Local)
+                        : "heap#" + std::to_string(HeapId);
+  for (unsigned F : Path)
+    Out += "." + std::to_string(F);
+  return Out;
+}
+
+bool Value::needsDrop() const {
+  switch (K) {
+  case Kind::Guard:
+    return true;
+  case Kind::Ptr:
+    return Owning;
+  case Kind::Aggregate:
+    for (const Value &E : Elems)
+      if (E.needsDrop())
+        return true;
+    return false;
+  default:
+    return false;
+  }
+}
+
+std::string Value::toString() const {
+  switch (K) {
+  case Kind::Uninit:
+    return "<uninit>";
+  case Kind::Unit:
+    return "()";
+  case Kind::Int:
+    return std::to_string(Int);
+  case Kind::Bool:
+    return Bool ? "true" : "false";
+  case Kind::Str:
+    return "\"" + Str + "\"";
+  case Kind::Ptr:
+    return (Owning ? "box " : "&") + Ptr.toString();
+  case Kind::Guard:
+    return std::string("guard(") + (Exclusive ? "excl " : "shared ") +
+           LockKey.toString() + ")";
+  case Kind::Opaque:
+    return "<opaque>";
+  case Kind::Aggregate: {
+    std::string Out = "{";
+    for (size_t I = 0; I != Elems.size(); ++I) {
+      if (I != 0)
+        Out += ", ";
+      Out += Elems[I].toString();
+    }
+    return Out + "}";
+  }
+  }
+  return "?";
+}
+
+//===----------------------------------------------------------------------===//
+// Traps
+//===----------------------------------------------------------------------===//
+
+const char *rs::interp::trapKindName(TrapKind K) {
+  switch (K) {
+  case TrapKind::UseAfterFree:
+    return "use-after-free";
+  case TrapKind::UseAfterScope:
+    return "use-after-scope";
+  case TrapKind::DoubleFree:
+    return "double-free";
+  case TrapKind::InvalidFree:
+    return "invalid-free";
+  case TrapKind::UninitRead:
+    return "uninitialized-read";
+  case TrapKind::Deadlock:
+    return "deadlock";
+  case TrapKind::BorrowPanic:
+    return "borrow-panic";
+  case TrapKind::IndexOutOfBounds:
+    return "index-out-of-bounds";
+  case TrapKind::InvalidPointer:
+    return "invalid-pointer";
+  case TrapKind::AssertFailed:
+    return "assert-failed";
+  case TrapKind::StepLimit:
+    return "step-limit";
+  case TrapKind::StackOverflow:
+    return "stack-overflow";
+  case TrapKind::UnknownFunction:
+    return "unknown-function";
+  case TrapKind::TypeMismatch:
+    return "type-mismatch";
+  }
+  return "?";
+}
+
+std::string Trap::toString() const {
+  return Function + ":bb" + std::to_string(Block) + "[" +
+         std::to_string(StmtIndex) + "]: " + trapKindName(Kind) + ": " +
+         Message;
+}
+
+//===----------------------------------------------------------------------===//
+// Interpreter implementation
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Why a storage cell currently holds no value.
+enum class VoidReason { NeverInit, Moved, Dropped };
+
+struct Cell {
+  Value V;
+  bool StorageLive = true;
+  VoidReason Reason = VoidReason::NeverInit;
+};
+
+struct HeapObject {
+  Value V;
+  bool Freed = false;
+  bool Initialized = true;
+  int RefCount = 1; ///< Only meaningful for Arc allocations.
+};
+
+struct LockState {
+  unsigned Shared = 0;
+  bool Exclusive = false;
+};
+
+struct Frame {
+  unsigned Id;
+  const Function *Fn;
+  std::vector<Cell> Locals;
+};
+
+} // namespace
+
+class Interpreter::Impl {
+public:
+  Impl(const Module &M, Options Opts) : M(M), Opts(Opts) {}
+
+  const Module &M;
+  Options Opts;
+
+  // Execution state (reset per run()).
+  std::map<unsigned, Frame> Frames; ///< Alive frames by id.
+  unsigned NextFrameId = 1;
+  std::map<unsigned, HeapObject> Heap;
+  unsigned NextHeapId = 1;
+  std::map<PointerTarget, LockState> Locks;
+  enum class OnceState { Fresh, Running, Done };
+  std::map<PointerTarget, OnceState> Onces;
+  std::deque<std::string> SpawnQueue;
+  uint64_t Steps = 0;
+  unsigned CallDepth = 0;
+
+  bool Trapped = false;
+  Trap Error;
+
+  // Current location, for trap anchoring.
+  const Function *CurFn = nullptr;
+  BlockId CurBlock = 0;
+  size_t CurStmt = 0;
+
+  void reset() {
+    Frames.clear();
+    NextFrameId = 1;
+    Heap.clear();
+    NextHeapId = 1;
+    Locks.clear();
+    Onces.clear();
+    SpawnQueue.clear();
+    Steps = 0;
+    CallDepth = 0;
+    Trapped = false;
+  }
+
+  bool trap(TrapKind K, std::string Message) {
+    if (Trapped)
+      return false;
+    Trapped = true;
+    Error.Kind = K;
+    Error.Message = std::move(Message);
+    Error.Function = CurFn ? CurFn->Name : "<none>";
+    Error.Block = CurBlock;
+    Error.StmtIndex = CurStmt;
+    return false;
+  }
+
+  bool step() {
+    if (++Steps > Opts.StepLimit)
+      return trap(TrapKind::StepLimit, "execution step limit exceeded");
+    return true;
+  }
+
+  // --- Memory access ------------------------------------------------------
+
+  /// Returns the value slot a target designates, applying validity checks.
+  /// \p ForRead additionally rejects freed/dead targets with UAF traps.
+  Value *resolveTarget(const PointerTarget &T) {
+    Value *Root = nullptr;
+    if (T.K == PointerTarget::Space::Stack) {
+      auto It = Frames.find(T.FrameId);
+      if (It == Frames.end()) {
+        trap(TrapKind::UseAfterScope,
+             "pointer target " + T.toString() +
+                 " is a local of a function that already returned");
+        return nullptr;
+      }
+      if (T.Local >= It->second.Locals.size()) {
+        trap(TrapKind::InvalidPointer, "pointer past frame locals");
+        return nullptr;
+      }
+      Cell &C = It->second.Locals[T.Local];
+      if (!C.StorageLive) {
+        trap(TrapKind::UseAfterScope, "pointer target " + T.toString() +
+                                          " is out of scope (storage dead)");
+        return nullptr;
+      }
+      if (C.Reason == VoidReason::Dropped && C.V.isUninit()) {
+        trap(TrapKind::UseAfterFree,
+             "pointer target " + T.toString() + " was dropped");
+        return nullptr;
+      }
+      Root = &C.V;
+    } else {
+      auto It = Heap.find(T.HeapId);
+      if (It == Heap.end()) {
+        trap(TrapKind::InvalidPointer, "dangling heap pointer");
+        return nullptr;
+      }
+      if (It->second.Freed) {
+        trap(TrapKind::UseAfterFree,
+             "heap object " + T.toString() + " was already freed");
+        return nullptr;
+      }
+      Root = &It->second.V;
+    }
+    // Navigate the field path.
+    for (unsigned F : T.Path) {
+      if (Root->K != Value::Kind::Aggregate) {
+        trap(TrapKind::TypeMismatch,
+             "field access into non-aggregate value at " + T.toString());
+        return nullptr;
+      }
+      if (F >= Root->Elems.size()) {
+        // Rust's runtime bounds check: panic, do not read past the end.
+        trap(TrapKind::IndexOutOfBounds,
+             "index out of bounds: the len is " +
+                 std::to_string(Root->Elems.size()) + " but the index is " +
+                 std::to_string(F));
+        return nullptr;
+      }
+      Root = &Root->Elems[F];
+    }
+    return Root;
+  }
+
+  // --- Dropping -----------------------------------------------------------
+
+  void unlock(const PointerTarget &Key, bool Exclusive) {
+    LockState &L = Locks[Key];
+    if (Exclusive)
+      L.Exclusive = false;
+    else if (L.Shared > 0)
+      --L.Shared;
+  }
+
+  /// Runs the drop glue of \p V (frees, unlocks, recurses).
+  void dropValue(Value &V) {
+    switch (V.K) {
+    case Value::Kind::Guard:
+      unlock(V.LockKey, V.Exclusive);
+      break;
+    case Value::Kind::Ptr: {
+      if (!V.Owning)
+        break;
+      auto It = Heap.find(V.Ptr.HeapId);
+      if (It == Heap.end() || V.Ptr.K != PointerTarget::Space::Heap)
+        break;
+      if (It->second.Freed) {
+        trap(TrapKind::DoubleFree, "heap object " + V.Ptr.toString() +
+                                       " freed a second time (two owners)");
+        return;
+      }
+      if (V.RefCounted && --It->second.RefCount > 0)
+        break;
+      It->second.Freed = true;
+      dropValue(It->second.V);
+      break;
+    }
+    case Value::Kind::Aggregate:
+      for (Value &E : V.Elems)
+        dropValue(E);
+      break;
+    default:
+      break;
+    }
+    V = Value::makeUninit();
+  }
+
+  // --- Operand / rvalue evaluation ----------------------------------------
+
+  /// Resolves a place to its target without reading the final value
+  /// (derefs along the way do read pointers).
+  bool resolvePlace(Frame &F, const Place &P, PointerTarget &Out) {
+    PointerTarget T;
+    T.K = PointerTarget::Space::Stack;
+    T.FrameId = F.Id;
+    T.Local = P.Base;
+    for (const ProjectionElem &E : P.Projs) {
+      switch (E.K) {
+      case ProjectionElem::Kind::Field:
+        T.Path.push_back(E.FieldIdx);
+        break;
+      case ProjectionElem::Kind::Index: {
+        Value *Idx = resolveTarget(PointerTarget{
+            PointerTarget::Space::Stack, F.Id, E.IndexLocal, 0, {}});
+        if (!Idx)
+          return false;
+        if (Idx->K != Value::Kind::Int)
+          return trap(TrapKind::TypeMismatch, "index local is not an int");
+        T.Path.push_back(static_cast<unsigned>(Idx->Int));
+        break;
+      }
+      case ProjectionElem::Kind::Deref: {
+        Value *Ptr = resolveTarget(T);
+        if (!Ptr)
+          return false;
+        if (Ptr->K == Value::Kind::Ptr) {
+          T = Ptr->Ptr;
+        } else if (Ptr->K == Value::Kind::Guard) {
+          // Dereferencing a guard reaches the lock's protected data.
+          T = Ptr->LockKey;
+        } else if (Ptr->isUninit()) {
+          return trap(TrapKind::UninitRead,
+                      "dereference of an uninitialized pointer");
+        } else {
+          return trap(TrapKind::TypeMismatch,
+                      "dereference of a non-pointer value");
+        }
+        break;
+      }
+      }
+    }
+    Out = std::move(T);
+    return true;
+  }
+
+  /// Reads the value a place designates (for copy operands).
+  bool readPlace(Frame &F, const Place &P, Value &Out) {
+    PointerTarget T;
+    if (!resolvePlace(F, P, T))
+      return false;
+    Value *Slot = resolveTarget(T);
+    if (!Slot)
+      return false;
+    if (Slot->isUninit()) {
+      // Distinguish dropped (UAF) from merely uninitialized.
+      if (T.K == PointerTarget::Space::Stack) {
+        auto It = Frames.find(T.FrameId);
+        if (It != Frames.end() &&
+            It->second.Locals[T.Local].Reason == VoidReason::Dropped)
+          return trap(TrapKind::UseAfterFree,
+                      "read of dropped value at " + T.toString());
+      }
+      return trap(TrapKind::UninitRead,
+                  "read of uninitialized value at " + T.toString());
+    }
+    Out = *Slot;
+    return true;
+  }
+
+  /// Takes the value out of a place (for move operands).
+  bool takePlace(Frame &F, const Place &P, Value &Out) {
+    PointerTarget T;
+    if (!resolvePlace(F, P, T))
+      return false;
+    Value *Slot = resolveTarget(T);
+    if (!Slot)
+      return false;
+    if (Slot->isUninit())
+      return trap(TrapKind::UninitRead,
+                  "move out of uninitialized value at " + T.toString());
+    Out = std::move(*Slot);
+    *Slot = Value::makeUninit();
+    if (T.K == PointerTarget::Space::Stack && T.Path.empty()) {
+      auto It = Frames.find(T.FrameId);
+      if (It != Frames.end())
+        It->second.Locals[T.Local].Reason = VoidReason::Moved;
+    }
+    return true;
+  }
+
+  bool evalOperand(Frame &F, const Operand &O, Value &Out) {
+    switch (O.K) {
+    case Operand::Kind::Copy:
+      return readPlace(F, O.P, Out);
+    case Operand::Kind::Move:
+      return takePlace(F, O.P, Out);
+    case Operand::Kind::Const:
+      switch (O.C.K) {
+      case ConstValue::Kind::Int:
+        Out = Value::makeInt(O.C.Int);
+        return true;
+      case ConstValue::Kind::Bool:
+        Out = Value::makeBool(O.C.Bool);
+        return true;
+      case ConstValue::Kind::Str:
+        Out = Value::makeStr(O.C.Str);
+        return true;
+      case ConstValue::Kind::Unit:
+        Out = Value::makeUnit();
+        return true;
+      }
+      return true;
+    }
+    return true;
+  }
+
+  bool evalBinary(BinOp Op, const Value &A, const Value &B, Value &Out) {
+    if (Op == BinOp::Offset) {
+      // Pointer arithmetic: stay within the allocation (field-insensitive).
+      Out = A;
+      return true;
+    }
+    auto AsInt = [](const Value &V) {
+      return V.K == Value::Kind::Bool ? (V.Bool ? 1 : 0) : V.Int;
+    };
+    if ((A.K != Value::Kind::Int && A.K != Value::Kind::Bool) ||
+        (B.K != Value::Kind::Int && B.K != Value::Kind::Bool))
+      return trap(TrapKind::TypeMismatch, "arithmetic on non-scalar values");
+    int64_t X = AsInt(A), Y = AsInt(B);
+    switch (Op) {
+    case BinOp::Add:
+      Out = Value::makeInt(X + Y);
+      return true;
+    case BinOp::Sub:
+      Out = Value::makeInt(X - Y);
+      return true;
+    case BinOp::Mul:
+      Out = Value::makeInt(X * Y);
+      return true;
+    case BinOp::Div:
+      if (Y == 0)
+        return trap(TrapKind::AssertFailed, "division by zero");
+      Out = Value::makeInt(X / Y);
+      return true;
+    case BinOp::Rem:
+      if (Y == 0)
+        return trap(TrapKind::AssertFailed, "remainder by zero");
+      Out = Value::makeInt(X % Y);
+      return true;
+    case BinOp::BitAnd:
+      Out = Value::makeInt(X & Y);
+      return true;
+    case BinOp::BitOr:
+      Out = Value::makeInt(X | Y);
+      return true;
+    case BinOp::BitXor:
+      Out = Value::makeInt(X ^ Y);
+      return true;
+    case BinOp::Shl:
+      Out = Value::makeInt(X << (Y & 63));
+      return true;
+    case BinOp::Shr:
+      Out = Value::makeInt(X >> (Y & 63));
+      return true;
+    case BinOp::Eq:
+      Out = Value::makeBool(X == Y);
+      return true;
+    case BinOp::Ne:
+      Out = Value::makeBool(X != Y);
+      return true;
+    case BinOp::Lt:
+      Out = Value::makeBool(X < Y);
+      return true;
+    case BinOp::Le:
+      Out = Value::makeBool(X <= Y);
+      return true;
+    case BinOp::Gt:
+      Out = Value::makeBool(X > Y);
+      return true;
+    case BinOp::Ge:
+      Out = Value::makeBool(X >= Y);
+      return true;
+    case BinOp::Offset:
+      break;
+    }
+    return trap(TrapKind::TypeMismatch, "unsupported binary operation");
+  }
+
+  bool evalRvalue(Frame &F, const Rvalue &RV, Value &Out) {
+    switch (RV.K) {
+    case Rvalue::Kind::Use:
+      return evalOperand(F, RV.Ops[0], Out);
+    case Rvalue::Kind::Cast:
+      return evalOperand(F, RV.Ops[0], Out); // Casts are value-preserving.
+    case Rvalue::Kind::Ref:
+    case Rvalue::Kind::AddressOf: {
+      PointerTarget T;
+      if (!resolvePlace(F, RV.P, T))
+        return false;
+      // Creating the reference also validates the target exists.
+      if (!resolveTarget(T))
+        return false;
+      Out = Value::makePtr(std::move(T));
+      return true;
+    }
+    case Rvalue::Kind::BinaryOp: {
+      Value A, B;
+      if (!evalOperand(F, RV.Ops[0], A) || !evalOperand(F, RV.Ops[1], B))
+        return false;
+      return evalBinary(RV.BOp, A, B, Out);
+    }
+    case Rvalue::Kind::UnaryOp: {
+      Value A;
+      if (!evalOperand(F, RV.Ops[0], A))
+        return false;
+      if (RV.UOp == UnOp::Not) {
+        if (A.K == Value::Kind::Bool)
+          Out = Value::makeBool(!A.Bool);
+        else
+          Out = Value::makeInt(~A.Int);
+      } else {
+        Out = Value::makeInt(-A.Int);
+      }
+      return true;
+    }
+    case Rvalue::Kind::Aggregate: {
+      std::vector<Value> Elems;
+      for (const Operand &O : RV.Ops) {
+        Value V;
+        if (!evalOperand(F, O, V))
+          return false;
+        Elems.push_back(std::move(V));
+      }
+      Out = Value::makeAggregate(std::move(Elems));
+      return true;
+    }
+    case Rvalue::Kind::Discriminant: {
+      Value V;
+      if (!readPlace(F, RV.P, V))
+        return false;
+      Out = Value::makeInt(V.K == Value::Kind::Bool ? (V.Bool ? 1 : 0)
+                                                    : V.Int);
+      return true;
+    }
+    case Rvalue::Kind::Len: {
+      Value V;
+      if (!readPlace(F, RV.P, V))
+        return false;
+      Out = Value::makeInt(V.K == Value::Kind::Aggregate
+                               ? static_cast<int64_t>(V.Elems.size())
+                               : 0);
+      return true;
+    }
+    }
+    return trap(TrapKind::TypeMismatch, "unsupported rvalue");
+  }
+
+  // --- Statement / terminator execution ------------------------------------
+
+  bool writePlace(Frame &F, const Place &Dest, Value V) {
+    PointerTarget T;
+    if (!resolvePlace(F, Dest, T))
+      return false;
+    Value *Slot = resolveTarget(T);
+    if (!Slot)
+      return false;
+    // Assignment through a pointer drops the previous value first (Rust
+    // semantics). A bare local destination is guaranteed uninitialized by
+    // rustc, so no drop runs there.
+    if (Dest.hasDeref()) {
+      if (Slot->isUninit()) {
+        if (V.needsDrop())
+          return trap(TrapKind::InvalidFree,
+                      "assignment through pointer drops the previous value, "
+                      "but the memory at " + T.toString() +
+                          " is uninitialized garbage (use ptr::write)");
+      } else {
+        dropValue(*Slot);
+        if (Trapped)
+          return false;
+      }
+    }
+    *Slot = std::move(V);
+    if (T.K == PointerTarget::Space::Stack && T.Path.empty()) {
+      auto It = Frames.find(T.FrameId);
+      if (It != Frames.end())
+        It->second.Locals[T.Local].Reason = VoidReason::NeverInit;
+    }
+    return true;
+  }
+
+  bool execStatement(Frame &F, const Statement &S) {
+    if (!step())
+      return false;
+    switch (S.K) {
+    case Statement::Kind::Nop:
+      return true;
+    case Statement::Kind::StorageLive: {
+      Cell &C = F.Locals[S.Local];
+      C.StorageLive = true;
+      C.V = Value::makeUninit();
+      C.Reason = VoidReason::NeverInit;
+      return true;
+    }
+    case Statement::Kind::StorageDead: {
+      Cell &C = F.Locals[S.Local];
+      // A value still alive at scope end runs its drop glue here.
+      if (!C.V.isUninit()) {
+        dropValue(C.V);
+        C.Reason = VoidReason::Dropped;
+        if (Trapped)
+          return false;
+      }
+      C.StorageLive = false;
+      return true;
+    }
+    case Statement::Kind::Assign: {
+      Value V;
+      if (!evalRvalue(F, S.RV, V))
+        return false;
+      return writePlace(F, S.Dest, std::move(V));
+    }
+    }
+    return true;
+  }
+
+  // Intrinsic and call handling (defined below).
+  bool execCall(Frame &F, const Terminator &T, BlockId &Next);
+  bool callFunction(const Function &Fn, std::vector<Value> Args, Value &Ret);
+
+  bool execTerminator(Frame &F, const Terminator &T, BlockId &Next,
+                      bool &Returned) {
+    if (!step())
+      return false;
+    Returned = false;
+    switch (T.K) {
+    case Terminator::Kind::Goto:
+      Next = T.Target;
+      return true;
+    case Terminator::Kind::SwitchInt: {
+      Value D;
+      if (!evalOperand(F, T.Discr, D))
+        return false;
+      int64_t X = D.K == Value::Kind::Bool ? (D.Bool ? 1 : 0) : D.Int;
+      Next = T.Target;
+      for (const auto &[Case, Block] : T.Cases) {
+        if (Case == X) {
+          Next = Block;
+          break;
+        }
+      }
+      return true;
+    }
+    case Terminator::Kind::Return:
+      Returned = true;
+      return true;
+    case Terminator::Kind::Resume:
+    case Terminator::Kind::Unreachable:
+      Returned = true; // Treated as abnormal-but-quiet exits.
+      return true;
+    case Terminator::Kind::Assert: {
+      Value C;
+      if (!evalOperand(F, T.Discr, C))
+        return false;
+      if (C.K != Value::Kind::Bool || !C.Bool)
+        return trap(TrapKind::AssertFailed, "assertion failed");
+      Next = T.Target;
+      return true;
+    }
+    case Terminator::Kind::Drop: {
+      PointerTarget Target;
+      if (!resolvePlace(F, T.DropPlace, Target))
+        return false;
+      Value *Slot = resolveTarget(Target);
+      if (!Slot)
+        return false;
+      if (Slot->isUninit()) {
+        // Dropping a value that was never written runs the destructor on
+        // garbage when the type has drop glue (Figure 6's invalid free).
+        bool TypeHasDrop =
+            T.DropPlace.isLocal() &&
+            analysis::typeNeedsDrop(F.Fn->localType(T.DropPlace.Base), M);
+        if (TypeHasDrop &&
+            F.Locals[T.DropPlace.Base].Reason == VoidReason::NeverInit)
+          return trap(TrapKind::InvalidFree,
+                      "drop of uninitialized value in " +
+                          T.DropPlace.toString());
+      } else {
+        dropValue(*Slot);
+        if (Trapped)
+          return false;
+      }
+      if (T.DropPlace.isLocal())
+        F.Locals[T.DropPlace.Base].Reason = VoidReason::Dropped;
+      Next = T.Target;
+      return true;
+    }
+    case Terminator::Kind::Call:
+      if (!execCall(F, T, Next))
+        return false;
+      return true;
+    }
+    return true;
+  }
+
+  bool runFunctionBody(Frame &F, Value &Ret) {
+    const Function &Fn = *F.Fn;
+    const Function *SavedFn = CurFn;
+    CurFn = &Fn;
+    BlockId Block = 0;
+    while (true) {
+      if (Block >= Fn.numBlocks())
+        return trap(TrapKind::InvalidPointer, "branch to missing block");
+      CurBlock = Block;
+      const BasicBlock &BB = Fn.Blocks[Block];
+      for (size_t I = 0; I != BB.Statements.size(); ++I) {
+        CurStmt = I;
+        if (!execStatement(F, BB.Statements[I]))
+          return false;
+      }
+      CurStmt = BB.Statements.size();
+      BlockId Next = Block;
+      bool Returned = false;
+      if (!execTerminator(F, BB.Term, Next, Returned))
+        return false;
+      if (Returned) {
+        Ret = std::move(F.Locals[0].V);
+        CurFn = SavedFn;
+        return true;
+      }
+      Block = Next;
+    }
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// Calls and intrinsics
+//===----------------------------------------------------------------------===//
+
+bool Interpreter::Impl::callFunction(const Function &Fn,
+                                     std::vector<Value> Args, Value &Ret) {
+  if (CallDepth >= Opts.MaxCallDepth)
+    return trap(TrapKind::StackOverflow, "call depth limit exceeded");
+  if (Args.size() != Fn.NumArgs)
+    return trap(TrapKind::TypeMismatch,
+                "call to '" + Fn.Name + "' with wrong argument count");
+  ++CallDepth;
+  unsigned Id = NextFrameId++;
+  Frame &F = Frames.emplace(Id, Frame{Id, &Fn, {}}).first->second;
+  F.Locals.resize(Fn.numLocals());
+  for (size_t I = 0; I != Args.size(); ++I)
+    F.Locals[I + 1].V = std::move(Args[I]);
+
+  BlockId SavedBlock = CurBlock;
+  size_t SavedStmt = CurStmt;
+  bool Ok = runFunctionBody(F, Ret);
+  Frames.erase(Id); // Locals die; pointers into them dangle.
+  --CallDepth;
+  if (Ok) {
+    CurBlock = SavedBlock;
+    CurStmt = SavedStmt;
+  }
+  return Ok;
+}
+
+bool Interpreter::Impl::execCall(Frame &F, const Terminator &T,
+                                 BlockId &Next) {
+  IntrinsicKind Kind = classifyIntrinsic(T.Callee);
+  Next = T.Target;
+
+  // Helper: evaluate all arguments.
+  auto EvalArgs = [&](std::vector<Value> &Out) {
+    for (const Operand &O : T.Args) {
+      Value V;
+      if (!evalOperand(F, O, V))
+        return false;
+      Out.push_back(std::move(V));
+    }
+    return true;
+  };
+  auto StoreDest = [&](Value V) {
+    if (!T.HasDest)
+      return true;
+    return writePlace(F, T.Dest, std::move(V));
+  };
+  auto FreshHeap = [&](Value V, bool Initialized = true) {
+    unsigned Id = NextHeapId++;
+    HeapObject &H = Heap[Id];
+    H.V = std::move(V);
+    H.Initialized = Initialized;
+    PointerTarget P;
+    P.K = PointerTarget::Space::Heap;
+    P.HeapId = Id;
+    return P;
+  };
+  /// The lock a Mutex/RwLock argument denotes.
+  auto LockKeyOf = [&](const Value &Arg, PointerTarget &Key) {
+    if (Arg.K == Value::Kind::Ptr) {
+      Key = Arg.Ptr;
+      return true;
+    }
+    // A lock owned by value: its identity is the argument place itself.
+    if (!T.Args.empty() && T.Args[0].isPlace()) {
+      PointerTarget P;
+      if (!resolvePlace(F, T.Args[0].P, P))
+        return false;
+      Key = P;
+      return true;
+    }
+    return trap(TrapKind::TypeMismatch, "cannot identify lock argument");
+  };
+
+  switch (Kind) {
+  case IntrinsicKind::MutexLock:
+  case IntrinsicKind::RwLockRead:
+  case IntrinsicKind::RwLockWrite:
+  case IntrinsicKind::RefCellBorrow:
+  case IntrinsicKind::RefCellBorrowMut: {
+    Value Arg;
+    if (T.Args.empty() || !evalOperand(F, T.Args[0], Arg))
+      return false;
+    PointerTarget Key;
+    if (!LockKeyOf(Arg, Key))
+      return false;
+    bool IsBorrow = isBorrowAcquire(Kind);
+    bool Exclusive =
+        isExclusiveAcquire(Kind) || Kind == IntrinsicKind::RefCellBorrowMut;
+    LockState &L = Locks[Key];
+    if (L.Exclusive || (Exclusive && L.Shared > 0)) {
+      // Same discipline, different failure mode: locks deadlock, RefCell
+      // borrows panic (the runtime check of Insight 9).
+      if (IsBorrow)
+        return trap(TrapKind::BorrowPanic,
+                    "RefCell at " + Key.toString() +
+                        " already borrowed (BorrowMutError panic)");
+      return trap(TrapKind::Deadlock,
+                  "acquiring lock " + Key.toString() +
+                      " already held by this thread (the guard from the "
+                      "first acquisition is still alive)");
+    }
+    if (Exclusive)
+      L.Exclusive = true;
+    else
+      ++L.Shared;
+    return StoreDest(Value::makeGuard(std::move(Key), Exclusive));
+  }
+  case IntrinsicKind::MemDrop: {
+    for (const Operand &O : T.Args) {
+      Value V;
+      if (!evalOperand(F, O, V))
+        return false;
+      dropValue(V);
+      if (Trapped)
+        return false;
+      // The dropped value's home cell is now use-after-free territory.
+      if (O.isMove() && O.P.isLocal())
+        F.Locals[O.P.Base].Reason = VoidReason::Dropped;
+    }
+    return StoreDest(Value::makeUnit());
+  }
+  case IntrinsicKind::MemForget: {
+    std::vector<Value> Args;
+    if (!EvalArgs(Args))
+      return false;
+    // Consume without running drop glue.
+    return StoreDest(Value::makeUnit());
+  }
+  case IntrinsicKind::BoxNew: {
+    std::vector<Value> Args;
+    if (!EvalArgs(Args))
+      return false;
+    Value Inner = Args.empty() ? Value::makeUnit() : std::move(Args[0]);
+    return StoreDest(Value::makePtr(FreshHeap(std::move(Inner)),
+                                    /*Owning=*/true));
+  }
+  case IntrinsicKind::Alloc: {
+    std::vector<Value> Args;
+    if (!EvalArgs(Args))
+      return false;
+    // Raw allocation: non-owning pointer to uninitialized memory.
+    return StoreDest(Value::makePtr(
+        FreshHeap(Value::makeUninit(), /*Initialized=*/false)));
+  }
+  case IntrinsicKind::Dealloc: {
+    Value Arg;
+    if (T.Args.empty() || !evalOperand(F, T.Args[0], Arg))
+      return false;
+    if (Arg.K != Value::Kind::Ptr ||
+        Arg.Ptr.K != PointerTarget::Space::Heap)
+      return trap(TrapKind::InvalidPointer, "dealloc of a non-heap pointer");
+    auto It = Heap.find(Arg.Ptr.HeapId);
+    if (It == Heap.end())
+      return trap(TrapKind::InvalidPointer, "dealloc of unknown pointer");
+    if (It->second.Freed)
+      return trap(TrapKind::DoubleFree,
+                  "dealloc of already-freed " + Arg.Ptr.toString());
+    It->second.Freed = true;
+    return StoreDest(Value::makeUnit());
+  }
+  case IntrinsicKind::PtrRead: {
+    Value Arg;
+    if (T.Args.empty() || !evalOperand(F, T.Args[0], Arg))
+      return false;
+    PointerTarget Tgt =
+        Arg.K == Value::Kind::Ptr ? Arg.Ptr : PointerTarget();
+    if (Arg.K != Value::Kind::Ptr)
+      return trap(TrapKind::TypeMismatch, "ptr::read of a non-pointer");
+    Value *Slot = resolveTarget(Tgt);
+    if (!Slot)
+      return false;
+    if (Slot->isUninit())
+      return trap(TrapKind::UninitRead,
+                  "ptr::read of uninitialized memory");
+    // Bitwise duplication: ownership is duplicated, not moved.
+    return StoreDest(*Slot);
+  }
+  case IntrinsicKind::PtrWrite: {
+    Value Ptr, V;
+    if (T.Args.size() < 2 || !evalOperand(F, T.Args[0], Ptr) ||
+        !evalOperand(F, T.Args[1], V))
+      return false;
+    if (Ptr.K != Value::Kind::Ptr)
+      return trap(TrapKind::TypeMismatch, "ptr::write to a non-pointer");
+    Value *Slot = resolveTarget(Ptr.Ptr);
+    if (!Slot)
+      return false;
+    *Slot = std::move(V); // No drop of the old value: that is the point.
+    return StoreDest(Value::makeUnit());
+  }
+  case IntrinsicKind::ArcNew: {
+    std::vector<Value> Args;
+    if (!EvalArgs(Args))
+      return false;
+    Value Inner = Args.empty() ? Value::makeUnit() : std::move(Args[0]);
+    PointerTarget P = FreshHeap(std::move(Inner));
+    Heap[P.HeapId].RefCount = 1;
+    return StoreDest(Value::makePtr(std::move(P), /*Owning=*/true,
+                                    /*RefCounted=*/true));
+  }
+  case IntrinsicKind::ArcClone: {
+    Value Arg;
+    if (T.Args.empty() || !evalOperand(F, T.Args[0], Arg))
+      return false;
+    Value Clone = Arg;
+    if (Clone.K == Value::Kind::Ptr &&
+        Clone.Ptr.K == PointerTarget::Space::Heap) {
+      auto It = Heap.find(Clone.Ptr.HeapId);
+      if (It != Heap.end())
+        ++It->second.RefCount;
+      Clone.Owning = true;
+      Clone.RefCounted = true;
+    }
+    return StoreDest(std::move(Clone));
+  }
+  case IntrinsicKind::ThreadSpawn: {
+    if (!T.Args.empty() && !T.Args[0].isPlace() &&
+        T.Args[0].C.K == ConstValue::Kind::Str)
+      SpawnQueue.push_back(T.Args[0].C.Str);
+    return StoreDest(Value::makeOpaque());
+  }
+  case IntrinsicKind::AtomicOp: {
+    std::vector<Value> Args;
+    if (!EvalArgs(Args))
+      return false;
+    if (Args.empty() || Args[0].K != Value::Kind::Ptr)
+      return trap(TrapKind::TypeMismatch, "atomic op needs a reference");
+    Value *Slot = resolveTarget(Args[0].Ptr);
+    if (!Slot)
+      return false;
+    // compare_and_swap(current, new) -> old; load() -> value;
+    // store(v) -> unit; fetch_add(v) -> old.
+    std::string_view Name = T.Callee;
+    size_t Sep = Name.rfind("::");
+    std::string_view Op = Sep == std::string_view::npos
+                              ? Name
+                              : Name.substr(Sep + 2);
+    if (Slot->isUninit())
+      *Slot = Value::makeBool(false);
+    Value Old = *Slot;
+    if (Op == "compare_and_swap" && Args.size() >= 3) {
+      bool Equal = (Old.K == Value::Kind::Bool &&
+                    Args[1].K == Value::Kind::Bool &&
+                    Old.Bool == Args[1].Bool) ||
+                   (Old.K == Value::Kind::Int &&
+                    Args[1].K == Value::Kind::Int && Old.Int == Args[1].Int);
+      if (Equal)
+        *Slot = Args[2];
+      return StoreDest(std::move(Old));
+    }
+    if (Op == "store" && Args.size() >= 2) {
+      *Slot = Args[1];
+      return StoreDest(Value::makeUnit());
+    }
+    if (Op == "fetch_add" && Args.size() >= 2 &&
+        Old.K == Value::Kind::Int) {
+      *Slot = Value::makeInt(Old.Int + Args[1].Int);
+      return StoreDest(std::move(Old));
+    }
+    return StoreDest(std::move(Old)); // load and anything else.
+  }
+  case IntrinsicKind::OnceCall: {
+    // Once::call_once(&once, const "init_fn"): runs init_fn exactly once.
+    // A recursive call_once on the same Once while the closure is still
+    // initializing deadlocks (the paper's Section 6.1 Once bug).
+    Value Arg;
+    if (T.Args.empty() || !evalOperand(F, T.Args[0], Arg))
+      return false;
+    PointerTarget Key;
+    if (!LockKeyOf(Arg, Key))
+      return false;
+    OnceState &State = Onces[Key];
+    if (State == OnceState::Running)
+      return trap(TrapKind::Deadlock,
+                  "call_once on " + Key.toString() +
+                      " re-entered while its initializer is still running");
+    if (State == OnceState::Done)
+      return StoreDest(Value::makeUnit());
+    std::string Init;
+    if (T.Args.size() >= 2 && !T.Args[1].isPlace() &&
+        T.Args[1].C.K == ConstValue::Kind::Str)
+      Init = T.Args[1].C.Str;
+    State = OnceState::Running;
+    if (const Function *InitFn = M.findFunction(Init)) {
+      // Closure-capture convention: an initializer taking arguments
+      // receives the Once object first (so recursive call_once on the
+      // same Once is observable), opaque values after.
+      std::vector<Value> InitArgs;
+      for (LocalId A = 1; A <= InitFn->NumArgs; ++A)
+        InitArgs.push_back(A == 1 ? Arg : Value::makeOpaque());
+      Value Ignored;
+      if (!callFunction(*InitFn, std::move(InitArgs), Ignored))
+        return false;
+    }
+    Onces[Key] = OnceState::Done;
+    return StoreDest(Value::makeUnit());
+  }
+  case IntrinsicKind::PtrCopy:
+  case IntrinsicKind::CondvarWait:
+  case IntrinsicKind::CondvarNotify:
+  case IntrinsicKind::ChannelSend:
+  case IntrinsicKind::ChannelRecv: {
+    std::vector<Value> Args;
+    if (!EvalArgs(Args))
+      return false;
+    return StoreDest(Value::makeOpaque());
+  }
+  case IntrinsicKind::None:
+    break;
+  }
+
+  // Module-defined function: interpret it. Unknown external calls return a
+  // fresh opaque heap allocation (mirroring the static analysis's model).
+  std::vector<Value> Args;
+  if (!EvalArgs(Args))
+    return false;
+  if (const Function *Callee = M.findFunction(T.Callee)) {
+    Value Ret;
+    if (!callFunction(*Callee, std::move(Args), Ret))
+      return false;
+    return StoreDest(std::move(Ret));
+  }
+  return StoreDest(
+      Value::makePtr(FreshHeap(Value::makeOpaque()), /*Owning=*/true));
+}
+
+//===----------------------------------------------------------------------===//
+// Public interface
+//===----------------------------------------------------------------------===//
+
+Interpreter::Interpreter(const Module &M, Options Opts)
+    : P(std::make_unique<Impl>(M, Opts)) {}
+
+Interpreter::Interpreter(const Module &M) : Interpreter(M, Options()) {}
+
+Interpreter::~Interpreter() = default;
+
+Value Interpreter::defaultArgument(const Type *Ty) {
+  if (!Ty)
+    return Value::makeOpaque();
+  switch (Ty->kind()) {
+  case Type::Kind::Prim:
+    switch (Ty->prim()) {
+    case PrimKind::Bool:
+      return Value::makeBool(false);
+    case PrimKind::Unit:
+      return Value::makeUnit();
+    case PrimKind::Str:
+      return Value::makeStr("");
+    default:
+      return Value::makeInt(0);
+    }
+  case Type::Kind::Ref:
+  case Type::Kind::RawPtr: {
+    // Allocate a backing heap object holding the pointee's default.
+    Value Inner = defaultArgument(Ty->pointee());
+    unsigned Id = P->NextHeapId++;
+    P->Heap[Id].V = std::move(Inner);
+    PointerTarget T;
+    T.K = PointerTarget::Space::Heap;
+    T.HeapId = Id;
+    return Value::makePtr(std::move(T));
+  }
+  case Type::Kind::Tuple: {
+    std::vector<Value> Elems;
+    for (const Type *E : Ty->args())
+      Elems.push_back(defaultArgument(E));
+    return Value::makeAggregate(std::move(Elems));
+  }
+  case Type::Kind::Array:
+  case Type::Kind::Slice:
+    return Value::makeAggregate({});
+  case Type::Kind::Adt: {
+    // Lock wrappers hold their protected data directly.
+    if ((Ty->adtName() == "Mutex" || Ty->adtName() == "RwLock") &&
+        !Ty->args().empty())
+      return defaultArgument(Ty->args()[0]);
+    if (const StructDecl *S = P->M.findStruct(Ty->adtName())) {
+      std::vector<Value> Elems;
+      for (const auto &[Name, FieldTy] : S->Fields)
+        Elems.push_back(defaultArgument(FieldTy));
+      return Value::makeAggregate(std::move(Elems));
+    }
+    return Value::makeOpaque();
+  }
+  }
+  return Value::makeOpaque();
+}
+
+ExecResult Interpreter::run(const std::string &FnName) {
+  const Function *Fn = P->M.findFunction(FnName);
+  if (!Fn) {
+    ExecResult R;
+    R.Error = Trap{TrapKind::UnknownFunction,
+                   "no function named '" + FnName + "'", FnName, 0, 0};
+    return R;
+  }
+  P->reset();
+  std::vector<Value> Args;
+  for (LocalId A = 1; A <= Fn->NumArgs; ++A)
+    Args.push_back(defaultArgument(Fn->localType(A)));
+  ExecResult R;
+  Value Ret;
+  bool Ok = P->callFunction(*Fn, std::move(Args), Ret);
+  // Run spawned threads sequentially (one deterministic schedule).
+  while (Ok && P->Opts.RunSpawnedThreads && !P->SpawnQueue.empty()) {
+    std::string Next = std::move(P->SpawnQueue.front());
+    P->SpawnQueue.pop_front();
+    const Function *TFn = P->M.findFunction(Next);
+    if (!TFn)
+      continue;
+    std::vector<Value> TArgs;
+    for (LocalId A = 1; A <= TFn->NumArgs; ++A)
+      TArgs.push_back(defaultArgument(TFn->localType(A)));
+    Value TRet;
+    Ok = P->callFunction(*TFn, std::move(TArgs), TRet);
+  }
+  R.Ok = Ok;
+  R.Steps = P->Steps;
+  if (Ok)
+    R.Return = std::move(Ret);
+  else
+    R.Error = P->Error;
+  return R;
+}
+
+ExecResult Interpreter::run(const std::string &FnName,
+                            std::vector<Value> Args) {
+  const Function *Fn = P->M.findFunction(FnName);
+  if (!Fn) {
+    ExecResult R;
+    R.Error = Trap{TrapKind::UnknownFunction,
+                   "no function named '" + FnName + "'", FnName, 0, 0};
+    return R;
+  }
+  P->reset();
+  ExecResult R;
+  Value Ret;
+  R.Ok = P->callFunction(*Fn, std::move(Args), Ret);
+  R.Steps = P->Steps;
+  if (R.Ok)
+    R.Return = std::move(Ret);
+  else
+    R.Error = P->Error;
+  return R;
+}
+
+std::vector<Trap> Interpreter::runAll() {
+  std::vector<Trap> Traps;
+  for (const auto &Fn : P->M.functions()) {
+    ExecResult R = run(Fn->Name);
+    if (!R.Ok && R.Error)
+      Traps.push_back(*R.Error);
+  }
+  return Traps;
+}

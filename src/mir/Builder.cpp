@@ -1,0 +1,136 @@
+#include "mir/Builder.h"
+
+#include <cassert>
+
+using namespace rs::mir;
+
+FunctionBuilder::FunctionBuilder(Module &M, std::string Name,
+                                 const Type *RetTy)
+    : M(M) {
+  F.Name = std::move(Name);
+  LocalDecl Ret;
+  Ret.Ty = RetTy ? RetTy : M.types().getUnit();
+  Ret.Mutable = true;
+  F.Locals.push_back(Ret);
+  F.Blocks.emplace_back();
+  Terminated.push_back(false);
+}
+
+LocalId FunctionBuilder::addArg(const Type *Ty) {
+  assert(!SawNonArgLocal && "arguments must be declared before locals");
+  assert(Ty && "argument needs a type");
+  LocalDecl D;
+  D.Ty = Ty;
+  F.Locals.push_back(D);
+  ++F.NumArgs;
+  return static_cast<LocalId>(F.Locals.size() - 1);
+}
+
+LocalId FunctionBuilder::addLocal(const Type *Ty, bool Mutable,
+                                  std::string DebugName) {
+  assert(Ty && "local needs a type");
+  SawNonArgLocal = true;
+  LocalDecl D;
+  D.Ty = Ty;
+  D.Mutable = Mutable;
+  D.DebugName = std::move(DebugName);
+  F.Locals.push_back(D);
+  return static_cast<LocalId>(F.Locals.size() - 1);
+}
+
+BlockId FunctionBuilder::newBlock() {
+  F.Blocks.emplace_back();
+  Terminated.push_back(false);
+  return static_cast<BlockId>(F.Blocks.size() - 1);
+}
+
+void FunctionBuilder::setInsertPoint(BlockId B) {
+  assert(B < F.Blocks.size() && "no such block");
+  Cur = B;
+}
+
+BasicBlock &FunctionBuilder::cur() {
+  assert(!Terminated[Cur] && "appending to a terminated block");
+  return F.Blocks[Cur];
+}
+
+void FunctionBuilder::terminate(Terminator T) {
+  assert(!Terminated[Cur] && "block already terminated");
+  F.Blocks[Cur].Term = std::move(T);
+  Terminated[Cur] = true;
+}
+
+void FunctionBuilder::storageLive(LocalId L) {
+  cur().Statements.push_back(Statement::storageLive(L));
+}
+
+void FunctionBuilder::storageDead(LocalId L) {
+  cur().Statements.push_back(Statement::storageDead(L));
+}
+
+void FunctionBuilder::assign(Place Dest, Rvalue RV) {
+  cur().Statements.push_back(Statement::assign(std::move(Dest), std::move(RV)));
+}
+
+void FunctionBuilder::nop() { cur().Statements.push_back(Statement::nop()); }
+
+void FunctionBuilder::gotoBlock(BlockId B) {
+  terminate(Terminator::gotoBlock(B));
+}
+
+void FunctionBuilder::switchInt(
+    Operand Discr, std::vector<std::pair<int64_t, BlockId>> Cases,
+    BlockId Otherwise) {
+  terminate(Terminator::switchInt(std::move(Discr), std::move(Cases),
+                                  Otherwise));
+}
+
+void FunctionBuilder::ret() { terminate(Terminator::ret()); }
+void FunctionBuilder::resume() { terminate(Terminator::resume()); }
+void FunctionBuilder::unreachable() { terminate(Terminator::unreachable()); }
+
+void FunctionBuilder::dropTo(Place P, BlockId Target, BlockId Unwind) {
+  terminate(Terminator::drop(std::move(P), Target, Unwind));
+  setInsertPoint(Target);
+}
+
+void FunctionBuilder::drop(Place P) {
+  BlockId Next = newBlock();
+  dropTo(std::move(P), Next);
+}
+
+void FunctionBuilder::callTo(Place Dest, std::string Callee,
+                             std::vector<Operand> Args, BlockId Target,
+                             BlockId Unwind) {
+  terminate(Terminator::call(std::move(Dest), std::move(Callee),
+                             std::move(Args), Target, Unwind));
+  setInsertPoint(Target);
+}
+
+BlockId FunctionBuilder::call(Place Dest, std::string Callee,
+                              std::vector<Operand> Args) {
+  BlockId Next = newBlock();
+  callTo(std::move(Dest), std::move(Callee), std::move(Args), Next);
+  return Next;
+}
+
+BlockId FunctionBuilder::callNoDest(std::string Callee,
+                                    std::vector<Operand> Args) {
+  BlockId Next = newBlock();
+  terminate(Terminator::callNoDest(std::move(Callee), std::move(Args), Next));
+  setInsertPoint(Next);
+  return Next;
+}
+
+void FunctionBuilder::assertCond(Operand Cond, BlockId Target) {
+  terminate(Terminator::assertCond(std::move(Cond), Target));
+  setInsertPoint(Target);
+}
+
+Function &FunctionBuilder::finish() {
+  assert(!Finished && "finish() called twice");
+  Finished = true;
+  for (size_t I = 0; I != Terminated.size(); ++I)
+    assert(Terminated[I] && "finish() with an unterminated block");
+  return M.addFunction(std::move(F));
+}

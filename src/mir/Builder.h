@@ -1,0 +1,113 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of RustSight, a reproduction of "Understanding Memory and Thread
+// Safety Practices and Issues in Real-World Rust Programs" (PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A programmatic construction API for RustLite MIR functions, used by the
+/// corpus generator, the examples, and tests. The builder enforces the
+/// structural invariants the parser enforces (dense locals/blocks, exactly
+/// one terminator per block).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RUSTSIGHT_MIR_BUILDER_H
+#define RUSTSIGHT_MIR_BUILDER_H
+
+#include "mir/Mir.h"
+
+#include <vector>
+
+namespace rs::mir {
+
+/// Builds one Function inside a Module.
+///
+/// Usage:
+/// \code
+///   FunctionBuilder FB(M, "demo", M.types().getI32());
+///   LocalId A = FB.addArg(M.types().getI32());
+///   LocalId T = FB.addLocal(M.types().getI32());
+///   FB.storageLive(T);
+///   FB.assign(T, Rvalue::use(Operand::copy(A)));
+///   FB.assign(FB.returnLocal(), Rvalue::use(Operand::move(T)));
+///   FB.storageDead(T);
+///   FB.ret();
+///   Function &F = FB.finish();
+/// \endcode
+class FunctionBuilder {
+public:
+  /// Starts a function named \p Name returning \p RetTy (unit if null).
+  /// Creates bb0 and sets it as the insertion block.
+  FunctionBuilder(Module &M, std::string Name, const Type *RetTy = nullptr);
+
+  Module &module() { return M; }
+  TypeContext &types() { return M.types(); }
+
+  /// Declares the next parameter. Must precede any addLocal call.
+  LocalId addArg(const Type *Ty);
+
+  /// Declares a temporary/user local.
+  LocalId addLocal(const Type *Ty, bool Mutable = true,
+                   std::string DebugName = "");
+
+  LocalId returnLocal() const { return 0; }
+
+  /// Creates a new, empty basic block (does not move the insertion point).
+  BlockId newBlock();
+
+  /// Moves the insertion point to \p B. \p B must not be terminated yet.
+  void setInsertPoint(BlockId B);
+
+  BlockId currentBlock() const { return Cur; }
+
+  /// Marks the function unsafe.
+  void setUnsafe(bool U = true) { F.IsUnsafe = U; }
+
+  // Statement emitters (append to the insertion block).
+  void storageLive(LocalId L);
+  void storageDead(LocalId L);
+  void assign(Place Dest, Rvalue RV);
+  void nop();
+
+  // Terminator emitters (terminate the insertion block).
+  void gotoBlock(BlockId B);
+  void switchInt(Operand Discr, std::vector<std::pair<int64_t, BlockId>> Cases,
+                 BlockId Otherwise);
+  void ret();
+  void resume();
+  void unreachable();
+  /// Emits drop(P) -> Target and moves the insertion point to Target.
+  void dropTo(Place P, BlockId Target, BlockId Unwind = InvalidBlock);
+  /// Emits drop(P) into a fresh continuation block and continues there.
+  void drop(Place P);
+  /// Emits Dest = Callee(Args) -> Target and moves to Target.
+  void callTo(Place Dest, std::string Callee, std::vector<Operand> Args,
+              BlockId Target, BlockId Unwind = InvalidBlock);
+  /// Emits a call into a fresh continuation block and continues there.
+  /// Returns the continuation block.
+  BlockId call(Place Dest, std::string Callee, std::vector<Operand> Args);
+  /// Call without a destination, continuing in a fresh block.
+  BlockId callNoDest(std::string Callee, std::vector<Operand> Args);
+  void assertCond(Operand Cond, BlockId Target);
+
+  /// Validates that every block is terminated, registers the function in the
+  /// module, and returns it. The builder must not be used afterwards.
+  Function &finish();
+
+private:
+  BasicBlock &cur();
+  void terminate(Terminator T);
+
+  Module &M;
+  Function F;
+  BlockId Cur = 0;
+  std::vector<bool> Terminated;
+  bool SawNonArgLocal = false;
+  bool Finished = false;
+};
+
+} // namespace rs::mir
+
+#endif // RUSTSIGHT_MIR_BUILDER_H

@@ -1,0 +1,70 @@
+#include "mir/Intrinsics.h"
+
+#include <string>
+
+using namespace rs::mir;
+
+/// Returns the last \p N "::"-separated segments of \p Path.
+static std::string_view lastSegments(std::string_view Path, int N) {
+  size_t Pos = Path.size();
+  for (int I = 0; I != N; ++I) {
+    size_t Sep = Path.rfind("::", Pos == Path.size() ? std::string_view::npos
+                                                     : Pos - 2);
+    if (Sep == std::string_view::npos)
+      return Path;
+    Pos = Sep;
+  }
+  return Path.substr(Pos + 2);
+}
+
+IntrinsicKind rs::mir::classifyIntrinsic(std::string_view Callee) {
+  std::string_view Two = lastSegments(Callee, 2);
+  std::string_view One = lastSegments(Callee, 1);
+
+  if (Two == "Mutex::lock")
+    return IntrinsicKind::MutexLock;
+  if (Two == "RwLock::read")
+    return IntrinsicKind::RwLockRead;
+  if (Two == "RwLock::write")
+    return IntrinsicKind::RwLockWrite;
+  if (Two == "mem::drop" || One == "drop_in_place")
+    return IntrinsicKind::MemDrop;
+  if (Two == "mem::forget")
+    return IntrinsicKind::MemForget;
+  if (Two == "ptr::read")
+    return IntrinsicKind::PtrRead;
+  if (Two == "ptr::write")
+    return IntrinsicKind::PtrWrite;
+  if (Two == "ptr::copy" || Two == "ptr::copy_nonoverlapping")
+    return IntrinsicKind::PtrCopy;
+  if (Two == "Box::new")
+    return IntrinsicKind::BoxNew;
+  if (One == "alloc" && Two != "Box::alloc")
+    return IntrinsicKind::Alloc;
+  if (One == "dealloc")
+    return IntrinsicKind::Dealloc;
+  if (Two == "thread::spawn")
+    return IntrinsicKind::ThreadSpawn;
+  if (Two == "Condvar::wait")
+    return IntrinsicKind::CondvarWait;
+  if (Two == "Condvar::notify_one" || Two == "Condvar::notify_all")
+    return IntrinsicKind::CondvarNotify;
+  if (Two == "Sender::send")
+    return IntrinsicKind::ChannelSend;
+  if (Two == "Receiver::recv")
+    return IntrinsicKind::ChannelRecv;
+  if (Two == "Arc::new")
+    return IntrinsicKind::ArcNew;
+  if (Two == "Arc::clone")
+    return IntrinsicKind::ArcClone;
+  if (Two == "Once::call_once")
+    return IntrinsicKind::OnceCall;
+  if (Two == "RefCell::borrow")
+    return IntrinsicKind::RefCellBorrow;
+  if (Two == "RefCell::borrow_mut")
+    return IntrinsicKind::RefCellBorrowMut;
+  // AtomicBool::load, AtomicUsize::compare_and_swap, ...
+  if (Two.size() > 6 && Two.substr(0, 6) == "Atomic")
+    return IntrinsicKind::AtomicOp;
+  return IntrinsicKind::None;
+}

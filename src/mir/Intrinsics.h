@@ -1,0 +1,77 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of RustSight, a reproduction of "Understanding Memory and Thread
+// Safety Practices and Issues in Real-World Rust Programs" (PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Classification of well-known callee names. RustLite MIR models Rust
+/// standard-library functions whose semantics the paper's detectors depend
+/// on (locking, explicit drop, raw-pointer reads, allocation, spawning) as
+/// direct calls to distinguished paths; this header maps a callee path to
+/// its semantic kind.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RUSTSIGHT_MIR_INTRINSICS_H
+#define RUSTSIGHT_MIR_INTRINSICS_H
+
+#include <string_view>
+
+namespace rs::mir {
+
+/// Semantic classes of well-known callees.
+enum class IntrinsicKind {
+  None,          ///< An ordinary (module-defined or opaque) function.
+  MutexLock,     ///< Mutex::lock: exclusive acquisition, returns a guard.
+  RwLockRead,    ///< RwLock::read: shared acquisition, returns a guard.
+  RwLockWrite,   ///< RwLock::write: exclusive acquisition, returns a guard.
+  MemDrop,       ///< mem::drop / drop-by-value: ends the argument's lifetime.
+  MemForget,     ///< mem::forget: consumes without running Drop.
+  PtrRead,       ///< ptr::read: duplicates ownership out of a raw pointer.
+  PtrWrite,      ///< ptr::write: writes without dropping the old value.
+  PtrCopy,       ///< ptr::copy_nonoverlapping and friends.
+  BoxNew,        ///< Box::new: moves the argument to a fresh heap object.
+  Alloc,         ///< alloc: returns a fresh *uninitialized* heap object.
+  Dealloc,       ///< dealloc: frees the pointee.
+  ThreadSpawn,   ///< thread::spawn: runs the callee argument concurrently.
+  CondvarWait,   ///< Condvar::wait: blocks; releases and reacquires a lock.
+  CondvarNotify, ///< Condvar::notify_one / notify_all.
+  ChannelSend,   ///< Sender::send.
+  ChannelRecv,   ///< Receiver::recv: blocks on an empty channel.
+  ArcNew,        ///< Arc::new.
+  ArcClone,      ///< Arc::clone: new handle to the same object.
+  AtomicOp,      ///< Atomic*::load/store/compare_and_swap.
+  OnceCall,      ///< Once::call_once.
+  RefCellBorrow,    ///< RefCell::borrow: shared dynamic borrow.
+  RefCellBorrowMut, ///< RefCell::borrow_mut: exclusive dynamic borrow.
+};
+
+/// Maps a callee path (e.g. "Mutex::lock", "std::mem::drop") to its semantic
+/// kind. Matching is by final path segments so both "Mutex::lock" and
+/// "std::sync::Mutex::lock" classify identically.
+IntrinsicKind classifyIntrinsic(std::string_view Callee);
+
+/// True for the three lock-acquisition intrinsics.
+inline bool isLockAcquire(IntrinsicKind K) {
+  return K == IntrinsicKind::MutexLock || K == IntrinsicKind::RwLockRead ||
+         K == IntrinsicKind::RwLockWrite;
+}
+
+/// True if the acquisition takes the lock exclusively (lock/write).
+inline bool isExclusiveAcquire(IntrinsicKind K) {
+  return K == IntrinsicKind::MutexLock || K == IntrinsicKind::RwLockWrite;
+}
+
+/// True for RefCell's dynamic-borrow intrinsics. Borrows follow the same
+/// shared/exclusive discipline as RwLock, but a violation panics instead
+/// of blocking (the runtime check behind Insight 9's RefCell bugs).
+inline bool isBorrowAcquire(IntrinsicKind K) {
+  return K == IntrinsicKind::RefCellBorrow ||
+         K == IntrinsicKind::RefCellBorrowMut;
+}
+
+} // namespace rs::mir
+
+#endif // RUSTSIGHT_MIR_INTRINSICS_H

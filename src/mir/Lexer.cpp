@@ -1,0 +1,173 @@
+#include "mir/Lexer.h"
+
+#include "support/StringUtils.h"
+
+using namespace rs;
+using namespace rs::mir;
+
+Lexer::Lexer(std::string_view Buffer, std::string_view FileName)
+    : Buf(Buffer), File(internFileName(FileName)) {}
+
+void Lexer::advance() {
+  if (Pos >= Buf.size())
+    return;
+  if (Buf[Pos] == '\n') {
+    ++Line;
+    LineStart = Pos + 1;
+  }
+  ++Pos;
+}
+
+void Lexer::skipTrivia() {
+  while (Pos < Buf.size()) {
+    char C = Buf[Pos];
+    if (C == ' ' || C == '\t' || C == '\r' || C == '\n') {
+      advance();
+      continue;
+    }
+    if (C == '/' && peek(1) == '/') {
+      while (Pos < Buf.size() && Buf[Pos] != '\n')
+        advance();
+      continue;
+    }
+    return;
+  }
+}
+
+Token Lexer::make(TokKind K, size_t Begin, SourceLocation Loc) {
+  Token T;
+  T.K = K;
+  T.Text = Buf.substr(Begin, Pos - Begin);
+  T.Loc = Loc;
+  return T;
+}
+
+Token Lexer::next() {
+  skipTrivia();
+  SourceLocation Loc = currentLocation();
+  size_t Begin = Pos;
+
+  if (Pos >= Buf.size())
+    return make(TokKind::Eof, Begin, Loc);
+
+  char C = peek();
+
+  // Local names: '_' followed by digits (and nothing identifier-like after).
+  if (C == '_' && isDigit(peek(1))) {
+    size_t Probe = Pos + 1;
+    while (Probe < Buf.size() && isDigit(Buf[Probe]))
+      ++Probe;
+    bool IsLocal = Probe >= Buf.size() || !isIdentCont(Buf[Probe]);
+    if (IsLocal) {
+      advance(); // '_'
+      int64_t Value = 0;
+      while (Pos < Buf.size() && isDigit(Buf[Pos])) {
+        Value = Value * 10 + (Buf[Pos] - '0');
+        advance();
+      }
+      Token T = make(TokKind::Local, Begin, Loc);
+      T.IntVal = Value;
+      return T;
+    }
+  }
+
+  if (isIdentStart(C)) {
+    while (Pos < Buf.size() && isIdentCont(Buf[Pos]))
+      advance();
+    return make(TokKind::Ident, Begin, Loc);
+  }
+
+  if (isDigit(C)) {
+    int64_t Value = 0;
+    while (Pos < Buf.size() && isDigit(Buf[Pos])) {
+      Value = Value * 10 + (Buf[Pos] - '0');
+      advance();
+    }
+    Token T = make(TokKind::Int, Begin, Loc);
+    T.IntVal = Value;
+    // Optional type suffix: "42_i32".
+    if (peek() == '_' && isIdentStart(peek(1)) && !isDigit(peek(1))) {
+      advance(); // '_'
+      size_t SuffixBegin = Pos;
+      while (Pos < Buf.size() && isIdentCont(Buf[Pos]))
+        advance();
+      T.Suffix = Buf.substr(SuffixBegin, Pos - SuffixBegin);
+      T.Text = Buf.substr(Begin, Pos - Begin);
+    }
+    return T;
+  }
+
+  if (C == '"') {
+    advance();
+    std::string Decoded;
+    while (Pos < Buf.size() && Buf[Pos] != '"') {
+      if (Buf[Pos] == '\\' && Pos + 1 < Buf.size()) {
+        advance();
+        char E = Buf[Pos];
+        if (E == 'n')
+          Decoded += '\n';
+        else if (E == 't')
+          Decoded += '\t';
+        else
+          Decoded += E; // \" \\ and any other escape map to the raw char.
+        advance();
+        continue;
+      }
+      Decoded += Buf[Pos];
+      advance();
+    }
+    if (Pos < Buf.size())
+      advance(); // Closing quote.
+    // Text keeps the raw source range (with quotes); the decoded contents
+    // live in Owned so they survive token copies and moves.
+    Token T = make(TokKind::String, Begin, Loc);
+    T.Owned = std::move(Decoded);
+    return T;
+  }
+
+  advance();
+  switch (C) {
+  case '{':
+    return make(TokKind::LBrace, Begin, Loc);
+  case '}':
+    return make(TokKind::RBrace, Begin, Loc);
+  case '(':
+    return make(TokKind::LParen, Begin, Loc);
+  case ')':
+    return make(TokKind::RParen, Begin, Loc);
+  case '[':
+    return make(TokKind::LBracket, Begin, Loc);
+  case ']':
+    return make(TokKind::RBracket, Begin, Loc);
+  case ',':
+    return make(TokKind::Comma, Begin, Loc);
+  case ';':
+    return make(TokKind::Semi, Begin, Loc);
+  case ':':
+    if (peek() == ':') {
+      advance();
+      return make(TokKind::ColonColon, Begin, Loc);
+    }
+    return make(TokKind::Colon, Begin, Loc);
+  case '-':
+    if (peek() == '>') {
+      advance();
+      return make(TokKind::Arrow, Begin, Loc);
+    }
+    return make(TokKind::Minus, Begin, Loc);
+  case '=':
+    return make(TokKind::Eq, Begin, Loc);
+  case '&':
+    return make(TokKind::Amp, Begin, Loc);
+  case '*':
+    return make(TokKind::Star, Begin, Loc);
+  case '.':
+    return make(TokKind::Dot, Begin, Loc);
+  case '<':
+    return make(TokKind::Lt, Begin, Loc);
+  case '>':
+    return make(TokKind::Gt, Begin, Loc);
+  default:
+    return make(TokKind::Error, Begin, Loc);
+  }
+}

@@ -1,0 +1,104 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of RustSight, a reproduction of "Understanding Memory and Thread
+// Safety Practices and Issues in Real-World Rust Programs" (PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tokenizer for the RustLite MIR textual syntax. Keywords are not
+/// distinguished from identifiers at the lexing level; the parser compares
+/// identifier spellings.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RUSTSIGHT_MIR_LEXER_H
+#define RUSTSIGHT_MIR_LEXER_H
+
+#include "support/SourceLocation.h"
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace rs::mir {
+
+/// Token kinds produced by the MIR lexer.
+enum class TokKind {
+  Eof,
+  Error,    ///< An unrecognized character; Text holds it.
+  Ident,    ///< Identifier or keyword ("fn", "bb0", "StorageLive", ...).
+  Local,    ///< A local name "_N"; IntVal holds N.
+  Int,      ///< Integer literal; IntVal holds the value, Suffix the
+            ///< optional "_i32"-style type suffix (without the underscore).
+  String,   ///< String literal; Text holds the *decoded* contents.
+  LBrace,
+  RBrace,
+  LParen,
+  RParen,
+  LBracket,
+  RBracket,
+  Comma,
+  Semi,
+  Colon,
+  ColonColon,
+  Arrow,    ///< "->"
+  Eq,
+  Amp,
+  Star,
+  Dot,
+  Lt,
+  Gt,
+  Minus,
+};
+
+/// One lexed token. Text/Suffix view into the lexer's input buffer; for
+/// String tokens, Text is the raw source range (including quotes) and Owned
+/// holds the decoded contents.
+struct Token {
+  TokKind K = TokKind::Eof;
+  std::string_view Text;
+  std::string Owned; ///< Decoded contents of a string literal.
+  int64_t IntVal = 0;
+  std::string_view Suffix;
+  SourceLocation Loc;
+
+  bool is(TokKind Kind) const { return K == Kind; }
+  bool isIdent(std::string_view S) const {
+    return K == TokKind::Ident && Text == S;
+  }
+};
+
+/// A single-pass lexer over an in-memory buffer. The buffer must outlive the
+/// lexer and all tokens it produces.
+class Lexer {
+public:
+  Lexer(std::string_view Buffer, std::string_view FileName);
+
+  /// Lexes and returns the next token, advancing the cursor.
+  Token next();
+
+  /// The location of the cursor (for end-of-input diagnostics).
+  SourceLocation currentLocation() const {
+    return SourceLocation(File, Line, column());
+  }
+
+private:
+  char peek(size_t Ahead = 0) const {
+    return Pos + Ahead < Buf.size() ? Buf[Pos + Ahead] : '\0';
+  }
+  void advance();
+  void skipTrivia();
+  unsigned column() const { return static_cast<unsigned>(Pos - LineStart + 1); }
+  Token make(TokKind K, size_t Begin, SourceLocation Loc);
+
+  std::string_view Buf;
+  const std::string *File;
+  size_t Pos = 0;
+  size_t LineStart = 0;
+  unsigned Line = 1;
+};
+
+} // namespace rs::mir
+
+#endif // RUSTSIGHT_MIR_LEXER_H

@@ -1,0 +1,529 @@
+#include "mir/Mir.h"
+
+using namespace rs::mir;
+
+//===----------------------------------------------------------------------===//
+// Printing helpers
+//===----------------------------------------------------------------------===//
+
+std::string Place::toString() const {
+  // Projections print inside-out: base first, derefs as (*p).
+  std::string Out = "_" + std::to_string(Base);
+  for (const ProjectionElem &P : Projs) {
+    switch (P.K) {
+    case ProjectionElem::Kind::Deref:
+      Out = "(*" + Out + ")";
+      break;
+    case ProjectionElem::Kind::Field:
+      Out += "." + std::to_string(P.FieldIdx);
+      break;
+    case ProjectionElem::Kind::Index:
+      Out += "[_" + std::to_string(P.IndexLocal) + "]";
+      break;
+    }
+  }
+  return Out;
+}
+
+std::string ConstValue::toString() const {
+  switch (K) {
+  case Kind::Int: {
+    std::string Out = std::to_string(Int);
+    if (Ty)
+      Out += "_" + Ty->toString();
+    return Out;
+  }
+  case Kind::Bool:
+    return Bool ? "true" : "false";
+  case Kind::Str: {
+    std::string Out = "\"";
+    for (char C : Str) {
+      if (C == '"' || C == '\\')
+        Out += '\\';
+      Out += C;
+    }
+    Out += '"';
+    return Out;
+  }
+  case Kind::Unit:
+    return "()";
+  }
+  return "?";
+}
+
+std::string Operand::toString() const {
+  switch (K) {
+  case Kind::Copy:
+    return "copy " + P.toString();
+  case Kind::Move:
+    return "move " + P.toString();
+  case Kind::Const:
+    return "const " + C.toString();
+  }
+  return "?";
+}
+
+const char *rs::mir::binOpName(BinOp Op) {
+  switch (Op) {
+  case BinOp::Add:
+    return "Add";
+  case BinOp::Sub:
+    return "Sub";
+  case BinOp::Mul:
+    return "Mul";
+  case BinOp::Div:
+    return "Div";
+  case BinOp::Rem:
+    return "Rem";
+  case BinOp::BitAnd:
+    return "BitAnd";
+  case BinOp::BitOr:
+    return "BitOr";
+  case BinOp::BitXor:
+    return "BitXor";
+  case BinOp::Shl:
+    return "Shl";
+  case BinOp::Shr:
+    return "Shr";
+  case BinOp::Eq:
+    return "Eq";
+  case BinOp::Ne:
+    return "Ne";
+  case BinOp::Lt:
+    return "Lt";
+  case BinOp::Le:
+    return "Le";
+  case BinOp::Gt:
+    return "Gt";
+  case BinOp::Ge:
+    return "Ge";
+  case BinOp::Offset:
+    return "Offset";
+  }
+  return "?";
+}
+
+const char *rs::mir::unOpName(UnOp Op) {
+  switch (Op) {
+  case UnOp::Not:
+    return "Not";
+  case UnOp::Neg:
+    return "Neg";
+  }
+  return "?";
+}
+
+//===----------------------------------------------------------------------===//
+// Rvalue
+//===----------------------------------------------------------------------===//
+
+Rvalue Rvalue::use(Operand O) {
+  Rvalue R;
+  R.K = Kind::Use;
+  R.Ops.push_back(std::move(O));
+  return R;
+}
+
+Rvalue Rvalue::ref(Place P, bool Mut) {
+  Rvalue R;
+  R.K = Kind::Ref;
+  R.P = std::move(P);
+  R.Mut = Mut;
+  return R;
+}
+
+Rvalue Rvalue::addressOf(Place P, bool Mut) {
+  Rvalue R;
+  R.K = Kind::AddressOf;
+  R.P = std::move(P);
+  R.Mut = Mut;
+  return R;
+}
+
+Rvalue Rvalue::binary(BinOp Op, Operand A, Operand B) {
+  Rvalue R;
+  R.K = Kind::BinaryOp;
+  R.BOp = Op;
+  R.Ops.push_back(std::move(A));
+  R.Ops.push_back(std::move(B));
+  return R;
+}
+
+Rvalue Rvalue::unary(UnOp Op, Operand A) {
+  Rvalue R;
+  R.K = Kind::UnaryOp;
+  R.UOp = Op;
+  R.Ops.push_back(std::move(A));
+  return R;
+}
+
+Rvalue Rvalue::cast(Operand A, const Type *Ty) {
+  assert(Ty && "cast needs a target type");
+  Rvalue R;
+  R.K = Kind::Cast;
+  R.CastTy = Ty;
+  R.Ops.push_back(std::move(A));
+  return R;
+}
+
+Rvalue Rvalue::tuple(std::vector<Operand> Elems) {
+  Rvalue R;
+  R.K = Kind::Aggregate;
+  R.Ops = std::move(Elems);
+  return R;
+}
+
+Rvalue Rvalue::aggregate(std::string Name, std::vector<Operand> Fields) {
+  Rvalue R;
+  R.K = Kind::Aggregate;
+  R.AggName = std::move(Name);
+  R.Ops = std::move(Fields);
+  return R;
+}
+
+Rvalue Rvalue::discriminant(Place P) {
+  Rvalue R;
+  R.K = Kind::Discriminant;
+  R.P = std::move(P);
+  return R;
+}
+
+Rvalue Rvalue::len(Place P) {
+  Rvalue R;
+  R.K = Kind::Len;
+  R.P = std::move(P);
+  return R;
+}
+
+std::string Rvalue::toString() const {
+  switch (K) {
+  case Kind::Use:
+    return Ops[0].toString();
+  case Kind::Ref:
+    return std::string("&") + (Mut ? "mut " : "") + P.toString();
+  case Kind::AddressOf:
+    return std::string("&raw ") + (Mut ? "mut " : "const ") + P.toString();
+  case Kind::BinaryOp:
+    return std::string(binOpName(BOp)) + "(" + Ops[0].toString() + ", " +
+           Ops[1].toString() + ")";
+  case Kind::UnaryOp:
+    return std::string(unOpName(UOp)) + "(" + Ops[0].toString() + ")";
+  case Kind::Cast:
+    return Ops[0].toString() + " as " + CastTy->toString();
+  case Kind::Aggregate: {
+    std::string Out;
+    if (AggName.empty()) {
+      Out = "(";
+      for (size_t I = 0; I != Ops.size(); ++I) {
+        if (I != 0)
+          Out += ", ";
+        Out += Ops[I].toString();
+      }
+      if (Ops.size() == 1)
+        Out += ",";
+      Out += ")";
+      return Out;
+    }
+    Out = AggName + " {";
+    for (size_t I = 0; I != Ops.size(); ++I) {
+      if (I != 0)
+        Out += ",";
+      Out += " " + std::to_string(I) + ": " + Ops[I].toString();
+    }
+    Out += " }";
+    return Out;
+  }
+  case Kind::Discriminant:
+    return "discriminant(" + P.toString() + ")";
+  case Kind::Len:
+    return "Len(" + P.toString() + ")";
+  }
+  return "?";
+}
+
+//===----------------------------------------------------------------------===//
+// Statement
+//===----------------------------------------------------------------------===//
+
+std::string Statement::toString() const {
+  switch (K) {
+  case Kind::Assign:
+    return Dest.toString() + " = " + RV.toString() + ";";
+  case Kind::StorageLive:
+    return "StorageLive(_" + std::to_string(Local) + ");";
+  case Kind::StorageDead:
+    return "StorageDead(_" + std::to_string(Local) + ");";
+  case Kind::Nop:
+    return "nop;";
+  }
+  return "?";
+}
+
+//===----------------------------------------------------------------------===//
+// Terminator
+//===----------------------------------------------------------------------===//
+
+Terminator Terminator::gotoBlock(BlockId B) {
+  Terminator T;
+  T.K = Kind::Goto;
+  T.Target = B;
+  return T;
+}
+
+Terminator
+Terminator::switchInt(Operand Discr,
+                      std::vector<std::pair<int64_t, BlockId>> Cases,
+                      BlockId Otherwise) {
+  Terminator T;
+  T.K = Kind::SwitchInt;
+  T.Discr = std::move(Discr);
+  T.Cases = std::move(Cases);
+  T.Target = Otherwise;
+  return T;
+}
+
+Terminator Terminator::ret() {
+  Terminator T;
+  T.K = Kind::Return;
+  return T;
+}
+
+Terminator Terminator::resume() {
+  Terminator T;
+  T.K = Kind::Resume;
+  return T;
+}
+
+Terminator Terminator::unreachable() {
+  Terminator T;
+  T.K = Kind::Unreachable;
+  return T;
+}
+
+Terminator Terminator::drop(Place P, BlockId Target, BlockId Unwind) {
+  Terminator T;
+  T.K = Kind::Drop;
+  T.DropPlace = std::move(P);
+  T.Target = Target;
+  T.Unwind = Unwind;
+  return T;
+}
+
+Terminator Terminator::call(Place Dest, std::string Callee,
+                            std::vector<Operand> Args, BlockId Target,
+                            BlockId Unwind) {
+  Terminator T;
+  T.K = Kind::Call;
+  T.Dest = std::move(Dest);
+  T.HasDest = true;
+  T.Callee = std::move(Callee);
+  T.Args = std::move(Args);
+  T.Target = Target;
+  T.Unwind = Unwind;
+  return T;
+}
+
+Terminator Terminator::callNoDest(std::string Callee,
+                                  std::vector<Operand> Args, BlockId Target,
+                                  BlockId Unwind) {
+  Terminator T;
+  T.K = Kind::Call;
+  T.HasDest = false;
+  T.Callee = std::move(Callee);
+  T.Args = std::move(Args);
+  T.Target = Target;
+  T.Unwind = Unwind;
+  return T;
+}
+
+Terminator Terminator::assertCond(Operand Cond, BlockId Target) {
+  Terminator T;
+  T.K = Kind::Assert;
+  T.Discr = std::move(Cond);
+  T.Target = Target;
+  return T;
+}
+
+void Terminator::successors(std::vector<BlockId> &Out) const {
+  switch (K) {
+  case Kind::Goto:
+    Out.push_back(Target);
+    return;
+  case Kind::SwitchInt:
+    for (const auto &[Value, Block] : Cases)
+      Out.push_back(Block);
+    Out.push_back(Target);
+    return;
+  case Kind::Return:
+  case Kind::Resume:
+  case Kind::Unreachable:
+    return;
+  case Kind::Drop:
+  case Kind::Call:
+    if (Target != InvalidBlock)
+      Out.push_back(Target);
+    if (Unwind != InvalidBlock)
+      Out.push_back(Unwind);
+    return;
+  case Kind::Assert:
+    Out.push_back(Target);
+    return;
+  }
+}
+
+static std::string blockName(BlockId B) { return "bb" + std::to_string(B); }
+
+std::string Terminator::toString() const {
+  switch (K) {
+  case Kind::Goto:
+    return "goto -> " + blockName(Target) + ";";
+  case Kind::SwitchInt: {
+    std::string Out = "switchInt(" + Discr.toString() + ") -> [";
+    for (const auto &[Value, Block] : Cases)
+      Out += std::to_string(Value) + ": " + blockName(Block) + ", ";
+    Out += "otherwise: " + blockName(Target) + "];";
+    return Out;
+  }
+  case Kind::Return:
+    return "return;";
+  case Kind::Resume:
+    return "resume;";
+  case Kind::Unreachable:
+    return "unreachable;";
+  case Kind::Drop: {
+    std::string Out = "drop(" + DropPlace.toString() + ") -> ";
+    if (Unwind != InvalidBlock)
+      return Out + "[return: " + blockName(Target) +
+             ", unwind: " + blockName(Unwind) + "];";
+    return Out + blockName(Target) + ";";
+  }
+  case Kind::Call: {
+    std::string Out;
+    if (HasDest)
+      Out += Dest.toString() + " = ";
+    Out += Callee + "(";
+    for (size_t I = 0; I != Args.size(); ++I) {
+      if (I != 0)
+        Out += ", ";
+      Out += Args[I].toString();
+    }
+    Out += ") -> ";
+    if (Unwind != InvalidBlock)
+      return Out + "[return: " + blockName(Target) +
+             ", unwind: " + blockName(Unwind) + "];";
+    return Out + blockName(Target) + ";";
+  }
+  case Kind::Assert:
+    return "assert(" + Discr.toString() + ") -> " + blockName(Target) + ";";
+  }
+  return "?";
+}
+
+//===----------------------------------------------------------------------===//
+// Function and Module
+//===----------------------------------------------------------------------===//
+
+std::string Function::toString() const {
+  std::string Out;
+  if (IsUnsafe)
+    Out += "unsafe ";
+  Out += "fn " + Name + "(";
+  for (unsigned I = 1; I <= NumArgs; ++I) {
+    if (I != 1)
+      Out += ", ";
+    Out += "_" + std::to_string(I) + ": " + Locals[I].Ty->toString();
+  }
+  Out += ")";
+  if (!Locals.empty() && !Locals[0].Ty->isUnit())
+    Out += " -> " + Locals[0].Ty->toString();
+  Out += " {\n";
+
+  for (unsigned I = 0; I != Locals.size(); ++I) {
+    if (I >= 1 && I <= NumArgs)
+      continue; // Parameters are declared in the signature.
+    Out += "    let ";
+    if (Locals[I].Mutable)
+      Out += "mut ";
+    Out += "_" + std::to_string(I) + ": " + Locals[I].Ty->toString() + ";";
+    if (!Locals[I].DebugName.empty())
+      Out += " // " + Locals[I].DebugName;
+    Out += "\n";
+  }
+  Out += "\n";
+
+  for (unsigned B = 0; B != Blocks.size(); ++B) {
+    Out += "    " + blockName(B) + ": {\n";
+    for (const Statement &S : Blocks[B].Statements)
+      Out += "        " + S.toString() + "\n";
+    Out += "        " + Blocks[B].Term.toString() + "\n";
+    Out += "    }\n";
+    if (B + 1 != Blocks.size())
+      Out += "\n";
+  }
+  Out += "}\n";
+  return Out;
+}
+
+Function &Module::addFunction(Function F) {
+  assert(FuncByName.find(F.Name) == FuncByName.end() &&
+         "duplicate function name");
+  Funcs.push_back(std::make_unique<Function>(std::move(F)));
+  Function *Stored = Funcs.back().get();
+  FuncByName[Stored->Name] = Stored;
+  return *Stored;
+}
+
+const Function *Module::findFunction(const std::string &Name) const {
+  auto It = FuncByName.find(Name);
+  return It == FuncByName.end() ? nullptr : It->second;
+}
+
+Function *Module::findFunction(const std::string &Name) {
+  auto It = FuncByName.find(Name);
+  return It == FuncByName.end() ? nullptr : It->second;
+}
+
+void Module::addStruct(StructDecl S) {
+  assert(StructByName.find(S.Name) == StructByName.end() &&
+         "duplicate struct name");
+  StructByName[S.Name] = Structs.size();
+  Structs.push_back(std::move(S));
+}
+
+const StructDecl *Module::findStruct(const std::string &Name) const {
+  auto It = StructByName.find(Name);
+  return It == StructByName.end() ? nullptr : &Structs[It->second];
+}
+
+std::string Module::toString() const {
+  std::string Out;
+  for (const StructDecl &S : Structs) {
+    Out += "struct " + S.Name;
+    if (S.HasDrop)
+      Out += " : Drop";
+    Out += " {";
+    for (size_t I = 0; I != S.Fields.size(); ++I) {
+      if (I != 0)
+        Out += ",";
+      Out += " " + S.Fields[I].first + ": " + S.Fields[I].second->toString();
+    }
+    Out += " }\n";
+  }
+  for (const auto &[Name, IsSync] : SyncAdts)
+    if (IsSync)
+      Out += "unsafe impl Sync for " + Name + ";\n";
+  for (const StaticDecl &S : Statics) {
+    Out += "static ";
+    if (S.Mutable)
+      Out += "mut ";
+    Out += S.Name + ": " + S.Ty->toString() + ";\n";
+  }
+  if (!Out.empty())
+    Out += "\n";
+  for (size_t I = 0; I != Funcs.size(); ++I) {
+    if (I != 0)
+      Out += "\n";
+    Out += Funcs[I]->toString();
+  }
+  return Out;
+}

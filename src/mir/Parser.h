@@ -1,0 +1,124 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of RustSight, a reproduction of "Understanding Memory and Thread
+// Safety Practices and Issues in Real-World Rust Programs" (PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Recursive-descent parser for the RustLite MIR textual syntax.
+///
+/// Grammar sketch (see README.md for the full description):
+///
+/// \code
+///   module     := item*
+///   item       := struct | syncImpl | static | function
+///   struct     := "struct" NAME (":" "Drop")? "{" (field ("," field)*)? "}"
+///   syncImpl   := "unsafe" "impl" "Sync" "for" NAME ";"
+///   static     := "static" "mut"? NAME ":" type ";"
+///   function   := "unsafe"? "fn" path "(" params? ")" ("->" type)?
+///                 "{" local* block+ "}"
+///   local      := "let" "mut"? LOCAL ":" type ";"
+///   block      := IDENT(bbN) ":" "{" stmt* terminator "}"
+///   stmt       := "StorageLive" "(" LOCAL ")" ";"
+///               | "StorageDead" "(" LOCAL ")" ";"
+///               | "nop" ";"
+///               | place "=" rvalue ";"
+///   terminator := "goto" "->" BB ";" | "return" ";" | "resume" ";"
+///               | "unreachable" ";"
+///               | "drop" "(" place ")" "->" targets ";"
+///               | "switchInt" "(" operand ")" "->"
+///                 "[" (INT ":" BB ",")* "otherwise" ":" BB "]" ";"
+///               | "assert" "(" operand ")" "->" BB ";"
+///               | (place "=")? path "(" operands? ")" "->" targets ";"
+///   targets    := BB | "[" "return" ":" BB ("," "unwind" ":" BB)? "]"
+///   rvalue     := operand ("as" type)?
+///               | "&" "mut"? place | "&" "raw" ("const"|"mut") place
+///               | BINOP "(" operand "," operand ")" | UNOP "(" operand ")"
+///               | "(" operands? ")"                       // tuple
+///               | path "{" (INT ":" operand ",")* "}"     // struct agg
+///               | "discriminant" "(" place ")" | "Len" "(" place ")"
+///   operand    := "copy" place | "move" place | "const" literal
+///   place      := LOCAL | "(" "*" place ")" ; then (".", INT | "[" LOCAL "]")*
+/// \endcode
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RUSTSIGHT_MIR_PARSER_H
+#define RUSTSIGHT_MIR_PARSER_H
+
+#include "mir/Lexer.h"
+#include "mir/Mir.h"
+#include "support/Error.h"
+
+#include <map>
+#include <optional>
+
+namespace rs::mir {
+
+/// Parses one RustLite MIR buffer into a Module.
+class Parser {
+public:
+  Parser(std::string_view Buffer, std::string_view FileName = "<mir>");
+
+  /// Parses the whole buffer. On failure returns the first error.
+  Result<Module> parseModule();
+
+  /// Convenience entry point.
+  static Result<Module> parse(std::string_view Buffer,
+                              std::string_view FileName = "<mir>") {
+    return Parser(Buffer, FileName).parseModule();
+  }
+
+private:
+  // Token plumbing. Tok is the current token.
+  void bump();
+  bool expect(TokKind K, const char *What);
+  bool expectIdent(std::string_view S);
+  bool atIdent(std::string_view S) const { return Tok.isIdent(S); }
+  bool consumeIdent(std::string_view S);
+
+  // Failure handling: fail() records the first error and returns false.
+  bool fail(const std::string &Message);
+  bool failed() const { return Err.has_value(); }
+
+  // Item parsers (operate on the member module M).
+  bool parseItem();
+  bool parseStruct();
+  bool parseStatic();
+  bool parseFunction(bool IsUnsafe);
+  bool parseSyncImpl();
+
+  // Function-body parsers.
+  bool parseLocalDecl(std::map<LocalId, LocalDecl> &Decls);
+  bool parseBlock(std::map<BlockId, BasicBlock> &Blocks);
+  /// Parses one statement or terminator within a block. Statements are
+  /// appended to \p BB; when the terminator is parsed, it is stored and
+  /// \p SawTerminator set.
+  bool parseBlockItem(BasicBlock &BB, bool &SawTerminator);
+
+  // Grammar nonterminals.
+  bool parsePath(std::string &Out);
+  bool parseType(const Type *&Out);
+  bool parsePlace(Place &Out);
+  bool parseOperand(Operand &Out);
+  bool parseOperandList(std::vector<Operand> &Out, TokKind Close);
+  bool parseBlockRef(BlockId &Out);
+  bool parseCallTargets(BlockId &Target, BlockId &Unwind);
+  /// Parses the right-hand side of "place =". Either an rvalue statement
+  /// (IsCall=false) or a call terminator (IsCall=true, Call filled in).
+  bool parseAssignRhs(Rvalue &RV, Terminator &Call, bool &IsCall);
+
+  std::optional<BinOp> binOpFromName(std::string_view Name) const;
+  std::optional<UnOp> unOpFromName(std::string_view Name) const;
+
+  Lexer Lex;
+  Token Tok;
+  std::optional<Error> Err;
+  Module M;
+  Function *CurFn = nullptr;
+};
+
+} // namespace rs::mir
+
+#endif // RUSTSIGHT_MIR_PARSER_H

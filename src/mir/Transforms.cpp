@@ -1,0 +1,273 @@
+#include "mir/Transforms.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace rs::mir;
+
+//===----------------------------------------------------------------------===//
+// Shared helpers
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Applies \p Map to every block reference in \p T. References mapped to
+/// InvalidBlock must not occur (callers only remap live targets).
+void remapTargets(Terminator &T, const std::vector<BlockId> &Map) {
+  auto Remap = [&Map](BlockId &B) {
+    if (B == InvalidBlock)
+      return;
+    assert(B < Map.size() && Map[B] != InvalidBlock &&
+           "remapping a reference to a removed block");
+    B = Map[B];
+  };
+  Remap(T.Target);
+  Remap(T.Unwind);
+  for (auto &[Value, Block] : T.Cases)
+    Remap(Block);
+}
+
+/// Reachable-block set computed directly over the function (the mir
+/// library cannot use analysis::Cfg without inverting the layering).
+std::vector<bool> reachableBlocks(const Function &F) {
+  std::vector<bool> Seen(F.numBlocks(), false);
+  if (F.numBlocks() == 0)
+    return Seen;
+  std::vector<BlockId> Work{0};
+  Seen[0] = true;
+  std::vector<BlockId> Succs;
+  while (!Work.empty()) {
+    BlockId B = Work.back();
+    Work.pop_back();
+    Succs.clear();
+    F.Blocks[B].Term.successors(Succs);
+    for (BlockId S : Succs) {
+      if (!Seen[S]) {
+        Seen[S] = true;
+        Work.push_back(S);
+      }
+    }
+  }
+  return Seen;
+}
+
+/// Number of predecessors of each block (parallel edges counted once).
+std::vector<unsigned> predecessorCounts(const Function &F) {
+  std::vector<unsigned> Counts(F.numBlocks(), 0);
+  std::vector<BlockId> Succs;
+  for (BlockId B = 0; B != F.numBlocks(); ++B) {
+    Succs.clear();
+    F.Blocks[B].Term.successors(Succs);
+    std::sort(Succs.begin(), Succs.end());
+    Succs.erase(std::unique(Succs.begin(), Succs.end()), Succs.end());
+    for (BlockId S : Succs)
+      ++Counts[S];
+  }
+  return Counts;
+}
+
+//===----------------------------------------------------------------------===//
+// DeadBlockElim
+//===----------------------------------------------------------------------===//
+
+class DeadBlockElim : public FunctionPass {
+public:
+  const char *name() const override { return "dead-block-elim"; }
+
+  bool runOn(Function &F, const Module &) override {
+    std::vector<bool> Live = reachableBlocks(F);
+    if (std::find(Live.begin(), Live.end(), false) == Live.end())
+      return false;
+
+    std::vector<BlockId> Map(F.numBlocks(), InvalidBlock);
+    std::vector<BasicBlock> Kept;
+    for (BlockId B = 0; B != F.numBlocks(); ++B) {
+      if (!Live[B])
+        continue;
+      Map[B] = static_cast<BlockId>(Kept.size());
+      Kept.push_back(std::move(F.Blocks[B]));
+    }
+    for (BasicBlock &BB : Kept)
+      remapTargets(BB.Term, Map);
+    F.Blocks = std::move(Kept);
+    return true;
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// SimplifyCfg
+//===----------------------------------------------------------------------===//
+
+class SimplifyCfg : public FunctionPass {
+public:
+  const char *name() const override { return "simplify-cfg"; }
+
+  bool runOn(Function &F, const Module &) override {
+    bool Changed = false;
+    Changed |= foldConstantSwitches(F);
+    Changed |= threadTrivialGotos(F);
+    Changed |= mergeSoloSuccessors(F);
+    return Changed;
+  }
+
+private:
+  /// switchInt over a literal becomes a goto to the taken arm.
+  static bool foldConstantSwitches(Function &F) {
+    bool Changed = false;
+    for (BasicBlock &BB : F.Blocks) {
+      Terminator &T = BB.Term;
+      if (T.K != Terminator::Kind::SwitchInt || T.Discr.isPlace())
+        continue;
+      const ConstValue &C = T.Discr.C;
+      int64_t V;
+      if (C.K == ConstValue::Kind::Int)
+        V = C.Int;
+      else if (C.K == ConstValue::Kind::Bool)
+        V = C.Bool ? 1 : 0;
+      else
+        continue;
+      BlockId Taken = T.Target;
+      for (const auto &[Case, Block] : T.Cases) {
+        if (Case == V) {
+          Taken = Block;
+          break;
+        }
+      }
+      T = Terminator::gotoBlock(Taken);
+      Changed = true;
+    }
+    return Changed;
+  }
+
+  /// Retargets edges that point at an empty block whose only content is
+  /// "goto -> X" (jump threading). Self-loops are left alone.
+  static bool threadTrivialGotos(Function &F) {
+    // Resolve each block to its forwarding destination, collapsing chains
+    // but guarding against goto cycles.
+    unsigned N = F.numBlocks();
+    std::vector<BlockId> Forward(N);
+    for (BlockId B = 0; B != N; ++B) {
+      const BasicBlock &BB = F.Blocks[B];
+      Forward[B] = (BB.Statements.empty() &&
+                    BB.Term.K == Terminator::Kind::Goto &&
+                    BB.Term.Target != B)
+                       ? BB.Term.Target
+                       : B;
+    }
+    auto Resolve = [&Forward, N](BlockId B) {
+      unsigned Hops = 0;
+      while (Forward[B] != B && Hops++ < N)
+        B = Forward[B];
+      return B;
+    };
+
+    bool Changed = false;
+    for (BasicBlock &BB : F.Blocks) {
+      Terminator &T = BB.Term;
+      auto Retarget = [&](BlockId &Ref) {
+        if (Ref == InvalidBlock)
+          return;
+        BlockId R = Resolve(Ref);
+        if (R != Ref) {
+          Ref = R;
+          Changed = true;
+        }
+      };
+      Retarget(T.Target);
+      Retarget(T.Unwind);
+      for (auto &[Value, Block] : T.Cases)
+        Retarget(Block);
+    }
+    return Changed;
+  }
+
+  /// A block ending in "goto -> S" where S has exactly one predecessor
+  /// absorbs S's statements and terminator.
+  static bool mergeSoloSuccessors(Function &F) {
+    bool Changed = false;
+    std::vector<unsigned> Preds = predecessorCounts(F);
+    for (BlockId B = 0; B != F.numBlocks(); ++B) {
+      BasicBlock &BB = F.Blocks[B];
+      while (BB.Term.K == Terminator::Kind::Goto) {
+        BlockId S = BB.Term.Target;
+        if (S == B || S == 0 || Preds[S] != 1)
+          break;
+        BasicBlock &Succ = F.Blocks[S];
+        BB.Statements.insert(BB.Statements.end(),
+                             std::make_move_iterator(Succ.Statements.begin()),
+                             std::make_move_iterator(Succ.Statements.end()));
+        Succ.Statements.clear();
+        BB.Term = Succ.Term;
+        // The absorbed block becomes an unreachable self-loop shell for
+        // DeadBlockElim to collect.
+        Succ.Term = Terminator::gotoBlock(S);
+        Preds[S] = 0;
+        Changed = true;
+      }
+    }
+    return Changed;
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// NopElim
+//===----------------------------------------------------------------------===//
+
+class NopElim : public FunctionPass {
+public:
+  const char *name() const override { return "nop-elim"; }
+
+  bool runOn(Function &F, const Module &) override {
+    bool Changed = false;
+    for (BasicBlock &BB : F.Blocks) {
+      size_t Before = BB.Statements.size();
+      BB.Statements.erase(
+          std::remove_if(BB.Statements.begin(), BB.Statements.end(),
+                         [](const Statement &S) {
+                           return S.K == Statement::Kind::Nop;
+                         }),
+          BB.Statements.end());
+      Changed |= BB.Statements.size() != Before;
+    }
+    return Changed;
+  }
+};
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Pass manager and factories
+//===----------------------------------------------------------------------===//
+
+unsigned PassManager::run(Module &M, unsigned MaxRounds) {
+  unsigned Applications = 0;
+  for (const auto &FnPtr : M.functions()) {
+    Function &F = *FnPtr;
+    for (unsigned Round = 0; Round != MaxRounds; ++Round) {
+      bool Changed = false;
+      for (const auto &P : Passes)
+        Changed |= P->runOn(F, M) && ++Applications;
+      if (!Changed)
+        break;
+    }
+  }
+  return Applications;
+}
+
+std::unique_ptr<FunctionPass> rs::mir::createSimplifyCfgPass() {
+  return std::make_unique<SimplifyCfg>();
+}
+
+std::unique_ptr<FunctionPass> rs::mir::createDeadBlockElimPass() {
+  return std::make_unique<DeadBlockElim>();
+}
+
+std::unique_ptr<FunctionPass> rs::mir::createNopElimPass() {
+  return std::make_unique<NopElim>();
+}
+
+void rs::mir::addCleanupPasses(PassManager &PM) {
+  PM.add(createSimplifyCfgPass());
+  PM.add(createDeadBlockElimPass());
+  PM.add(createNopElimPass());
+}

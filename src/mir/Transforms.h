@@ -1,0 +1,70 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of RustSight, a reproduction of "Understanding Memory and Thread
+// Safety Practices and Issues in Real-World Rust Programs" (PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// MIR-to-MIR cleanup passes. rustc runs a pipeline of such passes over
+/// MIR before analysis and codegen; RustLite ships the ones that matter
+/// for analysis quality on generated or hand-written input:
+///
+///   - SimplifyCfg: folds constant switchInt terminators, threads trivial
+///     gotos, and merges single-predecessor successors.
+///   - DeadBlockElim: removes unreachable blocks and renumbers densely.
+///   - NopElim: drops nop statements.
+///
+/// All passes preserve dynamic semantics (checked by interpreting before
+/// and after in the test suite) and leave the function verifier-clean.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RUSTSIGHT_MIR_TRANSFORMS_H
+#define RUSTSIGHT_MIR_TRANSFORMS_H
+
+#include "mir/Mir.h"
+
+#include <memory>
+#include <vector>
+
+namespace rs::mir {
+
+/// A function-level rewrite.
+class FunctionPass {
+public:
+  virtual ~FunctionPass() = default;
+
+  /// Stable identifier, e.g. "simplify-cfg".
+  virtual const char *name() const = 0;
+
+  /// Rewrites \p F; returns true if anything changed. \p M provides
+  /// module context (struct declarations) and is not modified.
+  virtual bool runOn(Function &F, const Module &M) = 0;
+};
+
+/// Runs a pass list over every function until a fixpoint (bounded).
+class PassManager {
+public:
+  void add(std::unique_ptr<FunctionPass> P) {
+    Passes.push_back(std::move(P));
+  }
+
+  /// Runs the pipeline; returns the total number of pass applications
+  /// that changed a function.
+  unsigned run(Module &M, unsigned MaxRounds = 4);
+
+private:
+  std::vector<std::unique_ptr<FunctionPass>> Passes;
+};
+
+std::unique_ptr<FunctionPass> createSimplifyCfgPass();
+std::unique_ptr<FunctionPass> createDeadBlockElimPass();
+std::unique_ptr<FunctionPass> createNopElimPass();
+
+/// The standard cleanup pipeline, in canonical order.
+void addCleanupPasses(PassManager &PM);
+
+} // namespace rs::mir
+
+#endif // RUSTSIGHT_MIR_TRANSFORMS_H

@@ -1,0 +1,159 @@
+#include "mir/Type.h"
+
+#include <cassert>
+
+using namespace rs::mir;
+
+const char *rs::mir::primKindName(PrimKind K) {
+  switch (K) {
+  case PrimKind::Unit:
+    return "()";
+  case PrimKind::Bool:
+    return "bool";
+  case PrimKind::Char:
+    return "char";
+  case PrimKind::Str:
+    return "str";
+  case PrimKind::I8:
+    return "i8";
+  case PrimKind::I16:
+    return "i16";
+  case PrimKind::I32:
+    return "i32";
+  case PrimKind::I64:
+    return "i64";
+  case PrimKind::ISize:
+    return "isize";
+  case PrimKind::U8:
+    return "u8";
+  case PrimKind::U16:
+    return "u16";
+  case PrimKind::U32:
+    return "u32";
+  case PrimKind::U64:
+    return "u64";
+  case PrimKind::USize:
+    return "usize";
+  case PrimKind::F32:
+    return "f32";
+  case PrimKind::F64:
+    return "f64";
+  }
+  assert(false && "unknown PrimKind");
+  return "?";
+}
+
+std::string Type::toString() const {
+  switch (K) {
+  case Kind::Prim:
+    return primKindName(Prim);
+  case Kind::Ref:
+    return std::string("&") + (Mut ? "mut " : "") + Pointee->toString();
+  case Kind::RawPtr:
+    return std::string("*") + (Mut ? "mut " : "const ") + Pointee->toString();
+  case Kind::Tuple: {
+    std::string Out = "(";
+    for (size_t I = 0; I != Args.size(); ++I) {
+      if (I != 0)
+        Out += ", ";
+      Out += Args[I]->toString();
+    }
+    // A 1-tuple renders with a trailing comma, as in Rust.
+    if (Args.size() == 1)
+      Out += ",";
+    Out += ")";
+    return Out;
+  }
+  case Kind::Array:
+    return "[" + Pointee->toString() + "; " + std::to_string(ArrayLen) + "]";
+  case Kind::Slice:
+    return "[" + Pointee->toString() + "]";
+  case Kind::Adt: {
+    std::string Out = Name;
+    if (!Args.empty()) {
+      Out += "<";
+      for (size_t I = 0; I != Args.size(); ++I) {
+        if (I != 0)
+          Out += ", ";
+        Out += Args[I]->toString();
+      }
+      Out += ">";
+    }
+    return Out;
+  }
+  }
+  assert(false && "unknown Type::Kind");
+  return "?";
+}
+
+const Type *TypeContext::intern(Type T) {
+  std::string Key = T.toString();
+  auto It = Interned.find(Key);
+  if (It != Interned.end())
+    return It->second.get();
+  auto Owned = std::unique_ptr<Type>(new Type(std::move(T)));
+  const Type *Raw = Owned.get();
+  Interned.emplace(std::move(Key), std::move(Owned));
+  return Raw;
+}
+
+const Type *TypeContext::getPrim(PrimKind K) {
+  Type T;
+  T.K = Type::Kind::Prim;
+  T.Prim = K;
+  return intern(std::move(T));
+}
+
+const Type *TypeContext::getRef(const Type *Pointee, bool Mut) {
+  assert(Pointee && "null pointee");
+  Type T;
+  T.K = Type::Kind::Ref;
+  T.Mut = Mut;
+  T.Pointee = Pointee;
+  return intern(std::move(T));
+}
+
+const Type *TypeContext::getRawPtr(const Type *Pointee, bool Mut) {
+  assert(Pointee && "null pointee");
+  Type T;
+  T.K = Type::Kind::RawPtr;
+  T.Mut = Mut;
+  T.Pointee = Pointee;
+  return intern(std::move(T));
+}
+
+const Type *TypeContext::getTuple(std::vector<const Type *> Elems) {
+  Type T;
+  T.K = Type::Kind::Tuple;
+  T.Args = std::move(Elems);
+  if (T.Args.empty())
+    return getPrim(PrimKind::Unit);
+  return intern(std::move(T));
+}
+
+const Type *TypeContext::getArray(const Type *Elem, uint64_t Len) {
+  assert(Elem && "null element type");
+  Type T;
+  T.K = Type::Kind::Array;
+  T.Pointee = Elem;
+  T.ArrayLen = Len;
+  return intern(std::move(T));
+}
+
+const Type *TypeContext::getSlice(const Type *Elem) {
+  assert(Elem && "null element type");
+  Type T;
+  T.K = Type::Kind::Slice;
+  T.Pointee = Elem;
+  return intern(std::move(T));
+}
+
+const Type *TypeContext::getAdt(std::string Name,
+                                std::vector<const Type *> Args) {
+  assert(!Name.empty() && "ADT needs a name");
+  Type T;
+  T.K = Type::Kind::Adt;
+  T.Name = std::move(Name);
+  T.Args = std::move(Args);
+  return intern(std::move(T));
+}

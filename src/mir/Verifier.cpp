@@ -1,0 +1,183 @@
+#include "mir/Verifier.h"
+
+using namespace rs::mir;
+
+namespace {
+
+/// Accumulates verification failures for one function.
+class FunctionVerifier {
+public:
+  FunctionVerifier(const Function &F, const Module *M,
+                   std::vector<std::string> &Errors)
+      : F(F), M(M), Errors(Errors) {}
+
+  bool run();
+
+private:
+  void report(const std::string &Message) {
+    Errors.push_back("function '" + F.Name + "': " + Message);
+  }
+
+  void checkLocal(LocalId L, const char *Context) {
+    if (L >= F.numLocals())
+      report(std::string("reference to undeclared local _") +
+             std::to_string(L) + " in " + Context);
+  }
+
+  void checkPlace(const Place &P, const char *Context) {
+    checkLocal(P.Base, Context);
+    for (const ProjectionElem &E : P.Projs)
+      if (E.K == ProjectionElem::Kind::Index)
+        checkLocal(E.IndexLocal, Context);
+  }
+
+  void checkOperand(const Operand &O, const char *Context) {
+    if (O.isPlace())
+      checkPlace(O.P, Context);
+  }
+
+  void checkBlock(BlockId B, const char *Context) {
+    if (B == InvalidBlock || B >= F.numBlocks())
+      report(std::string("branch to nonexistent block in ") + Context);
+  }
+
+  void checkRvalue(const Rvalue &RV);
+  void checkStatement(const Statement &S);
+  void checkTerminator(const Terminator &T);
+
+  const Function &F;
+  const Module *M;
+  std::vector<std::string> &Errors;
+};
+
+} // namespace
+
+void FunctionVerifier::checkRvalue(const Rvalue &RV) {
+  for (const Operand &O : RV.Ops)
+    checkOperand(O, "rvalue");
+  switch (RV.K) {
+  case Rvalue::Kind::Ref:
+  case Rvalue::Kind::AddressOf:
+  case Rvalue::Kind::Discriminant:
+  case Rvalue::Kind::Len:
+    checkPlace(RV.P, "rvalue");
+    break;
+  case Rvalue::Kind::Use:
+    if (RV.Ops.size() != 1)
+      report("Use rvalue must have exactly one operand");
+    break;
+  case Rvalue::Kind::BinaryOp:
+    if (RV.Ops.size() != 2)
+      report("binary rvalue must have exactly two operands");
+    break;
+  case Rvalue::Kind::UnaryOp:
+    if (RV.Ops.size() != 1)
+      report("unary rvalue must have exactly one operand");
+    break;
+  case Rvalue::Kind::Cast:
+    if (RV.Ops.size() != 1 || !RV.CastTy)
+      report("cast rvalue must have one operand and a target type");
+    break;
+  case Rvalue::Kind::Aggregate:
+    if (M && !RV.AggName.empty()) {
+      if (const StructDecl *S = M->findStruct(RV.AggName)) {
+        if (S->Fields.size() != RV.Ops.size())
+          report("aggregate of '" + RV.AggName + "' has " +
+                 std::to_string(RV.Ops.size()) + " fields, struct declares " +
+                 std::to_string(S->Fields.size()));
+      }
+    }
+    break;
+  }
+}
+
+void FunctionVerifier::checkStatement(const Statement &S) {
+  switch (S.K) {
+  case Statement::Kind::Assign:
+    checkPlace(S.Dest, "assignment destination");
+    checkRvalue(S.RV);
+    return;
+  case Statement::Kind::StorageLive:
+  case Statement::Kind::StorageDead:
+    checkLocal(S.Local, "storage statement");
+    if (S.Local == 0 || F.isArg(S.Local))
+      report("storage statements may not target the return place or "
+             "parameters (_" +
+             std::to_string(S.Local) + ")");
+    return;
+  case Statement::Kind::Nop:
+    return;
+  }
+}
+
+void FunctionVerifier::checkTerminator(const Terminator &T) {
+  switch (T.K) {
+  case Terminator::Kind::Goto:
+    checkBlock(T.Target, "goto");
+    return;
+  case Terminator::Kind::SwitchInt:
+    checkOperand(T.Discr, "switchInt");
+    for (const auto &[Value, Block] : T.Cases)
+      checkBlock(Block, "switchInt case");
+    checkBlock(T.Target, "switchInt otherwise");
+    return;
+  case Terminator::Kind::Return:
+  case Terminator::Kind::Resume:
+  case Terminator::Kind::Unreachable:
+    return;
+  case Terminator::Kind::Drop:
+    checkPlace(T.DropPlace, "drop");
+    checkBlock(T.Target, "drop target");
+    if (T.Unwind != InvalidBlock)
+      checkBlock(T.Unwind, "drop unwind");
+    return;
+  case Terminator::Kind::Call:
+    if (T.Callee.empty())
+      report("call with empty callee");
+    if (T.HasDest)
+      checkPlace(T.Dest, "call destination");
+    for (const Operand &O : T.Args)
+      checkOperand(O, "call argument");
+    checkBlock(T.Target, "call target");
+    if (T.Unwind != InvalidBlock)
+      checkBlock(T.Unwind, "call unwind");
+    return;
+  case Terminator::Kind::Assert:
+    checkOperand(T.Discr, "assert");
+    checkBlock(T.Target, "assert target");
+    return;
+  }
+}
+
+bool FunctionVerifier::run() {
+  size_t Before = Errors.size();
+  if (F.Locals.empty()) {
+    report("missing return place _0");
+    return false;
+  }
+  if (F.NumArgs >= F.numLocals())
+    report("declared argument count exceeds locals");
+  for (unsigned I = 0; I != F.numLocals(); ++I)
+    if (!F.Locals[I].Ty)
+      report("local _" + std::to_string(I) + " has no type");
+  if (F.Blocks.empty())
+    report("function has no basic blocks");
+  for (const BasicBlock &BB : F.Blocks) {
+    for (const Statement &S : BB.Statements)
+      checkStatement(S);
+    checkTerminator(BB.Term);
+  }
+  return Errors.size() == Before;
+}
+
+bool rs::mir::verifyFunction(const Function &F, const Module *M,
+                             std::vector<std::string> &Errors) {
+  return FunctionVerifier(F, M, Errors).run();
+}
+
+bool rs::mir::verifyModule(const Module &M, std::vector<std::string> &Errors) {
+  size_t Before = Errors.size();
+  for (const auto &F : M.functions())
+    verifyFunction(*F, &M, Errors);
+  return Errors.size() == Before;
+}

@@ -1,0 +1,37 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of RustSight, a reproduction of "Understanding Memory and Thread
+// Safety Practices and Issues in Real-World Rust Programs" (PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Structural well-formedness checks for RustLite MIR. The verifier rejects
+/// malformed IR (dangling locals, bad block targets, arity errors); it does
+/// NOT check the safety properties the detectors look for — using a dead
+/// local is a *bug pattern*, not a malformed program.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RUSTSIGHT_MIR_VERIFIER_H
+#define RUSTSIGHT_MIR_VERIFIER_H
+
+#include "mir/Mir.h"
+
+#include <string>
+#include <vector>
+
+namespace rs::mir {
+
+/// Checks structural invariants of \p M; appends a message per violation.
+/// Returns true if the module is well-formed.
+bool verifyModule(const Module &M, std::vector<std::string> &Errors);
+
+/// Checks a single function. \p M supplies struct declarations for
+/// aggregate arity checking (may be null).
+bool verifyFunction(const Function &F, const Module *M,
+                    std::vector<std::string> &Errors);
+
+} // namespace rs::mir
+
+#endif // RUSTSIGHT_MIR_VERIFIER_H

@@ -1,0 +1,26 @@
+#include "runtime/Panic.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+using namespace rs::runtime;
+
+namespace {
+
+void defaultHandler(const char *Message) {
+  std::fprintf(stderr, "thread panicked: %s\n", Message);
+}
+
+std::atomic<PanicHandler> CurrentHandler{&defaultHandler};
+
+} // namespace
+
+PanicHandler rs::runtime::setPanicHandler(PanicHandler Handler) {
+  return CurrentHandler.exchange(Handler ? Handler : &defaultHandler);
+}
+
+void rs::runtime::panic(const char *Message) {
+  CurrentHandler.load()(Message);
+  std::abort();
+}

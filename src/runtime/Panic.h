@@ -1,0 +1,33 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of RustSight, a reproduction of "Understanding Memory and Thread
+// Safety Practices and Issues in Real-World Rust Programs" (PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The panic model for the runtime substrate: Rust's checked operations
+/// abort the thread on violation ("Rust runtime detects and triggers a panic
+/// on certain types of bugs, such as buffer overflow"). The handler is
+/// configurable so tests can observe panics.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RUSTSIGHT_RUNTIME_PANIC_H
+#define RUSTSIGHT_RUNTIME_PANIC_H
+
+namespace rs::runtime {
+
+/// Handler invoked on panic. Must not return; if it does, std::abort runs.
+using PanicHandler = void (*)(const char *Message);
+
+/// Replaces the process-wide panic handler; returns the previous one.
+/// The default prints the message to stderr and aborts.
+PanicHandler setPanicHandler(PanicHandler Handler);
+
+/// Reports a safety-check violation and does not return.
+[[noreturn]] void panic(const char *Message);
+
+} // namespace rs::runtime
+
+#endif // RUSTSIGHT_RUNTIME_PANIC_H

@@ -1,0 +1,102 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of RustSight, a reproduction of "Understanding Memory and Thread
+// Safety Practices and Issues in Real-World Rust Programs" (PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A Rust-slice-like view with both checked and unchecked access paths,
+/// mirroring the operations the paper benchmarks in Section 4.1:
+///
+///   - at()            = slice[i]               (bounds check, panics)
+///   - get()           = slice.get(i)           (checked, optional)
+///   - getUnchecked()  = slice.get_unchecked(i) (no check; unsafe in Rust)
+///   - copyFromSlice() = slice.copy_from_slice  (length check + overlap-safe)
+///   - copyNonoverlapping = ptr::copy_nonoverlapping (raw memcpy)
+///
+/// The paper measured get_unchecked and pointer-offset traversal 4-5x
+/// faster than checked access, and copy_nonoverlapping 23% faster than
+/// copy_from_slice in some cases; bench/bench_sec4_perf.cpp regenerates
+/// those comparisons with this substrate.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RUSTSIGHT_RUNTIME_SLICE_H
+#define RUSTSIGHT_RUNTIME_SLICE_H
+
+#include "runtime/Panic.h"
+
+#include <cstddef>
+#include <cstring>
+
+namespace rs::runtime {
+
+/// A non-owning view of a contiguous buffer.
+template <typename T> class Slice {
+public:
+  Slice() = default;
+  Slice(T *Data, size_t Len) : Data(Data), Length(Len) {}
+
+  size_t len() const { return Length; }
+  bool empty() const { return Length == 0; }
+  T *data() const { return Data; }
+
+  /// Bounds-checked access; panics on violation (Rust's slice[i]).
+  T &at(size_t I) const {
+    if (I >= Length)
+      panic("index out of bounds");
+    return Data[I];
+  }
+
+  /// Checked access returning null instead of panicking (Rust's get()).
+  T *get(size_t I) const { return I < Length ? &Data[I] : nullptr; }
+
+  /// Unchecked access (Rust's get_unchecked(); unsafe). The caller must
+  /// guarantee I < len().
+  T &getUnchecked(size_t I) const { return Data[I]; }
+
+  /// Sub-slice [Begin, Begin+Len); panics when out of range.
+  Slice<T> subslice(size_t Begin, size_t Len) const {
+    if (Begin > Length || Len > Length - Begin)
+      panic("slice range out of bounds");
+    return Slice<T>(Data + Begin, Len);
+  }
+
+  /// Rust's copy_from_slice: lengths must match (panics otherwise); the
+  /// copy itself is overlap-safe, as the borrow checker guarantees
+  /// disjointness that this substrate must enforce dynamically.
+  void copyFromSlice(Slice<const T> Src) const {
+    if (Src.len() != Length)
+      panic("source slice length does not match destination");
+    std::memmove(Data, Src.data(), Length * sizeof(T));
+  }
+
+  /*implicit*/ operator Slice<const T>() const {
+    return Slice<const T>(Data, Length);
+  }
+
+private:
+  T *Data = nullptr;
+  size_t Length = 0;
+};
+
+/// Rust's ptr::copy_nonoverlapping: raw memcpy with no checks; the caller
+/// guarantees disjointness (unsafe in Rust).
+template <typename T>
+void copyNonoverlapping(const T *Src, T *Dst, size_t Count) {
+  std::memcpy(Dst, Src, Count * sizeof(T));
+}
+
+/// Pointer-offset traversal (Rust's ptr::offset + dereference): sums \p N
+/// elements with raw pointer arithmetic and no bounds checks.
+template <typename T> unsigned long long sumPointerOffset(const T *P, size_t N) {
+  unsigned long long Sum = 0;
+  for (const T *End = P + N; P != End; ++P)
+    Sum += static_cast<unsigned long long>(*P);
+  return Sum;
+}
+
+} // namespace rs::runtime
+
+#endif // RUSTSIGHT_RUNTIME_SLICE_H

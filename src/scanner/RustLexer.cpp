@@ -1,0 +1,287 @@
+#include "scanner/RustLexer.h"
+
+#include "support/StringUtils.h"
+
+using namespace rs;
+using namespace rs::scanner;
+
+namespace {
+
+/// Single-pass tokenizer state.
+class LexerImpl {
+public:
+  LexerImpl(std::string_view Buf) : Buf(Buf) {}
+
+  std::vector<RustToken> run(LineCounts &Counts);
+
+private:
+  char peek(size_t Ahead = 0) const {
+    return Pos + Ahead < Buf.size() ? Buf[Pos + Ahead] : '\0';
+  }
+  void advance() {
+    if (Pos < Buf.size() && Buf[Pos] == '\n')
+      ++Line;
+    ++Pos;
+  }
+  void markCode() { touch(LineKind::Code); }
+  void markComment() { touch(LineKind::Comment); }
+
+  enum class LineKind { Code, Comment };
+  void touch(LineKind K) {
+    if (LineMarks.size() < Line + 1)
+      LineMarks.resize(Line + 1, 0);
+    LineMarks[Line] |= K == LineKind::Code ? 1 : 2;
+  }
+
+  void skipLineComment();
+  void skipBlockComment();
+  bool lexRawString(RustToken &T);
+  void lexString(RustToken &T);
+
+  std::string_view Buf;
+  size_t Pos = 0;
+  unsigned Line = 1;
+  std::vector<uint8_t> LineMarks; ///< Bit 0: code, bit 1: comment.
+
+  friend class rs::scanner::RustLexer;
+public:
+  std::vector<uint8_t> &marks() { return LineMarks; }
+  unsigned lastLine() const { return Line; }
+};
+
+void LexerImpl::skipLineComment() {
+  markComment();
+  while (Pos < Buf.size() && Buf[Pos] != '\n') {
+    markComment();
+    advance();
+  }
+}
+
+void LexerImpl::skipBlockComment() {
+  // Rust block comments nest.
+  unsigned Depth = 1;
+  markComment();
+  advance(); // '/'
+  advance(); // '*'
+  while (Pos < Buf.size() && Depth != 0) {
+    markComment();
+    if (peek() == '/' && peek(1) == '*') {
+      ++Depth;
+      advance();
+      advance();
+      continue;
+    }
+    if (peek() == '*' && peek(1) == '/') {
+      --Depth;
+      advance();
+      advance();
+      continue;
+    }
+    advance();
+  }
+}
+
+bool LexerImpl::lexRawString(RustToken &T) {
+  // At 'r' (possibly after 'b'); raw string is r...#..." with N hashes.
+  size_t Probe = Pos + 1;
+  size_t Hashes = 0;
+  while (Probe < Buf.size() && Buf[Probe] == '#') {
+    ++Hashes;
+    ++Probe;
+  }
+  if (Probe >= Buf.size() || Buf[Probe] != '"')
+    return false;
+  size_t Begin = Pos;
+  while (Pos <= Probe)
+    advance(); // Consume r##...".
+  // Scan until '"' followed by Hashes '#'.
+  while (Pos < Buf.size()) {
+    markCode();
+    if (Buf[Pos] == '"') {
+      size_t H = 0;
+      while (H < Hashes && Pos + 1 + H < Buf.size() &&
+             Buf[Pos + 1 + H] == '#')
+        ++H;
+      if (H == Hashes) {
+        for (size_t I = 0; I <= Hashes; ++I)
+          advance();
+        break;
+      }
+    }
+    advance();
+  }
+  T.K = RustTokKind::String;
+  T.Text = Buf.substr(Begin, Pos - Begin);
+  return true;
+}
+
+void LexerImpl::lexString(RustToken &T) {
+  size_t Begin = Pos;
+  advance(); // Opening quote.
+  while (Pos < Buf.size() && Buf[Pos] != '"') {
+    markCode();
+    if (Buf[Pos] == '\\' && Pos + 1 < Buf.size()) {
+      advance();
+      advance();
+      continue;
+    }
+    advance();
+  }
+  if (Pos < Buf.size())
+    advance(); // Closing quote.
+  T.K = RustTokKind::String;
+  T.Text = Buf.substr(Begin, Pos - Begin);
+}
+
+std::vector<RustToken> LexerImpl::run(LineCounts &Counts) {
+  std::vector<RustToken> Toks;
+  while (Pos < Buf.size()) {
+    char C = peek();
+
+    if (C == ' ' || C == '\t' || C == '\r' || C == '\n') {
+      advance();
+      continue;
+    }
+    if (C == '/' && peek(1) == '/') {
+      skipLineComment();
+      continue;
+    }
+    if (C == '/' && peek(1) == '*') {
+      skipBlockComment();
+      continue;
+    }
+
+    RustToken T;
+    T.Line = Line;
+    markCode();
+
+    // Raw identifiers and raw strings: r#ident, r"..." / r#"..."#, br"...".
+    if ((C == 'r' || (C == 'b' && peek(1) == 'r'))) {
+      size_t Save = Pos;
+      if (C == 'b')
+        advance();
+      if (lexRawString(T)) {
+        Toks.push_back(T);
+        continue;
+      }
+      Pos = Save;
+      if (C == 'r' && peek(1) == '#' && isIdentStart(peek(2))) {
+        // Raw identifier r#unsafe: lex as an identifier without the prefix.
+        advance();
+        advance();
+        size_t Begin = Pos;
+        while (Pos < Buf.size() && isIdentCont(Buf[Pos]))
+          advance();
+        T.K = RustTokKind::Ident;
+        T.Text = Buf.substr(Begin, Pos - Begin);
+        Toks.push_back(T);
+        continue;
+      }
+    }
+
+    if (C == 'b' && peek(1) == '\'') {
+      // Byte char literal b'x'.
+      size_t Begin = Pos;
+      advance();
+      advance();
+      if (peek() == '\\')
+        advance();
+      advance();
+      if (peek() == '\'')
+        advance();
+      T.K = RustTokKind::CharLit;
+      T.Text = Buf.substr(Begin, Pos - Begin);
+      Toks.push_back(T);
+      continue;
+    }
+    if (C == 'b' && peek(1) == '"') {
+      advance(); // 'b'
+      lexString(T);
+      Toks.push_back(T);
+      continue;
+    }
+
+    if (isIdentStart(C)) {
+      size_t Begin = Pos;
+      while (Pos < Buf.size() && isIdentCont(Buf[Pos]))
+        advance();
+      T.K = RustTokKind::Ident;
+      T.Text = Buf.substr(Begin, Pos - Begin);
+      Toks.push_back(T);
+      continue;
+    }
+
+    if (isDigit(C)) {
+      size_t Begin = Pos;
+      while (Pos < Buf.size() &&
+             (isIdentCont(Buf[Pos]) || Buf[Pos] == '.') &&
+             !(Buf[Pos] == '.' && peek(1) == '.')) {
+        if (Buf[Pos] == '.' && !isDigit(peek(1)))
+          break;
+        advance();
+      }
+      T.K = RustTokKind::Number;
+      T.Text = Buf.substr(Begin, Pos - Begin);
+      Toks.push_back(T);
+      continue;
+    }
+
+    if (C == '"') {
+      lexString(T);
+      Toks.push_back(T);
+      continue;
+    }
+
+    if (C == '\'') {
+      // Lifetime ('a) or char literal ('a', '\n').
+      size_t Begin = Pos;
+      if (isIdentStart(peek(1)) && peek(2) != '\'') {
+        advance(); // '\''
+        while (Pos < Buf.size() && isIdentCont(Buf[Pos]))
+          advance();
+        T.K = RustTokKind::Lifetime;
+        T.Text = Buf.substr(Begin, Pos - Begin);
+        Toks.push_back(T);
+        continue;
+      }
+      advance(); // '\''
+      if (peek() == '\\')
+        advance();
+      advance(); // The char.
+      if (peek() == '\'')
+        advance();
+      T.K = RustTokKind::CharLit;
+      T.Text = Buf.substr(Begin, Pos - Begin);
+      Toks.push_back(T);
+      continue;
+    }
+
+    // Any other character is a single punctuation token.
+    T.K = RustTokKind::Punct;
+    T.Text = Buf.substr(Pos, 1);
+    advance();
+    Toks.push_back(T);
+  }
+
+  // Classify lines: code wins over comment; untouched lines are blank.
+  unsigned TotalLines = Line;
+  if (!Buf.empty() && Buf.back() == '\n')
+    --TotalLines;
+  Counts = LineCounts();
+  for (unsigned L = 1; L <= TotalLines; ++L) {
+    uint8_t Mark = L < LineMarks.size() ? LineMarks[L] : 0;
+    if (Mark & 1)
+      ++Counts.Code;
+    else if (Mark & 2)
+      ++Counts.Comment;
+    else
+      ++Counts.Blank;
+  }
+  return Toks;
+}
+
+} // namespace
+
+std::vector<RustToken> RustLexer::tokenize(LineCounts &Counts) {
+  return LexerImpl(Buf).run(Counts);
+}

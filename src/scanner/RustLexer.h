@@ -1,0 +1,71 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of RustSight, a reproduction of "Understanding Memory and Thread
+// Safety Practices and Issues in Real-World Rust Programs" (PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A lightweight lexer for Rust surface syntax, sufficient for the unsafe-
+/// usage scanner: identifiers/keywords, punctuation, string/char/numeric
+/// literals, lifetimes, and comments (line, nested block, and doc).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RUSTSIGHT_SCANNER_RUSTLEXER_H
+#define RUSTSIGHT_SCANNER_RUSTLEXER_H
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rs::scanner {
+
+/// Rust token categories (coarse; the scanner needs structure, not types).
+enum class RustTokKind {
+  Eof,
+  Ident,     ///< Identifier or keyword.
+  Lifetime,  ///< 'a (not a char literal).
+  Number,
+  String,    ///< "..." | r"..." | r#"..."# | b"...".
+  CharLit,   ///< 'x'.
+  Punct,     ///< One punctuation character.
+};
+
+/// One token. Text views into the source buffer.
+struct RustToken {
+  RustTokKind K = RustTokKind::Eof;
+  std::string_view Text;
+  unsigned Line = 1;
+
+  bool isIdent(std::string_view S) const {
+    return K == RustTokKind::Ident && Text == S;
+  }
+  bool isPunct(char C) const {
+    return K == RustTokKind::Punct && Text.size() == 1 && Text[0] == C;
+  }
+};
+
+/// Per-line classification used for LOC counting.
+struct LineCounts {
+  unsigned Code = 0;
+  unsigned Comment = 0;
+  unsigned Blank = 0;
+};
+
+/// Tokenizes an entire Rust source buffer. Comments and whitespace are
+/// skipped but counted into the returned LineCounts.
+class RustLexer {
+public:
+  explicit RustLexer(std::string_view Buffer) : Buf(Buffer) {}
+
+  /// Tokenizes everything; fills \p Counts with the line classification.
+  std::vector<RustToken> tokenize(LineCounts &Counts);
+
+private:
+  std::string_view Buf;
+};
+
+} // namespace rs::scanner
+
+#endif // RUSTSIGHT_SCANNER_RUSTLEXER_H

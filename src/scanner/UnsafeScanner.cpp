@@ -1,0 +1,250 @@
+#include "scanner/UnsafeScanner.h"
+
+#include "scanner/RustLexer.h"
+
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+using namespace rs::scanner;
+
+void ScanStats::merge(const ScanStats &Other) {
+  CodeLines += Other.CodeLines;
+  CommentLines += Other.CommentLines;
+  BlankLines += Other.BlankLines;
+  Files += Other.Files;
+  UnsafeBlocks += Other.UnsafeBlocks;
+  UnsafeFns += Other.UnsafeFns;
+  UnsafeTraits += Other.UnsafeTraits;
+  UnsafeImpls += Other.UnsafeImpls;
+  TotalFns += Other.TotalFns;
+  InteriorUnsafeFns += Other.InteriorUnsafeFns;
+  RawPtrDerefs += Other.RawPtrDerefs;
+  CallsInUnsafe += Other.CallsInUnsafe;
+  StaticMutUses += Other.StaticMutUses;
+  UnsafeLines += Other.UnsafeLines;
+}
+
+namespace {
+
+bool isRustKeyword(std::string_view S) {
+  static const std::set<std::string_view> Keywords = {
+      "as",     "break",  "const",  "continue", "crate", "dyn",    "else",
+      "enum",   "extern", "false",  "fn",       "for",   "if",     "impl",
+      "in",     "let",    "loop",   "match",    "mod",   "move",   "mut",
+      "pub",    "ref",    "return", "self",     "Self",  "static", "struct",
+      "super",  "trait",  "true",   "type",     "unsafe","use",    "where",
+      "while",  "async",  "await",  "union"};
+  return Keywords.count(S) != 0;
+}
+
+/// Token-stream walker implementing the scan.
+class Walker {
+public:
+  Walker(const std::vector<RustToken> &Toks, ScanStats &Stats)
+      : Toks(Toks), Stats(Stats) {}
+
+  void run();
+
+private:
+  const RustToken &tok(size_t I) const {
+    static const RustToken EofTok;
+    return I < Toks.size() ? Toks[I] : EofTok;
+  }
+
+  /// A brace scope with the reason it was opened.
+  enum class ScopeKind { Plain, UnsafeBlock, FnBody };
+  struct Scope {
+    ScopeKind K;
+    bool FnIsUnsafe = false;     ///< FnBody only.
+    bool FnSawUnsafe = false;    ///< FnBody only: contains an unsafe block.
+  };
+
+  bool inUnsafeContext() const {
+    for (const Scope &S : Scopes)
+      if (S.K == ScopeKind::UnsafeBlock ||
+          (S.K == ScopeKind::FnBody && S.FnIsUnsafe))
+        return true;
+    return false;
+  }
+
+  Scope *currentFn() {
+    for (size_t I = Scopes.size(); I != 0; --I)
+      if (Scopes[I - 1].K == ScopeKind::FnBody)
+        return &Scopes[I - 1];
+    return nullptr;
+  }
+
+  void collectStaticMuts();
+
+  const std::vector<RustToken> &Toks;
+  ScanStats &Stats;
+  std::vector<Scope> Scopes;
+  std::set<std::string_view> StaticMutNames;
+  std::set<unsigned> UnsafeLineSet;
+};
+
+void Walker::collectStaticMuts() {
+  for (size_t I = 0; I + 2 < Toks.size(); ++I)
+    if (Toks[I].isIdent("static") && Toks[I + 1].isIdent("mut") &&
+        Toks[I + 2].K == RustTokKind::Ident)
+      StaticMutNames.insert(Toks[I + 2].Text);
+}
+
+void Walker::run() {
+  collectStaticMuts();
+
+  // Pending markers between a keyword and the brace that opens its body.
+  bool PendingUnsafeBlock = false; // "unsafe" seen, expecting '{'.
+  bool PendingFnBody = false;      // "fn" seen, expecting '{' or ';'.
+  bool PendingFnIsUnsafe = false;
+
+  for (size_t I = 0; I != Toks.size(); ++I) {
+    const RustToken &T = Toks[I];
+
+    if (T.isIdent("unsafe")) {
+      // Find what this 'unsafe' modifies: fn / trait / impl / block.
+      // Skip over qualifiers like extern "C".
+      size_t J = I + 1;
+      while (J < Toks.size() &&
+             (tok(J).isIdent("extern") || tok(J).K == RustTokKind::String))
+        ++J;
+      if (tok(J).isIdent("fn")) {
+        ++Stats.UnsafeFns;
+        ++Stats.TotalFns;
+        PendingFnBody = true;
+        PendingFnIsUnsafe = true;
+        I = J; // Continue after 'fn'; the body '{' is handled below.
+        continue;
+      }
+      if (tok(J).isIdent("trait")) {
+        ++Stats.UnsafeTraits;
+        I = J;
+        continue;
+      }
+      if (tok(J).isIdent("impl")) {
+        ++Stats.UnsafeImpls;
+        I = J;
+        continue;
+      }
+      PendingUnsafeBlock = true;
+      continue;
+    }
+
+    if (T.isIdent("fn")) {
+      ++Stats.TotalFns;
+      PendingFnBody = true;
+      PendingFnIsUnsafe = false;
+      continue;
+    }
+
+    if (T.isPunct(';')) {
+      // A bodyless fn declaration (trait method signature).
+      PendingFnBody = false;
+      PendingUnsafeBlock = false;
+      continue;
+    }
+
+    if (T.isPunct('{')) {
+      Scope S{ScopeKind::Plain, false, false};
+      if (PendingUnsafeBlock) {
+        S.K = ScopeKind::UnsafeBlock;
+        ++Stats.UnsafeBlocks;
+        if (Scope *Fn = currentFn())
+          Fn->FnSawUnsafe = true;
+        PendingUnsafeBlock = false;
+      } else if (PendingFnBody) {
+        S.K = ScopeKind::FnBody;
+        S.FnIsUnsafe = PendingFnIsUnsafe;
+        PendingFnBody = false;
+      }
+      Scopes.push_back(S);
+      continue;
+    }
+    if (T.isPunct('}')) {
+      if (!Scopes.empty()) {
+        Scope S = Scopes.back();
+        Scopes.pop_back();
+        if (S.K == ScopeKind::FnBody && !S.FnIsUnsafe && S.FnSawUnsafe)
+          ++Stats.InteriorUnsafeFns;
+      }
+      continue;
+    }
+
+    if (!inUnsafeContext())
+      continue;
+
+    UnsafeLineSet.insert(T.Line);
+
+    // Operation classification inside unsafe code.
+    if (T.isPunct('*')) {
+      // Unary dereference: '*' introducing an expression (previous token
+      // cannot end one).
+      const RustToken &Prev = I == 0 ? RustToken() : Toks[I - 1];
+      bool PrevEndsExpr =
+          Prev.K == RustTokKind::Number || Prev.K == RustTokKind::String ||
+          Prev.isPunct(')') || Prev.isPunct(']') ||
+          (Prev.K == RustTokKind::Ident && !isRustKeyword(Prev.Text));
+      const RustToken &Next = tok(I + 1);
+      bool NextStartsExpr =
+          (Next.K == RustTokKind::Ident &&
+           (!isRustKeyword(Next.Text) || Next.Text == "self")) ||
+          Next.isPunct('(') || Next.isPunct('*');
+      // Exclude type position "*const T" / "*mut T".
+      bool IsTypePosition = Next.isIdent("const") || Next.isIdent("mut");
+      if (!PrevEndsExpr && NextStartsExpr && !IsTypePosition)
+        ++Stats.RawPtrDerefs;
+      continue;
+    }
+    if (T.K == RustTokKind::Ident && !isRustKeyword(T.Text)) {
+      if (StaticMutNames.count(T.Text)) {
+        ++Stats.StaticMutUses;
+        continue;
+      }
+      if (tok(I + 1).isPunct('('))
+        ++Stats.CallsInUnsafe;
+      continue;
+    }
+  }
+  Stats.UnsafeLines = static_cast<unsigned>(UnsafeLineSet.size());
+}
+
+} // namespace
+
+ScanStats UnsafeScanner::scanSource(std::string_view Source) const {
+  ScanStats Stats;
+  Stats.Files = 1;
+  LineCounts Counts;
+  RustLexer Lexer(Source);
+  std::vector<RustToken> Toks = Lexer.tokenize(Counts);
+  Stats.CodeLines = Counts.Code;
+  Stats.CommentLines = Counts.Comment;
+  Stats.BlankLines = Counts.Blank;
+  Walker(Toks, Stats).run();
+  return Stats;
+}
+
+ScanStats UnsafeScanner::scanFile(const std::string &Path) const {
+  std::ifstream In(Path);
+  if (!In)
+    return ScanStats();
+  std::ostringstream Buf;
+  Buf << In.rdbuf();
+  std::string Source = Buf.str();
+  return scanSource(Source);
+}
+
+ScanStats UnsafeScanner::scanDirectory(const std::string &Dir) const {
+  ScanStats Total;
+  std::error_code EC;
+  std::filesystem::recursive_directory_iterator It(Dir, EC), End;
+  for (; !EC && It != End; It.increment(EC)) {
+    if (!It->is_regular_file(EC))
+      continue;
+    if (It->path().extension() != ".rs")
+      continue;
+    Total.merge(scanFile(It->path().string()));
+  }
+  return Total;
+}

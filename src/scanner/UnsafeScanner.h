@@ -1,0 +1,78 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of RustSight, a reproduction of "Understanding Memory and Thread
+// Safety Practices and Issues in Real-World Rust Programs" (PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The unsafe-usage scanner: the measurement instrument behind the paper's
+/// Section 4. It counts unsafe blocks / functions / traits / impls,
+/// interior-unsafe functions (safe functions containing unsafe blocks), LOC,
+/// and classifies the operations performed inside unsafe code (raw-pointer
+/// dereferences, calls, mutable-static accesses), matching the paper's
+/// operation-type breakdown.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RUSTSIGHT_SCANNER_UNSAFESCANNER_H
+#define RUSTSIGHT_SCANNER_UNSAFESCANNER_H
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rs::scanner {
+
+/// Aggregated counts from scanning Rust sources.
+struct ScanStats {
+  // Line counts.
+  unsigned CodeLines = 0;
+  unsigned CommentLines = 0;
+  unsigned BlankLines = 0;
+  unsigned Files = 0;
+
+  // Unsafe constructs (the paper's "unsafe usages": regions + fns + traits).
+  unsigned UnsafeBlocks = 0;
+  unsigned UnsafeFns = 0;
+  unsigned UnsafeTraits = 0;
+  unsigned UnsafeImpls = 0;
+
+  // Functions.
+  unsigned TotalFns = 0;
+  unsigned InteriorUnsafeFns = 0; ///< Safe fns containing unsafe blocks.
+
+  // Operations observed inside unsafe code.
+  unsigned RawPtrDerefs = 0;
+  unsigned CallsInUnsafe = 0;
+  unsigned StaticMutUses = 0;
+
+  /// Source lines carrying at least one token inside unsafe code ("the
+  /// amount of unsafe code", Section 2.6's crates.io measurements).
+  unsigned UnsafeLines = 0;
+
+  /// Regions + functions + traits, the paper's headline "unsafe usages".
+  unsigned totalUnsafeUsages() const {
+    return UnsafeBlocks + UnsafeFns + UnsafeTraits;
+  }
+
+  /// Accumulates \p Other into this.
+  void merge(const ScanStats &Other);
+};
+
+/// Scans Rust source text or trees for unsafe usage.
+class UnsafeScanner {
+public:
+  /// Scans one in-memory source buffer.
+  ScanStats scanSource(std::string_view Source) const;
+
+  /// Scans one file on disk; returns empty stats if unreadable.
+  ScanStats scanFile(const std::string &Path) const;
+
+  /// Recursively scans every .rs file under \p Dir.
+  ScanStats scanDirectory(const std::string &Dir) const;
+};
+
+} // namespace rs::scanner
+
+#endif // RUSTSIGHT_SCANNER_UNSAFESCANNER_H

@@ -1,0 +1,311 @@
+#include "stdmodel/StdModels.h"
+
+using namespace rs::stdmodel;
+
+const char *rs::stdmodel::encapsulationName(Encapsulation E) {
+  switch (E) {
+  case Encapsulation::ProperByCheck:
+    return "proper (explicit check)";
+  case Encapsulation::ProperByEnvironment:
+    return "proper (safe inputs/environment)";
+  case Encapsulation::Improper:
+    return "improper";
+  }
+  return "?";
+}
+
+namespace {
+
+std::vector<StdModel> buildModels() {
+  std::vector<StdModel> Models;
+
+  // --- Proper: safe by environment -----------------------------------------
+
+  Models.push_back(
+      {"arc-raw-roundtrip", "Arc::into_raw / Arc::from_raw",
+       "The paper's canonical environment-safe pair: from_raw only ever "
+       "consumes what into_raw produced, so no check is needed.",
+       R"mir(
+fn client() -> i32 {
+    let _1: Arc<i32>;
+    let _2: *const i32;
+    let _3: Arc<i32>;
+    bb0: {
+        _1 = Arc::new(const 5) -> bb1;
+    }
+    bb1: {
+        _2 = Arc::into_raw(move _1) -> bb2;
+    }
+    bb2: {
+        _3 = Arc::from_raw(move _2) -> bb3;
+    }
+    bb3: {
+        drop(_3) -> bb4;
+    }
+    bb4: {
+        _0 = const 0;
+        return;
+    }
+}
+)mir",
+       Encapsulation::ProperByEnvironment});
+
+  Models.push_back(
+      {"mutex-guard-scope", "Mutex::lock",
+       "The guard's scope is the critical section; the implicit unlock at "
+       "scope end keeps re-acquisition safe.",
+       R"mir(
+fn client(_1: &Mutex<i32>) -> i32 {
+    let _2: MutexGuard<i32>;
+    let _3: MutexGuard<i32>;
+    bb0: {
+        StorageLive(_2);
+        _2 = Mutex::lock(copy _1) -> bb1;
+    }
+    bb1: {
+        _0 = copy (*_2);
+        StorageDead(_2);
+        StorageLive(_3);
+        _3 = Mutex::lock(copy _1) -> bb2;
+    }
+    bb2: {
+        StorageDead(_3);
+        return;
+    }
+}
+)mir",
+       Encapsulation::ProperByEnvironment});
+
+  Models.push_back(
+      {"vec-reserve-write", "Vec::push (grow path)",
+       "Raw allocation is written through ptr::write before anything reads "
+       "it: the internal unsafe code runs in an environment the safe API "
+       "constructed.",
+       R"mir(
+fn client() -> u8 {
+    let _1: *mut u8;
+    let _2: ();
+    bb0: {
+        _1 = alloc(const 8) -> bb1;
+    }
+    bb1: {
+        _2 = ptr::write(copy _1, const 42) -> bb2;
+    }
+    bb2: {
+        _0 = copy (*_1);
+        return;
+    }
+}
+)mir",
+       Encapsulation::ProperByEnvironment});
+
+  Models.push_back(
+      {"refcell-scoped-borrows", "RefCell::borrow_mut",
+       "Dynamic borrows encapsulate aliasing+mutation safely as long as "
+       "guards' scopes never overlap.",
+       R"mir(
+fn client(_1: &RefCell<i32>) -> i32 {
+    let _2: RefMut<i32>;
+    let _3: RefMut<i32>;
+    bb0: {
+        StorageLive(_2);
+        _2 = RefCell::borrow_mut(copy _1) -> bb1;
+    }
+    bb1: {
+        (*_2) = const 1;
+        StorageDead(_2);
+        StorageLive(_3);
+        _3 = RefCell::borrow_mut(copy _1) -> bb2;
+    }
+    bb2: {
+        _0 = copy (*_3);
+        StorageDead(_3);
+        return;
+    }
+}
+)mir",
+       Encapsulation::ProperByEnvironment});
+
+  // --- Proper: explicit checks ---------------------------------------------
+
+  Models.push_back(
+      {"slice-get-checked", "slice::get / slice indexing",
+       "The 42% of std interior-unsafe regions requiring valid memory: the "
+       "bound is checked explicitly before the unchecked access.",
+       R"mir(
+fn client(_1: &[i32], _2: usize) -> i32 {
+    let _3: usize;
+    let _4: bool;
+    bb0: {
+        _3 = Len((*_1));
+        _4 = Lt(copy _2, copy _3);
+        switchInt(copy _4) -> [1: bb1, otherwise: bb2];
+    }
+    bb1: {
+        _0 = copy (*_1)[_2];
+        return;
+    }
+    bb2: {
+        _0 = const 0;
+        return;
+    }
+}
+)mir",
+       Encapsulation::ProperByCheck});
+
+  Models.push_back(
+      {"string-utf8-checked", "String::from_utf8",
+       "The checked constructor validates before building: the buffer is "
+       "initialized before any read.",
+       R"mir(
+fn client() -> u8 {
+    let _1: *mut u8;
+    let _2: bool;
+    bb0: {
+        _1 = alloc(const 4) -> bb1;
+    }
+    bb1: {
+        (*_1) = const 104;
+        _2 = validate_utf8(copy _1) -> bb2;
+    }
+    bb2: {
+        switchInt(copy _2) -> [1: bb3, otherwise: bb4];
+    }
+    bb3: {
+        _0 = copy (*_1);
+        return;
+    }
+    bb4: {
+        _0 = const 0;
+        return;
+    }
+}
+)mir",
+       Encapsulation::ProperByCheck});
+
+  // --- Improper (the 19 cases of Section 4.3) -------------------------------
+
+  Models.push_back(
+      {"queue-peek-pop", "Queue::peek + Queue::pop (Figure 5)",
+       "Both take &self, so safe code can hold peek's reference across "
+       "pop's removal of the element: interior mutability improperly "
+       "encapsulated.",
+       R"mir(
+fn Queue_peek(_1: &Queue<i32>) -> *mut i32 {
+    bb0: {
+        _0 = copy (*_1).0;
+        return;
+    }
+}
+fn Queue_pop(_1: &Queue<i32>) {
+    let _2: *mut i32;
+    bb0: {
+        _2 = copy (*_1).0;
+        dealloc(copy _2) -> bb1;
+    }
+    bb1: {
+        return;
+    }
+}
+fn client(_1: &Queue<i32>) -> i32 {
+    let _2: *mut i32;
+    let _3: ();
+    bb0: {
+        _2 = Queue_peek(copy _1) -> bb1;
+    }
+    bb1: {
+        _3 = Queue_pop(copy _1) -> bb2;
+    }
+    bb2: {
+        _0 = copy (*_2);
+        return;
+    }
+}
+)mir",
+       Encapsulation::Improper});
+
+  Models.push_back(
+      {"unchecked-ctor", "String::from_utf8_unchecked",
+       "The unchecked constructor skips the initialization/validation the "
+       "later safe reads trust (the unsafe-constructor pattern of Section "
+       "4.1).",
+       R"mir(
+fn client() -> u8 {
+    let _1: *mut u8;
+    bb0: {
+        _1 = alloc(const 8) -> bb1;
+    }
+    bb1: {
+        _0 = copy (*_1);
+        return;
+    }
+}
+)mir",
+       Encapsulation::Improper});
+
+  Models.push_back(
+      {"deref-param-unchecked", "ffi-style pointer parameter",
+       "\"Four directly dereference input parameters ... without any "
+       "boundary checking\": the callee trusts a pointer its caller "
+       "already freed.",
+       R"mir(
+fn release(_1: *mut u8) {
+    bb0: {
+        dealloc(copy _1) -> bb1;
+    }
+    bb1: {
+        return;
+    }
+}
+fn client() -> u8 {
+    let _1: *mut u8;
+    let _2: ();
+    bb0: {
+        _1 = alloc(const 8) -> bb1;
+    }
+    bb1: {
+        (*_1) = const 1;
+        _2 = release(copy _1) -> bb2;
+    }
+    bb2: {
+        _0 = copy (*_1);
+        return;
+    }
+}
+)mir",
+       Encapsulation::Improper});
+
+  Models.push_back(
+      {"lifetime-to-static-cast", "mem::transmute lifetime extension",
+       "\"Using type casting to change objects' lifetime to static\": the "
+       "returned reference points into the callee's dead frame.",
+       R"mir(
+fn leak() -> &i32 {
+    let _1: i32;
+    let _2: &i32;
+    bb0: {
+        _1 = const 5;
+        _2 = &_1;
+        _0 = copy _2 as &i32;
+        return;
+    }
+}
+)mir",
+       Encapsulation::Improper});
+
+  return Models;
+}
+
+} // namespace
+
+const std::vector<StdModel> &rs::stdmodel::stdModels() {
+  static const std::vector<StdModel> Models = buildModels();
+  return Models;
+}
+
+const StdModel *rs::stdmodel::findStdModel(const std::string &Name) {
+  for (const StdModel &M : stdModels())
+    if (M.Name == Name)
+      return &M;
+  return nullptr;
+}

@@ -1,0 +1,68 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of RustSight, a reproduction of "Understanding Memory and Thread
+// Safety Practices and Issues in Real-World Rust Programs" (PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Executable models of the standard-library interior-unsafe patterns the
+/// paper's Section 4.3 audits. Each model is a small RustLite MIR module
+/// capturing one encapsulation idiom — how a safe API wraps internal
+/// unsafe code — together with the paper's verdict on it:
+///
+///   - Proper: "Rust std ... ensures that the input or the environment
+///     that the interior unsafe code executes with is safe" (e.g.
+///     Arc::from_raw only consuming Arc::into_raw's output), or explicit
+///     checks (e.g. bounds checks before unchecked access).
+///   - Improper: the encapsulation can be broken from safe code (the
+///     Figure 5 Queue::peek/pop pair; constructors whose invariants later
+///     unsafe code trusts).
+///
+/// The detector suite run over each model must agree with the verdict,
+/// making Section 4.3's audit reproducible rather than narrative.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RUSTSIGHT_STDMODEL_STDMODELS_H
+#define RUSTSIGHT_STDMODEL_STDMODELS_H
+
+#include <string>
+#include <vector>
+
+namespace rs::stdmodel {
+
+/// The paper's encapsulation verdicts.
+enum class Encapsulation {
+  ProperByCheck,       ///< Explicit condition check guards the unsafe code.
+  ProperByEnvironment, ///< Inputs/environment constructed safe by design.
+  Improper,            ///< Breakable from safe code (19 cases in Sec. 4.3).
+};
+
+const char *encapsulationName(Encapsulation E);
+
+/// One modeled std API pattern.
+struct StdModel {
+  /// Stable identifier, e.g. "arc-raw-roundtrip".
+  std::string Name;
+  /// The std API(s) being modeled.
+  std::string Api;
+  /// What the model demonstrates.
+  std::string Description;
+  /// RustLite MIR source; every model also contains a `client` function
+  /// exercising the API the way safe code would.
+  std::string Mir;
+  /// The paper's verdict; Improper models must trigger >=1 diagnostic,
+  /// Proper models none.
+  Encapsulation Verdict;
+};
+
+/// The full model registry.
+const std::vector<StdModel> &stdModels();
+
+/// Finds a model by name, or null.
+const StdModel *findStdModel(const std::string &Name);
+
+} // namespace rs::stdmodel
+
+#endif // RUSTSIGHT_STDMODEL_STDMODELS_H

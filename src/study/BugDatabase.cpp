@@ -1,0 +1,400 @@
+#include "study/BugDatabase.h"
+
+#include <cassert>
+
+using namespace rs::study;
+
+BugDatabase::BugDatabase() {
+  buildMemoryBugs();
+  buildBlockingBugs();
+  buildNonBlockingBugs();
+  assignDates();
+}
+
+//===----------------------------------------------------------------------===//
+// Memory bugs: Table 2 cell by cell (category x propagation x interior),
+// Section 5.2 fix strategies, Table 1 per-project counts.
+//===----------------------------------------------------------------------===//
+
+void BugDatabase::buildMemoryBugs() {
+  unsigned NextId = 1;
+
+  // Per-category fix-strategy schedules realizing Section 5.2's 30/22/9/9:
+  // buffer overflows are fixed by skipping the dangerous access; UAF and
+  // double-free by lifetime adjustment (the paper's Figures 6/7 fixes); etc.
+  unsigned NullCount = 0, UninitCount = 0, InvalidCount = 0;
+  auto FixFor = [&](MemCategory C) {
+    switch (C) {
+    case MemCategory::Buffer:
+      return MemFix::ConditionallySkip;
+    case MemCategory::Null:
+      return ++NullCount <= 9 ? MemFix::ConditionallySkip
+                              : MemFix::ChangeOperands;
+    case MemCategory::Uninitialized:
+      return ++UninitCount <= 6 ? MemFix::ChangeOperands : MemFix::Other;
+    case MemCategory::InvalidFree:
+      return ++InvalidCount <= 2 ? MemFix::AdjustLifetime : MemFix::Other;
+    case MemCategory::UseAfterFree:
+    case MemCategory::DoubleFree:
+      return MemFix::AdjustLifetime;
+    }
+    return MemFix::Other;
+  };
+
+  auto Emit = [&](MemCategory C, Propagation P, unsigned Count,
+                  unsigned InteriorCount) {
+    for (unsigned I = 0; I != Count; ++I) {
+      MemoryBug B;
+      B.Id = NextId++;
+      B.Category = C;
+      B.Prop = P;
+      B.EffectInInteriorUnsafe = I < InteriorCount;
+      B.Fix = FixFor(C);
+      B.Proj = Project::Servo; // Reassigned below.
+      B.Source = BugSource::GitHub;
+      Memory.push_back(B);
+    }
+  };
+
+  // Table 2, row "safe": one pre-2016 use-after-free entirely in safe code.
+  Emit(MemCategory::UseAfterFree, Propagation::SafeToSafe, 1, 0);
+  // Row "unsafe": 4(1) buffer, 12(4) null, 5(3) invalid free, 2(2) UAF.
+  Emit(MemCategory::Buffer, Propagation::UnsafeToUnsafe, 4, 1);
+  Emit(MemCategory::Null, Propagation::UnsafeToUnsafe, 12, 4);
+  Emit(MemCategory::InvalidFree, Propagation::UnsafeToUnsafe, 5, 3);
+  Emit(MemCategory::UseAfterFree, Propagation::UnsafeToUnsafe, 2, 2);
+  // Row "safe -> unsafe": 17(10) buffer, 1 invalid, 11(4) UAF, 2(2) double.
+  Emit(MemCategory::Buffer, Propagation::SafeToUnsafe, 17, 10);
+  Emit(MemCategory::InvalidFree, Propagation::SafeToUnsafe, 1, 0);
+  Emit(MemCategory::UseAfterFree, Propagation::SafeToUnsafe, 11, 4);
+  Emit(MemCategory::DoubleFree, Propagation::SafeToUnsafe, 2, 2);
+  // Row "unsafe -> safe": 7 uninitialized, 4 invalid, 4 double free.
+  Emit(MemCategory::Uninitialized, Propagation::UnsafeToSafe, 7, 0);
+  Emit(MemCategory::InvalidFree, Propagation::UnsafeToSafe, 4, 0);
+  Emit(MemCategory::DoubleFree, Propagation::UnsafeToSafe, 4, 0);
+
+  assert(Memory.size() == 70 && "Table 2 cells must sum to 70");
+
+  // Project attribution: Table 1 reports 14/5/2/1/20/7 per project; the
+  // remaining 21 come from the CVE/RustSec databases (21 memory + 1
+  // non-blocking = the footnote's 22 database records).
+  std::vector<Project> Slots;
+  auto Push = [&Slots](Project P, unsigned N) {
+    for (unsigned I = 0; I != N; ++I)
+      Slots.push_back(P);
+  };
+  Push(Project::Servo, 14);
+  Push(Project::Redox, 20);
+  Push(Project::Tock, 5);
+  Push(Project::Ethereum, 2);
+  Push(Project::TiKV, 1);
+  Push(Project::Libraries, 7);
+  Push(Project::CveDatabase, 21);
+  assert(Slots.size() == Memory.size());
+  for (size_t I = 0; I != Memory.size(); ++I) {
+    Memory[I].Proj = Slots[I];
+    if (Slots[I] == Project::CveDatabase)
+      Memory[I].Source = BugSource::CVE;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Blocking bugs: Table 3 cell by cell, Section 6.1 causes and fixes.
+//===----------------------------------------------------------------------===//
+
+void BugDatabase::buildBlockingBugs() {
+  unsigned NextId = 1000;
+  auto Emit = [&](Project P, BlockingPrimitive Prim, BlockingCause C,
+                  unsigned Count) {
+    for (unsigned I = 0; I != Count; ++I) {
+      BlockingBug B;
+      B.Id = NextId++;
+      B.Proj = P;
+      B.Primitive = Prim;
+      B.Cause = C;
+      B.Fix = BlockingFix::AdjustSyncOps; // Refined below.
+      Blocking.push_back(B);
+    }
+  };
+
+  // Servo: 6 Mutex&RwLock, 5 Channel, 2 Other.
+  Emit(Project::Servo, BlockingPrimitive::Mutex, BlockingCause::DoubleLock, 4);
+  Emit(Project::Servo, BlockingPrimitive::Mutex,
+       BlockingCause::ConflictingOrder, 1);
+  Emit(Project::Servo, BlockingPrimitive::Mutex, BlockingCause::ForgotUnlock,
+       1);
+  Emit(Project::Servo, BlockingPrimitive::Channel,
+       BlockingCause::ChannelRecvBlock, 5);
+  Emit(Project::Servo, BlockingPrimitive::Other, BlockingCause::OtherCause, 2);
+  // Ethereum: 27 Mutex&RwLock, 6 Condvar, 1 Other.
+  Emit(Project::Ethereum, BlockingPrimitive::Mutex, BlockingCause::DoubleLock,
+       21);
+  Emit(Project::Ethereum, BlockingPrimitive::Mutex,
+       BlockingCause::ConflictingOrder, 6);
+  Emit(Project::Ethereum, BlockingPrimitive::Condvar,
+       BlockingCause::WaitNoNotify, 5);
+  Emit(Project::Ethereum, BlockingPrimitive::Condvar,
+       BlockingCause::MissedNotify, 1);
+  Emit(Project::Ethereum, BlockingPrimitive::Other, BlockingCause::OtherCause,
+       1);
+  // TiKV: 3 Mutex&RwLock, 1 Condvar.
+  Emit(Project::TiKV, BlockingPrimitive::Mutex, BlockingCause::DoubleLock, 3);
+  Emit(Project::TiKV, BlockingPrimitive::Condvar, BlockingCause::WaitNoNotify,
+       1);
+  // Redox: 2 Mutex&RwLock.
+  Emit(Project::Redox, BlockingPrimitive::Mutex, BlockingCause::DoubleLock, 2);
+  // Libraries: 3 Condvar, 1 Channel, 1 Once, 1 Other.
+  Emit(Project::Libraries, BlockingPrimitive::Condvar,
+       BlockingCause::WaitNoNotify, 2);
+  Emit(Project::Libraries, BlockingPrimitive::Condvar,
+       BlockingCause::MissedNotify, 1);
+  Emit(Project::Libraries, BlockingPrimitive::Channel,
+       BlockingCause::ChannelSendFull, 1);
+  Emit(Project::Libraries, BlockingPrimitive::Once,
+       BlockingCause::OnceRecursion, 1);
+  Emit(Project::Libraries, BlockingPrimitive::Other, BlockingCause::OtherCause,
+       1);
+
+  assert(Blocking.size() == 59 && "Table 3 cells must sum to 59");
+
+  // Fixes (Section 6.1): 51 adjusted synchronization operations, 21 of
+  // which moved the implicit unlock by adjusting the guard's lifetime (the
+  // Figure 8 fix); the remaining 8 changed other logic (non-blocking
+  // syscalls, removing the recursion, resizing the channel, ...).
+  unsigned GuardLifetime = 0, Others = 0, RecvSeen = 0;
+  for (BlockingBug &B : Blocking) {
+    switch (B.Cause) {
+    case BlockingCause::DoubleLock:
+      B.Fix = GuardLifetime++ < 21 ? BlockingFix::AdjustGuardLifetime
+                                   : BlockingFix::AdjustSyncOps;
+      break;
+    case BlockingCause::OtherCause:
+    case BlockingCause::OnceRecursion:
+    case BlockingCause::ChannelSendFull:
+      B.Fix = BlockingFix::OtherFix;
+      ++Others;
+      break;
+    case BlockingCause::ChannelRecvBlock:
+      // Two of the channel bugs were restructured rather than re-
+      // synchronized, completing the paper's 8 "other" fixes.
+      B.Fix = ++RecvSeen <= 2 ? BlockingFix::OtherFix
+                              : BlockingFix::AdjustSyncOps;
+      break;
+    default:
+      B.Fix = BlockingFix::AdjustSyncOps;
+      break;
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Non-blocking bugs: Table 4 cell by cell, Section 6.2 attributes.
+//===----------------------------------------------------------------------===//
+
+void BugDatabase::buildNonBlockingBugs() {
+  unsigned NextId = 2000;
+  auto Emit = [&](Project P, SharingMethod S, unsigned Count) {
+    for (unsigned I = 0; I != Count; ++I) {
+      NonBlockingBug B;
+      B.Id = NextId++;
+      B.Proj = P;
+      B.Source = BugSource::GitHub;
+      B.Sharing = S;
+      B.BuggyCodeIsSafe = false;
+      B.Synchronized = false;
+      B.InteriorMutability = false;
+      B.RustLibMisuse = false;
+      B.Fix = NonBlockingFix::EnforceAtomicity; // Refined below.
+      NonBlocking.push_back(B);
+    }
+  };
+
+  // Table 4 rows.
+  Emit(Project::Servo, SharingMethod::GlobalStatic, 1);
+  Emit(Project::Servo, SharingMethod::Pointer, 7);
+  Emit(Project::Servo, SharingMethod::SyncTrait, 1);
+  Emit(Project::Servo, SharingMethod::MutexShared, 7);
+  Emit(Project::Servo, SharingMethod::Message, 2);
+  Emit(Project::Tock, SharingMethod::OsHardware, 2);
+  Emit(Project::Ethereum, SharingMethod::Atomic, 1);
+  Emit(Project::Ethereum, SharingMethod::MutexShared, 2);
+  Emit(Project::Ethereum, SharingMethod::Message, 1);
+  Emit(Project::TiKV, SharingMethod::OsHardware, 1);
+  Emit(Project::TiKV, SharingMethod::Atomic, 1);
+  Emit(Project::TiKV, SharingMethod::MutexShared, 1);
+  Emit(Project::Redox, SharingMethod::GlobalStatic, 1);
+  Emit(Project::Redox, SharingMethod::OsHardware, 2);
+  Emit(Project::Libraries, SharingMethod::GlobalStatic, 1);
+  Emit(Project::Libraries, SharingMethod::Pointer, 5);
+  Emit(Project::Libraries, SharingMethod::SyncTrait, 2);
+  Emit(Project::Libraries, SharingMethod::Atomic, 3);
+
+  assert(NonBlocking.size() == 41 && "Table 4 cells must sum to 41");
+
+  // One of the library records came from the vulnerability databases
+  // (completing the footnote's 22 database records).
+  for (NonBlockingBug &B : NonBlocking) {
+    if (B.Proj == Project::Libraries && B.Sharing == SharingMethod::Pointer) {
+      B.Source = BugSource::CVE;
+      break;
+    }
+  }
+
+  auto IsSafeSharing = [](SharingMethod S) {
+    return S == SharingMethod::Atomic || S == SharingMethod::MutexShared;
+  };
+
+  // Synchronization (Section 6.2): all 15 safe-sharing bugs synchronized
+  // but wrongly; of the 23 unsafe-sharing bugs, the 5 OS/hardware ones and
+  // one Sync-trait bug synchronized, the other 17 not at all.
+  unsigned SyncTraitSynced = 0;
+  for (NonBlockingBug &B : NonBlocking) {
+    if (IsSafeSharing(B.Sharing) || B.Sharing == SharingMethod::OsHardware)
+      B.Synchronized = true;
+    else if (B.Sharing == SharingMethod::SyncTrait && SyncTraitSynced++ == 0)
+      B.Synchronized = true;
+  }
+
+  // Buggy code in safe Rust (25 of 41, Insight 8): all safe-sharing and
+  // message bugs, plus seven pointer-sharing bugs whose racy accesses are
+  // through safe references casted from the pointer.
+  unsigned SafePointerBugs = 0;
+  for (NonBlockingBug &B : NonBlocking) {
+    if (IsSafeSharing(B.Sharing) || B.Sharing == SharingMethod::Message)
+      B.BuggyCodeIsSafe = true;
+    else if (B.Sharing == SharingMethod::Pointer && SafePointerBugs < 7) {
+      B.BuggyCodeIsSafe = true;
+      ++SafePointerBugs;
+    }
+  }
+
+  // Interior mutability involved in 13 bugs: six on safely-shared objects
+  // (5 Mutex + 1 Atomic) and seven on unsafely-shared ones (3 Sync + 4
+  // Pointer) — Section 6.2's "12 more ... where self is immutably borrowed"
+  // plus Figure 9.
+  unsigned IMMutex = 0, IMAtomic = 0, IMSync = 0, IMPointer = 0;
+  for (NonBlockingBug &B : NonBlocking) {
+    switch (B.Sharing) {
+    case SharingMethod::MutexShared:
+      B.InteriorMutability = IMMutex++ < 5;
+      break;
+    case SharingMethod::Atomic:
+      B.InteriorMutability = IMAtomic++ < 1;
+      break;
+    case SharingMethod::SyncTrait:
+      B.InteriorMutability = IMSync++ < 3;
+      break;
+    case SharingMethod::Pointer:
+      B.InteriorMutability = IMPointer++ < 4;
+      break;
+    default:
+      break;
+    }
+  }
+
+  // Rust-library misuse (7 bugs, Insight 9): 4 RefCell double-borrow panics
+  // (2 shared via Sync, 2 via pointers), 1 lost poisoning log (Mutex), and
+  // 2 panics misusing Arc/channel (1 Mutex-shared, 1 message).
+  unsigned MisuseSync = 0, MisusePtr = 0, MisuseMutex = 0, MisuseMsg = 0;
+  for (NonBlockingBug &B : NonBlocking) {
+    switch (B.Sharing) {
+    case SharingMethod::SyncTrait:
+      B.RustLibMisuse = MisuseSync++ < 2;
+      break;
+    case SharingMethod::Pointer:
+      B.RustLibMisuse = MisusePtr++ < 2;
+      break;
+    case SharingMethod::MutexShared:
+      B.RustLibMisuse = MisuseMutex++ < 2;
+      break;
+    case SharingMethod::Message:
+      B.RustLibMisuse = MisuseMsg++ < 1;
+      break;
+    default:
+      break;
+    }
+  }
+
+  // Fixes (Section 6.2): over the 38 shared-memory bugs, 20 enforce
+  // atomicity, 10 enforce ordering, 5 remove the sharing, 1 copies locally,
+  // 2 change application logic; the 3 message bugs fix their protocols.
+  unsigned FixIdx = 0;
+  for (NonBlockingBug &B : NonBlocking) {
+    if (B.Sharing == SharingMethod::Message) {
+      B.Fix = NonBlockingFix::MessageProtocol;
+      continue;
+    }
+    unsigned I = FixIdx++;
+    if (I < 20)
+      B.Fix = NonBlockingFix::EnforceAtomicity;
+    else if (I < 30)
+      B.Fix = NonBlockingFix::EnforceOrder;
+    else if (I < 35)
+      B.Fix = NonBlockingFix::AvoidSharing;
+    else if (I < 36)
+      B.Fix = NonBlockingFix::MakeLocalCopy;
+    else
+      B.Fix = NonBlockingFix::ChangeLogic;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Fix-date synthesis (Figure 2)
+//===----------------------------------------------------------------------===//
+
+size_t BugDatabase::fixedSince2016() const {
+  size_t N = 0;
+  for (const MemoryBug &B : Memory)
+    N += B.Fixed.Year >= 2016;
+  for (const BlockingBug &B : Blocking)
+    N += B.Fixed.Year >= 2016;
+  for (const NonBlockingBug &B : NonBlocking)
+    N += B.Fixed.Year >= 2016;
+  return N;
+}
+
+void BugDatabase::assignDates() {
+  // Quarter sequences per project. Servo (started 2012) and the libraries
+  // (oldest started 2010) contribute the paper's 25 pre-2016 fixes: the
+  // first 20 Servo bugs and first 5 library bugs get pre-2016 quarters;
+  // everything else lands in the project's post-2016 window.
+  struct Window {
+    Quarter Start;
+    Quarter End;
+  };
+  auto PostWindow = [](Project P) -> Window {
+    switch (P) {
+    case Project::Redox:
+      return {{2016, 4}, {2019, 3}}; // Started 2016/08.
+    case Project::TiKV:
+      return {{2016, 2}, {2019, 3}}; // Started 2016/01.
+    default:
+      return {{2016, 1}, {2019, 3}};
+    }
+  };
+
+  unsigned Counts[NumProjects] = {};
+  auto NextQuarter = [&](Project P) {
+    unsigned K = Counts[static_cast<unsigned>(P)]++;
+    if (P == Project::Servo && K < 20) {
+      // 2013Q1 .. 2015Q4 cycling.
+      unsigned Idx = K % 12;
+      return Quarter{2013 + Idx / 4, 1 + Idx % 4};
+    }
+    if (P == Project::Libraries && K < 5) {
+      unsigned Idx = K % 8; // 2014Q1 .. 2015Q4.
+      return Quarter{2014 + Idx / 4, 1 + Idx % 4};
+    }
+    Window W = PostWindow(P);
+    unsigned Span = W.End.index() - W.Start.index() + 1;
+    unsigned Idx = W.Start.index() + (K * 5) % Span; // Spread with stride 5.
+    return Quarter{Idx / 4, 1 + Idx % 4};
+  };
+
+  for (MemoryBug &B : Memory)
+    B.Fixed = NextQuarter(B.Proj);
+  for (BlockingBug &B : Blocking)
+    B.Fixed = NextQuarter(B.Proj);
+  for (NonBlockingBug &B : NonBlocking)
+    B.Fixed = NextQuarter(B.Proj);
+}

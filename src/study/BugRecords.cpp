@@ -1,0 +1,162 @@
+#include "study/BugRecords.h"
+
+#include <cassert>
+
+using namespace rs::study;
+
+const char *rs::study::projectName(Project P) {
+  switch (P) {
+  case Project::Servo:
+    return "Servo";
+  case Project::Tock:
+    return "Tock";
+  case Project::Ethereum:
+    return "Ethereum";
+  case Project::TiKV:
+    return "TiKV";
+  case Project::Redox:
+    return "Redox";
+  case Project::Libraries:
+    return "libraries";
+  case Project::CveDatabase:
+    return "CVE/RustSec";
+  }
+  assert(false && "unknown project");
+  return "?";
+}
+
+const char *rs::study::memCategoryName(MemCategory C) {
+  switch (C) {
+  case MemCategory::Buffer:
+    return "Buffer";
+  case MemCategory::Null:
+    return "Null";
+  case MemCategory::Uninitialized:
+    return "Uninitialized";
+  case MemCategory::InvalidFree:
+    return "Invalid";
+  case MemCategory::UseAfterFree:
+    return "UAF";
+  case MemCategory::DoubleFree:
+    return "Double free";
+  }
+  return "?";
+}
+
+const char *rs::study::propagationName(Propagation P) {
+  switch (P) {
+  case Propagation::SafeToSafe:
+    return "safe";
+  case Propagation::UnsafeToUnsafe:
+    return "unsafe";
+  case Propagation::SafeToUnsafe:
+    return "safe -> unsafe";
+  case Propagation::UnsafeToSafe:
+    return "unsafe -> safe";
+  }
+  return "?";
+}
+
+const char *rs::study::memFixName(MemFix F) {
+  switch (F) {
+  case MemFix::ConditionallySkip:
+    return "Conditionally skip code";
+  case MemFix::AdjustLifetime:
+    return "Adjust lifetime";
+  case MemFix::ChangeOperands:
+    return "Change unsafe operands";
+  case MemFix::Other:
+    return "Other";
+  }
+  return "?";
+}
+
+const char *rs::study::blockingPrimitiveName(BlockingPrimitive P) {
+  switch (P) {
+  case BlockingPrimitive::Mutex:
+    return "Mutex&RwLock";
+  case BlockingPrimitive::Condvar:
+    return "Condvar";
+  case BlockingPrimitive::Channel:
+    return "Channel";
+  case BlockingPrimitive::Once:
+    return "Once";
+  case BlockingPrimitive::Other:
+    return "Other";
+  }
+  return "?";
+}
+
+const char *rs::study::blockingCauseName(BlockingCause C) {
+  switch (C) {
+  case BlockingCause::DoubleLock:
+    return "double lock";
+  case BlockingCause::ConflictingOrder:
+    return "locks in conflicting orders";
+  case BlockingCause::ForgotUnlock:
+    return "forgot to unlock (self-implemented mutex)";
+  case BlockingCause::WaitNoNotify:
+    return "wait with no notify";
+  case BlockingCause::MissedNotify:
+    return "circular wait on notify";
+  case BlockingCause::ChannelRecvBlock:
+    return "blocked receiving from channel";
+  case BlockingCause::ChannelSendFull:
+    return "blocked sending to full channel";
+  case BlockingCause::OnceRecursion:
+    return "recursive call_once";
+  case BlockingCause::OtherCause:
+    return "other (platform API, busy loop, join)";
+  }
+  return "?";
+}
+
+const char *rs::study::blockingFixName(BlockingFix F) {
+  switch (F) {
+  case BlockingFix::AdjustSyncOps:
+    return "adjust synchronization operations";
+  case BlockingFix::AdjustGuardLifetime:
+    return "adjust lock-guard lifetime";
+  case BlockingFix::OtherFix:
+    return "other";
+  }
+  return "?";
+}
+
+const char *rs::study::sharingMethodName(SharingMethod M) {
+  switch (M) {
+  case SharingMethod::GlobalStatic:
+    return "Global";
+  case SharingMethod::Pointer:
+    return "Pointer";
+  case SharingMethod::SyncTrait:
+    return "Sync";
+  case SharingMethod::OsHardware:
+    return "O.H.";
+  case SharingMethod::Atomic:
+    return "Atomic";
+  case SharingMethod::MutexShared:
+    return "Mutex";
+  case SharingMethod::Message:
+    return "MSG";
+  }
+  return "?";
+}
+
+const char *rs::study::nonBlockingFixName(NonBlockingFix F) {
+  switch (F) {
+  case NonBlockingFix::EnforceAtomicity:
+    return "enforce atomic accesses";
+  case NonBlockingFix::EnforceOrder:
+    return "enforce access order";
+  case NonBlockingFix::AvoidSharing:
+    return "avoid shared memory accesses";
+  case NonBlockingFix::MakeLocalCopy:
+    return "make a local copy";
+  case NonBlockingFix::ChangeLogic:
+    return "change application logic";
+  case NonBlockingFix::MessageProtocol:
+    return "fix message-passing protocol";
+  }
+  return "?";
+}

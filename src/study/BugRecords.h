@@ -1,0 +1,204 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of RustSight, a reproduction of "Understanding Memory and Thread
+// Safety Practices and Issues in Real-World Rust Programs" (PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Typed records for the paper's 170 studied bugs (70 memory-safety issues,
+/// 59 blocking bugs, 41 non-blocking bugs). The paper publishes aggregate
+/// marginals (Tables 1-4 and in-text statistics); BugDatabase materializes
+/// one record per studied bug whose attribute vectors reproduce every
+/// published marginal, so the tables are *recomputed* from per-bug data
+/// rather than hard-coded.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RUSTSIGHT_STUDY_BUGRECORDS_H
+#define RUSTSIGHT_STUDY_BUGRECORDS_H
+
+#include <string>
+
+namespace rs::study {
+
+/// The studied code bases (Table 1). CveDatabase marks vulnerability-DB
+/// records not attributed to a studied project.
+enum class Project {
+  Servo,
+  Tock,
+  Ethereum,
+  TiKV,
+  Redox,
+  Libraries,
+  CveDatabase,
+};
+inline constexpr unsigned NumProjects = 7;
+
+const char *projectName(Project P);
+
+/// Where the bug report came from.
+enum class BugSource { GitHub, CVE };
+
+/// A quarter-resolution fix date (Figure 2 buckets by three-month periods).
+struct Quarter {
+  unsigned Year = 2016;
+  unsigned Q = 1; ///< 1..4
+
+  /// Linearized index for plotting (year*4 + quarter).
+  unsigned index() const { return Year * 4 + (Q - 1); }
+  std::string toString() const {
+    return std::to_string(Year) + "Q" + std::to_string(Q);
+  }
+  friend bool operator<(const Quarter &A, const Quarter &B) {
+    return A.index() < B.index();
+  }
+  friend bool operator==(const Quarter &A, const Quarter &B) {
+    return A.index() == B.index();
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// Memory-safety bugs (Section 5, Table 2)
+//===----------------------------------------------------------------------===//
+
+/// Bug-effect categories (Table 2 columns).
+enum class MemCategory {
+  Buffer,        ///< Buffer overflow.
+  Null,          ///< Null pointer dereference.
+  Uninitialized, ///< Read of uninitialized memory.
+  InvalidFree,
+  UseAfterFree,
+  DoubleFree,
+};
+inline constexpr unsigned NumMemCategories = 6;
+
+const char *memCategoryName(MemCategory C);
+
+/// Error-propagation classes (Table 2 rows): where the cause and the effect
+/// of the bug live.
+enum class Propagation {
+  SafeToSafe,
+  UnsafeToUnsafe,
+  SafeToUnsafe,
+  UnsafeToSafe,
+};
+inline constexpr unsigned NumPropagations = 4;
+
+const char *propagationName(Propagation P);
+
+/// Fix strategies for memory bugs (Section 5.2).
+enum class MemFix {
+  ConditionallySkip, ///< 30 bugs.
+  AdjustLifetime,    ///< 22 bugs.
+  ChangeOperands,    ///< 9 bugs.
+  Other,             ///< 9 bugs.
+};
+
+const char *memFixName(MemFix F);
+
+struct MemoryBug {
+  unsigned Id;
+  Project Proj;
+  BugSource Source;
+  MemCategory Category;
+  Propagation Prop;
+  /// Whether the effect is inside an interior-unsafe function (the
+  /// parenthesized counts in Table 2).
+  bool EffectInInteriorUnsafe;
+  MemFix Fix;
+  Quarter Fixed;
+};
+
+//===----------------------------------------------------------------------===//
+// Blocking bugs (Section 6.1, Table 3)
+//===----------------------------------------------------------------------===//
+
+/// Synchronization primitive involved (Table 3 columns).
+enum class BlockingPrimitive { Mutex, Condvar, Channel, Once, Other };
+inline constexpr unsigned NumBlockingPrimitives = 5;
+
+const char *blockingPrimitiveName(BlockingPrimitive P);
+
+/// Root causes (Section 6.1 narrative).
+enum class BlockingCause {
+  DoubleLock,        ///< 30 bugs.
+  ConflictingOrder,  ///< 7 bugs.
+  ForgotUnlock,      ///< 1 bug (self-implemented mutex).
+  WaitNoNotify,      ///< 8 Condvar bugs.
+  MissedNotify,      ///< 2 Condvar bugs.
+  ChannelRecvBlock,  ///< 5 bugs.
+  ChannelSendFull,   ///< 1 bug.
+  OnceRecursion,     ///< 1 bug.
+  OtherCause,        ///< 4 bugs (platform API, busy loops, join).
+};
+
+const char *blockingCauseName(BlockingCause C);
+
+/// Fix strategies (Section 6.1: 51 adjusted synchronization operations, of
+/// which 21 adjusted the lock guard's lifetime; 8 others).
+enum class BlockingFix { AdjustSyncOps, AdjustGuardLifetime, OtherFix };
+
+const char *blockingFixName(BlockingFix F);
+
+struct BlockingBug {
+  unsigned Id;
+  Project Proj;
+  BlockingPrimitive Primitive;
+  BlockingCause Cause;
+  BlockingFix Fix;
+  Quarter Fixed;
+};
+
+//===----------------------------------------------------------------------===//
+// Non-blocking bugs (Section 6.2, Table 4)
+//===----------------------------------------------------------------------===//
+
+/// How the buggy code shares data across threads (Table 4 columns).
+enum class SharingMethod {
+  GlobalStatic, ///< Unsafe: mutable static.
+  Pointer,      ///< Unsafe: raw pointer passed across threads.
+  SyncTrait,    ///< Unsafe: manually implemented Sync.
+  OsHardware,   ///< Unsafe: OS/hardware resources.
+  Atomic,       ///< Safe: atomic variables.
+  MutexShared,  ///< Safe: Mutex/RwLock-wrapped data.
+  Message,      ///< Message passing, not shared memory.
+};
+inline constexpr unsigned NumSharingMethods = 7;
+
+const char *sharingMethodName(SharingMethod M);
+
+/// Fix strategies (Section 6.2; assigned to the 38 shared-memory bugs).
+enum class NonBlockingFix {
+  EnforceAtomicity, ///< 20 bugs.
+  EnforceOrder,     ///< 10 bugs.
+  AvoidSharing,     ///< 5 bugs.
+  MakeLocalCopy,    ///< 1 bug.
+  ChangeLogic,      ///< 2 bugs.
+  MessageProtocol,  ///< The 3 message-passing bugs.
+};
+
+const char *nonBlockingFixName(NonBlockingFix F);
+
+struct NonBlockingBug {
+  unsigned Id;
+  Project Proj;
+  BugSource Source;
+  SharingMethod Sharing;
+  /// The buggy code itself is safe code (25 of 41, Insight 8).
+  bool BuggyCodeIsSafe;
+  /// The accesses were synchronized, but wrongly (21 of the 38
+  /// shared-memory bugs; the other 17 had no synchronization at all).
+  bool Synchronized;
+  /// Involves an interior-mutability function (13 bugs).
+  bool InteriorMutability;
+  /// Misuses a Rust-unique library (7 bugs: 4 RefCell, 3 poisoning/Arc/
+  /// channel panics), all caught by library runtime checks (Insight 9).
+  bool RustLibMisuse;
+  NonBlockingFix Fix;
+  Quarter Fixed;
+};
+
+} // namespace rs::study
+
+#endif // RUSTSIGHT_STUDY_BUGRECORDS_H

@@ -1,0 +1,97 @@
+#include "study/Insights.h"
+
+using namespace rs::study;
+
+const std::vector<Finding> &rs::study::insights() {
+  static const std::vector<Finding> Items = {
+      {Finding::Kind::Insight, 1,
+       "Most unsafe usages are for good or unavoidable reasons, indicating "
+       "that Rust's rule checks are sometimes too strict and that it is "
+       "useful to provide an alternative way to escape these checks.",
+       "study/UnsafeStats purpose breakdown; scanner classification"},
+      {Finding::Kind::Insight, 2,
+       "Interior unsafe is a good way to encapsulate unsafe code.",
+       "scanner interior-unsafe detection; stdmodel proper patterns"},
+      {Finding::Kind::Insight, 3,
+       "Some safety conditions of unsafe code are difficult to check. "
+       "Interior unsafe functions often rely on the preparation of correct "
+       "inputs and/or execution environments.",
+       "stdmodel ProperByEnvironment models"},
+      {Finding::Kind::Insight, 4,
+       "Rust's safety mechanisms (in stable versions) are very effective in "
+       "preventing memory bugs. All memory-safety issues involve unsafe "
+       "code.",
+       "Table 2 propagation rows; UnsafeScope focus mode"},
+      {Finding::Kind::Insight, 5,
+       "More than half of memory-safety bugs were fixed by changing or "
+       "conditionally skipping unsafe code, but only a few by completely "
+       "removing unsafe code.",
+       "study fix-strategy counts (30/22/9/9)"},
+      {Finding::Kind::Insight, 6,
+       "Lacking good understanding in Rust's lifetime rules is a common "
+       "cause for many blocking bugs.",
+       "DoubleLockDetector guard-lifetime model; LifetimeReport"},
+      {Finding::Kind::Insight, 7,
+       "There are patterns of how data is (improperly) shared and these "
+       "patterns are useful when designing bug detection tools.",
+       "Table 4 sharing taxonomy; corpus sharing patterns"},
+      {Finding::Kind::Insight, 8,
+       "How data is shared is not necessarily associated with how "
+       "non-blocking bugs happen; the former can be in unsafe code and the "
+       "latter in safe code.",
+       "NonBlockingAttributes (25 safe-code bugs of 41)"},
+      {Finding::Kind::Insight, 9,
+       "Misusing Rust's unique libraries is one major root cause of "
+       "non-blocking bugs, and all these bugs are captured by runtime "
+       "checks inside the libraries.",
+       "RefCell borrow modeling (static + interpreter panic)"},
+      {Finding::Kind::Insight, 10,
+       "The design of APIs can heavily impact the Rust compiler's "
+       "capability of identifying bugs.",
+       "InteriorMutabilityDetector (&self vs &mut self)"},
+      {Finding::Kind::Insight, 11,
+       "Fixing strategies of Rust concurrency bugs are similar to "
+       "traditional languages; existing automated bug fixing techniques "
+       "are likely to work on Rust too.",
+       "study fix-strategy distributions"},
+  };
+  return Items;
+}
+
+const std::vector<Finding> &rs::study::suggestions() {
+  static const std::vector<Finding> Items = {
+      {Finding::Kind::Suggestion, 1,
+       "Programmers should try to find the source of unsafety and only "
+       "export that piece of code as an unsafe interface.",
+       "-"},
+      {Finding::Kind::Suggestion, 2,
+       "Rust developers should first try to properly encapsulate unsafe "
+       "code in interior unsafe functions before exposing them as unsafe.",
+       "stdmodel encapsulation audit"},
+      {Finding::Kind::Suggestion, 3,
+       "If a function's safety depends on how it is used, it is better "
+       "marked as unsafe, not interior unsafe.",
+       "stdmodel improper models"},
+      {Finding::Kind::Suggestion, 4,
+       "Interior mutability can potentially violate Rust's ownership "
+       "borrowing safety rules; restrict its usages and check all possible "
+       "safety violations.",
+       "InteriorMutabilityDetector; Figure 5 reproduction"},
+      {Finding::Kind::Suggestion, 5,
+       "Future memory bug detectors can ignore safe code that is unrelated "
+       "to unsafe code to reduce false positives and improve efficiency.",
+       "UseAfterFreeDetector(FocusOnUnsafe); bench_sec7_detectors"},
+      {Finding::Kind::Suggestion, 6,
+       "Future IDEs should add plug-ins to highlight the location of "
+       "Rust's implicit unlock.",
+       "LifetimeReport implicit-unlock markers; lifetimes CLI"},
+      {Finding::Kind::Suggestion, 7,
+       "Rust should add an explicit unlock API of Mutex.",
+       "mem::drop modeling (the workaround the paper describes)"},
+      {Finding::Kind::Suggestion, 8,
+       "Internal mutual exclusion must be carefully reviewed for interior "
+       "mutability functions in structs implementing the Sync trait.",
+       "InteriorMutabilityDetector lock-awareness"},
+  };
+  return Items;
+}

@@ -1,0 +1,42 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of RustSight, a reproduction of "Understanding Memory and Thread
+// Safety Practices and Issues in Real-World Rust Programs" (PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's 11 insights and 8 suggestions as structured data, each
+/// cross-referenced to the RustSight component that embodies or
+/// operationalizes it. Printed by study_report and checked for
+/// completeness in tests.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RUSTSIGHT_STUDY_INSIGHTS_H
+#define RUSTSIGHT_STUDY_INSIGHTS_H
+
+#include <string>
+#include <vector>
+
+namespace rs::study {
+
+/// One insight or suggestion from the paper.
+struct Finding {
+  enum class Kind { Insight, Suggestion };
+  Kind K;
+  unsigned Number; ///< 1-based, as in the paper.
+  std::string Text;
+  /// Where RustSight embodies it ("-" when it targets language design).
+  std::string EmbodiedBy;
+};
+
+/// All 11 insights, in paper order.
+const std::vector<Finding> &insights();
+
+/// All 8 suggestions, in paper order.
+const std::vector<Finding> &suggestions();
+
+} // namespace rs::study
+
+#endif // RUSTSIGHT_STUDY_INSIGHTS_H

@@ -1,0 +1,72 @@
+#include "study/JsonExport.h"
+
+#include "support/Json.h"
+
+using namespace rs;
+using namespace rs::study;
+
+std::string rs::study::exportDatabaseJson(const BugDatabase &DB) {
+  JsonWriter W;
+  W.beginObject();
+
+  W.key("memory");
+  W.beginArray();
+  for (const MemoryBug &B : DB.memoryBugs()) {
+    W.beginObject();
+    W.field("id", static_cast<int64_t>(B.Id));
+    W.field("project", projectName(B.Proj));
+    W.field("source", B.Source == BugSource::CVE ? "cve" : "github");
+    W.field("category", memCategoryName(B.Category));
+    W.field("propagation", propagationName(B.Prop));
+    W.field("interiorUnsafeEffect", B.EffectInInteriorUnsafe);
+    W.field("fix", memFixName(B.Fix));
+    W.field("fixed", B.Fixed.toString());
+    W.endObject();
+  }
+  W.endArray();
+
+  W.key("blocking");
+  W.beginArray();
+  for (const BlockingBug &B : DB.blockingBugs()) {
+    W.beginObject();
+    W.field("id", static_cast<int64_t>(B.Id));
+    W.field("project", projectName(B.Proj));
+    W.field("primitive", blockingPrimitiveName(B.Primitive));
+    W.field("cause", blockingCauseName(B.Cause));
+    W.field("fix", blockingFixName(B.Fix));
+    W.field("fixed", B.Fixed.toString());
+    W.endObject();
+  }
+  W.endArray();
+
+  W.key("nonblocking");
+  W.beginArray();
+  for (const NonBlockingBug &B : DB.nonBlockingBugs()) {
+    W.beginObject();
+    W.field("id", static_cast<int64_t>(B.Id));
+    W.field("project", projectName(B.Proj));
+    W.field("source", B.Source == BugSource::CVE ? "cve" : "github");
+    W.field("sharing", sharingMethodName(B.Sharing));
+    W.field("buggyCodeIsSafe", B.BuggyCodeIsSafe);
+    W.field("synchronized", B.Synchronized);
+    W.field("interiorMutability", B.InteriorMutability);
+    W.field("rustLibMisuse", B.RustLibMisuse);
+    W.field("fix", nonBlockingFixName(B.Fix));
+    W.field("fixed", B.Fixed.toString());
+    W.endObject();
+  }
+  W.endArray();
+
+  W.key("summary");
+  W.beginObject();
+  W.field("totalBugs", static_cast<int64_t>(DB.totalBugs()));
+  W.field("memoryBugs", static_cast<int64_t>(DB.memoryBugs().size()));
+  W.field("blockingBugs", static_cast<int64_t>(DB.blockingBugs().size()));
+  W.field("nonBlockingBugs",
+          static_cast<int64_t>(DB.nonBlockingBugs().size()));
+  W.field("fixedSince2016", static_cast<int64_t>(DB.fixedSince2016()));
+  W.endObject();
+
+  W.endObject();
+  return W.str();
+}

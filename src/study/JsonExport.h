@@ -1,0 +1,30 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of RustSight, a reproduction of "Understanding Memory and Thread
+// Safety Practices and Issues in Real-World Rust Programs" (PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Machine-readable export of the study dataset, so downstream tooling
+/// (plotting scripts, follow-up studies) can consume the per-bug records
+/// the tables are computed from.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RUSTSIGHT_STUDY_JSONEXPORT_H
+#define RUSTSIGHT_STUDY_JSONEXPORT_H
+
+#include "study/BugDatabase.h"
+
+#include <string>
+
+namespace rs::study {
+
+/// Serializes the whole dataset as one JSON object with "memory",
+/// "blocking", and "nonblocking" record arrays plus a "summary" object.
+std::string exportDatabaseJson(const BugDatabase &DB);
+
+} // namespace rs::study
+
+#endif // RUSTSIGHT_STUDY_JSONEXPORT_H

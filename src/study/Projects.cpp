@@ -1,0 +1,22 @@
+#include "study/Projects.h"
+
+using namespace rs::study;
+
+const std::vector<ProjectInfo> &rs::study::projectTable() {
+  static const std::vector<ProjectInfo> Table = {
+      {Project::Servo, "2012/02", 14574, 38096, 271},
+      {Project::Tock, "2015/05", 1343, 4621, 60},
+      {Project::Ethereum, "2015/11", 5565, 12121, 145},
+      {Project::TiKV, "2016/01", 5717, 3897, 149},
+      {Project::Redox, "2016/08", 11450, 2129, 199},
+      {Project::Libraries, "2010/07", 3106, 2402, 25},
+  };
+  return Table;
+}
+
+const ProjectInfo *rs::study::findProject(Project P) {
+  for (const ProjectInfo &Info : projectTable())
+    if (Info.Proj == P)
+      return &Info;
+  return nullptr;
+}

@@ -1,0 +1,43 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of RustSight, a reproduction of "Understanding Memory and Thread
+// Safety Practices and Issues in Real-World Rust Programs" (PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Metadata for the studied applications and libraries (Table 1). Stars,
+/// commits, and LOC are the values the paper reports; the "libraries" row
+/// aggregates the five studied libraries, reporting maxima as the paper
+/// does.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RUSTSIGHT_STUDY_PROJECTS_H
+#define RUSTSIGHT_STUDY_PROJECTS_H
+
+#include "study/BugRecords.h"
+
+#include <string>
+#include <vector>
+
+namespace rs::study {
+
+/// One Table 1 row's static metadata.
+struct ProjectInfo {
+  Project Proj;
+  std::string StartTime; ///< "YYYY/MM".
+  unsigned Stars;
+  unsigned Commits;
+  unsigned KLoc; ///< Source lines, thousands.
+};
+
+/// The six Table 1 rows, in the paper's order.
+const std::vector<ProjectInfo> &projectTable();
+
+/// Metadata for one project, or null for CveDatabase.
+const ProjectInfo *findProject(Project P);
+
+} // namespace rs::study
+
+#endif // RUSTSIGHT_STUDY_PROJECTS_H

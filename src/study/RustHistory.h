@@ -1,0 +1,49 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of RustSight, a reproduction of "Understanding Memory and Thread
+// Safety Practices and Issues in Real-World Rust Programs" (PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Rust release-history dataset behind Figure 1 ("each blue point shows
+/// the number of feature changes in one release version; each red point
+/// shows total LOC"). Release versions and dates are the public Rust
+/// release timeline (0.1 in January 2012 through 1.39 in November 2019, the
+/// paper's "now at version 1.39.0"); the per-release feature-change counts
+/// and KLOC are synthesized to reproduce the figure's shape — heavy churn
+/// through 2015, stability from 1.6.0 (January 2016) on, code size growing
+/// toward ~800 KLOC — since the paper publishes the curve, not the raw
+/// numbers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RUSTSIGHT_STUDY_RUSTHISTORY_H
+#define RUSTSIGHT_STUDY_RUSTHISTORY_H
+
+#include <string>
+#include <vector>
+
+namespace rs::study {
+
+/// One Rust release (a point in Figure 1).
+struct RustRelease {
+  std::string Version;
+  unsigned Year;
+  unsigned Month; ///< 1..12
+  unsigned FeatureChanges;
+  unsigned KLoc;
+};
+
+/// All releases from 0.1 (2012) through 1.39 (2019), in order.
+const std::vector<RustRelease> &rustReleaseHistory();
+
+/// Sum of feature changes in releases dated before \p Year.
+unsigned featureChangesBefore(unsigned Year);
+
+/// Sum of feature changes in releases dated in or after \p Year.
+unsigned featureChangesSince(unsigned Year);
+
+} // namespace rs::study
+
+#endif // RUSTSIGHT_STUDY_RUSTHISTORY_H

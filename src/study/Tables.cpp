@@ -1,0 +1,328 @@
+#include "study/Tables.h"
+
+using namespace rs;
+using namespace rs::study;
+
+//===----------------------------------------------------------------------===//
+// Table 1
+//===----------------------------------------------------------------------===//
+
+std::vector<Table1Row> rs::study::computeTable1(const BugDatabase &DB) {
+  std::vector<Table1Row> Rows;
+  for (const ProjectInfo &Info : projectTable()) {
+    Table1Row Row;
+    Row.Info = Info;
+    for (const MemoryBug &B : DB.memoryBugs())
+      if (B.Proj == Info.Proj && B.Source == BugSource::GitHub)
+        ++Row.MemBugs;
+    for (const BlockingBug &B : DB.blockingBugs())
+      if (B.Proj == Info.Proj)
+        ++Row.BlockingBugs;
+    for (const NonBlockingBug &B : DB.nonBlockingBugs())
+      if (B.Proj == Info.Proj && B.Source == BugSource::GitHub)
+        ++Row.NonBlockingBugs;
+    Rows.push_back(Row);
+  }
+  return Rows;
+}
+
+Table rs::study::renderTable1(const BugDatabase &DB) {
+  Table T("Table 1. Studied Applications and Libraries.");
+  T.setHeader({"Software", "Start Time", "Stars", "Commits", "LOC", "Mem",
+               "Blk", "NBlk"});
+  for (const Table1Row &Row : computeTable1(DB)) {
+    T.addRow({projectName(Row.Info.Proj), Row.Info.StartTime,
+              std::to_string(Row.Info.Stars), std::to_string(Row.Info.Commits),
+              std::to_string(Row.Info.KLoc) + "K",
+              std::to_string(Row.MemBugs), std::to_string(Row.BlockingBugs),
+              std::to_string(Row.NonBlockingBugs)});
+  }
+  return T;
+}
+
+//===----------------------------------------------------------------------===//
+// Table 2
+//===----------------------------------------------------------------------===//
+
+unsigned Table2Data::rowTotal(Propagation P) const {
+  unsigned Sum = 0;
+  for (unsigned C = 0; C != NumMemCategories; ++C)
+    Sum += Count[static_cast<unsigned>(P)][C];
+  return Sum;
+}
+
+unsigned Table2Data::rowInterior(Propagation P) const {
+  unsigned Sum = 0;
+  for (unsigned C = 0; C != NumMemCategories; ++C)
+    Sum += Interior[static_cast<unsigned>(P)][C];
+  return Sum;
+}
+
+unsigned Table2Data::columnTotal(MemCategory C) const {
+  unsigned Sum = 0;
+  for (unsigned P = 0; P != NumPropagations; ++P)
+    Sum += Count[P][static_cast<unsigned>(C)];
+  return Sum;
+}
+
+unsigned Table2Data::total() const {
+  unsigned Sum = 0;
+  for (unsigned P = 0; P != NumPropagations; ++P)
+    for (unsigned C = 0; C != NumMemCategories; ++C)
+      Sum += Count[P][C];
+  return Sum;
+}
+
+Table2Data rs::study::computeTable2(const BugDatabase &DB) {
+  Table2Data D;
+  for (const MemoryBug &B : DB.memoryBugs()) {
+    unsigned P = static_cast<unsigned>(B.Prop);
+    unsigned C = static_cast<unsigned>(B.Category);
+    ++D.Count[P][C];
+    if (B.EffectInInteriorUnsafe)
+      ++D.Interior[P][C];
+  }
+  return D;
+}
+
+Table rs::study::renderTable2(const BugDatabase &DB) {
+  Table2Data D = computeTable2(DB);
+  Table T("Table 2. Memory Bugs Category. (n) = effect in interior-unsafe "
+          "fn");
+  T.setHeader({"Category", "Buffer", "Null", "Uninitialized", "Invalid",
+               "UAF", "Double free", "Total"});
+  static const Propagation Rows[] = {
+      Propagation::SafeToSafe, Propagation::UnsafeToUnsafe,
+      Propagation::SafeToUnsafe, Propagation::UnsafeToSafe};
+  for (Propagation P : Rows) {
+    std::vector<std::string> Cells{propagationName(P)};
+    for (unsigned C = 0; C != NumMemCategories; ++C) {
+      unsigned N = D.Count[static_cast<unsigned>(P)][C];
+      unsigned I = D.Interior[static_cast<unsigned>(P)][C];
+      std::string Cell = std::to_string(N);
+      if (I != 0)
+        Cell += " (" + std::to_string(I) + ")";
+      Cells.push_back(Cell);
+    }
+    std::string Total = std::to_string(D.rowTotal(P));
+    if (unsigned RI = D.rowInterior(P))
+      Total += " (" + std::to_string(RI) + ")";
+    Cells.push_back(Total);
+    T.addRow(Cells);
+  }
+  T.addSeparator();
+  std::vector<std::string> Totals{"Total"};
+  for (unsigned C = 0; C != NumMemCategories; ++C)
+    Totals.push_back(
+        std::to_string(D.columnTotal(static_cast<MemCategory>(C))));
+  Totals.push_back(std::to_string(D.total()));
+  T.addRow(Totals);
+  return T;
+}
+
+//===----------------------------------------------------------------------===//
+// Table 3
+//===----------------------------------------------------------------------===//
+
+unsigned Table3Data::columnTotal(BlockingPrimitive P) const {
+  unsigned Sum = 0;
+  for (unsigned Proj = 0; Proj != NumProjects; ++Proj)
+    Sum += Count[Proj][static_cast<unsigned>(P)];
+  return Sum;
+}
+
+unsigned Table3Data::total() const {
+  unsigned Sum = 0;
+  for (unsigned Proj = 0; Proj != NumProjects; ++Proj)
+    for (unsigned P = 0; P != NumBlockingPrimitives; ++P)
+      Sum += Count[Proj][P];
+  return Sum;
+}
+
+Table3Data rs::study::computeTable3(const BugDatabase &DB) {
+  Table3Data D;
+  for (const BlockingBug &B : DB.blockingBugs())
+    ++D.Count[static_cast<unsigned>(B.Proj)]
+             [static_cast<unsigned>(B.Primitive)];
+  return D;
+}
+
+Table rs::study::renderTable3(const BugDatabase &DB) {
+  Table3Data D = computeTable3(DB);
+  Table T("Table 3. Types of Synchronization in Blocking Bugs.");
+  T.setHeader({"Software", "Mutex&Rwlock", "Condvar", "Channel", "Once",
+               "Other"});
+  for (const ProjectInfo &Info : projectTable()) {
+    std::vector<std::string> Cells{projectName(Info.Proj)};
+    for (unsigned P = 0; P != NumBlockingPrimitives; ++P)
+      Cells.push_back(std::to_string(
+          D.Count[static_cast<unsigned>(Info.Proj)][P]));
+    T.addRow(Cells);
+  }
+  T.addSeparator();
+  std::vector<std::string> Totals{"Total"};
+  for (unsigned P = 0; P != NumBlockingPrimitives; ++P)
+    Totals.push_back(
+        std::to_string(D.columnTotal(static_cast<BlockingPrimitive>(P))));
+  T.addRow(Totals);
+  return T;
+}
+
+//===----------------------------------------------------------------------===//
+// Table 4
+//===----------------------------------------------------------------------===//
+
+unsigned Table4Data::columnTotal(SharingMethod M) const {
+  unsigned Sum = 0;
+  for (unsigned Proj = 0; Proj != NumProjects; ++Proj)
+    Sum += Count[Proj][static_cast<unsigned>(M)];
+  return Sum;
+}
+
+unsigned Table4Data::total() const {
+  unsigned Sum = 0;
+  for (unsigned Proj = 0; Proj != NumProjects; ++Proj)
+    for (unsigned M = 0; M != NumSharingMethods; ++M)
+      Sum += Count[Proj][M];
+  return Sum;
+}
+
+Table4Data rs::study::computeTable4(const BugDatabase &DB) {
+  Table4Data D;
+  for (const NonBlockingBug &B : DB.nonBlockingBugs())
+    ++D.Count[static_cast<unsigned>(B.Proj)][static_cast<unsigned>(B.Sharing)];
+  return D;
+}
+
+Table rs::study::renderTable4(const BugDatabase &DB) {
+  Table4Data D = computeTable4(DB);
+  Table T("Table 4. How threads communicate.");
+  T.setHeader({"Software", "Global", "Pointer", "Sync", "O.H.", "Atomic",
+               "Mutex", "MSG"});
+  for (const ProjectInfo &Info : projectTable()) {
+    std::vector<std::string> Cells{projectName(Info.Proj)};
+    for (unsigned M = 0; M != NumSharingMethods; ++M)
+      Cells.push_back(
+          std::to_string(D.Count[static_cast<unsigned>(Info.Proj)][M]));
+    T.addRow(Cells);
+  }
+  T.addSeparator();
+  std::vector<std::string> Totals{"Total"};
+  for (unsigned M = 0; M != NumSharingMethods; ++M)
+    Totals.push_back(
+        std::to_string(D.columnTotal(static_cast<SharingMethod>(M))));
+  T.addRow(Totals);
+  return T;
+}
+
+//===----------------------------------------------------------------------===//
+// Figure 2
+//===----------------------------------------------------------------------===//
+
+Figure2Series rs::study::computeFigure2(const BugDatabase &DB) {
+  Figure2Series S;
+  auto Add = [&S](Project P, Quarter Q) { ++S[P][Q]; };
+  for (const MemoryBug &B : DB.memoryBugs())
+    Add(B.Proj, B.Fixed);
+  for (const BlockingBug &B : DB.blockingBugs())
+    Add(B.Proj, B.Fixed);
+  for (const NonBlockingBug &B : DB.nonBlockingBugs())
+    Add(B.Proj, B.Fixed);
+  return S;
+}
+
+Table rs::study::renderFigure2(const BugDatabase &DB) {
+  Figure2Series S = computeFigure2(DB);
+  Table T("Figure 2. Time of Studied Bugs (fixes per quarter).");
+  T.setHeader({"Quarter", "Servo", "Tock", "Ethereum", "TiKV", "Redox",
+               "libraries", "CVE/RustSec"});
+  // Collect all quarters in order.
+  std::map<Quarter, bool> Quarters;
+  for (const auto &[P, Series] : S)
+    for (const auto &[Q, N] : Series)
+      Quarters[Q] = true;
+  static const Project Cols[] = {
+      Project::Servo,     Project::Tock,  Project::Ethereum, Project::TiKV,
+      Project::Redox,     Project::Libraries, Project::CveDatabase};
+  for (const auto &[Q, Unused] : Quarters) {
+    std::vector<std::string> Cells{Q.toString()};
+    for (Project P : Cols) {
+      auto It = S.find(P);
+      unsigned N = 0;
+      if (It != S.end()) {
+        auto QIt = It->second.find(Q);
+        if (QIt != It->second.end())
+          N = QIt->second;
+      }
+      Cells.push_back(N == 0 ? "" : std::to_string(N));
+    }
+    T.addRow(Cells);
+  }
+  return T;
+}
+
+//===----------------------------------------------------------------------===//
+// Fix-strategy statistics
+//===----------------------------------------------------------------------===//
+
+std::map<MemFix, unsigned>
+rs::study::computeMemFixCounts(const BugDatabase &DB) {
+  std::map<MemFix, unsigned> Counts;
+  for (const MemoryBug &B : DB.memoryBugs())
+    ++Counts[B.Fix];
+  return Counts;
+}
+
+std::map<BlockingCause, unsigned>
+rs::study::computeBlockingCauseCounts(const BugDatabase &DB) {
+  std::map<BlockingCause, unsigned> Counts;
+  for (const BlockingBug &B : DB.blockingBugs())
+    ++Counts[B.Cause];
+  return Counts;
+}
+
+std::map<BlockingFix, unsigned>
+rs::study::computeBlockingFixCounts(const BugDatabase &DB) {
+  std::map<BlockingFix, unsigned> Counts;
+  for (const BlockingBug &B : DB.blockingBugs())
+    ++Counts[B.Fix];
+  return Counts;
+}
+
+std::map<NonBlockingFix, unsigned>
+rs::study::computeNonBlockingFixCounts(const BugDatabase &DB) {
+  std::map<NonBlockingFix, unsigned> Counts;
+  for (const NonBlockingBug &B : DB.nonBlockingBugs())
+    ++Counts[B.Fix];
+  return Counts;
+}
+
+NonBlockingAttributes
+rs::study::computeNonBlockingAttributes(const BugDatabase &DB) {
+  NonBlockingAttributes A;
+  for (const NonBlockingBug &B : DB.nonBlockingBugs()) {
+    bool IsMessage = B.Sharing == SharingMethod::Message;
+    bool IsSafeSharing = B.Sharing == SharingMethod::Atomic ||
+                         B.Sharing == SharingMethod::MutexShared;
+    if (IsMessage)
+      ++A.MessagePassing;
+    else {
+      ++A.SharedMemory;
+      if (IsSafeSharing)
+        ++A.SafeSharing;
+      else
+        ++A.UnsafeSharing;
+      if (B.Synchronized)
+        ++A.Synchronized;
+      else
+        ++A.Unsynchronized;
+    }
+    if (B.BuggyCodeIsSafe)
+      ++A.BuggyCodeSafe;
+    if (B.InteriorMutability)
+      ++A.InteriorMutability;
+    if (B.RustLibMisuse)
+      ++A.RustLibMisuse;
+  }
+  return A;
+}

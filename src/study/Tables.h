@@ -1,0 +1,124 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of RustSight, a reproduction of "Understanding Memory and Thread
+// Safety Practices and Issues in Real-World Rust Programs" (PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Aggregators recomputing the paper's Tables 1-4, Figures 1-2, and the
+/// Section 5/6 fix-strategy statistics from the per-bug dataset. Each comes
+/// in two flavours: a raw count structure (asserted against the paper in
+/// tests and printed by the benches) and a rendered ASCII Table.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RUSTSIGHT_STUDY_TABLES_H
+#define RUSTSIGHT_STUDY_TABLES_H
+
+#include "study/BugDatabase.h"
+#include "study/Projects.h"
+#include "support/Table.h"
+
+#include <map>
+
+namespace rs::study {
+
+//===----------------------------------------------------------------------===//
+// Table 1: studied applications
+//===----------------------------------------------------------------------===//
+
+/// Per-project bug counts (GitHub-sourced only, as in Table 1).
+struct Table1Row {
+  ProjectInfo Info;
+  unsigned MemBugs = 0;
+  unsigned BlockingBugs = 0;
+  unsigned NonBlockingBugs = 0;
+};
+
+std::vector<Table1Row> computeTable1(const BugDatabase &DB);
+Table renderTable1(const BugDatabase &DB);
+
+//===----------------------------------------------------------------------===//
+// Table 2: memory bugs, propagation x category
+//===----------------------------------------------------------------------===//
+
+struct Table2Data {
+  unsigned Count[NumPropagations][NumMemCategories] = {};
+  unsigned Interior[NumPropagations][NumMemCategories] = {};
+
+  unsigned rowTotal(Propagation P) const;
+  unsigned rowInterior(Propagation P) const;
+  unsigned columnTotal(MemCategory C) const;
+  unsigned total() const;
+};
+
+Table2Data computeTable2(const BugDatabase &DB);
+Table renderTable2(const BugDatabase &DB);
+
+//===----------------------------------------------------------------------===//
+// Table 3: blocking bugs, project x synchronization primitive
+//===----------------------------------------------------------------------===//
+
+struct Table3Data {
+  unsigned Count[NumProjects][NumBlockingPrimitives] = {};
+  unsigned columnTotal(BlockingPrimitive P) const;
+  unsigned total() const;
+};
+
+Table3Data computeTable3(const BugDatabase &DB);
+Table renderTable3(const BugDatabase &DB);
+
+//===----------------------------------------------------------------------===//
+// Table 4: non-blocking bugs, project x data-sharing method
+//===----------------------------------------------------------------------===//
+
+struct Table4Data {
+  unsigned Count[NumProjects][NumSharingMethods] = {};
+  unsigned columnTotal(SharingMethod M) const;
+  unsigned total() const;
+};
+
+Table4Data computeTable4(const BugDatabase &DB);
+Table renderTable4(const BugDatabase &DB);
+
+//===----------------------------------------------------------------------===//
+// Figure 2: fix dates per project per quarter
+//===----------------------------------------------------------------------===//
+
+/// Series per project: quarter -> number of studied bugs fixed then.
+using Figure2Series = std::map<Project, std::map<Quarter, unsigned>>;
+
+Figure2Series computeFigure2(const BugDatabase &DB);
+Table renderFigure2(const BugDatabase &DB);
+
+//===----------------------------------------------------------------------===//
+// Section 5.2 / 6.1 / 6.2 statistics
+//===----------------------------------------------------------------------===//
+
+std::map<MemFix, unsigned> computeMemFixCounts(const BugDatabase &DB);
+std::map<BlockingCause, unsigned>
+computeBlockingCauseCounts(const BugDatabase &DB);
+std::map<BlockingFix, unsigned>
+computeBlockingFixCounts(const BugDatabase &DB);
+std::map<NonBlockingFix, unsigned>
+computeNonBlockingFixCounts(const BugDatabase &DB);
+
+/// Section 6.2 cross-cutting attributes of non-blocking bugs.
+struct NonBlockingAttributes {
+  unsigned SharedMemory = 0;       ///< 38.
+  unsigned MessagePassing = 0;     ///< 3.
+  unsigned UnsafeSharing = 0;      ///< 23.
+  unsigned SafeSharing = 0;        ///< 15.
+  unsigned BuggyCodeSafe = 0;      ///< 25.
+  unsigned Unsynchronized = 0;     ///< 17.
+  unsigned Synchronized = 0;       ///< 21.
+  unsigned InteriorMutability = 0; ///< 13.
+  unsigned RustLibMisuse = 0;      ///< 7.
+};
+
+NonBlockingAttributes computeNonBlockingAttributes(const BugDatabase &DB);
+
+} // namespace rs::study
+
+#endif // RUSTSIGHT_STUDY_TABLES_H

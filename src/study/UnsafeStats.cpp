@@ -1,0 +1,67 @@
+#include "study/UnsafeStats.h"
+
+using namespace rs::study;
+
+namespace {
+
+std::vector<UnsafeUsage> buildSample() {
+  std::vector<UnsafeUsage> Sample;
+  Sample.reserve(600);
+
+  // Operation types: 66% memory operations (396), 29% unsafe calls (174),
+  // 5% other (30).
+  auto OpFor = [](unsigned I) {
+    if (I < 396)
+      return UnsafeOpType::MemoryOp;
+    if (I < 396 + 174)
+      return UnsafeOpType::CallUnsafeFn;
+    return UnsafeOpType::OtherOp;
+  };
+
+  // Purposes: 42% reuse (252), 22% performance (132), 14% sharing (84),
+  // 22% other bypassing (132). Interleaved so purposes spread across the
+  // operation-type strata.
+  auto PurposeFor = [](unsigned I) {
+    unsigned Slot = (I * 7) % 600; // 7 is coprime with 600.
+    if (Slot < 252)
+      return UnsafePurpose::CodeReuse;
+    if (Slot < 252 + 132)
+      return UnsafePurpose::Performance;
+    if (Slot < 252 + 132 + 84)
+      return UnsafePurpose::DataSharing;
+    return UnsafePurpose::OtherBypass;
+  };
+
+  // 32 usages compile without the unsafe keyword: 21 kept for consistency,
+  // 5 constructor markers, 6 danger warnings.
+  auto RemovableFor = [](unsigned I) {
+    if (I >= 32)
+      return RemovableReason::NotRemovable;
+    if (I < 21)
+      return RemovableReason::CodeConsistency;
+    if (I < 26)
+      return RemovableReason::ConstructorMarker;
+    return RemovableReason::DangerWarning;
+  };
+
+  for (unsigned I = 0; I != 600; ++I)
+    Sample.push_back({I + 1, OpFor(I), PurposeFor(I), RemovableFor(I)});
+  return Sample;
+}
+
+} // namespace
+
+const std::vector<UnsafeUsage> &rs::study::unsafeUsageSample() {
+  static const std::vector<UnsafeUsage> Sample = buildSample();
+  return Sample;
+}
+
+UnsafeCounts rs::study::applicationUnsafeCounts() { return {3665, 1302, 23}; }
+
+UnsafeCounts rs::study::stdUnsafeCounts() { return {1581, 861, 12}; }
+
+UnsafeRemovals rs::study::unsafeRemovals() { return UnsafeRemovals(); }
+
+InteriorUnsafeStudy rs::study::interiorUnsafeStudy() {
+  return InteriorUnsafeStudy();
+}

@@ -1,0 +1,107 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of RustSight, a reproduction of "Understanding Memory and Thread
+// Safety Practices and Issues in Real-World Rust Programs" (PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Section 4's unsafe-usage study data: the headline unsafe counts over the
+/// studied applications and the standard library, the manually-inspected
+/// 600-usage sample (operation types, purposes, removability), the 130
+/// unsafe-removal commits, and the interior-unsafe encapsulation study.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RUSTSIGHT_STUDY_UNSAFESTATS_H
+#define RUSTSIGHT_STUDY_UNSAFESTATS_H
+
+#include <vector>
+
+namespace rs::study {
+
+/// What the unsafe code does (Section 4.1's operation-type breakdown).
+enum class UnsafeOpType {
+  MemoryOp,     ///< Raw-pointer manipulation, casting, ... (66%).
+  CallUnsafeFn, ///< Calling unsafe functions (29%).
+  OtherOp,      ///< Everything else (5%).
+};
+
+/// Why the programmers wrote it (Section 4.1's purpose breakdown).
+enum class UnsafePurpose {
+  CodeReuse,   ///< 42%.
+  Performance, ///< 22%.
+  DataSharing, ///< Bypassing safety rules to share across threads (14%).
+  OtherBypass, ///< Other compiler-check bypassing (22%).
+};
+
+/// Why an unsafe label survives with no compile-time need (32 usages).
+enum class RemovableReason {
+  NotRemovable,
+  CodeConsistency,   ///< 21 usages.
+  ConstructorMarker, ///< 5 usages: unsafe-labeled struct constructors.
+  DangerWarning,     ///< 6 usages: unsafe purely as a warning.
+};
+
+/// One record of the paper's manually-inspected 600-usage sample.
+struct UnsafeUsage {
+  unsigned Id;
+  UnsafeOpType Op;
+  UnsafePurpose Purpose;
+  RemovableReason Removable;
+};
+
+/// The 600-usage sample (400 interior-unsafe usages + 200 unsafe functions
+/// from the studied applications).
+const std::vector<UnsafeUsage> &unsafeUsageSample();
+
+/// Headline unsafe counts (Section 4 opening).
+struct UnsafeCounts {
+  unsigned Regions;
+  unsigned Fns;
+  unsigned Traits;
+  unsigned total() const { return Regions + Fns + Traits; }
+};
+
+/// 4990 usages across the studied applications: 3665 regions, 1302
+/// functions, 23 traits.
+UnsafeCounts applicationUnsafeCounts();
+
+/// The Rust standard library: 1581 regions, 861 functions, 12 traits.
+UnsafeCounts stdUnsafeCounts();
+
+/// The 130 unsafe-removal cases from 108 commits (Section 4.2).
+struct UnsafeRemovals {
+  unsigned Total = 130;
+  // Purposes.
+  unsigned ForMemorySafety = 79;  ///< 61%.
+  unsigned ForCodeStructure = 31; ///< 24%.
+  unsigned ForThreadSafety = 13;  ///< 10%.
+  unsigned ForBugFix = 4;         ///< 3%.
+  unsigned Unnecessary = 3;       ///< 2%.
+  // Targets.
+  unsigned ToSafeCode = 43;
+  unsigned ToStdInteriorUnsafe = 48;
+  unsigned ToSelfInteriorUnsafe = 29;
+  unsigned ToThirdPartyInteriorUnsafe = 10;
+};
+
+UnsafeRemovals unsafeRemovals();
+
+/// The interior-unsafe encapsulation study (Section 4.3).
+struct InteriorUnsafeStudy {
+  unsigned StdSampled = 250;
+  unsigned RequireValidMemoryOrUtf8 = 172; ///< 69%.
+  unsigned RequireLifetimeOwnership = 38;  ///< 15%.
+  unsigned NoExplicitCheck = 145;          ///< 58%.
+  unsigned AppSampled = 400;
+  unsigned ImproperStd = 5;
+  unsigned ImproperApps = 14;
+  unsigned improperTotal() const { return ImproperStd + ImproperApps; }
+};
+
+InteriorUnsafeStudy interiorUnsafeStudy();
+
+} // namespace rs::study
+
+#endif // RUSTSIGHT_STUDY_UNSAFESTATS_H

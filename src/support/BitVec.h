@@ -1,0 +1,137 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of RustSight, a reproduction of "Understanding Memory and Thread
+// Safety Practices and Issues in Real-World Rust Programs" (PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A fixed-size bit vector used as the dataflow lattice element. All dataflow
+/// facts in RustSight (live locals, initialized locals, points-to sets) are
+/// sets of small dense integers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RUSTSIGHT_SUPPORT_BITVEC_H
+#define RUSTSIGHT_SUPPORT_BITVEC_H
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace rs {
+
+/// A set of integers in [0, size()). Sized at construction; all set
+/// operations require equal sizes.
+class BitVec {
+public:
+  BitVec() = default;
+  explicit BitVec(size_t NumBits, bool InitialValue = false)
+      : NumBits(NumBits),
+        Words(wordCount(NumBits),
+              InitialValue ? ~uint64_t(0) : uint64_t(0)) {
+    clearPadding();
+  }
+
+  size_t size() const { return NumBits; }
+
+  bool test(size_t I) const {
+    assert(I < NumBits && "bit index out of range");
+    return (Words[I / 64] >> (I % 64)) & 1;
+  }
+
+  void set(size_t I) {
+    assert(I < NumBits && "bit index out of range");
+    Words[I / 64] |= uint64_t(1) << (I % 64);
+  }
+
+  void reset(size_t I) {
+    assert(I < NumBits && "bit index out of range");
+    Words[I / 64] &= ~(uint64_t(1) << (I % 64));
+  }
+
+  void clear() {
+    for (uint64_t &W : Words)
+      W = 0;
+  }
+
+  /// Set-union with \p Other. Returns true if this changed.
+  bool unionWith(const BitVec &Other) {
+    assert(NumBits == Other.NumBits && "size mismatch");
+    bool Changed = false;
+    for (size_t I = 0; I != Words.size(); ++I) {
+      uint64_t New = Words[I] | Other.Words[I];
+      Changed |= New != Words[I];
+      Words[I] = New;
+    }
+    return Changed;
+  }
+
+  /// Set-intersection with \p Other. Returns true if this changed.
+  bool intersectWith(const BitVec &Other) {
+    assert(NumBits == Other.NumBits && "size mismatch");
+    bool Changed = false;
+    for (size_t I = 0; I != Words.size(); ++I) {
+      uint64_t New = Words[I] & Other.Words[I];
+      Changed |= New != Words[I];
+      Words[I] = New;
+    }
+    return Changed;
+  }
+
+  /// Removes every element of \p Other from this set.
+  void subtract(const BitVec &Other) {
+    assert(NumBits == Other.NumBits && "size mismatch");
+    for (size_t I = 0; I != Words.size(); ++I)
+      Words[I] &= ~Other.Words[I];
+  }
+
+  bool any() const {
+    for (uint64_t W : Words)
+      if (W)
+        return true;
+    return false;
+  }
+
+  bool none() const { return !any(); }
+
+  size_t count() const {
+    size_t N = 0;
+    for (uint64_t W : Words)
+      N += static_cast<size_t>(__builtin_popcountll(W));
+    return N;
+  }
+
+  friend bool operator==(const BitVec &A, const BitVec &B) {
+    return A.NumBits == B.NumBits && A.Words == B.Words;
+  }
+
+  /// Calls \p F with each set bit index in increasing order.
+  template <typename Fn> void forEach(Fn F) const {
+    for (size_t WI = 0; WI != Words.size(); ++WI) {
+      uint64_t W = Words[WI];
+      while (W) {
+        unsigned Bit = static_cast<unsigned>(__builtin_ctzll(W));
+        F(WI * 64 + Bit);
+        W &= W - 1;
+      }
+    }
+  }
+
+private:
+  static size_t wordCount(size_t Bits) { return (Bits + 63) / 64; }
+
+  /// Keeps bits past NumBits zero so count()/operator== stay exact.
+  void clearPadding() {
+    if (NumBits % 64 != 0 && !Words.empty())
+      Words.back() &= (uint64_t(1) << (NumBits % 64)) - 1;
+  }
+
+  size_t NumBits = 0;
+  std::vector<uint64_t> Words;
+};
+
+} // namespace rs
+
+#endif // RUSTSIGHT_SUPPORT_BITVEC_H

@@ -1,0 +1,93 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of RustSight, a reproduction of "Understanding Memory and Thread
+// Safety Practices and Issues in Real-World Rust Programs" (PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A minimal recoverable-error type. RustSight libraries never throw; fallible
+/// operations return Result<T>, which carries either a value or a diagnostic
+/// string with an optional source location.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RUSTSIGHT_SUPPORT_ERROR_H
+#define RUSTSIGHT_SUPPORT_ERROR_H
+
+#include "support/SourceLocation.h"
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace rs {
+
+/// A recoverable error: a human-readable message plus the location in the
+/// input (if any) where the problem was detected.
+class Error {
+public:
+  Error(std::string Message, SourceLocation Loc = SourceLocation())
+      : Message(std::move(Message)), Loc(Loc) {}
+
+  const std::string &message() const { return Message; }
+  SourceLocation location() const { return Loc; }
+
+  /// Renders "file:line:col: message" (omitting unknown location parts).
+  std::string toString() const {
+    if (!Loc.isValid())
+      return Message;
+    return Loc.toString() + ": " + Message;
+  }
+
+private:
+  std::string Message;
+  SourceLocation Loc;
+};
+
+/// Either a T or an Error. Modeled on llvm::Expected but without the
+/// unchecked-access aborts; callers test with operator bool.
+template <typename T> class Result {
+public:
+  /*implicit*/ Result(T Value) : Value(std::move(Value)) {}
+  /*implicit*/ Result(Error E) : Err(std::move(E)) {}
+
+  explicit operator bool() const { return Value.has_value(); }
+
+  T &operator*() {
+    assert(Value && "accessing value of failed Result");
+    return *Value;
+  }
+  const T &operator*() const {
+    assert(Value && "accessing value of failed Result");
+    return *Value;
+  }
+  T *operator->() {
+    assert(Value && "accessing value of failed Result");
+    return &*Value;
+  }
+  const T *operator->() const {
+    assert(Value && "accessing value of failed Result");
+    return &*Value;
+  }
+
+  const Error &error() const {
+    assert(!Value && "accessing error of successful Result");
+    return *Err;
+  }
+
+  /// Moves the contained value out of the Result.
+  T take() {
+    assert(Value && "taking value of failed Result");
+    return std::move(*Value);
+  }
+
+private:
+  std::optional<T> Value;
+  std::optional<Error> Err;
+};
+
+} // namespace rs
+
+#endif // RUSTSIGHT_SUPPORT_ERROR_H

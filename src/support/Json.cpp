@@ -1,0 +1,121 @@
+#include "support/Json.h"
+
+#include "support/StringUtils.h"
+
+#include <cassert>
+#include <cstdio>
+
+using namespace rs;
+
+JsonWriter::JsonWriter() { Stack.push_back({ScopeKind::Root}); }
+
+void JsonWriter::preValue() {
+  Scope &Top = Stack.back();
+  if (Top.Kind == ScopeKind::Object) {
+    assert(Top.PendingKey && "object value without a key");
+    Top.PendingKey = false;
+    return;
+  }
+  if (Top.SawElement)
+    Out += ',';
+  Top.SawElement = true;
+}
+
+void JsonWriter::appendEscaped(std::string_view S) {
+  Out += '"';
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out += C;
+      }
+    }
+  }
+  Out += '"';
+}
+
+void JsonWriter::beginObject() {
+  preValue();
+  Out += '{';
+  Stack.push_back({ScopeKind::Object});
+}
+
+void JsonWriter::endObject() {
+  assert(Stack.back().Kind == ScopeKind::Object && "mismatched endObject");
+  assert(!Stack.back().PendingKey && "dangling key at endObject");
+  Stack.pop_back();
+  Out += '}';
+}
+
+void JsonWriter::beginArray() {
+  preValue();
+  Out += '[';
+  Stack.push_back({ScopeKind::Array});
+}
+
+void JsonWriter::endArray() {
+  assert(Stack.back().Kind == ScopeKind::Array && "mismatched endArray");
+  Stack.pop_back();
+  Out += ']';
+}
+
+void JsonWriter::key(std::string_view Name) {
+  Scope &Top = Stack.back();
+  assert(Top.Kind == ScopeKind::Object && "key outside of object");
+  assert(!Top.PendingKey && "two keys in a row");
+  if (Top.SawElement)
+    Out += ',';
+  Top.SawElement = true;
+  Top.PendingKey = true;
+  appendEscaped(Name);
+  Out += ':';
+}
+
+void JsonWriter::value(std::string_view S) {
+  preValue();
+  appendEscaped(S);
+}
+
+void JsonWriter::value(int64_t N) {
+  preValue();
+  Out += std::to_string(N);
+}
+
+void JsonWriter::value(uint64_t N) {
+  preValue();
+  Out += std::to_string(N);
+}
+
+void JsonWriter::value(double D) {
+  preValue();
+  Out += formatDouble(D, 6);
+}
+
+void JsonWriter::value(bool B) {
+  preValue();
+  Out += B ? "true" : "false";
+}
+
+void JsonWriter::nullValue() {
+  preValue();
+  Out += "null";
+}

@@ -1,0 +1,89 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of RustSight, a reproduction of "Understanding Memory and Thread
+// Safety Practices and Issues in Real-World Rust Programs" (PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A streaming JSON writer used for machine-readable detector reports.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RUSTSIGHT_SUPPORT_JSON_H
+#define RUSTSIGHT_SUPPORT_JSON_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rs {
+
+/// Emits syntactically valid JSON into an internal buffer. The caller drives
+/// structure with beginObject/endObject and beginArray/endArray; the writer
+/// tracks comma placement. Keys are only legal inside objects.
+class JsonWriter {
+public:
+  JsonWriter();
+
+  void beginObject();
+  void endObject();
+  void beginArray();
+  void endArray();
+
+  /// Emits a key inside the current object; must be followed by a value.
+  void key(std::string_view Name);
+
+  void value(std::string_view S);
+  void value(const char *S) { value(std::string_view(S)); }
+  void value(int64_t N);
+  void value(uint64_t N);
+  void value(int N) { value(static_cast<int64_t>(N)); }
+  void value(unsigned N) { value(static_cast<uint64_t>(N)); }
+  void value(double D);
+  void value(bool B);
+  void nullValue();
+
+  /// Convenience: key + string value.
+  void field(std::string_view Name, std::string_view V) {
+    key(Name);
+    value(V);
+  }
+  /// Convenience: key + string value (keeps literals from binding to bool).
+  void field(std::string_view Name, const char *V) {
+    key(Name);
+    value(std::string_view(V));
+  }
+  /// Convenience: key + integer value.
+  void field(std::string_view Name, int64_t V) {
+    key(Name);
+    value(V);
+  }
+  /// Convenience: key + boolean value.
+  void field(std::string_view Name, bool V) {
+    key(Name);
+    value(V);
+  }
+
+  /// Returns the JSON text produced so far.
+  const std::string &str() const { return Out; }
+
+private:
+  void preValue();
+  void appendEscaped(std::string_view S);
+
+  enum class ScopeKind { Root, Object, Array };
+  struct Scope {
+    ScopeKind Kind;
+    bool SawElement = false;
+    bool PendingKey = false;
+  };
+
+  std::string Out;
+  std::vector<Scope> Stack;
+};
+
+} // namespace rs
+
+#endif // RUSTSIGHT_SUPPORT_JSON_H

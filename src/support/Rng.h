@@ -1,0 +1,59 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of RustSight, a reproduction of "Understanding Memory and Thread
+// Safety Practices and Issues in Real-World Rust Programs" (PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small deterministic PRNG (SplitMix64) so corpus generation and property
+/// tests are reproducible across platforms and standard libraries.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RUSTSIGHT_SUPPORT_RNG_H
+#define RUSTSIGHT_SUPPORT_RNG_H
+
+#include <cassert>
+#include <cstdint>
+
+namespace rs {
+
+/// SplitMix64: fast, well-distributed, and identical on every platform,
+/// unlike std::mt19937 seeded through std::seed_seq.
+class Rng {
+public:
+  explicit Rng(uint64_t Seed) : State(Seed) {}
+
+  /// Returns the next 64 pseudo-random bits.
+  uint64_t next() {
+    State += 0x9e3779b97f4a7c15ULL;
+    uint64_t Z = State;
+    Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+    return Z ^ (Z >> 31);
+  }
+
+  /// Returns a value in [0, Bound). \p Bound must be nonzero.
+  uint64_t below(uint64_t Bound) {
+    assert(Bound != 0 && "below() needs a nonzero bound");
+    // Modulo bias is irrelevant for our corpus sizes; determinism matters.
+    return next() % Bound;
+  }
+
+  /// Returns a value in [Lo, Hi] inclusive.
+  uint64_t range(uint64_t Lo, uint64_t Hi) {
+    assert(Lo <= Hi && "invalid range");
+    return Lo + below(Hi - Lo + 1);
+  }
+
+  /// Returns true with probability Num/Den.
+  bool chance(uint64_t Num, uint64_t Den) { return below(Den) < Num; }
+
+private:
+  uint64_t State;
+};
+
+} // namespace rs
+
+#endif // RUSTSIGHT_SUPPORT_RNG_H

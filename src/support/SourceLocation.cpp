@@ -1,0 +1,28 @@
+#include "support/SourceLocation.h"
+
+#include <set>
+
+using namespace rs;
+
+static const std::string EmptyFileName;
+
+const std::string &SourceLocation::file() const {
+  return File ? *File : EmptyFileName;
+}
+
+const std::string *rs::internFileName(std::string_view Name) {
+  static std::set<std::string> Pool; // Function-local: no static constructor.
+  return &*Pool.insert(std::string(Name)).first;
+}
+
+std::string SourceLocation::toString() const {
+  std::string Out;
+  if (File && !File->empty()) {
+    Out += *File;
+    Out += ':';
+  }
+  Out += std::to_string(Line);
+  Out += ':';
+  Out += std::to_string(Col);
+  return Out;
+}

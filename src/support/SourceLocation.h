@@ -1,0 +1,58 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of RustSight, a reproduction of "Understanding Memory and Thread
+// Safety Practices and Issues in Real-World Rust Programs" (PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Line/column source locations for MIR files and Rust source files.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RUSTSIGHT_SUPPORT_SOURCELOCATION_H
+#define RUSTSIGHT_SUPPORT_SOURCELOCATION_H
+
+#include <memory>
+#include <string>
+
+namespace rs {
+
+/// A 1-based line/column position within a named input buffer. File names are
+/// interned by the owner (Lexer/SourceManager); SourceLocation stores a
+/// pointer to the interned name so copies stay cheap.
+class SourceLocation {
+public:
+  SourceLocation() = default;
+  SourceLocation(const std::string *File, unsigned Line, unsigned Col)
+      : File(File), Line(Line), Col(Col) {}
+
+  bool isValid() const { return Line != 0; }
+  unsigned line() const { return Line; }
+  unsigned column() const { return Col; }
+
+  /// The file name, or "" when the location has no file (builder-made IR).
+  const std::string &file() const;
+
+  /// Renders "file:line:col" (or "line:col" with no file).
+  std::string toString() const;
+
+  friend bool operator==(const SourceLocation &A, const SourceLocation &B) {
+    return A.File == B.File && A.Line == B.Line && A.Col == B.Col;
+  }
+
+private:
+  const std::string *File = nullptr;
+  unsigned Line = 0;
+  unsigned Col = 0;
+};
+
+/// Interns \p Name into a process-lifetime pool and returns a stable pointer
+/// suitable for storing in SourceLocations. Thread-compatible (RustSight
+/// parses single-threaded); repeated calls with equal names return the same
+/// pointer.
+const std::string *internFileName(std::string_view Name);
+
+} // namespace rs
+
+#endif // RUSTSIGHT_SUPPORT_SOURCELOCATION_H

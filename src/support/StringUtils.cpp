@@ -1,0 +1,99 @@
+#include "support/StringUtils.h"
+
+#include <cmath>
+#include <cstdio>
+
+using namespace rs;
+
+bool rs::startsWith(std::string_view S, std::string_view Prefix) {
+  return S.size() >= Prefix.size() && S.substr(0, Prefix.size()) == Prefix;
+}
+
+bool rs::endsWith(std::string_view S, std::string_view Suffix) {
+  return S.size() >= Suffix.size() &&
+         S.substr(S.size() - Suffix.size()) == Suffix;
+}
+
+std::string_view rs::trim(std::string_view S) {
+  size_t Begin = 0;
+  while (Begin < S.size() &&
+         (S[Begin] == ' ' || S[Begin] == '\t' || S[Begin] == '\r' ||
+          S[Begin] == '\n'))
+    ++Begin;
+  size_t End = S.size();
+  while (End > Begin &&
+         (S[End - 1] == ' ' || S[End - 1] == '\t' || S[End - 1] == '\r' ||
+          S[End - 1] == '\n'))
+    --End;
+  return S.substr(Begin, End - Begin);
+}
+
+std::vector<std::string_view> rs::split(std::string_view S, char Sep) {
+  std::vector<std::string_view> Parts;
+  size_t Pos = 0;
+  while (true) {
+    size_t Next = S.find(Sep, Pos);
+    if (Next == std::string_view::npos) {
+      Parts.push_back(S.substr(Pos));
+      return Parts;
+    }
+    Parts.push_back(S.substr(Pos, Next - Pos));
+    Pos = Next + 1;
+  }
+}
+
+std::vector<std::string_view> rs::splitLines(std::string_view S) {
+  std::vector<std::string_view> Lines;
+  size_t Pos = 0;
+  while (Pos <= S.size()) {
+    size_t Next = S.find('\n', Pos);
+    if (Next == std::string_view::npos) {
+      if (Pos < S.size())
+        Lines.push_back(S.substr(Pos));
+      return Lines;
+    }
+    size_t End = Next;
+    if (End > Pos && S[End - 1] == '\r')
+      --End;
+    Lines.push_back(S.substr(Pos, End - Pos));
+    Pos = Next + 1;
+  }
+  return Lines;
+}
+
+std::string rs::join(const std::vector<std::string> &Parts,
+                     std::string_view Sep) {
+  std::string Out;
+  for (size_t I = 0; I != Parts.size(); ++I) {
+    if (I != 0)
+      Out.append(Sep);
+    Out.append(Parts[I]);
+  }
+  return Out;
+}
+
+std::string rs::padLeft(std::string_view S, size_t Width) {
+  std::string Out;
+  if (S.size() < Width)
+    Out.assign(Width - S.size(), ' ');
+  Out.append(S);
+  return Out;
+}
+
+std::string rs::padRight(std::string_view S, size_t Width) {
+  std::string Out(S);
+  if (Out.size() < Width)
+    Out.append(Width - Out.size(), ' ');
+  return Out;
+}
+
+std::string rs::formatDouble(double Value, int Decimals) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.*f", Decimals, Value);
+  return Buf;
+}
+
+std::string rs::formatPercent(double Ratio) {
+  long Rounded = std::lround(Ratio * 100.0);
+  return std::to_string(Rounded) + "%";
+}

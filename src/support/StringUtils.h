@@ -1,0 +1,65 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of RustSight, a reproduction of "Understanding Memory and Thread
+// Safety Practices and Issues in Real-World Rust Programs" (PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Small string helpers shared by the lexer, printers, and report writers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RUSTSIGHT_SUPPORT_STRINGUTILS_H
+#define RUSTSIGHT_SUPPORT_STRINGUTILS_H
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rs {
+
+/// Returns true if \p S begins with \p Prefix.
+bool startsWith(std::string_view S, std::string_view Prefix);
+
+/// Returns true if \p S ends with \p Suffix.
+bool endsWith(std::string_view S, std::string_view Suffix);
+
+/// Removes ASCII whitespace from both ends of \p S.
+std::string_view trim(std::string_view S);
+
+/// Splits \p S on \p Sep, keeping empty fields.
+std::vector<std::string_view> split(std::string_view S, char Sep);
+
+/// Splits \p S into lines, treating both "\n" and "\r\n" as terminators.
+std::vector<std::string_view> splitLines(std::string_view S);
+
+/// Joins \p Parts with \p Sep between consecutive elements.
+std::string join(const std::vector<std::string> &Parts, std::string_view Sep);
+
+/// Returns \p S left-padded with spaces to at least \p Width columns.
+std::string padLeft(std::string_view S, size_t Width);
+
+/// Returns \p S right-padded with spaces to at least \p Width columns.
+std::string padRight(std::string_view S, size_t Width);
+
+/// Formats \p Value with \p Decimals digits after the point (no locale).
+std::string formatDouble(double Value, int Decimals);
+
+/// Formats a ratio as a percentage string, e.g. formatPercent(0.415) == "42%".
+std::string formatPercent(double Ratio);
+
+/// Returns true if \p C is an ASCII decimal digit.
+inline bool isDigit(char C) { return C >= '0' && C <= '9'; }
+
+/// Returns true if \p C may start a Rust/MIR identifier.
+inline bool isIdentStart(char C) {
+  return (C >= 'a' && C <= 'z') || (C >= 'A' && C <= 'Z') || C == '_';
+}
+
+/// Returns true if \p C may continue a Rust/MIR identifier.
+inline bool isIdentCont(char C) { return isIdentStart(C) || isDigit(C); }
+
+} // namespace rs
+
+#endif // RUSTSIGHT_SUPPORT_STRINGUTILS_H

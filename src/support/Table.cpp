@@ -1,0 +1,73 @@
+#include "support/Table.h"
+
+#include "support/StringUtils.h"
+
+#include <algorithm>
+
+using namespace rs;
+
+void Table::setHeader(std::vector<std::string> Cells) {
+  Header = std::move(Cells);
+}
+
+void Table::addRow(std::vector<std::string> Cells) {
+  Rows.push_back({std::move(Cells), false});
+}
+
+void Table::addSeparator() { Rows.push_back({{}, true}); }
+
+std::string Table::render() const {
+  // Compute column widths over header and all rows.
+  std::vector<size_t> Widths;
+  auto Grow = [&Widths](const std::vector<std::string> &Cells) {
+    if (Widths.size() < Cells.size())
+      Widths.resize(Cells.size(), 0);
+    for (size_t I = 0; I != Cells.size(); ++I)
+      Widths[I] = std::max(Widths[I], Cells[I].size());
+  };
+  Grow(Header);
+  for (const Row &R : Rows)
+    if (!R.IsSeparator)
+      Grow(R.Cells);
+
+  size_t TotalWidth = 0;
+  for (size_t W : Widths)
+    TotalWidth += W;
+  if (!Widths.empty())
+    TotalWidth += 2 * (Widths.size() - 1);
+
+  std::string Out;
+  auto EmitLine = [&](const std::vector<std::string> &Cells) {
+    std::string Line;
+    for (size_t I = 0; I != Widths.size(); ++I) {
+      std::string Cell = I < Cells.size() ? Cells[I] : std::string();
+      if (I != 0)
+        Line += "  ";
+      Line += I == 0 ? padRight(Cell, Widths[I]) : padLeft(Cell, Widths[I]);
+    }
+    // Strip trailing spaces so output is diff-friendly.
+    while (!Line.empty() && Line.back() == ' ')
+      Line.pop_back();
+    Out += Line;
+    Out += '\n';
+  };
+
+  if (!Title.empty()) {
+    Out += Title;
+    Out += '\n';
+  }
+  if (!Header.empty()) {
+    EmitLine(Header);
+    Out += std::string(TotalWidth, '-');
+    Out += '\n';
+  }
+  for (const Row &R : Rows) {
+    if (R.IsSeparator) {
+      Out += std::string(TotalWidth, '-');
+      Out += '\n';
+      continue;
+    }
+    EmitLine(R.Cells);
+  }
+  return Out;
+}

@@ -1,0 +1,58 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of RustSight, a reproduction of "Understanding Memory and Thread
+// Safety Practices and Issues in Real-World Rust Programs" (PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A simple ASCII table renderer used by the study aggregators and the bench
+/// harness to print the paper's tables.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RUSTSIGHT_SUPPORT_TABLE_H
+#define RUSTSIGHT_SUPPORT_TABLE_H
+
+#include <string>
+#include <vector>
+
+namespace rs {
+
+/// Accumulates rows of cells and renders them with aligned columns.
+///
+/// The first column is left-aligned; all other columns are right-aligned,
+/// which matches how the paper typesets its count tables.
+class Table {
+public:
+  explicit Table(std::string Title = "") : Title(std::move(Title)) {}
+
+  /// Sets the header row.
+  void setHeader(std::vector<std::string> Cells);
+
+  /// Appends a data row. Rows may have fewer cells than the header; missing
+  /// cells render as empty.
+  void addRow(std::vector<std::string> Cells);
+
+  /// Appends a horizontal separator line at the current position.
+  void addSeparator();
+
+  /// Renders the table, including the title (if any) and a trailing newline.
+  std::string render() const;
+
+  size_t numRows() const { return Rows.size(); }
+
+private:
+  struct Row {
+    std::vector<std::string> Cells;
+    bool IsSeparator = false;
+  };
+
+  std::string Title;
+  std::vector<std::string> Header;
+  std::vector<Row> Rows;
+};
+
+} // namespace rs
+
+#endif // RUSTSIGHT_SUPPORT_TABLE_H

@@ -1,0 +1,80 @@
+#include "support/BitVec.h"
+
+#include <gtest/gtest.h>
+
+using namespace rs;
+
+TEST(BitVec, SetTestReset) {
+  BitVec B(130);
+  EXPECT_FALSE(B.test(0));
+  B.set(0);
+  B.set(64);
+  B.set(129);
+  EXPECT_TRUE(B.test(0));
+  EXPECT_TRUE(B.test(64));
+  EXPECT_TRUE(B.test(129));
+  EXPECT_EQ(B.count(), 3u);
+  B.reset(64);
+  EXPECT_FALSE(B.test(64));
+  EXPECT_EQ(B.count(), 2u);
+}
+
+TEST(BitVec, InitialValueTrueHasCleanPadding) {
+  BitVec B(70, true);
+  EXPECT_EQ(B.count(), 70u);
+  EXPECT_TRUE(B.test(69));
+}
+
+TEST(BitVec, UnionIntersectSubtract) {
+  BitVec A(10), B(10);
+  A.set(1);
+  A.set(2);
+  B.set(2);
+  B.set(3);
+
+  BitVec U = A;
+  EXPECT_TRUE(U.unionWith(B));
+  EXPECT_TRUE(U.test(1) && U.test(2) && U.test(3));
+  EXPECT_FALSE(U.unionWith(B)); // Second union is a no-op.
+
+  BitVec I = A;
+  EXPECT_TRUE(I.intersectWith(B));
+  EXPECT_EQ(I.count(), 1u);
+  EXPECT_TRUE(I.test(2));
+
+  BitVec S = A;
+  S.subtract(B);
+  EXPECT_TRUE(S.test(1));
+  EXPECT_FALSE(S.test(2));
+}
+
+TEST(BitVec, Equality) {
+  BitVec A(5), B(5), C(6);
+  A.set(3);
+  B.set(3);
+  EXPECT_TRUE(A == B);
+  B.set(4);
+  EXPECT_FALSE(A == B);
+  EXPECT_FALSE(A == C);
+}
+
+TEST(BitVec, ForEachVisitsInOrder) {
+  BitVec B(200);
+  B.set(5);
+  B.set(63);
+  B.set(64);
+  B.set(199);
+  std::vector<size_t> Seen;
+  B.forEach([&](size_t I) { Seen.push_back(I); });
+  EXPECT_EQ(Seen, (std::vector<size_t>{5, 63, 64, 199}));
+}
+
+TEST(BitVec, AnyNoneClear) {
+  BitVec B(64);
+  EXPECT_TRUE(B.none());
+  B.set(63);
+  EXPECT_TRUE(B.any());
+  B.clear();
+  EXPECT_TRUE(B.none());
+  EXPECT_EQ(B.count(), 0u);
+}

@@ -1,0 +1,74 @@
+#include "analysis/CallGraph.h"
+
+#include "mir/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace rs::analysis;
+using namespace rs::mir;
+
+namespace {
+
+Module parseOk(std::string_view Src) {
+  auto R = Parser::parse(Src);
+  EXPECT_TRUE(R) << (R ? "" : R.error().toString());
+  return R.take();
+}
+
+const char *GraphSrc =
+    "fn a() { let _1: (); bb0: { _1 = b() -> bb1; } bb1: { return; } }\n"
+    "fn b() { let _1: (); bb0: { _1 = c() -> bb1; } bb1: { return; } }\n"
+    "fn c() { bb0: { return; } }\n"
+    "fn spawner() {\n"
+    "    let _1: ();\n"
+    "    bb0: {\n"
+    "        _1 = thread::spawn(const \"a\") -> bb1;\n"
+    "    }\n"
+    "    bb1: { return; }\n"
+    "}\n";
+
+} // namespace
+
+TEST(CallGraph, DirectEdges) {
+  Module M = parseOk(GraphSrc);
+  CallGraph CG(M);
+  EXPECT_EQ(CG.callees("a"), std::set<std::string>{"b"});
+  EXPECT_EQ(CG.callees("b"), std::set<std::string>{"c"});
+  EXPECT_TRUE(CG.callees("c").empty());
+  EXPECT_EQ(CG.callers("c"), std::set<std::string>{"b"});
+  EXPECT_TRUE(CG.callers("a").empty());
+}
+
+TEST(CallGraph, SpawnedFunctions) {
+  Module M = parseOk(GraphSrc);
+  CallGraph CG(M);
+  EXPECT_EQ(CG.spawnedFunctions(), std::set<std::string>{"a"});
+}
+
+TEST(CallGraph, Reachability) {
+  Module M = parseOk(GraphSrc);
+  CallGraph CG(M);
+  std::set<std::string> FromA = CG.reachableFrom("a");
+  EXPECT_EQ(FromA, (std::set<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(CG.reachableFrom("c"), std::set<std::string>{"c"});
+}
+
+TEST(CallGraph, IntrinsicCallsExcluded) {
+  Module M = parseOk("fn f() {\n"
+                     "    let _1: Box<i32>;\n"
+                     "    bb0: {\n"
+                     "        _1 = Box::new(const 1) -> bb1;\n"
+                     "    }\n"
+                     "    bb1: { return; }\n"
+                     "}\n");
+  CallGraph CG(M);
+  EXPECT_TRUE(CG.callees("f").empty());
+}
+
+TEST(CallGraph, RecursionIsHandled) {
+  Module M = parseOk(
+      "fn rec() { let _1: (); bb0: { _1 = rec() -> bb1; } bb1: { return; } }\n");
+  CallGraph CG(M);
+  EXPECT_EQ(CG.callees("rec"), std::set<std::string>{"rec"});
+  EXPECT_EQ(CG.reachableFrom("rec"), std::set<std::string>{"rec"});
+}

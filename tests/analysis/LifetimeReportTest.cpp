@@ -1,0 +1,102 @@
+#include "analysis/LifetimeReport.h"
+
+#include "mir/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace rs::analysis;
+using namespace rs::mir;
+
+namespace {
+
+Module parseOk(std::string_view Src) {
+  auto R = Parser::parse(Src);
+  EXPECT_TRUE(R) << (R ? "" : R.error().toString());
+  return R.take();
+}
+
+const char *GuardSrc = "fn f(_1: &Mutex<i32>) -> i32 {\n"
+                       "    let _2: MutexGuard<i32>;\n"
+                       "    bb0: {\n"
+                       "        StorageLive(_2);\n"
+                       "        _2 = Mutex::lock(copy _1) -> bb1;\n"
+                       "    }\n"
+                       "    bb1: {\n"
+                       "        _0 = copy (*_2);\n"
+                       "        StorageDead(_2);\n"
+                       "        return;\n"
+                       "    }\n"
+                       "}\n";
+
+} // namespace
+
+TEST(LifetimeReport, MarksImplicitUnlock) {
+  Module M = parseOk(GuardSrc);
+  LifetimeReport R(*M.findFunction("f"), M);
+  std::string Out = R.render();
+  EXPECT_NE(Out.find("implicit unlock: guard _2 dies here"),
+            std::string::npos)
+      << Out;
+}
+
+TEST(LifetimeReport, ShowsHeldLocksInsideCriticalSection) {
+  Module M = parseOk(GuardSrc);
+  LifetimeReport R(*M.findFunction("f"), M);
+
+  // Inside bb1 before statement 0, the lock is held.
+  std::vector<ObjId> Held;
+  R.heldLocks(1, 0, Held);
+  ASSERT_EQ(Held.size(), 1u);
+  EXPECT_EQ(R.memory().objects().name(Held[0]), "*_1");
+
+  // After StorageDead(_2) (before the terminator), it is released.
+  Held.clear();
+  R.heldLocks(1, 2, Held);
+  EXPECT_TRUE(Held.empty());
+}
+
+TEST(LifetimeReport, LivenessAnnotations) {
+  Module M = parseOk("fn f(_1: i32) -> i32 {\n"
+                     "    let _2: i32;\n"
+                     "    bb0: {\n"
+                     "        _2 = Add(copy _1, const 1);\n"
+                     "        _0 = copy _2;\n"
+                     "        return;\n"
+                     "    }\n"
+                     "}\n");
+  LifetimeReport R(*M.findFunction("f"), M);
+  EXPECT_TRUE(R.isLive(0, 0, 1));
+  EXPECT_FALSE(R.isLive(0, 1, 1)); // _1's last use was statement 0.
+  EXPECT_TRUE(R.isLive(0, 1, 2));
+  std::string Out = R.render();
+  EXPECT_NE(Out.find("live:"), std::string::npos);
+}
+
+TEST(LifetimeReport, MarksGuardDropTerminator) {
+  Module M = parseOk("fn f(_1: &Mutex<i32>) {\n"
+                     "    let _2: MutexGuard<i32>;\n"
+                     "    bb0: {\n"
+                     "        _2 = Mutex::lock(copy _1) -> bb1;\n"
+                     "    }\n"
+                     "    bb1: {\n"
+                     "        drop(_2) -> bb2;\n"
+                     "    }\n"
+                     "    bb2: {\n"
+                     "        return;\n"
+                     "    }\n"
+                     "}\n");
+  LifetimeReport R(*M.findFunction("f"), M);
+  std::string Out = R.render();
+  EXPECT_NE(Out.find("guard _2 dropped here"), std::string::npos) << Out;
+}
+
+TEST(LifetimeReport, SkipsUnreachableBlocks) {
+  Module M = parseOk("fn f() {\n"
+                     "    bb0: { return; }\n"
+                     "    bb1: { return; }\n"
+                     "}\n");
+  LifetimeReport R(*M.findFunction("f"), M);
+  std::string Out = R.render();
+  EXPECT_NE(Out.find("bb0"), std::string::npos);
+  EXPECT_EQ(Out.find("bb1"), std::string::npos);
+}

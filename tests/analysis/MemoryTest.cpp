@@ -1,0 +1,394 @@
+#include "analysis/Memory.h"
+
+#include "mir/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace rs;
+using namespace rs::analysis;
+using namespace rs::mir;
+
+namespace {
+
+Module parseOk(std::string_view Src) {
+  auto R = Parser::parse(Src);
+  EXPECT_TRUE(R) << (R ? "" : R.error().toString());
+  return R.take();
+}
+
+/// State immediately before the terminator of \p B.
+BitVec stateAtTerm(const MemoryAnalysis &MA, BlockId B) {
+  size_t N = MA.cfg().function().Blocks[B].Statements.size();
+  return MA.dataflow().stateBefore(B, N);
+}
+
+} // namespace
+
+TEST(Memory, RefPointsToLocal) {
+  Module M = parseOk("fn f() {\n"
+                     "    let _1: i32;\n"
+                     "    let _2: &i32;\n"
+                     "    bb0: {\n"
+                     "        _1 = const 5;\n"
+                     "        _2 = &_1;\n"
+                     "        return;\n"
+                     "    }\n"
+                     "}\n");
+  Cfg G(*M.findFunction("f"));
+  MemoryAnalysis MA(G, M);
+  BitVec S = stateAtTerm(MA, 0);
+  EXPECT_TRUE(MA.pointsTo(S, 2, MA.objects().localObject(1)));
+  EXPECT_FALSE(MA.pointsTo(S, 2, MA.objects().localObject(2)));
+}
+
+TEST(Memory, ParamPointeeAndCopyPropagation) {
+  Module M = parseOk("fn f(_1: &i32) {\n"
+                     "    let _2: &i32;\n"
+                     "    let _3: *const i32;\n"
+                     "    bb0: {\n"
+                     "        _2 = copy _1;\n"
+                     "        _3 = copy _2 as *const i32;\n"
+                     "        return;\n"
+                     "    }\n"
+                     "}\n");
+  Cfg G(*M.findFunction("f"));
+  MemoryAnalysis MA(G, M);
+  ObjId Pointee = MA.objects().paramPointee(1);
+  ASSERT_NE(Pointee, ~0u);
+  BitVec S = stateAtTerm(MA, 0);
+  EXPECT_TRUE(MA.pointsTo(S, 1, Pointee));
+  EXPECT_TRUE(MA.pointsTo(S, 2, Pointee));
+  EXPECT_TRUE(MA.pointsTo(S, 3, Pointee));
+}
+
+TEST(Memory, BoxAllocatesHeapObjectAndDropFreesIt) {
+  Module M = parseOk("fn f() {\n"
+                     "    let _1: Box<i32>;\n"
+                     "    let _2: *const i32;\n"
+                     "    bb0: {\n"
+                     "        _1 = Box::new(const 1) -> bb1;\n"
+                     "    }\n"
+                     "    bb1: {\n"
+                     "        _2 = &raw const (*_1);\n"
+                     "        drop(_1) -> bb2;\n"
+                     "    }\n"
+                     "    bb2: { return; }\n"
+                     "}\n");
+  Cfg G(*M.findFunction("f"));
+  MemoryAnalysis MA(G, M);
+  ObjId Heap = MA.objects().heapObject(0);
+  ASSERT_NE(Heap, ~0u);
+
+  BitVec S1 = stateAtTerm(MA, 1);
+  EXPECT_TRUE(MA.pointsTo(S1, 1, Heap));
+  EXPECT_TRUE(MA.pointsTo(S1, 2, Heap)); // &raw const (*_1) aliases the heap.
+  EXPECT_FALSE(MA.mayBeDropped(S1, Heap));
+
+  BitVec S2 = stateAtTerm(MA, 2);
+  EXPECT_TRUE(MA.mayBeDropped(S2, Heap)); // Box drop frees the pointee.
+}
+
+TEST(Memory, StorageEventsTrackDeadness) {
+  Module M = parseOk("fn f() {\n"
+                     "    let _1: i32;\n"
+                     "    bb0: {\n"
+                     "        StorageLive(_1);\n"
+                     "        _1 = const 1;\n"
+                     "        StorageDead(_1);\n"
+                     "        nop;\n"
+                     "        return;\n"
+                     "    }\n"
+                     "}\n");
+  Cfg G(*M.findFunction("f"));
+  MemoryAnalysis MA(G, M);
+  ObjId O = MA.objects().localObject(1);
+  // Walk with a cursor.
+  auto C = MA.cursorAt(0);
+  EXPECT_FALSE(MA.mayBeStorageDead(C.state(), O));
+  C.advance(); // StorageLive
+  EXPECT_TRUE(MA.mayBeUninit(C.state(), O));
+  C.advance(); // assignment
+  EXPECT_FALSE(MA.mayBeUninit(C.state(), O));
+  EXPECT_FALSE(MA.mayBeStorageDead(C.state(), O));
+  C.advance(); // StorageDead
+  EXPECT_TRUE(MA.mayBeStorageDead(C.state(), O));
+}
+
+TEST(Memory, MoveLeavesSourceUninit) {
+  Module M = parseOk("fn f() {\n"
+                     "    let _1: Box<i32>;\n"
+                     "    let _2: Box<i32>;\n"
+                     "    bb0: {\n"
+                     "        _1 = Box::new(const 1) -> bb1;\n"
+                     "    }\n"
+                     "    bb1: {\n"
+                     "        _2 = move _1;\n"
+                     "        return;\n"
+                     "    }\n"
+                     "}\n");
+  Cfg G(*M.findFunction("f"));
+  MemoryAnalysis MA(G, M);
+  ObjId O1 = MA.objects().localObject(1);
+  ObjId Heap = MA.objects().heapObject(0);
+  BitVec S = stateAtTerm(MA, 1);
+  EXPECT_TRUE(MA.mayBeUninit(S, O1));
+  // The heap object itself is not freed by the move; _2 owns it now.
+  EXPECT_FALSE(MA.mayBeDropped(S, Heap));
+  EXPECT_TRUE(MA.pointsTo(S, 2, Heap));
+}
+
+TEST(Memory, BranchMergesAreMay) {
+  Module M = parseOk("fn f(_1: bool) {\n"
+                     "    let _2: i32;\n"
+                     "    let _3: &i32;\n"
+                     "    let _4: i32;\n"
+                     "    bb0: {\n"
+                     "        _2 = const 1;\n"
+                     "        _4 = const 2;\n"
+                     "        switchInt(copy _1) -> [0: bb1, otherwise: bb2];\n"
+                     "    }\n"
+                     "    bb1: {\n"
+                     "        _3 = &_2;\n"
+                     "        goto -> bb3;\n"
+                     "    }\n"
+                     "    bb2: {\n"
+                     "        _3 = &_4;\n"
+                     "        goto -> bb3;\n"
+                     "    }\n"
+                     "    bb3: { return; }\n"
+                     "}\n");
+  Cfg G(*M.findFunction("f"));
+  MemoryAnalysis MA(G, M);
+  BitVec S = MA.dataflow().blockIn(3);
+  EXPECT_TRUE(MA.pointsTo(S, 3, MA.objects().localObject(2)));
+  EXPECT_TRUE(MA.pointsTo(S, 3, MA.objects().localObject(4)));
+}
+
+TEST(Memory, LockAcquireAndScopeRelease) {
+  Module M = parseOk(
+      "fn f(_1: &Mutex<i32>) {\n"
+      "    let _2: MutexGuard<i32>;\n"
+      "    bb0: {\n"
+      "        StorageLive(_2);\n"
+      "        _2 = Mutex::lock(copy _1) -> bb1;\n"
+      "    }\n"
+      "    bb1: {\n"
+      "        nop;\n"
+      "        StorageDead(_2);\n"
+      "        nop;\n"
+      "        return;\n"
+      "    }\n"
+      "}\n");
+  Cfg G(*M.findFunction("f"));
+  MemoryAnalysis MA(G, M);
+  ObjId LockObj = MA.objects().paramPointee(1);
+  ASSERT_NE(LockObj, ~0u);
+  EXPECT_TRUE(MA.isGuardLocal(2));
+
+  auto C = MA.cursorAt(1);
+  EXPECT_TRUE(MA.mayBeHeld(C.state(), LockObj, /*Exclusive=*/true));
+  C.advance(); // nop
+  C.advance(); // StorageDead(_2) releases
+  EXPECT_FALSE(MA.mayBeHeld(C.state(), LockObj, /*Exclusive=*/true));
+}
+
+TEST(Memory, RwLockSharedVsExclusive) {
+  Module M = parseOk("fn f(_1: &RwLock<i32>) {\n"
+                     "    let _2: RwLockReadGuard<i32>;\n"
+                     "    bb0: {\n"
+                     "        _2 = RwLock::read(copy _1) -> bb1;\n"
+                     "    }\n"
+                     "    bb1: { return; }\n"
+                     "}\n");
+  Cfg G(*M.findFunction("f"));
+  MemoryAnalysis MA(G, M);
+  ObjId LockObj = MA.objects().paramPointee(1);
+  BitVec S = stateAtTerm(MA, 1);
+  EXPECT_TRUE(MA.mayBeHeld(S, LockObj, /*Exclusive=*/false));
+  EXPECT_FALSE(MA.mayBeHeld(S, LockObj, /*Exclusive=*/true));
+}
+
+TEST(Memory, ExplicitMemDropReleasesLock) {
+  Module M = parseOk("fn f(_1: &Mutex<i32>) {\n"
+                     "    let _2: MutexGuard<i32>;\n"
+                     "    let _3: ();\n"
+                     "    bb0: {\n"
+                     "        _2 = Mutex::lock(copy _1) -> bb1;\n"
+                     "    }\n"
+                     "    bb1: {\n"
+                     "        _3 = mem::drop(move _2) -> bb2;\n"
+                     "    }\n"
+                     "    bb2: { return; }\n"
+                     "}\n");
+  Cfg G(*M.findFunction("f"));
+  MemoryAnalysis MA(G, M);
+  ObjId LockObj = MA.objects().paramPointee(1);
+  EXPECT_TRUE(MA.mayBeHeld(stateAtTerm(MA, 1), LockObj, true));
+  EXPECT_FALSE(MA.mayBeHeld(stateAtTerm(MA, 2), LockObj, true));
+}
+
+TEST(Memory, AllocReturnsUninitializedMemory) {
+  Module M = parseOk("fn f() {\n"
+                     "    let _1: *mut u8;\n"
+                     "    bb0: {\n"
+                     "        _1 = alloc(const 100) -> bb1;\n"
+                     "    }\n"
+                     "    bb1: { return; }\n"
+                     "}\n");
+  Cfg G(*M.findFunction("f"));
+  MemoryAnalysis MA(G, M);
+  ObjId Heap = MA.objects().heapObject(0);
+  ASSERT_NE(Heap, ~0u);
+  BitVec S = stateAtTerm(MA, 1);
+  EXPECT_TRUE(MA.pointsTo(S, 1, Heap));
+  EXPECT_TRUE(MA.mayBeUninit(S, Heap));
+}
+
+TEST(Memory, DerefAssignInitializesUniqueTarget) {
+  Module M = parseOk("fn f() {\n"
+                     "    let _1: *mut u8;\n"
+                     "    bb0: {\n"
+                     "        _1 = alloc(const 1) -> bb1;\n"
+                     "    }\n"
+                     "    bb1: {\n"
+                     "        (*_1) = const 0;\n"
+                     "        return;\n"
+                     "    }\n"
+                     "}\n");
+  Cfg G(*M.findFunction("f"));
+  MemoryAnalysis MA(G, M);
+  ObjId Heap = MA.objects().heapObject(0);
+  BitVec S = stateAtTerm(MA, 1);
+  EXPECT_FALSE(MA.mayBeUninit(S, Heap));
+}
+
+TEST(Memory, SummariesPropagateCalleeDrops) {
+  Module M = parseOk(
+      "fn frees(_1: *mut u8) {\n"
+      "    bb0: {\n"
+      "        dealloc(copy _1) -> bb1;\n"
+      "    }\n"
+      "    bb1: { return; }\n"
+      "}\n"
+      "fn caller() {\n"
+      "    let _1: *mut u8;\n"
+      "    let _2: ();\n"
+      "    bb0: {\n"
+      "        _1 = alloc(const 8) -> bb1;\n"
+      "    }\n"
+      "    bb1: {\n"
+      "        _2 = frees(copy _1) -> bb2;\n"
+      "    }\n"
+      "    bb2: { return; }\n"
+      "}\n");
+  SummaryMap Summaries = computeSummaries(M);
+  ASSERT_TRUE(Summaries.count("frees"));
+  EXPECT_TRUE(Summaries.at("frees").DropsParamPointee[1]);
+
+  Cfg G(*M.findFunction("caller"));
+  MemoryAnalysis MA(G, M, &Summaries);
+  ObjId Heap = MA.objects().heapObject(0);
+  EXPECT_FALSE(MA.mayBeDropped(stateAtTerm(MA, 1), Heap));
+  EXPECT_TRUE(MA.mayBeDropped(stateAtTerm(MA, 2), Heap));
+}
+
+TEST(Memory, SummariesReturnAlias) {
+  Module M = parseOk("fn id(_1: &i32) -> &i32 {\n"
+                     "    bb0: {\n"
+                     "        _0 = copy _1;\n"
+                     "        return;\n"
+                     "    }\n"
+                     "}\n");
+  SummaryMap Summaries = computeSummaries(M);
+  EXPECT_TRUE(Summaries.at("id").ReturnAliasesParamPointee[1]);
+}
+
+TEST(Memory, SummariesLockOnParam) {
+  Module M = parseOk("fn locks(_1: &Mutex<i32>) {\n"
+                     "    let _2: MutexGuard<i32>;\n"
+                     "    bb0: {\n"
+                     "        _2 = Mutex::lock(copy _1) -> bb1;\n"
+                     "    }\n"
+                     "    bb1: { return; }\n"
+                     "}\n"
+                     "fn locks_indirect(_1: &Mutex<i32>) {\n"
+                     "    let _2: ();\n"
+                     "    bb0: {\n"
+                     "        _2 = locks(copy _1) -> bb1;\n"
+                     "    }\n"
+                     "    bb1: { return; }\n"
+                     "}\n");
+  SummaryMap Summaries = computeSummaries(M);
+  EXPECT_EQ(Summaries.at("locks").AcquiresLockOnParam[1], LM_Exclusive);
+  // Transitive propagation through the call chain.
+  EXPECT_EQ(Summaries.at("locks_indirect").AcquiresLockOnParam[1],
+            LM_Exclusive);
+}
+
+TEST(Memory, DerefAssignWithMultipleTargetsIsWeak) {
+  // When the pointer may target two objects, the store must not strongly
+  // clear either object's maybe-uninit fact (only one of them is written
+  // on any given execution).
+  Module M = parseOk("fn f(_1: bool) {\n"
+                     "    let _2: *mut u8;\n"
+                     "    let _3: *mut u8;\n"
+                     "    let _4: *mut u8;\n"
+                     "    bb0: {\n"
+                     "        _2 = alloc(const 1) -> bb1;\n"
+                     "    }\n"
+                     "    bb1: {\n"
+                     "        _3 = alloc(const 1) -> bb2;\n"
+                     "    }\n"
+                     "    bb2: {\n"
+                     "        switchInt(copy _1) -> [1: bb3, otherwise: "
+                     "bb4];\n"
+                     "    }\n"
+                     "    bb3: {\n"
+                     "        _4 = copy _2;\n"
+                     "        goto -> bb5;\n"
+                     "    }\n"
+                     "    bb4: {\n"
+                     "        _4 = copy _3;\n"
+                     "        goto -> bb5;\n"
+                     "    }\n"
+                     "    bb5: {\n"
+                     "        (*_4) = const 0;\n"
+                     "        nop;\n"
+                     "        return;\n"
+                     "    }\n"
+                     "}\n");
+  Cfg G(*M.findFunction("f"));
+  MemoryAnalysis MA(G, M);
+  ObjId H1 = MA.objects().heapObject(0);
+  ObjId H2 = MA.objects().heapObject(1);
+  ASSERT_NE(H1, ~0u);
+  ASSERT_NE(H2, ~0u);
+  // Before the store both are maybe-uninit; after the weak store they
+  // both still are.
+  BitVec Before = MA.dataflow().stateBefore(5, 0);
+  EXPECT_TRUE(MA.mayBeUninit(Before, H1));
+  EXPECT_TRUE(MA.mayBeUninit(Before, H2));
+  BitVec After = MA.dataflow().stateBefore(5, 1);
+  EXPECT_TRUE(MA.mayBeUninit(After, H1));
+  EXPECT_TRUE(MA.mayBeUninit(After, H2));
+  // pts(_4) really has both targets.
+  EXPECT_TRUE(MA.pointsTo(After, 4, H1));
+  EXPECT_TRUE(MA.pointsTo(After, 4, H2));
+}
+
+TEST(Memory, ObjectNames) {
+  Module M = parseOk("fn f(_1: &i32) {\n"
+                     "    let _2: Box<i32>;\n"
+                     "    bb0: {\n"
+                     "        _2 = Box::new(const 1) -> bb1;\n"
+                     "    }\n"
+                     "    bb1: { return; }\n"
+                     "}\n");
+  Cfg G(*M.findFunction("f"));
+  MemoryAnalysis MA(G, M);
+  const ObjectTable &O = MA.objects();
+  EXPECT_EQ(O.name(O.unknown()), "<unknown>");
+  EXPECT_EQ(O.name(O.localObject(2)), "_2");
+  EXPECT_EQ(O.name(O.paramPointee(1)), "*_1");
+  EXPECT_EQ(O.name(O.heapObject(0)), "heap@bb0");
+}

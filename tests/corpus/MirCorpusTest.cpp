@@ -1,0 +1,130 @@
+#include "corpus/MirCorpus.h"
+
+#include "detectors/Detector.h"
+#include "mir/Parser.h"
+#include "mir/Verifier.h"
+
+#include <gtest/gtest.h>
+
+using namespace rs::corpus;
+using namespace rs::detectors;
+using namespace rs::mir;
+
+namespace {
+
+MirCorpusConfig fullConfig(uint64_t Seed = 7) {
+  MirCorpusConfig C;
+  C.Seed = Seed;
+  C.BenignFunctions = 8;
+  C.UseAfterFreeBugs = 3;
+  C.UseAfterFreeBenign = 3;
+  C.DoubleLockBugs = 4;
+  C.DoubleLockBenign = 4;
+  C.LockOrderBugPairs = 2;
+  C.LockOrderBenignPairs = 2;
+  C.InvalidFreeBugs = 3;
+  C.InvalidFreeBenign = 3;
+  C.DoubleFreeBugs = 2;
+  C.DoubleFreeBenign = 2;
+  C.UninitReadBugs = 2;
+  C.UninitReadBenign = 2;
+  C.InteriorMutabilityBugs = 2;
+  C.InteriorMutabilityBenign = 2;
+  C.CondvarWaitBugs = 2;
+  C.CondvarWaitBenign = 2;
+  C.ChannelRecvBugs = 1;
+  C.ChannelRecvBenign = 1;
+  C.RefCellConflictBugs = 2;
+  C.RefCellConflictBenign = 2;
+  return C;
+}
+
+} // namespace
+
+TEST(MirCorpus, GeneratedModuleIsWellFormed) {
+  Module M = MirCorpusGenerator(fullConfig()).generate();
+  std::vector<std::string> Errors;
+  EXPECT_TRUE(verifyModule(M, Errors))
+      << (Errors.empty() ? "" : Errors.front());
+  EXPECT_GT(M.functions().size(), 30u);
+}
+
+TEST(MirCorpus, DeterministicForSameSeed) {
+  Module A = MirCorpusGenerator(fullConfig(3)).generate();
+  Module B = MirCorpusGenerator(fullConfig(3)).generate();
+  EXPECT_EQ(A.toString(), B.toString());
+  Module C = MirCorpusGenerator(fullConfig(4)).generate();
+  EXPECT_NE(A.toString(), C.toString());
+}
+
+TEST(MirCorpus, RoundTripsThroughParser) {
+  Module M = MirCorpusGenerator(fullConfig()).generate();
+  std::string Printed = M.toString();
+  auto R = Parser::parse(Printed);
+  ASSERT_TRUE(R) << R.error().toString();
+  EXPECT_EQ(R->toString(), Printed);
+}
+
+TEST(MirCorpus, DetectorsFindExactlyTheInjectedBugs) {
+  MirCorpusConfig C = fullConfig();
+  Module M = MirCorpusGenerator(C).generate();
+  DiagnosticEngine Diags;
+  runAllDetectors(M, Diags);
+
+  EXPECT_EQ(Diags.countOfKind(BugKind::UseAfterFree), C.UseAfterFreeBugs);
+  EXPECT_EQ(Diags.countOfKind(BugKind::DoubleLock), C.DoubleLockBugs);
+  EXPECT_EQ(Diags.countOfKind(BugKind::ConflictingLockOrder),
+            C.LockOrderBugPairs);
+  EXPECT_EQ(Diags.countOfKind(BugKind::InvalidFree), C.InvalidFreeBugs);
+  EXPECT_EQ(Diags.countOfKind(BugKind::DoubleFree), C.DoubleFreeBugs);
+  EXPECT_EQ(Diags.countOfKind(BugKind::UninitRead), C.UninitReadBugs);
+  EXPECT_EQ(Diags.countOfKind(BugKind::InteriorMutability),
+            C.InteriorMutabilityBugs);
+  EXPECT_EQ(Diags.countOfKind(BugKind::WaitNoNotify), C.CondvarWaitBugs);
+  EXPECT_EQ(Diags.countOfKind(BugKind::RecvNoSender), C.ChannelRecvBugs);
+  EXPECT_EQ(Diags.countOfKind(BugKind::BorrowConflict),
+            C.RefCellConflictBugs);
+  EXPECT_EQ(Diags.count(), C.totalBugs()) << Diags.renderText();
+}
+
+TEST(MirCorpus, BenignOnlyCorpusIsSilent) {
+  MirCorpusConfig C;
+  C.Seed = 11;
+  C.BenignFunctions = 10;
+  C.UseAfterFreeBenign = 4;
+  C.DoubleLockBenign = 4;
+  C.LockOrderBenignPairs = 2;
+  C.InvalidFreeBenign = 4;
+  C.DoubleFreeBenign = 4;
+  C.UninitReadBenign = 4;
+  C.InteriorMutabilityBenign = 4;
+  C.CondvarWaitBenign = 2;
+  C.ChannelRecvBenign = 2;
+  C.RefCellConflictBenign = 2;
+  Module M = MirCorpusGenerator(C).generate();
+  DiagnosticEngine Diags;
+  runAllDetectors(M, Diags);
+  EXPECT_EQ(Diags.count(), 0u) << Diags.renderText();
+}
+
+// Property sweep: recall and precision hold across seeds and sizes.
+class MirCorpusSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MirCorpusSweep, RecallAndPrecisionAcrossSeeds) {
+  MirCorpusConfig C = fullConfig(GetParam());
+  C.UseAfterFreeBugs = 1 + GetParam() % 3;
+  C.DoubleLockBugs = 1 + (GetParam() / 3) % 3;
+  Module M = MirCorpusGenerator(C).generate();
+
+  std::vector<std::string> Errors;
+  ASSERT_TRUE(verifyModule(M, Errors));
+
+  DiagnosticEngine Diags;
+  runAllDetectors(M, Diags);
+  EXPECT_EQ(Diags.countOfKind(BugKind::UseAfterFree), C.UseAfterFreeBugs);
+  EXPECT_EQ(Diags.countOfKind(BugKind::DoubleLock), C.DoubleLockBugs);
+  EXPECT_EQ(Diags.count(), C.totalBugs()) << Diags.renderText();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MirCorpusSweep,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));

@@ -1,0 +1,84 @@
+#include "corpus/RustCorpus.h"
+
+#include "scanner/UnsafeScanner.h"
+
+#include <gtest/gtest.h>
+
+using namespace rs::corpus;
+using namespace rs::scanner;
+
+TEST(RustCorpus, ScannerRecoversExactCounts) {
+  RustCorpusConfig C;
+  C.Seed = 5;
+  C.Files = 6;
+  C.UnsafeBlocks = 37;
+  C.UnsafeFns = 14;
+  C.UnsafeTraits = 3;
+  C.UnsafeImpls = 4;
+  C.InteriorUnsafeFns = 9;
+  C.SafeFns = 25;
+
+  std::string Source = RustCorpusGenerator(C).generateConcatenated();
+  ScanStats S = UnsafeScanner().scanSource(Source);
+
+  EXPECT_EQ(S.UnsafeBlocks, C.UnsafeBlocks);
+  EXPECT_EQ(S.UnsafeFns, C.UnsafeFns);
+  EXPECT_EQ(S.UnsafeTraits, C.UnsafeTraits);
+  EXPECT_EQ(S.UnsafeImpls, C.UnsafeImpls);
+  EXPECT_EQ(S.InteriorUnsafeFns, C.InteriorUnsafeFns);
+  // Functions: safe + unsafe + interior hosts (trait methods are bodyless
+  // signatures and still count as fns).
+  EXPECT_EQ(S.TotalFns,
+            C.SafeFns + C.UnsafeFns + C.InteriorUnsafeFns + C.UnsafeTraits);
+}
+
+TEST(RustCorpus, Deterministic) {
+  RustCorpusConfig C;
+  C.Seed = 9;
+  std::string A = RustCorpusGenerator(C).generateConcatenated();
+  std::string B = RustCorpusGenerator(C).generateConcatenated();
+  EXPECT_EQ(A, B);
+  C.Seed = 10;
+  EXPECT_NE(A, RustCorpusGenerator(C).generateConcatenated());
+}
+
+TEST(RustCorpus, FileCountAndNames) {
+  RustCorpusConfig C;
+  C.Files = 4;
+  auto Files = RustCorpusGenerator(C).generate();
+  ASSERT_EQ(Files.size(), 4u);
+  EXPECT_EQ(Files[0].Name, "gen_0.rs");
+  EXPECT_EQ(Files[3].Name, "gen_3.rs");
+  for (const RustFile &F : Files)
+    EXPECT_FALSE(F.Source.empty());
+}
+
+// Property sweep: counts stay exact across scales.
+struct ScaleParam {
+  unsigned Blocks, Fns, Interior;
+};
+
+class RustCorpusScale : public ::testing::TestWithParam<ScaleParam> {};
+
+TEST_P(RustCorpusScale, CountsScale) {
+  RustCorpusConfig C;
+  C.Seed = 42;
+  C.Files = 10;
+  C.UnsafeBlocks = GetParam().Blocks;
+  C.UnsafeFns = GetParam().Fns;
+  C.InteriorUnsafeFns = GetParam().Interior;
+  C.UnsafeTraits = 1;
+  C.UnsafeImpls = 1;
+  C.SafeFns = 20;
+
+  ScanStats S =
+      UnsafeScanner().scanSource(RustCorpusGenerator(C).generateConcatenated());
+  EXPECT_EQ(S.UnsafeBlocks, C.UnsafeBlocks);
+  EXPECT_EQ(S.UnsafeFns, C.UnsafeFns);
+  EXPECT_EQ(S.InteriorUnsafeFns, C.InteriorUnsafeFns);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Scales, RustCorpusScale,
+    ::testing::Values(ScaleParam{10, 5, 5}, ScaleParam{100, 40, 25},
+                      ScaleParam{366, 130, 80}, ScaleParam{1000, 300, 200}));

@@ -1,0 +1,73 @@
+#include "DetectorTestUtil.h"
+
+using namespace rs::detectors;
+using namespace rs::detectors::testutil;
+
+TEST(DanglingReturn, ReturnRefToLocalReported) {
+  auto Diags = runDetector<DanglingReturnDetector>(
+      "fn leak() -> &i32 {\n"
+      "    let _1: i32;\n"
+      "    bb0: {\n"
+      "        _1 = const 5;\n"
+      "        _0 = &_1;\n"
+      "        return;\n"
+      "    }\n"
+      "}\n");
+  ASSERT_EQ(Diags.size(), 1u) << render(Diags);
+  EXPECT_EQ(Diags[0].Kind, BugKind::DanglingReturn);
+  EXPECT_NE(Diags[0].Message.find("_1"), std::string::npos);
+}
+
+TEST(DanglingReturn, LifetimeCastDoesNotHideIt) {
+  // The Section 4.3 pattern: casting the reference "extends" its lifetime
+  // syntactically but not semantically.
+  auto Diags = runDetector<DanglingReturnDetector>(
+      "fn leak() -> &i32 {\n"
+      "    let _1: i32;\n"
+      "    let _2: &i32;\n"
+      "    bb0: {\n"
+      "        _1 = const 5;\n"
+      "        _2 = &_1;\n"
+      "        _0 = copy _2 as &i32;\n"
+      "        return;\n"
+      "    }\n"
+      "}\n");
+  ASSERT_EQ(Diags.size(), 1u) << render(Diags);
+}
+
+TEST(DanglingReturn, ReturningParamPointeeIsClean) {
+  auto Diags = runDetector<DanglingReturnDetector>(
+      "fn id(_1: &i32) -> &i32 {\n"
+      "    bb0: {\n"
+      "        _0 = copy _1;\n"
+      "        return;\n"
+      "    }\n"
+      "}\n");
+  EXPECT_TRUE(Diags.empty()) << render(Diags);
+}
+
+TEST(DanglingReturn, ReturningHeapIsClean) {
+  auto Diags = runDetector<DanglingReturnDetector>(
+      "fn make() -> Box<i32> {\n"
+      "    bb0: {\n"
+      "        _0 = Box::new(const 1) -> bb1;\n"
+      "    }\n"
+      "    bb1: {\n"
+      "        return;\n"
+      "    }\n"
+      "}\n");
+  EXPECT_TRUE(Diags.empty()) << render(Diags);
+}
+
+TEST(DanglingReturn, PointerIntoByValueParamReported) {
+  // By-value parameters are locals of the callee; pointers into them die
+  // at return too.
+  auto Diags = runDetector<DanglingReturnDetector>(
+      "fn f(_1: i32) -> &i32 {\n"
+      "    bb0: {\n"
+      "        _0 = &_1;\n"
+      "        return;\n"
+      "    }\n"
+      "}\n");
+  ASSERT_EQ(Diags.size(), 1u) << render(Diags);
+}

@@ -1,0 +1,43 @@
+//===----------------------------------------------------------------------===//
+// Shared helpers for detector tests: parse a module, run one detector or
+// all of them, and return the diagnostics.
+//===----------------------------------------------------------------------===//
+
+#ifndef RUSTSIGHT_TESTS_DETECTORTESTUTIL_H
+#define RUSTSIGHT_TESTS_DETECTORTESTUTIL_H
+
+#include "detectors/Detectors.h"
+#include "mir/Parser.h"
+
+#include <gtest/gtest.h>
+
+namespace rs::detectors::testutil {
+
+inline mir::Module parseOk(std::string_view Src) {
+  auto R = mir::Parser::parse(Src);
+  EXPECT_TRUE(R) << (R ? "" : R.error().toString());
+  return R.take();
+}
+
+/// Runs a single detector over \p Src and returns its diagnostics.
+template <typename DetectorT>
+std::vector<Diagnostic> runDetector(std::string_view Src) {
+  mir::Module M = parseOk(Src);
+  AnalysisContext Ctx(M);
+  DiagnosticEngine Diags;
+  DetectorT D;
+  D.run(Ctx, Diags);
+  return Diags.diagnostics();
+}
+
+/// Pretty-printer for assertion failures.
+inline std::string render(const std::vector<Diagnostic> &Diags) {
+  std::string Out;
+  for (const Diagnostic &D : Diags)
+    Out += D.toString() + "\n";
+  return Out;
+}
+
+} // namespace rs::detectors::testutil
+
+#endif // RUSTSIGHT_TESTS_DETECTORTESTUTIL_H

@@ -1,0 +1,73 @@
+#include "detectors/Diagnostics.h"
+
+#include <gtest/gtest.h>
+
+using namespace rs::detectors;
+
+namespace {
+
+Diagnostic make(BugKind K, const char *Fn, unsigned Block, size_t Stmt,
+                const char *Msg) {
+  Diagnostic D;
+  D.Kind = K;
+  D.Function = Fn;
+  D.Block = Block;
+  D.StmtIndex = Stmt;
+  D.Message = Msg;
+  return D;
+}
+
+} // namespace
+
+TEST(Diagnostics, KindNames) {
+  EXPECT_STREQ(bugKindName(BugKind::UseAfterFree), "use-after-free");
+  EXPECT_STREQ(bugKindName(BugKind::DoubleLock), "double-lock");
+  EXPECT_STREQ(bugKindName(BugKind::ConflictingLockOrder),
+               "conflicting-lock-order");
+  EXPECT_STREQ(bugKindName(BugKind::InvalidFree), "invalid-free");
+  EXPECT_STREQ(bugKindName(BugKind::DoubleFree), "double-free");
+  EXPECT_STREQ(bugKindName(BugKind::UninitRead), "uninitialized-read");
+  EXPECT_STREQ(bugKindName(BugKind::InteriorMutability),
+               "interior-mutability");
+}
+
+TEST(Diagnostics, SortsAndDeduplicates) {
+  DiagnosticEngine E;
+  E.report(make(BugKind::DoubleLock, "zeta", 1, 0, "m"));
+  E.report(make(BugKind::UseAfterFree, "alpha", 2, 3, "m"));
+  E.report(make(BugKind::UseAfterFree, "alpha", 2, 3, "m")); // Duplicate.
+  E.report(make(BugKind::UseAfterFree, "alpha", 0, 0, "m"));
+
+  const auto &Diags = E.diagnostics();
+  ASSERT_EQ(Diags.size(), 3u);
+  EXPECT_EQ(Diags[0].Function, "alpha");
+  EXPECT_EQ(Diags[0].Block, 0u);
+  EXPECT_EQ(Diags[2].Function, "zeta");
+}
+
+TEST(Diagnostics, CountsByKind) {
+  DiagnosticEngine E;
+  E.report(make(BugKind::DoubleLock, "f", 0, 0, "a"));
+  E.report(make(BugKind::DoubleLock, "f", 1, 0, "b"));
+  E.report(make(BugKind::InvalidFree, "f", 2, 0, "c"));
+  EXPECT_EQ(E.countOfKind(BugKind::DoubleLock), 2u);
+  EXPECT_EQ(E.countOfKind(BugKind::InvalidFree), 1u);
+  EXPECT_EQ(E.countOfKind(BugKind::UseAfterFree), 0u);
+  EXPECT_EQ(E.count(), 3u);
+}
+
+TEST(Diagnostics, TextRendering) {
+  DiagnosticEngine E;
+  E.report(make(BugKind::UseAfterFree, "f", 2, 1, "boom"));
+  std::string Text = E.renderText();
+  EXPECT_EQ(Text, "f:bb2[1]: use-after-free: boom\n");
+}
+
+TEST(Diagnostics, JsonRendering) {
+  DiagnosticEngine E;
+  E.report(make(BugKind::DoubleLock, "f", 0, 2, "locked twice"));
+  std::string Json = E.renderJson();
+  EXPECT_NE(Json.find("\"kind\":\"double-lock\""), std::string::npos);
+  EXPECT_NE(Json.find("\"function\":\"f\""), std::string::npos);
+  EXPECT_NE(Json.find("\"statement\":2"), std::string::npos);
+}

@@ -1,0 +1,240 @@
+#include "DetectorTestUtil.h"
+
+using namespace rs::detectors;
+using namespace rs::detectors::testutil;
+
+TEST(DoubleLock, Figure8ReadThenWrite) {
+  // The TiKV bug from Figure 8: a read guard born in a match discriminant
+  // is still alive when the match arm takes the write lock.
+  auto Diags = runDetector<DoubleLockDetector>(
+      "fn do_request(_1: &RwLock<i32>) {\n"
+      "    let _2: RwLockReadGuard<i32>;\n"
+      "    let _3: i32;\n"
+      "    let _4: bool;\n"
+      "    let _5: RwLockWriteGuard<i32>;\n"
+      "    bb0: {\n"
+      "        StorageLive(_2);\n"
+      "        _2 = RwLock::read(copy _1) -> bb1;\n"
+      "    }\n"
+      "    bb1: {\n"
+      "        _3 = copy (*_2);\n"
+      "        _4 = connect(copy _3) -> bb2;\n"
+      "    }\n"
+      "    bb2: {\n"
+      "        switchInt(copy _4) -> [1: bb3, otherwise: bb5];\n"
+      "    }\n"
+      "    bb3: {\n"
+      "        StorageLive(_5);\n"
+      "        _5 = RwLock::write(copy _1) -> bb4;\n"
+      "    }\n"
+      "    bb4: {\n"
+      "        StorageDead(_5);\n"
+      "        goto -> bb5;\n"
+      "    }\n"
+      "    bb5: {\n"
+      "        StorageDead(_2);\n"
+      "        return;\n"
+      "    }\n"
+      "}\n");
+  ASSERT_EQ(Diags.size(), 1u) << render(Diags);
+  EXPECT_EQ(Diags[0].Kind, BugKind::DoubleLock);
+  EXPECT_EQ(Diags[0].Block, 3u);
+  EXPECT_NE(Diags[0].Message.find("already held"), std::string::npos);
+}
+
+TEST(DoubleLock, Figure8PatchIsClean) {
+  // The patch: save connect()'s result so the read guard dies before the
+  // write lock is taken.
+  auto Diags = runDetector<DoubleLockDetector>(
+      "fn do_request(_1: &RwLock<i32>) {\n"
+      "    let _2: RwLockReadGuard<i32>;\n"
+      "    let _3: i32;\n"
+      "    let _4: bool;\n"
+      "    let _5: RwLockWriteGuard<i32>;\n"
+      "    bb0: {\n"
+      "        StorageLive(_2);\n"
+      "        _2 = RwLock::read(copy _1) -> bb1;\n"
+      "    }\n"
+      "    bb1: {\n"
+      "        _3 = copy (*_2);\n"
+      "        StorageDead(_2);\n"
+      "        _4 = connect(copy _3) -> bb2;\n"
+      "    }\n"
+      "    bb2: {\n"
+      "        switchInt(copy _4) -> [1: bb3, otherwise: bb5];\n"
+      "    }\n"
+      "    bb3: {\n"
+      "        StorageLive(_5);\n"
+      "        _5 = RwLock::write(copy _1) -> bb4;\n"
+      "    }\n"
+      "    bb4: {\n"
+      "        StorageDead(_5);\n"
+      "        goto -> bb5;\n"
+      "    }\n"
+      "    bb5: {\n"
+      "        return;\n"
+      "    }\n"
+      "}\n");
+  EXPECT_TRUE(Diags.empty()) << render(Diags);
+}
+
+TEST(DoubleLock, MutexLockTwice) {
+  auto Diags = runDetector<DoubleLockDetector>(
+      "fn twice(_1: &Mutex<i32>) {\n"
+      "    let _2: MutexGuard<i32>;\n"
+      "    let _3: MutexGuard<i32>;\n"
+      "    bb0: {\n"
+      "        _2 = Mutex::lock(copy _1) -> bb1;\n"
+      "    }\n"
+      "    bb1: {\n"
+      "        _3 = Mutex::lock(copy _1) -> bb2;\n"
+      "    }\n"
+      "    bb2: {\n"
+      "        return;\n"
+      "    }\n"
+      "}\n");
+  ASSERT_EQ(Diags.size(), 1u) << render(Diags);
+  EXPECT_EQ(Diags[0].Block, 1u);
+}
+
+TEST(DoubleLock, ReadReadIsAllowed) {
+  auto Diags = runDetector<DoubleLockDetector>(
+      "fn readers(_1: &RwLock<i32>) {\n"
+      "    let _2: RwLockReadGuard<i32>;\n"
+      "    let _3: RwLockReadGuard<i32>;\n"
+      "    bb0: {\n"
+      "        _2 = RwLock::read(copy _1) -> bb1;\n"
+      "    }\n"
+      "    bb1: {\n"
+      "        _3 = RwLock::read(copy _1) -> bb2;\n"
+      "    }\n"
+      "    bb2: {\n"
+      "        return;\n"
+      "    }\n"
+      "}\n");
+  EXPECT_TRUE(Diags.empty()) << render(Diags);
+}
+
+TEST(DoubleLock, ExplicitDropAllowsRelock) {
+  // The paper's recommended workaround: mem::drop the guard to end the
+  // critical section early.
+  auto Diags = runDetector<DoubleLockDetector>(
+      "fn relock(_1: &Mutex<i32>) {\n"
+      "    let _2: MutexGuard<i32>;\n"
+      "    let _3: MutexGuard<i32>;\n"
+      "    let _4: ();\n"
+      "    bb0: {\n"
+      "        _2 = Mutex::lock(copy _1) -> bb1;\n"
+      "    }\n"
+      "    bb1: {\n"
+      "        _4 = mem::drop(move _2) -> bb2;\n"
+      "    }\n"
+      "    bb2: {\n"
+      "        _3 = Mutex::lock(copy _1) -> bb3;\n"
+      "    }\n"
+      "    bb3: {\n"
+      "        return;\n"
+      "    }\n"
+      "}\n");
+  EXPECT_TRUE(Diags.empty()) << render(Diags);
+}
+
+TEST(DoubleLock, TwoDifferentLocksAreClean) {
+  auto Diags = runDetector<DoubleLockDetector>(
+      "fn two(_1: &Mutex<i32>, _2: &Mutex<i32>) {\n"
+      "    let _3: MutexGuard<i32>;\n"
+      "    let _4: MutexGuard<i32>;\n"
+      "    bb0: {\n"
+      "        _3 = Mutex::lock(copy _1) -> bb1;\n"
+      "    }\n"
+      "    bb1: {\n"
+      "        _4 = Mutex::lock(copy _2) -> bb2;\n"
+      "    }\n"
+      "    bb2: {\n"
+      "        return;\n"
+      "    }\n"
+      "}\n");
+  EXPECT_TRUE(Diags.empty()) << render(Diags);
+}
+
+TEST(DoubleLock, InterproceduralThroughCallee) {
+  // The paper: "Our check covers the case where two lock acquisitions are
+  // in different functions by performing inter-procedural analysis."
+  auto Diags = runDetector<DoubleLockDetector>(
+      "fn helper(_1: &Mutex<i32>) -> i32 {\n"
+      "    let _2: MutexGuard<i32>;\n"
+      "    bb0: {\n"
+      "        _2 = Mutex::lock(copy _1) -> bb1;\n"
+      "    }\n"
+      "    bb1: {\n"
+      "        _0 = copy (*_2);\n"
+      "        return;\n"
+      "    }\n"
+      "}\n"
+      "fn outer(_1: &Mutex<i32>) -> i32 {\n"
+      "    let _2: MutexGuard<i32>;\n"
+      "    bb0: {\n"
+      "        _2 = Mutex::lock(copy _1) -> bb1;\n"
+      "    }\n"
+      "    bb1: {\n"
+      "        _0 = helper(copy _1) -> bb2;\n"
+      "    }\n"
+      "    bb2: {\n"
+      "        return;\n"
+      "    }\n"
+      "}\n");
+  ASSERT_EQ(Diags.size(), 1u) << render(Diags);
+  EXPECT_EQ(Diags[0].Function, "outer");
+  EXPECT_NE(Diags[0].Message.find("helper"), std::string::npos);
+}
+
+TEST(DoubleLock, ArcMutexByValue) {
+  // Locks reached through an owned handle (Arc<Mutex<T>> by value).
+  auto Diags = runDetector<DoubleLockDetector>(
+      "fn own(_1: Arc<Mutex<i32>>) {\n"
+      "    let _2: MutexGuard<i32>;\n"
+      "    let _3: MutexGuard<i32>;\n"
+      "    bb0: {\n"
+      "        _2 = Mutex::lock(copy _1) -> bb1;\n"
+      "    }\n"
+      "    bb1: {\n"
+      "        _3 = Mutex::lock(copy _1) -> bb2;\n"
+      "    }\n"
+      "    bb2: {\n"
+      "        return;\n"
+      "    }\n"
+      "}\n");
+  ASSERT_EQ(Diags.size(), 1u) << render(Diags);
+}
+
+TEST(DoubleLock, BranchesWithoutOverlapAreClean) {
+  // Lock in one arm, lock in the other: never held together.
+  auto Diags = runDetector<DoubleLockDetector>(
+      "fn arms(_1: &Mutex<i32>, _2: bool) {\n"
+      "    let _3: MutexGuard<i32>;\n"
+      "    let _4: MutexGuard<i32>;\n"
+      "    bb0: {\n"
+      "        switchInt(copy _2) -> [1: bb1, otherwise: bb3];\n"
+      "    }\n"
+      "    bb1: {\n"
+      "        StorageLive(_3);\n"
+      "        _3 = Mutex::lock(copy _1) -> bb2;\n"
+      "    }\n"
+      "    bb2: {\n"
+      "        StorageDead(_3);\n"
+      "        goto -> bb5;\n"
+      "    }\n"
+      "    bb3: {\n"
+      "        StorageLive(_4);\n"
+      "        _4 = Mutex::lock(copy _1) -> bb4;\n"
+      "    }\n"
+      "    bb4: {\n"
+      "        StorageDead(_4);\n"
+      "        goto -> bb5;\n"
+      "    }\n"
+      "    bb5: {\n"
+      "        return;\n"
+      "    }\n"
+      "}\n");
+  EXPECT_TRUE(Diags.empty()) << render(Diags);
+}

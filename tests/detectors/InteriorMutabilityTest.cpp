@@ -1,0 +1,155 @@
+#include "DetectorTestUtil.h"
+
+using namespace rs::detectors;
+using namespace rs::detectors::testutil;
+
+TEST(InteriorMutability, Figure9UnsyncedWriteThroughSelf) {
+  // The Parity Ethereum bug (Figure 9): generate_seal() mutates the Sync
+  // struct's field through a cast of &self without synchronization.
+  auto Diags = runDetector<InteriorMutabilityDetector>(
+      "struct AuthorityRound { proposed: bool }\n"
+      "unsafe impl Sync for AuthorityRound;\n"
+      "fn generate_seal(_1: &AuthorityRound) -> i32 {\n"
+      "    let _2: bool;\n"
+      "    let _3: &bool;\n"
+      "    let _4: *mut bool;\n"
+      "    bb0: {\n"
+      "        _2 = copy (*_1).0;\n"
+      "        switchInt(copy _2) -> [1: bb1, otherwise: bb2];\n"
+      "    }\n"
+      "    bb1: {\n"
+      "        _0 = const 0;\n"
+      "        return;\n"
+      "    }\n"
+      "    bb2: {\n"
+      "        _3 = &(*_1).0;\n"
+      "        _4 = copy _3 as *const bool as *mut bool;\n"
+      "        (*_4) = const true;\n"
+      "        _0 = const 1;\n"
+      "        return;\n"
+      "    }\n"
+      "}\n");
+  ASSERT_EQ(Diags.size(), 1u) << render(Diags);
+  EXPECT_EQ(Diags[0].Kind, BugKind::InteriorMutability);
+  EXPECT_EQ(Diags[0].Block, 2u);
+  EXPECT_NE(Diags[0].Message.find("AuthorityRound"), std::string::npos);
+}
+
+TEST(InteriorMutability, Figure9PatchWithAtomicIsClean) {
+  // The patch replaces the check-then-set with compare_and_swap.
+  auto Diags = runDetector<InteriorMutabilityDetector>(
+      "struct AuthorityRound { proposed: AtomicBool }\n"
+      "unsafe impl Sync for AuthorityRound;\n"
+      "fn generate_seal(_1: &AuthorityRound) -> i32 {\n"
+      "    let _2: &AtomicBool;\n"
+      "    let _3: bool;\n"
+      "    bb0: {\n"
+      "        _2 = &(*_1).0;\n"
+      "        _3 = AtomicBool::compare_and_swap(copy _2, const false, "
+      "const true) -> bb1;\n"
+      "    }\n"
+      "    bb1: {\n"
+      "        switchInt(copy _3) -> [1: bb2, otherwise: bb3];\n"
+      "    }\n"
+      "    bb2: {\n"
+      "        _0 = const 0;\n"
+      "        return;\n"
+      "    }\n"
+      "    bb3: {\n"
+      "        _0 = const 1;\n"
+      "        return;\n"
+      "    }\n"
+      "}\n");
+  EXPECT_TRUE(Diags.empty()) << render(Diags);
+}
+
+TEST(InteriorMutability, MutableSelfIsCompilerTerritory) {
+  // With &mut self the Rust compiler enforces exclusivity (Insight 10);
+  // the detector stays quiet.
+  auto Diags = runDetector<InteriorMutabilityDetector>(
+      "struct AuthorityRound { proposed: bool }\n"
+      "unsafe impl Sync for AuthorityRound;\n"
+      "fn set(_1: &mut AuthorityRound) {\n"
+      "    bb0: {\n"
+      "        (*_1).0 = const true;\n"
+      "        return;\n"
+      "    }\n"
+      "}\n");
+  EXPECT_TRUE(Diags.empty()) << render(Diags);
+}
+
+TEST(InteriorMutability, NonSyncTypeIsClean) {
+  // Without Sync the struct cannot be shared across threads; interior
+  // mutability is single-threaded and fine (e.g. Cell-based code).
+  auto Diags = runDetector<InteriorMutabilityDetector>(
+      "struct Counter { n: i32 }\n"
+      "fn bump(_1: &Counter) {\n"
+      "    let _2: &i32;\n"
+      "    let _3: *mut i32;\n"
+      "    bb0: {\n"
+      "        _2 = &(*_1).0;\n"
+      "        _3 = copy _2 as *mut i32;\n"
+      "        (*_3) = const 1;\n"
+      "        return;\n"
+      "    }\n"
+      "}\n");
+  EXPECT_TRUE(Diags.empty()) << render(Diags);
+}
+
+TEST(InteriorMutability, LockProtectedWriteIsClean) {
+  // A held exclusive lock counts as synchronization.
+  auto Diags = runDetector<InteriorMutabilityDetector>(
+      "struct Shared { value: i32, lock: Mutex<i32> }\n"
+      "unsafe impl Sync for Shared;\n"
+      "fn set(_1: &Shared) {\n"
+      "    let _2: &Mutex<i32>;\n"
+      "    let _3: MutexGuard<i32>;\n"
+      "    let _4: &i32;\n"
+      "    let _5: *mut i32;\n"
+      "    bb0: {\n"
+      "        _2 = &(*_1).1;\n"
+      "        _3 = Mutex::lock(copy _2) -> bb1;\n"
+      "    }\n"
+      "    bb1: {\n"
+      "        _4 = &(*_1).0;\n"
+      "        _5 = copy _4 as *mut i32;\n"
+      "        (*_5) = const 7;\n"
+      "        StorageDead(_3);\n"
+      "        return;\n"
+      "    }\n"
+      "}\n");
+  EXPECT_TRUE(Diags.empty()) << render(Diags);
+}
+
+TEST(InteriorMutability, PtrWriteIntoSelfReported) {
+  auto Diags = runDetector<InteriorMutabilityDetector>(
+      "struct Cell { v: i32 }\n"
+      "unsafe impl Sync for Cell;\n"
+      "fn set(_1: &Cell, _2: i32) {\n"
+      "    let _3: &i32;\n"
+      "    let _4: *mut i32;\n"
+      "    let _5: ();\n"
+      "    bb0: {\n"
+      "        _3 = &(*_1).0;\n"
+      "        _4 = copy _3 as *const i32 as *mut i32;\n"
+      "        _5 = ptr::write(copy _4, copy _2) -> bb1;\n"
+      "    }\n"
+      "    bb1: {\n"
+      "        return;\n"
+      "    }\n"
+      "}\n");
+  ASSERT_EQ(Diags.size(), 1u) << render(Diags);
+  EXPECT_NE(Diags[0].Message.find("ptr::write"), std::string::npos);
+}
+
+TEST(AllDetectors, RunAllOnCleanModuleIsSilent) {
+  rs::mir::Module M = parseOk("fn add(_1: i32, _2: i32) -> i32 {\n"
+                          "    bb0: {\n"
+                          "        _0 = Add(copy _1, copy _2);\n"
+                          "        return;\n"
+                          "    }\n"
+                          "}\n");
+  DiagnosticEngine Diags;
+  runAllDetectors(M, Diags);
+  EXPECT_EQ(Diags.count(), 0u);
+}

@@ -1,0 +1,235 @@
+#include "DetectorTestUtil.h"
+
+using namespace rs::detectors;
+using namespace rs::detectors::testutil;
+
+namespace {
+
+/// Two thread bodies taking the same two locks; \p SameOrder controls
+/// whether thread2 matches thread1's acquisition order.
+std::string twoThreads(bool SameOrder) {
+  std::string T2First = SameOrder ? "_1" : "_2";
+  std::string T2Second = SameOrder ? "_2" : "_1";
+  return "fn thread1(_1: &Mutex<i32>, _2: &Mutex<i32>) {\n"
+         "    let _3: MutexGuard<i32>;\n"
+         "    let _4: MutexGuard<i32>;\n"
+         "    bb0: {\n"
+         "        _3 = Mutex::lock(copy _1) -> bb1;\n"
+         "    }\n"
+         "    bb1: {\n"
+         "        _4 = Mutex::lock(copy _2) -> bb2;\n"
+         "    }\n"
+         "    bb2: {\n"
+         "        return;\n"
+         "    }\n"
+         "}\n"
+         "fn thread2(_1: &Mutex<i32>, _2: &Mutex<i32>) {\n"
+         "    let _3: MutexGuard<i32>;\n"
+         "    let _4: MutexGuard<i32>;\n"
+         "    bb0: {\n"
+         "        _3 = Mutex::lock(copy " + T2First + ") -> bb1;\n"
+         "    }\n"
+         "    bb1: {\n"
+         "        _4 = Mutex::lock(copy " + T2Second + ") -> bb2;\n"
+         "    }\n"
+         "    bb2: {\n"
+         "        return;\n"
+         "    }\n"
+         "}\n";
+}
+
+} // namespace
+
+TEST(LockOrder, AbbaBetweenTwoThreads) {
+  auto Diags = runDetector<LockOrderDetector>(twoThreads(/*SameOrder=*/false));
+  ASSERT_EQ(Diags.size(), 1u) << render(Diags);
+  EXPECT_EQ(Diags[0].Kind, BugKind::ConflictingLockOrder);
+  EXPECT_NE(Diags[0].Message.find("opposite order"), std::string::npos);
+}
+
+TEST(LockOrder, ConsistentOrderIsClean) {
+  auto Diags = runDetector<LockOrderDetector>(twoThreads(/*SameOrder=*/true));
+  EXPECT_TRUE(Diags.empty()) << render(Diags);
+}
+
+TEST(LockOrder, SpawnRestrictsAnalysisToThreadFunctions) {
+  // With explicit spawns, non-spawned functions do not participate.
+  std::string Src = twoThreads(/*SameOrder=*/false) +
+                    "fn main_fn() {\n"
+                    "    let _1: ();\n"
+                    "    let _2: ();\n"
+                    "    bb0: {\n"
+                    "        _1 = thread::spawn(const \"thread1\") -> bb1;\n"
+                    "    }\n"
+                    "    bb1: {\n"
+                    "        _2 = thread::spawn(const \"thread2\") -> bb2;\n"
+                    "    }\n"
+                    "    bb2: {\n"
+                    "        return;\n"
+                    "    }\n"
+                    "}\n";
+  auto Diags = runDetector<LockOrderDetector>(Src);
+  ASSERT_EQ(Diags.size(), 1u) << render(Diags);
+
+  // Spawning only one of the two means no cross-thread cycle.
+  std::string OneThread = twoThreads(/*SameOrder=*/false) +
+                          "fn main_fn() {\n"
+                          "    let _1: ();\n"
+                          "    bb0: {\n"
+                          "        _1 = thread::spawn(const \"thread1\") -> "
+                          "bb1;\n"
+                          "    }\n"
+                          "    bb1: {\n"
+                          "        return;\n"
+                          "    }\n"
+                          "}\n";
+  auto Diags2 = runDetector<LockOrderDetector>(OneThread);
+  EXPECT_TRUE(Diags2.empty()) << render(Diags2);
+}
+
+TEST(LockOrder, NestedThroughCallee) {
+  // thread2 takes the second lock inside a helper; summaries carry the
+  // acquisition across the call.
+  auto Diags = runDetector<LockOrderDetector>(
+      "fn lock_b(_1: &Mutex<i32>) {\n"
+      "    let _2: MutexGuard<i32>;\n"
+      "    bb0: {\n"
+      "        _2 = Mutex::lock(copy _1) -> bb1;\n"
+      "    }\n"
+      "    bb1: {\n"
+      "        return;\n"
+      "    }\n"
+      "}\n"
+      "fn thread1(_1: &Mutex<i32>, _2: &Mutex<i32>) {\n"
+      "    let _3: MutexGuard<i32>;\n"
+      "    let _4: ();\n"
+      "    bb0: {\n"
+      "        _3 = Mutex::lock(copy _1) -> bb1;\n"
+      "    }\n"
+      "    bb1: {\n"
+      "        _4 = lock_b(copy _2) -> bb2;\n"
+      "    }\n"
+      "    bb2: {\n"
+      "        return;\n"
+      "    }\n"
+      "}\n"
+      "fn thread2(_1: &Mutex<i32>, _2: &Mutex<i32>) {\n"
+      "    let _3: MutexGuard<i32>;\n"
+      "    let _4: MutexGuard<i32>;\n"
+      "    bb0: {\n"
+      "        _3 = Mutex::lock(copy _2) -> bb1;\n"
+      "    }\n"
+      "    bb1: {\n"
+      "        _4 = Mutex::lock(copy _1) -> bb2;\n"
+      "    }\n"
+      "    bb2: {\n"
+      "        return;\n"
+      "    }\n"
+      "}\n"
+      "fn main_fn() {\n"
+      "    let _1: ();\n"
+      "    let _2: ();\n"
+      "    bb0: {\n"
+      "        _1 = thread::spawn(const \"thread1\") -> bb1;\n"
+      "    }\n"
+      "    bb1: {\n"
+      "        _2 = thread::spawn(const \"thread2\") -> bb2;\n"
+      "    }\n"
+      "    bb2: {\n"
+      "        return;\n"
+      "    }\n"
+      "}\n");
+  ASSERT_EQ(Diags.size(), 1u) << render(Diags);
+}
+
+TEST(LockOrder, ThreeThreadRingIsReported) {
+  // t1: A then B; t2: B then C; t3: C then A — no pair conflicts, but the
+  // three together form a circular wait.
+  auto Thread = [](const char *Name, const char *First, const char *Second) {
+    return std::string("fn ") + Name +
+           "(_1: &Mutex<i32>, _2: &Mutex<i32>, _3: &Mutex<i32>) {\n"
+           "    let _4: MutexGuard<i32>;\n"
+           "    let _5: MutexGuard<i32>;\n"
+           "    bb0: {\n"
+           "        _4 = Mutex::lock(copy " + First + ") -> bb1;\n"
+           "    }\n"
+           "    bb1: {\n"
+           "        _5 = Mutex::lock(copy " + Second + ") -> bb2;\n"
+           "    }\n"
+           "    bb2: {\n"
+           "        return;\n"
+           "    }\n"
+           "}\n";
+  };
+  std::string Src = Thread("t1", "_1", "_2") + Thread("t2", "_2", "_3") +
+                    Thread("t3", "_3", "_1");
+  auto Diags = runDetector<LockOrderDetector>(Src);
+  ASSERT_EQ(Diags.size(), 1u) << render(Diags);
+  EXPECT_EQ(Diags[0].Kind, BugKind::ConflictingLockOrder);
+  EXPECT_NE(Diags[0].Message.find("circular lock-order across 3 threads"),
+            std::string::npos);
+}
+
+TEST(LockOrder, ThreeThreadConsistentOrderIsClean) {
+  auto Thread = [](const char *Name, const char *First, const char *Second) {
+    return std::string("fn ") + Name +
+           "(_1: &Mutex<i32>, _2: &Mutex<i32>, _3: &Mutex<i32>) {\n"
+           "    let _4: MutexGuard<i32>;\n"
+           "    let _5: MutexGuard<i32>;\n"
+           "    bb0: {\n"
+           "        _4 = Mutex::lock(copy " + First + ") -> bb1;\n"
+           "    }\n"
+           "    bb1: {\n"
+           "        _5 = Mutex::lock(copy " + Second + ") -> bb2;\n"
+           "    }\n"
+           "    bb2: {\n"
+           "        return;\n"
+           "    }\n"
+           "}\n";
+  };
+  // All respect the global order 1 < 2 < 3.
+  std::string Src = Thread("t1", "_1", "_2") + Thread("t2", "_2", "_3") +
+                    Thread("t3", "_1", "_3");
+  auto Diags = runDetector<LockOrderDetector>(Src);
+  EXPECT_TRUE(Diags.empty()) << render(Diags);
+}
+
+TEST(LockOrder, DisjointCriticalSectionsAreClean) {
+  // Guards released before the next acquisition: no ordering edge at all.
+  auto Diags = runDetector<LockOrderDetector>(
+      "fn thread1(_1: &Mutex<i32>, _2: &Mutex<i32>) {\n"
+      "    let _3: MutexGuard<i32>;\n"
+      "    let _4: MutexGuard<i32>;\n"
+      "    bb0: {\n"
+      "        StorageLive(_3);\n"
+      "        _3 = Mutex::lock(copy _1) -> bb1;\n"
+      "    }\n"
+      "    bb1: {\n"
+      "        StorageDead(_3);\n"
+      "        StorageLive(_4);\n"
+      "        _4 = Mutex::lock(copy _2) -> bb2;\n"
+      "    }\n"
+      "    bb2: {\n"
+      "        StorageDead(_4);\n"
+      "        return;\n"
+      "    }\n"
+      "}\n"
+      "fn thread2(_1: &Mutex<i32>, _2: &Mutex<i32>) {\n"
+      "    let _3: MutexGuard<i32>;\n"
+      "    let _4: MutexGuard<i32>;\n"
+      "    bb0: {\n"
+      "        StorageLive(_3);\n"
+      "        _3 = Mutex::lock(copy _2) -> bb1;\n"
+      "    }\n"
+      "    bb1: {\n"
+      "        StorageDead(_3);\n"
+      "        StorageLive(_4);\n"
+      "        _4 = Mutex::lock(copy _1) -> bb2;\n"
+      "    }\n"
+      "    bb2: {\n"
+      "        StorageDead(_4);\n"
+      "        return;\n"
+      "    }\n"
+      "}\n");
+  EXPECT_TRUE(Diags.empty()) << render(Diags);
+}

@@ -1,0 +1,292 @@
+#include "DetectorTestUtil.h"
+
+using namespace rs::detectors;
+using namespace rs::detectors::testutil;
+
+//===----------------------------------------------------------------------===//
+// Invalid free (Figure 6)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+// The Redox _fdopen bug: *f = FILE{...} drops the uninitialized previous
+// FILE value, "freeing" its garbage Vec. The fixed variant uses ptr::write.
+const char *FdopenSrc(bool Fixed) {
+  static std::string Buggy, Patched;
+  std::string &S = Fixed ? Patched : Buggy;
+  S = "struct FILE { buf: Vec<u8> }\n"
+      "fn _fdopen() {\n"
+      "    let _1: *mut FILE;\n"
+      "    let _2: Vec<u8>;\n"
+      "    let _3: FILE;\n"
+      "    let _4: ();\n"
+      "    bb0: {\n"
+      "        _1 = alloc(const 16) -> bb1;\n"
+      "    }\n"
+      "    bb1: {\n"
+      "        _2 = Vec::with_capacity(const 100) -> bb2;\n"
+      "    }\n"
+      "    bb2: {\n"
+      "        _3 = FILE { 0: move _2 };\n";
+  if (Fixed)
+    S += "        _4 = ptr::write(copy _1, move _3) -> bb3;\n"
+         "    }\n"
+         "    bb3: {\n"
+         "        return;\n"
+         "    }\n"
+         "}\n";
+  else
+    S += "        (*_1) = move _3;\n"
+         "        return;\n"
+         "    }\n"
+         "}\n";
+  return S.c_str();
+}
+
+} // namespace
+
+TEST(InvalidFree, Figure6AssignThroughRawPointer) {
+  auto Diags = runDetector<InvalidFreeDetector>(FdopenSrc(/*Fixed=*/false));
+  ASSERT_EQ(Diags.size(), 1u) << render(Diags);
+  EXPECT_EQ(Diags[0].Kind, BugKind::InvalidFree);
+  EXPECT_NE(Diags[0].Message.find("ptr::write"), std::string::npos);
+}
+
+TEST(InvalidFree, Figure6PatchWithPtrWriteIsClean) {
+  auto Diags = runDetector<InvalidFreeDetector>(FdopenSrc(/*Fixed=*/true));
+  EXPECT_TRUE(Diags.empty()) << render(Diags);
+}
+
+TEST(InvalidFree, AssignToInitializedPointeeIsClean) {
+  // Overwriting an initialized value legitimately drops the old one.
+  auto Diags = runDetector<InvalidFreeDetector>(
+      "struct FILE { buf: Vec<u8> }\n"
+      "fn ok(_1: *mut FILE) {\n"
+      "    let _2: Vec<u8>;\n"
+      "    let _3: FILE;\n"
+      "    bb0: {\n"
+      "        _2 = Vec::with_capacity(const 1) -> bb1;\n"
+      "    }\n"
+      "    bb1: {\n"
+      "        _3 = FILE { 0: move _2 };\n"
+      "        (*_1) = move _3;\n"
+      "        return;\n"
+      "    }\n"
+      "}\n");
+  EXPECT_TRUE(Diags.empty()) << render(Diags);
+}
+
+TEST(InvalidFree, PlainDataNeedsNoDropIsClean) {
+  // Overwriting uninitialized plain bytes drops nothing.
+  auto Diags = runDetector<InvalidFreeDetector>(
+      "fn ok() {\n"
+      "    let _1: *mut u8;\n"
+      "    bb0: {\n"
+      "        _1 = alloc(const 1) -> bb1;\n"
+      "    }\n"
+      "    bb1: {\n"
+      "        (*_1) = const 0;\n"
+      "        return;\n"
+      "    }\n"
+      "}\n");
+  EXPECT_TRUE(Diags.empty()) << render(Diags);
+}
+
+TEST(InvalidFree, DropOfUninitializedLocal) {
+  auto Diags = runDetector<InvalidFreeDetector>(
+      "struct Holder : Drop { p: *mut u8 }\n"
+      "fn bad() {\n"
+      "    let _1: Holder;\n"
+      "    bb0: {\n"
+      "        StorageLive(_1);\n"
+      "        drop(_1) -> bb1;\n"
+      "    }\n"
+      "    bb1: {\n"
+      "        StorageDead(_1);\n"
+      "        return;\n"
+      "    }\n"
+      "}\n");
+  ASSERT_EQ(Diags.size(), 1u) << render(Diags);
+  EXPECT_NE(Diags[0].Message.find("uninitialized"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Double free (Section 5.1: ptr::read duplication)
+//===----------------------------------------------------------------------===//
+
+TEST(DoubleFree, PtrReadCreatesTwoOwners) {
+  auto Diags = runDetector<DoubleFreeDetector>(
+      "fn df() {\n"
+      "    let _1: Box<u8>;\n"
+      "    let _2: &Box<u8>;\n"
+      "    let _3: Box<u8>;\n"
+      "    bb0: {\n"
+      "        _1 = Box::new(const 1) -> bb1;\n"
+      "    }\n"
+      "    bb1: {\n"
+      "        _2 = &_1;\n"
+      "        _3 = ptr::read(copy _2) -> bb2;\n"
+      "    }\n"
+      "    bb2: {\n"
+      "        drop(_3) -> bb3;\n"
+      "    }\n"
+      "    bb3: {\n"
+      "        drop(_1) -> bb4;\n"
+      "    }\n"
+      "    bb4: {\n"
+      "        return;\n"
+      "    }\n"
+      "}\n");
+  ASSERT_EQ(Diags.size(), 1u) << render(Diags);
+  EXPECT_EQ(Diags[0].Kind, BugKind::DoubleFree);
+  EXPECT_NE(Diags[0].Message.find("ptr::read"), std::string::npos);
+}
+
+TEST(DoubleFree, PtrReadWithForgetIsClean) {
+  // The safe idiom: forget the original owner so only the copy drops.
+  auto Diags = runDetector<DoubleFreeDetector>(
+      "fn ok() {\n"
+      "    let _1: Box<u8>;\n"
+      "    let _2: &Box<u8>;\n"
+      "    let _3: Box<u8>;\n"
+      "    let _4: ();\n"
+      "    bb0: {\n"
+      "        _1 = Box::new(const 1) -> bb1;\n"
+      "    }\n"
+      "    bb1: {\n"
+      "        _2 = &_1;\n"
+      "        _3 = ptr::read(copy _2) -> bb2;\n"
+      "    }\n"
+      "    bb2: {\n"
+      "        _4 = mem::forget(move _1) -> bb3;\n"
+      "    }\n"
+      "    bb3: {\n"
+      "        drop(_3) -> bb4;\n"
+      "    }\n"
+      "    bb4: {\n"
+      "        return;\n"
+      "    }\n"
+      "}\n");
+  EXPECT_TRUE(Diags.empty()) << render(Diags);
+}
+
+TEST(DoubleFree, DirectDoubleDrop) {
+  auto Diags = runDetector<DoubleFreeDetector>(
+      "fn dd() {\n"
+      "    let _1: Box<u8>;\n"
+      "    let _2: ();\n"
+      "    let _3: ();\n"
+      "    bb0: {\n"
+      "        _1 = Box::new(const 1) -> bb1;\n"
+      "    }\n"
+      "    bb1: {\n"
+      "        _2 = mem::drop(move _1) -> bb2;\n"
+      "    }\n"
+      "    bb2: {\n"
+      "        drop(_1) -> bb3;\n"
+      "    }\n"
+      "    bb3: {\n"
+      "        return;\n"
+      "    }\n"
+      "}\n");
+  ASSERT_EQ(Diags.size(), 1u) << render(Diags);
+  EXPECT_EQ(Diags[0].Block, 2u);
+}
+
+TEST(DoubleFree, MoveTransfersOwnershipCleanly) {
+  // The paper's recommended fix: t2 = t1 moves instead of duplicating.
+  auto Diags = runDetector<DoubleFreeDetector>(
+      "fn ok() {\n"
+      "    let _1: Box<u8>;\n"
+      "    let _2: Box<u8>;\n"
+      "    bb0: {\n"
+      "        _1 = Box::new(const 1) -> bb1;\n"
+      "    }\n"
+      "    bb1: {\n"
+      "        _2 = move _1;\n"
+      "        drop(_2) -> bb2;\n"
+      "    }\n"
+      "    bb2: {\n"
+      "        return;\n"
+      "    }\n"
+      "}\n");
+  EXPECT_TRUE(Diags.empty()) << render(Diags);
+}
+
+//===----------------------------------------------------------------------===//
+// Uninitialized read
+//===----------------------------------------------------------------------===//
+
+TEST(UninitRead, ReadFromFreshAlloc) {
+  auto Diags = runDetector<UninitReadDetector>(
+      "fn bad() -> u8 {\n"
+      "    let _1: *mut u8;\n"
+      "    bb0: {\n"
+      "        _1 = alloc(const 8) -> bb1;\n"
+      "    }\n"
+      "    bb1: {\n"
+      "        _0 = copy (*_1);\n"
+      "        return;\n"
+      "    }\n"
+      "}\n");
+  ASSERT_EQ(Diags.size(), 1u) << render(Diags);
+  EXPECT_EQ(Diags[0].Kind, BugKind::UninitRead);
+}
+
+TEST(UninitRead, ReadAfterInitIsClean) {
+  auto Diags = runDetector<UninitReadDetector>(
+      "fn ok() -> u8 {\n"
+      "    let _1: *mut u8;\n"
+      "    bb0: {\n"
+      "        _1 = alloc(const 8) -> bb1;\n"
+      "    }\n"
+      "    bb1: {\n"
+      "        (*_1) = const 3;\n"
+      "        _0 = copy (*_1);\n"
+      "        return;\n"
+      "    }\n"
+      "}\n");
+  EXPECT_TRUE(Diags.empty()) << render(Diags);
+}
+
+TEST(UninitRead, PtrWriteInitializes) {
+  auto Diags = runDetector<UninitReadDetector>(
+      "fn ok() -> u8 {\n"
+      "    let _1: *mut u8;\n"
+      "    let _2: ();\n"
+      "    bb0: {\n"
+      "        _1 = alloc(const 8) -> bb1;\n"
+      "    }\n"
+      "    bb1: {\n"
+      "        _2 = ptr::write(copy _1, const 3) -> bb2;\n"
+      "    }\n"
+      "    bb2: {\n"
+      "        _0 = copy (*_1);\n"
+      "        return;\n"
+      "    }\n"
+      "}\n");
+  EXPECT_TRUE(Diags.empty()) << render(Diags);
+}
+
+TEST(UninitRead, PartialInitOnOneBranchStillReported) {
+  auto Diags = runDetector<UninitReadDetector>(
+      "fn partial(_1: bool) -> u8 {\n"
+      "    let _2: *mut u8;\n"
+      "    bb0: {\n"
+      "        _2 = alloc(const 8) -> bb1;\n"
+      "    }\n"
+      "    bb1: {\n"
+      "        switchInt(copy _1) -> [1: bb2, otherwise: bb3];\n"
+      "    }\n"
+      "    bb2: {\n"
+      "        (*_2) = const 1;\n"
+      "        goto -> bb3;\n"
+      "    }\n"
+      "    bb3: {\n"
+      "        _0 = copy (*_2);\n"
+      "        return;\n"
+      "    }\n"
+      "}\n");
+  ASSERT_EQ(Diags.size(), 1u) << render(Diags);
+  EXPECT_EQ(Diags[0].Block, 3u);
+}

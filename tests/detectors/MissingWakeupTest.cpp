@@ -1,0 +1,167 @@
+#include "DetectorTestUtil.h"
+
+using namespace rs::detectors;
+using namespace rs::detectors::testutil;
+
+namespace {
+
+/// A waiter thread plus optionally a notifier thread under one spawner.
+std::string condvarModule(bool WithNotifier) {
+  std::string Src =
+      "fn waiter(_1: &Condvar, _2: &Mutex<i32>) {\n"
+      "    let _3: MutexGuard<i32>;\n"
+      "    bb0: {\n"
+      "        _3 = Mutex::lock(copy _2) -> bb1;\n"
+      "    }\n"
+      "    bb1: {\n"
+      "        _3 = Condvar::wait(copy _1, move _3) -> bb2;\n"
+      "    }\n"
+      "    bb2: {\n"
+      "        return;\n"
+      "    }\n"
+      "}\n";
+  if (WithNotifier)
+    Src += "fn notifier(_1: &Condvar) {\n"
+           "    let _2: ();\n"
+           "    bb0: {\n"
+           "        _2 = Condvar::notify_one(copy _1) -> bb1;\n"
+           "    }\n"
+           "    bb1: {\n"
+           "        return;\n"
+           "    }\n"
+           "}\n";
+  Src += "fn spawner() {\n"
+         "    let _1: ();\n"
+         "    let _2: ();\n"
+         "    bb0: {\n"
+         "        _1 = thread::spawn(const \"waiter\") -> bb1;\n"
+         "    }\n";
+  if (WithNotifier)
+    Src += "    bb1: {\n"
+           "        _2 = thread::spawn(const \"notifier\") -> bb2;\n"
+           "    }\n"
+           "    bb2: {\n"
+           "        return;\n"
+           "    }\n"
+           "}\n";
+  else
+    Src += "    bb1: {\n"
+           "        return;\n"
+           "    }\n"
+           "}\n";
+  return Src;
+}
+
+} // namespace
+
+TEST(MissingWakeup, WaitWithoutNotifyReported) {
+  auto Diags = runDetector<MissingWakeupDetector>(condvarModule(false));
+  ASSERT_EQ(Diags.size(), 1u) << render(Diags);
+  EXPECT_EQ(Diags[0].Kind, BugKind::WaitNoNotify);
+  EXPECT_EQ(Diags[0].Function, "waiter");
+}
+
+TEST(MissingWakeup, WaitWithNotifierIsClean) {
+  auto Diags = runDetector<MissingWakeupDetector>(condvarModule(true));
+  EXPECT_TRUE(Diags.empty()) << render(Diags);
+}
+
+TEST(MissingWakeup, RecvWithoutSenderReported) {
+  auto Diags = runDetector<MissingWakeupDetector>(
+      "fn rx(_1: &Receiver<i32>) -> i32 {\n"
+      "    bb0: {\n"
+      "        _0 = Receiver::recv(copy _1) -> bb1;\n"
+      "    }\n"
+      "    bb1: {\n"
+      "        return;\n"
+      "    }\n"
+      "}\n");
+  ASSERT_EQ(Diags.size(), 1u) << render(Diags);
+  EXPECT_EQ(Diags[0].Kind, BugKind::RecvNoSender);
+}
+
+TEST(MissingWakeup, RecvWithSenderIsClean) {
+  auto Diags = runDetector<MissingWakeupDetector>(
+      "fn rx(_1: &Receiver<i32>) -> i32 {\n"
+      "    bb0: {\n"
+      "        _0 = Receiver::recv(copy _1) -> bb1;\n"
+      "    }\n"
+      "    bb1: {\n"
+      "        return;\n"
+      "    }\n"
+      "}\n"
+      "fn tx(_1: &Sender<i32>) {\n"
+      "    let _2: ();\n"
+      "    bb0: {\n"
+      "        _2 = Sender::send(copy _1, const 5) -> bb1;\n"
+      "    }\n"
+      "    bb1: {\n"
+      "        return;\n"
+      "    }\n"
+      "}\n");
+  EXPECT_TRUE(Diags.empty()) << render(Diags);
+}
+
+TEST(MissingWakeup, GroupsAreScopedBySpawner) {
+  // Group A has a waiter with no notifier (bug); group B has both
+  // (clean). B's notifier must not excuse A's wait.
+  std::string Src =
+      "fn a_waiter(_1: &Condvar) {\n"
+      "    let _2: MutexGuard<i32>;\n"
+      "    bb0: {\n"
+      "        _2 = Condvar::wait(copy _1, move _2) -> bb1;\n"
+      "    }\n"
+      "    bb1: {\n"
+      "        return;\n"
+      "    }\n"
+      "}\n"
+      "fn a_spawner() {\n"
+      "    let _1: ();\n"
+      "    bb0: {\n"
+      "        _1 = thread::spawn(const \"a_waiter\") -> bb1;\n"
+      "    }\n"
+      "    bb1: {\n"
+      "        return;\n"
+      "    }\n"
+      "}\n"
+      "fn b_waiter(_1: &Condvar) {\n"
+      "    let _2: MutexGuard<i32>;\n"
+      "    bb0: {\n"
+      "        _2 = Condvar::wait(copy _1, move _2) -> bb1;\n"
+      "    }\n"
+      "    bb1: {\n"
+      "        return;\n"
+      "    }\n"
+      "}\n"
+      "fn b_notifier(_1: &Condvar) {\n"
+      "    let _2: ();\n"
+      "    bb0: {\n"
+      "        _2 = Condvar::notify_all(copy _1) -> bb1;\n"
+      "    }\n"
+      "    bb1: {\n"
+      "        return;\n"
+      "    }\n"
+      "}\n"
+      "fn b_spawner() {\n"
+      "    let _1: ();\n"
+      "    let _2: ();\n"
+      "    bb0: {\n"
+      "        _1 = thread::spawn(const \"b_waiter\") -> bb1;\n"
+      "    }\n"
+      "    bb1: {\n"
+      "        _2 = thread::spawn(const \"b_notifier\") -> bb2;\n"
+      "    }\n"
+      "    bb2: {\n"
+      "        return;\n"
+      "    }\n"
+      "}\n";
+  auto Diags = runDetector<MissingWakeupDetector>(Src);
+  ASSERT_EQ(Diags.size(), 1u) << render(Diags);
+  EXPECT_EQ(Diags[0].Function, "a_waiter");
+}
+
+TEST(MissingWakeup, NoBlockingCallsNoDiagnostics) {
+  auto Diags = runDetector<MissingWakeupDetector>(
+      "fn f() { bb0: { return; } }\n");
+  EXPECT_TRUE(Diags.empty());
+}

@@ -1,0 +1,78 @@
+//===----------------------------------------------------------------------===//
+// Detector-precision tests for constant-branch pruning: a "bug" on a
+// statically-impossible path must not be reported — the class of false
+// positive the paper attributes to over-approximate path exploration.
+//===----------------------------------------------------------------------===//
+
+#include "DetectorTestUtil.h"
+
+using namespace rs::detectors;
+using namespace rs::detectors::testutil;
+
+namespace {
+
+/// A drop reachable only through a branch whose condition is the given
+/// constant; the dereference after the merge is a real bug only if the
+/// drop can execute.
+std::string guardedDrop(const char *Cond) {
+  return std::string("fn f() -> u8 {\n"
+                     "    let _1: Box<u8>;\n"
+                     "    let _2: *const u8;\n"
+                     "    let _3: bool;\n"
+                     "    bb0: {\n"
+                     "        _1 = Box::new(const 7) -> bb1;\n"
+                     "    }\n"
+                     "    bb1: {\n"
+                     "        _2 = &raw const (*_1);\n"
+                     "        _3 = const ") +
+         Cond +
+         ";\n"
+         "        switchInt(copy _3) -> [1: bb2, otherwise: bb3];\n"
+         "    }\n"
+         "    bb2: {\n"
+         "        drop(_1) -> bb3;\n"
+         "    }\n"
+         "    bb3: {\n"
+         "        _0 = copy (*_2);\n"
+         "        return;\n"
+         "    }\n"
+         "}\n";
+}
+
+} // namespace
+
+TEST(Precision, ImpossibleDropPathIsNotReported) {
+  // The branch is constant-false: the drop never runs; no report.
+  auto Diags = runDetector<UseAfterFreeDetector>(guardedDrop("false"));
+  EXPECT_TRUE(Diags.empty()) << render(Diags);
+}
+
+TEST(Precision, TakenDropPathIsReported) {
+  // The branch is constant-true: the drop always runs; real bug.
+  auto Diags = runDetector<UseAfterFreeDetector>(guardedDrop("true"));
+  ASSERT_EQ(Diags.size(), 1u) << render(Diags);
+  EXPECT_EQ(Diags[0].Kind, BugKind::UseAfterFree);
+}
+
+TEST(Precision, DoubleLockOnImpossiblePathIsNotReported) {
+  auto Diags = runDetector<DoubleLockDetector>(
+      "fn f(_1: &Mutex<i32>) {\n"
+      "    let _2: MutexGuard<i32>;\n"
+      "    let _3: MutexGuard<i32>;\n"
+      "    let _4: bool;\n"
+      "    bb0: {\n"
+      "        _2 = Mutex::lock(copy _1) -> bb1;\n"
+      "    }\n"
+      "    bb1: {\n"
+      "        _4 = const false;\n"
+      "        switchInt(copy _4) -> [1: bb2, otherwise: bb3];\n"
+      "    }\n"
+      "    bb2: {\n"
+      "        _3 = Mutex::lock(copy _1) -> bb3;\n" // Never executes.
+      "    }\n"
+      "    bb3: {\n"
+      "        return;\n"
+      "    }\n"
+      "}\n");
+  EXPECT_TRUE(Diags.empty()) << render(Diags);
+}

@@ -1,0 +1,106 @@
+//===----------------------------------------------------------------------===//
+// RefCell dynamic-borrow misuse (Insight 9): "When multiple threads
+// request mutable references to a RefCell at the same time, a runtime
+// panic will be triggered. This is the root cause of four bugs." The
+// static detector flags conflicting borrows whose guards overlap; the
+// interpreter reproduces the BorrowMutError panic.
+//===----------------------------------------------------------------------===//
+
+#include "DetectorTestUtil.h"
+
+#include "interp/Interp.h"
+
+using namespace rs;
+using namespace rs::detectors;
+using namespace rs::detectors::testutil;
+
+namespace {
+
+std::string borrowTwice(bool ReleaseFirst) {
+  std::string Src = "fn f(_1: &RefCell<i32>) -> i32 {\n"
+                    "    let _2: RefMut<i32>;\n"
+                    "    let _3: RefMut<i32>;\n"
+                    "    bb0: {\n"
+                    "        StorageLive(_2);\n"
+                    "        _2 = RefCell::borrow_mut(copy _1) -> bb1;\n"
+                    "    }\n"
+                    "    bb1: {\n";
+  if (ReleaseFirst)
+    Src += "        StorageDead(_2);\n";
+  Src += "        _3 = RefCell::borrow_mut(copy _1) -> bb2;\n"
+         "    }\n"
+         "    bb2: {\n"
+         "        _0 = copy (*_3);\n"
+         "        return;\n"
+         "    }\n"
+         "}\n";
+  return Src;
+}
+
+} // namespace
+
+TEST(RefCell, OverlappingBorrowMutReported) {
+  auto Diags = runDetector<DoubleLockDetector>(borrowTwice(false));
+  ASSERT_EQ(Diags.size(), 1u) << render(Diags);
+  EXPECT_EQ(Diags[0].Kind, BugKind::BorrowConflict);
+  EXPECT_NE(Diags[0].Message.find("BorrowMutError"), std::string::npos);
+}
+
+TEST(RefCell, ScopedBorrowsAreClean) {
+  auto Diags = runDetector<DoubleLockDetector>(borrowTwice(true));
+  EXPECT_TRUE(Diags.empty()) << render(Diags);
+}
+
+TEST(RefCell, SharedBorrowsCoexist) {
+  auto Diags = runDetector<DoubleLockDetector>(
+      "fn f(_1: &RefCell<i32>) -> i32 {\n"
+      "    let _2: Ref<i32>;\n"
+      "    let _3: Ref<i32>;\n"
+      "    bb0: {\n"
+      "        _2 = RefCell::borrow(copy _1) -> bb1;\n"
+      "    }\n"
+      "    bb1: {\n"
+      "        _3 = RefCell::borrow(copy _1) -> bb2;\n"
+      "    }\n"
+      "    bb2: {\n"
+      "        _0 = copy (*_2);\n"
+      "        return;\n"
+      "    }\n"
+      "}\n");
+  EXPECT_TRUE(Diags.empty()) << render(Diags);
+}
+
+TEST(RefCell, BorrowMutWhileSharedBorrowReported) {
+  auto Diags = runDetector<DoubleLockDetector>(
+      "fn f(_1: &RefCell<i32>) -> i32 {\n"
+      "    let _2: Ref<i32>;\n"
+      "    let _3: RefMut<i32>;\n"
+      "    bb0: {\n"
+      "        _2 = RefCell::borrow(copy _1) -> bb1;\n"
+      "    }\n"
+      "    bb1: {\n"
+      "        _3 = RefCell::borrow_mut(copy _1) -> bb2;\n"
+      "    }\n"
+      "    bb2: {\n"
+      "        _0 = copy (*_2);\n"
+      "        return;\n"
+      "    }\n"
+      "}\n");
+  ASSERT_EQ(Diags.size(), 1u) << render(Diags);
+  EXPECT_EQ(Diags[0].Kind, BugKind::BorrowConflict);
+}
+
+TEST(RefCell, InterpreterPanicsOnConflict) {
+  mir::Module M = parseOk(borrowTwice(false));
+  interp::Interpreter I(M);
+  interp::ExecResult R = I.run("f");
+  ASSERT_FALSE(R.Ok);
+  EXPECT_EQ(R.Error->Kind, interp::TrapKind::BorrowPanic);
+}
+
+TEST(RefCell, InterpreterAcceptsScopedBorrows) {
+  mir::Module M = parseOk(borrowTwice(true));
+  interp::Interpreter I(M);
+  interp::ExecResult R = I.run("f");
+  EXPECT_TRUE(R.Ok) << (R.Error ? R.Error->toString() : "");
+}

@@ -1,0 +1,96 @@
+#include "detectors/UnsafeScope.h"
+
+#include "DetectorTestUtil.h"
+
+using namespace rs::detectors;
+using namespace rs::detectors::testutil;
+using namespace rs::mir;
+
+TEST(UnsafeScope, ClassifiesFunctions) {
+  Module M = parseOk(
+      "fn pure_math(_1: i32) -> i32 {\n"
+      "    bb0: {\n"
+      "        _0 = Add(copy _1, const 1);\n"
+      "        return;\n"
+      "    }\n"
+      "}\n"
+      "fn raw_local() {\n"
+      "    let _1: *mut u8;\n"
+      "    bb0: {\n"
+      "        _1 = alloc(const 1) -> bb1;\n"
+      "    }\n"
+      "    bb1: {\n"
+      "        return;\n"
+      "    }\n"
+      "}\n"
+      "unsafe fn marked() { bb0: { return; } }\n"
+      "fn addr_of(_1: i32) {\n"
+      "    let _2: *const i32;\n"
+      "    bb0: {\n"
+      "        _2 = &raw const _1;\n"
+      "        return;\n"
+      "    }\n"
+      "}\n"
+      "fn nested_ptr(_1: &Vec<*mut u8>) {\n"
+      "    bb0: { return; }\n"
+      "}\n");
+  EXPECT_FALSE(functionTouchesUnsafeMemory(*M.findFunction("pure_math")));
+  EXPECT_TRUE(functionTouchesUnsafeMemory(*M.findFunction("raw_local")));
+  EXPECT_TRUE(functionTouchesUnsafeMemory(*M.findFunction("marked")));
+  EXPECT_TRUE(functionTouchesUnsafeMemory(*M.findFunction("addr_of")));
+  EXPECT_TRUE(functionTouchesUnsafeMemory(*M.findFunction("nested_ptr")));
+}
+
+TEST(UnsafeScope, FocusedDetectorStillFindsUnsafeBugs) {
+  // The Figure 7 bug involves raw pointers, so Suggestion 5's focused
+  // mode keeps finding it.
+  const char *Src = "fn uaf() -> u8 {\n"
+                    "    let _1: Box<u8>;\n"
+                    "    let _2: *const u8;\n"
+                    "    bb0: {\n"
+                    "        _1 = Box::new(const 7) -> bb1;\n"
+                    "    }\n"
+                    "    bb1: {\n"
+                    "        _2 = &raw const (*_1);\n"
+                    "        drop(_1) -> bb2;\n"
+                    "    }\n"
+                    "    bb2: {\n"
+                    "        _0 = copy (*_2);\n"
+                    "        return;\n"
+                    "    }\n"
+                    "}\n";
+  Module M = parseOk(Src);
+  AnalysisContext Ctx(M);
+  DiagnosticEngine Diags;
+  UseAfterFreeDetector Focused(/*FocusOnUnsafe=*/true);
+  Focused.run(Ctx, Diags);
+  EXPECT_EQ(Diags.countOfKind(BugKind::UseAfterFree), 1u);
+}
+
+TEST(UnsafeScope, FocusedDetectorSkipsSafeOnlyPattern) {
+  // The documented blind spot: a &T outliving its referent with no raw
+  // pointer anywhere. The full detector reports it; the focused one
+  // trades it for speed.
+  const char *Src = "fn scope() -> i32 {\n"
+                    "    let _1: i32;\n"
+                    "    let _2: &i32;\n"
+                    "    bb0: {\n"
+                    "        StorageLive(_1);\n"
+                    "        _1 = const 3;\n"
+                    "        _2 = &_1;\n"
+                    "        StorageDead(_1);\n"
+                    "        _0 = copy (*_2);\n"
+                    "        return;\n"
+                    "    }\n"
+                    "}\n";
+  Module M = parseOk(Src);
+  AnalysisContext Ctx(M);
+
+  DiagnosticEngine Full;
+  UseAfterFreeDetector(/*FocusOnUnsafe=*/false).run(Ctx, Full);
+  EXPECT_EQ(Full.count(), 1u);
+
+  DiagnosticEngine Focused;
+  UseAfterFreeDetector(/*FocusOnUnsafe=*/true).run(Ctx, Focused);
+  EXPECT_EQ(Focused.count(), 0u);
+}

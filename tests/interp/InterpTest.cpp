@@ -1,0 +1,674 @@
+#include "interp/Interp.h"
+
+#include "mir/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace rs;
+using namespace rs::interp;
+using namespace rs::mir;
+
+namespace {
+
+Module parseOk(std::string_view Src) {
+  auto R = Parser::parse(Src);
+  EXPECT_TRUE(R) << (R ? "" : R.error().toString());
+  return R.take();
+}
+
+/// Runs \p Fn in \p Src and expects clean completion; returns the result.
+ExecResult runOk(std::string_view Src, const std::string &Fn) {
+  Module M = parseOk(Src);
+  Interpreter I(M);
+  ExecResult R = I.run(Fn);
+  EXPECT_TRUE(R.Ok) << (R.Error ? R.Error->toString() : "");
+  return R;
+}
+
+/// Runs \p Fn and expects a trap of kind \p K; returns the trap.
+Trap runTrap(std::string_view Src, const std::string &Fn, TrapKind K) {
+  Module M = parseOk(Src);
+  Interpreter I(M);
+  ExecResult R = I.run(Fn);
+  EXPECT_FALSE(R.Ok) << "expected a " << trapKindName(K) << " trap";
+  if (!R.Error)
+    return Trap{K, "<missing>", "", 0, 0};
+  EXPECT_EQ(R.Error->Kind, K) << R.Error->toString();
+  return *R.Error;
+}
+
+} // namespace
+
+TEST(Interp, Arithmetic) {
+  ExecResult R = runOk("fn f(_1: i32) -> i32 {\n"
+                       "    let _2: i32;\n"
+                       "    bb0: {\n"
+                       "        _2 = Add(copy _1, const 40);\n"
+                       "        _0 = Mul(copy _2, const 2);\n"
+                       "        return;\n"
+                       "    }\n"
+                       "}\n",
+                       "f"); // Default arg 0: (0+40)*2 = 80.
+  EXPECT_EQ(R.Return.K, Value::Kind::Int);
+  EXPECT_EQ(R.Return.Int, 80);
+}
+
+TEST(Interp, BranchesAndLoops) {
+  ExecResult R = runOk("fn f() -> i32 {\n"
+                       "    let mut _1: i32;\n"
+                       "    let _2: bool;\n"
+                       "    bb0: {\n"
+                       "        _1 = const 0;\n"
+                       "        goto -> bb1;\n"
+                       "    }\n"
+                       "    bb1: {\n"
+                       "        _1 = Add(copy _1, const 3);\n"
+                       "        _2 = Lt(copy _1, const 10);\n"
+                       "        switchInt(copy _2) -> [1: bb1, otherwise: "
+                       "bb2];\n"
+                       "    }\n"
+                       "    bb2: {\n"
+                       "        _0 = copy _1;\n"
+                       "        return;\n"
+                       "    }\n"
+                       "}\n",
+                       "f");
+  EXPECT_EQ(R.Return.Int, 12); // 3,6,9,12.
+}
+
+TEST(Interp, CallsAndRecursion) {
+  ExecResult R = runOk(
+      "fn fib(_1: i32) -> i32 {\n"
+      "    let _2: bool;\n"
+      "    let _3: i32;\n"
+      "    let _4: i32;\n"
+      "    let _5: i32;\n"
+      "    let _6: i32;\n"
+      "    bb0: {\n"
+      "        _2 = Lt(copy _1, const 2);\n"
+      "        switchInt(copy _2) -> [1: bb1, otherwise: bb2];\n"
+      "    }\n"
+      "    bb1: {\n"
+      "        _0 = copy _1;\n"
+      "        return;\n"
+      "    }\n"
+      "    bb2: {\n"
+      "        _3 = Sub(copy _1, const 1);\n"
+      "        _4 = fib(copy _3) -> bb3;\n"
+      "    }\n"
+      "    bb3: {\n"
+      "        _5 = Sub(copy _1, const 2);\n"
+      "        _6 = fib(copy _5) -> bb4;\n"
+      "    }\n"
+      "    bb4: {\n"
+      "        _0 = Add(copy _4, copy _6);\n"
+      "        return;\n"
+      "    }\n"
+      "}\n"
+      "fn main_fn() -> i32 {\n"
+      "    bb0: {\n"
+      "        _0 = fib(const 10) -> bb1;\n"
+      "    }\n"
+      "    bb1: {\n"
+      "        return;\n"
+      "    }\n"
+      "}\n",
+      "main_fn");
+  EXPECT_EQ(R.Return.Int, 55);
+}
+
+TEST(Interp, BoxLifecycle) {
+  ExecResult R = runOk("fn f() -> u8 {\n"
+                       "    let _1: Box<u8>;\n"
+                       "    let _2: *const u8;\n"
+                       "    bb0: {\n"
+                       "        _1 = Box::new(const 9) -> bb1;\n"
+                       "    }\n"
+                       "    bb1: {\n"
+                       "        _2 = &raw const (*_1);\n"
+                       "        _0 = copy (*_2);\n"
+                       "        drop(_1) -> bb2;\n"
+                       "    }\n"
+                       "    bb2: {\n"
+                       "        return;\n"
+                       "    }\n"
+                       "}\n",
+                       "f");
+  EXPECT_EQ(R.Return.Int, 9);
+}
+
+TEST(Interp, UseAfterFreeTrapped) {
+  Trap T = runTrap("fn f() -> u8 {\n"
+                   "    let _1: Box<u8>;\n"
+                   "    let _2: *const u8;\n"
+                   "    bb0: {\n"
+                   "        _1 = Box::new(const 9) -> bb1;\n"
+                   "    }\n"
+                   "    bb1: {\n"
+                   "        _2 = &raw const (*_1);\n"
+                   "        drop(_1) -> bb2;\n"
+                   "    }\n"
+                   "    bb2: {\n"
+                   "        _0 = copy (*_2);\n"
+                   "        return;\n"
+                   "    }\n"
+                   "}\n",
+                   "f", TrapKind::UseAfterFree);
+  EXPECT_EQ(T.Block, 2u);
+}
+
+TEST(Interp, UseAfterScopeTrapped) {
+  runTrap("fn f() -> i32 {\n"
+          "    let _1: i32;\n"
+          "    let _2: &i32;\n"
+          "    bb0: {\n"
+          "        StorageLive(_1);\n"
+          "        _1 = const 3;\n"
+          "        _2 = &_1;\n"
+          "        StorageDead(_1);\n"
+          "        _0 = copy (*_2);\n"
+          "        return;\n"
+          "    }\n"
+          "}\n",
+          "f", TrapKind::UseAfterScope);
+}
+
+TEST(Interp, EscapingReferenceTrapped) {
+  // A callee returns a reference to its own local; the caller's deref
+  // reaches a popped frame.
+  runTrap("fn escape() -> &i32 {\n"
+          "    let _1: i32;\n"
+          "    bb0: {\n"
+          "        _1 = const 5;\n"
+          "        _0 = &_1;\n"
+          "        return;\n"
+          "    }\n"
+          "}\n"
+          "fn caller() -> i32 {\n"
+          "    let _1: &i32;\n"
+          "    bb0: {\n"
+          "        _1 = escape() -> bb1;\n"
+          "    }\n"
+          "    bb1: {\n"
+          "        _0 = copy (*_1);\n"
+          "        return;\n"
+          "    }\n"
+          "}\n",
+          "caller", TrapKind::UseAfterScope);
+}
+
+TEST(Interp, DoubleFreeViaPtrRead) {
+  runTrap("fn f() {\n"
+          "    let _1: Box<u8>;\n"
+          "    let _2: &Box<u8>;\n"
+          "    let _3: Box<u8>;\n"
+          "    bb0: {\n"
+          "        _1 = Box::new(const 1) -> bb1;\n"
+          "    }\n"
+          "    bb1: {\n"
+          "        _2 = &_1;\n"
+          "        _3 = ptr::read(copy _2) -> bb2;\n"
+          "    }\n"
+          "    bb2: {\n"
+          "        drop(_3) -> bb3;\n"
+          "    }\n"
+          "    bb3: {\n"
+          "        drop(_1) -> bb4;\n"
+          "    }\n"
+          "    bb4: {\n"
+          "        return;\n"
+          "    }\n"
+          "}\n",
+          "f", TrapKind::DoubleFree);
+}
+
+TEST(Interp, ForgetPreventsDoubleFree) {
+  runOk("fn f() {\n"
+        "    let _1: Box<u8>;\n"
+        "    let _2: &Box<u8>;\n"
+        "    let _3: Box<u8>;\n"
+        "    let _4: ();\n"
+        "    bb0: {\n"
+        "        _1 = Box::new(const 1) -> bb1;\n"
+        "    }\n"
+        "    bb1: {\n"
+        "        _2 = &_1;\n"
+        "        _3 = ptr::read(copy _2) -> bb2;\n"
+        "    }\n"
+        "    bb2: {\n"
+        "        _4 = mem::forget(move _1) -> bb3;\n"
+        "    }\n"
+        "    bb3: {\n"
+        "        drop(_3) -> bb4;\n"
+        "    }\n"
+        "    bb4: {\n"
+        "        return;\n"
+        "    }\n"
+        "}\n",
+        "f");
+}
+
+TEST(Interp, InvalidFreeOnDerefAssign) {
+  runTrap("struct FILE { buf: Vec<u8> }\n"
+          "fn f() {\n"
+          "    let _1: *mut FILE;\n"
+          "    let _2: Vec<u8>;\n"
+          "    let _3: FILE;\n"
+          "    bb0: {\n"
+          "        _1 = alloc(const 16) -> bb1;\n"
+          "    }\n"
+          "    bb1: {\n"
+          "        _2 = Vec::with_capacity(const 4) -> bb2;\n"
+          "    }\n"
+          "    bb2: {\n"
+          "        _3 = FILE { 0: move _2 };\n"
+          "        (*_1) = move _3;\n"
+          "        return;\n"
+          "    }\n"
+          "}\n",
+          "f", TrapKind::InvalidFree);
+}
+
+TEST(Interp, PtrWriteAvoidsInvalidFree) {
+  runOk("struct FILE { buf: Vec<u8> }\n"
+        "fn f() {\n"
+        "    let _1: *mut FILE;\n"
+        "    let _2: Vec<u8>;\n"
+        "    let _3: FILE;\n"
+        "    let _4: ();\n"
+        "    bb0: {\n"
+        "        _1 = alloc(const 16) -> bb1;\n"
+        "    }\n"
+        "    bb1: {\n"
+        "        _2 = Vec::with_capacity(const 4) -> bb2;\n"
+        "    }\n"
+        "    bb2: {\n"
+        "        _3 = FILE { 0: move _2 };\n"
+        "        _4 = ptr::write(copy _1, move _3) -> bb3;\n"
+        "    }\n"
+        "    bb3: {\n"
+        "        return;\n"
+        "    }\n"
+        "}\n",
+        "f");
+}
+
+TEST(Interp, UninitReadTrapped) {
+  runTrap("fn f() -> u8 {\n"
+          "    let _1: *mut u8;\n"
+          "    bb0: {\n"
+          "        _1 = alloc(const 8) -> bb1;\n"
+          "    }\n"
+          "    bb1: {\n"
+          "        _0 = copy (*_1);\n"
+          "        return;\n"
+          "    }\n"
+          "}\n",
+          "f", TrapKind::UninitRead);
+}
+
+TEST(Interp, SelfDeadlockTrapped) {
+  Trap T = runTrap("fn f(_1: &Mutex<i32>) {\n"
+                   "    let _2: MutexGuard<i32>;\n"
+                   "    let _3: MutexGuard<i32>;\n"
+                   "    bb0: {\n"
+                   "        _2 = Mutex::lock(copy _1) -> bb1;\n"
+                   "    }\n"
+                   "    bb1: {\n"
+                   "        _3 = Mutex::lock(copy _1) -> bb2;\n"
+                   "    }\n"
+                   "    bb2: {\n"
+                   "        return;\n"
+                   "    }\n"
+                   "}\n",
+                   "f", TrapKind::Deadlock);
+  EXPECT_EQ(T.Block, 1u);
+}
+
+TEST(Interp, GuardScopeEndAllowsRelock) {
+  runOk("fn f(_1: &Mutex<i32>) {\n"
+        "    let _2: MutexGuard<i32>;\n"
+        "    let _3: MutexGuard<i32>;\n"
+        "    bb0: {\n"
+        "        StorageLive(_2);\n"
+        "        _2 = Mutex::lock(copy _1) -> bb1;\n"
+        "    }\n"
+        "    bb1: {\n"
+        "        StorageDead(_2);\n"
+        "        _3 = Mutex::lock(copy _1) -> bb2;\n"
+        "    }\n"
+        "    bb2: {\n"
+        "        return;\n"
+        "    }\n"
+        "}\n",
+        "f");
+}
+
+TEST(Interp, RwLockSharedReadsAllowed) {
+  runOk("fn f(_1: &RwLock<i32>) -> i32 {\n"
+        "    let _2: RwLockReadGuard<i32>;\n"
+        "    let _3: RwLockReadGuard<i32>;\n"
+        "    bb0: {\n"
+        "        _2 = RwLock::read(copy _1) -> bb1;\n"
+        "    }\n"
+        "    bb1: {\n"
+        "        _3 = RwLock::read(copy _1) -> bb2;\n"
+        "    }\n"
+        "    bb2: {\n"
+        "        _0 = copy (*_2);\n"
+        "        return;\n"
+        "    }\n"
+        "}\n",
+        "f");
+
+  runTrap("fn g(_1: &RwLock<i32>) {\n"
+          "    let _2: RwLockReadGuard<i32>;\n"
+          "    let _3: RwLockWriteGuard<i32>;\n"
+          "    bb0: {\n"
+          "        _2 = RwLock::read(copy _1) -> bb1;\n"
+          "    }\n"
+          "    bb1: {\n"
+          "        _3 = RwLock::write(copy _1) -> bb2;\n"
+          "    }\n"
+          "    bb2: {\n"
+          "        return;\n"
+          "    }\n"
+          "}\n",
+          "g", TrapKind::Deadlock);
+}
+
+TEST(Interp, GuardDerefReachesLockData) {
+  ExecResult R = runOk("fn f(_1: &Mutex<i32>) -> i32 {\n"
+                       "    let _2: MutexGuard<i32>;\n"
+                       "    bb0: {\n"
+                       "        _2 = Mutex::lock(copy _1) -> bb1;\n"
+                       "    }\n"
+                       "    bb1: {\n"
+                       "        (*_2) = const 42;\n"
+                       "        _0 = copy (*_2);\n"
+                       "        StorageDead(_2);\n"
+                       "        return;\n"
+                       "    }\n"
+                       "}\n",
+                       "f");
+  EXPECT_EQ(R.Return.Int, 42);
+}
+
+TEST(Interp, ArcSharedOwnership) {
+  runOk("fn f() {\n"
+        "    let _1: Arc<i32>;\n"
+        "    let _2: &Arc<i32>;\n"
+        "    let _3: Arc<i32>;\n"
+        "    bb0: {\n"
+        "        _1 = Arc::new(const 5) -> bb1;\n"
+        "    }\n"
+        "    bb1: {\n"
+        "        _2 = &_1;\n"
+        "        _3 = Arc::clone(copy _2) -> bb2;\n"
+        "    }\n"
+        "    bb2: {\n"
+        "        drop(_3) -> bb3;\n"
+        "    }\n"
+        "    bb3: {\n"
+        "        drop(_1) -> bb4;\n" // RefCount hits 0: single free, no trap.
+        "    }\n"
+        "    bb4: {\n"
+        "        return;\n"
+        "    }\n"
+        "}\n",
+        "f");
+}
+
+TEST(Interp, AtomicCompareAndSwap) {
+  ExecResult R = runOk(
+      "struct Cell { flag: bool }\n"
+      "fn f(_1: &Cell) -> bool {\n"
+      "    let _2: &bool;\n"
+      "    bb0: {\n"
+      "        _2 = &(*_1).0;\n"
+      "        _0 = AtomicBool::compare_and_swap(copy _2, const false, "
+      "const true) -> bb1;\n"
+      "    }\n"
+      "    bb1: {\n"
+      "        return;\n"
+      "    }\n"
+      "}\n",
+      "f");
+  EXPECT_EQ(R.Return.K, Value::Kind::Bool);
+  EXPECT_FALSE(R.Return.Bool); // Old value was false; swap succeeded.
+}
+
+TEST(Interp, PointerOffsetStaysInAllocation) {
+  ExecResult R = runOk("fn f() -> u8 {\n"
+                       "    let _1: *mut u8;\n"
+                       "    let _2: *mut u8;\n"
+                       "    bb0: {\n"
+                       "        _1 = alloc(const 8) -> bb1;\n"
+                       "    }\n"
+                       "    bb1: {\n"
+                       "        (*_1) = const 9;\n"
+                       "        _2 = Offset(copy _1, const 0);\n"
+                       "        _0 = copy (*_2);\n"
+                       "        return;\n"
+                       "    }\n"
+                       "}\n",
+                       "f");
+  EXPECT_EQ(R.Return.Int, 9);
+}
+
+TEST(Interp, TupleFieldsAndLen) {
+  ExecResult R = runOk("fn f() -> i32 {\n"
+                       "    let _1: (i32, i32);\n"
+                       "    let _2: usize;\n"
+                       "    bb0: {\n"
+                       "        _1 = (const 3, const 4);\n"
+                       "        _1.1 = const 40;\n"
+                       "        _2 = Len(_1);\n"
+                       "        _0 = Add(copy _1.1, copy _2);\n"
+                       "        return;\n"
+                       "    }\n"
+                       "}\n",
+                       "f");
+  EXPECT_EQ(R.Return.Int, 42);
+}
+
+TEST(Interp, DiscriminantOfBool) {
+  ExecResult R = runOk("fn f(_1: bool) -> isize {\n"
+                       "    bb0: {\n"
+                       "        _0 = discriminant(_1);\n"
+                       "        return;\n"
+                       "    }\n"
+                       "}\n",
+                       "f"); // Default bool arg is false.
+  EXPECT_EQ(R.Return.Int, 0);
+}
+
+TEST(Interp, StringValuesFlowThrough) {
+  ExecResult R = runOk("fn f() -> str {\n"
+                       "    let _1: str;\n"
+                       "    bb0: {\n"
+                       "        _1 = const \"hello\";\n"
+                       "        _0 = move _1;\n"
+                       "        return;\n"
+                       "    }\n"
+                       "}\n",
+                       "f");
+  EXPECT_EQ(R.Return.K, Value::Kind::Str);
+  EXPECT_EQ(R.Return.Str, "hello");
+}
+
+TEST(Interp, OnceRunsInitializerExactlyOnce) {
+  ExecResult R = runOk(
+      "static mut COUNT: i64;\n"
+      "struct G { v: i64 }\n"
+      "fn init(_1: &G) {\n"
+      "    bb0: {\n"
+      "        return;\n"
+      "    }\n"
+      "}\n"
+      "fn f(_1: &Once) -> i32 {\n"
+      "    let _2: ();\n"
+      "    let _3: ();\n"
+      "    bb0: {\n"
+      "        _2 = Once::call_once(copy _1, const \"init\") -> bb1;\n"
+      "    }\n"
+      "    bb1: {\n"
+      "        _3 = Once::call_once(copy _1, const \"init\") -> bb2;\n"
+      "    }\n"
+      "    bb2: {\n"
+      "        _0 = const 1;\n"
+      "        return;\n"
+      "    }\n"
+      "}\n",
+      "f");
+  EXPECT_EQ(R.Return.Int, 1); // Sequential re-invocation is fine.
+}
+
+TEST(Interp, RecursiveCallOnceDeadlocks) {
+  // The paper's Once bug: "when the input closure of call_once()
+  // recursively calls call_once() of the same Once object, a deadlock
+  // will be triggered."
+  Module M = parseOk(
+      "fn init(_1: &Once) {\n"
+      "    let _2: ();\n"
+      "    bb0: {\n"
+      "        _2 = Once::call_once(copy _1, const \"init\") -> bb1;\n"
+      "    }\n"
+      "    bb1: {\n"
+      "        return;\n"
+      "    }\n"
+      "}\n"
+      "fn f(_1: &Once) {\n"
+      "    let _2: ();\n"
+      "    bb0: {\n"
+      "        _2 = Once::call_once(copy _1, const \"init\") -> bb1;\n"
+      "    }\n"
+      "    bb1: {\n"
+      "        return;\n"
+      "    }\n"
+      "}\n");
+  Interpreter I(M);
+  // The initializer receives the same Once object (the closure-capture
+  // convention), so its inner call_once re-enters the running guard.
+  ExecResult R = I.run("f");
+  ASSERT_FALSE(R.Ok);
+  EXPECT_EQ(R.Error->Kind, TrapKind::Deadlock);
+  EXPECT_NE(R.Error->Message.find("re-entered"), std::string::npos);
+}
+
+TEST(Interp, StepLimit) {
+  Module M = parseOk("fn spin() {\n"
+                     "    bb0: {\n"
+                     "        goto -> bb0;\n"
+                     "    }\n"
+                     "}\n");
+  Interpreter::Options Opts;
+  Opts.StepLimit = 1000;
+  Interpreter I(M, Opts);
+  ExecResult R = I.run("spin");
+  ASSERT_FALSE(R.Ok);
+  EXPECT_EQ(R.Error->Kind, TrapKind::StepLimit);
+}
+
+TEST(Interp, StackOverflow) {
+  Module M = parseOk(
+      "fn rec() { let _1: (); bb0: { _1 = rec() -> bb1; } bb1: { return; } "
+      "}\n");
+  Interpreter I(M);
+  ExecResult R = I.run("rec");
+  ASSERT_FALSE(R.Ok);
+  EXPECT_EQ(R.Error->Kind, TrapKind::StackOverflow);
+}
+
+TEST(Interp, IndexOutOfBoundsPanics) {
+  // The runtime bounds check the paper credits Rust with ("Rust runtime
+  // detects and triggers a panic on ... buffer overflow").
+  runTrap("fn f() -> i32 {\n"
+          "    let _1: (i32, i32);\n"
+          "    let _2: usize;\n"
+          "    bb0: {\n"
+          "        _1 = (const 10, const 20);\n"
+          "        _2 = const 5;\n"
+          "        _0 = copy _1[_2];\n"
+          "        return;\n"
+          "    }\n"
+          "}\n",
+          "f", TrapKind::IndexOutOfBounds);
+}
+
+TEST(Interp, InBoundsIndexingWorks) {
+  ExecResult R = runOk("fn f() -> i32 {\n"
+                       "    let _1: (i32, i32, i32);\n"
+                       "    let _2: usize;\n"
+                       "    bb0: {\n"
+                       "        _1 = (const 10, const 20, const 30);\n"
+                       "        _2 = const 1;\n"
+                       "        _0 = copy _1[_2];\n"
+                       "        return;\n"
+                       "    }\n"
+                       "}\n",
+                       "f");
+  EXPECT_EQ(R.Return.Int, 20);
+}
+
+TEST(Interp, AssertFailure) {
+  runTrap("fn f() {\n"
+          "    bb0: {\n"
+          "        assert(const false) -> bb1;\n"
+          "    }\n"
+          "    bb1: {\n"
+          "        return;\n"
+          "    }\n"
+          "}\n",
+          "f", TrapKind::AssertFailed);
+}
+
+TEST(Interp, UnknownFunction) {
+  Module M = parseOk("fn f() { bb0: { return; } }\n");
+  Interpreter I(M);
+  ExecResult R = I.run("nope");
+  ASSERT_FALSE(R.Ok);
+  EXPECT_EQ(R.Error->Kind, TrapKind::UnknownFunction);
+}
+
+TEST(Interp, DefaultArgumentsForStructs) {
+  // A &T parameter to a declared struct materializes field defaults.
+  ExecResult R = runOk("struct Pair { a: i32, b: bool }\n"
+                       "fn f(_1: &Pair) -> i32 {\n"
+                       "    bb0: {\n"
+                       "        _0 = copy (*_1).0;\n"
+                       "        return;\n"
+                       "    }\n"
+                       "}\n",
+                       "f");
+  EXPECT_EQ(R.Return.Int, 0);
+}
+
+TEST(Interp, SpawnedThreadsRunSequentially) {
+  // The spawned function traps; the trap surfaces from run() of the
+  // spawner.
+  Module M = parseOk("fn bad() -> u8 {\n"
+                     "    let _1: *mut u8;\n"
+                     "    bb0: {\n"
+                     "        _1 = alloc(const 1) -> bb1;\n"
+                     "    }\n"
+                     "    bb1: {\n"
+                     "        _0 = copy (*_1);\n"
+                     "        return;\n"
+                     "    }\n"
+                     "}\n"
+                     "fn spawner() {\n"
+                     "    let _1: ();\n"
+                     "    bb0: {\n"
+                     "        _1 = thread::spawn(const \"bad\") -> bb1;\n"
+                     "    }\n"
+                     "    bb1: {\n"
+                     "        return;\n"
+                     "    }\n"
+                     "}\n");
+  Interpreter I(M);
+  ExecResult R = I.run("spawner");
+  ASSERT_FALSE(R.Ok);
+  EXPECT_EQ(R.Error->Kind, TrapKind::UninitRead);
+  EXPECT_EQ(R.Error->Function, "bad");
+}

@@ -1,0 +1,93 @@
+#include "mir/Builder.h"
+
+#include "mir/Parser.h"
+#include "mir/Verifier.h"
+
+#include <gtest/gtest.h>
+
+using namespace rs::mir;
+
+TEST(Builder, SimpleFunction) {
+  Module M;
+  FunctionBuilder FB(M, "demo", M.types().getI32());
+  LocalId A = FB.addArg(M.types().getI32());
+  LocalId T = FB.addLocal(M.types().getI32(), true, "tmp");
+  FB.storageLive(T);
+  FB.assign(T, Rvalue::binary(BinOp::Add, Operand::copy(A),
+                              Operand::constant(ConstValue::makeInt(1))));
+  FB.assign(FB.returnLocal(), Rvalue::use(Operand::move(T)));
+  FB.storageDead(T);
+  FB.ret();
+  Function &F = FB.finish();
+
+  EXPECT_EQ(F.Name, "demo");
+  EXPECT_EQ(F.NumArgs, 1u);
+  EXPECT_EQ(F.numLocals(), 3u);
+  std::vector<std::string> Errors;
+  EXPECT_TRUE(verifyFunction(F, &M, Errors)) << Errors.front();
+  EXPECT_EQ(M.findFunction("demo"), &F);
+}
+
+TEST(Builder, BuiltIrRoundTripsThroughParser) {
+  Module M;
+  FunctionBuilder FB(M, "branchy", M.types().getI32());
+  LocalId Cond = FB.addArg(M.types().getBool());
+  BlockId Then = FB.newBlock();
+  BlockId Else = FB.newBlock();
+  BlockId Join = FB.newBlock();
+  FB.switchInt(Operand::copy(Cond), {{1, Then}}, Else);
+  FB.setInsertPoint(Then);
+  FB.assign(FB.returnLocal(),
+            Rvalue::use(Operand::constant(ConstValue::makeInt(1))));
+  FB.gotoBlock(Join);
+  FB.setInsertPoint(Else);
+  FB.assign(FB.returnLocal(),
+            Rvalue::use(Operand::constant(ConstValue::makeInt(2))));
+  FB.gotoBlock(Join);
+  FB.setInsertPoint(Join);
+  FB.ret();
+  FB.finish();
+
+  std::string Printed = M.toString();
+  auto R = Parser::parse(Printed);
+  ASSERT_TRUE(R) << R.error().toString() << "\n" << Printed;
+  EXPECT_EQ(R->toString(), Printed);
+}
+
+TEST(Builder, CallCreatesContinuation) {
+  Module M;
+  FunctionBuilder FB(M, "calls");
+  LocalId G = FB.addLocal(M.types().getAdt("MutexGuard", {M.types().getI32()}));
+  FB.storageLive(G);
+  BlockId AfterCall = FB.call(Place(G), "Mutex::lock", {});
+  EXPECT_EQ(FB.currentBlock(), AfterCall);
+  FB.storageDead(G);
+  FB.ret();
+  Function &F = FB.finish();
+
+  ASSERT_EQ(F.numBlocks(), 2u);
+  EXPECT_EQ(F.Blocks[0].Term.K, Terminator::Kind::Call);
+  EXPECT_EQ(F.Blocks[0].Term.Target, AfterCall);
+}
+
+TEST(Builder, DropHelper) {
+  Module M;
+  FunctionBuilder FB(M, "drops");
+  LocalId X = FB.addLocal(M.types().getAdt("Box", {M.types().getI32()}));
+  FB.storageLive(X);
+  FB.drop(Place(X));
+  FB.storageDead(X);
+  FB.ret();
+  Function &F = FB.finish();
+  EXPECT_EQ(F.Blocks[0].Term.K, Terminator::Kind::Drop);
+  std::vector<std::string> Errors;
+  EXPECT_TRUE(verifyFunction(F, &M, Errors));
+}
+
+TEST(Builder, UnsafeFlag) {
+  Module M;
+  FunctionBuilder FB(M, "u");
+  FB.setUnsafe();
+  FB.ret();
+  EXPECT_TRUE(FB.finish().IsUnsafe);
+}

@@ -1,0 +1,67 @@
+#include "mir/Intrinsics.h"
+
+#include <gtest/gtest.h>
+
+using namespace rs::mir;
+
+TEST(Intrinsics, LockFamily) {
+  EXPECT_EQ(classifyIntrinsic("Mutex::lock"), IntrinsicKind::MutexLock);
+  EXPECT_EQ(classifyIntrinsic("std::sync::Mutex::lock"),
+            IntrinsicKind::MutexLock);
+  EXPECT_EQ(classifyIntrinsic("RwLock::read"), IntrinsicKind::RwLockRead);
+  EXPECT_EQ(classifyIntrinsic("RwLock::write"), IntrinsicKind::RwLockWrite);
+  EXPECT_TRUE(isLockAcquire(IntrinsicKind::MutexLock));
+  EXPECT_TRUE(isExclusiveAcquire(IntrinsicKind::RwLockWrite));
+  EXPECT_FALSE(isExclusiveAcquire(IntrinsicKind::RwLockRead));
+}
+
+TEST(Intrinsics, MemoryFamily) {
+  EXPECT_EQ(classifyIntrinsic("mem::drop"), IntrinsicKind::MemDrop);
+  EXPECT_EQ(classifyIntrinsic("std::mem::drop"), IntrinsicKind::MemDrop);
+  EXPECT_EQ(classifyIntrinsic("mem::forget"), IntrinsicKind::MemForget);
+  EXPECT_EQ(classifyIntrinsic("ptr::read"), IntrinsicKind::PtrRead);
+  EXPECT_EQ(classifyIntrinsic("ptr::write"), IntrinsicKind::PtrWrite);
+  EXPECT_EQ(classifyIntrinsic("ptr::copy_nonoverlapping"),
+            IntrinsicKind::PtrCopy);
+  EXPECT_EQ(classifyIntrinsic("Box::new"), IntrinsicKind::BoxNew);
+  EXPECT_EQ(classifyIntrinsic("alloc"), IntrinsicKind::Alloc);
+  EXPECT_EQ(classifyIntrinsic("dealloc"), IntrinsicKind::Dealloc);
+}
+
+TEST(Intrinsics, ConcurrencyFamily) {
+  EXPECT_EQ(classifyIntrinsic("thread::spawn"), IntrinsicKind::ThreadSpawn);
+  EXPECT_EQ(classifyIntrinsic("Condvar::wait"), IntrinsicKind::CondvarWait);
+  EXPECT_EQ(classifyIntrinsic("Condvar::notify_one"),
+            IntrinsicKind::CondvarNotify);
+  EXPECT_EQ(classifyIntrinsic("Condvar::notify_all"),
+            IntrinsicKind::CondvarNotify);
+  EXPECT_EQ(classifyIntrinsic("Sender::send"), IntrinsicKind::ChannelSend);
+  EXPECT_EQ(classifyIntrinsic("Receiver::recv"), IntrinsicKind::ChannelRecv);
+  EXPECT_EQ(classifyIntrinsic("Once::call_once"), IntrinsicKind::OnceCall);
+  EXPECT_EQ(classifyIntrinsic("AtomicBool::compare_and_swap"),
+            IntrinsicKind::AtomicOp);
+  EXPECT_EQ(classifyIntrinsic("AtomicUsize::load"), IntrinsicKind::AtomicOp);
+}
+
+TEST(Intrinsics, RefCellFamily) {
+  EXPECT_EQ(classifyIntrinsic("RefCell::borrow"),
+            IntrinsicKind::RefCellBorrow);
+  EXPECT_EQ(classifyIntrinsic("std::cell::RefCell::borrow_mut"),
+            IntrinsicKind::RefCellBorrowMut);
+  EXPECT_TRUE(isBorrowAcquire(IntrinsicKind::RefCellBorrow));
+  EXPECT_TRUE(isBorrowAcquire(IntrinsicKind::RefCellBorrowMut));
+  EXPECT_FALSE(isBorrowAcquire(IntrinsicKind::MutexLock));
+  EXPECT_FALSE(isLockAcquire(IntrinsicKind::RefCellBorrowMut));
+}
+
+TEST(Intrinsics, ArcFamily) {
+  EXPECT_EQ(classifyIntrinsic("Arc::new"), IntrinsicKind::ArcNew);
+  EXPECT_EQ(classifyIntrinsic("Arc::clone"), IntrinsicKind::ArcClone);
+}
+
+TEST(Intrinsics, OrdinaryFunctionsAreNone) {
+  EXPECT_EQ(classifyIntrinsic("my_module::helper"), IntrinsicKind::None);
+  EXPECT_EQ(classifyIntrinsic("lock"), IntrinsicKind::None);
+  EXPECT_EQ(classifyIntrinsic("Mutex::locking"), IntrinsicKind::None);
+  EXPECT_EQ(classifyIntrinsic(""), IntrinsicKind::None);
+}

@@ -1,0 +1,95 @@
+#include "mir/Lexer.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+using namespace rs::mir;
+
+namespace {
+
+std::vector<Token> lexAll(std::string_view Src) {
+  Lexer L(Src, "test.mir");
+  std::vector<Token> Toks;
+  while (true) {
+    Token T = L.next();
+    bool Done = T.is(TokKind::Eof);
+    Toks.push_back(std::move(T));
+    if (Done)
+      return Toks;
+  }
+}
+
+} // namespace
+
+TEST(Lexer, Punctuation) {
+  auto Toks = lexAll("{ } ( ) [ ] , ; : :: -> = & * . < > -");
+  std::vector<TokKind> Kinds;
+  for (const Token &T : Toks)
+    Kinds.push_back(T.K);
+  std::vector<TokKind> Expected = {
+      TokKind::LBrace, TokKind::RBrace,   TokKind::LParen,
+      TokKind::RParen, TokKind::LBracket, TokKind::RBracket,
+      TokKind::Comma,  TokKind::Semi,     TokKind::Colon,
+      TokKind::ColonColon, TokKind::Arrow, TokKind::Eq,
+      TokKind::Amp,    TokKind::Star,     TokKind::Dot,
+      TokKind::Lt,     TokKind::Gt,       TokKind::Minus,
+      TokKind::Eof};
+  EXPECT_EQ(Kinds, Expected);
+}
+
+TEST(Lexer, LocalsVsIdents) {
+  auto Toks = lexAll("_12 _1abc _ bb3 StorageLive");
+  ASSERT_EQ(Toks.size(), 6u);
+  EXPECT_EQ(Toks[0].K, TokKind::Local);
+  EXPECT_EQ(Toks[0].IntVal, 12);
+  // "_1abc" is an identifier, not local 1.
+  EXPECT_EQ(Toks[1].K, TokKind::Ident);
+  EXPECT_EQ(Toks[1].Text, "_1abc");
+  EXPECT_EQ(Toks[2].K, TokKind::Ident);
+  EXPECT_EQ(Toks[3].K, TokKind::Ident);
+  EXPECT_EQ(Toks[3].Text, "bb3");
+  EXPECT_EQ(Toks[4].Text, "StorageLive");
+}
+
+TEST(Lexer, IntsAndSuffixes) {
+  auto Toks = lexAll("42 0 7_i32 100_usize");
+  EXPECT_EQ(Toks[0].IntVal, 42);
+  EXPECT_TRUE(Toks[0].Suffix.empty());
+  EXPECT_EQ(Toks[2].IntVal, 7);
+  EXPECT_EQ(Toks[2].Suffix, "i32");
+  EXPECT_EQ(Toks[3].Suffix, "usize");
+}
+
+TEST(Lexer, Strings) {
+  auto Toks = lexAll("\"hello\" \"a\\\"b\" \"line\\n\"");
+  EXPECT_EQ(Toks[0].K, TokKind::String);
+  EXPECT_EQ(Toks[0].Owned, "hello");
+  EXPECT_EQ(Toks[1].Owned, "a\"b");
+  EXPECT_EQ(Toks[2].Owned, "line\n");
+  // Text keeps the raw source range.
+  EXPECT_EQ(Toks[0].Text, "\"hello\"");
+}
+
+TEST(Lexer, CommentsAndLocations) {
+  Lexer L("// header\n  fn // trailing\nx", "f.mir");
+  Token T1 = L.next();
+  EXPECT_EQ(T1.Text, "fn");
+  EXPECT_EQ(T1.Loc.line(), 2u);
+  EXPECT_EQ(T1.Loc.column(), 3u);
+  Token T2 = L.next();
+  EXPECT_EQ(T2.Text, "x");
+  EXPECT_EQ(T2.Loc.line(), 3u);
+  EXPECT_EQ(T2.Loc.file(), "f.mir");
+}
+
+TEST(Lexer, ErrorToken) {
+  auto Toks = lexAll("@");
+  EXPECT_EQ(Toks[0].K, TokKind::Error);
+}
+
+TEST(Lexer, EmptyInput) {
+  auto Toks = lexAll("   // only trivia\n");
+  ASSERT_EQ(Toks.size(), 1u);
+  EXPECT_EQ(Toks[0].K, TokKind::Eof);
+}

@@ -1,0 +1,130 @@
+#include "mir/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace rs::mir;
+
+namespace {
+
+/// Round-trip property: parse -> print -> parse -> print must be a fixpoint.
+void expectRoundTrip(std::string_view Src) {
+  auto R1 = Parser::parse(Src);
+  ASSERT_TRUE(R1) << R1.error().toString();
+  std::string P1 = R1->toString();
+  auto R2 = Parser::parse(P1);
+  ASSERT_TRUE(R2) << R2.error().toString() << "\nprinted:\n" << P1;
+  EXPECT_EQ(P1, R2->toString());
+}
+
+} // namespace
+
+TEST(Printer, RoundTripSimple) {
+  expectRoundTrip("fn f(_1: i32) -> i32 {\n"
+                  "    let mut _2: i32;\n"
+                  "    bb0: {\n"
+                  "        StorageLive(_2);\n"
+                  "        _2 = Add(copy _1, const 1_i32);\n"
+                  "        _0 = move _2;\n"
+                  "        StorageDead(_2);\n"
+                  "        return;\n"
+                  "    }\n"
+                  "}\n");
+}
+
+TEST(Printer, RoundTripAllRvalues) {
+  expectRoundTrip(
+      "struct Pair { a: i32, b: i32 }\n"
+      "fn f(_1: i32) {\n"
+      "    let _2: &i32;\n"
+      "    let _3: *mut i32;\n"
+      "    let _4: (i32, i32);\n"
+      "    let _5: Pair;\n"
+      "    let _6: isize;\n"
+      "    let _7: usize;\n"
+      "    let _8: bool;\n"
+      "    let _9: i32;\n"
+      "    bb0: {\n"
+      "        _2 = &_1;\n"
+      "        _3 = &raw mut _1;\n"
+      "        _4 = (copy _1, const 2);\n"
+      "        _5 = Pair { 0: copy _1, 1: const 3 };\n"
+      "        _6 = discriminant(_5);\n"
+      "        _7 = Len(_4);\n"
+      "        _8 = Not(const false);\n"
+      "        _9 = Neg(copy _1);\n"
+      "        _9 = copy _1 as i32;\n"
+      "        nop;\n"
+      "        return;\n"
+      "    }\n"
+      "}\n");
+}
+
+TEST(Printer, RoundTripControlFlow) {
+  expectRoundTrip(
+      "fn g() {\n"
+      "    bb0: {\n"
+      "        return;\n"
+      "    }\n"
+      "}\n"
+      "fn f(_1: bool) -> i32 {\n"
+      "    let _2: ();\n"
+      "    bb0: {\n"
+      "        switchInt(copy _1) -> [0: bb1, 1: bb2, otherwise: bb3];\n"
+      "    }\n"
+      "    bb1: {\n"
+      "        _2 = g() -> [return: bb3, unwind: bb4];\n"
+      "    }\n"
+      "    bb2: {\n"
+      "        drop(_2) -> [return: bb3, unwind: bb4];\n"
+      "    }\n"
+      "    bb3: {\n"
+      "        assert(copy _1) -> bb5;\n"
+      "    }\n"
+      "    bb4: {\n"
+      "        resume;\n"
+      "    }\n"
+      "    bb5: {\n"
+      "        _0 = const -7;\n"
+      "        return;\n"
+      "    }\n"
+      "}\n");
+}
+
+TEST(Printer, RoundTripItems) {
+  expectRoundTrip("struct Node : Drop { next: *mut Node, value: i32 }\n"
+                  "unsafe impl Sync for Node;\n"
+                  "static mut GLOBAL: i64;\n"
+                  "unsafe fn f() {\n"
+                  "    bb0: {\n"
+                  "        unreachable;\n"
+                  "    }\n"
+                  "}\n");
+}
+
+TEST(Printer, RoundTripStringsAndUnit) {
+  expectRoundTrip("fn f() {\n"
+                  "    let _1: &str;\n"
+                  "    let _2: ();\n"
+                  "    bb0: {\n"
+                  "        _1 = const \"with \\\"quotes\\\" and \\\\\";\n"
+                  "        _2 = const ();\n"
+                  "        return;\n"
+                  "    }\n"
+                  "}\n");
+}
+
+TEST(Printer, PlaceToString) {
+  Place P(3);
+  P.Projs.push_back(ProjectionElem::deref());
+  P.Projs.push_back(ProjectionElem::field(1));
+  P.Projs.push_back(ProjectionElem::index(4));
+  EXPECT_EQ(P.toString(), "(*_3).1[_4]");
+}
+
+TEST(Printer, TerminatorToString) {
+  EXPECT_EQ(Terminator::gotoBlock(2).toString(), "goto -> bb2;");
+  EXPECT_EQ(Terminator::drop(Place(1), 2).toString(), "drop(_1) -> bb2;");
+  EXPECT_EQ(Terminator::call(Place(0), "foo", {Operand::copy(Place(1))}, 1, 2)
+                .toString(),
+            "_0 = foo(copy _1) -> [return: bb1, unwind: bb2];");
+}

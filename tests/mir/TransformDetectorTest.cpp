@@ -1,0 +1,67 @@
+//===----------------------------------------------------------------------===//
+// Cleanup passes must not change what the detectors find: per bug kind,
+// the counts on the transformed corpus equal the counts on the original.
+//===----------------------------------------------------------------------===//
+
+#include "corpus/MirCorpus.h"
+#include "detectors/Detector.h"
+#include "mir/Transforms.h"
+
+#include <gtest/gtest.h>
+
+using namespace rs;
+using namespace rs::detectors;
+using namespace rs::mir;
+
+namespace {
+
+corpus::MirCorpusConfig mixedConfig(uint64_t Seed) {
+  corpus::MirCorpusConfig C;
+  C.Seed = Seed;
+  C.BenignFunctions = 6;
+  C.UseAfterFreeBugs = 2;
+  C.UseAfterFreeBenign = 2;
+  C.UseAfterFreeGuardedBugs = 1;
+  C.DoubleLockBugs = 2;
+  C.DoubleLockBenign = 2;
+  C.LockOrderBugPairs = 1;
+  C.InvalidFreeBugs = 1;
+  C.DoubleFreeBugs = 1;
+  C.UninitReadBugs = 1;
+  C.InteriorMutabilityBugs = 1;
+  C.RefCellConflictBugs = 1;
+  return C;
+}
+
+} // namespace
+
+class TransformDetector : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(TransformDetector, FindingsSurviveCleanup) {
+  corpus::MirCorpusConfig C = mixedConfig(GetParam());
+
+  Module Original = corpus::MirCorpusGenerator(C).generate();
+  Module Cleaned = corpus::MirCorpusGenerator(C).generate();
+  PassManager PM;
+  addCleanupPasses(PM);
+  PM.run(Cleaned);
+
+  DiagnosticEngine Before, After;
+  runAllDetectors(Original, Before);
+  runAllDetectors(Cleaned, After);
+
+  static const BugKind Kinds[] = {
+      BugKind::UseAfterFree,       BugKind::DoubleLock,
+      BugKind::ConflictingLockOrder, BugKind::InvalidFree,
+      BugKind::DoubleFree,         BugKind::UninitRead,
+      BugKind::InteriorMutability, BugKind::BorrowConflict,
+  };
+  for (BugKind K : Kinds)
+    EXPECT_EQ(Before.countOfKind(K), After.countOfKind(K))
+        << bugKindName(K) << " diverged after cleanup:\n"
+        << After.renderText();
+  EXPECT_EQ(Before.count(), After.count());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TransformDetector,
+                         ::testing::Values(71, 72, 73));

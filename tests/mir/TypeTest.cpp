@@ -1,0 +1,77 @@
+#include "mir/Type.h"
+
+#include <gtest/gtest.h>
+
+using namespace rs::mir;
+
+TEST(Type, PrimInterning) {
+  TypeContext TC;
+  EXPECT_EQ(TC.getI32(), TC.getPrim(PrimKind::I32));
+  EXPECT_NE(TC.getI32(), TC.getPrim(PrimKind::I64));
+  EXPECT_EQ(TC.getUnit()->toString(), "()");
+  EXPECT_TRUE(TC.getUnit()->isUnit());
+}
+
+TEST(Type, RefAndRawPtr) {
+  TypeContext TC;
+  const Type *I32 = TC.getI32();
+  const Type *R = TC.getRef(I32, false);
+  const Type *RM = TC.getRef(I32, true);
+  EXPECT_NE(R, RM);
+  EXPECT_EQ(R->toString(), "&i32");
+  EXPECT_EQ(RM->toString(), "&mut i32");
+  EXPECT_TRUE(RM->isMutPtr());
+  EXPECT_EQ(RM->pointee(), I32);
+
+  const Type *PC = TC.getRawPtr(I32, false);
+  const Type *PM = TC.getRawPtr(I32, true);
+  EXPECT_EQ(PC->toString(), "*const i32");
+  EXPECT_EQ(PM->toString(), "*mut i32");
+  EXPECT_TRUE(PC->isAnyPtr());
+  EXPECT_FALSE(I32->isAnyPtr());
+}
+
+TEST(Type, TupleAndUnitCollapse) {
+  TypeContext TC;
+  const Type *T2 = TC.getTuple({TC.getI32(), TC.getBool()});
+  EXPECT_EQ(T2->toString(), "(i32, bool)");
+  // A 1-tuple keeps the trailing comma Rust uses.
+  EXPECT_EQ(TC.getTuple({TC.getI32()})->toString(), "(i32,)");
+  // The empty tuple is the unit type.
+  EXPECT_EQ(TC.getTuple({}), TC.getUnit());
+}
+
+TEST(Type, ArrayAndSlice) {
+  TypeContext TC;
+  EXPECT_EQ(TC.getArray(TC.getPrim(PrimKind::U8), 100)->toString(),
+            "[u8; 100]");
+  EXPECT_EQ(TC.getSlice(TC.getPrim(PrimKind::U8))->toString(), "[u8]");
+  EXPECT_NE(TC.getArray(TC.getPrim(PrimKind::U8), 1),
+            TC.getArray(TC.getPrim(PrimKind::U8), 2));
+}
+
+TEST(Type, AdtWithArgs) {
+  TypeContext TC;
+  const Type *M = TC.getAdt("Mutex", {TC.getI32()});
+  EXPECT_EQ(M->toString(), "Mutex<i32>");
+  EXPECT_EQ(M->adtName(), "Mutex");
+  ASSERT_EQ(M->args().size(), 1u);
+  EXPECT_EQ(M->args()[0], TC.getI32());
+  EXPECT_EQ(M, TC.getAdt("Mutex", {TC.getI32()}));
+  EXPECT_NE(M, TC.getAdt("Mutex", {TC.getBool()}));
+  EXPECT_EQ(TC.getAdt("std::sync::Arc", {M})->toString(),
+            "std::sync::Arc<Mutex<i32>>");
+}
+
+TEST(Type, InterningIsStructural) {
+  TypeContext TC;
+  const Type *A = TC.getRef(TC.getTuple({TC.getI32(), TC.getI32()}), true);
+  const Type *B = TC.getRef(TC.getTuple({TC.getI32(), TC.getI32()}), true);
+  EXPECT_EQ(A, B);
+}
+
+TEST(Type, PrimNames) {
+  EXPECT_STREQ(primKindName(PrimKind::USize), "usize");
+  EXPECT_STREQ(primKindName(PrimKind::Bool), "bool");
+  EXPECT_STREQ(primKindName(PrimKind::F64), "f64");
+}

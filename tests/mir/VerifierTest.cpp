@@ -1,0 +1,120 @@
+#include "mir/Verifier.h"
+
+#include "mir/Builder.h"
+#include "mir/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace rs::mir;
+
+namespace {
+
+std::vector<std::string> verifyText(std::string_view Src) {
+  auto R = Parser::parse(Src);
+  EXPECT_TRUE(R) << R.error().toString();
+  std::vector<std::string> Errors;
+  verifyModule(*R, Errors);
+  return Errors;
+}
+
+} // namespace
+
+TEST(Verifier, CleanModule) {
+  auto Errors = verifyText("fn f(_1: i32) -> i32 {\n"
+                           "    bb0: {\n"
+                           "        _0 = copy _1;\n"
+                           "        return;\n"
+                           "    }\n"
+                           "}\n");
+  EXPECT_TRUE(Errors.empty());
+}
+
+TEST(Verifier, UndeclaredLocal) {
+  // The parser enforces declaration density, so build bad IR directly.
+  Module M;
+  Function F;
+  F.Name = "bad";
+  LocalDecl Ret;
+  Ret.Ty = M.types().getUnit();
+  F.Locals.push_back(Ret);
+  BasicBlock BB;
+  BB.Statements.push_back(
+      Statement::assign(Place(5), Rvalue::use(Operand::copy(Place(6)))));
+  BB.Term = Terminator::ret();
+  F.Blocks.push_back(std::move(BB));
+
+  std::vector<std::string> Errors;
+  EXPECT_FALSE(verifyFunction(F, &M, Errors));
+  ASSERT_EQ(Errors.size(), 2u);
+  EXPECT_NE(Errors[0].find("_5"), std::string::npos);
+  EXPECT_NE(Errors[1].find("_6"), std::string::npos);
+}
+
+TEST(Verifier, BadBranchTarget) {
+  Module M;
+  Function F;
+  F.Name = "bad";
+  LocalDecl Ret;
+  Ret.Ty = M.types().getUnit();
+  F.Locals.push_back(Ret);
+  BasicBlock BB;
+  BB.Term = Terminator::gotoBlock(7);
+  F.Blocks.push_back(std::move(BB));
+
+  std::vector<std::string> Errors;
+  EXPECT_FALSE(verifyFunction(F, &M, Errors));
+  EXPECT_NE(Errors[0].find("nonexistent block"), std::string::npos);
+}
+
+TEST(Verifier, StorageOnParameterRejected) {
+  auto Errors = verifyText("fn f(_1: i32) {\n"
+                           "    bb0: {\n"
+                           "        StorageDead(_1);\n"
+                           "        return;\n"
+                           "    }\n"
+                           "}\n");
+  ASSERT_EQ(Errors.size(), 1u);
+  EXPECT_NE(Errors[0].find("parameters"), std::string::npos);
+}
+
+TEST(Verifier, AggregateArityMismatch) {
+  auto Errors = verifyText("struct Pair { a: i32, b: i32 }\n"
+                           "fn f() {\n"
+                           "    let _1: Pair;\n"
+                           "    bb0: {\n"
+                           "        _1 = Pair { 0: const 1 };\n"
+                           "        return;\n"
+                           "    }\n"
+                           "}\n");
+  ASSERT_EQ(Errors.size(), 1u);
+  EXPECT_NE(Errors[0].find("struct declares 2"), std::string::npos);
+}
+
+TEST(Verifier, UnknownAggregateIsAllowed) {
+  // Aggregates of undeclared (opaque) structs are legal.
+  auto Errors = verifyText("fn f() {\n"
+                           "    let _1: Mystery;\n"
+                           "    bb0: {\n"
+                           "        _1 = Mystery { 0: const 1 };\n"
+                           "        return;\n"
+                           "    }\n"
+                           "}\n");
+  EXPECT_TRUE(Errors.empty());
+}
+
+TEST(Verifier, SuccessorEnumeration) {
+  Terminator T = Terminator::switchInt(
+      Operand::constant(ConstValue::makeInt(0)), {{0, 1}, {1, 2}}, 3);
+  std::vector<BlockId> Succs;
+  T.successors(Succs);
+  EXPECT_EQ(Succs, (std::vector<BlockId>{1, 2, 3}));
+
+  Terminator Call = Terminator::callNoDest("f", {}, 4, 5);
+  Succs.clear();
+  Call.successors(Succs);
+  EXPECT_EQ(Succs, (std::vector<BlockId>{4, 5}));
+
+  Succs.clear();
+  Terminator::ret().successors(Succs);
+  EXPECT_TRUE(Succs.empty());
+}

@@ -1,0 +1,103 @@
+#include "scanner/RustLexer.h"
+
+#include <gtest/gtest.h>
+
+using namespace rs::scanner;
+
+namespace {
+
+std::vector<RustToken> lex(std::string_view Src) {
+  LineCounts Counts;
+  return RustLexer(Src).tokenize(Counts);
+}
+
+LineCounts countLines(std::string_view Src) {
+  LineCounts Counts;
+  RustLexer(Src).tokenize(Counts);
+  return Counts;
+}
+
+} // namespace
+
+TEST(RustLexer, IdentsAndPuncts) {
+  auto Toks = lex("fn main() { let x = 1; }");
+  ASSERT_GE(Toks.size(), 10u);
+  EXPECT_TRUE(Toks[0].isIdent("fn"));
+  EXPECT_TRUE(Toks[1].isIdent("main"));
+  EXPECT_TRUE(Toks[2].isPunct('('));
+  EXPECT_EQ(Toks[7].K, RustTokKind::Punct); // '='
+}
+
+TEST(RustLexer, CommentsAreSkippedButCounted) {
+  auto Counts = countLines("// line comment\n"
+                           "let x = 1; // trailing\n"
+                           "/* block\n"
+                           "   comment */\n"
+                           "\n"
+                           "let y = 2;\n");
+  EXPECT_EQ(Counts.Code, 2u);
+  EXPECT_EQ(Counts.Comment, 3u);
+  EXPECT_EQ(Counts.Blank, 1u);
+}
+
+TEST(RustLexer, NestedBlockComments) {
+  auto Toks = lex("/* outer /* inner */ still comment */ fn");
+  ASSERT_EQ(Toks.size(), 1u);
+  EXPECT_TRUE(Toks[0].isIdent("fn"));
+}
+
+TEST(RustLexer, StringsWithEscapesAndBraces) {
+  // Braces inside strings must not confuse scope tracking.
+  auto Toks = lex("let s = \"{ not a } brace \\\" quote\"; }");
+  bool SawString = false;
+  unsigned PunctBraces = 0;
+  for (const RustToken &T : Toks) {
+    SawString |= T.K == RustTokKind::String;
+    if (T.isPunct('}'))
+      ++PunctBraces;
+  }
+  EXPECT_TRUE(SawString);
+  EXPECT_EQ(PunctBraces, 1u);
+}
+
+TEST(RustLexer, RawStrings) {
+  auto Toks = lex("r#\"raw \" with quote\"# r\"simple\" br#\"bytes\"#");
+  ASSERT_EQ(Toks.size(), 3u);
+  for (const RustToken &T : Toks)
+    EXPECT_EQ(T.K, RustTokKind::String);
+}
+
+TEST(RustLexer, LifetimesVsCharLiterals) {
+  auto Toks = lex("&'a str 'x' '\\n' 'static");
+  std::vector<RustTokKind> Kinds;
+  for (const RustToken &T : Toks)
+    Kinds.push_back(T.K);
+  // & 'a str 'x' '\n' 'static
+  ASSERT_EQ(Toks.size(), 6u);
+  EXPECT_EQ(Toks[1].K, RustTokKind::Lifetime);
+  EXPECT_EQ(Toks[3].K, RustTokKind::CharLit);
+  EXPECT_EQ(Toks[4].K, RustTokKind::CharLit);
+  EXPECT_EQ(Toks[5].K, RustTokKind::Lifetime);
+}
+
+TEST(RustLexer, RawIdentifiers) {
+  auto Toks = lex("r#unsafe r#fn");
+  ASSERT_EQ(Toks.size(), 2u);
+  EXPECT_TRUE(Toks[0].isIdent("unsafe"));
+  EXPECT_TRUE(Toks[1].isIdent("fn"));
+}
+
+TEST(RustLexer, NumbersWithSuffixes) {
+  auto Toks = lex("0xFF 1_000 3.25 7usize");
+  ASSERT_EQ(Toks.size(), 4u);
+  for (const RustToken &T : Toks)
+    EXPECT_EQ(T.K, RustTokKind::Number);
+}
+
+TEST(RustLexer, LineNumbers) {
+  auto Toks = lex("a\nb\n\nc");
+  ASSERT_EQ(Toks.size(), 3u);
+  EXPECT_EQ(Toks[0].Line, 1u);
+  EXPECT_EQ(Toks[1].Line, 2u);
+  EXPECT_EQ(Toks[2].Line, 4u);
+}

@@ -1,0 +1,156 @@
+#include "scanner/UnsafeScanner.h"
+
+#include <gtest/gtest.h>
+
+using namespace rs::scanner;
+
+namespace {
+
+ScanStats scan(std::string_view Src) {
+  return UnsafeScanner().scanSource(Src);
+}
+
+} // namespace
+
+TEST(UnsafeScanner, CountsUnsafeBlocks) {
+  ScanStats S = scan("fn f() {\n"
+                     "    unsafe { do_thing(); }\n"
+                     "    unsafe {\n"
+                     "        more();\n"
+                     "    }\n"
+                     "}\n");
+  EXPECT_EQ(S.UnsafeBlocks, 2u);
+  EXPECT_EQ(S.UnsafeFns, 0u);
+  EXPECT_EQ(S.TotalFns, 1u);
+}
+
+TEST(UnsafeScanner, CountsUnsafeFns) {
+  ScanStats S = scan("unsafe fn danger() {}\n"
+                     "pub unsafe fn also() {}\n"
+                     "unsafe extern \"C\" fn callback() {}\n"
+                     "fn safe() {}\n");
+  EXPECT_EQ(S.UnsafeFns, 3u);
+  EXPECT_EQ(S.TotalFns, 4u);
+  EXPECT_EQ(S.UnsafeBlocks, 0u);
+}
+
+TEST(UnsafeScanner, CountsUnsafeTraitsAndImpls) {
+  ScanStats S = scan("unsafe trait Zeroable {}\n"
+                     "unsafe impl Sync for Cell {}\n"
+                     "unsafe impl Send for Cell {}\n");
+  EXPECT_EQ(S.UnsafeTraits, 1u);
+  EXPECT_EQ(S.UnsafeImpls, 2u);
+  EXPECT_EQ(S.totalUnsafeUsages(), 1u); // Usages = blocks + fns + traits.
+}
+
+TEST(UnsafeScanner, InteriorUnsafeDetection) {
+  // The paper's interior-unsafe pattern: a safe function wrapping an unsafe
+  // block (Figure 4).
+  ScanStats S = scan("impl TestCell {\n"
+                     "    fn set(&self, i: i32) {\n"
+                     "        let p = &self.value as *const i32 as *mut i32;\n"
+                     "        unsafe { *p = i };\n"
+                     "    }\n"
+                     "}\n"
+                     "unsafe fn raw() { ptr::read(x); }\n"
+                     "fn no_unsafe() { safe_call(); }\n");
+  EXPECT_EQ(S.InteriorUnsafeFns, 1u);
+  EXPECT_EQ(S.UnsafeFns, 1u);
+  EXPECT_EQ(S.TotalFns, 3u);
+}
+
+TEST(UnsafeScanner, RawPointerDerefClassification) {
+  ScanStats S = scan("fn f(p: *mut i32) {\n"
+                     "    unsafe {\n"
+                     "        *p = 1;\n"       // Deref write.
+                     "        let v = *p;\n"   // Deref read.
+                     "        let q: *const i32 = p;\n" // Type, not deref.
+                     "        let x = a * b;\n"         // Multiplication.
+                     "    }\n"
+                     "}\n");
+  EXPECT_EQ(S.RawPtrDerefs, 2u);
+}
+
+TEST(UnsafeScanner, CallsInsideUnsafe) {
+  ScanStats S = scan("fn f() {\n"
+                     "    before();\n" // Outside unsafe: not counted.
+                     "    unsafe {\n"
+                     "        libc::getpid();\n"
+                     "        ptr.read();\n"
+                     "    }\n"
+                     "}\n");
+  EXPECT_EQ(S.CallsInUnsafe, 2u);
+}
+
+TEST(UnsafeScanner, StaticMutAccesses) {
+  ScanStats S = scan("static mut COUNTER: u32 = 0;\n"
+                     "fn bump() {\n"
+                     "    unsafe {\n"
+                     "        COUNTER += 1;\n"
+                     "        let v = COUNTER;\n"
+                     "    }\n"
+                     "}\n");
+  EXPECT_EQ(S.StaticMutUses, 2u);
+}
+
+TEST(UnsafeScanner, UnsafeFnBodyIsUnsafeContext) {
+  ScanStats S = scan("unsafe fn f(p: *mut u8) {\n"
+                     "    *p = 0;\n"
+                     "}\n");
+  EXPECT_EQ(S.RawPtrDerefs, 1u);
+}
+
+TEST(UnsafeScanner, StringsAndCommentsDoNotConfuse) {
+  ScanStats S = scan("fn f() {\n"
+                     "    // unsafe { fake }\n"
+                     "    let s = \"unsafe { also fake }\";\n"
+                     "    /* unsafe fn nope() {} */\n"
+                     "}\n");
+  EXPECT_EQ(S.totalUnsafeUsages(), 0u);
+  EXPECT_EQ(S.TotalFns, 1u);
+}
+
+TEST(UnsafeScanner, TraitMethodSignaturesWithoutBodies) {
+  ScanStats S = scan("trait T {\n"
+                     "    fn required(&self);\n"
+                     "    unsafe fn required_unsafe(&self);\n"
+                     "}\n");
+  EXPECT_EQ(S.TotalFns, 2u);
+  EXPECT_EQ(S.UnsafeFns, 1u);
+  EXPECT_EQ(S.InteriorUnsafeFns, 0u);
+}
+
+TEST(UnsafeScanner, LineCounting) {
+  ScanStats S = scan("fn f() {\n"
+                     "}\n"
+                     "\n"
+                     "// comment\n");
+  EXPECT_EQ(S.CodeLines, 2u);
+  EXPECT_EQ(S.BlankLines, 1u);
+  EXPECT_EQ(S.CommentLines, 1u);
+  EXPECT_EQ(S.Files, 1u);
+}
+
+TEST(UnsafeScanner, UnsafeLineCounting) {
+  ScanStats S = scan("fn f(p: *mut u8) {\n"     // line 1: safe
+                     "    before();\n"          // line 2: safe
+                     "    unsafe {\n"           // line 3: brace counts
+                     "        *p = 1;\n"        // line 4: unsafe
+                     "        more(*p);\n"      // line 5: unsafe
+                     "    }\n"                  // line 6: closing brace only
+                     "    after();\n"           // line 7: safe
+                     "}\n");
+  // Lines with tokens inside the unsafe region: 4 and 5 (the braces
+  // delimit the region; the closing brace pops before classification).
+  EXPECT_EQ(S.UnsafeLines, 2u);
+}
+
+TEST(UnsafeScanner, MergeAccumulates) {
+  ScanStats A = scan("unsafe fn f() {}\n");
+  ScanStats B = scan("fn g() { unsafe { h(); } }\n");
+  A.merge(B);
+  EXPECT_EQ(A.UnsafeFns, 1u);
+  EXPECT_EQ(A.UnsafeBlocks, 1u);
+  EXPECT_EQ(A.Files, 2u);
+  EXPECT_EQ(A.TotalFns, 2u);
+}

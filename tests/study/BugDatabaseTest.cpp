@@ -1,0 +1,280 @@
+#include "study/BugDatabase.h"
+
+#include "study/Tables.h"
+
+#include <gtest/gtest.h>
+
+using namespace rs::study;
+
+namespace {
+
+const BugDatabase &db() {
+  static const BugDatabase DB;
+  return DB;
+}
+
+} // namespace
+
+TEST(BugDatabase, HeadlineCounts) {
+  // "Close, manual inspection of ... 170 bugs": 70 memory-safety issues,
+  // 59 blocking and 41 non-blocking concurrency bugs.
+  EXPECT_EQ(db().memoryBugs().size(), 70u);
+  EXPECT_EQ(db().blockingBugs().size(), 59u);
+  EXPECT_EQ(db().nonBlockingBugs().size(), 41u);
+  EXPECT_EQ(db().totalBugs(), 170u);
+}
+
+TEST(BugDatabase, TwentyTwoDatabaseRecords) {
+  // "There are 22 bugs collected from the two CVE databases."
+  unsigned Cve = 0;
+  for (const MemoryBug &B : db().memoryBugs())
+    Cve += B.Source == BugSource::CVE;
+  for (const NonBlockingBug &B : db().nonBlockingBugs())
+    Cve += B.Source == BugSource::CVE;
+  EXPECT_EQ(Cve, 22u);
+}
+
+TEST(BugDatabase, FixedSince2016) {
+  // "Among the 170 bugs, 145 of them were fixed after 2016."
+  EXPECT_EQ(db().fixedSince2016(), 145u);
+}
+
+TEST(BugDatabase, DatesWithinProjectLifetimes) {
+  auto CheckDate = [](Project P, Quarter Q) {
+    EXPECT_GE(Q.Year, 2012u) << projectName(P);
+    EXPECT_LE(Q.Year, 2019u) << projectName(P);
+    const Quarter RedoxStart{2016, 4};
+    const Quarter TiKVStart{2016, 2};
+    if (P == Project::Redox) {
+      EXPECT_GE(Q.index(), RedoxStart.index());
+    }
+    if (P == Project::TiKV) {
+      EXPECT_GE(Q.index(), TiKVStart.index());
+    }
+  };
+  for (const MemoryBug &B : db().memoryBugs())
+    CheckDate(B.Proj, B.Fixed);
+  for (const BlockingBug &B : db().blockingBugs())
+    CheckDate(B.Proj, B.Fixed);
+  for (const NonBlockingBug &B : db().nonBlockingBugs())
+    CheckDate(B.Proj, B.Fixed);
+}
+
+TEST(Table1, PerProjectBugCounts) {
+  auto Rows = computeTable1(db());
+  ASSERT_EQ(Rows.size(), 6u);
+  // Servo 14/13/18, Tock 5/0/2, Ethereum 2/34/4, TiKV 1/4/3, Redox 20/2/3,
+  // libraries 7/6/10.
+  const unsigned Expected[6][3] = {{14, 13, 18}, {5, 0, 2}, {2, 34, 4},
+                                   {1, 4, 3},    {20, 2, 3}, {7, 6, 10}};
+  for (size_t I = 0; I != 6; ++I) {
+    EXPECT_EQ(Rows[I].MemBugs, Expected[I][0])
+        << projectName(Rows[I].Info.Proj);
+    EXPECT_EQ(Rows[I].BlockingBugs, Expected[I][1])
+        << projectName(Rows[I].Info.Proj);
+    EXPECT_EQ(Rows[I].NonBlockingBugs, Expected[I][2])
+        << projectName(Rows[I].Info.Proj);
+  }
+}
+
+TEST(Table1, Metadata) {
+  auto Rows = computeTable1(db());
+  EXPECT_EQ(Rows[0].Info.StartTime, "2012/02");
+  EXPECT_EQ(Rows[0].Info.Stars, 14574u);
+  EXPECT_EQ(Rows[0].Info.Commits, 38096u);
+  EXPECT_EQ(Rows[0].Info.KLoc, 271u);
+  EXPECT_EQ(Rows[5].Info.StartTime, "2010/07");
+}
+
+TEST(Table2, CellValues) {
+  Table2Data D = computeTable2(db());
+  auto Cell = [&D](Propagation P, MemCategory C) {
+    return D.Count[static_cast<unsigned>(P)][static_cast<unsigned>(C)];
+  };
+  auto ICell = [&D](Propagation P, MemCategory C) {
+    return D.Interior[static_cast<unsigned>(P)][static_cast<unsigned>(C)];
+  };
+
+  // Row "safe".
+  EXPECT_EQ(Cell(Propagation::SafeToSafe, MemCategory::UseAfterFree), 1u);
+  EXPECT_EQ(D.rowTotal(Propagation::SafeToSafe), 1u);
+  // Row "unsafe": 4(1), 12(4), 0, 5(3), 2(2), 0 -> 23(10).
+  EXPECT_EQ(Cell(Propagation::UnsafeToUnsafe, MemCategory::Buffer), 4u);
+  EXPECT_EQ(ICell(Propagation::UnsafeToUnsafe, MemCategory::Buffer), 1u);
+  EXPECT_EQ(Cell(Propagation::UnsafeToUnsafe, MemCategory::Null), 12u);
+  EXPECT_EQ(ICell(Propagation::UnsafeToUnsafe, MemCategory::Null), 4u);
+  EXPECT_EQ(Cell(Propagation::UnsafeToUnsafe, MemCategory::InvalidFree), 5u);
+  EXPECT_EQ(D.rowTotal(Propagation::UnsafeToUnsafe), 23u);
+  EXPECT_EQ(D.rowInterior(Propagation::UnsafeToUnsafe), 10u);
+  // Row "safe -> unsafe": 17(10), 0, 0, 1, 11(4), 2(2) -> 31(16).
+  EXPECT_EQ(Cell(Propagation::SafeToUnsafe, MemCategory::Buffer), 17u);
+  EXPECT_EQ(ICell(Propagation::SafeToUnsafe, MemCategory::Buffer), 10u);
+  EXPECT_EQ(Cell(Propagation::SafeToUnsafe, MemCategory::UseAfterFree), 11u);
+  EXPECT_EQ(D.rowTotal(Propagation::SafeToUnsafe), 31u);
+  EXPECT_EQ(D.rowInterior(Propagation::SafeToUnsafe), 16u);
+  // Row "unsafe -> safe": 0, 0, 7, 4, 0, 4 -> 15.
+  EXPECT_EQ(Cell(Propagation::UnsafeToSafe, MemCategory::Uninitialized), 7u);
+  EXPECT_EQ(Cell(Propagation::UnsafeToSafe, MemCategory::InvalidFree), 4u);
+  EXPECT_EQ(Cell(Propagation::UnsafeToSafe, MemCategory::DoubleFree), 4u);
+  EXPECT_EQ(D.rowTotal(Propagation::UnsafeToSafe), 15u);
+
+  // Column totals match the Section 5.1 narrative: 21 buffer overflows,
+  // 12 null dereferences, 7 uninitialized reads, 10 invalid frees, 14
+  // use-after-free, 6 double frees.
+  EXPECT_EQ(D.columnTotal(MemCategory::Buffer), 21u);
+  EXPECT_EQ(D.columnTotal(MemCategory::Null), 12u);
+  EXPECT_EQ(D.columnTotal(MemCategory::Uninitialized), 7u);
+  EXPECT_EQ(D.columnTotal(MemCategory::InvalidFree), 10u);
+  EXPECT_EQ(D.columnTotal(MemCategory::UseAfterFree), 14u);
+  EXPECT_EQ(D.columnTotal(MemCategory::DoubleFree), 6u);
+  EXPECT_EQ(D.total(), 70u);
+}
+
+TEST(Table2, Insight4AllMemoryBugsInvolveUnsafe) {
+  // "All memory-safety issues involve unsafe code" — except the single
+  // pre-stable safe->safe bug the paper calls out as no longer compiling.
+  Table2Data D = computeTable2(db());
+  EXPECT_EQ(D.rowTotal(Propagation::SafeToSafe), 1u);
+  EXPECT_EQ(D.total() - D.rowTotal(Propagation::SafeToSafe), 69u);
+}
+
+TEST(Table3, CellValues) {
+  Table3Data D = computeTable3(db());
+  auto Cell = [&D](Project P, BlockingPrimitive B) {
+    return D.Count[static_cast<unsigned>(P)][static_cast<unsigned>(B)];
+  };
+  EXPECT_EQ(Cell(Project::Servo, BlockingPrimitive::Mutex), 6u);
+  EXPECT_EQ(Cell(Project::Servo, BlockingPrimitive::Channel), 5u);
+  EXPECT_EQ(Cell(Project::Servo, BlockingPrimitive::Other), 2u);
+  EXPECT_EQ(Cell(Project::Ethereum, BlockingPrimitive::Mutex), 27u);
+  EXPECT_EQ(Cell(Project::Ethereum, BlockingPrimitive::Condvar), 6u);
+  EXPECT_EQ(Cell(Project::TiKV, BlockingPrimitive::Mutex), 3u);
+  EXPECT_EQ(Cell(Project::TiKV, BlockingPrimitive::Condvar), 1u);
+  EXPECT_EQ(Cell(Project::Redox, BlockingPrimitive::Mutex), 2u);
+  EXPECT_EQ(Cell(Project::Libraries, BlockingPrimitive::Condvar), 3u);
+  EXPECT_EQ(Cell(Project::Libraries, BlockingPrimitive::Once), 1u);
+  // Totals row: 38, 10, 6, 1, 4.
+  EXPECT_EQ(D.columnTotal(BlockingPrimitive::Mutex), 38u);
+  EXPECT_EQ(D.columnTotal(BlockingPrimitive::Condvar), 10u);
+  EXPECT_EQ(D.columnTotal(BlockingPrimitive::Channel), 6u);
+  EXPECT_EQ(D.columnTotal(BlockingPrimitive::Once), 1u);
+  EXPECT_EQ(D.columnTotal(BlockingPrimitive::Other), 4u);
+  EXPECT_EQ(D.total(), 59u);
+}
+
+TEST(Table4, CellValues) {
+  Table4Data D = computeTable4(db());
+  auto Cell = [&D](Project P, SharingMethod M) {
+    return D.Count[static_cast<unsigned>(P)][static_cast<unsigned>(M)];
+  };
+  EXPECT_EQ(Cell(Project::Servo, SharingMethod::GlobalStatic), 1u);
+  EXPECT_EQ(Cell(Project::Servo, SharingMethod::Pointer), 7u);
+  EXPECT_EQ(Cell(Project::Servo, SharingMethod::MutexShared), 7u);
+  EXPECT_EQ(Cell(Project::Servo, SharingMethod::Message), 2u);
+  EXPECT_EQ(Cell(Project::Tock, SharingMethod::OsHardware), 2u);
+  EXPECT_EQ(Cell(Project::Libraries, SharingMethod::Pointer), 5u);
+  EXPECT_EQ(Cell(Project::Libraries, SharingMethod::Atomic), 3u);
+  // Totals row: 3, 12, 3, 5, 5, 10, 3.
+  EXPECT_EQ(D.columnTotal(SharingMethod::GlobalStatic), 3u);
+  EXPECT_EQ(D.columnTotal(SharingMethod::Pointer), 12u);
+  EXPECT_EQ(D.columnTotal(SharingMethod::SyncTrait), 3u);
+  EXPECT_EQ(D.columnTotal(SharingMethod::OsHardware), 5u);
+  EXPECT_EQ(D.columnTotal(SharingMethod::Atomic), 5u);
+  EXPECT_EQ(D.columnTotal(SharingMethod::MutexShared), 10u);
+  EXPECT_EQ(D.columnTotal(SharingMethod::Message), 3u);
+  EXPECT_EQ(D.total(), 41u);
+}
+
+TEST(Figures, Figure2CoversAllBugsAndProjects) {
+  Figure2Series S = computeFigure2(db());
+  unsigned Total = 0;
+  for (const auto &[P, Series] : S)
+    for (const auto &[Q, N] : Series)
+      Total += N;
+  EXPECT_EQ(Total, 170u);
+  EXPECT_TRUE(S.count(Project::Servo));
+  EXPECT_TRUE(S.count(Project::Redox));
+}
+
+TEST(FixStrategies, MemoryBugs) {
+  // Section 5.2: 30 conditionally skip, 22 adjust lifetime, 9 change
+  // operands, 9 other.
+  auto Counts = computeMemFixCounts(db());
+  EXPECT_EQ(Counts[MemFix::ConditionallySkip], 30u);
+  EXPECT_EQ(Counts[MemFix::AdjustLifetime], 22u);
+  EXPECT_EQ(Counts[MemFix::ChangeOperands], 9u);
+  EXPECT_EQ(Counts[MemFix::Other], 9u);
+}
+
+TEST(FixStrategies, BlockingCauses) {
+  // Section 6.1: 30 double locks, 7 conflicting orders, 1 forgotten
+  // unlock; 8 wait-without-notify + 2 circular notify waits; 5 blocked
+  // receives + 1 blocked send; 1 call_once recursion; 4 others.
+  auto Counts = computeBlockingCauseCounts(db());
+  EXPECT_EQ(Counts[BlockingCause::DoubleLock], 30u);
+  EXPECT_EQ(Counts[BlockingCause::ConflictingOrder], 7u);
+  EXPECT_EQ(Counts[BlockingCause::ForgotUnlock], 1u);
+  EXPECT_EQ(Counts[BlockingCause::WaitNoNotify], 8u);
+  EXPECT_EQ(Counts[BlockingCause::MissedNotify], 2u);
+  EXPECT_EQ(Counts[BlockingCause::ChannelRecvBlock], 5u);
+  EXPECT_EQ(Counts[BlockingCause::ChannelSendFull], 1u);
+  EXPECT_EQ(Counts[BlockingCause::OnceRecursion], 1u);
+  EXPECT_EQ(Counts[BlockingCause::OtherCause], 4u);
+}
+
+TEST(FixStrategies, BlockingFixes) {
+  // Section 6.1: 51 of 59 adjusted synchronization (21 via guard-lifetime
+  // adjustment); 8 fixed otherwise.
+  auto Counts = computeBlockingFixCounts(db());
+  EXPECT_EQ(Counts[BlockingFix::AdjustGuardLifetime], 21u);
+  EXPECT_EQ(Counts[BlockingFix::AdjustSyncOps], 30u);
+  EXPECT_EQ(Counts[BlockingFix::AdjustGuardLifetime] +
+                Counts[BlockingFix::AdjustSyncOps],
+            51u);
+  EXPECT_EQ(Counts[BlockingFix::OtherFix], 8u);
+}
+
+TEST(FixStrategies, NonBlockingFixes) {
+  // Section 6.2: 20 atomicity, 10 ordering, 5 avoid sharing, 1 local copy,
+  // 2 logic changes (over the 38 shared-memory bugs).
+  auto Counts = computeNonBlockingFixCounts(db());
+  EXPECT_EQ(Counts[NonBlockingFix::EnforceAtomicity], 20u);
+  EXPECT_EQ(Counts[NonBlockingFix::EnforceOrder], 10u);
+  EXPECT_EQ(Counts[NonBlockingFix::AvoidSharing], 5u);
+  EXPECT_EQ(Counts[NonBlockingFix::MakeLocalCopy], 1u);
+  EXPECT_EQ(Counts[NonBlockingFix::ChangeLogic], 2u);
+  EXPECT_EQ(Counts[NonBlockingFix::MessageProtocol], 3u);
+}
+
+TEST(NonBlocking, CrossCuttingAttributes) {
+  NonBlockingAttributes A = computeNonBlockingAttributes(db());
+  EXPECT_EQ(A.SharedMemory, 38u);     // "All the rest ... shared resources."
+  EXPECT_EQ(A.MessagePassing, 3u);    // "three are caused by ... message".
+  EXPECT_EQ(A.UnsafeSharing, 23u);    // "23 ... share data using unsafe".
+  EXPECT_EQ(A.SafeSharing, 15u);      // "15 ... share data with safe code".
+  EXPECT_EQ(A.BuggyCodeSafe, 25u);    // "25 ... happen in safe code".
+  EXPECT_EQ(A.Unsynchronized, 17u);   // "17 ... do not synchronize".
+  EXPECT_EQ(A.Synchronized, 21u);     // "21 ... synchronize ... with issues".
+  EXPECT_EQ(A.InteriorMutability, 13u); // "13 in total in our studied set".
+  EXPECT_EQ(A.RustLibMisuse, 7u);     // "seven bugs involving Rust-unique".
+}
+
+TEST(Rendering, TablesHaveExpectedShape) {
+  rs::Table T1 = renderTable1(db());
+  std::string S1 = T1.render();
+  EXPECT_NE(S1.find("Servo"), std::string::npos);
+  EXPECT_NE(S1.find("38096"), std::string::npos);
+
+  std::string S2 = renderTable2(db()).render();
+  EXPECT_NE(S2.find("safe -> unsafe"), std::string::npos);
+  EXPECT_NE(S2.find("17 (10)"), std::string::npos);
+
+  std::string S3 = renderTable3(db()).render();
+  EXPECT_NE(S3.find("Mutex&Rwlock"), std::string::npos);
+
+  std::string S4 = renderTable4(db()).render();
+  EXPECT_NE(S4.find("O.H."), std::string::npos);
+
+  std::string F2 = renderFigure2(db()).render();
+  EXPECT_NE(F2.find("Quarter"), std::string::npos);
+}

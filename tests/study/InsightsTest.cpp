@@ -1,0 +1,35 @@
+#include "study/Insights.h"
+
+#include <gtest/gtest.h>
+
+using namespace rs::study;
+
+TEST(Insights, ElevenInsights) {
+  const auto &Items = insights();
+  ASSERT_EQ(Items.size(), 11u); // "11 insights ... that can help Rust".
+  for (size_t I = 0; I != Items.size(); ++I) {
+    EXPECT_EQ(Items[I].K, Finding::Kind::Insight);
+    EXPECT_EQ(Items[I].Number, I + 1);
+    EXPECT_FALSE(Items[I].Text.empty());
+    EXPECT_FALSE(Items[I].EmbodiedBy.empty());
+  }
+}
+
+TEST(Insights, EightSuggestions) {
+  const auto &Items = suggestions();
+  ASSERT_EQ(Items.size(), 8u); // "... and 8 suggestions".
+  for (size_t I = 0; I != Items.size(); ++I) {
+    EXPECT_EQ(Items[I].K, Finding::Kind::Suggestion);
+    EXPECT_EQ(Items[I].Number, I + 1);
+    EXPECT_FALSE(Items[I].Text.empty());
+  }
+}
+
+TEST(Insights, KeyCrossReferencesExist) {
+  // Spot-check that the operationalized findings name real components.
+  EXPECT_NE(insights()[8].EmbodiedBy.find("RefCell"), std::string::npos);
+  EXPECT_NE(suggestions()[4].EmbodiedBy.find("FocusOnUnsafe"),
+            std::string::npos);
+  EXPECT_NE(suggestions()[5].EmbodiedBy.find("LifetimeReport"),
+            std::string::npos);
+}

@@ -1,0 +1,52 @@
+#include "study/JsonExport.h"
+
+#include <gtest/gtest.h>
+
+using namespace rs::study;
+
+namespace {
+
+size_t countOccurrences(const std::string &Haystack,
+                        const std::string &Needle) {
+  size_t Count = 0, Pos = 0;
+  while ((Pos = Haystack.find(Needle, Pos)) != std::string::npos) {
+    ++Count;
+    Pos += Needle.size();
+  }
+  return Count;
+}
+
+} // namespace
+
+TEST(JsonExport, ContainsAllRecords) {
+  BugDatabase DB;
+  std::string Json = exportDatabaseJson(DB);
+  // 170 record objects, each with exactly one "id".
+  EXPECT_EQ(countOccurrences(Json, "\"id\":"), 170u);
+  EXPECT_EQ(countOccurrences(Json, "\"category\":"), 70u);
+  EXPECT_EQ(countOccurrences(Json, "\"primitive\":"), 59u);
+  EXPECT_EQ(countOccurrences(Json, "\"sharing\":"), 41u);
+}
+
+TEST(JsonExport, SummaryMatchesDatabase) {
+  BugDatabase DB;
+  std::string Json = exportDatabaseJson(DB);
+  EXPECT_NE(Json.find("\"totalBugs\":170"), std::string::npos);
+  EXPECT_NE(Json.find("\"fixedSince2016\":145"), std::string::npos);
+  EXPECT_NE(Json.find("\"memoryBugs\":70"), std::string::npos);
+}
+
+TEST(JsonExport, CveSourcesPresent) {
+  BugDatabase DB;
+  std::string Json = exportDatabaseJson(DB);
+  EXPECT_EQ(countOccurrences(Json, "\"source\":\"cve\""), 22u);
+}
+
+TEST(JsonExport, IsStructurallyBalanced) {
+  BugDatabase DB;
+  std::string Json = exportDatabaseJson(DB);
+  EXPECT_EQ(countOccurrences(Json, "{"), countOccurrences(Json, "}"));
+  EXPECT_EQ(countOccurrences(Json, "["), countOccurrences(Json, "]"));
+  EXPECT_EQ(Json.front(), '{');
+  EXPECT_EQ(Json.back(), '}');
+}

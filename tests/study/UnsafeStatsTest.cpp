@@ -1,0 +1,175 @@
+#include "study/UnsafeStats.h"
+
+#include "study/RustHistory.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+using namespace rs::study;
+
+TEST(UnsafeStats, HeadlineCounts) {
+  // Section 4: "4990 unsafe usages in our studied applications ... 3665
+  // unsafe code regions, 1302 unsafe functions, and 23 unsafe traits. In
+  // Rust's standard library ... 1581 unsafe code regions, 861 unsafe
+  // functions, and 12 unsafe traits."
+  UnsafeCounts Apps = applicationUnsafeCounts();
+  EXPECT_EQ(Apps.Regions, 3665u);
+  EXPECT_EQ(Apps.Fns, 1302u);
+  EXPECT_EQ(Apps.Traits, 23u);
+  EXPECT_EQ(Apps.total(), 4990u);
+
+  UnsafeCounts Std = stdUnsafeCounts();
+  EXPECT_EQ(Std.Regions, 1581u);
+  EXPECT_EQ(Std.Fns, 861u);
+  EXPECT_EQ(Std.Traits, 12u);
+}
+
+TEST(UnsafeStats, SampleSize) {
+  EXPECT_EQ(unsafeUsageSample().size(), 600u);
+}
+
+TEST(UnsafeStats, OperationTypeBreakdown) {
+  // "Most of them (66%) are for (unsafe) memory operations ... Calling
+  // unsafe functions counts for 29%."
+  unsigned Mem = 0, Call = 0, Other = 0;
+  for (const UnsafeUsage &U : unsafeUsageSample()) {
+    switch (U.Op) {
+    case UnsafeOpType::MemoryOp:
+      ++Mem;
+      break;
+    case UnsafeOpType::CallUnsafeFn:
+      ++Call;
+      break;
+    case UnsafeOpType::OtherOp:
+      ++Other;
+      break;
+    }
+  }
+  EXPECT_EQ(Mem, 396u);  // 66%.
+  EXPECT_EQ(Call, 174u); // 29%.
+  EXPECT_EQ(Other, 30u); // 5%.
+}
+
+TEST(UnsafeStats, PurposeBreakdown) {
+  // "The most common purpose ... is to reuse existing code (42%) ...
+  // improve performance (22%) ... share data across threads (14%)."
+  unsigned Reuse = 0, Perf = 0, Share = 0, OtherP = 0;
+  for (const UnsafeUsage &U : unsafeUsageSample()) {
+    switch (U.Purpose) {
+    case UnsafePurpose::CodeReuse:
+      ++Reuse;
+      break;
+    case UnsafePurpose::Performance:
+      ++Perf;
+      break;
+    case UnsafePurpose::DataSharing:
+      ++Share;
+      break;
+    case UnsafePurpose::OtherBypass:
+      ++OtherP;
+      break;
+    }
+  }
+  EXPECT_EQ(Reuse, 252u);
+  EXPECT_EQ(Perf, 132u);
+  EXPECT_EQ(Share, 84u);
+  EXPECT_EQ(OtherP, 132u);
+}
+
+TEST(UnsafeStats, RemovableUsages) {
+  // "Sometimes removing unsafe will not cause any compile errors (32 or 5%
+  // ...). For 21 of them, programmers mark a function as unsafe for code
+  // consistency ... Five ... labeling struct constructors."
+  unsigned Consistency = 0, Ctor = 0, Warning = 0, NotRemovable = 0;
+  for (const UnsafeUsage &U : unsafeUsageSample()) {
+    switch (U.Removable) {
+    case RemovableReason::CodeConsistency:
+      ++Consistency;
+      break;
+    case RemovableReason::ConstructorMarker:
+      ++Ctor;
+      break;
+    case RemovableReason::DangerWarning:
+      ++Warning;
+      break;
+    case RemovableReason::NotRemovable:
+      ++NotRemovable;
+      break;
+    }
+  }
+  EXPECT_EQ(Consistency, 21u);
+  EXPECT_EQ(Ctor, 5u);
+  EXPECT_EQ(Warning, 6u);
+  EXPECT_EQ(Consistency + Ctor + Warning, 32u);
+  EXPECT_EQ(NotRemovable, 568u);
+}
+
+TEST(UnsafeStats, Removals) {
+  // Section 4.2: 130 removals; 61%/24%/10%/3%/2% purposes; 43 to fully
+  // safe code, the rest to interior unsafe (48 std + 29 self + 10 third
+  // party).
+  UnsafeRemovals R = unsafeRemovals();
+  EXPECT_EQ(R.ForMemorySafety + R.ForCodeStructure + R.ForThreadSafety +
+                R.ForBugFix + R.Unnecessary,
+            R.Total);
+  EXPECT_EQ(R.Total, 130u);
+  EXPECT_EQ(R.ToSafeCode + R.ToStdInteriorUnsafe + R.ToSelfInteriorUnsafe +
+                R.ToThirdPartyInteriorUnsafe,
+            R.Total);
+  // The published percentages round from these counts.
+  EXPECT_NEAR(100.0 * R.ForMemorySafety / R.Total, 61.0, 0.5);
+  EXPECT_NEAR(100.0 * R.ForCodeStructure / R.Total, 24.0, 0.5);
+  EXPECT_NEAR(100.0 * R.ForThreadSafety / R.Total, 10.0, 0.5);
+}
+
+TEST(UnsafeStats, InteriorUnsafeEncapsulation) {
+  // Section 4.3: 250 std interior-unsafe functions sampled; 69% require
+  // valid memory/UTF-8, 15% lifetime/ownership conditions; 58% perform no
+  // explicit check; 19 improperly encapsulated (5 std + 14 apps).
+  InteriorUnsafeStudy S = interiorUnsafeStudy();
+  EXPECT_EQ(S.StdSampled, 250u);
+  EXPECT_EQ(S.AppSampled, 400u);
+  EXPECT_NEAR(100.0 * S.RequireValidMemoryOrUtf8 / S.StdSampled, 69.0, 1.0);
+  EXPECT_NEAR(100.0 * S.RequireLifetimeOwnership / S.StdSampled, 15.0, 1.0);
+  EXPECT_NEAR(100.0 * S.NoExplicitCheck / S.StdSampled, 58.0, 1.0);
+  EXPECT_EQ(S.improperTotal(), 19u);
+}
+
+TEST(RustHistory, ShapeMatchesFigure1) {
+  // Releases exist from 2012 through 2019; churn concentrates pre-2016.
+  const auto &H = rs::study::rustReleaseHistory();
+  ASSERT_FALSE(H.empty());
+  EXPECT_EQ(H.front().Version, "0.1");
+  EXPECT_EQ(H.front().Year, 2012u);
+  EXPECT_EQ(H.back().Version, "1.39");
+  EXPECT_EQ(H.back().Year, 2019u);
+
+  // Monotone non-decreasing code size.
+  for (size_t I = 1; I != H.size(); ++I)
+    EXPECT_GE(H[I].KLoc, H[I - 1].KLoc);
+  EXPECT_GE(H.back().KLoc, 700u);
+
+  // "Rust went through heavy changes in the first four years ... and it
+  // has been stable since Jan 2016 (v1.6.0)."
+  EXPECT_GT(rs::study::featureChangesBefore(2016),
+            3 * rs::study::featureChangesSince(2016));
+  // Every pre-2016 release churns more than any post-2016 release.
+  unsigned MaxPost = 0, MinPre = ~0u;
+  for (const auto &R : H) {
+    if (R.Year < 2016)
+      MinPre = std::min(MinPre, R.FeatureChanges);
+    else
+      MaxPost = std::max(MaxPost, R.FeatureChanges);
+  }
+  EXPECT_GT(MinPre, MaxPost);
+}
+
+TEST(RustHistory, ReleaseDatesAreOrdered) {
+  const auto &H = rs::study::rustReleaseHistory();
+  for (size_t I = 1; I != H.size(); ++I) {
+    unsigned Prev = H[I - 1].Year * 12 + H[I - 1].Month;
+    unsigned Cur = H[I].Year * 12 + H[I].Month;
+    EXPECT_GE(Cur, Prev) << H[I].Version;
+  }
+}

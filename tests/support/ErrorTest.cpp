@@ -1,0 +1,42 @@
+#include "support/Error.h"
+
+#include <gtest/gtest.h>
+
+using namespace rs;
+
+TEST(Error, MessageOnly) {
+  Error E("something failed");
+  EXPECT_EQ(E.toString(), "something failed");
+  EXPECT_FALSE(E.location().isValid());
+}
+
+TEST(Error, WithLocation) {
+  const std::string *File = internFileName("demo.mir");
+  Error E("bad token", SourceLocation(File, 3, 7));
+  EXPECT_EQ(E.toString(), "demo.mir:3:7: bad token");
+}
+
+TEST(Error, InternFileNameIsStable) {
+  EXPECT_EQ(internFileName("a.mir"), internFileName("a.mir"));
+  EXPECT_NE(internFileName("a.mir"), internFileName("b.mir"));
+}
+
+TEST(Result, Success) {
+  Result<int> R(7);
+  ASSERT_TRUE(R);
+  EXPECT_EQ(*R, 7);
+  EXPECT_EQ(R.take(), 7);
+}
+
+TEST(Result, Failure) {
+  Result<int> R(Error("nope"));
+  ASSERT_FALSE(R);
+  EXPECT_EQ(R.error().message(), "nope");
+}
+
+TEST(Result, MoveOnlyPayload) {
+  Result<std::unique_ptr<int>> R(std::make_unique<int>(5));
+  ASSERT_TRUE(R);
+  std::unique_ptr<int> P = R.take();
+  EXPECT_EQ(*P, 5);
+}

@@ -1,0 +1,54 @@
+#include "support/Json.h"
+
+#include <gtest/gtest.h>
+
+using namespace rs;
+
+TEST(Json, EmptyObject) {
+  JsonWriter W;
+  W.beginObject();
+  W.endObject();
+  EXPECT_EQ(W.str(), "{}");
+}
+
+TEST(Json, NestedStructure) {
+  JsonWriter W;
+  W.beginObject();
+  W.field("name", "uaf");
+  W.field("count", int64_t(4));
+  W.key("items");
+  W.beginArray();
+  W.value(1);
+  W.value(2);
+  W.beginObject();
+  W.field("ok", true);
+  W.endObject();
+  W.endArray();
+  W.endObject();
+  EXPECT_EQ(W.str(),
+            "{\"name\":\"uaf\",\"count\":4,\"items\":[1,2,{\"ok\":true}]}");
+}
+
+TEST(Json, EscapesStrings) {
+  JsonWriter W;
+  W.beginArray();
+  W.value("a\"b\\c\nd");
+  W.endArray();
+  EXPECT_EQ(W.str(), "[\"a\\\"b\\\\c\\nd\"]");
+}
+
+TEST(Json, NullAndNumbers) {
+  JsonWriter W;
+  W.beginArray();
+  W.nullValue();
+  W.value(int64_t(-7));
+  W.value(uint64_t(7));
+  W.endArray();
+  EXPECT_EQ(W.str(), "[null,-7,7]");
+}
+
+TEST(Json, TopLevelScalar) {
+  JsonWriter W;
+  W.value("hello");
+  EXPECT_EQ(W.str(), "\"hello\"");
+}

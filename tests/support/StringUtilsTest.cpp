@@ -1,0 +1,72 @@
+#include "support/StringUtils.h"
+
+#include <gtest/gtest.h>
+
+using namespace rs;
+
+TEST(StringUtils, StartsEndsWith) {
+  EXPECT_TRUE(startsWith("StorageLive", "Storage"));
+  EXPECT_FALSE(startsWith("Sto", "Storage"));
+  EXPECT_TRUE(startsWith("", ""));
+  EXPECT_TRUE(endsWith("foo.mir", ".mir"));
+  EXPECT_FALSE(endsWith(".mir", "foo.mir"));
+}
+
+TEST(StringUtils, Trim) {
+  EXPECT_EQ(trim("  x y \t\n"), "x y");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim(" \t "), "");
+  EXPECT_EQ(trim("abc"), "abc");
+}
+
+TEST(StringUtils, Split) {
+  auto Parts = split("a,b,,c", ',');
+  ASSERT_EQ(Parts.size(), 4u);
+  EXPECT_EQ(Parts[0], "a");
+  EXPECT_EQ(Parts[2], "");
+  EXPECT_EQ(Parts[3], "c");
+  EXPECT_EQ(split("", ',').size(), 1u);
+}
+
+TEST(StringUtils, SplitLines) {
+  auto Lines = splitLines("one\ntwo\r\nthree");
+  ASSERT_EQ(Lines.size(), 3u);
+  EXPECT_EQ(Lines[0], "one");
+  EXPECT_EQ(Lines[1], "two");
+  EXPECT_EQ(Lines[2], "three");
+  EXPECT_TRUE(splitLines("").empty());
+  // A trailing newline does not create a phantom empty line.
+  EXPECT_EQ(splitLines("a\n").size(), 1u);
+}
+
+TEST(StringUtils, Join) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ", "), "");
+  EXPECT_EQ(join({"solo"}, ", "), "solo");
+}
+
+TEST(StringUtils, Pad) {
+  EXPECT_EQ(padLeft("7", 3), "  7");
+  EXPECT_EQ(padRight("ab", 4), "ab  ");
+  EXPECT_EQ(padLeft("long", 2), "long");
+}
+
+TEST(StringUtils, FormatDouble) {
+  EXPECT_EQ(formatDouble(1.5, 2), "1.50");
+  EXPECT_EQ(formatDouble(-0.125, 3), "-0.125");
+}
+
+TEST(StringUtils, FormatPercent) {
+  EXPECT_EQ(formatPercent(0.42), "42%");
+  EXPECT_EQ(formatPercent(0.415), "42%");
+  EXPECT_EQ(formatPercent(1.0), "100%");
+  EXPECT_EQ(formatPercent(0.0), "0%");
+}
+
+TEST(StringUtils, CharClasses) {
+  EXPECT_TRUE(isIdentStart('_'));
+  EXPECT_TRUE(isIdentStart('A'));
+  EXPECT_FALSE(isIdentStart('3'));
+  EXPECT_TRUE(isIdentCont('3'));
+  EXPECT_FALSE(isIdentCont('-'));
+}

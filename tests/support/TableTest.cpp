@@ -1,0 +1,48 @@
+#include "support/Table.h"
+
+#include <gtest/gtest.h>
+
+using namespace rs;
+
+TEST(Table, RendersAlignedColumns) {
+  Table T("Demo");
+  T.setHeader({"Name", "Count"});
+  T.addRow({"alpha", "1"});
+  T.addRow({"b", "100"});
+  std::string Out = T.render();
+  EXPECT_EQ(Out, "Demo\n"
+                 "Name   Count\n"
+                 "------------\n"
+                 "alpha      1\n"
+                 "b        100\n");
+}
+
+TEST(Table, FirstColumnLeftAlignedOthersRight) {
+  Table T;
+  T.setHeader({"K", "V1", "V2"});
+  T.addRow({"row", "1", "2"});
+  std::string Out = T.render();
+  // Header line then separator then row.
+  EXPECT_NE(Out.find("K    V1  V2"), std::string::npos);
+  EXPECT_NE(Out.find("row   1   2"), std::string::npos);
+}
+
+TEST(Table, SeparatorAndShortRows) {
+  Table T;
+  T.setHeader({"A", "B"});
+  T.addRow({"x"});
+  T.addSeparator();
+  T.addRow({"y", "2"});
+  std::string Out = T.render();
+  EXPECT_EQ(T.numRows(), 3u);
+  // Two separators: one under the header, one explicit.
+  size_t First = Out.find("----");
+  ASSERT_NE(First, std::string::npos);
+  EXPECT_NE(Out.find("----", First + 1), std::string::npos);
+}
+
+TEST(Table, NoHeader) {
+  Table T;
+  T.addRow({"just", "data"});
+  EXPECT_EQ(T.render(), "just  data\n");
+}
