@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig1_rust_history"
+  "../bench/bench_fig1_rust_history.pdb"
+  "CMakeFiles/bench_fig1_rust_history.dir/bench_fig1_rust_history.cpp.o"
+  "CMakeFiles/bench_fig1_rust_history.dir/bench_fig1_rust_history.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_rust_history.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_sec4_encapsulation"
+  "../bench/bench_sec4_encapsulation.pdb"
+  "CMakeFiles/bench_sec4_encapsulation.dir/bench_sec4_encapsulation.cpp.o"
+  "CMakeFiles/bench_sec4_encapsulation.dir/bench_sec4_encapsulation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec4_encapsulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

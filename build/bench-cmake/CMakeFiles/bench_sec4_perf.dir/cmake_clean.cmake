@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_sec4_perf"
+  "../bench/bench_sec4_perf.pdb"
+  "CMakeFiles/bench_sec4_perf.dir/bench_sec4_perf.cpp.o"
+  "CMakeFiles/bench_sec4_perf.dir/bench_sec4_perf.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec4_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_sec4_unsafe_usage.cpp" "bench-cmake/CMakeFiles/bench_sec4_unsafe_usage.dir/bench_sec4_unsafe_usage.cpp.o" "gcc" "bench-cmake/CMakeFiles/bench_sec4_unsafe_usage.dir/bench_sec4_unsafe_usage.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/study/CMakeFiles/rs_study.dir/DependInfo.cmake"
+  "/root/repo/build/src/scanner/CMakeFiles/rs_scanner.dir/DependInfo.cmake"
+  "/root/repo/build/src/corpus/CMakeFiles/rs_corpus.dir/DependInfo.cmake"
+  "/root/repo/build/src/mir/CMakeFiles/rs_mir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/rs_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_sec4_unsafe_usage"
+  "../bench/bench_sec4_unsafe_usage.pdb"
+  "CMakeFiles/bench_sec4_unsafe_usage.dir/bench_sec4_unsafe_usage.cpp.o"
+  "CMakeFiles/bench_sec4_unsafe_usage.dir/bench_sec4_unsafe_usage.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec4_unsafe_usage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

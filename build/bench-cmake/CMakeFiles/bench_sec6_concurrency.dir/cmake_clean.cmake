@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_sec6_concurrency"
+  "../bench/bench_sec6_concurrency.pdb"
+  "CMakeFiles/bench_sec6_concurrency.dir/bench_sec6_concurrency.cpp.o"
+  "CMakeFiles/bench_sec6_concurrency.dir/bench_sec6_concurrency.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec6_concurrency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

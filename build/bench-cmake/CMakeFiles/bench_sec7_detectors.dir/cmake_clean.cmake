@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_sec7_detectors"
+  "../bench/bench_sec7_detectors.pdb"
+  "CMakeFiles/bench_sec7_detectors.dir/bench_sec7_detectors.cpp.o"
+  "CMakeFiles/bench_sec7_detectors.dir/bench_sec7_detectors.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec7_detectors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

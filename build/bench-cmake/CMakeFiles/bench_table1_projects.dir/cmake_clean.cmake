@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table1_projects"
+  "../bench/bench_table1_projects.pdb"
+  "CMakeFiles/bench_table1_projects.dir/bench_table1_projects.cpp.o"
+  "CMakeFiles/bench_table1_projects.dir/bench_table1_projects.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_projects.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table3_blocking_bugs"
+  "../bench/bench_table3_blocking_bugs.pdb"
+  "CMakeFiles/bench_table3_blocking_bugs.dir/bench_table3_blocking_bugs.cpp.o"
+  "CMakeFiles/bench_table3_blocking_bugs.dir/bench_table3_blocking_bugs.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_blocking_bugs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table4_data_sharing"
+  "../bench/bench_table4_data_sharing.pdb"
+  "CMakeFiles/bench_table4_data_sharing.dir/bench_table4_data_sharing.cpp.o"
+  "CMakeFiles/bench_table4_data_sharing.dir/bench_table4_data_sharing.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_data_sharing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/detect_bugs.dir/detect_bugs.cpp.o"
+  "CMakeFiles/detect_bugs.dir/detect_bugs.cpp.o.d"
+  "detect_bugs"
+  "detect_bugs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/detect_bugs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

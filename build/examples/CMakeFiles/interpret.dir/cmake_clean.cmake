@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interpret.dir/interpret.cpp.o"
+  "CMakeFiles/interpret.dir/interpret.cpp.o.d"
+  "interpret"
+  "interpret.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interpret.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

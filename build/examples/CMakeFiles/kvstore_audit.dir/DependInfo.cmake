@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/kvstore_audit.cpp" "examples/CMakeFiles/kvstore_audit.dir/kvstore_audit.cpp.o" "gcc" "examples/CMakeFiles/kvstore_audit.dir/kvstore_audit.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/detectors/CMakeFiles/rs_detectors.dir/DependInfo.cmake"
+  "/root/repo/build/src/interp/CMakeFiles/rs_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/rs_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/mir/CMakeFiles/rs_mir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/rs_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

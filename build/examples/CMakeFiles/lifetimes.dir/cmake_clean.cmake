@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lifetimes.dir/lifetimes.cpp.o"
+  "CMakeFiles/lifetimes.dir/lifetimes.cpp.o.d"
+  "lifetimes"
+  "lifetimes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lifetimes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

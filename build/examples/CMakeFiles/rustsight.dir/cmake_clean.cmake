@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rustsight.dir/rustsight.cpp.o"
+  "CMakeFiles/rustsight.dir/rustsight.cpp.o.d"
+  "rustsight"
+  "rustsight.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rustsight.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scan_unsafe.dir/scan_unsafe.cpp.o"
+  "CMakeFiles/scan_unsafe.dir/scan_unsafe.cpp.o.d"
+  "scan_unsafe"
+  "scan_unsafe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scan_unsafe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

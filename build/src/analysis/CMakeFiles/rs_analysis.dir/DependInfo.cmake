@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/CallGraph.cpp" "src/analysis/CMakeFiles/rs_analysis.dir/CallGraph.cpp.o" "gcc" "src/analysis/CMakeFiles/rs_analysis.dir/CallGraph.cpp.o.d"
+  "/root/repo/src/analysis/Cfg.cpp" "src/analysis/CMakeFiles/rs_analysis.dir/Cfg.cpp.o" "gcc" "src/analysis/CMakeFiles/rs_analysis.dir/Cfg.cpp.o.d"
+  "/root/repo/src/analysis/ConstantBranches.cpp" "src/analysis/CMakeFiles/rs_analysis.dir/ConstantBranches.cpp.o" "gcc" "src/analysis/CMakeFiles/rs_analysis.dir/ConstantBranches.cpp.o.d"
+  "/root/repo/src/analysis/Dataflow.cpp" "src/analysis/CMakeFiles/rs_analysis.dir/Dataflow.cpp.o" "gcc" "src/analysis/CMakeFiles/rs_analysis.dir/Dataflow.cpp.o.d"
+  "/root/repo/src/analysis/LifetimeReport.cpp" "src/analysis/CMakeFiles/rs_analysis.dir/LifetimeReport.cpp.o" "gcc" "src/analysis/CMakeFiles/rs_analysis.dir/LifetimeReport.cpp.o.d"
+  "/root/repo/src/analysis/LiveVariables.cpp" "src/analysis/CMakeFiles/rs_analysis.dir/LiveVariables.cpp.o" "gcc" "src/analysis/CMakeFiles/rs_analysis.dir/LiveVariables.cpp.o.d"
+  "/root/repo/src/analysis/Memory.cpp" "src/analysis/CMakeFiles/rs_analysis.dir/Memory.cpp.o" "gcc" "src/analysis/CMakeFiles/rs_analysis.dir/Memory.cpp.o.d"
+  "/root/repo/src/analysis/Objects.cpp" "src/analysis/CMakeFiles/rs_analysis.dir/Objects.cpp.o" "gcc" "src/analysis/CMakeFiles/rs_analysis.dir/Objects.cpp.o.d"
+  "/root/repo/src/analysis/Summaries.cpp" "src/analysis/CMakeFiles/rs_analysis.dir/Summaries.cpp.o" "gcc" "src/analysis/CMakeFiles/rs_analysis.dir/Summaries.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mir/CMakeFiles/rs_mir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/rs_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

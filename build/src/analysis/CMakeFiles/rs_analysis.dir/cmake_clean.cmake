@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rs_analysis.dir/CallGraph.cpp.o"
+  "CMakeFiles/rs_analysis.dir/CallGraph.cpp.o.d"
+  "CMakeFiles/rs_analysis.dir/Cfg.cpp.o"
+  "CMakeFiles/rs_analysis.dir/Cfg.cpp.o.d"
+  "CMakeFiles/rs_analysis.dir/ConstantBranches.cpp.o"
+  "CMakeFiles/rs_analysis.dir/ConstantBranches.cpp.o.d"
+  "CMakeFiles/rs_analysis.dir/Dataflow.cpp.o"
+  "CMakeFiles/rs_analysis.dir/Dataflow.cpp.o.d"
+  "CMakeFiles/rs_analysis.dir/LifetimeReport.cpp.o"
+  "CMakeFiles/rs_analysis.dir/LifetimeReport.cpp.o.d"
+  "CMakeFiles/rs_analysis.dir/LiveVariables.cpp.o"
+  "CMakeFiles/rs_analysis.dir/LiveVariables.cpp.o.d"
+  "CMakeFiles/rs_analysis.dir/Memory.cpp.o"
+  "CMakeFiles/rs_analysis.dir/Memory.cpp.o.d"
+  "CMakeFiles/rs_analysis.dir/Objects.cpp.o"
+  "CMakeFiles/rs_analysis.dir/Objects.cpp.o.d"
+  "CMakeFiles/rs_analysis.dir/Summaries.cpp.o"
+  "CMakeFiles/rs_analysis.dir/Summaries.cpp.o.d"
+  "librs_analysis.a"
+  "librs_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rs_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

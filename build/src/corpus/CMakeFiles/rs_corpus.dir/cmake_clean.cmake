@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rs_corpus.dir/MirCorpus.cpp.o"
+  "CMakeFiles/rs_corpus.dir/MirCorpus.cpp.o.d"
+  "CMakeFiles/rs_corpus.dir/RustCorpus.cpp.o"
+  "CMakeFiles/rs_corpus.dir/RustCorpus.cpp.o.d"
+  "librs_corpus.a"
+  "librs_corpus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rs_corpus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/detectors/DanglingReturn.cpp" "src/detectors/CMakeFiles/rs_detectors.dir/DanglingReturn.cpp.o" "gcc" "src/detectors/CMakeFiles/rs_detectors.dir/DanglingReturn.cpp.o.d"
+  "/root/repo/src/detectors/Detector.cpp" "src/detectors/CMakeFiles/rs_detectors.dir/Detector.cpp.o" "gcc" "src/detectors/CMakeFiles/rs_detectors.dir/Detector.cpp.o.d"
+  "/root/repo/src/detectors/Diagnostics.cpp" "src/detectors/CMakeFiles/rs_detectors.dir/Diagnostics.cpp.o" "gcc" "src/detectors/CMakeFiles/rs_detectors.dir/Diagnostics.cpp.o.d"
+  "/root/repo/src/detectors/DoubleLock.cpp" "src/detectors/CMakeFiles/rs_detectors.dir/DoubleLock.cpp.o" "gcc" "src/detectors/CMakeFiles/rs_detectors.dir/DoubleLock.cpp.o.d"
+  "/root/repo/src/detectors/InteriorMutability.cpp" "src/detectors/CMakeFiles/rs_detectors.dir/InteriorMutability.cpp.o" "gcc" "src/detectors/CMakeFiles/rs_detectors.dir/InteriorMutability.cpp.o.d"
+  "/root/repo/src/detectors/LockOrder.cpp" "src/detectors/CMakeFiles/rs_detectors.dir/LockOrder.cpp.o" "gcc" "src/detectors/CMakeFiles/rs_detectors.dir/LockOrder.cpp.o.d"
+  "/root/repo/src/detectors/MemorySafety.cpp" "src/detectors/CMakeFiles/rs_detectors.dir/MemorySafety.cpp.o" "gcc" "src/detectors/CMakeFiles/rs_detectors.dir/MemorySafety.cpp.o.d"
+  "/root/repo/src/detectors/MissingWakeup.cpp" "src/detectors/CMakeFiles/rs_detectors.dir/MissingWakeup.cpp.o" "gcc" "src/detectors/CMakeFiles/rs_detectors.dir/MissingWakeup.cpp.o.d"
+  "/root/repo/src/detectors/PlaceUses.cpp" "src/detectors/CMakeFiles/rs_detectors.dir/PlaceUses.cpp.o" "gcc" "src/detectors/CMakeFiles/rs_detectors.dir/PlaceUses.cpp.o.d"
+  "/root/repo/src/detectors/UnsafeScope.cpp" "src/detectors/CMakeFiles/rs_detectors.dir/UnsafeScope.cpp.o" "gcc" "src/detectors/CMakeFiles/rs_detectors.dir/UnsafeScope.cpp.o.d"
+  "/root/repo/src/detectors/UseAfterFree.cpp" "src/detectors/CMakeFiles/rs_detectors.dir/UseAfterFree.cpp.o" "gcc" "src/detectors/CMakeFiles/rs_detectors.dir/UseAfterFree.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/rs_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/mir/CMakeFiles/rs_mir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/rs_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

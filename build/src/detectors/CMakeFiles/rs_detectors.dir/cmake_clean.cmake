@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rs_detectors.dir/DanglingReturn.cpp.o"
+  "CMakeFiles/rs_detectors.dir/DanglingReturn.cpp.o.d"
+  "CMakeFiles/rs_detectors.dir/Detector.cpp.o"
+  "CMakeFiles/rs_detectors.dir/Detector.cpp.o.d"
+  "CMakeFiles/rs_detectors.dir/Diagnostics.cpp.o"
+  "CMakeFiles/rs_detectors.dir/Diagnostics.cpp.o.d"
+  "CMakeFiles/rs_detectors.dir/DoubleLock.cpp.o"
+  "CMakeFiles/rs_detectors.dir/DoubleLock.cpp.o.d"
+  "CMakeFiles/rs_detectors.dir/InteriorMutability.cpp.o"
+  "CMakeFiles/rs_detectors.dir/InteriorMutability.cpp.o.d"
+  "CMakeFiles/rs_detectors.dir/LockOrder.cpp.o"
+  "CMakeFiles/rs_detectors.dir/LockOrder.cpp.o.d"
+  "CMakeFiles/rs_detectors.dir/MemorySafety.cpp.o"
+  "CMakeFiles/rs_detectors.dir/MemorySafety.cpp.o.d"
+  "CMakeFiles/rs_detectors.dir/MissingWakeup.cpp.o"
+  "CMakeFiles/rs_detectors.dir/MissingWakeup.cpp.o.d"
+  "CMakeFiles/rs_detectors.dir/PlaceUses.cpp.o"
+  "CMakeFiles/rs_detectors.dir/PlaceUses.cpp.o.d"
+  "CMakeFiles/rs_detectors.dir/UnsafeScope.cpp.o"
+  "CMakeFiles/rs_detectors.dir/UnsafeScope.cpp.o.d"
+  "CMakeFiles/rs_detectors.dir/UseAfterFree.cpp.o"
+  "CMakeFiles/rs_detectors.dir/UseAfterFree.cpp.o.d"
+  "librs_detectors.a"
+  "librs_detectors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rs_detectors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rs_interp.dir/Interp.cpp.o"
+  "CMakeFiles/rs_interp.dir/Interp.cpp.o.d"
+  "librs_interp.a"
+  "librs_interp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rs_interp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mir/Builder.cpp" "src/mir/CMakeFiles/rs_mir.dir/Builder.cpp.o" "gcc" "src/mir/CMakeFiles/rs_mir.dir/Builder.cpp.o.d"
+  "/root/repo/src/mir/Intrinsics.cpp" "src/mir/CMakeFiles/rs_mir.dir/Intrinsics.cpp.o" "gcc" "src/mir/CMakeFiles/rs_mir.dir/Intrinsics.cpp.o.d"
+  "/root/repo/src/mir/Lexer.cpp" "src/mir/CMakeFiles/rs_mir.dir/Lexer.cpp.o" "gcc" "src/mir/CMakeFiles/rs_mir.dir/Lexer.cpp.o.d"
+  "/root/repo/src/mir/Mir.cpp" "src/mir/CMakeFiles/rs_mir.dir/Mir.cpp.o" "gcc" "src/mir/CMakeFiles/rs_mir.dir/Mir.cpp.o.d"
+  "/root/repo/src/mir/Parser.cpp" "src/mir/CMakeFiles/rs_mir.dir/Parser.cpp.o" "gcc" "src/mir/CMakeFiles/rs_mir.dir/Parser.cpp.o.d"
+  "/root/repo/src/mir/Transforms.cpp" "src/mir/CMakeFiles/rs_mir.dir/Transforms.cpp.o" "gcc" "src/mir/CMakeFiles/rs_mir.dir/Transforms.cpp.o.d"
+  "/root/repo/src/mir/Type.cpp" "src/mir/CMakeFiles/rs_mir.dir/Type.cpp.o" "gcc" "src/mir/CMakeFiles/rs_mir.dir/Type.cpp.o.d"
+  "/root/repo/src/mir/Verifier.cpp" "src/mir/CMakeFiles/rs_mir.dir/Verifier.cpp.o" "gcc" "src/mir/CMakeFiles/rs_mir.dir/Verifier.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/rs_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

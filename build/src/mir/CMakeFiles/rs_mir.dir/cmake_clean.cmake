@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rs_mir.dir/Builder.cpp.o"
+  "CMakeFiles/rs_mir.dir/Builder.cpp.o.d"
+  "CMakeFiles/rs_mir.dir/Intrinsics.cpp.o"
+  "CMakeFiles/rs_mir.dir/Intrinsics.cpp.o.d"
+  "CMakeFiles/rs_mir.dir/Lexer.cpp.o"
+  "CMakeFiles/rs_mir.dir/Lexer.cpp.o.d"
+  "CMakeFiles/rs_mir.dir/Mir.cpp.o"
+  "CMakeFiles/rs_mir.dir/Mir.cpp.o.d"
+  "CMakeFiles/rs_mir.dir/Parser.cpp.o"
+  "CMakeFiles/rs_mir.dir/Parser.cpp.o.d"
+  "CMakeFiles/rs_mir.dir/Transforms.cpp.o"
+  "CMakeFiles/rs_mir.dir/Transforms.cpp.o.d"
+  "CMakeFiles/rs_mir.dir/Type.cpp.o"
+  "CMakeFiles/rs_mir.dir/Type.cpp.o.d"
+  "CMakeFiles/rs_mir.dir/Verifier.cpp.o"
+  "CMakeFiles/rs_mir.dir/Verifier.cpp.o.d"
+  "librs_mir.a"
+  "librs_mir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rs_mir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rs_runtime.dir/Panic.cpp.o"
+  "CMakeFiles/rs_runtime.dir/Panic.cpp.o.d"
+  "librs_runtime.a"
+  "librs_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rs_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rs_scanner.dir/RustLexer.cpp.o"
+  "CMakeFiles/rs_scanner.dir/RustLexer.cpp.o.d"
+  "CMakeFiles/rs_scanner.dir/UnsafeScanner.cpp.o"
+  "CMakeFiles/rs_scanner.dir/UnsafeScanner.cpp.o.d"
+  "librs_scanner.a"
+  "librs_scanner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rs_scanner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

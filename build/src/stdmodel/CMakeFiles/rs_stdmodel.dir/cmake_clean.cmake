@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rs_stdmodel.dir/StdModels.cpp.o"
+  "CMakeFiles/rs_stdmodel.dir/StdModels.cpp.o.d"
+  "librs_stdmodel.a"
+  "librs_stdmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rs_stdmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/study/BugDatabase.cpp" "src/study/CMakeFiles/rs_study.dir/BugDatabase.cpp.o" "gcc" "src/study/CMakeFiles/rs_study.dir/BugDatabase.cpp.o.d"
+  "/root/repo/src/study/BugRecords.cpp" "src/study/CMakeFiles/rs_study.dir/BugRecords.cpp.o" "gcc" "src/study/CMakeFiles/rs_study.dir/BugRecords.cpp.o.d"
+  "/root/repo/src/study/Insights.cpp" "src/study/CMakeFiles/rs_study.dir/Insights.cpp.o" "gcc" "src/study/CMakeFiles/rs_study.dir/Insights.cpp.o.d"
+  "/root/repo/src/study/JsonExport.cpp" "src/study/CMakeFiles/rs_study.dir/JsonExport.cpp.o" "gcc" "src/study/CMakeFiles/rs_study.dir/JsonExport.cpp.o.d"
+  "/root/repo/src/study/Projects.cpp" "src/study/CMakeFiles/rs_study.dir/Projects.cpp.o" "gcc" "src/study/CMakeFiles/rs_study.dir/Projects.cpp.o.d"
+  "/root/repo/src/study/RustHistory.cpp" "src/study/CMakeFiles/rs_study.dir/RustHistory.cpp.o" "gcc" "src/study/CMakeFiles/rs_study.dir/RustHistory.cpp.o.d"
+  "/root/repo/src/study/Tables.cpp" "src/study/CMakeFiles/rs_study.dir/Tables.cpp.o" "gcc" "src/study/CMakeFiles/rs_study.dir/Tables.cpp.o.d"
+  "/root/repo/src/study/UnsafeStats.cpp" "src/study/CMakeFiles/rs_study.dir/UnsafeStats.cpp.o" "gcc" "src/study/CMakeFiles/rs_study.dir/UnsafeStats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/rs_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

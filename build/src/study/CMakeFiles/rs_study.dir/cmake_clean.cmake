@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rs_study.dir/BugDatabase.cpp.o"
+  "CMakeFiles/rs_study.dir/BugDatabase.cpp.o.d"
+  "CMakeFiles/rs_study.dir/BugRecords.cpp.o"
+  "CMakeFiles/rs_study.dir/BugRecords.cpp.o.d"
+  "CMakeFiles/rs_study.dir/Insights.cpp.o"
+  "CMakeFiles/rs_study.dir/Insights.cpp.o.d"
+  "CMakeFiles/rs_study.dir/JsonExport.cpp.o"
+  "CMakeFiles/rs_study.dir/JsonExport.cpp.o.d"
+  "CMakeFiles/rs_study.dir/Projects.cpp.o"
+  "CMakeFiles/rs_study.dir/Projects.cpp.o.d"
+  "CMakeFiles/rs_study.dir/RustHistory.cpp.o"
+  "CMakeFiles/rs_study.dir/RustHistory.cpp.o.d"
+  "CMakeFiles/rs_study.dir/Tables.cpp.o"
+  "CMakeFiles/rs_study.dir/Tables.cpp.o.d"
+  "CMakeFiles/rs_study.dir/UnsafeStats.cpp.o"
+  "CMakeFiles/rs_study.dir/UnsafeStats.cpp.o.d"
+  "librs_study.a"
+  "librs_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rs_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rs_support.dir/Json.cpp.o"
+  "CMakeFiles/rs_support.dir/Json.cpp.o.d"
+  "CMakeFiles/rs_support.dir/SourceLocation.cpp.o"
+  "CMakeFiles/rs_support.dir/SourceLocation.cpp.o.d"
+  "CMakeFiles/rs_support.dir/StringUtils.cpp.o"
+  "CMakeFiles/rs_support.dir/StringUtils.cpp.o.d"
+  "CMakeFiles/rs_support.dir/Table.cpp.o"
+  "CMakeFiles/rs_support.dir/Table.cpp.o.d"
+  "librs_support.a"
+  "librs_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rs_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/analysis/BitVecTest.cpp" "tests/CMakeFiles/analysis_test.dir/analysis/BitVecTest.cpp.o" "gcc" "tests/CMakeFiles/analysis_test.dir/analysis/BitVecTest.cpp.o.d"
+  "/root/repo/tests/analysis/CallGraphTest.cpp" "tests/CMakeFiles/analysis_test.dir/analysis/CallGraphTest.cpp.o" "gcc" "tests/CMakeFiles/analysis_test.dir/analysis/CallGraphTest.cpp.o.d"
+  "/root/repo/tests/analysis/CfgTest.cpp" "tests/CMakeFiles/analysis_test.dir/analysis/CfgTest.cpp.o" "gcc" "tests/CMakeFiles/analysis_test.dir/analysis/CfgTest.cpp.o.d"
+  "/root/repo/tests/analysis/ConstantBranchesTest.cpp" "tests/CMakeFiles/analysis_test.dir/analysis/ConstantBranchesTest.cpp.o" "gcc" "tests/CMakeFiles/analysis_test.dir/analysis/ConstantBranchesTest.cpp.o.d"
+  "/root/repo/tests/analysis/DataflowPropertyTest.cpp" "tests/CMakeFiles/analysis_test.dir/analysis/DataflowPropertyTest.cpp.o" "gcc" "tests/CMakeFiles/analysis_test.dir/analysis/DataflowPropertyTest.cpp.o.d"
+  "/root/repo/tests/analysis/LifetimeReportTest.cpp" "tests/CMakeFiles/analysis_test.dir/analysis/LifetimeReportTest.cpp.o" "gcc" "tests/CMakeFiles/analysis_test.dir/analysis/LifetimeReportTest.cpp.o.d"
+  "/root/repo/tests/analysis/LiveVariablesTest.cpp" "tests/CMakeFiles/analysis_test.dir/analysis/LiveVariablesTest.cpp.o" "gcc" "tests/CMakeFiles/analysis_test.dir/analysis/LiveVariablesTest.cpp.o.d"
+  "/root/repo/tests/analysis/MemoryTest.cpp" "tests/CMakeFiles/analysis_test.dir/analysis/MemoryTest.cpp.o" "gcc" "tests/CMakeFiles/analysis_test.dir/analysis/MemoryTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/rs_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/corpus/CMakeFiles/rs_corpus.dir/DependInfo.cmake"
+  "/root/repo/build/src/mir/CMakeFiles/rs_mir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/rs_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analysis_test.dir/analysis/BitVecTest.cpp.o"
+  "CMakeFiles/analysis_test.dir/analysis/BitVecTest.cpp.o.d"
+  "CMakeFiles/analysis_test.dir/analysis/CallGraphTest.cpp.o"
+  "CMakeFiles/analysis_test.dir/analysis/CallGraphTest.cpp.o.d"
+  "CMakeFiles/analysis_test.dir/analysis/CfgTest.cpp.o"
+  "CMakeFiles/analysis_test.dir/analysis/CfgTest.cpp.o.d"
+  "CMakeFiles/analysis_test.dir/analysis/ConstantBranchesTest.cpp.o"
+  "CMakeFiles/analysis_test.dir/analysis/ConstantBranchesTest.cpp.o.d"
+  "CMakeFiles/analysis_test.dir/analysis/DataflowPropertyTest.cpp.o"
+  "CMakeFiles/analysis_test.dir/analysis/DataflowPropertyTest.cpp.o.d"
+  "CMakeFiles/analysis_test.dir/analysis/LifetimeReportTest.cpp.o"
+  "CMakeFiles/analysis_test.dir/analysis/LifetimeReportTest.cpp.o.d"
+  "CMakeFiles/analysis_test.dir/analysis/LiveVariablesTest.cpp.o"
+  "CMakeFiles/analysis_test.dir/analysis/LiveVariablesTest.cpp.o.d"
+  "CMakeFiles/analysis_test.dir/analysis/MemoryTest.cpp.o"
+  "CMakeFiles/analysis_test.dir/analysis/MemoryTest.cpp.o.d"
+  "analysis_test"
+  "analysis_test.pdb"
+  "analysis_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analysis_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/corpus_test.dir/corpus/MirCorpusTest.cpp.o"
+  "CMakeFiles/corpus_test.dir/corpus/MirCorpusTest.cpp.o.d"
+  "CMakeFiles/corpus_test.dir/corpus/RustCorpusTest.cpp.o"
+  "CMakeFiles/corpus_test.dir/corpus/RustCorpusTest.cpp.o.d"
+  "corpus_test"
+  "corpus_test.pdb"
+  "corpus_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/corpus_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

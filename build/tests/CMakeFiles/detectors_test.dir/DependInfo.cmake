@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/detectors/DanglingReturnTest.cpp" "tests/CMakeFiles/detectors_test.dir/detectors/DanglingReturnTest.cpp.o" "gcc" "tests/CMakeFiles/detectors_test.dir/detectors/DanglingReturnTest.cpp.o.d"
+  "/root/repo/tests/detectors/DiagnosticsTest.cpp" "tests/CMakeFiles/detectors_test.dir/detectors/DiagnosticsTest.cpp.o" "gcc" "tests/CMakeFiles/detectors_test.dir/detectors/DiagnosticsTest.cpp.o.d"
+  "/root/repo/tests/detectors/DoubleLockTest.cpp" "tests/CMakeFiles/detectors_test.dir/detectors/DoubleLockTest.cpp.o" "gcc" "tests/CMakeFiles/detectors_test.dir/detectors/DoubleLockTest.cpp.o.d"
+  "/root/repo/tests/detectors/Figure5Test.cpp" "tests/CMakeFiles/detectors_test.dir/detectors/Figure5Test.cpp.o" "gcc" "tests/CMakeFiles/detectors_test.dir/detectors/Figure5Test.cpp.o.d"
+  "/root/repo/tests/detectors/InteriorMutabilityTest.cpp" "tests/CMakeFiles/detectors_test.dir/detectors/InteriorMutabilityTest.cpp.o" "gcc" "tests/CMakeFiles/detectors_test.dir/detectors/InteriorMutabilityTest.cpp.o.d"
+  "/root/repo/tests/detectors/LockOrderTest.cpp" "tests/CMakeFiles/detectors_test.dir/detectors/LockOrderTest.cpp.o" "gcc" "tests/CMakeFiles/detectors_test.dir/detectors/LockOrderTest.cpp.o.d"
+  "/root/repo/tests/detectors/MemorySafetyTest.cpp" "tests/CMakeFiles/detectors_test.dir/detectors/MemorySafetyTest.cpp.o" "gcc" "tests/CMakeFiles/detectors_test.dir/detectors/MemorySafetyTest.cpp.o.d"
+  "/root/repo/tests/detectors/MissingWakeupTest.cpp" "tests/CMakeFiles/detectors_test.dir/detectors/MissingWakeupTest.cpp.o" "gcc" "tests/CMakeFiles/detectors_test.dir/detectors/MissingWakeupTest.cpp.o.d"
+  "/root/repo/tests/detectors/PrecisionTest.cpp" "tests/CMakeFiles/detectors_test.dir/detectors/PrecisionTest.cpp.o" "gcc" "tests/CMakeFiles/detectors_test.dir/detectors/PrecisionTest.cpp.o.d"
+  "/root/repo/tests/detectors/RefCellTest.cpp" "tests/CMakeFiles/detectors_test.dir/detectors/RefCellTest.cpp.o" "gcc" "tests/CMakeFiles/detectors_test.dir/detectors/RefCellTest.cpp.o.d"
+  "/root/repo/tests/detectors/UnsafeScopeTest.cpp" "tests/CMakeFiles/detectors_test.dir/detectors/UnsafeScopeTest.cpp.o" "gcc" "tests/CMakeFiles/detectors_test.dir/detectors/UnsafeScopeTest.cpp.o.d"
+  "/root/repo/tests/detectors/UseAfterFreeTest.cpp" "tests/CMakeFiles/detectors_test.dir/detectors/UseAfterFreeTest.cpp.o" "gcc" "tests/CMakeFiles/detectors_test.dir/detectors/UseAfterFreeTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/detectors/CMakeFiles/rs_detectors.dir/DependInfo.cmake"
+  "/root/repo/build/src/interp/CMakeFiles/rs_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/rs_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/mir/CMakeFiles/rs_mir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/rs_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

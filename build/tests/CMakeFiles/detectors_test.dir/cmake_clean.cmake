@@ -1,0 +1,34 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/detectors_test.dir/detectors/DanglingReturnTest.cpp.o"
+  "CMakeFiles/detectors_test.dir/detectors/DanglingReturnTest.cpp.o.d"
+  "CMakeFiles/detectors_test.dir/detectors/DiagnosticsTest.cpp.o"
+  "CMakeFiles/detectors_test.dir/detectors/DiagnosticsTest.cpp.o.d"
+  "CMakeFiles/detectors_test.dir/detectors/DoubleLockTest.cpp.o"
+  "CMakeFiles/detectors_test.dir/detectors/DoubleLockTest.cpp.o.d"
+  "CMakeFiles/detectors_test.dir/detectors/Figure5Test.cpp.o"
+  "CMakeFiles/detectors_test.dir/detectors/Figure5Test.cpp.o.d"
+  "CMakeFiles/detectors_test.dir/detectors/InteriorMutabilityTest.cpp.o"
+  "CMakeFiles/detectors_test.dir/detectors/InteriorMutabilityTest.cpp.o.d"
+  "CMakeFiles/detectors_test.dir/detectors/LockOrderTest.cpp.o"
+  "CMakeFiles/detectors_test.dir/detectors/LockOrderTest.cpp.o.d"
+  "CMakeFiles/detectors_test.dir/detectors/MemorySafetyTest.cpp.o"
+  "CMakeFiles/detectors_test.dir/detectors/MemorySafetyTest.cpp.o.d"
+  "CMakeFiles/detectors_test.dir/detectors/MissingWakeupTest.cpp.o"
+  "CMakeFiles/detectors_test.dir/detectors/MissingWakeupTest.cpp.o.d"
+  "CMakeFiles/detectors_test.dir/detectors/PrecisionTest.cpp.o"
+  "CMakeFiles/detectors_test.dir/detectors/PrecisionTest.cpp.o.d"
+  "CMakeFiles/detectors_test.dir/detectors/RefCellTest.cpp.o"
+  "CMakeFiles/detectors_test.dir/detectors/RefCellTest.cpp.o.d"
+  "CMakeFiles/detectors_test.dir/detectors/UnsafeScopeTest.cpp.o"
+  "CMakeFiles/detectors_test.dir/detectors/UnsafeScopeTest.cpp.o.d"
+  "CMakeFiles/detectors_test.dir/detectors/UseAfterFreeTest.cpp.o"
+  "CMakeFiles/detectors_test.dir/detectors/UseAfterFreeTest.cpp.o.d"
+  "detectors_test"
+  "detectors_test.pdb"
+  "detectors_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/detectors_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

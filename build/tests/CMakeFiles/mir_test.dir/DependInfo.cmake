@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/mir/BuilderTest.cpp" "tests/CMakeFiles/mir_test.dir/mir/BuilderTest.cpp.o" "gcc" "tests/CMakeFiles/mir_test.dir/mir/BuilderTest.cpp.o.d"
+  "/root/repo/tests/mir/IntrinsicsTest.cpp" "tests/CMakeFiles/mir_test.dir/mir/IntrinsicsTest.cpp.o" "gcc" "tests/CMakeFiles/mir_test.dir/mir/IntrinsicsTest.cpp.o.d"
+  "/root/repo/tests/mir/LexerTest.cpp" "tests/CMakeFiles/mir_test.dir/mir/LexerTest.cpp.o" "gcc" "tests/CMakeFiles/mir_test.dir/mir/LexerTest.cpp.o.d"
+  "/root/repo/tests/mir/ParserTest.cpp" "tests/CMakeFiles/mir_test.dir/mir/ParserTest.cpp.o" "gcc" "tests/CMakeFiles/mir_test.dir/mir/ParserTest.cpp.o.d"
+  "/root/repo/tests/mir/PrinterTest.cpp" "tests/CMakeFiles/mir_test.dir/mir/PrinterTest.cpp.o" "gcc" "tests/CMakeFiles/mir_test.dir/mir/PrinterTest.cpp.o.d"
+  "/root/repo/tests/mir/TransformDetectorTest.cpp" "tests/CMakeFiles/mir_test.dir/mir/TransformDetectorTest.cpp.o" "gcc" "tests/CMakeFiles/mir_test.dir/mir/TransformDetectorTest.cpp.o.d"
+  "/root/repo/tests/mir/TransformsTest.cpp" "tests/CMakeFiles/mir_test.dir/mir/TransformsTest.cpp.o" "gcc" "tests/CMakeFiles/mir_test.dir/mir/TransformsTest.cpp.o.d"
+  "/root/repo/tests/mir/TypeTest.cpp" "tests/CMakeFiles/mir_test.dir/mir/TypeTest.cpp.o" "gcc" "tests/CMakeFiles/mir_test.dir/mir/TypeTest.cpp.o.d"
+  "/root/repo/tests/mir/VerifierTest.cpp" "tests/CMakeFiles/mir_test.dir/mir/VerifierTest.cpp.o" "gcc" "tests/CMakeFiles/mir_test.dir/mir/VerifierTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mir/CMakeFiles/rs_mir.dir/DependInfo.cmake"
+  "/root/repo/build/src/corpus/CMakeFiles/rs_corpus.dir/DependInfo.cmake"
+  "/root/repo/build/src/interp/CMakeFiles/rs_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/detectors/CMakeFiles/rs_detectors.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/rs_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/rs_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mir_test.dir/mir/BuilderTest.cpp.o"
+  "CMakeFiles/mir_test.dir/mir/BuilderTest.cpp.o.d"
+  "CMakeFiles/mir_test.dir/mir/IntrinsicsTest.cpp.o"
+  "CMakeFiles/mir_test.dir/mir/IntrinsicsTest.cpp.o.d"
+  "CMakeFiles/mir_test.dir/mir/LexerTest.cpp.o"
+  "CMakeFiles/mir_test.dir/mir/LexerTest.cpp.o.d"
+  "CMakeFiles/mir_test.dir/mir/ParserTest.cpp.o"
+  "CMakeFiles/mir_test.dir/mir/ParserTest.cpp.o.d"
+  "CMakeFiles/mir_test.dir/mir/PrinterTest.cpp.o"
+  "CMakeFiles/mir_test.dir/mir/PrinterTest.cpp.o.d"
+  "CMakeFiles/mir_test.dir/mir/TransformDetectorTest.cpp.o"
+  "CMakeFiles/mir_test.dir/mir/TransformDetectorTest.cpp.o.d"
+  "CMakeFiles/mir_test.dir/mir/TransformsTest.cpp.o"
+  "CMakeFiles/mir_test.dir/mir/TransformsTest.cpp.o.d"
+  "CMakeFiles/mir_test.dir/mir/TypeTest.cpp.o"
+  "CMakeFiles/mir_test.dir/mir/TypeTest.cpp.o.d"
+  "CMakeFiles/mir_test.dir/mir/VerifierTest.cpp.o"
+  "CMakeFiles/mir_test.dir/mir/VerifierTest.cpp.o.d"
+  "mir_test"
+  "mir_test.pdb"
+  "mir_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mir_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

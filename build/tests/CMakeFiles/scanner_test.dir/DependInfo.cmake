@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/scanner/RustLexerTest.cpp" "tests/CMakeFiles/scanner_test.dir/scanner/RustLexerTest.cpp.o" "gcc" "tests/CMakeFiles/scanner_test.dir/scanner/RustLexerTest.cpp.o.d"
+  "/root/repo/tests/scanner/UnsafeScannerTest.cpp" "tests/CMakeFiles/scanner_test.dir/scanner/UnsafeScannerTest.cpp.o" "gcc" "tests/CMakeFiles/scanner_test.dir/scanner/UnsafeScannerTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/scanner/CMakeFiles/rs_scanner.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/rs_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

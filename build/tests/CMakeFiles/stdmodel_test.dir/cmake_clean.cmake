@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stdmodel_test.dir/stdmodel/StdModelsTest.cpp.o"
+  "CMakeFiles/stdmodel_test.dir/stdmodel/StdModelsTest.cpp.o.d"
+  "stdmodel_test"
+  "stdmodel_test.pdb"
+  "stdmodel_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stdmodel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

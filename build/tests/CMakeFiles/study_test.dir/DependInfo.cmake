@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/study/BugDatabaseTest.cpp" "tests/CMakeFiles/study_test.dir/study/BugDatabaseTest.cpp.o" "gcc" "tests/CMakeFiles/study_test.dir/study/BugDatabaseTest.cpp.o.d"
+  "/root/repo/tests/study/InsightsTest.cpp" "tests/CMakeFiles/study_test.dir/study/InsightsTest.cpp.o" "gcc" "tests/CMakeFiles/study_test.dir/study/InsightsTest.cpp.o.d"
+  "/root/repo/tests/study/JsonExportTest.cpp" "tests/CMakeFiles/study_test.dir/study/JsonExportTest.cpp.o" "gcc" "tests/CMakeFiles/study_test.dir/study/JsonExportTest.cpp.o.d"
+  "/root/repo/tests/study/UnsafeStatsTest.cpp" "tests/CMakeFiles/study_test.dir/study/UnsafeStatsTest.cpp.o" "gcc" "tests/CMakeFiles/study_test.dir/study/UnsafeStatsTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/study/CMakeFiles/rs_study.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/rs_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/study_test.dir/study/BugDatabaseTest.cpp.o"
+  "CMakeFiles/study_test.dir/study/BugDatabaseTest.cpp.o.d"
+  "CMakeFiles/study_test.dir/study/InsightsTest.cpp.o"
+  "CMakeFiles/study_test.dir/study/InsightsTest.cpp.o.d"
+  "CMakeFiles/study_test.dir/study/JsonExportTest.cpp.o"
+  "CMakeFiles/study_test.dir/study/JsonExportTest.cpp.o.d"
+  "CMakeFiles/study_test.dir/study/UnsafeStatsTest.cpp.o"
+  "CMakeFiles/study_test.dir/study/UnsafeStatsTest.cpp.o.d"
+  "study_test"
+  "study_test.pdb"
+  "study_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/study_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
