@@ -8,10 +8,16 @@
 //   rustsight print  <file.mir ...>   parse and pretty-print (format check)
 //   rustsight scan   <path ...>       unsafe-usage statistics for Rust code
 //
+// check runs through the resilient AnalysisEngine: malformed or
+// budget-busting files are quarantined with a per-file status instead of
+// aborting the batch. Exit codes for check (docs/RESILIENCE.md): 0 analyzed
+// clean, 1 findings reported, 2 nothing analyzable (or --strict violation).
+//
 //===----------------------------------------------------------------------===//
 
 #include "analysis/LifetimeReport.h"
 #include "detectors/Detectors.h"
+#include "engine/Engine.h"
 #include "interp/Interp.h"
 #include "mir/Parser.h"
 #include "mir/Verifier.h"
@@ -19,6 +25,7 @@
 #include "support/StringUtils.h"
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <optional>
@@ -58,23 +65,21 @@ std::optional<Module> parseFile(const std::string &Path) {
   return R.take();
 }
 
-int cmdCheck(const std::vector<std::string> &Files, bool Json) {
-  int Status = 0;
-  for (const std::string &File : Files) {
-    auto M = parseFile(File);
-    if (!M)
-      return 2;
-    detectors::DiagnosticEngine Diags;
-    detectors::runAllDetectors(*M, Diags);
-    if (Json) {
-      std::printf("%s\n", Diags.renderJson().c_str());
-    } else {
-      std::printf("== %s: %zu issue(s) ==\n", File.c_str(), Diags.count());
-      std::printf("%s", Diags.renderText().c_str());
-    }
-    Status |= Diags.count() != 0;
-  }
-  return Status;
+/// Options for the resilient check pipeline, parsed from the command line.
+struct CheckOptions {
+  engine::EngineOptions Engine;
+  bool Json = false;
+  bool Strict = false;
+};
+
+int cmdCheck(const std::vector<std::string> &Files, const CheckOptions &Opts) {
+  engine::AnalysisEngine E(Opts.Engine);
+  engine::CorpusReport Report = E.run(Files);
+  if (Opts.Json)
+    std::printf("%s\n", Report.renderJson().c_str());
+  else
+    std::printf("%s", Report.renderText().c_str());
+  return Report.exitCode(Opts.Strict);
 }
 
 int cmdRun(const std::vector<std::string> &Files) {
@@ -90,7 +95,12 @@ int cmdRun(const std::vector<std::string> &Files) {
       if (R.Ok)
         std::printf("  %-24s ok (%llu steps)\n", F->Name.c_str(),
                     static_cast<unsigned long long>(R.Steps));
-      else {
+      else if (interp::isResourceLimitTrap(R.Error->Kind)) {
+        // A budget ran out — the run is inconclusive, not a finding.
+        std::printf("  %-24s LIMIT: %s\n", F->Name.c_str(),
+                    R.Error->toString().c_str());
+        Status = 1;
+      } else {
         std::printf("  %-24s TRAP: %s\n", F->Name.c_str(),
                     R.Error->toString().c_str());
         Status = 1;
@@ -143,14 +153,45 @@ int cmdScan(const std::vector<std::string> &Paths) {
 }
 
 int usage() {
-  std::fprintf(stderr,
-               "usage: rustsight <command> [options] <inputs...>\n"
-               "  check [--json] <file.mir...>  run the static detectors\n"
-               "  run <file.mir...>             interpret dynamically\n"
-               "  lifetimes <file.mir...>       lifetime/lock report\n"
-               "  print <file.mir...>           parse and pretty-print\n"
-               "  scan <dir-or-.rs...>          unsafe-usage statistics\n");
+  std::fprintf(
+      stderr,
+      "usage: rustsight <command> [options] <inputs...>\n"
+      "  check [options] <file.mir...>  run the static detectors\n"
+      "    --json                 machine-readable per-file report\n"
+      "    --keep-going           continue past bad files (the default)\n"
+      "    --strict               exit 2 on any skipped/degraded file\n"
+      "    --budget-ms <N>        per-file wall-clock analysis budget\n"
+      "    --max-dataflow-iters <N>  per-function fixpoint update cap\n"
+      "  run <file.mir...>             interpret dynamically\n"
+      "  lifetimes <file.mir...>       lifetime/lock report\n"
+      "  print <file.mir...>           parse and pretty-print\n"
+      "  scan <dir-or-.rs...>          unsafe-usage statistics\n");
   return 2;
+}
+
+/// Parses "--flag N" / "--flag=N" style numeric options; advances \p I past
+/// a consumed separate value argument.
+bool parseNumericFlag(int argc, char **argv, int &I, const char *Flag,
+                      uint64_t &Out, bool &Bad) {
+  size_t FlagLen = std::strlen(Flag);
+  if (std::strncmp(argv[I], Flag, FlagLen) != 0)
+    return false;
+  const char *Val = nullptr;
+  if (argv[I][FlagLen] == '=') {
+    Val = argv[I] + FlagLen + 1;
+  } else if (argv[I][FlagLen] == '\0') {
+    if (I + 1 >= argc) {
+      Bad = true;
+      return true;
+    }
+    Val = argv[++I];
+  } else {
+    return false;
+  }
+  char *End = nullptr;
+  Out = std::strtoull(Val, &End, 10);
+  Bad = End == Val || *End != '\0';
+  return true;
 }
 
 } // namespace
@@ -159,19 +200,30 @@ int main(int argc, char **argv) {
   if (argc < 3)
     return usage();
   std::string Cmd = argv[1];
-  bool Json = false;
+  CheckOptions Check;
   std::vector<std::string> Inputs;
   for (int I = 2; I < argc; ++I) {
+    bool Bad = false;
     if (std::strcmp(argv[I], "--json") == 0)
-      Json = true;
-    else
+      Check.Json = true;
+    else if (std::strcmp(argv[I], "--strict") == 0)
+      Check.Strict = true;
+    else if (std::strcmp(argv[I], "--keep-going") == 0)
+      ; // The engine always keeps going; --strict is the opt-out.
+    else if (parseNumericFlag(argc, argv, I, "--budget-ms",
+                              Check.Engine.BudgetMs, Bad) ||
+             parseNumericFlag(argc, argv, I, "--max-dataflow-iters",
+                              Check.Engine.MaxDataflowIters, Bad)) {
+      if (Bad)
+        return usage();
+    } else
       Inputs.emplace_back(argv[I]);
   }
   if (Inputs.empty())
     return usage();
 
   if (Cmd == "check")
-    return cmdCheck(Inputs, Json);
+    return cmdCheck(Inputs, Check);
   if (Cmd == "run")
     return cmdRun(Inputs);
   if (Cmd == "lifetimes")

@@ -10,7 +10,8 @@ using namespace rs::mir;
 // ForwardDataflow
 //===----------------------------------------------------------------------===//
 
-ForwardDataflow::ForwardDataflow(const Cfg &G, const ForwardTransfer &Transfer)
+ForwardDataflow::ForwardDataflow(const Cfg &G, const ForwardTransfer &Transfer,
+                                 Budget *Bgt)
     : G(G), Transfer(Transfer) {
   unsigned N = G.numBlocks();
   BitVec Initial = Transfer.initialState();
@@ -28,6 +29,10 @@ ForwardDataflow::ForwardDataflow(const Cfg &G, const ForwardTransfer &Transfer)
   while (Changed) {
     Changed = false;
     for (BlockId B : G.reversePostOrder()) {
+      if (Bgt && !Bgt->consume()) {
+        Converged = false;
+        return;
+      }
       if (B != 0) {
         BitVec NewIn(Initial.size());
         bool First = true;
@@ -77,7 +82,8 @@ BitVec ForwardDataflow::stateOnEdge(BlockId B, BlockId Succ) const {
 //===----------------------------------------------------------------------===//
 
 BackwardDataflow::BackwardDataflow(const Cfg &G,
-                                   const BackwardTransfer &Transfer)
+                                   const BackwardTransfer &Transfer,
+                                   Budget *Bgt)
     : G(G), Transfer(Transfer) {
   unsigned N = G.numBlocks();
   BitVec Exit = Transfer.exitState();
@@ -105,6 +111,10 @@ BackwardDataflow::BackwardDataflow(const Cfg &G,
     const std::vector<BlockId> &Rpo = G.reversePostOrder();
     for (size_t RI = Rpo.size(); RI != 0; --RI) {
       BlockId B = Rpo[RI - 1];
+      if (Bgt && !Bgt->consume()) {
+        Converged = false;
+        return;
+      }
       const std::vector<BlockId> &Succs = G.successors(B);
       BitVec NewOut(Exit.size());
       if (Succs.empty()) {

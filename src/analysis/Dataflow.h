@@ -21,6 +21,7 @@
 
 #include "analysis/Cfg.h"
 #include "support/BitVec.h"
+#include "support/Budget.h"
 
 #include <vector>
 
@@ -49,9 +50,18 @@ public:
 
 /// Solves a forward dataflow problem to fixpoint and answers per-point
 /// queries by replaying transfers within a block.
+///
+/// With a Budget, each block update consumes one step; when the budget runs
+/// out the solver stops where it is and converged() reports false. The
+/// partial solution is still safe to query (states only under-approximate
+/// the fixpoint), which is the engine's "degraded" analysis mode.
 class ForwardDataflow {
 public:
-  ForwardDataflow(const Cfg &G, const ForwardTransfer &Transfer);
+  ForwardDataflow(const Cfg &G, const ForwardTransfer &Transfer,
+                  Budget *Bgt = nullptr);
+
+  /// False when a budget stopped iteration before the fixpoint.
+  bool converged() const { return Converged; }
 
   /// State at the start of block \p B. Unreachable blocks report an empty
   /// state.
@@ -70,6 +80,7 @@ private:
   const Cfg &G;
   const ForwardTransfer &Transfer;
   std::vector<BitVec> In;
+  bool Converged = true;
 };
 
 /// Transfer functions for a backward dataflow problem (e.g. live variables).
@@ -92,10 +103,16 @@ public:
                                   BitVec &State) const = 0;
 };
 
-/// Solves a backward dataflow problem to fixpoint.
+/// Solves a backward dataflow problem to fixpoint. Budget semantics match
+/// ForwardDataflow: each block update is one step, and exhaustion leaves a
+/// safe under-approximation with converged() == false.
 class BackwardDataflow {
 public:
-  BackwardDataflow(const Cfg &G, const BackwardTransfer &Transfer);
+  BackwardDataflow(const Cfg &G, const BackwardTransfer &Transfer,
+                   Budget *Bgt = nullptr);
+
+  /// False when a budget stopped iteration before the fixpoint.
+  bool converged() const { return Converged; }
 
   /// State at the end of block \p B (before its terminator's effect was
   /// applied it is stateAfter(B, Statements.size())).
@@ -110,6 +127,7 @@ private:
   const Cfg &G;
   const BackwardTransfer &Transfer;
   std::vector<BitVec> Out; ///< Meet over successors, before terminator effect.
+  bool Converged = true;
 };
 
 } // namespace rs::analysis

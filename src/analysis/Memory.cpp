@@ -9,7 +9,7 @@ using namespace rs::analysis;
 using namespace rs::mir;
 
 MemoryAnalysis::MemoryAnalysis(const Cfg &G, const Module &M,
-                               const SummaryMap *Summaries)
+                               const SummaryMap *Summaries, Budget *Bgt)
     : G(G), M(M), Objects(G.function()), Summaries(Summaries),
       NumLocals(G.function().numLocals()), NumObjects(Objects.numObjects()) {
   DeadBase = static_cast<size_t>(NumLocals) * NumObjects;
@@ -20,7 +20,7 @@ MemoryAnalysis::MemoryAnalysis(const Cfg &G, const Module &M,
   for (BlockId B = 0; B != G.numBlocks(); ++B)
     TermBlock[&G.function().Blocks[B].Term] = B;
   computeGuardLocals();
-  DF = std::make_unique<ForwardDataflow>(G, *this);
+  DF = std::make_unique<ForwardDataflow>(G, *this, Bgt);
 }
 
 BlockId MemoryAnalysis::blockOfTerminator(const Terminator &T) const {

@@ -42,9 +42,14 @@ class MemoryAnalysis : public ForwardTransfer {
 public:
   /// Analyzes \p G's function. \p M supplies struct/Drop declarations;
   /// \p Summaries (optional) enables interprocedural effects at calls to
-  /// module-defined functions.
+  /// module-defined functions. \p Bgt (optional) bounds the fixpoint
+  /// iteration; when it runs out the analysis is usable but degraded
+  /// (dataflowConverged() == false, states under-approximate).
   MemoryAnalysis(const Cfg &G, const mir::Module &M,
-                 const SummaryMap *Summaries = nullptr);
+                 const SummaryMap *Summaries = nullptr, Budget *Bgt = nullptr);
+
+  /// False when a budget stopped the fixpoint early (degraded results).
+  bool dataflowConverged() const { return DF->converged(); }
 
   const Cfg &cfg() const { return G; }
   const mir::Module &module() const { return M; }

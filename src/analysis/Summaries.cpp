@@ -12,9 +12,10 @@ namespace {
 /// Computes one function's summary given the current (possibly incomplete)
 /// summaries of its callees.
 FunctionSummary summarizeFunction(const Function &F, const Module &M,
-                                  const SummaryMap &Current) {
+                                  const SummaryMap &Current,
+                                  rs::Budget *Bgt) {
   Cfg G(F, /*PruneConstantBranches=*/true);
-  MemoryAnalysis MA(G, M, &Current);
+  MemoryAnalysis MA(G, M, &Current, Bgt);
   const ObjectTable &Objects = MA.objects();
   FunctionSummary S(F.NumArgs);
 
@@ -101,8 +102,10 @@ bool mergeSummary(FunctionSummary &Acc, const FunctionSummary &New) {
 
 } // namespace
 
-SummaryMap rs::analysis::computeSummaries(const Module &M,
-                                          unsigned MaxRounds) {
+SummaryMap rs::analysis::computeSummaries(const Module &M, unsigned MaxRounds,
+                                          Budget *Bgt, bool *Complete) {
+  if (Complete)
+    *Complete = true;
   SummaryMap Map;
   for (const auto &F : M.functions())
     Map.emplace(F->Name, FunctionSummary(F->NumArgs));
@@ -110,7 +113,12 @@ SummaryMap rs::analysis::computeSummaries(const Module &M,
   for (unsigned Round = 0; Round != MaxRounds; ++Round) {
     bool Changed = false;
     for (const auto &F : M.functions()) {
-      FunctionSummary New = summarizeFunction(*F, M, Map);
+      if (Bgt && !Bgt->consume()) {
+        if (Complete)
+          *Complete = false;
+        return Map;
+      }
+      FunctionSummary New = summarizeFunction(*F, M, Map, Bgt);
       Changed |= mergeSummary(Map[F->Name], New);
     }
     if (!Changed)

@@ -17,6 +17,7 @@
 #define RUSTSIGHT_ANALYSIS_SUMMARIES_H
 
 #include "mir/Mir.h"
+#include "support/Budget.h"
 
 #include <cstdint>
 #include <map>
@@ -63,7 +64,14 @@ using SummaryMap = std::map<std::string, FunctionSummary>;
 /// Computes summaries for every function in \p M, iterating to fixpoint so
 /// effects propagate through call chains (bounded at \p MaxRounds to stay
 /// total in the presence of recursion).
-SummaryMap computeSummaries(const mir::Module &M, unsigned MaxRounds = 8);
+///
+/// \p Bgt (optional) bounds the work: each per-function summarization is one
+/// budget step, and when the budget runs out the rounds stop where they are.
+/// The partial map under-approximates interprocedural effects — the engine's
+/// "per-function-only" degradation rung. \p Complete (optional) is set to
+/// false when the budget truncated the computation.
+SummaryMap computeSummaries(const mir::Module &M, unsigned MaxRounds = 8,
+                            Budget *Bgt = nullptr, bool *Complete = nullptr);
 
 } // namespace rs::analysis
 

@@ -6,8 +6,11 @@ using namespace rs::analysis;
 using namespace rs::detectors;
 using namespace rs::mir;
 
-AnalysisContext::AnalysisContext(const Module &M)
-    : M(M), Summaries(computeSummaries(M)), CG(M) {}
+AnalysisContext::AnalysisContext(const Module &M, const AnalysisLimits &Limits)
+    : M(M), Limits(Limits),
+      Summaries(computeSummaries(M, Limits.MaxSummaryRounds,
+                                 Limits.ContextBudget, &SummariesOk)),
+      CG(M) {}
 
 AnalysisContext::PerFunction &AnalysisContext::entry(const Function &F) {
   PerFunction &E = Cache[&F];
@@ -20,9 +23,32 @@ const Cfg &AnalysisContext::cfg(const Function &F) { return *entry(F).G; }
 
 const MemoryAnalysis &AnalysisContext::memory(const Function &F) {
   PerFunction &E = entry(F);
-  if (!E.MA)
-    E.MA = std::make_unique<MemoryAnalysis>(*E.G, M, &Summaries);
+  if (!E.MA) {
+    Budget *Bgt = nullptr;
+    if (Limits.MaxDataflowSteps != 0 || Limits.ContextBudget) {
+      E.DfBudget = std::make_unique<Budget>(Budget::steps(
+          Limits.MaxDataflowSteps));
+      E.DfBudget->setParent(Limits.ContextBudget);
+      Bgt = E.DfBudget.get();
+    }
+    E.MA = std::make_unique<MemoryAnalysis>(*E.G, M, &Summaries, Bgt);
+  }
   return *E.MA;
+}
+
+bool AnalysisContext::memoryDegraded(const Function &F) const {
+  auto It = Cache.find(&F);
+  return It != Cache.end() && It->second.MA &&
+         !It->second.MA->dataflowConverged();
+}
+
+bool AnalysisContext::anyDegraded() const {
+  if (!SummariesOk)
+    return true;
+  for (const auto &KV : Cache)
+    if (KV.second.MA && !KV.second.MA->dataflowConverged())
+      return true;
+  return false;
 }
 
 std::vector<std::unique_ptr<Detector>> rs::detectors::makeAllDetectors() {

@@ -19,6 +19,7 @@
 #include "analysis/Memory.h"
 #include "analysis/Summaries.h"
 #include "detectors/Diagnostics.h"
+#include "support/Budget.h"
 
 #include <map>
 #include <memory>
@@ -27,11 +28,30 @@
 
 namespace rs::detectors {
 
+/// Resource limits for one AnalysisContext, threaded into every analysis it
+/// runs. All zero/null means unlimited (the historical behavior).
+struct AnalysisLimits {
+  /// Shared budget for the whole context (typically one file). Analyses
+  /// drain it cooperatively; when it is exhausted they degrade instead of
+  /// running on. Not owned; may be null.
+  Budget *ContextBudget = nullptr;
+
+  /// Per-function cap on dataflow block updates (0 = unlimited). Bounds one
+  /// pathological CFG without starving the rest of the module.
+  uint64_t MaxDataflowSteps = 0;
+
+  /// Fixpoint rounds for interprocedural summaries.
+  unsigned MaxSummaryRounds = 8;
+};
+
 /// Caches the module-level and per-function analyses detectors share, so a
 /// battery of detectors pays for each analysis once.
 class AnalysisContext {
 public:
-  explicit AnalysisContext(const mir::Module &M);
+  explicit AnalysisContext(const mir::Module &M)
+      : AnalysisContext(M, AnalysisLimits()) {}
+
+  AnalysisContext(const mir::Module &M, const AnalysisLimits &Limits);
 
   const mir::Module &module() const { return M; }
   const analysis::SummaryMap &summaries() const { return Summaries; }
@@ -40,16 +60,38 @@ public:
   /// The (cached) CFG of \p F.
   const analysis::Cfg &cfg(const mir::Function &F);
 
-  /// The (cached) memory analysis of \p F, computed with summaries.
+  /// The (cached) memory analysis of \p F, computed with summaries. Under a
+  /// budget the result may be degraded; see memoryDegraded().
   const analysis::MemoryAnalysis &memory(const mir::Function &F);
+
+  // --- Degradation ladder introspection -----------------------------------
+
+  /// False when the budget truncated summary computation: detectors still
+  /// run, but with per-function-only interprocedural knowledge.
+  bool summariesComplete() const { return SummariesOk; }
+
+  /// True when \p F's memory analysis hit its budget before the fixpoint
+  /// (only meaningful after memory(F) has been requested).
+  bool memoryDegraded(const mir::Function &F) const;
+
+  /// True when anything computed so far was budget-degraded.
+  bool anyDegraded() const;
+
+  /// The shared context budget (null when unlimited).
+  const Budget *contextBudget() const { return Limits.ContextBudget; }
 
 private:
   struct PerFunction {
     std::unique_ptr<analysis::Cfg> G;
     std::unique_ptr<analysis::MemoryAnalysis> MA;
+    /// Per-function dataflow budget, chained to the context budget; kept
+    /// alive here so its exhaustion state stays inspectable.
+    std::unique_ptr<Budget> DfBudget;
   };
 
   const mir::Module &M;
+  AnalysisLimits Limits;
+  bool SummariesOk = true;
   analysis::SummaryMap Summaries;
   analysis::CallGraph CG;
   std::map<const mir::Function *, PerFunction> Cache;

@@ -1,0 +1,358 @@
+#include "engine/Engine.h"
+
+#include "mir/Parser.h"
+#include "mir/Verifier.h"
+#include "support/FaultInjection.h"
+#include "support/Json.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+using namespace rs;
+using namespace rs::engine;
+
+const char *rs::engine::engineStatusName(EngineStatus S) {
+  switch (S) {
+  case EngineStatus::Ok:
+    return "ok";
+  case EngineStatus::Degraded:
+    return "degraded";
+  case EngineStatus::Skipped:
+    return "skipped";
+  }
+  return "?";
+}
+
+AnalysisEngine::AnalysisEngine(EngineOptions Opts) : Opts(Opts) {}
+
+//===----------------------------------------------------------------------===//
+// Per-file pipeline
+//===----------------------------------------------------------------------===//
+
+void AnalysisEngine::runDetectors(const mir::Module &M, FileReport &R) {
+  Budget FileBudget;
+  bool HasFileBudget = Opts.BudgetMs != 0 || Opts.MaxFileSteps != 0;
+  if (Opts.BudgetMs != 0)
+    FileBudget.setDeadline(Opts.BudgetMs);
+  if (Opts.MaxFileSteps != 0)
+    FileBudget.setMaxSteps(Opts.MaxFileSteps);
+
+  detectors::AnalysisLimits Limits;
+  Limits.ContextBudget = HasFileBudget ? &FileBudget : nullptr;
+  Limits.MaxDataflowSteps = Opts.MaxDataflowIters;
+  Limits.MaxSummaryRounds = Opts.MaxSummaryRounds;
+  detectors::AnalysisContext Ctx(M, Limits);
+
+  detectors::DiagnosticEngine FileDiags;
+  bool AnyQuarantined = false;
+  bool AnyBudgetSkip = false;
+
+  std::vector<std::unique_ptr<detectors::Detector>> Detectors =
+      Factory ? Factory() : detectors::makeAllDetectors();
+  for (const auto &D : Detectors) {
+    DetectorOutcome O;
+    O.Name = D->name();
+    if (HasFileBudget && FileBudget.exhausted()) {
+      // Bottom rung of the degradation ladder: no budget left, so the
+      // detector is skipped with a note rather than run to a hang.
+      O.Status = EngineStatus::Skipped;
+      O.Note = std::string(FileBudget.reason()) + "; skipped before run";
+      AnyBudgetSkip = true;
+      R.Detectors.push_back(std::move(O));
+      continue;
+    }
+    detectors::DiagnosticEngine DetDiags;
+    try {
+      if (fault::shouldFail("engine.detector"))
+        throw std::runtime_error("injected fault at probe engine.detector");
+      D->run(Ctx, DetDiags);
+      O.Findings = DetDiags.count();
+      for (const detectors::Diagnostic &Diag : DetDiags.diagnostics())
+        FileDiags.report(Diag);
+      if (Ctx.anyDegraded()) {
+        O.Status = EngineStatus::Degraded;
+        O.Note = Ctx.summariesComplete()
+                     ? "analysis budget exhausted; findings may be incomplete"
+                     : "interprocedural summaries truncated; per-function "
+                       "results only";
+      }
+    } catch (const std::exception &E) {
+      // The containment boundary: a buggy (or fault-injected) detector is
+      // quarantined — its partial findings are dropped so the report never
+      // mixes trustworthy and half-computed results — and the battery
+      // continues.
+      O.Status = EngineStatus::Skipped;
+      O.Note = std::string("quarantined: ") + E.what();
+      O.Findings = 0;
+      AnyQuarantined = true;
+    } catch (...) {
+      O.Status = EngineStatus::Skipped;
+      O.Note = "quarantined: unknown fault";
+      O.Findings = 0;
+      AnyQuarantined = true;
+    }
+    R.Detectors.push_back(std::move(O));
+  }
+
+  R.Findings = FileDiags.diagnostics();
+
+  // Fold the stage outcomes into the file status.
+  std::vector<std::string> Reasons;
+  if (!R.ParseErrors.empty())
+    Reasons.push_back(std::to_string(R.ItemsDropped) +
+                      " malformed item(s) dropped by parser recovery");
+  if (Ctx.anyDegraded())
+    Reasons.push_back("analysis budget exhausted; precision degraded");
+  if (AnyBudgetSkip)
+    Reasons.push_back("budget exhausted: detector(s) skipped");
+  if (AnyQuarantined)
+    Reasons.push_back("detector fault(s) quarantined");
+
+  bool AnyDetectorRan = Detectors.empty();
+  for (const DetectorOutcome &O : R.Detectors)
+    AnyDetectorRan |= O.Status != EngineStatus::Skipped;
+
+  std::string Joined;
+  for (const std::string &Reason : Reasons)
+    Joined += (Joined.empty() ? "" : "; ") + Reason;
+
+  if (!AnyDetectorRan) {
+    R.Status = EngineStatus::Skipped;
+    R.Reason = Joined.empty() ? "all detectors skipped" : Joined;
+  } else if (!Reasons.empty()) {
+    R.Status = EngineStatus::Degraded;
+    R.Reason = Joined;
+  } else {
+    R.Status = EngineStatus::Ok;
+  }
+}
+
+FileReport AnalysisEngine::analyzeSource(std::string_view Source,
+                                         std::string Name) {
+  FileReport R;
+  R.Path = std::move(Name);
+  try {
+    if (fault::shouldFail("engine.parse"))
+      throw std::runtime_error("injected fault at probe engine.parse");
+    mir::ModuleParse P = mir::Parser::parseRecover(Source, R.Path);
+    for (const Error &E : P.Errors)
+      R.ParseErrors.push_back(E.toString());
+    R.ItemsDropped = P.ItemsDropped;
+    if (!P.Errors.empty() && P.M.functions().empty() &&
+        P.M.structs().empty() && P.M.statics().empty()) {
+      R.Status = EngineStatus::Skipped;
+      R.Reason = "no parseable items: " + R.ParseErrors.front();
+      return R;
+    }
+
+    if (fault::shouldFail("engine.verify"))
+      throw std::runtime_error("injected fault at probe engine.verify");
+    std::vector<std::string> VErr;
+    if (!mir::verifyModule(P.M, VErr)) {
+      R.VerifierErrors = std::move(VErr);
+      R.Status = EngineStatus::Skipped;
+      R.Reason = "verifier rejected module: " + R.VerifierErrors.front();
+      return R;
+    }
+
+    runDetectors(P.M, R);
+  } catch (const std::exception &E) {
+    R.Status = EngineStatus::Skipped;
+    R.Reason = std::string("engine fault contained: ") + E.what();
+    R.Detectors.clear();
+    R.Findings.clear();
+  } catch (...) {
+    R.Status = EngineStatus::Skipped;
+    R.Reason = "engine fault contained: unknown exception";
+    R.Detectors.clear();
+    R.Findings.clear();
+  }
+  return R;
+}
+
+FileReport AnalysisEngine::analyzeFile(const std::string &Path) {
+  std::error_code Ec;
+  if (std::filesystem::is_directory(Path, Ec)) {
+    // An ifstream on a directory reads as empty on some platforms, which
+    // would masquerade as a clean empty module.
+    FileReport R;
+    R.Path = Path;
+    R.Status = EngineStatus::Skipped;
+    R.Reason = "is a directory";
+    return R;
+  }
+  std::ifstream In(Path);
+  if (!In) {
+    FileReport R;
+    R.Path = Path;
+    R.Status = EngineStatus::Skipped;
+    R.Reason = "cannot open file";
+    return R;
+  }
+  std::ostringstream Buf;
+  Buf << In.rdbuf();
+  return analyzeSource(Buf.str(), Path);
+}
+
+CorpusReport AnalysisEngine::run(const std::vector<std::string> &Paths) {
+  namespace fs = std::filesystem;
+  CorpusReport Report;
+  Report.Files.reserve(Paths.size());
+  for (const std::string &Path : Paths) {
+    std::error_code Ec;
+    if (!fs::is_directory(Path, Ec)) {
+      Report.Files.push_back(analyzeFile(Path));
+      continue;
+    }
+    // Directories expand to their .mir files, recursively, in sorted order
+    // so reports are deterministic across filesystems.
+    std::vector<std::string> Found;
+    for (const auto &Entry : fs::recursive_directory_iterator(
+             Path, fs::directory_options::skip_permission_denied, Ec)) {
+      std::error_code FileEc;
+      if (Entry.is_regular_file(FileEc) && Entry.path().extension() == ".mir")
+        Found.push_back(Entry.path().string());
+    }
+    std::sort(Found.begin(), Found.end());
+    if (Found.empty()) {
+      FileReport R;
+      R.Path = Path;
+      R.Status = EngineStatus::Skipped;
+      R.Reason = "no .mir files in directory";
+      Report.Files.push_back(std::move(R));
+      continue;
+    }
+    for (const std::string &F : Found)
+      Report.Files.push_back(analyzeFile(F));
+  }
+  return Report;
+}
+
+//===----------------------------------------------------------------------===//
+// CorpusReport
+//===----------------------------------------------------------------------===//
+
+size_t CorpusReport::countWithStatus(EngineStatus S) const {
+  size_t N = 0;
+  for (const FileReport &F : Files)
+    N += F.Status == S;
+  return N;
+}
+
+size_t CorpusReport::totalFindings() const {
+  size_t N = 0;
+  for (const FileReport &F : Files)
+    N += F.Findings.size();
+  return N;
+}
+
+std::string CorpusReport::renderText() const {
+  std::string Out;
+  for (const FileReport &F : Files) {
+    Out += "== " + F.Path + ": " + engineStatusName(F.Status) + ", " +
+           std::to_string(F.Findings.size()) + " finding(s)";
+    if (!F.Reason.empty())
+      Out += " (" + F.Reason + ")";
+    Out += " ==\n";
+    for (const std::string &E : F.ParseErrors)
+      Out += "  recovered parse error: " + E + "\n";
+    for (const std::string &E : F.VerifierErrors)
+      Out += "  verifier: " + E + "\n";
+    for (const DetectorOutcome &D : F.Detectors)
+      if (D.Status != EngineStatus::Ok)
+        Out += "  [" + D.Name + "] " + engineStatusName(D.Status) + ": " +
+               D.Note + "\n";
+    for (const detectors::Diagnostic &Diag : F.Findings)
+      Out += Diag.toString() + "\n";
+  }
+  return Out;
+}
+
+std::string CorpusReport::renderJson() const {
+  JsonWriter W;
+  W.beginObject();
+  W.key("files");
+  W.beginArray();
+  for (const FileReport &F : Files) {
+    W.beginObject();
+    W.field("path", F.Path);
+    W.field("status", engineStatusName(F.Status));
+    if (!F.Reason.empty())
+      W.field("reason", F.Reason);
+    if (!F.ParseErrors.empty()) {
+      W.key("parse_errors");
+      W.beginArray();
+      for (const std::string &E : F.ParseErrors)
+        W.value(E);
+      W.endArray();
+    }
+    if (!F.VerifierErrors.empty()) {
+      W.key("verifier_errors");
+      W.beginArray();
+      for (const std::string &E : F.VerifierErrors)
+        W.value(E);
+      W.endArray();
+    }
+    if (F.ItemsDropped != 0)
+      W.field("items_dropped", static_cast<int64_t>(F.ItemsDropped));
+    W.key("detectors");
+    W.beginArray();
+    for (const DetectorOutcome &D : F.Detectors) {
+      W.beginObject();
+      W.field("name", D.Name);
+      W.field("status", engineStatusName(D.Status));
+      if (!D.Note.empty())
+        W.field("note", D.Note);
+      W.field("findings", static_cast<int64_t>(D.Findings));
+      W.endObject();
+    }
+    W.endArray();
+    // The per-finding fields mirror DiagnosticEngine::renderJson so report
+    // consumers parse one schema.
+    W.key("findings");
+    W.beginArray();
+    for (const detectors::Diagnostic &D : F.Findings) {
+      W.beginObject();
+      W.field("kind", detectors::bugKindName(D.Kind));
+      W.field("function", D.Function);
+      W.field("block", static_cast<int64_t>(D.Block));
+      W.field("statement", static_cast<int64_t>(D.StmtIndex));
+      W.field("message", D.Message);
+      if (D.Loc.isValid())
+        W.field("location", D.Loc.toString());
+      W.endObject();
+    }
+    W.endArray();
+    W.endObject();
+  }
+  W.endArray();
+  W.key("summary");
+  W.beginObject();
+  W.field("files", static_cast<int64_t>(Files.size()));
+  W.field("ok", static_cast<int64_t>(countWithStatus(EngineStatus::Ok)));
+  W.field("degraded",
+          static_cast<int64_t>(countWithStatus(EngineStatus::Degraded)));
+  W.field("skipped",
+          static_cast<int64_t>(countWithStatus(EngineStatus::Skipped)));
+  W.field("findings", static_cast<int64_t>(totalFindings()));
+  W.endObject();
+  W.endObject();
+  return W.str();
+}
+
+int CorpusReport::exitCode(bool Strict) const {
+  bool AnyAnalyzed = false;
+  bool AnyImperfect = false;
+  for (const FileReport &F : Files) {
+    AnyAnalyzed |= F.analyzed();
+    AnyImperfect |= F.Status != EngineStatus::Ok;
+  }
+  if (Files.empty() || !AnyAnalyzed)
+    return 2;
+  if (Strict && AnyImperfect)
+    return 2;
+  return totalFindings() == 0 ? 0 : 1;
+}

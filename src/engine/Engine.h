@@ -1,0 +1,138 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of RustSight, a reproduction of "Understanding Memory and Thread
+// Safety Practices and Issues in Real-World Rust Programs" (PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The resilient corpus analysis engine: wraps parse -> verify -> detect for
+/// whole corpora the way the paper ran its detectors over Servo, TiKV,
+/// Parity and the CVE sets — one bad input must cost one status entry, not
+/// the run. Three mechanisms (see docs/RESILIENCE.md):
+///
+///  - Fault isolation: every per-file and per-detector stage runs inside a
+///    containment boundary. A parse error, verifier rejection, or detector
+///    fault (a thrown exception, including injected ones) quarantines that
+///    unit with a structured EngineStatus and the run continues.
+///
+///  - Resource budgets: a per-file Budget (wall-clock and/or steps) plus a
+///    per-function dataflow cap are threaded through summaries and
+///    MemoryAnalysis. Exhaustion degrades along the ladder: full analysis
+///    -> per-function-only summaries -> detector skipped-with-note. Never a
+///    hang.
+///
+///  - Observability: the CorpusReport carries per-file and per-detector
+///    statuses, reasons, and every surviving finding, rendered as text or
+///    JSON with a documented exit-code contract.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RUSTSIGHT_ENGINE_ENGINE_H
+#define RUSTSIGHT_ENGINE_ENGINE_H
+
+#include "detectors/Detector.h"
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rs::engine {
+
+/// How far a unit (file or detector) got through the pipeline.
+enum class EngineStatus {
+  Ok,       ///< Completed fully.
+  Degraded, ///< Completed, but recovery or budget exhaustion lost precision.
+  Skipped,  ///< Quarantined; no (trustworthy) results for this unit.
+};
+
+/// Short stable identifier ("ok" / "degraded" / "skipped").
+const char *engineStatusName(EngineStatus S);
+
+/// One detector's outcome on one file.
+struct DetectorOutcome {
+  std::string Name;
+  EngineStatus Status = EngineStatus::Ok;
+  std::string Note; ///< Why it degraded or was skipped ("" when Ok).
+  size_t Findings = 0;
+};
+
+/// One file's outcome.
+struct FileReport {
+  std::string Path;
+  EngineStatus Status = EngineStatus::Skipped;
+  std::string Reason; ///< Why the file degraded or was skipped ("" when Ok).
+  std::vector<std::string> ParseErrors;    ///< Recovered parse diagnostics.
+  std::vector<std::string> VerifierErrors; ///< Structural rejections.
+  unsigned ItemsDropped = 0; ///< Items lost to parser resynchronization.
+  std::vector<DetectorOutcome> Detectors;
+  std::vector<detectors::Diagnostic> Findings; ///< Sorted, deduplicated.
+
+  bool analyzed() const { return Status != EngineStatus::Skipped; }
+};
+
+/// The whole corpus run.
+struct CorpusReport {
+  std::vector<FileReport> Files;
+
+  size_t countWithStatus(EngineStatus S) const;
+  size_t totalFindings() const;
+
+  /// One status line per file plus its findings and detector notes.
+  std::string renderText() const;
+
+  /// {"files": [...], "summary": {...}} — see docs/RESILIENCE.md.
+  std::string renderJson() const;
+
+  /// The exit-code contract: 0 = at least one file analyzed, no findings;
+  /// 1 = findings reported; 2 = no file produced results (or, under
+  /// \p Strict, any file was skipped/degraded or any recovery happened).
+  int exitCode(bool Strict = false) const;
+};
+
+/// Engine configuration. Zeros mean unlimited (the fail-fast pipeline's
+/// historical behavior, minus the fail-fast).
+struct EngineOptions {
+  uint64_t BudgetMs = 0;         ///< Per-file wall-clock budget.
+  uint64_t MaxFileSteps = 0;     ///< Per-file analysis step budget.
+  uint64_t MaxDataflowIters = 0; ///< Per-function dataflow update cap.
+  unsigned MaxSummaryRounds = 8; ///< Interprocedural summary rounds.
+};
+
+/// Runs the detector battery over files/sources with fault isolation and
+/// budgets. Fault-injection probe sites: "engine.parse", "engine.verify",
+/// "engine.detector" (one probe per detector per file).
+class AnalysisEngine {
+public:
+  using DetectorFactory =
+      std::function<std::vector<std::unique_ptr<detectors::Detector>>()>;
+
+  explicit AnalysisEngine(EngineOptions Opts = EngineOptions());
+
+  /// Replaces the built-in detector battery (tests inject faulty
+  /// detectors through this).
+  void setDetectorFactory(DetectorFactory F) { Factory = std::move(F); }
+
+  /// Analyzes one in-memory buffer.
+  FileReport analyzeSource(std::string_view Source, std::string Name);
+
+  /// Reads and analyzes one file; unreadable files are Skipped.
+  FileReport analyzeFile(const std::string &Path);
+
+  /// Analyzes every path, never aborting the batch. Directories expand to
+  /// their .mir files (recursively, in sorted order); a directory with no
+  /// .mir files yields one Skipped entry.
+  CorpusReport run(const std::vector<std::string> &Paths);
+
+private:
+  void runDetectors(const mir::Module &M, FileReport &R);
+
+  EngineOptions Opts;
+  DetectorFactory Factory;
+};
+
+} // namespace rs::engine
+
+#endif // RUSTSIGHT_ENGINE_ENGINE_H

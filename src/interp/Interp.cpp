@@ -110,6 +110,10 @@ const char *rs::interp::trapKindName(TrapKind K) {
   return "?";
 }
 
+bool rs::interp::isResourceLimitTrap(TrapKind K) {
+  return K == TrapKind::StepLimit || K == TrapKind::StackOverflow;
+}
+
 std::string Trap::toString() const {
   return Function + ":bb" + std::to_string(Block) + "[" +
          std::to_string(StmtIndex) + "]: " + trapKindName(Kind) + ": " +
@@ -205,7 +209,9 @@ public:
 
   bool step() {
     if (++Steps > Opts.StepLimit)
-      return trap(TrapKind::StepLimit, "execution step limit exceeded");
+      return trap(TrapKind::StepLimit,
+                  "execution step limit (" + std::to_string(Opts.StepLimit) +
+                      ") exceeded; result is inconclusive, not a bug");
     return true;
   }
 
@@ -760,7 +766,9 @@ public:
 bool Interpreter::Impl::callFunction(const Function &Fn,
                                      std::vector<Value> Args, Value &Ret) {
   if (CallDepth >= Opts.MaxCallDepth)
-    return trap(TrapKind::StackOverflow, "call depth limit exceeded");
+    return trap(TrapKind::StackOverflow,
+                "call depth limit (" + std::to_string(Opts.MaxCallDepth) +
+                    ") exceeded; result is inconclusive, not a bug");
   if (Args.size() != Fn.NumArgs)
     return trap(TrapKind::TypeMismatch,
                 "call to '" + Fn.Name + "' with wrong argument count");

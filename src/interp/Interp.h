@@ -154,7 +154,12 @@ public:
 // Errors and results
 //===----------------------------------------------------------------------===//
 
-/// Dynamic safety violations the interpreter traps on.
+/// Dynamic safety violations the interpreter traps on, plus the two
+/// resource-limit exhaustions. The limit kinds are distinct from the bug
+/// kinds on purpose: hitting Options::StepLimit or Options::MaxCallDepth
+/// means the *analysis* ran out of budget, not that the program is unsafe,
+/// and corpus drivers must report them as "inconclusive", never as findings
+/// (see docs/RESILIENCE.md). Use isResourceLimitTrap() to classify.
 enum class TrapKind {
   UseAfterFree,
   UseAfterScope,
@@ -166,13 +171,17 @@ enum class TrapKind {
   IndexOutOfBounds, ///< The buffer-overflow panic of Rust's runtime checks.
   InvalidPointer,
   AssertFailed,
-  StepLimit,
-  StackOverflow,
+  StepLimit,      ///< Options::StepLimit exhausted — a budget, not a bug.
+  StackOverflow,  ///< Options::MaxCallDepth exhausted — a budget, not a bug.
   UnknownFunction,
   TypeMismatch,
 };
 
 const char *trapKindName(TrapKind K);
+
+/// True for the traps that signal resource-budget exhaustion (StepLimit,
+/// StackOverflow) rather than a detected safety violation.
+bool isResourceLimitTrap(TrapKind K);
 
 /// One trapped violation, anchored where execution stopped.
 struct Trap {
@@ -205,7 +214,9 @@ struct ExecResult {
 class Interpreter {
 public:
   struct Options {
+    /// Execution budget; exhaustion traps with TrapKind::StepLimit.
     uint64_t StepLimit = 1000000;
+    /// Call-stack budget; exhaustion traps with TrapKind::StackOverflow.
     unsigned MaxCallDepth = 128;
     bool RunSpawnedThreads = true;
   };

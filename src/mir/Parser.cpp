@@ -110,6 +110,40 @@ Result<Module> Parser::parseModule() {
   return std::move(M);
 }
 
+ModuleParse Parser::parseModuleRecover() {
+  ModuleParse Out;
+  while (!Tok.is(TokKind::Eof)) {
+    if (parseItem())
+      continue;
+    Out.Errors.push_back(*Err);
+    ++Out.ItemsDropped;
+    Err.reset();
+    CurFn = nullptr;
+    recoverToItemBoundary();
+  }
+  Out.M = std::move(M);
+  return Out;
+}
+
+void Parser::recoverToItemBoundary() {
+  // Depth is relative to the error point; an item keyword only counts as a
+  // boundary once we have closed at least as many braces as we opened, i.e.
+  // we are no deeper than where the malformed item began.
+  int Depth = 0;
+  while (!Tok.is(TokKind::Eof)) {
+    if (Tok.is(TokKind::LBrace)) {
+      ++Depth;
+    } else if (Tok.is(TokKind::RBrace)) {
+      --Depth;
+    } else if (Depth <= 0 &&
+               (atIdent("fn") || atIdent("struct") || atIdent("static") ||
+                atIdent("unsafe"))) {
+      return;
+    }
+    bump();
+  }
+}
+
 bool Parser::parseItem() {
   if (atIdent("struct"))
     return parseStruct();

@@ -56,6 +56,18 @@
 
 namespace rs::mir {
 
+/// The result of a recovering parse: whatever items parsed cleanly, plus one
+/// diagnostic per malformed region that was skipped.
+struct ModuleParse {
+  Module M;
+  /// One error per recovery (the first problem in each malformed item).
+  std::vector<Error> Errors;
+  /// Items abandoned by resynchronization.
+  unsigned ItemsDropped = 0;
+
+  bool ok() const { return Errors.empty(); }
+};
+
 /// Parses one RustLite MIR buffer into a Module.
 class Parser {
 public:
@@ -64,10 +76,23 @@ public:
   /// Parses the whole buffer. On failure returns the first error.
   Result<Module> parseModule();
 
+  /// Parses the whole buffer with error recovery: a malformed item records
+  /// one diagnostic, the parser resynchronizes at the next top-level item
+  /// boundary ('fn' / 'struct' / 'static' / 'unsafe' once braces balance),
+  /// and parsing continues. One malformed function costs one diagnostic,
+  /// not the module.
+  ModuleParse parseModuleRecover();
+
   /// Convenience entry point.
   static Result<Module> parse(std::string_view Buffer,
                               std::string_view FileName = "<mir>") {
     return Parser(Buffer, FileName).parseModule();
+  }
+
+  /// Convenience recovering entry point.
+  static ModuleParse parseRecover(std::string_view Buffer,
+                                  std::string_view FileName = "<mir>") {
+    return Parser(Buffer, FileName).parseModuleRecover();
   }
 
 private:
@@ -81,6 +106,11 @@ private:
   // Failure handling: fail() records the first error and returns false.
   bool fail(const std::string &Message);
   bool failed() const { return Err.has_value(); }
+
+  /// Skips tokens until the next plausible top-level item start: an item
+  /// keyword once at least as many braces have closed as opened since the
+  /// error point (so keywords inside a body being skipped don't fool it).
+  void recoverToItemBoundary();
 
   // Item parsers (operate on the member module M).
   bool parseItem();

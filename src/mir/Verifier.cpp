@@ -1,6 +1,7 @@
 #include "mir/Verifier.h"
 
 using namespace rs::mir;
+using rs::SourceLocation;
 
 namespace {
 
@@ -14,8 +15,13 @@ public:
   bool run();
 
 private:
+  /// Prefixes every error with the most precise location available — the
+  /// offending statement/terminator's, else the function's — so corpus-mode
+  /// reports point at the line, not just the function.
   void report(const std::string &Message) {
-    Errors.push_back("function '" + F.Name + "': " + Message);
+    SourceLocation Loc = CurLoc.isValid() ? CurLoc : F.Loc;
+    std::string Prefix = Loc.isValid() ? Loc.toString() + ": " : std::string();
+    Errors.push_back(Prefix + "function '" + F.Name + "': " + Message);
   }
 
   void checkLocal(LocalId L, const char *Context) {
@@ -48,6 +54,7 @@ private:
   const Function &F;
   const Module *M;
   std::vector<std::string> &Errors;
+  SourceLocation CurLoc; ///< Location of the statement/terminator in check.
 };
 
 } // namespace
@@ -163,9 +170,13 @@ bool FunctionVerifier::run() {
   if (F.Blocks.empty())
     report("function has no basic blocks");
   for (const BasicBlock &BB : F.Blocks) {
-    for (const Statement &S : BB.Statements)
+    for (const Statement &S : BB.Statements) {
+      CurLoc = S.Loc;
       checkStatement(S);
+    }
+    CurLoc = BB.Term.Loc;
     checkTerminator(BB.Term);
+    CurLoc = SourceLocation();
   }
   return Errors.size() == Before;
 }

@@ -1,0 +1,131 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of RustSight, a reproduction of "Understanding Memory and Thread
+// Safety Practices and Issues in Real-World Rust Programs" (PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Cooperative resource budgets for corpus-scale analysis. A Budget carries
+/// an optional step allowance and an optional wall-clock deadline; long
+/// loops (dataflow fixpoints, summary rounds) call consume() once per unit
+/// of work and bail out gracefully when it returns false. Budgets chain:
+/// a child budget (e.g. a per-function dataflow cap) also drains its parent
+/// (the per-file budget), so exhausting either stops the work.
+///
+/// Deadlines are checked only every ClockCheckInterval steps to keep the
+/// hot path cheap; step budgets are exact and deterministic, which is what
+/// the tests use.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RUSTSIGHT_SUPPORT_BUDGET_H
+#define RUSTSIGHT_SUPPORT_BUDGET_H
+
+#include <chrono>
+#include <cstdint>
+
+namespace rs {
+
+/// A cooperative resource budget. Default-constructed budgets are unlimited;
+/// consume() then always succeeds (aside from parent exhaustion).
+class Budget {
+public:
+  enum class Exhaustion {
+    None,     ///< Budget still has headroom.
+    Steps,    ///< The step allowance ran out.
+    Deadline, ///< The wall-clock deadline passed.
+    Parent,   ///< A chained parent budget was exhausted.
+  };
+
+  /// A passed deadline is noticed at most this many steps late (part of the
+  /// contract: exhaustion latency is bounded).
+  static constexpr uint64_t ClockCheckInterval = 64;
+
+  Budget() = default;
+
+  /// A budget limited to \p MaxSteps units of work (0 = unlimited).
+  static Budget steps(uint64_t MaxSteps) {
+    Budget B;
+    B.MaxSteps = MaxSteps;
+    return B;
+  }
+
+  /// A budget whose deadline is \p Ms milliseconds from now (0 = none).
+  static Budget deadline(uint64_t Ms) {
+    Budget B;
+    B.setDeadline(Ms);
+    return B;
+  }
+
+  void setMaxSteps(uint64_t N) { MaxSteps = N; }
+
+  /// Arms a wall-clock deadline \p Ms milliseconds from now. 0 disarms.
+  void setDeadline(uint64_t Ms) {
+    HasDeadline = Ms != 0;
+    if (HasDeadline)
+      DeadlineTp =
+          std::chrono::steady_clock::now() + std::chrono::milliseconds(Ms);
+  }
+
+  /// Chains this budget to \p P: every consume() here also drains P, and P
+  /// running dry exhausts this budget too.
+  void setParent(Budget *P) { Parent = P; }
+
+  /// Spends \p N units of work. Returns false once the budget is exhausted
+  /// (and stays false; exhaustion is sticky).
+  bool consume(uint64_t N = 1) {
+    if (Kind != Exhaustion::None)
+      return false;
+    Steps += N;
+    if (MaxSteps != 0 && Steps > MaxSteps) {
+      Kind = Exhaustion::Steps;
+      return false;
+    }
+    if (HasDeadline && Steps >= NextClockCheck) {
+      NextClockCheck = Steps + ClockCheckInterval;
+      if (std::chrono::steady_clock::now() >= DeadlineTp) {
+        Kind = Exhaustion::Deadline;
+        return false;
+      }
+    }
+    if (Parent && !Parent->consume(N)) {
+      Kind = Exhaustion::Parent;
+      return false;
+    }
+    return true;
+  }
+
+  bool exhausted() const { return Kind != Exhaustion::None; }
+  Exhaustion exhaustion() const { return Kind; }
+  uint64_t stepsUsed() const { return Steps; }
+
+  /// Human-readable exhaustion cause for status notes ("" when not
+  /// exhausted). Chained exhaustion reports the root cause.
+  const char *reason() const {
+    switch (Kind) {
+    case Exhaustion::None:
+      return "";
+    case Exhaustion::Steps:
+      return "step budget exhausted";
+    case Exhaustion::Deadline:
+      return "deadline exceeded";
+    case Exhaustion::Parent:
+      return Parent ? Parent->reason() : "parent budget exhausted";
+    }
+    return "";
+  }
+
+private:
+  uint64_t MaxSteps = 0;
+  uint64_t Steps = 0;
+  uint64_t NextClockCheck = 0;
+  bool HasDeadline = false;
+  std::chrono::steady_clock::time_point DeadlineTp{};
+  Budget *Parent = nullptr;
+  Exhaustion Kind = Exhaustion::None;
+};
+
+} // namespace rs
+
+#endif // RUSTSIGHT_SUPPORT_BUDGET_H

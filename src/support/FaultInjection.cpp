@@ -1,0 +1,51 @@
+#include "support/FaultInjection.h"
+
+#include <map>
+
+using namespace rs;
+
+namespace {
+
+struct SiteState {
+  uint64_t FailOnNth = 0; ///< 1-based first failing hit.
+  uint64_t Count = 0;     ///< Number of consecutive failing hits.
+  uint64_t Hits = 0;
+};
+
+std::map<std::string, SiteState> &registry() {
+  static std::map<std::string, SiteState> R;
+  return R;
+}
+
+} // namespace
+
+bool fault::detail::Enabled = false;
+
+bool fault::detail::shouldFailSlow(const char *Site) {
+  auto It = registry().find(Site);
+  if (It == registry().end())
+    return false;
+  SiteState &S = It->second;
+  ++S.Hits;
+  return S.Hits >= S.FailOnNth && S.Hits < S.FailOnNth + S.Count;
+}
+
+void fault::arm(const std::string &Site, uint64_t FailOnNth, uint64_t Count) {
+  registry()[Site] = SiteState{FailOnNth, Count, 0};
+  detail::Enabled = true;
+}
+
+void fault::disarm(const std::string &Site) {
+  registry().erase(Site);
+  detail::Enabled = !registry().empty();
+}
+
+void fault::disarmAll() {
+  registry().clear();
+  detail::Enabled = false;
+}
+
+uint64_t fault::hitCount(const std::string &Site) {
+  auto It = registry().find(Site);
+  return It == registry().end() ? 0 : It->second.Hits;
+}

@@ -1,0 +1,71 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of RustSight, a reproduction of "Understanding Memory and Thread
+// Safety Practices and Issues in Real-World Rust Programs" (PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic fault injection for exercising recovery paths. Probe points
+/// are named call sites ("engine.detector", "engine.parse", ...); a test
+/// arms a site to fail on its Nth hit and the probed code simulates the
+/// fault. Probes are compiled in always but cost a single branch on a
+/// plain bool when nothing is armed, so production builds pay nothing.
+///
+/// The registry is process-global and not thread-safe; RustSight analyzes
+/// single-threaded and tests arm/disarm around the code under test (use
+/// ScopedFault so disarm survives early returns and ASSERT bailouts).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RUSTSIGHT_SUPPORT_FAULTINJECTION_H
+#define RUSTSIGHT_SUPPORT_FAULTINJECTION_H
+
+#include <cstdint>
+#include <string>
+
+namespace rs::fault {
+
+namespace detail {
+extern bool Enabled;
+bool shouldFailSlow(const char *Site);
+} // namespace detail
+
+/// Probe point: returns true when \p Site is armed and this hit is one of
+/// the hits selected to fail. Zero-cost (one branch) when nothing is armed.
+inline bool shouldFail(const char *Site) {
+  return detail::Enabled && detail::shouldFailSlow(Site);
+}
+
+/// Arms \p Site to fail on hits [FailOnNth, FailOnNth + Count) — hit
+/// numbering is 1-based. Arming resets the site's hit counter.
+void arm(const std::string &Site, uint64_t FailOnNth, uint64_t Count = 1);
+
+/// Disarms one site (its hit counter is dropped).
+void disarm(const std::string &Site);
+
+/// Disarms every site and resets all counters.
+void disarmAll();
+
+/// Hits observed at \p Site since it was armed (0 if not armed).
+uint64_t hitCount(const std::string &Site);
+
+/// RAII arming for tests: arms in the constructor, disarms the site in the
+/// destructor.
+class ScopedFault {
+public:
+  ScopedFault(std::string Site, uint64_t FailOnNth, uint64_t Count = 1)
+      : Site(std::move(Site)) {
+    arm(this->Site, FailOnNth, Count);
+  }
+  ~ScopedFault() { disarm(Site); }
+  ScopedFault(const ScopedFault &) = delete;
+  ScopedFault &operator=(const ScopedFault &) = delete;
+
+private:
+  std::string Site;
+};
+
+} // namespace rs::fault
+
+#endif // RUSTSIGHT_SUPPORT_FAULTINJECTION_H

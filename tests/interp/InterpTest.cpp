@@ -568,6 +568,11 @@ TEST(Interp, StepLimit) {
   ExecResult R = I.run("spin");
   ASSERT_FALSE(R.Ok);
   EXPECT_EQ(R.Error->Kind, TrapKind::StepLimit);
+  // Budget exhaustion is inconclusive, not a bug — the trap says so and
+  // classifies as a resource limit.
+  EXPECT_TRUE(isResourceLimitTrap(R.Error->Kind));
+  EXPECT_NE(R.Error->Message.find("1000"), std::string::npos);
+  EXPECT_NE(R.Error->Message.find("inconclusive"), std::string::npos);
 }
 
 TEST(Interp, StackOverflow) {
@@ -578,6 +583,17 @@ TEST(Interp, StackOverflow) {
   ExecResult R = I.run("rec");
   ASSERT_FALSE(R.Ok);
   EXPECT_EQ(R.Error->Kind, TrapKind::StackOverflow);
+  EXPECT_TRUE(isResourceLimitTrap(R.Error->Kind));
+  EXPECT_NE(R.Error->Message.find("inconclusive"), std::string::npos);
+}
+
+TEST(Interp, BugTrapsAreNotResourceLimits) {
+  // The classifier separates "ran out of budget" from genuine bugs.
+  EXPECT_FALSE(isResourceLimitTrap(TrapKind::UseAfterFree));
+  EXPECT_FALSE(isResourceLimitTrap(TrapKind::Deadlock));
+  EXPECT_FALSE(isResourceLimitTrap(TrapKind::IndexOutOfBounds));
+  EXPECT_TRUE(isResourceLimitTrap(TrapKind::StepLimit));
+  EXPECT_TRUE(isResourceLimitTrap(TrapKind::StackOverflow));
 }
 
 TEST(Interp, IndexOutOfBoundsPanics) {

@@ -118,3 +118,46 @@ TEST(Verifier, SuccessorEnumeration) {
   Terminator::ret().successors(Succs);
   EXPECT_TRUE(Succs.empty());
 }
+
+TEST(Verifier, ErrorsCarryFunctionNameAndLocation) {
+  // Parsed input has real locations; the diagnostic must point at the
+  // offending terminator's file:line, not just name the function.
+  auto R = Parser::parse("fn locate() {\n"
+                         "    bb0: {\n"
+                         "        goto -> bb7;\n"
+                         "    }\n"
+                         "}\n",
+                         "sample.mir");
+  ASSERT_TRUE(R) << R.error().toString();
+  std::vector<std::string> Errors;
+  EXPECT_FALSE(verifyModule(*R, Errors));
+  ASSERT_EQ(Errors.size(), 1u);
+  EXPECT_NE(Errors[0].find("function 'locate'"), std::string::npos)
+      << Errors[0];
+  EXPECT_NE(Errors[0].find("sample.mir:3"), std::string::npos) << Errors[0];
+}
+
+TEST(Verifier, StatementErrorsPointAtTheStatement) {
+  // Hand-built IR with distinct statement locations: the report must use
+  // the statement's own location, falling back to the function's otherwise.
+  Module M;
+  Function F;
+  F.Name = "bad";
+  F.Loc = rs::SourceLocation(rs::internFileName("built.mir"), 1, 1);
+  LocalDecl Ret;
+  Ret.Ty = M.types().getUnit();
+  F.Locals.push_back(Ret);
+  BasicBlock BB;
+  Statement S =
+      Statement::assign(Place(9), Rvalue::use(Operand::constant(
+                                      ConstValue::makeInt(0))));
+  S.Loc = rs::SourceLocation(rs::internFileName("built.mir"), 42, 5);
+  BB.Statements.push_back(S);
+  BB.Term = Terminator::ret();
+  F.Blocks.push_back(std::move(BB));
+
+  std::vector<std::string> Errors;
+  EXPECT_FALSE(verifyFunction(F, &M, Errors));
+  ASSERT_EQ(Errors.size(), 1u);
+  EXPECT_NE(Errors[0].find("built.mir:42:5"), std::string::npos) << Errors[0];
+}

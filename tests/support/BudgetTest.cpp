@@ -1,0 +1,75 @@
+#include "support/Budget.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+using namespace rs;
+
+TEST(Budget, UnlimitedNeverExhausts) {
+  Budget B;
+  for (int I = 0; I != 10000; ++I)
+    EXPECT_TRUE(B.consume());
+  EXPECT_FALSE(B.exhausted());
+  EXPECT_EQ(B.stepsUsed(), 10000u);
+  EXPECT_STREQ(B.reason(), "");
+}
+
+TEST(Budget, StepBudgetIsExactAndSticky) {
+  Budget B = Budget::steps(3);
+  EXPECT_TRUE(B.consume());
+  EXPECT_TRUE(B.consume());
+  EXPECT_TRUE(B.consume());
+  EXPECT_FALSE(B.consume());
+  EXPECT_TRUE(B.exhausted());
+  EXPECT_EQ(B.exhaustion(), Budget::Exhaustion::Steps);
+  // Sticky: once exhausted, it stays exhausted.
+  EXPECT_FALSE(B.consume());
+  EXPECT_STREQ(B.reason(), "step budget exhausted");
+}
+
+TEST(Budget, BulkConsume) {
+  Budget B = Budget::steps(10);
+  EXPECT_TRUE(B.consume(10));
+  EXPECT_FALSE(B.consume(1));
+}
+
+TEST(Budget, ExpiredDeadlineTrips) {
+  // Sleep past the deadline, then consume: the clock is checked at most
+  // ClockCheckInterval steps apart, so exhaustion must hit within one
+  // interval plus one step.
+  Budget B = Budget::deadline(1);
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  bool Exhausted = false;
+  for (unsigned I = 0; I != Budget::ClockCheckInterval + 1 && !Exhausted; ++I)
+    Exhausted = !B.consume();
+  EXPECT_TRUE(Exhausted);
+  EXPECT_EQ(B.exhaustion(), Budget::Exhaustion::Deadline);
+  EXPECT_STREQ(B.reason(), "deadline exceeded");
+}
+
+TEST(Budget, ChildDrainsParent) {
+  Budget Parent = Budget::steps(5);
+  Budget Child;
+  Child.setParent(&Parent);
+  EXPECT_TRUE(Child.consume(5));
+  EXPECT_FALSE(Child.consume());
+  EXPECT_TRUE(Child.exhausted());
+  EXPECT_EQ(Child.exhaustion(), Budget::Exhaustion::Parent);
+  EXPECT_TRUE(Parent.exhausted());
+  // The child reports the root cause.
+  EXPECT_STREQ(Child.reason(), "step budget exhausted");
+}
+
+TEST(Budget, ChildCapIndependentOfParent) {
+  Budget Parent = Budget::steps(100);
+  Budget Child = Budget::steps(2);
+  Child.setParent(&Parent);
+  EXPECT_TRUE(Child.consume(2));
+  EXPECT_FALSE(Child.consume());
+  EXPECT_EQ(Child.exhaustion(), Budget::Exhaustion::Steps);
+  // The parent keeps the steps the child spent before its own cap hit.
+  EXPECT_FALSE(Parent.exhausted());
+  EXPECT_EQ(Parent.stepsUsed(), 2u);
+}

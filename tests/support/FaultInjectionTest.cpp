@@ -1,0 +1,53 @@
+#include "support/FaultInjection.h"
+
+#include <gtest/gtest.h>
+
+using namespace rs;
+
+TEST(FaultInjection, DisarmedCostsNothingAndNeverFails) {
+  fault::disarmAll();
+  for (int I = 0; I != 100; ++I)
+    EXPECT_FALSE(fault::shouldFail("nowhere"));
+  EXPECT_EQ(fault::hitCount("nowhere"), 0u);
+}
+
+TEST(FaultInjection, FailsExactlyTheNthProbe) {
+  fault::ScopedFault F("site.a", /*FailOnNth=*/3);
+  EXPECT_FALSE(fault::shouldFail("site.a"));
+  EXPECT_FALSE(fault::shouldFail("site.a"));
+  EXPECT_TRUE(fault::shouldFail("site.a"));
+  EXPECT_FALSE(fault::shouldFail("site.a"));
+  EXPECT_EQ(fault::hitCount("site.a"), 4u);
+}
+
+TEST(FaultInjection, CountSelectsAWindowOfProbes) {
+  fault::ScopedFault F("site.b", /*FailOnNth=*/2, /*Count=*/2);
+  EXPECT_FALSE(fault::shouldFail("site.b"));
+  EXPECT_TRUE(fault::shouldFail("site.b"));
+  EXPECT_TRUE(fault::shouldFail("site.b"));
+  EXPECT_FALSE(fault::shouldFail("site.b"));
+}
+
+TEST(FaultInjection, SitesAreIndependent) {
+  fault::ScopedFault F("site.c", 1);
+  EXPECT_TRUE(fault::shouldFail("site.c"));
+  EXPECT_FALSE(fault::shouldFail("site.d"));
+}
+
+TEST(FaultInjection, ScopedFaultDisarmsOnExit) {
+  {
+    fault::ScopedFault F("site.e", 1);
+    EXPECT_TRUE(fault::shouldFail("site.e"));
+  }
+  EXPECT_FALSE(fault::shouldFail("site.e"));
+  EXPECT_EQ(fault::hitCount("site.e"), 0u);
+}
+
+TEST(FaultInjection, RearmResetsTheHitCounter) {
+  fault::arm("site.f", 2);
+  EXPECT_FALSE(fault::shouldFail("site.f"));
+  fault::arm("site.f", 2);
+  EXPECT_FALSE(fault::shouldFail("site.f"));
+  EXPECT_TRUE(fault::shouldFail("site.f"));
+  fault::disarm("site.f");
+}
