@@ -217,7 +217,12 @@ bench-cmake/CMakeFiles/bench_sec7_ablation.dir/bench_sec7_ablation.cpp.o: \
  /root/repo/src/detectors/Detectors.h /root/repo/src/detectors/Detector.h \
  /root/repo/src/analysis/CallGraph.h /root/repo/src/analysis/Memory.h \
  /root/repo/src/analysis/Dataflow.h /root/repo/src/analysis/Cfg.h \
- /root/repo/src/support/BitVec.h /root/repo/src/analysis/Objects.h \
+ /root/repo/src/support/BitVec.h /root/repo/src/support/Budget.h \
+ /usr/include/c++/12/chrono /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/parse_numbers.h /usr/include/c++/12/sstream \
+ /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
+ /usr/include/c++/12/bits/sstream.tcc /root/repo/src/analysis/Objects.h \
  /root/repo/src/mir/Intrinsics.h /root/repo/src/analysis/Summaries.h \
  /root/repo/src/detectors/Diagnostics.h /root/repo/src/interp/Interp.h \
  /usr/include/c++/12/optional \

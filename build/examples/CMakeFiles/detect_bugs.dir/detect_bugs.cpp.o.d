@@ -210,8 +210,13 @@ examples/CMakeFiles/detect_bugs.dir/detect_bugs.cpp.o: \
  /usr/include/c++/12/bits/stl_multiset.h /root/repo/src/analysis/Memory.h \
  /root/repo/src/analysis/Dataflow.h /root/repo/src/analysis/Cfg.h \
  /root/repo/src/support/BitVec.h /usr/include/c++/12/cstddef \
- /root/repo/src/analysis/Objects.h /root/repo/src/mir/Intrinsics.h \
- /root/repo/src/analysis/Summaries.h \
+ /root/repo/src/support/Budget.h /usr/include/c++/12/chrono \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/limits /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/parse_numbers.h /usr/include/c++/12/sstream \
+ /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
+ /usr/include/c++/12/bits/sstream.tcc /root/repo/src/analysis/Objects.h \
+ /root/repo/src/mir/Intrinsics.h /root/repo/src/analysis/Summaries.h \
  /root/repo/src/detectors/Diagnostics.h /root/repo/src/mir/Parser.h \
  /root/repo/src/mir/Lexer.h /root/repo/src/support/Error.h \
  /usr/include/c++/12/optional \
@@ -219,9 +224,7 @@ examples/CMakeFiles/detect_bugs.dir/detect_bugs.cpp.o: \
  /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
  /root/repo/src/mir/Verifier.h /usr/include/c++/12/cstring \
  /usr/include/string.h /usr/include/strings.h /usr/include/c++/12/fstream \
- /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
  /usr/include/c++/12/bits/codecvt.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/basic_file.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/c++io.h \
- /usr/include/c++/12/bits/fstream.tcc /usr/include/c++/12/sstream \
- /usr/include/c++/12/bits/sstream.tcc
+ /usr/include/c++/12/bits/fstream.tcc

@@ -208,7 +208,13 @@ examples/CMakeFiles/kvstore_audit.dir/kvstore_audit.cpp.o: \
  /usr/include/c++/12/bits/vector.tcc \
  /root/repo/src/support/SourceLocation.h /usr/include/c++/12/cassert \
  /usr/include/assert.h /root/repo/src/support/BitVec.h \
- /usr/include/c++/12/cstddef /root/repo/src/analysis/Memory.h \
+ /usr/include/c++/12/cstddef /root/repo/src/support/Budget.h \
+ /usr/include/c++/12/chrono /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/limits \
+ /usr/include/c++/12/ctime /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/sstream /usr/include/c++/12/istream \
+ /usr/include/c++/12/bits/istream.tcc \
+ /usr/include/c++/12/bits/sstream.tcc /root/repo/src/analysis/Memory.h \
  /root/repo/src/analysis/Objects.h /root/repo/src/mir/Intrinsics.h \
  /root/repo/src/analysis/Summaries.h /usr/include/c++/12/set \
  /usr/include/c++/12/bits/stl_set.h \

@@ -208,7 +208,13 @@ examples/CMakeFiles/lifetimes.dir/lifetimes.cpp.o: \
  /usr/include/c++/12/bits/vector.tcc \
  /root/repo/src/support/SourceLocation.h /usr/include/c++/12/cassert \
  /usr/include/assert.h /root/repo/src/support/BitVec.h \
- /usr/include/c++/12/cstddef /root/repo/src/analysis/Memory.h \
+ /usr/include/c++/12/cstddef /root/repo/src/support/Budget.h \
+ /usr/include/c++/12/chrono /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/limits \
+ /usr/include/c++/12/ctime /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/sstream /usr/include/c++/12/istream \
+ /usr/include/c++/12/bits/istream.tcc \
+ /usr/include/c++/12/bits/sstream.tcc /root/repo/src/analysis/Memory.h \
  /root/repo/src/analysis/Objects.h /root/repo/src/mir/Intrinsics.h \
  /root/repo/src/analysis/Summaries.h /usr/include/c++/12/set \
  /usr/include/c++/12/bits/stl_set.h \
@@ -217,9 +223,7 @@ examples/CMakeFiles/lifetimes.dir/lifetimes.cpp.o: \
  /usr/include/c++/12/optional \
  /usr/include/c++/12/bits/enable_special_members.h \
  /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
- /usr/include/c++/12/fstream /usr/include/c++/12/istream \
- /usr/include/c++/12/bits/istream.tcc /usr/include/c++/12/bits/codecvt.h \
+ /usr/include/c++/12/fstream /usr/include/c++/12/bits/codecvt.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/basic_file.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/c++io.h \
- /usr/include/c++/12/bits/fstream.tcc /usr/include/c++/12/sstream \
- /usr/include/c++/12/bits/sstream.tcc
+ /usr/include/c++/12/bits/fstream.tcc

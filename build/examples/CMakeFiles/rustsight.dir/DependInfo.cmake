@@ -13,6 +13,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
 
 # Targets to which this target links.
 set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/engine/CMakeFiles/rs_engine.dir/DependInfo.cmake"
   "/root/repo/build/src/detectors/CMakeFiles/rs_detectors.dir/DependInfo.cmake"
   "/root/repo/build/src/interp/CMakeFiles/rs_interp.dir/DependInfo.cmake"
   "/root/repo/build/src/scanner/CMakeFiles/rs_scanner.dir/DependInfo.cmake"

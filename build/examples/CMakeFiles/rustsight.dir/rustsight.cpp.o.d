@@ -208,25 +208,37 @@ examples/CMakeFiles/rustsight.dir/rustsight.cpp.o: \
  /usr/include/c++/12/bits/vector.tcc \
  /root/repo/src/support/SourceLocation.h /usr/include/c++/12/cassert \
  /usr/include/assert.h /root/repo/src/support/BitVec.h \
- /usr/include/c++/12/cstddef /root/repo/src/analysis/Memory.h \
+ /usr/include/c++/12/cstddef /root/repo/src/support/Budget.h \
+ /usr/include/c++/12/chrono /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/limits \
+ /usr/include/c++/12/ctime /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/sstream /usr/include/c++/12/istream \
+ /usr/include/c++/12/bits/istream.tcc \
+ /usr/include/c++/12/bits/sstream.tcc /root/repo/src/analysis/Memory.h \
  /root/repo/src/analysis/Objects.h /root/repo/src/mir/Intrinsics.h \
  /root/repo/src/analysis/Summaries.h /usr/include/c++/12/set \
  /usr/include/c++/12/bits/stl_set.h \
  /usr/include/c++/12/bits/stl_multiset.h \
  /root/repo/src/detectors/Detectors.h /root/repo/src/detectors/Detector.h \
  /root/repo/src/analysis/CallGraph.h \
- /root/repo/src/detectors/Diagnostics.h /root/repo/src/interp/Interp.h \
- /usr/include/c++/12/optional \
+ /root/repo/src/detectors/Diagnostics.h /root/repo/src/engine/Engine.h \
+ /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
+ /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
+ /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/enable_special_members.h \
+ /usr/include/c++/12/bits/unordered_map.h /usr/include/c++/12/array \
+ /usr/include/c++/12/bits/stl_algo.h \
+ /usr/include/c++/12/bits/algorithmfwd.h \
+ /usr/include/c++/12/bits/stl_heap.h \
+ /usr/include/c++/12/bits/uniform_int_dist.h \
+ /root/repo/src/interp/Interp.h /usr/include/c++/12/optional \
  /root/repo/src/mir/Parser.h /root/repo/src/mir/Lexer.h \
  /root/repo/src/support/Error.h /usr/include/c++/12/utility \
  /usr/include/c++/12/bits/stl_relops.h /root/repo/src/mir/Verifier.h \
  /root/repo/src/scanner/UnsafeScanner.h \
  /root/repo/src/support/StringUtils.h /usr/include/c++/12/cstring \
  /usr/include/string.h /usr/include/strings.h /usr/include/c++/12/fstream \
- /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
  /usr/include/c++/12/bits/codecvt.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/basic_file.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/c++io.h \
- /usr/include/c++/12/bits/fstream.tcc /usr/include/c++/12/sstream \
- /usr/include/c++/12/bits/sstream.tcc
+ /usr/include/c++/12/bits/fstream.tcc

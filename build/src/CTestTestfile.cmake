@@ -8,6 +8,7 @@ subdirs("support")
 subdirs("mir")
 subdirs("analysis")
 subdirs("detectors")
+subdirs("engine")
 subdirs("scanner")
 subdirs("study")
 subdirs("corpus")

@@ -207,4 +207,10 @@ src/analysis/CMakeFiles/rs_analysis.dir/LiveVariables.cpp.o: \
  /usr/include/c++/12/bits/vector.tcc \
  /root/repo/src/support/SourceLocation.h /usr/include/c++/12/cassert \
  /usr/include/assert.h /root/repo/src/support/BitVec.h \
- /usr/include/c++/12/cstddef
+ /usr/include/c++/12/cstddef /root/repo/src/support/Budget.h \
+ /usr/include/c++/12/chrono /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/limits \
+ /usr/include/c++/12/ctime /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/sstream /usr/include/c++/12/istream \
+ /usr/include/c++/12/bits/istream.tcc \
+ /usr/include/c++/12/bits/sstream.tcc

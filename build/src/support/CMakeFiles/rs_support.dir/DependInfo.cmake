@@ -8,6 +8,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/support/FaultInjection.cpp" "src/support/CMakeFiles/rs_support.dir/FaultInjection.cpp.o" "gcc" "src/support/CMakeFiles/rs_support.dir/FaultInjection.cpp.o.d"
   "/root/repo/src/support/Json.cpp" "src/support/CMakeFiles/rs_support.dir/Json.cpp.o" "gcc" "src/support/CMakeFiles/rs_support.dir/Json.cpp.o.d"
   "/root/repo/src/support/SourceLocation.cpp" "src/support/CMakeFiles/rs_support.dir/SourceLocation.cpp.o" "gcc" "src/support/CMakeFiles/rs_support.dir/SourceLocation.cpp.o.d"
   "/root/repo/src/support/StringUtils.cpp" "src/support/CMakeFiles/rs_support.dir/StringUtils.cpp.o" "gcc" "src/support/CMakeFiles/rs_support.dir/StringUtils.cpp.o.d"

@@ -1,4 +1,6 @@
 file(REMOVE_RECURSE
+  "CMakeFiles/rs_support.dir/FaultInjection.cpp.o"
+  "CMakeFiles/rs_support.dir/FaultInjection.cpp.o.d"
   "CMakeFiles/rs_support.dir/Json.cpp.o"
   "CMakeFiles/rs_support.dir/Json.cpp.o.d"
   "CMakeFiles/rs_support.dir/SourceLocation.cpp.o"

@@ -12,6 +12,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/tests/analysis/CallGraphTest.cpp" "tests/CMakeFiles/analysis_test.dir/analysis/CallGraphTest.cpp.o" "gcc" "tests/CMakeFiles/analysis_test.dir/analysis/CallGraphTest.cpp.o.d"
   "/root/repo/tests/analysis/CfgTest.cpp" "tests/CMakeFiles/analysis_test.dir/analysis/CfgTest.cpp.o" "gcc" "tests/CMakeFiles/analysis_test.dir/analysis/CfgTest.cpp.o.d"
   "/root/repo/tests/analysis/ConstantBranchesTest.cpp" "tests/CMakeFiles/analysis_test.dir/analysis/ConstantBranchesTest.cpp.o" "gcc" "tests/CMakeFiles/analysis_test.dir/analysis/ConstantBranchesTest.cpp.o.d"
+  "/root/repo/tests/analysis/DataflowBudgetTest.cpp" "tests/CMakeFiles/analysis_test.dir/analysis/DataflowBudgetTest.cpp.o" "gcc" "tests/CMakeFiles/analysis_test.dir/analysis/DataflowBudgetTest.cpp.o.d"
   "/root/repo/tests/analysis/DataflowPropertyTest.cpp" "tests/CMakeFiles/analysis_test.dir/analysis/DataflowPropertyTest.cpp.o" "gcc" "tests/CMakeFiles/analysis_test.dir/analysis/DataflowPropertyTest.cpp.o.d"
   "/root/repo/tests/analysis/LifetimeReportTest.cpp" "tests/CMakeFiles/analysis_test.dir/analysis/LifetimeReportTest.cpp.o" "gcc" "tests/CMakeFiles/analysis_test.dir/analysis/LifetimeReportTest.cpp.o.d"
   "/root/repo/tests/analysis/LiveVariablesTest.cpp" "tests/CMakeFiles/analysis_test.dir/analysis/LiveVariablesTest.cpp.o" "gcc" "tests/CMakeFiles/analysis_test.dir/analysis/LiveVariablesTest.cpp.o.d"

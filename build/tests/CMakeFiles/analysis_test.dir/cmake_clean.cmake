@@ -7,6 +7,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/analysis_test.dir/analysis/CfgTest.cpp.o.d"
   "CMakeFiles/analysis_test.dir/analysis/ConstantBranchesTest.cpp.o"
   "CMakeFiles/analysis_test.dir/analysis/ConstantBranchesTest.cpp.o.d"
+  "CMakeFiles/analysis_test.dir/analysis/DataflowBudgetTest.cpp.o"
+  "CMakeFiles/analysis_test.dir/analysis/DataflowBudgetTest.cpp.o.d"
   "CMakeFiles/analysis_test.dir/analysis/DataflowPropertyTest.cpp.o"
   "CMakeFiles/analysis_test.dir/analysis/DataflowPropertyTest.cpp.o.d"
   "CMakeFiles/analysis_test.dir/analysis/LifetimeReportTest.cpp.o"

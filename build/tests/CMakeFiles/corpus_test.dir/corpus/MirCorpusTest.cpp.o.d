@@ -210,15 +210,19 @@ tests/CMakeFiles/corpus_test.dir/corpus/MirCorpusTest.cpp.o: \
  /usr/include/c++/12/bits/stl_multiset.h /root/repo/src/analysis/Memory.h \
  /root/repo/src/analysis/Dataflow.h /root/repo/src/analysis/Cfg.h \
  /root/repo/src/support/BitVec.h /usr/include/c++/12/cstddef \
- /root/repo/src/analysis/Objects.h /root/repo/src/mir/Intrinsics.h \
- /root/repo/src/analysis/Summaries.h \
+ /root/repo/src/support/Budget.h /usr/include/c++/12/chrono \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/limits /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/parse_numbers.h /usr/include/c++/12/sstream \
+ /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
+ /usr/include/c++/12/bits/sstream.tcc /root/repo/src/analysis/Objects.h \
+ /root/repo/src/mir/Intrinsics.h /root/repo/src/analysis/Summaries.h \
  /root/repo/src/detectors/Diagnostics.h /root/repo/src/mir/Parser.h \
  /root/repo/src/mir/Lexer.h /root/repo/src/support/Error.h \
  /usr/include/c++/12/optional \
  /usr/include/c++/12/bits/enable_special_members.h \
  /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
  /root/repo/src/mir/Verifier.h /root/miniconda/include/gtest/gtest.h \
- /usr/include/c++/12/limits \
  /root/miniconda/include/gtest/internal/gtest-internal.h \
  /root/miniconda/include/gtest/internal/gtest-port.h \
  /usr/include/c++/12/stdlib.h /usr/include/string.h \
@@ -237,9 +241,8 @@ tests/CMakeFiles/corpus_test.dir/corpus/MirCorpusTest.cpp.o: \
  /usr/include/x86_64-linux-gnu/bits/statx-generic.h \
  /usr/include/x86_64-linux-gnu/bits/types/struct_statx_timestamp.h \
  /usr/include/x86_64-linux-gnu/bits/types/struct_statx.h \
- /usr/include/c++/12/iostream /usr/include/c++/12/istream \
- /usr/include/c++/12/bits/istream.tcc /usr/include/c++/12/locale \
- /usr/include/c++/12/bits/locale_facets_nonio.h /usr/include/c++/12/ctime \
+ /usr/include/c++/12/iostream /usr/include/c++/12/locale \
+ /usr/include/c++/12/bits/locale_facets_nonio.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/time_members.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/messages_members.h \
  /usr/include/libintl.h /usr/include/c++/12/bits/codecvt.h \
@@ -248,7 +251,6 @@ tests/CMakeFiles/corpus_test.dir/corpus/MirCorpusTest.cpp.o: \
  /root/miniconda/include/gtest/internal/custom/gtest-port.h \
  /root/miniconda/include/gtest/internal/gtest-port-arch.h \
  /usr/include/regex.h /usr/include/c++/12/any /usr/include/c++/12/variant \
- /usr/include/c++/12/bits/parse_numbers.h \
  /usr/include/x86_64-linux-gnu/sys/wait.h /usr/include/signal.h \
  /usr/include/x86_64-linux-gnu/bits/signum-generic.h \
  /usr/include/x86_64-linux-gnu/bits/signum-arch.h \
@@ -274,7 +276,6 @@ tests/CMakeFiles/corpus_test.dir/corpus/MirCorpusTest.cpp.o: \
  /usr/include/x86_64-linux-gnu/bits/types/idtype_t.h \
  /usr/lib/gcc/x86_64-linux-gnu/12/include/float.h \
  /usr/include/c++/12/iomanip /usr/include/c++/12/bits/quoted_string.h \
- /usr/include/c++/12/sstream /usr/include/c++/12/bits/sstream.tcc \
  /root/miniconda/include/gtest/gtest-message.h \
  /root/miniconda/include/gtest/internal/gtest-filepath.h \
  /root/miniconda/include/gtest/internal/gtest-string.h \

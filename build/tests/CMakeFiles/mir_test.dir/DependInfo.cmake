@@ -11,6 +11,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/tests/mir/BuilderTest.cpp" "tests/CMakeFiles/mir_test.dir/mir/BuilderTest.cpp.o" "gcc" "tests/CMakeFiles/mir_test.dir/mir/BuilderTest.cpp.o.d"
   "/root/repo/tests/mir/IntrinsicsTest.cpp" "tests/CMakeFiles/mir_test.dir/mir/IntrinsicsTest.cpp.o" "gcc" "tests/CMakeFiles/mir_test.dir/mir/IntrinsicsTest.cpp.o.d"
   "/root/repo/tests/mir/LexerTest.cpp" "tests/CMakeFiles/mir_test.dir/mir/LexerTest.cpp.o" "gcc" "tests/CMakeFiles/mir_test.dir/mir/LexerTest.cpp.o.d"
+  "/root/repo/tests/mir/ParserRecoveryTest.cpp" "tests/CMakeFiles/mir_test.dir/mir/ParserRecoveryTest.cpp.o" "gcc" "tests/CMakeFiles/mir_test.dir/mir/ParserRecoveryTest.cpp.o.d"
   "/root/repo/tests/mir/ParserTest.cpp" "tests/CMakeFiles/mir_test.dir/mir/ParserTest.cpp.o" "gcc" "tests/CMakeFiles/mir_test.dir/mir/ParserTest.cpp.o.d"
   "/root/repo/tests/mir/PrinterTest.cpp" "tests/CMakeFiles/mir_test.dir/mir/PrinterTest.cpp.o" "gcc" "tests/CMakeFiles/mir_test.dir/mir/PrinterTest.cpp.o.d"
   "/root/repo/tests/mir/TransformDetectorTest.cpp" "tests/CMakeFiles/mir_test.dir/mir/TransformDetectorTest.cpp.o" "gcc" "tests/CMakeFiles/mir_test.dir/mir/TransformDetectorTest.cpp.o.d"

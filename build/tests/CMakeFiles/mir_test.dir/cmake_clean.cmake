@@ -5,6 +5,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/mir_test.dir/mir/IntrinsicsTest.cpp.o.d"
   "CMakeFiles/mir_test.dir/mir/LexerTest.cpp.o"
   "CMakeFiles/mir_test.dir/mir/LexerTest.cpp.o.d"
+  "CMakeFiles/mir_test.dir/mir/ParserRecoveryTest.cpp.o"
+  "CMakeFiles/mir_test.dir/mir/ParserRecoveryTest.cpp.o.d"
   "CMakeFiles/mir_test.dir/mir/ParserTest.cpp.o"
   "CMakeFiles/mir_test.dir/mir/ParserTest.cpp.o.d"
   "CMakeFiles/mir_test.dir/mir/PrinterTest.cpp.o"

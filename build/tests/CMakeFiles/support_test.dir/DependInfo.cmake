@@ -8,7 +8,9 @@ set(CMAKE_DEPENDS_LANGUAGES
 
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/support/BudgetTest.cpp" "tests/CMakeFiles/support_test.dir/support/BudgetTest.cpp.o" "gcc" "tests/CMakeFiles/support_test.dir/support/BudgetTest.cpp.o.d"
   "/root/repo/tests/support/ErrorTest.cpp" "tests/CMakeFiles/support_test.dir/support/ErrorTest.cpp.o" "gcc" "tests/CMakeFiles/support_test.dir/support/ErrorTest.cpp.o.d"
+  "/root/repo/tests/support/FaultInjectionTest.cpp" "tests/CMakeFiles/support_test.dir/support/FaultInjectionTest.cpp.o" "gcc" "tests/CMakeFiles/support_test.dir/support/FaultInjectionTest.cpp.o.d"
   "/root/repo/tests/support/JsonTest.cpp" "tests/CMakeFiles/support_test.dir/support/JsonTest.cpp.o" "gcc" "tests/CMakeFiles/support_test.dir/support/JsonTest.cpp.o.d"
   "/root/repo/tests/support/RngTest.cpp" "tests/CMakeFiles/support_test.dir/support/RngTest.cpp.o" "gcc" "tests/CMakeFiles/support_test.dir/support/RngTest.cpp.o.d"
   "/root/repo/tests/support/StringUtilsTest.cpp" "tests/CMakeFiles/support_test.dir/support/StringUtilsTest.cpp.o" "gcc" "tests/CMakeFiles/support_test.dir/support/StringUtilsTest.cpp.o.d"

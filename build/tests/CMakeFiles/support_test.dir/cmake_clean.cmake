@@ -1,6 +1,10 @@
 file(REMOVE_RECURSE
+  "CMakeFiles/support_test.dir/support/BudgetTest.cpp.o"
+  "CMakeFiles/support_test.dir/support/BudgetTest.cpp.o.d"
   "CMakeFiles/support_test.dir/support/ErrorTest.cpp.o"
   "CMakeFiles/support_test.dir/support/ErrorTest.cpp.o.d"
+  "CMakeFiles/support_test.dir/support/FaultInjectionTest.cpp.o"
+  "CMakeFiles/support_test.dir/support/FaultInjectionTest.cpp.o.d"
   "CMakeFiles/support_test.dir/support/JsonTest.cpp.o"
   "CMakeFiles/support_test.dir/support/JsonTest.cpp.o.d"
   "CMakeFiles/support_test.dir/support/RngTest.cpp.o"

@@ -13,4 +13,5 @@ include("/root/repo/build/tests/corpus_test[1]_include.cmake")
 include("/root/repo/build/tests/stdmodel_test[1]_include.cmake")
 include("/root/repo/build/tests/runtime_test[1]_include.cmake")
 include("/root/repo/build/tests/interp_test[1]_include.cmake")
+include("/root/repo/build/tests/engine_test[1]_include.cmake")
 include("/root/repo/build/tests/mir_test[1]_include.cmake")
