@@ -1,0 +1,156 @@
+//===----------------------------------------------------------------------===//
+// Measures the parallel corpus driver and the content-addressed result
+// cache: end-to-end corpus analysis wall-clock at jobs ∈ {1, 2, 4, 8},
+// cold cache vs. warm cache. Alongside the printed table it emits a
+// machine-readable trajectory point, BENCH_engine_parallel.json, in the
+// current directory so successive runs can be compared over time.
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "corpus/MirCorpus.h"
+#include "engine/Engine.h"
+#include "support/Json.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace fs = std::filesystem;
+using namespace rs;
+using namespace rs::bench;
+using namespace rs::corpus;
+using namespace rs::engine;
+
+namespace {
+
+MirCorpusConfig fileConfig(uint64_t Seed) {
+  MirCorpusConfig C;
+  C.Seed = Seed;
+  C.BenignFunctions = 30;
+  C.UseAfterFreeBugs = 2;
+  C.UseAfterFreeBenign = 4;
+  C.DoubleLockBugs = 2;
+  C.DoubleLockBenign = 4;
+  C.LockOrderBugPairs = 1;
+  C.DoubleFreeBugs = 1;
+  C.UninitReadBugs = 1;
+  C.RefCellConflictBugs = 1;
+  return C;
+}
+
+/// Writes a 16-file corpus (one generated module per file) and returns its
+/// directory. Reused across the whole binary so every measurement sees the
+/// same inputs.
+const std::string &corpusDir() {
+  static const std::string Dir = [] {
+    fs::path D = fs::temp_directory_path() / "rustsight_bench_parallel";
+    fs::remove_all(D);
+    fs::create_directories(D);
+    for (uint64_t Seed = 1; Seed <= 16; ++Seed) {
+      mir::Module M = MirCorpusGenerator(fileConfig(Seed)).generate();
+      std::ofstream(D / ("corpus_" + std::to_string(Seed) + ".mir"))
+          << M.toString();
+    }
+    return D.string();
+  }();
+  return Dir;
+}
+
+struct Sample {
+  unsigned Jobs;
+  double ColdMs;
+  double WarmMs;
+  uint64_t WarmHits;
+};
+
+Sample measure(unsigned Jobs) {
+  EngineOptions O;
+  O.Jobs = Jobs;
+  AnalysisEngine E(O);
+  CorpusReport Cold = E.analyzeCorpus({corpusDir()});
+  CorpusReport Warm = E.analyzeCorpus({corpusDir()});
+  return {Jobs, Cold.Stats.WallMs, Warm.Stats.WallMs,
+          Warm.Stats.CacheHits};
+}
+
+} // namespace
+
+static void printExperiment() {
+  banner("Parallel analysis scheduler + incremental result cache",
+         "Corpus analysis wall-clock at jobs 1/2/4/8, cold vs. warm cache, "
+         "over a 16-file generated corpus. The JSON report is byte-identical "
+         "in every cell of this table.");
+
+  std::vector<Sample> Samples;
+  for (unsigned Jobs : {1u, 2u, 4u, 8u})
+    Samples.push_back(measure(Jobs));
+
+  std::printf("  %-8s %14s %14s %12s %10s\n", "jobs", "cold (ms)",
+              "warm (ms)", "speedup", "warm hits");
+  double SerialCold = Samples.front().ColdMs;
+  for (const Sample &S : Samples)
+    std::printf("  %-8u %14.2f %14.2f %11.2fx %10llu\n", S.Jobs, S.ColdMs,
+                S.WarmMs, SerialCold / S.ColdMs,
+                static_cast<unsigned long long>(S.WarmHits));
+
+  JsonWriter W;
+  W.beginObject();
+  W.field("bench", "engine_parallel");
+  W.field("corpus_files", int64_t(16));
+  W.key("samples");
+  W.beginArray();
+  for (const Sample &S : Samples) {
+    W.beginObject();
+    W.field("jobs", int64_t(S.Jobs));
+    W.key("cold_ms");
+    W.value(S.ColdMs);
+    W.key("warm_ms");
+    W.value(S.WarmMs);
+    W.field("warm_cache_hits", int64_t(S.WarmHits));
+    W.endObject();
+  }
+  W.endArray();
+  W.endObject();
+  std::ofstream("BENCH_engine_parallel.json") << W.str() << "\n";
+  std::printf("\n  trajectory point written to BENCH_engine_parallel.json\n\n");
+}
+
+static void BM_AnalyzeCorpusCold(benchmark::State &State) {
+  EngineOptions O;
+  O.Jobs = static_cast<unsigned>(State.range(0));
+  for (auto _ : State) {
+    AnalysisEngine E(O); // Fresh engine: empty cache every iteration.
+    CorpusReport R = E.analyzeCorpus({corpusDir()});
+    benchmark::DoNotOptimize(R.totalFindings());
+  }
+}
+BENCHMARK(BM_AnalyzeCorpusCold)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+static void BM_AnalyzeCorpusWarm(benchmark::State &State) {
+  EngineOptions O;
+  O.Jobs = static_cast<unsigned>(State.range(0));
+  AnalysisEngine E(O);
+  E.analyzeCorpus({corpusDir()}); // Prime the cache once.
+  for (auto _ : State) {
+    CorpusReport R = E.analyzeCorpus({corpusDir()});
+    benchmark::DoNotOptimize(R.totalFindings());
+  }
+}
+BENCHMARK(BM_AnalyzeCorpusWarm)->Arg(1)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+static void BM_FingerprintSource(benchmark::State &State) {
+  mir::Module M = MirCorpusGenerator(fileConfig(1)).generate();
+  std::string Source = M.toString();
+  for (auto _ : State)
+    benchmark::DoNotOptimize(fingerprintSource(Source));
+  State.SetBytesProcessed(State.iterations() *
+                          static_cast<int64_t>(Source.size()));
+}
+BENCHMARK(BM_FingerprintSource);
+
+RUSTSIGHT_BENCH_MAIN(printExperiment)

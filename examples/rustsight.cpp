@@ -74,11 +74,14 @@ struct CheckOptions {
 
 int cmdCheck(const std::vector<std::string> &Files, const CheckOptions &Opts) {
   engine::AnalysisEngine E(Opts.Engine);
-  engine::CorpusReport Report = E.run(Files);
+  engine::CorpusReport Report = E.analyzeCorpus(Files);
   if (Opts.Json)
     std::printf("%s\n", Report.renderJson().c_str());
   else
     std::printf("%s", Report.renderText().c_str());
+  // Stats go to stderr so stdout stays byte-identical across job counts
+  // and cold/warm caches.
+  std::fprintf(stderr, "%s\n", Report.Stats.renderLine().c_str());
   return Report.exitCode(Opts.Strict);
 }
 
@@ -162,6 +165,11 @@ int usage() {
       "    --strict               exit 2 on any skipped/degraded file\n"
       "    --budget-ms <N>        per-file wall-clock analysis budget\n"
       "    --max-dataflow-iters <N>  per-function fixpoint update cap\n"
+      "    --jobs <N>             parallel analysis workers (default: all\n"
+      "                           hardware threads; output is identical\n"
+      "                           for every N)\n"
+      "    --cache-dir <dir>      persist the result cache on disk\n"
+      "    --no-cache             disable the result cache entirely\n"
       "  run <file.mir...>             interpret dynamically\n"
       "  lifetimes <file.mir...>       lifetime/lock report\n"
       "  print <file.mir...>           parse and pretty-print\n"
@@ -194,6 +202,27 @@ bool parseNumericFlag(int argc, char **argv, int &I, const char *Flag,
   return true;
 }
 
+/// Parses "--flag VALUE" / "--flag=VALUE" string options.
+bool parseStringFlag(int argc, char **argv, int &I, const char *Flag,
+                     std::string &Out, bool &Bad) {
+  size_t FlagLen = std::strlen(Flag);
+  if (std::strncmp(argv[I], Flag, FlagLen) != 0)
+    return false;
+  if (argv[I][FlagLen] == '=') {
+    Out = argv[I] + FlagLen + 1;
+  } else if (argv[I][FlagLen] == '\0') {
+    if (I + 1 >= argc) {
+      Bad = true;
+      return true;
+    }
+    Out = argv[++I];
+  } else {
+    return false;
+  }
+  Bad = Out.empty();
+  return true;
+}
+
 } // namespace
 
 int main(int argc, char **argv) {
@@ -202,6 +231,7 @@ int main(int argc, char **argv) {
   std::string Cmd = argv[1];
   CheckOptions Check;
   std::vector<std::string> Inputs;
+  uint64_t Jobs = 0;
   for (int I = 2; I < argc; ++I) {
     bool Bad = false;
     if (std::strcmp(argv[I], "--json") == 0)
@@ -210,15 +240,21 @@ int main(int argc, char **argv) {
       Check.Strict = true;
     else if (std::strcmp(argv[I], "--keep-going") == 0)
       ; // The engine always keeps going; --strict is the opt-out.
+    else if (std::strcmp(argv[I], "--no-cache") == 0)
+      Check.Engine.UseCache = false;
     else if (parseNumericFlag(argc, argv, I, "--budget-ms",
                               Check.Engine.BudgetMs, Bad) ||
              parseNumericFlag(argc, argv, I, "--max-dataflow-iters",
-                              Check.Engine.MaxDataflowIters, Bad)) {
+                              Check.Engine.MaxDataflowIters, Bad) ||
+             parseNumericFlag(argc, argv, I, "--jobs", Jobs, Bad) ||
+             parseStringFlag(argc, argv, I, "--cache-dir",
+                             Check.Engine.CacheDir, Bad)) {
       if (Bad)
         return usage();
     } else
       Inputs.emplace_back(argv[I]);
   }
+  Check.Engine.Jobs = static_cast<unsigned>(Jobs);
   if (Inputs.empty())
     return usage();
 

@@ -1,0 +1,38 @@
+#include "corpus/CorpusWalk.h"
+
+#include <algorithm>
+#include <filesystem>
+
+namespace fs = std::filesystem;
+
+using namespace rs::corpus;
+
+std::vector<CorpusInput>
+rs::corpus::expandMirPaths(const std::vector<std::string> &Paths) {
+  std::vector<CorpusInput> Out;
+  Out.reserve(Paths.size());
+  for (const std::string &Path : Paths) {
+    std::error_code Ec;
+    if (!fs::is_directory(Path, Ec)) {
+      Out.push_back({Path, ""});
+      continue;
+    }
+    // Directories expand to their .mir files, recursively, in sorted order
+    // so reports are deterministic across filesystems.
+    std::vector<std::string> Found;
+    for (const auto &Entry : fs::recursive_directory_iterator(
+             Path, fs::directory_options::skip_permission_denied, Ec)) {
+      std::error_code FileEc;
+      if (Entry.is_regular_file(FileEc) && Entry.path().extension() == ".mir")
+        Found.push_back(Entry.path().string());
+    }
+    std::sort(Found.begin(), Found.end());
+    if (Found.empty()) {
+      Out.push_back({Path, "no .mir files in directory"});
+      continue;
+    }
+    for (std::string &F : Found)
+      Out.push_back({std::move(F), ""});
+  }
+  return Out;
+}

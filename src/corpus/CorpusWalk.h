@@ -1,0 +1,43 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of RustSight, a reproduction of "Understanding Memory and Thread
+// Safety Practices and Issues in Real-World Rust Programs" (PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic corpus enumeration: expands a mixed list of files and
+/// directories into the exact, ordered list of analysis inputs the engine
+/// will process. The expansion is pure — no parsing, no IO beyond the
+/// directory walk — so the parallel scheduler can size its task list (and
+/// the report its slot vector) before any analysis starts, and serial and
+/// parallel runs see byte-identical input orderings.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RUSTSIGHT_CORPUS_CORPUSWALK_H
+#define RUSTSIGHT_CORPUS_CORPUSWALK_H
+
+#include <string>
+#include <vector>
+
+namespace rs::corpus {
+
+/// One analysis input. When SkipReason is nonempty the entry is a
+/// placeholder the engine must report as skipped without touching the
+/// path again (e.g. a directory that contained no .mir files).
+struct CorpusInput {
+  std::string Path;
+  std::string SkipReason;
+};
+
+/// Expands \p Paths in order: a file maps to itself; a directory maps to
+/// every .mir file under it, recursively, in lexicographically sorted
+/// order (stable across filesystems); an empty directory maps to one
+/// skipped placeholder. Unreadable paths pass through as plain files so
+/// the engine reports them with its usual "cannot open file" status.
+std::vector<CorpusInput> expandMirPaths(const std::vector<std::string> &Paths);
+
+} // namespace rs::corpus
+
+#endif // RUSTSIGHT_CORPUS_CORPUSWALK_H

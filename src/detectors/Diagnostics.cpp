@@ -36,6 +36,23 @@ const char *rs::detectors::bugKindName(BugKind K) {
   return "?";
 }
 
+bool rs::detectors::bugKindFromName(std::string_view Name, BugKind &Out) {
+  static constexpr BugKind AllKinds[] = {
+      BugKind::UseAfterFree,    BugKind::DoubleLock,
+      BugKind::ConflictingLockOrder, BugKind::InvalidFree,
+      BugKind::DoubleFree,      BugKind::UninitRead,
+      BugKind::InteriorMutability,   BugKind::WaitNoNotify,
+      BugKind::RecvNoSender,    BugKind::BorrowConflict,
+      BugKind::DanglingReturn,
+  };
+  for (BugKind K : AllKinds)
+    if (Name == bugKindName(K)) {
+      Out = K;
+      return true;
+    }
+  return false;
+}
+
 std::string Diagnostic::toString() const {
   std::string Out = Function + ":bb" + std::to_string(Block) + "[" +
                     std::to_string(StmtIndex) + "]: " + bugKindName(Kind) +

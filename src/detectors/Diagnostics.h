@@ -18,6 +18,7 @@
 #include "support/SourceLocation.h"
 
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace rs::detectors {
@@ -43,6 +44,10 @@ enum class BugKind {
 
 /// Short stable identifier ("use-after-free") for a bug kind.
 const char *bugKindName(BugKind K);
+
+/// Reverses bugKindName; false when \p Name matches no kind (the result
+/// cache uses this to reject payloads from a different detector set).
+bool bugKindFromName(std::string_view Name, BugKind &Out);
 
 /// One detector finding, anchored at a statement or terminator.
 struct Diagnostic {

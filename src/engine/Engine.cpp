@@ -1,15 +1,21 @@
 #include "engine/Engine.h"
 
+#include "corpus/CorpusWalk.h"
 #include "mir/Parser.h"
 #include "mir/Verifier.h"
+#include "sched/ThreadPool.h"
 #include "support/FaultInjection.h"
+#include "support/Hash.h"
 #include "support/Json.h"
+#include "support/StringUtils.h"
 
 #include <algorithm>
+#include <chrono>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
+#include <tuple>
 
 using namespace rs;
 using namespace rs::engine;
@@ -197,36 +203,251 @@ FileReport AnalysisEngine::analyzeFile(const std::string &Path) {
   return analyzeSource(Buf.str(), Path);
 }
 
-CorpusReport AnalysisEngine::run(const std::vector<std::string> &Paths) {
-  namespace fs = std::filesystem;
+//===----------------------------------------------------------------------===//
+// Cache key derivation and report serialization
+//===----------------------------------------------------------------------===//
+
+/// Bump when serializeFileReport's schema changes: the version feeds the
+/// salt, so old entries stop matching instead of misparsing.
+static constexpr uint64_t ReportSchemaVersion = 1;
+
+uint64_t rs::engine::fingerprintSource(std::string_view Source) {
+  // Canonicalize CRLF -> LF without materializing a copy.
+  uint64_t H = Fnv1a64OffsetBasis;
+  size_t I = 0;
+  while (I < Source.size()) {
+    char C = Source[I];
+    if (C == '\r' && I + 1 < Source.size() && Source[I + 1] == '\n') {
+      ++I;
+      continue;
+    }
+    H ^= static_cast<unsigned char>(C);
+    H *= Fnv1a64Prime;
+    ++I;
+  }
+  return H;
+}
+
+uint64_t rs::engine::cacheSalt(const EngineOptions &Opts,
+                               const std::vector<std::string> &DetectorNames) {
+  uint64_t H = fnv1a64("rustsight-filereport");
+  H = fnv1a64U64(ReportSchemaVersion, H);
+  for (const std::string &Name : DetectorNames) {
+    H = fnv1a64(Name, H);
+    H = fnv1a64("\n", H); // Separator: {"ab"} must differ from {"a","b"}.
+  }
+  H = fnv1a64U64(Opts.BudgetMs, H);
+  H = fnv1a64U64(Opts.MaxFileSteps, H);
+  H = fnv1a64U64(Opts.MaxDataflowIters, H);
+  H = fnv1a64U64(Opts.MaxSummaryRounds, H);
+  return H;
+}
+
+uint64_t rs::engine::cacheKey(uint64_t SourceFingerprint, uint64_t Salt) {
+  return fnv1a64U64(SourceFingerprint, Salt);
+}
+
+std::string rs::engine::serializeFileReport(const FileReport &R) {
+  JsonWriter W;
+  W.beginObject();
+  W.field("v", static_cast<int64_t>(ReportSchemaVersion));
+  W.key("detectors");
+  W.beginArray();
+  for (const DetectorOutcome &D : R.Detectors) {
+    W.beginObject();
+    W.field("name", D.Name);
+    W.field("findings", static_cast<int64_t>(D.Findings));
+    W.endObject();
+  }
+  W.endArray();
+  W.key("findings");
+  W.beginArray();
+  for (const detectors::Diagnostic &D : R.Findings) {
+    W.beginObject();
+    W.field("kind", detectors::bugKindName(D.Kind));
+    W.field("function", D.Function);
+    W.field("block", static_cast<int64_t>(D.Block));
+    W.field("statement", static_cast<int64_t>(D.StmtIndex));
+    W.field("message", D.Message);
+    // The file name is omitted: locations re-anchor to whatever path the
+    // content shows up at on the way back in.
+    W.field("line", static_cast<int64_t>(D.Loc.line()));
+    W.field("col", static_cast<int64_t>(D.Loc.column()));
+    W.endObject();
+  }
+  W.endArray();
+  W.endObject();
+  return W.str();
+}
+
+std::optional<FileReport>
+rs::engine::deserializeFileReport(std::string_view Payload,
+                                  const std::string &Path) {
+  std::optional<JsonValue> Doc = JsonValue::parse(Payload);
+  if (!Doc || !Doc->isObject())
+    return std::nullopt;
+  if (Doc->getInt("v", -1) != static_cast<int64_t>(ReportSchemaVersion))
+    return std::nullopt;
+  const JsonValue *Dets = Doc->get("detectors");
+  const JsonValue *Finds = Doc->get("findings");
+  if (!Dets || !Dets->isArray() || !Finds || !Finds->isArray())
+    return std::nullopt;
+
+  FileReport R;
+  R.Path = Path;
+  R.Status = EngineStatus::Ok; // Only clean reports are ever cached.
+  for (const JsonValue &D : Dets->elements()) {
+    if (!D.isObject())
+      return std::nullopt;
+    DetectorOutcome O;
+    O.Name = D.getString("name");
+    O.Status = EngineStatus::Ok;
+    O.Findings = static_cast<size_t>(D.getInt("findings"));
+    R.Detectors.push_back(std::move(O));
+  }
+  const std::string *File = internFileName(Path);
+  for (const JsonValue &F : Finds->elements()) {
+    if (!F.isObject())
+      return std::nullopt;
+    detectors::Diagnostic D;
+    if (!detectors::bugKindFromName(F.getString("kind"), D.Kind))
+      return std::nullopt;
+    D.Function = F.getString("function");
+    D.Block = static_cast<mir::BlockId>(F.getInt("block"));
+    D.StmtIndex = static_cast<size_t>(F.getInt("statement"));
+    D.Message = F.getString("message");
+    unsigned Line = static_cast<unsigned>(F.getInt("line"));
+    unsigned Col = static_cast<unsigned>(F.getInt("col"));
+    if (Line != 0)
+      D.Loc = SourceLocation(File, Line, Col);
+    R.Findings.push_back(std::move(D));
+  }
+  return R;
+}
+
+//===----------------------------------------------------------------------===//
+// The parallel corpus driver
+//===----------------------------------------------------------------------===//
+
+void AnalysisEngine::ensureCache() {
+  if (!Opts.UseCache) {
+    Cache.reset();
+    return;
+  }
+  if (Cache)
+    return;
+  sched::ResultCache::Options O;
+  O.MaxMemoryEntries = Opts.CacheMaxEntries;
+  O.DiskDir = Opts.CacheDir;
+  Cache = std::make_unique<sched::ResultCache>(std::move(O));
+}
+
+std::vector<std::string> AnalysisEngine::detectorNames() {
+  std::vector<std::string> Names;
+  std::vector<std::unique_ptr<detectors::Detector>> Detectors =
+      Factory ? Factory() : detectors::makeAllDetectors();
+  Names.reserve(Detectors.size());
+  for (const auto &D : Detectors)
+    Names.emplace_back(D->name());
+  return Names;
+}
+
+FileReport AnalysisEngine::analyzeFileCached(const std::string &Path,
+                                             uint64_t Salt) {
+  std::error_code Ec;
+  if (std::filesystem::is_directory(Path, Ec)) {
+    FileReport R;
+    R.Path = Path;
+    R.Status = EngineStatus::Skipped;
+    R.Reason = "is a directory";
+    return R;
+  }
+  std::ifstream In(Path);
+  if (!In) {
+    FileReport R;
+    R.Path = Path;
+    R.Status = EngineStatus::Skipped;
+    R.Reason = "cannot open file";
+    return R;
+  }
+  std::ostringstream Buf;
+  Buf << In.rdbuf();
+  std::string Source = Buf.str();
+
+  if (!Cache)
+    return analyzeSource(Source, Path);
+
+  uint64_t Key = cacheKey(fingerprintSource(Source), Salt);
+  if (std::optional<std::string> Payload = Cache->lookup(Key))
+    if (std::optional<FileReport> R = deserializeFileReport(*Payload, Path))
+      return std::move(*R);
+
+  FileReport R = analyzeSource(Source, Path);
+  // Only clean results are cached: degraded/skipped outcomes depend on
+  // wall-clock budgets and embed path-bearing error text, neither of which
+  // belongs in a content-addressed entry.
+  if (R.Status == EngineStatus::Ok)
+    Cache->store(Key, serializeFileReport(R));
+  return R;
+}
+
+CorpusReport AnalysisEngine::analyzeCorpus(const std::vector<std::string> &Paths) {
+  auto Start = std::chrono::steady_clock::now();
+
+  std::vector<corpus::CorpusInput> Inputs = corpus::expandMirPaths(Paths);
   CorpusReport Report;
-  Report.Files.reserve(Paths.size());
-  for (const std::string &Path : Paths) {
-    std::error_code Ec;
-    if (!fs::is_directory(Path, Ec)) {
-      Report.Files.push_back(analyzeFile(Path));
-      continue;
-    }
-    // Directories expand to their .mir files, recursively, in sorted order
-    // so reports are deterministic across filesystems.
-    std::vector<std::string> Found;
-    for (const auto &Entry : fs::recursive_directory_iterator(
-             Path, fs::directory_options::skip_permission_denied, Ec)) {
-      std::error_code FileEc;
-      if (Entry.is_regular_file(FileEc) && Entry.path().extension() == ".mir")
-        Found.push_back(Entry.path().string());
-    }
-    std::sort(Found.begin(), Found.end());
-    if (Found.empty()) {
+  Report.Files.resize(Inputs.size());
+
+  ensureCache();
+  sched::ResultCache::Stats Before;
+  if (Cache)
+    Before = Cache->stats();
+  const uint64_t Salt = cacheSalt(Opts, detectorNames());
+
+  // Each task owns exactly slot I of the report — the deterministic merge:
+  // results land by input ordinal, never by completion order.
+  auto ProcessOne = [&](size_t I) {
+    const corpus::CorpusInput &In = Inputs[I];
+    if (!In.SkipReason.empty()) {
       FileReport R;
-      R.Path = Path;
+      R.Path = In.Path;
       R.Status = EngineStatus::Skipped;
-      R.Reason = "no .mir files in directory";
-      Report.Files.push_back(std::move(R));
-      continue;
+      R.Reason = In.SkipReason;
+      Report.Files[I] = std::move(R);
+      return;
     }
-    for (const std::string &F : Found)
-      Report.Files.push_back(analyzeFile(F));
+    Report.Files[I] = analyzeFileCached(In.Path, Salt);
+  };
+
+  unsigned Jobs =
+      Opts.Jobs == 0 ? sched::ThreadPool::defaultWorkerCount() : Opts.Jobs;
+  if (Jobs > Inputs.size() && !Inputs.empty())
+    Jobs = unsigned(Inputs.size());
+  if (Jobs <= 1) {
+    Jobs = 1;
+    for (size_t I = 0; I != Inputs.size(); ++I)
+      ProcessOne(I);
+  } else {
+    sched::ThreadPool Pool(Jobs);
+    sched::parallelFor(Pool, Inputs.size(), ProcessOne);
+  }
+
+  Report.finalize();
+
+  Report.Stats.Jobs = Jobs;
+  Report.Stats.WallMs =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - Start)
+          .count();
+  Report.Stats.CacheEnabled = Cache != nullptr;
+  if (Cache) {
+    sched::ResultCache::Stats After = Cache->stats();
+    Report.Stats.CacheHits = After.Hits - Before.Hits;
+    Report.Stats.CacheMisses = After.Misses - Before.Misses;
+    Report.Stats.CacheEvictions = After.Evictions - Before.Evictions;
+    Report.Stats.DiskHits = After.DiskHits - Before.DiskHits;
+    Report.Stats.CorruptEntries =
+        After.CorruptEntries - Before.CorruptEntries;
   }
   return Report;
 }
@@ -234,6 +455,35 @@ CorpusReport AnalysisEngine::run(const std::vector<std::string> &Paths) {
 //===----------------------------------------------------------------------===//
 // CorpusReport
 //===----------------------------------------------------------------------===//
+
+std::string RunStats::renderLine() const {
+  std::string Out = "cache: ";
+  if (!CacheEnabled) {
+    Out += "disabled";
+  } else {
+    Out += std::to_string(CacheHits) + " hit(s), " +
+           std::to_string(CacheMisses) + " miss(es), " +
+           std::to_string(CacheEvictions) + " eviction(s)";
+    if (DiskHits != 0 || CorruptEntries != 0)
+      Out += " (" + std::to_string(DiskHits) + " from disk, " +
+             std::to_string(CorruptEntries) + " corrupt)";
+  }
+  Out += "; " + formatDouble(WallMs, 1) + " ms wall-clock, " +
+         std::to_string(Jobs) + " job(s)";
+  return Out;
+}
+
+void CorpusReport::finalize() {
+  for (FileReport &F : Files)
+    std::stable_sort(F.Findings.begin(), F.Findings.end(),
+                     [](const detectors::Diagnostic &A,
+                        const detectors::Diagnostic &B) {
+                       return std::tie(A.Function, A.Block, A.StmtIndex,
+                                       A.Kind, A.Message) <
+                              std::tie(B.Function, B.Block, B.StmtIndex,
+                                       B.Kind, B.Message);
+                     });
+}
 
 size_t CorpusReport::countWithStatus(EngineStatus S) const {
   size_t N = 0;

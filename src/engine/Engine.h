@@ -32,9 +32,11 @@
 #define RUSTSIGHT_ENGINE_ENGINE_H
 
 #include "detectors/Detector.h"
+#include "sched/ResultCache.h"
 
 #include <functional>
 #include <memory>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -73,12 +75,39 @@ struct FileReport {
   bool analyzed() const { return Status != EngineStatus::Skipped; }
 };
 
+/// Aggregate observability for one corpus run: scheduler shape, cache
+/// effectiveness, wall-clock. Deliberately NOT part of renderJson() — the
+/// JSON report is byte-identical across job counts and cold/warm caches,
+/// and these numbers are anything but.
+struct RunStats {
+  unsigned Jobs = 1;         ///< Worker threads actually used.
+  double WallMs = 0;         ///< End-to-end corpus wall-clock.
+  bool CacheEnabled = false; ///< False when EngineOptions::UseCache is off.
+  uint64_t CacheHits = 0;
+  uint64_t CacheMisses = 0;
+  uint64_t CacheEvictions = 0;
+  uint64_t DiskHits = 0;       ///< Subset of CacheHits served from disk.
+  uint64_t CorruptEntries = 0; ///< Disk entries that degraded to misses.
+
+  /// One human-readable line, e.g.
+  /// "cache: 3 hits, 5 misses, 0 evictions; 12.4 ms wall-clock, 8 jobs".
+  std::string renderLine() const;
+};
+
 /// The whole corpus run.
 struct CorpusReport {
   std::vector<FileReport> Files;
+  RunStats Stats;
 
   size_t countWithStatus(EngineStatus S) const;
   size_t totalFindings() const;
+
+  /// The determinism pass: explicitly re-sorts every file's findings into
+  /// the canonical (function, block, statement, kind, message) order.
+  /// Files are already in input order — the parallel driver merges results
+  /// by input ordinal, never by completion order — so after this pass the
+  /// rendered report is byte-identical for any job count. Idempotent.
+  void finalize();
 
   /// One status line per file plus its findings and detector notes.
   std::string renderText() const;
@@ -99,7 +128,52 @@ struct EngineOptions {
   uint64_t MaxFileSteps = 0;     ///< Per-file analysis step budget.
   uint64_t MaxDataflowIters = 0; ///< Per-function dataflow update cap.
   unsigned MaxSummaryRounds = 8; ///< Interprocedural summary rounds.
+
+  /// Worker threads for analyzeCorpus (0 = hardware_concurrency, 1 =
+  /// serial). Output is byte-identical for every value.
+  unsigned Jobs = 0;
+
+  /// Result-cache master switch. The in-memory layer always rides along
+  /// when enabled; only clean (Ok) file reports are ever cached.
+  bool UseCache = true;
+
+  /// On-disk cache layer root ("" = memory-only).
+  std::string CacheDir;
+
+  /// In-memory cache entry cap (0 = unbounded).
+  size_t CacheMaxEntries = 4096;
 };
+
+//===----------------------------------------------------------------------===//
+// Cache key derivation and report serialization (exposed for tests and
+// docs/PARALLELISM.md's invalidation rules).
+//===----------------------------------------------------------------------===//
+
+/// Fingerprints one file's canonical MIR text: CRLF is normalized to LF so
+/// a checkout-mode change does not invalidate, any other byte change does.
+uint64_t fingerprintSource(std::string_view Source);
+
+/// Folds everything that changes analysis results — the report schema
+/// version, the detector battery (names, in order), and the analysis
+/// budget options — into a salt. A content fingerprint combined with a
+/// different salt can never collide back onto the same cache key, so
+/// adding a detector or changing a budget invalidates en masse.
+uint64_t cacheSalt(const EngineOptions &Opts,
+                   const std::vector<std::string> &DetectorNames);
+
+/// The full cache key for one file under one engine configuration.
+uint64_t cacheKey(uint64_t SourceFingerprint, uint64_t Salt);
+
+/// Serializes a clean (Ok) FileReport into the cache payload JSON. The
+/// path is deliberately excluded: identical content at two paths shares
+/// one entry.
+std::string serializeFileReport(const FileReport &R);
+
+/// Rebuilds a FileReport from a cache payload, re-anchored at \p Path
+/// (finding locations are re-interned against it). Returns nullopt on any
+/// schema mismatch — the caller treats that as a miss and re-analyzes.
+std::optional<FileReport> deserializeFileReport(std::string_view Payload,
+                                                const std::string &Path);
 
 /// Runs the detector battery over files/sources with fault isolation and
 /// budgets. Fault-injection probe sites: "engine.parse", "engine.verify",
@@ -118,19 +192,37 @@ public:
   /// Analyzes one in-memory buffer.
   FileReport analyzeSource(std::string_view Source, std::string Name);
 
-  /// Reads and analyzes one file; unreadable files are Skipped.
+  /// Reads and analyzes one file; unreadable files are Skipped. Always
+  /// analyzes fresh (no cache) — the cached path is analyzeCorpus.
   FileReport analyzeFile(const std::string &Path);
 
   /// Analyzes every path, never aborting the batch. Directories expand to
   /// their .mir files (recursively, in sorted order); a directory with no
-  /// .mir files yields one Skipped entry.
-  CorpusReport run(const std::vector<std::string> &Paths);
+  /// .mir files yields one Skipped entry. Files run as parallel tasks on a
+  /// work-stealing pool (EngineOptions::Jobs), each inside the containment
+  /// boundary; results are merged in input order, so the report renders
+  /// byte-identically for any job count. Clean per-file results are served
+  /// from / stored into the content-addressed result cache.
+  CorpusReport analyzeCorpus(const std::vector<std::string> &Paths);
+
+  /// Historical name for analyzeCorpus.
+  CorpusReport run(const std::vector<std::string> &Paths) {
+    return analyzeCorpus(Paths);
+  }
+
+  /// The engine's cache (null when disabled). Persists across
+  /// analyzeCorpus calls, which is what makes warm reruns hit.
+  sched::ResultCache *cache() { return Cache.get(); }
 
 private:
   void runDetectors(const mir::Module &M, FileReport &R);
+  FileReport analyzeFileCached(const std::string &Path, uint64_t Salt);
+  void ensureCache();
+  std::vector<std::string> detectorNames();
 
   EngineOptions Opts;
   DetectorFactory Factory;
+  std::unique_ptr<sched::ResultCache> Cache;
 };
 
 } // namespace rs::engine

@@ -1,0 +1,173 @@
+#include "sched/ResultCache.h"
+
+#include "support/Hash.h"
+#include "support/Json.h"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include <unistd.h>
+
+namespace fs = std::filesystem;
+
+using namespace rs;
+using namespace rs::sched;
+
+ResultCache::ResultCache() : ResultCache(Options{}) {}
+
+ResultCache::ResultCache(Options O) : Opts(std::move(O)) {}
+
+std::string ResultCache::entryFileName(uint64_t Key) {
+  return "rscache-" + hashToHex(Key) + ".json";
+}
+
+std::optional<std::string> ResultCache::lookup(uint64_t Key) {
+  {
+    std::lock_guard<std::mutex> Lock(M);
+    auto It = Index.find(Key);
+    if (It != Index.end()) {
+      Lru.splice(Lru.begin(), Lru, It->second); // Touch: move to front.
+      ++Counters.Hits;
+      return It->second->second;
+    }
+  }
+  if (!Opts.DiskDir.empty()) {
+    if (std::optional<std::string> Payload = loadFromDisk(Key)) {
+      std::lock_guard<std::mutex> Lock(M);
+      ++Counters.Hits;
+      ++Counters.DiskHits;
+      insertMemory(Key, *Payload);
+      return Payload;
+    }
+  }
+  std::lock_guard<std::mutex> Lock(M);
+  ++Counters.Misses;
+  return std::nullopt;
+}
+
+void ResultCache::store(uint64_t Key, std::string_view Payload) {
+  {
+    std::lock_guard<std::mutex> Lock(M);
+    insertMemory(Key, std::string(Payload));
+  }
+  if (!Opts.DiskDir.empty())
+    storeToDisk(Key, Payload);
+}
+
+void ResultCache::clearMemory() {
+  std::lock_guard<std::mutex> Lock(M);
+  Lru.clear();
+  Index.clear();
+}
+
+ResultCache::Stats ResultCache::stats() const {
+  std::lock_guard<std::mutex> Lock(M);
+  return Counters;
+}
+
+size_t ResultCache::memoryEntryCount() const {
+  std::lock_guard<std::mutex> Lock(M);
+  return Index.size();
+}
+
+/// Caller holds the mutex.
+void ResultCache::insertMemory(uint64_t Key, std::string Payload) {
+  auto It = Index.find(Key);
+  if (It != Index.end()) {
+    It->second->second = std::move(Payload);
+    Lru.splice(Lru.begin(), Lru, It->second);
+    return;
+  }
+  Lru.emplace_front(Key, std::move(Payload));
+  Index[Key] = Lru.begin();
+  while (Opts.MaxMemoryEntries != 0 && Index.size() > Opts.MaxMemoryEntries) {
+    Index.erase(Lru.back().first);
+    Lru.pop_back();
+    ++Counters.Evictions;
+  }
+}
+
+std::optional<std::string> ResultCache::loadFromDisk(uint64_t Key) {
+  fs::path Path = fs::path(Opts.DiskDir) / entryFileName(Key);
+  std::ifstream In(Path, std::ios::binary);
+  if (!In)
+    return std::nullopt; // Absent: a plain miss, not corruption.
+  std::ostringstream Buf;
+  Buf << In.rdbuf();
+  std::string Text = Buf.str();
+
+  // Any defect from here on is corruption: count it, drop the entry so the
+  // next run does not pay the parse again, and miss.
+  auto Corrupt = [&]() -> std::optional<std::string> {
+    {
+      std::lock_guard<std::mutex> Lock(M);
+      ++Counters.CorruptEntries;
+    }
+    std::error_code Ec;
+    fs::remove(Path, Ec); // Best-effort.
+    return std::nullopt;
+  };
+
+  std::optional<JsonValue> Doc = JsonValue::parse(Text);
+  if (!Doc || !Doc->isObject())
+    return Corrupt();
+  if (Doc->getInt("version", -1) != DiskFormatVersion)
+    return Corrupt();
+  uint64_t StoredKey = 0;
+  if (!hexToHash(Doc->getString("key"), StoredKey) || StoredKey != Key)
+    return Corrupt();
+  const JsonValue *Payload = Doc->get("payload");
+  if (!Payload || !Payload->isString())
+    return Corrupt();
+  return Payload->asString();
+}
+
+void ResultCache::storeToDisk(uint64_t Key, std::string_view Payload) {
+  auto Fail = [&] {
+    std::lock_guard<std::mutex> Lock(M);
+    ++Counters.StoreErrors;
+  };
+
+  std::error_code Ec;
+  fs::create_directories(Opts.DiskDir, Ec);
+
+  JsonWriter W;
+  W.beginObject();
+  W.field("version", DiskFormatVersion);
+  W.field("key", hashToHex(Key));
+  W.field("payload", Payload);
+  W.endObject();
+
+  // Unique-enough temporary name per writer (pid + thread), then an atomic
+  // rename: concurrent writers of the same key race benignly because both
+  // wrote identical content for identical keys.
+  fs::path Final = fs::path(Opts.DiskDir) / entryFileName(Key);
+  std::string Suffix =
+      ".tmp." + std::to_string(::getpid()) + "." +
+      hashToHex(std::hash<std::thread::id>()(std::this_thread::get_id()));
+  fs::path Tmp = Final;
+  Tmp += Suffix;
+
+  {
+    std::ofstream Out(Tmp, std::ios::binary | std::ios::trunc);
+    if (!Out) {
+      Fail();
+      return;
+    }
+    Out << W.str();
+    Out.flush();
+    if (!Out) {
+      Out.close();
+      fs::remove(Tmp, Ec);
+      Fail();
+      return;
+    }
+  }
+  fs::rename(Tmp, Final, Ec);
+  if (Ec) {
+    fs::remove(Tmp, Ec);
+    Fail();
+  }
+}

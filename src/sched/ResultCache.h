@@ -1,0 +1,102 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of RustSight, a reproduction of "Understanding Memory and Thread
+// Safety Practices and Issues in Real-World Rust Programs" (PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A content-addressed incremental result cache. Summary-based analyses
+/// scale because per-unit results are reusable across runs; RustSight's
+/// unit is the file, keyed by a stable 64-bit FNV-1a fingerprint of the
+/// file's canonical MIR text folded with a detector-set/version salt
+/// (the engine derives the key; the cache is payload-agnostic and stores
+/// opaque serialized reports).
+///
+/// Two layers:
+///  - in-memory: an LRU map, bounded by MaxMemoryEntries, thread-safe;
+///  - on-disk (optional): one JSON file per entry in DiskDir, written to a
+///    temporary name and atomically renamed into place so readers never
+///    see a torn entry. A corrupt, truncated, mismatched or unreadable
+///    entry degrades to a cache miss — never a crash (PR 1's resilience
+///    rules apply to the cache too).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RUSTSIGHT_SCHED_RESULTCACHE_H
+#define RUSTSIGHT_SCHED_RESULTCACHE_H
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace rs::sched {
+
+class ResultCache {
+public:
+  struct Options {
+    /// In-memory entry cap; older entries are LRU-evicted past it.
+    /// 0 means unbounded.
+    size_t MaxMemoryEntries = 4096;
+
+    /// On-disk layer root ("" disables the disk layer). Created on first
+    /// store if missing.
+    std::string DiskDir;
+  };
+
+  /// Counters since construction. Reads that hit the disk layer count as
+  /// both a Hit and a DiskHit.
+  struct Stats {
+    uint64_t Hits = 0;
+    uint64_t Misses = 0;
+    uint64_t Evictions = 0;
+    uint64_t DiskHits = 0;
+    uint64_t CorruptEntries = 0; ///< Disk entries that failed to load.
+    uint64_t StoreErrors = 0;    ///< Disk writes that failed (non-fatal).
+  };
+
+  ResultCache(); ///< Default options (memory-only, default cap).
+  explicit ResultCache(Options O);
+
+  /// Returns the payload stored under \p Key, or nullopt. A disk hit is
+  /// promoted into the memory layer. Thread-safe.
+  std::optional<std::string> lookup(uint64_t Key);
+
+  /// Stores \p Payload under \p Key in both layers. Disk failures are
+  /// counted, not raised. Thread-safe.
+  void store(uint64_t Key, std::string_view Payload);
+
+  /// Drops every in-memory entry (the disk layer is untouched).
+  void clearMemory();
+
+  Stats stats() const;
+
+  size_t memoryEntryCount() const;
+
+  /// The on-disk file name for \p Key: "rscache-<16 hex digits>.json".
+  static std::string entryFileName(uint64_t Key);
+
+  /// The on-disk entry format version; bump when the envelope changes.
+  static constexpr int64_t DiskFormatVersion = 1;
+
+private:
+  std::optional<std::string> loadFromDisk(uint64_t Key);
+  void storeToDisk(uint64_t Key, std::string_view Payload);
+  void insertMemory(uint64_t Key, std::string Payload);
+
+  Options Opts;
+
+  mutable std::mutex M;
+  /// LRU list, most-recent first; the map points into it.
+  std::list<std::pair<uint64_t, std::string>> Lru;
+  std::unordered_map<uint64_t, decltype(Lru)::iterator> Index;
+  Stats Counters;
+};
+
+} // namespace rs::sched
+
+#endif // RUSTSIGHT_SCHED_RESULTCACHE_H

@@ -1,6 +1,7 @@
 #include "support/FaultInjection.h"
 
 #include <map>
+#include <mutex>
 
 using namespace rs;
 
@@ -12,6 +13,15 @@ struct SiteState {
   uint64_t Hits = 0;
 };
 
+// The mutex guards the registry map and every SiteState in it; parallel
+// engine workers probe concurrently, so hit counting must be atomic with
+// the lookup. The fast path (nothing armed) stays a single relaxed atomic
+// load in the shouldFail inline wrapper and never takes this lock.
+std::mutex &registryMutex() {
+  static std::mutex M;
+  return M;
+}
+
 std::map<std::string, SiteState> &registry() {
   static std::map<std::string, SiteState> R;
   return R;
@@ -19,9 +29,10 @@ std::map<std::string, SiteState> &registry() {
 
 } // namespace
 
-bool fault::detail::Enabled = false;
+std::atomic<bool> fault::detail::Enabled{false};
 
 bool fault::detail::shouldFailSlow(const char *Site) {
+  std::lock_guard<std::mutex> Lock(registryMutex());
   auto It = registry().find(Site);
   if (It == registry().end())
     return false;
@@ -31,21 +42,25 @@ bool fault::detail::shouldFailSlow(const char *Site) {
 }
 
 void fault::arm(const std::string &Site, uint64_t FailOnNth, uint64_t Count) {
+  std::lock_guard<std::mutex> Lock(registryMutex());
   registry()[Site] = SiteState{FailOnNth, Count, 0};
-  detail::Enabled = true;
+  detail::Enabled.store(true, std::memory_order_relaxed);
 }
 
 void fault::disarm(const std::string &Site) {
+  std::lock_guard<std::mutex> Lock(registryMutex());
   registry().erase(Site);
-  detail::Enabled = !registry().empty();
+  detail::Enabled.store(!registry().empty(), std::memory_order_relaxed);
 }
 
 void fault::disarmAll() {
+  std::lock_guard<std::mutex> Lock(registryMutex());
   registry().clear();
-  detail::Enabled = false;
+  detail::Enabled.store(false, std::memory_order_relaxed);
 }
 
 uint64_t fault::hitCount(const std::string &Site) {
+  std::lock_guard<std::mutex> Lock(registryMutex());
   auto It = registry().find(Site);
   return It == registry().end() ? 0 : It->second.Hits;
 }

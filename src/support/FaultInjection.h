@@ -12,29 +12,34 @@
 /// fault. Probes are compiled in always but cost a single branch on a
 /// plain bool when nothing is armed, so production builds pay nothing.
 ///
-/// The registry is process-global and not thread-safe; RustSight analyzes
-/// single-threaded and tests arm/disarm around the code under test (use
-/// ScopedFault so disarm survives early returns and ASSERT bailouts).
+/// The registry is process-global and thread-safe: parallel engine workers
+/// may probe concurrently (hit counting is serialized under a lock, so
+/// "fail the Nth hit" stays exact even then, though which worker observes
+/// the Nth hit depends on scheduling). Tests arm/disarm around the code
+/// under test (use ScopedFault so disarm survives early returns and ASSERT
+/// bailouts).
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef RUSTSIGHT_SUPPORT_FAULTINJECTION_H
 #define RUSTSIGHT_SUPPORT_FAULTINJECTION_H
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 
 namespace rs::fault {
 
 namespace detail {
-extern bool Enabled;
+extern std::atomic<bool> Enabled;
 bool shouldFailSlow(const char *Site);
 } // namespace detail
 
 /// Probe point: returns true when \p Site is armed and this hit is one of
 /// the hits selected to fail. Zero-cost (one branch) when nothing is armed.
 inline bool shouldFail(const char *Site) {
-  return detail::Enabled && detail::shouldFailSlow(Site);
+  return detail::Enabled.load(std::memory_order_relaxed) &&
+         detail::shouldFailSlow(Site);
 }
 
 /// Arms \p Site to fail on hits [FailOnNth, FailOnNth + Count) — hit

@@ -1,0 +1,32 @@
+#include "support/Hash.h"
+
+#include <string>
+
+using namespace rs;
+
+std::string rs::hashToHex(uint64_t H) {
+  static const char Digits[] = "0123456789abcdef";
+  std::string Out(16, '0');
+  for (int I = 15; I >= 0; --I) {
+    Out[I] = Digits[H & 0xf];
+    H >>= 4;
+  }
+  return Out;
+}
+
+bool rs::hexToHash(std::string_view Hex, uint64_t &Out) {
+  if (Hex.size() != 16)
+    return false;
+  uint64_t H = 0;
+  for (char C : Hex) {
+    H <<= 4;
+    if (C >= '0' && C <= '9')
+      H |= static_cast<uint64_t>(C - '0');
+    else if (C >= 'a' && C <= 'f')
+      H |= static_cast<uint64_t>(C - 'a' + 10);
+    else
+      return false;
+  }
+  Out = H;
+  return true;
+}

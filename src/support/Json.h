@@ -6,7 +6,10 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// A streaming JSON writer used for machine-readable detector reports.
+/// A streaming JSON writer used for machine-readable detector reports, and
+/// a small recursive-descent parser (JsonValue) used to reload documents
+/// the writer produced — most importantly on-disk result-cache entries,
+/// where a malformed document must read as "not there", never crash.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -14,8 +17,11 @@
 #define RUSTSIGHT_SUPPORT_JSON_H
 
 #include <cstdint>
+#include <memory>
+#include <optional>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 namespace rs {
@@ -82,6 +88,59 @@ private:
 
   std::string Out;
   std::vector<Scope> Stack;
+};
+
+/// A parsed JSON document node. Objects keep their members in document
+/// order; lookups are linear (documents here are small). Numbers remember
+/// whether they were written as integers so int64 round-trips exactly.
+class JsonValue {
+public:
+  enum class Kind { Null, Bool, Int, Double, String, Array, Object };
+
+  JsonValue() : K(Kind::Null) {}
+
+  /// Parses one complete JSON document (surrounding whitespace allowed).
+  /// Returns nullopt on any syntax error or trailing garbage — the caller
+  /// treats that as a missing document.
+  static std::optional<JsonValue> parse(std::string_view Text);
+
+  Kind kind() const { return K; }
+  bool isNull() const { return K == Kind::Null; }
+  bool isObject() const { return K == Kind::Object; }
+  bool isArray() const { return K == Kind::Array; }
+  bool isString() const { return K == Kind::String; }
+  bool isInt() const { return K == Kind::Int; }
+  bool isBool() const { return K == Kind::Bool; }
+
+  bool asBool() const { return B; }
+  int64_t asInt() const { return I; }
+  double asDouble() const { return K == Kind::Int ? double(I) : D; }
+  const std::string &asString() const { return S; }
+  const std::vector<JsonValue> &elements() const { return Elems; }
+  const std::vector<std::pair<std::string, JsonValue>> &members() const {
+    return Members;
+  }
+
+  /// Object member lookup; null when absent or when this is not an object.
+  const JsonValue *get(std::string_view Key) const;
+
+  /// Typed member accessors with defaults — the shape the cache loader
+  /// wants: absent or mistyped fields read as the fallback.
+  std::string_view getString(std::string_view Key,
+                             std::string_view Default = "") const;
+  int64_t getInt(std::string_view Key, int64_t Default = 0) const;
+  bool getBool(std::string_view Key, bool Default = false) const;
+
+private:
+  friend class JsonParser;
+
+  Kind K;
+  bool B = false;
+  int64_t I = 0;
+  double D = 0;
+  std::string S;
+  std::vector<JsonValue> Elems;
+  std::vector<std::pair<std::string, JsonValue>> Members;
 };
 
 } // namespace rs

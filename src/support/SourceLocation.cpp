@@ -1,5 +1,6 @@
 #include "support/SourceLocation.h"
 
+#include <mutex>
 #include <set>
 
 using namespace rs;
@@ -11,7 +12,12 @@ const std::string &SourceLocation::file() const {
 }
 
 const std::string *rs::internFileName(std::string_view Name) {
+  // std::set never invalidates element addresses, so returned pointers stay
+  // stable across later insertions; the mutex makes concurrent interning
+  // from parallel per-file analysis tasks safe.
+  static std::mutex PoolMutex;
   static std::set<std::string> Pool; // Function-local: no static constructor.
+  std::lock_guard<std::mutex> Lock(PoolMutex);
   return &*Pool.insert(std::string(Name)).first;
 }
 

@@ -48,9 +48,9 @@ private:
 };
 
 /// Interns \p Name into a process-lifetime pool and returns a stable pointer
-/// suitable for storing in SourceLocations. Thread-compatible (RustSight
-/// parses single-threaded); repeated calls with equal names return the same
-/// pointer.
+/// suitable for storing in SourceLocations. Thread-safe (the parallel
+/// engine parses files concurrently); repeated calls with equal names
+/// return the same pointer.
 const std::string *internFileName(std::string_view Name);
 
 } // namespace rs

@@ -1,0 +1,221 @@
+//===----------------------------------------------------------------------===//
+//
+// Tests for the content-addressed result cache: memory-layer hit/miss and
+// LRU eviction, disk-layer round trips, and — most importantly — the
+// corruption contract: a damaged on-disk entry is a miss, never a crash.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sched/ResultCache.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+namespace fs = std::filesystem;
+using namespace rs::sched;
+
+namespace {
+
+/// A fresh temp dir per test so entries never leak between them.
+fs::path freshDir(const char *Name) {
+  fs::path Dir = fs::path(testing::TempDir()) / Name;
+  fs::remove_all(Dir);
+  fs::create_directories(Dir);
+  return Dir;
+}
+
+std::string readFile(const fs::path &P) {
+  std::ifstream In(P, std::ios::binary);
+  std::ostringstream Buf;
+  Buf << In.rdbuf();
+  return Buf.str();
+}
+
+} // namespace
+
+TEST(ResultCache, MemoryHitMissAndStats) {
+  ResultCache C;
+  EXPECT_FALSE(C.lookup(1).has_value());
+  C.store(1, "payload-one");
+  auto Hit = C.lookup(1);
+  ASSERT_TRUE(Hit.has_value());
+  EXPECT_EQ(*Hit, "payload-one");
+  EXPECT_FALSE(C.lookup(2).has_value());
+
+  ResultCache::Stats S = C.stats();
+  EXPECT_EQ(S.Hits, 1u);
+  EXPECT_EQ(S.Misses, 2u);
+  EXPECT_EQ(S.Evictions, 0u);
+  EXPECT_EQ(S.DiskHits, 0u);
+}
+
+TEST(ResultCache, StoreOverwritesInPlace) {
+  ResultCache C;
+  C.store(7, "old");
+  C.store(7, "new");
+  EXPECT_EQ(C.memoryEntryCount(), 1u);
+  EXPECT_EQ(*C.lookup(7), "new");
+}
+
+TEST(ResultCache, LruEvictionPrefersColdEntries) {
+  ResultCache::Options O;
+  O.MaxMemoryEntries = 2;
+  ResultCache C(O);
+  C.store(1, "a");
+  C.store(2, "b");
+  ASSERT_TRUE(C.lookup(1).has_value()); // Touch 1 so 2 is the cold one.
+  C.store(3, "c");
+  EXPECT_EQ(C.stats().Evictions, 1u);
+  EXPECT_EQ(C.memoryEntryCount(), 2u);
+  EXPECT_TRUE(C.lookup(1).has_value());
+  EXPECT_FALSE(C.lookup(2).has_value()); // Evicted.
+  EXPECT_TRUE(C.lookup(3).has_value());
+}
+
+TEST(ResultCache, DiskRoundTripAcrossInstances) {
+  fs::path Dir = freshDir("rscache_roundtrip");
+  uint64_t Key = 0xdeadbeef12345678ull;
+  {
+    ResultCache::Options O;
+    O.DiskDir = Dir.string();
+    ResultCache Writer(O);
+    Writer.store(Key, "the serialized report");
+  }
+  EXPECT_TRUE(fs::exists(Dir / ResultCache::entryFileName(Key)));
+  EXPECT_EQ(ResultCache::entryFileName(Key), "rscache-deadbeef12345678.json");
+
+  ResultCache::Options O;
+  O.DiskDir = Dir.string();
+  ResultCache Reader(O);
+  auto Hit = Reader.lookup(Key);
+  ASSERT_TRUE(Hit.has_value());
+  EXPECT_EQ(*Hit, "the serialized report");
+  ResultCache::Stats S = Reader.stats();
+  EXPECT_EQ(S.Hits, 1u);
+  EXPECT_EQ(S.DiskHits, 1u);
+  // The disk hit was promoted: the second lookup is served from memory.
+  ASSERT_TRUE(Reader.lookup(Key).has_value());
+  EXPECT_EQ(Reader.stats().DiskHits, 1u);
+}
+
+TEST(ResultCache, PayloadBytesSurviveEscaping) {
+  fs::path Dir = freshDir("rscache_escape");
+  std::string Nasty = "{\"json\":\"in json\"}\nline2\ttab \\ \"quote\" \x01";
+  Nasty += '\0'; // Even an embedded NUL must round-trip.
+  Nasty += "tail";
+  ResultCache::Options O;
+  O.DiskDir = Dir.string();
+  {
+    ResultCache W(O);
+    W.store(42, Nasty);
+  }
+  ResultCache R(O);
+  auto Hit = R.lookup(42);
+  ASSERT_TRUE(Hit.has_value());
+  EXPECT_EQ(*Hit, Nasty);
+}
+
+TEST(ResultCache, CorruptEntryDegradesToMissAndIsDropped) {
+  fs::path Dir = freshDir("rscache_corrupt");
+  ResultCache::Options O;
+  O.DiskDir = Dir.string();
+
+  const char *Cases[] = {
+      "",                                   // Empty file.
+      "not json at all",                    // Garbage.
+      "{\"version\":1,\"key\":\"zz\"}",     // Bad key, no payload.
+      "{\"version\":99,\"key\":\"0000000000000007\",\"payload\":\"x\"}",
+      "{\"version\":1,\"key\":\"0000000000000007\",\"payload\":7}",
+      "{\"version\":1,\"key\":\"0000000000000007\",\"payl", // Truncated.
+  };
+  uint64_t Key = 7;
+  for (const char *Body : Cases) {
+    fs::path Entry = Dir / ResultCache::entryFileName(Key);
+    std::ofstream(Entry, std::ios::binary) << Body;
+    ResultCache C(O);
+    EXPECT_FALSE(C.lookup(Key).has_value()) << "case: " << Body;
+    EXPECT_EQ(C.stats().CorruptEntries, 1u) << "case: " << Body;
+    EXPECT_EQ(C.stats().Misses, 1u) << "case: " << Body;
+    EXPECT_FALSE(fs::exists(Entry)) << "corrupt entry should be dropped";
+  }
+}
+
+TEST(ResultCache, EntryUnderWrongNameIsRejected) {
+  // A valid entry copied to another key's file name must not be served:
+  // the envelope key check catches renamed/aliased entries.
+  fs::path Dir = freshDir("rscache_wrongname");
+  ResultCache::Options O;
+  O.DiskDir = Dir.string();
+  {
+    ResultCache W(O);
+    W.store(1, "payload of key 1");
+  }
+  fs::copy_file(Dir / ResultCache::entryFileName(1),
+                Dir / ResultCache::entryFileName(2));
+  ResultCache C(O);
+  EXPECT_FALSE(C.lookup(2).has_value());
+  EXPECT_EQ(C.stats().CorruptEntries, 1u);
+}
+
+TEST(ResultCache, UnwritableDiskDirCountsStoreErrorsWithoutCrashing) {
+  ResultCache::Options O;
+  // A path under a regular file can never become a directory.
+  fs::path Blocker = fs::path(testing::TempDir()) / "rscache_blocker";
+  std::ofstream(Blocker) << "i am a file";
+  O.DiskDir = (Blocker / "sub").string();
+  ResultCache C(O);
+  C.store(9, "lost payload");
+  EXPECT_EQ(C.stats().StoreErrors, 1u);
+  // The memory layer still works.
+  EXPECT_TRUE(C.lookup(9).has_value());
+}
+
+TEST(ResultCache, ConcurrentMixedUseIsSafe) {
+  fs::path Dir = freshDir("rscache_threads");
+  ResultCache::Options O;
+  O.DiskDir = Dir.string();
+  O.MaxMemoryEntries = 16; // Force evictions under contention too.
+  ResultCache C(O);
+  std::vector<std::thread> Threads;
+  for (int T = 0; T != 8; ++T)
+    Threads.emplace_back([&C, T] {
+      for (uint64_t I = 0; I != 64; ++I) {
+        uint64_t Key = (I + uint64_t(T) * 7) % 32;
+        if (auto Hit = C.lookup(Key))
+          EXPECT_EQ(*Hit, "payload-" + std::to_string(Key));
+        else
+          C.store(Key, "payload-" + std::to_string(Key));
+      }
+    });
+  for (std::thread &T : Threads)
+    T.join();
+  // Every surviving entry must still read back intact.
+  for (uint64_t Key = 0; Key != 32; ++Key)
+    if (auto Hit = C.lookup(Key)) {
+      EXPECT_EQ(*Hit, "payload-" + std::to_string(Key));
+    }
+}
+
+TEST(ResultCache, DiskEntryIsWellFormedJson) {
+  fs::path Dir = freshDir("rscache_format");
+  ResultCache::Options O;
+  O.DiskDir = Dir.string();
+  ResultCache C(O);
+  C.store(0xabc, "hello");
+  std::string Text = readFile(Dir / ResultCache::entryFileName(0xabc));
+  EXPECT_NE(Text.find("\"version\":1"), std::string::npos);
+  EXPECT_NE(Text.find("\"key\":\"0000000000000abc\""), std::string::npos);
+  EXPECT_NE(Text.find("\"payload\":\"hello\""), std::string::npos);
+  // No temporary files left behind.
+  size_t Entries = 0;
+  for (const auto &E : fs::directory_iterator(Dir)) {
+    (void)E;
+    ++Entries;
+  }
+  EXPECT_EQ(Entries, 1u);
+}

@@ -52,3 +52,85 @@ TEST(Json, TopLevelScalar) {
   W.value("hello");
   EXPECT_EQ(W.str(), "\"hello\"");
 }
+
+//===----------------------------------------------------------------------===//
+// JsonValue parsing — the read side of the result cache's on-disk entries.
+//===----------------------------------------------------------------------===//
+
+TEST(JsonParse, ObjectWithTypedMembers) {
+  auto V = JsonValue::parse(
+      " {\"version\": 1, \"key\":\"abc\", \"flag\": true, \"pi\": 3.5} ");
+  ASSERT_TRUE(V.has_value());
+  ASSERT_TRUE(V->isObject());
+  EXPECT_EQ(V->getInt("version", -1), 1);
+  EXPECT_EQ(V->getString("key"), "abc");
+  EXPECT_TRUE(V->getBool("flag"));
+  ASSERT_NE(V->get("pi"), nullptr);
+  EXPECT_DOUBLE_EQ(V->get("pi")->asDouble(), 3.5);
+  EXPECT_EQ(V->get("missing"), nullptr);
+  EXPECT_EQ(V->getInt("missing", 42), 42);
+  EXPECT_EQ(V->getString("version", "fallback"), "fallback"); // Mistyped.
+}
+
+TEST(JsonParse, NestedArraysAndObjects) {
+  auto V = JsonValue::parse("{\"files\":[{\"n\":1},{\"n\":2}],\"empty\":[]}");
+  ASSERT_TRUE(V.has_value());
+  const JsonValue *Files = V->get("files");
+  ASSERT_NE(Files, nullptr);
+  ASSERT_TRUE(Files->isArray());
+  ASSERT_EQ(Files->elements().size(), 2u);
+  EXPECT_EQ(Files->elements()[1].getInt("n"), 2);
+  EXPECT_TRUE(V->get("empty")->elements().empty());
+}
+
+TEST(JsonParse, ScalarsAndNull) {
+  EXPECT_TRUE(JsonValue::parse("null")->isNull());
+  EXPECT_EQ(JsonValue::parse("-42")->asInt(), -42);
+  EXPECT_FALSE(JsonValue::parse("false")->asBool());
+  EXPECT_DOUBLE_EQ(JsonValue::parse("1e3")->asDouble(), 1000.0);
+  EXPECT_TRUE(JsonValue::parse("1e3")->kind() == JsonValue::Kind::Double);
+  EXPECT_TRUE(JsonValue::parse("13")->isInt());
+}
+
+TEST(JsonParse, StringEscapes) {
+  auto V = JsonValue::parse("\"a\\\"b\\\\c\\nd\\u0041\\u00e9\"");
+  ASSERT_TRUE(V.has_value());
+  EXPECT_EQ(V->asString(), "a\"b\\c\ndA\xc3\xa9");
+}
+
+TEST(JsonParse, CorruptDocumentsRejected) {
+  EXPECT_FALSE(JsonValue::parse("").has_value());
+  EXPECT_FALSE(JsonValue::parse("{").has_value());
+  EXPECT_FALSE(JsonValue::parse("{\"a\":}").has_value());
+  EXPECT_FALSE(JsonValue::parse("[1,]").has_value());
+  EXPECT_FALSE(JsonValue::parse("{\"a\":1} trailing").has_value());
+  EXPECT_FALSE(JsonValue::parse("\"unterminated").has_value());
+  EXPECT_FALSE(JsonValue::parse("{\"a\" 1}").has_value());
+  EXPECT_FALSE(JsonValue::parse("nul").has_value());
+  EXPECT_FALSE(JsonValue::parse("\"bad\\u00zz\"").has_value());
+}
+
+TEST(JsonParse, DeeplyNestedInputIsBoundedNotFatal) {
+  std::string Evil(10000, '[');
+  EXPECT_FALSE(JsonValue::parse(Evil).has_value());
+}
+
+TEST(JsonParse, RoundTripsWriterOutput) {
+  JsonWriter W;
+  W.beginObject();
+  W.field("text", "line1\nline2\t\"quoted\"");
+  W.field("n", int64_t(-123));
+  W.key("inner");
+  W.beginArray();
+  W.value(true);
+  W.nullValue();
+  W.endArray();
+  W.endObject();
+  auto V = JsonValue::parse(W.str());
+  ASSERT_TRUE(V.has_value());
+  EXPECT_EQ(V->getString("text"), "line1\nline2\t\"quoted\"");
+  EXPECT_EQ(V->getInt("n"), -123);
+  ASSERT_EQ(V->get("inner")->elements().size(), 2u);
+  EXPECT_TRUE(V->get("inner")->elements()[0].asBool());
+  EXPECT_TRUE(V->get("inner")->elements()[1].isNull());
+}
