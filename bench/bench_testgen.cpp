@@ -1,0 +1,136 @@
+//===----------------------------------------------------------------------===//
+// Measures the generative testing harness: raw module-generation
+// throughput, the cost of the full oracle suite per seed, and end-to-end
+// sweep wall-clock at jobs ∈ {1, 2, 4, 8}. Alongside the printed table it
+// emits a machine-readable trajectory point, BENCH_testgen.json, in the
+// current directory so successive runs can be compared over time.
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "support/Json.h"
+#include "testgen/Generator.h"
+#include "testgen/Harness.h"
+#include "testgen/Oracles.h"
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+using namespace rs;
+using namespace rs::bench;
+using namespace rs::testgen;
+
+namespace {
+
+struct Sample {
+  unsigned Jobs;
+  double SweepMs;
+  uint64_t Digest;
+};
+
+Sample measureSweep(unsigned Jobs, uint64_t Seeds) {
+  SweepConfig C;
+  C.SeedStart = 1;
+  C.SeedCount = Seeds;
+  C.Jobs = Jobs;
+  auto Start = std::chrono::steady_clock::now();
+  SweepReport R = runSweep(C);
+  double Ms = std::chrono::duration<double, std::milli>(
+                  std::chrono::steady_clock::now() - Start)
+                  .count();
+  return {Jobs, Ms, R.Digest};
+}
+
+} // namespace
+
+static void printExperiment() {
+  banner("Generative MIR testing harness",
+         "Seed-sweep wall-clock at jobs 1/2/4/8 over 500 seeds (generator + "
+         "mutators + all oracles per seed). The digest column must agree in "
+         "every row — that is the determinism contract.");
+
+  constexpr uint64_t Seeds = 500;
+  std::vector<Sample> Samples;
+  for (unsigned Jobs : {1u, 2u, 4u, 8u})
+    Samples.push_back(measureSweep(Jobs, Seeds));
+
+  std::printf("  %-8s %14s %12s %18s\n", "jobs", "sweep (ms)", "speedup",
+              "digest");
+  double SerialMs = Samples.front().SweepMs;
+  for (const Sample &S : Samples)
+    std::printf("  %-8u %14.2f %11.2fx %18llx\n", S.Jobs, S.SweepMs,
+                SerialMs / S.SweepMs,
+                static_cast<unsigned long long>(S.Digest));
+
+  JsonWriter W;
+  W.beginObject();
+  W.field("bench", "testgen");
+  W.field("seeds", static_cast<int64_t>(Seeds));
+  W.key("samples");
+  W.beginArray();
+  for (const Sample &S : Samples) {
+    W.beginObject();
+    W.field("jobs", static_cast<int64_t>(S.Jobs));
+    W.key("sweep_ms");
+    W.value(S.SweepMs);
+    W.endObject();
+  }
+  W.endArray();
+  W.endObject();
+  std::ofstream("BENCH_testgen.json") << W.str() << "\n";
+  std::printf("\n  trajectory point written to BENCH_testgen.json\n\n");
+}
+
+static void BM_GenerateModule(benchmark::State &State) {
+  GenConfig C;
+  C.Seed = 1;
+  for (auto _ : State) {
+    mir::Module M = ProgramGenerator(C).generate();
+    benchmark::DoNotOptimize(&M);
+    ++C.Seed;
+  }
+}
+BENCHMARK(BM_GenerateModule);
+
+static void BM_GenerateAndPrint(benchmark::State &State) {
+  GenConfig C;
+  C.Seed = 1;
+  int64_t Bytes = 0;
+  for (auto _ : State) {
+    std::string Text = ProgramGenerator(C).generate().toString();
+    Bytes += static_cast<int64_t>(Text.size());
+    benchmark::DoNotOptimize(Text.data());
+    ++C.Seed;
+  }
+  State.SetBytesProcessed(Bytes);
+}
+BENCHMARK(BM_GenerateAndPrint);
+
+static void BM_OracleSuitePerSeed(benchmark::State &State) {
+  GenConfig C;
+  C.Seed = 7;
+  mir::Module M = ProgramGenerator(C).generate();
+  for (auto _ : State) {
+    auto Failures = failedOracles(M, nullptr, C.Seed);
+    benchmark::DoNotOptimize(Failures.size());
+  }
+}
+BENCHMARK(BM_OracleSuitePerSeed)->Unit(benchmark::kMicrosecond);
+
+static void BM_SweepParallel(benchmark::State &State) {
+  SweepConfig C;
+  C.SeedStart = 1;
+  C.SeedCount = 100;
+  C.Jobs = static_cast<unsigned>(State.range(0));
+  for (auto _ : State) {
+    SweepReport R = runSweep(C);
+    benchmark::DoNotOptimize(R.Digest);
+  }
+}
+BENCHMARK(BM_SweepParallel)->Arg(1)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+RUSTSIGHT_BENCH_MAIN(printExperiment)

@@ -7,6 +7,10 @@
 //   rustsight lifetimes <file.mir..>  annotated lifetime/lock report
 //   rustsight print  <file.mir ...>   parse and pretty-print (format check)
 //   rustsight scan   <path ...>       unsafe-usage statistics for Rust code
+//   rustsight eval   <corpus-dir>     detector precision/recall/F1 against
+//                                     the corpus's manifest.json labels
+//   rustsight gen    [--seed N | --sweep N | --emit-eval-corpus <dir>]
+//                                     generate programs / run oracle sweeps
 //
 // check runs through the resilient AnalysisEngine: malformed or
 // budget-busting files are quarantined with a per-file status instead of
@@ -23,6 +27,9 @@
 #include "mir/Verifier.h"
 #include "scanner/UnsafeScanner.h"
 #include "support/StringUtils.h"
+#include "testgen/EvalCorpus.h"
+#include "testgen/Harness.h"
+#include "testgen/Scorecard.h"
 
 #include <cstdio>
 #include <cstdlib>
@@ -83,6 +90,101 @@ int cmdCheck(const std::vector<std::string> &Files, const CheckOptions &Opts) {
   // and cold/warm caches.
   std::fprintf(stderr, "%s\n", Report.Stats.renderLine().c_str());
   return Report.exitCode(Opts.Strict);
+}
+
+/// Options for eval and gen, parsed from the command line.
+struct EvalOptions {
+  std::string Baseline;      ///< Compare F1 against this baseline file.
+  std::string WriteBaseline; ///< Write the scorecard's baseline here.
+};
+
+struct GenOptions {
+  uint64_t Seed = 1;
+  uint64_t Sweep = 0;          ///< Seed count; 0 = print one module instead.
+  uint64_t SeedStart = 1;
+  bool Mutated = false;        ///< Print the sweep's (possibly mutated) text.
+  std::string RegressDir;      ///< Where sweep violations write repros.
+  std::string EmitEvalCorpus;  ///< Regenerate the labeled corpus here.
+};
+
+int cmdEval(const std::vector<std::string> &Inputs, const CheckOptions &Check,
+            const EvalOptions &Opts) {
+  if (Inputs.size() != 1) {
+    std::fprintf(stderr, "error: eval takes exactly one corpus directory\n");
+    return 2;
+  }
+  const std::string &Dir = Inputs.front();
+  std::string Error;
+  auto Man = testgen::loadManifest(Dir + "/manifest.json", &Error);
+  if (!Man) {
+    std::fprintf(stderr, "error: %s\n", Error.c_str());
+    return 2;
+  }
+
+  engine::AnalysisEngine E(Check.Engine);
+  engine::CorpusReport Report = E.analyzeCorpus({Dir});
+  testgen::Scorecard Card = testgen::scoreReport(Report, *Man);
+
+  if (Check.Json)
+    std::printf("%s\n", Card.renderJson().c_str());
+  else
+    std::printf("%s", Card.renderText().c_str());
+  // Like check: timings/cache stats go to stderr so stdout is byte-stable.
+  std::fprintf(stderr, "%s\n", Report.Stats.renderLine().c_str());
+
+  if (!Opts.WriteBaseline.empty()) {
+    std::ofstream Out(Opts.WriteBaseline);
+    if (!Out) {
+      std::fprintf(stderr, "error: cannot write baseline '%s'\n",
+                   Opts.WriteBaseline.c_str());
+      return 2;
+    }
+    Out << Card.renderBaselineJson() << "\n";
+  }
+
+  if (!Opts.Baseline.empty()) {
+    auto Text = readFile(Opts.Baseline);
+    if (!Text) {
+      std::fprintf(stderr, "error: cannot read baseline '%s'\n",
+                   Opts.Baseline.c_str());
+      return 2;
+    }
+    std::vector<std::string> Regressions =
+        testgen::compareToBaseline(Card, *Text);
+    for (const std::string &R : Regressions)
+      std::fprintf(stderr, "baseline regression: %s\n", R.c_str());
+    if (!Regressions.empty())
+      return 1;
+  }
+  return 0;
+}
+
+int cmdGen(const CheckOptions &Check, const GenOptions &Opts) {
+  if (!Opts.EmitEvalCorpus.empty()) {
+    size_t N = testgen::writeEvalCorpus(Opts.EmitEvalCorpus);
+    std::fprintf(stderr, "wrote %zu labeled cases to %s\n", N,
+                 Opts.EmitEvalCorpus.c_str());
+    return 0;
+  }
+  if (Opts.Sweep != 0) {
+    testgen::SweepConfig C;
+    C.SeedStart = Opts.SeedStart;
+    C.SeedCount = Opts.Sweep;
+    C.Jobs = Check.Engine.Jobs;
+    C.RegressDir = Opts.RegressDir;
+    testgen::SweepReport Report = testgen::runSweep(C);
+    std::printf("%s", Report.renderText().c_str());
+    return Report.clean() ? 0 : 1;
+  }
+  if (Opts.Mutated) {
+    testgen::SweepConfig C;
+    std::printf("%s", testgen::sweepModuleText(C, Opts.Seed).c_str());
+    return 0;
+  }
+  testgen::GenConfig G;
+  G.Seed = Opts.Seed;
+  std::printf("%s", testgen::ProgramGenerator(G).generate().toString().c_str());
+  return 0;
 }
 
 int cmdRun(const std::vector<std::string> &Files) {
@@ -173,7 +275,19 @@ int usage() {
       "  run <file.mir...>             interpret dynamically\n"
       "  lifetimes <file.mir...>       lifetime/lock report\n"
       "  print <file.mir...>           parse and pretty-print\n"
-      "  scan <dir-or-.rs...>          unsafe-usage statistics\n");
+      "  scan <dir-or-.rs...>          unsafe-usage statistics\n"
+      "  eval [options] <corpus-dir>   score detectors against the corpus\n"
+      "                                manifest.json (check options apply)\n"
+      "    --baseline <file>        exit 1 if any F1 drops below baseline\n"
+      "    --write-baseline <file>  record the scorecard as the baseline\n"
+      "  gen [options]                 generative testing harness\n"
+      "    --seed <N>               print the generated module for seed N\n"
+      "    --mutated                print the sweep's mutated module instead\n"
+      "    --sweep <N> [--seed-start <S>] [--jobs <J>]\n"
+      "                             run N seeds through every oracle;\n"
+      "                             exit 1 on any violation\n"
+      "    --regress-dir <dir>      write minimized repros for violations\n"
+      "    --emit-eval-corpus <dir> regenerate the labeled eval corpus\n");
   return 2;
 }
 
@@ -226,10 +340,12 @@ bool parseStringFlag(int argc, char **argv, int &I, const char *Flag,
 } // namespace
 
 int main(int argc, char **argv) {
-  if (argc < 3)
+  if (argc < 2)
     return usage();
   std::string Cmd = argv[1];
   CheckOptions Check;
+  EvalOptions Eval;
+  GenOptions Gen;
   std::vector<std::string> Inputs;
   uint64_t Jobs = 0;
   for (int I = 2; I < argc; ++I) {
@@ -242,24 +358,42 @@ int main(int argc, char **argv) {
       ; // The engine always keeps going; --strict is the opt-out.
     else if (std::strcmp(argv[I], "--no-cache") == 0)
       Check.Engine.UseCache = false;
+    else if (std::strcmp(argv[I], "--mutated") == 0)
+      Gen.Mutated = true;
     else if (parseNumericFlag(argc, argv, I, "--budget-ms",
                               Check.Engine.BudgetMs, Bad) ||
              parseNumericFlag(argc, argv, I, "--max-dataflow-iters",
                               Check.Engine.MaxDataflowIters, Bad) ||
              parseNumericFlag(argc, argv, I, "--jobs", Jobs, Bad) ||
+             parseNumericFlag(argc, argv, I, "--seed-start", Gen.SeedStart,
+                              Bad) ||
+             parseNumericFlag(argc, argv, I, "--seed", Gen.Seed, Bad) ||
+             parseNumericFlag(argc, argv, I, "--sweep", Gen.Sweep, Bad) ||
              parseStringFlag(argc, argv, I, "--cache-dir",
-                             Check.Engine.CacheDir, Bad)) {
+                             Check.Engine.CacheDir, Bad) ||
+             parseStringFlag(argc, argv, I, "--regress-dir", Gen.RegressDir,
+                             Bad) ||
+             parseStringFlag(argc, argv, I, "--emit-eval-corpus",
+                             Gen.EmitEvalCorpus, Bad) ||
+             parseStringFlag(argc, argv, I, "--write-baseline",
+                             Eval.WriteBaseline, Bad) ||
+             parseStringFlag(argc, argv, I, "--baseline", Eval.Baseline,
+                             Bad)) {
       if (Bad)
         return usage();
     } else
       Inputs.emplace_back(argv[I]);
   }
   Check.Engine.Jobs = static_cast<unsigned>(Jobs);
-  if (Inputs.empty())
+  if (Inputs.empty() && Cmd != "gen")
     return usage();
 
   if (Cmd == "check")
     return cmdCheck(Inputs, Check);
+  if (Cmd == "eval")
+    return cmdEval(Inputs, Check, Eval);
+  if (Cmd == "gen")
+    return cmdGen(Check, Gen);
   if (Cmd == "run")
     return cmdRun(Inputs);
   if (Cmd == "lifetimes")

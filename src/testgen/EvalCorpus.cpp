@@ -1,0 +1,105 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of RustSight, a reproduction of "Understanding Memory and Thread
+// Safety Practices and Issues in Real-World Rust Programs" (PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+
+#include "testgen/EvalCorpus.h"
+
+#include "support/Json.h"
+#include "support/Rng.h"
+#include "testgen/Generator.h"
+#include "testgen/Mutators.h"
+
+#include <filesystem>
+#include <fstream>
+#include <vector>
+
+namespace rs::testgen {
+
+namespace {
+
+/// "uaf-post-drop" -> "uaf_post_drop" (file names stay underscore-only).
+std::string fileStem(Mutation M) {
+  std::string S = mutationName(M);
+  for (char &C : S)
+    if (C == '-')
+      C = '_';
+  return S;
+}
+
+void writeFile(const std::filesystem::path &P, const std::string &Text) {
+  std::ofstream Out(P, std::ios::binary);
+  Out << Text;
+}
+
+} // namespace
+
+size_t writeEvalCorpus(const std::string &Dir, const EvalCorpusSpec &Spec) {
+  std::filesystem::create_directories(Dir);
+  std::filesystem::path Root(Dir);
+
+  struct CaseLabel {
+    std::string File;
+    std::string Detector;
+    bool Positive;
+  };
+  std::vector<CaseLabel> Labels;
+
+  uint64_t Seed = Spec.BaseSeed;
+  auto hostModule = [&Seed]() {
+    // Small hosts: each case should read as one bug in one screenful.
+    GenConfig G;
+    G.Seed = Seed++;
+    G.MinFunctions = 1;
+    G.MaxFunctions = 3;
+    G.MaxDepth = 2;
+    return ProgramGenerator(G).generate();
+  };
+
+  for (Mutation Mu : allMutations()) {
+    for (unsigned I = 0;
+         I != Spec.PositivesPerMutation + Spec.BenignPerMutation; ++I) {
+      bool Positive = I < Spec.PositivesPerMutation;
+      mir::Module M = hostModule();
+      // Injection noise comes from its own stream so host and pattern stay
+      // independently reproducible.
+      Rng R(Spec.BaseSeed ^ (uint64_t(Mu) * 131 + I));
+      InjectedBug Bug = applyMutation(M, Mu, Positive, I, R);
+      std::string Name = fileStem(Mu) + (Positive ? "_bug_" : "_ok_") +
+                         std::to_string(Positive ? I
+                                                 : I - Spec.PositivesPerMutation) +
+                         ".mir";
+      writeFile(Root / Name, M.toString());
+      Labels.push_back({Name, Bug.Detector, Positive});
+    }
+  }
+
+  for (unsigned I = 0; I != Spec.CleanCases; ++I) {
+    mir::Module M = hostModule();
+    std::string Name = "clean_" + std::to_string(I) + ".mir";
+    writeFile(Root / Name, M.toString());
+    Labels.push_back({Name, "*", false});
+  }
+
+  JsonWriter W;
+  W.beginObject();
+  W.field("version", int64_t(1));
+  W.key("cases");
+  W.beginArray();
+  for (const CaseLabel &L : Labels) {
+    W.beginObject();
+    W.field("file", L.File);
+    W.field("detector", L.Detector);
+    W.field("positive", L.Positive);
+    W.endObject();
+  }
+  W.endArray();
+  W.endObject();
+  writeFile(Root / "manifest.json", W.str() + "\n");
+
+  return Labels.size();
+}
+
+} // namespace rs::testgen

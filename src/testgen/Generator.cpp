@@ -1,0 +1,352 @@
+#include "testgen/Generator.h"
+
+#include "mir/Builder.h"
+#include "support/Rng.h"
+
+#include <map>
+#include <optional>
+#include <vector>
+
+using namespace rs;
+using namespace rs::testgen;
+using namespace rs::mir;
+
+namespace {
+
+/// Signature of an already-generated function, kept so later functions can
+/// call earlier ones (a DAG: no recursion, guaranteed termination).
+struct CalleeInfo {
+  std::string Name;
+  std::vector<const Type *> ArgTys;
+  const Type *RetTy = nullptr; ///< Null for unit.
+  bool TakesMutex = false;     ///< Any arg is &Mutex<i32>.
+};
+
+/// Locals that are initialized and storage-live on every path at the
+/// current program point, keyed by type. Branch bodies work on a copy, so
+/// locals born under a condition never leak to the join point (which would
+/// be a real maybe-uninitialized read, and the generator must emit none).
+struct Pool {
+  std::map<const Type *, std::vector<LocalId>> ByType;
+
+  void add(const Type *Ty, LocalId L) { ByType[Ty].push_back(L); }
+
+  /// A random pool local of \p Ty, or nullopt when none exists.
+  std::optional<LocalId> pick(const Type *Ty, Rng &R) const {
+    auto It = ByType.find(Ty);
+    if (It == ByType.end() || It->second.empty())
+      return std::nullopt;
+    return It->second[R.below(It->second.size())];
+  }
+};
+
+/// Generates the body of one function.
+class FnGen {
+public:
+  FnGen(Module &M, Rng &R, const GenConfig &C,
+        const std::vector<CalleeInfo> &Callees, const CalleeInfo &Sig)
+      : R(R), C(C), Callees(Callees), FB(M, Sig.Name, Sig.RetTy),
+        TC(M.types()) {
+    for (const Type *Ty : Sig.ArgTys) {
+      LocalId A = FB.addArg(Ty);
+      if (Ty->isRef() && Ty->pointee()->isAdt() &&
+          Ty->pointee()->adtName() == "Mutex")
+        MutexArg = A;
+      else
+        Vars.add(Ty, A);
+    }
+  }
+
+  void emit() {
+    emitRegion(C.MaxDepth, Vars);
+    emitReturn();
+    FB.finish();
+  }
+
+private:
+  const Type *i32() { return TC.getI32(); }
+
+  Operand intOperand(const Type *Ty, Pool &P) {
+    if (auto L = P.pick(Ty, R); L && R.chance(2, 3))
+      return Operand::copy(Place(*L));
+    return Operand::constant(
+        ConstValue::makeInt(static_cast<int64_t>(R.below(100))));
+  }
+
+  Operand boolOperand(Pool &P) {
+    if (auto L = P.pick(TC.getBool(), R); L && R.chance(2, 3))
+      return Operand::copy(Place(*L));
+    return Operand::constant(ConstValue::makeBool(R.chance(1, 2)));
+  }
+
+  /// A new initialized, storage-live local holding an arithmetic result.
+  LocalId emitArith(const Type *Ty, Pool &P) {
+    static const BinOp Ops[] = {BinOp::Add,    BinOp::Sub,   BinOp::Mul,
+                                BinOp::BitAnd, BinOp::BitOr, BinOp::BitXor};
+    LocalId T = FB.addLocal(Ty);
+    FB.storageLive(T);
+    FB.assign(Place(T), Rvalue::binary(Ops[R.below(6)], intOperand(Ty, P),
+                                       intOperand(Ty, P)));
+    return T;
+  }
+
+  /// A new bool local from an integer comparison.
+  LocalId emitCompare(Pool &P) {
+    static const BinOp Ops[] = {BinOp::Lt, BinOp::Le, BinOp::Eq, BinOp::Ne};
+    LocalId T = FB.addLocal(TC.getBool());
+    FB.storageLive(T);
+    FB.assign(Place(T), Rvalue::binary(Ops[R.below(4)], intOperand(i32(), P),
+                                       intOperand(i32(), P)));
+    return T;
+  }
+
+  /// A short-lived temporary: live, computed, dead — never escapes.
+  void emitBracketedTemp(Pool &P) {
+    LocalId T = emitArith(i32(), P);
+    FB.storageDead(T);
+  }
+
+  /// Tuple or struct aggregate build plus a field read.
+  void emitAggregate(Pool &P) {
+    bool UsePair = R.chance(1, 2);
+    LocalId A = FB.addLocal(UsePair ? TC.getAdt("Pair")
+                                    : TC.getTuple({i32(), i32()}));
+    FB.storageLive(A);
+    std::vector<Operand> Fields = {intOperand(i32(), P), intOperand(i32(), P)};
+    FB.assign(Place(A), UsePair ? Rvalue::aggregate("Pair", std::move(Fields))
+                                : Rvalue::tuple(std::move(Fields)));
+    LocalId E = FB.addLocal(i32());
+    FB.storageLive(E);
+    FB.assign(Place(E),
+              Rvalue::use(Operand::copy(Place(A).project(
+                  ProjectionElem::field(static_cast<unsigned>(R.below(2)))))));
+    P.add(i32(), E);
+  }
+
+  /// Safe heap round trip: Box::new, read through the box, drop.
+  void emitHeap(Pool &P) {
+    const Type *BoxU8 = TC.getAdt("Box", {TC.getPrim(PrimKind::U8)});
+    LocalId B = FB.addLocal(BoxU8);
+    LocalId T = FB.addLocal(TC.getPrim(PrimKind::U8));
+    FB.storageLive(B);
+    FB.call(Place(B), "Box::new",
+            {Operand::constant(
+                ConstValue::makeInt(static_cast<int64_t>(R.below(256))))});
+    FB.storageLive(T);
+    FB.assign(Place(T), Rvalue::use(Operand::copy(
+                            Place(B).project(ProjectionElem::deref()))));
+    FB.drop(Place(B));
+    FB.storageDead(B);
+    P.add(TC.getPrim(PrimKind::U8), T);
+  }
+
+  /// Safe critical section: lock, read the guarded value, release.
+  void emitLock(Pool &P) {
+    const Type *Guard = TC.getAdt("MutexGuard", {i32()});
+    LocalId G = FB.addLocal(Guard);
+    FB.storageLive(G);
+    FB.call(Place(G), "Mutex::lock", {Operand::copy(Place(*MutexArg))});
+    LocalId T = FB.addLocal(i32());
+    FB.storageLive(T);
+    FB.assign(Place(T), Rvalue::use(Operand::copy(
+                            Place(G).project(ProjectionElem::deref()))));
+    FB.storageDead(G);
+    P.add(i32(), T);
+  }
+
+  /// A call to an earlier generated function with synthesizable arguments.
+  void emitCall(Pool &P) {
+    std::vector<const CalleeInfo *> Eligible;
+    for (const CalleeInfo &CI : Callees)
+      if (!CI.TakesMutex || MutexArg)
+        Eligible.push_back(&CI);
+    if (Eligible.empty())
+      return emitBracketedTemp(P);
+    const CalleeInfo &CI = *Eligible[R.below(Eligible.size())];
+    std::vector<Operand> Args;
+    for (const Type *Ty : CI.ArgTys) {
+      if (Ty->isRef())
+        Args.push_back(Operand::copy(Place(*MutexArg)));
+      else if (Ty->isPrim() && Ty->prim() == PrimKind::Bool)
+        Args.push_back(boolOperand(P));
+      else
+        Args.push_back(intOperand(Ty, P));
+    }
+    if (CI.RetTy) {
+      LocalId D = FB.addLocal(CI.RetTy);
+      FB.storageLive(D);
+      FB.call(Place(D), CI.Name, std::move(Args));
+      P.add(CI.RetTy, D);
+    } else {
+      LocalId D = FB.addLocal(TC.getUnit());
+      FB.call(Place(D), CI.Name, std::move(Args));
+    }
+  }
+
+  /// if/else on a fresh comparison; both arms emit a scoped region and
+  /// rejoin. Arms work on pool copies so arm-born locals cannot escape.
+  void emitBranch(unsigned Depth, Pool &P) {
+    LocalId Cond = emitCompare(P);
+    BlockId Then = FB.newBlock();
+    BlockId Else = FB.newBlock();
+    BlockId Join = FB.newBlock();
+    FB.switchInt(Operand::copy(Place(Cond)), {{1, Then}}, Else);
+    FB.setInsertPoint(Then);
+    Pool ThenP = P;
+    emitRegion(Depth - 1, ThenP);
+    FB.gotoBlock(Join);
+    FB.setInsertPoint(Else);
+    Pool ElseP = P;
+    emitRegion(Depth - 1, ElseP);
+    FB.gotoBlock(Join);
+    FB.setInsertPoint(Join);
+  }
+
+  /// A counted loop, always terminating: i ranges over [0, K), K <= 4.
+  void emitLoop(unsigned Depth, Pool &P) {
+    LocalId I = FB.addLocal(i32());
+    FB.storageLive(I);
+    FB.assign(Place(I),
+              Rvalue::use(Operand::constant(ConstValue::makeInt(0))));
+    int64_t Limit = static_cast<int64_t>(R.range(1, 4));
+    BlockId Header = FB.newBlock();
+    BlockId Body = FB.newBlock();
+    BlockId Exit = FB.newBlock();
+    FB.gotoBlock(Header);
+    FB.setInsertPoint(Header);
+    LocalId Cond = FB.addLocal(TC.getBool());
+    FB.storageLive(Cond);
+    FB.assign(Place(Cond),
+              Rvalue::binary(BinOp::Lt, Operand::copy(Place(I)),
+                             Operand::constant(ConstValue::makeInt(Limit))));
+    FB.switchInt(Operand::copy(Place(Cond)), {{1, Body}}, Exit);
+    FB.setInsertPoint(Body);
+    Pool BodyP = P;
+    emitRegion(Depth - 1, BodyP);
+    FB.assign(Place(I),
+              Rvalue::binary(BinOp::Add, Operand::copy(Place(I)),
+                             Operand::constant(ConstValue::makeInt(1))));
+    FB.gotoBlock(Header);
+    FB.setInsertPoint(Exit);
+    P.add(i32(), I);
+  }
+
+  /// A straight-line-or-nested region of a few statements.
+  void emitRegion(unsigned Depth, Pool &P) {
+    unsigned N = 1 + static_cast<unsigned>(R.below(C.MaxRegionStatements));
+    for (unsigned S = 0; S != N; ++S) {
+      unsigned Roll = static_cast<unsigned>(R.below(100));
+      if (Depth > 0 && Roll < 12)
+        emitBranch(Depth, P);
+      else if (Depth > 0 && Roll < 20)
+        emitLoop(Depth, P);
+      else if (C.WithCalls && Roll < 32)
+        emitCall(P);
+      else if (C.WithHeap && Roll < 42)
+        emitHeap(P);
+      else if (C.WithLocks && MutexArg && Roll < 52)
+        emitLock(P);
+      else if (C.WithAggregates && Roll < 62)
+        emitAggregate(P);
+      else if (Roll < 72)
+        emitBracketedTemp(P);
+      else if (Roll < 82)
+        P.add(TC.getBool(), emitCompare(P));
+      else
+        P.add(i32(), emitArith(i32(), P));
+    }
+  }
+
+  void emitReturn() {
+    if (DeclaredRet && !DeclaredRet->isUnit()) {
+      if (auto L = Vars.pick(DeclaredRet, R))
+        FB.assign(Place(FB.returnLocal()),
+                  Rvalue::use(Operand::copy(Place(*L))));
+      else if (DeclaredRet->isPrim() && DeclaredRet->prim() == PrimKind::Bool)
+        FB.assign(Place(FB.returnLocal()),
+                  Rvalue::use(Operand::constant(
+                      ConstValue::makeBool(R.chance(1, 2)))));
+      else
+        FB.assign(Place(FB.returnLocal()),
+                  Rvalue::use(Operand::constant(ConstValue::makeInt(
+                      static_cast<int64_t>(R.below(100))))));
+    }
+    FB.ret();
+  }
+
+public:
+  const Type *DeclaredRet = nullptr;
+
+private:
+  Rng &R;
+  const GenConfig &C;
+  const std::vector<CalleeInfo> &Callees;
+  FunctionBuilder FB;
+  TypeContext &TC;
+  std::optional<LocalId> MutexArg;
+  Pool Vars;
+};
+
+} // namespace
+
+Module ProgramGenerator::generate() {
+  Module M;
+  Rng R(Config.Seed);
+  TypeContext &TC = M.types();
+
+  if (Config.WithAggregates) {
+    StructDecl Pair;
+    Pair.Name = "Pair";
+    Pair.Fields.emplace_back("x", TC.getI32());
+    Pair.Fields.emplace_back("y", TC.getI32());
+    M.addStruct(std::move(Pair));
+  }
+
+  unsigned NumFns = static_cast<unsigned>(
+      R.range(Config.MinFunctions, Config.MaxFunctions));
+  std::vector<CalleeInfo> Callees;
+  for (unsigned I = 0; I != NumFns; ++I) {
+    CalleeInfo Sig;
+    Sig.Name = "gen_" + std::to_string(Config.Seed) + "_" + std::to_string(I);
+
+    unsigned NumArgs = static_cast<unsigned>(R.below(3));
+    for (unsigned A = 0; A != NumArgs; ++A) {
+      switch (R.below(3)) {
+      case 0:
+        Sig.ArgTys.push_back(TC.getI32());
+        break;
+      case 1:
+        Sig.ArgTys.push_back(TC.getBool());
+        break;
+      default:
+        Sig.ArgTys.push_back(TC.getPrim(PrimKind::U8));
+        break;
+      }
+    }
+    if (Config.WithLocks && R.chance(1, 3)) {
+      Sig.ArgTys.push_back(TC.getRef(TC.getAdt("Mutex", {TC.getI32()}),
+                                     /*Mut=*/false));
+      Sig.TakesMutex = true;
+    }
+    switch (R.below(4)) {
+    case 0:
+      Sig.RetTy = TC.getI32();
+      break;
+    case 1:
+      Sig.RetTy = TC.getBool();
+      break;
+    case 2:
+      Sig.RetTy = TC.getPrim(PrimKind::U8);
+      break;
+    default:
+      Sig.RetTy = nullptr; // Unit.
+      break;
+    }
+
+    FnGen G(M, R, Config, Callees, Sig);
+    G.DeclaredRet = Sig.RetTy;
+    G.emit();
+    Callees.push_back(std::move(Sig));
+  }
+  return M;
+}

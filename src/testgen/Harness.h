@@ -1,0 +1,87 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of RustSight, a reproduction of "Understanding Memory and Thread
+// Safety Practices and Issues in Real-World Rust Programs" (PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The seed-sweep harness: for each seed in a range, generate a module
+/// (optionally with an injected mutation), then run the parser, verifier,
+/// and every oracle over it. Violations are delta-minimized and written as
+/// replayable repro files. The sweep parallelizes across seeds with the
+/// same ordinal-merge discipline as the analysis engine, so its report —
+/// including the fold digest over all generated module texts — is
+/// byte-identical for any worker count.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RUSTSIGHT_TESTGEN_HARNESS_H
+#define RUSTSIGHT_TESTGEN_HARNESS_H
+
+#include "testgen/Generator.h"
+#include "testgen/Mutators.h"
+#include "testgen/Oracles.h"
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace rs::testgen {
+
+/// One seed sweep.
+struct SweepConfig {
+  uint64_t SeedStart = 1;
+  uint64_t SeedCount = 100;
+
+  /// Worker threads; 0 picks the scheduler default.
+  unsigned Jobs = 1;
+
+  /// When non-empty, each violation's minimized repro is written here as
+  /// "seed<N>_<oracle>.mir" with a comment header describing the failure.
+  std::string RegressDir;
+
+  /// Interleave clean, bug-injected, and benign-twin modules (two of every
+  /// three seeds carry an injection). Off = clean generator output only.
+  bool WithMutations = true;
+
+  /// Generator shape knobs; Seed is overridden per sweep seed.
+  GenConfig Gen;
+};
+
+/// One oracle or pipeline failure at one seed.
+struct SweepViolation {
+  uint64_t Seed = 0;
+  std::string Oracle;        ///< Oracle name, or "crash".
+  std::string Message;
+  std::string MinimizedText; ///< Delta-minimized module text.
+  std::string ReproPath;     ///< File under RegressDir, "" if not written.
+};
+
+struct SweepReport {
+  uint64_t SeedsRun = 0;
+  /// FNV-1a fold over every generated module text, in seed order — equal
+  /// digests mean byte-identical sweeps (the determinism contract).
+  uint64_t Digest = 0;
+  std::vector<SweepViolation> Violations;
+
+  bool clean() const { return Violations.empty(); }
+
+  /// "swept N seeds, digest <hex>: OK" or a per-violation listing.
+  std::string renderText() const;
+};
+
+/// The module a sweep checks at \p Seed: generated from \p C.Gen, plus the
+/// seed-determined mutation when C.WithMutations. Exposed so determinism
+/// tests can compare texts without running oracles. \p LabelOut (optional)
+/// receives the injected label, or nullopt for clean/unmutated seeds.
+std::string sweepModuleText(const SweepConfig &C, uint64_t Seed,
+                            std::optional<InjectedBug> *LabelOut = nullptr);
+
+/// Runs the sweep, parallel across seeds.
+SweepReport runSweep(const SweepConfig &C);
+
+} // namespace rs::testgen
+
+#endif // RUSTSIGHT_TESTGEN_HARNESS_H

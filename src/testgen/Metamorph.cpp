@@ -1,0 +1,114 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of RustSight, a reproduction of "Understanding Memory and Thread
+// Safety Practices and Issues in Real-World Rust Programs" (PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+
+#include "testgen/Metamorph.h"
+
+#include "mir/Parser.h"
+#include "support/Hash.h"
+#include "support/Rng.h"
+
+#include <cctype>
+#include <set>
+
+namespace rs::testgen {
+
+namespace {
+
+bool isIdentStart(char C) {
+  return std::isalpha(static_cast<unsigned char>(C)) || C == '_';
+}
+
+bool isIdentCont(char C) {
+  return std::isalnum(static_cast<unsigned char>(C)) || C == '_';
+}
+
+} // namespace
+
+std::string renameFunctionsInText(const std::string &Text,
+                                  const mir::Module &M,
+                                  std::string_view Suffix) {
+  std::set<std::string> Names;
+  for (const auto &F : M.functions())
+    Names.insert(F->Name);
+
+  // Rewrite at identifier granularity. Function names never contain "::",
+  // so std-model paths like Mutex::lock split into chunks that cannot
+  // collide with a defined function, and spawn-target string literals — the
+  // one place a function name appears outside call/definition syntax —
+  // consist of exactly one identifier chunk and are rewritten too.
+  std::string Out;
+  Out.reserve(Text.size() + Names.size() * Suffix.size());
+  size_t I = 0;
+  while (I < Text.size()) {
+    if (!isIdentStart(Text[I])) {
+      Out += Text[I++];
+      continue;
+    }
+    size_t J = I + 1;
+    while (J < Text.size() && isIdentCont(Text[J]))
+      ++J;
+    std::string Word = Text.substr(I, J - I);
+    Out += Word;
+    if (Names.count(Word))
+      Out += Suffix;
+    I = J;
+  }
+  return Out;
+}
+
+std::optional<mir::Module> renameFunctions(const mir::Module &M,
+                                           std::string_view Suffix) {
+  std::string Rewritten = renameFunctionsInText(M.toString(), M, Suffix);
+  auto R = mir::Parser::parse(Rewritten, "<renamed>");
+  if (!R)
+    return std::nullopt;
+  return R.take();
+}
+
+void permuteBlocks(mir::Module &M, uint64_t Seed) {
+  for (const auto &FPtr : M.functions()) {
+    mir::Function &F = *FPtr;
+    size_t N = F.Blocks.size();
+    if (N <= 2)
+      continue;
+
+    // Seed per function by name so the shuffle is independent of function
+    // order within the module.
+    Rng R(fnv1a64(F.Name, Seed ^ 0x5bd1e995u));
+
+    // Fisher-Yates over blocks 1..N-1; bb0 stays the entry.
+    std::vector<mir::BlockId> NewIndex(N);
+    std::vector<size_t> Order(N);
+    for (size_t I = 0; I != N; ++I)
+      Order[I] = I;
+    for (size_t I = N - 1; I > 1; --I) {
+      size_t J = 1 + static_cast<size_t>(R.below(I)); // in [1, I]
+      std::swap(Order[I], Order[J]);
+    }
+    // Order[NewPos] = OldPos; invert for target remapping.
+    for (size_t NewPos = 0; NewPos != N; ++NewPos)
+      NewIndex[Order[NewPos]] = static_cast<mir::BlockId>(NewPos);
+
+    std::vector<mir::BasicBlock> NewBlocks;
+    NewBlocks.reserve(N);
+    for (size_t NewPos = 0; NewPos != N; ++NewPos)
+      NewBlocks.push_back(std::move(F.Blocks[Order[NewPos]]));
+    F.Blocks = std::move(NewBlocks);
+
+    for (mir::BasicBlock &B : F.Blocks) {
+      mir::Terminator &T = B.Term;
+      if (T.Target != mir::InvalidBlock)
+        T.Target = NewIndex[T.Target];
+      if (T.Unwind != mir::InvalidBlock)
+        T.Unwind = NewIndex[T.Unwind];
+      for (auto &[Value, Dest] : T.Cases)
+        Dest = NewIndex[Dest];
+    }
+  }
+}
+
+} // namespace rs::testgen

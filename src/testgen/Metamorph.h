@@ -1,0 +1,51 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of RustSight, a reproduction of "Understanding Memory and Thread
+// Safety Practices and Issues in Real-World Rust Programs" (PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Semantics-preserving module transforms for metamorphic testing. Each
+/// transform changes spelling or layout but not behavior, so every detector
+/// must reach the same verdict on the transformed module (Oracles.h checks
+/// that it does).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RUSTSIGHT_TESTGEN_METAMORPH_H
+#define RUSTSIGHT_TESTGEN_METAMORPH_H
+
+#include "mir/Mir.h"
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace rs::testgen {
+
+/// Appends \p Suffix to the name of every module-defined function: the
+/// definition, every call site, and every string constant naming a spawned
+/// thread entry point (thread::spawn takes its target by name). Std-model
+/// callees such as Mutex::lock are untouched. Returns std::nullopt when the
+/// rewritten text no longer parses — itself an oracle violation.
+std::optional<mir::Module> renameFunctions(const mir::Module &M,
+                                           std::string_view Suffix);
+
+/// The textual rewrite behind renameFunctions, exposed for tests: replaces
+/// every identifier-boundary occurrence of a defined function name in
+/// \p Text (including inside string literals, which is how spawn operands
+/// follow the rename) with name+suffix.
+std::string renameFunctionsInText(const std::string &Text,
+                                  const mir::Module &M,
+                                  std::string_view Suffix);
+
+/// Deterministically shuffles each function's non-entry basic blocks in
+/// place, remapping every terminator target. The entry block stays bb0, so
+/// the CFG — and therefore every detector verdict — is unchanged.
+void permuteBlocks(mir::Module &M, uint64_t Seed);
+
+} // namespace rs::testgen
+
+#endif // RUSTSIGHT_TESTGEN_METAMORPH_H

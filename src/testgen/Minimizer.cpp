@@ -1,0 +1,135 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of RustSight, a reproduction of "Understanding Memory and Thread
+// Safety Practices and Issues in Real-World Rust Programs" (PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+
+#include "testgen/Minimizer.h"
+
+#include "mir/Mir.h"
+#include "mir/Parser.h"
+
+#include <optional>
+
+namespace rs::testgen {
+
+namespace {
+
+/// Prints \p M like Module::toString but omitting the function named
+/// \p SkipFn — the module-surgery primitive Module itself does not offer.
+std::string printWithout(const mir::Module &M, const std::string &SkipFn) {
+  std::string Out;
+  for (const mir::StructDecl &S : M.structs()) {
+    Out += "struct " + S.Name;
+    if (S.HasDrop)
+      Out += " : Drop";
+    Out += " {";
+    for (size_t I = 0; I != S.Fields.size(); ++I) {
+      if (I != 0)
+        Out += ",";
+      Out += " " + S.Fields[I].first + ": " + S.Fields[I].second->toString();
+    }
+    Out += " }\n";
+  }
+  for (const mir::StructDecl &S : M.structs())
+    if (M.isSync(S.Name))
+      Out += "unsafe impl Sync for " + S.Name + ";\n";
+  for (const mir::StaticDecl &S : M.statics()) {
+    Out += "static ";
+    if (S.Mutable)
+      Out += "mut ";
+    Out += S.Name + ": " + S.Ty->toString() + ";\n";
+  }
+  if (!Out.empty())
+    Out += "\n";
+  bool First = true;
+  for (const auto &F : M.functions()) {
+    if (F->Name == SkipFn)
+      continue;
+    if (!First)
+      Out += "\n";
+    First = false;
+    Out += F->toString();
+  }
+  return Out;
+}
+
+std::optional<mir::Module> tryParse(const std::string &Text) {
+  auto R = mir::Parser::parse(Text, "<minimize>");
+  if (!R)
+    return std::nullopt;
+  return R.take();
+}
+
+/// One pass of whole-function removal. Returns true if anything shrank.
+bool shrinkFunctions(std::string &Text, const TextPredicate &StillFails) {
+  bool Changed = false;
+  bool Progress = true;
+  while (Progress) {
+    Progress = false;
+    auto M = tryParse(Text);
+    if (!M)
+      return Changed;
+    if (M->functions().size() <= 1)
+      return Changed;
+    for (const auto &F : M->functions()) {
+      std::string Candidate = printWithout(*M, F->Name);
+      if (!tryParse(Candidate))
+        continue;
+      if (StillFails(Candidate)) {
+        Text = std::move(Candidate);
+        Changed = Progress = true;
+        break; // Function list changed; reparse.
+      }
+    }
+  }
+  return Changed;
+}
+
+/// One pass of statement removal: for every statement, drop it and keep the
+/// drop when the failure survives. Mutates a parsed copy in place and only
+/// re-prints per candidate.
+bool shrinkStatements(std::string &Text, const TextPredicate &StillFails) {
+  auto M = tryParse(Text);
+  if (!M)
+    return false;
+  bool Changed = false;
+  for (const auto &F : M->functions()) {
+    for (mir::BasicBlock &B : F->Blocks) {
+      for (size_t I = B.Statements.size(); I-- > 0;) {
+        mir::Statement Saved = B.Statements[I];
+        B.Statements.erase(B.Statements.begin() +
+                           static_cast<ptrdiff_t>(I));
+        std::string Candidate = M->toString();
+        if (tryParse(Candidate) && StillFails(Candidate)) {
+          Text = Candidate;
+          Changed = true;
+        } else {
+          B.Statements.insert(B.Statements.begin() +
+                                  static_cast<ptrdiff_t>(I),
+                              std::move(Saved));
+        }
+      }
+    }
+  }
+  return Changed;
+}
+
+} // namespace
+
+std::string minimizeModuleText(std::string Text,
+                               const TextPredicate &StillFails,
+                               unsigned MaxRounds) {
+  if (!tryParse(Text) || !StillFails(Text))
+    return Text;
+  for (unsigned Round = 0; Round != MaxRounds; ++Round) {
+    bool A = shrinkFunctions(Text, StillFails);
+    bool B = shrinkStatements(Text, StillFails);
+    if (!A && !B)
+      break;
+  }
+  return Text;
+}
+
+} // namespace rs::testgen

@@ -1,0 +1,39 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of RustSight, a reproduction of "Understanding Memory and Thread
+// Safety Practices and Issues in Real-World Rust Programs" (PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Greedy delta-debugging for failing generated modules: remove whole
+/// functions, then individual statements, keeping every removal that
+/// preserves the caller's failure predicate. The result is the small repro
+/// that goes into tests/mir/regress/ — a human debugs a 10-line module, not
+/// the 200-line program the sweep happened to generate.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RUSTSIGHT_TESTGEN_MINIMIZER_H
+#define RUSTSIGHT_TESTGEN_MINIMIZER_H
+
+#include <functional>
+#include <string>
+
+namespace rs::testgen {
+
+/// Returns true while the candidate module text still exhibits the failure
+/// being minimized. The predicate must be deterministic.
+using TextPredicate = std::function<bool(const std::string &)>;
+
+/// Shrinks \p Text while \p StillFails holds, alternating function-level and
+/// statement-level removal until a round removes nothing (or \p MaxRounds).
+/// Candidates that no longer parse are never offered to the predicate; if
+/// \p Text itself does not parse it is returned unchanged.
+std::string minimizeModuleText(std::string Text,
+                               const TextPredicate &StillFails,
+                               unsigned MaxRounds = 4);
+
+} // namespace rs::testgen
+
+#endif // RUSTSIGHT_TESTGEN_MINIMIZER_H

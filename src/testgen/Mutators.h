@@ -1,0 +1,81 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of RustSight, a reproduction of "Understanding Memory and Thread
+// Safety Practices and Issues in Real-World Rust Programs" (PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Bug-injection mutators: given a clean generated module, each mutator
+/// plants one known defect pattern (or its benign twin, the paper's
+/// published fix shape) and returns an exact label — which detector must
+/// (positive) or must not (benign) fire, and in which function. The catalog
+/// covers every use-after-free and double-lock shape from Section 7 plus
+/// the paper's suggested detectors: post-drop use (Figure 7), guarded
+/// may-UAF, use-after-scope, dangling return (Section 4.3), double lock
+/// direct and through a callee (Figure 8), ABBA lock-order inversion,
+/// ptr::read double free, Figure 6 invalid free, and uninitialized reads.
+///
+/// Mutators draw structure noise from the caller's Rng, so two injections
+/// of the same pattern differ in filler while keeping the defect identical
+/// — the labeled-corpus analogue of the same bug appearing in different
+/// surrounding code.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RUSTSIGHT_TESTGEN_MUTATORS_H
+#define RUSTSIGHT_TESTGEN_MUTATORS_H
+
+#include "mir/Mir.h"
+#include "support/Rng.h"
+
+#include <string>
+#include <vector>
+
+namespace rs::testgen {
+
+/// The defect catalog. Each entry has a buggy form and a benign twin.
+enum class Mutation {
+  UafPostDrop,        ///< Deref a raw pointer after the Box is dropped.
+  UafGuarded,         ///< The drop is branch-guarded: a may-UAF.
+  UseAfterScope,      ///< Deref a pointer to a StorageDead local.
+  DanglingReturn,     ///< Return a pointer into the function's own frame.
+  DoubleLock,         ///< Re-lock while the first guard is alive.
+  DoubleLockInterproc,///< The second lock happens inside a callee.
+  LockOrderInversion, ///< ABBA between two spawned thread entry points.
+  DoubleFree,         ///< ptr::read duplicates ownership; both owners drop.
+  InvalidFree,        ///< Store a Drop struct through a raw pointer to
+                      ///< uninitialized memory (Figure 6).
+  UninitRead,         ///< Read through a pointer fresh out of alloc().
+};
+
+/// Number of catalog entries (for sweeps over the whole catalog).
+inline constexpr unsigned NumMutations = 10;
+
+/// All catalog entries, in declaration order.
+const std::vector<Mutation> &allMutations();
+
+/// Stable identifier, e.g. "uaf-post-drop".
+const char *mutationName(Mutation M);
+
+/// The detector that must fire on the buggy form ("use-after-free", ...).
+const char *mutationDetector(Mutation M);
+
+/// The label a mutator hands back: which function carries the pattern and
+/// what verdict the target detector must reach there.
+struct InjectedBug {
+  Mutation M = Mutation::UafPostDrop;
+  bool Positive = true;      ///< False for the benign twin.
+  std::string Function;      ///< Primary pattern function.
+  std::string Detector;      ///< mutationDetector(M).
+};
+
+/// Plants \p M (buggy when \p Positive, the fixed twin otherwise) into
+/// \p Mod as one or more new functions named "<pattern>_<Idx>...". The
+/// module stays verifier-clean. Returns the label.
+InjectedBug applyMutation(mir::Module &Mod, Mutation M, bool Positive,
+                          unsigned Idx, Rng &R);
+
+} // namespace rs::testgen
+
+#endif // RUSTSIGHT_TESTGEN_MUTATORS_H

@@ -1,0 +1,61 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of RustSight, a reproduction of "Understanding Memory and Thread
+// Safety Practices and Issues in Real-World Rust Programs" (PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Metamorphic and differential oracles over generated modules. Each oracle
+/// states a property RustSight promises for *every* module; the sweep
+/// harness (Harness.h) checks them across thousands of generated programs,
+/// where a hand-written test suite checks a handful.
+///
+///  - round-trip:   print -> parse -> print reaches a fixpoint after one
+///                  cycle (DebugNames print as comments and drop once).
+///  - rename:       appending a suffix to every function name changes no
+///                  detector verdict.
+///  - permute:      shuffling non-entry basic blocks changes no verdict.
+///  - interp-uaf:   an interpreter UseAfterFree/UseAfterScope trap implies
+///                  a use-after-free detector finding in that function
+///                  (the dynamic run under-approximates the static one).
+///  - expectation:  an injected bug's target detector fires iff the
+///                  injection was the buggy form, not the benign twin.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RUSTSIGHT_TESTGEN_ORACLES_H
+#define RUSTSIGHT_TESTGEN_ORACLES_H
+
+#include "mir/Mir.h"
+#include "testgen/Mutators.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rs::testgen {
+
+/// Outcome of one oracle on one module.
+struct OracleResult {
+  std::string Oracle;  ///< "round-trip", "rename", "permute", ...
+  bool Ok = true;
+  std::string Message; ///< Human-readable evidence when !Ok.
+};
+
+OracleResult checkRoundTrip(const mir::Module &M);
+OracleResult checkRenameInvariance(const mir::Module &M);
+OracleResult checkPermuteInvariance(const mir::Module &M, uint64_t Seed);
+OracleResult checkInterpVsUafDetector(const mir::Module &M);
+OracleResult checkDetectorExpectation(const mir::Module &M,
+                                      const InjectedBug &Label);
+
+/// Runs every applicable oracle (expectation only when \p Label is non-null)
+/// and returns the failures; empty means the module passed.
+std::vector<OracleResult> failedOracles(const mir::Module &M,
+                                        const InjectedBug *Label,
+                                        uint64_t Seed);
+
+} // namespace rs::testgen
+
+#endif // RUSTSIGHT_TESTGEN_ORACLES_H

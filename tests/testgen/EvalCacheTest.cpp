@@ -1,0 +1,90 @@
+// Satellite coverage: ResultCache interaction with generated corpora. The
+// scorecard must be identical between a cold and a warm engine run, and the
+// warm run must actually be served from the cache (hits counted in stats).
+
+#include "testgen/EvalCorpus.h"
+#include "testgen/Scorecard.h"
+
+#include "engine/Engine.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+using namespace rs;
+using namespace rs::testgen;
+
+namespace {
+
+namespace fs = std::filesystem;
+
+class EvalCacheTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    // Suffix with the test name: ctest runs each TEST in its own process,
+    // concurrently, and they must not share scratch space.
+    const std::string Name =
+        ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    Dir = fs::temp_directory_path() / ("rs_evalcache_corpus_" + Name);
+    CacheDir = fs::temp_directory_path() / ("rs_evalcache_cache_" + Name);
+    fs::remove_all(Dir);
+    fs::remove_all(CacheDir);
+    writeEvalCorpus(Dir.string());
+    auto M = loadManifest((Dir / "manifest.json").string());
+    ASSERT_TRUE(M.has_value());
+    Man = std::move(*M);
+  }
+  void TearDown() override {
+    fs::remove_all(Dir);
+    fs::remove_all(CacheDir);
+  }
+
+  fs::path Dir, CacheDir;
+  Manifest Man;
+};
+
+TEST_F(EvalCacheTest, WarmCacheScorecardIsIdenticalAndHitsAreCounted) {
+  engine::EngineOptions Opts;
+  Opts.Jobs = 4;
+  Opts.UseCache = true;
+  Opts.CacheDir = CacheDir.string();
+
+  std::string ColdJson, WarmJson;
+  uint64_t ColdMisses = 0, WarmHits = 0;
+  {
+    engine::AnalysisEngine E(Opts);
+    engine::CorpusReport Report = E.analyzeCorpus({Dir.string()});
+    ColdJson = scoreReport(Report, Man).renderJson();
+    ColdMisses = Report.Stats.CacheMisses;
+    EXPECT_EQ(Report.Stats.CacheHits, 0u);
+  }
+  {
+    // A fresh engine: warm hits must come from the on-disk cache.
+    engine::AnalysisEngine E(Opts);
+    engine::CorpusReport Report = E.analyzeCorpus({Dir.string()});
+    WarmJson = scoreReport(Report, Man).renderJson();
+    WarmHits = Report.Stats.CacheHits;
+    EXPECT_EQ(Report.Stats.CacheMisses, 0u);
+  }
+
+  EXPECT_EQ(ColdJson, WarmJson);
+  EXPECT_GE(ColdMisses, 60u);
+  EXPECT_EQ(WarmHits, ColdMisses);
+}
+
+TEST_F(EvalCacheTest, SameEngineWarmRerunAlsoHits) {
+  engine::EngineOptions Opts;
+  Opts.Jobs = 2;
+  Opts.UseCache = true; // In-memory cache only: no CacheDir.
+
+  engine::AnalysisEngine E(Opts);
+  engine::CorpusReport Cold = E.analyzeCorpus({Dir.string()});
+  engine::CorpusReport Warm = E.analyzeCorpus({Dir.string()});
+
+  EXPECT_EQ(scoreReport(Cold, Man).renderJson(),
+            scoreReport(Warm, Man).renderJson());
+  EXPECT_GT(Warm.Stats.CacheHits, 0u);
+  EXPECT_EQ(Warm.Stats.CacheMisses, 0u);
+}
+
+} // namespace

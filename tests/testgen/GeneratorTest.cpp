@@ -1,0 +1,91 @@
+#include "testgen/Generator.h"
+
+#include "interp/Interp.h"
+#include "mir/Parser.h"
+#include "mir/Verifier.h"
+
+#include <gtest/gtest.h>
+
+using namespace rs;
+using namespace rs::testgen;
+
+namespace {
+
+std::string generateText(uint64_t Seed) {
+  GenConfig C;
+  C.Seed = Seed;
+  return ProgramGenerator(C).generate().toString();
+}
+
+TEST(GeneratorTest, SameSeedIsByteIdentical) {
+  for (uint64_t Seed : {1ull, 2ull, 42ull, 999ull})
+    EXPECT_EQ(generateText(Seed), generateText(Seed)) << "seed " << Seed;
+}
+
+TEST(GeneratorTest, DifferentSeedsDiffer) {
+  EXPECT_NE(generateText(1), generateText(2));
+  EXPECT_NE(generateText(7), generateText(8));
+}
+
+TEST(GeneratorTest, EveryModuleIsVerifierClean) {
+  for (uint64_t Seed = 1; Seed <= 100; ++Seed) {
+    GenConfig C;
+    C.Seed = Seed;
+    mir::Module M = ProgramGenerator(C).generate();
+    std::vector<std::string> Errors;
+    EXPECT_TRUE(mir::verifyModule(M, Errors))
+        << "seed " << Seed << ": " << (Errors.empty() ? "" : Errors[0]);
+  }
+}
+
+TEST(GeneratorTest, EveryModuleReparses) {
+  for (uint64_t Seed = 1; Seed <= 50; ++Seed) {
+    std::string Text = generateText(Seed);
+    auto R = mir::Parser::parse(Text, "<gen>");
+    ASSERT_TRUE(static_cast<bool>(R)) << "seed " << Seed;
+    std::vector<std::string> Errors;
+    EXPECT_TRUE(mir::verifyModule(*R, Errors)) << "seed " << Seed;
+  }
+}
+
+// The generator's core guarantee: its programs are true negatives. The
+// interpreter must execute every function without trapping (resource-limit
+// traps aside), or labeling clean cases as all-negative would be unsound.
+TEST(GeneratorTest, GeneratedProgramsRunClean) {
+  for (uint64_t Seed = 1; Seed <= 25; ++Seed) {
+    GenConfig C;
+    C.Seed = Seed;
+    mir::Module M = ProgramGenerator(C).generate();
+    interp::Interpreter I(M);
+    for (const interp::Trap &T : I.runAll())
+      EXPECT_TRUE(interp::isResourceLimitTrap(T.Kind))
+          << "seed " << Seed << ": " << T.toString();
+  }
+}
+
+TEST(GeneratorTest, RespectsFunctionCountBounds) {
+  for (uint64_t Seed = 1; Seed <= 20; ++Seed) {
+    GenConfig C;
+    C.Seed = Seed;
+    C.MinFunctions = 3;
+    C.MaxFunctions = 5;
+    mir::Module M = ProgramGenerator(C).generate();
+    EXPECT_GE(M.functions().size(), 3u) << "seed " << Seed;
+    EXPECT_LE(M.functions().size(), 5u) << "seed " << Seed;
+  }
+}
+
+TEST(GeneratorTest, FeatureTogglesAreHonored) {
+  GenConfig C;
+  C.Seed = 11;
+  C.WithHeap = false;
+  C.WithLocks = false;
+  C.WithAggregates = false;
+  mir::Module M = ProgramGenerator(C).generate();
+  std::string Text = M.toString();
+  EXPECT_EQ(Text.find("Box::new"), std::string::npos);
+  EXPECT_EQ(Text.find("Mutex"), std::string::npos);
+  EXPECT_TRUE(M.structs().empty());
+}
+
+} // namespace

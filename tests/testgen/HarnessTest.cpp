@@ -1,0 +1,131 @@
+#include "testgen/Harness.h"
+
+#include "mir/Parser.h"
+#include "support/FaultInjection.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+using namespace rs;
+using namespace rs::testgen;
+
+namespace {
+
+// The PR 2 determinism contract extended to the sweep: one digest per seed
+// range, byte-identical for any worker count.
+TEST(HarnessTest, SweepDigestIsJobCountInvariant) {
+  SweepConfig C;
+  C.SeedStart = 1;
+  C.SeedCount = 24;
+
+  C.Jobs = 1;
+  SweepReport R1 = runSweep(C);
+  C.Jobs = 4;
+  SweepReport R4 = runSweep(C);
+  C.Jobs = 8;
+  SweepReport R8 = runSweep(C);
+
+  EXPECT_EQ(R1.Digest, R4.Digest);
+  EXPECT_EQ(R1.Digest, R8.Digest);
+  EXPECT_EQ(R1.SeedsRun, 24u);
+  EXPECT_TRUE(R1.clean()) << R1.renderText();
+  EXPECT_TRUE(R4.clean()) << R4.renderText();
+}
+
+TEST(HarnessTest, SweepModuleTextIsDeterministic) {
+  SweepConfig C;
+  for (uint64_t Seed : {1ull, 5ull, 77ull}) {
+    std::optional<InjectedBug> L1, L2;
+    std::string A = sweepModuleText(C, Seed, &L1);
+    std::string B = sweepModuleText(C, Seed, &L2);
+    EXPECT_EQ(A, B) << "seed " << Seed;
+    EXPECT_EQ(L1.has_value(), L2.has_value());
+    if (L1 && L2) {
+      EXPECT_EQ(L1->Function, L2->Function);
+      EXPECT_EQ(L1->Positive, L2->Positive);
+    }
+  }
+}
+
+TEST(HarnessTest, SweepMixesCleanBuggyAndBenignSeeds) {
+  SweepConfig C;
+  unsigned Clean = 0, Buggy = 0, Benign = 0;
+  for (uint64_t Seed = 1; Seed <= 30; ++Seed) {
+    std::optional<InjectedBug> L;
+    sweepModuleText(C, Seed, &L);
+    if (!L)
+      ++Clean;
+    else if (L->Positive)
+      ++Buggy;
+    else
+      ++Benign;
+  }
+  EXPECT_GT(Clean, 0u);
+  EXPECT_GT(Buggy, 0u);
+  EXPECT_GT(Benign, 0u);
+}
+
+TEST(HarnessTest, CleanSweepWritesNoReproFiles) {
+  std::filesystem::path Dir =
+      std::filesystem::temp_directory_path() / "rs_sweep_regress_clean";
+  std::filesystem::remove_all(Dir);
+
+  SweepConfig C;
+  C.SeedCount = 6;
+  C.RegressDir = Dir.string();
+  SweepReport R = runSweep(C);
+  EXPECT_TRUE(R.clean()) << R.renderText();
+  // No violations -> no files (the directory is not even created).
+  EXPECT_FALSE(std::filesystem::exists(Dir));
+
+  std::filesystem::remove_all(Dir);
+}
+
+TEST(HarnessTest, InjectedViolationIsWrittenAsReplayableRepro) {
+  std::filesystem::path Dir =
+      std::filesystem::temp_directory_path() / "rs_sweep_regress_fault";
+  std::filesystem::remove_all(Dir);
+
+  SweepConfig C;
+  C.SeedCount = 3;
+  C.Jobs = 1; // Hit numbering must map to seed ordinals deterministically.
+  C.RegressDir = Dir.string();
+  {
+    fault::ScopedFault F("testgen.oracle", /*FailOnNth=*/2);
+    SweepReport R = runSweep(C);
+    ASSERT_EQ(R.Violations.size(), 1u);
+    EXPECT_EQ(R.Violations[0].Seed, 2u);
+    EXPECT_EQ(R.Violations[0].Oracle, "injected-fault");
+    ASSERT_FALSE(R.Violations[0].ReproPath.empty());
+
+    // The written repro must itself be a parseable module with the header
+    // comment naming seed and oracle — the replay contract.
+    std::ifstream In(R.Violations[0].ReproPath);
+    ASSERT_TRUE(In.good());
+    std::stringstream Buf;
+    Buf << In.rdbuf();
+    EXPECT_NE(Buf.str().find("seed 2"), std::string::npos);
+    EXPECT_NE(Buf.str().find("injected-fault"), std::string::npos);
+    EXPECT_TRUE(
+        static_cast<bool>(mir::Parser::parse(Buf.str(), "<repro>")));
+  }
+
+  std::filesystem::remove_all(Dir);
+}
+
+TEST(HarnessTest, RenderTextReportsCleanAndViolations) {
+  SweepReport R;
+  R.SeedsRun = 10;
+  R.Digest = 0xabcdef;
+  EXPECT_NE(R.renderText().find("OK"), std::string::npos);
+
+  R.Violations.push_back({4, "round-trip", "not a fixpoint", "fn x;", ""});
+  std::string Text = R.renderText();
+  EXPECT_NE(Text.find("seed 4"), std::string::npos);
+  EXPECT_NE(Text.find("round-trip"), std::string::npos);
+}
+
+} // namespace

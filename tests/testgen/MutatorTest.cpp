@@ -1,0 +1,108 @@
+#include "testgen/Mutators.h"
+
+#include "detectors/Detector.h"
+#include "mir/Verifier.h"
+#include "support/Rng.h"
+#include "testgen/Generator.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace rs;
+using namespace rs::testgen;
+
+namespace {
+
+mir::Module hostModule(uint64_t Seed) {
+  GenConfig C;
+  C.Seed = Seed;
+  C.MinFunctions = 1;
+  C.MaxFunctions = 2;
+  return ProgramGenerator(C).generate();
+}
+
+size_t kindCount(const mir::Module &M, const std::string &DetectorName) {
+  detectors::BugKind Kind;
+  EXPECT_TRUE(detectors::bugKindFromName(DetectorName, Kind));
+  detectors::DiagnosticEngine Diags;
+  detectors::runAllDetectors(M, Diags);
+  return Diags.countOfKind(Kind);
+}
+
+// Every mutation's buggy form must trip its detector and its benign twin
+// must not — on top of an arbitrary generated host program. This is the
+// exactness of the ground-truth labels.
+TEST(MutatorTest, PositiveFormTripsTargetDetector) {
+  uint64_t Seed = 100;
+  for (Mutation Mu : allMutations()) {
+    mir::Module M = hostModule(Seed);
+    Rng R(Seed * 31);
+    InjectedBug Bug = applyMutation(M, Mu, /*Positive=*/true, 0, R);
+    EXPECT_TRUE(Bug.Positive);
+    EXPECT_STREQ(Bug.Detector.c_str(), mutationDetector(Mu));
+
+    std::vector<std::string> Errors;
+    ASSERT_TRUE(mir::verifyModule(M, Errors))
+        << mutationName(Mu) << ": " << (Errors.empty() ? "" : Errors[0]);
+    EXPECT_GT(kindCount(M, Bug.Detector), 0u)
+        << mutationName(Mu) << " positive must trip " << Bug.Detector;
+    ++Seed;
+  }
+}
+
+TEST(MutatorTest, BenignTwinStaysSilent) {
+  uint64_t Seed = 200;
+  for (Mutation Mu : allMutations()) {
+    mir::Module M = hostModule(Seed);
+    Rng R(Seed * 31);
+    InjectedBug Bug = applyMutation(M, Mu, /*Positive=*/false, 0, R);
+    EXPECT_FALSE(Bug.Positive);
+
+    std::vector<std::string> Errors;
+    ASSERT_TRUE(mir::verifyModule(M, Errors))
+        << mutationName(Mu) << ": " << (Errors.empty() ? "" : Errors[0]);
+    EXPECT_EQ(kindCount(M, Bug.Detector), 0u)
+        << mutationName(Mu) << " benign twin must not trip " << Bug.Detector;
+    ++Seed;
+  }
+}
+
+TEST(MutatorTest, LabelNamesAnInjectedFunction) {
+  mir::Module M = hostModule(7);
+  Rng R(7);
+  InjectedBug Bug =
+      applyMutation(M, Mutation::UafPostDrop, /*Positive=*/true, 3, R);
+  EXPECT_NE(M.findFunction(Bug.Function), nullptr);
+  EXPECT_NE(Bug.Function.find("uaf_post_drop"), std::string::npos);
+  EXPECT_NE(Bug.Function.find("3"), std::string::npos);
+}
+
+TEST(MutatorTest, CatalogNamesAreStableAndDistinct) {
+  EXPECT_EQ(allMutations().size(), NumMutations);
+  std::set<std::string> Names, Detectors;
+  for (Mutation Mu : allMutations()) {
+    Names.insert(mutationName(Mu));
+    Detectors.insert(mutationDetector(Mu));
+  }
+  EXPECT_EQ(Names.size(), NumMutations);
+  // Several mutations share a detector (three UAF shapes, two double-lock
+  // shapes), so the detector set is smaller but never empty.
+  EXPECT_GE(Detectors.size(), 7u);
+  EXPECT_EQ(std::string(mutationName(Mutation::UafPostDrop)),
+            "uaf-post-drop");
+  EXPECT_EQ(std::string(mutationDetector(Mutation::DoubleLock)),
+            "double-lock");
+}
+
+TEST(MutatorTest, InjectionIsDeterministic) {
+  auto Build = [] {
+    mir::Module M = hostModule(9);
+    Rng R(9);
+    applyMutation(M, Mutation::LockOrderInversion, true, 0, R);
+    return M.toString();
+  };
+  EXPECT_EQ(Build(), Build());
+}
+
+} // namespace
