@@ -2,15 +2,39 @@
 
 #include "mir/Intrinsics.h"
 
-#include <vector>
+#include <algorithm>
+#include <cassert>
 
+using namespace rs;
 using namespace rs::analysis;
 using namespace rs::mir;
 
-CallGraph::CallGraph(const Module &M) {
-  for (const auto &F : M.functions()) {
-    Callees[F->Name]; // Ensure every function has an entry.
-    for (const BasicBlock &BB : F->Blocks) {
+CallGraph::CallGraph(const Module &M) : M(&M) {
+  std::vector<std::string_view> FnNames;
+  FnNames.reserve(M.functions().size());
+  for (const auto &F : M.functions())
+    FnNames.push_back(F->Name);
+  Names = NameIndex(std::move(FnNames));
+
+  uint32_t N = Names.size();
+  Callees.resize(N);
+  Callers.resize(N);
+
+  // Sorts by function name (ties impossible: ids are unique) and drops
+  // duplicate edges; keeps detector-visible iteration in the name order the
+  // old string-keyed sets provided.
+  auto SortByName = [this](std::vector<FuncId> &Ids) {
+    std::sort(Ids.begin(), Ids.end(), [this](FuncId A, FuncId B) {
+      return Names.rankOf(A) < Names.rankOf(B);
+    });
+    Ids.erase(std::unique(Ids.begin(), Ids.end()), Ids.end());
+  };
+
+  std::vector<std::vector<FuncId>> SpawnTargets(N);
+  std::vector<FuncId> Spawners;
+
+  for (FuncId F = 0; F != N; ++F) {
+    for (const BasicBlock &BB : M.functions()[F]->Blocks) {
       const Terminator &T = BB.Term;
       if (T.K != Terminator::Kind::Call)
         continue;
@@ -19,41 +43,61 @@ CallGraph::CallGraph(const Module &M) {
       if (classifyIntrinsic(T.Callee) == IntrinsicKind::ThreadSpawn) {
         if (!T.Args.empty() && !T.Args[0].isPlace() &&
             T.Args[0].C.K == ConstValue::Kind::Str) {
-          Spawned.insert(T.Args[0].C.Str);
-          SpawnsBy[F->Name].insert(T.Args[0].C.Str);
+          Spawners.push_back(F);
+          FuncId Target = Names.idOf(T.Args[0].C.Str);
+          if (Target != InvalidFuncId) {
+            SpawnTargets[F].push_back(Target);
+            Spawned.push_back(Target);
+          }
         }
         continue;
       }
-      if (!M.findFunction(T.Callee))
+      FuncId Callee = Names.idOf(T.Callee);
+      if (Callee == InvalidFuncId)
         continue;
-      Callees[F->Name].insert(T.Callee);
-      Callers[T.Callee].insert(F->Name);
+      Callees[F].push_back(Callee);
+      Callers[Callee].push_back(F);
+    }
+  }
+
+  for (FuncId F = 0; F != N; ++F) {
+    SortByName(Callees[F]);
+    SortByName(Callers[F]);
+  }
+  SortByName(Spawned);
+
+  // Spawn groups, sorted by spawner name with name-sorted members. A group
+  // exists for every function that spawns by name, even when none of its
+  // targets are module-defined.
+  SortByName(Spawners);
+  for (FuncId S : Spawners) {
+    SortByName(SpawnTargets[S]);
+    Groups.push_back({S, std::move(SpawnTargets[S])});
+  }
+}
+
+void CallGraph::reachableFromInto(FuncId Root, BitVec &Seen) const {
+  if (Root == InvalidFuncId)
+    return;
+  assert(Seen.size() == numFunctions() && "bitset size mismatch");
+  if (Seen.test(Root))
+    return;
+  std::vector<FuncId> Work{Root};
+  Seen.set(Root);
+  while (!Work.empty()) {
+    FuncId Cur = Work.back();
+    Work.pop_back();
+    for (FuncId Next : Callees[Cur]) {
+      if (!Seen.test(Next)) {
+        Seen.set(Next);
+        Work.push_back(Next);
+      }
     }
   }
 }
 
-const std::set<std::string> &
-CallGraph::callees(const std::string &Caller) const {
-  auto It = Callees.find(Caller);
-  return It == Callees.end() ? Empty : It->second;
-}
-
-const std::set<std::string> &
-CallGraph::callers(const std::string &Callee) const {
-  auto It = Callers.find(Callee);
-  return It == Callers.end() ? Empty : It->second;
-}
-
-std::set<std::string> CallGraph::reachableFrom(const std::string &Root) const {
-  std::set<std::string> Seen;
-  std::vector<std::string> Work{Root};
-  Seen.insert(Root);
-  while (!Work.empty()) {
-    std::string Cur = std::move(Work.back());
-    Work.pop_back();
-    for (const std::string &Next : callees(Cur))
-      if (Seen.insert(Next).second)
-        Work.push_back(Next);
-  }
+BitVec CallGraph::reachableFrom(FuncId Root) const {
+  BitVec Seen(numFunctions());
+  reachableFromInto(Root, Seen);
   return Seen;
 }

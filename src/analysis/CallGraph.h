@@ -6,9 +6,16 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// A direct-call graph over a Module: callees per caller (module-defined
-/// only), callers per callee, and the set of intrinsic calls. Used by the
-/// lock-order detector to pair thread entry points with the locks they take.
+/// A direct-call graph over a Module with interned dense function ids
+/// (id = the function's ordinal in Module::functions()). Adjacency is
+/// stored as sorted flat vectors instead of string-keyed tree maps, and
+/// reachability works on bitsets — the detector hot paths do no per-lookup
+/// tree walks or string compares.
+///
+/// Determinism: every list the detectors iterate (callees, callers, spawn
+/// groups, ids-by-name) is sorted by function *name*, reproducing the
+/// iteration order of the string-keyed containers this replaced, so
+/// diagnostics keep byte-identical order.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -16,46 +23,91 @@
 #define RUSTSIGHT_ANALYSIS_CALLGRAPH_H
 
 #include "mir/Mir.h"
+#include "support/BitVec.h"
+#include "support/Interner.h"
 
-#include <map>
-#include <set>
-#include <string>
+#include <string_view>
 #include <vector>
 
 namespace rs::analysis {
 
-/// Direct call relation of a Module.
+/// Dense function id: the ordinal of the function in Module::functions().
+using FuncId = uint32_t;
+
+/// Sentinel for "not a module-defined function".
+inline constexpr FuncId InvalidFuncId = NameIndex::None;
+
+/// Direct call relation of a Module, in interned id space.
 class CallGraph {
 public:
   explicit CallGraph(const mir::Module &M);
 
-  /// Module-defined functions \p Caller calls directly (deduplicated).
-  const std::set<std::string> &callees(const std::string &Caller) const;
+  uint32_t numFunctions() const { return Names.size(); }
 
-  /// Module-defined functions that call \p Callee directly.
-  const std::set<std::string> &callers(const std::string &Callee) const;
+  /// The id of the module-defined function \p Name, or InvalidFuncId.
+  FuncId idOf(std::string_view Name) const { return Names.idOf(Name); }
 
-  /// Functions passed (by name constant) to thread::spawn, i.e. thread
-  /// entry points.
-  const std::set<std::string> &spawnedFunctions() const { return Spawned; }
+  const mir::Function &function(FuncId Id) const {
+    return *M->functions()[Id];
+  }
+
+  std::string_view name(FuncId Id) const { return Names.name(Id); }
+
+  /// All function ids in lexicographic name order.
+  const std::vector<FuncId> &functionsByName() const {
+    return Names.idsByName();
+  }
+
+  /// Module-defined functions \p Caller calls directly, deduplicated and
+  /// sorted by callee name.
+  const std::vector<FuncId> &callees(FuncId Caller) const {
+    return Callees[Caller];
+  }
+
+  /// Module-defined functions that call \p Callee directly, sorted by
+  /// caller name.
+  const std::vector<FuncId> &callers(FuncId Callee) const {
+    return Callers[Callee];
+  }
+
+  /// The full callee adjacency, indexed by caller id (for SCC condensation
+  /// and other whole-graph consumers).
+  const std::vector<std::vector<FuncId>> &calleeLists() const {
+    return Callees;
+  }
+
+  /// Module-defined functions passed (by name constant) to thread::spawn,
+  /// i.e. thread entry points, sorted by name.
+  const std::vector<FuncId> &spawnedFunctions() const { return Spawned; }
 
   /// Thread entry points grouped by the function that spawns them. Threads
   /// spawned by the same parent receive the same locks positionally, so
-  /// lock-order comparison is meaningful within a group.
-  const std::map<std::string, std::set<std::string>> &spawnGroups() const {
-    return SpawnsBy;
-  }
+  /// lock-order comparison is meaningful within a group. Groups are sorted
+  /// by spawner name; members by thread name. A group whose spawn targets
+  /// are all unknown names keeps an empty Threads list.
+  struct SpawnGroup {
+    FuncId Spawner;
+    std::vector<FuncId> Threads;
+  };
+  const std::vector<SpawnGroup> &spawnGroups() const { return Groups; }
 
-  /// All functions reachable from \p Root through direct calls, including
-  /// \p Root itself.
-  std::set<std::string> reachableFrom(const std::string &Root) const;
+  /// Sets the bit of every function reachable from \p Root through direct
+  /// calls (including \p Root) in \p Seen, which must be sized
+  /// numFunctions(). Bits already set are treated as already visited, so
+  /// repeated calls union reachable sets. No-op for InvalidFuncId.
+  void reachableFromInto(FuncId Root, BitVec &Seen) const;
+
+  /// Bitset over function ids of everything reachable from \p Root,
+  /// including \p Root itself.
+  BitVec reachableFrom(FuncId Root) const;
 
 private:
-  std::map<std::string, std::set<std::string>> Callees;
-  std::map<std::string, std::set<std::string>> Callers;
-  std::set<std::string> Spawned;
-  std::map<std::string, std::set<std::string>> SpawnsBy;
-  std::set<std::string> Empty;
+  const mir::Module *M;
+  NameIndex Names;
+  std::vector<std::vector<FuncId>> Callees;
+  std::vector<std::vector<FuncId>> Callers;
+  std::vector<FuncId> Spawned;
+  std::vector<SpawnGroup> Groups;
 };
 
 } // namespace rs::analysis

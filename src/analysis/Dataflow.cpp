@@ -23,8 +23,11 @@ ForwardDataflow::ForwardDataflow(const Cfg &G, const ForwardTransfer &Transfer,
   In[0] = Initial;
   Defined[0] = true;
 
-  // Round-robin over RPO until fixpoint. Edge states are recomputed on the
-  // fly; functions are small enough that caching is unnecessary.
+  // Round-robin over RPO until fixpoint. The two scratch vectors are reused
+  // for every edge of every iteration, so the solver allocates O(1) BitVecs
+  // total instead of one per visited edge.
+  BitVec Edge(Initial.size());
+  BitVec NewIn(Initial.size());
   bool Changed = true;
   while (Changed) {
     Changed = false;
@@ -34,25 +37,24 @@ ForwardDataflow::ForwardDataflow(const Cfg &G, const ForwardTransfer &Transfer,
         return;
       }
       if (B != 0) {
-        BitVec NewIn(Initial.size());
         bool First = true;
         for (BlockId P : G.predecessors(B)) {
           if (!Defined[P])
             continue;
-          BitVec EdgeState = stateOnEdge(P, B);
+          stateOnEdgeInto(P, B, Edge);
           if (First) {
-            NewIn = std::move(EdgeState);
+            NewIn = Edge;
             First = false;
           } else if (Transfer.meetIsUnion()) {
-            NewIn.unionWith(EdgeState);
+            NewIn.unionWith(Edge);
           } else {
-            NewIn.intersectWith(EdgeState);
+            NewIn.intersectWith(Edge);
           }
         }
         if (First)
           continue; // No computed predecessor yet.
         if (!Defined[B] || !(NewIn == In[B])) {
-          In[B] = std::move(NewIn);
+          In[B] = NewIn;
           Defined[B] = true;
           Changed = true;
         }
@@ -61,19 +63,31 @@ ForwardDataflow::ForwardDataflow(const Cfg &G, const ForwardTransfer &Transfer,
   }
 }
 
-BitVec ForwardDataflow::stateBefore(BlockId B, size_t StmtIndex) const {
+void ForwardDataflow::stateBeforeInto(BlockId B, size_t StmtIndex,
+                                      BitVec &Out) const {
   const BasicBlock &BB = G.function().Blocks[B];
   assert(StmtIndex <= BB.Statements.size() && "statement index out of range");
-  BitVec State = In[B];
+  Out = In[B];
   for (size_t I = 0; I != StmtIndex; ++I)
-    Transfer.transferStatement(BB.Statements[I], State);
+    Transfer.transferStatement(BB.Statements[I], Out);
+}
+
+BitVec ForwardDataflow::stateBefore(BlockId B, size_t StmtIndex) const {
+  BitVec State;
+  stateBeforeInto(B, StmtIndex, State);
   return State;
 }
 
-BitVec ForwardDataflow::stateOnEdge(BlockId B, BlockId Succ) const {
+void ForwardDataflow::stateOnEdgeInto(BlockId B, BlockId Succ,
+                                      BitVec &Out) const {
   const BasicBlock &BB = G.function().Blocks[B];
-  BitVec State = stateBefore(B, BB.Statements.size());
-  Transfer.transferEdge(BB.Term, Succ, State);
+  stateBeforeInto(B, BB.Statements.size(), Out);
+  Transfer.transferEdge(BB.Term, Succ, Out);
+}
+
+BitVec ForwardDataflow::stateOnEdge(BlockId B, BlockId Succ) const {
+  BitVec State;
+  stateOnEdgeInto(B, Succ, State);
   return State;
 }
 
@@ -93,17 +107,19 @@ BackwardDataflow::BackwardDataflow(const Cfg &G,
 
   std::vector<bool> Defined(N, false);
 
-  // Computes the in-state of a block: meet over successors, then the whole
-  // block's transfer (terminator, then statements in reverse).
-  auto BlockInState = [&](BlockId B) {
+  // Computes the in-state of a block into \p State: meet over successors,
+  // then the whole block's transfer (terminator, then statements in
+  // reverse). In-place so the solver reuses one scratch per edge.
+  auto BlockInStateInto = [&](BlockId B, BitVec &State) {
     const BasicBlock &BB = G.function().Blocks[B];
-    BitVec State = Out[B];
+    State = Out[B];
     Transfer.transferTerminator(BB.Term, State);
     for (size_t I = BB.Statements.size(); I != 0; --I)
       Transfer.transferStatement(BB.Statements[I - 1], State);
-    return State;
   };
 
+  BitVec SuccIn(Exit.size());
+  BitVec NewOut(Exit.size());
   bool Changed = true;
   while (Changed) {
     Changed = false;
@@ -116,7 +132,6 @@ BackwardDataflow::BackwardDataflow(const Cfg &G,
         return;
       }
       const std::vector<BlockId> &Succs = G.successors(B);
-      BitVec NewOut(Exit.size());
       if (Succs.empty()) {
         NewOut = Exit;
       } else {
@@ -126,9 +141,9 @@ BackwardDataflow::BackwardDataflow(const Cfg &G,
           if (!Defined[S])
             continue;
           AnyDefined = true;
-          BitVec SuccIn = BlockInState(S);
+          BlockInStateInto(S, SuccIn);
           if (First) {
-            NewOut = std::move(SuccIn);
+            NewOut = SuccIn;
             First = false;
           } else if (Transfer.meetIsUnion()) {
             NewOut.unionWith(SuccIn);
@@ -140,7 +155,7 @@ BackwardDataflow::BackwardDataflow(const Cfg &G,
           continue;
       }
       if (!Defined[B] || !(NewOut == Out[B])) {
-        Out[B] = std::move(NewOut);
+        Out[B] = NewOut;
         Defined[B] = true;
         Changed = true;
       }
@@ -148,12 +163,18 @@ BackwardDataflow::BackwardDataflow(const Cfg &G,
   }
 }
 
-BitVec BackwardDataflow::stateBefore(BlockId B, size_t StmtIndex) const {
+void BackwardDataflow::stateBeforeInto(BlockId B, size_t StmtIndex,
+                                       BitVec &Out2) const {
   const BasicBlock &BB = G.function().Blocks[B];
   assert(StmtIndex <= BB.Statements.size() && "statement index out of range");
-  BitVec State = Out[B];
-  Transfer.transferTerminator(BB.Term, State);
+  Out2 = Out[B];
+  Transfer.transferTerminator(BB.Term, Out2);
   for (size_t I = BB.Statements.size(); I != StmtIndex; --I)
-    Transfer.transferStatement(BB.Statements[I - 1], State);
+    Transfer.transferStatement(BB.Statements[I - 1], Out2);
+}
+
+BitVec BackwardDataflow::stateBefore(BlockId B, size_t StmtIndex) const {
+  BitVec State;
+  stateBeforeInto(B, StmtIndex, State);
   return State;
 }

@@ -14,6 +14,16 @@
 /// the return edge, not on the unwind edge, which matters for initialization
 /// and liveness facts.
 ///
+/// Per-point queries come in three tiers (see docs/PERFORMANCE.md):
+///  - stateBefore/stateOnEdge: allocate and return a fresh BitVec. Fine for
+///    one-off queries and tests.
+///  - stateBeforeInto/stateOnEdgeInto: write into a caller-owned scratch
+///    BitVec, so repeated queries reuse one allocation.
+///  - ForwardCursor/BackwardCursor: stream a whole block applying each
+///    transfer exactly once — O(block) total where per-statement replay
+///    queries cost O(block^2). Every per-statement consumer (detectors,
+///    summaries, reports) should use a cursor.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef RUSTSIGHT_ANALYSIS_DATAFLOW_H
@@ -63,6 +73,9 @@ public:
   /// False when a budget stopped iteration before the fixpoint.
   bool converged() const { return Converged; }
 
+  const Cfg &cfg() const { return G; }
+  const ForwardTransfer &transfer() const { return Transfer; }
+
   /// State at the start of block \p B. Unreachable blocks report an empty
   /// state.
   const BitVec &blockIn(mir::BlockId B) const { return In[B]; }
@@ -72,15 +85,73 @@ public:
   /// terminator.
   BitVec stateBefore(mir::BlockId B, size_t StmtIndex) const;
 
+  /// In-place variant: assigns the queried state into \p Out, reusing its
+  /// allocation when it is already the right size.
+  void stateBeforeInto(mir::BlockId B, size_t StmtIndex, BitVec &Out) const;
+
   /// State on the edge from \p B to \p Succ (after the terminator's
   /// edge-specific effect).
   BitVec stateOnEdge(mir::BlockId B, mir::BlockId Succ) const;
+
+  /// In-place variant of stateOnEdge.
+  void stateOnEdgeInto(mir::BlockId B, mir::BlockId Succ, BitVec &Out) const;
 
 private:
   const Cfg &G;
   const ForwardTransfer &Transfer;
   std::vector<BitVec> In;
   bool Converged = true;
+};
+
+/// Streams through one block of a solved forward problem, applying each
+/// statement transfer exactly once and exposing the state immediately
+/// before the current statement/terminator. Reusable across blocks via
+/// seek(), which recycles the internal scratch BitVec.
+class ForwardCursor {
+public:
+  /// Unpositioned cursor; call seek() before any query.
+  explicit ForwardCursor(const ForwardDataflow &DF) : DF(&DF) {}
+
+  ForwardCursor(const ForwardDataflow &DF, mir::BlockId B) : DF(&DF) {
+    seek(B);
+  }
+
+  /// Repositions at the start of block \p B (state = blockIn(B)).
+  void seek(mir::BlockId B) {
+    Block = B;
+    Index = 0;
+    BB = &DF->cfg().function().Blocks[B];
+    State = DF->blockIn(B);
+  }
+
+  mir::BlockId block() const { return Block; }
+  size_t index() const { return Index; }
+  bool atTerminator() const { return Index >= BB->Statements.size(); }
+  const mir::Statement &statement() const { return BB->Statements[Index]; }
+
+  /// The state immediately before the current statement/terminator.
+  const BitVec &state() const { return State; }
+
+  /// Applies the current statement and moves to the next position.
+  void advance() {
+    DF->transfer().transferStatement(statement(), State);
+    ++Index;
+  }
+
+  /// Advances past any remaining statements and returns the state before
+  /// the terminator.
+  const BitVec &stateAtTerminator() {
+    while (!atTerminator())
+      advance();
+    return State;
+  }
+
+private:
+  const ForwardDataflow *DF;
+  const mir::BasicBlock *BB = nullptr;
+  mir::BlockId Block = 0;
+  size_t Index = 0;
+  BitVec State;
 };
 
 /// Transfer functions for a backward dataflow problem (e.g. live variables).
@@ -114,6 +185,9 @@ public:
   /// False when a budget stopped iteration before the fixpoint.
   bool converged() const { return Converged; }
 
+  const Cfg &cfg() const { return G; }
+  const BackwardTransfer &transfer() const { return Transfer; }
+
   /// State at the end of block \p B (before its terminator's effect was
   /// applied it is stateAfter(B, Statements.size())).
   const BitVec &blockOut(mir::BlockId B) const { return Out[B]; }
@@ -123,11 +197,51 @@ public:
   /// the state before the terminator.
   BitVec stateBefore(mir::BlockId B, size_t StmtIndex) const;
 
+  /// In-place variant of stateBefore.
+  void stateBeforeInto(mir::BlockId B, size_t StmtIndex, BitVec &Out) const;
+
 private:
   const Cfg &G;
   const BackwardTransfer &Transfer;
   std::vector<BitVec> Out; ///< Meet over successors, before terminator effect.
   bool Converged = true;
+};
+
+/// Per-block materialization of a solved backward problem: seek() runs one
+/// backward sweep over the block and caches the state before every
+/// statement index, so consumers that walk the block *forward* (reports,
+/// detectors) read each point in O(1) instead of replaying the block suffix
+/// per query. The cache is recycled across seeks.
+class BackwardCursor {
+public:
+  explicit BackwardCursor(const BackwardDataflow &DF) : DF(&DF) {}
+
+  /// Computes the per-point states of block \p B in one sweep.
+  void seek(mir::BlockId B) {
+    const mir::BasicBlock &BB = DF->cfg().function().Blocks[B];
+    size_t N = BB.Statements.size();
+    if (States.size() < N + 1)
+      States.resize(N + 1);
+    States[N] = DF->blockOut(B);
+    DF->transfer().transferTerminator(BB.Term, States[N]);
+    for (size_t I = N; I != 0; --I) {
+      States[I - 1] = States[I];
+      DF->transfer().transferStatement(BB.Statements[I - 1], States[I - 1]);
+    }
+    NumPoints = N + 1;
+  }
+
+  /// State immediately before statement \p StmtIndex of the sought block
+  /// (Statements.size() addresses the terminator).
+  const BitVec &stateBefore(size_t StmtIndex) const {
+    assert(StmtIndex < NumPoints && "statement index out of range");
+    return States[StmtIndex];
+  }
+
+private:
+  const BackwardDataflow *DF;
+  std::vector<BitVec> States;
+  size_t NumPoints = 0;
 };
 
 } // namespace rs::analysis

@@ -9,28 +9,30 @@ LifetimeReport::LifetimeReport(const Function &F, const Module &M)
 
 void LifetimeReport::heldLocks(BlockId B, size_t StmtIndex,
                                std::vector<ObjId> &Out) const {
-  BitVec State = MA.dataflow().stateBefore(B, StmtIndex);
+  BitVec State;
+  MA.dataflow().stateBeforeInto(B, StmtIndex, State);
   for (ObjId O = 0; O != MA.objects().numObjects(); ++O)
     if (MA.mayBeHeld(State, O, true) || MA.mayBeHeld(State, O, false))
       Out.push_back(O);
 }
 
-std::string LifetimeReport::annotation(BlockId B, size_t StmtIndex) const {
+std::string LifetimeReport::annotationFor(const BitVec &LiveState,
+                                          const BitVec &MemState) const {
   std::string Live;
   for (LocalId L = 0; L != F.numLocals(); ++L) {
-    if (LV.isLiveBefore(B, StmtIndex, L)) {
+    if (LiveState.test(L)) {
       if (!Live.empty())
         Live += " ";
       Live += "_" + std::to_string(L);
     }
   }
-  std::vector<ObjId> Held;
-  heldLocks(B, StmtIndex, Held);
   std::string Locks;
-  for (ObjId O : Held) {
-    if (!Locks.empty())
-      Locks += " ";
-    Locks += MA.objects().name(O);
+  for (ObjId O = 0; O != MA.objects().numObjects(); ++O) {
+    if (MA.mayBeHeld(MemState, O, true) || MA.mayBeHeld(MemState, O, false)) {
+      if (!Locks.empty())
+        Locks += " ";
+      Locks += MA.objects().name(O);
+    }
   }
   std::string Out = "live: " + (Live.empty() ? "-" : Live);
   if (!Locks.empty())
@@ -41,11 +43,18 @@ std::string LifetimeReport::annotation(BlockId B, size_t StmtIndex) const {
 std::string LifetimeReport::render() const {
   std::string Out;
   Out += "fn " + F.Name + " — lifetime and critical-section report\n";
+  // One forward cursor (memory states) and one backward cursor (liveness)
+  // stream each block in a single pass apiece; every annotation point then
+  // reads both states in O(1).
+  ForwardCursor Mem = MA.cursor();
+  BackwardCursor Liv(LV.dataflow());
   for (BlockId B = 0; B != F.numBlocks(); ++B) {
     if (!G.isReachable(B))
       continue;
     Out += "  bb" + std::to_string(B) + ":\n";
     const BasicBlock &BB = F.Blocks[B];
+    Mem.seek(B);
+    Liv.seek(B);
     for (size_t I = 0; I != BB.Statements.size(); ++I) {
       const Statement &S = BB.Statements[I];
       Out += "    " + S.toString();
@@ -56,14 +65,18 @@ std::string LifetimeReport::render() const {
         Out += "   // <-- implicit unlock: guard _" +
                std::to_string(S.Local) + " dies here";
       }
-      Out += "\n        // " + annotation(B, I) + "\n";
+      Out += "\n        // " + annotationFor(Liv.stateBefore(I), Mem.state()) +
+             "\n";
+      Mem.advance();
     }
     Out += "    " + BB.Term.toString();
     if (BB.Term.K == Terminator::Kind::Drop && BB.Term.DropPlace.isLocal() &&
         MA.isGuardLocal(BB.Term.DropPlace.Base))
       Out += "   // <-- implicit unlock: guard _" +
              std::to_string(BB.Term.DropPlace.Base) + " dropped here";
-    Out += "\n        // " + annotation(B, BB.Statements.size()) + "\n";
+    Out += "\n        // " +
+           annotationFor(Liv.stateBefore(BB.Statements.size()), Mem.state()) +
+           "\n";
   }
   return Out;
 }

@@ -51,8 +51,9 @@ public:
   const MemoryAnalysis &memory() const { return MA; }
 
 private:
-  /// One annotation line for the state before (B, StmtIndex).
-  std::string annotation(mir::BlockId B, size_t StmtIndex) const;
+  /// One annotation line from already-computed per-point states.
+  std::string annotationFor(const BitVec &LiveState,
+                            const BitVec &MemState) const;
 
   const mir::Function &F;
   Cfg G;

@@ -11,7 +11,8 @@ LiveVariables::LiveVariables(const Cfg &G)
 
 bool LiveVariables::isLiveBefore(BlockId B, size_t StmtIndex,
                                  LocalId L) const {
-  return DF->stateBefore(B, StmtIndex).test(L);
+  DF->stateBeforeInto(B, StmtIndex, Scratch);
+  return Scratch.test(L);
 }
 
 BitVec LiveVariables::exitState() const { return BitVec(NumLocals); }

@@ -49,6 +49,7 @@ private:
   const Cfg &G;
   unsigned NumLocals;
   std::unique_ptr<BackwardDataflow> DF;
+  mutable BitVec Scratch; ///< Reused across isLiveBefore queries.
 };
 
 } // namespace rs::analysis

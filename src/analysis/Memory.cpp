@@ -1,7 +1,5 @@
 #include "analysis/Memory.h"
 
-#include "mir/Intrinsics.h"
-
 #include <cassert>
 
 using namespace rs;
@@ -10,34 +8,41 @@ using namespace rs::mir;
 
 MemoryAnalysis::MemoryAnalysis(const Cfg &G, const Module &M,
                                const SummaryMap *Summaries, Budget *Bgt)
-    : G(G), M(M), Objects(G.function()), Summaries(Summaries),
+    : G(G), M(M), Objects(G.function()),
       NumLocals(G.function().numLocals()), NumObjects(Objects.numObjects()) {
   DeadBase = static_cast<size_t>(NumLocals) * NumObjects;
   DroppedBase = DeadBase + NumObjects;
   UninitBase = DroppedBase + NumObjects;
   HeldShBase = UninitBase + NumObjects;
   HeldExBase = HeldShBase + NumObjects;
-  for (BlockId B = 0; B != G.numBlocks(); ++B)
-    TermBlock[&G.function().Blocks[B].Term] = B;
+  resolveCallSites(Summaries);
   computeGuardLocals();
   DF = std::make_unique<ForwardDataflow>(G, *this, Bgt);
 }
 
-BlockId MemoryAnalysis::blockOfTerminator(const Terminator &T) const {
-  auto It = TermBlock.find(&T);
-  assert(It != TermBlock.end() && "terminator from a different function");
-  return It->second;
+void MemoryAnalysis::resolveCallSites(const SummaryMap *Summaries) {
+  const Function &F = G.function();
+  BlockKind.assign(F.Blocks.size(), IntrinsicKind::None);
+  BlockSummary.assign(F.Blocks.size(), nullptr);
+  for (BlockId B = 0; B != F.Blocks.size(); ++B) {
+    const Terminator &T = F.Blocks[B].Term;
+    if (T.K != Terminator::Kind::Call)
+      continue;
+    BlockKind[B] = classifyIntrinsic(T.Callee);
+    if (Summaries && BlockKind[B] == IntrinsicKind::None)
+      BlockSummary[B] = Summaries->find(T.Callee);
+  }
 }
 
 void MemoryAnalysis::computeGuardLocals() {
   const Function &F = G.function();
+  GuardLocals = BitVec(NumLocals);
   // Seed: destinations of lock-acquisition calls.
-  for (const BasicBlock &BB : F.Blocks) {
-    const Terminator &T = BB.Term;
-    IntrinsicKind Kind = classifyIntrinsic(T.Callee);
+  for (BlockId B = 0; B != F.Blocks.size(); ++B) {
+    const Terminator &T = F.Blocks[B].Term;
     if (T.K == Terminator::Kind::Call && T.HasDest && T.Dest.isLocal() &&
-        (isLockAcquire(Kind) || isBorrowAcquire(Kind)))
-      GuardLocals.insert(T.Dest.Base);
+        (isLockAcquire(BlockKind[B]) || isBorrowAcquire(BlockKind[B])))
+      GuardLocals.set(T.Dest.Base);
   }
   // Closure over direct copies/moves of guard values between locals.
   bool Changed = true;
@@ -50,9 +55,11 @@ void MemoryAnalysis::computeGuardLocals() {
         if (S.RV.K != Rvalue::Kind::Use || !S.RV.Ops[0].isPlace() ||
             !S.RV.Ops[0].P.isLocal())
           continue;
-        if (GuardLocals.count(S.RV.Ops[0].P.Base) &&
-            GuardLocals.insert(S.Dest.Base).second)
+        if (GuardLocals.test(S.RV.Ops[0].P.Base) &&
+            !GuardLocals.test(S.Dest.Base)) {
+          GuardLocals.set(S.Dest.Base);
           Changed = true;
+        }
       }
     }
   }
@@ -239,7 +246,7 @@ void MemoryAnalysis::transferStatement(const Statement &S,
     State.set(DeadBase + O);
     // A dying guard releases its lock (scope-end release, the Rust
     // behaviour the paper's double-lock bugs hinge on).
-    if (GuardLocals.count(S.Local)) {
+    if (GuardLocals.test(S.Local)) {
       for (ObjId Q = 0; Q != NumObjects; ++Q) {
         if (State.test(ptsBit(S.Local, Q))) {
           State.reset(HeldShBase + Q);
@@ -295,7 +302,7 @@ void MemoryAnalysis::dropPlace(const Place &P, BitVec &State) const {
     ObjId O = Objects.localObject(L);
     // Dropping a guard releases the lock instead of invalidating memory
     // anyone may still reference.
-    if (GuardLocals.count(L)) {
+    if (GuardLocals.test(L)) {
       for (ObjId Q = 0; Q != NumObjects; ++Q) {
         if (State.test(ptsBit(L, Q))) {
           State.reset(HeldShBase + Q);
@@ -340,8 +347,11 @@ void MemoryAnalysis::transferEdge(const Terminator &T, BlockId Succ,
   }
 
   // Calls: argument moves happen on every edge; the destination is only
-  // written on the return edge.
-  IntrinsicKind Kind = classifyIntrinsic(T.Callee);
+  // written on the return edge. Classification and summary were resolved
+  // per block at construction.
+  BlockId B = blockOfTerminator(T);
+  IntrinsicKind Kind = BlockKind[B];
+  const FunctionSummary *Summary = BlockSummary[B];
   bool IsReturnEdge = Succ == T.Target;
 
   // Effects on arguments.
@@ -380,12 +390,6 @@ void MemoryAnalysis::transferEdge(const Terminator &T, BlockId Succ,
   }
 
   // Interprocedural effects from summaries.
-  const FunctionSummary *Summary = nullptr;
-  if (Summaries && Kind == IntrinsicKind::None) {
-    auto It = Summaries->find(T.Callee);
-    if (It != Summaries->end())
-      Summary = &It->second;
-  }
   if (Summary) {
     for (size_t I = 0; I != T.Args.size(); ++I) {
       unsigned Param = static_cast<unsigned>(I) + 1;
@@ -414,7 +418,7 @@ void MemoryAnalysis::transferEdge(const Terminator &T, BlockId Succ,
   case IntrinsicKind::BoxNew:
   case IntrinsicKind::ArcNew:
   case IntrinsicKind::Alloc: {
-    ObjId H = Objects.heapObject(blockOfTerminator(T));
+    ObjId H = Objects.heapObject(B);
     assert(H != ~0u && "allocating call without a heap object");
     DestPts.set(H);
     if (Kind == IntrinsicKind::Alloc)
@@ -463,7 +467,7 @@ void MemoryAnalysis::transferEdge(const Terminator &T, BlockId Succ,
       for (const Operand &Op : T.Args)
         operandPointees(State, Op, DestPts);
     }
-    ObjId H = Objects.heapObject(blockOfTerminator(T));
+    ObjId H = Objects.heapObject(B);
     if (H != ~0u) {
       DestPts.set(H);
       State.reset(UninitBase + H);

@@ -22,6 +22,13 @@
 /// or StorageDead ... for each pointer/reference, a points-to analysis
 /// maintains which variable it points to, including ownership moves."
 ///
+/// Per-call-site facts that are invariant across the fixpoint — the callee's
+/// intrinsic classification and its interprocedural summary — are resolved
+/// once per block at construction, so the edge transfer (the hottest loop in
+/// the analyzer) does no string classification or by-name summary lookups.
+/// The resolved summary pointers reach into SummaryTable's stable dense
+/// entries, which outlive and stay valid across moves of the table itself.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef RUSTSIGHT_ANALYSIS_MEMORY_H
@@ -30,10 +37,10 @@
 #include "analysis/Dataflow.h"
 #include "analysis/Objects.h"
 #include "analysis/Summaries.h"
+#include "mir/Intrinsics.h"
 
-#include <map>
 #include <memory>
-#include <set>
+#include <vector>
 
 namespace rs::analysis {
 
@@ -57,7 +64,16 @@ public:
   const ForwardDataflow &dataflow() const { return *DF; }
 
   /// Locals that (transitively) hold lock guards returned by lock calls.
-  bool isGuardLocal(mir::LocalId L) const { return GuardLocals.count(L) != 0; }
+  bool isGuardLocal(mir::LocalId L) const { return GuardLocals.test(L); }
+
+  /// The pre-resolved summary of the module-defined function block \p B
+  /// calls, or null (not a call, an intrinsic, an unknown callee, or the
+  /// analysis was built without summaries). The pointer reads the summary
+  /// table's *current* entry, so it stays correct while the interprocedural
+  /// fixpoint refines summaries in place.
+  const FunctionSummary *calleeSummary(mir::BlockId B) const {
+    return BlockSummary[B];
+  }
 
   // --- State queries (operate on a state BitVec from the dataflow) --------
 
@@ -97,38 +113,15 @@ public:
   void placeTargetObjects(const BitVec &State, const mir::Place &P,
                           BitVec &Out) const;
 
-  /// Steps through one block replaying transfers; detectors use this to
-  /// inspect the state immediately before each statement/terminator.
-  class Cursor {
-  public:
-    Cursor(const MemoryAnalysis &MA, mir::BlockId B)
-        : MA(MA), Block(B), State(MA.dataflow().blockIn(B)) {}
+  /// Streams through one block applying each transfer exactly once;
+  /// detectors use this to inspect the state immediately before each
+  /// statement/terminator. Reusable across blocks via seek().
+  using Cursor = ForwardCursor;
 
-    mir::BlockId block() const { return Block; }
-    size_t index() const { return Index; }
-    bool atTerminator() const {
-      return Index >= MA.cfg().function().Blocks[Block].Statements.size();
-    }
-    const mir::Statement &statement() const {
-      return MA.cfg().function().Blocks[Block].Statements[Index];
-    }
-    /// The state immediately before the current statement/terminator.
-    const BitVec &state() const { return State; }
+  /// Unpositioned reusable cursor: seek() it at each block of interest.
+  Cursor cursor() const { return Cursor(*DF); }
 
-    /// Applies the current statement and moves to the next position.
-    void advance() {
-      MA.transferStatement(statement(), State);
-      ++Index;
-    }
-
-  private:
-    const MemoryAnalysis &MA;
-    mir::BlockId Block;
-    size_t Index = 0;
-    BitVec State;
-  };
-
-  Cursor cursorAt(mir::BlockId B) const { return Cursor(*this, B); }
+  Cursor cursorAt(mir::BlockId B) const { return Cursor(*DF, B); }
 
   // --- ForwardTransfer implementation -------------------------------------
   BitVec initialState() const override;
@@ -159,20 +152,31 @@ private:
                          BitVec &State) const;
   void dropPlace(const mir::Place &P, BitVec &State) const;
   void computeGuardLocals();
+  void resolveCallSites(const SummaryMap *Summaries);
 
-  /// The block owning terminator \p T (terminators are stored in-place, so
-  /// identity lookup is exact).
-  mir::BlockId blockOfTerminator(const mir::Terminator &T) const;
+  /// The block owning terminator \p T. Terminators are stored in-place in
+  /// the function's contiguous block array, so the block index is plain
+  /// pointer arithmetic — no per-edge map lookup.
+  mir::BlockId blockOfTerminator(const mir::Terminator &T) const {
+    const mir::BasicBlock *Blocks = G.function().Blocks.data();
+    size_t Off = reinterpret_cast<const char *>(&T) -
+                 reinterpret_cast<const char *>(Blocks);
+    size_t B = Off / sizeof(mir::BasicBlock);
+    assert(B < G.function().Blocks.size() &&
+           &Blocks[B].Term == &T && "terminator from a different function");
+    return static_cast<mir::BlockId>(B);
+  }
 
   const Cfg &G;
   const mir::Module &M;
   ObjectTable Objects;
-  std::map<const mir::Terminator *, mir::BlockId> TermBlock;
-  const SummaryMap *Summaries;
   unsigned NumLocals;
   unsigned NumObjects;
   size_t DeadBase, DroppedBase, UninitBase, HeldShBase, HeldExBase;
-  std::set<mir::LocalId> GuardLocals;
+  /// Per-block callee classification/summary, resolved at construction.
+  std::vector<mir::IntrinsicKind> BlockKind;
+  std::vector<const FunctionSummary *> BlockSummary;
+  BitVec GuardLocals; ///< One bit per local.
   std::unique_ptr<ForwardDataflow> DF;
 };
 

@@ -11,6 +11,17 @@
 /// whether the return value may alias a parameter pointee, and which
 /// parameter pointees a callee may lock.
 ///
+/// Summaries are stored in a dense table indexed by function ordinal (the
+/// position in Module::functions()), with a sorted name index for by-name
+/// lookup. Computation is scheduled over call-graph SCCs in reverse
+/// topological order (see Scc.h): every callee's summary is final before
+/// its callers are summarized, so non-recursive call graphs converge in
+/// exactly one summarization per function; recursive components iterate a
+/// change-driven worklist. The result is the same least fixpoint the
+/// historical round-robin schedule computed (summarization is monotone in
+/// the callee summaries and merge is union), reached without rebuilding
+/// every per-function analysis once per global round.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef RUSTSIGHT_ANALYSIS_SUMMARIES_H
@@ -18,13 +29,20 @@
 
 #include "mir/Mir.h"
 #include "support/Budget.h"
+#include "support/Interner.h"
 
 #include <cstdint>
-#include <map>
+#include <memory>
+#include <stdexcept>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace rs::analysis {
+
+class CallGraph;
+class Cfg;
+class MemoryAnalysis;
 
 /// Lock-acquisition mode bits used in summaries.
 enum LockMode : uint8_t {
@@ -58,20 +76,131 @@ struct FunctionSummary {
   }
 };
 
-/// Summaries keyed by function name.
-using SummaryMap = std::map<std::string, FunctionSummary>;
+/// Dense summary storage: one FunctionSummary per module function, indexed
+/// by function ordinal, plus a sorted name index for by-name lookup (the
+/// map-style count()/at()/find() the detectors and tests use).
+///
+/// The entry vector is sized once at construction and never grows, so
+/// &byId(I) stays stable for the table's whole lifetime (MemoryAnalysis
+/// pre-resolves per-call-site summary pointers against this guarantee; the
+/// pointers survive moves of the table itself). The Module must outlive the
+/// table (the name index views its function names).
+class SummaryTable {
+public:
+  SummaryTable() = default;
 
-/// Computes summaries for every function in \p M, iterating to fixpoint so
-/// effects propagate through call chains (bounded at \p MaxRounds to stay
-/// total in the presence of recursion).
+  /// Seeds an empty (all-effects-false) summary for every function of \p M.
+  explicit SummaryTable(const mir::Module &M) {
+    std::vector<std::string_view> FnNames;
+    FnNames.reserve(M.functions().size());
+    Entries.reserve(M.functions().size());
+    for (const auto &F : M.functions()) {
+      FnNames.push_back(F->Name);
+      Entries.emplace_back(F->NumArgs);
+    }
+    Names = NameIndex(std::move(FnNames));
+  }
+
+  size_t size() const { return Entries.size(); }
+  bool empty() const { return Entries.empty(); }
+
+  /// Ordinal of the named function, or NameIndex::None.
+  uint32_t idOf(std::string_view Name) const { return Names.idOf(Name); }
+
+  const FunctionSummary &byId(uint32_t Id) const { return Entries[Id]; }
+  FunctionSummary &byId(uint32_t Id) { return Entries[Id]; }
+
+  /// The named function's summary, or null for names the module does not
+  /// define (intrinsics, unknown externals).
+  const FunctionSummary *find(std::string_view Name) const {
+    uint32_t Id = Names.idOf(Name);
+    return Id == NameIndex::None ? nullptr : &Entries[Id];
+  }
+
+  size_t count(std::string_view Name) const { return find(Name) ? 1 : 0; }
+
+  /// Map-style checked lookup.
+  const FunctionSummary &at(std::string_view Name) const {
+    const FunctionSummary *S = find(Name);
+    if (!S)
+      throw std::out_of_range("SummaryTable::at: no summary for \"" +
+                              std::string(Name) + "\"");
+    return *S;
+  }
+
+private:
+  NameIndex Names;
+  std::vector<FunctionSummary> Entries;
+};
+
+/// Historical alias: the summary container detectors consume.
+using SummaryMap = SummaryTable;
+
+/// Work counters from one computeSummaries run, for benches and the CI
+/// perf-smoke gate (a non-recursive module must show Summarizations ==
+/// Functions: one pass).
+struct SummaryStats {
+  unsigned Functions = 0;
+  unsigned Components = 0;
+  unsigned RecursiveComponents = 0;
+  /// Total summarizeFunction invocations across all components.
+  unsigned Summarizations = 0;
+  /// Total MemoryAnalysis (re)builds, the dominant cost per summarization.
+  unsigned MemoryBuilds = 0;
+  /// Max worklist passes any recursive component needed.
+  unsigned MaxSccPasses = 0;
+  /// True when a recursive component hit its iteration bound before its
+  /// fixpoint (reported through \p Complete as well).
+  bool Clamped = false;
+};
+
+/// Per-function analyses computeSummaries built while scheduling, offered
+/// to the caller for adoption. Cfgs are always valid; Memory entries are
+/// present only where the analysis was solved against the *final* callee
+/// summaries (all of them, for non-recursive call graphs), so detectors can
+/// reuse them instead of re-running the fixpoint per function.
+struct ModuleAnalysisCache {
+  std::vector<std::unique_ptr<Cfg>> Cfgs;              ///< By ordinal.
+  std::vector<std::unique_ptr<MemoryAnalysis>> Memory; ///< By ordinal.
+
+  ModuleAnalysisCache();
+  ModuleAnalysisCache(ModuleAnalysisCache &&) noexcept;
+  ModuleAnalysisCache &operator=(ModuleAnalysisCache &&) noexcept;
+  ~ModuleAnalysisCache();
+};
+
+/// Computes summaries for every function in \p M over the call-graph SCC
+/// condensation in reverse topological order. Non-recursive code is
+/// summarized exactly once; recursive components run a change-driven
+/// worklist bounded at \p MaxRounds passes (hitting the bound reports
+/// non-convergence through \p Complete — the degradation ladder — instead
+/// of silently presenting a clamped result as final).
 ///
 /// \p Bgt (optional) bounds the work: each per-function summarization is one
-/// budget step, and when the budget runs out the rounds stop where they are.
-/// The partial map under-approximates interprocedural effects — the engine's
-/// "per-function-only" degradation rung. \p Complete (optional) is set to
-/// false when the budget truncated the computation.
+/// budget step, and when the budget runs out the scheduling stops where it
+/// is. The partial table under-approximates interprocedural effects — the
+/// engine's "per-function-only" degradation rung. \p Complete (optional) is
+/// set to false when the budget truncated the computation or a recursive
+/// component failed to converge.
+///
+/// \p CG (optional) reuses an already-built call graph; \p Stats (optional)
+/// receives work counters; \p CacheOut (optional, only populated on
+/// un-truncated runs) receives the per-function analyses for adoption.
 SummaryMap computeSummaries(const mir::Module &M, unsigned MaxRounds = 8,
-                            Budget *Bgt = nullptr, bool *Complete = nullptr);
+                            Budget *Bgt = nullptr, bool *Complete = nullptr,
+                            const CallGraph *CG = nullptr,
+                            SummaryStats *Stats = nullptr,
+                            ModuleAnalysisCache *CacheOut = nullptr);
+
+/// The historical round-robin schedule (every function re-summarized each
+/// global round until a round changes nothing, bounded at \p MaxRounds),
+/// kept as the specification oracle for equivalence tests and as the
+/// old-vs-new baseline in bench_analysis_hotpath. Converged results equal
+/// computeSummaries(); only the work differs.
+SummaryMap computeSummariesReference(const mir::Module &M,
+                                     unsigned MaxRounds = 8,
+                                     Budget *Bgt = nullptr,
+                                     bool *Complete = nullptr);
 
 } // namespace rs::analysis
 

@@ -19,14 +19,17 @@ void DanglingReturnDetector::run(AnalysisContext &Ctx,
     const Cfg &G = Ctx.cfg(*F);
     const MemoryAnalysis &MA = Ctx.memory(*F);
     const ObjectTable &Objects = MA.objects();
+    MemoryAnalysis::Cursor C = MA.cursor();
+    std::vector<ObjId> Pointees;
 
     for (BlockId B = 0; B != F->numBlocks(); ++B) {
       if (!G.isReachable(B) ||
           F->Blocks[B].Term.K != Terminator::Kind::Return)
         continue;
       size_t AtTerm = F->Blocks[B].Statements.size();
-      BitVec State = MA.dataflow().stateBefore(B, AtTerm);
-      std::vector<ObjId> Pointees;
+      C.seek(B);
+      const BitVec &State = C.stateAtTerminator();
+      Pointees.clear();
       MA.pointees(State, F->returnLocal(), Pointees);
       for (ObjId O : Pointees) {
         LocalId L = 0;

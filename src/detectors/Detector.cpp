@@ -2,18 +2,35 @@
 
 #include "detectors/Detectors.h"
 
+#include <cassert>
+
 using namespace rs::analysis;
 using namespace rs::detectors;
 using namespace rs::mir;
 
 AnalysisContext::AnalysisContext(const Module &M, const AnalysisLimits &Limits)
-    : M(M), Limits(Limits),
-      Summaries(computeSummaries(M, Limits.MaxSummaryRounds,
-                                 Limits.ContextBudget, &SummariesOk)),
-      CG(M) {}
+    : M(M), Limits(Limits), CG(M) {
+  Cache.resize(M.functions().size());
+  // Adopt the analyses the summary scheduler built only when nothing bounds
+  // this context: under budgets the degradation semantics (per-function
+  // budget chaining, partial results) must match a fresh computation.
+  bool Unbounded = !Limits.ContextBudget && Limits.MaxDataflowSteps == 0;
+  ModuleAnalysisCache Built;
+  Summaries =
+      computeSummaries(M, Limits.MaxSummaryRounds, Limits.ContextBudget,
+                       &SummariesOk, &CG, nullptr, Unbounded ? &Built : nullptr);
+  if (Unbounded && Built.Cfgs.size() == Cache.size()) {
+    for (size_t I = 0; I != Cache.size(); ++I) {
+      Cache[I].G = std::move(Built.Cfgs[I]);
+      Cache[I].MA = std::move(Built.Memory[I]);
+    }
+  }
+}
 
 AnalysisContext::PerFunction &AnalysisContext::entry(const Function &F) {
-  PerFunction &E = Cache[&F];
+  analysis::FuncId Id = CG.idOf(F.Name);
+  assert(Id != analysis::InvalidFuncId && "function from a different module");
+  PerFunction &E = Cache[Id];
   if (!E.G)
     E.G = std::make_unique<Cfg>(F, /*PruneConstantBranches=*/true);
   return E;
@@ -37,16 +54,18 @@ const MemoryAnalysis &AnalysisContext::memory(const Function &F) {
 }
 
 bool AnalysisContext::memoryDegraded(const Function &F) const {
-  auto It = Cache.find(&F);
-  return It != Cache.end() && It->second.MA &&
-         !It->second.MA->dataflowConverged();
+  analysis::FuncId Id = CG.idOf(F.Name);
+  if (Id == analysis::InvalidFuncId)
+    return false;
+  const PerFunction &E = Cache[Id];
+  return E.MA && !E.MA->dataflowConverged();
 }
 
 bool AnalysisContext::anyDegraded() const {
   if (!SummariesOk)
     return true;
-  for (const auto &KV : Cache)
-    if (KV.second.MA && !KV.second.MA->dataflowConverged())
+  for (const PerFunction &E : Cache)
+    if (E.MA && !E.MA->dataflowConverged())
       return true;
   return false;
 }

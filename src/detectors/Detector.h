@@ -21,7 +21,6 @@
 #include "detectors/Diagnostics.h"
 #include "support/Budget.h"
 
-#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -92,9 +91,13 @@ private:
   const mir::Module &M;
   AnalysisLimits Limits;
   bool SummariesOk = true;
+  analysis::CallGraph CG; ///< Built first; shared with summary scheduling.
   analysis::SummaryMap Summaries;
-  analysis::CallGraph CG;
-  std::map<const mir::Function *, PerFunction> Cache;
+  /// Dense per-function cache indexed by function ordinal (= CallGraph id).
+  /// On unbudgeted contexts the entries start out adopted from the summary
+  /// computation, which already solved every function's memory analysis
+  /// against the final summaries.
+  std::vector<PerFunction> Cache;
 
   PerFunction &entry(const mir::Function &F);
 };

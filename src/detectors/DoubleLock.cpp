@@ -55,6 +55,7 @@ void DoubleLockDetector::run(AnalysisContext &Ctx, DiagnosticEngine &Diags) {
     const Cfg &G = Ctx.cfg(*F);
     const MemoryAnalysis &MA = Ctx.memory(*F);
     const ObjectTable &Objects = MA.objects();
+    MemoryAnalysis::Cursor C = MA.cursor();
 
     for (BlockId B = 0; B != F->numBlocks(); ++B) {
       if (!G.isReachable(B))
@@ -70,7 +71,8 @@ void DoubleLockDetector::run(AnalysisContext &Ctx, DiagnosticEngine &Diags) {
       if (isLockAcquire(Kind) || isBorrowAcquire(Kind)) {
         if (T.Args.empty())
           continue;
-        BitVec State = MA.dataflow().stateBefore(B, AtTerm);
+        C.seek(B);
+        const BitVec &State = C.stateAtTerminator();
         std::vector<ObjId> Roots;
         MA.lockRoots(State, T.Args[0], Roots);
         bool Exclusive = isExclusiveAcquire(Kind) ||
@@ -105,11 +107,12 @@ void DoubleLockDetector::run(AnalysisContext &Ctx, DiagnosticEngine &Diags) {
       // Acquisition inside a module-defined callee (via summaries).
       if (Kind != IntrinsicKind::None)
         continue;
-      auto It = Summaries.find(T.Callee);
-      if (It == Summaries.end())
+      const FunctionSummary *Found = Summaries.find(T.Callee);
+      if (!Found)
         continue;
-      const FunctionSummary &S = It->second;
-      BitVec State = MA.dataflow().stateBefore(B, AtTerm);
+      const FunctionSummary &S = *Found;
+      C.seek(B);
+      const BitVec &State = C.stateAtTerminator();
       for (size_t I = 0; I != T.Args.size(); ++I) {
         unsigned Param = static_cast<unsigned>(I) + 1;
         if (Param >= S.AcquiresLockOnParam.size())

@@ -74,10 +74,11 @@ void InteriorMutabilityDetector::run(AnalysisContext &Ctx,
       Diags.report(std::move(D));
     };
 
+    MemoryAnalysis::Cursor C = MA.cursor();
     for (BlockId B = 0; B != F->numBlocks(); ++B) {
       if (!G.isReachable(B))
         continue;
-      auto C = MA.cursorAt(B);
+      C.seek(B);
       while (!C.atTerminator()) {
         const Statement &S = C.statement();
         if (S.K == Statement::Kind::Assign && S.Dest.hasDeref()) {

@@ -58,6 +58,7 @@ std::vector<OrderEdge> collectEdges(AnalysisContext &Ctx, const Function &F) {
     return Out;
   };
 
+  MemoryAnalysis::Cursor C = MA.cursor();
   for (BlockId B = 0; B != F.numBlocks(); ++B) {
     if (!G.isReachable(B))
       continue;
@@ -69,7 +70,8 @@ std::vector<OrderEdge> collectEdges(AnalysisContext &Ctx, const Function &F) {
 
     // The parameters whose locks this call acquires.
     std::vector<unsigned> Acquired;
-    BitVec State = MA.dataflow().stateBefore(B, AtTerm);
+    C.seek(B);
+    const BitVec &State = C.stateAtTerminator();
     if (isLockAcquire(Kind) && !T.Args.empty()) {
       std::vector<ObjId> Roots;
       MA.lockRoots(State, T.Args[0], Roots);
@@ -77,13 +79,12 @@ std::vector<OrderEdge> collectEdges(AnalysisContext &Ctx, const Function &F) {
         if (LocalId P = paramRootOfObject(F, Objects, O))
           Acquired.push_back(P);
     } else if (Kind == IntrinsicKind::None) {
-      auto It = Ctx.summaries().find(T.Callee);
-      if (It != Ctx.summaries().end()) {
+      if (const FunctionSummary *S = Ctx.summaries().find(T.Callee)) {
         for (size_t I = 0; I != T.Args.size(); ++I) {
           unsigned Param = static_cast<unsigned>(I) + 1;
-          if (Param >= It->second.AcquiresLockOnParam.size())
+          if (Param >= S->AcquiresLockOnParam.size())
             break;
-          if (It->second.AcquiresLockOnParam[Param] == LM_None ||
+          if (S->AcquiresLockOnParam[Param] == LM_None ||
               !T.Args[I].isPlace())
             continue;
           std::vector<ObjId> Roots;
@@ -120,11 +121,10 @@ void LockOrderDetector::run(AnalysisContext &Ctx, DiagnosticEngine &Diags) {
     for (const auto &F : Ctx.module().functions())
       Groups.back().push_back(F.get());
   } else {
-    for (const auto &[Spawner, Names] : SpawnGroups) {
+    for (const auto &[Spawner, Threads] : SpawnGroups) {
       Groups.emplace_back();
-      for (const std::string &Name : Names)
-        if (const Function *F = Ctx.module().findFunction(Name))
-          Groups.back().push_back(F);
+      for (FuncId T : Threads)
+        Groups.back().push_back(&Ctx.callGraph().function(T));
     }
   }
 

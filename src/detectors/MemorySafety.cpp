@@ -52,11 +52,12 @@ void InvalidFreeDetector::run(AnalysisContext &Ctx, DiagnosticEngine &Diags) {
     const Cfg &G = Ctx.cfg(*F);
     const MemoryAnalysis &MA = Ctx.memory(*F);
     const ObjectTable &Objects = MA.objects();
+    MemoryAnalysis::Cursor C = MA.cursor();
 
     for (BlockId B = 0; B != F->numBlocks(); ++B) {
       if (!G.isReachable(B))
         continue;
-      auto C = MA.cursorAt(B);
+      C.seek(B);
       while (!C.atTerminator()) {
         const Statement &S = C.statement();
         // Assigning through a pointer drops the old pointee value first; if
@@ -133,13 +134,15 @@ void DoubleFreeDetector::run(AnalysisContext &Ctx, DiagnosticEngine &Diags) {
       SourceLocation Loc;
     };
     std::vector<Duplication> Dups;
+    MemoryAnalysis::Cursor C = MA.cursor();
 
     for (BlockId B = 0; B != F->numBlocks(); ++B) {
       if (!G.isReachable(B))
         continue;
       const Terminator &T = F->Blocks[B].Term;
       size_t AtTerm = F->Blocks[B].Statements.size();
-      BitVec State = MA.dataflow().stateBefore(B, AtTerm);
+      C.seek(B);
+      const BitVec &State = C.stateAtTerminator();
 
       // Direct double drop.
       const Place *Dropped = nullptr;
@@ -179,8 +182,8 @@ void DoubleFreeDetector::run(AnalysisContext &Ctx, DiagnosticEngine &Diags) {
       if (!G.isReachable(B) ||
           F->Blocks[B].Term.K != Terminator::Kind::Return)
         continue;
-      BitVec State =
-          MA.dataflow().stateBefore(B, F->Blocks[B].Statements.size());
+      C.seek(B);
+      const BitVec &State = C.stateAtTerminator();
       for (const Duplication &Dup : Dups) {
         if (MA.mayBeDropped(State, Objects.localObject(Dup.Dest)) &&
             MA.mayBeDropped(State, Dup.Source)) {
@@ -236,11 +239,12 @@ void UninitReadDetector::run(AnalysisContext &Ctx, DiagnosticEngine &Diags) {
       }
     };
 
+    MemoryAnalysis::Cursor C = MA.cursor();
+    std::vector<PlaceUse> Uses;
     for (BlockId B = 0; B != F->numBlocks(); ++B) {
       if (!G.isReachable(B))
         continue;
-      auto C = MA.cursorAt(B);
-      std::vector<PlaceUse> Uses;
+      C.seek(B);
       while (!C.atTerminator()) {
         Uses.clear();
         collectUses(C.statement(), Uses);

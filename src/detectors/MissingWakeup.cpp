@@ -16,8 +16,6 @@
 
 #include "mir/Intrinsics.h"
 
-#include <set>
-
 using namespace rs;
 using namespace rs::detectors;
 using namespace rs::mir;
@@ -86,26 +84,30 @@ void MissingWakeupDetector::run(AnalysisContext &Ctx,
                                 DiagnosticEngine &Diags) {
   const mir::Module &M = Ctx.module();
   const analysis::CallGraph &CG = Ctx.callGraph();
+  using analysis::FuncId;
 
   // Partition functions into spawn groups plus a module-global remainder.
-  std::set<std::string> Grouped;
+  BitVec Grouped(CG.numFunctions());
+  BitVec Members(CG.numFunctions());
   for (const auto &[Spawner, Threads] : CG.spawnGroups()) {
     GroupFacts Facts;
-    std::set<std::string> Members = CG.reachableFrom(Spawner);
-    for (const std::string &T : Threads)
-      Members.merge(CG.reachableFrom(T));
-    for (const std::string &Name : Members) {
-      if (const Function *F = M.findFunction(Name)) {
-        scanFunction(*F, Facts);
-        Grouped.insert(Name);
-      }
+    Members.clear();
+    CG.reachableFromInto(Spawner, Members);
+    for (FuncId T : Threads)
+      CG.reachableFromInto(T, Members);
+    // Scan members in function-name order (the old string-set iteration).
+    for (FuncId Id : CG.functionsByName()) {
+      if (!Members.test(Id))
+        continue;
+      scanFunction(CG.function(Id), Facts);
+      Grouped.set(Id);
     }
     reportFacts(Facts, Diags);
   }
 
   GroupFacts Rest;
-  for (const auto &F : M.functions())
-    if (!Grouped.count(F->Name))
-      scanFunction(*F, Rest);
+  for (FuncId Id = 0; Id != CG.numFunctions(); ++Id)
+    if (!Grouped.test(Id))
+      scanFunction(*M.functions()[Id], Rest);
   reportFacts(Rest, Diags);
 }

@@ -61,11 +61,12 @@ void UseAfterFreeDetector::run(AnalysisContext &Ctx, DiagnosticEngine &Diags) {
       continue; // Suggestion 5: safe code unrelated to unsafe is skipped.
     const Cfg &G = Ctx.cfg(*F);
     const MemoryAnalysis &MA = Ctx.memory(*F);
+    MemoryAnalysis::Cursor C = MA.cursor();
+    std::vector<PlaceUse> Uses;
     for (BlockId B = 0; B != F->numBlocks(); ++B) {
       if (!G.isReachable(B))
         continue;
-      auto C = MA.cursorAt(B);
-      std::vector<PlaceUse> Uses;
+      C.seek(B);
       while (!C.atTerminator()) {
         Uses.clear();
         collectUses(C.statement(), Uses);

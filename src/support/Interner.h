@@ -1,0 +1,83 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of RustSight, a reproduction of "Understanding Memory and Thread
+// Safety Practices and Issues in Real-World Rust Programs" (PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A dense string-to-id index over a fixed name universe. The analysis layer
+/// interns function names once (id = module ordinal) and then works in id
+/// space: adjacency as flat vectors, membership as bitsets, lookups as a
+/// binary search over a sorted permutation instead of per-query tree walks.
+///
+/// The index stores views into the caller's strings; the strings must
+/// outlive the index (function names live in the Module, which outlives
+/// every analysis built over it).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RUSTSIGHT_SUPPORT_INTERNER_H
+#define RUSTSIGHT_SUPPORT_INTERNER_H
+
+#include <algorithm>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace rs {
+
+/// Maps each name in a fixed list to its position (the id), answers
+/// name-to-id queries in O(log n), and exposes the ids in lexicographic
+/// name order so id-space consumers can preserve the name-sorted iteration
+/// order the string-keyed containers used to provide.
+class NameIndex {
+public:
+  static constexpr uint32_t None = ~uint32_t(0);
+
+  NameIndex() = default;
+
+  explicit NameIndex(std::vector<std::string_view> NamesIn)
+      : Names(std::move(NamesIn)), Order(Names.size()), Rank(Names.size()) {
+    for (uint32_t I = 0; I != Order.size(); ++I)
+      Order[I] = I;
+    std::sort(Order.begin(), Order.end(), [&](uint32_t A, uint32_t B) {
+      return Names[A] < Names[B] || (Names[A] == Names[B] && A < B);
+    });
+    for (uint32_t R = 0; R != Order.size(); ++R)
+      Rank[Order[R]] = R;
+  }
+
+  uint32_t size() const { return static_cast<uint32_t>(Names.size()); }
+
+  std::string_view name(uint32_t Id) const { return Names[Id]; }
+
+  /// The id of \p Name, or None when absent. With duplicate names (the
+  /// verifier rejects them, but the index stays total anyway) the first in
+  /// id order wins.
+  uint32_t idOf(std::string_view Name) const {
+    auto It = std::lower_bound(Order.begin(), Order.end(), Name,
+                               [&](uint32_t Id, std::string_view N) {
+                                 return Names[Id] < N;
+                               });
+    if (It == Order.end() || Names[*It] != Name)
+      return None;
+    return *It;
+  }
+
+  /// All ids, sorted by name.
+  const std::vector<uint32_t> &idsByName() const { return Order; }
+
+  /// Position of \p Id in name order; sorting ids by rank reproduces the
+  /// iteration order of a name-keyed std::map.
+  uint32_t rankOf(uint32_t Id) const { return Rank[Id]; }
+
+private:
+  std::vector<std::string_view> Names; ///< By id.
+  std::vector<uint32_t> Order;         ///< Ids sorted by name.
+  std::vector<uint32_t> Rank;          ///< Id -> position in Order.
+};
+
+} // namespace rs
+
+#endif // RUSTSIGHT_SUPPORT_INTERNER_H

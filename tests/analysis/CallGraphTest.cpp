@@ -4,6 +4,10 @@
 
 #include <gtest/gtest.h>
 
+#include <set>
+#include <string>
+
+using namespace rs;
 using namespace rs::analysis;
 using namespace rs::mir;
 
@@ -27,30 +31,86 @@ const char *GraphSrc =
     "    bb1: { return; }\n"
     "}\n";
 
+/// The names of \p Ids, in listed order.
+std::vector<std::string> names(const CallGraph &CG,
+                               const std::vector<FuncId> &Ids) {
+  std::vector<std::string> Out;
+  for (FuncId Id : Ids)
+    Out.emplace_back(CG.name(Id));
+  return Out;
+}
+
+/// The names of the functions whose bits are set, sorted.
+std::set<std::string> names(const CallGraph &CG, const BitVec &Set) {
+  std::set<std::string> Out;
+  Set.forEach([&](size_t Id) {
+    Out.emplace(CG.name(static_cast<FuncId>(Id)));
+  });
+  return Out;
+}
+
 } // namespace
+
+TEST(CallGraph, InternedIds) {
+  Module M = parseOk(GraphSrc);
+  CallGraph CG(M);
+  ASSERT_EQ(CG.numFunctions(), 4u);
+  // Ids are module ordinals; idOf/name round-trip.
+  for (FuncId Id = 0; Id != CG.numFunctions(); ++Id) {
+    EXPECT_EQ(CG.name(Id), M.functions()[Id]->Name);
+    EXPECT_EQ(CG.idOf(CG.name(Id)), Id);
+    EXPECT_EQ(&CG.function(Id), M.functions()[Id].get());
+  }
+  EXPECT_EQ(CG.idOf("nonexistent"), InvalidFuncId);
+  // functionsByName lists every id in lexicographic name order.
+  EXPECT_EQ(names(CG, CG.functionsByName()),
+            (std::vector<std::string>{"a", "b", "c", "spawner"}));
+}
 
 TEST(CallGraph, DirectEdges) {
   Module M = parseOk(GraphSrc);
   CallGraph CG(M);
-  EXPECT_EQ(CG.callees("a"), std::set<std::string>{"b"});
-  EXPECT_EQ(CG.callees("b"), std::set<std::string>{"c"});
-  EXPECT_TRUE(CG.callees("c").empty());
-  EXPECT_EQ(CG.callers("c"), std::set<std::string>{"b"});
-  EXPECT_TRUE(CG.callers("a").empty());
+  EXPECT_EQ(names(CG, CG.callees(CG.idOf("a"))),
+            std::vector<std::string>{"b"});
+  EXPECT_EQ(names(CG, CG.callees(CG.idOf("b"))),
+            std::vector<std::string>{"c"});
+  EXPECT_TRUE(CG.callees(CG.idOf("c")).empty());
+  EXPECT_EQ(names(CG, CG.callers(CG.idOf("c"))),
+            std::vector<std::string>{"b"});
+  EXPECT_TRUE(CG.callers(CG.idOf("a")).empty());
 }
 
 TEST(CallGraph, SpawnedFunctions) {
   Module M = parseOk(GraphSrc);
   CallGraph CG(M);
-  EXPECT_EQ(CG.spawnedFunctions(), std::set<std::string>{"a"});
+  EXPECT_EQ(names(CG, CG.spawnedFunctions()),
+            std::vector<std::string>{"a"});
+  ASSERT_EQ(CG.spawnGroups().size(), 1u);
+  EXPECT_EQ(CG.name(CG.spawnGroups()[0].Spawner), "spawner");
+  EXPECT_EQ(names(CG, CG.spawnGroups()[0].Threads),
+            std::vector<std::string>{"a"});
 }
 
 TEST(CallGraph, Reachability) {
   Module M = parseOk(GraphSrc);
   CallGraph CG(M);
-  std::set<std::string> FromA = CG.reachableFrom("a");
-  EXPECT_EQ(FromA, (std::set<std::string>{"a", "b", "c"}));
-  EXPECT_EQ(CG.reachableFrom("c"), std::set<std::string>{"c"});
+  EXPECT_EQ(names(CG, CG.reachableFrom(CG.idOf("a"))),
+            (std::set<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(names(CG, CG.reachableFrom(CG.idOf("c"))),
+            std::set<std::string>{"c"});
+}
+
+TEST(CallGraph, ReachableFromIntoUnions) {
+  Module M = parseOk(GraphSrc);
+  CallGraph CG(M);
+  BitVec Seen(CG.numFunctions());
+  CG.reachableFromInto(CG.idOf("c"), Seen);
+  EXPECT_EQ(names(CG, Seen), std::set<std::string>{"c"});
+  CG.reachableFromInto(CG.idOf("a"), Seen);
+  EXPECT_EQ(names(CG, Seen), (std::set<std::string>{"a", "b", "c"}));
+  // Unknown roots are a no-op.
+  CG.reachableFromInto(InvalidFuncId, Seen);
+  EXPECT_EQ(Seen.count(), 3u);
 }
 
 TEST(CallGraph, IntrinsicCallsExcluded) {
@@ -62,13 +122,25 @@ TEST(CallGraph, IntrinsicCallsExcluded) {
                      "    bb1: { return; }\n"
                      "}\n");
   CallGraph CG(M);
-  EXPECT_TRUE(CG.callees("f").empty());
+  EXPECT_TRUE(CG.callees(CG.idOf("f")).empty());
 }
 
 TEST(CallGraph, RecursionIsHandled) {
   Module M = parseOk(
       "fn rec() { let _1: (); bb0: { _1 = rec() -> bb1; } bb1: { return; } }\n");
   CallGraph CG(M);
-  EXPECT_EQ(CG.callees("rec"), std::set<std::string>{"rec"});
-  EXPECT_EQ(CG.reachableFrom("rec"), std::set<std::string>{"rec"});
+  EXPECT_EQ(names(CG, CG.callees(CG.idOf("rec"))),
+            std::vector<std::string>{"rec"});
+  EXPECT_EQ(names(CG, CG.reachableFrom(CG.idOf("rec"))),
+            std::set<std::string>{"rec"});
+}
+
+TEST(CallGraph, DuplicateCallEdgesDedup) {
+  Module M = parseOk(
+      "fn f() { let _1: (); bb0: { _1 = g() -> bb1; } bb1: { _1 = g() -> "
+      "bb2; } bb2: { return; } }\n"
+      "fn g() { bb0: { return; } }\n");
+  CallGraph CG(M);
+  EXPECT_EQ(CG.callees(CG.idOf("f")).size(), 1u);
+  EXPECT_EQ(CG.callers(CG.idOf("g")).size(), 1u);
 }
