@@ -21,6 +21,8 @@
 
 #include "analysis/LifetimeReport.h"
 #include "detectors/Detectors.h"
+#include "diag/Baseline.h"
+#include "diag/SourceManager.h"
 #include "engine/Engine.h"
 #include "interp/Interp.h"
 #include "mir/Parser.h"
@@ -75,28 +77,58 @@ std::optional<Module> parseFile(const std::string &Path) {
 /// Options for the resilient check pipeline, parsed from the command line.
 struct CheckOptions {
   engine::EngineOptions Engine;
-  bool Json = false;
+  std::string Format = "text"; ///< "text", "json", or "sarif".
   bool Strict = false;
+
+  bool json() const { return Format == "json"; }
 };
 
-int cmdCheck(const std::vector<std::string> &Files, const CheckOptions &Opts) {
+/// Options for check/eval baselines, parsed from the command line. For
+/// check these name finding-fingerprint baselines (docs/DIAGNOSTICS.md);
+/// for eval they name F1 scorecard baselines.
+struct EvalOptions {
+  std::string Baseline;
+  std::string WriteBaseline;
+};
+
+int cmdCheck(const std::vector<std::string> &Files, const CheckOptions &Opts,
+             const EvalOptions &Eval) {
   engine::AnalysisEngine E(Opts.Engine);
   engine::CorpusReport Report = E.analyzeCorpus(Files);
-  if (Opts.Json)
+
+  // The baseline flow: record the full current state first, then drop the
+  // previously-accepted findings so only new ones render and gate the exit
+  // code.
+  if (!Eval.WriteBaseline.empty()) {
+    std::string Err;
+    if (!engine::collectBaseline(Report).writeFile(Eval.WriteBaseline, Err)) {
+      std::fprintf(stderr, "error: %s\n", Err.c_str());
+      return 2;
+    }
+  }
+  if (!Eval.Baseline.empty()) {
+    diag::Baseline B;
+    std::string Err;
+    if (!diag::Baseline::loadFile(Eval.Baseline, B, Err)) {
+      std::fprintf(stderr, "error: %s\n", Err.c_str());
+      return 2;
+    }
+    engine::applyBaseline(Report, B);
+  }
+
+  if (Opts.Format == "json") {
     std::printf("%s\n", Report.renderJson().c_str());
-  else
-    std::printf("%s", Report.renderText().c_str());
+  } else if (Opts.Format == "sarif") {
+    std::printf("%s\n", Report.renderSarif().c_str());
+  } else {
+    diag::SourceManager SM; // Lazily loads the analyzed files for snippets.
+    std::printf("%s", Report.renderText(&SM).c_str());
+  }
   // Stats go to stderr so stdout stays byte-identical across job counts
   // and cold/warm caches.
   std::fprintf(stderr, "%s\n", Report.Stats.renderLine().c_str());
   return Report.exitCode(Opts.Strict);
 }
-
-/// Options for eval and gen, parsed from the command line.
-struct EvalOptions {
-  std::string Baseline;      ///< Compare F1 against this baseline file.
-  std::string WriteBaseline; ///< Write the scorecard's baseline here.
-};
 
 struct GenOptions {
   uint64_t Seed = 1;
@@ -125,7 +157,7 @@ int cmdEval(const std::vector<std::string> &Inputs, const CheckOptions &Check,
   engine::CorpusReport Report = E.analyzeCorpus({Dir});
   testgen::Scorecard Card = testgen::scoreReport(Report, *Man);
 
-  if (Check.Json)
+  if (Check.json())
     std::printf("%s\n", Card.renderJson().c_str());
   else
     std::printf("%s", Card.renderText().c_str());
@@ -262,7 +294,12 @@ int usage() {
       stderr,
       "usage: rustsight <command> [options] <inputs...>\n"
       "  check [options] <file.mir...>  run the static detectors\n"
-      "    --json                 machine-readable per-file report\n"
+      "    --format <text|json|sarif>  output format (default: text)\n"
+      "    --json                 alias for --format=json\n"
+      "    --baseline <file>      drop findings recorded in the baseline;\n"
+      "                           only new findings render and gate exit\n"
+      "    --write-baseline <file>  record the current findings' stable\n"
+      "                           fingerprints as the baseline\n"
       "    --keep-going           continue past bad files (the default)\n"
       "    --strict               exit 2 on any skipped/degraded file\n"
       "    --budget-ms <N>        per-file wall-clock analysis budget\n"
@@ -351,7 +388,7 @@ int main(int argc, char **argv) {
   for (int I = 2; I < argc; ++I) {
     bool Bad = false;
     if (std::strcmp(argv[I], "--json") == 0)
-      Check.Json = true;
+      Check.Format = "json";
     else if (std::strcmp(argv[I], "--strict") == 0)
       Check.Strict = true;
     else if (std::strcmp(argv[I], "--keep-going") == 0)
@@ -369,6 +406,7 @@ int main(int argc, char **argv) {
                               Bad) ||
              parseNumericFlag(argc, argv, I, "--seed", Gen.Seed, Bad) ||
              parseNumericFlag(argc, argv, I, "--sweep", Gen.Sweep, Bad) ||
+             parseStringFlag(argc, argv, I, "--format", Check.Format, Bad) ||
              parseStringFlag(argc, argv, I, "--cache-dir",
                              Check.Engine.CacheDir, Bad) ||
              parseStringFlag(argc, argv, I, "--regress-dir", Gen.RegressDir,
@@ -385,11 +423,14 @@ int main(int argc, char **argv) {
       Inputs.emplace_back(argv[I]);
   }
   Check.Engine.Jobs = static_cast<unsigned>(Jobs);
+  if (Check.Format != "text" && Check.Format != "json" &&
+      Check.Format != "sarif")
+    return usage();
   if (Inputs.empty() && Cmd != "gen")
     return usage();
 
   if (Cmd == "check")
-    return cmdCheck(Inputs, Check);
+    return cmdCheck(Inputs, Check, Eval);
   if (Cmd == "eval")
     return cmdEval(Inputs, Check, Eval);
   if (Cmd == "gen")

@@ -483,3 +483,56 @@ void MemoryAnalysis::transferEdge(const Terminator &T, BlockId Succ,
   State.reset(UninitBase + DO);
   State.reset(DroppedBase + DO);
 }
+
+std::vector<StatePoint> MemoryAnalysis::transitionSites(ObjEvent Event,
+                                                        ObjId O) const {
+  size_t Bit;
+  switch (Event) {
+  case ObjEvent::StorageDead:
+    Bit = DeadBase + O;
+    break;
+  case ObjEvent::Dropped:
+    Bit = DroppedBase + O;
+    break;
+  case ObjEvent::Uninit:
+    Bit = UninitBase + O;
+    break;
+  case ObjEvent::HeldShared:
+    Bit = HeldShBase + O;
+    break;
+  case ObjEvent::HeldExclusive:
+    Bit = HeldExBase + O;
+    break;
+  }
+
+  std::vector<StatePoint> Out;
+  const mir::Function &F = G.function();
+  Cursor C = cursor();
+  BitVec Edge;
+  for (mir::BlockId B = 0; B != F.numBlocks(); ++B) {
+    if (!G.isReachable(B))
+      continue;
+    C.seek(B);
+    bool Before = C.state().test(Bit);
+    while (!C.atTerminator()) {
+      const mir::Statement &S = C.statement();
+      C.advance();
+      bool After = C.state().test(Bit);
+      if (After && !Before)
+        Out.push_back({B, C.index() - 1, S.Loc});
+      Before = After;
+    }
+    if (Before)
+      continue;
+    // The bit may flip on an outgoing edge (drops and lock acquisitions
+    // live on call/drop terminators); report that once, at the terminator.
+    for (mir::BlockId Succ : G.successors(B)) {
+      DF->stateOnEdgeInto(B, Succ, Edge);
+      if (Edge.test(Bit)) {
+        Out.push_back({B, F.Blocks[B].Statements.size(), F.Blocks[B].Term.Loc});
+        break;
+      }
+    }
+  }
+  return Out;
+}

@@ -44,6 +44,25 @@
 
 namespace rs::analysis {
 
+/// One program point, with its source location — the currency of the
+/// transition-site queries below and of detector secondary spans.
+struct StatePoint {
+  mir::BlockId Block = 0;
+  /// Statement index; Statements.size() means the block's terminator.
+  size_t StmtIndex = 0;
+  SourceLocation Loc;
+};
+
+/// The per-object state bits MemoryAnalysis tracks, named so detectors can
+/// ask "where did this bit first turn on" (transitionSites).
+enum class ObjEvent {
+  StorageDead,
+  Dropped,
+  Uninit,
+  HeldShared,
+  HeldExclusive,
+};
+
 /// Flow-sensitive points-to + memory-state analysis for one function.
 class MemoryAnalysis : public ForwardTransfer {
 public:
@@ -122,6 +141,16 @@ public:
   Cursor cursor() const { return Cursor(*DF); }
 
   Cursor cursorAt(mir::BlockId B) const { return Cursor(*DF, B); }
+
+  /// Every program point whose transfer turns the \p Event bit of object
+  /// \p O from clear to set: the statements that kill storage, run drops,
+  /// uninitialize memory, or acquire locks. Sorted by (Block, StmtIndex);
+  /// a bit that flips on a terminator's outgoing edge is reported once at
+  /// the terminator. Detectors use these as "value dropped here" /
+  /// "first lock acquired here" secondary spans. Bits already set at block
+  /// entry along every path (e.g. locals born uninitialized) have no
+  /// transition point and yield no site.
+  std::vector<StatePoint> transitionSites(ObjEvent Event, ObjId O) const;
 
   // --- ForwardTransfer implementation -------------------------------------
   BitVec initialState() const override;

@@ -35,8 +35,7 @@ void DanglingReturnDetector::run(AnalysisContext &Ctx,
         LocalId L = 0;
         if (!Objects.isLocalObject(O, L))
           continue; // Heap and parameter pointees outlive the call.
-        Diagnostic D;
-        D.Kind = BugKind::DanglingReturn;
+        Diagnostic D(BugKind::DanglingReturn);
         D.Function = F->Name;
         D.Block = B;
         D.StmtIndex = AtTerm;
@@ -44,6 +43,28 @@ void DanglingReturnDetector::run(AnalysisContext &Ctx,
         D.Message = "the returned value may point at local _" +
                     std::to_string(L) +
                     ", whose storage dies when this function returns";
+        // Second program point: where the pointed-at frame slot dies — its
+        // StorageDead when one runs before the return, otherwise the
+        // allocation that pins it to this frame.
+        addSpans(D, MA.transitionSites(ObjEvent::StorageDead, O),
+                 "storage of local _" + std::to_string(L) + " ends here");
+        if (D.Secondary.empty()) {
+          for (BlockId LB = 0; LB != F->numBlocks(); ++LB) {
+            const auto &Stmts = F->Blocks[LB].Statements;
+            for (size_t I = 0; I != Stmts.size(); ++I)
+              if (Stmts[I].K == Statement::Kind::StorageLive &&
+                  Stmts[I].Local == L)
+                D.Secondary.push_back(
+                    spanAt({LB, I, Stmts[I].Loc},
+                           "local _" + std::to_string(L) +
+                               " lives only in this function's frame, "
+                               "allocated here"));
+          }
+        }
+        if (D.Secondary.empty())
+          D.Notes.push_back("local _" + std::to_string(L) +
+                            "'s frame storage is gone once this return "
+                            "executes");
         Diags.report(std::move(D));
       }
     }

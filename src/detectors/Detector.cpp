@@ -88,4 +88,7 @@ void rs::detectors::runAllDetectors(const Module &M, DiagnosticEngine &Diags) {
   AnalysisContext Ctx(M);
   for (const auto &D : makeAllDetectors())
     D->run(Ctx, Diags);
+  // The convenience entry point leaves \p Diags render-ready: sorted into
+  // the canonical order and deduplicated.
+  Diags.sort();
 }

@@ -102,6 +102,28 @@ private:
   PerFunction &entry(const mir::Function &F);
 };
 
+/// Builds a labeled secondary span from an analysis program point.
+/// \p Function names the enclosing function only when it differs from the
+/// diagnostic's own (cross-function spans, e.g. lock-order counterparts).
+inline diag::Span spanAt(const analysis::StatePoint &P, std::string Label,
+                         std::string Function = std::string()) {
+  diag::Span S;
+  S.Loc = P.Loc;
+  S.Label = std::move(Label);
+  S.Function = std::move(Function);
+  return S;
+}
+
+/// Appends one \p Label span per transition site. Sites arrive sorted by
+/// program point (see MemoryAnalysis::transitionSites), so the resulting
+/// span order is deterministic.
+inline void addSpans(Diagnostic &D,
+                     const std::vector<analysis::StatePoint> &Sites,
+                     std::string_view Label) {
+  for (const analysis::StatePoint &P : Sites)
+    D.Secondary.push_back(spanAt(P, std::string(Label)));
+}
+
 /// A static bug detector.
 class Detector {
 public:

@@ -6,87 +6,41 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// Bug reports produced by the static detectors and the engine that
-/// collects, deduplicates, and renders them.
+/// Detector-facing names for the unified diagnostics core in diag/Diag.h.
+/// BugKind is the bug-rule prefix of diag::RuleId (the enumerators and
+/// their order are unchanged), and the kind-name helpers delegate to the
+/// Rules.def table, so the historical spellings cannot drift from the rule
+/// catalog.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef RUSTSIGHT_DETECTORS_DIAGNOSTICS_H
 #define RUSTSIGHT_DETECTORS_DIAGNOSTICS_H
 
-#include "mir/Mir.h"
-#include "support/SourceLocation.h"
+#include "diag/Diag.h"
 
-#include <string>
 #include <string_view>
-#include <vector>
 
 namespace rs::detectors {
 
-/// The bug classes RustSight detects. The first two are the detectors the
-/// paper built (Section 7); the rest implement the paper's "future detector"
+/// The bug classes RustSight detects (the bug-rule prefix of
+/// diag::RuleId). The first two are the detectors the paper built
+/// (Section 7); the rest implement the paper's "future detector"
 /// suggestions from Sections 5-7.
-enum class BugKind {
-  UseAfterFree,
-  DoubleLock,
-  ConflictingLockOrder,
-  InvalidFree,
-  DoubleFree,
-  UninitRead,
-  InteriorMutability,
-  WaitNoNotify,   ///< Condvar::wait with no notifier anywhere (8 bugs).
-  RecvNoSender,   ///< Receiver::recv with no sender anywhere (5 bugs).
-  BorrowConflict, ///< RefCell borrow_mut while a borrow is alive: the
-                  ///< runtime-panic misuse behind Insight 9's RefCell bugs.
-  DanglingReturn, ///< Returning a pointer into the function's own dead
-                  ///< frame (Section 4.3's lifetime-to-static casts).
-};
+using BugKind = diag::RuleId;
+
+using Diagnostic = diag::Diagnostic;
+using DiagnosticEngine = diag::DiagnosticEngine;
 
 /// Short stable identifier ("use-after-free") for a bug kind.
-const char *bugKindName(BugKind K);
+inline const char *bugKindName(BugKind K) { return diag::ruleName(K); }
 
-/// Reverses bugKindName; false when \p Name matches no kind (the result
-/// cache uses this to reject payloads from a different detector set).
-bool bugKindFromName(std::string_view Name, BugKind &Out);
-
-/// One detector finding, anchored at a statement or terminator.
-struct Diagnostic {
-  BugKind Kind;
-  std::string Function;
-  mir::BlockId Block = 0;
-  /// Statement index within the block; Statements.size() means the
-  /// terminator.
-  size_t StmtIndex = 0;
-  std::string Message;
-  SourceLocation Loc;
-
-  /// Renders "function:bbN[i]: kind: message" (plus file location if known).
-  std::string toString() const;
-};
-
-/// Collects diagnostics across detectors and renders them deterministically.
-class DiagnosticEngine {
-public:
-  void report(Diagnostic D);
-
-  /// All diagnostics, sorted by (function, block, statement, kind).
-  const std::vector<Diagnostic> &diagnostics();
-
-  size_t count() const { return Diags.size(); }
-  size_t countOfKind(BugKind K) const;
-
-  /// One line per diagnostic.
-  std::string renderText();
-
-  /// A JSON array of diagnostic objects.
-  std::string renderJson();
-
-private:
-  void sortDiags();
-
-  std::vector<Diagnostic> Diags;
-  bool Sorted = true;
-};
+/// Reverses bugKindName over the *bug* rules only; false when \p Name
+/// matches no bug kind (the result cache uses this to reject payloads from
+/// a different detector set).
+inline bool bugKindFromName(std::string_view Name, BugKind &Out) {
+  return diag::bugRuleFromName(Name, Out);
+}
 
 } // namespace rs::detectors
 

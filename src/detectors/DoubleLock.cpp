@@ -21,12 +21,31 @@ using namespace rs::mir;
 
 namespace {
 
+/// Marks everywhere the still-held guard may have been acquired — the
+/// second program point of the paper's Figure 8 pattern.
+void addFirstAcquisitionSpans(Diagnostic &D, const MemoryAnalysis &MA,
+                              const BitVec &State, ObjId O,
+                              const std::string &LockName) {
+  if (MA.mayBeHeld(State, O, /*Exclusive=*/true))
+    addSpans(D, MA.transitionSites(ObjEvent::HeldExclusive, O),
+             "first lock on " + LockName + " acquired here; its guard is "
+             "still alive");
+  if (MA.mayBeHeld(State, O, /*Exclusive=*/false))
+    addSpans(D, MA.transitionSites(ObjEvent::HeldShared, O),
+             "shared lock on " + LockName + " acquired here; its guard is "
+             "still alive");
+  if (D.Secondary.empty())
+    D.Notes.push_back("the first acquisition reaches this point on every "
+                      "path (e.g. around a loop), so no single acquisition "
+                      "site dominates it");
+}
+
 void reportDoubleLock(const Function &F, BlockId B, size_t StmtIndex,
                       SourceLocation Loc, const std::string &LockName,
                       bool ViaCallee, const std::string &Callee,
+                      const MemoryAnalysis &MA, const BitVec &State, ObjId O,
                       DiagnosticEngine &Diags) {
-  Diagnostic D;
-  D.Kind = BugKind::DoubleLock;
+  Diagnostic D(BugKind::DoubleLock);
   D.Function = F.Name;
   D.Block = B;
   D.StmtIndex = StmtIndex;
@@ -35,6 +54,7 @@ void reportDoubleLock(const Function &F, BlockId B, size_t StmtIndex,
   if (ViaCallee)
     D.Message += " (acquired inside callee '" + Callee + "')";
   D.Message += "; the first guard is still alive here, so this deadlocks";
+  addFirstAcquisitionSpans(D, MA, State, O, LockName);
   Diags.report(std::move(D));
 }
 
@@ -85,8 +105,7 @@ void DoubleLockDetector::run(AnalysisContext &Ctx, DiagnosticEngine &Diags) {
                          MA.mayBeHeld(State, O, true)))
             continue;
           if (isBorrowAcquire(Kind)) {
-            Diagnostic D;
-            D.Kind = BugKind::BorrowConflict;
+            Diagnostic D(BugKind::BorrowConflict);
             D.Function = F->Name;
             D.Block = B;
             D.StmtIndex = AtTerm;
@@ -95,10 +114,12 @@ void DoubleLockDetector::run(AnalysisContext &Ctx, DiagnosticEngine &Diags) {
                         Objects.name(O) +
                         " while an earlier borrow is still alive; this "
                         "panics at runtime (BorrowMutError)";
+            addFirstAcquisitionSpans(D, MA, State, O, Objects.name(O));
             Diags.report(std::move(D));
           } else {
             reportDoubleLock(*F, B, AtTerm, T.Loc, Objects.name(O),
-                             /*ViaCallee=*/false, T.Callee, Diags);
+                             /*ViaCallee=*/false, T.Callee, MA, State, O,
+                             Diags);
           }
         }
         continue;
@@ -128,7 +149,8 @@ void DoubleLockDetector::run(AnalysisContext &Ctx, DiagnosticEngine &Diags) {
           if (conflicts(Mode, MA.mayBeHeld(State, O, false),
                         MA.mayBeHeld(State, O, true)))
             reportDoubleLock(*F, B, AtTerm, T.Loc, Objects.name(O),
-                             /*ViaCallee=*/true, T.Callee, Diags);
+                             /*ViaCallee=*/true, T.Callee, MA, State, O,
+                             Diags);
         }
       }
     }

@@ -62,8 +62,7 @@ void InteriorMutabilityDetector::run(AnalysisContext &Ctx,
 
     auto Report = [&](BlockId B, size_t StmtIndex, SourceLocation Loc,
                       const std::string &Via) {
-      Diagnostic D;
-      D.Kind = BugKind::InteriorMutability;
+      Diagnostic D(BugKind::InteriorMutability);
       D.Function = F->Name;
       D.Block = B;
       D.StmtIndex = StmtIndex;
@@ -71,6 +70,15 @@ void InteriorMutabilityDetector::run(AnalysisContext &Ctx,
       D.Message = "unsynchronized write to *self (" + AdtName +
                   " is Sync, self is an immutable borrow) " + Via +
                   "; concurrent callers race on this field";
+      if (F->Loc.isValid()) {
+        diag::Span S;
+        S.Loc = F->Loc;
+        S.Label = "self is borrowed immutably by this method of Sync type " +
+                  AdtName + ", so it may run on many threads at once";
+        D.Secondary.push_back(std::move(S));
+      }
+      D.Notes.push_back("Suggestion 8: protect the field with a Mutex/"
+                        "RwLock or use an atomic for the update");
       Diags.report(std::move(D));
     };
 

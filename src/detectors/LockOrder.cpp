@@ -167,8 +167,7 @@ void LockOrderDetector::run(AnalysisContext &Ctx, DiagnosticEngine &Diags) {
       if (Fns.size() < 2)
         return;
       const GEdge *First = Cycle.front();
-      Diagnostic D;
-      D.Kind = BugKind::ConflictingLockOrder;
+      Diagnostic D(BugKind::ConflictingLockOrder);
       D.Function = First->Fn->Name;
       D.Block = First->Site->Block;
       D.StmtIndex = First->Site->StmtIndex;
@@ -186,6 +185,18 @@ void LockOrderDetector::run(AnalysisContext &Ctx, DiagnosticEngine &Diags) {
         D.Message = "completes a circular lock-order across " +
                     std::to_string(Fns.size()) + " threads (" + Ring +
                     "); some interleaving deadlocks";
+      }
+      // The counterpart acquisitions that close the circular wait, one
+      // span per remaining cycle edge (cross-function spans carry the
+      // acquiring thread's function name).
+      for (size_t I = 1; I != Cycle.size(); ++I) {
+        const GEdge *E = Cycle[I];
+        D.Secondary.push_back(spanAt(
+            {E->Site->Block, E->Site->StmtIndex, E->Site->Loc},
+            "'" + E->Fn->Name + "' acquires lock #" +
+                std::to_string(E->Acquired) + " while holding lock #" +
+                std::to_string(E->Held) + " here",
+            E->Fn->Name));
       }
       Diags.report(std::move(D));
     };

@@ -30,14 +30,25 @@ const Type *pointeeType(const Function &F, const Place &P) {
 Diagnostic makeDiag(BugKind Kind, const Function &F, BlockId B,
                     size_t StmtIndex, SourceLocation Loc,
                     std::string Message) {
-  Diagnostic D;
-  D.Kind = Kind;
+  Diagnostic D(Kind);
   D.Function = F.Name;
   D.Block = B;
   D.StmtIndex = StmtIndex;
   D.Loc = Loc;
   D.Message = std::move(Message);
   return D;
+}
+
+/// Marks where \p O may have become uninitialized (moves, frees, raw
+/// allocs). Locals are *born* uninitialized — when no statement flipped the
+/// bit, say so in a note instead.
+void addUninitOriginSpans(Diagnostic &D, const MemoryAnalysis &MA, ObjId O,
+                          const std::string &Name) {
+  addSpans(D, MA.transitionSites(ObjEvent::Uninit, O),
+           Name + " may be left uninitialized here");
+  if (D.Secondary.empty())
+    D.Notes.push_back(Name + " has never been initialized on some path "
+                             "from function entry");
 }
 
 } // namespace
@@ -73,13 +84,16 @@ void InvalidFreeDetector::run(AnalysisContext &Ctx, DiagnosticEngine &Diags) {
                 return;
               if (!MA.mayBeUninit(C.state(), static_cast<ObjId>(O)))
                 return;
-              Diags.report(makeDiag(
+              Diagnostic D = makeDiag(
                   BugKind::InvalidFree, *F, B, C.index(), S.Loc,
                   "assignment through " + S.Dest.toString() +
                       " drops the old value of " + Objects.name(O) +
                       ", which may be uninitialized; dropping it runs " +
                       Pointee->toString() +
-                      "'s destructor on garbage (use ptr::write instead)"));
+                      "'s destructor on garbage (use ptr::write instead)");
+              addUninitOriginSpans(D, MA, static_cast<ObjId>(O),
+                                   Objects.name(O));
+              Diags.report(std::move(D));
             });
           }
         }
@@ -103,11 +117,13 @@ void InvalidFreeDetector::run(AnalysisContext &Ctx, DiagnosticEngine &Diags) {
         continue;
       ObjId O = Objects.localObject(Dropped->Base);
       if (MA.mayBeUninit(C.state(), O) && !MA.mayBeDropped(C.state(), O)) {
-        Diags.report(makeDiag(BugKind::InvalidFree, *F, B, AtTerm, T.Loc,
-                              "drop of " + Dropped->toString() +
-                                  " runs " + Ty->toString() +
-                                  "'s destructor, but the value may be "
-                                  "uninitialized"));
+        Diagnostic D = makeDiag(BugKind::InvalidFree, *F, B, AtTerm, T.Loc,
+                                "drop of " + Dropped->toString() +
+                                    " runs " + Ty->toString() +
+                                    "'s destructor, but the value may be "
+                                    "uninitialized");
+        addUninitOriginSpans(D, MA, O, Objects.name(O));
+        Diags.report(std::move(D));
       }
     }
   }
@@ -155,10 +171,17 @@ void DoubleFreeDetector::run(AnalysisContext &Ctx, DiagnosticEngine &Diags) {
       if (Dropped && Dropped->isLocal()) {
         ObjId O = Objects.localObject(Dropped->Base);
         if (MA.mayBeDropped(State, O)) {
-          Diags.report(makeDiag(BugKind::DoubleFree, *F, B, AtTerm, T.Loc,
-                                "value in " + Dropped->toString() +
-                                    " may already have been dropped; "
-                                    "dropping it again frees twice"));
+          Diagnostic D = makeDiag(BugKind::DoubleFree, *F, B, AtTerm, T.Loc,
+                                  "value in " + Dropped->toString() +
+                                      " may already have been dropped; "
+                                      "dropping it again frees twice");
+          // The paper's pattern: the second drop (primary) and the first.
+          addSpans(D, MA.transitionSites(ObjEvent::Dropped, O),
+                   "first dropped here");
+          if (D.Secondary.empty())
+            D.Notes.push_back("the value may already be dropped on entry "
+                              "to this block along every flagged path");
+          Diags.report(std::move(D));
         }
       }
 
@@ -187,12 +210,20 @@ void DoubleFreeDetector::run(AnalysisContext &Ctx, DiagnosticEngine &Diags) {
       for (const Duplication &Dup : Dups) {
         if (MA.mayBeDropped(State, Objects.localObject(Dup.Dest)) &&
             MA.mayBeDropped(State, Dup.Source)) {
-          Diags.report(makeDiag(
+          Diagnostic D = makeDiag(
               BugKind::DoubleFree, *F, Dup.Block, Dup.StmtIndex, Dup.Loc,
               "ptr::read duplicates the value of " + Objects.name(Dup.Source) +
                   " into _" + std::to_string(Dup.Dest) +
                   "; both owners are later dropped, freeing the contents "
-                  "twice (move the ownership with `t2 = t1` instead)"));
+                  "twice (move the ownership with `t2 = t1` instead)");
+          // Both owners' drops are the pattern's other program points.
+          addSpans(D, MA.transitionSites(ObjEvent::Dropped,
+                                         Objects.localObject(Dup.Dest)),
+                   "duplicate owner _" + std::to_string(Dup.Dest) +
+                       " dropped here");
+          addSpans(D, MA.transitionSites(ObjEvent::Dropped, Dup.Source),
+                   "original " + Objects.name(Dup.Source) + " dropped here");
+          Diags.report(std::move(D));
         }
       }
     }
@@ -232,10 +263,20 @@ void UninitReadDetector::run(AnalysisContext &Ctx, DiagnosticEngine &Diags) {
         });
         if (!AnyKnown || !AllUninit)
           continue;
-        Diags.report(makeDiag(BugKind::UninitRead, *F, B, StmtIndex, Loc,
-                              "read through " + U.P->toString() +
-                                  " reaches memory that may be "
-                                  "uninitialized"));
+        Diagnostic D = makeDiag(BugKind::UninitRead, *F, B, StmtIndex, Loc,
+                                "read through " + U.P->toString() +
+                                    " reaches memory that may be "
+                                    "uninitialized");
+        Targets.forEach([&](size_t O) {
+          if (O != Objects.unknown())
+            addSpans(D, MA.transitionSites(ObjEvent::Uninit,
+                                           static_cast<ObjId>(O)),
+                     Objects.name(O) + " may be left uninitialized here");
+        });
+        if (D.Secondary.empty())
+          D.Notes.push_back("the target memory has never been initialized "
+                            "on some path from function entry");
+        Diags.report(std::move(D));
       }
     };
 

@@ -56,26 +56,33 @@ void scanFunction(const Function &F, GroupFacts &Facts) {
 
 void reportFacts(const GroupFacts &Facts, DiagnosticEngine &Diags) {
   auto Report = [&Diags](const std::pair<const Function *, BlockId> &Site,
-                         BugKind Kind, const char *Message) {
-    Diagnostic D;
-    D.Kind = Kind;
+                         BugKind Kind, const char *Message,
+                         const char *Note) {
+    Diagnostic D(Kind);
     D.Function = Site.first->Name;
     D.Block = Site.second;
     D.StmtIndex = Site.first->Blocks[Site.second].Statements.size();
     D.Loc = Site.first->Blocks[Site.second].Term.Loc;
     D.Message = Message;
+    // The bug's defining evidence is an *absence* (no notifier/sender
+    // exists), so there is no second program point to span; say so.
+    D.Notes.push_back(Note);
     Diags.report(std::move(D));
   };
   if (!Facts.AnyNotify)
     for (const auto &Site : Facts.Waits)
       Report(Site, BugKind::WaitNoNotify,
              "Condvar::wait blocks, but no thread in this group ever calls "
-             "notify_one/notify_all");
+             "notify_one/notify_all",
+             "searched every function reachable from this thread group: no "
+             "notify_one/notify_all call exists");
   if (!Facts.AnySend)
     for (const auto &Site : Facts.Recvs)
       Report(Site, BugKind::RecvNoSender,
              "Receiver::recv blocks, but no thread in this group ever sends "
-             "to a channel");
+             "to a channel",
+             "searched every function reachable from this thread group: no "
+             "Sender::send call exists");
 }
 
 } // namespace

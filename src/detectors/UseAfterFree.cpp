@@ -33,14 +33,16 @@ void checkUses(const MemoryAnalysis &MA, const BitVec &State,
       if (O == Objects.unknown())
         continue;
       const char *Why = nullptr;
-      if (MA.mayBeDropped(State, O))
+      ObjEvent DeathEvent = ObjEvent::Dropped;
+      if (MA.mayBeDropped(State, O)) {
         Why = "may already be dropped";
-      else if (MA.mayBeStorageDead(State, O))
+      } else if (MA.mayBeStorageDead(State, O)) {
         Why = "is out of scope (storage dead)";
+        DeathEvent = ObjEvent::StorageDead;
+      }
       if (!Why)
         continue;
-      Diagnostic D;
-      D.Kind = BugKind::UseAfterFree;
+      Diagnostic D(BugKind::UseAfterFree);
       D.Function = F.Name;
       D.Block = B;
       D.StmtIndex = StmtIndex;
@@ -48,6 +50,15 @@ void checkUses(const MemoryAnalysis &MA, const BitVec &State,
       D.Message = std::string(U.IsWrite ? "write through" : "read through") +
                   " pointer " + U.P->toString() + ", but its target " +
                   Objects.name(O) + " " + Why;
+      // The paper's pattern has two program points: the use (primary) and
+      // the free. Mark everywhere the target may have died.
+      addSpans(D, MA.transitionSites(DeathEvent, O),
+               DeathEvent == ObjEvent::Dropped
+                   ? "target " + Objects.name(O) + " may be dropped here"
+                   : "storage of " + Objects.name(O) + " ends here");
+      if (D.Secondary.empty())
+        D.Notes.push_back("the target is already dead on entry to this "
+                          "function along every flagged path");
       Diags.report(std::move(D));
     }
   }

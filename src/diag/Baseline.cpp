@@ -1,0 +1,83 @@
+#include "diag/Baseline.h"
+
+#include "support/Hash.h"
+#include "support/Json.h"
+
+#include <fstream>
+#include <sstream>
+
+using namespace rs;
+using namespace rs::diag;
+
+std::string Baseline::renderJson() const {
+  JsonWriter W;
+  W.beginObject();
+  W.key("version");
+  W.value(FormatVersion);
+  W.key("fingerprints");
+  W.beginArray();
+  for (const std::string &F : Fingerprints)
+    W.value(F);
+  W.endArray();
+  W.endObject();
+  return W.str();
+}
+
+bool Baseline::parse(std::string_view Text, Baseline &Out, std::string &Err) {
+  std::optional<JsonValue> Doc = JsonValue::parse(Text);
+  if (!Doc || !Doc->isObject()) {
+    Err = "not a JSON object";
+    return false;
+  }
+  if (Doc->getInt("version", -1) != FormatVersion) {
+    Err = "unsupported baseline version";
+    return false;
+  }
+  const JsonValue *Prints = Doc->get("fingerprints");
+  if (!Prints || !Prints->isArray()) {
+    Err = "missing fingerprints array";
+    return false;
+  }
+  Baseline Parsed;
+  for (const JsonValue &E : Prints->elements()) {
+    uint64_t Ignored;
+    if (!E.isString() || !hexToHash(E.asString(), Ignored)) {
+      Err = "malformed fingerprint entry";
+      return false;
+    }
+    Parsed.add(E.asString());
+  }
+  Out = std::move(Parsed);
+  return true;
+}
+
+bool Baseline::loadFile(const std::string &Path, Baseline &Out,
+                        std::string &Err) {
+  std::ifstream In(Path, std::ios::binary);
+  if (!In) {
+    Err = "cannot read " + Path;
+    return false;
+  }
+  std::ostringstream Ss;
+  Ss << In.rdbuf();
+  if (!parse(Ss.str(), Out, Err)) {
+    Err = Path + ": " + Err;
+    return false;
+  }
+  return true;
+}
+
+bool Baseline::writeFile(const std::string &Path, std::string &Err) const {
+  std::ofstream OutFile(Path, std::ios::binary | std::ios::trunc);
+  if (!OutFile) {
+    Err = "cannot write " + Path;
+    return false;
+  }
+  OutFile << renderJson() << '\n';
+  OutFile.flush();
+  if (!OutFile) {
+    Err = "write failed for " + Path;
+    return false;
+  }
+  return true;
+}

@@ -1,0 +1,57 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of RustSight, a reproduction of "Understanding Memory and Thread
+// Safety Practices and Issues in Real-World Rust Programs" (PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Finding baselines for CI: a baseline file records the fingerprints of
+/// every accepted finding; `rustsight check --baseline f.json` drops the
+/// matching findings from the report so only *new* findings fail the build,
+/// and `--write-baseline f.json` (re)records the current state. Format:
+///   {"version":1,"fingerprints":["16-hex", ...]}   (sorted, deduplicated)
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RUSTSIGHT_DIAG_BASELINE_H
+#define RUSTSIGHT_DIAG_BASELINE_H
+
+#include <set>
+#include <string>
+#include <string_view>
+
+namespace rs::diag {
+
+class Baseline {
+public:
+  /// Current on-disk format version.
+  static constexpr int64_t FormatVersion = 1;
+
+  void add(std::string FingerprintHex) {
+    Fingerprints.insert(std::move(FingerprintHex));
+  }
+  bool contains(const std::string &FingerprintHex) const {
+    return Fingerprints.count(FingerprintHex) != 0;
+  }
+  size_t size() const { return Fingerprints.size(); }
+
+  /// Renders the sorted JSON document.
+  std::string renderJson() const;
+
+  /// Parses a baseline document. False (with \p Err set) on malformed JSON,
+  /// wrong version, or non-fingerprint entries.
+  static bool parse(std::string_view Text, Baseline &Out, std::string &Err);
+
+  /// File convenience wrappers around parse()/renderJson().
+  static bool loadFile(const std::string &Path, Baseline &Out,
+                       std::string &Err);
+  bool writeFile(const std::string &Path, std::string &Err) const;
+
+private:
+  std::set<std::string> Fingerprints;
+};
+
+} // namespace rs::diag
+
+#endif // RUSTSIGHT_DIAG_BASELINE_H

@@ -1,0 +1,65 @@
+#include "diag/Render.h"
+
+#include "diag/SourceManager.h"
+
+using namespace rs;
+using namespace rs::diag;
+
+std::string rs::diag::renderSnippet(const SourceManager &SM,
+                                    const SourceLocation &Loc,
+                                    std::string_view Indent) {
+  if (!Loc.isValid() || Loc.file().empty())
+    return {};
+  bool Found = false;
+  std::string_view Line = SM.line(Loc.file(), Loc.line(), Found);
+  if (!Found)
+    return {};
+
+  std::string Num = std::to_string(Loc.line());
+  std::string Gutter(Num.size() < 5 ? 5 - Num.size() : 0, ' ');
+
+  std::string Out;
+  Out += Indent;
+  Out += Gutter + Num + " | ";
+  // Tabs become single spaces so the caret column below stays aligned.
+  for (char C : Line)
+    Out += C == '\t' ? ' ' : C;
+  Out += '\n';
+
+  size_t CaretCol = Loc.column() == 0 ? 0 : Loc.column() - 1;
+  if (CaretCol > Line.size())
+    CaretCol = Line.size();
+  Out += Indent;
+  Out += std::string(Gutter.size() + Num.size(), ' ') + " | ";
+  Out += std::string(CaretCol, ' ');
+  Out += "^\n";
+  return Out;
+}
+
+std::string rs::diag::renderDiagnosticText(const Diagnostic &D,
+                                           const SourceManager *SM) {
+  std::string Out = D.toString();
+  Out += '\n';
+  if (SM)
+    Out += renderSnippet(*SM, D.Loc, "  ");
+  for (const Span &S : D.Secondary) {
+    Out += "  note: " + S.Label;
+    if (!S.Function.empty() && S.Function != D.Function)
+      Out += " [in " + S.Function + "]";
+    if (S.Loc.isValid())
+      Out += " (" + S.Loc.toString() + ")";
+    Out += '\n';
+    if (SM)
+      Out += renderSnippet(*SM, S.Loc, "  ");
+  }
+  for (const std::string &N : D.Notes)
+    Out += "  note: " + N + "\n";
+  for (const FixIt &F : D.Fixes) {
+    Out += "  fix: " + F.Description;
+    if (F.Loc.isValid())
+      Out += " (" + F.Loc.toString() + ")";
+    Out += '\n';
+    Out += "    replace line with: " + F.Replacement + "\n";
+  }
+  return Out;
+}

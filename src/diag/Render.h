@@ -1,0 +1,40 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of RustSight, a reproduction of "Understanding Memory and Thread
+// Safety Practices and Issues in Real-World Rust Programs" (PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Rich text rendering for diagnostics: the historical one-line header,
+/// followed by caret-annotated source snippets for the primary span, each
+/// labeled secondary span ("value dropped here"), free-form notes, and
+/// machine-applicable fix-its. Pass a SourceManager to get snippets; pass
+/// nullptr to fall back to location-only lines (buffers unavailable).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RUSTSIGHT_DIAG_RENDER_H
+#define RUSTSIGHT_DIAG_RENDER_H
+
+#include "diag/Diag.h"
+
+#include <string>
+
+namespace rs::diag {
+
+class SourceManager;
+
+/// Renders one diagnostic, multi-line, snippet-annotated. The first line is
+/// exactly Diagnostic::toString() so line-oriented consumers keep working.
+std::string renderDiagnosticText(const Diagnostic &D, const SourceManager *SM);
+
+/// Renders "   35 |     drop(a);" + a caret line pointing at \p Loc, or ""
+/// when the buffer or line is unavailable. \p Indent prefixes every emitted
+/// line.
+std::string renderSnippet(const SourceManager &SM, const SourceLocation &Loc,
+                          std::string_view Indent);
+
+} // namespace rs::diag
+
+#endif // RUSTSIGHT_DIAG_RENDER_H

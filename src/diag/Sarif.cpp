@@ -1,0 +1,212 @@
+#include "diag/Sarif.h"
+
+#include "support/Json.h"
+
+#include <cassert>
+
+using namespace rs;
+using namespace rs::diag;
+
+const char *rs::diag::sarifLevel(Severity S) {
+  // SARIF spells the three levels exactly like severityName does.
+  return severityName(S);
+}
+
+struct SarifWriter::Impl {
+  JsonWriter W;
+  bool Finished = false;
+};
+
+namespace {
+
+void writeRegion(JsonWriter &W, const SourceLocation &Loc) {
+  if (!Loc.isValid())
+    return;
+  W.key("region");
+  W.beginObject();
+  W.field("startLine", static_cast<int64_t>(Loc.line()));
+  if (Loc.column() != 0)
+    W.field("startColumn", static_cast<int64_t>(Loc.column()));
+  W.endObject();
+}
+
+void writePhysicalLocation(JsonWriter &W, const SourceLocation &Loc,
+                           const std::string &FallbackPath) {
+  W.key("physicalLocation");
+  W.beginObject();
+  W.key("artifactLocation");
+  W.beginObject();
+  W.field("uri", Loc.isValid() && !Loc.file().empty() ? Loc.file()
+                                                      : FallbackPath);
+  W.endObject();
+  writeRegion(W, Loc);
+  W.endObject();
+}
+
+} // namespace
+
+SarifWriter::SarifWriter() : I(new Impl) {
+  JsonWriter &W = I->W;
+  W.beginObject();
+  W.field("$schema", "https://json.schemastore.org/sarif-2.1.0.json");
+  W.field("version", "2.1.0");
+  W.key("runs");
+  W.beginArray();
+  W.beginObject();
+  W.key("tool");
+  W.beginObject();
+  W.key("driver");
+  W.beginObject();
+  W.field("name", "rustsight");
+  W.field("semanticVersion", "0.5.0");
+  W.key("rules");
+  W.beginArray();
+  for (size_t Index = 0; Index != numRules(); ++Index) {
+    const RuleInfo &R = ruleInfo(static_cast<RuleId>(Index));
+    W.beginObject();
+    W.field("id", R.StringId);
+    W.field("name", R.Name);
+    W.key("shortDescription");
+    W.beginObject();
+    W.field("text", R.Summary);
+    W.endObject();
+    W.key("fullDescription");
+    W.beginObject();
+    W.field("text", R.Help);
+    W.endObject();
+    W.key("defaultConfiguration");
+    W.beginObject();
+    W.field("level", sarifLevel(R.DefaultSeverity));
+    W.endObject();
+    W.key("properties");
+    W.beginObject();
+    W.key("tags");
+    W.beginArray();
+    W.value(isBugRule(R.Rule) ? "bug" : "pipeline");
+    if (R.Detector[0] != '\0')
+      W.value(R.Detector);
+    W.endArray();
+    W.endObject();
+    W.endObject();
+  }
+  W.endArray();
+  W.endObject();
+  W.endObject();
+  W.key("columnKind");
+  W.value("utf16CodeUnits");
+  W.key("results");
+  W.beginArray();
+}
+
+SarifWriter::~SarifWriter() { delete I; }
+
+void SarifWriter::addResult(const Diagnostic &D,
+                            const std::string &ArtifactPath) {
+  assert(!I->Finished && "addResult after finish");
+  JsonWriter &W = I->W;
+  W.beginObject();
+  W.field("ruleId", ruleStringId(D.Kind));
+  W.field("ruleIndex", static_cast<int64_t>(D.Kind));
+  W.field("level", sarifLevel(D.Sev));
+  W.key("message");
+  W.beginObject();
+  W.field("text", D.Message);
+  W.endObject();
+  W.key("locations");
+  W.beginArray();
+  W.beginObject();
+  writePhysicalLocation(W, D.Loc, ArtifactPath);
+  if (!D.Function.empty()) {
+    W.key("logicalLocations");
+    W.beginArray();
+    W.beginObject();
+    W.field("name", D.Function);
+    W.field("kind", "function");
+    W.endObject();
+    W.endArray();
+  }
+  W.endObject();
+  W.endArray();
+  if (!D.Secondary.empty()) {
+    W.key("relatedLocations");
+    W.beginArray();
+    for (const Span &S : D.Secondary) {
+      W.beginObject();
+      writePhysicalLocation(W, S.Loc, ArtifactPath);
+      W.key("message");
+      W.beginObject();
+      W.field("text", S.Label);
+      W.endObject();
+      if (!S.Function.empty()) {
+        W.key("logicalLocations");
+        W.beginArray();
+        W.beginObject();
+        W.field("name", S.Function);
+        W.field("kind", "function");
+        W.endObject();
+        W.endArray();
+      }
+      W.endObject();
+    }
+    W.endArray();
+  }
+  if (!D.Fixes.empty()) {
+    W.key("fixes");
+    W.beginArray();
+    for (const FixIt &F : D.Fixes) {
+      W.beginObject();
+      W.key("description");
+      W.beginObject();
+      W.field("text", F.Description);
+      W.endObject();
+      W.key("artifactChanges");
+      W.beginArray();
+      W.beginObject();
+      W.key("artifactLocation");
+      W.beginObject();
+      W.field("uri", F.Loc.isValid() && !F.Loc.file().empty()
+                         ? F.Loc.file()
+                         : ArtifactPath);
+      W.endObject();
+      W.key("replacements");
+      W.beginArray();
+      W.beginObject();
+      // Line-granular replacement: swap the whole line (including its
+      // newline) for the replacement text.
+      W.key("deletedRegion");
+      W.beginObject();
+      W.field("startLine", static_cast<int64_t>(F.Loc.line()));
+      W.field("startColumn", static_cast<int64_t>(1));
+      W.field("endLine", static_cast<int64_t>(F.Loc.line() + 1));
+      W.field("endColumn", static_cast<int64_t>(1));
+      W.endObject();
+      W.key("insertedContent");
+      W.beginObject();
+      W.field("text", F.Replacement.empty() ? std::string()
+                                            : F.Replacement + "\n");
+      W.endObject();
+      W.endObject();
+      W.endArray();
+      W.endObject();
+      W.endArray();
+      W.endObject();
+    }
+    W.endArray();
+  }
+  W.key("partialFingerprints");
+  W.beginObject();
+  W.field("rustsightFingerprint/v1", D.fingerprintHex());
+  W.endObject();
+  W.endObject();
+}
+
+std::string SarifWriter::finish() {
+  assert(!I->Finished && "finish called twice");
+  I->Finished = true;
+  JsonWriter &W = I->W;
+  W.endArray(); // results
+  W.endObject(); // run
+  W.endArray(); // runs
+  W.endObject(); // document
+  return W.str();
+}

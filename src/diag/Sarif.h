@@ -1,0 +1,53 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of RustSight, a reproduction of "Understanding Memory and Thread
+// Safety Practices and Issues in Real-World Rust Programs" (PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// SARIF 2.1.0 output. One run, with the full Rules.def catalog in
+/// tool.driver.rules (ruleIndex == RuleId enumerator value) so consumers
+/// get the paper's bug taxonomy as first-class rule metadata, and one
+/// result per diagnostic with level, message, physical + logical locations,
+/// relatedLocations for the labeled secondary spans, partialFingerprints
+/// for baselining services, and machine-applicable fixes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RUSTSIGHT_DIAG_SARIF_H
+#define RUSTSIGHT_DIAG_SARIF_H
+
+#include "diag/Diag.h"
+
+#include <string>
+
+namespace rs::diag {
+
+/// Streams one SARIF log: construct, addResult() for every diagnostic (in
+/// the deterministic report order), then finish() exactly once.
+class SarifWriter {
+public:
+  SarifWriter();
+  SarifWriter(const SarifWriter &) = delete;
+  SarifWriter &operator=(const SarifWriter &) = delete;
+  ~SarifWriter();
+
+  /// Appends one result. \p ArtifactPath names the analyzed file and is
+  /// used whenever a span has no file of its own.
+  void addResult(const Diagnostic &D, const std::string &ArtifactPath);
+
+  /// Closes the document and returns the full SARIF text.
+  std::string finish();
+
+private:
+  struct Impl;
+  Impl *I;
+};
+
+/// SARIF level string for a severity ("error"/"warning"/"note").
+const char *sarifLevel(Severity S);
+
+} // namespace rs::diag
+
+#endif // RUSTSIGHT_DIAG_SARIF_H

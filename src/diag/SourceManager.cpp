@@ -1,0 +1,56 @@
+#include "diag/SourceManager.h"
+
+#include <fstream>
+#include <sstream>
+
+using namespace rs::diag;
+
+void SourceManager::addBuffer(std::string Name, std::string Content) {
+  Entry &E = Buffers[std::move(Name)];
+  E.Content = std::move(Content);
+  E.Loaded = true;
+}
+
+const std::string *SourceManager::buffer(const std::string &Name) const {
+  auto It = Buffers.find(Name);
+  if (It == Buffers.end()) {
+    Entry E;
+    std::ifstream In(Name, std::ios::binary);
+    if (In) {
+      std::ostringstream Ss;
+      Ss << In.rdbuf();
+      E.Content = Ss.str();
+      E.Loaded = true;
+    }
+    It = Buffers.emplace(Name, std::move(E)).first;
+  }
+  return It->second.Loaded ? &It->second.Content : nullptr;
+}
+
+std::string_view SourceManager::line(const std::string &Name, unsigned LineNo,
+                                     bool &Found) const {
+  Found = false;
+  if (LineNo == 0)
+    return {};
+  const std::string *Buf = buffer(Name);
+  if (!Buf)
+    return {};
+  std::string_view Text(*Buf);
+  unsigned Current = 1;
+  size_t Start = 0;
+  while (Current < LineNo) {
+    size_t Nl = Text.find('\n', Start);
+    if (Nl == std::string_view::npos)
+      return {};
+    Start = Nl + 1;
+    ++Current;
+  }
+  size_t End = Text.find('\n', Start);
+  std::string_view Line = End == std::string_view::npos
+                              ? Text.substr(Start)
+                              : Text.substr(Start, End - Start);
+  if (!Line.empty() && Line.back() == '\r')
+    Line.remove_suffix(1);
+  Found = true;
+  return Line;
+}

@@ -1,0 +1,64 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of RustSight, a reproduction of "Understanding Memory and Thread
+// Safety Practices and Issues in Real-World Rust Programs" (PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Inline suppression comments: `// rustsight-allow(rule, rule, ...)`.
+/// Rules are named by stable ID ("RS-UAF-001") or short name
+/// ("use-after-free"). A comment suppresses matching findings anchored on
+/// its own line (trailing comment) or on the line directly below it
+/// (standalone comment above the statement). Unknown rule spellings are
+/// surfaced as RS-META-001 warnings carrying a machine-applicable fix-it
+/// that rewrites the comment to drop the bogus entries.
+///
+/// The scanner works on raw source text, before parsing — the MIR lexer
+/// skips comments as trivia, so suppressions are invisible to the parser
+/// and, because the result-cache key is the source fingerprint, cache
+/// entries stay consistent with the suppressions embedded in the source.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RUSTSIGHT_DIAG_SUPPRESS_H
+#define RUSTSIGHT_DIAG_SUPPRESS_H
+
+#include "diag/Diag.h"
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rs::diag {
+
+/// One allow-list token the scanner could not resolve to a rule.
+struct UnknownSuppression {
+  unsigned Line = 0; ///< 1-based line of the comment.
+  unsigned Col = 0;  ///< 1-based column of the unknown token.
+  std::string Token;
+  /// The comment line rewritten without the unknown tokens (the comment
+  /// disappears entirely when no known rule remains) — the machine-
+  /// applicable fix.
+  std::string FixedLine;
+};
+
+/// All suppressions found in one source buffer.
+struct SuppressionSet {
+  /// Comment line -> rules allowed there (deduplicated, in spelling order).
+  std::map<unsigned, std::vector<RuleId>> ByLine;
+  std::vector<UnknownSuppression> Unknown;
+
+  bool empty() const { return ByLine.empty() && Unknown.empty(); }
+
+  /// True when a comment on \p Line or the line above allows \p R.
+  bool allows(RuleId R, unsigned Line) const;
+};
+
+/// Scans \p Source for rustsight-allow comments.
+SuppressionSet scanSuppressions(std::string_view Source);
+
+} // namespace rs::diag
+
+#endif // RUSTSIGHT_DIAG_SUPPRESS_H

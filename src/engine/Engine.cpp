@@ -1,6 +1,10 @@
 #include "engine/Engine.h"
 
 #include "corpus/CorpusWalk.h"
+#include "diag/Render.h"
+#include "diag/Sarif.h"
+#include "diag/SourceManager.h"
+#include "diag/Suppress.h"
 #include "mir/Parser.h"
 #include "mir/Verifier.h"
 #include "sched/ThreadPool.h"
@@ -75,6 +79,7 @@ void AnalysisEngine::runDetectors(const mir::Module &M, FileReport &R) {
       if (fault::shouldFail("engine.detector"))
         throw std::runtime_error("injected fault at probe engine.detector");
       D->run(Ctx, DetDiags);
+      DetDiags.sort();
       O.Findings = DetDiags.count();
       for (const detectors::Diagnostic &Diag : DetDiags.diagnostics())
         FileDiags.report(Diag);
@@ -103,7 +108,8 @@ void AnalysisEngine::runDetectors(const mir::Module &M, FileReport &R) {
     R.Detectors.push_back(std::move(O));
   }
 
-  R.Findings = FileDiags.diagnostics();
+  FileDiags.sort();
+  R.Findings = FileDiags.take();
 
   // Fold the stage outcomes into the file status.
   std::vector<std::string> Reasons;
@@ -136,6 +142,55 @@ void AnalysisEngine::runDetectors(const mir::Module &M, FileReport &R) {
   }
 }
 
+/// Converts a recoverable pipeline error into the file-level diagnostic
+/// shape shared by every renderer.
+static diag::Diagnostic errorDiagnostic(diag::RuleId Rule, const Error &E) {
+  diag::Diagnostic D(Rule);
+  D.Message = E.message();
+  D.Loc = E.location();
+  return D;
+}
+
+/// Applies `// rustsight-allow(...)` comments: drops the findings they
+/// cover (keeping the per-detector counts honest via the rule table's
+/// detector column) and surfaces unknown rule spellings as RS-META-001
+/// warnings with a machine-applicable comment rewrite.
+static void applySuppressions(std::string_view Source, FileReport &R) {
+  diag::SuppressionSet Supp = diag::scanSuppressions(Source);
+  if (Supp.empty())
+    return;
+  const std::string *File = internFileName(R.Path);
+  for (const diag::UnknownSuppression &U : Supp.Unknown) {
+    diag::Diagnostic D(diag::RuleId::UnknownSuppression);
+    D.Message =
+        "unknown rule '" + U.Token + "' in rustsight-allow comment";
+    D.Loc = SourceLocation(File, U.Line, U.Col);
+    diag::FixIt Fix;
+    Fix.Loc = SourceLocation(File, U.Line, 1);
+    Fix.Replacement = U.FixedLine;
+    Fix.Description = "drop the unknown rule from the allow list";
+    D.Fixes.push_back(std::move(Fix));
+    R.Notices.push_back(std::move(D));
+  }
+  if (Supp.ByLine.empty())
+    return;
+  std::vector<diag::Diagnostic> Kept;
+  Kept.reserve(R.Findings.size());
+  for (diag::Diagnostic &D : R.Findings) {
+    if (D.Loc.isValid() && Supp.allows(D.Kind, D.Loc.line())) {
+      ++R.SuppressedFindings;
+      for (DetectorOutcome &O : R.Detectors)
+        if (O.Name == diag::ruleInfo(D.Kind).Detector && O.Findings != 0) {
+          --O.Findings;
+          break;
+        }
+    } else {
+      Kept.push_back(std::move(D));
+    }
+  }
+  R.Findings = std::move(Kept);
+}
+
 FileReport AnalysisEngine::analyzeSource(std::string_view Source,
                                          std::string Name) {
   FileReport R;
@@ -145,36 +200,43 @@ FileReport AnalysisEngine::analyzeSource(std::string_view Source,
       throw std::runtime_error("injected fault at probe engine.parse");
     mir::ModuleParse P = mir::Parser::parseRecover(Source, R.Path);
     for (const Error &E : P.Errors)
-      R.ParseErrors.push_back(E.toString());
+      R.ParseErrors.push_back(errorDiagnostic(diag::RuleId::ParseError, E));
     R.ItemsDropped = P.ItemsDropped;
     if (!P.Errors.empty() && P.M.functions().empty() &&
         P.M.structs().empty() && P.M.statics().empty()) {
       R.Status = EngineStatus::Skipped;
-      R.Reason = "no parseable items: " + R.ParseErrors.front();
+      R.Reason = "no parseable items: " + P.Errors.front().toString();
       return R;
     }
 
     if (fault::shouldFail("engine.verify"))
       throw std::runtime_error("injected fault at probe engine.verify");
-    std::vector<std::string> VErr;
+    std::vector<Error> VErr;
     if (!mir::verifyModule(P.M, VErr)) {
-      R.VerifierErrors = std::move(VErr);
+      for (const Error &E : VErr)
+        R.VerifierErrors.push_back(
+            errorDiagnostic(diag::RuleId::VerifyError, E));
       R.Status = EngineStatus::Skipped;
-      R.Reason = "verifier rejected module: " + R.VerifierErrors.front();
+      R.Reason = "verifier rejected module: " + VErr.front().toString();
       return R;
     }
 
     runDetectors(P.M, R);
+    applySuppressions(Source, R);
   } catch (const std::exception &E) {
     R.Status = EngineStatus::Skipped;
     R.Reason = std::string("engine fault contained: ") + E.what();
     R.Detectors.clear();
     R.Findings.clear();
+    R.Notices.clear();
+    R.SuppressedFindings = 0;
   } catch (...) {
     R.Status = EngineStatus::Skipped;
     R.Reason = "engine fault contained: unknown exception";
     R.Detectors.clear();
     R.Findings.clear();
+    R.Notices.clear();
+    R.SuppressedFindings = 0;
   }
   return R;
 }
@@ -209,7 +271,10 @@ FileReport AnalysisEngine::analyzeFile(const std::string &Path) {
 
 /// Bump when serializeFileReport's schema changes: the version feeds the
 /// salt, so old entries stop matching instead of misparsing.
-static constexpr uint64_t ReportSchemaVersion = 1;
+/// v2: structured-diagnostics core — findings carry rule IDs, severities,
+/// secondary spans, notes and fix-its; suppression notices and the
+/// suppressed-finding count ride along.
+static constexpr uint64_t ReportSchemaVersion = 2;
 
 uint64_t rs::engine::fingerprintSource(std::string_view Source) {
   // Canonicalize CRLF -> LF without materializing a copy.
@@ -247,6 +312,127 @@ uint64_t rs::engine::cacheKey(uint64_t SourceFingerprint, uint64_t Salt) {
   return fnv1a64U64(SourceFingerprint, Salt);
 }
 
+namespace {
+
+bool severityFromName(std::string_view Name, diag::Severity &Out) {
+  if (Name == "error")
+    Out = diag::Severity::Error;
+  else if (Name == "warning")
+    Out = diag::Severity::Warning;
+  else if (Name == "note")
+    Out = diag::Severity::Note;
+  else
+    return false;
+  return true;
+}
+
+/// Writes one diagnostic into the cache payload. File names are omitted
+/// throughout: locations re-anchor to whatever path the content shows up
+/// at on the way back in (fingerprints are recomputed from the re-anchored
+/// locations, so they follow).
+void writeCachedDiagnostic(JsonWriter &W, const diag::Diagnostic &D) {
+  W.beginObject();
+  W.field("rule", diag::ruleStringId(D.Kind));
+  W.field("severity", diag::severityName(D.Sev));
+  W.field("function", D.Function);
+  W.field("block", static_cast<int64_t>(D.Block));
+  W.field("statement", static_cast<int64_t>(D.StmtIndex));
+  W.field("message", D.Message);
+  W.field("line", static_cast<int64_t>(D.Loc.line()));
+  W.field("col", static_cast<int64_t>(D.Loc.column()));
+  if (!D.Secondary.empty()) {
+    W.key("secondary");
+    W.beginArray();
+    for (const diag::Span &S : D.Secondary) {
+      W.beginObject();
+      W.field("line", static_cast<int64_t>(S.Loc.line()));
+      W.field("col", static_cast<int64_t>(S.Loc.column()));
+      if (!S.Function.empty())
+        W.field("function", S.Function);
+      W.field("label", S.Label);
+      W.endObject();
+    }
+    W.endArray();
+  }
+  if (!D.Notes.empty()) {
+    W.key("notes");
+    W.beginArray();
+    for (const std::string &N : D.Notes)
+      W.value(N);
+    W.endArray();
+  }
+  if (!D.Fixes.empty()) {
+    W.key("fixes");
+    W.beginArray();
+    for (const diag::FixIt &F : D.Fixes) {
+      W.beginObject();
+      W.field("line", static_cast<int64_t>(F.Loc.line()));
+      W.field("col", static_cast<int64_t>(F.Loc.column()));
+      W.field("replacement", F.Replacement);
+      W.field("description", F.Description);
+      W.endObject();
+    }
+    W.endArray();
+  }
+  W.endObject();
+}
+
+SourceLocation cachedLoc(const JsonValue &V, const std::string *File) {
+  unsigned Line = static_cast<unsigned>(V.getInt("line"));
+  unsigned Col = static_cast<unsigned>(V.getInt("col"));
+  return Line == 0 ? SourceLocation() : SourceLocation(File, Line, Col);
+}
+
+bool readCachedDiagnostic(const JsonValue &V, const std::string *File,
+                          diag::Diagnostic &D) {
+  if (!V.isObject())
+    return false;
+  if (!diag::ruleFromString(V.getString("rule"), D.Kind))
+    return false;
+  if (!severityFromName(V.getString("severity"), D.Sev))
+    return false;
+  D.Function = V.getString("function");
+  D.Block = static_cast<mir::BlockId>(V.getInt("block"));
+  D.StmtIndex = static_cast<size_t>(V.getInt("statement"));
+  D.Message = V.getString("message");
+  D.Loc = cachedLoc(V, File);
+  if (const JsonValue *Spans = V.get("secondary")) {
+    if (!Spans->isArray())
+      return false;
+    for (const JsonValue &S : Spans->elements()) {
+      if (!S.isObject())
+        return false;
+      diag::Span Span;
+      Span.Loc = cachedLoc(S, File);
+      Span.Function = S.getString("function");
+      Span.Label = S.getString("label");
+      D.Secondary.push_back(std::move(Span));
+    }
+  }
+  if (const JsonValue *Notes = V.get("notes")) {
+    if (!Notes->isArray())
+      return false;
+    for (const JsonValue &N : Notes->elements())
+      D.Notes.push_back(N.isString() ? N.asString() : std::string());
+  }
+  if (const JsonValue *Fixes = V.get("fixes")) {
+    if (!Fixes->isArray())
+      return false;
+    for (const JsonValue &FV : Fixes->elements()) {
+      if (!FV.isObject())
+        return false;
+      diag::FixIt F;
+      F.Loc = cachedLoc(FV, File);
+      F.Replacement = FV.getString("replacement");
+      F.Description = FV.getString("description");
+      D.Fixes.push_back(std::move(F));
+    }
+  }
+  return true;
+}
+
+} // namespace
+
 std::string rs::engine::serializeFileReport(const FileReport &R) {
   JsonWriter W;
   W.beginObject();
@@ -262,20 +448,18 @@ std::string rs::engine::serializeFileReport(const FileReport &R) {
   W.endArray();
   W.key("findings");
   W.beginArray();
-  for (const detectors::Diagnostic &D : R.Findings) {
-    W.beginObject();
-    W.field("kind", detectors::bugKindName(D.Kind));
-    W.field("function", D.Function);
-    W.field("block", static_cast<int64_t>(D.Block));
-    W.field("statement", static_cast<int64_t>(D.StmtIndex));
-    W.field("message", D.Message);
-    // The file name is omitted: locations re-anchor to whatever path the
-    // content shows up at on the way back in.
-    W.field("line", static_cast<int64_t>(D.Loc.line()));
-    W.field("col", static_cast<int64_t>(D.Loc.column()));
-    W.endObject();
-  }
+  for (const detectors::Diagnostic &D : R.Findings)
+    writeCachedDiagnostic(W, D);
   W.endArray();
+  if (!R.Notices.empty()) {
+    W.key("notices");
+    W.beginArray();
+    for (const diag::Diagnostic &D : R.Notices)
+      writeCachedDiagnostic(W, D);
+    W.endArray();
+  }
+  if (R.SuppressedFindings != 0)
+    W.field("suppressed", static_cast<int64_t>(R.SuppressedFindings));
   W.endObject();
   return W.str();
 }
@@ -307,21 +491,22 @@ rs::engine::deserializeFileReport(std::string_view Payload,
   }
   const std::string *File = internFileName(Path);
   for (const JsonValue &F : Finds->elements()) {
-    if (!F.isObject())
-      return std::nullopt;
     detectors::Diagnostic D;
-    if (!detectors::bugKindFromName(F.getString("kind"), D.Kind))
+    if (!readCachedDiagnostic(F, File, D))
       return std::nullopt;
-    D.Function = F.getString("function");
-    D.Block = static_cast<mir::BlockId>(F.getInt("block"));
-    D.StmtIndex = static_cast<size_t>(F.getInt("statement"));
-    D.Message = F.getString("message");
-    unsigned Line = static_cast<unsigned>(F.getInt("line"));
-    unsigned Col = static_cast<unsigned>(F.getInt("col"));
-    if (Line != 0)
-      D.Loc = SourceLocation(File, Line, Col);
     R.Findings.push_back(std::move(D));
   }
+  if (const JsonValue *Notices = Doc->get("notices")) {
+    if (!Notices->isArray())
+      return std::nullopt;
+    for (const JsonValue &N : Notices->elements()) {
+      diag::Diagnostic D;
+      if (!readCachedDiagnostic(N, File, D))
+        return std::nullopt;
+      R.Notices.push_back(std::move(D));
+    }
+  }
+  R.SuppressedFindings = static_cast<size_t>(Doc->getInt("suppressed", 0));
   return R;
 }
 
@@ -476,13 +661,41 @@ std::string RunStats::renderLine() const {
 void CorpusReport::finalize() {
   for (FileReport &F : Files)
     std::stable_sort(F.Findings.begin(), F.Findings.end(),
-                     [](const detectors::Diagnostic &A,
-                        const detectors::Diagnostic &B) {
-                       return std::tie(A.Function, A.Block, A.StmtIndex,
-                                       A.Kind, A.Message) <
-                              std::tie(B.Function, B.Block, B.StmtIndex,
-                                       B.Kind, B.Message);
-                     });
+                     diag::diagnosticLess);
+}
+
+std::vector<diag::Diagnostic> FileReport::statusDiagnostics() const {
+  std::vector<diag::Diagnostic> Out;
+  const std::string *File = Path.empty() ? nullptr : internFileName(Path);
+  auto FileLevel = [&](diag::RuleId Rule, std::string Message) {
+    diag::Diagnostic D(Rule);
+    D.Message = std::move(Message);
+    // Anchor at the top of the file so renderers with location-keyed
+    // output (SARIF region, text header) have somewhere to point.
+    if (File)
+      D.Loc = SourceLocation(File, 1, 1);
+    return D;
+  };
+  if (Status == EngineStatus::Degraded)
+    Out.push_back(FileLevel(diag::RuleId::FileDegraded,
+                            "analysis degraded: " + Reason));
+  else if (Status == EngineStatus::Skipped)
+    Out.push_back(
+        FileLevel(diag::RuleId::FileSkipped, "file skipped: " + Reason));
+  for (const DetectorOutcome &O : Detectors) {
+    if (O.Status == EngineStatus::Ok)
+      continue;
+    diag::RuleId Rule = O.Status == EngineStatus::Degraded
+                            ? diag::RuleId::DetectorDegraded
+                            : diag::RuleId::DetectorSkipped;
+    diag::Diagnostic D = FileLevel(
+        Rule, "detector '" + O.Name + "' " +
+                  engineStatusName(O.Status) + " on this file");
+    if (!O.Note.empty())
+      D.Notes.push_back(O.Note); // The budget or fault cause.
+    Out.push_back(std::move(D));
+  }
+  return Out;
 }
 
 size_t CorpusReport::countWithStatus(EngineStatus S) const {
@@ -499,24 +712,30 @@ size_t CorpusReport::totalFindings() const {
   return N;
 }
 
-std::string CorpusReport::renderText() const {
+std::string CorpusReport::renderText(const diag::SourceManager *SM) const {
   std::string Out;
   for (const FileReport &F : Files) {
     Out += "== " + F.Path + ": " + engineStatusName(F.Status) + ", " +
            std::to_string(F.Findings.size()) + " finding(s)";
+    if (F.SuppressedFindings != 0)
+      Out += ", " + std::to_string(F.SuppressedFindings) + " suppressed";
+    if (F.BaselinedFindings != 0)
+      Out += ", " + std::to_string(F.BaselinedFindings) + " baselined";
     if (!F.Reason.empty())
       Out += " (" + F.Reason + ")";
     Out += " ==\n";
-    for (const std::string &E : F.ParseErrors)
-      Out += "  recovered parse error: " + E + "\n";
-    for (const std::string &E : F.VerifierErrors)
-      Out += "  verifier: " + E + "\n";
+    for (const diag::Diagnostic &E : F.ParseErrors)
+      Out += "  recovered parse error: " + E.toString() + "\n";
+    for (const diag::Diagnostic &E : F.VerifierErrors)
+      Out += "  verifier: " + E.toString() + "\n";
     for (const DetectorOutcome &D : F.Detectors)
       if (D.Status != EngineStatus::Ok)
         Out += "  [" + D.Name + "] " + engineStatusName(D.Status) + ": " +
                D.Note + "\n";
+    for (const diag::Diagnostic &N : F.Notices)
+      Out += diag::renderDiagnosticText(N, SM);
     for (const detectors::Diagnostic &Diag : F.Findings)
-      Out += Diag.toString() + "\n";
+      Out += diag::renderDiagnosticText(Diag, SM);
   }
   return Out;
 }
@@ -535,19 +754,23 @@ std::string CorpusReport::renderJson() const {
     if (!F.ParseErrors.empty()) {
       W.key("parse_errors");
       W.beginArray();
-      for (const std::string &E : F.ParseErrors)
-        W.value(E);
+      for (const diag::Diagnostic &E : F.ParseErrors)
+        diag::writeDiagnosticJson(W, E);
       W.endArray();
     }
     if (!F.VerifierErrors.empty()) {
       W.key("verifier_errors");
       W.beginArray();
-      for (const std::string &E : F.VerifierErrors)
-        W.value(E);
+      for (const diag::Diagnostic &E : F.VerifierErrors)
+        diag::writeDiagnosticJson(W, E);
       W.endArray();
     }
     if (F.ItemsDropped != 0)
       W.field("items_dropped", static_cast<int64_t>(F.ItemsDropped));
+    if (F.SuppressedFindings != 0)
+      W.field("suppressed", static_cast<int64_t>(F.SuppressedFindings));
+    if (F.BaselinedFindings != 0)
+      W.field("baselined", static_cast<int64_t>(F.BaselinedFindings));
     W.key("detectors");
     W.beginArray();
     for (const DetectorOutcome &D : F.Detectors) {
@@ -560,21 +783,19 @@ std::string CorpusReport::renderJson() const {
       W.endObject();
     }
     W.endArray();
-    // The per-finding fields mirror DiagnosticEngine::renderJson so report
-    // consumers parse one schema.
+    if (!F.Notices.empty()) {
+      W.key("notices");
+      W.beginArray();
+      for (const diag::Diagnostic &N : F.Notices)
+        diag::writeDiagnosticJson(W, N);
+      W.endArray();
+    }
+    // The per-finding objects come from writeDiagnosticJson, the single
+    // diagnostic schema every JSON surface shares.
     W.key("findings");
     W.beginArray();
-    for (const detectors::Diagnostic &D : F.Findings) {
-      W.beginObject();
-      W.field("kind", detectors::bugKindName(D.Kind));
-      W.field("function", D.Function);
-      W.field("block", static_cast<int64_t>(D.Block));
-      W.field("statement", static_cast<int64_t>(D.StmtIndex));
-      W.field("message", D.Message);
-      if (D.Loc.isValid())
-        W.field("location", D.Loc.toString());
-      W.endObject();
-    }
+    for (const detectors::Diagnostic &D : F.Findings)
+      diag::writeDiagnosticJson(W, D);
     W.endArray();
     W.endObject();
   }
@@ -588,9 +809,60 @@ std::string CorpusReport::renderJson() const {
   W.field("skipped",
           static_cast<int64_t>(countWithStatus(EngineStatus::Skipped)));
   W.field("findings", static_cast<int64_t>(totalFindings()));
+  size_t Suppressed = 0, Baselined = 0;
+  for (const FileReport &F : Files) {
+    Suppressed += F.SuppressedFindings;
+    Baselined += F.BaselinedFindings;
+  }
+  W.field("suppressed", static_cast<int64_t>(Suppressed));
+  W.field("baselined", static_cast<int64_t>(Baselined));
   W.endObject();
   W.endObject();
   return W.str();
+}
+
+std::string CorpusReport::renderSarif() const {
+  diag::SarifWriter W;
+  for (const FileReport &F : Files) {
+    for (const diag::Diagnostic &E : F.ParseErrors)
+      W.addResult(E, F.Path);
+    for (const diag::Diagnostic &E : F.VerifierErrors)
+      W.addResult(E, F.Path);
+    for (const diag::Diagnostic &D : F.statusDiagnostics())
+      W.addResult(D, F.Path);
+    for (const diag::Diagnostic &N : F.Notices)
+      W.addResult(N, F.Path);
+    for (const detectors::Diagnostic &D : F.Findings)
+      W.addResult(D, F.Path);
+  }
+  return W.finish();
+}
+
+diag::Baseline rs::engine::collectBaseline(const CorpusReport &Report) {
+  diag::Baseline B;
+  for (const FileReport &F : Report.Files)
+    for (const detectors::Diagnostic &D : F.Findings)
+      B.add(D.fingerprintHex());
+  return B;
+}
+
+size_t rs::engine::applyBaseline(CorpusReport &Report,
+                                 const diag::Baseline &B) {
+  size_t Dropped = 0;
+  for (FileReport &F : Report.Files) {
+    std::vector<detectors::Diagnostic> Kept;
+    Kept.reserve(F.Findings.size());
+    for (detectors::Diagnostic &D : F.Findings) {
+      if (B.contains(D.fingerprintHex())) {
+        ++F.BaselinedFindings;
+        ++Dropped;
+      } else {
+        Kept.push_back(std::move(D));
+      }
+    }
+    F.Findings = std::move(Kept);
+  }
+  return Dropped;
 }
 
 int CorpusReport::exitCode(bool Strict) const {

@@ -32,6 +32,7 @@
 #define RUSTSIGHT_ENGINE_ENGINE_H
 
 #include "detectors/Detector.h"
+#include "diag/Baseline.h"
 #include "sched/ResultCache.h"
 
 #include <functional>
@@ -40,6 +41,10 @@
 #include <string>
 #include <string_view>
 #include <vector>
+
+namespace rs::diag {
+class SourceManager;
+} // namespace rs::diag
 
 namespace rs::engine {
 
@@ -61,18 +66,33 @@ struct DetectorOutcome {
   size_t Findings = 0;
 };
 
-/// One file's outcome.
+/// One file's outcome. Parse errors, verifier rejections, suppression
+/// notices, and the findings themselves are all diag::Diagnostic values —
+/// one schema from producer to renderer.
 struct FileReport {
   std::string Path;
   EngineStatus Status = EngineStatus::Skipped;
   std::string Reason; ///< Why the file degraded or was skipped ("" when Ok).
-  std::vector<std::string> ParseErrors;    ///< Recovered parse diagnostics.
-  std::vector<std::string> VerifierErrors; ///< Structural rejections.
+  std::vector<diag::Diagnostic> ParseErrors;    ///< RS-PARSE-001 entries.
+  std::vector<diag::Diagnostic> VerifierErrors; ///< RS-VERIFY-001 entries.
+  /// Non-finding diagnostics about the file itself, e.g. RS-META-001
+  /// unknown-suppression warnings (with their machine-applicable fix-its).
+  std::vector<diag::Diagnostic> Notices;
   unsigned ItemsDropped = 0; ///< Items lost to parser resynchronization.
+  /// Findings dropped by `// rustsight-allow(...)` comments in the source.
+  size_t SuppressedFindings = 0;
+  /// Findings dropped by an accepted `--baseline` file (applyBaseline).
+  size_t BaselinedFindings = 0;
   std::vector<DetectorOutcome> Detectors;
   std::vector<detectors::Diagnostic> Findings; ///< Sorted, deduplicated.
 
   bool analyzed() const { return Status != EngineStatus::Skipped; }
+
+  /// The degradation machinery as first-class diagnostics: one
+  /// RS-ENGINE-001/002 per degraded/skipped file and one RS-ENGINE-003/004
+  /// per degraded/skipped detector, each carrying the budget or fault cause.
+  /// Derived on demand so the statuses stay the single source of truth.
+  std::vector<diag::Diagnostic> statusDiagnostics() const;
 };
 
 /// Aggregate observability for one corpus run: scheduler shape, cache
@@ -109,17 +129,35 @@ struct CorpusReport {
   /// rendered report is byte-identical for any job count. Idempotent.
   void finalize();
 
-  /// One status line per file plus its findings and detector notes.
-  std::string renderText() const;
+  /// One status line per file plus its findings (with labeled secondary
+  /// spans, notes and fix-its) and detector notes. Pass a SourceManager to
+  /// annotate every span with a caret snippet; with null the spans render
+  /// location-only.
+  std::string renderText(const diag::SourceManager *SM = nullptr) const;
 
-  /// {"files": [...], "summary": {...}} — see docs/RESILIENCE.md.
+  /// {"files": [...], "summary": {...}} — see docs/RESILIENCE.md and
+  /// docs/DIAGNOSTICS.md for the per-diagnostic schema (schema v2).
   std::string renderJson() const;
+
+  /// SARIF 2.1.0: the full Rules.def catalog as tool.driver.rules plus one
+  /// result per finding, parse/verifier error, suppression notice, and
+  /// degraded/skipped status diagnostic.
+  std::string renderSarif() const;
 
   /// The exit-code contract: 0 = at least one file analyzed, no findings;
   /// 1 = findings reported; 2 = no file produced results (or, under
   /// \p Strict, any file was skipped/degraded or any recovery happened).
   int exitCode(bool Strict = false) const;
 };
+
+/// The fingerprints of every finding in \p Report — the payload of
+/// `--write-baseline`.
+diag::Baseline collectBaseline(const CorpusReport &Report);
+
+/// Drops every finding whose fingerprint \p B contains (the `--baseline`
+/// flow: only *new* findings survive). Bumps each file's BaselinedFindings
+/// by the number dropped there; returns the total dropped.
+size_t applyBaseline(CorpusReport &Report, const diag::Baseline &B);
 
 /// Engine configuration. Zeros mean unlimited (the fail-fast pipeline's
 /// historical behavior, minus the fail-fast).

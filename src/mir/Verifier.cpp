@@ -1,6 +1,7 @@
 #include "mir/Verifier.h"
 
 using namespace rs::mir;
+using rs::Error;
 using rs::SourceLocation;
 
 namespace {
@@ -9,19 +10,18 @@ namespace {
 class FunctionVerifier {
 public:
   FunctionVerifier(const Function &F, const Module *M,
-                   std::vector<std::string> &Errors)
+                   std::vector<Error> &Errors)
       : F(F), M(M), Errors(Errors) {}
 
   bool run();
 
 private:
-  /// Prefixes every error with the most precise location available — the
-  /// offending statement/terminator's, else the function's — so corpus-mode
-  /// reports point at the line, not just the function.
+  /// Attaches the most precise location available — the offending
+  /// statement/terminator's, else the function's — so corpus-mode reports
+  /// point at the line, not just the function.
   void report(const std::string &Message) {
     SourceLocation Loc = CurLoc.isValid() ? CurLoc : F.Loc;
-    std::string Prefix = Loc.isValid() ? Loc.toString() + ": " : std::string();
-    Errors.push_back(Prefix + "function '" + F.Name + "': " + Message);
+    Errors.push_back(Error("function '" + F.Name + "': " + Message, Loc));
   }
 
   void checkLocal(LocalId L, const char *Context) {
@@ -53,7 +53,7 @@ private:
 
   const Function &F;
   const Module *M;
-  std::vector<std::string> &Errors;
+  std::vector<Error> &Errors;
   SourceLocation CurLoc; ///< Location of the statement/terminator in check.
 };
 
@@ -182,13 +182,30 @@ bool FunctionVerifier::run() {
 }
 
 bool rs::mir::verifyFunction(const Function &F, const Module *M,
-                             std::vector<std::string> &Errors) {
+                             std::vector<Error> &Errors) {
   return FunctionVerifier(F, M, Errors).run();
 }
 
-bool rs::mir::verifyModule(const Module &M, std::vector<std::string> &Errors) {
+bool rs::mir::verifyModule(const Module &M, std::vector<Error> &Errors) {
   size_t Before = Errors.size();
   for (const auto &F : M.functions())
     verifyFunction(*F, &M, Errors);
   return Errors.size() == Before;
+}
+
+bool rs::mir::verifyFunction(const Function &F, const Module *M,
+                             std::vector<std::string> &Errors) {
+  std::vector<Error> Structured;
+  bool Ok = verifyFunction(F, M, Structured);
+  for (const Error &E : Structured)
+    Errors.push_back(E.toString());
+  return Ok;
+}
+
+bool rs::mir::verifyModule(const Module &M, std::vector<std::string> &Errors) {
+  std::vector<Error> Structured;
+  bool Ok = verifyModule(M, Structured);
+  for (const Error &E : Structured)
+    Errors.push_back(E.toString());
+  return Ok;
 }

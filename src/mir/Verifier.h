@@ -17,18 +17,26 @@
 #define RUSTSIGHT_MIR_VERIFIER_H
 
 #include "mir/Mir.h"
+#include "support/Error.h"
 
 #include <string>
 #include <vector>
 
 namespace rs::mir {
 
-/// Checks structural invariants of \p M; appends a message per violation.
-/// Returns true if the module is well-formed.
-bool verifyModule(const Module &M, std::vector<std::string> &Errors);
+/// Checks structural invariants of \p M; appends a structured Error (message
+/// plus the most precise source location available) per violation. Returns
+/// true if the module is well-formed.
+bool verifyModule(const Module &M, std::vector<Error> &Errors);
 
 /// Checks a single function. \p M supplies struct declarations for
 /// aggregate arity checking (may be null).
+bool verifyFunction(const Function &F, const Module *M,
+                    std::vector<Error> &Errors);
+
+/// String-rendered convenience overloads ("file:line:col: message"); kept
+/// for callers that only print.
+bool verifyModule(const Module &M, std::vector<std::string> &Errors);
 bool verifyFunction(const Function &F, const Module *M,
                     std::vector<std::string> &Errors);
 

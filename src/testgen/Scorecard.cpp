@@ -107,8 +107,12 @@ Scorecard scoreReport(const engine::CorpusReport &Report,
       ++Card.FilesAnalyzed;
     else
       ++Card.FilesFailed;
-    for (const detectors::Diagnostic &D : F.Findings)
+    for (const detectors::Diagnostic &D : F.Findings) {
+      // Both spellings, so manifests can label cases by short kind name
+      // ("use-after-free") or stable rule ID ("RS-UAF-001").
       FiredByFile[Name].insert(detectors::bugKindName(D.Kind));
+      FiredByFile[Name].insert(diag::ruleStringId(D.Kind));
+    }
   }
 
   std::vector<std::string> Battery = batteryNames();

@@ -38,11 +38,24 @@ TEST(Diagnostics, SortsAndDeduplicates) {
   E.report(make(BugKind::UseAfterFree, "alpha", 2, 3, "m")); // Duplicate.
   E.report(make(BugKind::UseAfterFree, "alpha", 0, 0, "m"));
 
+  // Sorting is explicit: until sort() runs, diagnostics() returns the
+  // reported order (duplicates and all) and never mutates behind a const
+  // accessor.
+  EXPECT_FALSE(E.isSorted());
+  ASSERT_EQ(E.diagnostics().size(), 4u);
+  EXPECT_EQ(E.diagnostics()[0].Function, "zeta");
+
+  E.sort();
+  EXPECT_TRUE(E.isSorted());
   const auto &Diags = E.diagnostics();
   ASSERT_EQ(Diags.size(), 3u);
   EXPECT_EQ(Diags[0].Function, "alpha");
   EXPECT_EQ(Diags[0].Block, 0u);
   EXPECT_EQ(Diags[2].Function, "zeta");
+
+  // Idempotent: a second sort() is a no-op.
+  E.sort();
+  EXPECT_EQ(E.diagnostics().size(), 3u);
 }
 
 TEST(Diagnostics, CountsByKind) {

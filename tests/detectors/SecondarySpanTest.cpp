@@ -1,0 +1,243 @@
+//===----------------------------------------------------------------------===//
+// The secondary-span contract: wherever the paper's bug pattern has a
+// second program point — the drop behind a use-after-free, the first
+// acquisition behind a double lock, the counterpart acquisitions of an
+// ABBA cycle — the detector must mark it with a labeled span. One test per
+// bug kind with a second program point. The missing-wakeup kinds
+// (RS-MW-001/002) are exempt by construction: their pattern is the
+// *absence* of a counterpart (no notify, no sender), so there is nothing
+// to point at.
+//===----------------------------------------------------------------------===//
+
+#include "DetectorTestUtil.h"
+
+using namespace rs::detectors;
+using namespace rs::detectors::testutil;
+
+namespace {
+
+/// The one flagged diagnostic, asserting it has at least one labeled,
+/// located secondary span.
+Diagnostic firstWithSpan(const std::vector<Diagnostic> &Diags) {
+  EXPECT_EQ(Diags.size(), 1u) << render(Diags);
+  if (Diags.empty())
+    return Diagnostic();
+  const Diagnostic &D = Diags[0];
+  EXPECT_FALSE(D.Secondary.empty())
+      << "no secondary span on: " << D.toString();
+  for (const rs::diag::Span &S : D.Secondary) {
+    EXPECT_FALSE(S.Label.empty());
+    EXPECT_TRUE(S.Loc.isValid()) << S.Label;
+  }
+  return D;
+}
+
+} // namespace
+
+TEST(SecondarySpan, UseAfterFreeMarksTheDrop) {
+  Diagnostic D = firstWithSpan(runDetector<UseAfterFreeDetector>(
+      "fn uaf() -> u8 {\n"
+      "    let _1: Box<u8>;\n"
+      "    let _2: *const u8;\n"
+      "    bb0: {\n"
+      "        _1 = Box::new(const 7) -> bb1;\n"
+      "    }\n"
+      "    bb1: {\n"
+      "        _2 = &raw const (*_1);\n"
+      "        drop(_1) -> bb2;\n"
+      "    }\n"
+      "    bb2: {\n"
+      "        _0 = copy (*_2);\n"
+      "        return;\n"
+      "    }\n"
+      "}\n"));
+  ASSERT_FALSE(D.Secondary.empty());
+  EXPECT_NE(D.Secondary[0].Label.find("dropped here"), std::string::npos);
+  // The drop is on line 9; the use (primary) on line 12.
+  EXPECT_EQ(D.Secondary[0].Loc.line(), 9u);
+  EXPECT_EQ(D.Loc.line(), 12u);
+}
+
+TEST(SecondarySpan, DoubleLockMarksTheFirstAcquisition) {
+  Diagnostic D = firstWithSpan(runDetector<DoubleLockDetector>(
+      "fn do_request(_1: &RwLock<i32>) {\n"
+      "    let _2: RwLockReadGuard<i32>;\n"
+      "    let _3: RwLockWriteGuard<i32>;\n"
+      "    bb0: {\n"
+      "        _2 = RwLock::read(copy _1) -> bb1;\n"
+      "    }\n"
+      "    bb1: {\n"
+      "        _3 = RwLock::write(copy _1) -> bb2;\n"
+      "    }\n"
+      "    bb2: {\n"
+      "        return;\n"
+      "    }\n"
+      "}\n"));
+  ASSERT_FALSE(D.Secondary.empty());
+  EXPECT_NE(D.Secondary[0].Label.find("acquired here"), std::string::npos);
+  EXPECT_EQ(D.Secondary[0].Loc.line(), 5u); // The read() call.
+}
+
+TEST(SecondarySpan, BorrowConflictMarksTheFirstBorrow) {
+  Diagnostic D = firstWithSpan(runDetector<DoubleLockDetector>(
+      "fn f(_1: &RefCell<i32>) -> i32 {\n"
+      "    let _2: RefMut<i32>;\n"
+      "    let _3: RefMut<i32>;\n"
+      "    bb0: {\n"
+      "        _2 = RefCell::borrow_mut(copy _1) -> bb1;\n"
+      "    }\n"
+      "    bb1: {\n"
+      "        _3 = RefCell::borrow_mut(copy _1) -> bb2;\n"
+      "    }\n"
+      "    bb2: {\n"
+      "        _0 = copy (*_3);\n"
+      "        return;\n"
+      "    }\n"
+      "}\n"));
+  EXPECT_EQ(D.Kind, BugKind::BorrowConflict);
+  ASSERT_FALSE(D.Secondary.empty());
+  EXPECT_EQ(D.Secondary[0].Loc.line(), 5u); // The first borrow_mut.
+}
+
+TEST(SecondarySpan, LockOrderMarksTheCounterpartAcquisition) {
+  Diagnostic D = firstWithSpan(runDetector<LockOrderDetector>(
+      "fn thread1(_1: &Mutex<i32>, _2: &Mutex<i32>) {\n"
+      "    let _3: MutexGuard<i32>;\n"
+      "    let _4: MutexGuard<i32>;\n"
+      "    bb0: {\n"
+      "        _3 = Mutex::lock(copy _1) -> bb1;\n"
+      "    }\n"
+      "    bb1: {\n"
+      "        _4 = Mutex::lock(copy _2) -> bb2;\n"
+      "    }\n"
+      "    bb2: {\n"
+      "        return;\n"
+      "    }\n"
+      "}\n"
+      "fn thread2(_1: &Mutex<i32>, _2: &Mutex<i32>) {\n"
+      "    let _3: MutexGuard<i32>;\n"
+      "    let _4: MutexGuard<i32>;\n"
+      "    bb0: {\n"
+      "        _3 = Mutex::lock(copy _2) -> bb1;\n"
+      "    }\n"
+      "    bb1: {\n"
+      "        _4 = Mutex::lock(copy _1) -> bb2;\n"
+      "    }\n"
+      "    bb2: {\n"
+      "        return;\n"
+      "    }\n"
+      "}\n"));
+  EXPECT_EQ(D.Kind, BugKind::ConflictingLockOrder);
+  ASSERT_FALSE(D.Secondary.empty());
+  // The counterpart lives in the other thread's function — the span must
+  // say which one.
+  EXPECT_NE(D.Secondary[0].Label.find("acquires lock"), std::string::npos);
+  EXPECT_FALSE(D.Secondary[0].Function.empty());
+  EXPECT_NE(D.Secondary[0].Function, D.Function);
+}
+
+TEST(SecondarySpan, InvalidFreeMarksWhereTheGarbageWasBorn) {
+  Diagnostic D = firstWithSpan(runDetector<InvalidFreeDetector>(
+      "struct FILE { buf: Vec<u8> }\n"
+      "fn _fdopen() {\n"
+      "    let _1: *mut FILE;\n"
+      "    let _2: Vec<u8>;\n"
+      "    let _3: FILE;\n"
+      "    bb0: {\n"
+      "        _1 = alloc(const 16) -> bb1;\n"
+      "    }\n"
+      "    bb1: {\n"
+      "        _2 = Vec::with_capacity(const 100) -> bb2;\n"
+      "    }\n"
+      "    bb2: {\n"
+      "        _3 = FILE { 0: move _2 };\n"
+      "        (*_1) = move _3;\n"
+      "        return;\n"
+      "    }\n"
+      "}\n"));
+  EXPECT_EQ(D.Kind, BugKind::InvalidFree);
+  ASSERT_FALSE(D.Secondary.empty());
+  EXPECT_NE(D.Secondary[0].Label.find("uninitialized"), std::string::npos);
+  EXPECT_EQ(D.Secondary[0].Loc.line(), 7u); // The alloc.
+}
+
+TEST(SecondarySpan, DoubleFreeMarksTheFirstDrop) {
+  Diagnostic D = firstWithSpan(runDetector<DoubleFreeDetector>(
+      "fn dd() {\n"
+      "    let _1: Box<u8>;\n"
+      "    let _2: ();\n"
+      "    bb0: {\n"
+      "        _1 = Box::new(const 1) -> bb1;\n"
+      "    }\n"
+      "    bb1: {\n"
+      "        _2 = mem::drop(move _1) -> bb2;\n"
+      "    }\n"
+      "    bb2: {\n"
+      "        drop(_1) -> bb3;\n"
+      "    }\n"
+      "    bb3: {\n"
+      "        return;\n"
+      "    }\n"
+      "}\n"));
+  EXPECT_EQ(D.Kind, BugKind::DoubleFree);
+  ASSERT_FALSE(D.Secondary.empty());
+  EXPECT_NE(D.Secondary[0].Label.find("first dropped here"),
+            std::string::npos);
+  EXPECT_EQ(D.Secondary[0].Loc.line(), 8u); // The mem::drop.
+}
+
+TEST(SecondarySpan, UninitReadMarksTheAllocation) {
+  Diagnostic D = firstWithSpan(runDetector<UninitReadDetector>(
+      "fn bad() -> u8 {\n"
+      "    let _1: *mut u8;\n"
+      "    bb0: {\n"
+      "        _1 = alloc(const 8) -> bb1;\n"
+      "    }\n"
+      "    bb1: {\n"
+      "        _0 = copy (*_1);\n"
+      "        return;\n"
+      "    }\n"
+      "}\n"));
+  EXPECT_EQ(D.Kind, BugKind::UninitRead);
+  ASSERT_FALSE(D.Secondary.empty());
+  EXPECT_NE(D.Secondary[0].Label.find("uninitialized"), std::string::npos);
+  EXPECT_EQ(D.Secondary[0].Loc.line(), 4u); // The alloc.
+}
+
+TEST(SecondarySpan, InteriorMutabilityMarksTheBorrowedSelf) {
+  Diagnostic D = firstWithSpan(runDetector<InteriorMutabilityDetector>(
+      "struct AuthorityRound { proposed: bool }\n"
+      "unsafe impl Sync for AuthorityRound;\n"
+      "fn generate_seal(_1: &AuthorityRound) -> i32 {\n"
+      "    let _2: &bool;\n"
+      "    let _3: *mut bool;\n"
+      "    bb0: {\n"
+      "        _2 = &(*_1).0;\n"
+      "        _3 = copy _2 as *const bool as *mut bool;\n"
+      "        (*_3) = const true;\n"
+      "        _0 = const 1;\n"
+      "        return;\n"
+      "    }\n"
+      "}\n"));
+  EXPECT_EQ(D.Kind, BugKind::InteriorMutability);
+  ASSERT_FALSE(D.Secondary.empty());
+  EXPECT_NE(D.Secondary[0].Label.find("borrowed immutably"),
+            std::string::npos);
+  EXPECT_EQ(D.Secondary[0].Loc.line(), 3u); // The fn signature.
+}
+
+TEST(SecondarySpan, DanglingReturnMarksTheFrameLocal) {
+  Diagnostic D = firstWithSpan(runDetector<DanglingReturnDetector>(
+      "fn leak() -> &i32 {\n"
+      "    let _1: i32;\n"
+      "    bb0: {\n"
+      "        StorageLive(_1);\n"
+      "        _1 = const 5;\n"
+      "        _0 = &_1;\n"
+      "        return;\n"
+      "    }\n"
+      "}\n"));
+  EXPECT_EQ(D.Kind, BugKind::DanglingReturn);
+  ASSERT_FALSE(D.Secondary.empty());
+  EXPECT_EQ(D.Secondary[0].Loc.line(), 4u); // The StorageLive.
+}

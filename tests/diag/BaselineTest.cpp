@@ -1,0 +1,85 @@
+//===----------------------------------------------------------------------===//
+// Baseline files: render/parse round-trip, the sorted-and-deduplicated
+// document shape CI diffs depend on, rejection of malformed documents, and
+// the file convenience wrappers.
+//===----------------------------------------------------------------------===//
+
+#include "diag/Baseline.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+using namespace rs::diag;
+
+TEST(Baseline, EmptyDocument) {
+  Baseline B;
+  EXPECT_EQ(B.size(), 0u);
+  EXPECT_EQ(B.renderJson(), "{\"version\":1,\"fingerprints\":[]}");
+}
+
+TEST(Baseline, RendersSortedAndDeduplicated) {
+  Baseline B;
+  B.add("ffff00001111aaaa");
+  B.add("0000111122223333");
+  B.add("ffff00001111aaaa"); // Duplicate.
+  EXPECT_EQ(B.size(), 2u);
+  EXPECT_EQ(B.renderJson(),
+            "{\"version\":1,\"fingerprints\":[\"0000111122223333\","
+            "\"ffff00001111aaaa\"]}");
+}
+
+TEST(Baseline, ParseRoundTrip) {
+  Baseline B;
+  B.add("0123456789abcdef");
+  B.add("fedcba9876543210");
+
+  Baseline Back;
+  std::string Err;
+  ASSERT_TRUE(Baseline::parse(B.renderJson(), Back, Err)) << Err;
+  EXPECT_EQ(Back.size(), 2u);
+  EXPECT_TRUE(Back.contains("0123456789abcdef"));
+  EXPECT_TRUE(Back.contains("fedcba9876543210"));
+  EXPECT_FALSE(Back.contains("0000000000000000"));
+}
+
+TEST(Baseline, ParseRejectsMalformedDocuments) {
+  Baseline Out;
+  std::string Err;
+  EXPECT_FALSE(Baseline::parse("not json", Out, Err));
+  EXPECT_FALSE(Err.empty());
+  EXPECT_FALSE(Baseline::parse("[]", Out, Err));
+  EXPECT_FALSE(
+      Baseline::parse("{\"version\":99,\"fingerprints\":[]}", Out, Err));
+  EXPECT_NE(Err.find("version"), std::string::npos) << Err;
+  EXPECT_FALSE(Baseline::parse("{\"version\":1}", Out, Err));
+  // Entries must be 16-hex fingerprints.
+  EXPECT_FALSE(Baseline::parse(
+      "{\"version\":1,\"fingerprints\":[\"xyz\"]}", Out, Err));
+  EXPECT_FALSE(Baseline::parse(
+      "{\"version\":1,\"fingerprints\":[12345]}", Out, Err));
+}
+
+TEST(Baseline, FileRoundTrip) {
+  namespace fs = std::filesystem;
+  std::string Path =
+      (fs::path(testing::TempDir()) / "baseline_roundtrip.json").string();
+
+  Baseline B;
+  B.add("0123456789abcdef");
+  std::string Err;
+  ASSERT_TRUE(B.writeFile(Path, Err)) << Err;
+
+  Baseline Back;
+  ASSERT_TRUE(Baseline::loadFile(Path, Back, Err)) << Err;
+  EXPECT_EQ(Back.size(), 1u);
+  EXPECT_TRUE(Back.contains("0123456789abcdef"));
+  fs::remove(Path);
+}
+
+TEST(Baseline, LoadMissingFileFails) {
+  Baseline Out;
+  std::string Err;
+  EXPECT_FALSE(Baseline::loadFile("/nonexistent/baseline.json", Out, Err));
+  EXPECT_FALSE(Err.empty());
+}

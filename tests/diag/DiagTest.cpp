@@ -1,0 +1,168 @@
+//===----------------------------------------------------------------------===//
+// Diagnostic value semantics: the two toString() forms, the fingerprint's
+// stability contract (line/column and directory moves don't churn it; any
+// identity field does), and the explicit-sort DiagnosticEngine API.
+//===----------------------------------------------------------------------===//
+
+#include "diag/Diag.h"
+
+#include <gtest/gtest.h>
+
+using namespace rs;
+using namespace rs::diag;
+
+namespace {
+
+SourceLocation loc(std::string_view File, unsigned Line, unsigned Col) {
+  return SourceLocation(internFileName(File), Line, Col);
+}
+
+Diagnostic finding(const char *File = "a/b/test.mir", unsigned Line = 12,
+                   unsigned Col = 9) {
+  Diagnostic D(RuleId::UseAfterFree);
+  D.Function = "uaf";
+  D.Block = 2;
+  D.StmtIndex = 0;
+  D.Message = "use of *_2 after _1 dropped";
+  D.Loc = loc(File, Line, Col);
+  return D;
+}
+
+} // namespace
+
+TEST(Diag, RuleConstructorSeedsSeverity) {
+  EXPECT_EQ(Diagnostic(RuleId::UseAfterFree).Sev, Severity::Error);
+  EXPECT_EQ(Diagnostic(RuleId::InteriorMutability).Sev, Severity::Warning);
+  EXPECT_EQ(Diagnostic(RuleId::FileDegraded).Sev, Severity::Note);
+}
+
+TEST(Diag, FunctionLevelToString) {
+  EXPECT_EQ(finding().toString(),
+            "uaf:bb2[0]: use-after-free: use of *_2 after _1 dropped "
+            "(a/b/test.mir:12:9)");
+  Diagnostic NoLoc = finding();
+  NoLoc.Loc = SourceLocation();
+  EXPECT_EQ(NoLoc.toString(),
+            "uaf:bb2[0]: use-after-free: use of *_2 after _1 dropped");
+}
+
+TEST(Diag, FileLevelToString) {
+  Diagnostic D(RuleId::FileSkipped);
+  D.Message = "file skipped: cannot open file";
+  D.Loc = loc("gone.mir", 1, 1);
+  EXPECT_EQ(D.toString(),
+            "gone.mir:1:1: warning: file-skipped: file skipped: cannot open "
+            "file");
+  D.Loc = SourceLocation();
+  EXPECT_EQ(D.toString(),
+            "warning: file-skipped: file skipped: cannot open file");
+}
+
+TEST(Diag, FingerprintIsStableAcrossRuns) {
+  EXPECT_EQ(finding().fingerprint(), finding().fingerprint());
+  std::string Hex = finding().fingerprintHex();
+  EXPECT_EQ(Hex.size(), 16u);
+  EXPECT_EQ(Hex.find_first_not_of("0123456789abcdef"), std::string::npos)
+      << Hex;
+}
+
+TEST(Diag, FingerprintIgnoresLineColumnAndDirectory) {
+  uint64_t Base = finding().fingerprint();
+  // Edits above the finding move it down; the baseline must survive.
+  EXPECT_EQ(finding("a/b/test.mir", 40, 2).fingerprint(), Base);
+  // Re-anchoring the corpus at another root keeps the basename.
+  EXPECT_EQ(finding("elsewhere/test.mir").fingerprint(), Base);
+  EXPECT_EQ(finding("test.mir").fingerprint(), Base);
+}
+
+TEST(Diag, FingerprintCoversTheIdentityFields) {
+  uint64_t Base = finding().fingerprint();
+
+  Diagnostic D = finding();
+  D.Kind = RuleId::DoubleFree;
+  EXPECT_NE(D.fingerprint(), Base);
+
+  D = finding();
+  D.Function = "other";
+  EXPECT_NE(D.fingerprint(), Base);
+
+  D = finding();
+  D.Block = 3;
+  EXPECT_NE(D.fingerprint(), Base);
+
+  D = finding();
+  D.StmtIndex = 1;
+  EXPECT_NE(D.fingerprint(), Base);
+
+  D = finding();
+  D.Message += "!";
+  EXPECT_NE(D.fingerprint(), Base);
+
+  // A different file (not just a different directory) is a different bug.
+  EXPECT_NE(finding("a/b/other.mir").fingerprint(), Base);
+}
+
+TEST(Diag, FingerprintIgnoresDecorations) {
+  // Secondary spans, notes and fixes are presentation; adding one must not
+  // invalidate baselines recorded before the producer grew richer output.
+  Diagnostic D = finding();
+  D.Secondary.push_back({loc("test.mir", 10, 9), "dropped here",
+                         ""});
+  D.Notes.push_back("a note");
+  EXPECT_EQ(D.fingerprint(), finding().fingerprint());
+}
+
+TEST(Diag, DiagnosticLessOrdersByProgramPointThenKind) {
+  Diagnostic A = finding();
+  Diagnostic B = finding();
+  EXPECT_FALSE(diagnosticLess(A, B));
+  EXPECT_FALSE(diagnosticLess(B, A));
+
+  B.Function = "zz";
+  EXPECT_TRUE(diagnosticLess(A, B));
+
+  B = finding();
+  B.Block = 3;
+  EXPECT_TRUE(diagnosticLess(A, B));
+
+  B = finding();
+  B.Kind = RuleId::DoubleLock; // Higher enumerator than UseAfterFree.
+  EXPECT_TRUE(diagnosticLess(A, B));
+}
+
+TEST(Diag, TakeSortsAndEmptiesTheEngine) {
+  DiagnosticEngine E;
+  Diagnostic Zeta = finding();
+  Zeta.Function = "zeta";
+  E.report(Zeta);
+  E.report(finding());
+  E.report(finding()); // Duplicate.
+
+  std::vector<Diagnostic> Out = E.take();
+  ASSERT_EQ(Out.size(), 2u);
+  EXPECT_EQ(Out[0].Function, "uaf");
+  EXPECT_EQ(Out[1].Function, "zeta");
+  EXPECT_EQ(E.count(), 0u);
+  EXPECT_TRUE(E.isSorted());
+}
+
+TEST(Diag, JsonCarriesTheFullShape) {
+  Diagnostic D = finding();
+  D.Secondary.push_back(
+      {loc("test.mir", 10, 9), "value dropped here", ""});
+  D.Notes.push_back("analysis was exact");
+  D.Fixes.push_back({loc("test.mir", 12, 1), "    return;",
+                     "drop the dereference"});
+  DiagnosticEngine E;
+  E.report(D);
+  std::string J = E.renderJson();
+  EXPECT_NE(J.find("\"rule\":\"RS-UAF-001\""), std::string::npos) << J;
+  EXPECT_NE(J.find("\"kind\":\"use-after-free\""), std::string::npos);
+  EXPECT_NE(J.find("\"severity\":\"error\""), std::string::npos);
+  EXPECT_NE(J.find("\"fingerprint\":\"" + D.fingerprintHex() + "\""),
+            std::string::npos);
+  EXPECT_NE(J.find("\"label\":\"value dropped here\""), std::string::npos);
+  EXPECT_NE(J.find("\"notes\":[\"analysis was exact\"]"), std::string::npos);
+  EXPECT_NE(J.find("\"description\":\"drop the dereference\""),
+            std::string::npos);
+}

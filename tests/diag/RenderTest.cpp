@@ -1,0 +1,141 @@
+//===----------------------------------------------------------------------===//
+// Snippet rendering goldens: the SourceManager's buffer/line accessors and
+// the exact multi-line text the renderer emits for primary spans, labeled
+// secondary spans, notes and fix-its — with and without source buffers.
+//===----------------------------------------------------------------------===//
+
+#include "diag/Render.h"
+#include "diag/SourceManager.h"
+
+#include <gtest/gtest.h>
+
+using namespace rs;
+using namespace rs::diag;
+
+namespace {
+
+const char *Src = "fn uaf() -> u8 {\n"
+                  "    let _1: Box<u8>;\n"
+                  "    bb1: {\n"
+                  "        drop(_1) -> bb2;\n"
+                  "    }\n"
+                  "}\n";
+
+SourceManager withBuffer() {
+  SourceManager SM;
+  SM.addBuffer("test.mir", Src);
+  return SM;
+}
+
+SourceLocation loc(std::string_view File, unsigned Line, unsigned Col) {
+  return SourceLocation(internFileName(File), Line, Col);
+}
+
+} // namespace
+
+TEST(SourceManager, LineAccess) {
+  SourceManager SM = withBuffer();
+  bool Found = false;
+  EXPECT_EQ(SM.line("test.mir", 1, Found), "fn uaf() -> u8 {");
+  EXPECT_TRUE(Found);
+  EXPECT_EQ(SM.line("test.mir", 4, Found), "        drop(_1) -> bb2;");
+  EXPECT_TRUE(Found);
+  SM.line("test.mir", 99, Found);
+  EXPECT_FALSE(Found);
+  SM.line("/definitely/not/on/disk.mir", 1, Found);
+  EXPECT_FALSE(Found);
+}
+
+TEST(SourceManager, AddBufferReplaces) {
+  SourceManager SM = withBuffer();
+  SM.addBuffer("test.mir", "replaced\n");
+  bool Found = false;
+  EXPECT_EQ(SM.line("test.mir", 1, Found), "replaced");
+  EXPECT_TRUE(Found);
+}
+
+TEST(Render, SnippetGolden) {
+  SourceManager SM = withBuffer();
+  EXPECT_EQ(renderSnippet(SM, loc("test.mir", 4, 9), "  "),
+            "      4 |         drop(_1) -> bb2;\n"
+            "        |         ^\n");
+}
+
+TEST(Render, SnippetClampsColumnAndWidensGutter) {
+  SourceManager SM;
+  SM.addBuffer("t.mir", "short\n");
+  // Column past the end of the line clamps to just after it.
+  EXPECT_EQ(renderSnippet(SM, loc("t.mir", 1, 99), ""),
+            "    1 | short\n"
+            "      |      ^\n");
+}
+
+TEST(Render, SnippetTabsBecomeSpaces) {
+  SourceManager SM;
+  SM.addBuffer("t.mir", "\tdrop(_1);\n");
+  // The tab renders one column wide, so the caret at column 2 still lands
+  // on the 'd'.
+  EXPECT_EQ(renderSnippet(SM, loc("t.mir", 1, 2), ""),
+            "    1 |  drop(_1);\n"
+            "      |  ^\n");
+}
+
+TEST(Render, SnippetUnavailableIsEmpty) {
+  SourceManager SM = withBuffer();
+  EXPECT_EQ(renderSnippet(SM, SourceLocation(), "  "), "");
+  EXPECT_EQ(renderSnippet(SM, loc("missing-file.mir", 1, 1), "  "),
+            "");
+}
+
+TEST(Render, DiagnosticGoldenWithEverything) {
+  Diagnostic D(RuleId::UseAfterFree);
+  D.Function = "uaf";
+  D.Block = 2;
+  D.StmtIndex = 0;
+  D.Message = "use after drop";
+  D.Loc = loc("test.mir", 4, 9);
+  D.Secondary.push_back(
+      {loc("test.mir", 2, 5), "value declared here", ""});
+  D.Notes.push_back("dataflow was exact");
+  D.Fixes.push_back({loc("test.mir", 4, 1), "        // dropped",
+                     "remove the drop"});
+
+  SourceManager SM = withBuffer();
+  EXPECT_EQ(renderDiagnosticText(D, &SM),
+            "uaf:bb2[0]: use-after-free: use after drop (test.mir:4:9)\n"
+            "      4 |         drop(_1) -> bb2;\n"
+            "        |         ^\n"
+            "  note: value declared here (test.mir:2:5)\n"
+            "      2 |     let _1: Box<u8>;\n"
+            "        |     ^\n"
+            "  note: dataflow was exact\n"
+            "  fix: remove the drop (test.mir:4:1)\n"
+            "    replace line with:         // dropped\n");
+}
+
+TEST(Render, NullSourceManagerIsLocationOnly) {
+  Diagnostic D(RuleId::DoubleLock);
+  D.Function = "f";
+  D.Message = "locked twice";
+  D.Loc = loc("test.mir", 4, 9);
+  D.Secondary.push_back(
+      {loc("test.mir", 2, 5), "first acquired here", ""});
+  EXPECT_EQ(renderDiagnosticText(D, nullptr),
+            "f:bb0[0]: double-lock: locked twice (test.mir:4:9)\n"
+            "  note: first acquired here (test.mir:2:5)\n");
+}
+
+TEST(Render, CrossFunctionSpanNamesItsFunction) {
+  // Lock-order counterparts live in the other thread's entry function.
+  Diagnostic D(RuleId::ConflictingLockOrder);
+  D.Function = "thread_a";
+  D.Message = "conflicting order";
+  D.Secondary.push_back(
+      {loc("test.mir", 9, 5), "counterpart acquisition",
+       "thread_b"});
+  std::string Text = renderDiagnosticText(D, nullptr);
+  EXPECT_NE(Text.find("  note: counterpart acquisition [in thread_b] "
+                      "(test.mir:9:5)"),
+            std::string::npos)
+      << Text;
+}

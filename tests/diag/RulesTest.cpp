@@ -1,0 +1,139 @@
+//===----------------------------------------------------------------------===//
+// The X-macro rule-table contract: every RuleId round-trips through both of
+// its spellings, the bug/infra partition matches isBugRule(), and the
+// metadata every consumer (SARIF, suppression parser, result cache) reads
+// is well-formed for every entry. The test expands Rules.def itself, so a
+// new rule is covered the moment it is added.
+//===----------------------------------------------------------------------===//
+
+#include "diag/Diag.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+using namespace rs::diag;
+
+namespace {
+
+// One more expansion of the single source of truth: the full rule list in
+// enumerator order, used to sweep every entry.
+constexpr RuleId AllRules[] = {
+#define DIAG_RULE(Enum, Id, Name, Detector, Sev, Summary, Help) RuleId::Enum,
+#include "diag/Rules.def"
+};
+constexpr size_t NumAll = sizeof(AllRules) / sizeof(AllRules[0]);
+
+constexpr RuleId BugRules[] = {
+#define DIAG_BUG_RULE(Enum, Id, Name, Detector, Sev, Summary, Help)            \
+  RuleId::Enum,
+#define DIAG_INFRA_RULE(Enum, Id, Name, Detector, Sev, Summary, Help)
+#include "diag/Rules.def"
+};
+constexpr size_t NumBug = sizeof(BugRules) / sizeof(BugRules[0]);
+
+} // namespace
+
+TEST(Rules, TableCounts) {
+  EXPECT_EQ(numRules(), NumAll);
+  EXPECT_EQ(numBugRules(), NumBug);
+  EXPECT_EQ(numBugRules(), 11u) << "the paper's taxonomy has 11 bug kinds";
+  EXPECT_LT(numBugRules(), numRules()) << "infra rules must exist";
+}
+
+TEST(Rules, EnumeratorsIndexTheTable) {
+  for (size_t I = 0; I != NumAll; ++I) {
+    EXPECT_EQ(static_cast<size_t>(AllRules[I]), I);
+    EXPECT_EQ(ruleInfo(AllRules[I]).Rule, AllRules[I]);
+  }
+}
+
+TEST(Rules, StringIdRoundTripsForEveryRule) {
+  for (RuleId R : AllRules) {
+    RuleId Back;
+    ASSERT_TRUE(ruleFromString(ruleStringId(R), Back)) << ruleStringId(R);
+    EXPECT_EQ(Back, R) << ruleStringId(R);
+  }
+}
+
+TEST(Rules, ShortNameRoundTripsForEveryRule) {
+  for (RuleId R : AllRules) {
+    RuleId Back;
+    ASSERT_TRUE(ruleFromString(ruleName(R), Back)) << ruleName(R);
+    EXPECT_EQ(Back, R) << ruleName(R);
+  }
+}
+
+TEST(Rules, SpellingsAreUnique) {
+  std::set<std::string> Ids, Names;
+  for (RuleId R : AllRules) {
+    EXPECT_TRUE(Ids.insert(ruleStringId(R)).second)
+        << "duplicate stable ID " << ruleStringId(R);
+    EXPECT_TRUE(Names.insert(ruleName(R)).second)
+        << "duplicate short name " << ruleName(R);
+  }
+}
+
+TEST(Rules, BugInfraPartitionMatchesIsBugRule) {
+  // Bug rules are exactly the first numBugRules() enumerators — the
+  // property the historical BugKind sort order and the range test rely on.
+  for (size_t I = 0; I != NumAll; ++I)
+    EXPECT_EQ(isBugRule(AllRules[I]), I < NumBug) << ruleStringId(AllRules[I]);
+  for (size_t I = 0; I != NumBug; ++I)
+    EXPECT_EQ(BugRules[I], AllRules[I]);
+}
+
+TEST(Rules, BugRuleFromNameCoversExactlyTheBugRules) {
+  for (RuleId R : AllRules) {
+    RuleId Back;
+    bool Found = bugRuleFromName(ruleName(R), Back);
+    EXPECT_EQ(Found, isBugRule(R)) << ruleName(R);
+    if (Found)
+      EXPECT_EQ(Back, R);
+  }
+  RuleId Ignored;
+  EXPECT_FALSE(bugRuleFromName("no-such-kind", Ignored));
+  // bugRuleFromName is name-keyed only; stable IDs are the full-table
+  // lookup's job.
+  EXPECT_FALSE(bugRuleFromName("RS-UAF-001", Ignored));
+}
+
+TEST(Rules, UnknownSpellingsAreRejected) {
+  RuleId Ignored;
+  EXPECT_FALSE(ruleFromString("", Ignored));
+  EXPECT_FALSE(ruleFromString("RS-UAF-999", Ignored));
+  EXPECT_FALSE(ruleFromString("use_after_free", Ignored));
+}
+
+TEST(Rules, MetadataIsWellFormed) {
+  for (RuleId R : AllRules) {
+    const RuleInfo &I = ruleInfo(R);
+    EXPECT_TRUE(std::string_view(I.StringId).substr(0, 3) == "RS-")
+        << I.StringId;
+    EXPECT_FALSE(std::string_view(I.Name).empty());
+    EXPECT_FALSE(std::string_view(I.Summary).empty()) << I.StringId;
+    EXPECT_FALSE(std::string_view(I.Help).empty()) << I.StringId;
+    // Every bug rule names its producing battery detector; infra rules
+    // have no producer.
+    EXPECT_EQ(isBugRule(R), !std::string_view(I.Detector).empty())
+        << I.StringId;
+  }
+}
+
+TEST(Rules, SeverityDefaultsMatchThePaper) {
+  EXPECT_EQ(ruleInfo(RuleId::UseAfterFree).DefaultSeverity, Severity::Error);
+  // Interior mutability is "suspicious, not certainly wrong" (Section 6.2).
+  EXPECT_EQ(ruleInfo(RuleId::InteriorMutability).DefaultSeverity,
+            Severity::Warning);
+  EXPECT_EQ(ruleInfo(RuleId::FileDegraded).DefaultSeverity, Severity::Note);
+  EXPECT_EQ(ruleInfo(RuleId::FileSkipped).DefaultSeverity, Severity::Warning);
+  EXPECT_EQ(ruleInfo(RuleId::UnknownSuppression).DefaultSeverity,
+            Severity::Warning);
+}
+
+TEST(Rules, SeverityNames) {
+  EXPECT_STREQ(severityName(Severity::Error), "error");
+  EXPECT_STREQ(severityName(Severity::Warning), "warning");
+  EXPECT_STREQ(severityName(Severity::Note), "note");
+}

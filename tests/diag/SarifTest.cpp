@@ -1,0 +1,149 @@
+//===----------------------------------------------------------------------===//
+// SARIF 2.1.0 output: the schema-required top-level fields, the full rule
+// catalog with per-rule metadata, and result objects carrying locations,
+// related locations, fixes and partial fingerprints. The document is parsed
+// back with the JSON reader and checked structurally, not by substring.
+//===----------------------------------------------------------------------===//
+
+#include "diag/Sarif.h"
+
+#include "support/Json.h"
+
+#include <gtest/gtest.h>
+
+using namespace rs;
+using namespace rs::diag;
+
+namespace {
+
+SourceLocation loc(std::string_view File, unsigned Line, unsigned Col) {
+  return SourceLocation(internFileName(File), Line, Col);
+}
+
+Diagnostic uafFinding() {
+  Diagnostic D(RuleId::UseAfterFree);
+  D.Function = "uaf";
+  D.Block = 2;
+  D.StmtIndex = 0;
+  D.Message = "use after drop";
+  D.Loc = loc("test.mir", 12, 9);
+  D.Secondary.push_back(
+      {loc("test.mir", 10, 9), "value dropped here", ""});
+  D.Fixes.push_back({loc("test.mir", 12, 1), "        return;",
+                     "drop the dereference"});
+  return D;
+}
+
+JsonValue parseSarif(const std::string &Text) {
+  std::optional<JsonValue> Doc = JsonValue::parse(Text);
+  EXPECT_TRUE(Doc.has_value()) << "SARIF output is not valid JSON";
+  return Doc ? *Doc : JsonValue();
+}
+
+const JsonValue &run0(const JsonValue &Doc) {
+  const JsonValue *Runs = Doc.get("runs");
+  EXPECT_TRUE(Runs && Runs->isArray() && Runs->elements().size() == 1);
+  return Runs->elements()[0];
+}
+
+} // namespace
+
+TEST(Sarif, LevelSpellings) {
+  EXPECT_STREQ(sarifLevel(Severity::Error), "error");
+  EXPECT_STREQ(sarifLevel(Severity::Warning), "warning");
+  EXPECT_STREQ(sarifLevel(Severity::Note), "note");
+}
+
+TEST(Sarif, SchemaRequiredFields) {
+  SarifWriter W;
+  JsonValue Doc = parseSarif(W.finish());
+  EXPECT_EQ(Doc.getString("version"), "2.1.0");
+  EXPECT_NE(std::string(Doc.getString("$schema")).find("sarif-2.1.0"),
+            std::string::npos);
+  const JsonValue &Run = run0(Doc);
+  const JsonValue *Tool = Run.get("tool");
+  ASSERT_TRUE(Tool && Tool->isObject());
+  const JsonValue *Driver = Tool->get("driver");
+  ASSERT_TRUE(Driver && Driver->isObject());
+  EXPECT_EQ(Driver->getString("name"), "rustsight");
+  const JsonValue *Results = Run.get("results");
+  ASSERT_TRUE(Results && Results->isArray());
+  EXPECT_TRUE(Results->elements().empty());
+}
+
+TEST(Sarif, RuleCatalogIsComplete) {
+  SarifWriter W;
+  JsonValue Doc = parseSarif(W.finish());
+  const JsonValue *Rules = run0(Doc).get("tool")->get("driver")->get("rules");
+  ASSERT_TRUE(Rules && Rules->isArray());
+  ASSERT_EQ(Rules->elements().size(), numRules());
+  // ruleIndex == RuleId enumerator: entry I must describe rule I.
+  for (size_t I = 0; I != numRules(); ++I) {
+    const JsonValue &R = Rules->elements()[I];
+    const RuleInfo &Info = ruleInfo(static_cast<RuleId>(I));
+    EXPECT_EQ(R.getString("id"), Info.StringId);
+    EXPECT_EQ(R.getString("name"), Info.Name);
+    const JsonValue *Short = R.get("shortDescription");
+    ASSERT_TRUE(Short) << Info.StringId;
+    EXPECT_FALSE(std::string(Short->getString("text")).empty());
+    const JsonValue *Cfg = R.get("defaultConfiguration");
+    ASSERT_TRUE(Cfg) << Info.StringId;
+    EXPECT_EQ(Cfg->getString("level"), sarifLevel(Info.DefaultSeverity));
+  }
+}
+
+TEST(Sarif, ResultCarriesTheFullShape) {
+  SarifWriter W;
+  Diagnostic D = uafFinding();
+  W.addResult(D, "fallback.mir");
+  JsonValue Doc = parseSarif(W.finish());
+  const JsonValue *Results = run0(Doc).get("results");
+  ASSERT_EQ(Results->elements().size(), 1u);
+  const JsonValue &R = Results->elements()[0];
+
+  EXPECT_EQ(R.getString("ruleId"), "RS-UAF-001");
+  EXPECT_EQ(R.getInt("ruleIndex", -1),
+            static_cast<int64_t>(RuleId::UseAfterFree));
+  EXPECT_EQ(R.getString("level"), "error");
+  EXPECT_EQ(R.get("message")->getString("text"), "use after drop");
+
+  const JsonValue *Locs = R.get("locations");
+  ASSERT_TRUE(Locs && Locs->isArray() && Locs->elements().size() == 1);
+  const JsonValue *Phys = Locs->elements()[0].get("physicalLocation");
+  ASSERT_TRUE(Phys);
+  EXPECT_EQ(Phys->get("artifactLocation")->getString("uri"), "test.mir");
+  EXPECT_EQ(Phys->get("region")->getInt("startLine", -1), 12);
+  EXPECT_EQ(Phys->get("region")->getInt("startColumn", -1), 9);
+  const JsonValue *Logical = Locs->elements()[0].get("logicalLocations");
+  ASSERT_TRUE(Logical && Logical->elements().size() == 1);
+  EXPECT_EQ(Logical->elements()[0].getString("name"), "uaf");
+
+  const JsonValue *Related = R.get("relatedLocations");
+  ASSERT_TRUE(Related && Related->elements().size() == 1);
+  EXPECT_EQ(Related->elements()[0].get("message")->getString("text"),
+            "value dropped here");
+
+  const JsonValue *Fixes = R.get("fixes");
+  ASSERT_TRUE(Fixes && Fixes->elements().size() == 1);
+  EXPECT_EQ(Fixes->elements()[0].get("description")->getString("text"),
+            "drop the dereference");
+
+  const JsonValue *Prints = R.get("partialFingerprints");
+  ASSERT_TRUE(Prints);
+  EXPECT_EQ(Prints->getString("rustsightFingerprint/v1"), D.fingerprintHex());
+}
+
+TEST(Sarif, SpanlessDiagnosticFallsBackToTheArtifact) {
+  // File-level diagnostics (engine statuses) may carry no span file; the
+  // result must still have a physical location naming the analyzed file.
+  SarifWriter W;
+  Diagnostic D(RuleId::FileSkipped);
+  D.Message = "file skipped: cannot open file";
+  W.addResult(D, "gone.mir");
+  JsonValue Doc = parseSarif(W.finish());
+  const JsonValue &R = run0(Doc).get("results")->elements()[0];
+  EXPECT_EQ(R.getString("level"), "warning");
+  const JsonValue *Phys = R.get("locations")->elements()[0].get(
+      "physicalLocation");
+  EXPECT_EQ(Phys->get("artifactLocation")->getString("uri"), "gone.mir");
+}

@@ -108,9 +108,13 @@ TEST(Engine, VerifierRejectionIsSkippedWithLocation) {
   EXPECT_EQ(R.Status, EngineStatus::Skipped);
   EXPECT_NE(R.Reason.find("verifier rejected module"), std::string::npos);
   ASSERT_FALSE(R.VerifierErrors.empty());
-  // Satellite (f): diagnostics carry function name and source location.
-  EXPECT_NE(R.VerifierErrors[0].find("function 'bad'"), std::string::npos);
-  EXPECT_NE(R.VerifierErrors[0].find("test.mir:2"), std::string::npos);
+  // Structured diagnostics carry the function name in the message and the
+  // rejection site as a real source location.
+  EXPECT_EQ(R.VerifierErrors[0].Kind, diag::RuleId::VerifyError);
+  EXPECT_NE(R.VerifierErrors[0].Message.find("function 'bad'"),
+            std::string::npos);
+  EXPECT_EQ(R.VerifierErrors[0].Loc.file(), "test.mir");
+  EXPECT_EQ(R.VerifierErrors[0].Loc.line(), 2u);
 }
 
 TEST(Engine, DirectoriesExpandToTheirMirFiles) {

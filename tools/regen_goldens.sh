@@ -1,0 +1,36 @@
+#!/usr/bin/env sh
+# Regenerate every pinned JSON golden from the current build.
+#
+# Run from the repository root after an intentional schema or corpus
+# change; the golden tests (testgen/GoldenJsonTest.cpp,
+# testgen/EquivalenceSuiteTest.cpp) diff the CLI's live output against
+# these files byte-for-byte, and CI re-runs this script to prove the
+# checked-in goldens are fresh.
+#
+# Usage: tools/regen_goldens.sh [path/to/rustsight]
+set -eu
+
+RUSTSIGHT="${1:-./build/examples/rustsight}"
+if [ ! -x "$RUSTSIGHT" ]; then
+  echo "error: '$RUSTSIGHT' is not executable; build first or pass the path" >&2
+  exit 2
+fi
+if [ ! -d tests/golden ]; then
+  echo "error: run from the repository root" >&2
+  exit 2
+fi
+
+# check exits 1 when it reports findings; that is the expected outcome
+# for the bug-carrying golden corpora, so tolerate it explicitly.
+run_check() {
+  out="$1"
+  shift
+  "$RUSTSIGHT" check --json --jobs 1 --no-cache "$@" > "$out" || test $? -eq 1
+}
+
+run_check tests/golden/check.json \
+  examples/mir/eval/uaf_post_drop_bug_0.mir examples/mir/eval/clean_0.mir
+run_check tests/golden/regress_check.json tests/mir/regress/*.mir
+"$RUSTSIGHT" eval --json examples/mir/eval > tests/golden/eval.json
+
+echo "regenerated: tests/golden/{check,regress_check,eval}.json"
