@@ -24,11 +24,13 @@
 #include "diag/Baseline.h"
 #include "diag/SourceManager.h"
 #include "engine/Engine.h"
+#include "engine/Supervisor.h"
 #include "interp/Interp.h"
 #include "mir/Parser.h"
 #include "mir/Verifier.h"
 #include "scanner/UnsafeScanner.h"
 #include "support/StringUtils.h"
+#include "support/Subprocess.h"
 #include "testgen/EvalCorpus.h"
 #include "testgen/Harness.h"
 #include "testgen/Scorecard.h"
@@ -80,7 +82,21 @@ struct CheckOptions {
   std::string Format = "text"; ///< "text", "json", or "sarif".
   bool Strict = false;
 
+  /// Process-level supervision (docs/RESILIENCE.md): any of --shards,
+  /// --isolate=process, or --resume routes check through the Supervisor
+  /// instead of the in-process corpus driver. Output is byte-identical
+  /// either way.
+  std::string Isolate = "none"; ///< "none" or "process".
+  uint64_t Shards = 0;          ///< Worker shard count (0 = worker slots).
+  uint64_t TimeoutMs = 0;       ///< Per-shard watchdog (0 = none).
+  uint64_t MaxRetries = 2;      ///< Attempts before quarantine/bisect.
+  std::string CheckpointPath;   ///< Journal ("" = <cache-dir> default).
+  bool Resume = false;
+
   bool json() const { return Format == "json"; }
+  bool supervised() const {
+    return Shards != 0 || Isolate == "process" || Resume;
+  }
 };
 
 /// Options for check/eval baselines, parsed from the command line. For
@@ -92,9 +108,26 @@ struct EvalOptions {
 };
 
 int cmdCheck(const std::vector<std::string> &Files, const CheckOptions &Opts,
-             const EvalOptions &Eval) {
-  engine::AnalysisEngine E(Opts.Engine);
-  engine::CorpusReport Report = E.analyzeCorpus(Files);
+             const EvalOptions &Eval, const char *Argv0) {
+  engine::CorpusReport Report;
+  if (Opts.supervised()) {
+    engine::SupervisorOptions SO;
+    SO.Engine = Opts.Engine;
+    SO.Shards = static_cast<unsigned>(Opts.Shards);
+    SO.MaxWorkers = Opts.Engine.Jobs;
+    SO.TimeoutMs = Opts.TimeoutMs;
+    SO.MaxRetries = static_cast<unsigned>(Opts.MaxRetries);
+    SO.WorkerExe = proc::currentExecutablePath(Argv0);
+    SO.CheckpointPath = Opts.CheckpointPath;
+    if (SO.CheckpointPath.empty() && !Opts.Engine.CacheDir.empty())
+      SO.CheckpointPath = Opts.Engine.CacheDir + "/rs-checkpoint.json";
+    SO.Resume = Opts.Resume;
+    engine::Supervisor S(std::move(SO));
+    Report = S.run(Files);
+  } else {
+    engine::AnalysisEngine E(Opts.Engine);
+    Report = E.analyzeCorpus(Files);
+  }
 
   // The baseline flow: record the full current state first, then drop the
   // previously-accepted findings so only new ones render and gate the exit
@@ -309,6 +342,19 @@ int usage() {
       "                           for every N)\n"
       "    --cache-dir <dir>      persist the result cache on disk\n"
       "    --no-cache             disable the result cache entirely\n"
+      "    --shards <N>           analyze through N crash-isolated worker\n"
+      "                           processes (output is identical for every\n"
+      "                           N; --jobs caps concurrent workers)\n"
+      "    --isolate <none|process>  process: supervised workers even with\n"
+      "                           the default shard count\n"
+      "    --timeout-ms <N>       hard per-shard watchdog; hung workers are\n"
+      "                           killed and the culpable file quarantined\n"
+      "    --max-retries <N>      worker attempts before quarantine/bisect\n"
+      "                           (default: 2)\n"
+      "    --checkpoint <file>    journal completed files for --resume\n"
+      "                           (default: <cache-dir>/rs-checkpoint.json)\n"
+      "    --resume               resume an interrupted supervised run from\n"
+      "                           its checkpoint journal\n"
       "  run <file.mir...>             interpret dynamically\n"
       "  lifetimes <file.mir...>       lifetime/lock report\n"
       "  print <file.mir...>           parse and pretty-print\n"
@@ -385,6 +431,7 @@ int main(int argc, char **argv) {
   GenOptions Gen;
   std::vector<std::string> Inputs;
   uint64_t Jobs = 0;
+  uint64_t SummaryRounds = Check.Engine.MaxSummaryRounds;
   for (int I = 2; I < argc; ++I) {
     bool Bad = false;
     if (std::strcmp(argv[I], "--json") == 0)
@@ -397,10 +444,24 @@ int main(int argc, char **argv) {
       Check.Engine.UseCache = false;
     else if (std::strcmp(argv[I], "--mutated") == 0)
       Gen.Mutated = true;
+    else if (std::strcmp(argv[I], "--resume") == 0)
+      Check.Resume = true;
     else if (parseNumericFlag(argc, argv, I, "--budget-ms",
                               Check.Engine.BudgetMs, Bad) ||
+             parseNumericFlag(argc, argv, I, "--max-file-steps",
+                              Check.Engine.MaxFileSteps, Bad) ||
+             parseNumericFlag(argc, argv, I, "--max-summary-rounds",
+                              SummaryRounds, Bad) ||
              parseNumericFlag(argc, argv, I, "--max-dataflow-iters",
                               Check.Engine.MaxDataflowIters, Bad) ||
+             parseNumericFlag(argc, argv, I, "--shards", Check.Shards, Bad) ||
+             parseNumericFlag(argc, argv, I, "--timeout-ms", Check.TimeoutMs,
+                              Bad) ||
+             parseNumericFlag(argc, argv, I, "--max-retries",
+                              Check.MaxRetries, Bad) ||
+             parseStringFlag(argc, argv, I, "--isolate", Check.Isolate, Bad) ||
+             parseStringFlag(argc, argv, I, "--checkpoint",
+                             Check.CheckpointPath, Bad) ||
              parseNumericFlag(argc, argv, I, "--jobs", Jobs, Bad) ||
              parseNumericFlag(argc, argv, I, "--seed-start", Gen.SeedStart,
                               Bad) ||
@@ -423,14 +484,21 @@ int main(int argc, char **argv) {
       Inputs.emplace_back(argv[I]);
   }
   Check.Engine.Jobs = static_cast<unsigned>(Jobs);
+  Check.Engine.MaxSummaryRounds = static_cast<unsigned>(SummaryRounds);
   if (Check.Format != "text" && Check.Format != "json" &&
       Check.Format != "sarif")
     return usage();
+  if (Check.Isolate != "none" && Check.Isolate != "process")
+    return usage();
+  // The hidden worker mode the supervisor respawns this binary in; its
+  // inputs arrive over stdin, not argv.
+  if (Cmd == "worker")
+    return engine::runWorker(Check.Engine);
   if (Inputs.empty() && Cmd != "gen")
     return usage();
 
   if (Cmd == "check")
-    return cmdCheck(Inputs, Check, Eval);
+    return cmdCheck(Inputs, Check, Eval, argv[0]);
   if (Cmd == "eval")
     return cmdEval(Inputs, Check, Eval);
   if (Cmd == "gen")

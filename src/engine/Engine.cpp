@@ -511,6 +511,135 @@ rs::engine::deserializeFileReport(std::string_view Payload,
 }
 
 //===----------------------------------------------------------------------===//
+// Wire serialization (worker protocol + checkpoint journal)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+bool engineStatusFromName(std::string_view Name, EngineStatus &Out) {
+  if (Name == "ok")
+    Out = EngineStatus::Ok;
+  else if (Name == "degraded")
+    Out = EngineStatus::Degraded;
+  else if (Name == "skipped")
+    Out = EngineStatus::Skipped;
+  else
+    return false;
+  return true;
+}
+
+bool readWireDiagnostics(const JsonValue *Arr, const std::string *File,
+                         std::vector<diag::Diagnostic> &Out) {
+  if (!Arr)
+    return true; // Absent array == empty.
+  if (!Arr->isArray())
+    return false;
+  for (const JsonValue &V : Arr->elements()) {
+    diag::Diagnostic D;
+    if (!readCachedDiagnostic(V, File, D))
+      return false;
+    Out.push_back(std::move(D));
+  }
+  return true;
+}
+
+} // namespace
+
+std::string rs::engine::serializeWireFileReport(const FileReport &R) {
+  JsonWriter W;
+  W.beginObject();
+  W.field("v", static_cast<int64_t>(ReportSchemaVersion));
+  W.field("path", R.Path);
+  W.field("status", engineStatusName(R.Status));
+  if (!R.Reason.empty())
+    W.field("reason", R.Reason);
+  if (R.ItemsDropped != 0)
+    W.field("items_dropped", static_cast<int64_t>(R.ItemsDropped));
+  if (R.SuppressedFindings != 0)
+    W.field("suppressed", static_cast<int64_t>(R.SuppressedFindings));
+  if (R.BaselinedFindings != 0)
+    W.field("baselined", static_cast<int64_t>(R.BaselinedFindings));
+  auto WriteDiags = [&](const char *Key,
+                        const std::vector<diag::Diagnostic> &Diags) {
+    if (Diags.empty())
+      return;
+    W.key(Key);
+    W.beginArray();
+    for (const diag::Diagnostic &D : Diags)
+      writeCachedDiagnostic(W, D);
+    W.endArray();
+  };
+  WriteDiags("parse_errors", R.ParseErrors);
+  WriteDiags("verifier_errors", R.VerifierErrors);
+  WriteDiags("notices", R.Notices);
+  W.key("detectors");
+  W.beginArray();
+  for (const DetectorOutcome &D : R.Detectors) {
+    W.beginObject();
+    W.field("name", D.Name);
+    W.field("status", engineStatusName(D.Status));
+    if (!D.Note.empty())
+      W.field("note", D.Note);
+    W.field("findings", static_cast<int64_t>(D.Findings));
+    W.endObject();
+  }
+  W.endArray();
+  WriteDiags("findings", R.Findings);
+  W.endObject();
+  return W.str();
+}
+
+std::optional<FileReport>
+rs::engine::fileReportFromJson(const JsonValue &Doc) {
+  if (!Doc.isObject())
+    return std::nullopt;
+  if (Doc.getInt("v", -1) != static_cast<int64_t>(ReportSchemaVersion))
+    return std::nullopt;
+  FileReport R;
+  R.Path = std::string(Doc.getString("path"));
+  if (R.Path.empty())
+    return std::nullopt;
+  if (!engineStatusFromName(Doc.getString("status"), R.Status))
+    return std::nullopt;
+  R.Reason = std::string(Doc.getString("reason"));
+  R.ItemsDropped = static_cast<unsigned>(Doc.getInt("items_dropped", 0));
+  R.SuppressedFindings = static_cast<size_t>(Doc.getInt("suppressed", 0));
+  R.BaselinedFindings = static_cast<size_t>(Doc.getInt("baselined", 0));
+
+  const std::string *File = internFileName(R.Path);
+  if (!readWireDiagnostics(Doc.get("parse_errors"), File, R.ParseErrors) ||
+      !readWireDiagnostics(Doc.get("verifier_errors"), File,
+                           R.VerifierErrors) ||
+      !readWireDiagnostics(Doc.get("notices"), File, R.Notices) ||
+      !readWireDiagnostics(Doc.get("findings"), File, R.Findings))
+    return std::nullopt;
+
+  const JsonValue *Dets = Doc.get("detectors");
+  if (!Dets || !Dets->isArray())
+    return std::nullopt;
+  for (const JsonValue &D : Dets->elements()) {
+    if (!D.isObject())
+      return std::nullopt;
+    DetectorOutcome O;
+    O.Name = std::string(D.getString("name"));
+    if (!engineStatusFromName(D.getString("status"), O.Status))
+      return std::nullopt;
+    O.Note = std::string(D.getString("note"));
+    O.Findings = static_cast<size_t>(D.getInt("findings"));
+    R.Detectors.push_back(std::move(O));
+  }
+  return R;
+}
+
+std::optional<FileReport>
+rs::engine::deserializeWireFileReport(std::string_view Payload) {
+  std::optional<JsonValue> Doc = JsonValue::parse(Payload);
+  if (!Doc)
+    return std::nullopt;
+  return fileReportFromJson(*Doc);
+}
+
+//===----------------------------------------------------------------------===//
 // The parallel corpus driver
 //===----------------------------------------------------------------------===//
 
@@ -535,6 +664,11 @@ std::vector<std::string> AnalysisEngine::detectorNames() {
   for (const auto &D : Detectors)
     Names.emplace_back(D->name());
   return Names;
+}
+
+FileReport AnalysisEngine::analyzeFileThroughCache(const std::string &Path) {
+  ensureCache();
+  return analyzeFileCached(Path, cacheSalt(Opts, detectorNames()));
 }
 
 FileReport AnalysisEngine::analyzeFileCached(const std::string &Path,

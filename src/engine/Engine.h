@@ -42,6 +42,10 @@
 #include <string_view>
 #include <vector>
 
+namespace rs {
+class JsonValue;
+} // namespace rs
+
 namespace rs::diag {
 class SourceManager;
 } // namespace rs::diag
@@ -213,6 +217,22 @@ std::string serializeFileReport(const FileReport &R);
 std::optional<FileReport> deserializeFileReport(std::string_view Payload,
                                                 const std::string &Path);
 
+/// Full-fidelity FileReport serialization for the worker wire protocol and
+/// the checkpoint journal. Unlike the cache payload it carries the path,
+/// status, reason, parse/verifier errors, items-dropped and suppression
+/// counts, and per-detector statuses verbatim, so a report that crossed a
+/// process boundary (or a resume) renders byte-identically to one computed
+/// in-process. See docs/RESILIENCE.md ("worker wire protocol").
+std::string serializeWireFileReport(const FileReport &R);
+
+/// Rebuilds a FileReport from a parsed wire/checkpoint object. Returns
+/// nullopt on any schema defect — the supervisor treats that as a protocol
+/// error (worker retry), the checkpoint loader as an absent journal.
+std::optional<FileReport> fileReportFromJson(const JsonValue &V);
+
+/// String-payload convenience over fileReportFromJson.
+std::optional<FileReport> deserializeWireFileReport(std::string_view Payload);
+
 /// Runs the detector battery over files/sources with fault isolation and
 /// budgets. Fault-injection probe sites: "engine.parse", "engine.verify",
 /// "engine.detector" (one probe per detector per file).
@@ -233,6 +253,12 @@ public:
   /// Reads and analyzes one file; unreadable files are Skipped. Always
   /// analyzes fresh (no cache) — the cached path is analyzeCorpus.
   FileReport analyzeFile(const std::string &Path);
+
+  /// Reads and analyzes one file through the result cache (the same path
+  /// analyzeCorpus takes per file). This is the worker-mode entry point:
+  /// a shard worker streams one of these per input so the supervisor can
+  /// checkpoint and attribute failures file-by-file.
+  FileReport analyzeFileThroughCache(const std::string &Path);
 
   /// Analyzes every path, never aborting the batch. Directories expand to
   /// their .mir files (recursively, in sorted order); a directory with no

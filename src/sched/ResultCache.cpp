@@ -1,8 +1,10 @@
 #include "sched/ResultCache.h"
 
+#include "support/FaultInjection.h"
 #include "support/Hash.h"
 #include "support/Json.h"
 
+#include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
@@ -33,7 +35,7 @@ std::optional<std::string> ResultCache::lookup(uint64_t Key) {
       return It->second->second;
     }
   }
-  if (!Opts.DiskDir.empty()) {
+  if (!Opts.DiskDir.empty() && !diskDisabled()) {
     if (std::optional<std::string> Payload = loadFromDisk(Key)) {
       std::lock_guard<std::mutex> Lock(M);
       ++Counters.Hits;
@@ -52,8 +54,13 @@ void ResultCache::store(uint64_t Key, std::string_view Payload) {
     std::lock_guard<std::mutex> Lock(M);
     insertMemory(Key, std::string(Payload));
   }
-  if (!Opts.DiskDir.empty())
+  if (!Opts.DiskDir.empty() && !diskDisabled())
     storeToDisk(Key, Payload);
+}
+
+bool ResultCache::diskDisabled() const {
+  std::lock_guard<std::mutex> Lock(M);
+  return DiskDisabledFlag;
 }
 
 void ResultCache::clearMemory() {
@@ -125,10 +132,32 @@ std::optional<std::string> ResultCache::loadFromDisk(uint64_t Key) {
 }
 
 void ResultCache::storeToDisk(uint64_t Key, std::string_view Payload) {
+  // One write failure disables the layer for the rest of the run: a full
+  // disk or revoked permission would otherwise fail identically for every
+  // file, and a cache must never turn a sick filesystem into per-file
+  // latency. The warning prints exactly once, on the transition.
   auto Fail = [&] {
-    std::lock_guard<std::mutex> Lock(M);
-    ++Counters.StoreErrors;
+    bool WarnNow = false;
+    {
+      std::lock_guard<std::mutex> Lock(M);
+      ++Counters.StoreErrors;
+      if (!DiskDisabledFlag) {
+        DiskDisabledFlag = true;
+        WarnNow = true;
+      }
+    }
+    if (WarnNow)
+      std::fprintf(stderr,
+                   "rustsight: warning: cannot write result cache entry "
+                   "under '%s'; disk cache layer disabled for the rest of "
+                   "this run (in-memory layer unaffected)\n",
+                   Opts.DiskDir.c_str());
   };
+
+  if (fault::shouldFail("cache.disk.store")) {
+    Fail();
+    return;
+  }
 
   std::error_code Ec;
   fs::create_directories(Opts.DiskDir, Ec);

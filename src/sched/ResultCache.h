@@ -67,8 +67,16 @@ public:
   std::optional<std::string> lookup(uint64_t Key);
 
   /// Stores \p Payload under \p Key in both layers. Disk failures are
-  /// counted, not raised. Thread-safe.
+  /// counted, not raised — and the first write failure (disk full,
+  /// permission lost, directory unwritable) disables the disk layer for
+  /// the rest of the run with a single stderr warning, so a sick
+  /// filesystem costs one syscall round-trip total, not one per file.
+  /// Thread-safe. Fault-injection probe site: "cache.disk.store".
   void store(uint64_t Key, std::string_view Payload);
+
+  /// True once a write failure has disabled the disk layer (memory layer
+  /// unaffected). Always false when no DiskDir was configured.
+  bool diskDisabled() const;
 
   /// Drops every in-memory entry (the disk layer is untouched).
   void clearMemory();
@@ -95,6 +103,9 @@ private:
   std::list<std::pair<uint64_t, std::string>> Lru;
   std::unordered_map<uint64_t, decltype(Lru)::iterator> Index;
   Stats Counters;
+  /// Set by the first disk write failure; gates both disk reads and
+  /// writes from then on (guarded by M).
+  bool DiskDisabledFlag = false;
 };
 
 } // namespace rs::sched

@@ -144,7 +144,7 @@ public:
   }
 
 private:
-  static constexpr int MaxDepth = 64; ///< Bounds stack use on hostile input.
+  static constexpr int MaxDepth = JsonValue::MaxParseDepth;
 
   std::string_view Text;
   size_t Pos = 0;
@@ -175,9 +175,9 @@ private:
       return false;
     switch (Text[Pos]) {
     case '{':
-      return parseObject(Out, Depth);
+      return Depth < MaxDepth && parseObject(Out, Depth);
     case '[':
-      return parseArray(Out, Depth);
+      return Depth < MaxDepth && parseArray(Out, Depth);
     case '"':
       Out.K = JsonValue::Kind::String;
       return parseString(Out.S);

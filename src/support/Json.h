@@ -104,6 +104,13 @@ public:
   /// treats that as a missing document.
   static std::optional<JsonValue> parse(std::string_view Text);
 
+  /// Maximum container nesting parse() accepts. The parser is recursive
+  /// descent, so a hostile document ("[[[[[..." from a corrupt cache
+  /// entry, checkpoint journal, or worker frame) must degrade to a parse
+  /// error at a bounded depth — never run the C++ stack out. Exactly this
+  /// many nested arrays/objects parse; one level deeper is a parse error.
+  static constexpr int MaxParseDepth = 64;
+
   Kind kind() const { return K; }
   bool isNull() const { return K == Kind::Null; }
   bool isObject() const { return K == Kind::Object; }

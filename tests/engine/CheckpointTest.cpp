@@ -1,0 +1,196 @@
+//===----------------------------------------------------------------------===//
+//
+// Tests for the supervisor's checkpoint journal and the full-fidelity wire
+// serialization beneath it: round-tripped reports must render
+// byte-identically (that is the whole resume guarantee), and journals that
+// are corrupt, truncated, or keyed to a different run must load as "no
+// checkpoint" without touching the caller's state.
+//
+//===----------------------------------------------------------------------===//
+
+#include "engine/Checkpoint.h"
+
+#include "corpus/CorpusWalk.h"
+#include "engine/Engine.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace fs = std::filesystem;
+using namespace rs;
+using namespace rs::engine;
+
+namespace {
+
+const char *CleanSrc = "fn clean() -> i32 {\n"
+                       "    bb0: {\n"
+                       "        _0 = const 1;\n"
+                       "        return;\n"
+                       "    }\n"
+                       "}\n";
+
+const char *BuggySrc = "fn uaf() -> u8 {\n"
+                       "    let _1: Box<u8>;\n"
+                       "    let _2: *const u8;\n"
+                       "    bb0: {\n"
+                       "        _1 = Box::new(const 7) -> bb1;\n"
+                       "    }\n"
+                       "    bb1: {\n"
+                       "        _2 = &raw const (*_1);\n"
+                       "        drop(_1) -> bb2;\n"
+                       "    }\n"
+                       "    bb2: {\n"
+                       "        _0 = copy (*_2);\n"
+                       "        return;\n"
+                       "    }\n"
+                       "}\n";
+
+fs::path writeCorpus(const char *Name) {
+  fs::path Dir = fs::path(testing::TempDir()) / Name;
+  fs::remove_all(Dir);
+  fs::create_directories(Dir);
+  std::ofstream(Dir / "buggy.mir") << BuggySrc;
+  std::ofstream(Dir / "clean.mir") << CleanSrc;
+  std::ofstream(Dir / "malformed.mir") << "fn oops( {\n";
+  return Dir;
+}
+
+/// Analyzes the corpus in-process and returns (inputs, per-file reports).
+std::pair<std::vector<corpus::CorpusInput>, CorpusReport>
+analyze(const fs::path &Dir) {
+  EngineOptions Opts;
+  Opts.Jobs = 1;
+  Opts.UseCache = false;
+  AnalysisEngine E(Opts);
+  return {corpus::expandMirPaths({Dir.string()}),
+          E.analyzeCorpus({Dir.string()})};
+}
+
+} // namespace
+
+TEST(WireFileReport, RoundTripRendersByteIdentically) {
+  fs::path Dir = writeCorpus("wire_roundtrip");
+  auto [Inputs, Report] = analyze(Dir);
+  ASSERT_FALSE(Report.Files.empty());
+
+  CorpusReport Rebuilt;
+  for (const FileReport &R : Report.Files) {
+    std::optional<FileReport> Back =
+        deserializeWireFileReport(serializeWireFileReport(R));
+    ASSERT_TRUE(Back.has_value()) << R.Path;
+    Rebuilt.Files.push_back(std::move(*Back));
+  }
+  Rebuilt.finalize();
+  // The guarantee the supervisor and resume stand on: a report that
+  // crossed the wire is indistinguishable in every rendered surface.
+  EXPECT_EQ(Report.renderJson(), Rebuilt.renderJson());
+  EXPECT_EQ(Report.renderSarif(), Rebuilt.renderSarif());
+  EXPECT_EQ(Report.exitCode(true), Rebuilt.exitCode(true));
+}
+
+TEST(WireFileReport, RejectsDefectivePayloads) {
+  EXPECT_FALSE(deserializeWireFileReport("").has_value());
+  EXPECT_FALSE(deserializeWireFileReport("not json").has_value());
+  EXPECT_FALSE(deserializeWireFileReport("{}").has_value());
+  EXPECT_FALSE(deserializeWireFileReport("{\"v\":999}").has_value());
+  EXPECT_FALSE(
+      deserializeWireFileReport("{\"v\":2,\"path\":\"\"}").has_value());
+  EXPECT_FALSE(
+      deserializeWireFileReport(
+          "{\"v\":2,\"path\":\"x.mir\",\"status\":\"sideways\"}")
+          .has_value());
+}
+
+TEST(CorpusFingerprint, SensitiveToPathsOrderAndSkips) {
+  std::vector<corpus::CorpusInput> A = {{"a.mir", ""}, {"b.mir", ""}};
+  std::vector<corpus::CorpusInput> Reordered = {{"b.mir", ""}, {"a.mir", ""}};
+  std::vector<corpus::CorpusInput> Skipped = {{"a.mir", "empty dir"},
+                                              {"b.mir", ""}};
+  // Separator structure: (a.mir+b, ...) must not alias (a.mir, b...).
+  std::vector<corpus::CorpusInput> Shifted = {{"a.mirb", ".mir"}};
+  EXPECT_EQ(fingerprintCorpus(A), fingerprintCorpus(A));
+  EXPECT_NE(fingerprintCorpus(A), fingerprintCorpus(Reordered));
+  EXPECT_NE(fingerprintCorpus(A), fingerprintCorpus(Skipped));
+  EXPECT_NE(fingerprintCorpus(A), fingerprintCorpus(Shifted));
+}
+
+TEST(CheckpointJournal, WriteLoadRoundTripsCompletedEntries) {
+  fs::path Dir = writeCorpus("ck_roundtrip");
+  auto [Inputs, Report] = analyze(Dir);
+  const RunKey Key{fingerprintCorpus(Inputs), 0x1234};
+
+  // Journal only the even ordinals, as an interrupted run would.
+  std::vector<std::optional<FileReport>> Partial(Report.Files.size());
+  for (size_t I = 0; I < Report.Files.size(); I += 2)
+    Partial[I] = Report.Files[I];
+
+  fs::path Path = Dir / "journal.json";
+  CheckpointJournal J(Path.string());
+  ASSERT_TRUE(J.write(Key, Partial));
+
+  std::vector<std::optional<FileReport>> Loaded(Report.Files.size());
+  ASSERT_TRUE(J.load(Key, Loaded));
+  for (size_t I = 0; I != Report.Files.size(); ++I) {
+    EXPECT_EQ(Loaded[I].has_value(), I % 2 == 0) << I;
+    if (Loaded[I]) {
+      EXPECT_EQ(serializeWireFileReport(*Loaded[I]),
+                serializeWireFileReport(Report.Files[I]));
+    }
+  }
+  // The atomic tmp-write + rename idiom must not leave droppings.
+  size_t Extra = 0;
+  for (const auto &E : fs::directory_iterator(Dir))
+    if (E.path().filename().string().find(".tmp.") != std::string::npos)
+      ++Extra;
+  EXPECT_EQ(Extra, 0u);
+}
+
+TEST(CheckpointJournal, MismatchedKeyOrDefectLoadsAsNoCheckpoint) {
+  fs::path Dir = writeCorpus("ck_defects");
+  auto [Inputs, Report] = analyze(Dir);
+  const RunKey Key{fingerprintCorpus(Inputs), 0x1234};
+
+  std::vector<std::optional<FileReport>> All(Report.Files.size());
+  for (size_t I = 0; I != Report.Files.size(); ++I)
+    All[I] = Report.Files[I];
+
+  fs::path Path = Dir / "journal.json";
+  CheckpointJournal J(Path.string());
+  ASSERT_TRUE(J.write(Key, All));
+
+  std::vector<std::optional<FileReport>> Out(Report.Files.size());
+  // Absent file.
+  EXPECT_FALSE(CheckpointJournal((Dir / "missing.json").string()).load(
+      Key, Out));
+  // Different corpus, different configuration: both halves of the key gate.
+  EXPECT_FALSE(J.load(RunKey{Key.CorpusFingerprint + 1, Key.Salt}, Out));
+  EXPECT_FALSE(J.load(RunKey{Key.CorpusFingerprint, Key.Salt + 1}, Out));
+
+  // Truncation and corruption degrade to "no checkpoint", never a crash.
+  {
+    std::string Text;
+    {
+      std::ifstream In(Path, std::ios::binary);
+      std::ostringstream Buf;
+      Buf << In.rdbuf();
+      Text = Buf.str();
+    }
+    std::ofstream(Path, std::ios::binary | std::ios::trunc)
+        << Text.substr(0, Text.size() / 2);
+    EXPECT_FALSE(J.load(Key, Out));
+    std::ofstream(Path, std::ios::binary | std::ios::trunc)
+        << "{\"version\":999}";
+    EXPECT_FALSE(J.load(Key, Out));
+    std::ofstream(Path, std::ios::binary | std::ios::trunc) << "]][[";
+    EXPECT_FALSE(J.load(Key, Out));
+  }
+  // Every failed load left the output untouched.
+  for (const auto &Slot : Out)
+    EXPECT_FALSE(Slot.has_value());
+
+  J.remove();
+  EXPECT_FALSE(fs::exists(Path));
+}

@@ -8,6 +8,8 @@
 
 #include "sched/ResultCache.h"
 
+#include "support/FaultInjection.h"
+
 #include <gtest/gtest.h>
 
 #include <filesystem>
@@ -173,6 +175,57 @@ TEST(ResultCache, UnwritableDiskDirCountsStoreErrorsWithoutCrashing) {
   EXPECT_EQ(C.stats().StoreErrors, 1u);
   // The memory layer still works.
   EXPECT_TRUE(C.lookup(9).has_value());
+}
+
+TEST(ResultCache, FirstDiskWriteFailureDisablesTheDiskLayer) {
+  fs::path Dir = freshDir("rscache_disable");
+  ResultCache::Options O;
+  O.DiskDir = Dir.string();
+  {
+    ResultCache Seed(O);
+    Seed.store(1, "seeded before the failure");
+  }
+  ResultCache C(O);
+  ASSERT_FALSE(C.diskDisabled());
+  {
+    rs::fault::ScopedFault Fault("cache.disk.store", 1);
+    C.store(2, "victim of the first failure");
+  }
+  EXPECT_TRUE(C.diskDisabled());
+  EXPECT_EQ(C.stats().StoreErrors, 1u);
+  // Disk reads are gated too: the entry seeded on disk is not consulted
+  // once the layer is down (a filesystem sick enough to fail writes is
+  // not trusted for reads either).
+  EXPECT_FALSE(C.lookup(1).has_value());
+  EXPECT_EQ(C.stats().DiskHits, 0u);
+  // The memory layer is unaffected.
+  EXPECT_TRUE(C.lookup(2).has_value());
+  // Later stores skip the disk silently — one error total, no files.
+  for (uint64_t Key = 10; Key != 20; ++Key)
+    C.store(Key, "memory only");
+  EXPECT_EQ(C.stats().StoreErrors, 1u);
+  EXPECT_FALSE(fs::exists(Dir / ResultCache::entryFileName(2)));
+  EXPECT_FALSE(fs::exists(Dir / ResultCache::entryFileName(10)));
+  // A fresh cache over the same directory starts with the layer healthy.
+  EXPECT_FALSE(ResultCache(O).diskDisabled());
+}
+
+TEST(ResultCache, UnwritableDiskDirFailsOnceThenGoesQuiet) {
+  // Same contract through the real IO path: a DiskDir that can never be
+  // created (nested under a regular file — root ignores permission bits,
+  // so chmod is not a reliable blocker) trips the disable on the first
+  // store and stays silent for the rest.
+  ResultCache::Options O;
+  fs::path Blocker = fs::path(testing::TempDir()) / "rscache_quiet_blocker";
+  std::ofstream(Blocker) << "i am a file";
+  O.DiskDir = (Blocker / "sub").string();
+  ResultCache C(O);
+  for (uint64_t Key = 0; Key != 8; ++Key)
+    C.store(Key, "payload");
+  EXPECT_TRUE(C.diskDisabled());
+  EXPECT_EQ(C.stats().StoreErrors, 1u);
+  for (uint64_t Key = 0; Key != 8; ++Key)
+    EXPECT_TRUE(C.lookup(Key).has_value());
 }
 
 TEST(ResultCache, ConcurrentMixedUseIsSafe) {

@@ -113,6 +113,37 @@ TEST(JsonParse, CorruptDocumentsRejected) {
 TEST(JsonParse, DeeplyNestedInputIsBoundedNotFatal) {
   std::string Evil(10000, '[');
   EXPECT_FALSE(JsonValue::parse(Evil).has_value());
+  // Balanced-but-hostile documents are rejected too (the truncated form
+  // above fails at the first missing ']'; this one only fails the cap).
+  std::string Balanced = std::string(10000, '[') + std::string(10000, ']');
+  EXPECT_FALSE(JsonValue::parse(Balanced).has_value());
+  // Same bound for objects, which burn more stack per frame than arrays.
+  std::string EvilObj;
+  for (int I = 0; I != 10000; ++I)
+    EvilObj += "{\"k\":";
+  EXPECT_FALSE(JsonValue::parse(EvilObj).has_value());
+}
+
+TEST(JsonParse, NestingDepthBoundaryIsExact) {
+  auto Nested = [](int Depth) {
+    return std::string(size_t(Depth), '[') + "0" +
+           std::string(size_t(Depth), ']');
+  };
+  // Exactly MaxParseDepth containers parse; one more is a parse error,
+  // not a crash.
+  EXPECT_TRUE(JsonValue::parse(Nested(JsonValue::MaxParseDepth)).has_value());
+  EXPECT_FALSE(
+      JsonValue::parse(Nested(JsonValue::MaxParseDepth + 1)).has_value());
+
+  // Mixed object/array nesting obeys the same cap.
+  std::string Mixed, Close;
+  for (int I = 0; I != JsonValue::MaxParseDepth / 2; ++I) {
+    Mixed += "{\"k\":[";
+    Close = "]}" + Close;
+  }
+  EXPECT_TRUE(JsonValue::parse(Mixed + "null" + Close).has_value());
+  EXPECT_FALSE(
+      JsonValue::parse(Mixed + "[[null]]" + Close).has_value());
 }
 
 TEST(JsonParse, RoundTripsWriterOutput) {

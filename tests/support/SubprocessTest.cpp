@@ -1,0 +1,120 @@
+//===----------------------------------------------------------------------===//
+//
+// Tests for the child-process plumbing under the supervised worker fleet:
+// spawn/feed/drain/reap round-trips, the signal-vs-exit classification the
+// supervisor's failure ladder is built on, and the timeout kill path.
+// Standard shell utilities stand in for workers so the tests exercise the
+// process machinery, not the analysis.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Subprocess.h"
+
+#include "gtest/gtest.h"
+
+#include <csignal>
+#include <poll.h>
+
+using namespace rs;
+using namespace rs::proc;
+
+TEST(Subprocess, RunCommandRoundTripsStdinToStdout) {
+  RunResult R = runCommand({"cat"}, "hello worker\n");
+  ASSERT_TRUE(R.Spawned) << R.Error;
+  EXPECT_FALSE(R.TimedOut);
+  EXPECT_TRUE(R.Exit.cleanExit());
+  EXPECT_EQ(R.Stdout, "hello worker\n");
+  EXPECT_EQ(R.Stderr, "");
+}
+
+TEST(Subprocess, RunCommandSeparatesStderr) {
+  RunResult R = runCommand({"sh", "-c", "echo out; echo err >&2"});
+  ASSERT_TRUE(R.Spawned) << R.Error;
+  EXPECT_EQ(R.Stdout, "out\n");
+  EXPECT_EQ(R.Stderr, "err\n");
+}
+
+TEST(Subprocess, NonzeroExitIsClassifiedAsExitCode) {
+  RunResult R = runCommand({"sh", "-c", "exit 7"});
+  ASSERT_TRUE(R.Spawned) << R.Error;
+  EXPECT_FALSE(R.Exit.Signaled);
+  EXPECT_EQ(R.Exit.Code, 7);
+  EXPECT_FALSE(R.Exit.cleanExit());
+  EXPECT_EQ(R.Exit.describe(), "exited with code 7");
+}
+
+TEST(Subprocess, DeathBySignalIsClassifiedAsSignal) {
+  RunResult R = runCommand({"sh", "-c", "kill -SEGV $$"});
+  ASSERT_TRUE(R.Spawned) << R.Error;
+  ASSERT_TRUE(R.Exit.Signaled);
+  EXPECT_EQ(R.Exit.Sig, SIGSEGV);
+  EXPECT_EQ(R.Exit.describe(), "killed by signal 11 (SIGSEGV)");
+}
+
+TEST(Subprocess, TimeoutKillsHungChild) {
+  RunResult R = runCommand({"sleep", "30"}, "", /*TimeoutMs=*/200);
+  ASSERT_TRUE(R.Spawned) << R.Error;
+  EXPECT_TRUE(R.TimedOut);
+  EXPECT_TRUE(R.Exit.Signaled);
+  EXPECT_EQ(R.Exit.Sig, SIGKILL);
+}
+
+TEST(Subprocess, SpawnFailureIsReportedNotThrown) {
+  RunResult R = runCommand({"/nonexistent/definitely-not-a-binary"});
+  EXPECT_FALSE(R.Spawned);
+  EXPECT_FALSE(R.Error.empty());
+}
+
+TEST(Subprocess, ManualSpawnStreamsAndReaps) {
+  Subprocess::Options O;
+  O.Argv = {"cat"};
+  std::string Err;
+  std::optional<Subprocess> P = Subprocess::spawn(O, &Err);
+  ASSERT_TRUE(P.has_value()) << Err;
+  EXPECT_GT(P->pid(), 0);
+  ASSERT_TRUE(P->writeStdin("line one\n"));
+  P->closeStdin();
+
+  // Drain stdout until EOF; the fds are non-blocking, so poll between
+  // reads.
+  std::string Out;
+  while (P->stdoutFd() != -1) {
+    struct pollfd Pf = {P->stdoutFd(), POLLIN, 0};
+    ::poll(&Pf, 1, 1000);
+    P->readSome(P->stdoutFd(), Out);
+  }
+  EXPECT_EQ(Out, "line one\n");
+  EXPECT_TRUE(P->wait().cleanExit());
+  // tryWait keeps returning the cached status after the reap.
+  ASSERT_TRUE(P->tryWait().has_value());
+  EXPECT_TRUE(P->tryWait()->cleanExit());
+}
+
+TEST(Subprocess, WriteToDeadChildFailsInsteadOfRaisingSigpipe) {
+  Subprocess::Options O;
+  O.Argv = {"sh", "-c", "exit 0"}; // Reads nothing, exits immediately.
+  std::optional<Subprocess> P = Subprocess::spawn(O);
+  ASSERT_TRUE(P.has_value());
+  P->wait();
+  // Large enough to overflow any pipe buffer; must fail, not kill us.
+  std::string Big(1 << 20, 'x');
+  EXPECT_FALSE(P->writeStdin(Big));
+}
+
+TEST(Subprocess, KillThenWaitReportsTheSignal) {
+  Subprocess::Options O;
+  O.Argv = {"sleep", "30"};
+  O.PipeStdin = false;
+  std::optional<Subprocess> P = Subprocess::spawn(O);
+  ASSERT_TRUE(P.has_value());
+  P->kill();
+  ExitStatus St = P->wait();
+  ASSERT_TRUE(St.Signaled);
+  EXPECT_EQ(St.Sig, SIGKILL);
+}
+
+TEST(Subprocess, CurrentExecutablePathIsAbsoluteAndReadable) {
+  std::string Path = currentExecutablePath("fallback-argv0");
+  ASSERT_FALSE(Path.empty());
+  EXPECT_EQ(Path.front(), '/');
+}
