@@ -11,6 +11,9 @@
 //                                     the corpus's manifest.json labels
 //   rustsight gen    [--seed N | --sweep N | --emit-eval-corpus <dir>]
 //                                     generate programs / run oracle sweeps
+//   rustsight serve  [roots...]       resident LSP daemon over stdio with
+//                                     incremental re-analysis
+//   rustsight --version               version / schema / rule-count banner
 //
 // check runs through the resilient AnalysisEngine: malformed or
 // budget-busting files are quarantined with a per-file status instead of
@@ -29,6 +32,8 @@
 #include "mir/Parser.h"
 #include "mir/Verifier.h"
 #include "scanner/UnsafeScanner.h"
+#include "diag/Version.h"
+#include "serve/Server.h"
 #include "support/StringUtils.h"
 #include "support/Subprocess.h"
 #include "testgen/EvalCorpus.h"
@@ -252,6 +257,24 @@ int cmdGen(const CheckOptions &Check, const GenOptions &Opts) {
   return 0;
 }
 
+/// `rustsight serve`: the resident analysis daemon. The check options that
+/// shape analysis (budgets, jobs, cache) apply verbatim; the roots become
+/// the resident corpus (or arrive from the client's rootUri when empty).
+struct ServeCliOptions {
+  uint64_t DebounceMs = 150;
+  uint64_t IdleTimeoutMs = 0; ///< 0 = stay resident forever.
+};
+
+int cmdServe(const std::vector<std::string> &Roots, const CheckOptions &Check,
+             const ServeCliOptions &Opts) {
+  serve::ServerOptions O;
+  O.Session.Engine = Check.Engine;
+  O.Session.Roots = Roots;
+  O.DebounceMs = Opts.DebounceMs;
+  O.IdleTimeoutMs = Opts.IdleTimeoutMs;
+  return serve::serveStdio(O);
+}
+
 int cmdRun(const std::vector<std::string> &Files) {
   int Status = 0;
   for (const std::string &File : Files) {
@@ -370,7 +393,15 @@ int usage() {
       "                             run N seeds through every oracle;\n"
       "                             exit 1 on any violation\n"
       "    --regress-dir <dir>      write minimized repros for violations\n"
-      "    --emit-eval-corpus <dir> regenerate the labeled eval corpus\n");
+      "    --emit-eval-corpus <dir> regenerate the labeled eval corpus\n"
+      "  serve [options] [roots...]    resident LSP daemon over stdio\n"
+      "                                (JSON-RPC 2.0, Content-Length framed;\n"
+      "                                check's analysis options apply)\n"
+      "    --debounce-ms <N>        quiet time before re-analysis (150)\n"
+      "    --idle-timeout-ms <N>    exit 0 after N ms without client\n"
+      "                             traffic (0 = stay resident)\n"
+      "  --version                     print version, report schema version\n"
+      "                                and rule-catalog size\n");
   return 2;
 }
 
@@ -426,9 +457,14 @@ int main(int argc, char **argv) {
   if (argc < 2)
     return usage();
   std::string Cmd = argv[1];
+  if (Cmd == "--version" || Cmd == "version") {
+    std::printf("%s\n", version::versionLine().c_str());
+    return 0;
+  }
   CheckOptions Check;
   EvalOptions Eval;
   GenOptions Gen;
+  ServeCliOptions Serve;
   std::vector<std::string> Inputs;
   uint64_t Jobs = 0;
   uint64_t SummaryRounds = Check.Engine.MaxSummaryRounds;
@@ -463,6 +499,10 @@ int main(int argc, char **argv) {
              parseStringFlag(argc, argv, I, "--checkpoint",
                              Check.CheckpointPath, Bad) ||
              parseNumericFlag(argc, argv, I, "--jobs", Jobs, Bad) ||
+             parseNumericFlag(argc, argv, I, "--debounce-ms",
+                              Serve.DebounceMs, Bad) ||
+             parseNumericFlag(argc, argv, I, "--idle-timeout-ms",
+                              Serve.IdleTimeoutMs, Bad) ||
              parseNumericFlag(argc, argv, I, "--seed-start", Gen.SeedStart,
                               Bad) ||
              parseNumericFlag(argc, argv, I, "--seed", Gen.Seed, Bad) ||
@@ -494,9 +534,13 @@ int main(int argc, char **argv) {
   // inputs arrive over stdin, not argv.
   if (Cmd == "worker")
     return engine::runWorker(Check.Engine);
-  if (Inputs.empty() && Cmd != "gen")
+  // serve may start rootless: the client's initialize rootUri supplies the
+  // corpus then.
+  if (Inputs.empty() && Cmd != "gen" && Cmd != "serve")
     return usage();
 
+  if (Cmd == "serve")
+    return cmdServe(Inputs, Check, Serve);
   if (Cmd == "check")
     return cmdCheck(Inputs, Check, Eval, argv[0]);
   if (Cmd == "eval")

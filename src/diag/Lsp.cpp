@@ -1,0 +1,66 @@
+#include "diag/Lsp.h"
+
+#include "diag/SourceManager.h"
+#include "support/Json.h"
+#include "support/StringUtils.h"
+
+using namespace rs;
+using namespace rs::diag;
+
+int rs::diag::lspSeverity(Severity S) {
+  switch (S) {
+  case Severity::Error:
+    return 1;
+  case Severity::Warning:
+    return 2;
+  case Severity::Note:
+    return 3;
+  }
+  return 1;
+}
+
+/// True for characters that continue a MIR identifier or path segment
+/// ("Mutex::lock", "_2").
+static bool isPathChar(char C) { return isIdentCont(C) || C == ':'; }
+
+void rs::diag::tokenExtent(const SourceManager *SM, const SourceLocation &Loc,
+                           unsigned &StartCol, unsigned &EndCol) {
+  StartCol = Loc.column() == 0 ? 1 : Loc.column();
+  EndCol = StartCol;
+  if (!SM || !Loc.isValid())
+    return;
+  bool Found = false;
+  std::string_view Line = SM->line(Loc.file(), Loc.line(), Found);
+  if (!Found || StartCol > Line.size())
+    return;
+  size_t I = StartCol - 1; // 0-based index of the located character.
+  if (isPathChar(Line[I])) {
+    size_t End = I;
+    while (End < Line.size() && isPathChar(Line[End]))
+      ++End;
+    EndCol = static_cast<unsigned>(End) + 1;
+  } else {
+    EndCol = StartCol + 1;
+  }
+}
+
+void rs::diag::writeLspRange(JsonWriter &W, const SourceLocation &Loc,
+                             const SourceManager *SM) {
+  // LSP is 0-based; SourceLocation is 1-based. Invalid locations pin to 0:0.
+  unsigned Line = Loc.isValid() ? Loc.line() - 1 : 0;
+  unsigned StartCol = 1, EndCol = 1;
+  if (Loc.isValid())
+    tokenExtent(SM, Loc, StartCol, EndCol);
+  W.beginObject();
+  W.key("start");
+  W.beginObject();
+  W.field("line", static_cast<int64_t>(Line));
+  W.field("character", static_cast<int64_t>(StartCol - 1));
+  W.endObject();
+  W.key("end");
+  W.beginObject();
+  W.field("line", static_cast<int64_t>(Line));
+  W.field("character", static_cast<int64_t>(EndCol - 1));
+  W.endObject();
+  W.endObject();
+}

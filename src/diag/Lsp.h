@@ -1,0 +1,50 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of RustSight, a reproduction of "Understanding Memory and Thread
+// Safety Practices and Issues in Real-World Rust Programs" (PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Span -> LSP conversion: 1-based SourceLocations become 0-based LSP
+/// Position/Range objects. When a SourceManager can supply the line (from a
+/// disk file or an in-memory overlay buffer — the serve daemon registers
+/// its virtual documents there), the range covers the identifier or token
+/// under the location so editors underline something visible; without a
+/// buffer it degrades to an empty range at the point. Severity maps onto
+/// the LSP DiagnosticSeverity numbering.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RUSTSIGHT_DIAG_LSP_H
+#define RUSTSIGHT_DIAG_LSP_H
+
+#include "diag/Diag.h"
+
+namespace rs {
+class JsonWriter;
+} // namespace rs
+
+namespace rs::diag {
+
+class SourceManager;
+
+/// LSP DiagnosticSeverity: Error = 1, Warning = 2, Information = 3.
+int lspSeverity(Severity S);
+
+/// The half-open [start, end) column extent (1-based, like SourceLocation)
+/// of the token at \p Loc on its line, using \p SM to fetch the line text.
+/// Identifiers/paths extend over [A-Za-z0-9_:]; any other character is a
+/// one-column token. Returns {col, col} (empty extent) when the buffer or
+/// line is unavailable.
+void tokenExtent(const SourceManager *SM, const SourceLocation &Loc,
+                 unsigned &StartCol, unsigned &EndCol);
+
+/// Writes {"start":{"line":L,"character":C},"end":{...}} for \p Loc.
+/// LSP positions are 0-based; invalid locations write a zero range.
+void writeLspRange(JsonWriter &W, const SourceLocation &Loc,
+                   const SourceManager *SM);
+
+} // namespace rs::diag
+
+#endif // RUSTSIGHT_DIAG_LSP_H

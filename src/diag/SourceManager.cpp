@@ -11,6 +11,15 @@ void SourceManager::addBuffer(std::string Name, std::string Content) {
   E.Loaded = true;
 }
 
+void SourceManager::removeBuffer(const std::string &Name) {
+  Buffers.erase(Name);
+}
+
+bool SourceManager::hasBuffer(const std::string &Name) const {
+  auto It = Buffers.find(Name);
+  return It != Buffers.end() && It->second.Loaded;
+}
+
 const std::string *SourceManager::buffer(const std::string &Name) const {
   auto It = Buffers.find(Name);
   if (It == Buffers.end()) {

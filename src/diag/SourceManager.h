@@ -28,6 +28,16 @@ public:
   /// Registers an in-memory buffer for \p Name, replacing any previous one.
   void addBuffer(std::string Name, std::string Content);
 
+  /// Drops the entry for \p Name — a registered overlay buffer or a cached
+  /// disk probe (successful or failed) — so the next request re-probes the
+  /// filesystem. The serve daemon calls this on didClose to fall back from
+  /// the virtual document to the on-disk file.
+  void removeBuffer(const std::string &Name);
+
+  /// True when an entry (in-memory or loaded from disk) is resident for
+  /// \p Name. Never touches the filesystem.
+  bool hasBuffer(const std::string &Name) const;
+
   /// The buffer registered or loaded for \p Name, or nullptr. The first
   /// call for an unknown name tries the filesystem once; failures are
   /// remembered so a missing file is probed only once.

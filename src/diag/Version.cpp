@@ -1,0 +1,13 @@
+#include "diag/Version.h"
+
+#include "diag/Diag.h"
+
+using namespace rs;
+
+uint64_t rs::version::ruleCount() { return diag::numRules(); }
+
+std::string rs::version::versionLine() {
+  return std::string(ToolName) + " " + ToolVersion + " (report schema v" +
+         std::to_string(ReportSchemaVersion) + ", " +
+         std::to_string(ruleCount()) + " rules)";
+}

@@ -1,0 +1,50 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of RustSight, a reproduction of "Understanding Memory and Thread
+// Safety Practices and Issues in Real-World Rust Programs" (PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The single source of truth for the tool's identity: version string,
+/// report schema version, and the derived one-line banner. `rustsight
+/// --version`, the serve daemon's JSON-RPC `initialize` serverInfo, and the
+/// engine's cache/wire schema salt all read from here, so the spellings
+/// cannot drift apart.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RUSTSIGHT_DIAG_VERSION_H
+#define RUSTSIGHT_DIAG_VERSION_H
+
+#include <cstdint>
+#include <string>
+
+namespace rs::version {
+
+/// The tool name as spelled in --version output, SARIF tool.driver, and
+/// LSP serverInfo.
+inline constexpr const char *ToolName = "rustsight";
+
+/// The tool version. Bump on releases.
+inline constexpr const char *ToolVersion = "0.7.0";
+
+/// The FileReport serialization schema version shared by the result cache,
+/// the worker wire protocol, and the checkpoint journal. Bump when
+/// serializeFileReport's shape changes: the version feeds the cache salt,
+/// so old entries stop matching instead of misparsing.
+/// v2: structured-diagnostics core — findings carry rule IDs, severities,
+/// secondary spans, notes and fix-its; suppression notices and the
+/// suppressed-finding count ride along.
+inline constexpr uint64_t ReportSchemaVersion = 2;
+
+/// Total rule-catalog size (diag::numRules(), re-exported here so version
+/// consumers need only this header).
+uint64_t ruleCount();
+
+/// "rustsight 0.7.0 (report schema v2, N rules)" with the live rule count.
+std::string versionLine();
+
+} // namespace rs::version
+
+#endif // RUSTSIGHT_DIAG_VERSION_H

@@ -5,6 +5,7 @@
 #include "diag/Sarif.h"
 #include "diag/SourceManager.h"
 #include "diag/Suppress.h"
+#include "diag/Version.h"
 #include "mir/Parser.h"
 #include "mir/Verifier.h"
 #include "sched/ThreadPool.h"
@@ -269,12 +270,10 @@ FileReport AnalysisEngine::analyzeFile(const std::string &Path) {
 // Cache key derivation and report serialization
 //===----------------------------------------------------------------------===//
 
-/// Bump when serializeFileReport's schema changes: the version feeds the
+/// The FileReport serialization schema version, shared with --version and
+/// the serve daemon's serverInfo via diag/Version.h. It feeds the cache
 /// salt, so old entries stop matching instead of misparsing.
-/// v2: structured-diagnostics core — findings carry rule IDs, severities,
-/// secondary spans, notes and fix-its; suppression notices and the
-/// suppressed-finding count ride along.
-static constexpr uint64_t ReportSchemaVersion = 2;
+static constexpr uint64_t ReportSchemaVersion = version::ReportSchemaVersion;
 
 uint64_t rs::engine::fingerprintSource(std::string_view Source) {
   // Canonicalize CRLF -> LF without materializing a copy.
@@ -669,6 +668,22 @@ std::vector<std::string> AnalysisEngine::detectorNames() {
 FileReport AnalysisEngine::analyzeFileThroughCache(const std::string &Path) {
   ensureCache();
   return analyzeFileCached(Path, cacheSalt(Opts, detectorNames()));
+}
+
+FileReport AnalysisEngine::analyzeSourceThroughCache(std::string_view Source,
+                                                     const std::string &Path) {
+  ensureCache();
+  if (!Cache)
+    return analyzeSource(Source, Path);
+  uint64_t Key =
+      cacheKey(fingerprintSource(Source), cacheSalt(Opts, detectorNames()));
+  if (std::optional<std::string> Payload = Cache->lookup(Key))
+    if (std::optional<FileReport> R = deserializeFileReport(*Payload, Path))
+      return std::move(*R);
+  FileReport R = analyzeSource(Source, Path);
+  if (R.Status == EngineStatus::Ok)
+    Cache->store(Key, serializeFileReport(R));
+  return R;
 }
 
 FileReport AnalysisEngine::analyzeFileCached(const std::string &Path,

@@ -260,6 +260,16 @@ public:
   /// checkpoint and attribute failures file-by-file.
   FileReport analyzeFileThroughCache(const std::string &Path);
 
+  /// Analyzes one in-memory buffer through the result cache — the
+  /// re-entrant per-session entry point the serve daemon uses for editor
+  /// overlay documents. Keying is identical to the file path: content
+  /// fingerprint x option/detector salt, so an overlay whose text matches
+  /// the on-disk file (or a previously analyzed buffer state) is a cache
+  /// hit, and every keystroke that changes bytes is a miss. Only clean
+  /// (Ok) results are stored, like everywhere else.
+  FileReport analyzeSourceThroughCache(std::string_view Source,
+                                       const std::string &Path);
+
   /// Analyzes every path, never aborting the batch. Directories expand to
   /// their .mir files (recursively, in sorted order); a directory with no
   /// .mir files yields one Skipped entry. Files run as parallel tasks on a

@@ -1,0 +1,117 @@
+#include "serve/DocumentStore.h"
+
+#include "support/StringUtils.h"
+
+#include <fstream>
+#include <sstream>
+
+using namespace rs;
+using namespace rs::serve;
+
+static int hexDigit(char C) {
+  if (C >= '0' && C <= '9')
+    return C - '0';
+  if (C >= 'a' && C <= 'f')
+    return C - 'a' + 10;
+  if (C >= 'A' && C <= 'F')
+    return C - 'A' + 10;
+  return -1;
+}
+
+std::string rs::serve::uriToPath(std::string_view Uri) {
+  if (!startsWith(Uri, "file://"))
+    return std::string(Uri);
+  std::string_view Rest = Uri.substr(7);
+  // file://<authority>/<path>: the only authority we accept is empty or
+  // "localhost" — anything else is a remote URI we pass through untouched.
+  if (!Rest.empty() && Rest.front() != '/') {
+    size_t Slash = Rest.find('/');
+    std::string_view Authority =
+        Slash == std::string_view::npos ? Rest : Rest.substr(0, Slash);
+    if (Authority != "localhost")
+      return std::string(Uri);
+    Rest = Slash == std::string_view::npos ? std::string_view()
+                                           : Rest.substr(Slash);
+  }
+  std::string Path;
+  Path.reserve(Rest.size());
+  for (size_t I = 0; I < Rest.size(); ++I) {
+    if (Rest[I] == '%' && I + 2 < Rest.size()) {
+      int Hi = hexDigit(Rest[I + 1]), Lo = hexDigit(Rest[I + 2]);
+      if (Hi >= 0 && Lo >= 0) {
+        Path.push_back(char(Hi * 16 + Lo));
+        I += 2;
+        continue;
+      }
+    }
+    Path.push_back(Rest[I]);
+  }
+  return Path;
+}
+
+/// RFC 3986 unreserved characters plus '/' stay literal in the path
+/// component; everything else is percent-encoded.
+static bool uriSafe(char C) {
+  return isIdentCont(C) || C == '/' || C == '.' || C == '-' || C == '~';
+}
+
+std::string rs::serve::pathToUri(const std::string &Path) {
+  if (Path.empty() || Path.front() != '/')
+    return Path;
+  std::string Uri = "file://";
+  static const char *Hex = "0123456789ABCDEF";
+  for (char C : Path) {
+    if (uriSafe(C)) {
+      Uri.push_back(C);
+    } else {
+      unsigned char U = static_cast<unsigned char>(C);
+      Uri.push_back('%');
+      Uri.push_back(Hex[U >> 4]);
+      Uri.push_back(Hex[U & 15]);
+    }
+  }
+  return Uri;
+}
+
+void DocumentStore::open(const std::string &Path, int64_t Version,
+                         std::string Text) {
+  Document &D = Docs[Path];
+  D.Text = std::move(Text);
+  D.Version = Version;
+}
+
+bool DocumentStore::change(const std::string &Path, int64_t Version,
+                           std::string Text) {
+  auto It = Docs.find(Path);
+  if (It == Docs.end())
+    return false;
+  It->second.Text = std::move(Text);
+  It->second.Version = Version;
+  return true;
+}
+
+bool DocumentStore::close(const std::string &Path) {
+  return Docs.erase(Path) != 0;
+}
+
+bool DocumentStore::isOpen(const std::string &Path) const {
+  return Docs.count(Path) != 0;
+}
+
+int64_t DocumentStore::version(const std::string &Path) const {
+  auto It = Docs.find(Path);
+  return It == Docs.end() ? -1 : It->second.Version;
+}
+
+std::optional<std::string>
+DocumentStore::content(const std::string &Path) const {
+  auto It = Docs.find(Path);
+  if (It != Docs.end())
+    return It->second.Text;
+  std::ifstream In(Path, std::ios::binary);
+  if (!In)
+    return std::nullopt;
+  std::ostringstream Buf;
+  Buf << In.rdbuf();
+  return Buf.str();
+}

@@ -1,0 +1,78 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of RustSight, a reproduction of "Understanding Memory and Thread
+// Safety Practices and Issues in Real-World Rust Programs" (PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The overlay document store: didOpen/didChange/didClose virtual buffers
+/// layered over the on-disk corpus, version-stamped per the LSP text
+/// synchronization contract. Everything downstream (the analysis session,
+/// the snippet renderer) addresses documents by normalized filesystem path;
+/// the URI <-> path conversion lives here so "file:///a/b%20c.mir" and
+/// "/a/b c.mir" can never drift into two identities for one document.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RUSTSIGHT_SERVE_DOCUMENTSTORE_H
+#define RUSTSIGHT_SERVE_DOCUMENTSTORE_H
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace rs::serve {
+
+/// "file:///abs/path%20x" -> "/abs/path x". Non-file URIs (untitled:,
+/// custom schemes) pass through verbatim so they still work as in-memory
+/// document names. Percent-escapes are decoded; a lone or malformed escape
+/// is kept literally rather than rejected.
+std::string uriToPath(std::string_view Uri);
+
+/// "/abs/path x" -> "file:///abs/path%20x". Paths that are not absolute
+/// (or already look like URIs) pass through verbatim — the inverse keeps
+/// uriToPath(pathToUri(P)) == P for every path the daemon handles.
+std::string pathToUri(const std::string &Path);
+
+/// Version-stamped virtual buffers keyed by normalized path.
+class DocumentStore {
+public:
+  struct Document {
+    std::string Text;
+    int64_t Version = 0;
+  };
+
+  /// didOpen: installs (or replaces) the overlay for \p Path.
+  void open(const std::string &Path, int64_t Version, std::string Text);
+
+  /// didChange (full sync): replaces the overlay text. Returns false when
+  /// the document is not open — the caller surfaces that as a protocol
+  /// error instead of silently creating state.
+  bool change(const std::string &Path, int64_t Version, std::string Text);
+
+  /// didClose: drops the overlay; reads fall back to disk. Returns false
+  /// when the document was not open.
+  bool close(const std::string &Path);
+
+  bool isOpen(const std::string &Path) const;
+
+  /// The overlay version, or -1 when not open.
+  int64_t version(const std::string &Path) const;
+
+  /// The effective content of \p Path: the overlay when open, otherwise
+  /// the on-disk bytes; nullopt when neither exists.
+  std::optional<std::string> content(const std::string &Path) const;
+
+  /// All open overlays, path-sorted (the map order).
+  const std::map<std::string, Document> &overlays() const { return Docs; }
+
+private:
+  std::map<std::string, Document> Docs;
+};
+
+} // namespace rs::serve
+
+#endif // RUSTSIGHT_SERVE_DOCUMENTSTORE_H

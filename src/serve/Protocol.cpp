@@ -1,0 +1,122 @@
+#include "serve/Protocol.h"
+
+using namespace rs;
+using namespace rs::serve;
+
+std::string RpcId::toJson() const {
+  switch (K) {
+  case Kind::Int:
+    return std::to_string(Int);
+  case Kind::Str: {
+    JsonWriter W;
+    W.value(Str);
+    return W.str();
+  }
+  case Kind::None:
+  case Kind::Null:
+    return "null";
+  }
+  return "null";
+}
+
+/// Reads an id member into \p Out; false for types the spec forbids
+/// (objects, arrays, booleans, fractional numbers).
+static bool readId(const JsonValue &V, RpcId &Out) {
+  switch (V.kind()) {
+  case JsonValue::Kind::Int:
+    Out = RpcId::integer(V.asInt());
+    return true;
+  case JsonValue::Kind::String:
+    Out = RpcId::string(V.asString());
+    return true;
+  case JsonValue::Kind::Null:
+    Out = RpcId::null();
+    return true;
+  default:
+    return false;
+  }
+}
+
+std::optional<RpcMessage>
+rs::serve::parseRpcMessage(std::string_view Payload, RpcParseFailure &F) {
+  F = RpcParseFailure();
+  std::optional<JsonValue> Doc = JsonValue::parse(Payload);
+  if (!Doc) {
+    F.Code = ParseError;
+    F.Message = "payload is not valid JSON";
+    F.Id = RpcId::null();
+    return std::nullopt;
+  }
+  if (!Doc->isObject()) {
+    F.Code = InvalidRequest;
+    F.Message = "message must be a JSON object";
+    F.Id = RpcId::null();
+    return std::nullopt;
+  }
+
+  RpcMessage M;
+  if (const JsonValue *Id = Doc->get("id")) {
+    if (!readId(*Id, M.Id)) {
+      F.Code = InvalidRequest;
+      F.Message = "id must be an integer, string, or null";
+      F.Id = RpcId::null();
+      return std::nullopt;
+    }
+  }
+
+  if (Doc->getString("jsonrpc") != "2.0") {
+    F.Code = InvalidRequest;
+    F.Message = "missing or wrong jsonrpc version (want \"2.0\")";
+    F.Id = M.Id.present() ? M.Id : RpcId::null();
+    return std::nullopt;
+  }
+  const JsonValue *Method = Doc->get("method");
+  if (!Method || !Method->isString() || Method->asString().empty()) {
+    F.Code = InvalidRequest;
+    F.Message = "missing method";
+    F.Id = M.Id.present() ? M.Id : RpcId::null();
+    return std::nullopt;
+  }
+  M.Method = Method->asString();
+  if (const JsonValue *Params = Doc->get("params")) {
+    if (!Params->isObject() && !Params->isArray() && !Params->isNull()) {
+      F.Code = InvalidRequest;
+      F.Message = "params must be an object or array";
+      F.Id = M.Id.present() ? M.Id : RpcId::null();
+      return std::nullopt;
+    }
+    M.Params = *Params;
+  }
+  return M;
+}
+
+std::string rs::serve::makeResponse(const RpcId &Id,
+                                    std::string_view ResultJson) {
+  std::string Out = "{\"jsonrpc\":\"2.0\",\"id\":" + Id.toJson() +
+                    ",\"result\":";
+  Out.append(ResultJson);
+  Out += "}";
+  return Out;
+}
+
+std::string rs::serve::makeErrorResponse(const RpcId &Id, int Code,
+                                         std::string_view Message) {
+  JsonWriter W;
+  W.beginObject();
+  W.field("code", static_cast<int64_t>(Code));
+  W.field("message", Message);
+  W.endObject();
+  return "{\"jsonrpc\":\"2.0\",\"id\":" + Id.toJson() +
+         ",\"error\":" + W.str() + "}";
+}
+
+std::string rs::serve::makeNotification(std::string_view Method,
+                                        std::string_view ParamsJson) {
+  JsonWriter W;
+  W.value(Method);
+  std::string Out = "{\"jsonrpc\":\"2.0\",\"method\":" + W.str() +
+                    ",\"params\":";
+  Out.append(ParamsJson);
+  Out += "}";
+  return Out;
+}

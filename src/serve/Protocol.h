@@ -1,0 +1,113 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of RustSight, a reproduction of "Understanding Memory and Thread
+// Safety Practices and Issues in Real-World Rust Programs" (PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// JSON-RPC 2.0 message model over the in-tree JsonValue parser. Parsing is
+/// total: any byte sequence maps to either a well-formed RpcMessage or a
+/// structured RpcError the server turns into an error response — malformed
+/// JSON (including MaxParseDepth nesting bombs from a hostile client) and
+/// shape violations are protocol errors, never crashes. Ids round-trip
+/// integer, string, and null spellings exactly, as the spec requires.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RUSTSIGHT_SERVE_PROTOCOL_H
+#define RUSTSIGHT_SERVE_PROTOCOL_H
+
+#include "support/Json.h"
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace rs::serve {
+
+/// Standard JSON-RPC 2.0 error codes, plus the LSP extensions the server
+/// speaks.
+enum RpcErrorCode : int {
+  ParseError = -32700,
+  InvalidRequest = -32600,
+  MethodNotFound = -32601,
+  InvalidParams = -32602,
+  ServerNotInitialized = -32002, // LSP: request before initialize.
+  RequestCancelled = -32800,     // LSP: $/cancelRequest hit a queued request.
+};
+
+/// A request/notification id: integer, string, or absent (notification).
+/// JSON-RPC also allows null ids; those parse as Null and echo back as
+/// null (the spelling error responses to unparseable requests use).
+struct RpcId {
+  enum class Kind { None, Int, Str, Null };
+  Kind K = Kind::None;
+  int64_t Int = 0;
+  std::string Str;
+
+  static RpcId integer(int64_t V) {
+    RpcId Id;
+    Id.K = Kind::Int;
+    Id.Int = V;
+    return Id;
+  }
+  static RpcId string(std::string V) {
+    RpcId Id;
+    Id.K = Kind::Str;
+    Id.Str = std::move(V);
+    return Id;
+  }
+  static RpcId null() {
+    RpcId Id;
+    Id.K = Kind::Null;
+    return Id;
+  }
+
+  bool present() const { return K == Kind::Int || K == Kind::Str; }
+
+  /// The id as a JSON fragment ("7", "\"seq-7\"", "null").
+  std::string toJson() const;
+
+  friend bool operator==(const RpcId &A, const RpcId &B) {
+    return A.K == B.K && A.Int == B.Int && A.Str == B.Str;
+  }
+};
+
+/// One parsed inbound message. Requests carry a present Id; notifications
+/// carry none.
+struct RpcMessage {
+  RpcId Id;
+  std::string Method;
+  JsonValue Params; ///< Null when absent.
+
+  bool isRequest() const { return Id.present(); }
+};
+
+/// Why a payload failed to parse as a JSON-RPC message.
+struct RpcParseFailure {
+  int Code = ParseError;
+  std::string Message;
+  RpcId Id; ///< Echoed when the broken request still had a readable id.
+};
+
+/// Parses one JSON-RPC 2.0 payload. On failure returns nullopt and fills
+/// \p Failure with the error-response ingredients.
+std::optional<RpcMessage> parseRpcMessage(std::string_view Payload,
+                                          RpcParseFailure &Failure);
+
+/// {"jsonrpc":"2.0","id":<id>,"result":<ResultJson>} — \p ResultJson must
+/// be a complete JSON fragment ("null", an object, ...).
+std::string makeResponse(const RpcId &Id, std::string_view ResultJson);
+
+/// {"jsonrpc":"2.0","id":<id>,"error":{"code":...,"message":...}}.
+std::string makeErrorResponse(const RpcId &Id, int Code,
+                              std::string_view Message);
+
+/// {"jsonrpc":"2.0","method":...,"params":<ParamsJson>}.
+std::string makeNotification(std::string_view Method,
+                             std::string_view ParamsJson);
+
+} // namespace rs::serve
+
+#endif // RUSTSIGHT_SERVE_PROTOCOL_H

@@ -1,0 +1,535 @@
+#include "serve/Server.h"
+
+#include "diag/Lsp.h"
+#include "diag/Version.h"
+#include "serve/Transport.h"
+#include "support/Json.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <limits>
+#include <utility>
+
+#include <poll.h>
+#include <unistd.h>
+
+using namespace rs;
+using namespace rs::serve;
+
+Server::Server(ServerOptions O) : Opts(std::move(O)), Sess(Opts.Session) {}
+
+void Server::handleMessage(std::string_view Payload) {
+  RpcParseFailure F;
+  std::optional<RpcMessage> M = parseRpcMessage(Payload, F);
+  if (!M) {
+    send(makeErrorResponse(F.Id, F.Code, F.Message));
+    return;
+  }
+  dispatch(*M);
+}
+
+void Server::handleFramingError(const std::string &Reason) {
+  send(makeErrorResponse(RpcId::null(), ParseError, Reason));
+}
+
+void Server::dispatch(const RpcMessage &M) {
+  const std::string &Method = M.Method;
+
+  // exit is honored in every state — it is how clients kill a wedged server.
+  if (Method == "exit") {
+    ExitSeen = true;
+    return;
+  }
+
+  if (!Initialized) {
+    if (Method == "initialize" && M.isRequest()) {
+      handleInitialize(M);
+      return;
+    }
+    if (M.isRequest()) {
+      send(makeErrorResponse(M.Id, ServerNotInitialized,
+                             "server not initialized"));
+      return;
+    }
+    return; // LSP: notifications before initialize are dropped.
+  }
+
+  if (ShutdownSeen) {
+    // LSP: between shutdown and exit only exit is meaningful.
+    if (M.isRequest())
+      send(makeErrorResponse(M.Id, InvalidRequest, "request after shutdown"));
+    return;
+  }
+
+  if (Method == "initialize") {
+    send(makeErrorResponse(M.Id, InvalidRequest, "server already initialized"));
+    return;
+  }
+  if (Method == "initialized") {
+    for (const std::string &P : Sess.analyzeAll())
+      publishDiagnostics(P);
+    return;
+  }
+  if (Method == "shutdown") {
+    ShutdownSeen = true;
+    if (M.isRequest())
+      send(makeResponse(M.Id, "null"));
+    return;
+  }
+  if (Method == "textDocument/didOpen") {
+    handleDidOpen(M.Params);
+    return;
+  }
+  if (Method == "textDocument/didChange") {
+    handleDidChange(M.Params);
+    return;
+  }
+  if (Method == "textDocument/didClose") {
+    handleDidClose(M.Params);
+    return;
+  }
+  if (Method == "textDocument/codeAction") {
+    if (!M.isRequest())
+      return;
+    handleCodeAction(M.Id, M.Params);
+    return;
+  }
+  if (Method == "$/cancelRequest") {
+    handleCancel(M.Params);
+    return;
+  }
+
+  if (M.isRequest()) {
+    send(makeErrorResponse(M.Id, MethodNotFound, "unknown method: " + Method));
+    return;
+  }
+  // Unknown notifications — including optional "$/..." ones — are ignored.
+}
+
+void Server::handleInitialize(const RpcMessage &M) {
+  // With no roots from the command line, adopt the client's workspace root.
+  bool HaveRoots = !Opts.Session.Roots.empty();
+  if (!HaveRoots && M.Params.isObject()) {
+    std::string_view RootUri = M.Params.getString("rootUri");
+    if (!RootUri.empty()) {
+      Sess.addRoot(uriToPath(RootUri));
+    } else {
+      std::string_view RootPath = M.Params.getString("rootPath");
+      if (!RootPath.empty())
+        Sess.addRoot(std::string(RootPath));
+    }
+  }
+
+  JsonWriter W;
+  W.beginObject();
+  W.key("capabilities");
+  W.beginObject();
+  W.field("textDocumentSync", static_cast<int64_t>(1)); // full-document sync
+  W.field("codeActionProvider", true);
+  W.endObject();
+  W.key("serverInfo");
+  W.beginObject();
+  W.field("name", version::ToolName);
+  W.field("version", version::ToolVersion);
+  W.field("schemaVersion", static_cast<int64_t>(version::ReportSchemaVersion));
+  W.field("ruleCount", static_cast<int64_t>(version::ruleCount()));
+  W.endObject();
+  W.endObject();
+  send(makeResponse(M.Id, W.str()));
+  Initialized = true;
+}
+
+void Server::handleDidOpen(const JsonValue &Params) {
+  const JsonValue *TD = Params.get("textDocument");
+  const JsonValue *Text = TD ? TD->get("text") : nullptr;
+  std::string Uri = TD ? std::string(TD->getString("uri")) : std::string();
+  if (Uri.empty() || !Text || !Text->isString()) {
+    logError("didOpen: malformed params (need textDocument.uri and .text)");
+    return;
+  }
+  std::string Path = uriToPath(Uri);
+  Sess.documents().open(Path, TD->getInt("version", 0), Text->asString());
+  Sess.sources().addBuffer(Path, Text->asString());
+  Sess.markDirty(Path);
+}
+
+void Server::handleDidChange(const JsonValue &Params) {
+  const JsonValue *TD = Params.get("textDocument");
+  const JsonValue *Changes = Params.get("contentChanges");
+  std::string Uri = TD ? std::string(TD->getString("uri")) : std::string();
+  if (Uri.empty() || !Changes || !Changes->isArray() ||
+      Changes->elements().empty()) {
+    logError("didChange: malformed params (need textDocument.uri and "
+             "non-empty contentChanges)");
+    return;
+  }
+  // Full sync (textDocumentSync = 1): the last change carries the whole
+  // document; earlier elements are superseded.
+  const JsonValue &Last = Changes->elements().back();
+  const JsonValue *Text = Last.isObject() ? Last.get("text") : nullptr;
+  if (!Text || !Text->isString()) {
+    logError("didChange: contentChanges element has no full text");
+    return;
+  }
+  std::string Path = uriToPath(Uri);
+  if (!Sess.documents().change(Path, TD->getInt("version", 0),
+                               Text->asString())) {
+    logError("didChange for a document that is not open: " + Path);
+    return;
+  }
+  Sess.sources().addBuffer(Path, Text->asString());
+  Sess.markDirty(Path);
+}
+
+void Server::handleDidClose(const JsonValue &Params) {
+  const JsonValue *TD = Params.get("textDocument");
+  std::string Uri = TD ? std::string(TD->getString("uri")) : std::string();
+  if (Uri.empty()) {
+    logError("didClose: malformed params (need textDocument.uri)");
+    return;
+  }
+  std::string Path = uriToPath(Uri);
+  Sess.documents().close(Path);
+  Sess.sources().removeBuffer(Path);
+  if (Sess.forget(Path)) {
+    // A scratch buffer left the session entirely: clear its client-side
+    // diagnostics so nothing stale lingers in the editor.
+    JsonWriter W;
+    W.beginObject();
+    W.field("uri", pathToUri(Path));
+    W.key("diagnostics");
+    W.beginArray();
+    W.endArray();
+    W.endObject();
+    send(makeNotification("textDocument/publishDiagnostics", W.str()));
+    return;
+  }
+  // A corpus file reverts to its on-disk content.
+  Sess.markDirty(Path);
+}
+
+/// Emits one quickfix code action per fix-it whose primary line falls in
+/// the requested window. Fix-its are line-granular (diag::FixIt replaces
+/// the whole source line), which maps exactly onto a one-line TextEdit.
+static void writeCodeActions(JsonWriter &W, const std::string &Path,
+                             const engine::FileReport &R, int64_t StartLine,
+                             int64_t EndLine) {
+  std::string Uri = pathToUri(Path);
+  auto EmitFixes = [&](const diag::Diagnostic &D) {
+    for (const diag::FixIt &F : D.Fixes) {
+      if (!F.Loc.isValid())
+        continue;
+      int64_t Line = static_cast<int64_t>(F.Loc.line()) - 1; // 0-based
+      if (Line < StartLine || Line > EndLine)
+        continue;
+      W.beginObject();
+      W.field("title", F.Description);
+      W.field("kind", "quickfix");
+      W.key("edit");
+      W.beginObject();
+      W.key("changes");
+      W.beginObject();
+      W.key(Uri);
+      W.beginArray();
+      W.beginObject();
+      W.key("range");
+      W.beginObject();
+      W.key("start");
+      W.beginObject();
+      W.field("line", Line);
+      W.field("character", static_cast<int64_t>(0));
+      W.endObject();
+      W.key("end");
+      W.beginObject();
+      W.field("line", Line + 1);
+      W.field("character", static_cast<int64_t>(0));
+      W.endObject();
+      W.endObject();
+      W.field("newText", F.Replacement + "\n");
+      W.endObject();
+      W.endArray();
+      W.endObject();
+      W.endObject();
+      W.endObject();
+    }
+  };
+  for (const diag::Diagnostic &D : R.Notices)
+    EmitFixes(D);
+  for (const diag::Diagnostic &D : R.Findings)
+    EmitFixes(D);
+}
+
+void Server::handleCodeAction(const RpcId &Id, const JsonValue &Params) {
+  // Code actions must see post-edit analysis state. While edits are
+  // pending (or earlier requests are already queued behind them), defer;
+  // flushPending() answers in arrival order after the re-analysis.
+  if (Sess.anyDirty() || !DeferredRequests.empty()) {
+    Deferred D;
+    D.Id = Id;
+    D.Method = "textDocument/codeAction";
+    D.Params = Params;
+    DeferredRequests.push_back(std::move(D));
+    return;
+  }
+
+  const JsonValue *TD = Params.get("textDocument");
+  const JsonValue *Range = Params.get("range");
+  std::string Uri = TD ? std::string(TD->getString("uri")) : std::string();
+  if (Uri.empty() || !Range || !Range->isObject()) {
+    send(makeErrorResponse(Id, InvalidParams,
+                           "codeAction: need textDocument.uri and range"));
+    return;
+  }
+  std::string Path = uriToPath(Uri);
+  int64_t StartLine = 0;
+  int64_t EndLine = std::numeric_limits<int64_t>::max();
+  if (const JsonValue *S = Range->get("start"))
+    StartLine = S->getInt("line", 0);
+  if (const JsonValue *E = Range->get("end"))
+    EndLine = E->getInt("line", EndLine);
+
+  JsonWriter W;
+  W.beginArray();
+  if (const engine::FileReport *R = Sess.report(Path))
+    writeCodeActions(W, Path, *R, StartLine, EndLine);
+  W.endArray();
+  send(makeResponse(Id, W.str()));
+}
+
+void Server::handleCancel(const JsonValue &Params) {
+  const JsonValue *IdV = Params.get("id");
+  if (!IdV)
+    return;
+  RpcId Target;
+  if (IdV->isInt())
+    Target = RpcId::integer(IdV->asInt());
+  else if (IdV->isString())
+    Target = RpcId::string(IdV->asString());
+  else
+    return;
+  for (auto It = DeferredRequests.begin(); It != DeferredRequests.end(); ++It)
+    if (It->Id == Target) {
+      send(makeErrorResponse(Target, RequestCancelled, "request cancelled"));
+      DeferredRequests.erase(It);
+      return;
+    }
+  // Not queued: the request already completed (or never existed). LSP says
+  // cancellation of finished work is ignored.
+}
+
+void Server::publishDiagnostics(const std::string &Path) {
+  const engine::FileReport *R = Sess.report(Path);
+  if (!R)
+    return;
+
+  JsonWriter W;
+  W.beginObject();
+  W.field("uri", pathToUri(Path));
+  if (Sess.documents().isOpen(Path)) {
+    W.key("version");
+    W.value(Sess.documents().version(Path));
+  }
+  W.key("diagnostics");
+  W.beginArray();
+  const diag::SourceManager *SM = &Sess.sources();
+  auto Emit = [&](const diag::Diagnostic &D) {
+    W.beginObject();
+    W.key("range");
+    diag::writeLspRange(W, D.Loc, SM);
+    W.key("severity");
+    W.value(static_cast<int64_t>(diag::lspSeverity(D.Sev)));
+    W.field("code", diag::ruleStringId(D.Kind));
+    W.field("source", "rustsight");
+    W.field("message", D.Message);
+    if (!D.Secondary.empty()) {
+      W.key("relatedInformation");
+      W.beginArray();
+      for (const diag::Span &S : D.Secondary) {
+        W.beginObject();
+        W.key("location");
+        W.beginObject();
+        const std::string &File = S.Loc.file();
+        W.field("uri", pathToUri(File.empty() ? Path : File));
+        W.key("range");
+        diag::writeLspRange(W, S.Loc, SM);
+        W.endObject();
+        W.field("message",
+                S.Function.empty() ? S.Label
+                                   : S.Label + " (in " + S.Function + ")");
+        W.endObject();
+      }
+      W.endArray();
+    }
+    // Extension payload: the stable fingerprint (for client-side dedup /
+    // baselining) and the machine-applicable fixes that back codeAction.
+    W.key("data");
+    W.beginObject();
+    W.field("fingerprint", D.fingerprintHex());
+    if (!D.Fixes.empty()) {
+      W.key("fixes");
+      W.beginArray();
+      for (const diag::FixIt &F : D.Fixes) {
+        W.beginObject();
+        W.field("description", F.Description);
+        W.field("line", static_cast<int64_t>(F.Loc.line()));
+        W.field("replacement", F.Replacement);
+        W.endObject();
+      }
+      W.endArray();
+    }
+    W.endObject();
+    W.endObject();
+  };
+  for (const diag::Diagnostic &D : R->ParseErrors)
+    Emit(D);
+  for (const diag::Diagnostic &D : R->VerifierErrors)
+    Emit(D);
+  for (const diag::Diagnostic &D : R->Notices)
+    Emit(D);
+  for (const diag::Diagnostic &D : R->Findings)
+    Emit(D);
+  for (const diag::Diagnostic &D : R->statusDiagnostics())
+    Emit(D);
+  W.endArray();
+  W.endObject();
+  send(makeNotification("textDocument/publishDiagnostics", W.str()));
+}
+
+void Server::logError(const std::string &Message) {
+  JsonWriter W;
+  W.beginObject();
+  W.field("type", static_cast<int64_t>(1)); // MessageType.Error
+  W.field("message", Message);
+  W.endObject();
+  send(makeNotification("window/logMessage", W.str()));
+}
+
+bool Server::flushPending() {
+  bool Did = false;
+  if (Sess.anyDirty()) {
+    for (const std::string &P : Sess.refresh())
+      publishDiagnostics(P);
+    Did = true;
+  }
+  while (!DeferredRequests.empty()) {
+    Deferred D = std::move(DeferredRequests.front());
+    DeferredRequests.pop_front();
+    // Only codeAction defers today; re-dispatching through the public
+    // handler keeps a single code path (the dirty set is clear now, so it
+    // answers immediately).
+    handleCodeAction(D.Id, D.Params);
+    Did = true;
+  }
+  return Did;
+}
+
+bool Server::hasPendingWork() const {
+  return Sess.anyDirty() || !DeferredRequests.empty();
+}
+
+std::vector<std::string> Server::takeOutgoing() {
+  std::vector<std::string> Out;
+  Out.swap(Outgoing);
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// The stdio event loop.
+//===----------------------------------------------------------------------===//
+
+int rs::serve::serveStdio(const ServerOptions &Opts) {
+  Server S(Opts);
+  FrameReader Reader;
+  using Clock = std::chrono::steady_clock;
+
+  auto WriteOut = [&S] {
+    std::vector<std::string> Out = S.takeOutgoing();
+    if (Out.empty())
+      return;
+    for (const std::string &Payload : Out) {
+      std::string Frame = frameMessage(Payload);
+      std::fwrite(Frame.data(), 1, Frame.size(), stdout);
+    }
+    std::fflush(stdout);
+  };
+
+  Clock::time_point LastTraffic = Clock::now();
+  while (!S.exitRequested()) {
+    // Drain every frame the reader already holds before touching the fd.
+    for (;;) {
+      std::string Payload, Error;
+      FrameReader::Status St = Reader.next(Payload, Error);
+      if (St == FrameReader::Status::NeedMore)
+        break;
+      if (St == FrameReader::Status::Frame)
+        S.handleMessage(Payload);
+      else
+        S.handleFramingError(Error);
+      if (S.exitRequested())
+        break;
+    }
+    WriteOut();
+    if (S.exitRequested())
+      break;
+
+    // Debounce: while edits (or deferred requests) are pending, wake after
+    // DebounceMs of quiet and flush. Otherwise sleep until the idle
+    // timeout — or forever when none is configured.
+    int TimeoutMs = -1;
+    if (S.hasPendingWork()) {
+      TimeoutMs = static_cast<int>(Opts.DebounceMs);
+    } else if (Opts.IdleTimeoutMs) {
+      uint64_t ElapsedMs = static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::milliseconds>(Clock::now() -
+                                                                LastTraffic)
+              .count());
+      if (ElapsedMs >= Opts.IdleTimeoutMs) {
+        std::fprintf(stderr,
+                     "rustsight serve: no client traffic for %llu ms, "
+                     "exiting\n",
+                     static_cast<unsigned long long>(ElapsedMs));
+        return 0;
+      }
+      TimeoutMs = static_cast<int>(Opts.IdleTimeoutMs - ElapsedMs);
+    }
+
+    struct pollfd P;
+    P.fd = STDIN_FILENO;
+    P.events = POLLIN;
+    P.revents = 0;
+    int Rc = ::poll(&P, 1, TimeoutMs);
+    if (Rc < 0) {
+      if (errno == EINTR)
+        continue;
+      return 1;
+    }
+    if (Rc == 0) {
+      // Quiet period elapsed. Pending work flushes; pure idleness loops
+      // back to the timeout check above.
+      if (S.hasPendingWork()) {
+        S.flushPending();
+        WriteOut();
+      }
+      continue;
+    }
+
+    char Buf[16384];
+    ssize_t N = ::read(STDIN_FILENO, Buf, sizeof(Buf));
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      return 1;
+    }
+    if (N == 0)
+      break; // EOF: the client is gone.
+    Reader.feed(std::string_view(Buf, static_cast<size_t>(N)));
+    LastTraffic = Clock::now();
+  }
+
+  WriteOut();
+  // LSP exit contract: 0 only when shutdown preceded the end of the
+  // session (via exit or EOF); an abrupt disconnect is abnormal.
+  return S.shutdownRequested() ? 0 : 1;
+}

@@ -1,0 +1,146 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of RustSight, a reproduction of "Understanding Memory and Thread
+// Safety Practices and Issues in Real-World Rust Programs" (PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The resident analysis state behind one serve connection: a warm
+/// AnalysisEngine (its content-addressed ResultCache persists across every
+/// request, which is what makes re-analysis incremental), the overlay
+/// DocumentStore, an overlay-aware SourceManager for snippet/token
+/// rendering, the last FileReport per corpus file, and a cross-file
+/// dependency index.
+///
+/// Invalidation model: an edit marks its file dirty. refresh() re-analyzes
+/// the dirty files (their content fingerprint changed, so the cache misses
+/// and the engine truly re-runs) plus their reverse-dependency slice — the
+/// files whose call-graph external references touch any function the dirty
+/// files define (before or after the edit). Dependents' bytes are
+/// unchanged, so they revalidate as pure cache hits; everything outside the
+/// slice is not touched at all. Per-file epoch/analysis/revalidation
+/// counters make exactly that claim testable.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RUSTSIGHT_SERVE_SESSION_H
+#define RUSTSIGHT_SERVE_SESSION_H
+
+#include "diag/SourceManager.h"
+#include "engine/Engine.h"
+#include "serve/DocumentStore.h"
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace rs::serve {
+
+struct SessionOptions {
+  engine::EngineOptions Engine;
+  /// Corpus roots (files or directories) analyzed at session start and
+  /// kept resident. Overlay documents outside the roots join the session
+  /// while open and leave it on didClose.
+  std::vector<std::string> Roots;
+};
+
+class Session {
+public:
+  explicit Session(SessionOptions O);
+
+  DocumentStore &documents() { return Docs; }
+
+  /// The overlay-aware SourceManager: open documents are registered as
+  /// virtual buffers so snippet and token-extent rendering never touch
+  /// disk for edited state.
+  diag::SourceManager &sources() { return SM; }
+
+  engine::AnalysisEngine &engine() { return Engine; }
+
+  /// Adds a corpus root after construction — the client's rootUri from
+  /// `initialize` when no roots came from the command line.
+  void addRoot(std::string Root) { Opts.Roots.push_back(std::move(Root)); }
+
+  /// Expands the corpus roots and analyzes every file (warm cache hits
+  /// permitting). Returns the ordered list of paths now resident.
+  std::vector<std::string> analyzeAll();
+
+  /// Marks \p Path changed; refresh() will pick it (and its dependents) up.
+  void markDirty(const std::string &Path);
+  bool anyDirty() const { return !Dirty.empty(); }
+
+  /// Re-analyzes the dirty set plus its dependency slice; clears the dirty
+  /// set. Returns the affected paths in deterministic (sorted) order.
+  std::vector<std::string> refresh();
+
+  /// Drops a non-corpus overlay document from the session (didClose of a
+  /// scratch buffer). Corpus files are never forgotten — they fall back to
+  /// their on-disk content instead. Returns true when the path was
+  /// resident and outside the corpus roots.
+  bool forget(const std::string &Path);
+
+  /// The most recent report for \p Path, or nullptr.
+  const engine::FileReport *report(const std::string &Path) const;
+
+  /// Files whose external references name a function \p Path defines —
+  /// the dependency slice refresh() re-validates. Sorted; excludes \p Path.
+  std::vector<std::string> dependentsOf(const std::string &Path) const;
+
+  /// Per-file incrementality counters. Epoch bumps on every refresh that
+  /// touched the file; Analyses counts true engine runs (cache misses);
+  /// Revalidations counts cache-hit refreshes.
+  struct FileStats {
+    uint64_t Epoch = 0;
+    uint64_t Analyses = 0;
+    uint64_t Revalidations = 0;
+  };
+  FileStats fileStats(const std::string &Path) const;
+
+  /// Total true engine runs across the session.
+  uint64_t totalAnalyses() const { return TotalAnalyses; }
+
+  /// All resident paths, sorted.
+  std::vector<std::string> paths() const;
+
+  /// The session's current state as a CorpusReport (files in sorted path
+  /// order, findings finalized). For any buffer state this renders
+  /// byte-identically to a cold `rustsight check --json` over the same
+  /// bytes — the acceptance contract the ServeTest pins.
+  engine::CorpusReport snapshot() const;
+
+private:
+  struct FileState {
+    engine::FileReport Report;
+    /// Function names this file defines (sorted, deduplicated).
+    std::vector<std::string> Defines;
+    /// Callee/spawn-target names referenced but not defined here (sorted).
+    std::vector<std::string> ExternalRefs;
+    uint64_t Epoch = 0;
+    uint64_t Analyses = 0;
+    uint64_t Revalidations = 0;
+    bool InCorpus = false;
+  };
+
+  /// Runs one file through the warm engine and refreshes its state and
+  /// dependency-index rows. \p Content empty-optional means unreadable.
+  void analyzeOne(const std::string &Path);
+
+  /// Recomputes Defines/ExternalRefs for \p Path from \p Content.
+  void indexContent(FileState &St, const std::string &Path,
+                    const std::string &Content);
+
+  SessionOptions Opts;
+  engine::AnalysisEngine Engine;
+  DocumentStore Docs;
+  diag::SourceManager SM;
+  std::map<std::string, FileState> Files;
+  std::set<std::string> Dirty;
+  uint64_t TotalAnalyses = 0;
+};
+
+} // namespace rs::serve
+
+#endif // RUSTSIGHT_SERVE_SESSION_H

@@ -1,0 +1,107 @@
+#include "serve/Transport.h"
+
+#include "support/StringUtils.h"
+
+using namespace rs;
+using namespace rs::serve;
+
+std::string rs::serve::frameMessage(std::string_view Payload) {
+  std::string Out = "Content-Length: " + std::to_string(Payload.size()) +
+                    "\r\n\r\n";
+  Out.append(Payload);
+  return Out;
+}
+
+/// Case-insensitive ASCII prefix match (header names are case-insensitive
+/// per RFC 7230, which the LSP base protocol borrows).
+static bool headerIs(std::string_view Line, std::string_view Name) {
+  if (Line.size() < Name.size())
+    return false;
+  for (size_t I = 0; I != Name.size(); ++I) {
+    char A = Line[I], B = Name[I];
+    if (A >= 'A' && A <= 'Z')
+      A = char(A - 'A' + 'a');
+    if (B >= 'A' && B <= 'Z')
+      B = char(B - 'A' + 'a');
+    if (A != B)
+      return false;
+  }
+  return true;
+}
+
+FrameReader::Status FrameReader::next(std::string &Payload,
+                                      std::string &Error) {
+  Error.clear();
+  size_t HeaderEnd = Buf.find("\r\n\r\n");
+  if (HeaderEnd == std::string::npos) {
+    if (Buf.size() > Lim.MaxHeaderBytes) {
+      // No terminator within the allowance: drop the garbage so one lost
+      // client cannot make the reader buffer forever.
+      Buf.clear();
+      Error = "header block exceeds " + std::to_string(Lim.MaxHeaderBytes) +
+              " bytes without CRLFCRLF terminator";
+      return Status::Error;
+    }
+    return Status::NeedMore;
+  }
+
+  // Parse the header block for Content-Length; every other header
+  // (Content-Type, ...) is ignored.
+  bool HaveLength = false;
+  size_t Length = 0;
+  bool Bad = false;
+  std::string BadReason;
+  for (std::string_view Line : split(std::string_view(Buf).substr(0, HeaderEnd),
+                                     '\n')) {
+    if (!Line.empty() && Line.back() == '\r')
+      Line.remove_suffix(1);
+    if (Line.empty())
+      continue;
+    if (!headerIs(Line, "content-length:"))
+      continue;
+    std::string_view Value = trim(Line.substr(std::string_view("content-length:").size()));
+    if (Value.empty()) {
+      Bad = true;
+      BadReason = "empty Content-Length value";
+      break;
+    }
+    size_t N = 0;
+    for (char C : Value) {
+      if (!isDigit(C)) {
+        Bad = true;
+        BadReason = "non-numeric Content-Length value";
+        break;
+      }
+      if (N > (Lim.MaxContentLength - (C - '0')) / 10) {
+        Bad = true;
+        BadReason = "Content-Length exceeds the " +
+                    std::to_string(Lim.MaxContentLength) + "-byte limit";
+        break;
+      }
+      N = N * 10 + size_t(C - '0');
+    }
+    if (Bad)
+      break;
+    HaveLength = true;
+    Length = N;
+  }
+  if (!Bad && !HaveLength) {
+    Bad = true;
+    BadReason = "missing Content-Length header";
+  }
+  if (Bad) {
+    // Resynchronize past the bad header block; its "payload" start is the
+    // best next-header guess we have.
+    Buf.erase(0, HeaderEnd + 4);
+    Error = BadReason;
+    return Status::Error;
+  }
+
+  size_t BodyStart = HeaderEnd + 4;
+  if (Buf.size() - BodyStart < Length)
+    return Status::NeedMore; // Truncated payload: wait for the rest.
+
+  Payload.assign(Buf, BodyStart, Length);
+  Buf.erase(0, BodyStart + Length);
+  return Status::Frame;
+}

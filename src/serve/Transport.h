@@ -1,0 +1,83 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of RustSight, a reproduction of "Understanding Memory and Thread
+// Safety Practices and Issues in Real-World Rust Programs" (PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// LSP base-protocol framing: every message on the wire is
+///
+///   Content-Length: <bytes>\r\n
+///   [other headers, ignored]\r\n
+///   \r\n
+///   <payload of exactly that many bytes>
+///
+/// The FrameReader is a pure incremental state machine over fed byte
+/// chunks, so the same code path serves the stdio event loop and the tests
+/// that slice frames at every hostile boundary: byte-at-a-time splits,
+/// several frames coalesced into one chunk, oversized headers, absent or
+/// unparseable Content-Length, and payloads that never finish arriving.
+/// A malformed header degrades to one RecoverableError (the server answers
+/// with a JSON-RPC error) and the reader resynchronizes at the next header
+/// terminator — framing damage never crashes or wedges the daemon.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RUSTSIGHT_SERVE_TRANSPORT_H
+#define RUSTSIGHT_SERVE_TRANSPORT_H
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+namespace rs::serve {
+
+/// Wraps \p Payload in a Content-Length frame.
+std::string frameMessage(std::string_view Payload);
+
+/// Incremental frame extractor. Feed arbitrary byte chunks; pull complete
+/// payloads.
+class FrameReader {
+public:
+  struct Limits {
+    /// A header block (everything before "\r\n\r\n") larger than this is a
+    /// framing error — a client that lost sync, not a real message.
+    size_t MaxHeaderBytes = 16 * 1024;
+    /// Upper bound on one message body; larger declarations are errors so
+    /// a corrupt length can never make the daemon buffer without bound.
+    size_t MaxContentLength = 64u * 1024 * 1024;
+  };
+
+  enum class Status {
+    NeedMore, ///< No complete frame buffered; feed more bytes.
+    Frame,    ///< One payload extracted.
+    Error,    ///< Malformed framing; the error text says why. The reader
+              ///< has already resynchronized — keep feeding and pulling.
+  };
+
+  FrameReader() = default;
+  explicit FrameReader(Limits L) : Lim(L) {}
+
+  /// Appends raw bytes from the wire.
+  void feed(std::string_view Bytes) { Buf.append(Bytes); }
+
+  /// Extracts the next complete frame payload into \p Payload, or reports
+  /// why it cannot. Call in a loop until NeedMore: one chunk may carry any
+  /// number of frames.
+  Status next(std::string &Payload, std::string &Error);
+
+  /// True when no partial frame is pending (a clean point to shut down).
+  bool idle() const { return Buf.empty(); }
+
+  /// Bytes currently buffered (tests size split/coalesce behavior with it).
+  size_t buffered() const { return Buf.size(); }
+
+private:
+  Limits Lim;
+  std::string Buf;
+};
+
+} // namespace rs::serve
+
+#endif // RUSTSIGHT_SERVE_TRANSPORT_H

@@ -1,0 +1,89 @@
+//===----------------------------------------------------------------------===//
+//
+// URI <-> path normalization and the overlay document store. The daemon
+// keys every document by filesystem path; these tests pin the invariant
+// that a URI spelling and a path spelling can never produce two identities
+// for one document, and that overlay reads shadow (and fall back to) disk
+// exactly per the LSP text-synchronization contract.
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/DocumentStore.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+namespace fs = std::filesystem;
+using namespace rs::serve;
+
+TEST(DocumentUri, DecodesFileUrisIncludingEscapes) {
+  EXPECT_EQ(uriToPath("file:///a/b.mir"), "/a/b.mir");
+  EXPECT_EQ(uriToPath("file:///a/b%20c.mir"), "/a/b c.mir");
+  EXPECT_EQ(uriToPath("file:///a/%5Bx%5D.mir"), "/a/[x].mir");
+  EXPECT_EQ(uriToPath("file://localhost/a/b.mir"), "/a/b.mir");
+}
+
+TEST(DocumentUri, NonFileSchemesAndRemoteAuthoritiesPassThrough) {
+  EXPECT_EQ(uriToPath("untitled:Untitled-1"), "untitled:Untitled-1");
+  EXPECT_EQ(uriToPath("file://example.com/a.mir"), "file://example.com/a.mir");
+}
+
+TEST(DocumentUri, MalformedEscapesStayLiteral) {
+  EXPECT_EQ(uriToPath("file:///a/b%2"), "/a/b%2");
+  EXPECT_EQ(uriToPath("file:///a/b%zz.mir"), "/a/b%zz.mir");
+}
+
+TEST(DocumentUri, EncodesAbsolutePathsAndRoundTrips) {
+  EXPECT_EQ(pathToUri("/a/b.mir"), "file:///a/b.mir");
+  EXPECT_EQ(pathToUri("/a/b c.mir"), "file:///a/b%20c.mir");
+  // Relative paths and pseudo-URIs pass through (they name in-memory docs).
+  EXPECT_EQ(pathToUri("untitled:Untitled-1"), "untitled:Untitled-1");
+
+  for (const char *P : {"/a/b.mir", "/a/b c.mir", "/tmp/x[1]%.mir",
+                        "/весь/путь.mir"})
+    EXPECT_EQ(uriToPath(pathToUri(P)), P) << "round trip broke for " << P;
+}
+
+TEST(DocumentStore, OverlayShadowsDiskAndFallsBackOnClose) {
+  fs::path Dir = fs::path(testing::TempDir()) / "docstore_overlay";
+  fs::remove_all(Dir);
+  fs::create_directories(Dir);
+  std::string File = (Dir / "doc.mir").string();
+  std::ofstream(File) << "on disk\n";
+
+  DocumentStore Docs;
+  ASSERT_TRUE(Docs.content(File).has_value());
+  EXPECT_EQ(*Docs.content(File), "on disk\n");
+  EXPECT_FALSE(Docs.isOpen(File));
+  EXPECT_EQ(Docs.version(File), -1);
+
+  Docs.open(File, 1, "overlay v1\n");
+  EXPECT_TRUE(Docs.isOpen(File));
+  EXPECT_EQ(Docs.version(File), 1);
+  EXPECT_EQ(*Docs.content(File), "overlay v1\n");
+
+  EXPECT_TRUE(Docs.change(File, 2, "overlay v2\n"));
+  EXPECT_EQ(Docs.version(File), 2);
+  EXPECT_EQ(*Docs.content(File), "overlay v2\n");
+
+  EXPECT_TRUE(Docs.close(File));
+  EXPECT_FALSE(Docs.isOpen(File));
+  EXPECT_EQ(*Docs.content(File), "on disk\n") << "close falls back to disk";
+}
+
+TEST(DocumentStore, ChangeAndCloseRequireAnOpenDocument) {
+  DocumentStore Docs;
+  EXPECT_FALSE(Docs.change("/nope.mir", 1, "x"));
+  EXPECT_FALSE(Docs.close("/nope.mir"));
+}
+
+TEST(DocumentStore, PurelyVirtualDocumentsNeedNoDisk) {
+  DocumentStore Docs;
+  Docs.open("untitled:Untitled-1", 1, "fn f() {}\n");
+  ASSERT_TRUE(Docs.content("untitled:Untitled-1").has_value());
+  EXPECT_EQ(*Docs.content("untitled:Untitled-1"), "fn f() {}\n");
+  EXPECT_FALSE(Docs.content("untitled:Untitled-2").has_value());
+  EXPECT_EQ(Docs.overlays().size(), 1u);
+}

@@ -1,0 +1,124 @@
+//===----------------------------------------------------------------------===//
+//
+// JSON-RPC 2.0 message parsing is total: every byte sequence maps to either
+// a well-formed RpcMessage or a structured failure the server can answer
+// with — including the MaxParseDepth nesting bomb, which must degrade to a
+// ParseError instead of exhausting the C++ stack.
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/Protocol.h"
+
+#include <gtest/gtest.h>
+
+using namespace rs;
+using namespace rs::serve;
+
+TEST(Protocol, ParsesRequestWithIntegerId) {
+  RpcParseFailure F;
+  auto M = parseRpcMessage(
+      R"({"jsonrpc":"2.0","id":7,"method":"initialize","params":{"a":1}})", F);
+  ASSERT_TRUE(M.has_value());
+  EXPECT_TRUE(M->isRequest());
+  EXPECT_EQ(M->Id, RpcId::integer(7));
+  EXPECT_EQ(M->Method, "initialize");
+  EXPECT_TRUE(M->Params.isObject());
+}
+
+TEST(Protocol, ParsesStringAndNullIdsAndNotifications) {
+  RpcParseFailure F;
+  auto S = parseRpcMessage(
+      R"({"jsonrpc":"2.0","id":"seq-3","method":"m"})", F);
+  ASSERT_TRUE(S.has_value());
+  EXPECT_EQ(S->Id, RpcId::string("seq-3"));
+  EXPECT_EQ(S->Id.toJson(), "\"seq-3\"");
+
+  auto N = parseRpcMessage(R"({"jsonrpc":"2.0","id":null,"method":"m"})", F);
+  ASSERT_TRUE(N.has_value());
+  EXPECT_FALSE(N->isRequest()) << "null id is not a callable request";
+  EXPECT_EQ(N->Id.toJson(), "null");
+
+  auto Note = parseRpcMessage(R"({"jsonrpc":"2.0","method":"exit"})", F);
+  ASSERT_TRUE(Note.has_value());
+  EXPECT_FALSE(Note->isRequest());
+}
+
+TEST(Protocol, MalformedJsonIsParseErrorWithNullId) {
+  RpcParseFailure F;
+  EXPECT_FALSE(parseRpcMessage("{\"jsonrpc\":", F).has_value());
+  EXPECT_EQ(F.Code, ParseError);
+  EXPECT_EQ(F.Id.toJson(), "null");
+}
+
+TEST(Protocol, NonObjectPayloadIsInvalidRequest) {
+  RpcParseFailure F;
+  EXPECT_FALSE(parseRpcMessage("[1,2,3]", F).has_value());
+  EXPECT_EQ(F.Code, InvalidRequest);
+}
+
+TEST(Protocol, WrongJsonrpcVersionEchoesTheRequestId) {
+  RpcParseFailure F;
+  EXPECT_FALSE(parseRpcMessage(
+                   R"({"jsonrpc":"1.0","id":42,"method":"m"})", F)
+                   .has_value());
+  EXPECT_EQ(F.Code, InvalidRequest);
+  EXPECT_EQ(F.Id, RpcId::integer(42))
+      << "the client must be able to correlate the error";
+}
+
+TEST(Protocol, MissingOrEmptyMethodIsInvalidRequest) {
+  RpcParseFailure F;
+  EXPECT_FALSE(parseRpcMessage(R"({"jsonrpc":"2.0","id":1})", F).has_value());
+  EXPECT_EQ(F.Code, InvalidRequest);
+  EXPECT_FALSE(
+      parseRpcMessage(R"({"jsonrpc":"2.0","id":1,"method":""})", F)
+          .has_value());
+  EXPECT_EQ(F.Code, InvalidRequest);
+}
+
+TEST(Protocol, ForbiddenIdAndParamsTypesAreInvalidRequests) {
+  RpcParseFailure F;
+  EXPECT_FALSE(parseRpcMessage(
+                   R"({"jsonrpc":"2.0","id":true,"method":"m"})", F)
+                   .has_value());
+  EXPECT_EQ(F.Code, InvalidRequest);
+  EXPECT_FALSE(parseRpcMessage(
+                   R"({"jsonrpc":"2.0","id":1,"method":"m","params":"x"})", F)
+                   .has_value());
+  EXPECT_EQ(F.Code, InvalidRequest);
+}
+
+TEST(Protocol, NestingBombDegradesToParseError) {
+  // Far past JsonValue::MaxParseDepth: a hostile client cannot run the
+  // recursive-descent parser out of stack through the daemon.
+  std::string Bomb = R"({"jsonrpc":"2.0","id":1,"method":"m","params":)";
+  Bomb += std::string(JsonValue::MaxParseDepth * 4, '[');
+  Bomb += std::string(JsonValue::MaxParseDepth * 4, ']');
+  Bomb += "}";
+  RpcParseFailure F;
+  EXPECT_FALSE(parseRpcMessage(Bomb, F).has_value());
+  EXPECT_EQ(F.Code, ParseError);
+}
+
+TEST(Protocol, ResponsesAndNotificationsAreValidJson) {
+  auto Resp = JsonValue::parse(makeResponse(RpcId::integer(5), "{\"ok\":true}"));
+  ASSERT_TRUE(Resp.has_value());
+  EXPECT_EQ(Resp->getString("jsonrpc"), "2.0");
+  EXPECT_EQ(Resp->getInt("id"), 5);
+  ASSERT_NE(Resp->get("result"), nullptr);
+  EXPECT_TRUE(Resp->get("result")->getBool("ok"));
+
+  auto Err = JsonValue::parse(makeErrorResponse(
+      RpcId::null(), RequestCancelled, "cancelled \"mid\" flight"));
+  ASSERT_TRUE(Err.has_value());
+  ASSERT_NE(Err->get("error"), nullptr);
+  EXPECT_EQ(Err->get("error")->getInt("code"), RequestCancelled);
+  EXPECT_EQ(Err->get("error")->getString("message"), "cancelled \"mid\" flight");
+  EXPECT_TRUE(Err->get("id")->isNull());
+
+  auto Note = JsonValue::parse(
+      makeNotification("textDocument/publishDiagnostics", "{\"uri\":\"u\"}"));
+  ASSERT_TRUE(Note.has_value());
+  EXPECT_EQ(Note->getString("method"), "textDocument/publishDiagnostics");
+  EXPECT_EQ(Note->get("id"), nullptr);
+}

@@ -1,0 +1,162 @@
+//===----------------------------------------------------------------------===//
+//
+// Framing edge cases for the LSP base-protocol reader: the daemon reads
+// hostile byte streams from arbitrary clients, so every malformation here
+// must degrade to a recoverable error (or a wait-for-more), never a crash
+// or a wedged buffer.
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/Transport.h"
+
+#include <gtest/gtest.h>
+
+using namespace rs::serve;
+
+namespace {
+
+/// Pulls the next status, asserting no unexpected transition.
+FrameReader::Status pull(FrameReader &R, std::string &Payload,
+                         std::string &Error) {
+  return R.next(Payload, Error);
+}
+
+} // namespace
+
+TEST(Transport, RoundTripsOnePayload) {
+  FrameReader R;
+  R.feed(frameMessage("{\"x\":1}"));
+  std::string P, E;
+  ASSERT_EQ(pull(R, P, E), FrameReader::Status::Frame);
+  EXPECT_EQ(P, "{\"x\":1}");
+  EXPECT_TRUE(R.idle());
+  EXPECT_EQ(pull(R, P, E), FrameReader::Status::NeedMore);
+}
+
+TEST(Transport, ReassemblesByteAtATimeSplits) {
+  std::string Wire = frameMessage("{\"method\":\"x\"}");
+  FrameReader R;
+  std::string P, E;
+  for (size_t I = 0; I + 1 < Wire.size(); ++I) {
+    R.feed(std::string_view(&Wire[I], 1));
+    ASSERT_EQ(pull(R, P, E), FrameReader::Status::NeedMore)
+        << "premature frame after byte " << I;
+  }
+  R.feed(std::string_view(&Wire.back(), 1));
+  ASSERT_EQ(pull(R, P, E), FrameReader::Status::Frame);
+  EXPECT_EQ(P, "{\"method\":\"x\"}");
+  EXPECT_TRUE(R.idle());
+}
+
+TEST(Transport, ExtractsCoalescedFramesFromOneChunk) {
+  FrameReader R;
+  R.feed(frameMessage("first") + frameMessage("second") +
+         frameMessage("third"));
+  std::string P, E;
+  ASSERT_EQ(pull(R, P, E), FrameReader::Status::Frame);
+  EXPECT_EQ(P, "first");
+  ASSERT_EQ(pull(R, P, E), FrameReader::Status::Frame);
+  EXPECT_EQ(P, "second");
+  ASSERT_EQ(pull(R, P, E), FrameReader::Status::Frame);
+  EXPECT_EQ(P, "third");
+  EXPECT_EQ(pull(R, P, E), FrameReader::Status::NeedMore);
+  EXPECT_TRUE(R.idle());
+}
+
+TEST(Transport, SplitInsideHeaderAndInsidePayload) {
+  std::string Wire = frameMessage("0123456789");
+  FrameReader R;
+  std::string P, E;
+  R.feed(Wire.substr(0, 7)); // "Content" — mid-header.
+  EXPECT_EQ(pull(R, P, E), FrameReader::Status::NeedMore);
+  R.feed(Wire.substr(7, Wire.size() - 7 - 4)); // everything but 4 body bytes.
+  EXPECT_EQ(pull(R, P, E), FrameReader::Status::NeedMore);
+  R.feed(Wire.substr(Wire.size() - 4));
+  ASSERT_EQ(pull(R, P, E), FrameReader::Status::Frame);
+  EXPECT_EQ(P, "0123456789");
+}
+
+TEST(Transport, TruncatedPayloadWaitsWithoutConsuming) {
+  FrameReader R;
+  R.feed("Content-Length: 100\r\n\r\nonly a little");
+  std::string P, E;
+  EXPECT_EQ(pull(R, P, E), FrameReader::Status::NeedMore);
+  EXPECT_FALSE(R.idle()); // The partial frame stays buffered.
+}
+
+TEST(Transport, HeaderNameIsCaseInsensitiveAndOtherHeadersIgnored) {
+  FrameReader R;
+  R.feed("content-LENGTH: 2\r\n"
+         "Content-Type: application/vscode-jsonrpc; charset=utf-8\r\n"
+         "\r\n"
+         "ok");
+  std::string P, E;
+  ASSERT_EQ(pull(R, P, E), FrameReader::Status::Frame);
+  EXPECT_EQ(P, "ok");
+}
+
+TEST(Transport, MissingContentLengthIsRecoverableError) {
+  FrameReader R;
+  R.feed("Content-Type: application/json\r\n\r\n");
+  R.feed(frameMessage("after"));
+  std::string P, E;
+  ASSERT_EQ(pull(R, P, E), FrameReader::Status::Error);
+  EXPECT_NE(E.find("missing Content-Length"), std::string::npos);
+  // The reader resynchronized: the next well-formed frame still arrives.
+  ASSERT_EQ(pull(R, P, E), FrameReader::Status::Frame);
+  EXPECT_EQ(P, "after");
+}
+
+TEST(Transport, NonNumericAndEmptyLengthsAreErrors) {
+  {
+    FrameReader R;
+    R.feed("Content-Length: twelve\r\n\r\n");
+    std::string P, E;
+    ASSERT_EQ(R.next(P, E), FrameReader::Status::Error);
+    EXPECT_NE(E.find("non-numeric"), std::string::npos);
+  }
+  {
+    FrameReader R;
+    R.feed("Content-Length:   \r\n\r\n");
+    std::string P, E;
+    ASSERT_EQ(R.next(P, E), FrameReader::Status::Error);
+    EXPECT_NE(E.find("empty Content-Length"), std::string::npos);
+  }
+}
+
+TEST(Transport, OversizedDeclaredLengthIsRejectedNotBuffered) {
+  FrameReader::Limits Lim;
+  Lim.MaxContentLength = 1024;
+  FrameReader R(Lim);
+  R.feed("Content-Length: 99999999\r\n\r\n");
+  std::string P, E;
+  ASSERT_EQ(R.next(P, E), FrameReader::Status::Error);
+  EXPECT_NE(E.find("exceeds"), std::string::npos);
+  // Recovery: a sane frame afterwards still parses.
+  R.feed(frameMessage("sane"));
+  ASSERT_EQ(R.next(P, E), FrameReader::Status::Frame);
+  EXPECT_EQ(P, "sane");
+}
+
+TEST(Transport, RunawayHeaderBlockIsDroppedAtTheLimit) {
+  FrameReader::Limits Lim;
+  Lim.MaxHeaderBytes = 64;
+  FrameReader R(Lim);
+  R.feed(std::string(200, 'x')); // No CRLFCRLF anywhere.
+  std::string P, E;
+  ASSERT_EQ(R.next(P, E), FrameReader::Status::Error);
+  EXPECT_NE(E.find("header block exceeds"), std::string::npos);
+  EXPECT_TRUE(R.idle()) << "garbage must not accumulate";
+  R.feed(frameMessage("recovered"));
+  ASSERT_EQ(R.next(P, E), FrameReader::Status::Frame);
+  EXPECT_EQ(P, "recovered");
+}
+
+TEST(Transport, ZeroLengthPayloadIsAValidFrame) {
+  FrameReader R;
+  R.feed(frameMessage(""));
+  std::string P = "sentinel", E;
+  ASSERT_EQ(R.next(P, E), FrameReader::Status::Frame);
+  EXPECT_EQ(P, "");
+  EXPECT_TRUE(R.idle());
+}

@@ -1,0 +1,138 @@
+#!/usr/bin/env bash
+# Scripted end-to-end smoke session against `rustsight serve`, exercising
+# the daemon over real pipes the way an editor would:
+#
+#   1. initialize -> serverInfo sanity -> initialized -> initial
+#      publishDiagnostics sweep (double_lock.mir must carry RS-DL-001);
+#   2. didOpen clean.mir, didChange injecting a double-lock -> the
+#      debounced re-analysis publishes RS-DL-001 for the edited buffer;
+#   3. shutdown -> exit must terminate the daemon with exit code 0;
+#   4. an abrupt EOF without shutdown must exit nonzero (abnormal);
+#   5. --idle-timeout-ms must let an abandoned daemon exit 0 on its own.
+#
+# Usage: serve_smoke.sh <rustsight-binary> <mir-corpus-dir>
+set -euo pipefail
+
+RS=${1:?usage: serve_smoke.sh <rustsight-binary> <mir-corpus-dir>}
+CORPUS=${2:?usage: serve_smoke.sh <rustsight-binary> <mir-corpus-dir>}
+
+python3 - "$RS" "$CORPUS" <<'EOF'
+import json
+import os
+import re
+import subprocess
+import sys
+import time
+
+rs = os.path.abspath(sys.argv[1])
+corpus = os.path.abspath(sys.argv[2])
+
+
+class LspPipe:
+    """Minimal Content-Length-framed JSON-RPC client over a daemon's pipes."""
+
+    def __init__(self, args):
+        self.p = subprocess.Popen(args, stdin=subprocess.PIPE,
+                                  stdout=subprocess.PIPE,
+                                  stderr=subprocess.PIPE)
+        self.buf = b""
+
+    def send(self, obj):
+        payload = json.dumps(obj).encode()
+        self.p.stdin.write(b"Content-Length: %d\r\n\r\n" % len(payload))
+        self.p.stdin.write(payload)
+        self.p.stdin.flush()
+
+    def read_message(self):
+        while True:
+            m = re.search(rb"Content-Length: (\d+)\r\n\r\n", self.buf)
+            if m:
+                n = int(m.group(1))
+                start = m.end()
+                if len(self.buf) >= start + n:
+                    payload = self.buf[start:start + n]
+                    self.buf = self.buf[start + n:]
+                    return json.loads(payload)
+            chunk = self.p.stdout.read1(65536)
+            if not chunk:
+                raise SystemExit("daemon closed stdout mid-session")
+            self.buf += chunk
+
+    def wait_for(self, pred, what):
+        for _ in range(1000):
+            msg = self.read_message()
+            if pred(msg):
+                return msg
+        raise SystemExit("never saw: " + what)
+
+
+def publishes_for(uri):
+    return lambda m: (m.get("method") == "textDocument/publishDiagnostics"
+                      and m["params"]["uri"] == uri)
+
+
+# --- 1+2+3: the full editor session -----------------------------------------
+clean = os.path.join(corpus, "clean.mir")
+clean_uri = "file://" + clean
+double_lock_src = open(os.path.join(corpus, "double_lock.mir")).read()
+
+s = LspPipe([rs, "serve", "--debounce-ms", "50", corpus])
+s.send({"jsonrpc": "2.0", "id": 1, "method": "initialize", "params": {}})
+resp = s.wait_for(lambda m: m.get("id") == 1, "initialize response")
+info = resp["result"]["serverInfo"]
+assert info["name"] == "rustsight", info
+assert info["ruleCount"] >= 18, info
+assert info["schemaVersion"] >= 2, info
+print("serve_smoke: serverInfo ok:", info)
+
+s.send({"jsonrpc": "2.0", "method": "initialized", "params": {}})
+pub = s.wait_for(publishes_for("file://" + os.path.join(corpus,
+                                                        "double_lock.mir")),
+                 "initial publishDiagnostics for double_lock.mir")
+codes = [d["code"] for d in pub["params"]["diagnostics"]]
+assert "RS-DL-001" in codes, codes
+print("serve_smoke: initial sweep flagged double_lock.mir:", codes)
+
+s.send({"jsonrpc": "2.0", "method": "textDocument/didOpen", "params": {
+    "textDocument": {"uri": clean_uri, "languageId": "rustlite-mir",
+                     "version": 1, "text": open(clean).read()}}})
+s.send({"jsonrpc": "2.0", "method": "textDocument/didChange", "params": {
+    "textDocument": {"uri": clean_uri, "version": 2},
+    "contentChanges": [{"text": double_lock_src}]}})
+pub = s.wait_for(lambda m: (publishes_for(clean_uri)(m)
+                            and m["params"].get("version") == 2),
+                 "publishDiagnostics for the edited buffer (version 2)")
+codes = [d["code"] for d in pub["params"]["diagnostics"]]
+assert codes == ["RS-DL-001"], codes
+print("serve_smoke: didChange republished the injected bug:", codes)
+
+s.send({"jsonrpc": "2.0", "id": 2, "method": "shutdown"})
+s.wait_for(lambda m: m.get("id") == 2, "shutdown response")
+s.send({"jsonrpc": "2.0", "method": "exit"})
+rc = s.p.wait(timeout=30)
+assert rc == 0, "clean shutdown must exit 0, got %d" % rc
+print("serve_smoke: shutdown/exit contract ok (exit 0)")
+
+# --- 4: abrupt EOF without shutdown is abnormal ------------------------------
+s = LspPipe([rs, "serve", corpus])
+s.send({"jsonrpc": "2.0", "id": 1, "method": "initialize", "params": {}})
+s.wait_for(lambda m: m.get("id") == 1, "initialize response")
+s.p.stdin.close()
+rc = s.p.wait(timeout=30)
+assert rc != 0, "EOF without shutdown must exit nonzero"
+print("serve_smoke: abrupt EOF exits nonzero (%d)" % rc)
+
+# --- 5: an abandoned daemon reaps itself on the idle timeout -----------------
+p = subprocess.Popen([rs, "serve", "--idle-timeout-ms", "400"],
+                     stdin=subprocess.PIPE, stdout=subprocess.PIPE,
+                     stderr=subprocess.PIPE)
+start = time.time()
+rc = p.wait(timeout=30)
+err = p.stderr.read().decode()
+assert rc == 0, "idle timeout must exit 0, got %d (%s)" % (rc, err)
+assert "idle" in err or "traffic" in err, err
+print("serve_smoke: idle timeout reaped the daemon after %.1fs (exit 0)"
+      % (time.time() - start))
+
+print("serve_smoke: all checks passed")
+EOF
