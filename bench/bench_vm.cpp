@@ -1,0 +1,194 @@
+//===----------------------------------------------------------------------===//
+// Measures the register-bytecode VM against the tree-walking interpreter
+// on the same generated module set: executions/sec for running every
+// function of an already-prepared module (compilation is one-time and
+// measured separately — the fuzzing loop compiles each candidate once and
+// then drives it hot). Alongside the printed table it emits a trajectory
+// point, BENCH_vm.json, in the current directory. The acceptance bar for
+// the VM is a >=10x throughput advantage.
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "interp/Interp.h"
+#include "support/Json.h"
+#include "testgen/Generator.h"
+#include "vm/Lower.h"
+#include "vm/Vm.h"
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+using namespace rs;
+using namespace rs::bench;
+
+namespace {
+
+constexpr uint64_t NumModules = 20;
+
+std::vector<mir::Module> generateModules() {
+  std::vector<mir::Module> Mods;
+  Mods.reserve(NumModules);
+  for (uint64_t Seed = 1; Seed <= NumModules; ++Seed) {
+    testgen::GenConfig C;
+    C.Seed = Seed;
+    Mods.push_back(testgen::ProgramGenerator(C).generate());
+  }
+  return Mods;
+}
+
+double nowMs() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// One pass: run every function of every module once. Returns the number
+/// of function executions performed.
+uint64_t interpPass(const std::vector<mir::Module> &Mods,
+                    std::vector<std::unique_ptr<interp::Interpreter>> &Is) {
+  uint64_t Execs = 0;
+  for (size_t I = 0; I != Mods.size(); ++I)
+    for (const auto &Fn : Mods[I].functions()) {
+      Is[I]->run(Fn->Name);
+      ++Execs;
+    }
+  return Execs;
+}
+
+uint64_t vmPass(const std::vector<mir::Module> &Mods,
+                std::vector<vm::Program> &Progs,
+                std::vector<std::unique_ptr<vm::Vm>> &Vs) {
+  uint64_t Execs = 0;
+  for (size_t I = 0; I != Mods.size(); ++I)
+    for (const auto &Fn : Mods[I].functions()) {
+      Vs[I]->run(Fn->Name);
+      ++Execs;
+    }
+  (void)Progs;
+  return Execs;
+}
+
+} // namespace
+
+static void printExperiment() {
+  banner("Register-bytecode VM vs tree-walking interpreter",
+         "Both engines run every function of the same 20 generated modules "
+         "(sanitizer checks, traps and step accounting identical by the "
+         "differential suite). Executions/sec excludes one-time setup: the "
+         "fuzzing loop compiles a candidate once, then drives it hot. "
+         "Acceptance bar: the VM is >=10x the interpreter.");
+
+  std::vector<mir::Module> Mods = generateModules();
+  uint64_t Fns = 0;
+  for (const mir::Module &M : Mods)
+    Fns += M.functions().size();
+
+  // One-time setup, measured so the amortization claim is inspectable.
+  double CompileStart = nowMs();
+  std::vector<vm::Program> Progs;
+  Progs.reserve(Mods.size());
+  for (const mir::Module &M : Mods)
+    Progs.push_back(vm::compile(M));
+  double CompileMs = nowMs() - CompileStart;
+
+  std::vector<std::unique_ptr<interp::Interpreter>> Is;
+  for (const mir::Module &M : Mods)
+    Is.push_back(std::make_unique<interp::Interpreter>(M));
+  std::vector<std::unique_ptr<vm::Vm>> Vs;
+  for (vm::Program &P : Progs)
+    Vs.push_back(std::make_unique<vm::Vm>(P));
+
+  // Warm up, then calibrate repetitions so each side runs ~0.5s.
+  interpPass(Mods, Is);
+  vmPass(Mods, Progs, Vs);
+
+  auto Measure = [&](auto &&Pass) {
+    double OneStart = nowMs();
+    uint64_t PerPass = Pass();
+    double OneMs = nowMs() - OneStart;
+    uint64_t Reps = OneMs > 0 ? static_cast<uint64_t>(500.0 / OneMs) + 1 : 64;
+    double Start = nowMs();
+    for (uint64_t R = 0; R != Reps; ++R)
+      Pass();
+    double Ms = nowMs() - Start;
+    return std::pair<double, uint64_t>{Ms, Reps * PerPass};
+  };
+
+  auto [InterpMs, InterpExecs] = Measure([&] { return interpPass(Mods, Is); });
+  auto [VmMs, VmExecs] = Measure([&] { return vmPass(Mods, Progs, Vs); });
+
+  double InterpRate = InterpExecs / (InterpMs / 1000.0);
+  double VmRate = VmExecs / (VmMs / 1000.0);
+  double Speedup = VmRate / InterpRate;
+
+  std::printf("  %-22s %16s %14s\n", "engine", "execs/sec", "ns/exec");
+  std::printf("  %-22s %16.0f %14.1f\n", "tree interpreter", InterpRate,
+              1e9 / InterpRate);
+  std::printf("  %-22s %16.0f %14.1f\n", "bytecode VM", VmRate, 1e9 / VmRate);
+  std::printf("\n  speedup: %.2fx (bar: >=10x)   one-time compile of %llu "
+              "modules / %llu functions: %.2f ms\n",
+              Speedup, static_cast<unsigned long long>(NumModules),
+              static_cast<unsigned long long>(Fns), CompileMs);
+
+  JsonWriter W;
+  W.beginObject();
+  W.field("bench", "vm");
+  W.field("modules", static_cast<int64_t>(NumModules));
+  W.field("functions", static_cast<int64_t>(Fns));
+  W.key("interp_execs_per_sec");
+  W.value(InterpRate);
+  W.key("vm_execs_per_sec");
+  W.value(VmRate);
+  W.key("speedup");
+  W.value(Speedup);
+  W.key("compile_ms");
+  W.value(CompileMs);
+  W.endObject();
+  std::ofstream("BENCH_vm.json") << W.str() << "\n";
+  std::printf("\n  trajectory point written to BENCH_vm.json\n\n");
+}
+
+static void BM_InterpRunModule(benchmark::State &State) {
+  testgen::GenConfig C;
+  C.Seed = 7;
+  mir::Module M = testgen::ProgramGenerator(C).generate();
+  interp::Interpreter I(M);
+  for (auto _ : State)
+    for (const auto &Fn : M.functions()) {
+      interp::ExecResult R = I.run(Fn->Name);
+      benchmark::DoNotOptimize(R.Steps);
+    }
+}
+BENCHMARK(BM_InterpRunModule)->Unit(benchmark::kMicrosecond);
+
+static void BM_VmRunModule(benchmark::State &State) {
+  testgen::GenConfig C;
+  C.Seed = 7;
+  mir::Module M = testgen::ProgramGenerator(C).generate();
+  vm::Program P = vm::compile(M);
+  vm::Vm V(P);
+  for (auto _ : State)
+    for (const auto &Fn : M.functions()) {
+      interp::ExecResult R = V.run(Fn->Name);
+      benchmark::DoNotOptimize(R.Steps);
+    }
+}
+BENCHMARK(BM_VmRunModule)->Unit(benchmark::kMicrosecond);
+
+static void BM_CompileModule(benchmark::State &State) {
+  testgen::GenConfig C;
+  C.Seed = 7;
+  mir::Module M = testgen::ProgramGenerator(C).generate();
+  for (auto _ : State) {
+    vm::Program P = vm::compile(M);
+    benchmark::DoNotOptimize(P.Insns.data());
+  }
+}
+BENCHMARK(BM_CompileModule)->Unit(benchmark::kMicrosecond);
+
+RUSTSIGHT_BENCH_MAIN(printExperiment)

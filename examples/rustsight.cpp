@@ -11,6 +11,8 @@
 //                                     the corpus's manifest.json labels
 //   rustsight gen    [--seed N | --sweep N | --emit-eval-corpus <dir>]
 //                                     generate programs / run oracle sweeps
+//   rustsight fuzz   [--fuzz-seed N --fuzz-iters N --corpus-dir <dir>]
+//                                     coverage-guided fuzzing on the VM
 //   rustsight serve  [roots...]       resident LSP daemon over stdio with
 //                                     incremental re-analysis
 //   rustsight --version               version / schema / rule-count banner
@@ -37,6 +39,7 @@
 #include "support/StringUtils.h"
 #include "support/Subprocess.h"
 #include "testgen/EvalCorpus.h"
+#include "testgen/Fuzz.h"
 #include "testgen/Harness.h"
 #include "testgen/Scorecard.h"
 
@@ -170,7 +173,8 @@ int cmdCheck(const std::vector<std::string> &Files, const CheckOptions &Opts,
 
 struct GenOptions {
   uint64_t Seed = 1;
-  uint64_t Sweep = 0;          ///< Seed count; 0 = print one module instead.
+  uint64_t Sweep = 0;          ///< Seed count; unset = print one module.
+  bool SweepSet = false;       ///< --sweep given explicitly (0 is an error).
   uint64_t SeedStart = 1;
   bool Mutated = false;        ///< Print the sweep's (possibly mutated) text.
   std::string RegressDir;      ///< Where sweep violations write repros.
@@ -230,6 +234,11 @@ int cmdEval(const std::vector<std::string> &Inputs, const CheckOptions &Check,
 }
 
 int cmdGen(const CheckOptions &Check, const GenOptions &Opts) {
+  if (Opts.SweepSet && Opts.Sweep == 0) {
+    std::fprintf(stderr,
+                 "error: --sweep 0 runs no seeds and verifies nothing\n");
+    return 2;
+  }
   if (!Opts.EmitEvalCorpus.empty()) {
     size_t N = testgen::writeEvalCorpus(Opts.EmitEvalCorpus);
     std::fprintf(stderr, "wrote %zu labeled cases to %s\n", N,
@@ -255,6 +264,54 @@ int cmdGen(const CheckOptions &Check, const GenOptions &Opts) {
   G.Seed = Opts.Seed;
   std::printf("%s", testgen::ProgramGenerator(G).generate().toString().c_str());
   return 0;
+}
+
+/// `rustsight fuzz`: coverage-guided fuzzing of the interpreter pair on
+/// the bytecode VM, with a persisted novelty corpus and drift oracles.
+struct FuzzCliOptions {
+  uint64_t FuzzSeed = 1;
+  uint64_t FuzzIters = 1000;
+  std::string CorpusDir;
+  bool NoMinimize = false;
+  bool Replay = false; ///< Re-run a persisted corpus instead of fuzzing.
+};
+
+int cmdFuzz(const CheckOptions &Check, const FuzzCliOptions &Opts) {
+  if (Opts.FuzzIters == 0) {
+    std::fprintf(stderr,
+                 "error: --fuzz-iters 0 runs no candidates and verifies "
+                 "nothing\n");
+    return 2;
+  }
+  testgen::FuzzConfig C;
+  C.Seed = Opts.FuzzSeed;
+  C.Iterations = Opts.FuzzIters;
+  C.Jobs = Check.Engine.Jobs; // 0 = all hardware threads; digest-invariant.
+  C.CorpusDir = Opts.CorpusDir;
+  C.Minimize = !Opts.NoMinimize;
+
+  if (Opts.Replay) {
+    if (Opts.CorpusDir.empty()) {
+      std::fprintf(stderr, "error: --replay requires --corpus-dir\n");
+      return 2;
+    }
+    testgen::ReplayResult R;
+    std::string Error;
+    if (!testgen::replayCorpus(Opts.CorpusDir, C, R, Error)) {
+      std::fprintf(stderr, "error: %s\n", Error.c_str());
+      return 2;
+    }
+    std::printf("replayed %zu corpus entries, %zu stored / %zu replayed "
+                "edge keys: %s\n",
+                R.Entries, R.StoredKeys.size(), R.ReplayedKeys.size(),
+                R.coverageReproduced() ? "coverage reproduced"
+                                       : "COVERAGE DRIFT");
+    return R.coverageReproduced() ? 0 : 1;
+  }
+
+  testgen::FuzzReport Report = testgen::runFuzz(C);
+  std::printf("%s", Report.renderText().c_str());
+  return Report.clean() ? 0 : 1;
 }
 
 /// `rustsight serve`: the resident analysis daemon. The check options that
@@ -394,6 +451,16 @@ int usage() {
       "                             exit 1 on any violation\n"
       "    --regress-dir <dir>      write minimized repros for violations\n"
       "    --emit-eval-corpus <dir> regenerate the labeled eval corpus\n"
+      "  fuzz [options]                coverage-guided fuzzing on the\n"
+      "                                bytecode VM (docs/FUZZING.md)\n"
+      "    --fuzz-seed <N>          master seed (default: 1)\n"
+      "    --fuzz-iters <N>         candidate budget (default: 1000;\n"
+      "                             0 is a usage error)\n"
+      "    --corpus-dir <dir>       persist the novelty corpus +\n"
+      "                             coverage.json here\n"
+      "    --no-minimize            keep novel candidates unshrunk\n"
+      "    --replay                 re-run a persisted corpus and verify\n"
+      "                             its recorded coverage map\n"
       "  serve [options] [roots...]    resident LSP daemon over stdio\n"
       "                                (JSON-RPC 2.0, Content-Length framed;\n"
       "                                check's analysis options apply)\n"
@@ -464,6 +531,7 @@ int main(int argc, char **argv) {
   CheckOptions Check;
   EvalOptions Eval;
   GenOptions Gen;
+  FuzzCliOptions Fuzz;
   ServeCliOptions Serve;
   std::vector<std::string> Inputs;
   uint64_t Jobs = 0;
@@ -482,7 +550,15 @@ int main(int argc, char **argv) {
       Gen.Mutated = true;
     else if (std::strcmp(argv[I], "--resume") == 0)
       Check.Resume = true;
-    else if (parseNumericFlag(argc, argv, I, "--budget-ms",
+    else if (std::strcmp(argv[I], "--no-minimize") == 0)
+      Fuzz.NoMinimize = true;
+    else if (std::strcmp(argv[I], "--replay") == 0)
+      Fuzz.Replay = true;
+    else if (parseNumericFlag(argc, argv, I, "--sweep", Gen.Sweep, Bad)) {
+      Gen.SweepSet = true;
+      if (Bad)
+        return usage();
+    } else if (parseNumericFlag(argc, argv, I, "--budget-ms",
                               Check.Engine.BudgetMs, Bad) ||
              parseNumericFlag(argc, argv, I, "--max-file-steps",
                               Check.Engine.MaxFileSteps, Bad) ||
@@ -506,7 +582,12 @@ int main(int argc, char **argv) {
              parseNumericFlag(argc, argv, I, "--seed-start", Gen.SeedStart,
                               Bad) ||
              parseNumericFlag(argc, argv, I, "--seed", Gen.Seed, Bad) ||
-             parseNumericFlag(argc, argv, I, "--sweep", Gen.Sweep, Bad) ||
+             parseNumericFlag(argc, argv, I, "--fuzz-seed", Fuzz.FuzzSeed,
+                              Bad) ||
+             parseNumericFlag(argc, argv, I, "--fuzz-iters", Fuzz.FuzzIters,
+                              Bad) ||
+             parseStringFlag(argc, argv, I, "--corpus-dir", Fuzz.CorpusDir,
+                             Bad) ||
              parseStringFlag(argc, argv, I, "--format", Check.Format, Bad) ||
              parseStringFlag(argc, argv, I, "--cache-dir",
                              Check.Engine.CacheDir, Bad) ||
@@ -536,7 +617,7 @@ int main(int argc, char **argv) {
     return engine::runWorker(Check.Engine);
   // serve may start rootless: the client's initialize rootUri supplies the
   // corpus then.
-  if (Inputs.empty() && Cmd != "gen" && Cmd != "serve")
+  if (Inputs.empty() && Cmd != "gen" && Cmd != "fuzz" && Cmd != "serve")
     return usage();
 
   if (Cmd == "serve")
@@ -547,6 +628,8 @@ int main(int argc, char **argv) {
     return cmdEval(Inputs, Check, Eval);
   if (Cmd == "gen")
     return cmdGen(Check, Gen);
+  if (Cmd == "fuzz")
+    return cmdFuzz(Check, Fuzz);
   if (Cmd == "run")
     return cmdRun(Inputs);
   if (Cmd == "lifetimes")

@@ -5,6 +5,7 @@
 
 #include <cassert>
 #include <deque>
+#include <map>
 
 using namespace rs;
 using namespace rs::interp;

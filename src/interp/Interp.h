@@ -20,187 +20,24 @@
 /// invalid free (dropping uninitialized contents); uninitialized reads;
 /// self-deadlock on Mutex/RwLock re-acquisition (Rust's std behaviour).
 ///
+/// The value model and trap taxonomy live in Runtime.h, shared with the
+/// register bytecode VM (src/vm/) so both engines classify traps
+/// identically.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef RUSTSIGHT_INTERP_INTERP_H
 #define RUSTSIGHT_INTERP_INTERP_H
 
+#include "interp/Runtime.h"
 #include "mir/Mir.h"
 
 #include <cstdint>
-#include <map>
 #include <memory>
-#include <optional>
 #include <string>
 #include <vector>
 
 namespace rs::interp {
-
-//===----------------------------------------------------------------------===//
-// Values
-//===----------------------------------------------------------------------===//
-
-/// Where a pointer points: a frame local or a heap object, plus a field
-/// path into nested aggregates.
-struct PointerTarget {
-  enum class Space { Stack, Heap };
-  Space K = Space::Heap;
-  unsigned FrameId = 0;  ///< Stack only.
-  mir::LocalId Local = 0; ///< Stack only.
-  unsigned HeapId = 0;   ///< Heap only.
-  std::vector<unsigned> Path; ///< Field indices into the target value.
-
-  friend bool operator<(const PointerTarget &A, const PointerTarget &B) {
-    return std::tie(A.K, A.FrameId, A.Local, A.HeapId, A.Path) <
-           std::tie(B.K, B.FrameId, B.Local, B.HeapId, B.Path);
-  }
-  friend bool operator==(const PointerTarget &A, const PointerTarget &B) {
-    return A.K == B.K && A.FrameId == B.FrameId && A.Local == B.Local &&
-           A.HeapId == B.HeapId && A.Path == B.Path;
-  }
-
-  std::string toString() const;
-};
-
-/// A runtime value. Aggregates own their elements; pointers may own their
-/// heap pointee (Box) or share it with reference counting (Arc).
-class Value {
-public:
-  enum class Kind {
-    Uninit, ///< No value yet (fresh storage, moved-out, or dropped).
-    Unit,
-    Int,
-    Bool,
-    Str,
-    Ptr,
-    Guard,  ///< A lock guard; dropping it releases the lock.
-    Opaque, ///< Result of an un-modeled call; inert.
-    Aggregate,
-  };
-
-  Kind K = Kind::Uninit;
-  int64_t Int = 0;
-  bool Bool = false;
-  std::string Str;
-  PointerTarget Ptr;
-  bool Owning = false;     ///< Ptr: dropping frees the pointee (Box).
-  bool RefCounted = false; ///< Ptr: Arc-style shared ownership.
-  PointerTarget LockKey;   ///< Guard: the lock this guard holds.
-  bool Exclusive = false;  ///< Guard: write vs read acquisition.
-  std::vector<Value> Elems; ///< Aggregate.
-
-  static Value makeUninit() { return Value(); }
-  static Value makeUnit() {
-    Value V;
-    V.K = Kind::Unit;
-    return V;
-  }
-  static Value makeInt(int64_t N) {
-    Value V;
-    V.K = Kind::Int;
-    V.Int = N;
-    return V;
-  }
-  static Value makeBool(bool B) {
-    Value V;
-    V.K = Kind::Bool;
-    V.Bool = B;
-    return V;
-  }
-  static Value makeStr(std::string S) {
-    Value V;
-    V.K = Kind::Str;
-    V.Str = std::move(S);
-    return V;
-  }
-  static Value makePtr(PointerTarget T, bool Owning = false,
-                       bool RefCounted = false) {
-    Value V;
-    V.K = Kind::Ptr;
-    V.Ptr = std::move(T);
-    V.Owning = Owning;
-    V.RefCounted = RefCounted;
-    return V;
-  }
-  static Value makeGuard(PointerTarget Key, bool Exclusive) {
-    Value V;
-    V.K = Kind::Guard;
-    V.LockKey = std::move(Key);
-    V.Exclusive = Exclusive;
-    return V;
-  }
-  static Value makeOpaque() {
-    Value V;
-    V.K = Kind::Opaque;
-    return V;
-  }
-  static Value makeAggregate(std::vector<Value> Elems) {
-    Value V;
-    V.K = Kind::Aggregate;
-    V.Elems = std::move(Elems);
-    return V;
-  }
-
-  bool isUninit() const { return K == Kind::Uninit; }
-
-  /// True if dropping this value has an effect (frees, unlocks, or
-  /// contains something that does).
-  bool needsDrop() const;
-
-  std::string toString() const;
-};
-
-//===----------------------------------------------------------------------===//
-// Errors and results
-//===----------------------------------------------------------------------===//
-
-/// Dynamic safety violations the interpreter traps on, plus the two
-/// resource-limit exhaustions. The limit kinds are distinct from the bug
-/// kinds on purpose: hitting Options::StepLimit or Options::MaxCallDepth
-/// means the *analysis* ran out of budget, not that the program is unsafe,
-/// and corpus drivers must report them as "inconclusive", never as findings
-/// (see docs/RESILIENCE.md). Use isResourceLimitTrap() to classify.
-enum class TrapKind {
-  UseAfterFree,
-  UseAfterScope,
-  DoubleFree,
-  InvalidFree,
-  UninitRead,
-  Deadlock,
-  BorrowPanic, ///< RefCell dynamic-borrow violation (BorrowMutError).
-  IndexOutOfBounds, ///< The buffer-overflow panic of Rust's runtime checks.
-  InvalidPointer,
-  AssertFailed,
-  StepLimit,      ///< Options::StepLimit exhausted — a budget, not a bug.
-  StackOverflow,  ///< Options::MaxCallDepth exhausted — a budget, not a bug.
-  UnknownFunction,
-  TypeMismatch,
-};
-
-const char *trapKindName(TrapKind K);
-
-/// True for the traps that signal resource-budget exhaustion (StepLimit,
-/// StackOverflow) rather than a detected safety violation.
-bool isResourceLimitTrap(TrapKind K);
-
-/// One trapped violation, anchored where execution stopped.
-struct Trap {
-  TrapKind Kind;
-  std::string Message;
-  std::string Function;
-  mir::BlockId Block = 0;
-  size_t StmtIndex = 0;
-
-  std::string toString() const;
-};
-
-/// Outcome of one execution.
-struct ExecResult {
-  bool Ok = false;
-  std::optional<Trap> Error;
-  Value Return;
-  uint64_t Steps = 0;
-};
 
 //===----------------------------------------------------------------------===//
 // Interpreter

@@ -1,0 +1,131 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of RustSight, a reproduction of "Understanding Memory and Thread
+// Safety Practices and Issues in Real-World Rust Programs" (PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Coverage-guided fuzzing over the bytecode VM (src/vm/). Candidates are
+/// whole RustLite modules: fresh generator output, bug injections from the
+/// Section-7 mutator catalog, and structural mutations of earlier corpus
+/// entries (constant tweaks, operator swaps, statement deletion, block
+/// permutation, cross-module function splicing). Each candidate executes on
+/// the VM, which reports the set of *stable edge-shape keys* it lit
+/// (Bytecode.h); a candidate that lights a key the run has never seen is
+/// delta-minimized and admitted to the novelty corpus.
+///
+/// Determinism contract (the same one the sweep harness keeps): a fuzz run
+/// is a pure function of (Seed, Iterations, generator config). Candidates
+/// are derived per (round, index) from the seed — never from worker
+/// identity — evaluated in parallel, and merged in ordinal order, so the
+/// corpus directory, the coverage map, and the fold digest are
+/// byte-identical for any --jobs value. CI pins exactly that
+/// (fuzz-smoke, FuzzTest).
+///
+/// The fuzzer doubles as a differential hunter: any candidate whose VM run
+/// traps a memory-safety kind is re-run through the interpreter-vs-VM
+/// parity oracle, so engine drift found by fuzzing surfaces as a violation
+/// with a replayable module attached (docs/FUZZING.md).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RUSTSIGHT_TESTGEN_FUZZ_H
+#define RUSTSIGHT_TESTGEN_FUZZ_H
+
+#include "testgen/Generator.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rs::testgen {
+
+struct FuzzConfig {
+  uint64_t Seed = 1;
+
+  /// Total candidate executions (the fuzzing budget). Candidates that fail
+  /// to parse still consume budget — determinism over throughput.
+  uint64_t Iterations = 1000;
+
+  /// Worker threads; 0 picks the scheduler default. Never affects results.
+  unsigned Jobs = 1;
+
+  /// When non-empty, the corpus is persisted here: numbered .mir entries
+  /// plus coverage.json (see docs/FUZZING.md for the layout).
+  std::string CorpusDir;
+
+  /// Delta-minimize novel candidates before admission (keeps corpus
+  /// entries small at the cost of extra executions outside the budget).
+  bool Minimize = true;
+
+  /// Generator shape knobs; Seed is overridden per candidate.
+  GenConfig Gen;
+
+  /// VM step budget per function execution.
+  uint64_t StepLimit = 50000;
+};
+
+/// One admitted corpus entry.
+struct FuzzEntry {
+  uint64_t Ordinal = 0;     ///< Global candidate index that produced it.
+  std::string Text;         ///< Minimized module text.
+  uint64_t NewKeys = 0;     ///< Edge keys this entry first lit.
+  std::string Path;         ///< File under CorpusDir, "" if not persisted.
+};
+
+/// A differential drift finding: the VM and the tree interpreter disagreed
+/// on a fuzzed module.
+struct FuzzViolation {
+  uint64_t Ordinal = 0;
+  std::string Oracle; ///< "vm-parity".
+  std::string Message;
+  std::string Text; ///< The module that exposed the drift.
+};
+
+struct FuzzReport {
+  uint64_t Iterations = 0;
+  /// FNV-1a fold over every candidate text in ordinal order — equal
+  /// digests mean byte-identical fuzz runs for any job count.
+  uint64_t Digest = 0;
+  std::vector<FuzzEntry> Corpus;
+  /// Cumulative edge-shape keys, sorted ascending.
+  std::vector<uint64_t> CoveredKeys;
+  std::vector<FuzzViolation> Violations;
+
+  bool clean() const { return Violations.empty(); }
+
+  /// "fuzzed N candidates, M corpus entries, K edges, digest <hex>: OK"
+  /// or a per-violation listing.
+  std::string renderText() const;
+};
+
+/// Runs the fuzzer, parallel across candidates within each round.
+FuzzReport runFuzz(const FuzzConfig &C);
+
+/// The blind baseline: executes C.Iterations generator-sweep modules
+/// (seeds C.Seed, C.Seed+1, ...) on the VM with no feedback and returns
+/// the cumulative sorted key set. The guided run must beat this on the
+/// same budget (FuzzTest pins it; the fuzz-smoke CI job re-checks).
+std::vector<uint64_t> runBlindSweepCoverage(const FuzzConfig &C);
+
+/// Outcome of re-executing a persisted corpus.
+struct ReplayResult {
+  uint64_t Entries = 0;
+  std::vector<uint64_t> StoredKeys;   ///< From coverage.json.
+  std::vector<uint64_t> ReplayedKeys; ///< From re-running every entry.
+
+  bool coverageReproduced() const { return StoredKeys == ReplayedKeys; }
+};
+
+/// Reloads a corpus directory and re-runs every entry on the VM. Returns
+/// false (with \p Error set) when the directory or coverage.json is
+/// missing or malformed, or an entry no longer parses. The delete-and-
+/// replay determinism test rides on this: stored coverage must be exactly
+/// reproducible from the minimized entries alone.
+bool replayCorpus(const std::string &Dir, const FuzzConfig &C,
+                  ReplayResult &Out, std::string &Error);
+
+} // namespace rs::testgen
+
+#endif // RUSTSIGHT_TESTGEN_FUZZ_H

@@ -125,6 +125,16 @@ std::string sweepModuleText(const SweepConfig &C, uint64_t Seed,
 }
 
 SweepReport runSweep(const SweepConfig &C) {
+  if (C.SeedCount == 0) {
+    // A zero-seed sweep checks nothing, and for years CI configs have been
+    // one typo away from one. Reporting it "clean" would let that pass
+    // silently; surface it as a violation instead.
+    SweepReport Report;
+    Report.Violations.push_back(
+        {0, "config", "SeedCount is 0: a sweep over no seeds verifies nothing",
+         "", ""});
+    return Report;
+  }
   std::vector<SeedOutcome> Outcomes(C.SeedCount);
   {
     sched::ThreadPool Pool(C.Jobs);

@@ -33,6 +33,8 @@ namespace rs::testgen {
 /// One seed sweep.
 struct SweepConfig {
   uint64_t SeedStart = 1;
+  /// Must be non-zero: runSweep reports a "config" violation for an empty
+  /// sweep rather than a vacuously clean result.
   uint64_t SeedCount = 100;
 
   /// Worker threads; 0 picks the scheduler default.

@@ -13,6 +13,8 @@
 #include "mir/Verifier.h"
 #include "support/StringUtils.h"
 #include "testgen/Metamorph.h"
+#include "vm/Lower.h"
+#include "vm/Vm.h"
 
 #include <map>
 #include <set>
@@ -153,6 +155,39 @@ OracleResult checkInterpVsUafDetector(const mir::Module &M) {
   return pass("interp-uaf");
 }
 
+OracleResult checkVmParity(const mir::Module &M) {
+  vm::Program P = vm::compile(M);
+  for (const auto &Fn : M.functions()) {
+    interp::Interpreter::Options IOpts;
+    IOpts.StepLimit = 200000;
+    interp::Interpreter I(M, IOpts);
+    interp::ExecResult RI = I.run(Fn->Name);
+
+    vm::Vm::Options VOpts;
+    VOpts.StepLimit = 200000;
+    vm::Vm V(P, VOpts);
+    interp::ExecResult RV = V.run(Fn->Name);
+
+    auto Describe = [](const interp::ExecResult &R) {
+      return R.Ok ? "completed in " + std::to_string(R.Steps) + " steps"
+                  : R.Error->toString() + " after " +
+                        std::to_string(R.Steps) + " steps";
+    };
+    if (RI.Ok != RV.Ok || RI.Steps != RV.Steps)
+      return fail("vm-parity", "'" + Fn->Name + "': interp " + Describe(RI) +
+                                   ", vm " + Describe(RV));
+    if (!RI.Ok && (RI.Error->Kind != RV.Error->Kind ||
+                   RI.Error->Function != RV.Error->Function))
+      return fail("vm-parity", "'" + Fn->Name + "': interp " + Describe(RI) +
+                                   ", vm " + Describe(RV));
+    if (RI.Ok && RI.Return.toString() != RV.Return.toString())
+      return fail("vm-parity", "'" + Fn->Name + "': interp returned " +
+                                   RI.Return.toString() + ", vm returned " +
+                                   RV.Return.toString());
+  }
+  return pass("vm-parity");
+}
+
 OracleResult checkDetectorExpectation(const mir::Module &M,
                                       const InjectedBug &Label) {
   detectors::BugKind Kind;
@@ -186,6 +221,7 @@ std::vector<OracleResult> failedOracles(const mir::Module &M,
   Keep(checkRenameInvariance(M));
   Keep(checkPermuteInvariance(M, Seed));
   Keep(checkInterpVsUafDetector(M));
+  Keep(checkVmParity(M));
   if (Label)
     Keep(checkDetectorExpectation(M, *Label));
   return Failures;

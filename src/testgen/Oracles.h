@@ -19,6 +19,10 @@
 ///  - interp-uaf:   an interpreter UseAfterFree/UseAfterScope trap implies
 ///                  a use-after-free detector finding in that function
 ///                  (the dynamic run under-approximates the static one).
+///  - vm-parity:    the bytecode VM (src/vm/) agrees with the tree
+///                  interpreter on every function: same verdict, same trap
+///                  kind, same trapping function, same step count, same
+///                  return value rendering.
 ///  - expectation:  an injected bug's target detector fires iff the
 ///                  injection was the buggy form, not the benign twin.
 ///
@@ -47,6 +51,7 @@ OracleResult checkRoundTrip(const mir::Module &M);
 OracleResult checkRenameInvariance(const mir::Module &M);
 OracleResult checkPermuteInvariance(const mir::Module &M, uint64_t Seed);
 OracleResult checkInterpVsUafDetector(const mir::Module &M);
+OracleResult checkVmParity(const mir::Module &M);
 OracleResult checkDetectorExpectation(const mir::Module &M,
                                       const InjectedBug &Label);
 

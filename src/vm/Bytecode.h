@@ -1,0 +1,236 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of RustSight, a reproduction of "Understanding Memory and Thread
+// Safety Practices and Issues in Real-World Rust Programs" (PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The register bytecode a RustLite MIR module lowers to: one flat
+/// instruction array across all functions, with side pools for places,
+/// operands, constants, rvalues, switch tables, and call sites. Every jump
+/// target is a pre-resolved program counter and every callee is classified
+/// (intrinsic kind, compiled-function index, pre-parsed atomic op,
+/// pre-resolved spawn / Once-init targets) at lowering time, so the
+/// dispatch loop in Vm.cpp never touches strings or the MIR tree.
+///
+/// A parallel debug array maps each instruction back to its (block,
+/// statement) origin; it is consulted only when a trap fires, keeping the
+/// hot loop free of provenance bookkeeping while traps still anchor
+/// exactly like the tree interpreter's.
+///
+/// The lowering also enumerates a per-module *edge table*: one entry per
+/// CFG transfer (goto, each switch arm, assert success, drop continuation,
+/// call return, and one exit edge per returning terminator). Each edge
+/// carries a stable 64-bit shape key — a hash of the surrounding code's
+/// shape with local numbering abstracted away — so the same code shape in
+/// two different modules maps to the same key and cumulative fuzzing
+/// coverage can be unioned across a whole corpus (docs/FUZZING.md).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RUSTSIGHT_VM_BYTECODE_H
+#define RUSTSIGHT_VM_BYTECODE_H
+
+#include "interp/Runtime.h"
+#include "mir/Intrinsics.h"
+#include "mir/Mir.h"
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace rs::vm {
+
+/// Sentinel for "no pool entry".
+inline constexpr uint32_t NoIndex = ~0u;
+
+enum class Opcode : uint8_t {
+  Nop,
+  StorageLive, ///< A = local
+  StorageDead, ///< A = local
+  Assign,      ///< A = place id (dest), B = rvalue id
+  Goto,        ///< A = target pc, B = edge ordinal
+  Switch,      ///< A = operand id (discr), B = switch id
+  Return,      ///< A = exit edge ordinal (also Resume/Unreachable)
+  Assert,      ///< A = operand id (cond), B = target pc, C = edge ordinal
+  Drop,        ///< A = place id, B = target pc, C = edge ordinal
+  Call,        ///< A = call-site id
+  /// Target of a branch to a block id outside the function (the tree
+  /// interpreter's "branch to missing block" trap); also the entry point
+  /// of a function with no blocks.
+  TrapMissingBlock,
+};
+
+/// Drop-instruction flags.
+enum : uint8_t {
+  DropFlagTypeHasDrop = 1 << 0, ///< Local place whose type has drop glue.
+  DropFlagIsLocal = 1 << 1,     ///< Place is a bare local.
+};
+
+/// Assign-instruction specializations (Insn::Flags). The lowering tags an
+/// assign only when the destination is a bare local and the source is the
+/// encoded form with both indices <= 0xffff; Insn::C then packs dest local
+/// (low 16 bits) and source local / constant id (high 16 bits), letting
+/// the dispatch loop skip the place/rvalue pools entirely. The generic
+/// ids stay in A/B: the loop falls back to them whenever a liveness or
+/// kind check fails, so traps stay byte-identical to the interpreter's.
+enum : uint8_t {
+  AssignGeneric = 0,
+  AssignConstToLocal = 1, ///< dst = const
+  AssignCopyLocal = 2,    ///< dst = copy src
+  AssignMoveLocal = 3,    ///< dst = move src
+  /// dst = binop(copy/const, copy/const); Insn::C indexes Program::
+  /// FusedBins instead of packing the operands.
+  AssignBinaryFused = 4,
+};
+
+/// Pre-resolved `dst = binop(a, b)` where dst is a bare local and each
+/// operand is a bare-local copy or a constant (never a move — moves need
+/// their source marked). 8 bytes.
+struct FusedBinary {
+  uint8_t Op = 0;          ///< mir::BinOp, raw.
+  uint8_t ConstMask = 0;   ///< Bit 0: L is a const id; bit 1: R is.
+  uint16_t Dst = 0;
+  uint16_t L = 0;          ///< Local or const id, per ConstMask.
+  uint16_t R = 0;
+};
+
+struct Insn {
+  Opcode Op = Opcode::Nop;
+  uint8_t Flags = 0;
+  uint32_t A = 0;
+  uint32_t B = 0;
+  uint32_t C = 0;
+};
+
+/// Where an instruction came from, for trap anchoring. Parallel to the
+/// instruction array; read only when a trap fires.
+struct InsnDebug {
+  mir::BlockId Block = 0;
+  uint32_t Stmt = 0;
+};
+
+/// One flattened projection step.
+struct ProjRef {
+  enum : uint8_t { Deref = 0, Field = 1, Index = 2 };
+  uint8_t Kind = Deref;
+  uint32_t Arg = 0; ///< Field index or index local.
+};
+
+/// A flattened place: base local plus a projection span.
+struct PlaceRef {
+  mir::LocalId Base = 0;
+  uint32_t ProjBegin = 0;
+  uint32_t ProjEnd = 0;
+  bool HasDeref = false; ///< Precomputed Place::hasDeref().
+
+  bool isLocal() const { return ProjBegin == ProjEnd; }
+};
+
+struct OperandRef {
+  enum : uint8_t { Copy = 0, Move = 1, Const = 2 };
+  uint8_t Kind = Const;
+  uint32_t Index = 0; ///< Place id (Copy/Move) or constant id (Const).
+};
+
+/// A flattened rvalue. Cast and AddressOf lower to Use and Ref — the
+/// engines treat them identically.
+struct RvRef {
+  enum class Kind : uint8_t {
+    Use,
+    Ref,
+    Binary,
+    Unary,
+    Aggregate,
+    Discriminant,
+    Len,
+  };
+  Kind K = Kind::Use;
+  uint8_t Op = 0;   ///< mir::BinOp or mir::UnOp, raw.
+  uint32_t A = 0;   ///< Operand id; Aggregate: operand span begin.
+  uint32_t B = 0;   ///< Binary: second operand id; Aggregate: span end.
+  uint32_t P = 0;   ///< Place id for Ref/Discriminant/Len.
+};
+
+struct SwitchCaseRef {
+  int64_t Value = 0;
+  uint32_t Pc = 0;
+  uint32_t Edge = 0;
+};
+
+/// A switch table: cases in source order (first match wins, like the tree
+/// interpreter) plus the otherwise edge.
+struct SwitchRef {
+  uint32_t CaseBegin = 0;
+  uint32_t CaseEnd = 0;
+  uint32_t OtherPc = 0;
+  uint32_t OtherEdge = 0;
+};
+
+/// Pre-parsed atomic operation (from the callee path's final segment).
+enum class AtomicOpKind : uint8_t { Other, CompareAndSwap, Store, FetchAdd };
+
+/// A call site with everything the dispatch loop needs pre-resolved.
+struct CallSite {
+  mir::IntrinsicKind Kind = mir::IntrinsicKind::None;
+  AtomicOpKind Atomic = AtomicOpKind::Other;
+  int32_t Callee = -1;   ///< Compiled-function index (Kind == None only).
+  int32_t OnceInit = -1; ///< Pre-resolved Once initializer, -1 if none.
+  int32_t SpawnFn = -1;  ///< Pre-resolved spawn target, -1 if unresolved.
+  bool HasSpawnName = false; ///< Whether the spawn enqueues at all.
+  uint32_t ArgBegin = 0;
+  uint32_t ArgEnd = 0;        ///< Operand span of the arguments.
+  uint32_t Arg0Place = NoIndex; ///< Place id of arg 0 when it is a place.
+  uint32_t Dest = 0;
+  bool HasDest = false;
+  uint32_t TargetPc = 0;
+  uint32_t Edge = 0;
+};
+
+struct CompiledFunction {
+  std::string Name;
+  unsigned NumArgs = 0;
+  unsigned NumLocals = 0;
+  uint32_t EntryPc = 0;
+  uint32_t NumBlocks = 0;
+  /// Source function, for argument synthesis (parameter types).
+  const mir::Function *Src = nullptr;
+};
+
+/// A lowered module. Owns no MIR; the source module must outlive it.
+struct Program {
+  const mir::Module *Src = nullptr;
+
+  std::vector<CompiledFunction> Funcs;
+  std::vector<Insn> Insns;
+  std::vector<InsnDebug> Debug;
+  std::vector<ProjRef> Projs;
+  std::vector<PlaceRef> Places;
+  std::vector<OperandRef> Operands;
+  std::vector<interp::Value> Consts;
+  std::vector<RvRef> Rvalues;
+  std::vector<SwitchCaseRef> SwitchCases;
+  std::vector<SwitchRef> Switches;
+  std::vector<CallSite> Calls;
+  std::vector<FusedBinary> FusedBins;
+
+  /// Edge ordinal -> stable cross-module shape key (see file comment).
+  std::vector<uint64_t> EdgeKeys;
+
+  std::map<std::string, uint32_t> FuncIndex;
+
+  /// Compiled-function index for \p Name, or -1. Same resolution the tree
+  /// interpreter's Module::findFunction performs.
+  int32_t findFunc(const std::string &Name) const {
+    auto It = FuncIndex.find(Name);
+    return It == FuncIndex.end() ? -1 : static_cast<int32_t>(It->second);
+  }
+
+  size_t numEdges() const { return EdgeKeys.size(); }
+};
+
+} // namespace rs::vm
+
+#endif // RUSTSIGHT_VM_BYTECODE_H

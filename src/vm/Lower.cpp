@@ -1,0 +1,574 @@
+#include "vm/Lower.h"
+
+#include "analysis/Objects.h" // typeNeedsDrop
+#include "support/Hash.h"
+
+#include <map>
+#include <string>
+
+using namespace rs;
+using namespace rs::vm;
+using namespace rs::mir;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Shape strings for edge keys
+//===----------------------------------------------------------------------===//
+//
+// An edge key hashes the *shape* of the code around a CFG transfer: the
+// source block's last statement + terminator, the transfer slot, and the
+// destination block's first instruction. Local numbering is abstracted away
+// and integer constants are bucketed coarsely, so:
+//  - the same code shape in two different generated modules shares a key
+//    (cumulative corpus coverage is a union over modules),
+//  - the clean generator's finite statement vocabulary saturates, while
+//    mutations that change what the code *does* (injected bug patterns,
+//    operator swaps, constant-class changes) mint new keys.
+
+std::string bucketInt(int64_t V) {
+  if (V == 0)
+    return "0";
+  if (V == 1)
+    return "1";
+  if (V < 0)
+    return "n";
+  if (V <= 16)
+    return "s";
+  return "b";
+}
+
+std::string placeShape(const Place &P) {
+  std::string Out;
+  for (const ProjectionElem &E : P.Projs) {
+    switch (E.K) {
+    case ProjectionElem::Kind::Deref:
+      Out += "*";
+      break;
+    case ProjectionElem::Kind::Field:
+      Out += "." + std::to_string(E.FieldIdx);
+      break;
+    case ProjectionElem::Kind::Index:
+      Out += "[]";
+      break;
+    }
+  }
+  return Out;
+}
+
+std::string operandShape(const Operand &O) {
+  switch (O.K) {
+  case Operand::Kind::Copy:
+    return "c" + placeShape(O.P);
+  case Operand::Kind::Move:
+    return "m" + placeShape(O.P);
+  case Operand::Kind::Const:
+    switch (O.C.K) {
+    case ConstValue::Kind::Int:
+      return "i" + bucketInt(O.C.Int);
+    case ConstValue::Kind::Bool:
+      return O.C.Bool ? "bt" : "bf";
+    case ConstValue::Kind::Str:
+      return "s";
+    case ConstValue::Kind::Unit:
+      return "u";
+    }
+  }
+  return "?";
+}
+
+std::string rvalueShape(const Rvalue &RV) {
+  switch (RV.K) {
+  case Rvalue::Kind::Use:
+  case Rvalue::Kind::Cast:
+    return "u(" + operandShape(RV.Ops[0]) + ")";
+  case Rvalue::Kind::Ref:
+  case Rvalue::Kind::AddressOf:
+    return "&" + placeShape(RV.P);
+  case Rvalue::Kind::BinaryOp:
+    return std::string(binOpName(RV.BOp)) + "(" + operandShape(RV.Ops[0]) +
+           "," + operandShape(RV.Ops[1]) + ")";
+  case Rvalue::Kind::UnaryOp:
+    return std::string(RV.UOp == UnOp::Not ? "!" : "-") + "(" +
+           operandShape(RV.Ops[0]) + ")";
+  case Rvalue::Kind::Aggregate: {
+    std::string Out = "{";
+    for (const Operand &O : RV.Ops)
+      Out += operandShape(O) + ",";
+    return Out + "}";
+  }
+  case Rvalue::Kind::Discriminant:
+    return "d" + placeShape(RV.P);
+  case Rvalue::Kind::Len:
+    return "l" + placeShape(RV.P);
+  }
+  return "?";
+}
+
+std::string statementShape(const Statement &S) {
+  switch (S.K) {
+  case Statement::Kind::Nop:
+    return "N";
+  case Statement::Kind::StorageLive:
+    return "L";
+  case Statement::Kind::StorageDead:
+    return "D";
+  case Statement::Kind::Assign:
+    return "A" + placeShape(S.Dest) + "=" + rvalueShape(S.RV);
+  }
+  return "?";
+}
+
+std::string terminatorShape(const Terminator &T) {
+  switch (T.K) {
+  case Terminator::Kind::Goto:
+    return "G";
+  case Terminator::Kind::SwitchInt:
+    return "S" + operandShape(T.Discr) + ":" +
+           std::to_string(T.Cases.size());
+  case Terminator::Kind::Return:
+    return "R";
+  case Terminator::Kind::Resume:
+    return "X";
+  case Terminator::Kind::Unreachable:
+    return "U";
+  case Terminator::Kind::Assert:
+    return "T" + operandShape(T.Discr);
+  case Terminator::Kind::Drop:
+    return "P" + placeShape(T.DropPlace);
+  case Terminator::Kind::Call: {
+    IntrinsicKind Kind = classifyIntrinsic(T.Callee);
+    std::string Callee =
+        Kind != IntrinsicKind::None
+            ? std::to_string(static_cast<int>(Kind))
+            : "@"; // Module-defined and unknown callees share one tag:
+                   // their bodies carry their own edges.
+    std::string Out = "C" + Callee + "(";
+    for (const Operand &O : T.Args)
+      Out += operandShape(O) + ",";
+    return Out + ")" + (T.HasDest ? "d" : "");
+  }
+  }
+  return "?";
+}
+
+/// Shape of the first instruction of a block (a statement, or the
+/// terminator when the block has none).
+std::string blockHead(const BasicBlock &BB) {
+  return BB.Statements.empty() ? terminatorShape(BB.Term)
+                               : statementShape(BB.Statements.front());
+}
+
+/// Shape of the tail of a block: last statement + terminator.
+std::string blockTail(const BasicBlock &BB) {
+  std::string Out =
+      BB.Statements.empty() ? "" : statementShape(BB.Statements.back());
+  return Out + ";" + terminatorShape(BB.Term);
+}
+
+//===----------------------------------------------------------------------===//
+// Lowering
+//===----------------------------------------------------------------------===//
+
+class Lowering {
+public:
+  explicit Lowering(const Module &M) : M(M) { P.Src = &M; }
+
+  Program run() {
+    // Pass 1: function table, so call targets resolve by index.
+    uint32_t Idx = 0;
+    for (const auto &Fn : M.functions()) {
+      CompiledFunction CF;
+      CF.Name = Fn->Name;
+      CF.NumArgs = Fn->NumArgs;
+      CF.NumLocals = Fn->numLocals();
+      CF.NumBlocks = Fn->numBlocks();
+      CF.Src = Fn.get();
+      P.Funcs.push_back(std::move(CF));
+      P.FuncIndex.emplace(Fn->Name, Idx++);
+    }
+    // Pass 2: bodies.
+    for (uint32_t I = 0; I != P.Funcs.size(); ++I)
+      lowerFunction(I, *P.Funcs[I].Src);
+    return std::move(P);
+  }
+
+private:
+  const Module &M;
+  Program P;
+
+  // Per-function lowering state.
+  std::vector<uint32_t> BlockPc;
+  uint32_t StubPc = 0;
+  std::vector<std::string> Heads; ///< blockHead per block.
+
+  uint32_t targetPc(BlockId B) const {
+    return B < BlockPc.size() ? BlockPc[B] : StubPc;
+  }
+
+  const std::string &headOf(BlockId B) const {
+    static const std::string Missing = "<missing>";
+    return B < Heads.size() ? Heads[B] : Missing;
+  }
+
+  uint32_t addEdge(const std::string &Tail, const std::string &Slot,
+                   const std::string &Head) {
+    uint64_t Key = fnv1a64(Tail + "|" + Slot + "|" + Head);
+    P.EdgeKeys.push_back(Key);
+    return static_cast<uint32_t>(P.EdgeKeys.size() - 1);
+  }
+
+  uint32_t lowerPlace(const Place &Pl) {
+    PlaceRef R;
+    R.Base = Pl.Base;
+    R.ProjBegin = static_cast<uint32_t>(P.Projs.size());
+    for (const ProjectionElem &E : Pl.Projs) {
+      ProjRef PR;
+      switch (E.K) {
+      case ProjectionElem::Kind::Deref:
+        PR.Kind = ProjRef::Deref;
+        R.HasDeref = true;
+        break;
+      case ProjectionElem::Kind::Field:
+        PR.Kind = ProjRef::Field;
+        PR.Arg = E.FieldIdx;
+        break;
+      case ProjectionElem::Kind::Index:
+        PR.Kind = ProjRef::Index;
+        PR.Arg = E.IndexLocal;
+        break;
+      }
+      P.Projs.push_back(PR);
+    }
+    R.ProjEnd = static_cast<uint32_t>(P.Projs.size());
+    P.Places.push_back(R);
+    return static_cast<uint32_t>(P.Places.size() - 1);
+  }
+
+  uint32_t lowerConst(const ConstValue &C) {
+    interp::Value V;
+    switch (C.K) {
+    case ConstValue::Kind::Int:
+      V = interp::Value::makeInt(C.Int);
+      break;
+    case ConstValue::Kind::Bool:
+      V = interp::Value::makeBool(C.Bool);
+      break;
+    case ConstValue::Kind::Str:
+      V = interp::Value::makeStr(C.Str);
+      break;
+    case ConstValue::Kind::Unit:
+      V = interp::Value::makeUnit();
+      break;
+    }
+    P.Consts.push_back(std::move(V));
+    return static_cast<uint32_t>(P.Consts.size() - 1);
+  }
+
+  uint32_t lowerOperand(const Operand &O) {
+    OperandRef R;
+    switch (O.K) {
+    case Operand::Kind::Copy:
+      R.Kind = OperandRef::Copy;
+      R.Index = lowerPlace(O.P);
+      break;
+    case Operand::Kind::Move:
+      R.Kind = OperandRef::Move;
+      R.Index = lowerPlace(O.P);
+      break;
+    case Operand::Kind::Const:
+      R.Kind = OperandRef::Const;
+      R.Index = lowerConst(O.C);
+      break;
+    }
+    P.Operands.push_back(R);
+    return static_cast<uint32_t>(P.Operands.size() - 1);
+  }
+
+  uint32_t lowerRvalue(const Rvalue &RV) {
+    RvRef R;
+    switch (RV.K) {
+    case Rvalue::Kind::Use:
+    case Rvalue::Kind::Cast: // Value-preserving, same as Use.
+      R.K = RvRef::Kind::Use;
+      R.A = lowerOperand(RV.Ops[0]);
+      break;
+    case Rvalue::Kind::Ref:
+    case Rvalue::Kind::AddressOf:
+      R.K = RvRef::Kind::Ref;
+      R.P = lowerPlace(RV.P);
+      break;
+    case Rvalue::Kind::BinaryOp:
+      R.K = RvRef::Kind::Binary;
+      R.Op = static_cast<uint8_t>(RV.BOp);
+      R.A = lowerOperand(RV.Ops[0]);
+      R.B = lowerOperand(RV.Ops[1]);
+      break;
+    case Rvalue::Kind::UnaryOp:
+      R.K = RvRef::Kind::Unary;
+      R.Op = static_cast<uint8_t>(RV.UOp);
+      R.A = lowerOperand(RV.Ops[0]);
+      break;
+    case Rvalue::Kind::Aggregate: {
+      R.K = RvRef::Kind::Aggregate;
+      // Operand ids for an aggregate must be contiguous: lowerOperand
+      // appends one OperandRef per call (pools referenced by the operand
+      // interleave, but the operand ids themselves stay consecutive).
+      R.A = static_cast<uint32_t>(P.Operands.size());
+      for (const Operand &O : RV.Ops)
+        lowerOperand(O);
+      R.B = static_cast<uint32_t>(P.Operands.size());
+      break;
+    }
+    case Rvalue::Kind::Discriminant:
+      R.K = RvRef::Kind::Discriminant;
+      R.P = lowerPlace(RV.P);
+      break;
+    case Rvalue::Kind::Len:
+      R.K = RvRef::Kind::Len;
+      R.P = lowerPlace(RV.P);
+      break;
+    }
+    P.Rvalues.push_back(R);
+    return static_cast<uint32_t>(P.Rvalues.size() - 1);
+  }
+
+  static AtomicOpKind parseAtomicOp(std::string_view Callee) {
+    size_t Sep = Callee.rfind("::");
+    std::string_view Op =
+        Sep == std::string_view::npos ? Callee : Callee.substr(Sep + 2);
+    if (Op == "compare_and_swap")
+      return AtomicOpKind::CompareAndSwap;
+    if (Op == "store")
+      return AtomicOpKind::Store;
+    if (Op == "fetch_add")
+      return AtomicOpKind::FetchAdd;
+    return AtomicOpKind::Other;
+  }
+
+  uint32_t lowerCall(const Terminator &T, const std::string &Tail) {
+    CallSite CS;
+    CS.Kind = classifyIntrinsic(T.Callee);
+    if (CS.Kind == IntrinsicKind::None)
+      CS.Callee = P.findFunc(T.Callee);
+    if (CS.Kind == IntrinsicKind::AtomicOp)
+      CS.Atomic = parseAtomicOp(T.Callee);
+    if (CS.Kind == IntrinsicKind::ThreadSpawn) {
+      // The interpreter enqueues the spawn target's *name* and resolves it
+      // when the queue drains; resolution against a fixed module commutes,
+      // so pre-resolve here (a miss enqueues a skip marker for parity).
+      CS.HasSpawnName = !T.Args.empty() && !T.Args[0].isPlace() &&
+                        T.Args[0].C.K == ConstValue::Kind::Str;
+      if (CS.HasSpawnName)
+        CS.SpawnFn = P.findFunc(T.Args[0].C.Str);
+    }
+    if (CS.Kind == IntrinsicKind::OnceCall) {
+      if (T.Args.size() >= 2 && !T.Args[1].isPlace() &&
+          T.Args[1].C.K == ConstValue::Kind::Str)
+        CS.OnceInit = P.findFunc(T.Args[1].C.Str);
+    }
+    CS.ArgBegin = static_cast<uint32_t>(P.Operands.size());
+    for (const Operand &O : T.Args)
+      lowerOperand(O);
+    CS.ArgEnd = static_cast<uint32_t>(P.Operands.size());
+    if (!T.Args.empty() && T.Args[0].isPlace())
+      CS.Arg0Place = lowerPlace(T.Args[0].P);
+    CS.HasDest = T.HasDest;
+    if (T.HasDest)
+      CS.Dest = lowerPlace(T.Dest);
+    CS.TargetPc = targetPc(T.Target);
+    CS.Edge = addEdge(Tail, "r", headOf(T.Target));
+    P.Calls.push_back(std::move(CS));
+    return static_cast<uint32_t>(P.Calls.size() - 1);
+  }
+
+  void emit(Insn I, mir::BlockId Block, uint32_t Stmt) {
+    P.Insns.push_back(I);
+    P.Debug.push_back({Block, Stmt});
+  }
+
+  void lowerFunction(uint32_t FnIdx, const Function &Fn) {
+    // Pc layout: each block occupies (numStatements + 1) slots, then one
+    // shared missing-block trap stub at the end of the function.
+    uint32_t Pc = static_cast<uint32_t>(P.Insns.size());
+    BlockPc.assign(Fn.numBlocks(), 0);
+    Heads.assign(Fn.numBlocks(), "");
+    for (BlockId B = 0; B != Fn.numBlocks(); ++B) {
+      BlockPc[B] = Pc;
+      Pc += static_cast<uint32_t>(Fn.Blocks[B].Statements.size()) + 1;
+      Heads[B] = blockHead(Fn.Blocks[B]);
+    }
+    StubPc = Pc;
+
+    P.Funcs[FnIdx].EntryPc =
+        Fn.numBlocks() == 0 ? StubPc : BlockPc[0];
+
+    for (BlockId B = 0; B != Fn.numBlocks(); ++B) {
+      const BasicBlock &BB = Fn.Blocks[B];
+      for (size_t I = 0; I != BB.Statements.size(); ++I)
+        lowerStatement(BB.Statements[I], B, static_cast<uint32_t>(I));
+      lowerTerminator(Fn, BB, B);
+    }
+
+    emit({Opcode::TrapMissingBlock, 0, 0, 0, 0}, Fn.numBlocks(), 0);
+  }
+
+  void lowerStatement(const Statement &S, mir::BlockId Block, uint32_t Idx) {
+    Insn I;
+    switch (S.K) {
+    case Statement::Kind::Nop:
+      I.Op = Opcode::Nop;
+      break;
+    case Statement::Kind::StorageLive:
+      I.Op = Opcode::StorageLive;
+      I.A = S.Local;
+      break;
+    case Statement::Kind::StorageDead:
+      I.Op = Opcode::StorageDead;
+      I.A = S.Local;
+      break;
+    case Statement::Kind::Assign:
+      I.Op = Opcode::Assign;
+      I.A = lowerPlace(S.Dest);
+      I.B = lowerRvalue(S.RV);
+      specializeAssign(I);
+      break;
+    }
+    emit(I, Block, Idx);
+  }
+
+  /// Tags local-to-local / const-to-local / scalar-binary assigns with a
+  /// fused form (see the Assign* flags in Bytecode.h).
+  void specializeAssign(Insn &I) {
+    const PlaceRef &Dst = P.Places[I.A];
+    if (!Dst.isLocal() || Dst.Base > 0xffff)
+      return;
+    const RvRef &RV = P.Rvalues[I.B];
+    if (RV.K == RvRef::Kind::Use) {
+      const OperandRef &O = P.Operands[RV.A];
+      if (O.Kind == OperandRef::Const) {
+        if (O.Index > 0xffff)
+          return;
+        I.Flags = AssignConstToLocal;
+        I.C = static_cast<uint32_t>(Dst.Base) | (O.Index << 16);
+        return;
+      }
+      const PlaceRef &Src = P.Places[O.Index];
+      if (!Src.isLocal() || Src.Base > 0xffff)
+        return;
+      I.Flags = O.Kind == OperandRef::Copy ? AssignCopyLocal : AssignMoveLocal;
+      I.C = static_cast<uint32_t>(Dst.Base) |
+            (static_cast<uint32_t>(Src.Base) << 16);
+      return;
+    }
+    if (RV.K == RvRef::Kind::Binary) {
+      // Moves are excluded: a moved-out source must be marked, which the
+      // fused path does not do.
+      auto FuseOperand = [this](uint32_t OpId, uint16_t &Out, bool &IsConst) {
+        const OperandRef &O = P.Operands[OpId];
+        if (O.Kind == OperandRef::Const) {
+          if (O.Index > 0xffff)
+            return false;
+          Out = static_cast<uint16_t>(O.Index);
+          IsConst = true;
+          return true;
+        }
+        if (O.Kind != OperandRef::Copy)
+          return false;
+        const PlaceRef &Pl = P.Places[O.Index];
+        if (!Pl.isLocal() || Pl.Base > 0xffff)
+          return false;
+        Out = static_cast<uint16_t>(Pl.Base);
+        IsConst = false;
+        return true;
+      };
+      FusedBinary FB;
+      bool LC = false, RC = false;
+      if (!FuseOperand(RV.A, FB.L, LC) || !FuseOperand(RV.B, FB.R, RC))
+        return;
+      FB.Op = RV.Op;
+      FB.ConstMask = (LC ? 1 : 0) | (RC ? 2 : 0);
+      FB.Dst = static_cast<uint16_t>(Dst.Base);
+      I.Flags = AssignBinaryFused;
+      I.C = static_cast<uint32_t>(P.FusedBins.size());
+      P.FusedBins.push_back(FB);
+    }
+  }
+
+  void lowerTerminator(const Function &Fn, const BasicBlock &BB,
+                       mir::BlockId Block) {
+    const Terminator &T = BB.Term;
+    const std::string Tail = blockTail(BB);
+    const uint32_t Stmt = static_cast<uint32_t>(BB.Statements.size());
+    Insn I;
+    switch (T.K) {
+    case Terminator::Kind::Goto:
+      I.Op = Opcode::Goto;
+      I.A = targetPc(T.Target);
+      I.B = addEdge(Tail, "g", headOf(T.Target));
+      break;
+    case Terminator::Kind::SwitchInt: {
+      I.Op = Opcode::Switch;
+      I.A = lowerOperand(T.Discr);
+      // A copy-of-bare-local discriminant (the common shape: a freshly
+      // computed comparison temp) is tagged so the loop reads the cell
+      // directly; C is otherwise unused on Switch.
+      {
+        const OperandRef &O = P.Operands[I.A];
+        if (O.Kind == OperandRef::Copy && P.Places[O.Index].isLocal()) {
+          I.Flags = 1;
+          I.C = P.Places[O.Index].Base;
+        }
+      }
+      SwitchRef SR;
+      SR.CaseBegin = static_cast<uint32_t>(P.SwitchCases.size());
+      for (const auto &[Case, Target] : T.Cases) {
+        SwitchCaseRef CR;
+        CR.Value = Case;
+        CR.Pc = targetPc(Target);
+        CR.Edge = addEdge(Tail, "c" + bucketInt(Case), headOf(Target));
+        P.SwitchCases.push_back(CR);
+      }
+      SR.CaseEnd = static_cast<uint32_t>(P.SwitchCases.size());
+      SR.OtherPc = targetPc(T.Target);
+      SR.OtherEdge = addEdge(Tail, "o", headOf(T.Target));
+      P.Switches.push_back(SR);
+      I.B = static_cast<uint32_t>(P.Switches.size() - 1);
+      break;
+    }
+    case Terminator::Kind::Return:
+    case Terminator::Kind::Resume:
+    case Terminator::Kind::Unreachable:
+      I.Op = Opcode::Return;
+      I.A = addEdge(Tail, "x", "");
+      break;
+    case Terminator::Kind::Assert:
+      I.Op = Opcode::Assert;
+      I.A = lowerOperand(T.Discr);
+      I.B = targetPc(T.Target);
+      I.C = addEdge(Tail, "a", headOf(T.Target));
+      break;
+    case Terminator::Kind::Drop: {
+      I.Op = Opcode::Drop;
+      I.A = lowerPlace(T.DropPlace);
+      I.B = targetPc(T.Target);
+      I.C = addEdge(Tail, "d", headOf(T.Target));
+      if (T.DropPlace.isLocal()) {
+        I.Flags |= DropFlagIsLocal;
+        if (analysis::typeNeedsDrop(Fn.localType(T.DropPlace.Base), M))
+          I.Flags |= DropFlagTypeHasDrop;
+      }
+      break;
+    }
+    case Terminator::Kind::Call:
+      I.Op = Opcode::Call;
+      I.A = lowerCall(T, Tail);
+      break;
+    }
+    emit(I, Block, Stmt);
+  }
+};
+
+} // namespace
+
+Program rs::vm::compile(const Module &M) { return Lowering(M).run(); }

@@ -1,0 +1,29 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of RustSight, a reproduction of "Understanding Memory and Thread
+// Safety Practices and Issues in Real-World Rust Programs" (PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lowering from RustLite MIR to the register bytecode in Bytecode.h.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RUSTSIGHT_VM_LOWER_H
+#define RUSTSIGHT_VM_LOWER_H
+
+#include "vm/Bytecode.h"
+
+namespace rs::vm {
+
+/// Compiles \p M to bytecode. Infallible: any construct the verifier would
+/// reject (e.g. a branch to a missing block) lowers to an explicit trap
+/// instruction so the VM reports it exactly like the tree interpreter.
+/// The returned Program borrows \p M (function pointers, struct layouts);
+/// \p M must outlive it.
+Program compile(const mir::Module &M);
+
+} // namespace rs::vm
+
+#endif // RUSTSIGHT_VM_LOWER_H

@@ -1,0 +1,2087 @@
+#include "vm/Vm.h"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+
+using namespace rs;
+using namespace rs::vm;
+using interp::ExecResult;
+using interp::PointerTarget;
+using interp::Trap;
+using interp::TrapKind;
+using interp::Value;
+
+//===----------------------------------------------------------------------===//
+// Runtime state
+//
+// The VM does not execute on interp::Value: that struct carries four
+// container members (string, two pointer paths, aggregate elements), so
+// every copy, move and destruction walks allocators — and profiling shows
+// that churn, not dispatch, dominating both engines. Instead the VM runs
+// on VVal, a flat POD value whose rare variable-size payloads live in
+// per-VM arena pools (strings, pointer paths, aggregate element arrays).
+// Copies are memcpy; frame push/pop is a resize of a trivially-copyable
+// vector; reset() truncates the arenas but keeps their capacity, so a hot
+// Vm reaches a zero-allocation steady state. interp::Value appears only
+// at the public API boundary (arguments in, ExecResult::Return out).
+//
+// Ownership stays tree-shaped exactly as in the interpreter: duplicating
+// a value deep-copies aggregate payloads (copyVal), moving transfers the
+// arena index. Overwritten or dropped payloads are not returned to the
+// pool — they leak into the arena until the next reset(), which is
+// bounded by the step limit and keeps the hot paths free of bookkeeping.
+//===----------------------------------------------------------------------===//
+
+#if defined(__GNUC__)
+#define RS_VM_HOT __attribute__((always_inline)) inline
+#define RS_VM_NOINLINE __attribute__((noinline))
+#define RS_VM_UNLIKELY(x) __builtin_expect(!!(x), 0)
+#define RS_VM_LIKELY(x) __builtin_expect(!!(x), 1)
+#else
+#define RS_VM_HOT inline
+#define RS_VM_NOINLINE
+#define RS_VM_UNLIKELY(x) (x)
+#define RS_VM_LIKELY(x) (x)
+#endif
+
+namespace {
+
+enum class Why : uint8_t { NeverInit, Moved, Dropped };
+
+using VKind = Value::Kind;
+
+/// POD pointer target / lock key. Paths are spans into the VM's PathPool
+/// arena. Trivial (no default member initializers) so it can live in
+/// VVal's union; always construct via zeroTgt()/heapTgt()/localTgt() —
+/// a zeroTgt() is a dangling heap pointer (id 0), exactly like a default
+/// interp::PointerTarget.
+struct VTgt {
+  PointerTarget::Space Space;
+  uint32_t FrameId;
+  uint32_t Local;
+  uint32_t HeapId;
+  uint32_t PathIdx;
+  uint32_t PathLen;
+};
+
+inline VTgt zeroTgt() {
+  return VTgt{PointerTarget::Space::Heap, 0, 0, 0, 0, 0};
+}
+inline VTgt heapTgt(uint32_t HeapId) {
+  return VTgt{PointerTarget::Space::Heap, 0, 0, HeapId, 0, 0};
+}
+inline VTgt stackTgt(uint32_t FrameId, uint32_t Local) {
+  return VTgt{PointerTarget::Space::Stack, FrameId, Local, 0, 0, 0};
+}
+
+/// POD runtime value, 32 bytes. Int carries Int and Bool (0/1) payloads;
+/// Idx is the StrPool index (Str) or AggPool index (Aggregate); T is the
+/// pointer target (Ptr) or the held lock's key (Guard). Int and T never
+/// coexist, so they share storage — raw-field reads must go through
+/// rawInt/coerceInt below to reproduce the interpreter's zero-filled
+/// struct semantics.
+struct VVal {
+  VKind K = VKind::Uninit;
+  uint8_t Flags = 0;
+  uint32_t Idx = 0;
+  union {
+    int64_t Int = 0;
+    VTgt T;
+  };
+
+  bool isUninit() const { return K == VKind::Uninit; }
+};
+
+/// interp::Value::Int stays zero unless the value is an Int (Bool lives
+/// in the separate .Bool field). Sites that read .Int without a kind
+/// check — unary ops, fetch_add operands — see 0 for everything else.
+inline int64_t rawInt(const VVal &V) {
+  return V.K == VKind::Int ? V.Int : 0;
+}
+
+/// The interpreter's `K==Bool ? (Bool?1:0) : Int` idiom (switch
+/// discriminants, enum discriminant reads).
+inline int64_t coerceInt(const VVal &V) {
+  return V.K == VKind::Int || V.K == VKind::Bool ? V.Int : 0;
+}
+
+constexpr uint8_t FlagOwning = 1;     ///< Ptr: dropping frees the pointee.
+constexpr uint8_t FlagRefCounted = 2; ///< Ptr: Arc-style shared ownership.
+constexpr uint8_t FlagExclusive = 4;  ///< Guard: write acquisition.
+
+VVal makeUninitV() { return VVal(); }
+VVal makeUnitV() {
+  VVal V;
+  V.K = VKind::Unit;
+  return V;
+}
+VVal makeIntV(int64_t N) {
+  VVal V;
+  V.K = VKind::Int;
+  V.Int = N;
+  return V;
+}
+VVal makeBoolV(bool B) {
+  VVal V;
+  V.K = VKind::Bool;
+  V.Int = B ? 1 : 0;
+  return V;
+}
+VVal makePtrV(VTgt T, bool Owning = false, bool RefCounted = false) {
+  VVal V;
+  V.K = VKind::Ptr;
+  V.T = T;
+  V.Flags = (Owning ? FlagOwning : 0) | (RefCounted ? FlagRefCounted : 0);
+  return V;
+}
+VVal makeGuardV(VTgt Key, bool Exclusive) {
+  VVal V;
+  V.K = VKind::Guard;
+  V.T = Key;
+  V.Flags = Exclusive ? FlagExclusive : 0;
+  return V;
+}
+VVal makeOpaqueV() {
+  VVal V;
+  V.K = VKind::Opaque;
+  return V;
+}
+
+struct VCell {
+  VVal V;
+  bool StorageLive = true;
+  Why Reason = Why::NeverInit;
+};
+
+struct VHeapObj {
+  VVal V;
+  bool Freed = false;
+  bool Initialized = true;
+  int RefCount = 1;
+};
+
+struct VLock {
+  VTgt Key = zeroTgt();
+  unsigned Shared = 0;
+  bool Exclusive = false;
+};
+
+enum class OnceSt : uint8_t { Running, Done }; // Fresh == absent entry.
+
+struct VOnce {
+  VTgt Key = zeroTgt();
+  OnceSt St = OnceSt::Running;
+};
+
+/// One live activation. Locals live in a shared stack vector at
+/// [LocalsBase, LocalsBase + NumLocals).
+struct VFrame {
+  unsigned Id = 0;
+  uint32_t Fn = 0;
+  uint32_t LocalsBase = 0;
+  uint32_t RetPc = 0;       ///< Caller pc to resume at after return.
+  uint32_t RetDest = 0;     ///< Caller's call destination place.
+  bool RetHasDest = false;
+  bool IsOnceInit = false;  ///< Frame runs a Once initializer.
+  VTgt OnceKey = zeroTgt(); ///< IsOnceInit: the Once to mark Done on return.
+  uint32_t OnceDest = 0;    ///< IsOnceInit: the call_once destination.
+  bool OnceHasDest = false;
+};
+
+} // namespace
+
+class Vm::Impl {
+public:
+  Impl(const Program &P, Options Opts)
+      : P(P), Opts(Opts), EdgeHits(P.numEdges()) {
+    // Intern the constant pool once; these StrPool entries are permanent
+    // (reset() truncates back to PersistentStrs). Constants are scalars,
+    // strings or unit — never pointers or aggregates.
+    VConsts.reserve(P.Consts.size());
+    for (const Value &C : P.Consts) {
+      switch (C.K) {
+      case VKind::Int:
+        VConsts.push_back(makeIntV(C.Int));
+        break;
+      case VKind::Bool:
+        VConsts.push_back(makeBoolV(C.Bool));
+        break;
+      case VKind::Str: {
+        VVal V;
+        V.K = VKind::Str;
+        V.Idx = internStr(C.Str);
+        VConsts.push_back(V);
+        break;
+      }
+      default:
+        VConsts.push_back(makeUnitV());
+        break;
+      }
+    }
+    EmptyStrId = internStr("");
+    PersistentStrs = StrPool.size();
+  }
+
+  const Program &P;
+  Options Opts;
+
+  // Arenas. StrPool keeps a persistent prefix (interned constants);
+  // PathPool and AggPool are fully transient. AggPool slots are recycled
+  // high-water style: reset() rewinds AggUsed but keeps every inner
+  // vector's capacity, so steady-state runs allocate nothing.
+  std::vector<std::string> StrPool;
+  std::vector<unsigned> PathPool;
+  std::vector<std::vector<VVal>> AggPool;
+  uint32_t AggUsed = 0;
+  size_t PersistentStrs = 0;
+  uint32_t EmptyStrId = 0;
+  std::vector<VVal> VConsts;
+
+  // Execution state (reset per run()).
+  std::vector<VFrame> Stack;
+  /// Frame locals, high-water style: LocalsTop is the live extent and the
+  /// vector never shrinks, so push/pop never re-run element constructors.
+  /// pushFrame initializes exactly the fields a fresh local needs.
+  std::vector<VCell> Locals;
+  uint32_t LocalsTop = 0;
+  /// Frame id -> stack index + 1, or 0 when dead. Index 0 is the never-
+  /// allocated frame id 0, so a default PointerTarget dangles, exactly as
+  /// the interpreter's map lookup misses.
+  std::vector<uint32_t> FrameSlots;
+  unsigned NextFrameId = 1;
+  std::vector<VHeapObj> Heap;
+  std::vector<VLock> Locks;
+  std::vector<VOnce> Onces;
+  std::deque<int32_t> SpawnQueue;
+  std::vector<VVal> ArgBuf; ///< Scratch for call-argument evaluation.
+  /// Cached &Locals[cur().LocalsBase]; recomputed on every frame push/pop
+  /// (Locals may reallocate on push).
+  VCell *CurLocals = nullptr;
+  uint64_t Steps = 0;
+  unsigned CallDepth = 0;
+  uint32_t Pc = 0;
+  VVal EntryRet;
+
+  bool Trapped = false;
+  bool Halted = false; ///< Quiet abort (malformed intrinsic arity).
+  Trap Error{TrapKind::UseAfterFree, "", "", 0, 0};
+
+  // Coverage, deliberately *not* reset between runs.
+  BitVec EdgeHits;
+
+  /// String-address memo for entry-point lookup: run() is typically driven
+  /// with the module's own stable function-name strings, so a pointer
+  /// match skips the map. A content check guards against a caller reusing
+  /// one string object for different names.
+  std::vector<std::pair<const std::string *, int32_t>> NameMemo;
+  int32_t findFuncFast(const std::string &Name) {
+    for (const auto &E : NameMemo)
+      if (E.first == &Name && Name == P.Funcs[E.second].Name)
+        return E.second;
+    int32_t Idx = P.findFunc(Name);
+    if (Idx >= 0 && NameMemo.size() < 64)
+      NameMemo.push_back({&Name, Idx});
+    return Idx;
+  }
+
+  /// Default entry arguments per function, with the heap/aggregate state
+  /// their synthesis creates. Synthesis is deterministic and runs against
+  /// a freshly reset VM, so replaying the snapshot is exact — repeated
+  /// runs of the same function skip the type-tree walk entirely.
+  struct EntryArgs {
+    bool Valid = false;
+    std::vector<VVal> Args;
+    std::vector<VHeapObj> Heap;
+    std::vector<std::vector<VVal>> Aggs;
+  };
+  std::vector<EntryArgs> ArgCache;
+
+  /// Post-reset: installs (and on first use records) the default-argument
+  /// state for \p FnIdx, returning the entry arguments.
+  const std::vector<VVal> &entryArgs(uint32_t FnIdx) {
+    if (ArgCache.empty())
+      ArgCache.resize(P.Funcs.size());
+    EntryArgs &AC = ArgCache[FnIdx];
+    if (!AC.Valid) {
+      const CompiledFunction &CF = P.Funcs[FnIdx];
+      for (mir::LocalId A = 1; A <= CF.NumArgs; ++A) {
+        VVal V = defaultArgumentV(CF.Src->localType(A));
+        AC.Args.push_back(V);
+      }
+      AC.Heap = Heap;
+      AC.Aggs.assign(AggPool.begin(), AggPool.begin() + AggUsed);
+      AC.Valid = true;
+      return AC.Args;
+    }
+    Heap = AC.Heap; // POD copy; reuses capacity after the first replay.
+    for (const std::vector<VVal> &Agg : AC.Aggs) {
+      uint32_t Id = newAgg();
+      AggPool[Id] = Agg;
+    }
+    return AC.Args;
+  }
+
+  void reset() {
+    Stack.clear();
+    LocalsTop = 0;
+    FrameSlots.assign(1, 0);
+    NextFrameId = 1;
+    Heap.clear();
+    Locks.clear();
+    Onces.clear();
+    SpawnQueue.clear();
+    Steps = 0;
+    CallDepth = 0;
+    Pc = 0;
+    CurLocals = nullptr;
+    Trapped = false;
+    Halted = false;
+    StrPool.resize(PersistentStrs);
+    PathPool.clear();
+    AggUsed = 0;
+  }
+
+  // --- Arena helpers ------------------------------------------------------
+
+  uint32_t internStr(std::string S) {
+    StrPool.push_back(std::move(S));
+    return static_cast<uint32_t>(StrPool.size() - 1);
+  }
+
+  /// Claims a fresh (recycled) aggregate slot. Growing AggPool moves the
+  /// inner vector objects but not their element buffers, so VVal* into
+  /// entries stay valid; references to the inner vectors themselves do
+  /// not — always re-index AggPool[Id] after any call that may allocate.
+  uint32_t newAgg() {
+    if (AggUsed == AggPool.size())
+      AggPool.emplace_back();
+    AggPool[AggUsed].clear();
+    return AggUsed++;
+  }
+
+  static VVal aggVal(uint32_t Id) {
+    VVal V;
+    V.K = VKind::Aggregate;
+    V.Idx = Id;
+    return V;
+  }
+
+  /// Appends one field index to a target's path, copying the span to the
+  /// arena tail first when it cannot be extended in place.
+  void pathAppend(VTgt &T, unsigned F) {
+    if (T.PathLen != 0 &&
+        T.PathIdx + T.PathLen != static_cast<uint32_t>(PathPool.size())) {
+      uint32_t NewIdx = static_cast<uint32_t>(PathPool.size());
+      for (uint32_t I = 0; I != T.PathLen; ++I)
+        PathPool.push_back(PathPool[T.PathIdx + I]);
+      T.PathIdx = NewIdx;
+    } else if (T.PathLen == 0) {
+      T.PathIdx = static_cast<uint32_t>(PathPool.size());
+    }
+    PathPool.push_back(F);
+    ++T.PathLen;
+  }
+
+  bool tgtEq(const VTgt &A, const VTgt &B) const {
+    if (A.Space != B.Space || A.FrameId != B.FrameId || A.Local != B.Local ||
+        A.HeapId != B.HeapId || A.PathLen != B.PathLen)
+      return false;
+    for (uint32_t I = 0; I != A.PathLen; ++I)
+      if (PathPool[A.PathIdx + I] != PathPool[B.PathIdx + I])
+        return false;
+    return true;
+  }
+
+  /// Duplicates a value, deep-copying aggregate payloads so ownership
+  /// stays tree-shaped. Strings and paths are immutable and shared.
+  VVal copyVal(const VVal &V) {
+    if (V.K != VKind::Aggregate)
+      return V;
+    uint32_t Id = newAgg();
+    size_t N = AggPool[V.Idx].size();
+    for (size_t I = 0; I != N; ++I) {
+      VVal E = copyVal(AggPool[V.Idx][I]);
+      AggPool[Id].push_back(E);
+    }
+    VVal Out = V;
+    Out.Idx = Id;
+    return Out;
+  }
+
+  bool needsDropV(const VVal &V) const {
+    switch (V.K) {
+    case VKind::Guard:
+      return true;
+    case VKind::Ptr:
+      return (V.Flags & FlagOwning) != 0;
+    case VKind::Aggregate:
+      for (const VVal &E : AggPool[V.Idx])
+        if (needsDropV(E))
+          return true;
+      return false;
+    default:
+      return false;
+    }
+  }
+
+  // --- interp::Value boundary ---------------------------------------------
+
+  PointerTarget toInterpTgt(const VTgt &T) const {
+    PointerTarget Out;
+    Out.K = T.Space;
+    Out.FrameId = T.FrameId;
+    Out.Local = T.Local;
+    Out.HeapId = T.HeapId;
+    Out.Path.assign(PathPool.begin() + T.PathIdx,
+                    PathPool.begin() + T.PathIdx + T.PathLen);
+    return Out;
+  }
+
+  VTgt fromInterpTgt(const PointerTarget &T) {
+    VTgt Out;
+    Out.Space = T.K;
+    Out.FrameId = T.FrameId;
+    Out.Local = T.Local;
+    Out.HeapId = T.HeapId;
+    Out.PathIdx = static_cast<uint32_t>(PathPool.size());
+    Out.PathLen = static_cast<uint32_t>(T.Path.size());
+    PathPool.insert(PathPool.end(), T.Path.begin(), T.Path.end());
+    return Out;
+  }
+
+  Value toInterp(const VVal &V) const {
+    switch (V.K) {
+    case VKind::Uninit:
+      return Value::makeUninit();
+    case VKind::Unit:
+      return Value::makeUnit();
+    case VKind::Int:
+      return Value::makeInt(V.Int);
+    case VKind::Bool:
+      return Value::makeBool(V.Int != 0);
+    case VKind::Str:
+      return Value::makeStr(StrPool[V.Idx]);
+    case VKind::Ptr:
+      return Value::makePtr(toInterpTgt(V.T), (V.Flags & FlagOwning) != 0,
+                            (V.Flags & FlagRefCounted) != 0);
+    case VKind::Guard:
+      return Value::makeGuard(toInterpTgt(V.T),
+                              (V.Flags & FlagExclusive) != 0);
+    case VKind::Opaque:
+      return Value::makeOpaque();
+    case VKind::Aggregate: {
+      std::vector<Value> Elems;
+      Elems.reserve(AggPool[V.Idx].size());
+      for (const VVal &E : AggPool[V.Idx])
+        Elems.push_back(toInterp(E));
+      return Value::makeAggregate(std::move(Elems));
+    }
+    }
+    return Value::makeUninit();
+  }
+
+  VVal fromInterp(const Value &V) {
+    switch (V.K) {
+    case VKind::Uninit:
+      return makeUninitV();
+    case VKind::Unit:
+      return makeUnitV();
+    case VKind::Int:
+      return makeIntV(V.Int);
+    case VKind::Bool:
+      return makeBoolV(V.Bool);
+    case VKind::Str: {
+      VVal Out;
+      Out.K = VKind::Str;
+      Out.Idx = internStr(V.Str);
+      return Out;
+    }
+    case VKind::Ptr:
+      return makePtrV(fromInterpTgt(V.Ptr), V.Owning, V.RefCounted);
+    case VKind::Guard:
+      return makeGuardV(fromInterpTgt(V.LockKey), V.Exclusive);
+    case VKind::Opaque:
+      return makeOpaqueV();
+    case VKind::Aggregate: {
+      uint32_t Id = newAgg();
+      for (const Value &E : V.Elems) {
+        VVal Elem = fromInterp(E); // May grow AggPool; sequence before [].
+        AggPool[Id].push_back(Elem);
+      }
+      return aggVal(Id);
+    }
+    }
+    return makeUninitV();
+  }
+
+  /// Trap-message spelling of a target (cold path only).
+  std::string tgtStr(const VTgt &T) const { return toInterpTgt(T).toString(); }
+
+  VFrame &cur() { return Stack.back(); }
+
+  bool trap(TrapKind K, std::string Message) {
+    if (Trapped)
+      return false;
+    Trapped = true;
+    Error.Kind = K;
+    Error.Message = std::move(Message);
+    if (Stack.empty()) {
+      Error.Function = "<none>";
+      Error.Block = 0;
+      Error.StmtIndex = 0;
+    } else {
+      Error.Function = P.Funcs[cur().Fn].Name;
+      const InsnDebug &D = P.Debug[Pc];
+      Error.Block = D.Block;
+      Error.StmtIndex = D.Stmt;
+    }
+    return false;
+  }
+
+  RS_VM_NOINLINE bool stepTrap() {
+    return trap(TrapKind::StepLimit,
+                "execution step limit (" + std::to_string(Opts.StepLimit) +
+                    ") exceeded; result is inconclusive, not a bug");
+  }
+
+  RS_VM_HOT bool step() {
+    if (RS_VM_UNLIKELY(++Steps > Opts.StepLimit))
+      return stepTrap();
+    return true;
+  }
+
+  void hit(uint32_t Edge) { EdgeHits.set(Edge); }
+
+  // --- Heap / lock / Once tables ------------------------------------------
+
+  VHeapObj *heapFind(unsigned Id) {
+    return Id >= 1 && Id <= Heap.size() ? &Heap[Id - 1] : nullptr;
+  }
+
+  VTgt freshHeap(VVal V, bool Initialized = true) {
+    Heap.emplace_back();
+    Heap.back().V = V;
+    Heap.back().Initialized = Initialized;
+    return heapTgt(static_cast<uint32_t>(Heap.size()));
+  }
+
+  VLock &lockFor(const VTgt &Key) {
+    for (VLock &L : Locks)
+      if (tgtEq(L.Key, Key))
+        return L;
+    Locks.push_back(VLock{Key, 0, false});
+    return Locks.back();
+  }
+
+  OnceSt *onceFind(const VTgt &Key) {
+    for (VOnce &O : Onces)
+      if (tgtEq(O.Key, Key))
+        return &O.St;
+    return nullptr;
+  }
+
+  void onceSet(const VTgt &Key, OnceSt St) {
+    if (OnceSt *Existing = onceFind(Key)) {
+      *Existing = St;
+      return;
+    }
+    Onces.push_back(VOnce{Key, St});
+  }
+
+  // --- Memory access ------------------------------------------------------
+
+  VVal *resolveTarget(const VTgt &T) {
+    VVal *Root = nullptr;
+    if (T.Space == PointerTarget::Space::Stack) {
+      uint32_t Slot = T.FrameId < FrameSlots.size() ? FrameSlots[T.FrameId] : 0;
+      if (!Slot) {
+        trap(TrapKind::UseAfterScope,
+             "pointer target " + tgtStr(T) +
+                 " is a local of a function that already returned");
+        return nullptr;
+      }
+      VFrame &F = Stack[Slot - 1];
+      if (T.Local >= P.Funcs[F.Fn].NumLocals) {
+        trap(TrapKind::InvalidPointer, "pointer past frame locals");
+        return nullptr;
+      }
+      VCell &C = Locals[F.LocalsBase + T.Local];
+      if (!C.StorageLive) {
+        trap(TrapKind::UseAfterScope, "pointer target " + tgtStr(T) +
+                                          " is out of scope (storage dead)");
+        return nullptr;
+      }
+      if (C.Reason == Why::Dropped && C.V.isUninit()) {
+        trap(TrapKind::UseAfterFree,
+             "pointer target " + tgtStr(T) + " was dropped");
+        return nullptr;
+      }
+      Root = &C.V;
+    } else {
+      VHeapObj *H = heapFind(T.HeapId);
+      if (!H) {
+        trap(TrapKind::InvalidPointer, "dangling heap pointer");
+        return nullptr;
+      }
+      if (H->Freed) {
+        trap(TrapKind::UseAfterFree,
+             "heap object " + tgtStr(T) + " was already freed");
+        return nullptr;
+      }
+      Root = &H->V;
+    }
+    for (uint32_t Pi = 0; Pi != T.PathLen; ++Pi) {
+      unsigned F = PathPool[T.PathIdx + Pi];
+      if (Root->K != VKind::Aggregate) {
+        trap(TrapKind::TypeMismatch,
+             "field access into non-aggregate value at " + tgtStr(T));
+        return nullptr;
+      }
+      std::vector<VVal> &Elems = AggPool[Root->Idx];
+      if (F >= Elems.size()) {
+        trap(TrapKind::IndexOutOfBounds,
+             "index out of bounds: the len is " +
+                 std::to_string(Elems.size()) + " but the index is " +
+                 std::to_string(F));
+        return nullptr;
+      }
+      Root = &Elems[F];
+    }
+    return Root;
+  }
+
+  // --- Dropping -----------------------------------------------------------
+
+  void unlock(const VTgt &Key, bool Exclusive) {
+    VLock &L = lockFor(Key);
+    if (Exclusive)
+      L.Exclusive = false;
+    else if (L.Shared > 0)
+      --L.Shared;
+  }
+
+  /// Hot wrapper: only guards, pointers and aggregates have drop glue;
+  /// for everything else a drop is just clearing the kind byte.
+  RS_VM_HOT void dropVal(VVal &V) {
+    if (V.K == VKind::Guard || V.K == VKind::Ptr || V.K == VKind::Aggregate)
+      dropValue(V);
+    else
+      V.K = VKind::Uninit;
+  }
+
+  RS_VM_NOINLINE void dropValue(VVal &V) {
+    switch (V.K) {
+    case VKind::Guard:
+      unlock(V.T, (V.Flags & FlagExclusive) != 0);
+      break;
+    case VKind::Ptr: {
+      if (!(V.Flags & FlagOwning))
+        break;
+      VHeapObj *H = heapFind(V.T.HeapId);
+      if (!H || V.T.Space != PointerTarget::Space::Heap)
+        break;
+      if (H->Freed) {
+        trap(TrapKind::DoubleFree, "heap object " + tgtStr(V.T) +
+                                       " freed a second time (two owners)");
+        return;
+      }
+      if ((V.Flags & FlagRefCounted) && --H->RefCount > 0)
+        break;
+      H->Freed = true;
+      dropValue(H->V);
+      break;
+    }
+    case VKind::Aggregate:
+      for (VVal &E : AggPool[V.Idx])
+        dropValue(E);
+      break;
+    default:
+      break;
+    }
+    V = makeUninitV();
+  }
+
+  // --- Places and operands ------------------------------------------------
+
+  bool resolvePlace(uint32_t PlaceId, VTgt &Out) {
+    const PlaceRef &PR = P.Places[PlaceId];
+    VFrame &F = cur();
+    VTgt T = zeroTgt();
+    T.Space = PointerTarget::Space::Stack;
+    T.FrameId = F.Id;
+    T.Local = PR.Base;
+    for (uint32_t Pi = PR.ProjBegin; Pi != PR.ProjEnd; ++Pi) {
+      const ProjRef &E = P.Projs[Pi];
+      switch (E.Kind) {
+      case ProjRef::Field:
+        pathAppend(T, E.Arg);
+        break;
+      case ProjRef::Index: {
+        VTgt IdxT = zeroTgt();
+        IdxT.Space = PointerTarget::Space::Stack;
+        IdxT.FrameId = F.Id;
+        IdxT.Local = E.Arg;
+        VVal *Idx = resolveTarget(IdxT);
+        if (!Idx)
+          return false;
+        if (Idx->K != VKind::Int)
+          return trap(TrapKind::TypeMismatch, "index local is not an int");
+        pathAppend(T, static_cast<unsigned>(Idx->Int));
+        break;
+      }
+      case ProjRef::Deref: {
+        VVal *Ptr = resolveTarget(T);
+        if (!Ptr)
+          return false;
+        if (Ptr->K == VKind::Ptr) {
+          T = Ptr->T;
+        } else if (Ptr->K == VKind::Guard) {
+          T = Ptr->T;
+        } else if (Ptr->isUninit()) {
+          return trap(TrapKind::UninitRead,
+                      "dereference of an uninitialized pointer");
+        } else {
+          return trap(TrapKind::TypeMismatch,
+                      "dereference of a non-pointer value");
+        }
+        break;
+      }
+      }
+    }
+    Out = T;
+    return true;
+  }
+
+  /// All of readPlace's checks, returning a borrowed slot instead of a
+  /// copy. Callers must not allocate while holding the pointer.
+  bool readPlaceRef(uint32_t PlaceId, const VVal *&Out) {
+    VTgt T;
+    if (!resolvePlace(PlaceId, T))
+      return false;
+    VVal *Slot = resolveTarget(T);
+    if (!Slot)
+      return false;
+    if (Slot->isUninit()) {
+      if (T.Space == PointerTarget::Space::Stack) {
+        uint32_t S = T.FrameId < FrameSlots.size() ? FrameSlots[T.FrameId] : 0;
+        if (S && Locals[Stack[S - 1].LocalsBase + T.Local].Reason ==
+                     Why::Dropped)
+          return trap(TrapKind::UseAfterFree,
+                      "read of dropped value at " + tgtStr(T));
+      }
+      return trap(TrapKind::UninitRead,
+                  "read of uninitialized value at " + tgtStr(T));
+    }
+    Out = Slot;
+    return true;
+  }
+
+  RS_VM_NOINLINE bool readPlaceSlow(uint32_t PlaceId, VVal &Out) {
+    const VVal *Slot = nullptr;
+    if (!readPlaceRef(PlaceId, Slot))
+      return false;
+    Out = copyVal(*Slot);
+    return true;
+  }
+
+  /// Place resolution straight through AggPool / Heap / Locals: returns
+  /// the leaf slot of a live, in-bounds walk, or nullptr when any check
+  /// fails — the caller then falls back to the VTgt slow path, which
+  /// re-resolves from scratch and raises the exact trap. Reads only (no
+  /// PathPool traffic), so falling back is always safe. The projection
+  /// walk stays out of line: inlining it into every place access bloats
+  /// the dispatch loop enough to cost more than the call.
+  RS_VM_HOT VVal *fastResolve(const PlaceRef &PR) {
+    if (PR.isLocal()) {
+      VCell &C = CurLocals[PR.Base];
+      return C.StorageLive ? &C.V : nullptr;
+    }
+    return fastResolveProj(PR);
+  }
+
+  RS_VM_NOINLINE VVal *fastResolveProj(const PlaceRef &PR) {
+    VCell &C = CurLocals[PR.Base];
+    if (!C.StorageLive)
+      return nullptr;
+    VVal *V = &C.V;
+    for (uint32_t Pi = PR.ProjBegin; Pi != PR.ProjEnd; ++Pi) {
+      const ProjRef &E = P.Projs[Pi];
+      if (E.Kind == ProjRef::Deref) {
+        // Follow the pointer/guard, replicating every resolveTarget
+        // check; any would-trap state bails to the slow path.
+        if (V->K != VKind::Ptr && V->K != VKind::Guard)
+          return nullptr;
+        const VTgt T = V->T;
+        if (T.Space == PointerTarget::Space::Stack) {
+          uint32_t Slot =
+              T.FrameId < FrameSlots.size() ? FrameSlots[T.FrameId] : 0;
+          if (!Slot)
+            return nullptr;
+          VFrame &F = Stack[Slot - 1];
+          if (T.Local >= P.Funcs[F.Fn].NumLocals)
+            return nullptr;
+          VCell &TC = Locals[F.LocalsBase + T.Local];
+          if (!TC.StorageLive ||
+              (TC.Reason == Why::Dropped && TC.V.isUninit()))
+            return nullptr;
+          V = &TC.V;
+        } else {
+          if (T.HeapId == 0 || T.HeapId > Heap.size())
+            return nullptr;
+          VHeapObj &H = Heap[T.HeapId - 1];
+          if (H.Freed)
+            return nullptr;
+          V = &H.V;
+        }
+        for (uint32_t Qi = 0; Qi != T.PathLen; ++Qi) {
+          if (V->K != VKind::Aggregate)
+            return nullptr;
+          unsigned Fld = PathPool[T.PathIdx + Qi];
+          std::vector<VVal> &Agg = AggPool[V->Idx];
+          if (Fld >= Agg.size())
+            return nullptr;
+          V = &Agg[Fld];
+        }
+        continue;
+      }
+      if (V->K != VKind::Aggregate)
+        return nullptr;
+      uint64_t Idx;
+      if (E.Kind == ProjRef::Field) {
+        Idx = E.Arg;
+      } else {
+        const VCell &IC = CurLocals[E.Arg];
+        if (!IC.StorageLive || IC.V.K != VKind::Int || IC.V.Int < 0)
+          return nullptr;
+        Idx = static_cast<uint64_t>(IC.V.Int);
+      }
+      std::vector<VVal> &Agg = AggPool[V->Idx];
+      if (Idx >= Agg.size())
+        return nullptr;
+      V = &Agg[Idx];
+    }
+    return V;
+  }
+
+  RS_VM_HOT bool readPlace(uint32_t PlaceId, VVal &Out) {
+    // Fast path: a scalar leaf needs no deep copy and cannot trap.
+    // Reading never mutates, so deref places qualify too.
+    const PlaceRef &PR = P.Places[PlaceId];
+    const VVal *V = fastResolve(PR);
+    if (V && !V->isUninit() && V->K != VKind::Aggregate) {
+      Out = *V;
+      return true;
+    }
+    return readPlaceSlow(PlaceId, Out);
+  }
+
+  RS_VM_NOINLINE bool takePlaceSlow(uint32_t PlaceId, VVal &Out) {
+    VTgt T;
+    if (!resolvePlace(PlaceId, T))
+      return false;
+    VVal *Slot = resolveTarget(T);
+    if (!Slot)
+      return false;
+    if (Slot->isUninit())
+      return trap(TrapKind::UninitRead,
+                  "move out of uninitialized value at " + tgtStr(T));
+    Out = *Slot;
+    *Slot = makeUninitV();
+    if (T.Space == PointerTarget::Space::Stack && T.PathLen == 0) {
+      uint32_t S = T.FrameId < FrameSlots.size() ? FrameSlots[T.FrameId] : 0;
+      if (S)
+        Locals[Stack[S - 1].LocalsBase + T.Local].Reason = Why::Moved;
+    }
+    return true;
+  }
+
+  RS_VM_HOT bool takePlace(uint32_t PlaceId, VVal &Out) {
+    const PlaceRef &PR = P.Places[PlaceId];
+    if (PR.isLocal()) {
+      VCell &C = CurLocals[PR.Base];
+      if (C.StorageLive && !C.V.isUninit()) {
+        Out = C.V;
+        C.V.K = VKind::Uninit;
+        C.Reason = Why::Moved;
+        return true;
+      }
+    } else if (!PR.HasDeref) {
+      // Moves are bit-moves even for aggregates; only bare locals get
+      // their move reason marked (projected moves leave the cell alone).
+      VVal *S = fastResolve(PR);
+      if (S && !S->isUninit()) {
+        Out = *S;
+        S->K = VKind::Uninit;
+        return true;
+      }
+    }
+    return takePlaceSlow(PlaceId, Out);
+  }
+
+  RS_VM_HOT bool evalOperand(uint32_t OperandId, VVal &Out) {
+    const OperandRef &O = P.Operands[OperandId];
+    switch (O.Kind) {
+    case OperandRef::Copy:
+      return readPlace(O.Index, Out);
+    case OperandRef::Move:
+      return takePlace(O.Index, Out);
+    default:
+      Out = VConsts[O.Index];
+      return true;
+    }
+  }
+
+  RS_VM_HOT bool evalBinary(mir::BinOp Op, const VVal &A, const VVal &B,
+                            VVal &Out) {
+    if (Op == mir::BinOp::Offset) {
+      Out = A;
+      return true;
+    }
+    if ((A.K != VKind::Int && A.K != VKind::Bool) ||
+        (B.K != VKind::Int && B.K != VKind::Bool))
+      return trap(TrapKind::TypeMismatch, "arithmetic on non-scalar values");
+    int64_t X = A.Int, Y = B.Int;
+    switch (Op) {
+    case mir::BinOp::Add:
+      Out = makeIntV(X + Y);
+      return true;
+    case mir::BinOp::Sub:
+      Out = makeIntV(X - Y);
+      return true;
+    case mir::BinOp::Mul:
+      Out = makeIntV(X * Y);
+      return true;
+    case mir::BinOp::Div:
+      if (Y == 0)
+        return trap(TrapKind::AssertFailed, "division by zero");
+      Out = makeIntV(X / Y);
+      return true;
+    case mir::BinOp::Rem:
+      if (Y == 0)
+        return trap(TrapKind::AssertFailed, "remainder by zero");
+      Out = makeIntV(X % Y);
+      return true;
+    case mir::BinOp::BitAnd:
+      Out = makeIntV(X & Y);
+      return true;
+    case mir::BinOp::BitOr:
+      Out = makeIntV(X | Y);
+      return true;
+    case mir::BinOp::BitXor:
+      Out = makeIntV(X ^ Y);
+      return true;
+    case mir::BinOp::Shl:
+      Out = makeIntV(X << (Y & 63));
+      return true;
+    case mir::BinOp::Shr:
+      Out = makeIntV(X >> (Y & 63));
+      return true;
+    case mir::BinOp::Eq:
+      Out = makeBoolV(X == Y);
+      return true;
+    case mir::BinOp::Ne:
+      Out = makeBoolV(X != Y);
+      return true;
+    case mir::BinOp::Lt:
+      Out = makeBoolV(X < Y);
+      return true;
+    case mir::BinOp::Le:
+      Out = makeBoolV(X <= Y);
+      return true;
+    case mir::BinOp::Gt:
+      Out = makeBoolV(X > Y);
+      return true;
+    case mir::BinOp::Ge:
+      Out = makeBoolV(X >= Y);
+      return true;
+    case mir::BinOp::Offset:
+      break;
+    }
+    return trap(TrapKind::TypeMismatch, "unsupported binary operation");
+  }
+
+  /// Fused `dst = binop(a, b)` over bare locals/constants (see
+  /// FusedBinary). Returns 1 when handled, 0 on a trap (the generic path
+  /// would compute the identical operands and trap identically, so there
+  /// is nothing to re-run), and 2 to fall back to the generic path when
+  /// a cell check fails. Out of line: the operand checks plus evalBinary
+  /// are too big to inline into the dispatch loop.
+  RS_VM_NOINLINE int execFusedBinary(const Insn &I) {
+    const FusedBinary &FB = P.FusedBins[I.C];
+    VCell &D = CurLocals[FB.Dst];
+    if (!D.StorageLive || (D.Reason == Why::Dropped && D.V.isUninit()))
+      return 2;
+    // Operands stay in place: evalBinary reads both inputs fully before
+    // writing its output, so aiming it straight at D.V is alias-safe even
+    // when dst == src, and no 32-byte VVal copies are made.
+    const VVal *A, *B;
+    if (FB.ConstMask & 1) {
+      A = &VConsts[FB.L];
+    } else {
+      const VCell &S = CurLocals[FB.L];
+      if (!S.StorageLive || S.V.isUninit() || S.V.K == VKind::Aggregate)
+        return 2;
+      A = &S.V;
+    }
+    if (FB.ConstMask & 2) {
+      B = &VConsts[FB.R];
+    } else {
+      const VCell &S = CurLocals[FB.R];
+      if (!S.StorageLive || S.V.isUninit() || S.V.K == VKind::Aggregate)
+        return 2;
+      B = &S.V;
+    }
+    if (!evalBinary(static_cast<mir::BinOp>(FB.Op), *A, *B, D.V))
+      return 0;
+    D.Reason = Why::NeverInit;
+    return 1;
+  }
+
+  bool evalRvalue(uint32_t RvId, VVal &Out) {
+    const RvRef &RV = P.Rvalues[RvId];
+    switch (RV.K) {
+    case RvRef::Kind::Use:
+      return evalOperand(RV.A, Out);
+    case RvRef::Kind::Ref: {
+      // Fast path: a ref to a live local of the current frame is always
+      // valid (taking the ref does not read the value).
+      const PlaceRef &PR = P.Places[RV.P];
+      if (PR.isLocal() && CurLocals[PR.Base].StorageLive) {
+        Out = makePtrV(stackTgt(cur().Id, PR.Base));
+        return true;
+      }
+      VTgt T;
+      if (!resolvePlace(RV.P, T))
+        return false;
+      if (!resolveTarget(T))
+        return false;
+      Out = makePtrV(T);
+      return true;
+    }
+    case RvRef::Kind::Binary: {
+      VVal A, B;
+      if (!evalOperand(RV.A, A) || !evalOperand(RV.B, B))
+        return false;
+      return evalBinary(static_cast<mir::BinOp>(RV.Op), A, B, Out);
+    }
+    case RvRef::Kind::Unary: {
+      VVal A;
+      if (!evalOperand(RV.A, A))
+        return false;
+      if (static_cast<mir::UnOp>(RV.Op) == mir::UnOp::Not) {
+        if (A.K == VKind::Bool)
+          Out = makeBoolV(A.Int == 0);
+        else
+          Out = makeIntV(~rawInt(A));
+      } else {
+        Out = makeIntV(-rawInt(A));
+      }
+      return true;
+    }
+    case RvRef::Kind::Aggregate: {
+      uint32_t Id = newAgg();
+      for (uint32_t Oi = RV.A; Oi != RV.B; ++Oi) {
+        VVal V;
+        if (!evalOperand(Oi, V)) // May grow AggPool; re-index below.
+          return false;
+        AggPool[Id].push_back(V);
+      }
+      Out = aggVal(Id);
+      return true;
+    }
+    case RvRef::Kind::Discriminant: {
+      const VVal *V = nullptr;
+      if (!readPlaceRef(RV.P, V))
+        return false;
+      Out = makeIntV(coerceInt(*V));
+      return true;
+    }
+    case RvRef::Kind::Len: {
+      const VVal *V = nullptr;
+      if (!readPlaceRef(RV.P, V))
+        return false;
+      Out = makeIntV(V->K == VKind::Aggregate
+                         ? static_cast<int64_t>(AggPool[V->Idx].size())
+                         : 0);
+      return true;
+    }
+    }
+    return trap(TrapKind::TypeMismatch, "unsupported rvalue");
+  }
+
+  RS_VM_HOT bool writePlace(uint32_t PlaceId, const VVal &V) {
+    // Fast path: the non-deref write path never drops the overwritten
+    // value, so a resolvable leaf is a plain store. Only bare locals get
+    // their init reason refreshed (projected writes leave the cell alone).
+    const PlaceRef &PR = P.Places[PlaceId];
+    if (PR.isLocal()) {
+      VCell &C = CurLocals[PR.Base];
+      if (C.StorageLive && !(C.Reason == Why::Dropped && C.V.isUninit())) {
+        C.V = V;
+        C.Reason = Why::NeverInit;
+        return true;
+      }
+    } else if (!PR.HasDeref) {
+      if (VVal *S = fastResolve(PR)) {
+        *S = V;
+        return true;
+      }
+    }
+    return writePlaceSlow(PlaceId, V);
+  }
+
+  RS_VM_NOINLINE bool writePlaceSlow(uint32_t PlaceId, const VVal &V) {
+    VTgt T;
+    if (!resolvePlace(PlaceId, T))
+      return false;
+    VVal *Slot = resolveTarget(T);
+    if (!Slot)
+      return false;
+    if (P.Places[PlaceId].HasDeref) {
+      if (Slot->isUninit()) {
+        if (needsDropV(V))
+          return trap(TrapKind::InvalidFree,
+                      "assignment through pointer drops the previous value, "
+                      "but the memory at " + tgtStr(T) +
+                          " is uninitialized garbage (use ptr::write)");
+      } else {
+        dropValue(*Slot);
+        if (Trapped)
+          return false;
+      }
+    }
+    *Slot = V;
+    if (T.Space == PointerTarget::Space::Stack && T.PathLen == 0) {
+      uint32_t S = T.FrameId < FrameSlots.size() ? FrameSlots[T.FrameId] : 0;
+      if (S)
+        Locals[Stack[S - 1].LocalsBase + T.Local].Reason = Why::NeverInit;
+    }
+    return true;
+  }
+
+  // --- Frames -------------------------------------------------------------
+
+  bool pushFrame(uint32_t FnIdx, const std::vector<VVal> &Args, uint32_t RetPc,
+                 uint32_t RetDest, bool RetHasDest) {
+    const CompiledFunction &CF = P.Funcs[FnIdx];
+    if (CallDepth >= Opts.MaxCallDepth)
+      return trap(TrapKind::StackOverflow,
+                  "call depth limit (" + std::to_string(Opts.MaxCallDepth) +
+                      ") exceeded; result is inconclusive, not a bug");
+    if (Args.size() != CF.NumArgs)
+      return trap(TrapKind::TypeMismatch,
+                  "call to '" + CF.Name + "' with wrong argument count");
+    ++CallDepth;
+    FrameSlots.push_back(static_cast<uint32_t>(Stack.size()) + 1);
+    Stack.emplace_back();
+    VFrame &F = Stack.back();
+    F.Id = NextFrameId++;
+    F.Fn = FnIdx;
+    F.LocalsBase = LocalsTop;
+    F.RetPc = RetPc;
+    F.RetDest = RetDest;
+    F.RetHasDest = RetHasDest;
+    uint32_t NewTop = LocalsTop + CF.NumLocals;
+    if (NewTop > Locals.size())
+      Locals.resize(NewTop + 64);
+    LocalsTop = NewTop;
+    CurLocals = Locals.data() + F.LocalsBase;
+    // A fresh local is live, never-initialized, and holds Uninit; only
+    // the kind byte of a recycled cell's value needs clearing.
+    for (unsigned Li = 0; Li != CF.NumLocals; ++Li) {
+      VCell &C = CurLocals[Li];
+      C.V.K = VKind::Uninit;
+      C.StorageLive = true;
+      C.Reason = Why::NeverInit;
+    }
+    for (size_t I = 0; I != Args.size(); ++I)
+      CurLocals[1 + I].V = Args[I];
+    Pc = CF.EntryPc;
+    return true;
+  }
+
+  /// Module-call fast path: evaluates arguments straight into the callee's
+  /// argument slots (scratch above LocalsTop until the frame is pushed),
+  /// skipping the ArgBuf staging copy. Trap order matches the generic
+  /// evalArgs-then-pushFrame sequence exactly: argument evaluation first,
+  /// then the depth and arity checks.
+  RS_VM_NOINLINE bool callModule(const CallSite &CS) {
+    const CompiledFunction &CF = P.Funcs[static_cast<uint32_t>(CS.Callee)];
+    const uint32_t NArgs = CS.ArgEnd - CS.ArgBegin;
+    const uint32_t NewBase = LocalsTop;
+    const uint32_t Need =
+        NewBase + (CF.NumLocals > NArgs + 1 ? CF.NumLocals : NArgs + 1);
+    if (Need > Locals.size()) {
+      Locals.resize(Need + 64);
+      CurLocals = Locals.data() + cur().LocalsBase;
+    }
+    for (uint32_t Oi = CS.ArgBegin; Oi != CS.ArgEnd; ++Oi)
+      if (!evalOperand(Oi, Locals[NewBase + 1 + (Oi - CS.ArgBegin)].V))
+        return false;
+    if (CallDepth >= Opts.MaxCallDepth)
+      return trap(TrapKind::StackOverflow,
+                  "call depth limit (" + std::to_string(Opts.MaxCallDepth) +
+                      ") exceeded; result is inconclusive, not a bug");
+    if (NArgs != CF.NumArgs)
+      return trap(TrapKind::TypeMismatch,
+                  "call to '" + CF.Name + "' with wrong argument count");
+    ++CallDepth;
+    FrameSlots.push_back(static_cast<uint32_t>(Stack.size()) + 1);
+    Stack.emplace_back();
+    VFrame &F = Stack.back();
+    F.Id = NextFrameId++;
+    F.Fn = static_cast<uint32_t>(CS.Callee);
+    F.LocalsBase = NewBase;
+    F.RetPc = CS.TargetPc;
+    F.RetDest = CS.Dest;
+    F.RetHasDest = CS.HasDest;
+    LocalsTop = NewBase + CF.NumLocals;
+    CurLocals = Locals.data() + NewBase;
+    // Same cell state pushFrame establishes, but the argument slots keep
+    // the values evaluated above instead of being cleared and re-copied.
+    for (unsigned Li = 0; Li != CF.NumLocals; ++Li) {
+      VCell &C = CurLocals[Li];
+      if (Li == 0 || Li > NArgs)
+        C.V.K = VKind::Uninit;
+      C.StorageLive = true;
+      C.Reason = Why::NeverInit;
+    }
+    Pc = CF.EntryPc;
+    return true;
+  }
+
+  bool storeDest(const CallSite &CS, const VVal &V) {
+    if (!CS.HasDest)
+      return true;
+    return writePlace(CS.Dest, V);
+  }
+
+  RS_VM_HOT bool evalArgs(const CallSite &CS) {
+    ArgBuf.clear();
+    ArgBuf.reserve(CS.ArgEnd - CS.ArgBegin);
+    for (uint32_t Oi = CS.ArgBegin; Oi != CS.ArgEnd; ++Oi) {
+      VVal V;
+      if (!evalOperand(Oi, V))
+        return false;
+      ArgBuf.push_back(V);
+    }
+    return true;
+  }
+
+  /// The lock a Mutex/RwLock/Once argument denotes.
+  bool lockKeyOf(const CallSite &CS, const VVal &Arg, VTgt &Key) {
+    if (Arg.K == VKind::Ptr) {
+      Key = Arg.T;
+      return true;
+    }
+    if (CS.Arg0Place != NoIndex)
+      return resolvePlace(CS.Arg0Place, Key);
+    return trap(TrapKind::TypeMismatch, "cannot identify lock argument");
+  }
+
+  /// The interpreter aborts without trapping on malformed intrinsic arity
+  /// (e.g. a lock intrinsic with no arguments); mirror that exactly.
+  bool haltQuiet() {
+    Halted = true;
+    return false;
+  }
+
+  bool execCall(const CallSite &CS);
+
+  /// Syncs the loop's register-resident step counter back to the member
+  /// on every exit path (run() reads Steps after the loop returns).
+  struct StepSync {
+    uint64_t &Mem;
+    const uint64_t &Loc;
+    ~StepSync() { Mem = Loc; }
+  };
+
+  /// Runs instructions until the entry frame returns (true) or execution
+  /// aborts (false). On success EntryRet holds the entry return value.
+  bool loop() {
+    const Insn *const Insns = P.Insns.data();
+    // Keep the virtual pc and step counter in locals so they live in
+    // registers across the inlined fast paths (out-of-line helpers would
+    // otherwise force a reload around every call). Each case stores the
+    // pc back to the member before doing anything that can trap — trap()
+    // anchors from P.Debug[Pc] — and execCall/pushFrame still *set* the
+    // member, so the Call case reloads it afterwards. The step counter
+    // syncs on every exit via StepSync.
+    uint32_t Pcl = Pc;
+    uint64_t StepsL = Steps;
+    StepSync SyncSteps{Steps, StepsL};
+#define VM_STEP()                                                              \
+  do {                                                                         \
+    if (RS_VM_UNLIKELY(++StepsL > Opts.StepLimit))                             \
+      return stepTrap();                                                       \
+  } while (0)
+#if defined(__GNUC__)
+    // Direct-threaded dispatch: replicating the indirect branch at every
+    // opcode exit gives the branch predictor per-transition histories — a
+    // substantial win over funneling through one shared switch branch.
+    // Table order must match the Opcode enum.
+    static const void *const Disp[] = {
+        &&L_Nop,    &&L_StorageLive, &&L_StorageDead, &&L_Assign,
+        &&L_Goto,   &&L_Switch,      &&L_Return,      &&L_Assert,
+        &&L_Drop,   &&L_Call,        &&L_TrapMissingBlock};
+#define VM_CASE(op) L_##op:
+#define VM_NEXT goto *Disp[static_cast<unsigned>(Insns[Pcl].Op)]
+    VM_NEXT;
+#else
+#define VM_CASE(op) case Opcode::op:
+#define VM_NEXT continue
+    while (true) {
+      switch (Insns[Pcl].Op) {
+#endif
+    VM_CASE(Nop) {
+      Pc = Pcl;
+      VM_STEP();
+      ++Pcl;
+      VM_NEXT;
+    }
+    VM_CASE(StorageLive) {
+      const Insn &I = Insns[Pcl];
+      Pc = Pcl;
+      VM_STEP();
+      VCell &C = CurLocals[I.A];
+      C.StorageLive = true;
+      C.V = makeUninitV();
+      C.Reason = Why::NeverInit;
+      ++Pcl;
+      VM_NEXT;
+    }
+    VM_CASE(StorageDead) {
+      const Insn &I = Insns[Pcl];
+      Pc = Pcl;
+      VM_STEP();
+      VCell &C = CurLocals[I.A];
+      if (!C.V.isUninit()) {
+        dropVal(C.V);
+        C.Reason = Why::Dropped;
+        if (Trapped)
+          return false;
+      }
+      C.StorageLive = false;
+      ++Pcl;
+      VM_NEXT;
+    }
+    VM_CASE(Assign) {
+      const Insn &I = Insns[Pcl];
+      Pc = Pcl;
+      VM_STEP();
+      // Fused forms tagged by the lowering: both sides are bare locals
+      // (or a constant), so the place/rvalue pools can be skipped. Every
+      // check the generic path performs is replicated; any failure falls
+      // through to the generic path below for the exact trap.
+      // Fused forms tagged by the lowering: both sides are bare locals
+      // (or a constant), so the place/rvalue pools can be skipped. Every
+      // check the generic path performs is replicated; any failure falls
+      // through to the generic path below for the exact trap.
+      if (I.Flags == AssignBinaryFused) {
+        int FR = execFusedBinary(I);
+        if (FR == 0)
+          return false;
+        if (FR == 1) {
+          ++Pcl;
+          VM_NEXT;
+        }
+      } else if (I.Flags != AssignGeneric) {
+        VCell &D = CurLocals[I.C & 0xffffu];
+        if (D.StorageLive && !(D.Reason == Why::Dropped && D.V.isUninit())) {
+          if (I.Flags == AssignConstToLocal) {
+            D.V = VConsts[I.C >> 16];
+            D.Reason = Why::NeverInit;
+            ++Pcl;
+            VM_NEXT;
+          }
+          VCell &S = CurLocals[I.C >> 16];
+          if (I.Flags == AssignCopyLocal) {
+            if (S.StorageLive && !S.V.isUninit() &&
+                S.V.K != VKind::Aggregate) {
+              D.V = S.V;
+              D.Reason = Why::NeverInit;
+              ++Pcl;
+              VM_NEXT;
+            }
+          } else if (S.StorageLive && !S.V.isUninit()) {
+            // Move. The temporary keeps dst == src correct: the generic
+            // path reads the value out before marking the source moved.
+            VVal Tmp = S.V;
+            S.V.K = VKind::Uninit;
+            S.Reason = Why::Moved;
+            D.V = Tmp;
+            D.Reason = Why::NeverInit;
+            ++Pcl;
+            VM_NEXT;
+          }
+        }
+      }
+      // Use and Binary cover almost all assignments; keep them inline.
+      const RvRef &RV = P.Rvalues[I.B];
+      VVal V;
+      if (RV.K == RvRef::Kind::Use) {
+        if (!evalOperand(RV.A, V))
+          return false;
+      } else if (RV.K == RvRef::Kind::Binary) {
+        VVal A, B;
+        if (!evalOperand(RV.A, A) || !evalOperand(RV.B, B) ||
+            !evalBinary(static_cast<mir::BinOp>(RV.Op), A, B, V))
+          return false;
+      } else if (!evalRvalue(I.B, V)) {
+        return false;
+      }
+      if (!writePlace(I.A, V))
+        return false;
+      ++Pcl;
+      VM_NEXT;
+    }
+    VM_CASE(Goto) {
+      const Insn &I = Insns[Pcl];
+      Pc = Pcl;
+      VM_STEP();
+      hit(I.B);
+      Pcl = I.A;
+      VM_NEXT;
+    }
+    VM_CASE(Switch) {
+      const Insn &I = Insns[Pcl];
+      Pc = Pcl;
+      VM_STEP();
+      int64_t X;
+      // Flags == 1: discriminant is a copy of the bare local in C (set by
+      // the lowering); read the cell in place. Any check failure falls
+      // back to the generic operand path for the exact trap.
+      const VCell *DC = I.Flags ? &CurLocals[I.C] : nullptr;
+      if (DC && RS_VM_LIKELY(DC->StorageLive && !DC->V.isUninit() &&
+                             DC->V.K != VKind::Aggregate)) {
+        X = coerceInt(DC->V);
+      } else {
+        VVal D;
+        if (!evalOperand(I.A, D))
+          return false;
+        X = coerceInt(D);
+      }
+      const SwitchRef &SR = P.Switches[I.B];
+      uint32_t NextPc = SR.OtherPc;
+      uint32_t Edge = SR.OtherEdge;
+      for (uint32_t Ci = SR.CaseBegin; Ci != SR.CaseEnd; ++Ci) {
+        if (P.SwitchCases[Ci].Value == X) {
+          NextPc = P.SwitchCases[Ci].Pc;
+          Edge = P.SwitchCases[Ci].Edge;
+          break;
+        }
+      }
+      hit(Edge);
+      Pcl = NextPc;
+      VM_NEXT;
+    }
+    VM_CASE(Return) {
+      const Insn &I = Insns[Pcl];
+      Pc = Pcl;
+      VM_STEP();
+      hit(I.A);
+      VFrame F = Stack.back();
+      VVal Ret = Locals[F.LocalsBase].V;
+      FrameSlots[F.Id] = 0; // Locals die; pointers into them dangle.
+      Stack.pop_back();
+      LocalsTop = F.LocalsBase;
+      --CallDepth;
+      if (Stack.empty()) {
+        EntryRet = Ret;
+        return true;
+      }
+      CurLocals = Locals.data() + cur().LocalsBase;
+      if (F.IsOnceInit) {
+        onceSet(F.OnceKey, OnceSt::Done);
+        if (F.OnceHasDest && !writePlace(F.OnceDest, makeUnitV()))
+          return false;
+      } else if (F.RetHasDest) {
+        if (!writePlace(F.RetDest, Ret))
+          return false;
+      }
+      Pcl = F.RetPc;
+      VM_NEXT;
+    }
+    VM_CASE(Assert) {
+      const Insn &I = Insns[Pcl];
+      Pc = Pcl;
+      VM_STEP();
+      VVal C;
+      if (!evalOperand(I.A, C))
+        return false;
+      if (C.K != VKind::Bool || C.Int == 0)
+        return trap(TrapKind::AssertFailed, "assertion failed");
+      hit(I.C);
+      Pcl = I.B;
+      VM_NEXT;
+    }
+    VM_CASE(Drop) {
+      const Insn &I = Insns[Pcl];
+      Pc = Pcl;
+      VM_STEP();
+      const PlaceRef &PR = P.Places[I.A];
+      if (PR.isLocal()) {
+        VCell &C = CurLocals[PR.Base];
+        if (C.StorageLive && !(C.Reason == Why::Dropped && C.V.isUninit())) {
+          if (C.V.isUninit()) {
+            if ((I.Flags & DropFlagTypeHasDrop) &&
+                C.Reason == Why::NeverInit)
+              return trap(TrapKind::InvalidFree,
+                          "drop of uninitialized value in " +
+                              placeToString(I.A));
+          } else {
+            dropVal(C.V);
+            if (Trapped)
+              return false;
+          }
+          if (I.Flags & DropFlagIsLocal)
+            C.Reason = Why::Dropped;
+          hit(I.C);
+          Pcl = I.B;
+          VM_NEXT;
+        }
+      }
+      VTgt T;
+      if (!resolvePlace(I.A, T))
+        return false;
+      VVal *Slot = resolveTarget(T);
+      if (!Slot)
+        return false;
+      if (Slot->isUninit()) {
+        if ((I.Flags & DropFlagTypeHasDrop) &&
+            Locals[cur().LocalsBase + P.Places[I.A].Base].Reason ==
+                Why::NeverInit)
+          return trap(TrapKind::InvalidFree,
+                      "drop of uninitialized value in " + placeToString(I.A));
+      } else {
+        dropValue(*Slot);
+        if (Trapped)
+          return false;
+      }
+      if (I.Flags & DropFlagIsLocal)
+        Locals[cur().LocalsBase + P.Places[I.A].Base].Reason = Why::Dropped;
+      hit(I.C);
+      Pcl = I.B;
+      VM_NEXT;
+    }
+    VM_CASE(Call) {
+      const Insn &I = Insns[Pcl];
+      Pc = Pcl;
+      VM_STEP();
+      // Plain module calls skip the intrinsic switch entirely.
+      const CallSite &CS = P.Calls[I.A];
+      if (CS.Kind == mir::IntrinsicKind::None && CS.Callee >= 0) {
+        hit(CS.Edge);
+        if (!callModule(CS))
+          return false;
+        Pcl = Pc; // callModule set Pc to the callee's entry.
+        VM_NEXT;
+      }
+      if (!execCall(CS))
+        return false;
+      Pcl = Pc; // execCall set Pc to the continuation (or a callee entry).
+      VM_NEXT;
+    }
+    VM_CASE(TrapMissingBlock) {
+      Pc = Pcl;
+      return trap(TrapKind::InvalidPointer, "branch to missing block");
+    }
+#if !defined(__GNUC__)
+      }
+    }
+#endif
+#undef VM_CASE
+#undef VM_NEXT
+#undef VM_STEP
+  }
+
+  /// Reconstructs a place's source spelling for trap messages (cold path).
+  std::string placeToString(uint32_t PlaceId) const {
+    const PlaceRef &PR = P.Places[PlaceId];
+    mir::Place Pl(PR.Base);
+    for (uint32_t Pi = PR.ProjBegin; Pi != PR.ProjEnd; ++Pi) {
+      const ProjRef &E = P.Projs[Pi];
+      switch (E.Kind) {
+      case ProjRef::Deref:
+        Pl.Projs.push_back(mir::ProjectionElem::deref());
+        break;
+      case ProjRef::Field:
+        Pl.Projs.push_back(mir::ProjectionElem::field(E.Arg));
+        break;
+      case ProjRef::Index:
+        Pl.Projs.push_back(mir::ProjectionElem::index(E.Arg));
+        break;
+      }
+    }
+    return Pl.toString();
+  }
+
+  bool execEntry(uint32_t FnIdx, const std::vector<VVal> &Args, VVal &Ret) {
+    if (!pushFrame(FnIdx, Args, 0, 0, false))
+      return false;
+    if (!loop())
+      return false;
+    Ret = EntryRet;
+    return true;
+  }
+
+  VVal defaultArgumentV(const mir::Type *Ty);
+};
+
+//===----------------------------------------------------------------------===//
+// Calls and intrinsics
+//===----------------------------------------------------------------------===//
+
+bool Vm::Impl::execCall(const CallSite &CS) {
+  hit(CS.Edge);
+  using mir::IntrinsicKind;
+  switch (CS.Kind) {
+  case IntrinsicKind::MutexLock:
+  case IntrinsicKind::RwLockRead:
+  case IntrinsicKind::RwLockWrite:
+  case IntrinsicKind::RefCellBorrow:
+  case IntrinsicKind::RefCellBorrowMut: {
+    if (CS.ArgBegin == CS.ArgEnd)
+      return haltQuiet();
+    VVal Arg;
+    if (!evalOperand(CS.ArgBegin, Arg))
+      return false;
+    VTgt Key = zeroTgt();
+    if (!lockKeyOf(CS, Arg, Key))
+      return false;
+    bool IsBorrow = isBorrowAcquire(CS.Kind);
+    bool Exclusive = isExclusiveAcquire(CS.Kind) ||
+                     CS.Kind == IntrinsicKind::RefCellBorrowMut;
+    VLock &L = lockFor(Key);
+    if (L.Exclusive || (Exclusive && L.Shared > 0)) {
+      if (IsBorrow)
+        return trap(TrapKind::BorrowPanic,
+                    "RefCell at " + tgtStr(Key) +
+                        " already borrowed (BorrowMutError panic)");
+      return trap(TrapKind::Deadlock,
+                  "acquiring lock " + tgtStr(Key) +
+                      " already held by this thread (the guard from the "
+                      "first acquisition is still alive)");
+    }
+    if (Exclusive)
+      L.Exclusive = true;
+    else
+      ++L.Shared;
+    if (!storeDest(CS, makeGuardV(Key, Exclusive)))
+      return false;
+    Pc = CS.TargetPc;
+    return true;
+  }
+  case IntrinsicKind::MemDrop: {
+    for (uint32_t Oi = CS.ArgBegin; Oi != CS.ArgEnd; ++Oi) {
+      VVal V;
+      if (!evalOperand(Oi, V))
+        return false;
+      dropValue(V);
+      if (Trapped)
+        return false;
+      const OperandRef &O = P.Operands[Oi];
+      if (O.Kind == OperandRef::Move && P.Places[O.Index].isLocal())
+        Locals[cur().LocalsBase + P.Places[O.Index].Base].Reason =
+            Why::Dropped;
+    }
+    if (!storeDest(CS, makeUnitV()))
+      return false;
+    Pc = CS.TargetPc;
+    return true;
+  }
+  case IntrinsicKind::MemForget: {
+    if (!evalArgs(CS))
+      return false;
+    if (!storeDest(CS, makeUnitV()))
+      return false;
+    Pc = CS.TargetPc;
+    return true;
+  }
+  case IntrinsicKind::BoxNew: {
+    if (!evalArgs(CS))
+      return false;
+    VVal Inner = ArgBuf.empty() ? makeUnitV() : ArgBuf[0];
+    if (!storeDest(CS, makePtrV(freshHeap(Inner), /*Owning=*/true)))
+      return false;
+    Pc = CS.TargetPc;
+    return true;
+  }
+  case IntrinsicKind::Alloc: {
+    if (!evalArgs(CS))
+      return false;
+    if (!storeDest(CS, makePtrV(freshHeap(makeUninitV(),
+                                          /*Initialized=*/false))))
+      return false;
+    Pc = CS.TargetPc;
+    return true;
+  }
+  case IntrinsicKind::Dealloc: {
+    if (CS.ArgBegin == CS.ArgEnd)
+      return haltQuiet();
+    VVal Arg;
+    if (!evalOperand(CS.ArgBegin, Arg))
+      return false;
+    if (Arg.K != VKind::Ptr || Arg.T.Space != PointerTarget::Space::Heap)
+      return trap(TrapKind::InvalidPointer, "dealloc of a non-heap pointer");
+    VHeapObj *H = heapFind(Arg.T.HeapId);
+    if (!H)
+      return trap(TrapKind::InvalidPointer, "dealloc of unknown pointer");
+    if (H->Freed)
+      return trap(TrapKind::DoubleFree,
+                  "dealloc of already-freed " + tgtStr(Arg.T));
+    H->Freed = true;
+    if (!storeDest(CS, makeUnitV()))
+      return false;
+    Pc = CS.TargetPc;
+    return true;
+  }
+  case IntrinsicKind::PtrRead: {
+    if (CS.ArgBegin == CS.ArgEnd)
+      return haltQuiet();
+    VVal Arg;
+    if (!evalOperand(CS.ArgBegin, Arg))
+      return false;
+    if (Arg.K != VKind::Ptr)
+      return trap(TrapKind::TypeMismatch, "ptr::read of a non-pointer");
+    VVal *Slot = resolveTarget(Arg.T);
+    if (!Slot)
+      return false;
+    if (Slot->isUninit())
+      return trap(TrapKind::UninitRead, "ptr::read of uninitialized memory");
+    VVal Dup = copyVal(*Slot); // Bitwise duplication: ownership duplicated.
+    if (!storeDest(CS, Dup))
+      return false;
+    Pc = CS.TargetPc;
+    return true;
+  }
+  case IntrinsicKind::PtrWrite: {
+    if (CS.ArgEnd - CS.ArgBegin < 2)
+      return haltQuiet();
+    VVal Ptr, V;
+    if (!evalOperand(CS.ArgBegin, Ptr) || !evalOperand(CS.ArgBegin + 1, V))
+      return false;
+    if (Ptr.K != VKind::Ptr)
+      return trap(TrapKind::TypeMismatch, "ptr::write to a non-pointer");
+    VVal *Slot = resolveTarget(Ptr.T);
+    if (!Slot)
+      return false;
+    *Slot = V; // No drop of the old value: that is the point.
+    if (!storeDest(CS, makeUnitV()))
+      return false;
+    Pc = CS.TargetPc;
+    return true;
+  }
+  case IntrinsicKind::ArcNew: {
+    if (!evalArgs(CS))
+      return false;
+    VVal Inner = ArgBuf.empty() ? makeUnitV() : ArgBuf[0];
+    VTgt T = freshHeap(Inner);
+    Heap[T.HeapId - 1].RefCount = 1;
+    if (!storeDest(CS, makePtrV(T, /*Owning=*/true, /*RefCounted=*/true)))
+      return false;
+    Pc = CS.TargetPc;
+    return true;
+  }
+  case IntrinsicKind::ArcClone: {
+    if (CS.ArgBegin == CS.ArgEnd)
+      return haltQuiet();
+    VVal Arg;
+    if (!evalOperand(CS.ArgBegin, Arg))
+      return false;
+    VVal Clone = copyVal(Arg);
+    if (Clone.K == VKind::Ptr &&
+        Clone.T.Space == PointerTarget::Space::Heap) {
+      if (VHeapObj *H = heapFind(Clone.T.HeapId))
+        ++H->RefCount;
+      Clone.Flags |= FlagOwning | FlagRefCounted;
+    }
+    if (!storeDest(CS, Clone))
+      return false;
+    Pc = CS.TargetPc;
+    return true;
+  }
+  case IntrinsicKind::ThreadSpawn: {
+    if (CS.HasSpawnName)
+      SpawnQueue.push_back(CS.SpawnFn);
+    if (!storeDest(CS, makeOpaqueV()))
+      return false;
+    Pc = CS.TargetPc;
+    return true;
+  }
+  case IntrinsicKind::AtomicOp: {
+    if (!evalArgs(CS))
+      return false;
+    if (ArgBuf.empty() || ArgBuf[0].K != VKind::Ptr)
+      return trap(TrapKind::TypeMismatch, "atomic op needs a reference");
+    VVal *Slot = resolveTarget(ArgBuf[0].T);
+    if (!Slot)
+      return false;
+    if (Slot->isUninit())
+      *Slot = makeBoolV(false);
+    VVal Old = copyVal(*Slot);
+    if (CS.Atomic == AtomicOpKind::CompareAndSwap && ArgBuf.size() >= 3) {
+      bool Equal = (Old.K == VKind::Bool && ArgBuf[1].K == VKind::Bool &&
+                    Old.Int == ArgBuf[1].Int) ||
+                   (Old.K == VKind::Int && ArgBuf[1].K == VKind::Int &&
+                    Old.Int == ArgBuf[1].Int);
+      if (Equal) {
+        VVal New = copyVal(ArgBuf[2]);
+        Slot = resolveTarget(ArgBuf[0].T); // copyVal may grow AggPool.
+        *Slot = New;
+      }
+      if (!storeDest(CS, Old))
+        return false;
+      Pc = CS.TargetPc;
+      return true;
+    }
+    if (CS.Atomic == AtomicOpKind::Store && ArgBuf.size() >= 2) {
+      VVal New = copyVal(ArgBuf[1]);
+      Slot = resolveTarget(ArgBuf[0].T);
+      *Slot = New;
+      if (!storeDest(CS, makeUnitV()))
+        return false;
+      Pc = CS.TargetPc;
+      return true;
+    }
+    if (CS.Atomic == AtomicOpKind::FetchAdd && ArgBuf.size() >= 2 &&
+        Old.K == VKind::Int) {
+      *Slot = makeIntV(Old.Int + rawInt(ArgBuf[1]));
+      if (!storeDest(CS, Old))
+        return false;
+      Pc = CS.TargetPc;
+      return true;
+    }
+    if (!storeDest(CS, Old)) // load and anything else.
+      return false;
+    Pc = CS.TargetPc;
+    return true;
+  }
+  case IntrinsicKind::OnceCall: {
+    if (CS.ArgBegin == CS.ArgEnd)
+      return haltQuiet();
+    VVal Arg;
+    if (!evalOperand(CS.ArgBegin, Arg))
+      return false;
+    VTgt Key = zeroTgt();
+    if (!lockKeyOf(CS, Arg, Key))
+      return false;
+    OnceSt *St = onceFind(Key);
+    if (St && *St == OnceSt::Running)
+      return trap(TrapKind::Deadlock,
+                  "call_once on " + tgtStr(Key) +
+                      " re-entered while its initializer is still running");
+    if (St && *St == OnceSt::Done) {
+      if (!storeDest(CS, makeUnitV()))
+        return false;
+      Pc = CS.TargetPc;
+      return true;
+    }
+    onceSet(Key, OnceSt::Running);
+    if (CS.OnceInit >= 0) {
+      const CompiledFunction &Init = P.Funcs[CS.OnceInit];
+      std::vector<VVal> InitArgs;
+      for (unsigned A = 1; A <= Init.NumArgs; ++A)
+        InitArgs.push_back(A == 1 ? Arg : makeOpaqueV());
+      // Continuation state: the frame marks the Once done and stores the
+      // call_once destination when it returns.
+      if (!pushFrame(CS.OnceInit, InitArgs, CS.TargetPc, 0, false))
+        return false;
+      VFrame &F = cur();
+      F.IsOnceInit = true;
+      F.OnceKey = Key;
+      F.OnceDest = CS.Dest;
+      F.OnceHasDest = CS.HasDest;
+      return true;
+    }
+    onceSet(Key, OnceSt::Done);
+    if (!storeDest(CS, makeUnitV()))
+      return false;
+    Pc = CS.TargetPc;
+    return true;
+  }
+  case IntrinsicKind::PtrCopy:
+  case IntrinsicKind::CondvarWait:
+  case IntrinsicKind::CondvarNotify:
+  case IntrinsicKind::ChannelSend:
+  case IntrinsicKind::ChannelRecv: {
+    if (!evalArgs(CS))
+      return false;
+    if (!storeDest(CS, makeOpaqueV()))
+      return false;
+    Pc = CS.TargetPc;
+    return true;
+  }
+  case IntrinsicKind::None:
+    break;
+  }
+
+  // Module-defined function: push a frame. Unknown external calls return a
+  // fresh opaque heap allocation (mirroring the static analysis's model).
+  if (!evalArgs(CS))
+    return false;
+  if (CS.Callee >= 0)
+    return pushFrame(CS.Callee, ArgBuf, CS.TargetPc, CS.Dest, CS.HasDest);
+  if (!storeDest(CS, makePtrV(freshHeap(makeOpaqueV()), /*Owning=*/true)))
+    return false;
+  Pc = CS.TargetPc;
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Argument synthesis
+//===----------------------------------------------------------------------===//
+
+VVal Vm::Impl::defaultArgumentV(const mir::Type *Ty) {
+  using mir::PrimKind;
+  using mir::Type;
+  if (!Ty)
+    return makeOpaqueV();
+  switch (Ty->kind()) {
+  case Type::Kind::Prim:
+    switch (Ty->prim()) {
+    case PrimKind::Bool:
+      return makeBoolV(false);
+    case PrimKind::Unit:
+      return makeUnitV();
+    case PrimKind::Str: {
+      VVal V;
+      V.K = VKind::Str;
+      V.Idx = EmptyStrId;
+      return V;
+    }
+    default:
+      return makeIntV(0);
+    }
+  case Type::Kind::Ref:
+  case Type::Kind::RawPtr: {
+    VVal Inner = defaultArgumentV(Ty->pointee());
+    return makePtrV(freshHeap(Inner));
+  }
+  case Type::Kind::Tuple: {
+    uint32_t Id = newAgg();
+    for (const Type *E : Ty->args()) {
+      VVal Elem = defaultArgumentV(E); // May grow AggPool; sequence first.
+      AggPool[Id].push_back(Elem);
+    }
+    return aggVal(Id);
+  }
+  case Type::Kind::Array:
+  case Type::Kind::Slice:
+    return aggVal(newAgg());
+  case Type::Kind::Adt: {
+    if ((Ty->adtName() == "Mutex" || Ty->adtName() == "RwLock") &&
+        !Ty->args().empty())
+      return defaultArgumentV(Ty->args()[0]);
+    if (const mir::StructDecl *S = P.Src->findStruct(Ty->adtName())) {
+      uint32_t Id = newAgg();
+      for (const auto &[Name, FieldTy] : S->Fields) {
+        VVal Elem = defaultArgumentV(FieldTy);
+        AggPool[Id].push_back(Elem);
+      }
+      return aggVal(Id);
+    }
+    return makeOpaqueV();
+  }
+  }
+  return makeOpaqueV();
+}
+
+//===----------------------------------------------------------------------===//
+// Public interface
+//===----------------------------------------------------------------------===//
+
+Vm::Vm(const Program &Prog, Options Opts)
+    : P(std::make_unique<Impl>(Prog, Opts)) {}
+
+Vm::Vm(const Program &Prog) : Vm(Prog, Options()) {}
+
+Vm::~Vm() = default;
+
+Value Vm::defaultArgument(const mir::Type *Ty) {
+  return P->toInterp(P->defaultArgumentV(Ty));
+}
+
+ExecResult Vm::run(const std::string &FnName) {
+  int32_t FnIdx = P->findFuncFast(FnName);
+  if (FnIdx < 0) {
+    ExecResult R;
+    R.Error = Trap{TrapKind::UnknownFunction,
+                   "no function named '" + FnName + "'", FnName, 0, 0};
+    return R;
+  }
+  P->reset();
+  const std::vector<VVal> &Args = P->entryArgs(static_cast<uint32_t>(FnIdx));
+  ExecResult R;
+  VVal Ret;
+  bool Ok = P->execEntry(FnIdx, Args, Ret);
+  // Run spawned threads sequentially (one deterministic schedule).
+  while (Ok && P->Opts.RunSpawnedThreads && !P->SpawnQueue.empty()) {
+    int32_t Next = P->SpawnQueue.front();
+    P->SpawnQueue.pop_front();
+    if (Next < 0)
+      continue;
+    const CompiledFunction &TFn = P->P.Funcs[Next];
+    std::vector<VVal> TArgs;
+    for (mir::LocalId A = 1; A <= TFn.NumArgs; ++A)
+      TArgs.push_back(P->defaultArgumentV(TFn.Src->localType(A)));
+    VVal TRet;
+    Ok = P->execEntry(static_cast<uint32_t>(Next), TArgs, TRet);
+  }
+  R.Ok = Ok;
+  R.Steps = P->Steps;
+  if (Ok)
+    R.Return = P->toInterp(Ret);
+  else
+    R.Error = P->Error;
+  return R;
+}
+
+ExecResult Vm::run(const std::string &FnName, std::vector<Value> Args) {
+  int32_t FnIdx = P->findFuncFast(FnName);
+  if (FnIdx < 0) {
+    ExecResult R;
+    R.Error = Trap{TrapKind::UnknownFunction,
+                   "no function named '" + FnName + "'", FnName, 0, 0};
+    return R;
+  }
+  P->reset();
+  std::vector<VVal> VArgs;
+  VArgs.reserve(Args.size());
+  for (const Value &A : Args)
+    VArgs.push_back(P->fromInterp(A));
+  ExecResult R;
+  VVal Ret;
+  R.Ok = P->execEntry(static_cast<uint32_t>(FnIdx), VArgs, Ret);
+  R.Steps = P->Steps;
+  if (R.Ok)
+    R.Return = P->toInterp(Ret);
+  else
+    R.Error = P->Error;
+  return R;
+}
+
+std::vector<Trap> Vm::runAll() {
+  std::vector<Trap> Traps;
+  for (const CompiledFunction &Fn : P->P.Funcs) {
+    ExecResult R = run(Fn.Name);
+    if (!R.Ok && R.Error)
+      Traps.push_back(*R.Error);
+  }
+  return Traps;
+}
+
+const BitVec &Vm::edgeHits() const { return P->EdgeHits; }
+
+void Vm::clearCoverage() { P->EdgeHits.clear(); }
+
+std::vector<uint64_t> Vm::coveredKeys() const {
+  std::vector<uint64_t> Keys;
+  for (size_t I = 0; I != P->EdgeHits.size(); ++I)
+    if (P->EdgeHits.test(I))
+      Keys.push_back(P->P.EdgeKeys[I]);
+  std::sort(Keys.begin(), Keys.end());
+  Keys.erase(std::unique(Keys.begin(), Keys.end()), Keys.end());
+  return Keys;
+}

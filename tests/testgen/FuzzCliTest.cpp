@@ -1,0 +1,71 @@
+// End-to-end CLI contract for the fuzzing surface: `rustsight fuzz` runs,
+// persists a replayable corpus, and fails loudly on empty budgets; and the
+// sweep entry point rejects `--sweep 0` instead of reporting a vacuous
+// green (the same guard runSweep enforces at the API layer).
+
+#include "support/Subprocess.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+using namespace rs;
+
+namespace {
+
+namespace fs = std::filesystem;
+
+proc::RunResult runCli(const std::vector<std::string> &Args) {
+  std::vector<std::string> Argv = {RS_RUSTSIGHT_BIN};
+  Argv.insert(Argv.end(), Args.begin(), Args.end());
+  return proc::runCommand(Argv, "", /*TimeoutMs=*/120000);
+}
+
+TEST(FuzzCli, SweepZeroIsAUsageErrorNotAVacuousPass) {
+  proc::RunResult R = runCli({"gen", "--sweep", "0"});
+  ASSERT_TRUE(R.Spawned) << R.Error;
+  EXPECT_FALSE(R.Exit.Signaled);
+  EXPECT_EQ(R.Exit.Code, 2);
+  EXPECT_NE(R.Stderr.find("--sweep 0"), std::string::npos) << R.Stderr;
+}
+
+TEST(FuzzCli, FuzzZeroItersIsAUsageError) {
+  proc::RunResult R = runCli({"fuzz", "--fuzz-iters", "0"});
+  ASSERT_TRUE(R.Spawned) << R.Error;
+  EXPECT_EQ(R.Exit.Code, 2);
+  EXPECT_NE(R.Stderr.find("--fuzz-iters 0"), std::string::npos) << R.Stderr;
+}
+
+TEST(FuzzCli, FuzzRunsPersistsAndReplaysItsCorpus) {
+  fs::path Dir = fs::path(::testing::TempDir()) / "fuzz_cli_corpus";
+  fs::remove_all(Dir);
+
+  proc::RunResult R = runCli({"fuzz", "--fuzz-seed", "7", "--fuzz-iters",
+                              "48", "--jobs", "2", "--corpus-dir",
+                              Dir.string()});
+  ASSERT_TRUE(R.Spawned) << R.Error;
+  EXPECT_TRUE(R.Exit.cleanExit()) << R.Stdout << R.Stderr;
+  EXPECT_NE(R.Stdout.find("digest"), std::string::npos) << R.Stdout;
+  EXPECT_NE(R.Stdout.find("OK"), std::string::npos) << R.Stdout;
+  EXPECT_TRUE(fs::exists(Dir / "coverage.json"));
+
+  proc::RunResult Replay =
+      runCli({"fuzz", "--replay", "--corpus-dir", Dir.string()});
+  ASSERT_TRUE(Replay.Spawned) << Replay.Error;
+  EXPECT_TRUE(Replay.Exit.cleanExit()) << Replay.Stdout << Replay.Stderr;
+  EXPECT_NE(Replay.Stdout.find("coverage reproduced"), std::string::npos)
+      << Replay.Stdout;
+
+  fs::remove_all(Dir);
+}
+
+TEST(FuzzCli, ReplayWithoutCorpusDirIsAUsageError) {
+  proc::RunResult R = runCli({"fuzz", "--replay"});
+  ASSERT_TRUE(R.Spawned) << R.Error;
+  EXPECT_EQ(R.Exit.Code, 2);
+  EXPECT_NE(R.Stderr.find("--corpus-dir"), std::string::npos) << R.Stderr;
+}
+
+} // namespace

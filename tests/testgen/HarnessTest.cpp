@@ -116,6 +116,19 @@ TEST(HarnessTest, InjectedViolationIsWrittenAsReplayableRepro) {
   std::filesystem::remove_all(Dir);
 }
 
+TEST(HarnessTest, ZeroSeedSweepIsAConfigViolationNotClean) {
+  // A sweep over no seeds used to return a vacuously clean report — one
+  // CLI typo away from CI green with nothing verified.
+  SweepConfig C;
+  C.SeedCount = 0;
+  SweepReport R = runSweep(C);
+  EXPECT_FALSE(R.clean());
+  EXPECT_EQ(R.SeedsRun, 0u);
+  ASSERT_EQ(R.Violations.size(), 1u);
+  EXPECT_EQ(R.Violations[0].Oracle, "config");
+  EXPECT_NE(R.renderText().find("config"), std::string::npos);
+}
+
 TEST(HarnessTest, RenderTextReportsCleanAndViolations) {
   SweepReport R;
   R.SeedsRun = 10;

@@ -1,0 +1,467 @@
+// Direct behavioral tests for the bytecode VM: the programs mirror
+// tests/interp/InterpTest.cpp so a reader can see at a glance that the two
+// engines trap on the same programs with the same classification. The
+// exhaustive engine-vs-engine comparison lives in VmDifferentialTest.cpp.
+
+#include "vm/Lower.h"
+#include "vm/Vm.h"
+
+#include "interp/Interp.h"
+#include "mir/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace rs;
+using namespace rs::interp;
+using namespace rs::mir;
+
+namespace {
+
+Module parseOk(std::string_view Src) {
+  auto R = Parser::parse(Src);
+  EXPECT_TRUE(R) << (R ? "" : R.error().toString());
+  return R.take();
+}
+
+ExecResult runOk(std::string_view Src, const std::string &Fn) {
+  Module M = parseOk(Src);
+  vm::Program P = vm::compile(M);
+  vm::Vm V(P);
+  ExecResult R = V.run(Fn);
+  EXPECT_TRUE(R.Ok) << (R.Error ? R.Error->toString() : "");
+  return R;
+}
+
+Trap runTrap(std::string_view Src, const std::string &Fn, TrapKind K) {
+  Module M = parseOk(Src);
+  vm::Program P = vm::compile(M);
+  vm::Vm V(P);
+  ExecResult R = V.run(Fn);
+  EXPECT_FALSE(R.Ok) << "expected a " << trapKindName(K) << " trap";
+  if (!R.Error)
+    return Trap{K, "<missing>", "", 0, 0};
+  EXPECT_EQ(R.Error->Kind, K) << R.Error->toString();
+  return *R.Error;
+}
+
+/// Both engines on the same program and entry: identical Ok / trap kind /
+/// trapping function / step count. The core VM contract.
+void expectEngineParity(std::string_view Src, const std::string &Fn) {
+  Module M = parseOk(Src);
+  Interpreter I(M);
+  ExecResult RI = I.run(Fn);
+  vm::Program P = vm::compile(M);
+  vm::Vm V(P);
+  ExecResult RV = V.run(Fn);
+  EXPECT_EQ(RI.Ok, RV.Ok);
+  EXPECT_EQ(RI.Steps, RV.Steps);
+  if (!RI.Ok && RI.Error && RV.Error) {
+    EXPECT_EQ(RI.Error->Kind, RV.Error->Kind)
+        << "interp: " << RI.Error->toString()
+        << "\nvm: " << RV.Error->toString();
+    EXPECT_EQ(RI.Error->Function, RV.Error->Function);
+  }
+  if (RI.Ok)
+    EXPECT_EQ(RI.Return.toString(), RV.Return.toString());
+}
+
+} // namespace
+
+TEST(Vm, Arithmetic) {
+  ExecResult R = runOk("fn f(_1: i32) -> i32 {\n"
+                       "    let _2: i32;\n"
+                       "    bb0: {\n"
+                       "        _2 = Add(copy _1, const 40);\n"
+                       "        _0 = Mul(copy _2, const 2);\n"
+                       "        return;\n"
+                       "    }\n"
+                       "}\n",
+                       "f"); // Default arg 0: (0+40)*2 = 80.
+  EXPECT_EQ(R.Return.K, Value::Kind::Int);
+  EXPECT_EQ(R.Return.Int, 80);
+}
+
+TEST(Vm, BranchesAndLoops) {
+  ExecResult R = runOk("fn f() -> i32 {\n"
+                       "    let mut _1: i32;\n"
+                       "    let _2: bool;\n"
+                       "    bb0: {\n"
+                       "        _1 = const 0;\n"
+                       "        goto -> bb1;\n"
+                       "    }\n"
+                       "    bb1: {\n"
+                       "        _1 = Add(copy _1, const 3);\n"
+                       "        _2 = Lt(copy _1, const 10);\n"
+                       "        switchInt(copy _2) -> [1: bb1, otherwise: "
+                       "bb2];\n"
+                       "    }\n"
+                       "    bb2: {\n"
+                       "        _0 = copy _1;\n"
+                       "        return;\n"
+                       "    }\n"
+                       "}\n",
+                       "f");
+  EXPECT_EQ(R.Return.Int, 12); // 3,6,9,12.
+}
+
+TEST(Vm, CallsReturnValues) {
+  ExecResult R = runOk("fn double(_1: i32) -> i32 {\n"
+                       "    bb0: {\n"
+                       "        _0 = Mul(copy _1, const 2);\n"
+                       "        return;\n"
+                       "    }\n"
+                       "}\n"
+                       "fn f() -> i32 {\n"
+                       "    let _1: i32;\n"
+                       "    bb0: {\n"
+                       "        _1 = double(const 21) -> bb1;\n"
+                       "    }\n"
+                       "    bb1: {\n"
+                       "        _0 = copy _1;\n"
+                       "        return;\n"
+                       "    }\n"
+                       "}\n",
+                       "f");
+  EXPECT_EQ(R.Return.Int, 42);
+}
+
+TEST(Vm, UseAfterFreeTrapped) {
+  Trap T = runTrap("fn f() -> u8 {\n"
+                   "    let _1: Box<u8>;\n"
+                   "    let _2: *const u8;\n"
+                   "    bb0: {\n"
+                   "        _1 = Box::new(const 9) -> bb1;\n"
+                   "    }\n"
+                   "    bb1: {\n"
+                   "        _2 = &raw const (*_1);\n"
+                   "        drop(_1) -> bb2;\n"
+                   "    }\n"
+                   "    bb2: {\n"
+                   "        _0 = copy (*_2);\n"
+                   "        return;\n"
+                   "    }\n"
+                   "}\n",
+                   "f", TrapKind::UseAfterFree);
+  EXPECT_EQ(T.Block, 2u); // Debug info anchors like the interpreter.
+  EXPECT_EQ(T.Function, "f");
+}
+
+TEST(Vm, DoubleFreeViaPtrRead) {
+  runTrap("fn f() {\n"
+          "    let _1: Box<u8>;\n"
+          "    let _2: &Box<u8>;\n"
+          "    let _3: Box<u8>;\n"
+          "    bb0: {\n"
+          "        _1 = Box::new(const 1) -> bb1;\n"
+          "    }\n"
+          "    bb1: {\n"
+          "        _2 = &_1;\n"
+          "        _3 = ptr::read(copy _2) -> bb2;\n"
+          "    }\n"
+          "    bb2: {\n"
+          "        drop(_3) -> bb3;\n"
+          "    }\n"
+          "    bb3: {\n"
+          "        drop(_1) -> bb4;\n"
+          "    }\n"
+          "    bb4: {\n"
+          "        return;\n"
+          "    }\n"
+          "}\n",
+          "f", TrapKind::DoubleFree);
+}
+
+TEST(Vm, UninitReadTrapped) {
+  runTrap("fn f() -> u8 {\n"
+          "    let _1: *mut u8;\n"
+          "    bb0: {\n"
+          "        _1 = alloc(const 8) -> bb1;\n"
+          "    }\n"
+          "    bb1: {\n"
+          "        _0 = copy (*_1);\n"
+          "        return;\n"
+          "    }\n"
+          "}\n",
+          "f", TrapKind::UninitRead);
+}
+
+TEST(Vm, SelfDeadlockTrapped) {
+  runTrap("fn f(_1: &Mutex<i32>) {\n"
+          "    let _2: MutexGuard<i32>;\n"
+          "    let _3: MutexGuard<i32>;\n"
+          "    bb0: {\n"
+          "        _2 = Mutex::lock(copy _1) -> bb1;\n"
+          "    }\n"
+          "    bb1: {\n"
+          "        _3 = Mutex::lock(copy _1) -> bb2;\n"
+          "    }\n"
+          "    bb2: {\n"
+          "        return;\n"
+          "    }\n"
+          "}\n",
+          "f", TrapKind::Deadlock);
+}
+
+TEST(Vm, LockReleasedByGuardDrop) {
+  runOk("fn f(_1: &Mutex<i32>) {\n"
+        "    let _2: MutexGuard<i32>;\n"
+        "    let _3: MutexGuard<i32>;\n"
+        "    bb0: {\n"
+        "        _2 = Mutex::lock(copy _1) -> bb1;\n"
+        "    }\n"
+        "    bb1: {\n"
+        "        drop(_2) -> bb2;\n"
+        "    }\n"
+        "    bb2: {\n"
+        "        _3 = Mutex::lock(copy _1) -> bb3;\n"
+        "    }\n"
+        "    bb3: {\n"
+        "        return;\n"
+        "    }\n"
+        "}\n",
+        "f");
+}
+
+TEST(Vm, AssertFailureTrapped) {
+  runTrap("fn f() {\n"
+          "    let _1: bool;\n"
+          "    bb0: {\n"
+          "        _1 = const false;\n"
+          "        assert(copy _1) -> bb1;\n"
+          "    }\n"
+          "    bb1: {\n"
+          "        return;\n"
+          "    }\n"
+          "}\n",
+          "f", TrapKind::AssertFailed);
+}
+
+TEST(Vm, StepLimitIsInconclusiveNotABug) {
+  Module M = parseOk("fn f() {\n"
+                     "    bb0: {\n"
+                     "        goto -> bb0;\n"
+                     "    }\n"
+                     "}\n");
+  vm::Program P = vm::compile(M);
+  vm::Vm::Options Opts;
+  Opts.StepLimit = 100;
+  vm::Vm V(P, Opts);
+  ExecResult R = V.run("f");
+  ASSERT_FALSE(R.Ok);
+  EXPECT_EQ(R.Error->Kind, TrapKind::StepLimit);
+  EXPECT_TRUE(isResourceLimitTrap(R.Error->Kind));
+  EXPECT_EQ(R.Steps, 101u); // The step that crossed the budget.
+}
+
+TEST(Vm, InfiniteRecursionHitsDepthLimit) {
+  runTrap("fn f() {\n"
+          "    let _1: ();\n"
+          "    bb0: {\n"
+          "        _1 = f() -> bb1;\n"
+          "    }\n"
+          "    bb1: {\n"
+          "        return;\n"
+          "    }\n"
+          "}\n",
+          "f", TrapKind::StackOverflow);
+}
+
+TEST(Vm, UnknownEntryFunction) {
+  Module M = parseOk("fn f() { bb0: { return; } }\n");
+  vm::Program P = vm::compile(M);
+  vm::Vm V(P);
+  ExecResult R = V.run("nope");
+  ASSERT_FALSE(R.Ok);
+  EXPECT_EQ(R.Error->Kind, TrapKind::UnknownFunction);
+  EXPECT_EQ(R.Steps, 0u);
+}
+
+TEST(Vm, BranchToMissingBlockTraps) {
+  // The verifier would reject this; the VM must still execute it and trap
+  // exactly like the tree interpreter (lowered as TrapMissingBlock).
+  runTrap("fn f() {\n"
+          "    bb0: {\n"
+          "        goto -> bb7;\n"
+          "    }\n"
+          "}\n",
+          "f", TrapKind::InvalidPointer);
+}
+
+TEST(Vm, SpawnedThreadRunsAfterMain) {
+  // thread::spawn with a function-name constant: the spawned entry runs
+  // after main returns, on the same deterministic schedule as the
+  // interpreter — so its trap surfaces in the result.
+  runTrap("fn worker() -> u8 {\n"
+          "    let _1: *mut u8;\n"
+          "    bb0: {\n"
+          "        _1 = alloc(const 1) -> bb1;\n"
+          "    }\n"
+          "    bb1: {\n"
+          "        _0 = copy (*_1);\n"
+          "        return;\n"
+          "    }\n"
+          "}\n"
+          "fn f() {\n"
+          "    let _1: JoinHandle;\n"
+          "    bb0: {\n"
+          "        _1 = thread::spawn(const \"worker\") -> bb1;\n"
+          "    }\n"
+          "    bb1: {\n"
+          "        return;\n"
+          "    }\n"
+          "}\n",
+          "f", TrapKind::UninitRead);
+}
+
+TEST(Vm, StepCountMatchesInterpreter) {
+  const char *Src = "fn g(_1: i32) -> i32 {\n"
+                    "    bb0: {\n"
+                    "        _0 = Add(copy _1, const 1);\n"
+                    "        return;\n"
+                    "    }\n"
+                    "}\n"
+                    "fn f() -> i32 {\n"
+                    "    let mut _1: i32;\n"
+                    "    let _2: bool;\n"
+                    "    bb0: {\n"
+                    "        _1 = const 0;\n"
+                    "        goto -> bb1;\n"
+                    "    }\n"
+                    "    bb1: {\n"
+                    "        _1 = g(copy _1) -> bb2;\n"
+                    "    }\n"
+                    "    bb2: {\n"
+                    "        _2 = Lt(copy _1, const 5);\n"
+                    "        switchInt(copy _2) -> [1: bb1, otherwise: "
+                    "bb3];\n"
+                    "    }\n"
+                    "    bb3: {\n"
+                    "        _0 = copy _1;\n"
+                    "        return;\n"
+                    "    }\n"
+                    "}\n";
+  expectEngineParity(Src, "f");
+  expectEngineParity(Src, "g");
+}
+
+TEST(Vm, TrapAnchorsMatchInterpreter) {
+  expectEngineParity("fn f() -> u8 {\n"
+                     "    let _1: Box<u8>;\n"
+                     "    let _2: *const u8;\n"
+                     "    bb0: {\n"
+                     "        _1 = Box::new(const 9) -> bb1;\n"
+                     "    }\n"
+                     "    bb1: {\n"
+                     "        _2 = &raw const (*_1);\n"
+                     "        drop(_1) -> bb2;\n"
+                     "    }\n"
+                     "    bb2: {\n"
+                     "        _0 = copy (*_2);\n"
+                     "        return;\n"
+                     "    }\n"
+                     "}\n",
+                     "f");
+}
+
+//===----------------------------------------------------------------------===//
+// Coverage
+//===----------------------------------------------------------------------===//
+
+TEST(VmCoverage, EdgeTableIsNonEmptyAndHitsAccumulate) {
+  Module M = parseOk("fn f(_1: bool) -> i32 {\n"
+                     "    bb0: {\n"
+                     "        switchInt(copy _1) -> [1: bb1, otherwise: "
+                     "bb2];\n"
+                     "    }\n"
+                     "    bb1: {\n"
+                     "        _0 = const 1;\n"
+                     "        return;\n"
+                     "    }\n"
+                     "    bb2: {\n"
+                     "        _0 = const 2;\n"
+                     "        return;\n"
+                     "    }\n"
+                     "}\n");
+  vm::Program P = vm::compile(M);
+  ASSERT_GT(P.numEdges(), 0u);
+  vm::Vm V(P);
+
+  ASSERT_TRUE(V.run("f", {Value::makeBool(false)}).Ok);
+  size_t AfterFalse = V.coveredKeys().size();
+  EXPECT_GT(AfterFalse, 0u);
+
+  // The other arm lights new edges; coverage accumulates across runs.
+  ASSERT_TRUE(V.run("f", {Value::makeBool(true)}).Ok);
+  size_t AfterBoth = V.coveredKeys().size();
+  EXPECT_GT(AfterBoth, AfterFalse);
+
+  // Re-running a covered path adds nothing.
+  ASSERT_TRUE(V.run("f", {Value::makeBool(true)}).Ok);
+  EXPECT_EQ(V.coveredKeys().size(), AfterBoth);
+
+  V.clearCoverage();
+  EXPECT_TRUE(V.coveredKeys().empty());
+}
+
+TEST(VmCoverage, CoveredKeysAreSortedAndUnique) {
+  Module M = parseOk("fn f() -> i32 {\n"
+                     "    let mut _1: i32;\n"
+                     "    let _2: bool;\n"
+                     "    bb0: {\n"
+                     "        _1 = const 0;\n"
+                     "        goto -> bb1;\n"
+                     "    }\n"
+                     "    bb1: {\n"
+                     "        _1 = Add(copy _1, const 1);\n"
+                     "        _2 = Lt(copy _1, const 4);\n"
+                     "        switchInt(copy _2) -> [1: bb1, otherwise: "
+                     "bb2];\n"
+                     "    }\n"
+                     "    bb2: {\n"
+                     "        _0 = copy _1;\n"
+                     "        return;\n"
+                     "    }\n"
+                     "}\n");
+  vm::Program P = vm::compile(M);
+  vm::Vm V(P);
+  ASSERT_TRUE(V.run("f").Ok);
+  std::vector<uint64_t> Keys = V.coveredKeys();
+  ASSERT_FALSE(Keys.empty());
+  for (size_t I = 1; I < Keys.size(); ++I)
+    EXPECT_LT(Keys[I - 1], Keys[I]);
+}
+
+TEST(VmCoverage, ShapeKeysAreStableAcrossLocalRenumbering) {
+  // The same code shape with different local numbering must produce the
+  // same edge keys — that is what makes cumulative corpus coverage
+  // meaningful across generated modules (docs/FUZZING.md).
+  const char *A = "fn f() -> i32 {\n"
+                  "    let _1: i32;\n"
+                  "    bb0: {\n"
+                  "        _1 = const 7;\n"
+                  "        goto -> bb1;\n"
+                  "    }\n"
+                  "    bb1: {\n"
+                  "        _0 = copy _1;\n"
+                  "        return;\n"
+                  "    }\n"
+                  "}\n";
+  const char *B = "fn g() -> i32 {\n"
+                  "    let _1: i32;\n"
+                  "    let _2: i32;\n"
+                  "    bb0: {\n"
+                  "        _2 = const 7;\n"
+                  "        goto -> bb1;\n"
+                  "    }\n"
+                  "    bb1: {\n"
+                  "        _0 = copy _2;\n"
+                  "        return;\n"
+                  "    }\n"
+                  "}\n";
+  Module MA = parseOk(A), MB = parseOk(B);
+  vm::Program PA = vm::compile(MA), PB = vm::compile(MB);
+  vm::Vm VA(PA), VB(PB);
+  ASSERT_TRUE(VA.run("f").Ok);
+  ASSERT_TRUE(VB.run("g").Ok);
+  EXPECT_EQ(VA.coveredKeys(), VB.coveredKeys());
+}
