@@ -130,7 +130,7 @@ std::vector<mir::Module> loadEvalCorpus() {
 void wholeModuleOld(const mir::Module &M) {
   SummaryMap Summaries = computeSummariesReference(M, 64);
   for (const auto &F : M.functions()) {
-    Cfg G(*F, /*PruneConstantBranches=*/true);
+    Cfg G(F, /*PruneConstantBranches=*/true);
     MemoryAnalysis MA(G, M, &Summaries);
     benchmark::DoNotOptimize(MA.dataflow().converged());
   }
@@ -144,7 +144,7 @@ void wholeModuleNew(const mir::Module &M) {
       computeSummaries(M, 8, nullptr, nullptr, nullptr, nullptr, &Cache);
   for (size_t I = 0; I != M.functions().size(); ++I) {
     if (!Cache.Memory[I]) { // Recursion invalidated it: rebuild.
-      Cfg G(*M.functions()[I], /*PruneConstantBranches=*/true);
+      Cfg G(M.functions()[I], /*PruneConstantBranches=*/true);
       MemoryAnalysis MA(G, M, &Summaries);
       benchmark::DoNotOptimize(MA.dataflow().converged());
       continue;
@@ -249,7 +249,7 @@ void printExperiment() {
     std::vector<std::unique_ptr<Cfg>> Cfgs;
     std::vector<std::unique_ptr<MemoryAnalysis>> MAs;
     for (const auto &F : Large.functions()) {
-      Cfgs.push_back(std::make_unique<Cfg>(*F, true));
+      Cfgs.push_back(std::make_unique<Cfg>(F, true));
       MAs.push_back(
           std::make_unique<MemoryAnalysis>(*Cfgs.back(), Large, &Summaries));
     }

@@ -54,7 +54,7 @@ uint64_t interpPass(const std::vector<mir::Module> &Mods,
   uint64_t Execs = 0;
   for (size_t I = 0; I != Mods.size(); ++I)
     for (const auto &Fn : Mods[I].functions()) {
-      Is[I]->run(Fn->Name);
+      Is[I]->run(Fn.Name);
       ++Execs;
     }
   return Execs;
@@ -66,7 +66,7 @@ uint64_t vmPass(const std::vector<mir::Module> &Mods,
   uint64_t Execs = 0;
   for (size_t I = 0; I != Mods.size(); ++I)
     for (const auto &Fn : Mods[I].functions()) {
-      Vs[I]->run(Fn->Name);
+      Vs[I]->run(Fn.Name);
       ++Execs;
     }
   (void)Progs;
@@ -160,7 +160,7 @@ static void BM_InterpRunModule(benchmark::State &State) {
   interp::Interpreter I(M);
   for (auto _ : State)
     for (const auto &Fn : M.functions()) {
-      interp::ExecResult R = I.run(Fn->Name);
+      interp::ExecResult R = I.run(Fn.Name);
       benchmark::DoNotOptimize(R.Steps);
     }
 }
@@ -174,7 +174,7 @@ static void BM_VmRunModule(benchmark::State &State) {
   vm::Vm V(P);
   for (auto _ : State)
     for (const auto &Fn : M.functions()) {
-      interp::ExecResult R = V.run(Fn->Name);
+      interp::ExecResult R = V.run(Fn.Name);
       benchmark::DoNotOptimize(R.Steps);
     }
 }

@@ -68,15 +68,15 @@ int interpretModule(const Module &M) {
   Interpreter I(M);
   unsigned Failures = 0;
   for (const auto &F : M.functions()) {
-    ExecResult R = I.run(F->Name);
+    ExecResult R = I.run(F.Name);
     if (R.Ok) {
-      std::printf("  %-24s ok (%llu steps, returns %s)\n", F->Name.c_str(),
+      std::printf("  %-24s ok (%llu steps, returns %s)\n", F.Name.c_str(),
                   static_cast<unsigned long long>(R.Steps),
                   R.Return.toString().c_str());
       continue;
     }
     ++Failures;
-    std::printf("  %-24s TRAP: %s\n", F->Name.c_str(),
+    std::printf("  %-24s TRAP: %s\n", F.Name.c_str(),
                 R.Error->toString().c_str());
   }
   return Failures == 0 ? 0 : 1;

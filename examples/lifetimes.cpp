@@ -58,7 +58,7 @@ fn do_request(_1: &RwLock<i32>) {
 
 int reportModule(const Module &M) {
   for (const auto &F : M.functions()) {
-    analysis::LifetimeReport Report(*F, M);
+    analysis::LifetimeReport Report(F, M);
     std::printf("%s\n", Report.render().c_str());
   }
   return 0;

@@ -341,17 +341,17 @@ int cmdRun(const std::vector<std::string> &Files) {
     std::printf("== %s ==\n", File.c_str());
     interp::Interpreter I(*M);
     for (const auto &F : M->functions()) {
-      interp::ExecResult R = I.run(F->Name);
+      interp::ExecResult R = I.run(F.Name);
       if (R.Ok)
-        std::printf("  %-24s ok (%llu steps)\n", F->Name.c_str(),
+        std::printf("  %-24s ok (%llu steps)\n", F.Name.c_str(),
                     static_cast<unsigned long long>(R.Steps));
       else if (interp::isResourceLimitTrap(R.Error->Kind)) {
         // A budget ran out — the run is inconclusive, not a finding.
-        std::printf("  %-24s LIMIT: %s\n", F->Name.c_str(),
+        std::printf("  %-24s LIMIT: %s\n", F.Name.c_str(),
                     R.Error->toString().c_str());
         Status = 1;
       } else {
-        std::printf("  %-24s TRAP: %s\n", F->Name.c_str(),
+        std::printf("  %-24s TRAP: %s\n", F.Name.c_str(),
                     R.Error->toString().c_str());
         Status = 1;
       }
@@ -366,7 +366,7 @@ int cmdLifetimes(const std::vector<std::string> &Files) {
     if (!M)
       return 2;
     for (const auto &F : M->functions()) {
-      analysis::LifetimeReport Report(*F, *M);
+      analysis::LifetimeReport Report(F, *M);
       std::printf("%s\n", Report.render().c_str());
     }
   }

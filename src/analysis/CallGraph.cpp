@@ -13,7 +13,7 @@ CallGraph::CallGraph(const Module &M) : M(&M) {
   std::vector<std::string_view> FnNames;
   FnNames.reserve(M.functions().size());
   for (const auto &F : M.functions())
-    FnNames.push_back(F->Name);
+    FnNames.push_back(F.Name);
   Names = NameIndex(std::move(FnNames));
 
   uint32_t N = Names.size();
@@ -34,7 +34,7 @@ CallGraph::CallGraph(const Module &M) : M(&M) {
   std::vector<FuncId> Spawners;
 
   for (FuncId F = 0; F != N; ++F) {
-    for (const BasicBlock &BB : M.functions()[F]->Blocks) {
+    for (const BasicBlock &BB : M.functions()[F].Blocks) {
       const Terminator &T = BB.Term;
       if (T.K != Terminator::Kind::Call)
         continue;

@@ -48,7 +48,7 @@ public:
   FuncId idOf(std::string_view Name) const { return Names.idOf(Name); }
 
   const mir::Function &function(FuncId Id) const {
-    return *M->functions()[Id];
+    return M->functions()[Id];
   }
 
   std::string_view name(FuncId Id) const { return Names.name(Id); }

@@ -18,6 +18,7 @@ Cfg::Cfg(const Function &F, bool PruneConstantBranches) : Fn(F) {
   if (PruneConstantBranches)
     CB = std::make_unique<ConstantBranches>(F);
 
+  SuccList Buf;
   for (BlockId B = 0; B != N; ++B) {
     if (CB) {
       if (std::optional<BlockId> Taken = CB->resolvedTarget(B)) {
@@ -25,11 +26,12 @@ Cfg::Cfg(const Function &F, bool PruneConstantBranches) : Fn(F) {
         continue;
       }
     }
-    F.Blocks[B].Term.successors(Succs[B]);
+    Buf.clear();
+    F.Blocks[B].Term.successors(Buf);
     // Deduplicate parallel edges so dataflow meets see each pred once.
-    std::sort(Succs[B].begin(), Succs[B].end());
-    Succs[B].erase(std::unique(Succs[B].begin(), Succs[B].end()),
-                   Succs[B].end());
+    std::sort(Buf.begin(), Buf.end());
+    Buf.erase(std::unique(Buf.begin(), Buf.end()), Buf.end());
+    Succs[B].assign(Buf.begin(), Buf.end());
   }
   for (BlockId B = 0; B != N; ++B)
     for (BlockId S : Succs[B])

@@ -42,7 +42,7 @@ std::string LifetimeReport::annotationFor(const BitVec &LiveState,
 
 std::string LifetimeReport::render() const {
   std::string Out;
-  Out += "fn " + F.Name + " — lifetime and critical-section report\n";
+  Out += "fn " + F.Name.str() + " — lifetime and critical-section report\n";
   // One forward cursor (memory states) and one backward cursor (liveness)
   // stream each block in a single pass apiece; every annotation point then
   // reads both states in O(1).

@@ -220,7 +220,7 @@ BitVec MemoryAnalysis::initialState() const {
   return State;
 }
 
-void MemoryAnalysis::applyMoveOperands(const std::vector<Operand> &Ops,
+void MemoryAnalysis::applyMoveOperands(const OperandList &Ops,
                                        BitVec &State) const {
   for (const Operand &Op : Ops) {
     if (!Op.isMove() || !Op.P.isLocal())

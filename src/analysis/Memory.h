@@ -177,7 +177,7 @@ private:
   /// to (Box and structs declared ": Drop").
   bool typeOwnsPointees(const mir::Type *Ty) const;
   void markDropped(BitVec &State, ObjId O) const;
-  void applyMoveOperands(const std::vector<mir::Operand> &Ops,
+  void applyMoveOperands(const mir::OperandList &Ops,
                          BitVec &State) const;
   void dropPlace(const mir::Place &P, BitVec &State) const;
   void computeGuardLocals();

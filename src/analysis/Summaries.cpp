@@ -151,7 +151,7 @@ SummaryMap rs::analysis::computeSummaries(const Module &M, unsigned MaxRounds,
   uint64_t Epoch = 0;
 
   auto ensureAnalysis = [&](FuncId F) -> const MemoryAnalysis & {
-    const Function &Fn = *M.functions()[F];
+    const Function &Fn = M.functions()[F];
     if (!Cache.Cfgs[F])
       Cache.Cfgs[F] = std::make_unique<Cfg>(Fn, /*PruneConstantBranches=*/true);
     bool Stale = !Cache.Memory[F];
@@ -173,7 +173,7 @@ SummaryMap rs::analysis::computeSummaries(const Module &M, unsigned MaxRounds,
   // Returns true if F's summary grew.
   auto summarize = [&](FuncId F) -> bool {
     ++S.Summarizations;
-    const Function &Fn = *M.functions()[F];
+    const Function &Fn = M.functions()[F];
     const MemoryAnalysis &MA = ensureAnalysis(F);
     FunctionSummary New = summarizeFromAnalysis(Fn, *Cache.Cfgs[F], MA);
     if (!mergeSummary(Table.byId(F), New))
@@ -349,7 +349,7 @@ SummaryMap rs::analysis::computeSummariesReference(const Module &M,
           *Complete = false;
         return Table;
       }
-      FunctionSummary New = referenceSummarize(*M.functions()[F], M, Table, Bgt);
+      FunctionSummary New = referenceSummarize(M.functions()[F], M, Table, Bgt);
       Changed |= mergeSummary(Table.byId(F), New);
     }
     if (!Changed)

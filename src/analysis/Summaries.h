@@ -95,8 +95,8 @@ public:
     FnNames.reserve(M.functions().size());
     Entries.reserve(M.functions().size());
     for (const auto &F : M.functions()) {
-      FnNames.push_back(F->Name);
-      Entries.emplace_back(F->NumArgs);
+      FnNames.push_back(F.Name);
+      Entries.emplace_back(F.NumArgs);
     }
     Names = NameIndex(std::move(FnNames));
   }

@@ -47,14 +47,14 @@ void Emitter::declareSharedTypes() {
   // The Figure 6 stand-in: a struct owning heap memory, so dropping a
   // garbage value is an invalid free.
   StructDecl Packet;
-  Packet.Name = "Packet";
+  Packet.Name = Symbol::intern("Packet");
   Packet.Fields.emplace_back("buf",
                              TC.getAdt("Vec", {TC.getPrim(PrimKind::U8)}));
   M.addStruct(std::move(Packet));
 
   // The Figure 9 stand-in: a Sync type with a plain mutable field.
   StructDecl Shared;
-  Shared.Name = "SharedState";
+  Shared.Name = Symbol::intern("SharedState");
   Shared.Fields.emplace_back("flag", TC.getBool());
   M.addStruct(std::move(Shared));
   M.addSyncImpl("SharedState");

@@ -16,30 +16,30 @@ using namespace rs::mir;
 void DanglingReturnDetector::run(AnalysisContext &Ctx,
                                  DiagnosticEngine &Diags) {
   for (const auto &F : Ctx.module().functions()) {
-    const Cfg &G = Ctx.cfg(*F);
-    const MemoryAnalysis &MA = Ctx.memory(*F);
+    const Cfg &G = Ctx.cfg(F);
+    const MemoryAnalysis &MA = Ctx.memory(F);
     const ObjectTable &Objects = MA.objects();
     MemoryAnalysis::Cursor C = MA.cursor();
     std::vector<ObjId> Pointees;
 
-    for (BlockId B = 0; B != F->numBlocks(); ++B) {
+    for (BlockId B = 0; B != F.numBlocks(); ++B) {
       if (!G.isReachable(B) ||
-          F->Blocks[B].Term.K != Terminator::Kind::Return)
+          F.Blocks[B].Term.K != Terminator::Kind::Return)
         continue;
-      size_t AtTerm = F->Blocks[B].Statements.size();
+      size_t AtTerm = F.Blocks[B].Statements.size();
       C.seek(B);
       const BitVec &State = C.stateAtTerminator();
       Pointees.clear();
-      MA.pointees(State, F->returnLocal(), Pointees);
+      MA.pointees(State, F.returnLocal(), Pointees);
       for (ObjId O : Pointees) {
         LocalId L = 0;
         if (!Objects.isLocalObject(O, L))
           continue; // Heap and parameter pointees outlive the call.
         Diagnostic D(BugKind::DanglingReturn);
-        D.Function = F->Name;
+        D.Function = F.Name;
         D.Block = B;
         D.StmtIndex = AtTerm;
-        D.Loc = F->Blocks[B].Term.Loc;
+        D.Loc = F.Blocks[B].Term.Loc;
         D.Message = "the returned value may point at local _" +
                     std::to_string(L) +
                     ", whose storage dies when this function returns";
@@ -49,8 +49,8 @@ void DanglingReturnDetector::run(AnalysisContext &Ctx,
         addSpans(D, MA.transitionSites(ObjEvent::StorageDead, O),
                  "storage of local _" + std::to_string(L) + " ends here");
         if (D.Secondary.empty()) {
-          for (BlockId LB = 0; LB != F->numBlocks(); ++LB) {
-            const auto &Stmts = F->Blocks[LB].Statements;
+          for (BlockId LB = 0; LB != F.numBlocks(); ++LB) {
+            const auto &Stmts = F.Blocks[LB].Statements;
             for (size_t I = 0; I != Stmts.size(); ++I)
               if (Stmts[I].K == Statement::Kind::StorageLive &&
                   Stmts[I].Local == L)

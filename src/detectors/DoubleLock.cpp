@@ -71,19 +71,19 @@ bool conflicts(uint8_t Mode, bool HeldShared, bool HeldExclusive) {
 void DoubleLockDetector::run(AnalysisContext &Ctx, DiagnosticEngine &Diags) {
   const SummaryMap &Summaries = Ctx.summaries();
 
-  for (const auto &F : Ctx.module().functions()) {
-    const Cfg &G = Ctx.cfg(*F);
-    const MemoryAnalysis &MA = Ctx.memory(*F);
+  for (const Function &F : Ctx.module().functions()) {
+    const Cfg &G = Ctx.cfg(F);
+    const MemoryAnalysis &MA = Ctx.memory(F);
     const ObjectTable &Objects = MA.objects();
     MemoryAnalysis::Cursor C = MA.cursor();
 
-    for (BlockId B = 0; B != F->numBlocks(); ++B) {
+    for (BlockId B = 0; B != F.numBlocks(); ++B) {
       if (!G.isReachable(B))
         continue;
-      const Terminator &T = F->Blocks[B].Term;
+      const Terminator &T = F.Blocks[B].Term;
       if (T.K != Terminator::Kind::Call)
         continue;
-      size_t AtTerm = F->Blocks[B].Statements.size();
+      size_t AtTerm = F.Blocks[B].Statements.size();
       IntrinsicKind Kind = classifyIntrinsic(T.Callee);
 
       // Direct acquisition: locks deadlock on conflict, RefCell borrows
@@ -106,7 +106,7 @@ void DoubleLockDetector::run(AnalysisContext &Ctx, DiagnosticEngine &Diags) {
             continue;
           if (isBorrowAcquire(Kind)) {
             Diagnostic D(BugKind::BorrowConflict);
-            D.Function = F->Name;
+            D.Function = F.Name;
             D.Block = B;
             D.StmtIndex = AtTerm;
             D.Loc = T.Loc;
@@ -117,7 +117,7 @@ void DoubleLockDetector::run(AnalysisContext &Ctx, DiagnosticEngine &Diags) {
             addFirstAcquisitionSpans(D, MA, State, O, Objects.name(O));
             Diags.report(std::move(D));
           } else {
-            reportDoubleLock(*F, B, AtTerm, T.Loc, Objects.name(O),
+            reportDoubleLock(F, B, AtTerm, T.Loc, Objects.name(O),
                              /*ViaCallee=*/false, T.Callee, MA, State, O,
                              Diags);
           }
@@ -148,7 +148,7 @@ void DoubleLockDetector::run(AnalysisContext &Ctx, DiagnosticEngine &Diags) {
             continue;
           if (conflicts(Mode, MA.mayBeHeld(State, O, false),
                         MA.mayBeHeld(State, O, true)))
-            reportDoubleLock(*F, B, AtTerm, T.Loc, Objects.name(O),
+            reportDoubleLock(F, B, AtTerm, T.Loc, Objects.name(O),
                              /*ViaCallee=*/true, T.Callee, MA, State, O,
                              Diags);
         }

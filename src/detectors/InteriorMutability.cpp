@@ -51,10 +51,10 @@ void InteriorMutabilityDetector::run(AnalysisContext &Ctx,
   const Module &M = Ctx.module();
   for (const auto &F : M.functions()) {
     std::string AdtName;
-    if (!isSyncSelfMethod(*F, M, AdtName))
+    if (!isSyncSelfMethod(F, M, AdtName))
       continue;
-    const Cfg &G = Ctx.cfg(*F);
-    const MemoryAnalysis &MA = Ctx.memory(*F);
+    const Cfg &G = Ctx.cfg(F);
+    const MemoryAnalysis &MA = Ctx.memory(F);
     const ObjectTable &Objects = MA.objects();
     ObjId SelfObj = Objects.paramPointee(1);
     if (SelfObj == ~0u)
@@ -63,16 +63,16 @@ void InteriorMutabilityDetector::run(AnalysisContext &Ctx,
     auto Report = [&](BlockId B, size_t StmtIndex, SourceLocation Loc,
                       const std::string &Via) {
       Diagnostic D(BugKind::InteriorMutability);
-      D.Function = F->Name;
+      D.Function = F.Name;
       D.Block = B;
       D.StmtIndex = StmtIndex;
       D.Loc = Loc;
       D.Message = "unsynchronized write to *self (" + AdtName +
                   " is Sync, self is an immutable borrow) " + Via +
                   "; concurrent callers race on this field";
-      if (F->Loc.isValid()) {
+      if (F.Loc.isValid()) {
         diag::Span S;
-        S.Loc = F->Loc;
+        S.Loc = F.Loc;
         S.Label = "self is borrowed immutably by this method of Sync type " +
                   AdtName + ", so it may run on many threads at once";
         D.Secondary.push_back(std::move(S));
@@ -83,7 +83,7 @@ void InteriorMutabilityDetector::run(AnalysisContext &Ctx,
     };
 
     MemoryAnalysis::Cursor C = MA.cursor();
-    for (BlockId B = 0; B != F->numBlocks(); ++B) {
+    for (BlockId B = 0; B != F.numBlocks(); ++B) {
       if (!G.isReachable(B))
         continue;
       C.seek(B);
@@ -100,7 +100,7 @@ void InteriorMutabilityDetector::run(AnalysisContext &Ctx,
         C.advance();
       }
       // ptr::write into self-derived memory counts as a store too.
-      const Terminator &T = F->Blocks[B].Term;
+      const Terminator &T = F.Blocks[B].Term;
       if (T.K == Terminator::Kind::Call &&
           classifyIntrinsic(T.Callee) == IntrinsicKind::PtrWrite &&
           !T.Args.empty() && T.Args[0].isPlace()) {

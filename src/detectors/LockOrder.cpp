@@ -118,8 +118,8 @@ void LockOrderDetector::run(AnalysisContext &Ctx, DiagnosticEngine &Diags) {
   const auto &SpawnGroups = Ctx.callGraph().spawnGroups();
   if (SpawnGroups.empty()) {
     Groups.emplace_back();
-    for (const auto &F : Ctx.module().functions())
-      Groups.back().push_back(F.get());
+    for (const Function &F : Ctx.module().functions())
+      Groups.back().push_back(&F);
   } else {
     for (const auto &[Spawner, Threads] : SpawnGroups) {
       Groups.emplace_back();
@@ -175,7 +175,7 @@ void LockOrderDetector::run(AnalysisContext &Ctx, DiagnosticEngine &Diags) {
       if (Cycle.size() == 2) {
         D.Message = "acquires lock #" + std::to_string(First->Acquired) +
                     " while holding lock #" + std::to_string(First->Held) +
-                    ", but '" + Cycle[1]->Fn->Name +
+                    ", but '" + Cycle[1]->Fn->Name.str() +
                     "' acquires them in the opposite order (ABBA deadlock)";
       } else {
         std::string Ring;
@@ -193,7 +193,7 @@ void LockOrderDetector::run(AnalysisContext &Ctx, DiagnosticEngine &Diags) {
         const GEdge *E = Cycle[I];
         D.Secondary.push_back(spanAt(
             {E->Site->Block, E->Site->StmtIndex, E->Site->Loc},
-            "'" + E->Fn->Name + "' acquires lock #" +
+            "'" + E->Fn->Name.str() + "' acquires lock #" +
                 std::to_string(E->Acquired) + " while holding lock #" +
                 std::to_string(E->Held) + " here",
             E->Fn->Name));

@@ -60,12 +60,12 @@ void addUninitOriginSpans(Diagnostic &D, const MemoryAnalysis &MA, ObjId O,
 void InvalidFreeDetector::run(AnalysisContext &Ctx, DiagnosticEngine &Diags) {
   const Module &M = Ctx.module();
   for (const auto &F : M.functions()) {
-    const Cfg &G = Ctx.cfg(*F);
-    const MemoryAnalysis &MA = Ctx.memory(*F);
+    const Cfg &G = Ctx.cfg(F);
+    const MemoryAnalysis &MA = Ctx.memory(F);
     const ObjectTable &Objects = MA.objects();
     MemoryAnalysis::Cursor C = MA.cursor();
 
-    for (BlockId B = 0; B != F->numBlocks(); ++B) {
+    for (BlockId B = 0; B != F.numBlocks(); ++B) {
       if (!G.isReachable(B))
         continue;
       C.seek(B);
@@ -75,7 +75,7 @@ void InvalidFreeDetector::run(AnalysisContext &Ctx, DiagnosticEngine &Diags) {
         // that value is uninitialized garbage and the type runs Drop, the
         // "free" is of a garbage pointer.
         if (S.K == Statement::Kind::Assign && S.Dest.hasDeref()) {
-          const Type *Pointee = pointeeType(*F, S.Dest);
+          const Type *Pointee = pointeeType(F, S.Dest);
           if (Pointee && typeNeedsDrop(Pointee, M)) {
             BitVec Targets(Objects.numObjects());
             MA.placeTargetObjects(C.state(), S.Dest, Targets);
@@ -85,7 +85,7 @@ void InvalidFreeDetector::run(AnalysisContext &Ctx, DiagnosticEngine &Diags) {
               if (!MA.mayBeUninit(C.state(), static_cast<ObjId>(O)))
                 return;
               Diagnostic D = makeDiag(
-                  BugKind::InvalidFree, *F, B, C.index(), S.Loc,
+                  BugKind::InvalidFree, F, B, C.index(), S.Loc,
                   "assignment through " + S.Dest.toString() +
                       " drops the old value of " + Objects.name(O) +
                       ", which may be uninitialized; dropping it runs " +
@@ -101,8 +101,8 @@ void InvalidFreeDetector::run(AnalysisContext &Ctx, DiagnosticEngine &Diags) {
       }
 
       // drop(x) / mem::drop(x) of a possibly-uninitialized value.
-      const Terminator &T = F->Blocks[B].Term;
-      size_t AtTerm = F->Blocks[B].Statements.size();
+      const Terminator &T = F.Blocks[B].Term;
+      size_t AtTerm = F.Blocks[B].Statements.size();
       const Place *Dropped = nullptr;
       if (T.K == Terminator::Kind::Drop)
         Dropped = &T.DropPlace;
@@ -112,12 +112,12 @@ void InvalidFreeDetector::run(AnalysisContext &Ctx, DiagnosticEngine &Diags) {
         Dropped = &T.Args[0].P;
       if (!Dropped || !Dropped->isLocal())
         continue;
-      const Type *Ty = F->localType(Dropped->Base);
+      const Type *Ty = F.localType(Dropped->Base);
       if (!typeNeedsDrop(Ty, M))
         continue;
       ObjId O = Objects.localObject(Dropped->Base);
       if (MA.mayBeUninit(C.state(), O) && !MA.mayBeDropped(C.state(), O)) {
-        Diagnostic D = makeDiag(BugKind::InvalidFree, *F, B, AtTerm, T.Loc,
+        Diagnostic D = makeDiag(BugKind::InvalidFree, F, B, AtTerm, T.Loc,
                                 "drop of " + Dropped->toString() +
                                     " runs " + Ty->toString() +
                                     "'s destructor, but the value may be "
@@ -136,8 +136,8 @@ void InvalidFreeDetector::run(AnalysisContext &Ctx, DiagnosticEngine &Diags) {
 void DoubleFreeDetector::run(AnalysisContext &Ctx, DiagnosticEngine &Diags) {
   const Module &M = Ctx.module();
   for (const auto &F : M.functions()) {
-    const Cfg &G = Ctx.cfg(*F);
-    const MemoryAnalysis &MA = Ctx.memory(*F);
+    const Cfg &G = Ctx.cfg(F);
+    const MemoryAnalysis &MA = Ctx.memory(F);
     const ObjectTable &Objects = MA.objects();
 
     // Ownership duplications created by ptr::read: (duplicate local,
@@ -152,11 +152,11 @@ void DoubleFreeDetector::run(AnalysisContext &Ctx, DiagnosticEngine &Diags) {
     std::vector<Duplication> Dups;
     MemoryAnalysis::Cursor C = MA.cursor();
 
-    for (BlockId B = 0; B != F->numBlocks(); ++B) {
+    for (BlockId B = 0; B != F.numBlocks(); ++B) {
       if (!G.isReachable(B))
         continue;
-      const Terminator &T = F->Blocks[B].Term;
-      size_t AtTerm = F->Blocks[B].Statements.size();
+      const Terminator &T = F.Blocks[B].Term;
+      size_t AtTerm = F.Blocks[B].Statements.size();
       C.seek(B);
       const BitVec &State = C.stateAtTerminator();
 
@@ -171,7 +171,7 @@ void DoubleFreeDetector::run(AnalysisContext &Ctx, DiagnosticEngine &Diags) {
       if (Dropped && Dropped->isLocal()) {
         ObjId O = Objects.localObject(Dropped->Base);
         if (MA.mayBeDropped(State, O)) {
-          Diagnostic D = makeDiag(BugKind::DoubleFree, *F, B, AtTerm, T.Loc,
+          Diagnostic D = makeDiag(BugKind::DoubleFree, F, B, AtTerm, T.Loc,
                                   "value in " + Dropped->toString() +
                                       " may already have been dropped; "
                                       "dropping it again frees twice");
@@ -201,9 +201,9 @@ void DoubleFreeDetector::run(AnalysisContext &Ctx, DiagnosticEngine &Diags) {
 
     // A duplication is a double free if both owners' values are dropped on
     // some path to a return.
-    for (BlockId B = 0; B != F->numBlocks(); ++B) {
+    for (BlockId B = 0; B != F.numBlocks(); ++B) {
       if (!G.isReachable(B) ||
-          F->Blocks[B].Term.K != Terminator::Kind::Return)
+          F.Blocks[B].Term.K != Terminator::Kind::Return)
         continue;
       C.seek(B);
       const BitVec &State = C.stateAtTerminator();
@@ -211,7 +211,7 @@ void DoubleFreeDetector::run(AnalysisContext &Ctx, DiagnosticEngine &Diags) {
         if (MA.mayBeDropped(State, Objects.localObject(Dup.Dest)) &&
             MA.mayBeDropped(State, Dup.Source)) {
           Diagnostic D = makeDiag(
-              BugKind::DoubleFree, *F, Dup.Block, Dup.StmtIndex, Dup.Loc,
+              BugKind::DoubleFree, F, Dup.Block, Dup.StmtIndex, Dup.Loc,
               "ptr::read duplicates the value of " + Objects.name(Dup.Source) +
                   " into _" + std::to_string(Dup.Dest) +
                   "; both owners are later dropped, freeing the contents "
@@ -236,8 +236,8 @@ void DoubleFreeDetector::run(AnalysisContext &Ctx, DiagnosticEngine &Diags) {
 
 void UninitReadDetector::run(AnalysisContext &Ctx, DiagnosticEngine &Diags) {
   for (const auto &F : Ctx.module().functions()) {
-    const Cfg &G = Ctx.cfg(*F);
-    const MemoryAnalysis &MA = Ctx.memory(*F);
+    const Cfg &G = Ctx.cfg(F);
+    const MemoryAnalysis &MA = Ctx.memory(F);
     const ObjectTable &Objects = MA.objects();
 
     auto Check = [&](const BitVec &State, const std::vector<PlaceUse> &Uses,
@@ -263,7 +263,7 @@ void UninitReadDetector::run(AnalysisContext &Ctx, DiagnosticEngine &Diags) {
         });
         if (!AnyKnown || !AllUninit)
           continue;
-        Diagnostic D = makeDiag(BugKind::UninitRead, *F, B, StmtIndex, Loc,
+        Diagnostic D = makeDiag(BugKind::UninitRead, F, B, StmtIndex, Loc,
                                 "read through " + U.P->toString() +
                                     " reaches memory that may be "
                                     "uninitialized");
@@ -282,7 +282,7 @@ void UninitReadDetector::run(AnalysisContext &Ctx, DiagnosticEngine &Diags) {
 
     MemoryAnalysis::Cursor C = MA.cursor();
     std::vector<PlaceUse> Uses;
-    for (BlockId B = 0; B != F->numBlocks(); ++B) {
+    for (BlockId B = 0; B != F.numBlocks(); ++B) {
       if (!G.isReachable(B))
         continue;
       C.seek(B);
@@ -293,7 +293,7 @@ void UninitReadDetector::run(AnalysisContext &Ctx, DiagnosticEngine &Diags) {
         C.advance();
       }
       Uses.clear();
-      const Terminator &T = F->Blocks[B].Term;
+      const Terminator &T = F.Blocks[B].Term;
       collectUses(T, Uses);
       Check(C.state(), Uses, B, C.index(), T.Loc);
     }

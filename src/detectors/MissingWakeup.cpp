@@ -115,6 +115,6 @@ void MissingWakeupDetector::run(AnalysisContext &Ctx,
   GroupFacts Rest;
   for (FuncId Id = 0; Id != CG.numFunctions(); ++Id)
     if (!Grouped.test(Id))
-      scanFunction(*M.functions()[Id], Rest);
+      scanFunction(M.functions()[Id], Rest);
   reportFacts(Rest, Diags);
 }

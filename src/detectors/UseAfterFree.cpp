@@ -67,28 +67,28 @@ void checkUses(const MemoryAnalysis &MA, const BitVec &State,
 } // namespace
 
 void UseAfterFreeDetector::run(AnalysisContext &Ctx, DiagnosticEngine &Diags) {
-  for (const auto &F : Ctx.module().functions()) {
-    if (FocusOnUnsafe && !functionTouchesUnsafeMemory(*F))
+  for (const Function &F : Ctx.module().functions()) {
+    if (FocusOnUnsafe && !functionTouchesUnsafeMemory(F))
       continue; // Suggestion 5: safe code unrelated to unsafe is skipped.
-    const Cfg &G = Ctx.cfg(*F);
-    const MemoryAnalysis &MA = Ctx.memory(*F);
+    const Cfg &G = Ctx.cfg(F);
+    const MemoryAnalysis &MA = Ctx.memory(F);
     MemoryAnalysis::Cursor C = MA.cursor();
     std::vector<PlaceUse> Uses;
-    for (BlockId B = 0; B != F->numBlocks(); ++B) {
+    for (BlockId B = 0; B != F.numBlocks(); ++B) {
       if (!G.isReachable(B))
         continue;
       C.seek(B);
       while (!C.atTerminator()) {
         Uses.clear();
         collectUses(C.statement(), Uses);
-        checkUses(MA, C.state(), Uses, *F, B, C.index(), C.statement().Loc,
+        checkUses(MA, C.state(), Uses, F, B, C.index(), C.statement().Loc,
                   Diags);
         C.advance();
       }
       Uses.clear();
-      const Terminator &T = F->Blocks[B].Term;
+      const Terminator &T = F.Blocks[B].Term;
       collectUses(T, Uses);
-      checkUses(MA, C.state(), Uses, *F, B, C.index(), T.Loc, Diags);
+      checkUses(MA, C.state(), Uses, F, B, C.index(), T.Loc, Diags);
     }
   }
 }

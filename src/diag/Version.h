@@ -36,7 +36,11 @@ inline constexpr const char *ToolVersion = "0.7.0";
 /// v2: structured-diagnostics core — findings carry rule IDs, severities,
 /// secondary spans, notes and fix-its; suppression notices and the
 /// suppressed-finding count ride along.
-inline constexpr uint64_t ReportSchemaVersion = 2;
+/// v3: arena/SoA MIR storage + interned symbols landed alongside the
+/// binary snapshot layer; reports are shape-compatible with v2 but the
+/// bump retires every pre-SoA disk entry as a clean miss (cold, not
+/// corrupt) rather than trusting payloads produced by the old layout.
+inline constexpr uint64_t ReportSchemaVersion = 3;
 
 /// Total rule-catalog size (diag::numRules(), re-exported here so version
 /// consumers need only this header).

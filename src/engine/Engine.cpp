@@ -7,6 +7,7 @@
 #include "diag/Suppress.h"
 #include "diag/Version.h"
 #include "mir/Parser.h"
+#include "mir/Snapshot.h"
 #include "mir/Verifier.h"
 #include "sched/ThreadPool.h"
 #include "support/FaultInjection.h"
@@ -16,6 +17,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
@@ -194,6 +196,15 @@ static void applySuppressions(std::string_view Source, FileReport &R) {
 
 FileReport AnalysisEngine::analyzeSource(std::string_view Source,
                                          std::string Name) {
+  return analyzeSourceImpl(Source, std::move(Name), /*StoreSnapshot=*/false,
+                           /*SnapKey=*/0, /*Fingerprint=*/0);
+}
+
+FileReport AnalysisEngine::analyzeSourceImpl(std::string_view Source,
+                                             std::string Name,
+                                             bool StoreSnapshot,
+                                             uint64_t SnapKey,
+                                             uint64_t Fingerprint) {
   FileReport R;
   R.Path = std::move(Name);
   try {
@@ -222,7 +233,39 @@ FileReport AnalysisEngine::analyzeSource(std::string_view Source,
       return R;
     }
 
+    // Only a fully clean parse is worth snapshotting: a recovered parse
+    // carries ParseErrors/ItemsDropped that a snapshot-served report could
+    // not reproduce.
+    if (StoreSnapshot && Cache && P.Errors.empty())
+      Cache->storeBlob(SnapKey, mir::snapshot::write(P.M, Fingerprint));
+
     runDetectors(P.M, R);
+    applySuppressions(Source, R);
+  } catch (const std::exception &E) {
+    R.Status = EngineStatus::Skipped;
+    R.Reason = std::string("engine fault contained: ") + E.what();
+    R.Detectors.clear();
+    R.Findings.clear();
+    R.Notices.clear();
+    R.SuppressedFindings = 0;
+  } catch (...) {
+    R.Status = EngineStatus::Skipped;
+    R.Reason = "engine fault contained: unknown exception";
+    R.Detectors.clear();
+    R.Findings.clear();
+    R.Notices.clear();
+    R.SuppressedFindings = 0;
+  }
+  return R;
+}
+
+FileReport AnalysisEngine::analyzeParsedModule(const mir::Module &M,
+                                               std::string_view Source,
+                                               std::string Name) {
+  FileReport R;
+  R.Path = std::move(Name);
+  try {
+    runDetectors(M, R);
     applySuppressions(Source, R);
   } catch (const std::exception &E) {
     R.Status = EngineStatus::Skipped;
@@ -275,21 +318,51 @@ FileReport AnalysisEngine::analyzeFile(const std::string &Path) {
 /// salt, so old entries stop matching instead of misparsing.
 static constexpr uint64_t ReportSchemaVersion = version::ReportSchemaVersion;
 
-uint64_t rs::engine::fingerprintSource(std::string_view Source) {
-  // Canonicalize CRLF -> LF without materializing a copy.
-  uint64_t H = Fnv1a64OffsetBasis;
+namespace {
+
+/// 8-byte-chunk multiply-fold over canonical bytes, the same family as
+/// the snapshot body checksum. Hashing every source is the unavoidable
+/// price of content addressing, so on a warm corpus this sits directly
+/// on the report-hit path; chunking buys most of an order of magnitude
+/// over byte-at-a-time FNV.
+uint64_t hashCanonicalBytes(std::string_view Bytes) {
+  constexpr uint64_t M = 0x9e3779b97f4a7c15ull;
+  uint64_t H =
+      Fnv1a64OffsetBasis ^ (static_cast<uint64_t>(Bytes.size()) * M);
   size_t I = 0;
-  while (I < Source.size()) {
-    char C = Source[I];
-    if (C == '\r' && I + 1 < Source.size() && Source[I + 1] == '\n') {
-      ++I;
-      continue;
-    }
-    H ^= static_cast<unsigned char>(C);
-    H *= Fnv1a64Prime;
-    ++I;
+  for (; I + 8 <= Bytes.size(); I += 8) {
+    uint64_t Chunk;
+    std::memcpy(&Chunk, Bytes.data() + I, 8);
+    H = (H ^ Chunk) * M;
   }
+  uint64_t Tail = 0;
+  for (unsigned Shift = 0; I < Bytes.size(); ++I, Shift += 8)
+    Tail |= static_cast<uint64_t>(static_cast<unsigned char>(Bytes[I]))
+            << Shift;
+  H = (H ^ Tail) * M;
+  H ^= H >> 32;
+  H *= M;
+  H ^= H >> 29;
   return H;
+}
+
+} // namespace
+
+uint64_t rs::engine::fingerprintSource(std::string_view Source) {
+  // Canonicalize CRLF -> LF so checkouts differing only in line endings
+  // share cache entries. Sources without a '\r' — the overwhelmingly
+  // common case — hash in 8-byte chunks straight off the buffer; any
+  // '\r' takes the materialize-then-hash path so both spellings of the
+  // same canonical bytes agree (a lone '\r' is content and is kept).
+  if (Source.find('\r') == std::string_view::npos)
+    return hashCanonicalBytes(Source);
+  std::string Canon;
+  Canon.reserve(Source.size());
+  for (size_t I = 0; I < Source.size(); ++I)
+    if (!(Source[I] == '\r' && I + 1 < Source.size() &&
+          Source[I + 1] == '\n'))
+      Canon.push_back(Source[I]);
+  return hashCanonicalBytes(Canon);
 }
 
 uint64_t rs::engine::cacheSalt(const EngineOptions &Opts,
@@ -309,6 +382,13 @@ uint64_t rs::engine::cacheSalt(const EngineOptions &Opts,
 
 uint64_t rs::engine::cacheKey(uint64_t SourceFingerprint, uint64_t Salt) {
   return fnv1a64U64(SourceFingerprint, Salt);
+}
+
+uint64_t rs::engine::snapshotCacheKey(uint64_t SourceFingerprint) {
+  uint64_t H = fnv1a64("rustsight-mir-snapshot");
+  H = fnv1a64U64(mir::snapshot::SnapshotSchemaVersion, H);
+  H = fnv1a64U64(Symbol::EpochVersion, H);
+  return fnv1a64U64(SourceFingerprint, H);
 }
 
 namespace {
@@ -675,12 +755,26 @@ FileReport AnalysisEngine::analyzeSourceThroughCache(std::string_view Source,
   ensureCache();
   if (!Cache)
     return analyzeSource(Source, Path);
-  uint64_t Key =
-      cacheKey(fingerprintSource(Source), cacheSalt(Opts, detectorNames()));
+  uint64_t Fp = fingerprintSource(Source);
+  uint64_t Key = cacheKey(Fp, cacheSalt(Opts, detectorNames()));
   if (std::optional<std::string> Payload = Cache->lookup(Key))
     if (std::optional<FileReport> R = deserializeFileReport(*Payload, Path))
       return std::move(*R);
-  FileReport R = analyzeSource(Source, Path);
+
+  // Report miss: try the parsed-MIR snapshot layer before touching the
+  // Lexer/Parser. A defective snapshot is a miss, never an error.
+  uint64_t SnapKey = snapshotCacheKey(Fp);
+  if (std::optional<std::string> Blob = Cache->lookupBlob(SnapKey)) {
+    if (std::optional<mir::Module> M = mir::snapshot::read(*Blob, &Fp)) {
+      FileReport R = analyzeParsedModule(*M, Source, Path);
+      if (R.Status == EngineStatus::Ok)
+        Cache->store(Key, serializeFileReport(R));
+      return R;
+    }
+  }
+
+  FileReport R = analyzeSourceImpl(Source, Path, /*StoreSnapshot=*/true,
+                                   SnapKey, Fp);
   if (R.Status == EngineStatus::Ok)
     Cache->store(Key, serializeFileReport(R));
   return R;
@@ -711,12 +805,28 @@ FileReport AnalysisEngine::analyzeFileCached(const std::string &Path,
   if (!Cache)
     return analyzeSource(Source, Path);
 
-  uint64_t Key = cacheKey(fingerprintSource(Source), Salt);
+  uint64_t Fp = fingerprintSource(Source);
+  uint64_t Key = cacheKey(Fp, Salt);
   if (std::optional<std::string> Payload = Cache->lookup(Key))
     if (std::optional<FileReport> R = deserializeFileReport(*Payload, Path))
       return std::move(*R);
 
-  FileReport R = analyzeSource(Source, Path);
+  // Report miss: a parsed-MIR snapshot (keyed by content only, not by the
+  // detector salt) lets us run detectors without lexing or parsing — the
+  // common case after a detector or option change, and the whole point of
+  // the binary snapshot layer on a cold disk-warm corpus.
+  uint64_t SnapKey = snapshotCacheKey(Fp);
+  if (std::optional<std::string> Blob = Cache->lookupBlob(SnapKey)) {
+    if (std::optional<mir::Module> M = mir::snapshot::read(*Blob, &Fp)) {
+      FileReport R = analyzeParsedModule(*M, Source, Path);
+      if (R.Status == EngineStatus::Ok)
+        Cache->store(Key, serializeFileReport(R));
+      return R;
+    }
+  }
+
+  FileReport R = analyzeSourceImpl(Source, Path, /*StoreSnapshot=*/true,
+                                   SnapKey, Fp);
   // Only clean results are cached: degraded/skipped outcomes depend on
   // wall-clock budgets and embed path-bearing error text, neither of which
   // belongs in a content-addressed entry.

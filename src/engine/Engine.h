@@ -206,6 +206,15 @@ uint64_t cacheSalt(const EngineOptions &Opts,
 /// The full cache key for one file under one engine configuration.
 uint64_t cacheKey(uint64_t SourceFingerprint, uint64_t Salt);
 
+/// The cache key for one file's parsed-MIR snapshot blob. Deliberately
+/// independent of the detector/options salt — a snapshot captures the
+/// parse, not the analysis, so changing the detector battery re-runs
+/// detectors against the cached module instead of re-lexing the world.
+/// Folds the snapshot schema version and the interner epoch so format or
+/// interner changes invalidate en masse, plus a distinct tag so snapshot
+/// keys can never collide with report keys in the shared cache.
+uint64_t snapshotCacheKey(uint64_t SourceFingerprint);
+
 /// Serializes a clean (Ok) FileReport into the cache payload JSON. The
 /// path is deliberately excluded: identical content at two paths shares
 /// one entry.
@@ -290,6 +299,19 @@ public:
 
 private:
   void runDetectors(const mir::Module &M, FileReport &R);
+  /// The shared back half of analysis: detectors + suppressions over an
+  /// already-built module, inside the containment boundary. Both the
+  /// parse path and the snapshot fast path funnel through this, which is
+  /// what keeps snapshot-served reports byte-identical to parsed ones.
+  FileReport analyzeParsedModule(const mir::Module &M, std::string_view Source,
+                                 std::string Name);
+  /// analyzeSource plus an optional snapshot store: when \p StoreSnapshot
+  /// is set and the parse had no errors and the verifier passed, the
+  /// module is serialized into the cache's blob layer under \p SnapKey so
+  /// the next cold run skips the Lexer/Parser/Verifier entirely.
+  FileReport analyzeSourceImpl(std::string_view Source, std::string Name,
+                               bool StoreSnapshot, uint64_t SnapKey,
+                               uint64_t Fingerprint);
   FileReport analyzeFileCached(const std::string &Path, uint64_t Salt);
   void ensureCache();
   std::vector<std::string> detectorNames();

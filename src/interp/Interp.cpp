@@ -202,7 +202,7 @@ public:
     Trapped = true;
     Error.Kind = K;
     Error.Message = std::move(Message);
-    Error.Function = CurFn ? CurFn->Name : "<none>";
+    Error.Function = CurFn ? CurFn->Name.str() : "<none>";
     Error.Block = CurBlock;
     Error.StmtIndex = CurStmt;
     return false;
@@ -772,7 +772,7 @@ bool Interpreter::Impl::callFunction(const Function &Fn,
                     ") exceeded; result is inconclusive, not a bug");
   if (Args.size() != Fn.NumArgs)
     return trap(TrapKind::TypeMismatch,
-                "call to '" + Fn.Name + "' with wrong argument count");
+                "call to '" + Fn.Name.str() + "' with wrong argument count");
   ++CallDepth;
   unsigned Id = NextFrameId++;
   Frame &F = Frames.emplace(Id, Frame{Id, &Fn, {}}).first->second;
@@ -1216,7 +1216,7 @@ ExecResult Interpreter::run(const std::string &FnName,
 std::vector<Trap> Interpreter::runAll() {
   std::vector<Trap> Traps;
   for (const auto &Fn : P->M.functions()) {
-    ExecResult R = run(Fn->Name);
+    ExecResult R = run(Fn.Name);
     if (!R.Ok && R.Error)
       Traps.push_back(*R.Error);
   }

@@ -4,10 +4,10 @@
 
 using namespace rs::mir;
 
-FunctionBuilder::FunctionBuilder(Module &M, std::string Name,
+FunctionBuilder::FunctionBuilder(Module &M, std::string_view Name,
                                  const Type *RetTy)
     : M(M) {
-  F.Name = std::move(Name);
+  F.Name = Symbol::intern(Name);
   LocalDecl Ret;
   Ret.Ty = RetTy ? RetTy : M.types().getUnit();
   Ret.Mutable = true;
@@ -27,13 +27,13 @@ LocalId FunctionBuilder::addArg(const Type *Ty) {
 }
 
 LocalId FunctionBuilder::addLocal(const Type *Ty, bool Mutable,
-                                  std::string DebugName) {
+                                  std::string_view DebugName) {
   assert(Ty && "local needs a type");
   SawNonArgLocal = true;
   LocalDecl D;
   D.Ty = Ty;
   D.Mutable = Mutable;
-  D.DebugName = std::move(DebugName);
+  D.DebugName = Symbol::intern(DebugName);
   F.Locals.push_back(D);
   return static_cast<LocalId>(F.Locals.size() - 1);
 }
@@ -78,9 +78,8 @@ void FunctionBuilder::gotoBlock(BlockId B) {
   terminate(Terminator::gotoBlock(B));
 }
 
-void FunctionBuilder::switchInt(
-    Operand Discr, std::vector<std::pair<int64_t, BlockId>> Cases,
-    BlockId Otherwise) {
+void FunctionBuilder::switchInt(Operand Discr, CaseList Cases,
+                                BlockId Otherwise) {
   terminate(Terminator::switchInt(std::move(Discr), std::move(Cases),
                                   Otherwise));
 }
@@ -99,25 +98,26 @@ void FunctionBuilder::drop(Place P) {
   dropTo(std::move(P), Next);
 }
 
-void FunctionBuilder::callTo(Place Dest, std::string Callee,
-                             std::vector<Operand> Args, BlockId Target,
+void FunctionBuilder::callTo(Place Dest, std::string_view Callee,
+                             OperandList Args, BlockId Target,
                              BlockId Unwind) {
-  terminate(Terminator::call(std::move(Dest), std::move(Callee),
-                             std::move(Args), Target, Unwind));
+  terminate(
+      Terminator::call(std::move(Dest), Callee, std::move(Args), Target,
+                       Unwind));
   setInsertPoint(Target);
 }
 
-BlockId FunctionBuilder::call(Place Dest, std::string Callee,
-                              std::vector<Operand> Args) {
+BlockId FunctionBuilder::call(Place Dest, std::string_view Callee,
+                              OperandList Args) {
   BlockId Next = newBlock();
-  callTo(std::move(Dest), std::move(Callee), std::move(Args), Next);
+  callTo(std::move(Dest), Callee, std::move(Args), Next);
   return Next;
 }
 
-BlockId FunctionBuilder::callNoDest(std::string Callee,
-                                    std::vector<Operand> Args) {
+BlockId FunctionBuilder::callNoDest(std::string_view Callee,
+                                    OperandList Args) {
   BlockId Next = newBlock();
-  terminate(Terminator::callNoDest(std::move(Callee), std::move(Args), Next));
+  terminate(Terminator::callNoDest(Callee, std::move(Args), Next));
   setInsertPoint(Next);
   return Next;
 }

@@ -40,7 +40,8 @@ class FunctionBuilder {
 public:
   /// Starts a function named \p Name returning \p RetTy (unit if null).
   /// Creates bb0 and sets it as the insertion block.
-  FunctionBuilder(Module &M, std::string Name, const Type *RetTy = nullptr);
+  FunctionBuilder(Module &M, std::string_view Name,
+                  const Type *RetTy = nullptr);
 
   Module &module() { return M; }
   TypeContext &types() { return M.types(); }
@@ -50,7 +51,7 @@ public:
 
   /// Declares a temporary/user local.
   LocalId addLocal(const Type *Ty, bool Mutable = true,
-                   std::string DebugName = "");
+                   std::string_view DebugName = {});
 
   LocalId returnLocal() const { return 0; }
 
@@ -73,8 +74,7 @@ public:
 
   // Terminator emitters (terminate the insertion block).
   void gotoBlock(BlockId B);
-  void switchInt(Operand Discr, std::vector<std::pair<int64_t, BlockId>> Cases,
-                 BlockId Otherwise);
+  void switchInt(Operand Discr, CaseList Cases, BlockId Otherwise);
   void ret();
   void resume();
   void unreachable();
@@ -83,13 +83,13 @@ public:
   /// Emits drop(P) into a fresh continuation block and continues there.
   void drop(Place P);
   /// Emits Dest = Callee(Args) -> Target and moves to Target.
-  void callTo(Place Dest, std::string Callee, std::vector<Operand> Args,
+  void callTo(Place Dest, std::string_view Callee, OperandList Args,
               BlockId Target, BlockId Unwind = InvalidBlock);
   /// Emits a call into a fresh continuation block and continues there.
   /// Returns the continuation block.
-  BlockId call(Place Dest, std::string Callee, std::vector<Operand> Args);
+  BlockId call(Place Dest, std::string_view Callee, OperandList Args);
   /// Call without a destination, continuing in a fresh block.
-  BlockId callNoDest(std::string Callee, std::vector<Operand> Args);
+  BlockId callNoDest(std::string_view Callee, OperandList Args);
   void assertCond(Operand Cond, BlockId Target);
 
   /// Validates that every block is terminated, registers the function in the

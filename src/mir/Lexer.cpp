@@ -8,6 +8,31 @@ using namespace rs::mir;
 Lexer::Lexer(std::string_view Buffer, std::string_view FileName)
     : Buf(Buffer), File(internFileName(FileName)) {}
 
+std::string rs::mir::decodeStringLiteral(std::string_view RawWithQuotes) {
+  std::string_view Raw = RawWithQuotes;
+  if (!Raw.empty() && Raw.front() == '"')
+    Raw.remove_prefix(1);
+  if (!Raw.empty() && Raw.back() == '"')
+    Raw.remove_suffix(1);
+  std::string Decoded;
+  Decoded.reserve(Raw.size());
+  for (size_t I = 0; I != Raw.size(); ++I) {
+    char C = Raw[I];
+    if (C == '\\' && I + 1 < Raw.size()) {
+      char E = Raw[++I];
+      if (E == 'n')
+        Decoded += '\n';
+      else if (E == 't')
+        Decoded += '\t';
+      else
+        Decoded += E; // \" \\ and any other escape map to the raw char.
+      continue;
+    }
+    Decoded += C;
+  }
+  return Decoded;
+}
+
 void Lexer::advance() {
   if (Pos >= Buf.size())
     return;
@@ -99,30 +124,16 @@ Token Lexer::next() {
 
   if (C == '"') {
     advance();
-    std::string Decoded;
     while (Pos < Buf.size() && Buf[Pos] != '"') {
-      if (Buf[Pos] == '\\' && Pos + 1 < Buf.size()) {
-        advance();
-        char E = Buf[Pos];
-        if (E == 'n')
-          Decoded += '\n';
-        else if (E == 't')
-          Decoded += '\t';
-        else
-          Decoded += E; // \" \\ and any other escape map to the raw char.
-        advance();
-        continue;
-      }
-      Decoded += Buf[Pos];
+      if (Buf[Pos] == '\\' && Pos + 1 < Buf.size())
+        advance(); // Skip the escaped character too.
       advance();
     }
     if (Pos < Buf.size())
       advance(); // Closing quote.
-    // Text keeps the raw source range (with quotes); the decoded contents
-    // live in Owned so they survive token copies and moves.
-    Token T = make(TokKind::String, Begin, Loc);
-    T.Owned = std::move(Decoded);
-    return T;
+    // Text keeps the raw source range (with quotes); the parser decodes it
+    // on demand, so lexing a string allocates nothing.
+    return make(TokKind::String, Begin, Loc);
   }
 
   advance();

@@ -31,7 +31,8 @@ enum class TokKind {
   Local,    ///< A local name "_N"; IntVal holds N.
   Int,      ///< Integer literal; IntVal holds the value, Suffix the
             ///< optional "_i32"-style type suffix (without the underscore).
-  String,   ///< String literal; Text holds the *decoded* contents.
+  String,   ///< String literal; Text holds the raw source range including
+            ///< quotes. Decode with decodeStringLiteral at parse time.
   LBrace,
   RBrace,
   LParen,
@@ -52,13 +53,12 @@ enum class TokKind {
   Minus,
 };
 
-/// One lexed token. Text/Suffix view into the lexer's input buffer; for
-/// String tokens, Text is the raw source range (including quotes) and Owned
-/// holds the decoded contents.
+/// One lexed token. Text/Suffix view into the lexer's input buffer, so a
+/// token is trivially copyable and lexing never allocates; string literals
+/// stay raw until the parser asks for them.
 struct Token {
   TokKind K = TokKind::Eof;
   std::string_view Text;
-  std::string Owned; ///< Decoded contents of a string literal.
   int64_t IntVal = 0;
   std::string_view Suffix;
   SourceLocation Loc;
@@ -68,6 +68,10 @@ struct Token {
     return K == TokKind::Ident && Text == S;
   }
 };
+
+/// Decodes the contents of a String token's raw range (strips the quotes,
+/// resolves \n, \t, and pass-through escapes).
+std::string decodeStringLiteral(std::string_view RawWithQuotes);
 
 /// A single-pass lexer over an in-memory buffer. The buffer must outlive the
 /// lexer and all tokens it produces.

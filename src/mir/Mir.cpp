@@ -1,5 +1,7 @@
 #include "mir/Mir.h"
 
+#include <algorithm>
+
 using namespace rs::mir;
 
 //===----------------------------------------------------------------------===//
@@ -37,7 +39,7 @@ std::string ConstValue::toString() const {
     return Bool ? "true" : "false";
   case Kind::Str: {
     std::string Out = "\"";
-    for (char C : Str) {
+    for (char C : Str.view()) {
       if (C == '"' || C == '\\')
         Out += '\\';
       Out += C;
@@ -166,17 +168,21 @@ Rvalue Rvalue::cast(Operand A, const Type *Ty) {
   return R;
 }
 
-Rvalue Rvalue::tuple(std::vector<Operand> Elems) {
+Rvalue Rvalue::tuple(OperandList Elems) {
   Rvalue R;
   R.K = Kind::Aggregate;
   R.Ops = std::move(Elems);
   return R;
 }
 
-Rvalue Rvalue::aggregate(std::string Name, std::vector<Operand> Fields) {
+Rvalue Rvalue::aggregate(std::string_view Name, OperandList Fields) {
+  return aggregate(Symbol::intern(Name), std::move(Fields));
+}
+
+Rvalue Rvalue::aggregate(Symbol Name, OperandList Fields) {
   Rvalue R;
   R.K = Kind::Aggregate;
-  R.AggName = std::move(Name);
+  R.AggName = Name;
   R.Ops = std::move(Fields);
   return R;
 }
@@ -224,7 +230,7 @@ std::string Rvalue::toString() const {
       Out += ")";
       return Out;
     }
-    Out = AggName + " {";
+    Out = AggName.str() + " {";
     for (size_t I = 0; I != Ops.size(); ++I) {
       if (I != 0)
         Out += ",";
@@ -270,10 +276,8 @@ Terminator Terminator::gotoBlock(BlockId B) {
   return T;
 }
 
-Terminator
-Terminator::switchInt(Operand Discr,
-                      std::vector<std::pair<int64_t, BlockId>> Cases,
-                      BlockId Otherwise) {
+Terminator Terminator::switchInt(Operand Discr, CaseList Cases,
+                                 BlockId Otherwise) {
   Terminator T;
   T.K = Kind::SwitchInt;
   T.Discr = std::move(Discr);
@@ -309,27 +313,36 @@ Terminator Terminator::drop(Place P, BlockId Target, BlockId Unwind) {
   return T;
 }
 
-Terminator Terminator::call(Place Dest, std::string Callee,
-                            std::vector<Operand> Args, BlockId Target,
-                            BlockId Unwind) {
+Terminator Terminator::call(Place Dest, std::string_view Callee,
+                            OperandList Args, BlockId Target, BlockId Unwind) {
+  return call(std::move(Dest), Symbol::intern(Callee), std::move(Args), Target,
+              Unwind);
+}
+
+Terminator Terminator::call(Place Dest, Symbol Callee, OperandList Args,
+                            BlockId Target, BlockId Unwind) {
   Terminator T;
   T.K = Kind::Call;
   T.Dest = std::move(Dest);
   T.HasDest = true;
-  T.Callee = std::move(Callee);
+  T.Callee = Callee;
   T.Args = std::move(Args);
   T.Target = Target;
   T.Unwind = Unwind;
   return T;
 }
 
-Terminator Terminator::callNoDest(std::string Callee,
-                                  std::vector<Operand> Args, BlockId Target,
-                                  BlockId Unwind) {
+Terminator Terminator::callNoDest(std::string_view Callee, OperandList Args,
+                                  BlockId Target, BlockId Unwind) {
+  return callNoDest(Symbol::intern(Callee), std::move(Args), Target, Unwind);
+}
+
+Terminator Terminator::callNoDest(Symbol Callee, OperandList Args,
+                                  BlockId Target, BlockId Unwind) {
   Terminator T;
   T.K = Kind::Call;
   T.HasDest = false;
-  T.Callee = std::move(Callee);
+  T.Callee = Callee;
   T.Args = std::move(Args);
   T.Target = Target;
   T.Unwind = Unwind;
@@ -344,7 +357,7 @@ Terminator Terminator::assertCond(Operand Cond, BlockId Target) {
   return T;
 }
 
-void Terminator::successors(std::vector<BlockId> &Out) const {
+void Terminator::successors(SuccList &Out) const {
   switch (K) {
   case Kind::Goto:
     Out.push_back(Target);
@@ -401,7 +414,7 @@ std::string Terminator::toString() const {
     std::string Out;
     if (HasDest)
       Out += Dest.toString() + " = ";
-    Out += Callee + "(";
+    Out += Callee.str() + "(";
     for (size_t I = 0; I != Args.size(); ++I) {
       if (I != 0)
         Out += ", ";
@@ -427,7 +440,7 @@ std::string Function::toString() const {
   std::string Out;
   if (IsUnsafe)
     Out += "unsafe ";
-  Out += "fn " + Name + "(";
+  Out += "fn " + Name.str() + "(";
   for (unsigned I = 1; I <= NumArgs; ++I) {
     if (I != 1)
       Out += ", ";
@@ -446,7 +459,7 @@ std::string Function::toString() const {
       Out += "mut ";
     Out += "_" + std::to_string(I) + ": " + Locals[I].Ty->toString() + ";";
     if (!Locals[I].DebugName.empty())
-      Out += " // " + Locals[I].DebugName;
+      Out += " // " + Locals[I].DebugName.str();
     Out += "\n";
   }
   Out += "\n";
@@ -467,20 +480,28 @@ std::string Function::toString() const {
 Function &Module::addFunction(Function F) {
   assert(FuncByName.find(F.Name) == FuncByName.end() &&
          "duplicate function name");
-  Funcs.push_back(std::make_unique<Function>(std::move(F)));
-  Function *Stored = Funcs.back().get();
-  FuncByName[Stored->Name] = Stored;
-  return *Stored;
+  FuncId Id = static_cast<FuncId>(Funcs.size());
+  Funcs.push_back(std::move(F));
+  FuncByName[Funcs.back().Name] = Id;
+  return Funcs.back();
 }
 
-const Function *Module::findFunction(const std::string &Name) const {
-  auto It = FuncByName.find(Name);
-  return It == FuncByName.end() ? nullptr : It->second;
+const Function *Module::findFunction(std::string_view Name) const {
+  return findFunction(Symbol::intern(Name));
 }
 
-Function *Module::findFunction(const std::string &Name) {
+Function *Module::findFunction(std::string_view Name) {
+  return findFunction(Symbol::intern(Name));
+}
+
+const Function *Module::findFunction(Symbol Name) const {
   auto It = FuncByName.find(Name);
-  return It == FuncByName.end() ? nullptr : It->second;
+  return It == FuncByName.end() ? nullptr : &Funcs[It->second];
+}
+
+Function *Module::findFunction(Symbol Name) {
+  auto It = FuncByName.find(Name);
+  return It == FuncByName.end() ? nullptr : &Funcs[It->second];
 }
 
 void Module::addStruct(StructDecl S) {
@@ -490,15 +511,15 @@ void Module::addStruct(StructDecl S) {
   Structs.push_back(std::move(S));
 }
 
-const StructDecl *Module::findStruct(const std::string &Name) const {
-  auto It = StructByName.find(Name);
+const StructDecl *Module::findStruct(std::string_view Name) const {
+  auto It = StructByName.find(Symbol::intern(Name));
   return It == StructByName.end() ? nullptr : &Structs[It->second];
 }
 
 std::string Module::toString() const {
   std::string Out;
   for (const StructDecl &S : Structs) {
-    Out += "struct " + S.Name;
+    Out += "struct " + S.Name.str();
     if (S.HasDrop)
       Out += " : Drop";
     Out += " {";
@@ -509,21 +530,27 @@ std::string Module::toString() const {
     }
     Out += " }\n";
   }
+  // SyncAdts is unordered; the printed form is sorted by name so module
+  // output never depends on interning order.
+  std::vector<std::string_view> SyncNames;
   for (const auto &[Name, IsSync] : SyncAdts)
     if (IsSync)
-      Out += "unsafe impl Sync for " + Name + ";\n";
+      SyncNames.push_back(Name.view());
+  std::sort(SyncNames.begin(), SyncNames.end());
+  for (std::string_view Name : SyncNames)
+    Out += "unsafe impl Sync for " + std::string(Name) + ";\n";
   for (const StaticDecl &S : Statics) {
     Out += "static ";
     if (S.Mutable)
       Out += "mut ";
-    Out += S.Name + ": " + S.Ty->toString() + ";\n";
+    Out += S.Name.str() + ": " + S.Ty->toString() + ";\n";
   }
   if (!Out.empty())
     Out += "\n";
   for (size_t I = 0; I != Funcs.size(); ++I) {
     if (I != 0)
       Out += "\n";
-    Out += Funcs[I]->toString();
+    Out += Funcs[I].toString();
   }
   return Out;
 }

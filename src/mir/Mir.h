@@ -17,19 +17,31 @@
 /// the arguments) and BasicBlocks. Each block holds Statements and exactly
 /// one Terminator.
 ///
+/// Storage layout: every recurring name (function paths, call targets,
+/// aggregate/struct/static names, debug names, string constants) is an
+/// interned Symbol — a 4-byte handle — and per-node sequences (projections,
+/// operands, call arguments, switch cases) live in inline-capacity
+/// SmallVectors sized for the common case. Building or copying a typical
+/// statement therefore performs no heap allocation, and the Module's
+/// function table is a dense deque indexed by FuncId with Symbol-keyed name
+/// maps on the side. Types are structurally interned by TypeContext and
+/// referenced by pointer.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef RUSTSIGHT_MIR_MIR_H
 #define RUSTSIGHT_MIR_MIR_H
 
 #include "mir/Type.h"
+#include "support/SmallVector.h"
 #include "support/SourceLocation.h"
+#include "support/Symbol.h"
 
 #include <cassert>
 #include <cstdint>
-#include <map>
-#include <memory>
+#include <deque>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 namespace rs::mir {
@@ -39,6 +51,9 @@ using LocalId = unsigned;
 
 /// Index of a basic block within a Function (printed "bbN").
 using BlockId = unsigned;
+
+/// Index of a function within a Module's dense function table.
+using FuncId = unsigned;
 
 /// Sentinel for "no block" (e.g. a call without an unwind edge).
 inline constexpr BlockId InvalidBlock = ~0u;
@@ -67,16 +82,18 @@ struct ProjectionElem {
   }
 };
 
+/// Projection lists are nearly always short: a deref, or a deref + field.
+using ProjList = SmallVector<ProjectionElem, 2>;
+
 /// A memory location expression: a base local plus zero or more projections,
 /// e.g. (*_2).0 is base _2 with [Deref, Field 0].
 struct Place {
   LocalId Base = 0;
-  std::vector<ProjectionElem> Projs;
+  ProjList Projs;
 
   Place() = default;
   /*implicit*/ Place(LocalId Base) : Base(Base) {}
-  Place(LocalId Base, std::vector<ProjectionElem> Projs)
-      : Base(Base), Projs(std::move(Projs)) {}
+  Place(LocalId Base, ProjList Projs) : Base(Base), Projs(std::move(Projs)) {}
 
   /// True if the place is a bare local with no projections.
   bool isLocal() const { return Projs.empty(); }
@@ -115,7 +132,7 @@ struct ConstValue {
   Kind K = Kind::Unit;
   int64_t Int = 0;
   bool Bool = false;
-  std::string Str;
+  Symbol Str;
   /// Optional type ascription from a literal suffix ("const 0_i32").
   const Type *Ty = nullptr;
 
@@ -132,10 +149,16 @@ struct ConstValue {
     C.Bool = V;
     return C;
   }
-  static ConstValue makeStr(std::string S) {
+  static ConstValue makeStr(std::string_view S) {
     ConstValue C;
     C.K = Kind::Str;
-    C.Str = std::move(S);
+    C.Str = Symbol::intern(S);
+    return C;
+  }
+  static ConstValue makeStrSym(Symbol S) {
+    ConstValue C;
+    C.K = Kind::Str;
+    C.Str = S;
     return C;
   }
   static ConstValue makeUnit() { return ConstValue(); }
@@ -175,6 +198,9 @@ struct Operand {
 
   std::string toString() const;
 };
+
+/// Operand lists: one operand for Use/UnaryOp/Cast, two for BinaryOp.
+using OperandList = SmallVector<Operand, 2>;
 
 /// Binary operations (a subset of MIR's BinOp; Offset is pointer arithmetic,
 /// the MIR form of ptr::offset used by the paper's performance experiments).
@@ -219,14 +245,14 @@ struct Rvalue {
   };
 
   Kind K = Kind::Use;
-  std::vector<Operand> Ops;    ///< Use: 1; BinaryOp: 2; UnaryOp/Cast: 1;
+  OperandList Ops;             ///< Use: 1; BinaryOp: 2; UnaryOp/Cast: 1;
                                ///< Aggregate: N.
   Place P;                     ///< Ref/AddressOf/Discriminant/Len.
   bool Mut = false;            ///< Ref/AddressOf mutability.
   BinOp BOp = BinOp::Add;      ///< BinaryOp.
   UnOp UOp = UnOp::Not;        ///< UnaryOp.
   const Type *CastTy = nullptr;///< Cast target type.
-  std::string AggName;         ///< Aggregate ADT name; empty for tuples.
+  Symbol AggName;              ///< Aggregate ADT name; empty for tuples.
 
   static Rvalue use(Operand O);
   static Rvalue ref(Place P, bool Mut);
@@ -234,8 +260,9 @@ struct Rvalue {
   static Rvalue binary(BinOp Op, Operand A, Operand B);
   static Rvalue unary(UnOp Op, Operand A);
   static Rvalue cast(Operand A, const Type *Ty);
-  static Rvalue tuple(std::vector<Operand> Elems);
-  static Rvalue aggregate(std::string Name, std::vector<Operand> Fields);
+  static Rvalue tuple(OperandList Elems);
+  static Rvalue aggregate(std::string_view Name, OperandList Fields);
+  static Rvalue aggregate(Symbol Name, OperandList Fields);
   static Rvalue discriminant(Place P);
   static Rvalue len(Place P);
 
@@ -291,6 +318,14 @@ struct Statement {
   std::string toString() const;
 };
 
+/// Switch arms: two-way branches dominate real MIR.
+using CaseList = SmallVector<std::pair<int64_t, BlockId>, 2>;
+
+/// Fixed-capacity successor buffer: every terminator kind except SwitchInt
+/// has at most two successors, so four inline slots cover hot CFG walks
+/// without touching the heap.
+using SuccList = SmallVector<BlockId, 4>;
+
 /// The single control-flow instruction ending a basic block.
 struct Terminator {
   enum class Kind {
@@ -305,37 +340,41 @@ struct Terminator {
   };
 
   Kind K = Kind::Return;
-  Operand Discr;                               ///< SwitchInt/Assert operand.
-  std::vector<std::pair<int64_t, BlockId>> Cases; ///< SwitchInt arms.
+  Operand Discr;                  ///< SwitchInt/Assert operand.
+  CaseList Cases;                 ///< SwitchInt arms.
   BlockId Target = InvalidBlock;  ///< Goto target; SwitchInt otherwise;
                                   ///< Drop/Call return; Assert success.
   BlockId Unwind = InvalidBlock;  ///< Drop/Call unwind edge, if any.
   Place DropPlace;                ///< Drop subject.
   Place Dest;                     ///< Call destination (unit type if unused).
   bool HasDest = false;           ///< Whether the call writes a destination.
-  std::string Callee;             ///< Call target: a function path.
-  std::vector<Operand> Args;      ///< Call arguments.
+  Symbol Callee;                  ///< Call target: a function path.
+  OperandList Args;               ///< Call arguments.
   SourceLocation Loc;
 
   static Terminator gotoBlock(BlockId B);
-  static Terminator switchInt(Operand Discr,
-                              std::vector<std::pair<int64_t, BlockId>> Cases,
+  static Terminator switchInt(Operand Discr, CaseList Cases,
                               BlockId Otherwise);
   static Terminator ret();
   static Terminator resume();
   static Terminator unreachable();
   static Terminator drop(Place P, BlockId Target,
                          BlockId Unwind = InvalidBlock);
-  static Terminator call(Place Dest, std::string Callee,
-                         std::vector<Operand> Args, BlockId Target,
+  static Terminator call(Place Dest, std::string_view Callee,
+                         OperandList Args, BlockId Target,
                          BlockId Unwind = InvalidBlock);
-  static Terminator callNoDest(std::string Callee, std::vector<Operand> Args,
+  static Terminator call(Place Dest, Symbol Callee, OperandList Args,
+                         BlockId Target, BlockId Unwind = InvalidBlock);
+  static Terminator callNoDest(std::string_view Callee, OperandList Args,
                                BlockId Target, BlockId Unwind = InvalidBlock);
+  static Terminator callNoDest(Symbol Callee, OperandList Args, BlockId Target,
+                               BlockId Unwind = InvalidBlock);
   static Terminator assertCond(Operand Cond, BlockId Target);
 
   /// Appends every successor block id to \p Out (deduplicated by callers if
-  /// needed; order is deterministic).
-  void successors(std::vector<BlockId> &Out) const;
+  /// needed; order is deterministic). The inline buffer keeps per-block CFG
+  /// walks allocation-free; callers reuse one buffer across blocks.
+  void successors(SuccList &Out) const;
 
   std::string toString() const;
 };
@@ -355,7 +394,7 @@ struct LocalDecl {
   const Type *Ty = nullptr;
   bool Mutable = false;
   /// Optional human-readable name from the source ("buf"), for diagnostics.
-  std::string DebugName;
+  Symbol DebugName;
 };
 
 /// A RustLite MIR function.
@@ -364,7 +403,7 @@ struct LocalDecl {
 /// are temporaries and user variables.
 class Function {
 public:
-  std::string Name;
+  Symbol Name;
   bool IsUnsafe = false;
   unsigned NumArgs = 0;
   std::vector<LocalDecl> Locals;
@@ -388,7 +427,7 @@ public:
 /// A struct declaration: numbered fields plus whether the type has a Drop
 /// impl (which matters for invalid-free/double-free reasoning, Section 5.1).
 struct StructDecl {
-  std::string Name;
+  Symbol Name;
   std::vector<std::pair<std::string, const Type *>> Fields;
   bool HasDrop = false;
 };
@@ -396,12 +435,16 @@ struct StructDecl {
 /// A static item declaration. Mutable statics can only be touched from
 /// unsafe code in Rust, one of the data-sharing patterns in Table 4.
 struct StaticDecl {
-  std::string Name;
+  Symbol Name;
   const Type *Ty = nullptr;
   bool Mutable = false;
 };
 
 /// A compilation unit: types, structs, statics, and functions.
+///
+/// Functions live in a dense table indexed by FuncId (a deque, so references
+/// stay stable as functions are added and no per-function heap indirection
+/// exists); name lookup goes through a Symbol-keyed index.
 class Module {
 public:
   Module() = default;
@@ -416,38 +459,46 @@ public:
   /// Adds a function and returns a reference to the stored copy.
   Function &addFunction(Function F);
   /// Finds a function by exact name, or nullptr.
-  const Function *findFunction(const std::string &Name) const;
-  Function *findFunction(const std::string &Name);
+  const Function *findFunction(std::string_view Name) const;
+  Function *findFunction(std::string_view Name);
+  const Function *findFunction(Symbol Name) const;
+  Function *findFunction(Symbol Name);
 
-  const std::vector<std::unique_ptr<Function>> &functions() const {
-    return Funcs;
-  }
+  const std::deque<Function> &functions() const { return Funcs; }
+  std::deque<Function> &functions() { return Funcs; }
+  unsigned numFunctions() const { return static_cast<unsigned>(Funcs.size()); }
+  const Function &func(FuncId Id) const { return Funcs[Id]; }
+  Function &func(FuncId Id) { return Funcs[Id]; }
 
   void addStruct(StructDecl S);
-  const StructDecl *findStruct(const std::string &Name) const;
+  const StructDecl *findStruct(std::string_view Name) const;
   const std::vector<StructDecl> &structs() const { return Structs; }
 
   void addStatic(StaticDecl S) { Statics.push_back(std::move(S)); }
   const std::vector<StaticDecl> &statics() const { return Statics; }
 
   /// Marks "unsafe impl Sync for Name;".
-  void addSyncImpl(const std::string &Name) { SyncAdts[Name] = true; }
-  bool isSync(const std::string &Name) const {
-    auto It = SyncAdts.find(Name);
+  void addSyncImpl(std::string_view Name) {
+    SyncAdts[Symbol::intern(Name)] = true;
+  }
+  bool isSync(std::string_view Name) const {
+    auto It = SyncAdts.find(Symbol::intern(Name));
     return It != SyncAdts.end() && It->second;
   }
+  const std::unordered_map<Symbol, bool> &syncAdts() const { return SyncAdts; }
 
   /// Renders the whole module in RustLite MIR textual syntax.
   std::string toString() const;
 
 private:
   TypeContext Types;
-  std::vector<std::unique_ptr<Function>> Funcs;
-  std::map<std::string, Function *> FuncByName;
+  std::deque<Function> Funcs;
+  std::unordered_map<Symbol, FuncId> FuncByName;
   std::vector<StructDecl> Structs;
-  std::map<std::string, size_t> StructByName;
+  std::unordered_map<Symbol, size_t> StructByName;
   std::vector<StaticDecl> Statics;
-  std::map<std::string, bool> SyncAdts;
+  /// Unordered for speed; printing sorts by name so output stays stable.
+  std::unordered_map<Symbol, bool> SyncAdts;
 };
 
 } // namespace rs::mir

@@ -167,7 +167,7 @@ bool Parser::parseStruct() {
   if (!Tok.is(TokKind::Ident))
     return fail("expected struct name");
   StructDecl S;
-  S.Name = std::string(Tok.Text);
+  S.Name = Symbol::intern(Tok.Text);
   bump();
   if (Tok.is(TokKind::Colon)) {
     bump();
@@ -197,7 +197,7 @@ bool Parser::parseStruct() {
   if (!expect(TokKind::RBrace, "'}'"))
     return false;
   if (M.findStruct(S.Name))
-    return fail("duplicate struct '" + S.Name + "'");
+    return fail("duplicate struct '" + S.Name.str() + "'");
   M.addStruct(std::move(S));
   return true;
 }
@@ -210,7 +210,7 @@ bool Parser::parseSyncImpl() {
     return false;
   if (!Tok.is(TokKind::Ident))
     return fail("expected type name in Sync impl");
-  std::string Name(Tok.Text);
+  std::string_view Name = Tok.Text;
   bump();
   if (!expect(TokKind::Semi, "';'"))
     return false;
@@ -225,7 +225,7 @@ bool Parser::parseStatic() {
     S.Mutable = true;
   if (!Tok.is(TokKind::Ident))
     return fail("expected static name");
-  S.Name = std::string(Tok.Text);
+  S.Name = Symbol::intern(Tok.Text);
   bump();
   if (!expect(TokKind::Colon, "':'"))
     return false;
@@ -281,10 +281,10 @@ bool Parser::parseFunction(bool IsUnsafe) {
     return false;
 
   F.NumArgs = static_cast<unsigned>(ParamTypes.size());
-  std::map<LocalId, LocalDecl> Decls;
-  Decls[0] = LocalDecl{RetTy, true, ""};
+  DenseTable<LocalDecl> Decls;
+  Decls.insert(0, LocalDecl{RetTy, true, {}});
   for (unsigned I = 0; I != ParamTypes.size(); ++I)
-    Decls[I + 1] = LocalDecl{ParamTypes[I], false, ""};
+    Decls.insert(I + 1, LocalDecl{ParamTypes[I], false, {}});
 
   // Body: local declarations, then basic blocks.
   while (atIdent("let")) {
@@ -293,15 +293,14 @@ bool Parser::parseFunction(bool IsUnsafe) {
   }
 
   // Validate local density and build the locals table.
-  for (LocalId I = 0; I != Decls.size(); ++I)
-    if (Decls.find(I) == Decls.end())
-      return fail("function '" + F.Name + "' is missing a declaration for _" +
-                  std::to_string(I));
-  F.Locals.resize(Decls.size());
-  for (auto &[Id, Decl] : Decls)
-    F.Locals[Id] = Decl;
+  if (unsigned Gap = Decls.firstGap(); Gap != Decls.Count)
+    return fail("function '" + F.Name.str() +
+                "' is missing a declaration for _" + std::to_string(Gap));
+  F.Locals.resize(Decls.Count);
+  for (LocalId I = 0; I != Decls.Count; ++I)
+    F.Locals[I] = std::move(Decls.Slots[I]);
 
-  std::map<BlockId, BasicBlock> Blocks;
+  DenseTable<BasicBlock> Blocks;
   while (!Tok.is(TokKind::RBrace)) {
     CurFn = &F;
     bool Ok = parseBlock(Blocks);
@@ -311,23 +310,22 @@ bool Parser::parseFunction(bool IsUnsafe) {
   }
   bump(); // '}'
 
-  if (Blocks.empty())
-    return fail("function '" + F.Name + "' has no basic blocks");
-  for (BlockId I = 0; I != Blocks.size(); ++I)
-    if (Blocks.find(I) == Blocks.end())
-      return fail("function '" + F.Name + "' is missing block bb" +
-                  std::to_string(I));
-  F.Blocks.resize(Blocks.size());
-  for (auto &[Id, BB] : Blocks)
-    F.Blocks[Id] = std::move(BB);
+  if (Blocks.Count == 0)
+    return fail("function '" + F.Name.str() + "' has no basic blocks");
+  if (unsigned Gap = Blocks.firstGap(); Gap != Blocks.Count)
+    return fail("function '" + F.Name.str() + "' is missing block bb" +
+                std::to_string(Gap));
+  F.Blocks.resize(Blocks.Count);
+  for (BlockId I = 0; I != Blocks.Count; ++I)
+    F.Blocks[I] = std::move(Blocks.Slots[I]);
 
   if (M.findFunction(F.Name))
-    return fail("duplicate function '" + F.Name + "'");
+    return fail("duplicate function '" + F.Name.str() + "'");
   M.addFunction(std::move(F));
   return true;
 }
 
-bool Parser::parseLocalDecl(std::map<LocalId, LocalDecl> &Decls) {
+bool Parser::parseLocalDecl(DenseTable<LocalDecl> &Decls) {
   bump(); // let
   LocalDecl D;
   if (consumeIdent("mut"))
@@ -345,12 +343,12 @@ bool Parser::parseLocalDecl(std::map<LocalId, LocalDecl> &Decls) {
   // The return place _0 is pre-declared from the signature; an explicit
   // "let mut _0: T;" (as the printer emits) is accepted if the type agrees.
   if (Id == 0) {
-    if (Decls[0].Ty != D.Ty)
+    if (Decls.Slots[0].Ty != D.Ty)
       return fail("declared type of _0 does not match the return type");
-    Decls[0] = D;
+    Decls.overwrite(0, D);
     return true;
   }
-  if (!Decls.emplace(Id, D).second)
+  if (!Decls.insert(Id, D))
     return fail("duplicate declaration of _" + std::to_string(Id));
   return true;
 }
@@ -381,7 +379,7 @@ bool Parser::parseBlockRef(BlockId &Out) {
   return true;
 }
 
-bool Parser::parseBlock(std::map<BlockId, BasicBlock> &Blocks) {
+bool Parser::parseBlock(DenseTable<BasicBlock> &Blocks) {
   BlockId Id = 0;
   if (!blockIdFromIdent(Tok, Id))
     return fail("expected basic block label 'bbN'");
@@ -401,7 +399,7 @@ bool Parser::parseBlock(std::map<BlockId, BasicBlock> &Blocks) {
   }
   if (!expect(TokKind::RBrace, "'}' after terminator"))
     return false;
-  if (!Blocks.emplace(Id, std::move(BB)).second)
+  if (!Blocks.insert(Id, std::move(BB)))
     return fail("duplicate block bb" + std::to_string(Id));
   return true;
 }
@@ -520,7 +518,7 @@ bool Parser::parseBlockItem(BasicBlock &BB, bool &SawTerminator) {
       return false;
     if (!expect(TokKind::LBracket, "'['"))
       return false;
-    std::vector<std::pair<int64_t, BlockId>> Cases;
+    CaseList Cases;
     BlockId Otherwise = InvalidBlock;
     while (true) {
       if (atIdent("otherwise")) {
@@ -610,12 +608,12 @@ bool Parser::parseBlockItem(BasicBlock &BB, bool &SawTerminator) {
 
   // Bare call terminator: "callee(args) -> target;".
   if (Tok.is(TokKind::Ident)) {
-    std::string Callee;
+    Symbol Callee;
     if (!parsePath(Callee))
       return false;
     if (!expect(TokKind::LParen, "'(' after callee"))
       return false;
-    std::vector<Operand> Args;
+    OperandList Args;
     if (!parseOperandList(Args, TokKind::RParen))
       return false;
     if (!expect(TokKind::Arrow, "'->' after call"))
@@ -717,7 +715,7 @@ bool Parser::parseAssignRhs(Rvalue &RV, Terminator &Call, bool &IsCall) {
   // Tuple aggregate.
   if (Tok.is(TokKind::LParen)) {
     bump();
-    std::vector<Operand> Elems;
+    OperandList Elems;
     if (!parseOperandList(Elems, TokKind::RParen))
       return false;
     RV = Rvalue::tuple(std::move(Elems));
@@ -741,7 +739,7 @@ bool Parser::parseAssignRhs(Rvalue &RV, Terminator &Call, bool &IsCall) {
 
   // Path-led: struct aggregate, binop/unop, or call terminator.
   if (Tok.is(TokKind::Ident)) {
-    std::string PathName;
+    Symbol PathName;
     if (!parsePath(PathName))
       return false;
 
@@ -769,19 +767,19 @@ bool Parser::parseAssignRhs(Rvalue &RV, Terminator &Call, bool &IsCall) {
         return false;
       std::sort(Fields.begin(), Fields.end(),
                 [](const auto &A, const auto &B) { return A.first < B.first; });
-      std::vector<Operand> Ops;
+      OperandList Ops;
       for (auto &[Idx, O] : Fields) {
         if (Idx != Ops.size())
           return fail("aggregate fields must cover 0..N once each");
         Ops.push_back(std::move(O));
       }
-      RV = Rvalue::aggregate(std::move(PathName), std::move(Ops));
+      RV = Rvalue::aggregate(PathName, std::move(Ops));
       return true;
     }
 
     if (!expect(TokKind::LParen, "'(' after name in rvalue"))
       return false;
-    std::vector<Operand> Args;
+    OperandList Args;
     if (!parseOperandList(Args, TokKind::RParen))
       return false;
 
@@ -790,44 +788,50 @@ bool Parser::parseAssignRhs(Rvalue &RV, Terminator &Call, bool &IsCall) {
       BlockId Target = 0, Unwind = InvalidBlock;
       if (!parseCallTargets(Target, Unwind))
         return false;
-      Call = Terminator::callNoDest(std::move(PathName), std::move(Args),
-                                    Target, Unwind);
+      Call = Terminator::callNoDest(PathName, std::move(Args), Target, Unwind);
       IsCall = true;
       return true;
     }
 
-    if (auto BOp = binOpFromName(PathName)) {
+    if (auto BOp = binOpFromName(PathName.view())) {
       if (Args.size() != 2)
-        return fail(PathName + " expects exactly two operands");
+        return fail(PathName.str() + " expects exactly two operands");
       RV = Rvalue::binary(*BOp, std::move(Args[0]), std::move(Args[1]));
       return true;
     }
-    if (auto UOp = unOpFromName(PathName)) {
+    if (auto UOp = unOpFromName(PathName.view())) {
       if (Args.size() != 1)
-        return fail(PathName + " expects exactly one operand");
+        return fail(PathName.str() + " expects exactly one operand");
       RV = Rvalue::unary(*UOp, std::move(Args[0]));
       return true;
     }
-    return fail("call to '" + PathName +
+    return fail("call to '" + PathName.str() +
                 "' needs a target block ('-> bbN'); calls are terminators");
   }
 
   return fail("expected rvalue");
 }
 
-bool Parser::parsePath(std::string &Out) {
+bool Parser::parsePath(Symbol &Out) {
   if (!Tok.is(TokKind::Ident))
     return fail("expected path");
-  Out = std::string(Tok.Text);
+  std::string_view First = Tok.Text;
   bump();
+  if (!Tok.is(TokKind::ColonColon)) {
+    // Single-segment path: intern straight from the buffer, no copy.
+    Out = Symbol::intern(First);
+    return true;
+  }
+  PathScratch.assign(First);
   while (Tok.is(TokKind::ColonColon)) {
     bump();
     if (!Tok.is(TokKind::Ident))
       return fail("expected identifier after '::'");
-    Out += "::";
-    Out += std::string(Tok.Text);
+    PathScratch += "::";
+    PathScratch += Tok.Text;
     bump();
   }
+  Out = Symbol::intern(PathScratch);
   return true;
 }
 
@@ -937,7 +941,7 @@ bool Parser::parseOperand(Operand &Out) {
       return true;
     }
     if (Tok.is(TokKind::String)) {
-      Out = Operand::constant(ConstValue::makeStr(Tok.Owned));
+      Out = Operand::constant(ConstValue::makeStr(decodeStringLiteral(Tok.Text)));
       bump();
       return true;
     }
@@ -958,7 +962,7 @@ bool Parser::parseOperand(Operand &Out) {
   return fail("expected operand ('copy', 'move', or 'const')");
 }
 
-bool Parser::parseOperandList(std::vector<Operand> &Out, TokKind Close) {
+bool Parser::parseOperandList(OperandList &Out, TokKind Close) {
   while (!Tok.is(Close)) {
     Operand O;
     if (!parseOperand(O))
@@ -1046,7 +1050,7 @@ bool Parser::parseType(const Type *&Out) {
       bump();
       return true;
     }
-    std::string Name;
+    Symbol Name;
     if (!parsePath(Name))
       return false;
     std::vector<const Type *> Args;
@@ -1066,7 +1070,7 @@ bool Parser::parseType(const Type *&Out) {
       if (!expect(TokKind::Gt, "'>'"))
         return false;
     }
-    Out = TC.getAdt(std::move(Name), std::move(Args));
+    Out = TC.getAdt(Name, std::move(Args));
     return true;
   }
   return fail("expected type");

@@ -51,7 +51,6 @@
 #include "mir/Mir.h"
 #include "support/Error.h"
 
-#include <map>
 #include <optional>
 
 namespace rs::mir {
@@ -119,20 +118,60 @@ private:
   bool parseFunction(bool IsUnsafe);
   bool parseSyncImpl();
 
+  /// Dense id-indexed build table for locals and blocks: the common case is
+  /// ids arriving in order, so this replaces the std::map (one allocation
+  /// per entry) the parser used to build per function.
+  template <typename T> struct DenseTable {
+    std::vector<T> Slots;
+    std::vector<char> Present;
+    unsigned Count = 0;
+
+    bool contains(unsigned Id) const {
+      return Id < Present.size() && Present[Id];
+    }
+    /// Inserts at \p Id; returns false if already present.
+    bool insert(unsigned Id, T V) {
+      if (contains(Id))
+        return false;
+      if (Id >= Slots.size()) {
+        Slots.resize(Id + 1);
+        Present.resize(Id + 1, 0);
+      }
+      Slots[Id] = std::move(V);
+      Present[Id] = 1;
+      ++Count;
+      return true;
+    }
+    void overwrite(unsigned Id, T V) {
+      if (!contains(Id)) {
+        insert(Id, std::move(V));
+        return;
+      }
+      Slots[Id] = std::move(V);
+    }
+    /// First id in [0, Count) with no entry, or Count if dense.
+    unsigned firstGap() const {
+      for (unsigned I = 0; I != Count; ++I)
+        if (!contains(I))
+          return I;
+      return Count;
+    }
+  };
+
   // Function-body parsers.
-  bool parseLocalDecl(std::map<LocalId, LocalDecl> &Decls);
-  bool parseBlock(std::map<BlockId, BasicBlock> &Blocks);
+  bool parseLocalDecl(DenseTable<LocalDecl> &Decls);
+  bool parseBlock(DenseTable<BasicBlock> &Blocks);
   /// Parses one statement or terminator within a block. Statements are
   /// appended to \p BB; when the terminator is parsed, it is stored and
   /// \p SawTerminator set.
   bool parseBlockItem(BasicBlock &BB, bool &SawTerminator);
 
   // Grammar nonterminals.
-  bool parsePath(std::string &Out);
+  bool parsePath(Symbol &Out);
   bool parseType(const Type *&Out);
   bool parsePlace(Place &Out);
   bool parseOperand(Operand &Out);
-  bool parseOperandList(std::vector<Operand> &Out, TokKind Close);
+  bool parseOperandList(OperandList &Out, TokKind Close);
   bool parseBlockRef(BlockId &Out);
   bool parseCallTargets(BlockId &Target, BlockId &Unwind);
   /// Parses the right-hand side of "place =". Either an rvalue statement
@@ -147,6 +186,8 @@ private:
   std::optional<Error> Err;
   Module M;
   Function *CurFn = nullptr;
+  /// Reused buffer for multi-segment paths ("std::sync::Mutex").
+  std::string PathScratch;
 };
 
 } // namespace rs::mir

@@ -35,7 +35,7 @@ std::vector<bool> reachableBlocks(const Function &F) {
     return Seen;
   std::vector<BlockId> Work{0};
   Seen[0] = true;
-  std::vector<BlockId> Succs;
+  SuccList Succs;
   while (!Work.empty()) {
     BlockId B = Work.back();
     Work.pop_back();
@@ -54,7 +54,7 @@ std::vector<bool> reachableBlocks(const Function &F) {
 /// Number of predecessors of each block (parallel edges counted once).
 std::vector<unsigned> predecessorCounts(const Function &F) {
   std::vector<unsigned> Counts(F.numBlocks(), 0);
-  std::vector<BlockId> Succs;
+  SuccList Succs;
   for (BlockId B = 0; B != F.numBlocks(); ++B) {
     Succs.clear();
     F.Blocks[B].Term.successors(Succs);
@@ -241,8 +241,7 @@ public:
 
 unsigned PassManager::run(Module &M, unsigned MaxRounds) {
   unsigned Applications = 0;
-  for (const auto &FnPtr : M.functions()) {
-    Function &F = *FnPtr;
+  for (Function &F : M.functions()) {
     for (unsigned Round = 0; Round != MaxRounds; ++Round) {
       bool Changed = false;
       for (const auto &P : Passes)

@@ -1,7 +1,10 @@
 #include "mir/Type.h"
 
+#include "support/Hash.h"
+
 #include <cassert>
 
+using namespace rs;
 using namespace rs::mir;
 
 const char *rs::mir::primKindName(PrimKind K) {
@@ -69,7 +72,7 @@ std::string Type::toString() const {
   case Kind::Slice:
     return "[" + Pointee->toString() + "]";
   case Kind::Adt: {
-    std::string Out = Name;
+    std::string Out = Name.str();
     if (!Args.empty()) {
       Out += "<";
       for (size_t I = 0; I != Args.size(); ++I) {
@@ -86,22 +89,47 @@ std::string Type::toString() const {
   return "?";
 }
 
+static uint64_t structuralHash(const Type &T, Type::Kind K, PrimKind Prim,
+                               bool Mut, const Type *Pointee,
+                               uint64_t ArrayLen,
+                               const std::vector<const Type *> &Args,
+                               Symbol Name) {
+  (void)T;
+  uint64_t H = fnv1a64U64(static_cast<uint64_t>(K));
+  H = fnv1a64U64(static_cast<uint64_t>(Prim), H);
+  H = fnv1a64U64(Mut ? 1 : 0, H);
+  H = fnv1a64U64(reinterpret_cast<uintptr_t>(Pointee), H);
+  H = fnv1a64U64(ArrayLen, H);
+  H = fnv1a64U64(Name.id(), H);
+  for (const Type *A : Args)
+    H = fnv1a64U64(reinterpret_cast<uintptr_t>(A), H);
+  return H;
+}
+
 const Type *TypeContext::intern(Type T) {
-  std::string Key = T.toString();
-  auto It = Interned.find(Key);
-  if (It != Interned.end())
-    return It->second.get();
-  auto Owned = std::unique_ptr<Type>(new Type(std::move(T)));
-  const Type *Raw = Owned.get();
-  Interned.emplace(std::move(Key), std::move(Owned));
-  return Raw;
+  uint64_t H = structuralHash(T, T.K, T.Prim, T.Mut, T.Pointee, T.ArrayLen,
+                              T.Args, T.Name);
+  std::vector<std::unique_ptr<Type>> &Bucket = Interned[H];
+  for (const std::unique_ptr<Type> &Existing : Bucket)
+    if (Existing->K == T.K && Existing->Prim == T.Prim &&
+        Existing->Mut == T.Mut && Existing->Pointee == T.Pointee &&
+        Existing->ArrayLen == T.ArrayLen && Existing->Args == T.Args &&
+        Existing->Name == T.Name)
+      return Existing.get();
+  Bucket.push_back(std::unique_ptr<Type>(new Type(std::move(T))));
+  return Bucket.back().get();
 }
 
 const Type *TypeContext::getPrim(PrimKind K) {
+  unsigned Idx = static_cast<unsigned>(K);
+  assert(Idx < NumPrimKinds && "unknown PrimKind");
+  if (const Type *Cached = Prims[Idx])
+    return Cached;
   Type T;
   T.K = Type::Kind::Prim;
   T.Prim = K;
-  return intern(std::move(T));
+  Prims[Idx] = intern(std::move(T));
+  return Prims[Idx];
 }
 
 const Type *TypeContext::getRef(const Type *Pointee, bool Mut) {
@@ -148,12 +176,16 @@ const Type *TypeContext::getSlice(const Type *Elem) {
   return intern(std::move(T));
 }
 
-const Type *TypeContext::getAdt(std::string Name,
+const Type *TypeContext::getAdt(std::string_view Name,
                                 std::vector<const Type *> Args) {
+  return getAdt(Symbol::intern(Name), std::move(Args));
+}
+
+const Type *TypeContext::getAdt(Symbol Name, std::vector<const Type *> Args) {
   assert(!Name.empty() && "ADT needs a name");
   Type T;
   T.K = Type::Kind::Adt;
-  T.Name = std::move(Name);
+  T.Name = Name;
   T.Args = std::move(Args);
   return intern(std::move(T));
 }

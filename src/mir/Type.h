@@ -14,15 +14,22 @@
 /// slices, and nominal ADTs with type arguments (e.g. Mutex<i32>). ADTs are
 /// structurally opaque except for struct declarations registered in a Module.
 ///
+/// Interning is structural: a candidate type hashes over its kind, scalar
+/// fields, interned child pointers, and name symbol — never over a rendered
+/// string — so getRef/getAdt on the hot parse path performs no allocation
+/// when the type already exists. Primitives come from a flat array.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef RUSTSIGHT_MIR_TYPE_H
 #define RUSTSIGHT_MIR_TYPE_H
 
+#include "support/Symbol.h"
+
 #include <cstdint>
-#include <map>
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 namespace rs::mir {
@@ -46,6 +53,8 @@ enum class PrimKind {
   F32,
   F64,
 };
+
+inline constexpr unsigned NumPrimKinds = 16;
 
 /// Renders a primitive kind with Rust surface syntax ("i32", "()", ...).
 const char *primKindName(PrimKind K);
@@ -88,7 +97,8 @@ public:
   const std::vector<const Type *> &args() const { return Args; }
 
   /// For Adt: the (possibly ::-qualified) nominal name, without arguments.
-  const std::string &adtName() const { return Name; }
+  const std::string &adtName() const { return Name.str(); }
+  Symbol adtNameSym() const { return Name; }
 
   /// Renders the type with Rust surface syntax.
   std::string toString() const;
@@ -103,7 +113,7 @@ private:
   const Type *Pointee = nullptr;
   uint64_t ArrayLen = 0;
   std::vector<const Type *> Args;
-  std::string Name;
+  Symbol Name;
 };
 
 /// Owns and interns Type nodes. Each Module has one; types from different
@@ -127,14 +137,20 @@ public:
   const Type *getTuple(std::vector<const Type *> Elems);
   const Type *getArray(const Type *Elem, uint64_t Len);
   const Type *getSlice(const Type *Elem);
-  const Type *getAdt(std::string Name, std::vector<const Type *> Args = {});
+  const Type *getAdt(std::string_view Name,
+                     std::vector<const Type *> Args = {});
+  const Type *getAdt(Symbol Name, std::vector<const Type *> Args = {});
 
 private:
   const Type *intern(Type T);
 
-  // Keyed by the rendered type string: structural equality for free, and the
-  // map is ordered so iteration (if ever needed) is deterministic.
-  std::map<std::string, std::unique_ptr<Type>> Interned;
+  /// Primitives are a direct lookup — no hashing on the hottest path.
+  const Type *Prims[NumPrimKinds] = {};
+
+  /// Structural-hash buckets; collisions resolved by full structural
+  /// comparison. Child pointers are already interned, so pointer identity
+  /// stands in for structural identity of subterms.
+  std::unordered_map<uint64_t, std::vector<std::unique_ptr<Type>>> Interned;
 };
 
 } // namespace rs::mir

@@ -21,7 +21,7 @@ private:
   /// point at the line, not just the function.
   void report(const std::string &Message) {
     SourceLocation Loc = CurLoc.isValid() ? CurLoc : F.Loc;
-    Errors.push_back(Error("function '" + F.Name + "': " + Message, Loc));
+    Errors.push_back(Error("function '" + F.Name.str() + "': " + Message, Loc));
   }
 
   void checkLocal(LocalId L, const char *Context) {
@@ -89,7 +89,7 @@ void FunctionVerifier::checkRvalue(const Rvalue &RV) {
     if (M && !RV.AggName.empty()) {
       if (const StructDecl *S = M->findStruct(RV.AggName)) {
         if (S->Fields.size() != RV.Ops.size())
-          report("aggregate of '" + RV.AggName + "' has " +
+          report("aggregate of '" + RV.AggName.str() + "' has " +
                  std::to_string(RV.Ops.size()) + " fields, struct declares " +
                  std::to_string(S->Fields.size()));
       }
@@ -188,8 +188,8 @@ bool rs::mir::verifyFunction(const Function &F, const Module *M,
 
 bool rs::mir::verifyModule(const Module &M, std::vector<Error> &Errors) {
   size_t Before = Errors.size();
-  for (const auto &F : M.functions())
-    verifyFunction(*F, &M, Errors);
+  for (const Function &F : M.functions())
+    verifyFunction(F, &M, Errors);
   return Errors.size() == Before;
 }
 

@@ -5,6 +5,7 @@
 #include "support/Json.h"
 
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
@@ -23,6 +24,10 @@ ResultCache::ResultCache(Options O) : Opts(std::move(O)) {}
 
 std::string ResultCache::entryFileName(uint64_t Key) {
   return "rscache-" + hashToHex(Key) + ".json";
+}
+
+std::string ResultCache::blobFileName(uint64_t Key) {
+  return "rscache-" + hashToHex(Key) + ".bin";
 }
 
 std::optional<std::string> ResultCache::lookup(uint64_t Key) {
@@ -56,6 +61,39 @@ void ResultCache::store(uint64_t Key, std::string_view Payload) {
   }
   if (!Opts.DiskDir.empty() && !diskDisabled())
     storeToDisk(Key, Payload);
+}
+
+std::optional<std::string> ResultCache::lookupBlob(uint64_t Key) {
+  {
+    std::lock_guard<std::mutex> Lock(M);
+    auto It = Index.find(Key);
+    if (It != Index.end()) {
+      Lru.splice(Lru.begin(), Lru, It->second);
+      ++Counters.BlobHits;
+      return It->second->second;
+    }
+  }
+  if (!Opts.DiskDir.empty() && !diskDisabled()) {
+    if (std::optional<std::string> Payload = loadBlobFromDisk(Key)) {
+      std::lock_guard<std::mutex> Lock(M);
+      ++Counters.BlobHits;
+      ++Counters.BlobDiskHits;
+      insertMemory(Key, *Payload);
+      return Payload;
+    }
+  }
+  std::lock_guard<std::mutex> Lock(M);
+  ++Counters.BlobMisses;
+  return std::nullopt;
+}
+
+void ResultCache::storeBlob(uint64_t Key, std::string_view Payload) {
+  {
+    std::lock_guard<std::mutex> Lock(M);
+    insertMemory(Key, std::string(Payload));
+  }
+  if (!Opts.DiskDir.empty() && !diskDisabled())
+    storeBlobToDisk(Key, Payload);
 }
 
 bool ResultCache::diskDisabled() const {
@@ -131,11 +169,81 @@ std::optional<std::string> ResultCache::loadFromDisk(uint64_t Key) {
   return Payload->asString();
 }
 
+/// Writes \p Contents to DiskDir/FileName via a temporary + atomic rename.
+/// Returns false on any failure (the caller records it); one write failure
+/// disables the layer for the rest of the run — a full disk or revoked
+/// permission would otherwise fail identically for every file, and a cache
+/// must never turn a sick filesystem into per-file latency. The warning
+/// prints exactly once, on the transition.
+bool ResultCache::writeDiskFile(const std::string &FileName,
+                                std::string_view Contents) {
+  std::error_code Ec;
+  fs::create_directories(Opts.DiskDir, Ec);
+
+  // Unique-enough temporary name per writer (pid + thread), then an atomic
+  // rename: concurrent writers of the same key race benignly because both
+  // wrote identical content for identical keys.
+  fs::path Final = fs::path(Opts.DiskDir) / FileName;
+  std::string Suffix =
+      ".tmp." + std::to_string(::getpid()) + "." +
+      hashToHex(std::hash<std::thread::id>()(std::this_thread::get_id()));
+  fs::path Tmp = Final;
+  Tmp += Suffix;
+
+  {
+    std::ofstream Out(Tmp, std::ios::binary | std::ios::trunc);
+    if (!Out)
+      return false;
+    Out.write(Contents.data(),
+              static_cast<std::streamsize>(Contents.size()));
+    Out.flush();
+    if (!Out) {
+      Out.close();
+      fs::remove(Tmp, Ec);
+      return false;
+    }
+  }
+  fs::rename(Tmp, Final, Ec);
+  if (Ec) {
+    fs::remove(Tmp, Ec);
+    return false;
+  }
+  return true;
+}
+
+namespace {
+
+/// Little-endian fixed-width fields for the blob envelope.
+void putU32LE(std::string &Out, uint32_t V) {
+  for (int I = 0; I != 4; ++I)
+    Out.push_back(static_cast<char>((V >> (8 * I)) & 0xff));
+}
+
+void putU64LE(std::string &Out, uint64_t V) {
+  for (int I = 0; I != 8; ++I)
+    Out.push_back(static_cast<char>((V >> (8 * I)) & 0xff));
+}
+
+uint32_t getU32LE(const char *P) {
+  uint32_t V = 0;
+  for (int I = 0; I != 4; ++I)
+    V |= static_cast<uint32_t>(static_cast<uint8_t>(P[I])) << (8 * I);
+  return V;
+}
+
+uint64_t getU64LE(const char *P) {
+  uint64_t V = 0;
+  for (int I = 0; I != 8; ++I)
+    V |= static_cast<uint64_t>(static_cast<uint8_t>(P[I])) << (8 * I);
+  return V;
+}
+
+constexpr char BlobMagic[4] = {'R', 'S', 'C', 'B'};
+constexpr size_t BlobHeaderSize = 4 + 4 + 8 + 8 + 8;
+
+} // namespace
+
 void ResultCache::storeToDisk(uint64_t Key, std::string_view Payload) {
-  // One write failure disables the layer for the rest of the run: a full
-  // disk or revoked permission would otherwise fail identically for every
-  // file, and a cache must never turn a sick filesystem into per-file
-  // latency. The warning prints exactly once, on the transition.
   auto Fail = [&] {
     bool WarnNow = false;
     {
@@ -159,9 +267,6 @@ void ResultCache::storeToDisk(uint64_t Key, std::string_view Payload) {
     return;
   }
 
-  std::error_code Ec;
-  fs::create_directories(Opts.DiskDir, Ec);
-
   JsonWriter W;
   W.beginObject();
   W.field("version", DiskFormatVersion);
@@ -169,34 +274,79 @@ void ResultCache::storeToDisk(uint64_t Key, std::string_view Payload) {
   W.field("payload", Payload);
   W.endObject();
 
-  // Unique-enough temporary name per writer (pid + thread), then an atomic
-  // rename: concurrent writers of the same key race benignly because both
-  // wrote identical content for identical keys.
-  fs::path Final = fs::path(Opts.DiskDir) / entryFileName(Key);
-  std::string Suffix =
-      ".tmp." + std::to_string(::getpid()) + "." +
-      hashToHex(std::hash<std::thread::id>()(std::this_thread::get_id()));
-  fs::path Tmp = Final;
-  Tmp += Suffix;
-
-  {
-    std::ofstream Out(Tmp, std::ios::binary | std::ios::trunc);
-    if (!Out) {
-      Fail();
-      return;
-    }
-    Out << W.str();
-    Out.flush();
-    if (!Out) {
-      Out.close();
-      fs::remove(Tmp, Ec);
-      Fail();
-      return;
-    }
-  }
-  fs::rename(Tmp, Final, Ec);
-  if (Ec) {
-    fs::remove(Tmp, Ec);
+  if (!writeDiskFile(entryFileName(Key), W.str()))
     Fail();
+}
+
+void ResultCache::storeBlobToDisk(uint64_t Key, std::string_view Payload) {
+  auto Fail = [&] {
+    bool WarnNow = false;
+    {
+      std::lock_guard<std::mutex> Lock(M);
+      ++Counters.StoreErrors;
+      if (!DiskDisabledFlag) {
+        DiskDisabledFlag = true;
+        WarnNow = true;
+      }
+    }
+    if (WarnNow)
+      std::fprintf(stderr,
+                   "rustsight: warning: cannot write result cache entry "
+                   "under '%s'; disk cache layer disabled for the rest of "
+                   "this run (in-memory layer unaffected)\n",
+                   Opts.DiskDir.c_str());
+  };
+
+  if (fault::shouldFail("cache.disk.store")) {
+    Fail();
+    return;
   }
+
+  std::string Envelope;
+  Envelope.reserve(BlobHeaderSize + Payload.size());
+  Envelope.append(BlobMagic, 4);
+  putU32LE(Envelope, DiskBlobFormatVersion);
+  putU64LE(Envelope, Key);
+  putU64LE(Envelope, Payload.size());
+  putU64LE(Envelope, fnv1a64(Payload));
+  Envelope.append(Payload.data(), Payload.size());
+
+  if (!writeDiskFile(blobFileName(Key), Envelope))
+    Fail();
+}
+
+std::optional<std::string> ResultCache::loadBlobFromDisk(uint64_t Key) {
+  fs::path Path = fs::path(Opts.DiskDir) / blobFileName(Key);
+  std::ifstream In(Path, std::ios::binary);
+  if (!In)
+    return std::nullopt; // Absent: a plain miss, not corruption.
+  std::ostringstream Buf;
+  Buf << In.rdbuf();
+  std::string Bytes = Buf.str();
+
+  auto Corrupt = [&]() -> std::optional<std::string> {
+    {
+      std::lock_guard<std::mutex> Lock(M);
+      ++Counters.CorruptEntries;
+    }
+    std::error_code Ec;
+    fs::remove(Path, Ec); // Best-effort.
+    return std::nullopt;
+  };
+
+  if (Bytes.size() < BlobHeaderSize ||
+      std::memcmp(Bytes.data(), BlobMagic, 4) != 0)
+    return Corrupt();
+  const char *P = Bytes.data() + 4;
+  uint32_t Version = getU32LE(P);
+  uint64_t StoredKey = getU64LE(P + 4);
+  uint64_t Size = getU64LE(P + 12);
+  uint64_t Checksum = getU64LE(P + 20);
+  if (Version != DiskBlobFormatVersion || StoredKey != Key)
+    return Corrupt();
+  std::string_view Payload =
+      std::string_view(Bytes).substr(BlobHeaderSize);
+  if (Payload.size() != Size || fnv1a64(Payload) != Checksum)
+    return Corrupt();
+  return std::string(Payload);
 }

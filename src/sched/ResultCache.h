@@ -49,7 +49,10 @@ public:
   };
 
   /// Counters since construction. Reads that hit the disk layer count as
-  /// both a Hit and a DiskHit.
+  /// both a Hit and a DiskHit. The blob layer (lookupBlob/storeBlob) keeps
+  /// its own hit/miss counters so report-cache accounting — which feeds
+  /// CorpusReport::Stats and several exactness tests — is unaffected by
+  /// how many snapshot probes a run makes.
   struct Stats {
     uint64_t Hits = 0;
     uint64_t Misses = 0;
@@ -57,6 +60,9 @@ public:
     uint64_t DiskHits = 0;
     uint64_t CorruptEntries = 0; ///< Disk entries that failed to load.
     uint64_t StoreErrors = 0;    ///< Disk writes that failed (non-fatal).
+    uint64_t BlobHits = 0;       ///< lookupBlob successes (either layer).
+    uint64_t BlobMisses = 0;     ///< lookupBlob misses.
+    uint64_t BlobDiskHits = 0;   ///< lookupBlob hits served from disk.
   };
 
   ResultCache(); ///< Default options (memory-only, default cap).
@@ -74,6 +80,17 @@ public:
   /// Thread-safe. Fault-injection probe site: "cache.disk.store".
   void store(uint64_t Key, std::string_view Payload);
 
+  /// Binary-safe lookup: like lookup(), but the disk layer reads the
+  /// length-framed ".bin" envelope instead of the JSON one. Payloads may
+  /// contain any bytes (the MIR snapshot layer stores serialized modules
+  /// here). Callers must keep blob keys disjoint from JSON-entry keys —
+  /// the in-memory layer is shared.
+  std::optional<std::string> lookupBlob(uint64_t Key);
+
+  /// Binary-safe store; same failure/disable semantics as store().
+  /// Fault-injection probe site: "cache.disk.store".
+  void storeBlob(uint64_t Key, std::string_view Payload);
+
   /// True once a write failure has disabled the disk layer (memory layer
   /// unaffected). Always false when no DiskDir was configured.
   bool diskDisabled() const;
@@ -88,12 +105,22 @@ public:
   /// The on-disk file name for \p Key: "rscache-<16 hex digits>.json".
   static std::string entryFileName(uint64_t Key);
 
+  /// The on-disk file name for a blob entry: "rscache-<16 hex>.bin".
+  static std::string blobFileName(uint64_t Key);
+
   /// The on-disk entry format version; bump when the envelope changes.
   static constexpr int64_t DiskFormatVersion = 1;
 
+  /// The binary envelope version ("RSCB" magic + version + key + size +
+  /// checksum + bytes); bump when the framing changes.
+  static constexpr uint32_t DiskBlobFormatVersion = 1;
+
 private:
   std::optional<std::string> loadFromDisk(uint64_t Key);
+  std::optional<std::string> loadBlobFromDisk(uint64_t Key);
   void storeToDisk(uint64_t Key, std::string_view Payload);
+  void storeBlobToDisk(uint64_t Key, std::string_view Payload);
+  bool writeDiskFile(const std::string &FileName, std::string_view Contents);
   void insertMemory(uint64_t Key, std::string Payload);
 
   Options Opts;

@@ -20,7 +20,7 @@ void Session::indexContent(FileState &St, const std::string &Path,
   // owns the real (fault-isolated) analysis parse.
   mir::ModuleParse P = mir::Parser::parseRecover(Content, Path);
   for (const auto &F : P.M.functions())
-    St.Defines.push_back(F->Name);
+    St.Defines.push_back(F.Name);
   std::sort(St.Defines.begin(), St.Defines.end());
   St.Defines.erase(std::unique(St.Defines.begin(), St.Defines.end()),
                    St.Defines.end());
@@ -29,7 +29,7 @@ void Session::indexContent(FileState &St, const std::string &Path,
     return std::binary_search(St.Defines.begin(), St.Defines.end(), Name);
   };
   for (const auto &F : P.M.functions()) {
-    for (const mir::BasicBlock &BB : F->Blocks) {
+    for (const mir::BasicBlock &BB : F.Blocks) {
       const mir::Terminator &T = BB.Term;
       if (T.K != mir::Terminator::Kind::Call)
         continue;

@@ -82,7 +82,7 @@ CandidateResult evaluateCandidate(std::string Text, const FuzzConfig &C) {
   vm::Vm V(P, Opts);
   bool MemTrap = false;
   for (const auto &Fn : M.functions()) {
-    interp::ExecResult E = V.run(Fn->Name);
+    interp::ExecResult E = V.run(Fn.Name);
     if (!E.Ok && E.Error && isMemorySafetyTrap(E.Error->Kind))
       MemTrap = true;
   }
@@ -134,8 +134,8 @@ void tweakConstant(mir::Module &M, Rng &R) {
     if (O.K == mir::Operand::Kind::Const && O.C.K == mir::ConstValue::Kind::Int)
       Consts.push_back(&O);
   };
-  for (const auto &Fn : M.functions()) {
-    for (mir::BasicBlock &B : Fn->Blocks) {
+  for (auto &Fn : M.functions()) {
+    for (mir::BasicBlock &B : Fn.Blocks) {
       for (mir::Statement &S : B.Statements)
         for (mir::Operand &O : S.RV.Ops)
           Collect(O);
@@ -155,8 +155,8 @@ void tweakConstant(mir::Module &M, Rng &R) {
 /// results feeding switchInt).
 void swapBinOp(mir::Module &M, Rng &R) {
   std::vector<mir::Rvalue *> Binaries;
-  for (const auto &Fn : M.functions())
-    for (mir::BasicBlock &B : Fn->Blocks)
+  for (auto &Fn : M.functions())
+    for (mir::BasicBlock &B : Fn.Blocks)
       for (mir::Statement &S : B.Statements)
         if (S.K == mir::Statement::Kind::Assign &&
             S.RV.K == mir::Rvalue::Kind::BinaryOp)
@@ -177,8 +177,8 @@ void deleteStatement(mir::Module &M, Rng &R) {
     size_t Index;
   };
   std::vector<Site> Sites;
-  for (const auto &Fn : M.functions())
-    for (mir::BasicBlock &B : Fn->Blocks)
+  for (auto &Fn : M.functions())
+    for (mir::BasicBlock &B : Fn.Blocks)
       for (size_t I = 0; I != B.Statements.size(); ++I)
         Sites.push_back({&B, I});
   if (Sites.empty())
@@ -200,7 +200,7 @@ std::string crossover(const std::string &Recipient, const std::string &Donor,
   mir::Module D = Parsed.take();
   std::string Fns;
   for (const auto &Fn : D.functions())
-    Fns += Fn->toString() + "\n";
+    Fns += Fn.toString() + "\n";
   std::string Suffix = "__x" + std::to_string(Ordinal);
   return Recipient + "\n" + renameFunctionsInText(Fns, D, Suffix);
 }

@@ -112,7 +112,7 @@ private:
     LocalId A = FB.addLocal(UsePair ? TC.getAdt("Pair")
                                     : TC.getTuple({i32(), i32()}));
     FB.storageLive(A);
-    std::vector<Operand> Fields = {intOperand(i32(), P), intOperand(i32(), P)};
+    OperandList Fields = {intOperand(i32(), P), intOperand(i32(), P)};
     FB.assign(Place(A), UsePair ? Rvalue::aggregate("Pair", std::move(Fields))
                                 : Rvalue::tuple(std::move(Fields)));
     LocalId E = FB.addLocal(i32());
@@ -163,7 +163,7 @@ private:
     if (Eligible.empty())
       return emitBracketedTemp(P);
     const CalleeInfo &CI = *Eligible[R.below(Eligible.size())];
-    std::vector<Operand> Args;
+    OperandList Args;
     for (const Type *Ty : CI.ArgTys) {
       if (Ty->isRef())
         Args.push_back(Operand::copy(Place(*MutexArg)));
@@ -296,7 +296,7 @@ Module ProgramGenerator::generate() {
 
   if (Config.WithAggregates) {
     StructDecl Pair;
-    Pair.Name = "Pair";
+    Pair.Name = Symbol::intern("Pair");
     Pair.Fields.emplace_back("x", TC.getI32());
     Pair.Fields.emplace_back("y", TC.getI32());
     M.addStruct(std::move(Pair));

@@ -33,7 +33,7 @@ std::string renameFunctionsInText(const std::string &Text,
                                   std::string_view Suffix) {
   std::set<std::string> Names;
   for (const auto &F : M.functions())
-    Names.insert(F->Name);
+    Names.insert(F.Name);
 
   // Rewrite at identifier granularity. Function names never contain "::",
   // so std-model paths like Mutex::lock split into chunks that cannot
@@ -70,8 +70,7 @@ std::optional<mir::Module> renameFunctions(const mir::Module &M,
 }
 
 void permuteBlocks(mir::Module &M, uint64_t Seed) {
-  for (const auto &FPtr : M.functions()) {
-    mir::Function &F = *FPtr;
+  for (mir::Function &F : M.functions()) {
     size_t N = F.Blocks.size();
     if (N <= 2)
       continue;

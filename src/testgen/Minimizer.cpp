@@ -21,7 +21,7 @@ namespace {
 std::string printWithout(const mir::Module &M, const std::string &SkipFn) {
   std::string Out;
   for (const mir::StructDecl &S : M.structs()) {
-    Out += "struct " + S.Name;
+    Out += "struct " + S.Name.str();
     if (S.HasDrop)
       Out += " : Drop";
     Out += " {";
@@ -34,23 +34,23 @@ std::string printWithout(const mir::Module &M, const std::string &SkipFn) {
   }
   for (const mir::StructDecl &S : M.structs())
     if (M.isSync(S.Name))
-      Out += "unsafe impl Sync for " + S.Name + ";\n";
+      Out += "unsafe impl Sync for " + S.Name.str() + ";\n";
   for (const mir::StaticDecl &S : M.statics()) {
     Out += "static ";
     if (S.Mutable)
       Out += "mut ";
-    Out += S.Name + ": " + S.Ty->toString() + ";\n";
+    Out += S.Name.str() + ": " + S.Ty->toString() + ";\n";
   }
   if (!Out.empty())
     Out += "\n";
   bool First = true;
   for (const auto &F : M.functions()) {
-    if (F->Name == SkipFn)
+    if (F.Name == SkipFn)
       continue;
     if (!First)
       Out += "\n";
     First = false;
-    Out += F->toString();
+    Out += F.toString();
   }
   return Out;
 }
@@ -74,7 +74,7 @@ bool shrinkFunctions(std::string &Text, const TextPredicate &StillFails) {
     if (M->functions().size() <= 1)
       return Changed;
     for (const auto &F : M->functions()) {
-      std::string Candidate = printWithout(*M, F->Name);
+      std::string Candidate = printWithout(*M, F.Name);
       if (!tryParse(Candidate))
         continue;
       if (StillFails(Candidate)) {
@@ -95,8 +95,8 @@ bool shrinkStatements(std::string &Text, const TextPredicate &StillFails) {
   if (!M)
     return false;
   bool Changed = false;
-  for (const auto &F : M->functions()) {
-    for (mir::BasicBlock &B : F->Blocks) {
+  for (auto &F : M->functions()) {
+    for (mir::BasicBlock &B : F.Blocks) {
       for (size_t I = B.Statements.size(); I-- > 0;) {
         mir::Statement Saved = B.Statements[I];
         B.Statements.erase(B.Statements.begin() +

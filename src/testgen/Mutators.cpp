@@ -403,7 +403,7 @@ void ensureGenPacket(Module &M) {
   if (M.findStruct("GenPacket"))
     return;
   StructDecl S;
-  S.Name = "GenPacket";
+  S.Name = Symbol::intern("GenPacket");
   S.Fields.emplace_back(
       "buf", M.types().getAdt("Vec", {M.types().getPrim(PrimKind::U8)}));
   S.HasDrop = true;

@@ -161,12 +161,12 @@ OracleResult checkVmParity(const mir::Module &M) {
     interp::Interpreter::Options IOpts;
     IOpts.StepLimit = 200000;
     interp::Interpreter I(M, IOpts);
-    interp::ExecResult RI = I.run(Fn->Name);
+    interp::ExecResult RI = I.run(Fn.Name);
 
     vm::Vm::Options VOpts;
     VOpts.StepLimit = 200000;
     vm::Vm V(P, VOpts);
-    interp::ExecResult RV = V.run(Fn->Name);
+    interp::ExecResult RV = V.run(Fn.Name);
 
     auto Describe = [](const interp::ExecResult &R) {
       return R.Ok ? "completed in " + std::to_string(R.Steps) + " steps"
@@ -174,14 +174,14 @@ OracleResult checkVmParity(const mir::Module &M) {
                         std::to_string(R.Steps) + " steps";
     };
     if (RI.Ok != RV.Ok || RI.Steps != RV.Steps)
-      return fail("vm-parity", "'" + Fn->Name + "': interp " + Describe(RI) +
+      return fail("vm-parity", "'" + Fn.Name.str() + "': interp " + Describe(RI) +
                                    ", vm " + Describe(RV));
     if (!RI.Ok && (RI.Error->Kind != RV.Error->Kind ||
                    RI.Error->Function != RV.Error->Function))
-      return fail("vm-parity", "'" + Fn->Name + "': interp " + Describe(RI) +
+      return fail("vm-parity", "'" + Fn.Name.str() + "': interp " + Describe(RI) +
                                    ", vm " + Describe(RV));
     if (RI.Ok && RI.Return.toString() != RV.Return.toString())
-      return fail("vm-parity", "'" + Fn->Name + "': interp returned " +
+      return fail("vm-parity", "'" + Fn.Name.str() + "': interp returned " +
                                    RI.Return.toString() + ", vm returned " +
                                    RV.Return.toString());
   }

@@ -179,13 +179,13 @@ public:
     uint32_t Idx = 0;
     for (const auto &Fn : M.functions()) {
       CompiledFunction CF;
-      CF.Name = Fn->Name;
-      CF.NumArgs = Fn->NumArgs;
-      CF.NumLocals = Fn->numLocals();
-      CF.NumBlocks = Fn->numBlocks();
-      CF.Src = Fn.get();
+      CF.Name = Fn.Name;
+      CF.NumArgs = Fn.NumArgs;
+      CF.NumLocals = Fn.numLocals();
+      CF.NumBlocks = Fn.numBlocks();
+      CF.Src = &Fn;
       P.Funcs.push_back(std::move(CF));
-      P.FuncIndex.emplace(Fn->Name, Idx++);
+      P.FuncIndex.emplace(Fn.Name, Idx++);
     }
     // Pass 2: bodies.
     for (uint32_t I = 0; I != P.Funcs.size(); ++I)

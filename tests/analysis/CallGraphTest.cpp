@@ -57,9 +57,9 @@ TEST(CallGraph, InternedIds) {
   ASSERT_EQ(CG.numFunctions(), 4u);
   // Ids are module ordinals; idOf/name round-trip.
   for (FuncId Id = 0; Id != CG.numFunctions(); ++Id) {
-    EXPECT_EQ(CG.name(Id), M.functions()[Id]->Name);
+    EXPECT_EQ(CG.name(Id), M.functions()[Id].Name.view());
     EXPECT_EQ(CG.idOf(CG.name(Id)), Id);
-    EXPECT_EQ(&CG.function(Id), M.functions()[Id].get());
+    EXPECT_EQ(&CG.function(Id), &M.functions()[Id]);
   }
   EXPECT_EQ(CG.idOf("nonexistent"), InvalidFuncId);
   // functionsByName lists every id in lexicographic name order.

@@ -59,7 +59,7 @@ void expectCursorsMatchReplay(const Function &F, const Module &M,
 void expectCursorsMatchReplay(const Module &M) {
   SummaryMap Summaries = computeSummaries(M);
   for (const auto &F : M.functions())
-    expectCursorsMatchReplay(*F, M, &Summaries);
+    expectCursorsMatchReplay(F, M, &Summaries);
 }
 
 } // namespace

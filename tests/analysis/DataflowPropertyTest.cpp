@@ -48,18 +48,18 @@ class DataflowSweep : public ::testing::TestWithParam<uint64_t> {};
 TEST_P(DataflowSweep, ForwardSolutionIsAFixpoint) {
   Module M = MirCorpusGenerator(sweepConfig(GetParam())).generate();
   for (const auto &F : M.functions()) {
-    Cfg G(*F);
+    Cfg G(F);
     MemoryAnalysis MA(G, M);
     const ForwardDataflow &DF = MA.dataflow();
     // Every edge's outgoing state must already be folded into the
     // successor's in-state (meet is union).
-    for (BlockId B = 0; B != F->numBlocks(); ++B) {
+    for (BlockId B = 0; B != F.numBlocks(); ++B) {
       if (!G.isReachable(B))
         continue;
       for (BlockId S : G.successors(B)) {
         BitVec Edge = DF.stateOnEdge(B, S);
         EXPECT_TRUE(contains(DF.blockIn(S), Edge))
-            << F->Name << ": edge bb" << B << " -> bb" << S
+            << F.Name << ": edge bb" << B << " -> bb" << S
             << " not folded into successor in-state";
       }
     }
@@ -69,17 +69,17 @@ TEST_P(DataflowSweep, ForwardSolutionIsAFixpoint) {
 TEST_P(DataflowSweep, BackwardSolutionIsAFixpoint) {
   Module M = MirCorpusGenerator(sweepConfig(GetParam())).generate();
   for (const auto &F : M.functions()) {
-    Cfg G(*F);
+    Cfg G(F);
     LiveVariables LV(G);
     const BackwardDataflow &DF = LV.dataflow();
-    for (BlockId B = 0; B != F->numBlocks(); ++B) {
+    for (BlockId B = 0; B != F.numBlocks(); ++B) {
       if (!G.isReachable(B))
         continue;
       // Out[B] must contain each successor's in-state (before stmt 0).
       for (BlockId S : G.successors(B)) {
         BitVec SuccIn = DF.stateBefore(S, 0);
         EXPECT_TRUE(contains(DF.blockOut(B), SuccIn))
-            << F->Name << ": bb" << B << " out-state missing bb" << S
+            << F.Name << ": bb" << B << " out-state missing bb" << S
             << " liveness";
       }
     }
@@ -89,9 +89,9 @@ TEST_P(DataflowSweep, BackwardSolutionIsAFixpoint) {
 TEST_P(DataflowSweep, DominatorsMatchBruteForce) {
   Module M = MirCorpusGenerator(sweepConfig(GetParam())).generate();
   for (const auto &F : M.functions()) {
-    Cfg G(*F);
+    Cfg G(F);
     DominatorTree DT(G);
-    unsigned N = F->numBlocks();
+    unsigned N = F.numBlocks();
 
     // Brute force: A dominates B iff B is unreachable from entry when A
     // is removed (and both are reachable).
@@ -123,7 +123,7 @@ TEST_P(DataflowSweep, DominatorsMatchBruteForce) {
           continue;
         bool Expected = A == B || !Reach[B];
         EXPECT_EQ(DT.dominates(A, B), Expected)
-            << F->Name << ": dominates(bb" << A << ", bb" << B << ")";
+            << F.Name << ": dominates(bb" << A << ", bb" << B << ")";
       }
     }
   }

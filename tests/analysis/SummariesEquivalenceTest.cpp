@@ -31,7 +31,7 @@ void expectTablesEqual(const Module &M, const SummaryMap &A,
   ASSERT_EQ(A.size(), M.functions().size());
   ASSERT_EQ(B.size(), M.functions().size());
   for (const auto &F : M.functions())
-    EXPECT_TRUE(A.at(F->Name) == B.at(F->Name)) << F->Name;
+    EXPECT_TRUE(A.at(F.Name) == B.at(F.Name)) << F.Name.str();
 }
 
 /// A call chain f0 -> f1 -> ... -> f{Depth-1}, declared caller-first (the

@@ -9,6 +9,7 @@
 #include "engine/Engine.h"
 
 #include "diag/SourceManager.h"
+#include "diag/Version.h"
 #include "support/Json.h"
 
 #include <gtest/gtest.h>
@@ -294,8 +295,10 @@ TEST(DiagnosticsFlow, CacheV2PayloadKeepsSuppressionState) {
 TEST(DiagnosticsFlow, StaleSchemaVersionMisses) {
   FileReport R = analyze(BuggySrc);
   std::string Payload = serializeFileReport(R);
-  size_t Pos = Payload.find("\"v\":2");
+  std::string Current =
+      "\"v\":" + std::to_string(version::ReportSchemaVersion);
+  size_t Pos = Payload.find(Current);
   ASSERT_NE(Pos, std::string::npos) << Payload;
-  Payload.replace(Pos, 5, "\"v\":1");
+  Payload.replace(Pos, Current.size(), "\"v\":1");
   EXPECT_FALSE(deserializeFileReport(Payload, "test.mir").has_value());
 }

@@ -64,9 +64,9 @@ TEST(Lexer, IntsAndSuffixes) {
 TEST(Lexer, Strings) {
   auto Toks = lexAll("\"hello\" \"a\\\"b\" \"line\\n\"");
   EXPECT_EQ(Toks[0].K, TokKind::String);
-  EXPECT_EQ(Toks[0].Owned, "hello");
-  EXPECT_EQ(Toks[1].Owned, "a\"b");
-  EXPECT_EQ(Toks[2].Owned, "line\n");
+  EXPECT_EQ(decodeStringLiteral(Toks[0].Text), "hello");
+  EXPECT_EQ(decodeStringLiteral(Toks[1].Text), "a\"b");
+  EXPECT_EQ(decodeStringLiteral(Toks[2].Text), "line\n");
   // Text keeps the raw source range.
   EXPECT_EQ(Toks[0].Text, "\"hello\"");
 }

@@ -108,7 +108,7 @@ TEST(Transforms, KeepsLoopsIntact) {
   bool HasSelfLoop = false;
   const Function &F = *M.findFunction("f");
   for (BlockId B = 0; B != F.numBlocks(); ++B) {
-    std::vector<BlockId> Succs;
+    SuccList Succs;
     F.Blocks[B].Term.successors(Succs);
     for (BlockId S : Succs)
       HasSelfLoop |= S == B;
@@ -162,14 +162,14 @@ TEST_P(TransformSemantics, InterpreterOutcomesUnchanged) {
   interp::Interpreter IBefore(Before);
   interp::Interpreter IAfter(After);
   for (const auto &F : Before.functions()) {
-    interp::ExecResult A = IBefore.run(F->Name);
-    interp::ExecResult B = IAfter.run(F->Name);
-    EXPECT_EQ(A.Ok, B.Ok) << F->Name;
+    interp::ExecResult A = IBefore.run(F.Name);
+    interp::ExecResult B = IAfter.run(F.Name);
+    EXPECT_EQ(A.Ok, B.Ok) << F.Name;
     if (A.Ok && B.Ok) {
-      EXPECT_EQ(A.Return.toString(), B.Return.toString()) << F->Name;
+      EXPECT_EQ(A.Return.toString(), B.Return.toString()) << F.Name;
     }
     if (!A.Ok && !B.Ok && A.Error && B.Error) {
-      EXPECT_EQ(A.Error->Kind, B.Error->Kind) << F->Name;
+      EXPECT_EQ(A.Error->Kind, B.Error->Kind) << F.Name;
     }
   }
 }

@@ -33,7 +33,7 @@ TEST(Verifier, UndeclaredLocal) {
   // The parser enforces declaration density, so build bad IR directly.
   Module M;
   Function F;
-  F.Name = "bad";
+  F.Name = rs::Symbol::intern("bad");
   LocalDecl Ret;
   Ret.Ty = M.types().getUnit();
   F.Locals.push_back(Ret);
@@ -53,7 +53,7 @@ TEST(Verifier, UndeclaredLocal) {
 TEST(Verifier, BadBranchTarget) {
   Module M;
   Function F;
-  F.Name = "bad";
+  F.Name = rs::Symbol::intern("bad");
   LocalDecl Ret;
   Ret.Ty = M.types().getUnit();
   F.Locals.push_back(Ret);
@@ -105,14 +105,14 @@ TEST(Verifier, UnknownAggregateIsAllowed) {
 TEST(Verifier, SuccessorEnumeration) {
   Terminator T = Terminator::switchInt(
       Operand::constant(ConstValue::makeInt(0)), {{0, 1}, {1, 2}}, 3);
-  std::vector<BlockId> Succs;
+  SuccList Succs;
   T.successors(Succs);
-  EXPECT_EQ(Succs, (std::vector<BlockId>{1, 2, 3}));
+  EXPECT_EQ(Succs, (SuccList{1, 2, 3}));
 
   Terminator Call = Terminator::callNoDest("f", {}, 4, 5);
   Succs.clear();
   Call.successors(Succs);
-  EXPECT_EQ(Succs, (std::vector<BlockId>{4, 5}));
+  EXPECT_EQ(Succs, (SuccList{4, 5}));
 
   Succs.clear();
   Terminator::ret().successors(Succs);
@@ -142,7 +142,7 @@ TEST(Verifier, StatementErrorsPointAtTheStatement) {
   // the statement's own location, falling back to the function's otherwise.
   Module M;
   Function F;
-  F.Name = "bad";
+  F.Name = rs::Symbol::intern("bad");
   F.Loc = rs::SourceLocation(rs::internFileName("built.mir"), 1, 1);
   LocalDecl Ret;
   Ret.Ty = M.types().getUnit();

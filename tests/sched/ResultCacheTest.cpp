@@ -272,3 +272,150 @@ TEST(ResultCache, DiskEntryIsWellFormedJson) {
   }
   EXPECT_EQ(Entries, 1u);
 }
+
+//===----------------------------------------------------------------------===//
+// The binary blob layer (lookupBlob/storeBlob): length-framed envelopes
+// for payloads that may contain any bytes, with their own hit/miss
+// counters so report-cache accounting stays exact.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// A payload no text format would survive: embedded NULs, every byte
+/// value, no trailing newline.
+std::string binaryPayload() {
+  std::string P("snapshot\0bytes", 14); // Length-given: keeps the NUL.
+  for (int I = 0; I != 256; ++I)
+    P.push_back(static_cast<char>(I));
+  return P;
+}
+
+} // namespace
+
+TEST(ResultCacheBlob, MemoryRoundTripAndSeparateCounters) {
+  ResultCache C;
+  EXPECT_FALSE(C.lookupBlob(9).has_value());
+  C.storeBlob(9, binaryPayload());
+  auto Got = C.lookupBlob(9);
+  ASSERT_TRUE(Got.has_value());
+  EXPECT_EQ(*Got, binaryPayload());
+  ResultCache::Stats S = C.stats();
+  EXPECT_EQ(S.BlobHits, 1u);
+  EXPECT_EQ(S.BlobMisses, 1u);
+  // The JSON-entry counters are untouched by blob traffic.
+  EXPECT_EQ(S.Hits, 0u);
+  EXPECT_EQ(S.Misses, 0u);
+}
+
+TEST(ResultCacheBlob, DiskRoundTripAcrossInstances) {
+  fs::path Dir = freshDir("rscache_blob_disk");
+  ResultCache::Options O;
+  O.DiskDir = Dir.string();
+  {
+    ResultCache C(O);
+    C.storeBlob(0x1234, binaryPayload());
+  }
+  ResultCache C(O); // Fresh instance: memory layer empty.
+  auto Got = C.lookupBlob(0x1234);
+  ASSERT_TRUE(Got.has_value());
+  EXPECT_EQ(*Got, binaryPayload());
+  ResultCache::Stats S = C.stats();
+  EXPECT_EQ(S.BlobDiskHits, 1u);
+  EXPECT_EQ(S.BlobHits, 1u);
+  // Promoted into memory: the second lookup skips the disk.
+  EXPECT_TRUE(C.lookupBlob(0x1234).has_value());
+  EXPECT_EQ(C.stats().BlobDiskHits, 1u);
+}
+
+TEST(ResultCacheBlob, CorruptEnvelopeDegradesToMissAndIsDropped) {
+  fs::path Dir = freshDir("rscache_blob_corrupt");
+  ResultCache::Options O;
+  O.DiskDir = Dir.string();
+  {
+    ResultCache C(O);
+    C.storeBlob(7, binaryPayload());
+  }
+  fs::path File = Dir / ResultCache::blobFileName(7);
+  ASSERT_TRUE(fs::exists(File));
+  {
+    // Flip one payload byte: the checksum must catch it.
+    std::fstream F(File, std::ios::in | std::ios::out | std::ios::binary);
+    F.seekp(-1, std::ios::end);
+    char Last = 0;
+    F.seekg(-1, std::ios::end);
+    F.get(Last);
+    F.seekp(-1, std::ios::end);
+    F.put(static_cast<char>(Last ^ 0x40));
+  }
+  ResultCache C(O);
+  EXPECT_FALSE(C.lookupBlob(7).has_value());
+  EXPECT_EQ(C.stats().CorruptEntries, 1u);
+  EXPECT_EQ(C.stats().BlobMisses, 1u);
+  EXPECT_FALSE(fs::exists(File)) << "corrupt blob not dropped";
+}
+
+TEST(ResultCacheBlob, TruncatedEnvelopeIsCorrupt) {
+  fs::path Dir = freshDir("rscache_blob_trunc");
+  ResultCache::Options O;
+  O.DiskDir = Dir.string();
+  {
+    ResultCache C(O);
+    C.storeBlob(8, binaryPayload());
+  }
+  fs::path File = Dir / ResultCache::blobFileName(8);
+  std::string Bytes = readFile(File);
+  {
+    std::ofstream Out(File, std::ios::binary | std::ios::trunc);
+    Out.write(Bytes.data(), static_cast<std::streamsize>(Bytes.size() / 2));
+  }
+  ResultCache C(O);
+  EXPECT_FALSE(C.lookupBlob(8).has_value());
+  EXPECT_EQ(C.stats().CorruptEntries, 1u);
+}
+
+TEST(ResultCacheBlob, EnvelopeUnderWrongKeyIsRejected) {
+  fs::path Dir = freshDir("rscache_blob_wrongkey");
+  ResultCache::Options O;
+  O.DiskDir = Dir.string();
+  {
+    ResultCache C(O);
+    C.storeBlob(21, binaryPayload());
+  }
+  // Rename the entry to the file name of a different key: the embedded
+  // key no longer matches and the entry must be rejected.
+  fs::rename(Dir / ResultCache::blobFileName(21),
+             Dir / ResultCache::blobFileName(22));
+  ResultCache C(O);
+  EXPECT_FALSE(C.lookupBlob(22).has_value());
+  EXPECT_EQ(C.stats().CorruptEntries, 1u);
+}
+
+TEST(ResultCacheBlob, JsonAndBlobEntriesCoexistOnDisk) {
+  fs::path Dir = freshDir("rscache_blob_coexist");
+  ResultCache::Options O;
+  O.DiskDir = Dir.string();
+  ResultCache C(O);
+  C.store(1, "json payload");
+  C.storeBlob(2, binaryPayload());
+  EXPECT_TRUE(fs::exists(Dir / ResultCache::entryFileName(1)));
+  EXPECT_TRUE(fs::exists(Dir / ResultCache::blobFileName(2)));
+  ResultCache Fresh(O);
+  EXPECT_EQ(Fresh.lookup(1).value_or(""), "json payload");
+  EXPECT_EQ(Fresh.lookupBlob(2).value_or(""), binaryPayload());
+}
+
+TEST(ResultCacheBlob, StoreFaultDisablesDiskLayerForBlobsToo) {
+  fs::path Dir = freshDir("rscache_blob_fault");
+  ResultCache::Options O;
+  O.DiskDir = Dir.string();
+  ResultCache C(O);
+  {
+    rs::fault::ScopedFault F("cache.disk.store", 1);
+    C.storeBlob(5, "doomed");
+  }
+  EXPECT_TRUE(C.diskDisabled());
+  EXPECT_EQ(C.stats().StoreErrors, 1u);
+  // The memory layer still serves it.
+  EXPECT_EQ(C.lookupBlob(5).value_or(""), "doomed");
+  EXPECT_FALSE(fs::exists(Dir / ResultCache::blobFileName(5)));
+}

@@ -1,0 +1,116 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of RustSight, a reproduction of "Understanding Memory and Thread
+// Safety Practices and Issues in Real-World Rust Programs" (PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// SmallVector tests: the inline-to-heap transition, element lifetime
+/// across spills, and the mutation surface the MIR side pools rely on
+/// (ProjList/OperandList/CaseList/SuccList are all SmallVector aliases).
+///
+//===----------------------------------------------------------------------===//
+
+#include "support/SmallVector.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+using rs::SmallVector;
+
+TEST(SmallVector, StaysInlineUpToCapacity) {
+  SmallVector<int, 4> V;
+  EXPECT_TRUE(V.empty());
+  for (int I = 0; I != 4; ++I)
+    V.push_back(I);
+  EXPECT_EQ(V.size(), 4u);
+  EXPECT_TRUE(V.isInline());
+  for (int I = 0; I != 4; ++I)
+    EXPECT_EQ(V[static_cast<size_t>(I)], I);
+}
+
+TEST(SmallVector, SpillsToHeapAndKeepsElements) {
+  SmallVector<std::string, 2> V;
+  for (int I = 0; I != 64; ++I)
+    V.push_back("element_" + std::to_string(I));
+  EXPECT_EQ(V.size(), 64u);
+  EXPECT_FALSE(V.isInline());
+  for (int I = 0; I != 64; ++I)
+    EXPECT_EQ(V[static_cast<size_t>(I)], "element_" + std::to_string(I));
+}
+
+TEST(SmallVector, PopAfterSpillDoesNotReinline) {
+  SmallVector<int, 2> V;
+  for (int I = 0; I != 8; ++I)
+    V.push_back(I);
+  while (V.size() > 1)
+    V.pop_back();
+  EXPECT_EQ(V.size(), 1u);
+  EXPECT_EQ(V[0], 0);
+}
+
+TEST(SmallVector, CopyAndMovePreserveContents) {
+  SmallVector<std::string, 2> Inline;
+  Inline.push_back("a");
+  SmallVector<std::string, 2> Spilled;
+  for (int I = 0; I != 10; ++I)
+    Spilled.push_back(std::to_string(I));
+
+  SmallVector<std::string, 2> InlineCopy = Inline;
+  SmallVector<std::string, 2> SpilledCopy = Spilled;
+  EXPECT_EQ(InlineCopy, Inline);
+  EXPECT_EQ(SpilledCopy, Spilled);
+
+  SmallVector<std::string, 2> Moved = std::move(SpilledCopy);
+  EXPECT_EQ(Moved, Spilled);
+
+  // Self-sufficiency after the source dies.
+  {
+    SmallVector<std::string, 2> Tmp;
+    Tmp.push_back("short-lived");
+    InlineCopy = Tmp;
+  }
+  ASSERT_EQ(InlineCopy.size(), 1u);
+  EXPECT_EQ(InlineCopy[0], "short-lived");
+}
+
+TEST(SmallVector, InsertEraseAcrossTheBoundary) {
+  SmallVector<int, 4> V{1, 2, 4};
+  V.insert(V.begin() + 2, 3); // 1 2 3 4 — exactly at inline capacity.
+  EXPECT_EQ(V, (SmallVector<int, 4>{1, 2, 3, 4}));
+  V.insert(V.begin(), 0); // Forces the spill.
+  EXPECT_EQ(V, (SmallVector<int, 4>{0, 1, 2, 3, 4}));
+  V.erase(V.begin() + 1, V.begin() + 3); // Range erase.
+  EXPECT_EQ(V, (SmallVector<int, 4>{0, 3, 4}));
+  V.erase(V.begin());
+  EXPECT_EQ(V, (SmallVector<int, 4>{3, 4}));
+}
+
+TEST(SmallVector, ResizeAndClear) {
+  SmallVector<std::string, 2> V;
+  V.resize(5);
+  EXPECT_EQ(V.size(), 5u);
+  EXPECT_EQ(V[4], "");
+  V[4] = "kept";
+  V.resize(5);
+  EXPECT_EQ(V[4], "kept");
+  V.resize(1);
+  EXPECT_EQ(V.size(), 1u);
+  V.clear();
+  EXPECT_TRUE(V.empty());
+  V.push_back("again");
+  EXPECT_EQ(V[0], "again");
+}
+
+TEST(SmallVector, EqualityIsElementwise) {
+  SmallVector<int, 2> A{1, 2, 3};
+  SmallVector<int, 2> B{1, 2, 3};
+  SmallVector<int, 2> C{1, 2};
+  EXPECT_EQ(A, B);
+  EXPECT_NE(A, C);
+  // Inline/heap representation must not leak into equality.
+  SmallVector<int, 8> InlineRep{1, 2, 3};
+  EXPECT_TRUE(InlineRep.isInline());
+}

@@ -1,0 +1,143 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of RustSight, a reproduction of "Understanding Memory and Thread
+// Safety Practices and Issues in Real-World Rust Programs" (PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Interner stress tests: identity under heavy interning, near-collision
+/// spellings, reference stability across pool growth, and concurrent
+/// interning from many threads. Symbol is the identity layer under the
+/// SoA MIR storage, so "same spelling == same id, different spelling ==
+/// different id" must hold under every load pattern the parser produces.
+///
+//===----------------------------------------------------------------------===//
+
+#include "support/Symbol.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <unordered_set>
+#include <vector>
+
+using rs::Symbol;
+
+TEST(Symbol, EmptyIsIdZero) {
+  EXPECT_EQ(Symbol().id(), 0u);
+  EXPECT_EQ(Symbol::intern("").id(), 0u);
+  EXPECT_TRUE(Symbol::intern("").empty());
+  EXPECT_EQ(Symbol::intern("").view(), "");
+}
+
+TEST(Symbol, InterningIsIdempotent) {
+  Symbol A = Symbol::intern("alpha");
+  Symbol B = Symbol::intern("alpha");
+  EXPECT_EQ(A, B);
+  EXPECT_EQ(A.id(), B.id());
+  EXPECT_EQ(A.view(), "alpha");
+  // str() returns a stable reference: same object both times.
+  EXPECT_EQ(&A.str(), &B.str());
+}
+
+TEST(Symbol, StressDistinctSpellingsGetDistinctIds) {
+  // 20k distinct spellings, many sharing long prefixes or differing only
+  // in a final character — the shapes a hash-based interner is most
+  // likely to confuse.
+  std::vector<Symbol> Syms;
+  std::vector<std::string> Spellings;
+  for (int I = 0; I != 5000; ++I) {
+    Spellings.push_back("_" + std::to_string(I));
+    Spellings.push_back("local_variable_with_a_long_prefix_" +
+                        std::to_string(I));
+    Spellings.push_back("local_variable_with_a_long_prefix_" +
+                        std::to_string(I) + "x");
+    Spellings.push_back(std::string(1 + I % 64, 'a') + std::to_string(I));
+  }
+  Syms.reserve(Spellings.size());
+  for (const std::string &S : Spellings)
+    Syms.push_back(Symbol::intern(S));
+
+  std::unordered_set<uint32_t> Ids;
+  for (size_t I = 0; I != Syms.size(); ++I) {
+    EXPECT_TRUE(Ids.insert(Syms[I].id()).second)
+        << "duplicate id for distinct spelling " << Spellings[I];
+    // Spelling survives pool growth: views taken early must still read
+    // back correctly after thousands more interns.
+    EXPECT_EQ(Syms[I].view(), Spellings[I]);
+  }
+  // Re-interning every spelling maps back onto the same ids.
+  for (size_t I = 0; I != Spellings.size(); ++I)
+    EXPECT_EQ(Symbol::intern(Spellings[I]), Syms[I]);
+}
+
+TEST(Symbol, NearCollisionSpellings) {
+  // Classic FNV/hash-table near-collisions: permutations, case flips,
+  // embedded NULs and prefix truncations must all stay distinct.
+  std::vector<std::string> Tricky = {
+      "ab",          "ba",          "aab",        "aba",     "baa",
+      "costarring", "liquid",       "declinate",  "macallums",
+      "Symbol",     "symbol",       "SYMBOL",
+      std::string("nul\0left", 8),  std::string("nul\0righ", 8),
+      "prefix",     "prefix_",      "prefix__",
+  };
+  std::unordered_set<uint32_t> Ids;
+  for (const std::string &S : Tricky) {
+    Symbol Sym = Symbol::intern(S);
+    EXPECT_TRUE(Ids.insert(Sym.id()).second) << "collision on " << S;
+    EXPECT_EQ(Sym.str(), S);
+  }
+}
+
+TEST(Symbol, ConcurrentInterningAgrees) {
+  // Eight threads intern overlapping windows of the same spelling space;
+  // afterwards every spelling must resolve to exactly one id and every
+  // recorded (spelling, id) pair must agree across threads.
+  constexpr int Threads = 8;
+  constexpr int Universe = 2000;
+  std::vector<std::vector<uint32_t>> Seen(Threads,
+                                          std::vector<uint32_t>(Universe));
+  std::vector<std::thread> Pool;
+  for (int T = 0; T != Threads; ++T)
+    Pool.emplace_back([T, &Seen] {
+      for (int I = 0; I != Universe; ++I) {
+        // Interleave orders per thread so insertions race for real.
+        int K = (T % 2) ? (Universe - 1 - I) : I;
+        Symbol S =
+            Symbol::intern("concurrent_sym_" + std::to_string(K));
+        Seen[T][K] = S.id();
+      }
+    });
+  for (std::thread &Th : Pool)
+    Th.join();
+  for (int K = 0; K != Universe; ++K)
+    for (int T = 1; T != Threads; ++T)
+      EXPECT_EQ(Seen[T][K], Seen[0][K]) << "thread disagreement on key "
+                                        << K;
+  for (int K = 0; K != Universe; ++K)
+    EXPECT_EQ(Symbol::intern("concurrent_sym_" + std::to_string(K)).id(),
+              Seen[0][K]);
+}
+
+TEST(Symbol, PoolSizeGrowsMonotonically) {
+  uint32_t Before = Symbol::poolSize();
+  Symbol::intern("pool_size_probe_a");
+  Symbol::intern("pool_size_probe_b");
+  uint32_t After = Symbol::poolSize();
+  EXPECT_GE(After, Before + 2);
+  Symbol::intern("pool_size_probe_a"); // Re-intern: no growth.
+  EXPECT_EQ(Symbol::poolSize(), After);
+}
+
+TEST(Symbol, ImplicitStringConversions) {
+  Symbol S = Symbol::intern("conv");
+  const std::string &Ref = S;
+  std::string_view View = S;
+  EXPECT_EQ(Ref, "conv");
+  EXPECT_EQ(View, "conv");
+  EXPECT_TRUE(S == "conv");
+  EXPECT_TRUE("conv" == S);
+  EXPECT_TRUE(S != "convX");
+}

@@ -23,8 +23,8 @@ TEST(MetamorphTest, RenameRewritesDefinitionsAndCalls) {
   ASSERT_TRUE(Renamed.has_value());
   ASSERT_EQ(Renamed->functions().size(), M.functions().size());
   for (const auto &F : M.functions())
-    EXPECT_NE(Renamed->findFunction(F->Name + "__mm"), nullptr)
-        << "missing " << F->Name << "__mm";
+    EXPECT_NE(Renamed->findFunction(F.Name.str() + "__mm"), nullptr)
+        << "missing " << F.Name << "__mm";
   std::vector<std::string> Errors;
   EXPECT_TRUE(mir::verifyModule(*Renamed, Errors));
 }

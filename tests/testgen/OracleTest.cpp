@@ -81,8 +81,8 @@ TEST(OracleTest, RoundTripCatchesUnparseablePrint) {
   // violation; build one by hand with a function name the parser rejects.
   mir::Module M;
   mir::Function F;
-  F.Name = "not a valid identifier";
-  F.Locals.push_back({M.types().getUnit(), true, ""});
+  F.Name = rs::Symbol::intern("not a valid identifier");
+  F.Locals.push_back({M.types().getUnit(), true, {}});
   mir::BasicBlock B;
   B.Term = mir::Terminator::ret();
   F.Blocks.push_back(B);

@@ -39,27 +39,27 @@ void diffModule(const mir::Module &M, const std::string &Label) {
     Interpreter::Options IOpts;
     IOpts.StepLimit = kStepLimit;
     Interpreter I(M, IOpts);
-    ExecResult RI = I.run(Fn->Name);
+    ExecResult RI = I.run(Fn.Name);
 
     vm::Vm::Options VOpts;
     VOpts.StepLimit = kStepLimit;
     vm::Vm V(P, VOpts);
-    ExecResult RV = V.run(Fn->Name);
+    ExecResult RV = V.run(Fn.Name);
 
     ASSERT_EQ(RI.Ok, RV.Ok)
-        << Label << " fn " << Fn->Name << ": interp "
+        << Label << " fn " << Fn.Name << ": interp "
         << (RI.Ok ? "completed" : RI.Error->toString()) << ", vm "
         << (RV.Ok ? "completed" : RV.Error->toString());
-    EXPECT_EQ(RI.Steps, RV.Steps) << Label << " fn " << Fn->Name;
+    EXPECT_EQ(RI.Steps, RV.Steps) << Label << " fn " << Fn.Name;
     if (!RI.Ok) {
       EXPECT_EQ(RI.Error->Kind, RV.Error->Kind)
-          << Label << " fn " << Fn->Name << ": interp "
+          << Label << " fn " << Fn.Name << ": interp "
           << RI.Error->toString() << ", vm " << RV.Error->toString();
       EXPECT_EQ(RI.Error->Function, RV.Error->Function)
-          << Label << " fn " << Fn->Name;
+          << Label << " fn " << Fn.Name;
     } else {
       EXPECT_EQ(RI.Return.toString(), RV.Return.toString())
-          << Label << " fn " << Fn->Name;
+          << Label << " fn " << Fn.Name;
     }
   }
 }
