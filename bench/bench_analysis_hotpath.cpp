@@ -20,6 +20,7 @@
 #include "analysis/Memory.h"
 #include "analysis/Summaries.h"
 #include "corpus/MirCorpus.h"
+#include "engine/Engine.h"
 #include "mir/Parser.h"
 #include "support/Json.h"
 
@@ -194,7 +195,29 @@ struct HotpathReport {
   double SummariesRefMs = 0, SummariesSccMs = 0;
   double WholeOldMs = 0, WholeNewMs = 0;
   double ReplayMs = 0, CursorMs = 0;
+  // Whole-program link over the eval corpus: cold vs SummaryDb-warm.
+  uint64_t LinkedFiles = 0;
+  uint64_t WarmModulesFromDb = 0;
+  double LinkedColdMs = 0, LinkedWarmMs = 0;
 };
+
+/// One linked analyzeCorpus run over the eval corpus against \p CacheDir;
+/// returns wall-clock ms and surfaces the run's link stats.
+double linkedEvalRun(const fs::path &Dir, const fs::path &CacheDir,
+                     engine::RunStats *StatsOut) {
+  engine::EngineOptions Opts;
+  Opts.Jobs = 1;
+  Opts.CacheDir = CacheDir.string();
+  Opts.WholeProgram = engine::WholeProgramMode::On;
+  engine::AnalysisEngine E(Opts);
+  auto T0 = Clock::now();
+  engine::CorpusReport R = E.analyzeCorpus({Dir.string()});
+  double Ms =
+      std::chrono::duration<double, std::milli>(Clock::now() - T0).count();
+  if (StatsOut)
+    *StatsOut = R.Stats;
+  return Ms;
+}
 
 void printExperiment() {
   banner("Analysis hot path: SCC summaries, streaming cursors, interning",
@@ -274,6 +297,39 @@ void printExperiment() {
                 R.ReplayMs / R.CursorMs);
   }
 
+  // 4. Whole-program link over the eval corpus: cold vs SummaryDb-warm.
+  // The warm run is a fresh engine against the populated cache dir, so
+  // every per-function link key is served by the SummaryDb and no module
+  // is summarized at all (docs/WHOLEPROGRAM.md).
+  {
+    fs::path Dir = "examples/mir/eval";
+#ifdef RS_REPO_ROOT
+    if (!fs::exists(Dir))
+      Dir = fs::path(RS_REPO_ROOT) / "examples/mir/eval";
+#endif
+    if (fs::exists(Dir)) {
+      fs::path CacheDir =
+          fs::temp_directory_path() / "rs-bench-linked-corpus";
+      fs::remove_all(CacheDir);
+      engine::RunStats Cold, Warm;
+      R.LinkedColdMs = linkedEvalRun(Dir, CacheDir, &Cold);
+      R.LinkedWarmMs = linkedEvalRun(Dir, CacheDir, &Warm);
+      R.LinkedFiles = Cold.LinkedFiles;
+      R.WarmModulesFromDb = Warm.ModulesFromSummaryDb;
+      fs::remove_all(CacheDir);
+      std::printf("\n  linked eval corpus (%llu files):\n",
+                  (unsigned long long)R.LinkedFiles);
+      std::printf("    %-34s %10.2f ms\n", "whole-program, cold SummaryDb",
+                  R.LinkedColdMs);
+      std::printf("    %-34s %10.2f ms   (%.1fx, %llu/%llu modules from "
+                  "summary-db)\n",
+                  "whole-program, warm SummaryDb", R.LinkedWarmMs,
+                  R.LinkedColdMs / R.LinkedWarmMs,
+                  (unsigned long long)R.WarmModulesFromDb,
+                  (unsigned long long)R.LinkedFiles);
+    }
+  }
+
   JsonWriter W;
   W.beginObject();
   W.field("bench", "analysis_hotpath");
@@ -305,6 +361,17 @@ void printExperiment() {
   W.value(R.CursorMs);
   W.key("cursor_speedup");
   W.value(R.ReplayMs / R.CursorMs);
+  W.endObject();
+  W.key("linked_corpus");
+  W.beginObject();
+  W.field("files", int64_t(R.LinkedFiles));
+  W.field("warm_modules_from_db", int64_t(R.WarmModulesFromDb));
+  W.key("cold_ms");
+  W.value(R.LinkedColdMs);
+  W.key("warm_ms");
+  W.value(R.LinkedWarmMs);
+  W.key("warm_speedup");
+  W.value(R.LinkedWarmMs > 0 ? R.LinkedColdMs / R.LinkedWarmMs : 0.0);
   W.endObject();
   W.endObject();
   std::ofstream("BENCH_analysis_hotpath.json") << W.str() << "\n";

@@ -422,6 +422,13 @@ int usage() {
       "                           for every N)\n"
       "    --cache-dir <dir>      persist the result cache on disk\n"
       "    --no-cache             disable the result cache entirely\n"
+      "    --whole-program        force the cross-file link step (the\n"
+      "                           default for multi-file corpora); extern\n"
+      "                           callees resolve across corpus files\n"
+      "    --no-whole-program     strictly per-file analysis\n"
+      "    --summary-db-schema <N>  override the summary-db address schema\n"
+      "                           (CI schema-bump drill; bumping reads as a\n"
+      "                           cold DB, never as corruption)\n"
       "    --shards <N>           analyze through N crash-isolated worker\n"
       "                           processes (output is identical for every\n"
       "                           N; --jobs caps concurrent workers)\n"
@@ -536,6 +543,7 @@ int main(int argc, char **argv) {
   std::vector<std::string> Inputs;
   uint64_t Jobs = 0;
   uint64_t SummaryRounds = Check.Engine.MaxSummaryRounds;
+  uint64_t SummaryDbSchema = 0;
   for (int I = 2; I < argc; ++I) {
     bool Bad = false;
     if (std::strcmp(argv[I], "--json") == 0)
@@ -546,6 +554,10 @@ int main(int argc, char **argv) {
       ; // The engine always keeps going; --strict is the opt-out.
     else if (std::strcmp(argv[I], "--no-cache") == 0)
       Check.Engine.UseCache = false;
+    else if (std::strcmp(argv[I], "--whole-program") == 0)
+      Check.Engine.WholeProgram = engine::WholeProgramMode::On;
+    else if (std::strcmp(argv[I], "--no-whole-program") == 0)
+      Check.Engine.WholeProgram = engine::WholeProgramMode::Off;
     else if (std::strcmp(argv[I], "--mutated") == 0)
       Gen.Mutated = true;
     else if (std::strcmp(argv[I], "--resume") == 0)
@@ -571,6 +583,8 @@ int main(int argc, char **argv) {
                               Bad) ||
              parseNumericFlag(argc, argv, I, "--max-retries",
                               Check.MaxRetries, Bad) ||
+             parseNumericFlag(argc, argv, I, "--summary-db-schema",
+                              SummaryDbSchema, Bad) ||
              parseStringFlag(argc, argv, I, "--isolate", Check.Isolate, Bad) ||
              parseStringFlag(argc, argv, I, "--checkpoint",
                              Check.CheckpointPath, Bad) ||
@@ -606,6 +620,8 @@ int main(int argc, char **argv) {
   }
   Check.Engine.Jobs = static_cast<unsigned>(Jobs);
   Check.Engine.MaxSummaryRounds = static_cast<unsigned>(SummaryRounds);
+  Check.Engine.SummaryDbSchemaOverride =
+      static_cast<int64_t>(SummaryDbSchema);
   if (Check.Format != "text" && Check.Format != "json" &&
       Check.Format != "sarif")
     return usage();

@@ -1,0 +1,866 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of RustSight, a reproduction of "Understanding Memory and Thread
+// Safety Practices and Issues in Real-World Rust Programs" (PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Link.h"
+
+#include "analysis/Cfg.h"
+#include "analysis/Memory.h"
+#include "analysis/Objects.h"
+#include "analysis/Scc.h"
+#include "mir/Intrinsics.h"
+#include "support/BitVec.h"
+#include "support/Hash.h"
+#include "support/Json.h"
+
+#include <algorithm>
+#include <set>
+
+using namespace rs;
+using namespace rs::analysis;
+using namespace rs::mir;
+
+//===----------------------------------------------------------------------===//
+// SummaryTable bridge
+//===----------------------------------------------------------------------===//
+
+const FunctionSummary *
+rs::analysis::externalFindSummary(const ExternalSummaries &Ext,
+                                  std::string_view Name) {
+  const ExternalFunctionInfo *Info = Ext.find(Name);
+  return Info ? &Info->Summary : nullptr;
+}
+
+//===----------------------------------------------------------------------===//
+// Fingerprints and facts
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Separator fold: keeps adjacent variable-length parts from aliasing.
+uint64_t foldSep(uint64_t H) { return fnv1a64("\x1f", H); }
+
+uint64_t foldStr(std::string_view S, uint64_t H) {
+  return foldSep(fnv1a64(S, H));
+}
+
+uint64_t foldU64(uint64_t V, uint64_t H) { return fnv1a64U64(V, H); }
+
+uint64_t foldLoc(const SourceLocation &Loc, uint64_t H) {
+  return foldU64((uint64_t(Loc.line()) << 32) | Loc.column(), H);
+}
+
+} // namespace
+
+uint64_t rs::analysis::moduleDeclFingerprint(const Module &M) {
+  uint64_t H = fnv1a64("rslink-decls-v1");
+  for (const StructDecl &S : M.structs()) {
+    H = foldStr(S.Name, H);
+    for (const auto &[FieldName, Ty] : S.Fields) {
+      H = foldStr(FieldName, H);
+      H = foldStr(Ty ? Ty->toString() : std::string(), H);
+    }
+    H = foldU64(S.HasDrop ? 1 : 0, H);
+  }
+  for (const StaticDecl &S : M.statics()) {
+    H = foldStr(S.Name, H);
+    H = foldStr(S.Ty ? S.Ty->toString() : std::string(), H);
+    H = foldU64(S.Mutable ? 1 : 0, H);
+  }
+  std::vector<std::string> Sync;
+  for (const auto &[Name, IsSync] : M.syncAdts())
+    if (IsSync)
+      Sync.push_back(std::string(Name));
+  std::sort(Sync.begin(), Sync.end());
+  for (const std::string &S : Sync)
+    H = foldStr(S, H);
+  return H;
+}
+
+uint64_t rs::analysis::functionFingerprint(const Function &F, uint64_t DeclFp) {
+  // The rendered body covers names, types, statements and CFG shape; the
+  // location walk covers what rendering does not — summary effect *sites*
+  // are source positions, so a body that merely moved within its file must
+  // produce a different key or a warm SummaryDb would serve stale spans.
+  uint64_t H = foldU64(DeclFp, fnv1a64("rslink-fn-v1"));
+  H = foldStr(F.toString(), H);
+  for (const BasicBlock &BB : F.Blocks) {
+    for (const Statement &S : BB.Statements)
+      H = foldLoc(S.Loc, H);
+    H = foldLoc(BB.Term.Loc, H);
+  }
+  return H;
+}
+
+ModuleFacts rs::analysis::collectModuleFacts(const Module &M,
+                                             const std::string &Path) {
+  ModuleFacts Facts;
+  Facts.Path = Path;
+  uint64_t DeclFp = moduleDeclFingerprint(M);
+  Facts.Functions.reserve(M.functions().size());
+  for (const Function &F : M.functions()) {
+    FunctionFacts FF;
+    FF.Name = F.Name.str();
+    FF.NumArgs = F.NumArgs;
+    FF.BodyFp = functionFingerprint(F, DeclFp);
+    for (const BasicBlock &BB : F.Blocks) {
+      const Terminator &T = BB.Term;
+      if (T.K != Terminator::Kind::Call)
+        continue;
+      IntrinsicKind IK = classifyIntrinsic(T.Callee);
+      if (IK == IntrinsicKind::ThreadSpawn) {
+        // Spawn-by-name: the thread entry point is a link edge too — its
+        // body feeds the spawner's lock-order analysis, so it must be
+        // covered by the spawner's link key.
+        if (!T.Args.empty() && !T.Args[0].isPlace() &&
+            T.Args[0].C.K == ConstValue::Kind::Str)
+          FF.Callees.push_back(T.Args[0].C.Str);
+        continue;
+      }
+      if (IK != IntrinsicKind::None)
+        continue;
+      FF.Callees.push_back(std::string(T.Callee));
+    }
+    std::sort(FF.Callees.begin(), FF.Callees.end());
+    FF.Callees.erase(std::unique(FF.Callees.begin(), FF.Callees.end()),
+                     FF.Callees.end());
+    Facts.Functions.push_back(std::move(FF));
+  }
+  return Facts;
+}
+
+ModuleDefsRefs rs::analysis::collectDefsAndRefs(const Module &M) {
+  ModuleDefsRefs Out;
+  for (const Function &F : M.functions())
+    Out.Defines.push_back(F.Name.str());
+  std::sort(Out.Defines.begin(), Out.Defines.end());
+  Out.Defines.erase(std::unique(Out.Defines.begin(), Out.Defines.end()),
+                    Out.Defines.end());
+
+  auto DefinedHere = [&](std::string_view Name) {
+    return std::binary_search(Out.Defines.begin(), Out.Defines.end(), Name);
+  };
+  for (const Function &F : M.functions()) {
+    for (const BasicBlock &BB : F.Blocks) {
+      const Terminator &T = BB.Term;
+      if (T.K != Terminator::Kind::Call)
+        continue;
+      IntrinsicKind IK = classifyIntrinsic(T.Callee);
+      if (IK == IntrinsicKind::ThreadSpawn) {
+        // Spawn-by-name: the thread entry point is a string constant.
+        if (!T.Args.empty() && !T.Args[0].isPlace() &&
+            T.Args[0].C.K == ConstValue::Kind::Str &&
+            !DefinedHere(T.Args[0].C.Str))
+          Out.ExternalRefs.push_back(T.Args[0].C.Str);
+        continue;
+      }
+      if (IK != IntrinsicKind::None)
+        continue; // Mutex::lock etc. can never be defined by another file.
+      if (!DefinedHere(T.Callee))
+        Out.ExternalRefs.push_back(std::string(T.Callee));
+    }
+  }
+  std::sort(Out.ExternalRefs.begin(), Out.ExternalRefs.end());
+  Out.ExternalRefs.erase(
+      std::unique(Out.ExternalRefs.begin(), Out.ExternalRefs.end()),
+      Out.ExternalRefs.end());
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// LinkedCorpus
+//===----------------------------------------------------------------------===//
+
+LinkedCorpus LinkedCorpus::build(std::vector<ModuleFacts> Facts) {
+  LinkedCorpus C;
+  C.Modules = std::move(Facts);
+
+  // Global ids in definition order; first definition in corpus order wins
+  // the extern-resolution index.
+  for (uint32_t M = 0; M != C.Modules.size(); ++M) {
+    C.ModuleBase.push_back(static_cast<uint32_t>(C.Functions.size()));
+    for (uint32_t Ord = 0; Ord != C.Modules[M].Functions.size(); ++Ord) {
+      uint32_t Gid = static_cast<uint32_t>(C.Functions.size());
+      C.Functions.push_back({M, Ord});
+      C.Index.try_emplace(C.Modules[M].Functions[Ord].Name, Gid);
+    }
+  }
+
+  uint32_t N = C.numFunctions();
+  C.Callees.resize(N);
+  C.ModuleRefs.resize(C.Modules.size());
+  // Per-function unresolved callee names, for the link key.
+  std::vector<std::vector<std::string>> Unresolved(N);
+
+  for (uint32_t M = 0; M != C.Modules.size(); ++M) {
+    // Local definitions shadow the global index inside their own module.
+    std::map<std::string_view, uint32_t> Local;
+    for (uint32_t Ord = 0; Ord != C.Modules[M].Functions.size(); ++Ord)
+      Local.try_emplace(C.Modules[M].Functions[Ord].Name,
+                        C.globalId(M, Ord));
+
+    std::map<std::string, uint32_t, std::less<>> Refs;
+    for (uint32_t Ord = 0; Ord != C.Modules[M].Functions.size(); ++Ord) {
+      uint32_t Gid = C.globalId(M, Ord);
+      const FunctionFacts &FF = C.Modules[M].Functions[Ord];
+      for (const std::string &Callee : FF.Callees) {
+        auto L = Local.find(Callee);
+        if (L != Local.end()) {
+          C.Callees[Gid].push_back(L->second);
+          continue;
+        }
+        auto G = C.Index.find(Callee);
+        if (G != C.Index.end()) {
+          C.Callees[Gid].push_back(G->second);
+          Refs.try_emplace(Callee, G->second);
+        } else {
+          Unresolved[Gid].push_back(Callee);
+        }
+      }
+    }
+    C.ModuleRefs[M].assign(Refs.begin(), Refs.end());
+  }
+
+  // Link keys: per-component reachable sets over the corpus condensation,
+  // so recursive groups share one reachable set (and members of a cycle get
+  // keys covering the whole cycle, as required: any member's body feeds
+  // every member's summary).
+  SccGraph Sccs(N, C.Callees);
+  std::vector<BitVec> Reach(Sccs.numComponents());
+  for (uint32_t Comp = 0; Comp != Sccs.numComponents(); ++Comp) {
+    BitVec R(N);
+    for (uint32_t Member : Sccs.members(Comp)) {
+      R.set(Member);
+      for (uint32_t Succ : C.Callees[Member]) {
+        uint32_t SC = Sccs.componentOf(Succ);
+        if (SC != Comp)
+          R.unionWith(Reach[SC]);
+      }
+    }
+    Reach[Comp] = std::move(R);
+  }
+
+  // One reach fold per component (members share the reachable set), then
+  // each member's key adds its own name on top — members of a cycle have
+  // identical summarization inputs but must not collide as DB addresses.
+  std::vector<uint64_t> ReachFold(Sccs.numComponents());
+  for (uint32_t Comp = 0; Comp != Sccs.numComponents(); ++Comp) {
+    const BitVec &R = Reach[Comp];
+    uint64_t H = fnv1a64("rslink-key-v1");
+    // Global ids ascend in definition order, so folding in id order is a
+    // pure function of the corpus content + file order.
+    std::set<std::string_view> Unres;
+    for (uint32_t G = 0; G != N; ++G) {
+      if (!R.test(G))
+        continue;
+      const FunctionFacts &FF = C.facts(G);
+      H = foldStr(FF.Name, H);
+      H = foldU64(FF.BodyFp, H);
+      for (const std::string &U : Unresolved[G])
+        Unres.insert(U);
+    }
+    H = foldSep(H);
+    for (std::string_view U : Unres)
+      H = foldStr(U, H);
+    ReachFold[Comp] = H;
+  }
+  C.LinkKeys.resize(N);
+  for (uint32_t Gid = 0; Gid != N; ++Gid)
+    C.LinkKeys[Gid] = foldStr(C.facts(Gid).Name,
+                              ReachFold[Sccs.componentOf(Gid)]);
+  return C;
+}
+
+std::optional<uint32_t> LinkedCorpus::lookup(std::string_view Name) const {
+  auto It = Index.find(Name);
+  if (It == Index.end())
+    return std::nullopt;
+  return It->second;
+}
+
+uint64_t LinkedCorpus::linkDigest(uint32_t ModuleIdx) const {
+  const auto &Refs = ModuleRefs[ModuleIdx];
+  if (Refs.empty())
+    return 0;
+  uint64_t H = fnv1a64("rslink-digest-v1");
+  for (const auto &[Name, Gid] : Refs) {
+    H = foldStr(Name, H);
+    H = foldU64(LinkKeys[Gid], H);
+    // The defining path is part of the observable output (cross-file spans
+    // render it), so a renamed callee file must invalidate the caller.
+    H = foldStr(definingPath(Gid), H);
+  }
+  // 0 is the "no resolved externs" sentinel; keep real digests off it.
+  return H == 0 ? 1 : H;
+}
+
+ExternalSummaries LinkedCorpus::sliceFor(uint32_t ModuleIdx,
+                                         const ExternalSummaries &Env) const {
+  ExternalSummaries Slice;
+  for (const auto &[Name, Gid] : ModuleRefs[ModuleIdx]) {
+    (void)Gid;
+    if (const ExternalFunctionInfo *Info = Env.find(Name))
+      Slice.insert(*Info);
+  }
+  return Slice;
+}
+
+//===----------------------------------------------------------------------===//
+// Per-module summarization with effect sites
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+void appendSites(std::vector<LinkSite> &Out,
+                 const std::vector<StatePoint> &Points) {
+  for (const StatePoint &P : Points)
+    if (P.Loc.isValid())
+      Out.push_back({P.Loc.line(), P.Loc.column()});
+}
+
+} // namespace
+
+ModuleSummaries rs::analysis::summarizeLinkedModule(const Module &M,
+                                                    uint32_t ModuleIdx,
+                                                    const ExternalSummaries &Env,
+                                                    unsigned MaxSummaryRounds) {
+  ModuleSummaries MS;
+  MS.ModuleIdx = ModuleIdx;
+  bool Complete = true;
+  ModuleAnalysisCache Cache;
+  SummaryMap Table =
+      computeSummaries(M, MaxSummaryRounds, /*Bgt=*/nullptr, &Complete,
+                       /*CG=*/nullptr, /*Stats=*/nullptr, &Cache,
+                       Env.empty() ? nullptr : &Env);
+  MS.Complete = Complete;
+
+  uint32_t N = static_cast<uint32_t>(M.functions().size());
+  MS.Functions.resize(N);
+  for (uint32_t I = 0; I != N; ++I) {
+    const Function &F = M.functions()[I];
+    ExternalFunctionInfo &Info = MS.Functions[I];
+    Info.Name = F.Name.str();
+    Info.NumArgs = F.NumArgs;
+    Info.Summary = Table.byId(I);
+    Info.DropSites.assign(F.NumArgs + 1, {});
+    Info.LockSites.assign(F.NumArgs + 1, {});
+
+    bool AnyEffect = false;
+    for (LocalId P = 1; P <= F.NumArgs; ++P)
+      AnyEffect |= Info.Summary.DropsParamPointee[P] ||
+                   Info.Summary.AcquiresLockOnParam[P] != LM_None;
+    if (!AnyEffect)
+      continue;
+
+    // Effect sites come from the same memory analysis the summary bits came
+    // from; rebuild it against the final table when the scheduler did not
+    // leave one to adopt (recursive components).
+    std::unique_ptr<Cfg> OwnCfg;
+    const Cfg *G = I < Cache.Cfgs.size() ? Cache.Cfgs[I].get() : nullptr;
+    if (!G) {
+      OwnCfg = std::make_unique<Cfg>(F, /*PruneConstantBranches=*/true);
+      G = OwnCfg.get();
+    }
+    std::unique_ptr<MemoryAnalysis> OwnMA;
+    const MemoryAnalysis *MA =
+        I < Cache.Memory.size() ? Cache.Memory[I].get() : nullptr;
+    if (!MA) {
+      OwnMA = std::make_unique<MemoryAnalysis>(*G, M, &Table, nullptr);
+      MA = OwnMA.get();
+    }
+    const ObjectTable &Objects = MA->objects();
+
+    for (LocalId P = 1; P <= F.NumArgs; ++P) {
+      if (Info.Summary.DropsParamPointee[P]) {
+        ObjId Pointee = Objects.paramPointee(P);
+        if (Pointee != ~0u)
+          appendSites(Info.DropSites[P],
+                      MA->transitionSites(ObjEvent::Dropped, Pointee));
+      }
+      if (Info.Summary.AcquiresLockOnParam[P] != LM_None) {
+        std::vector<StatePoint> Points;
+        for (ObjId O = 0; O != Objects.numObjects(); ++O) {
+          if (paramRootOfObject(F, Objects, O) != P)
+            continue;
+          for (StatePoint S :
+               MA->transitionSites(ObjEvent::HeldExclusive, O))
+            Points.push_back(S);
+          for (StatePoint S : MA->transitionSites(ObjEvent::HeldShared, O))
+            Points.push_back(S);
+        }
+        std::sort(Points.begin(), Points.end(),
+                  [](const StatePoint &A, const StatePoint &B) {
+                    return std::tie(A.Block, A.StmtIndex) <
+                           std::tie(B.Block, B.StmtIndex);
+                  });
+        Points.erase(std::unique(Points.begin(), Points.end(),
+                                 [](const StatePoint &A, const StatePoint &B) {
+                                   return A.Block == B.Block &&
+                                          A.StmtIndex == B.StmtIndex;
+                                 }),
+                     Points.end());
+        appendSites(Info.LockSites[P], Points);
+      }
+    }
+  }
+  return MS;
+}
+
+//===----------------------------------------------------------------------===//
+// The link solver
+//===----------------------------------------------------------------------===//
+
+LinkResult rs::analysis::solveLink(LinkedCorpus Corpus, const LinkOptions &Opts,
+                                   const LinkDbHooks &Db,
+                                   const SummarizeRoundFn &Summarize) {
+  LinkResult R;
+  R.Corpus = std::move(Corpus);
+  const LinkedCorpus &LC = R.Corpus;
+  uint32_t NumMods = static_cast<uint32_t>(LC.modules().size());
+
+  // Names some other module's analysis can observe.
+  std::set<std::string, std::less<>> Referenced;
+  for (uint32_t M = 0; M != NumMods; ++M)
+    for (const auto &[Name, Gid] : LC.externRefs(M)) {
+      (void)Gid;
+      Referenced.insert(Name);
+    }
+
+  // DB probe: a module skips summarization only when *every* function hits
+  // (summarization is per-module, so partial coverage saves nothing).
+  std::vector<char> FromDb(NumMods, 0);
+  std::vector<std::vector<ExternalFunctionInfo>> DbInfo(NumMods);
+  if (Db.Lookup) {
+    for (uint32_t M = 0; M != NumMods; ++M) {
+      const ModuleFacts &Facts = LC.modules()[M];
+      std::vector<ExternalFunctionInfo> Loaded;
+      Loaded.reserve(Facts.Functions.size());
+      bool All = true;
+      for (uint32_t Ord = 0; Ord != Facts.Functions.size(); ++Ord) {
+        uint64_t Key = LC.linkKey(LC.globalId(M, Ord));
+        std::optional<std::string> Payload = Db.Lookup(Key);
+        std::optional<ExternalFunctionInfo> Info;
+        if (Payload)
+          Info = deserializeSummaryPayload(*Payload);
+        const FunctionFacts &FF = Facts.Functions[Ord];
+        if (Info && Info->Name == FF.Name && Info->NumArgs == FF.NumArgs) {
+          ++R.Stats.DbHits;
+          Loaded.push_back(std::move(*Info));
+        } else {
+          ++R.Stats.DbMisses;
+          All = false;
+          break;
+        }
+      }
+      if (All && !Facts.Functions.empty()) {
+        FromDb[M] = 1;
+        DbInfo[M] = std::move(Loaded);
+        ++R.Stats.ModulesFromDb;
+      } else if (Facts.Functions.empty()) {
+        FromDb[M] = 1; // Nothing to summarize either way.
+        ++R.Stats.ModulesFromDb;
+      }
+    }
+  }
+
+  // Seed the environment from DB-served modules.
+  for (uint32_t M = 0; M != NumMods; ++M) {
+    if (!FromDb[M])
+      continue;
+    for (uint32_t Ord = 0; Ord != DbInfo[M].size(); ++Ord) {
+      ExternalFunctionInfo &Info = DbInfo[M][Ord];
+      std::optional<uint32_t> Winner = LC.lookup(Info.Name);
+      if (!Winner || *Winner != LC.globalId(M, Ord))
+        continue;
+      if (!Referenced.count(Info.Name))
+        continue;
+      Info.File = LC.modules()[M].Path;
+      R.Env.insert(Info);
+    }
+  }
+
+  // Jacobi rounds: each round recomputes exactly the modules whose observed
+  // environment slice changed in the previous round (round one recomputes
+  // every non-DB module). The trajectory is deterministic, which is what
+  // keeps the supervisor's distributed rounds byte-identical to these.
+  std::vector<ModuleSummaries> Last(NumMods);
+  std::vector<char> Computed(NumMods, 0);
+  std::set<std::string, std::less<>> Changed;
+  bool First = true;
+
+  auto Schedule = [&]() {
+    std::vector<uint32_t> Sched;
+    for (uint32_t M = 0; M != NumMods; ++M) {
+      if (FromDb[M])
+        continue;
+      if (First) {
+        Sched.push_back(M);
+        continue;
+      }
+      for (const auto &[Name, Gid] : LC.externRefs(M)) {
+        (void)Gid;
+        if (Changed.count(Name)) {
+          Sched.push_back(M);
+          break;
+        }
+      }
+    }
+    return Sched;
+  };
+
+  for (unsigned Round = 0; Round != Opts.MaxSummaryRounds; ++Round) {
+    std::vector<uint32_t> Sched = Schedule();
+    if (Sched.empty())
+      break;
+    ++R.Stats.Rounds;
+    std::vector<ModuleSummaries> Results = Summarize(Sched, R.Env);
+    R.Stats.ModulesSummarized += static_cast<unsigned>(Results.size());
+
+    std::set<std::string, std::less<>> NewChanged;
+    for (ModuleSummaries &MS : Results) {
+      uint32_t M = MS.ModuleIdx;
+      if (M >= NumMods || FromDb[M])
+        continue;
+      if (!MS.Complete)
+        R.Converged = false;
+      for (uint32_t Ord = 0; Ord != MS.Functions.size(); ++Ord) {
+        ExternalFunctionInfo &Info = MS.Functions[Ord];
+        std::optional<uint32_t> Winner = LC.lookup(Info.Name);
+        if (!Winner || *Winner != LC.globalId(M, Ord))
+          continue;
+        if (!Referenced.count(Info.Name))
+          continue;
+        Info.File = LC.modules()[M].Path;
+        const ExternalFunctionInfo *Old = R.Env.find(Info.Name);
+        if (!Old || !(*Old == Info)) {
+          R.Env.insert(Info);
+          NewChanged.insert(Info.Name);
+        }
+      }
+      Last[M] = std::move(MS);
+      Computed[M] = 1;
+    }
+    Changed = std::move(NewChanged);
+    First = false;
+  }
+  if (!Schedule().empty())
+    R.Converged = false;
+
+  // Persist converged summaries — and only converged ones: a clamped or
+  // truncated fixpoint must never poison future warm runs.
+  if (Db.Store && R.Converged) {
+    for (uint32_t M = 0; M != NumMods; ++M) {
+      if (FromDb[M] || !Computed[M] || !Last[M].Complete)
+        continue;
+      for (uint32_t Ord = 0; Ord != Last[M].Functions.size(); ++Ord) {
+        uint64_t Key = LC.linkKey(LC.globalId(M, Ord));
+        Db.Store(Key, serializeSummaryPayload(Last[M].Functions[Ord]));
+        ++R.Stats.DbStores;
+      }
+    }
+  }
+  return R;
+}
+
+//===----------------------------------------------------------------------===//
+// Serialization
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Writes one ExternalFunctionInfo as a JSON object on \p W. The file field
+/// is included only when \p WithFile (wire environments re-anchor through
+/// it; DB payloads re-anchor at load instead).
+void writeInfo(JsonWriter &W, const ExternalFunctionInfo &Info,
+               bool WithFile) {
+  W.beginObject();
+  W.field("v", SummaryPayloadVersion);
+  W.field("name", Info.Name);
+  W.key("args");
+  W.value(Info.NumArgs);
+  if (WithFile)
+    W.field("file", Info.File);
+
+  auto WriteParamList = [&](std::string_view Key, auto Pred) {
+    W.key(Key);
+    W.beginArray();
+    for (unsigned P = 1; P <= Info.NumArgs; ++P)
+      if (Pred(P))
+        W.value(P);
+    W.endArray();
+  };
+  WriteParamList("drops",
+                 [&](unsigned P) { return !!Info.Summary.DropsParamPointee[P]; });
+  WriteParamList("aliases", [&](unsigned P) {
+    return !!Info.Summary.ReturnAliasesParamPointee[P];
+  });
+  W.key("locks");
+  W.beginArray();
+  for (unsigned P = 1; P <= Info.NumArgs; ++P) {
+    if (Info.Summary.AcquiresLockOnParam[P] == LM_None)
+      continue;
+    W.beginArray();
+    W.value(P);
+    W.value(static_cast<unsigned>(Info.Summary.AcquiresLockOnParam[P]));
+    W.endArray();
+  }
+  W.endArray();
+
+  auto WriteSites = [&](std::string_view Key,
+                        const std::vector<std::vector<LinkSite>> &Sites) {
+    W.key(Key);
+    W.beginArray();
+    for (unsigned P = 1; P < Sites.size(); ++P) {
+      if (Sites[P].empty())
+        continue;
+      W.beginArray();
+      W.value(P);
+      W.beginArray();
+      for (const LinkSite &S : Sites[P]) {
+        W.beginArray();
+        W.value(S.Line);
+        W.value(S.Col);
+        W.endArray();
+      }
+      W.endArray();
+      W.endArray();
+    }
+    W.endArray();
+  };
+  WriteSites("dropSites", Info.DropSites);
+  WriteSites("lockSites", Info.LockSites);
+  W.endObject();
+}
+
+std::optional<ExternalFunctionInfo> parseInfo(const JsonValue &V) {
+  if (!V.isObject() || V.getInt("v", -1) != SummaryPayloadVersion)
+    return std::nullopt;
+  ExternalFunctionInfo Info;
+  Info.Name = std::string(V.getString("name"));
+  if (Info.Name.empty())
+    return std::nullopt;
+  int64_t Args = V.getInt("args", -1);
+  if (Args < 0 || Args > 1 << 16)
+    return std::nullopt;
+  Info.NumArgs = static_cast<unsigned>(Args);
+  Info.File = std::string(V.getString("file"));
+  Info.Summary = FunctionSummary(Info.NumArgs);
+  Info.DropSites.assign(Info.NumArgs + 1, {});
+  Info.LockSites.assign(Info.NumArgs + 1, {});
+
+  auto ValidParam = [&](int64_t P) { return P >= 1 && P <= Args; };
+
+  auto ReadParamList = [&](std::string_view Key, auto Set) -> bool {
+    const JsonValue *L = V.get(Key);
+    if (!L || !L->isArray())
+      return false;
+    for (const JsonValue &E : L->elements()) {
+      if (!E.isInt() || !ValidParam(E.asInt()))
+        return false;
+      Set(static_cast<unsigned>(E.asInt()));
+    }
+    return true;
+  };
+  if (!ReadParamList("drops", [&](unsigned P) {
+        Info.Summary.DropsParamPointee[P] = true;
+      }))
+    return std::nullopt;
+  if (!ReadParamList("aliases", [&](unsigned P) {
+        Info.Summary.ReturnAliasesParamPointee[P] = true;
+      }))
+    return std::nullopt;
+
+  const JsonValue *Locks = V.get("locks");
+  if (!Locks || !Locks->isArray())
+    return std::nullopt;
+  for (const JsonValue &E : Locks->elements()) {
+    if (!E.isArray() || E.elements().size() != 2 ||
+        !E.elements()[0].isInt() || !E.elements()[1].isInt() ||
+        !ValidParam(E.elements()[0].asInt()))
+      return std::nullopt;
+    int64_t Mode = E.elements()[1].asInt();
+    if (Mode <= 0 || Mode > (LM_Shared | LM_Exclusive))
+      return std::nullopt;
+    Info.Summary.AcquiresLockOnParam[E.elements()[0].asInt()] =
+        static_cast<uint8_t>(Mode);
+  }
+
+  auto ReadSites = [&](std::string_view Key,
+                       std::vector<std::vector<LinkSite>> &Sites) -> bool {
+    const JsonValue *L = V.get(Key);
+    if (!L || !L->isArray())
+      return false;
+    for (const JsonValue &E : L->elements()) {
+      if (!E.isArray() || E.elements().size() != 2 ||
+          !E.elements()[0].isInt() || !E.elements()[1].isArray() ||
+          !ValidParam(E.elements()[0].asInt()))
+        return false;
+      std::vector<LinkSite> &Out =
+          Sites[static_cast<size_t>(E.elements()[0].asInt())];
+      for (const JsonValue &S : E.elements()[1].elements()) {
+        if (!S.isArray() || S.elements().size() != 2 ||
+            !S.elements()[0].isInt() || !S.elements()[1].isInt())
+          return false;
+        Out.push_back({static_cast<unsigned>(S.elements()[0].asInt()),
+                       static_cast<unsigned>(S.elements()[1].asInt())});
+      }
+    }
+    return true;
+  };
+  if (!ReadSites("dropSites", Info.DropSites))
+    return std::nullopt;
+  if (!ReadSites("lockSites", Info.LockSites))
+    return std::nullopt;
+  return Info;
+}
+
+} // namespace
+
+std::string
+rs::analysis::serializeSummaryPayload(const ExternalFunctionInfo &Info) {
+  JsonWriter W;
+  writeInfo(W, Info, /*WithFile=*/false);
+  return W.str();
+}
+
+std::optional<ExternalFunctionInfo>
+rs::analysis::deserializeSummaryPayload(std::string_view Payload) {
+  std::optional<JsonValue> V = JsonValue::parse(Payload);
+  if (!V)
+    return std::nullopt;
+  return parseInfo(*V);
+}
+
+std::string rs::analysis::serializeModuleFacts(const ModuleFacts &Facts) {
+  JsonWriter W;
+  W.beginObject();
+  W.field("v", SummaryPayloadVersion);
+  W.field("path", Facts.Path);
+  W.key("functions");
+  W.beginArray();
+  for (const FunctionFacts &FF : Facts.Functions) {
+    W.beginObject();
+    W.field("name", FF.Name);
+    W.key("args");
+    W.value(FF.NumArgs);
+    W.field("fp", hashToHex(FF.BodyFp));
+    W.key("callees");
+    W.beginArray();
+    for (const std::string &C : FF.Callees)
+      W.value(C);
+    W.endArray();
+    W.endObject();
+  }
+  W.endArray();
+  W.endObject();
+  return W.str();
+}
+
+std::optional<ModuleFacts>
+rs::analysis::deserializeModuleFacts(std::string_view Payload) {
+  std::optional<JsonValue> V = JsonValue::parse(Payload);
+  if (!V || !V->isObject() || V->getInt("v", -1) != SummaryPayloadVersion)
+    return std::nullopt;
+  ModuleFacts Facts;
+  Facts.Path = std::string(V->getString("path"));
+  const JsonValue *Fns = V->get("functions");
+  if (!Fns || !Fns->isArray())
+    return std::nullopt;
+  for (const JsonValue &E : Fns->elements()) {
+    if (!E.isObject())
+      return std::nullopt;
+    FunctionFacts FF;
+    FF.Name = std::string(E.getString("name"));
+    int64_t Args = E.getInt("args", -1);
+    if (FF.Name.empty() || Args < 0)
+      return std::nullopt;
+    FF.NumArgs = static_cast<unsigned>(Args);
+    if (!hexToHash(E.getString("fp"), FF.BodyFp))
+      return std::nullopt;
+    const JsonValue *Callees = E.get("callees");
+    if (!Callees || !Callees->isArray())
+      return std::nullopt;
+    for (const JsonValue &C : Callees->elements()) {
+      if (!C.isString())
+        return std::nullopt;
+      FF.Callees.push_back(C.asString());
+    }
+    Facts.Functions.push_back(std::move(FF));
+  }
+  return Facts;
+}
+
+std::string rs::analysis::serializeModuleSummaries(const ModuleSummaries &MS) {
+  JsonWriter W;
+  W.beginObject();
+  W.field("v", SummaryPayloadVersion);
+  W.key("module");
+  W.value(MS.ModuleIdx);
+  W.field("complete", MS.Complete);
+  W.key("functions");
+  W.beginArray();
+  for (const ExternalFunctionInfo &Info : MS.Functions)
+    writeInfo(W, Info, /*WithFile=*/false);
+  W.endArray();
+  W.endObject();
+  return W.str();
+}
+
+std::optional<ModuleSummaries>
+rs::analysis::deserializeModuleSummaries(std::string_view Payload) {
+  std::optional<JsonValue> V = JsonValue::parse(Payload);
+  if (!V || !V->isObject() || V->getInt("v", -1) != SummaryPayloadVersion)
+    return std::nullopt;
+  ModuleSummaries MS;
+  int64_t Idx = V->getInt("module", -1);
+  if (Idx < 0)
+    return std::nullopt;
+  MS.ModuleIdx = static_cast<uint32_t>(Idx);
+  MS.Complete = V->getBool("complete", true);
+  const JsonValue *Fns = V->get("functions");
+  if (!Fns || !Fns->isArray())
+    return std::nullopt;
+  for (const JsonValue &E : Fns->elements()) {
+    std::optional<ExternalFunctionInfo> Info = parseInfo(E);
+    if (!Info)
+      return std::nullopt;
+    MS.Functions.push_back(std::move(*Info));
+  }
+  return MS;
+}
+
+std::string rs::analysis::serializeEnv(const ExternalSummaries &Env) {
+  JsonWriter W;
+  W.beginObject();
+  W.field("v", SummaryPayloadVersion);
+  W.key("entries");
+  W.beginArray();
+  for (const auto &[Name, Info] : Env.entries()) {
+    (void)Name;
+    writeInfo(W, Info, /*WithFile=*/true);
+  }
+  W.endArray();
+  W.endObject();
+  return W.str();
+}
+
+std::optional<ExternalSummaries>
+rs::analysis::deserializeEnv(std::string_view Payload) {
+  std::optional<JsonValue> V = JsonValue::parse(Payload);
+  if (!V || !V->isObject() || V->getInt("v", -1) != SummaryPayloadVersion)
+    return std::nullopt;
+  const JsonValue *Entries = V->get("entries");
+  if (!Entries || !Entries->isArray())
+    return std::nullopt;
+  ExternalSummaries Env;
+  for (const JsonValue &E : Entries->elements()) {
+    std::optional<ExternalFunctionInfo> Info = parseInfo(E);
+    if (!Info)
+      return std::nullopt;
+    Env.insert(std::move(*Info));
+  }
+  return Env;
+}

@@ -118,10 +118,12 @@ SummaryMap rs::analysis::computeSummaries(const Module &M, unsigned MaxRounds,
                                           Budget *Bgt, bool *Complete,
                                           const CallGraph *CG,
                                           SummaryStats *Stats,
-                                          ModuleAnalysisCache *CacheOut) {
+                                          ModuleAnalysisCache *CacheOut,
+                                          const ExternalSummaries *Ext) {
   if (Complete)
     *Complete = true;
   SummaryTable Table(M);
+  Table.setExternal(Ext);
   uint32_t N = static_cast<uint32_t>(Table.size());
   if (MaxRounds == 0 || N == 0) {
     if (Stats)

@@ -42,7 +42,15 @@ namespace rs::analysis {
 
 class CallGraph;
 class Cfg;
+class ExternalSummaries; // Link.h: the cross-file summary environment.
 class MemoryAnalysis;
+struct FunctionSummary;
+
+/// Out-of-line bridge into the link layer (defined in Link.cpp): the
+/// converged summary of the externally-defined function \p Name, or null.
+/// Keeps this header free of a Link.h cycle.
+const FunctionSummary *externalFindSummary(const ExternalSummaries &Ext,
+                                           std::string_view Name);
 
 /// Lock-acquisition mode bits used in summaries.
 enum LockMode : uint8_t {
@@ -110,12 +118,23 @@ public:
   const FunctionSummary &byId(uint32_t Id) const { return Entries[Id]; }
   FunctionSummary &byId(uint32_t Id) { return Entries[Id]; }
 
-  /// The named function's summary, or null for names the module does not
-  /// define (intrinsics, unknown externals).
+  /// The named function's summary. Module-defined functions resolve to the
+  /// local entry; names the module does not define fall through to the
+  /// attached cross-file environment (when one is set), and only then to
+  /// null (intrinsics, unknown externals). Local definitions always shadow
+  /// external ones, matching the per-file behavior exactly on corpora with
+  /// no cross-file references.
   const FunctionSummary *find(std::string_view Name) const {
     uint32_t Id = Names.idOf(Name);
-    return Id == NameIndex::None ? nullptr : &Entries[Id];
+    if (Id != NameIndex::None)
+      return &Entries[Id];
+    return Ext ? externalFindSummary(*Ext, Name) : nullptr;
   }
+
+  /// Attaches (or clears) the cross-file environment find() falls through
+  /// to. Not owned; must outlive every analysis built over this table.
+  void setExternal(const ExternalSummaries *E) { Ext = E; }
+  const ExternalSummaries *external() const { return Ext; }
 
   size_t count(std::string_view Name) const { return find(Name) ? 1 : 0; }
 
@@ -131,6 +150,7 @@ public:
 private:
   NameIndex Names;
   std::vector<FunctionSummary> Entries;
+  const ExternalSummaries *Ext = nullptr;
 };
 
 /// Historical alias: the summary container detectors consume.
@@ -186,11 +206,18 @@ struct ModuleAnalysisCache {
 /// \p CG (optional) reuses an already-built call graph; \p Stats (optional)
 /// receives work counters; \p CacheOut (optional, only populated on
 /// un-truncated runs) receives the per-function analyses for adoption.
+///
+/// \p Ext (optional) attaches a cross-file summary environment (Link.h):
+/// calls to functions the module does not define resolve through it, so
+/// interprocedural effects propagate across file boundaries. The
+/// environment must be fully converged and immutable for the duration of
+/// the call; the returned table keeps the attachment.
 SummaryMap computeSummaries(const mir::Module &M, unsigned MaxRounds = 8,
                             Budget *Bgt = nullptr, bool *Complete = nullptr,
                             const CallGraph *CG = nullptr,
                             SummaryStats *Stats = nullptr,
-                            ModuleAnalysisCache *CacheOut = nullptr);
+                            ModuleAnalysisCache *CacheOut = nullptr,
+                            const ExternalSummaries *Ext = nullptr);
 
 /// The historical round-robin schedule (every function re-summarized each
 /// global round until a round changes nothing, bounded at \p MaxRounds),

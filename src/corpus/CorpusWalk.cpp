@@ -17,8 +17,12 @@ rs::corpus::expandMirPaths(const std::vector<std::string> &Paths) {
       Out.push_back({Path, ""});
       continue;
     }
-    // Directories expand to their .mir files, recursively, in sorted order
-    // so reports are deterministic across filesystems.
+    // Directories expand to their .mir files, recursively, in raw-byte
+    // (memcmp) order of the full path spelling — the corpus sort key the
+    // linker, shard partitioner and ordinal merge all share (see the
+    // header). std::string's operator< is exactly that order; the explicit
+    // comparator documents the contract and pins it against a well-meaning
+    // future "smarter" collation.
     std::vector<std::string> Found;
     for (const auto &Entry : fs::recursive_directory_iterator(
              Path, fs::directory_options::skip_permission_denied, Ec)) {
@@ -26,7 +30,10 @@ rs::corpus::expandMirPaths(const std::vector<std::string> &Paths) {
       if (Entry.is_regular_file(FileEc) && Entry.path().extension() == ".mir")
         Found.push_back(Entry.path().string());
     }
-    std::sort(Found.begin(), Found.end());
+    std::sort(Found.begin(), Found.end(),
+              [](const std::string &A, const std::string &B) {
+                return A.compare(B) < 0; // memcmp order, unsigned bytes.
+              });
     if (Found.empty()) {
       Out.push_back({Path, "no .mir files in directory"});
       continue;

@@ -32,10 +32,26 @@ struct CorpusInput {
 };
 
 /// Expands \p Paths in order: a file maps to itself; a directory maps to
-/// every .mir file under it, recursively, in lexicographically sorted
-/// order (stable across filesystems); an empty directory maps to one
-/// skipped placeholder. Unreadable paths pass through as plain files so
-/// the engine reports them with its usual "cannot open file" status.
+/// every .mir file under it, recursively, sorted by the corpus sort key
+/// below; an empty directory maps to one skipped placeholder. Unreadable
+/// paths pass through as plain files so the engine reports them with its
+/// usual "cannot open file" status.
+///
+/// THE corpus ordering. The returned vector's order is load-bearing far
+/// beyond display: the whole-program linker derives module indices (and
+/// so link keys and digests) from it, the shard partitioner cuts it into
+/// contiguous ranges, and the supervisor's ordinal merge reassembles
+/// worker results by position in it. All three consume this one ordering,
+/// which is why `--shards N` and in-process runs are byte-identical.
+///
+/// Sort key, exactly: within each expanded directory, the full path
+/// spelling (directory argument as given + native separators + relative
+/// path), compared as raw unsigned bytes (memcmp order — what
+/// std::string's operator< does). No locale, no case folding, no numeric
+/// collation, no depth-first tiebreak: "a-x/f.mir" < "a/f.mir" because
+/// '-' (0x2d) < '/' (0x2f). Explicit file arguments and the directories
+/// themselves keep their command-line order. Stable across filesystems
+/// because the directory enumeration order never reaches the output.
 std::vector<CorpusInput> expandMirPaths(const std::vector<std::string> &Paths);
 
 } // namespace rs::corpus

@@ -18,7 +18,8 @@ AnalysisContext::AnalysisContext(const Module &M, const AnalysisLimits &Limits)
   ModuleAnalysisCache Built;
   Summaries =
       computeSummaries(M, Limits.MaxSummaryRounds, Limits.ContextBudget,
-                       &SummariesOk, &CG, nullptr, Unbounded ? &Built : nullptr);
+                       &SummariesOk, &CG, nullptr, Unbounded ? &Built : nullptr,
+                       Limits.External);
   if (Unbounded && Built.Cfgs.size() == Cache.size()) {
     for (size_t I = 0; I != Cache.size(); ++I) {
       Cache[I].G = std::move(Built.Cfgs[I]);

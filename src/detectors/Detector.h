@@ -16,6 +16,7 @@
 #define RUSTSIGHT_DETECTORS_DETECTOR_H
 
 #include "analysis/CallGraph.h"
+#include "analysis/Link.h"
 #include "analysis/Memory.h"
 #include "analysis/Summaries.h"
 #include "detectors/Diagnostics.h"
@@ -41,6 +42,13 @@ struct AnalysisLimits {
 
   /// Fixpoint rounds for interprocedural summaries.
   unsigned MaxSummaryRounds = 8;
+
+  /// Cross-file summary environment from the whole-program link step
+  /// (Link.h). Calls to functions this module does not define resolve
+  /// through it, and detectors emit counterpart spans into the defining
+  /// files. Null in per-file mode. Not owned; must stay alive and immutable
+  /// for the context's lifetime.
+  const analysis::ExternalSummaries *External = nullptr;
 };
 
 /// Caches the module-level and per-function analyses detectors share, so a
@@ -78,6 +86,14 @@ public:
 
   /// The shared context budget (null when unlimited).
   const Budget *contextBudget() const { return Limits.ContextBudget; }
+
+  /// Cross-file info for externally-defined callee \p Name (effect sites +
+  /// defining file for counterpart spans), or null in per-file mode or for
+  /// names the link step did not resolve.
+  const analysis::ExternalFunctionInfo *
+  externalInfo(std::string_view Name) const {
+    return Limits.External ? Limits.External->find(Name) : nullptr;
+  }
 
 private:
   struct PerFunction {

@@ -44,7 +44,9 @@ void reportDoubleLock(const Function &F, BlockId B, size_t StmtIndex,
                       SourceLocation Loc, const std::string &LockName,
                       bool ViaCallee, const std::string &Callee,
                       const MemoryAnalysis &MA, const BitVec &State, ObjId O,
-                      DiagnosticEngine &Diags) {
+                      DiagnosticEngine &Diags,
+                      const ExternalFunctionInfo *ExtCallee = nullptr,
+                      unsigned ExtParam = 0) {
   Diagnostic D(BugKind::DoubleLock);
   D.Function = F.Name;
   D.Block = B;
@@ -55,6 +57,19 @@ void reportDoubleLock(const Function &F, BlockId B, size_t StmtIndex,
     D.Message += " (acquired inside callee '" + Callee + "')";
   D.Message += "; the first guard is still alive here, so this deadlocks";
   addFirstAcquisitionSpans(D, MA, State, O, LockName);
+  // Cross-file half: when the re-acquiring callee lives in another file,
+  // point at the lock statements inside it.
+  if (ExtCallee && ExtParam < ExtCallee->LockSites.size()) {
+    const std::string *File = internFileName(ExtCallee->File);
+    for (const LinkSite &S : ExtCallee->LockSites[ExtParam]) {
+      diag::Span Span;
+      Span.Loc = SourceLocation(File, S.Line, S.Col);
+      Span.Label =
+          "acquired inside callee '" + ExtCallee->Name + "' here";
+      Span.Function = ExtCallee->Name;
+      D.Secondary.push_back(std::move(Span));
+    }
+  }
   Diags.report(std::move(D));
 }
 
@@ -150,7 +165,7 @@ void DoubleLockDetector::run(AnalysisContext &Ctx, DiagnosticEngine &Diags) {
                         MA.mayBeHeld(State, O, true)))
             reportDoubleLock(F, B, AtTerm, T.Loc, Objects.name(O),
                              /*ViaCallee=*/true, T.Callee, MA, State, O,
-                             Diags);
+                             Diags, Ctx.externalInfo(T.Callee), Param);
         }
       }
     }

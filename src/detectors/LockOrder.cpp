@@ -32,7 +32,28 @@ struct OrderEdge {
   BlockId Block;
   size_t StmtIndex;
   SourceLocation Loc;
+  /// When the acquisition happens inside a callee defined in another file,
+  /// the callee's link info (for a counterpart span into that file) and the
+  /// callee parameter the lock arrived through.
+  const ExternalFunctionInfo *ExtCallee = nullptr;
+  unsigned ExtParam = 0;
 };
+
+/// Appends the cross-file counterpart span of \p E, if its acquisition
+/// happened inside an externally-defined callee.
+void addExternalAcquireSpan(Diagnostic &D, const OrderEdge &E) {
+  if (!E.ExtCallee || E.ExtParam >= E.ExtCallee->LockSites.size())
+    return;
+  const std::string *File = internFileName(E.ExtCallee->File);
+  for (const LinkSite &S : E.ExtCallee->LockSites[E.ExtParam]) {
+    diag::Span Span;
+    Span.Loc = SourceLocation(File, S.Line, S.Col);
+    Span.Label = "lock #" + std::to_string(E.Acquired) +
+                 " acquired inside callee '" + E.ExtCallee->Name + "' here";
+    Span.Function = E.ExtCallee->Name;
+    D.Secondary.push_back(std::move(Span));
+  }
+}
 
 /// Collects the param-rooted lock-order edges of one function, including
 /// acquisitions that happen inside module-defined callees (via summaries).
@@ -68,8 +89,14 @@ std::vector<OrderEdge> collectEdges(AnalysisContext &Ctx, const Function &F) {
     size_t AtTerm = F.Blocks[B].Statements.size();
     IntrinsicKind Kind = classifyIntrinsic(T.Callee);
 
-    // The parameters whose locks this call acquires.
-    std::vector<unsigned> Acquired;
+    // The parameters whose locks this call acquires, each tagged with the
+    // external callee it was acquired inside (null for direct/local).
+    struct Acq {
+      unsigned P;
+      const ExternalFunctionInfo *Ext;
+      unsigned ExtParam;
+    };
+    std::vector<Acq> Acquired;
     C.seek(B);
     const BitVec &State = C.stateAtTerminator();
     if (isLockAcquire(Kind) && !T.Args.empty()) {
@@ -77,9 +104,10 @@ std::vector<OrderEdge> collectEdges(AnalysisContext &Ctx, const Function &F) {
       MA.lockRoots(State, T.Args[0], Roots);
       for (ObjId O : Roots)
         if (LocalId P = paramRootOfObject(F, Objects, O))
-          Acquired.push_back(P);
+          Acquired.push_back({P, nullptr, 0});
     } else if (Kind == IntrinsicKind::None) {
       if (const FunctionSummary *S = Ctx.summaries().find(T.Callee)) {
+        const ExternalFunctionInfo *Ext = Ctx.externalInfo(T.Callee);
         for (size_t I = 0; I != T.Args.size(); ++I) {
           unsigned Param = static_cast<unsigned>(I) + 1;
           if (Param >= S->AcquiresLockOnParam.size())
@@ -91,7 +119,7 @@ std::vector<OrderEdge> collectEdges(AnalysisContext &Ctx, const Function &F) {
           MA.lockRoots(State, T.Args[I], Roots);
           for (ObjId O : Roots)
             if (LocalId P = paramRootOfObject(F, Objects, O))
-              Acquired.push_back(P);
+              Acquired.push_back({P, Ext, Param});
         }
       }
     }
@@ -99,9 +127,9 @@ std::vector<OrderEdge> collectEdges(AnalysisContext &Ctx, const Function &F) {
       continue;
 
     for (unsigned H : HeldParams(State))
-      for (unsigned A : Acquired)
-        if (H != A)
-          Edges.push_back({H, A, B, AtTerm, T.Loc});
+      for (const Acq &A : Acquired)
+        if (H != A.P)
+          Edges.push_back({H, A.P, B, AtTerm, T.Loc, A.Ext, A.ExtParam});
   }
   return Edges;
 }
@@ -189,6 +217,7 @@ void LockOrderDetector::run(AnalysisContext &Ctx, DiagnosticEngine &Diags) {
       // The counterpart acquisitions that close the circular wait, one
       // span per remaining cycle edge (cross-function spans carry the
       // acquiring thread's function name).
+      addExternalAcquireSpan(D, *First->Site);
       for (size_t I = 1; I != Cycle.size(); ++I) {
         const GEdge *E = Cycle[I];
         D.Secondary.push_back(spanAt(
@@ -197,6 +226,7 @@ void LockOrderDetector::run(AnalysisContext &Ctx, DiagnosticEngine &Diags) {
                 std::to_string(E->Acquired) + " while holding lock #" +
                 std::to_string(E->Held) + " here",
             E->Fn->Name));
+        addExternalAcquireSpan(D, *E->Site);
       }
       Diags.report(std::move(D));
     };

@@ -17,12 +17,43 @@ using namespace rs::mir;
 
 namespace {
 
+/// Appends counterpart spans into other files: for every drop site that is
+/// a call to an externally-defined function with a drop effect, point at
+/// the statements inside the callee (in its own file) where the pointee may
+/// actually die. This is the cross-file half of the paper's two-point UAF
+/// pattern — the free lives in a different file than the use.
+void addExternalDropSpans(AnalysisContext &Ctx, Diagnostic &D,
+                          const Function &F,
+                          const std::vector<StatePoint> &DropPoints) {
+  for (const StatePoint &P : DropPoints) {
+    const BasicBlock &BB = F.Blocks[P.Block];
+    if (P.StmtIndex != BB.Statements.size() ||
+        BB.Term.K != Terminator::Kind::Call)
+      continue;
+    const ExternalFunctionInfo *Info = Ctx.externalInfo(BB.Term.Callee);
+    if (!Info)
+      continue;
+    const std::string *File = internFileName(Info->File);
+    for (unsigned Param = 1; Param < Info->DropSites.size(); ++Param) {
+      if (!Info->Summary.DropsParamPointee[Param])
+        continue;
+      for (const LinkSite &S : Info->DropSites[Param]) {
+        diag::Span Span;
+        Span.Loc = SourceLocation(File, S.Line, S.Col);
+        Span.Label = "may be dropped inside callee '" + Info->Name + "' here";
+        Span.Function = Info->Name;
+        D.Secondary.push_back(std::move(Span));
+      }
+    }
+  }
+}
+
 /// Checks every dereferencing access in \p Uses against the memory state in
 /// \p State.
-void checkUses(const MemoryAnalysis &MA, const BitVec &State,
-               const std::vector<PlaceUse> &Uses, const Function &F,
-               BlockId B, size_t StmtIndex, SourceLocation Loc,
-               DiagnosticEngine &Diags) {
+void checkUses(AnalysisContext &Ctx, const MemoryAnalysis &MA,
+               const BitVec &State, const std::vector<PlaceUse> &Uses,
+               const Function &F, BlockId B, size_t StmtIndex,
+               SourceLocation Loc, DiagnosticEngine &Diags) {
   const ObjectTable &Objects = MA.objects();
   for (const PlaceUse &U : Uses) {
     if (!U.P->hasDeref())
@@ -52,10 +83,13 @@ void checkUses(const MemoryAnalysis &MA, const BitVec &State,
                   Objects.name(O) + " " + Why;
       // The paper's pattern has two program points: the use (primary) and
       // the free. Mark everywhere the target may have died.
-      addSpans(D, MA.transitionSites(DeathEvent, O),
+      std::vector<StatePoint> DeathSites = MA.transitionSites(DeathEvent, O);
+      addSpans(D, DeathSites,
                DeathEvent == ObjEvent::Dropped
                    ? "target " + Objects.name(O) + " may be dropped here"
                    : "storage of " + Objects.name(O) + " ends here");
+      if (DeathEvent == ObjEvent::Dropped)
+        addExternalDropSpans(Ctx, D, F, DeathSites);
       if (D.Secondary.empty())
         D.Notes.push_back("the target is already dead on entry to this "
                           "function along every flagged path");
@@ -81,14 +115,14 @@ void UseAfterFreeDetector::run(AnalysisContext &Ctx, DiagnosticEngine &Diags) {
       while (!C.atTerminator()) {
         Uses.clear();
         collectUses(C.statement(), Uses);
-        checkUses(MA, C.state(), Uses, F, B, C.index(), C.statement().Loc,
-                  Diags);
+        checkUses(Ctx, MA, C.state(), Uses, F, B, C.index(),
+                  C.statement().Loc, Diags);
         C.advance();
       }
       Uses.clear();
       const Terminator &T = F.Blocks[B].Term;
       collectUses(T, Uses);
-      checkUses(MA, C.state(), Uses, F, B, C.index(), T.Loc, Diags);
+      checkUses(Ctx, MA, C.state(), Uses, F, B, C.index(), T.Loc, Diags);
     }
   }
 }

@@ -40,7 +40,10 @@ inline constexpr const char *ToolVersion = "0.7.0";
 /// binary snapshot layer; reports are shape-compatible with v2 but the
 /// bump retires every pre-SoA disk entry as a clean miss (cold, not
 /// corrupt) rather than trusting payloads produced by the old layout.
-inline constexpr uint64_t ReportSchemaVersion = 3;
+/// v4: whole-program link step — secondary spans and fix-its may carry an
+/// explicit "file" when they point into a counterpart file instead of
+/// re-anchoring to the report's own path (docs/WHOLEPROGRAM.md).
+inline constexpr uint64_t ReportSchemaVersion = 4;
 
 /// Total rule-catalog size (diag::numRules(), re-exported here so version
 /// consumers need only this header).

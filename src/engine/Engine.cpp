@@ -1,5 +1,6 @@
 #include "engine/Engine.h"
 
+#include "analysis/Link.h"
 #include "corpus/CorpusWalk.h"
 #include "diag/Render.h"
 #include "diag/Sarif.h"
@@ -45,7 +46,8 @@ AnalysisEngine::AnalysisEngine(EngineOptions Opts) : Opts(Opts) {}
 // Per-file pipeline
 //===----------------------------------------------------------------------===//
 
-void AnalysisEngine::runDetectors(const mir::Module &M, FileReport &R) {
+void AnalysisEngine::runDetectors(const mir::Module &M, FileReport &R,
+                                  const analysis::ExternalSummaries *Ext) {
   Budget FileBudget;
   bool HasFileBudget = Opts.BudgetMs != 0 || Opts.MaxFileSteps != 0;
   if (Opts.BudgetMs != 0)
@@ -57,6 +59,7 @@ void AnalysisEngine::runDetectors(const mir::Module &M, FileReport &R) {
   Limits.ContextBudget = HasFileBudget ? &FileBudget : nullptr;
   Limits.MaxDataflowSteps = Opts.MaxDataflowIters;
   Limits.MaxSummaryRounds = Opts.MaxSummaryRounds;
+  Limits.External = Ext && !Ext->empty() ? Ext : nullptr;
   detectors::AnalysisContext Ctx(M, Limits);
 
   detectors::DiagnosticEngine FileDiags;
@@ -197,14 +200,14 @@ static void applySuppressions(std::string_view Source, FileReport &R) {
 FileReport AnalysisEngine::analyzeSource(std::string_view Source,
                                          std::string Name) {
   return analyzeSourceImpl(Source, std::move(Name), /*StoreSnapshot=*/false,
-                           /*SnapKey=*/0, /*Fingerprint=*/0);
+                           /*SnapKey=*/0, /*Fingerprint=*/0, /*Ext=*/nullptr);
 }
 
-FileReport AnalysisEngine::analyzeSourceImpl(std::string_view Source,
-                                             std::string Name,
-                                             bool StoreSnapshot,
-                                             uint64_t SnapKey,
-                                             uint64_t Fingerprint) {
+FileReport
+AnalysisEngine::analyzeSourceImpl(std::string_view Source, std::string Name,
+                                  bool StoreSnapshot, uint64_t SnapKey,
+                                  uint64_t Fingerprint,
+                                  const analysis::ExternalSummaries *Ext) {
   FileReport R;
   R.Path = std::move(Name);
   try {
@@ -239,7 +242,7 @@ FileReport AnalysisEngine::analyzeSourceImpl(std::string_view Source,
     if (StoreSnapshot && Cache && P.Errors.empty())
       Cache->storeBlob(SnapKey, mir::snapshot::write(P.M, Fingerprint));
 
-    runDetectors(P.M, R);
+    runDetectors(P.M, R, Ext);
     applySuppressions(Source, R);
   } catch (const std::exception &E) {
     R.Status = EngineStatus::Skipped;
@@ -259,13 +262,14 @@ FileReport AnalysisEngine::analyzeSourceImpl(std::string_view Source,
   return R;
 }
 
-FileReport AnalysisEngine::analyzeParsedModule(const mir::Module &M,
-                                               std::string_view Source,
-                                               std::string Name) {
+FileReport
+AnalysisEngine::analyzeParsedModule(const mir::Module &M,
+                                    std::string_view Source, std::string Name,
+                                    const analysis::ExternalSummaries *Ext) {
   FileReport R;
   R.Path = std::move(Name);
   try {
-    runDetectors(M, R);
+    runDetectors(M, R, Ext);
     applySuppressions(Source, R);
   } catch (const std::exception &E) {
     R.Status = EngineStatus::Skipped;
@@ -405,11 +409,21 @@ bool severityFromName(std::string_view Name, diag::Severity &Out) {
   return true;
 }
 
-/// Writes one diagnostic into the cache payload. File names are omitted
-/// throughout: locations re-anchor to whatever path the content shows up
-/// at on the way back in (fingerprints are recomputed from the re-anchored
-/// locations, so they follow).
-void writeCachedDiagnostic(JsonWriter &W, const diag::Diagnostic &D) {
+/// Writes one diagnostic into the cache payload. The primary location's
+/// file name is omitted: it re-anchors to whatever path the content shows
+/// up at on the way back in (fingerprints are recomputed from the
+/// re-anchored locations, so they follow). Secondary spans and fix-its
+/// carry an explicit "file" only when they point into a counterpart file
+/// (whole-program link findings, schema v4) — those names are corpus
+/// identities and must survive the round trip verbatim.
+void writeCounterpartFile(JsonWriter &W, const SourceLocation &Loc,
+                          const std::string &OwnPath) {
+  if (Loc.isValid() && !Loc.file().empty() && Loc.file() != OwnPath)
+    W.field("file", Loc.file());
+}
+
+void writeCachedDiagnostic(JsonWriter &W, const diag::Diagnostic &D,
+                           const std::string &OwnPath) {
   W.beginObject();
   W.field("rule", diag::ruleStringId(D.Kind));
   W.field("severity", diag::severityName(D.Sev));
@@ -426,6 +440,7 @@ void writeCachedDiagnostic(JsonWriter &W, const diag::Diagnostic &D) {
       W.beginObject();
       W.field("line", static_cast<int64_t>(S.Loc.line()));
       W.field("col", static_cast<int64_t>(S.Loc.column()));
+      writeCounterpartFile(W, S.Loc, OwnPath);
       if (!S.Function.empty())
         W.field("function", S.Function);
       W.field("label", S.Label);
@@ -447,6 +462,7 @@ void writeCachedDiagnostic(JsonWriter &W, const diag::Diagnostic &D) {
       W.beginObject();
       W.field("line", static_cast<int64_t>(F.Loc.line()));
       W.field("col", static_cast<int64_t>(F.Loc.column()));
+      writeCounterpartFile(W, F.Loc, OwnPath);
       W.field("replacement", F.Replacement);
       W.field("description", F.Description);
       W.endObject();
@@ -459,7 +475,14 @@ void writeCachedDiagnostic(JsonWriter &W, const diag::Diagnostic &D) {
 SourceLocation cachedLoc(const JsonValue &V, const std::string *File) {
   unsigned Line = static_cast<unsigned>(V.getInt("line"));
   unsigned Col = static_cast<unsigned>(V.getInt("col"));
-  return Line == 0 ? SourceLocation() : SourceLocation(File, Line, Col);
+  if (Line == 0)
+    return SourceLocation();
+  // An explicit "file" is a counterpart-file span (schema v4): keep it
+  // verbatim instead of re-anchoring to the report's own path.
+  std::string_view Counterpart = V.getString("file");
+  if (!Counterpart.empty())
+    File = internFileName(std::string(Counterpart));
+  return SourceLocation(File, Line, Col);
 }
 
 bool readCachedDiagnostic(const JsonValue &V, const std::string *File,
@@ -528,13 +551,13 @@ std::string rs::engine::serializeFileReport(const FileReport &R) {
   W.key("findings");
   W.beginArray();
   for (const detectors::Diagnostic &D : R.Findings)
-    writeCachedDiagnostic(W, D);
+    writeCachedDiagnostic(W, D, R.Path);
   W.endArray();
   if (!R.Notices.empty()) {
     W.key("notices");
     W.beginArray();
     for (const diag::Diagnostic &D : R.Notices)
-      writeCachedDiagnostic(W, D);
+      writeCachedDiagnostic(W, D, R.Path);
     W.endArray();
   }
   if (R.SuppressedFindings != 0)
@@ -645,7 +668,7 @@ std::string rs::engine::serializeWireFileReport(const FileReport &R) {
     W.key(Key);
     W.beginArray();
     for (const diag::Diagnostic &D : Diags)
-      writeCachedDiagnostic(W, D);
+      writeCachedDiagnostic(W, D, R.Path);
     W.endArray();
   };
   WriteDiags("parse_errors", R.ParseErrors);
@@ -735,6 +758,19 @@ void AnalysisEngine::ensureCache() {
   Cache = std::make_unique<sched::ResultCache>(std::move(O));
 }
 
+void AnalysisEngine::ensureSummaryDb() {
+  if (!Opts.UseCache) {
+    SummaryDbPtr.reset();
+    return;
+  }
+  if (SummaryDbPtr)
+    return;
+  sched::SummaryDb::Options O;
+  O.DiskDir = Opts.CacheDir; // Shared root; addresses are salted apart.
+  O.SchemaOverride = Opts.SummaryDbSchemaOverride;
+  SummaryDbPtr = std::make_unique<sched::SummaryDb>(std::move(O));
+}
+
 std::vector<std::string> AnalysisEngine::detectorNames() {
   std::vector<std::string> Names;
   std::vector<std::unique_ptr<detectors::Detector>> Detectors =
@@ -748,6 +784,43 @@ std::vector<std::string> AnalysisEngine::detectorNames() {
 FileReport AnalysisEngine::analyzeFileThroughCache(const std::string &Path) {
   ensureCache();
   return analyzeFileCached(Path, cacheSalt(Opts, detectorNames()));
+}
+
+FileReport AnalysisEngine::analyzeFileThroughCacheLinked(
+    const std::string &Path, const analysis::ExternalSummaries &Env,
+    uint64_t LinkDigest) {
+  ensureCache();
+  return analyzeFileCached(Path, cacheSalt(Opts, detectorNames()), &Env,
+                           LinkDigest);
+}
+
+std::optional<analysis::ModuleFacts>
+AnalysisEngine::collectFileFacts(const std::string &Path) {
+  ensureCache();
+  std::optional<mir::Module> M = loadModuleForLink(Path, nullptr, nullptr);
+  if (!M)
+    return std::nullopt;
+  return analysis::collectModuleFacts(*M, Path);
+}
+
+std::optional<analysis::ModuleSummaries>
+AnalysisEngine::summarizeFileForLink(const std::string &Path,
+                                     uint32_t ModuleIdx,
+                                     const analysis::ExternalSummaries &Env) {
+  ensureCache();
+  std::optional<mir::Module> M = loadModuleForLink(Path, nullptr, nullptr);
+  if (!M)
+    return std::nullopt;
+  try {
+    return analysis::summarizeLinkedModule(
+        *M, ModuleIdx, Env,
+        Opts.MaxSummaryRounds ? Opts.MaxSummaryRounds : 8);
+  } catch (...) {
+    // Containment: a summarization fault degrades this module to "no
+    // contribution" rather than killing the run; the solver treats a
+    // missing round result as unchanged.
+    return std::nullopt;
+  }
 }
 
 FileReport AnalysisEngine::analyzeSourceThroughCache(std::string_view Source,
@@ -764,9 +837,13 @@ FileReport AnalysisEngine::analyzeSourceThroughCache(std::string_view Source,
   // Report miss: try the parsed-MIR snapshot layer before touching the
   // Lexer/Parser. A defective snapshot is a miss, never an error.
   uint64_t SnapKey = snapshotCacheKey(Fp);
-  if (std::optional<std::string> Blob = Cache->lookupBlob(SnapKey)) {
-    if (std::optional<mir::Module> M = mir::snapshot::read(*Blob, &Fp)) {
-      FileReport R = analyzeParsedModule(*M, Source, Path);
+  // lookupBlobRef maps the envelope in place; the snapshot decoder's
+  // string table borrows the mapped bytes until the Module owns its data.
+  if (std::optional<sched::ResultCache::BlobRef> Blob =
+          Cache->lookupBlobRef(SnapKey)) {
+    if (std::optional<mir::Module> M =
+            mir::snapshot::read(Blob->bytes(), &Fp)) {
+      FileReport R = analyzeParsedModule(*M, Source, Path, nullptr);
       if (R.Status == EngineStatus::Ok)
         Cache->store(Key, serializeFileReport(R));
       return R;
@@ -774,14 +851,16 @@ FileReport AnalysisEngine::analyzeSourceThroughCache(std::string_view Source,
   }
 
   FileReport R = analyzeSourceImpl(Source, Path, /*StoreSnapshot=*/true,
-                                   SnapKey, Fp);
+                                   SnapKey, Fp, /*Ext=*/nullptr);
   if (R.Status == EngineStatus::Ok)
     Cache->store(Key, serializeFileReport(R));
   return R;
 }
 
 FileReport AnalysisEngine::analyzeFileCached(const std::string &Path,
-                                             uint64_t Salt) {
+                                             uint64_t Salt,
+                                             const analysis::ExternalSummaries *Ext,
+                                             uint64_t LinkDigest) {
   std::error_code Ec;
   if (std::filesystem::is_directory(Path, Ec)) {
     FileReport R;
@@ -802,11 +881,20 @@ FileReport AnalysisEngine::analyzeFileCached(const std::string &Path,
   Buf << In.rdbuf();
   std::string Source = Buf.str();
 
-  if (!Cache)
-    return analyzeSource(Source, Path);
+  if (!Cache) {
+    FileReport R = analyzeSourceImpl(Source, Path, /*StoreSnapshot=*/false,
+                                     /*SnapKey=*/0, /*Fingerprint=*/0, Ext);
+    return R;
+  }
 
   uint64_t Fp = fingerprintSource(Source);
+  // A linked file folds its link digest into the key: a change to a callee
+  // body in another corpus file must invalidate this file's entry even
+  // though this file's bytes are unchanged. Leaf files (digest 0) keep
+  // sharing entries with per-file runs.
   uint64_t Key = cacheKey(Fp, Salt);
+  if (LinkDigest != 0)
+    Key = fnv1a64U64(LinkDigest, Key);
   if (std::optional<std::string> Payload = Cache->lookup(Key))
     if (std::optional<FileReport> R = deserializeFileReport(*Payload, Path))
       return std::move(*R);
@@ -816,9 +904,11 @@ FileReport AnalysisEngine::analyzeFileCached(const std::string &Path,
   // common case after a detector or option change, and the whole point of
   // the binary snapshot layer on a cold disk-warm corpus.
   uint64_t SnapKey = snapshotCacheKey(Fp);
-  if (std::optional<std::string> Blob = Cache->lookupBlob(SnapKey)) {
-    if (std::optional<mir::Module> M = mir::snapshot::read(*Blob, &Fp)) {
-      FileReport R = analyzeParsedModule(*M, Source, Path);
+  if (std::optional<sched::ResultCache::BlobRef> Blob =
+          Cache->lookupBlobRef(SnapKey)) {
+    if (std::optional<mir::Module> M =
+            mir::snapshot::read(Blob->bytes(), &Fp)) {
+      FileReport R = analyzeParsedModule(*M, Source, Path, Ext);
       if (R.Status == EngineStatus::Ok)
         Cache->store(Key, serializeFileReport(R));
       return R;
@@ -826,7 +916,7 @@ FileReport AnalysisEngine::analyzeFileCached(const std::string &Path,
   }
 
   FileReport R = analyzeSourceImpl(Source, Path, /*StoreSnapshot=*/true,
-                                   SnapKey, Fp);
+                                   SnapKey, Fp, Ext);
   // Only clean results are cached: degraded/skipped outcomes depend on
   // wall-clock budgets and embed path-bearing error text, neither of which
   // belongs in a content-addressed entry.
@@ -835,10 +925,69 @@ FileReport AnalysisEngine::analyzeFileCached(const std::string &Path,
   return R;
 }
 
+std::optional<mir::Module>
+AnalysisEngine::loadModuleForLink(const std::string &Path,
+                                  std::string *SourceOut, uint64_t *FpOut) {
+  std::error_code Ec;
+  if (std::filesystem::is_directory(Path, Ec))
+    return std::nullopt;
+  std::ifstream In(Path);
+  if (!In)
+    return std::nullopt;
+  std::ostringstream Buf;
+  Buf << In.rdbuf();
+  std::string Source = Buf.str();
+  uint64_t Fp = fingerprintSource(Source);
+  uint64_t SnapKey = snapshotCacheKey(Fp);
+
+  std::optional<mir::Module> M;
+  if (Cache)
+    if (std::optional<sched::ResultCache::BlobRef> Blob =
+            Cache->lookupBlobRef(SnapKey))
+      M = mir::snapshot::read(Blob->bytes(), &Fp);
+  if (!M) {
+    try {
+      if (fault::shouldFail("engine.parse"))
+        throw std::runtime_error("injected fault at probe engine.parse");
+      mir::ModuleParse P = mir::Parser::parseRecover(Source, Path);
+      // Only a fully clean module joins the link: recovered parses carry
+      // dropped items a linked summary must not pretend to cover. Such
+      // files fall back to the per-file pipeline, which reports them with
+      // its usual recovery/skip statuses.
+      if (!P.Errors.empty())
+        return std::nullopt;
+      if (fault::shouldFail("engine.verify"))
+        throw std::runtime_error("injected fault at probe engine.verify");
+      std::vector<Error> VErr;
+      if (!mir::verifyModule(P.M, VErr))
+        return std::nullopt;
+      if (Cache)
+        Cache->storeBlob(SnapKey, mir::snapshot::write(P.M, Fp));
+      M = std::move(P.M);
+    } catch (...) {
+      return std::nullopt;
+    }
+  }
+  if (SourceOut)
+    *SourceOut = std::move(Source);
+  if (FpOut)
+    *FpOut = Fp;
+  return M;
+}
+
 CorpusReport AnalysisEngine::analyzeCorpus(const std::vector<std::string> &Paths) {
   auto Start = std::chrono::steady_clock::now();
 
   std::vector<corpus::CorpusInput> Inputs = corpus::expandMirPaths(Paths);
+
+  size_t Analyzable = 0;
+  for (const corpus::CorpusInput &In : Inputs)
+    Analyzable += In.SkipReason.empty();
+  bool Linked = Opts.WholeProgram == WholeProgramMode::On ||
+                (Opts.WholeProgram == WholeProgramMode::Auto && Analyzable > 1);
+  if (Linked)
+    return analyzeCorpusLinked(std::move(Inputs), Start);
+
   CorpusReport Report;
   Report.Files.resize(Inputs.size());
 
@@ -897,6 +1046,169 @@ CorpusReport AnalysisEngine::analyzeCorpus(const std::vector<std::string> &Paths
 }
 
 //===----------------------------------------------------------------------===//
+// The whole-program (linked) corpus driver
+//===----------------------------------------------------------------------===//
+
+CorpusReport AnalysisEngine::analyzeCorpusLinked(
+    std::vector<corpus::CorpusInput> Inputs,
+    std::chrono::steady_clock::time_point Start) {
+  CorpusReport Report;
+  Report.Files.resize(Inputs.size());
+
+  ensureCache();
+  ensureSummaryDb();
+  sched::ResultCache::Stats Before;
+  if (Cache)
+    Before = Cache->stats();
+  const uint64_t Salt = cacheSalt(Opts, detectorNames());
+  const unsigned MaxRounds = Opts.MaxSummaryRounds ? Opts.MaxSummaryRounds : 8;
+
+  unsigned Jobs =
+      Opts.Jobs == 0 ? sched::ThreadPool::defaultWorkerCount() : Opts.Jobs;
+  if (Jobs > Inputs.size() && !Inputs.empty())
+    Jobs = unsigned(Inputs.size());
+  if (Jobs < 1)
+    Jobs = 1;
+  auto RunParallel = [&](size_t N, const std::function<void(size_t)> &Fn) {
+    if (N == 0)
+      return;
+    if (Jobs <= 1 || N == 1) {
+      for (size_t I = 0; I != N; ++I)
+        Fn(I);
+      return;
+    }
+    sched::ThreadPool Pool(Jobs > N ? unsigned(N) : Jobs);
+    sched::parallelFor(Pool, N, Fn);
+  };
+
+  // Phase A: load every analyzable input once. Only fully clean modules
+  // (parse without recovery, verifier pass) join the link; the rest take
+  // the per-file pipeline in phase C so their recovery/skip reporting is
+  // byte-identical to a per-file run.
+  struct LoadedModule {
+    std::optional<mir::Module> M;
+    std::string Source;
+    uint64_t Fp = 0;
+  };
+  std::vector<LoadedModule> Mods(Inputs.size());
+  RunParallel(Inputs.size(), [&](size_t I) {
+    if (!Inputs[I].SkipReason.empty())
+      return;
+    Mods[I].M =
+        loadModuleForLink(Inputs[I].Path, &Mods[I].Source, &Mods[I].Fp);
+  });
+
+  // Phase B: link. Facts are collected in input order — the determinism
+  // anchor the first-definition-wins rule and the shard fleet both key on.
+  std::vector<analysis::ModuleFacts> Facts;
+  std::vector<size_t> LinkInput; // Module index -> input ordinal.
+  std::vector<uint32_t> InputModule(Inputs.size(), UINT32_MAX);
+  for (size_t I = 0; I != Inputs.size(); ++I)
+    if (Mods[I].M) {
+      InputModule[I] = static_cast<uint32_t>(Facts.size());
+      Facts.push_back(analysis::collectModuleFacts(*Mods[I].M, Inputs[I].Path));
+      LinkInput.push_back(I);
+    }
+
+  analysis::LinkOptions LO;
+  LO.MaxSummaryRounds = MaxRounds;
+  analysis::LinkDbHooks Hooks;
+  if (SummaryDbPtr) {
+    Hooks.Lookup = [this](uint64_t K) { return SummaryDbPtr->lookup(K); };
+    Hooks.Store = [this](uint64_t K, std::string_view P) {
+      SummaryDbPtr->store(K, P);
+    };
+  }
+  analysis::SummarizeRoundFn Summarize =
+      [&](const std::vector<uint32_t> &ModuleIdxs,
+          const analysis::ExternalSummaries &Env) {
+        std::vector<analysis::ModuleSummaries> Out(ModuleIdxs.size());
+        RunParallel(ModuleIdxs.size(), [&](size_t I) {
+          uint32_t MIdx = ModuleIdxs[I];
+          Out[I].ModuleIdx = MIdx;
+          try {
+            Out[I] = analysis::summarizeLinkedModule(
+                *Mods[LinkInput[MIdx]].M, MIdx, Env, MaxRounds);
+          } catch (...) {
+            // Contained: this module contributes nothing this round and
+            // its summaries are never persisted.
+            Out[I].Functions.clear();
+            Out[I].Complete = false;
+          }
+        });
+        return Out;
+      };
+
+  analysis::LinkResult LR = analysis::solveLink(
+      analysis::LinkedCorpus::build(std::move(Facts)), LO, Hooks, Summarize);
+
+  // Phase C: analyze every file. Linked files consume the converged
+  // environment (their detectors see callee summaries from other files)
+  // under a digest-folded cache key; everything else takes the plain
+  // per-file path.
+  RunParallel(Inputs.size(), [&](size_t I) {
+    const corpus::CorpusInput &In = Inputs[I];
+    if (!In.SkipReason.empty()) {
+      FileReport R;
+      R.Path = In.Path;
+      R.Status = EngineStatus::Skipped;
+      R.Reason = In.SkipReason;
+      Report.Files[I] = std::move(R);
+      return;
+    }
+    if (InputModule[I] == UINT32_MAX) {
+      Report.Files[I] = analyzeFileCached(In.Path, Salt);
+      return;
+    }
+    uint32_t MIdx = InputModule[I];
+    uint64_t Digest = LR.Corpus.linkDigest(MIdx);
+    uint64_t Key = cacheKey(Mods[I].Fp, Salt);
+    if (Digest != 0)
+      Key = fnv1a64U64(Digest, Key);
+    if (Cache)
+      if (std::optional<std::string> Payload = Cache->lookup(Key))
+        if (std::optional<FileReport> R =
+                deserializeFileReport(*Payload, In.Path)) {
+          Report.Files[I] = std::move(*R);
+          return;
+        }
+    // Lookups during analysis only use the module's own callee names, so
+    // analyzing against the full environment is byte-identical to the
+    // sliced environment a shard worker receives.
+    FileReport R =
+        analyzeParsedModule(*Mods[I].M, Mods[I].Source, In.Path, &LR.Env);
+    if (Cache && R.Status == EngineStatus::Ok)
+      Cache->store(Key, serializeFileReport(R));
+    Report.Files[I] = std::move(R);
+  });
+
+  Report.finalize();
+
+  Report.Stats.Jobs = Jobs;
+  Report.Stats.WallMs = std::chrono::duration<double, std::milli>(
+                            std::chrono::steady_clock::now() - Start)
+                            .count();
+  Report.Stats.CacheEnabled = Cache != nullptr;
+  if (Cache) {
+    sched::ResultCache::Stats After = Cache->stats();
+    Report.Stats.CacheHits = After.Hits - Before.Hits;
+    Report.Stats.CacheMisses = After.Misses - Before.Misses;
+    Report.Stats.CacheEvictions = After.Evictions - Before.Evictions;
+    Report.Stats.DiskHits = After.DiskHits - Before.DiskHits;
+    Report.Stats.CorruptEntries =
+        After.CorruptEntries - Before.CorruptEntries;
+  }
+  Report.Stats.LinkEnabled = true;
+  Report.Stats.LinkedFiles = static_cast<unsigned>(LinkInput.size());
+  Report.Stats.LinkRounds = LR.Stats.Rounds;
+  Report.Stats.ModulesFromSummaryDb = LR.Stats.ModulesFromDb;
+  Report.Stats.SummaryDbHits = LR.Stats.DbHits;
+  Report.Stats.SummaryDbMisses = LR.Stats.DbMisses;
+  Report.Stats.SummaryDbStores = LR.Stats.DbStores;
+  return Report;
+}
+
+//===----------------------------------------------------------------------===//
 // CorpusReport
 //===----------------------------------------------------------------------===//
 
@@ -911,6 +1223,15 @@ std::string RunStats::renderLine() const {
     if (DiskHits != 0 || CorruptEntries != 0)
       Out += " (" + std::to_string(DiskHits) + " from disk, " +
              std::to_string(CorruptEntries) + " corrupt)";
+  }
+  if (LinkEnabled) {
+    Out += "; link: " + std::to_string(LinkedFiles) + " file(s), " +
+           std::to_string(LinkRounds) + " round(s), " +
+           std::to_string(ModulesFromSummaryDb) + " module(s) from summary-db";
+    if (SummaryDbHits != 0 || SummaryDbMisses != 0 || SummaryDbStores != 0)
+      Out += " (" + std::to_string(SummaryDbHits) + " hit(s), " +
+             std::to_string(SummaryDbMisses) + " miss(es), " +
+             std::to_string(SummaryDbStores) + " store(s))";
   }
   Out += "; " + formatDouble(WallMs, 1) + " ms wall-clock, " +
          std::to_string(Jobs) + " job(s)";

@@ -31,9 +31,13 @@
 #ifndef RUSTSIGHT_ENGINE_ENGINE_H
 #define RUSTSIGHT_ENGINE_ENGINE_H
 
+#include "corpus/CorpusWalk.h"
 #include "detectors/Detector.h"
 #include "diag/Baseline.h"
 #include "sched/ResultCache.h"
+#include "sched/SummaryDb.h"
+
+#include <chrono>
 
 #include <functional>
 #include <memory>
@@ -113,6 +117,15 @@ struct RunStats {
   uint64_t DiskHits = 0;       ///< Subset of CacheHits served from disk.
   uint64_t CorruptEntries = 0; ///< Disk entries that degraded to misses.
 
+  // Whole-program link step (all zero when the run was per-file).
+  bool LinkEnabled = false;
+  unsigned LinkedFiles = 0;    ///< Modules that joined the link.
+  unsigned LinkRounds = 0;     ///< Summarization rounds the solver ran.
+  unsigned ModulesFromSummaryDb = 0; ///< Modules served entirely by the DB.
+  uint64_t SummaryDbHits = 0;
+  uint64_t SummaryDbMisses = 0;
+  uint64_t SummaryDbStores = 0;
+
   /// One human-readable line, e.g.
   /// "cache: 3 hits, 5 misses, 0 evictions; 12.4 ms wall-clock, 8 jobs".
   std::string renderLine() const;
@@ -163,6 +176,13 @@ diag::Baseline collectBaseline(const CorpusReport &Report);
 /// by the number dropped there; returns the total dropped.
 size_t applyBaseline(CorpusReport &Report, const diag::Baseline &B);
 
+/// Whole-program link mode for analyzeCorpus (docs/WHOLEPROGRAM.md).
+enum class WholeProgramMode {
+  Auto, ///< Link when the corpus has more than one analyzable file.
+  On,   ///< Always link.
+  Off,  ///< Strictly per-file (the historical pipeline).
+};
+
 /// Engine configuration. Zeros mean unlimited (the fail-fast pipeline's
 /// historical behavior, minus the fail-fast).
 struct EngineOptions {
@@ -170,6 +190,15 @@ struct EngineOptions {
   uint64_t MaxFileSteps = 0;     ///< Per-file analysis step budget.
   uint64_t MaxDataflowIters = 0; ///< Per-function dataflow update cap.
   unsigned MaxSummaryRounds = 8; ///< Interprocedural summary rounds.
+
+  /// Whole-program link step: resolve extern callees across corpus files
+  /// and let detectors consume cross-file summaries.
+  WholeProgramMode WholeProgram = WholeProgramMode::Auto;
+
+  /// SummaryDb address-schema override (0 = the built-in schema). Only the
+  /// CI schema-bump drill sets this: a bumped schema must read as a cold
+  /// DB, never as corruption.
+  int64_t SummaryDbSchemaOverride = 0;
 
   /// Worker threads for analyzeCorpus (0 = hardware_concurrency, 1 =
   /// serial). Output is byte-identical for every value.
@@ -269,6 +298,33 @@ public:
   /// checkpoint and attribute failures file-by-file.
   FileReport analyzeFileThroughCache(const std::string &Path);
 
+  /// analyzeFileThroughCache against a whole-program link environment: the
+  /// detectors resolve extern callees through \p Env, and \p LinkDigest
+  /// (the file's LinkedCorpus::linkDigest) is folded into the report cache
+  /// key so cross-file changes invalidate this file's entry. The sharded
+  /// analyze phase drives this; in-process linked runs take the same code
+  /// path with the module already in memory.
+  FileReport
+  analyzeFileThroughCacheLinked(const std::string &Path,
+                                const analysis::ExternalSummaries &Env,
+                                uint64_t LinkDigest);
+
+  /// Link facts for one file: snapshot-or-parse + verify, then the
+  /// linker-visible shape. Returns nullopt when the file cannot join the
+  /// link (unreadable, parse errors, verifier rejection) — such files are
+  /// analyzed per-file instead. Worker entry for the supervisor's facts
+  /// phase.
+  std::optional<analysis::ModuleFacts>
+  collectFileFacts(const std::string &Path);
+
+  /// One link-solver round over one file: summarize every function of
+  /// \p Path's module (as corpus module \p ModuleIdx) against \p Env.
+  /// Returns nullopt when the module no longer loads cleanly. Worker entry
+  /// for the supervisor's summarize rounds.
+  std::optional<analysis::ModuleSummaries>
+  summarizeFileForLink(const std::string &Path, uint32_t ModuleIdx,
+                       const analysis::ExternalSummaries &Env);
+
   /// Analyzes one in-memory buffer through the result cache — the
   /// re-entrant per-session entry point the serve daemon uses for editor
   /// overlay documents. Keying is identical to the file path: content
@@ -297,28 +353,50 @@ public:
   /// analyzeCorpus calls, which is what makes warm reruns hit.
   sched::ResultCache *cache() { return Cache.get(); }
 
+  /// The engine's summary DB (null until a linked run created it).
+  sched::SummaryDb *summaryDb() { return SummaryDbPtr.get(); }
+
 private:
-  void runDetectors(const mir::Module &M, FileReport &R);
+  void runDetectors(const mir::Module &M, FileReport &R,
+                    const analysis::ExternalSummaries *Ext);
   /// The shared back half of analysis: detectors + suppressions over an
   /// already-built module, inside the containment boundary. Both the
   /// parse path and the snapshot fast path funnel through this, which is
   /// what keeps snapshot-served reports byte-identical to parsed ones.
+  /// \p Ext (optional) is the whole-program link environment.
   FileReport analyzeParsedModule(const mir::Module &M, std::string_view Source,
-                                 std::string Name);
+                                 std::string Name,
+                                 const analysis::ExternalSummaries *Ext);
   /// analyzeSource plus an optional snapshot store: when \p StoreSnapshot
   /// is set and the parse had no errors and the verifier passed, the
   /// module is serialized into the cache's blob layer under \p SnapKey so
   /// the next cold run skips the Lexer/Parser/Verifier entirely.
   FileReport analyzeSourceImpl(std::string_view Source, std::string Name,
                                bool StoreSnapshot, uint64_t SnapKey,
-                               uint64_t Fingerprint);
-  FileReport analyzeFileCached(const std::string &Path, uint64_t Salt);
+                               uint64_t Fingerprint,
+                               const analysis::ExternalSummaries *Ext);
+  FileReport analyzeFileCached(const std::string &Path, uint64_t Salt,
+                               const analysis::ExternalSummaries *Ext = nullptr,
+                               uint64_t LinkDigest = 0);
+  /// Loads \p Path's module for the link: snapshot fast path, else
+  /// parse + verify. Only fully clean modules load (nullopt otherwise);
+  /// freshly parsed ones are snapshotted for the next run. \p SourceOut /
+  /// \p FpOut (optional) receive the raw source and its fingerprint.
+  std::optional<mir::Module> loadModuleForLink(const std::string &Path,
+                                               std::string *SourceOut,
+                                               uint64_t *FpOut);
+  /// The linked corpus driver behind analyzeCorpus (whole-program mode).
+  CorpusReport
+  analyzeCorpusLinked(std::vector<corpus::CorpusInput> Inputs,
+                      std::chrono::steady_clock::time_point Start);
   void ensureCache();
+  void ensureSummaryDb();
   std::vector<std::string> detectorNames();
 
   EngineOptions Opts;
   DetectorFactory Factory;
   std::unique_ptr<sched::ResultCache> Cache;
+  std::unique_ptr<sched::SummaryDb> SummaryDbPtr;
 };
 
 } // namespace rs::engine

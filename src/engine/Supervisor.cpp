@@ -1,10 +1,12 @@
 #include "engine/Supervisor.h"
 
+#include "analysis/Link.h"
 #include "corpus/CorpusWalk.h"
 #include "detectors/Detector.h"
 #include "diag/Diag.h"
 #include "engine/Checkpoint.h"
 #include "support/FaultInjection.h"
+#include "support/Hash.h"
 #include "support/Json.h"
 #include "support/SourceLocation.h"
 #include "support/Subprocess.h"
@@ -44,6 +46,16 @@ constexpr size_t StderrTailCap = 8192;
 /// SIGKILLing it anyway — a worker with closed pipes that has not exited
 /// is as hung as one that never wrote.
 constexpr auto ReapGrace = std::chrono::seconds(5);
+
+/// Link-phase stats carried from the link block to the final report.
+struct LinkStatsOut {
+  unsigned LinkedFiles = 0;
+  unsigned Rounds = 0;
+  unsigned ModulesFromDb = 0;
+  uint64_t DbHits = 0;
+  uint64_t DbMisses = 0;
+  uint64_t DbStores = 0;
+};
 
 enum class Outcome {
   Done,     ///< Complete frame stream + "done" frame.
@@ -262,7 +274,277 @@ std::vector<std::string> workerArgv(const SupervisorOptions &Opts) {
   return Argv;
 }
 
+/// One JSON string literal (quoted, escaped).
+std::string jsonString(std::string_view S) {
+  JsonWriter W;
+  W.value(S);
+  return W.str();
+}
+
+//===----------------------------------------------------------------------===//
+// The map fleet (link phases 1 and 2)
+//===----------------------------------------------------------------------===//
+//
+// The link step's facts and summarize phases are simple maps: item in,
+// opaque JSON payload out, no cross-item state. They reuse the worker wire
+// protocol (length-prefixed frames) under a mode preamble, with a reduced
+// supervision ladder: retries with first-unreported-file attribution, but
+// no bisection — a file whose facts cannot be collected just degrades to
+// per-file analysis (and a module whose summarize round is lost contributes
+// nothing that round), so poison files meet the full quarantine machinery
+// in the analyze phase, exactly once.
+
+struct MapWorker {
+  MapWorker(proc::Subprocess P, Shard T)
+      : Proc(std::move(P)), Task(std::move(T)) {}
+
+  proc::Subprocess Proc;
+  Shard Task;
+  std::string OutBuf;
+  std::string ErrTail;
+  std::vector<std::pair<size_t, std::optional<std::string>>> Accepted;
+  bool Done = false;
+  bool Protocol = false;
+  bool HasDeadline = false;
+  Clock::time_point Deadline{};
+};
+
+void parseMapFrames(MapWorker &W) {
+  while (!W.Protocol) {
+    if (W.OutBuf.size() < 9)
+      return;
+    size_t Len = 0;
+    if (!parseHexLen(W.OutBuf.data(), Len) || W.OutBuf[8] != '\n' ||
+        Len > MaxFramePayload)
+      W.Protocol = true;
+    if (W.Protocol || W.OutBuf.size() < 9 + Len + 1)
+      return;
+    if (W.OutBuf[9 + Len] != '\n') {
+      W.Protocol = true;
+      return;
+    }
+    std::string_view Payload(W.OutBuf.data() + 9, Len);
+    std::optional<JsonValue> V = JsonValue::parse(Payload);
+    if (!V || !V->isObject()) {
+      W.Protocol = true;
+      return;
+    }
+    std::string_view Type = V->getString("type");
+    if (Type == "done") {
+      W.Done = true;
+    } else if (Type == "file") {
+      int64_t Ordinal = V->getInt("ordinal", -1);
+      if (Ordinal < 0 ||
+          !std::binary_search(W.Task.Ordinals.begin(),
+                              W.Task.Ordinals.end(), size_t(Ordinal))) {
+        W.Protocol = true;
+        return;
+      }
+      const JsonValue *P = V->get("payload");
+      std::optional<std::string> Out;
+      if (P && P->isString())
+        Out = std::string(P->asString());
+      W.Accepted.emplace_back(size_t(Ordinal), std::move(Out));
+    } else {
+      W.Protocol = true;
+      return;
+    }
+    W.OutBuf.erase(0, 9 + Len + 1);
+  }
+}
+
+bool drainMapStreams(MapWorker &W) {
+  if (int Fd = W.Proc.stdoutFd(); Fd != -1) {
+    W.Proc.readSome(Fd, W.OutBuf);
+    parseMapFrames(W);
+  }
+  if (int Fd = W.Proc.stderrFd(); Fd != -1) {
+    std::string Chunk;
+    if (W.Proc.readSome(Fd, Chunk) == proc::Subprocess::ReadStatus::Data) {
+      std::fwrite(Chunk.data(), 1, Chunk.size(), stderr);
+      W.ErrTail += Chunk;
+      if (W.ErrTail.size() > StderrTailCap)
+        W.ErrTail.erase(0, W.ErrTail.size() - StderrTailCap);
+    }
+  }
+  return W.Proc.stdoutFd() != -1 || W.Proc.stderrFd() != -1;
+}
+
+/// Maps \p ItemTails through a worker fleet under \p Preamble (the mode
+/// line). Item I is fed as "<I>\t<ItemTails[I]>"; the result slot holds the
+/// worker's payload string, or nullopt when the worker returned null or the
+/// item kept failing (MaxRetries strikes on the first unreported file of a
+/// failed attempt, like the analyze fleet's trusted path).
+std::vector<std::optional<std::string>>
+runMapFleet(const SupervisorOptions &Opts, const std::string &Preamble,
+            const std::vector<std::string> &ItemTails, unsigned MaxWorkers) {
+  const size_t N = ItemTails.size();
+  std::vector<std::optional<std::string>> Out(N);
+  if (N == 0)
+    return Out;
+  std::vector<bool> Resolved(N, false);
+
+  std::deque<Shard> Queue;
+  {
+    unsigned ShardCount = std::min<size_t>(MaxWorkers, N);
+    size_t Base = 0;
+    for (unsigned S = 0; S != ShardCount; ++S) {
+      size_t Count = N / ShardCount + (S < N % ShardCount ? 1 : 0);
+      if (Count == 0)
+        continue;
+      Shard Sh;
+      for (size_t I = Base; I != Base + Count; ++I)
+        Sh.Ordinals.push_back(I);
+      Base += Count;
+      Queue.push_back(std::move(Sh));
+    }
+  }
+
+  std::map<size_t, unsigned> Strikes;
+  std::vector<std::unique_ptr<MapWorker>> Active;
+
+  auto Requeue = [&](std::vector<std::pair<size_t, std::optional<std::string>>>
+                         &Accepted,
+                     const std::vector<size_t> &Ordinals, bool Trusted) {
+    if (Trusted)
+      for (auto &P : Accepted)
+        if (!Resolved[P.first]) {
+          Resolved[P.first] = true;
+          Out[P.first] = std::move(P.second);
+        }
+    std::vector<size_t> Remaining;
+    for (size_t Ord : Ordinals)
+      if (!Resolved[Ord])
+        Remaining.push_back(Ord);
+    if (Remaining.empty())
+      return;
+    const size_t Suspect = Remaining.front();
+    if (++Strikes[Suspect] > Opts.MaxRetries) {
+      Resolved[Suspect] = true; // Stays nullopt: degraded, not retried.
+      Remaining.erase(Remaining.begin());
+      if (Remaining.empty())
+        return;
+    }
+    Shard Next;
+    Next.Ordinals = std::move(Remaining);
+    Queue.push_back(std::move(Next));
+  };
+
+  auto Launch = [&](Shard Task) {
+    proc::Subprocess::Options SO;
+    SO.Argv = workerArgv(Opts);
+    SO.PipeStdin = true;
+    std::string Err;
+    std::optional<proc::Subprocess> P = proc::Subprocess::spawn(SO, &Err);
+    if (!P) {
+      // Spawn failure: strike through the same path a dead worker takes.
+      std::vector<std::pair<size_t, std::optional<std::string>>> None;
+      Requeue(None, Task.Ordinals, /*Trusted=*/false);
+      return;
+    }
+    std::string Feed = Preamble;
+    Feed += '\n';
+    for (size_t Ord : Task.Ordinals) {
+      Feed += std::to_string(Ord);
+      Feed += '\t';
+      Feed += ItemTails[Ord];
+      Feed += '\n';
+    }
+    auto W = std::make_unique<MapWorker>(std::move(*P), std::move(Task));
+    W->Proc.writeStdin(Feed);
+    W->Proc.closeStdin();
+    if (Opts.TimeoutMs) {
+      W->HasDeadline = true;
+      W->Deadline = Clock::now() + std::chrono::milliseconds(Opts.TimeoutMs);
+    }
+    Active.push_back(std::move(W));
+  };
+
+  while (!Queue.empty() || !Active.empty()) {
+    while (!Queue.empty() && Active.size() < MaxWorkers) {
+      Shard Task = std::move(Queue.front());
+      Queue.pop_front();
+      Launch(std::move(Task));
+    }
+    if (Active.empty())
+      continue;
+
+    {
+      std::vector<struct pollfd> Fds;
+      for (const auto &W : Active) {
+        if (int Fd = W->Proc.stdoutFd(); Fd != -1)
+          Fds.push_back({Fd, POLLIN, 0});
+        if (int Fd = W->Proc.stderrFd(); Fd != -1)
+          Fds.push_back({Fd, POLLIN, 0});
+      }
+      ::poll(Fds.empty() ? nullptr : Fds.data(), nfds_t(Fds.size()), 100);
+    }
+    for (auto &W : Active)
+      drainMapStreams(*W);
+
+    for (size_t I = 0; I != Active.size();) {
+      MapWorker &W = *Active[I];
+      bool Finished = false;
+      bool Trusted = true;
+      if (W.Protocol) {
+        W.Proc.kill();
+        W.Proc.wait();
+        Finished = true;
+        Trusted = false;
+      } else if (W.Proc.stdoutFd() == -1 && W.Proc.stderrFd() == -1) {
+        if (std::optional<proc::ExitStatus> St = W.Proc.tryWait()) {
+          Finished = true;
+          Trusted = St->Signaled || St->Code != 0 ||
+                    (W.Done && W.Accepted.size() == W.Task.Ordinals.size());
+          // A clean exit mid-protocol is as untrustworthy here as in the
+          // analyze fleet.
+          if (!St->Signaled && St->Code == 0 && !W.Done)
+            Trusted = false;
+        } else if (!W.HasDeadline || W.Deadline > Clock::now() + ReapGrace) {
+          W.HasDeadline = true;
+          W.Deadline = Clock::now() + ReapGrace;
+        }
+      }
+      if (!Finished && W.HasDeadline && Clock::now() >= W.Deadline) {
+        W.Proc.kill();
+        W.Proc.wait();
+        while (drainMapStreams(W))
+          ;
+        Finished = true;
+        Trusted = !W.Protocol;
+      }
+      if (!Finished) {
+        ++I;
+        continue;
+      }
+      std::unique_ptr<MapWorker> Owned = std::move(Active[I]);
+      Active.erase(Active.begin() + long(I));
+      if (Owned->Done &&
+          Owned->Accepted.size() == Owned->Task.Ordinals.size() &&
+          !Owned->Protocol) {
+        for (auto &P : Owned->Accepted)
+          if (!Resolved[P.first]) {
+            Resolved[P.first] = true;
+            Out[P.first] = std::move(P.second);
+          }
+      } else {
+        Requeue(Owned->Accepted, Owned->Task.Ordinals, Trusted);
+      }
+    }
+  }
+  return Out;
+}
+
 } // namespace
+
+uint64_t rs::engine::journalSalt(const EngineOptions &Opts,
+                                 const std::vector<std::string> &DetectorNames,
+                                 bool Linked) {
+  uint64_t Salt = cacheSalt(Opts, DetectorNames);
+  if (Linked)
+    Salt = fnv1a64("rustsight-whole-program", Salt);
+  return Salt;
+}
 
 CorpusReport Supervisor::run(const std::vector<std::string> &Paths) {
   const auto Start = Clock::now();
@@ -280,12 +562,22 @@ CorpusReport Supervisor::run(const std::vector<std::string> &Paths) {
     Results[I] = std::move(R);
   }
 
+  // The whole-program gate, decided exactly like the in-process driver
+  // (AnalysisEngine::analyzeCorpus) so `--shards N` never changes modes.
+  size_t Analyzable = 0;
+  for (const corpus::CorpusInput &In : Inputs)
+    Analyzable += In.SkipReason.empty();
+  const bool Linked =
+      Opts.Engine.WholeProgram == WholeProgramMode::On ||
+      (Opts.Engine.WholeProgram == WholeProgramMode::Auto && Analyzable > 1);
+
   // The same salt the workers' caches use keys the checkpoint journal: a
   // journal from a different battery or budget configuration never resumes.
   std::vector<std::string> DetNames;
   for (const auto &D : detectors::makeAllDetectors())
     DetNames.emplace_back(D->name());
-  const RunKey Key{fingerprintCorpus(Inputs), cacheSalt(Opts.Engine, DetNames)};
+  const RunKey Key{fingerprintCorpus(Inputs),
+                   journalSalt(Opts.Engine, DetNames, Linked)};
 
   std::optional<CheckpointJournal> Journal;
   if (!Opts.CheckpointPath.empty())
@@ -307,6 +599,105 @@ CorpusReport Supervisor::run(const std::vector<std::string> &Paths) {
     ShardCount = unsigned(PendingOrdinals.size());
   const unsigned MaxWorkers =
       Opts.MaxWorkers ? Opts.MaxWorkers : std::min(ShardCount, Hardware);
+
+  // The link step (phases 1 and 2 of the whole-program protocol). The
+  // supervisor drives the same solveLink() fixpoint as the in-process
+  // engine — only the transport of each phase differs (a map fleet instead
+  // of a thread pool) — so the round trajectory, the environment, and the
+  // per-file digests are byte-identical to an in-process run over the same
+  // corpus and summary DB.
+  analysis::ExternalSummaries LinkEnv;
+  std::vector<uint64_t> LinkDigest(N, 0);
+  std::vector<bool> InLink(N, false);
+  std::string AnalyzePreamble;
+  LinkStatsOut LinkStats;
+  if (Linked) {
+    const unsigned FleetWorkers =
+        std::max(1u, Opts.MaxWorkers ? Opts.MaxWorkers : Hardware);
+
+    // Phase 1: facts, one fleet over every analyzable input (journaled
+    // files included — their summaries still feed other files' analyses).
+    // A file whose facts cannot be collected degrades to per-file mode.
+    std::vector<size_t> FactInput;
+    std::vector<std::string> FactTails;
+    for (size_t I = 0; I != N; ++I)
+      if (Inputs[I].SkipReason.empty()) {
+        FactInput.push_back(I);
+        FactTails.push_back(Inputs[I].Path);
+      }
+    std::vector<std::optional<std::string>> FactPayloads =
+        runMapFleet(Opts, "{\"mode\":\"facts\"}", FactTails, FleetWorkers);
+
+    std::vector<analysis::ModuleFacts> Facts;
+    std::vector<size_t> LinkInputOrd; // Module index -> input ordinal.
+    for (size_t K = 0; K != FactInput.size(); ++K) {
+      if (!FactPayloads[K])
+        continue;
+      std::optional<analysis::ModuleFacts> F =
+          analysis::deserializeModuleFacts(*FactPayloads[K]);
+      if (!F)
+        continue;
+      LinkInputOrd.push_back(FactInput[K]);
+      Facts.push_back(std::move(*F));
+    }
+
+    // Phase 2: the link fixpoint; each solver round is one summarize fleet.
+    analysis::LinkOptions LO;
+    LO.MaxSummaryRounds =
+        Opts.Engine.MaxSummaryRounds ? Opts.Engine.MaxSummaryRounds : 8;
+    std::optional<sched::SummaryDb> Db;
+    analysis::LinkDbHooks Hooks;
+    if (Opts.Engine.UseCache) {
+      sched::SummaryDb::Options DO;
+      DO.DiskDir = Opts.Engine.CacheDir;
+      DO.SchemaOverride = Opts.Engine.SummaryDbSchemaOverride;
+      Db.emplace(std::move(DO));
+      Hooks.Lookup = [&Db](uint64_t K) { return Db->lookup(K); };
+      Hooks.Store = [&Db](uint64_t K, std::string_view P) {
+        Db->store(K, P);
+      };
+    }
+    analysis::SummarizeRoundFn Summarize =
+        [&](const std::vector<uint32_t> &ModuleIdxs,
+            const analysis::ExternalSummaries &Env) {
+          std::vector<std::string> Tails;
+          Tails.reserve(ModuleIdxs.size());
+          for (uint32_t M : ModuleIdxs)
+            Tails.push_back(std::to_string(M) + "\t" +
+                            Inputs[LinkInputOrd[M]].Path);
+          std::string Pre = "{\"mode\":\"summarize\",\"env\":" +
+                            jsonString(analysis::serializeEnv(Env)) + "}";
+          std::vector<std::optional<std::string>> Payloads =
+              runMapFleet(Opts, Pre, Tails, FleetWorkers);
+          std::vector<analysis::ModuleSummaries> Round;
+          for (auto &P : Payloads) {
+            if (!P)
+              continue; // Lost module: unchanged this round.
+            if (std::optional<analysis::ModuleSummaries> MS =
+                    analysis::deserializeModuleSummaries(*P))
+              Round.push_back(std::move(*MS));
+          }
+          return Round;
+        };
+    analysis::LinkResult LR =
+        analysis::solveLink(analysis::LinkedCorpus::build(std::move(Facts)),
+                            LO, Hooks, Summarize);
+    LinkEnv = std::move(LR.Env);
+    for (uint32_t M = 0;
+         M != static_cast<uint32_t>(LR.Corpus.modules().size()); ++M) {
+      size_t Ord = LinkInputOrd[M];
+      InLink[Ord] = true;
+      LinkDigest[Ord] = LR.Corpus.linkDigest(M);
+    }
+    AnalyzePreamble = "{\"mode\":\"analyze\",\"env\":" +
+                      jsonString(analysis::serializeEnv(LinkEnv)) + "}";
+    LinkStats.LinkedFiles = static_cast<unsigned>(LinkInputOrd.size());
+    LinkStats.Rounds = LR.Stats.Rounds;
+    LinkStats.ModulesFromDb = LR.Stats.ModulesFromDb;
+    LinkStats.DbHits = LR.Stats.DbHits;
+    LinkStats.DbMisses = LR.Stats.DbMisses;
+    LinkStats.DbStores = LR.Stats.DbStores;
+  }
 
   // Contiguous, deterministic partition of the pending ordinals.
   std::deque<Shard> Queue;
@@ -436,10 +827,22 @@ CorpusReport Supervisor::run(const std::vector<std::string> &Paths) {
       HandleUntrusted(std::move(Task), "worker spawn failed: " + Err, "");
       return;
     }
+    // Linked runs prepend the analyze preamble (mode + environment) and a
+    // per-file digest column; the legacy two-column feed is preserved for
+    // per-file runs so the wire stays byte-compatible.
     std::string Feed;
+    if (Linked) {
+      Feed += AnalyzePreamble;
+      Feed += '\n';
+    }
     for (size_t Ord : Task.Ordinals) {
       Feed += std::to_string(Ord);
       Feed += '\t';
+      if (Linked) {
+        Feed += InLink[Ord] ? std::to_string(LinkDigest[Ord])
+                            : std::string("-");
+        Feed += '\t';
+      }
       Feed += Inputs[Ord].Path;
       Feed += '\n';
     }
@@ -624,6 +1027,15 @@ CorpusReport Supervisor::run(const std::vector<std::string> &Paths) {
   Report.Stats.WallMs = std::chrono::duration<double, std::milli>(
                             Clock::now() - Start)
                             .count();
+  if (Linked) {
+    Report.Stats.LinkEnabled = true;
+    Report.Stats.LinkedFiles = LinkStats.LinkedFiles;
+    Report.Stats.LinkRounds = LinkStats.Rounds;
+    Report.Stats.ModulesFromSummaryDb = LinkStats.ModulesFromDb;
+    Report.Stats.SummaryDbHits = LinkStats.DbHits;
+    Report.Stats.SummaryDbMisses = LinkStats.DbMisses;
+    Report.Stats.SummaryDbStores = LinkStats.DbStores;
+  }
   return Report;
 }
 
@@ -665,23 +1077,83 @@ int rs::engine::runWorker(const EngineOptions &OptsIn) {
 
   // Read the whole shard before producing any output: the supervisor
   // writes the list and closes our stdin up front, so consuming it first
-  // leaves no window for pipe deadlock.
+  // leaves no window for pipe deadlock. A first line starting with '{' is
+  // a mode preamble (whole-program link phases); the plain two-column feed
+  // stays the legacy analyze protocol.
+  enum class Mode { Analyze, LinkedAnalyze, Facts, Summarize };
+  Mode WorkerMode = Mode::Analyze;
+  analysis::ExternalSummaries Env;
+
   struct Item {
-    uint64_t Ordinal;
+    uint64_t Ordinal;  ///< Corpus input ordinal (facts/analyze) or module
+                       ///< ordinal as assigned by the fleet (summarize).
+    uint64_t Aux = 0;  ///< LinkedAnalyze: digest. Summarize: module index.
+    bool Linked = false; ///< LinkedAnalyze: file joined the link.
     std::string Path;
   };
   std::vector<Item> Items;
   std::string Line;
+  bool First = true;
   while (std::getline(std::cin, Line)) {
     if (Line.empty())
       continue;
+    if (First && Line[0] == '{') {
+      First = false;
+      std::optional<JsonValue> P = JsonValue::parse(Line);
+      if (!P || !P->isObject()) {
+        std::fprintf(stderr, "worker: malformed mode preamble\n");
+        return 3;
+      }
+      std::string_view M = P->getString("mode");
+      if (M == "facts")
+        WorkerMode = Mode::Facts;
+      else if (M == "summarize")
+        WorkerMode = Mode::Summarize;
+      else if (M == "analyze")
+        WorkerMode = Mode::LinkedAnalyze;
+      else {
+        std::fprintf(stderr, "worker: unknown mode preamble\n");
+        return 3;
+      }
+      std::string_view E = P->getString("env");
+      if (!E.empty()) {
+        std::optional<analysis::ExternalSummaries> D =
+            analysis::deserializeEnv(E);
+        if (!D) {
+          std::fprintf(stderr, "worker: malformed link environment\n");
+          return 3;
+        }
+        Env = std::move(*D);
+      }
+      continue;
+    }
+    First = false;
     size_t Tab = Line.find('\t');
     if (Tab == std::string::npos || Tab == 0) {
       std::fprintf(stderr, "worker: malformed shard line\n");
       return 3;
     }
-    Items.push_back({std::strtoull(Line.c_str(), nullptr, 10),
-                     Line.substr(Tab + 1)});
+    Item It;
+    It.Ordinal = std::strtoull(Line.c_str(), nullptr, 10);
+    std::string Rest = Line.substr(Tab + 1);
+    if (WorkerMode == Mode::LinkedAnalyze || WorkerMode == Mode::Summarize) {
+      size_t Tab2 = Rest.find('\t');
+      if (Tab2 == std::string::npos || Tab2 == 0) {
+        std::fprintf(stderr, "worker: malformed shard line\n");
+        return 3;
+      }
+      std::string Field = Rest.substr(0, Tab2);
+      if (WorkerMode == Mode::LinkedAnalyze && Field == "-") {
+        It.Linked = false;
+      } else {
+        It.Linked = true;
+        It.Aux = std::strtoull(Field.c_str(), nullptr, 10);
+      }
+      It.Path = Rest.substr(Tab2 + 1);
+    } else {
+      It.Path = std::move(Rest);
+    }
+    Items.push_back(std::move(It));
   }
 
   for (const Item &It : Items) {
@@ -705,7 +1177,42 @@ int rs::engine::runWorker(const EngineOptions &OptsIn) {
       }
     }
 
-    FileReport R = Engine.analyzeFileThroughCache(It.Path);
+    switch (WorkerMode) {
+    case Mode::Facts: {
+      std::optional<analysis::ModuleFacts> F =
+          Engine.collectFileFacts(It.Path);
+      if (!F)
+        std::fprintf(stderr, "worker: %s: no link facts (per-file mode)\n",
+                     It.Path.c_str());
+      writeFrame(
+          "{\"type\":\"file\",\"ordinal\":" + std::to_string(It.Ordinal) +
+          ",\"payload\":" +
+          (F ? jsonString(analysis::serializeModuleFacts(*F)) : "null") +
+          "}");
+      continue;
+    }
+    case Mode::Summarize: {
+      std::optional<analysis::ModuleSummaries> MS = Engine.summarizeFileForLink(
+          It.Path, static_cast<uint32_t>(It.Aux), Env);
+      if (!MS)
+        std::fprintf(stderr, "worker: %s: summarize round lost\n",
+                     It.Path.c_str());
+      writeFrame(
+          "{\"type\":\"file\",\"ordinal\":" + std::to_string(It.Ordinal) +
+          ",\"payload\":" +
+          (MS ? jsonString(analysis::serializeModuleSummaries(*MS)) : "null") +
+          "}");
+      continue;
+    }
+    case Mode::Analyze:
+    case Mode::LinkedAnalyze:
+      break;
+    }
+
+    FileReport R =
+        WorkerMode == Mode::LinkedAnalyze && It.Linked
+            ? Engine.analyzeFileThroughCacheLinked(It.Path, Env, It.Aux)
+            : Engine.analyzeFileThroughCache(It.Path);
     if (R.Status != EngineStatus::Ok)
       std::fprintf(stderr, "worker: %s: %s: %s\n", R.Path.c_str(),
                    engineStatusName(R.Status), R.Reason.c_str());

@@ -111,6 +111,14 @@ private:
   SupervisorOptions Opts;
 };
 
+/// The salt half of the checkpoint journal's RunKey: the workers'
+/// cacheSalt, with a whole-program marker folded in for linked runs so a
+/// per-file journal never resumes a whole-program run (or vice versa) —
+/// the findings differ by design.
+uint64_t journalSalt(const EngineOptions &Opts,
+                     const std::vector<std::string> &DetectorNames,
+                     bool Linked);
+
 /// The hidden `rustsight worker` entry point: reads "<ordinal>\t<path>"
 /// lines from stdin until EOF, analyzes each file through the result
 /// cache, and streams one length-prefixed JSON frame per file followed by

@@ -74,12 +74,39 @@ std::optional<std::string> ResultCache::lookupBlob(uint64_t Key) {
     }
   }
   if (!Opts.DiskDir.empty() && !diskDisabled()) {
-    if (std::optional<std::string> Payload = loadBlobFromDisk(Key)) {
+    if (std::optional<BlobRef> Ref = loadBlobFromDisk(Key)) {
+      std::string Payload(Ref->bytes());
       std::lock_guard<std::mutex> Lock(M);
       ++Counters.BlobHits;
       ++Counters.BlobDiskHits;
-      insertMemory(Key, *Payload);
+      insertMemory(Key, Payload);
       return Payload;
+    }
+  }
+  std::lock_guard<std::mutex> Lock(M);
+  ++Counters.BlobMisses;
+  return std::nullopt;
+}
+
+std::optional<ResultCache::BlobRef> ResultCache::lookupBlobRef(uint64_t Key) {
+  {
+    std::lock_guard<std::mutex> Lock(M);
+    auto It = Index.find(Key);
+    if (It != Index.end()) {
+      Lru.splice(Lru.begin(), Lru, It->second);
+      ++Counters.BlobHits;
+      BlobRef R;
+      R.Owned = It->second->second; // Copy: the LRU entry may be evicted.
+      R.Len = R.Owned.size();
+      return R;
+    }
+  }
+  if (!Opts.DiskDir.empty() && !diskDisabled()) {
+    if (std::optional<BlobRef> Ref = loadBlobFromDisk(Key)) {
+      std::lock_guard<std::mutex> Lock(M);
+      ++Counters.BlobHits;
+      ++Counters.BlobDiskHits;
+      return Ref;
     }
   }
   std::lock_guard<std::mutex> Lock(M);
@@ -315,16 +342,30 @@ void ResultCache::storeBlobToDisk(uint64_t Key, std::string_view Payload) {
     Fail();
 }
 
-std::optional<std::string> ResultCache::loadBlobFromDisk(uint64_t Key) {
+std::optional<ResultCache::BlobRef> ResultCache::loadBlobFromDisk(
+    uint64_t Key) {
   fs::path Path = fs::path(Opts.DiskDir) / blobFileName(Key);
-  std::ifstream In(Path, std::ios::binary);
-  if (!In)
-    return std::nullopt; // Absent: a plain miss, not corruption.
-  std::ostringstream Buf;
-  Buf << In.rdbuf();
-  std::string Bytes = Buf.str();
 
-  auto Corrupt = [&]() -> std::optional<std::string> {
+  // Map the envelope when possible: validation reads straight from the
+  // page cache and the returned view borrows the mapping, so the payload
+  // never takes a heap copy. When mmap refuses (or the "support.mmap"
+  // fault probe fires) fall back to a buffered read — byte-for-byte the
+  // same validation on an owned buffer.
+  BlobRef Ref;
+  if (std::optional<MappedFile> Map = MappedFile::open(Path.string())) {
+    Ref.Map = std::move(*Map);
+  } else {
+    std::ifstream In(Path, std::ios::binary);
+    if (!In)
+      return std::nullopt; // Absent: a plain miss, not corruption.
+    std::ostringstream Buf;
+    Buf << In.rdbuf();
+    Ref.Owned = Buf.str();
+  }
+  std::string_view Bytes = Ref.Map ? Ref.Map.view()
+                                   : std::string_view(Ref.Owned);
+
+  auto Corrupt = [&]() -> std::optional<BlobRef> {
     {
       std::lock_guard<std::mutex> Lock(M);
       ++Counters.CorruptEntries;
@@ -344,9 +385,10 @@ std::optional<std::string> ResultCache::loadBlobFromDisk(uint64_t Key) {
   uint64_t Checksum = getU64LE(P + 20);
   if (Version != DiskBlobFormatVersion || StoredKey != Key)
     return Corrupt();
-  std::string_view Payload =
-      std::string_view(Bytes).substr(BlobHeaderSize);
+  std::string_view Payload = Bytes.substr(BlobHeaderSize);
   if (Payload.size() != Size || fnv1a64(Payload) != Checksum)
     return Corrupt();
-  return std::string(Payload);
+  Ref.Off = BlobHeaderSize;
+  Ref.Len = Payload.size();
+  return Ref;
 }

@@ -1,0 +1,82 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of RustSight, a reproduction of "Understanding Memory and Thread
+// Safety Practices and Issues in Real-World Rust Programs" (PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The persisted function-summary database behind the whole-program link
+/// step (docs/WHOLEPROGRAM.md). Entries are opaque payloads (the link layer
+/// serializes/validates them) addressed by link key — a fingerprint of
+/// everything a function's summary can depend on — so a warm run skips
+/// summarizing any module whose functions all hit, and a source edit
+/// invalidates exactly the SCC slice that can observe it.
+///
+/// Storage rides the ResultCache machinery (atomic-rename writes, corrupt-
+/// entry-is-miss, disk-disable-on-first-write-failure). The DB folds its own
+/// schema version into every address, so a schema bump reads as a cold
+/// cache, never as corruption, and old entries are simply never addressed
+/// again.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RUSTSIGHT_SCHED_SUMMARYDB_H
+#define RUSTSIGHT_SCHED_SUMMARYDB_H
+
+#include "sched/ResultCache.h"
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace rs::sched {
+
+/// On-disk summary store, payload-agnostic (the analysis layer owns the
+/// payload schema; this layer owns addressing and durability). Thread-safe.
+class SummaryDb {
+public:
+  /// The DB's address-schema version. Bump together with the link layer's
+  /// SummaryPayloadVersion when the payload shape changes: every address
+  /// moves, so stale-shape entries are unreachable (cold, not corrupt).
+  static constexpr int64_t SchemaVersion = 1;
+
+  struct Options {
+    /// Disk root shared with the report cache ("" = memory-only; addresses
+    /// are salted so summary entries never collide with report entries).
+    std::string DiskDir;
+
+    /// In-memory entry cap (0 = unbounded).
+    size_t MaxMemoryEntries = 4096;
+
+    /// Address-schema override, for the CI schema-bump drill (a run with a
+    /// bumped schema must be cold but correct). 0 means SchemaVersion.
+    int64_t SchemaOverride = 0;
+  };
+
+  SummaryDb() : SummaryDb(Options()) {}
+  explicit SummaryDb(Options O);
+
+  /// The stored payload under \p LinkKey, or nullopt (miss or corrupt).
+  std::optional<std::string> lookup(uint64_t LinkKey);
+
+  /// Persists \p Payload under \p LinkKey. Callers must only store
+  /// converged payloads — the link solver enforces this.
+  void store(uint64_t LinkKey, std::string_view Payload);
+
+  ResultCache::Stats stats() const { return Cache.stats(); }
+  bool diskDisabled() const { return Cache.diskDisabled(); }
+
+  /// The on-disk address of \p LinkKey under schema \p Schema — exposed so
+  /// tests can assert the schema-fold actually moves addresses.
+  static uint64_t address(uint64_t LinkKey, int64_t Schema);
+
+private:
+  int64_t Schema;
+  ResultCache Cache;
+};
+
+} // namespace rs::sched
+
+#endif // RUSTSIGHT_SCHED_SUMMARYDB_H

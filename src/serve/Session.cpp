@@ -1,7 +1,7 @@
 #include "serve/Session.h"
 
+#include "analysis/Link.h"
 #include "corpus/CorpusWalk.h"
-#include "mir/Intrinsics.h"
 #include "mir/Parser.h"
 
 #include <algorithm>
@@ -14,44 +14,14 @@ Session::Session(SessionOptions O)
 
 void Session::indexContent(FileState &St, const std::string &Path,
                            const std::string &Content) {
-  St.Defines.clear();
-  St.ExternalRefs.clear();
   // A light recovery parse just for the name-reference graph; the engine
-  // owns the real (fault-isolated) analysis parse.
+  // owns the real (fault-isolated) analysis parse. The def/ref extraction
+  // itself is the linker's — the daemon's dependency index and the
+  // whole-program link phase must agree on what counts as an extern ref.
   mir::ModuleParse P = mir::Parser::parseRecover(Content, Path);
-  for (const auto &F : P.M.functions())
-    St.Defines.push_back(F.Name);
-  std::sort(St.Defines.begin(), St.Defines.end());
-  St.Defines.erase(std::unique(St.Defines.begin(), St.Defines.end()),
-                   St.Defines.end());
-
-  auto DefinedHere = [&](const std::string &Name) {
-    return std::binary_search(St.Defines.begin(), St.Defines.end(), Name);
-  };
-  for (const auto &F : P.M.functions()) {
-    for (const mir::BasicBlock &BB : F.Blocks) {
-      const mir::Terminator &T = BB.Term;
-      if (T.K != mir::Terminator::Kind::Call)
-        continue;
-      mir::IntrinsicKind IK = mir::classifyIntrinsic(T.Callee);
-      if (IK == mir::IntrinsicKind::ThreadSpawn) {
-        // Spawn-by-name: the thread entry point is a string constant.
-        if (!T.Args.empty() && !T.Args[0].isPlace() &&
-            T.Args[0].C.K == mir::ConstValue::Kind::Str &&
-            !DefinedHere(T.Args[0].C.Str))
-          St.ExternalRefs.push_back(T.Args[0].C.Str);
-        continue;
-      }
-      if (IK != mir::IntrinsicKind::None)
-        continue; // Mutex::lock etc. can never be defined by another file.
-      if (!DefinedHere(T.Callee))
-        St.ExternalRefs.push_back(T.Callee);
-    }
-  }
-  std::sort(St.ExternalRefs.begin(), St.ExternalRefs.end());
-  St.ExternalRefs.erase(
-      std::unique(St.ExternalRefs.begin(), St.ExternalRefs.end()),
-      St.ExternalRefs.end());
+  analysis::ModuleDefsRefs DR = analysis::collectDefsAndRefs(P.M);
+  St.Defines = std::move(DR.Defines);
+  St.ExternalRefs = std::move(DR.ExternalRefs);
 }
 
 void Session::analyzeOne(const std::string &Path) {

@@ -1,0 +1,73 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of RustSight, a reproduction of "Understanding Memory and Thread
+// Safety Practices and Issues in Real-World Rust Programs" (PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A read-only memory-mapped file. The result cache's blob layer maps
+/// snapshot envelopes instead of copying them through a stream buffer, and
+/// the snapshot decoder's string table then borrows the mapped bytes in
+/// place — the payload is never duplicated on the heap.
+///
+/// Mapping is strictly an optimization: every caller must keep a buffered
+/// read path for when open() returns nullopt (file vanished, mmap refused,
+/// zero-length file, exotic filesystem). The view is valid only while the
+/// MappedFile is alive; callers that outlive the mapping must copy.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RUSTSIGHT_SUPPORT_MMAP_H
+#define RUSTSIGHT_SUPPORT_MMAP_H
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace rs {
+
+class MappedFile {
+public:
+  MappedFile() = default;
+  MappedFile(MappedFile &&O) noexcept : Data(O.Data), Size(O.Size) {
+    O.Data = nullptr;
+    O.Size = 0;
+  }
+  MappedFile &operator=(MappedFile &&O) noexcept {
+    if (this != &O) {
+      unmap();
+      Data = O.Data;
+      Size = O.Size;
+      O.Data = nullptr;
+      O.Size = 0;
+    }
+    return *this;
+  }
+  MappedFile(const MappedFile &) = delete;
+  MappedFile &operator=(const MappedFile &) = delete;
+  ~MappedFile() { unmap(); }
+
+  /// Maps \p Path read-only. Returns nullopt on any failure — open, stat,
+  /// mmap, or a zero-length file (mmap of length 0 is EINVAL; an empty
+  /// view carries no information a caller could not get from the
+  /// fallback). Fault-injection probe site: "support.mmap".
+  static std::optional<MappedFile> open(const std::string &Path);
+
+  /// True while a mapping is held.
+  explicit operator bool() const { return Data != nullptr; }
+
+  /// The mapped bytes. Empty when no mapping is held.
+  std::string_view view() const { return {Data, Size}; }
+
+private:
+  void unmap();
+
+  const char *Data = nullptr;
+  size_t Size = 0;
+};
+
+} // namespace rs
+
+#endif // RUSTSIGHT_SUPPORT_MMAP_H

@@ -83,6 +83,178 @@ size_t writeEvalCorpus(const std::string &Dir, const EvalCorpusSpec &Spec) {
     Labels.push_back({Name, "*", false});
   }
 
+  if (Spec.CrossFileCases) {
+    // Multi-file interprocedural pairs, handwritten (no generator noise:
+    // the cases are static text, so adding them never perturbs the seed
+    // stream feeding the single-file cases above). Each pair only exhibits
+    // — or, for the benign twin, only provably lacks — its bug when the
+    // whole-program link step resolves the use-file's callee into the
+    // def-file. Labels go on the use-file; def-files are clean standalone.
+    struct CrossFileCase {
+      const char *Stem;     ///< File-name stem, e.g. "xfile_uaf_bug_0".
+      const char *Detector; ///< Label detector for the use-file.
+      bool Positive;
+      std::string UseText;
+      std::string DefText;
+    };
+
+    // Cross-file use-after-free: the caller's allocation dies inside the
+    // callee (DropsParamPointee through the link env); the benign twin's
+    // callee only reads through the pointer.
+    auto uafUse = [](const std::string &Callee) {
+      return "fn xf_uaf_caller_" + Callee +
+             "() -> u8 {\n"
+             "    let _1: *mut u8;\n"
+             "    let _2: ();\n"
+             "    bb0: {\n"
+             "        _1 = alloc(const 8) -> bb1;\n"
+             "    }\n"
+             "    bb1: {\n"
+             "        (*_1) = const 5;\n"
+             "        _2 = " +
+             Callee +
+             "(copy _1) -> bb2;\n"
+             "    }\n"
+             "    bb2: {\n"
+             "        _0 = copy (*_1);\n"
+             "        return;\n"
+             "    }\n"
+             "}\n";
+    };
+    std::string UafFreeDef = "fn xf_free_bug_0(_1: *mut u8) {\n"
+                             "    bb0: {\n"
+                             "        dealloc(copy _1) -> bb1;\n"
+                             "    }\n"
+                             "    bb1: {\n"
+                             "        return;\n"
+                             "    }\n"
+                             "}\n";
+    std::string UafReadDef = "fn xf_free_ok_0(_1: *mut u8) {\n"
+                             "    let _2: u8;\n"
+                             "    bb0: {\n"
+                             "        _2 = copy (*_1);\n"
+                             "        return;\n"
+                             "    }\n"
+                             "}\n";
+
+    // Cross-file double-lock: the caller holds the guard across a call to
+    // a callee that re-locks the same mutex (AcquiresLockOnParam through
+    // the link env); the benign twin's callee never locks.
+    auto dlUse = [](const std::string &Callee) {
+      return "fn xf_dl_outer_" + Callee +
+             "(_1: &Mutex<i32>) -> i32 {\n"
+             "    let _2: MutexGuard<i32>;\n"
+             "    bb0: {\n"
+             "        _2 = Mutex::lock(copy _1) -> bb1;\n"
+             "    }\n"
+             "    bb1: {\n"
+             "        _0 = " +
+             Callee +
+             "(copy _1) -> bb2;\n"
+             "    }\n"
+             "    bb2: {\n"
+             "        return;\n"
+             "    }\n"
+             "}\n";
+    };
+    std::string DlLockDef = "fn xf_relock_bug_0(_1: &Mutex<i32>) -> i32 {\n"
+                            "    let _2: MutexGuard<i32>;\n"
+                            "    bb0: {\n"
+                            "        _2 = Mutex::lock(copy _1) -> bb1;\n"
+                            "    }\n"
+                            "    bb1: {\n"
+                            "        _0 = copy (*_2);\n"
+                            "        return;\n"
+                            "    }\n"
+                            "}\n";
+    std::string DlNoLockDef = "fn xf_relock_ok_0(_1: &Mutex<i32>) -> i32 {\n"
+                              "    bb0: {\n"
+                              "        _0 = const 0;\n"
+                              "        return;\n"
+                              "    }\n"
+                              "}\n";
+
+    // Cross-file ABBA: thread1 takes lock A locally then lock B inside a
+    // callee in the other file; thread2 takes B then A locally. The twin's
+    // thread2 respects A-then-B, so no inversion exists.
+    auto abbaUse = [](const std::string &Callee, bool Inverted) {
+      std::string T2First = Inverted ? "_2" : "_1";
+      std::string T2Second = Inverted ? "_1" : "_2";
+      return "fn xf_lo_thread1_" + Callee +
+             "(_1: &Mutex<i32>, _2: &Mutex<i32>) {\n"
+             "    let _3: MutexGuard<i32>;\n"
+             "    let _4: ();\n"
+             "    bb0: {\n"
+             "        _3 = Mutex::lock(copy _1) -> bb1;\n"
+             "    }\n"
+             "    bb1: {\n"
+             "        _4 = " +
+             Callee +
+             "(copy _2) -> bb2;\n"
+             "    }\n"
+             "    bb2: {\n"
+             "        return;\n"
+             "    }\n"
+             "}\n"
+             "fn xf_lo_thread2_" +
+             Callee +
+             "(_1: &Mutex<i32>, _2: &Mutex<i32>) {\n"
+             "    let _3: MutexGuard<i32>;\n"
+             "    let _4: MutexGuard<i32>;\n"
+             "    bb0: {\n"
+             "        _3 = Mutex::lock(copy " +
+             T2First +
+             ") -> bb1;\n"
+             "    }\n"
+             "    bb1: {\n"
+             "        _4 = Mutex::lock(copy " +
+             T2Second +
+             ") -> bb2;\n"
+             "    }\n"
+             "    bb2: {\n"
+             "        return;\n"
+             "    }\n"
+             "}\n";
+    };
+    auto abbaDef = [](const std::string &Name) {
+      return "fn " + Name +
+             "(_1: &Mutex<i32>) {\n"
+             "    let _2: MutexGuard<i32>;\n"
+             "    bb0: {\n"
+             "        _2 = Mutex::lock(copy _1) -> bb1;\n"
+             "    }\n"
+             "    bb1: {\n"
+             "        return;\n"
+             "    }\n"
+             "}\n";
+    };
+
+    const CrossFileCase Cross[] = {
+        {"xfile_uaf_bug_0", "use-after-free", true, uafUse("xf_free_bug_0"),
+         UafFreeDef},
+        {"xfile_uaf_ok_0", "use-after-free", false, uafUse("xf_free_ok_0"),
+         UafReadDef},
+        {"xfile_double_lock_bug_0", "double-lock", true,
+         dlUse("xf_relock_bug_0"), DlLockDef},
+        {"xfile_double_lock_ok_0", "double-lock", false,
+         dlUse("xf_relock_ok_0"), DlNoLockDef},
+        {"xfile_lock_order_bug_0", "conflicting-lock-order", true,
+         abbaUse("xf_lockb_bug_0", /*Inverted=*/true),
+         abbaDef("xf_lockb_bug_0")},
+        {"xfile_lock_order_ok_0", "conflicting-lock-order", false,
+         abbaUse("xf_lockb_ok_0", /*Inverted=*/false),
+         abbaDef("xf_lockb_ok_0")},
+    };
+    for (const CrossFileCase &C : Cross) {
+      std::string UseName = std::string(C.Stem) + "_use.mir";
+      std::string DefName = std::string(C.Stem) + "_def.mir";
+      writeFile(Root / UseName, C.UseText);
+      writeFile(Root / DefName, C.DefText);
+      Labels.push_back({UseName, C.Detector, C.Positive});
+      Labels.push_back({DefName, "*", false});
+    }
+  }
+
   JsonWriter W;
   W.beginObject();
   W.field("version", int64_t(1));

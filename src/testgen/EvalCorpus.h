@@ -26,12 +26,22 @@ namespace rs::testgen {
 
 /// Shape of the written corpus. Defaults satisfy the evaluation floor:
 /// 10 mutations x 3 positives + 10 x 2 benign twins + 15 clean = 65 cases,
-/// 30 positives, 35 negatives.
+/// 30 positives, 35 negatives — plus, when CrossFileCases is set, the
+/// multi-file interprocedural pairs below.
 struct EvalCorpusSpec {
   uint64_t BaseSeed = 9000;
   unsigned PositivesPerMutation = 3;
   unsigned BenignPerMutation = 2;
   unsigned CleanCases = 15;
+
+  /// Emit the cross-file pairs: for each of use-after-free, double-lock
+  /// and ABBA lock-order, one buggy (use-file, def-file) pair whose bug
+  /// only exists when the whole-program link resolves the callee across
+  /// the file boundary, and one benign twin pair. Use-files carry the
+  /// positive/negative label; def-files are labeled clean ("*"). Callee
+  /// names are unique per case so first-definition-wins extern resolution
+  /// can never cross-wire a benign twin to a buggy callee.
+  bool CrossFileCases = true;
 };
 
 /// Writes the corpus into \p Dir (created if needed): one "<pattern>_bug_N

@@ -1,0 +1,300 @@
+#include "analysis/Link.h"
+
+#include "mir/Parser.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <string>
+#include <vector>
+
+using namespace rs;
+using namespace rs::analysis;
+using namespace rs::mir;
+
+namespace {
+
+Module parseOk(std::string_view Src) {
+  auto R = Parser::parse(Src);
+  EXPECT_TRUE(R) << (R ? "" : R.error().toString());
+  return R.take();
+}
+
+// Module "caller.mir": calls a cross-file callee, a local helper, an
+// intrinsic, and spawns a thread by string name.
+const char *CallerSrc =
+    "fn caller(_1: *mut u8) {\n"
+    "    let _2: ();\n"
+    "    let _3: ();\n"
+    "    bb0: {\n"
+    "        _2 = free_it(copy _1) -> bb1;\n"
+    "    }\n"
+    "    bb1: {\n"
+    "        _3 = local_helper() -> bb2;\n"
+    "    }\n"
+    "    bb2: {\n"
+    "        _3 = thread::spawn(const \"spawned_body\") -> bb3;\n"
+    "    }\n"
+    "    bb3: { return; }\n"
+    "}\n"
+    "fn local_helper() { bb0: { return; } }\n";
+
+// Module "callee.mir": defines free_it (drops its parameter's pointee) and
+// spawned_body, plus its own unresolved extern reference.
+const char *CalleeSrc =
+    "fn free_it(_1: *mut u8) {\n"
+    "    bb0: {\n"
+    "        dealloc(copy _1) -> bb1;\n"
+    "    }\n"
+    "    bb1: { return; }\n"
+    "}\n"
+    "fn spawned_body() {\n"
+    "    let _1: ();\n"
+    "    bb0: {\n"
+    "        _1 = truly_external() -> bb1;\n"
+    "    }\n"
+    "    bb1: { return; }\n"
+    "}\n";
+
+std::vector<ModuleFacts> twoModuleFacts() {
+  Module Caller = parseOk(CallerSrc);
+  Module Callee = parseOk(CalleeSrc);
+  return {collectModuleFacts(Caller, "caller.mir"),
+          collectModuleFacts(Callee, "callee.mir")};
+}
+
+/// In-process round function over a fixed set of parsed modules.
+SummarizeRoundFn inProcessRounds(const std::vector<const Module *> &Mods) {
+  return [Mods](const std::vector<uint32_t> &Idxs,
+                const ExternalSummaries &Env) {
+    std::vector<ModuleSummaries> Out;
+    for (uint32_t I : Idxs)
+      Out.push_back(summarizeLinkedModule(*Mods[I], I, Env, 8));
+    return Out;
+  };
+}
+
+} // namespace
+
+TEST(Link, CollectDefsAndRefs) {
+  Module M = parseOk(CallerSrc);
+  ModuleDefsRefs DR = collectDefsAndRefs(M);
+  EXPECT_EQ(DR.Defines, (std::vector<std::string>{"caller", "local_helper"}));
+  // Intrinsics and locally-defined names are not external references; the
+  // thread-spawn string target is.
+  EXPECT_EQ(DR.ExternalRefs,
+            (std::vector<std::string>{"free_it", "spawned_body"}));
+}
+
+TEST(Link, CollectModuleFactsShape) {
+  Module M = parseOk(CallerSrc);
+  ModuleFacts F = collectModuleFacts(M, "caller.mir");
+  EXPECT_EQ(F.Path, "caller.mir");
+  ASSERT_EQ(F.Functions.size(), 2u);
+  EXPECT_EQ(F.Functions[0].Name, "caller");
+  EXPECT_EQ(F.Functions[0].NumArgs, 1u);
+  // Callees are sorted and deduplicated, and include the spawn target.
+  EXPECT_EQ(F.Functions[0].Callees,
+            (std::vector<std::string>{"free_it", "local_helper",
+                                      "spawned_body"}));
+  EXPECT_EQ(F.Functions[1].Name, "local_helper");
+  EXPECT_TRUE(F.Functions[1].Callees.empty());
+  EXPECT_NE(F.Functions[0].BodyFp, 0u);
+  EXPECT_NE(F.Functions[0].BodyFp, F.Functions[1].BodyFp);
+}
+
+TEST(Link, FingerprintCoversBodyAndLocations) {
+  Module A = parseOk("fn f() { bb0: { return; } }\n");
+  // Same rendered body, shifted one line down: summary sites are source
+  // locations, so the fingerprint must move.
+  Module B = parseOk("\nfn f() { bb0: { return; } }\n");
+  Module C = parseOk("fn f() { bb0: { return; } }\n");
+  uint64_t FpA = functionFingerprint(A.functions()[0], moduleDeclFingerprint(A));
+  uint64_t FpB = functionFingerprint(B.functions()[0], moduleDeclFingerprint(B));
+  uint64_t FpC = functionFingerprint(C.functions()[0], moduleDeclFingerprint(C));
+  EXPECT_NE(FpA, FpB);
+  EXPECT_EQ(FpA, FpC);
+}
+
+TEST(Link, BuildResolvesAcrossModules) {
+  LinkedCorpus LC = LinkedCorpus::build(twoModuleFacts());
+  ASSERT_EQ(LC.numFunctions(), 4u);
+  // Global ids are dense, module-major in corpus order.
+  EXPECT_EQ(LC.globalId(0, 0), 0u);
+  EXPECT_EQ(LC.globalId(1, 0), 2u);
+  EXPECT_EQ(LC.facts(0).Name, "caller");
+  EXPECT_EQ(LC.definingPath(2), "callee.mir");
+
+  // caller's resolved callees: free_it (cross-module), local_helper (own
+  // module), spawned_body (cross-module) — sorted by callee name.
+  std::vector<std::string> CalleeNames;
+  for (uint32_t Id : LC.callees(0))
+    CalleeNames.push_back(LC.facts(Id).Name);
+  EXPECT_EQ(CalleeNames, (std::vector<std::string>{"free_it", "local_helper",
+                                                   "spawned_body"}));
+
+  // truly_external stays an unresolved leaf.
+  EXPECT_FALSE(LC.lookup("truly_external").has_value());
+  ASSERT_TRUE(LC.lookup("free_it").has_value());
+  EXPECT_EQ(*LC.lookup("free_it"), 2u);
+
+  // externRefs: caller.mir resolves two names into callee.mir; callee.mir
+  // resolves none (truly_external is unresolved, free_it is its own).
+  ASSERT_EQ(LC.externRefs(0).size(), 2u);
+  EXPECT_EQ(LC.externRefs(0)[0].first, "free_it");
+  EXPECT_TRUE(LC.externRefs(1).empty());
+  EXPECT_NE(LC.linkDigest(0), 0u);
+  EXPECT_EQ(LC.linkDigest(1), 0u);
+}
+
+TEST(Link, FirstDefinitionInCorpusOrderWins) {
+  Module A = parseOk("fn dup() { bb0: { return; } }\n");
+  Module B = parseOk("fn dup() { let _1: (); bb0: { _1 = dup() -> bb1; }\n"
+                     "           bb1: { return; } }\n");
+  LinkedCorpus LC = LinkedCorpus::build({collectModuleFacts(A, "a.mir"),
+                                         collectModuleFacts(B, "b.mir")});
+  ASSERT_TRUE(LC.lookup("dup").has_value());
+  EXPECT_EQ(LC.definingPath(*LC.lookup("dup")), "a.mir");
+  // b.mir's own dup call resolves to its local definition, not the winner.
+  EXPECT_EQ(LC.callees(LC.globalId(1, 0)),
+            (std::vector<uint32_t>{LC.globalId(1, 0)}));
+  EXPECT_TRUE(LC.externRefs(1).empty());
+}
+
+TEST(Link, LinkKeySeesCalleeBodiesAcrossFiles) {
+  std::vector<ModuleFacts> Facts = twoModuleFacts();
+  LinkedCorpus Base = LinkedCorpus::build(Facts);
+
+  // Perturb free_it's body fingerprint (as if callee.mir was edited).
+  std::vector<ModuleFacts> Edited = twoModuleFacts();
+  Edited[1].Functions[0].BodyFp ^= 0x1234;
+  LinkedCorpus Changed = LinkedCorpus::build(std::move(Edited));
+
+  // caller (global 0) reaches free_it, so its link key and its module's
+  // digest move; local_helper (global 1) does not reach it.
+  EXPECT_NE(Base.linkKey(0), Changed.linkKey(0));
+  EXPECT_EQ(Base.linkKey(1), Changed.linkKey(1));
+  EXPECT_NE(Base.linkDigest(0), Changed.linkDigest(0));
+
+  // The unresolved-name set is folded too: renaming the unresolved leaf
+  // moves spawned_body's key.
+  std::vector<ModuleFacts> Renamed = twoModuleFacts();
+  for (FunctionFacts &F : Renamed[1].Functions)
+    for (std::string &C : F.Callees)
+      if (C == "truly_external")
+        C = "other_external";
+  LinkedCorpus R = LinkedCorpus::build(std::move(Renamed));
+  EXPECT_NE(Base.linkKey(3), R.linkKey(3));
+}
+
+TEST(Link, SolveLinkConvergesAndExposesEffects) {
+  Module Caller = parseOk(CallerSrc);
+  Module Callee = parseOk(CalleeSrc);
+  LinkResult LR =
+      solveLink(LinkedCorpus::build(twoModuleFacts()), LinkOptions(),
+                LinkDbHooks(), inProcessRounds({&Caller, &Callee}));
+  EXPECT_TRUE(LR.Converged);
+  EXPECT_GE(LR.Stats.Rounds, 1u);
+
+  const ExternalFunctionInfo *Info = LR.Env.find("free_it");
+  ASSERT_NE(Info, nullptr);
+  EXPECT_EQ(Info->File, "callee.mir");
+  ASSERT_EQ(Info->Summary.DropsParamPointee.size(), 2u);
+  EXPECT_TRUE(Info->Summary.DropsParamPointee[1]);
+  // The dealloc site inside free_it justifies the cross-file span.
+  ASSERT_EQ(Info->DropSites.size(), 2u);
+  ASSERT_EQ(Info->DropSites[1].size(), 1u);
+  EXPECT_GT(Info->DropSites[1][0].Line, 0u);
+
+  // sliceFor(caller.mir) carries exactly its resolved extern entries.
+  ExternalSummaries Slice = LR.Corpus.sliceFor(0, LR.Env);
+  EXPECT_EQ(Slice.size(), 2u);
+  EXPECT_NE(Slice.find("free_it"), nullptr);
+  EXPECT_NE(Slice.find("spawned_body"), nullptr);
+  EXPECT_EQ(Slice.find("caller"), nullptr);
+}
+
+TEST(Link, SummaryDbHooksServeWarmRuns) {
+  Module Caller = parseOk(CallerSrc);
+  Module Callee = parseOk(CalleeSrc);
+  std::map<uint64_t, std::string> Db;
+  LinkDbHooks Hooks;
+  Hooks.Lookup = [&Db](uint64_t K) -> std::optional<std::string> {
+    auto It = Db.find(K);
+    if (It == Db.end())
+      return std::nullopt;
+    return It->second;
+  };
+  Hooks.Store = [&Db](uint64_t K, std::string_view P) {
+    Db.emplace(K, std::string(P));
+  };
+
+  LinkResult Cold = solveLink(LinkedCorpus::build(twoModuleFacts()),
+                              LinkOptions(), Hooks,
+                              inProcessRounds({&Caller, &Callee}));
+  EXPECT_TRUE(Cold.Converged);
+  EXPECT_GT(Cold.Stats.DbStores, 0u);
+  EXPECT_GT(Cold.Stats.ModulesSummarized, 0u);
+  ASSERT_FALSE(Db.empty());
+
+  // Warm: every link key hits, so no module is summarized at all and the
+  // environment is byte-identical to the cold run's.
+  LinkResult Warm = solveLink(LinkedCorpus::build(twoModuleFacts()),
+                              LinkOptions(), Hooks,
+                              inProcessRounds({&Caller, &Callee}));
+  EXPECT_TRUE(Warm.Converged);
+  EXPECT_EQ(Warm.Stats.ModulesSummarized, 0u);
+  EXPECT_EQ(Warm.Stats.ModulesFromDb, 2u);
+  EXPECT_GT(Warm.Stats.DbHits, 0u);
+  EXPECT_EQ(serializeEnv(Warm.Env), serializeEnv(Cold.Env));
+}
+
+TEST(Link, SerializationRoundTrips) {
+  Module Caller = parseOk(CallerSrc);
+  Module Callee = parseOk(CalleeSrc);
+  LinkResult LR =
+      solveLink(LinkedCorpus::build(twoModuleFacts()), LinkOptions(),
+                LinkDbHooks(), inProcessRounds({&Caller, &Callee}));
+
+  // Per-function SummaryDb payload.
+  const ExternalFunctionInfo *Info = LR.Env.find("free_it");
+  ASSERT_NE(Info, nullptr);
+  std::optional<ExternalFunctionInfo> Back =
+      deserializeSummaryPayload(serializeSummaryPayload(*Info));
+  ASSERT_TRUE(Back.has_value());
+  Back->File = Info->File; // Payloads re-anchor the file at load.
+  EXPECT_EQ(*Back, *Info);
+  EXPECT_FALSE(deserializeSummaryPayload("{\"garbage\":1}").has_value());
+
+  // ModuleFacts wire frame.
+  ModuleFacts F = collectModuleFacts(Caller, "caller.mir");
+  std::optional<ModuleFacts> FB =
+      deserializeModuleFacts(serializeModuleFacts(F));
+  ASSERT_TRUE(FB.has_value());
+  EXPECT_EQ(FB->Path, F.Path);
+  ASSERT_EQ(FB->Functions.size(), F.Functions.size());
+  for (size_t I = 0; I != F.Functions.size(); ++I) {
+    EXPECT_EQ(FB->Functions[I].Name, F.Functions[I].Name);
+    EXPECT_EQ(FB->Functions[I].BodyFp, F.Functions[I].BodyFp);
+    EXPECT_EQ(FB->Functions[I].Callees, F.Functions[I].Callees);
+  }
+
+  // ModuleSummaries wire frame.
+  ModuleSummaries MS =
+      summarizeLinkedModule(Callee, 1, ExternalSummaries(), 8);
+  std::optional<ModuleSummaries> MB =
+      deserializeModuleSummaries(serializeModuleSummaries(MS));
+  ASSERT_TRUE(MB.has_value());
+  EXPECT_EQ(MB->ModuleIdx, 1u);
+  EXPECT_EQ(MB->Complete, MS.Complete);
+  EXPECT_EQ(MB->Functions, MS.Functions);
+
+  // Environment wire frame (entries carry defining files).
+  std::optional<ExternalSummaries> EB = deserializeEnv(serializeEnv(LR.Env));
+  ASSERT_TRUE(EB.has_value());
+  EXPECT_EQ(serializeEnv(*EB), serializeEnv(LR.Env));
+  const ExternalFunctionInfo *EInfo = EB->find("free_it");
+  ASSERT_NE(EInfo, nullptr);
+  EXPECT_EQ(EInfo->File, "callee.mir");
+}

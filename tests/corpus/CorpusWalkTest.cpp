@@ -1,0 +1,108 @@
+#include "corpus/CorpusWalk.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+
+#include <unistd.h>
+
+namespace fs = std::filesystem;
+using namespace rs::corpus;
+
+namespace {
+
+/// A temporary directory tree removed on scope exit.
+struct TempTree {
+  fs::path Root;
+  TempTree() {
+    Root = fs::temp_directory_path() /
+           ("rs-corpuswalk-" + std::to_string(::getpid()) + "-" +
+            std::to_string(Counter++));
+    fs::create_directories(Root);
+  }
+  ~TempTree() {
+    std::error_code Ec;
+    fs::remove_all(Root, Ec);
+  }
+  void file(const std::string &Rel) {
+    fs::path P = Root / Rel;
+    fs::create_directories(P.parent_path());
+    std::ofstream(P) << "fn f() {\n}\n";
+  }
+  static int Counter;
+};
+int TempTree::Counter = 0;
+
+std::vector<std::string> paths(const std::vector<CorpusInput> &In) {
+  std::vector<std::string> Out;
+  for (const CorpusInput &I : In)
+    Out.push_back(I.Path);
+  return Out;
+}
+
+} // namespace
+
+TEST(CorpusWalk, FilesKeepArgumentOrder) {
+  TempTree T;
+  T.file("b.mir");
+  T.file("a.mir");
+  std::string A = (T.Root / "a.mir").string();
+  std::string B = (T.Root / "b.mir").string();
+  // Explicit files are never re-sorted: the command line is the order.
+  EXPECT_EQ(paths(expandMirPaths({B, A})),
+            (std::vector<std::string>{B, A}));
+}
+
+TEST(CorpusWalk, DirectoryExpandsInMemcmpOrder) {
+  TempTree T;
+  T.file("z.mir");
+  T.file("sub/a.mir");
+  T.file("a.mir");
+  T.file("sub/z.mir");
+  T.file("not-mir.txt");
+  std::vector<std::string> Got = paths(expandMirPaths({T.Root.string()}));
+  EXPECT_EQ(Got, (std::vector<std::string>{
+                     (T.Root / "a.mir").string(),
+                     (T.Root / "sub/a.mir").string(),
+                     (T.Root / "sub/z.mir").string(),
+                     (T.Root / "z.mir").string(),
+                 }));
+}
+
+// The documented sort key is raw unsigned bytes over the full spelling,
+// not a per-component or depth-first order: '-' (0x2d) sorts before '/'
+// (0x2f), so "a-x/f.mir" precedes "a/f.mir" even though "a" is the
+// shorter directory name. The linker's module indices, the shard
+// partitioner's ranges and the supervisor's ordinal merge all assume
+// exactly this order — a collation change here silently breaks shard
+// byte-equality, which is why the expectation is spelled byte-for-byte.
+TEST(CorpusWalk, SortKeyIsRawBytesOverFullPath) {
+  TempTree T;
+  T.file("a/f.mir");
+  T.file("a-x/f.mir");
+  std::vector<std::string> Got = paths(expandMirPaths({T.Root.string()}));
+  EXPECT_EQ(Got, (std::vector<std::string>{
+                     (T.Root / "a-x/f.mir").string(),
+                     (T.Root / "a/f.mir").string(),
+                 }));
+}
+
+TEST(CorpusWalk, EmptyDirectoryYieldsSkippedPlaceholder) {
+  TempTree T;
+  std::vector<CorpusInput> Got = expandMirPaths({T.Root.string()});
+  ASSERT_EQ(Got.size(), 1u);
+  EXPECT_EQ(Got[0].Path, T.Root.string());
+  EXPECT_FALSE(Got[0].SkipReason.empty());
+}
+
+TEST(CorpusWalk, ExpansionIsReproducible) {
+  TempTree T;
+  for (char C : {'q', 'c', 'm', 'a', 'x'})
+    T.file(std::string(1, C) + ".mir");
+  std::vector<std::string> First = paths(expandMirPaths({T.Root.string()}));
+  for (int I = 0; I != 5; ++I)
+    EXPECT_EQ(paths(expandMirPaths({T.Root.string()})), First);
+  EXPECT_TRUE(std::is_sorted(First.begin(), First.end()));
+}

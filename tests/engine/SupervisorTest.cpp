@@ -291,9 +291,12 @@ TEST(Supervisor, ResumeIgnoresJournalFromDifferentConfiguration) {
   std::vector<std::optional<FileReport>> Probe(Inputs.size());
   CheckpointJournal J(Journal.string());
   // ...the journal on disk is now keyed to the new configuration, not the
-  // old one it was first written under.
-  EXPECT_FALSE(J.load(RunKey{Fp, cacheSalt(SO.Engine, Names)}, Probe));
-  EXPECT_TRUE(J.load(RunKey{Fp, cacheSalt(Other.Engine, Names)}, Probe));
+  // old one it was first written under. (This multi-file corpus runs
+  // linked, so the key carries the whole-program marker.)
+  EXPECT_FALSE(J.load(
+      RunKey{Fp, journalSalt(SO.Engine, Names, /*Linked=*/true)}, Probe));
+  EXPECT_TRUE(J.load(
+      RunKey{Fp, journalSalt(Other.Engine, Names, /*Linked=*/true)}, Probe));
 }
 
 TEST(Supervisor, WorkerStderrNotesSurviveIntoSupervisedRun) {

@@ -1,0 +1,298 @@
+//===----------------------------------------------------------------------===//
+//
+// End-to-end tests for the whole-program link step (docs/WHOLEPROGRAM.md):
+// cross-file findings with counterpart spans in both files, the
+// withheld-callee miss, and the determinism matrix — in-process vs shard
+// fleet, job counts, cold vs warm SummaryDb, and the schema-bump drill.
+//
+//===----------------------------------------------------------------------===//
+
+#include "engine/Engine.h"
+
+#include "diag/Diag.h"
+#include "engine/Supervisor.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+namespace fs = std::filesystem;
+using namespace rs;
+using namespace rs::engine;
+
+namespace {
+
+// The caller half of the cross-file use-after-free: the allocation only
+// dies inside the callee, which lives in the other file.
+const char *UafUseSrc = "fn xp_caller() -> u8 {\n"
+                        "    let _1: *mut u8;\n"
+                        "    let _2: ();\n"
+                        "    bb0: {\n"
+                        "        _1 = alloc(const 8) -> bb1;\n"
+                        "    }\n"
+                        "    bb1: {\n"
+                        "        (*_1) = const 5;\n"
+                        "        _2 = xp_free(copy _1) -> bb2;\n"
+                        "    }\n"
+                        "    bb2: {\n"
+                        "        _0 = copy (*_1);\n"
+                        "        return;\n"
+                        "    }\n"
+                        "}\n";
+
+const char *UafDefSrc = "fn xp_free(_1: *mut u8) {\n"
+                        "    bb0: {\n"
+                        "        dealloc(copy _1) -> bb1;\n"
+                        "    }\n"
+                        "    bb1: {\n"
+                        "        return;\n"
+                        "    }\n"
+                        "}\n";
+
+// The caller half of the cross-file double lock: the guard is still live
+// across a call to a helper that re-locks the same mutex.
+const char *DlUseSrc = "fn xp_outer(_1: &Mutex<i32>) -> i32 {\n"
+                       "    let _2: MutexGuard<i32>;\n"
+                       "    bb0: {\n"
+                       "        _2 = Mutex::lock(copy _1) -> bb1;\n"
+                       "    }\n"
+                       "    bb1: {\n"
+                       "        _0 = xp_relock(copy _1) -> bb2;\n"
+                       "    }\n"
+                       "    bb2: {\n"
+                       "        return;\n"
+                       "    }\n"
+                       "}\n";
+
+const char *DlDefSrc = "fn xp_relock(_1: &Mutex<i32>) -> i32 {\n"
+                       "    let _2: MutexGuard<i32>;\n"
+                       "    bb0: {\n"
+                       "        _2 = Mutex::lock(copy _1) -> bb1;\n"
+                       "    }\n"
+                       "    bb1: {\n"
+                       "        _0 = copy (*_2);\n"
+                       "        return;\n"
+                       "    }\n"
+                       "}\n";
+
+fs::path writePair(const char *Name, const char *UseSrc, const char *DefSrc) {
+  fs::path Dir = fs::path(testing::TempDir()) / Name;
+  fs::remove_all(Dir);
+  fs::create_directories(Dir);
+  std::ofstream(Dir / "a_def.mir") << DefSrc;
+  std::ofstream(Dir / "b_use.mir") << UseSrc;
+  return Dir;
+}
+
+EngineOptions baseOptions() {
+  EngineOptions Opts;
+  Opts.Jobs = 1;
+  Opts.UseCache = false;
+  return Opts;
+}
+
+const FileReport *findFile(const CorpusReport &R, const char *Needle) {
+  for (const FileReport &F : R.Files)
+    if (F.Path.find(Needle) != std::string::npos)
+      return &F;
+  return nullptr;
+}
+
+/// The first finding of \p Kind in \p F, or null.
+const diag::Diagnostic *findKind(const FileReport &F, const char *Kind) {
+  for (const diag::Diagnostic &D : F.Findings)
+    if (std::string_view(diag::ruleName(D.Kind)) == Kind)
+      return &D;
+  return nullptr;
+}
+
+/// The first secondary span whose location lives in \p FileNeedle, or null.
+const diag::Span *spanInto(const diag::Diagnostic &D,
+                           const char *FileNeedle) {
+  for (const diag::Span &S : D.Secondary)
+    if (S.Loc.file().find(FileNeedle) != std::string::npos)
+      return &S;
+  return nullptr;
+}
+
+} // namespace
+
+TEST(WholeProgram, CrossFileUseAfterFreeHasCounterpartSpan) {
+  fs::path Dir = writePair("wp_uaf", UafUseSrc, UafDefSrc);
+  AnalysisEngine E(baseOptions());
+  CorpusReport R = E.analyzeCorpus({Dir.string()});
+
+  EXPECT_TRUE(R.Stats.LinkEnabled);
+  EXPECT_EQ(R.Stats.LinkedFiles, 2u);
+
+  // The finding lands in the use file...
+  const FileReport *Use = findFile(R, "b_use.mir");
+  ASSERT_NE(Use, nullptr);
+  const diag::Diagnostic *D = findKind(*Use, "use-after-free");
+  ASSERT_NE(D, nullptr) << R.renderText();
+  EXPECT_EQ(D->Function, "xp_caller");
+
+  // ...with a secondary span pointing at the dealloc inside the callee,
+  // in the counterpart file.
+  const diag::Span *S = spanInto(*D, "a_def.mir");
+  ASSERT_NE(S, nullptr) << R.renderText();
+  EXPECT_EQ(S->Label, "may be dropped inside callee 'xp_free' here");
+  EXPECT_EQ(S->Loc.line(), 3u); // dealloc(copy _1) in a_def.mir.
+
+  // The def file itself stays clean: standalone, xp_free frees an unknown
+  // caller-owned object.
+  const FileReport *Def = findFile(R, "a_def.mir");
+  ASSERT_NE(Def, nullptr);
+  EXPECT_TRUE(Def->Findings.empty());
+}
+
+TEST(WholeProgram, CrossFileDoubleLockHasCounterpartSpan) {
+  fs::path Dir = writePair("wp_dl", DlUseSrc, DlDefSrc);
+  AnalysisEngine E(baseOptions());
+  CorpusReport R = E.analyzeCorpus({Dir.string()});
+
+  const FileReport *Use = findFile(R, "b_use.mir");
+  ASSERT_NE(Use, nullptr);
+  const diag::Diagnostic *D = findKind(*Use, "double-lock");
+  ASSERT_NE(D, nullptr) << R.renderText();
+  EXPECT_NE(D->Message.find("xp_relock"), std::string::npos);
+
+  const diag::Span *S = spanInto(*D, "a_def.mir");
+  ASSERT_NE(S, nullptr) << R.renderText();
+  EXPECT_EQ(S->Label, "acquired inside callee 'xp_relock' here");
+  EXPECT_EQ(S->Loc.line(), 4u); // Mutex::lock in a_def.mir.
+
+  const FileReport *Def = findFile(R, "a_def.mir");
+  ASSERT_NE(Def, nullptr);
+  EXPECT_TRUE(Def->Findings.empty());
+}
+
+TEST(WholeProgram, MissedWhenCalleeFileWithheld) {
+  // Analyzing the use file alone — even with linking forced on — must not
+  // report the bug: the callee is an unresolved leaf with no summary.
+  fs::path Dir = writePair("wp_withheld", UafUseSrc, UafDefSrc);
+  EngineOptions Opts = baseOptions();
+  Opts.WholeProgram = WholeProgramMode::On;
+  AnalysisEngine E(Opts);
+  CorpusReport R = E.analyzeCorpus({(Dir / "b_use.mir").string()});
+
+  ASSERT_EQ(R.Files.size(), 1u);
+  EXPECT_EQ(R.Files[0].Status, EngineStatus::Ok);
+  EXPECT_EQ(R.totalFindings(), 0u) << R.renderText();
+}
+
+TEST(WholeProgram, OffModeStaysPerFile) {
+  fs::path Dir = writePair("wp_off", UafUseSrc, UafDefSrc);
+  EngineOptions Opts = baseOptions();
+  Opts.WholeProgram = WholeProgramMode::Off;
+  AnalysisEngine E(Opts);
+  CorpusReport R = E.analyzeCorpus({Dir.string()});
+
+  EXPECT_FALSE(R.Stats.LinkEnabled);
+  EXPECT_EQ(R.totalFindings(), 0u) << R.renderText();
+}
+
+TEST(WholeProgram, AutoLinksOnlyMultiFileCorpora) {
+  fs::path Dir = writePair("wp_auto", UafUseSrc, UafDefSrc);
+  {
+    AnalysisEngine E(baseOptions());
+    CorpusReport R = E.analyzeCorpus({(Dir / "b_use.mir").string()});
+    EXPECT_FALSE(R.Stats.LinkEnabled);
+  }
+  {
+    AnalysisEngine E(baseOptions());
+    CorpusReport R = E.analyzeCorpus({Dir.string()});
+    EXPECT_TRUE(R.Stats.LinkEnabled);
+  }
+}
+
+TEST(WholeProgram, JsonIsByteIdenticalAcrossJobsAndShards) {
+  fs::path Dir = writePair("wp_determinism", UafUseSrc, UafDefSrc);
+  std::ofstream(Dir / "c_dl_def.mir") << DlDefSrc;
+  std::ofstream(Dir / "d_dl_use.mir") << DlUseSrc;
+
+  AnalysisEngine Serial(baseOptions());
+  CorpusReport Want = Serial.analyzeCorpus({Dir.string()});
+  EXPECT_EQ(Want.totalFindings(), 2u) << Want.renderText();
+
+  // Job counts.
+  for (unsigned Jobs : {2u, 8u}) {
+    EngineOptions Opts = baseOptions();
+    Opts.Jobs = Jobs;
+    AnalysisEngine E(Opts);
+    CorpusReport Got = E.analyzeCorpus({Dir.string()});
+    EXPECT_EQ(Want.renderJson(), Got.renderJson()) << "jobs=" << Jobs;
+    EXPECT_EQ(Want.renderSarif(), Got.renderSarif()) << "jobs=" << Jobs;
+  }
+
+  // Shard fleet: the supervised two-phase link must reproduce the
+  // in-process bytes for every shard count.
+  for (unsigned Shards : {1u, 4u}) {
+    SupervisorOptions SO;
+    SO.Engine = baseOptions();
+    SO.Shards = Shards;
+    SO.BackoffMs = 1;
+    SO.WorkerExe = RS_RUSTSIGHT_BIN;
+    Supervisor S(std::move(SO));
+    CorpusReport Got = S.run({Dir.string()});
+    EXPECT_EQ(Want.renderJson(), Got.renderJson()) << "shards=" << Shards;
+    EXPECT_EQ(Want.renderSarif(), Got.renderSarif()) << "shards=" << Shards;
+  }
+}
+
+TEST(WholeProgram, ColdVsWarmSummaryDbIsByteIdentical) {
+  fs::path Dir = writePair("wp_warm", UafUseSrc, UafDefSrc);
+  fs::path CacheDir = fs::path(testing::TempDir()) / "wp_warm_cache";
+  fs::remove_all(CacheDir);
+
+  EngineOptions Opts = baseOptions();
+  Opts.UseCache = true;
+  Opts.CacheDir = CacheDir.string();
+
+  std::string Cold, Warm;
+  {
+    AnalysisEngine E(Opts);
+    CorpusReport R = E.analyzeCorpus({Dir.string()});
+    EXPECT_GT(R.Stats.SummaryDbStores, 0u);
+    EXPECT_EQ(R.Stats.ModulesFromSummaryDb, 0u);
+    Cold = R.renderJson();
+  }
+  {
+    // A fresh engine against the same disk root: every link key hits, so
+    // no module is summarized and the bytes match the cold run exactly.
+    AnalysisEngine E(Opts);
+    CorpusReport R = E.analyzeCorpus({Dir.string()});
+    EXPECT_EQ(R.Stats.ModulesFromSummaryDb, 2u) << R.Stats.renderLine();
+    EXPECT_GT(R.Stats.SummaryDbHits, 0u);
+    Warm = R.renderJson();
+  }
+  EXPECT_EQ(Cold, Warm);
+}
+
+TEST(WholeProgram, SummaryDbSchemaBumpIsColdNotCorrupt) {
+  fs::path Dir = writePair("wp_schema", UafUseSrc, UafDefSrc);
+  fs::path CacheDir = fs::path(testing::TempDir()) / "wp_schema_cache";
+  fs::remove_all(CacheDir);
+
+  EngineOptions Opts = baseOptions();
+  Opts.UseCache = true;
+  Opts.CacheDir = CacheDir.string();
+
+  std::string Cold;
+  {
+    AnalysisEngine E(Opts);
+    Cold = E.analyzeCorpus({Dir.string()}).renderJson();
+  }
+
+  // The CI drill: a bumped address schema must read as a cold DB — same
+  // bytes, zero corruption, old entries simply never addressed.
+  Opts.SummaryDbSchemaOverride = sched::SummaryDb::SchemaVersion + 1;
+  AnalysisEngine Bumped(Opts);
+  CorpusReport R = Bumped.analyzeCorpus({Dir.string()});
+  EXPECT_EQ(Cold, R.renderJson());
+  EXPECT_EQ(R.Stats.ModulesFromSummaryDb, 0u);
+  ASSERT_NE(Bumped.summaryDb(), nullptr);
+  EXPECT_EQ(Bumped.summaryDb()->stats().CorruptEntries, 0u);
+}

@@ -1,0 +1,91 @@
+#include "support/Mmap.h"
+
+#include "support/FaultInjection.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include <unistd.h>
+
+namespace fs = std::filesystem;
+using namespace rs;
+
+namespace {
+
+struct TempFile {
+  fs::path Path;
+  explicit TempFile(const std::string &Contents) {
+    Path = fs::temp_directory_path() /
+           ("rs-mmap-" + std::to_string(::getpid()) + "-" +
+            std::to_string(Counter++));
+    std::ofstream(Path, std::ios::binary) << Contents;
+  }
+  ~TempFile() {
+    std::error_code Ec;
+    fs::remove(Path, Ec);
+  }
+  static int Counter;
+};
+int TempFile::Counter = 0;
+
+} // namespace
+
+TEST(Mmap, MapsFileContents) {
+  std::string Payload = "hello\0world binary \xff bytes";
+  Payload.resize(26); // Keep the embedded NUL.
+  TempFile F(Payload);
+  std::optional<MappedFile> M = MappedFile::open(F.Path.string());
+  ASSERT_TRUE(M.has_value());
+  EXPECT_TRUE(static_cast<bool>(*M));
+  EXPECT_EQ(M->view(), std::string_view(Payload));
+}
+
+TEST(Mmap, MissingFileIsNullopt) {
+  EXPECT_FALSE(
+      MappedFile::open("/nonexistent/rs-mmap-no-such-file").has_value());
+}
+
+TEST(Mmap, EmptyFileIsNullopt) {
+  // mmap of length 0 is EINVAL; callers take the buffered fallback.
+  TempFile F("");
+  EXPECT_FALSE(MappedFile::open(F.Path.string()).has_value());
+}
+
+TEST(Mmap, DirectoryIsNullopt) {
+  EXPECT_FALSE(
+      MappedFile::open(fs::temp_directory_path().string()).has_value());
+}
+
+TEST(Mmap, MoveTransfersOwnership) {
+  TempFile F("movable");
+  std::optional<MappedFile> M = MappedFile::open(F.Path.string());
+  ASSERT_TRUE(M.has_value());
+  MappedFile Stolen = std::move(*M);
+  EXPECT_FALSE(static_cast<bool>(*M));
+  EXPECT_EQ(Stolen.view(), "movable");
+
+  MappedFile Assigned;
+  Assigned = std::move(Stolen);
+  EXPECT_FALSE(static_cast<bool>(Stolen));
+  EXPECT_EQ(Assigned.view(), "movable");
+}
+
+TEST(Mmap, ViewSurvivesUntilDestruction) {
+  TempFile F("long enough that a stale view would show");
+  std::string Copy;
+  {
+    std::optional<MappedFile> M = MappedFile::open(F.Path.string());
+    ASSERT_TRUE(M.has_value());
+    Copy.assign(M->view());
+  }
+  EXPECT_EQ(Copy, "long enough that a stale view would show");
+}
+
+TEST(Mmap, FaultProbeForcesFallback) {
+  TempFile F("probed");
+  fault::ScopedFault Probe("support.mmap", 1);
+  EXPECT_FALSE(MappedFile::open(F.Path.string()).has_value());
+  // Disarmed on scope exit: the next open maps normally.
+}
